@@ -1,0 +1,151 @@
+// A4 ablation: SACK situation transitions vs the pre-SACK alternative —
+// SELinux-style policy booleans flipped by a user-space daemon (related
+// work's "conditional policy" approach, cf. §II).
+//
+// Two costs are compared as the loaded policy grows:
+//   * SACK: securityfs event write -> O(1) SSM lookup -> APE re-activation
+//     of the current state's rules into per-operation tables;
+//   * TE boolean: securityfs write -> conditional-rule index rebuild.
+//
+// (The semantic gap — booleans do not revoke already-open fds, SACK's
+// generation bump does — is pinned by TeBooleanTest.BooleanFlipDoesNotRevokeOpenFds.)
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/policy_builder.h"
+#include "core/sack_module.h"
+#include "kernel/process.h"
+#include "simbench/capture.h"
+#include "te/te_module.h"
+
+namespace {
+
+using sack::operator|;
+using sack::kernel::Kernel;
+using sack::kernel::OpenFlags;
+
+constexpr int kRuleCounts[] = {10, 100, 1000};
+
+// SACK policy: two states, `count` rules attached to a permission granted in
+// one of them (so every transition re-activates / deactivates all of them).
+sack::core::SackPolicy sack_policy(int count) {
+  sack::core::PolicyBuilder b;
+  b.state("normal", 0).state("special", 1).initial("normal");
+  b.transition("normal", "enter", "special");
+  b.transition("special", "leave", "normal");
+  b.permission("BULK").grant("special", "BULK");
+  for (int i = 0; i < count; ++i) {
+    b.allow("BULK", "*", "/var/rules/object_" + std::to_string(i),
+            sack::core::MacOp::read | sack::core::MacOp::write);
+  }
+  return b.build();
+}
+
+// TE policy: `count` conditional rules behind one boolean.
+std::string te_policy(int count) {
+  std::string text = "type app_t;\nbool special_mode false;\n";
+  for (int i = 0; i < count; ++i)
+    text += "type obj" + std::to_string(i) + "_t;\n";
+  text += "if special_mode {\n";
+  for (int i = 0; i < count; ++i) {
+    text += "  allow app_t obj" + std::to_string(i) +
+            "_t : file { read write };\n";
+  }
+  text += "}\n";
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  std::vector<std::unique_ptr<Kernel>> kernels;
+
+  for (int count : kRuleCounts) {
+    // SACK side.
+    kernels.push_back(std::make_unique<Kernel>());
+    Kernel* sk = kernels.back().get();
+    auto* sack_mod = static_cast<sack::core::SackModule*>(sk->add_lsm(
+        std::make_unique<sack::core::SackModule>(
+            sack::core::SackMode::independent)));
+    if (!sack_mod->load_policy(sack_policy(count)).ok()) return 1;
+
+    benchmark::RegisterBenchmark(
+        ("sack_transition/" + std::to_string(count)).c_str(),
+        [sk, sack_mod](benchmark::State& s) {
+          auto sds = sack::kernel::Process(*sk, sk->init_task());
+          auto fd = sds.open("/sys/kernel/security/SACK/events",
+                             OpenFlags::write);
+          if (!fd.ok()) {
+            s.SkipWithError("events open failed");
+            return;
+          }
+          bool in = false;
+          for (auto _ : s) {
+            in = !in;
+            auto rc = sds.write(*fd, in ? "enter\n" : "leave\n");
+            if (!rc.ok()) s.SkipWithError("event write failed");
+          }
+        })
+        ->MinTime(0.1);
+
+    // TE side.
+    kernels.push_back(std::make_unique<Kernel>());
+    Kernel* tk = kernels.back().get();
+    auto* te_mod = static_cast<sack::te::TeModule*>(
+        tk->add_lsm(std::make_unique<sack::te::TeModule>()));
+    if (!te_mod->load_policy_text(te_policy(count)).ok()) return 1;
+
+    benchmark::RegisterBenchmark(
+        ("te_boolean_flip/" + std::to_string(count)).c_str(),
+        [tk](benchmark::State& s) {
+          auto admin = sack::kernel::Process(*tk, tk->init_task());
+          auto fd = admin.open("/sys/kernel/security/setype/booleans",
+                               OpenFlags::write);
+          if (!fd.ok()) {
+            s.SkipWithError("booleans open failed");
+            return;
+          }
+          bool on = false;
+          for (auto _ : s) {
+            on = !on;
+            auto rc =
+                admin.write(*fd, on ? "special_mode 1" : "special_mode 0");
+            if (!rc.ok()) s.SkipWithError("boolean write failed");
+          }
+        })
+        ->MinTime(0.1);
+  }
+
+  sack::simbench::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::printf("\n=== Ablation: situation adaptation mechanisms "
+              "(per policy change, securityfs write included) ===\n");
+  std::printf("%-8s %20s %20s %10s\n", "rules", "SACK transition",
+              "TE boolean flip", "ratio");
+  for (int count : kRuleCounts) {
+    double sack_ns =
+        reporter.ns("sack_transition/" + std::to_string(count));
+    double te_ns =
+        reporter.ns("te_boolean_flip/" + std::to_string(count));
+    std::printf("%-8d %17.1f us %17.1f us %9.1fx\n", count, sack_ns / 1000.0,
+                te_ns / 1000.0, te_ns / sack_ns);
+  }
+  std::printf(
+      "\nReading the numbers: both mechanisms are microsecond-scale and\n"
+      "linear in the affected rule count. The SACK transition is the more\n"
+      "expensive of the two per change because the APE builds richer per-\n"
+      "operation tables (which is what keeps the per-ACCESS cost flat,\n"
+      "cf. Table III and the matcher ablation) — a cost worth paying for an\n"
+      "event that fires at human/vehicle timescales. The decisive gaps are\n"
+      "semantic, not latency: a boolean flip neither revokes already-open\n"
+      "fds (TeBooleanTest.BooleanFlipDoesNotRevokeOpenFds) nor gives the\n"
+      "kernel a first-class situation model (state machine, encodings,\n"
+      "transition rules, audit) — each situation would need hand-wired\n"
+      "boolean combinations maintained by trusted user-space code.\n");
+  return 0;
+}

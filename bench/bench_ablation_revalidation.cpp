@@ -1,0 +1,106 @@
+// A3 ablation: the per-open-file revalidation cache in independent SACK.
+//
+// file_permission runs on every read/write. With the cache, a successful
+// check is remembered until the policy generation changes (a situation
+// transition or reload); without it, every read/write pays a full rule
+// match. Measured on a steady-read workload over a guarded file, at varying
+// transition rates.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/sack_module.h"
+#include "simbench/capture.h"
+#include "simbench/env.h"
+#include "simbench/policy_gen.h"
+#include "simbench/stats.h"
+
+namespace {
+
+using sack::kernel::Fd;
+using sack::kernel::OpenFlags;
+using sack::simbench::BenchEnv;
+using sack::simbench::BenchMac;
+using sack::simbench::EnvOptions;
+
+std::unique_ptr<BenchEnv> make_env(bool cache) {
+  EnvOptions options;
+  options.mac = BenchMac::independent_sack;
+  options.sack_policy = sack::simbench::speed_gate_policy();
+  auto env = std::make_unique<BenchEnv>(options);
+  env->sack()->set_revalidation_cache(cache);
+  return env;
+}
+
+void register_read_loop(BenchEnv* env, const std::string& tag,
+                        long transitions_every) {
+  benchmark::RegisterBenchmark(
+      ("guarded_read/" + tag).c_str(),
+      [env, transitions_every](benchmark::State& s) {
+        // Read the guarded critical file through a persistent fd (allowed in
+        // low_speed, the current state).
+        auto proc = env->process();
+        auto fd = proc.open(BenchEnv::kCriticalFile, OpenFlags::read);
+        if (!fd.ok()) {
+          s.SkipWithError("open failed");
+          return;
+        }
+        auto sds = env->root_process();
+        std::string buffer;
+        long counter = 0;
+        for (auto _ : s) {
+          (void)env->kernel().sys_lseek(env->task(), *fd, 0,
+                                        sack::kernel::Whence::set);
+          auto rc = proc.read(*fd, buffer, 16);
+          if (!rc.ok()) s.SkipWithError("read failed");
+          if (transitions_every > 0 && ++counter >= transitions_every) {
+            counter = 0;
+            // A transition away and back: two generation bumps.
+            (void)sds.write_existing("/sys/kernel/security/SACK/events",
+                                     "high_speed_entered\n");
+            (void)sds.write_existing("/sys/kernel/security/SACK/events",
+                                     "low_speed_entered\n");
+          }
+        }
+        (void)proc.close(*fd);
+      })
+      ->MinTime(0.1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  auto cached = make_env(true);
+  auto uncached = make_env(false);
+  auto cached_churn = make_env(true);
+
+  register_read_loop(cached.get(), "cached", 0);
+  register_read_loop(uncached.get(), "uncached", 0);
+  // Churn case: with transitions every 64 reads the cache keeps being
+  // invalidated, so the two designs should converge.
+  register_read_loop(cached_churn.get(), "cached_churn64", 64);
+
+  sack::simbench::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  double with_cache = reporter.ns("guarded_read/cached");
+  double without = reporter.ns("guarded_read/uncached");
+  double churn = reporter.ns("guarded_read/cached_churn64");
+  std::printf("\n=== Ablation: file_permission revalidation cache ===\n");
+  std::printf("%-28s %10.1f ns/read\n", "cache on (stable state)",
+              with_cache);
+  std::printf("%-28s %10.1f ns/read  (+%.1f%%)\n",
+              "cache off (full re-match)", without,
+              sack::simbench::percent_delta(with_cache, without));
+  std::printf("%-28s %10.1f ns/read\n", "cache on, churn every 64",
+              churn);
+  std::printf(
+      "\nShape check: the cache removes the rule match from steady-state\n"
+      "reads while transitions still revoke open fds immediately (the\n"
+      "correctness tests cover revocation); under heavy churn the benefit\n"
+      "shrinks toward the uncached cost, as expected.\n");
+  return 0;
+}

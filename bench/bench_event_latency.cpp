@@ -1,0 +1,127 @@
+// E5 / §IV-B "Situation awareness latency": time from the SDS's write(2) on
+// /sys/kernel/security/SACK/events to the situation state being visible in
+// the kernel, for four distinct situation events, plus delivery accuracy.
+//
+// Paper shape: microsecond-scale average latency (≈5.4 µs on their PC) with
+// 100% accuracy.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/policy_builder.h"
+#include "core/sack_module.h"
+#include "simbench/capture.h"
+#include "simbench/env.h"
+#include "simbench/policy_gen.h"
+#include "simbench/stats.h"
+
+namespace {
+
+using sack::simbench::BenchEnv;
+using sack::simbench::BenchMac;
+using sack::simbench::EnvOptions;
+
+// A four-state ring so four distinct events each cause a real transition.
+sack::core::SackPolicy four_event_policy() {
+  sack::core::PolicyBuilder b;
+  b.state("s0", 0).state("s1", 1).state("s2", 2).state("s3", 3).initial("s0");
+  b.transition("s0", "crash_detected", "s1");
+  b.transition("s1", "emergency_cleared", "s2");
+  b.transition("s2", "start_driving", "s3");
+  b.transition("s3", "stop_driving", "s0");
+  return b.build();
+}
+
+const char* kEvents[] = {"crash_detected", "emergency_cleared",
+                         "start_driving", "stop_driving"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  EnvOptions options;
+  options.mac = BenchMac::independent_sack;
+  options.sack_policy = four_event_policy();
+  BenchEnv env(options);
+
+  // Keep the events fd open like a long-running SDS daemon would.
+  auto sds = env.root_process();
+  auto events_fd =
+      sds.open("/sys/kernel/security/SACK/events", sack::kernel::OpenFlags::write);
+  if (!events_fd.ok()) {
+    std::fprintf(stderr, "cannot open SACKfs events file\n");
+    return 1;
+  }
+
+  // google-benchmark measurement: one full event transmission per iteration,
+  // cycling through the four events (every write transitions the ring).
+  benchmark::RegisterBenchmark(
+      "event_transmission_latency",
+      [&](benchmark::State& s) {
+        std::size_t i = 0;
+        for (auto _ : s) {
+          auto rc = sds.write(*events_fd, std::string(kEvents[i % 4]) + "\n");
+          if (!rc.ok()) s.SkipWithError("event write failed");
+          ++i;
+        }
+      })
+      ->MinTime(0.2);
+
+  sack::simbench::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  // Accuracy pass: deliver a known sequence, verify the state after every
+  // single event, and per-event latency with a manual timer.
+  auto* sack_module = env.sack();
+  const auto* ssm = sack_module->ssm();
+  // The benchmark loop above left the ring at an arbitrary position; walk
+  // it back to s0 so the expected-state table lines up.
+  for (int e = 0; ssm->current_name() != "s0" && e < 4; ++e) {
+    // kEvents[K] is the event that advances the ring from state sK.
+    (void)sds.write(*events_fd,
+                    std::string(kEvents[ssm->current_encoding()]) + "\n");
+  }
+  const char* expected_state[] = {"s1", "s2", "s3", "s0"};
+  constexpr int kRounds = 2000;
+  std::vector<double> per_event_us;
+  per_event_us.reserve(kRounds * 4);
+  std::uint64_t correct = 0, total = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int e = 0; e < 4; ++e) {
+      sack::MonotonicTimer timer;
+      (void)sds.write(*events_fd, std::string(kEvents[e]) + "\n");
+      // State visibility check is part of the measured path: the SDS reads
+      // back the current state the same way a user-space client would not
+      // need to — the transition is already committed when write returns.
+      double us = timer.elapsed_us();
+      per_event_us.push_back(us);
+      ++total;
+      if (ssm->current_name() == expected_state[e]) ++correct;
+    }
+  }
+  auto stats = sack::simbench::compute_stats(per_event_us);
+
+  std::printf("\n=== Situation awareness latency (securityfs transmission) "
+              "===\n");
+  std::printf("events tested: %d kinds x %d rounds\n", 4, kRounds);
+  std::printf("google-benchmark: %.2f us per transmitted event\n",
+              reporter.ns("event_transmission_latency") / 1000.0);
+  std::printf("manual timing:    mean %.2f us  median %.2f us  "
+              "stddev %.2f us  max %.2f us\n",
+              stats.mean, stats.median, stats.stddev, stats.max);
+  std::printf("accuracy: %llu/%llu (%.2f%%)\n",
+              static_cast<unsigned long long>(correct),
+              static_cast<unsigned long long>(total),
+              100.0 * static_cast<double>(correct) / static_cast<double>(total));
+  std::printf("kernel-side counters: received=%llu rejected=%llu "
+              "transitions=%llu\n",
+              static_cast<unsigned long long>(sack_module->events_received()),
+              static_cast<unsigned long long>(sack_module->events_rejected()),
+              static_cast<unsigned long long>(ssm->transitions_taken()));
+  std::printf(
+      "\nPaper shape check: microsecond-scale average latency (the paper\n"
+      "reports ~5.4 us) with 100%% delivery accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E3 / Fig 3(a): runtime overhead of independent SACK vs the number of
+// situation states {1, 10, 50, 100}, measured on a file-operation workload
+// against a no-MAC baseline. Independent SACK is the worst case (it runs its
+// own LSM hooks). Paper shape: ~1.8% overhead at 100 states — i.e. nearly
+// flat, because per-op cost depends on the active rule set, not state count.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "simbench/capture.h"
+#include "simbench/env.h"
+#include "simbench/policy_gen.h"
+#include "simbench/stats.h"
+#include "simbench/table.h"
+#include "simbench/workloads.h"
+
+namespace {
+
+using sack::simbench::BenchEnv;
+using sack::simbench::BenchMac;
+using sack::simbench::EnvOptions;
+
+constexpr int kStateCounts[] = {1, 10, 50, 100};
+
+// The Fig 3(a) "file operations" workload: open/read/close plus a
+// create/delete cycle.
+void file_ops(BenchEnv& env) {
+  sack::simbench::wl_open_close(env);
+  sack::simbench::wl_stat(env);
+  sack::simbench::wl_file_create_delete(env, 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  std::vector<std::unique_ptr<BenchEnv>> envs;
+
+  // Baseline: LSM framework enabled but no MAC module.
+  {
+    EnvOptions options;
+    options.mac = BenchMac::none;
+    envs.push_back(std::make_unique<BenchEnv>(options));
+    BenchEnv* env = envs.back().get();
+    benchmark::RegisterBenchmark("file_ops/baseline",
+                                 [env](benchmark::State& s) {
+                                   for (auto _ : s) file_ops(*env);
+                                 })
+        ->MinTime(0.1);
+  }
+  for (int states : kStateCounts) {
+    EnvOptions options;
+    options.mac = BenchMac::independent_sack;
+    options.sack_policy = sack::simbench::sack_policy_with_states(states);
+    envs.push_back(std::make_unique<BenchEnv>(options));
+    BenchEnv* env = envs.back().get();
+    std::string name = "file_ops/states" + std::to_string(states);
+    benchmark::RegisterBenchmark(name.c_str(), [env](benchmark::State& s) {
+      for (auto _ : s) file_ops(*env);
+    })->MinTime(0.1);
+  }
+
+  sack::simbench::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::printf("\n=== Fig 3(a): runtime overhead vs number of situation states "
+              "(independent SACK) ===\n");
+  double baseline = reporter.ns("file_ops/baseline");
+  std::printf("%-12s %12s %12s\n", "states", "us/op", "overhead");
+  std::printf("%-12s %12.3f %12s\n", "no SACK", baseline / 1000.0, "-");
+  for (int states : kStateCounts) {
+    double ns = reporter.ns("file_ops/states" + std::to_string(states));
+    std::printf("%-12d %12.3f %11.2f%%\n", states, ns / 1000.0,
+                sack::simbench::percent_delta(baseline, ns));
+  }
+  std::printf(
+      "\nPaper shape check: overhead is ~flat in state count (per-operation\n"
+      "cost depends on the active rule set, not on how many states exist).\n"
+      "Fig 3(a) reports ~1.8%% at 100 states on real hardware; absolute\n"
+      "percentages run higher here because the simulated file operations\n"
+      "lack the millisecond-scale filesystem costs of LMBench's, so the\n"
+      "same fixed mediation cost is a larger fraction.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// E1b / §IV-B (VisionFive2 RISC-V board): independent SACK vs the original
+// system *without the LSM framework*. The paper reports +4.53% on file read
+// and +6.36% on file write for this comparison — larger than Table II's
+// deltas because the baseline has no LSM hooks at all, so SACK pays for the
+// hook plumbing *and* its checks.
+//
+// We reproduce the comparison structurally: BenchMac::none boots the kernel
+// with an empty LSM stack (the capability module only), independent SACK
+// adds the full hook traffic plus rule matching.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "simbench/capture.h"
+#include "simbench/env.h"
+#include "simbench/stats.h"
+#include "simbench/workloads.h"
+#include "util/clock.h"
+
+namespace {
+
+using sack::operator|;  // bitmask ops live in the outer sack namespace
+using sack::kernel::Fd;
+using sack::kernel::OpenFlags;
+using sack::kernel::Whence;
+using sack::simbench::BenchEnv;
+using sack::simbench::BenchMac;
+using sack::simbench::EnvOptions;
+
+// File read: sequential ~0.5K reads over the 1 MiB file through one fd.
+// (An odd size sidesteps 4K-aliasing artifacts between the source string
+// and the destination buffer that otherwise dwarf the hook cost.)
+void register_file_ops(BenchEnv* env, const std::string& tag) {
+  benchmark::RegisterBenchmark(
+      ("file_read/" + tag).c_str(),
+      [env](benchmark::State& s) {
+        auto& k = env->kernel();
+        Fd fd = k.sys_open(env->task(), BenchEnv::kRereadFile,
+                           OpenFlags::read)
+                    .value();
+        std::string buf;
+        for (auto _ : s) {
+          auto n = k.sys_read(env->task(), fd, buf, 503);
+          if (!n.ok() || *n == 0)
+            (void)k.sys_lseek(env->task(), fd, 0, Whence::set);
+        }
+        (void)k.sys_close(env->task(), fd);
+      })
+      ->MinTime(0.2);
+  benchmark::RegisterBenchmark(
+      ("file_write/" + tag).c_str(),
+      [env](benchmark::State& s) {
+        auto& k = env->kernel();
+        const std::string path = std::string(BenchEnv::kWorkDir) + "/wfile";
+        Fd fd = k.sys_open(env->task(), path,
+                           OpenFlags::write | OpenFlags::create)
+                    .value();
+        const std::string chunk(503, 'w');
+        for (auto _ : s) {
+          (void)k.sys_write(env->task(), fd, chunk);
+          if (k.sys_lseek(env->task(), fd, 0, Whence::cur).value() >
+              (1u << 20))
+            (void)k.sys_lseek(env->task(), fd, 0, Whence::set);
+        }
+        (void)k.sys_close(env->task(), fd);
+        (void)k.sys_unlink(env->task(), path);
+      })
+      ->MinTime(0.2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  EnvOptions base_options;
+  base_options.mac = BenchMac::none;
+  BenchEnv baseline(base_options);
+  EnvOptions sack_options;
+  sack_options.mac = BenchMac::independent_sack;
+  BenchEnv with_sack(sack_options);
+
+  register_file_ops(&baseline, "no_lsm");
+  register_file_ops(&with_sack, "sack");
+
+  // Warm-up: drive both kernels' read/write paths until the CPU governor
+  // and caches settle, otherwise whichever benchmark runs first eats the
+  // cold-start cost and the comparison flips sign with registration order.
+  for (BenchEnv* env : {&baseline, &with_sack}) {
+    auto& k = env->kernel();
+    Fd fd = k.sys_open(env->task(), BenchEnv::kRereadFile, OpenFlags::read)
+                .value();
+    std::string buf;
+    sack::MonotonicTimer timer;
+    while (timer.elapsed_ms() < 300) {
+      for (int i = 0; i < 512; ++i) {
+        auto n = k.sys_read(env->task(), fd, buf, 503);
+        if (!n.ok() || *n == 0)
+          (void)k.sys_lseek(env->task(), fd, 0, Whence::set);
+      }
+    }
+    (void)k.sys_close(env->task(), fd);
+  }
+
+  sack::simbench::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::printf("\n=== Embedded-board comparison: independent SACK vs no-LSM "
+              "baseline ===\n");
+  for (const char* op : {"file_read", "file_write"}) {
+    double base = reporter.ns(std::string(op) + "/no_lsm");
+    double sack_ns = reporter.ns(std::string(op) + "/sack");
+    std::printf("%-11s baseline %8.1f ns/op   with SACK %8.1f ns/op   "
+                "overhead %+.2f%%  (+%.1f ns/op)\n",
+                op, base, sack_ns,
+                sack::simbench::percent_delta(base, sack_ns),
+                sack_ns - base);
+  }
+  std::printf(
+      "\nPaper shape check: positive overhead on both rows, write above\n"
+      "read (the VisionFive2 numbers are +4.53%% read / +6.36%% write).\n"
+      "The absolute added cost here is ~10-15 ns per operation (hooks +\n"
+      "guard probe); the percentage is inflated because a simulated small\n"
+      "read costs ~20 ns where a real kernel's costs a microsecond.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "lmbench_suite.h"
+
+namespace sack::bench {
+
+using simbench::BenchEnv;
+using simbench::CaptureReporter;
+using simbench::CtxSwitchPair;
+using simbench::FileReread;
+using simbench::MmapReread;
+using simbench::NullIo;
+using simbench::PaperTable;
+using simbench::PipeChannel;
+using simbench::SocketChannel;
+
+namespace {
+
+template <typename Fn>
+void reg(const std::string& name, double min_time, Fn fn) {
+  benchmark::RegisterBenchmark(name.c_str(), std::move(fn))
+      ->MinTime(min_time);
+}
+
+}  // namespace
+
+void register_lmbench_suite(BenchEnv* env, const std::string& tag,
+                            const SuiteOptions& options) {
+  const double t = options.min_time;
+
+  if (options.processes) {
+    reg("syscall/" + tag, t, [env](benchmark::State& s) {
+      for (auto _ : s) simbench::wl_null_syscall(*env);
+    });
+    reg("fork/" + tag, t, [env](benchmark::State& s) {
+      for (auto _ : s) simbench::wl_fork_exit_wait(*env);
+    });
+    reg("stat/" + tag, t, [env](benchmark::State& s) {
+      for (auto _ : s) simbench::wl_stat(*env);
+    });
+    reg("open_close/" + tag, t, [env](benchmark::State& s) {
+      for (auto _ : s) simbench::wl_open_close(*env);
+    });
+    reg("exec/" + tag, t, [env](benchmark::State& s) {
+      for (auto _ : s) simbench::wl_exec(*env);
+    });
+  }
+  if (options.null_io) {
+    reg("null_io/" + tag, t, [env](benchmark::State& s) {
+      auto io = std::make_shared<NullIo>(*env);
+      for (auto _ : s) io->io_once();
+    });
+  }
+  if (options.files) {
+    reg("file_create_0k/" + tag, t, [env](benchmark::State& s) {
+      for (auto _ : s) {
+        simbench::wl_file_create_delete(*env, 0);
+      }
+    });
+    reg("file_create_10k/" + tag, t, [env](benchmark::State& s) {
+      for (auto _ : s) {
+        simbench::wl_file_create_delete(*env, 10 * 1024);
+      }
+    });
+    reg("mmap_latency/" + tag, t, [env](benchmark::State& s) {
+      for (auto _ : s) simbench::wl_mmap_cycle(*env);
+    });
+  }
+  if (options.bandwidths) {
+    reg("pipe_bw/" + tag, t, [env](benchmark::State& s) {
+      auto ch = std::make_shared<PipeChannel>(*env);
+      std::size_t bytes = 0;
+      for (auto _ : s) bytes += ch->transfer();
+      s.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+    });
+    reg("unix_bw/" + tag, t, [env](benchmark::State& s) {
+      auto ch = std::make_shared<SocketChannel>(*env,
+                                                kernel::SockFamily::unix_);
+      std::size_t bytes = 0;
+      for (auto _ : s) bytes += ch->transfer();
+      s.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+    });
+    reg("tcp_bw/" + tag, t, [env](benchmark::State& s) {
+      auto ch = std::make_shared<SocketChannel>(*env,
+                                                kernel::SockFamily::inet);
+      std::size_t bytes = 0;
+      for (auto _ : s) bytes += ch->transfer();
+      s.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+    });
+    reg("file_reread/" + tag, t, [env](benchmark::State& s) {
+      auto ch = std::make_shared<FileReread>(*env);
+      std::size_t bytes = 0;
+      for (auto _ : s) bytes += ch->transfer();
+      s.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+    });
+    reg("mmap_reread/" + tag, t, [env](benchmark::State& s) {
+      auto ch = std::make_shared<MmapReread>(*env);
+      std::size_t bytes = 0;
+      for (auto _ : s) bytes += ch->transfer();
+      s.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+    });
+  }
+  if (options.ctxsw) {
+    reg("ctxsw_2p_0k/" + tag, t, [env](benchmark::State& s) {
+      auto pair = std::make_shared<CtxSwitchPair>(*env, 0);
+      for (auto _ : s) pair->round_trip();
+    });
+    reg("ctxsw_2p_16k/" + tag, t, [env](benchmark::State& s) {
+      auto pair = std::make_shared<CtxSwitchPair>(*env, 16 * 1024);
+      for (auto _ : s) pair->round_trip();
+    });
+  }
+}
+
+void print_lmbench_table(const CaptureReporter& reporter,
+                         const std::string& title,
+                         const std::vector<std::string>& tags,
+                         const std::vector<std::string>& column_names,
+                         const SuiteOptions& options) {
+  PaperTable table(title, column_names);
+
+  auto latency_row = [&](const std::string& op, const std::string& label) {
+    std::vector<double> us;
+    us.reserve(tags.size());
+    for (const auto& tag : tags) {
+      us.push_back(reporter.ns(op + "/" + tag) / 1000.0);
+    }
+    table.row(label, us, "us");
+  };
+  auto bw_row = [&](const std::string& op, const std::string& label) {
+    std::vector<double> mbps;
+    mbps.reserve(tags.size());
+    for (const auto& tag : tags) mbps.push_back(reporter.mbps(op + "/" + tag));
+    table.row(label, mbps, "MB/s", /*higher_is_better=*/true);
+  };
+
+  if (options.processes || options.null_io) {
+    table.section("Processes (latency in us - smaller is better)");
+    if (options.processes) {
+      latency_row("syscall", "syscall");
+      latency_row("fork", "fork");
+      latency_row("stat", "stat");
+      latency_row("open_close", "open/close file");
+      latency_row("exec", "exec");
+    }
+    if (options.null_io) latency_row("null_io", "I/O");
+  }
+  if (options.files) {
+    table.section("File Access (latency in us - smaller is better)");
+    latency_row("file_create_0k", "file create+delete (0K)");
+    latency_row("file_create_10k", "file create+delete (10K)");
+    latency_row("mmap_latency", "mmap latency");
+  }
+  if (options.bandwidths) {
+    table.section(
+        "Local Communication Bandwidths (MB/s - bigger is better)");
+    bw_row("pipe_bw", "pipe");
+    bw_row("unix_bw", "AF_UNIX");
+    bw_row("tcp_bw", "TCP");
+    bw_row("file_reread", "file reread");
+    bw_row("mmap_reread", "mmap reread");
+  }
+  if (options.ctxsw) {
+    table.section("Context Switching (latency in us - smaller is better)");
+    latency_row("ctxsw_2p_0k", "2p/0K ctxsw");
+    latency_row("ctxsw_2p_16k", "2p/16K ctxsw");
+  }
+  table.print();
+}
+
+}  // namespace sack::bench

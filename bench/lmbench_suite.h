@@ -1,0 +1,40 @@
+// Shared registration of the LMBench-style suite for one benchmark
+// environment. Used by the Table II and Table III binaries.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simbench/capture.h"
+#include "simbench/env.h"
+#include "simbench/table.h"
+#include "simbench/workloads.h"
+
+namespace sack::bench {
+
+struct SuiteOptions {
+  double min_time = 0.15;      // seconds per benchmark
+  bool processes = true;       // syscall/fork/stat/open-close/exec rows
+  bool null_io = false;        // Table III's "I/O" row
+  bool files = true;           // create/delete 0K & 10K, mmap latency
+  bool bandwidths = true;      // pipe/AF_UNIX/TCP/file reread/mmap reread
+  bool ctxsw = true;           // 2p/0K, 2p/16K
+};
+
+// Registers benchmarks named "<op>/<tag>" running against `env`.
+// `env` must outlive benchmark::RunSpecifiedBenchmarks().
+void register_lmbench_suite(simbench::BenchEnv* env, const std::string& tag,
+                            const SuiteOptions& options = {});
+
+// Emits the paper-shaped table: one row per op present in `options`, one
+// column per tag (tags[0] is the baseline), reading results from `reporter`.
+void print_lmbench_table(const simbench::CaptureReporter& reporter,
+                         const std::string& title,
+                         const std::vector<std::string>& tags,
+                         const std::vector<std::string>& column_names,
+                         const SuiteOptions& options = {});
+
+}  // namespace sack::bench

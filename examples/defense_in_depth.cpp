@@ -1,0 +1,142 @@
+// Defense in depth: SACK stacked in front of BOTH other MAC engines —
+// CONFIG_LSM="sack,apparmor,setype" — each contributing a different model:
+//
+//   SACK      situation-aware object guards (when may anyone do this?)
+//   AppArmor  per-program path profiles     (what may this program touch?)
+//   setype    type enforcement              (which domains reach which types?)
+//
+// A single access must clear all three. This generalizes the paper's §IV-D
+// compatibility evaluation from one extra LSM to two, including the timed
+// fail-safe extension.
+//
+//   $ ./examples/defense_in_depth
+#include <cstdio>
+
+#include "apparmor/apparmor.h"
+#include "core/sack_module.h"
+#include "kernel/process.h"
+#include "te/te_module.h"
+
+using namespace sack;
+
+namespace {
+
+void verdict(const char* what, bool allowed, const char* expected) {
+  std::printf("  %-52s %-8s (expected: %s)\n", what,
+              allowed ? "ALLOWED" : "denied", expected);
+}
+
+}  // namespace
+
+int main() {
+  kernel::Kernel k;
+
+  // CONFIG_LSM="sack,apparmor,setype" — whitelist order, SACK first.
+  auto* sack_mod = static_cast<core::SackModule*>(k.add_lsm(
+      std::make_unique<core::SackModule>(core::SackMode::independent)));
+  auto* apparmor_mod = static_cast<apparmor::AppArmorModule*>(
+      k.add_lsm(std::make_unique<apparmor::AppArmorModule>()));
+  auto* te_mod =
+      static_cast<te::TeModule*>(k.add_lsm(std::make_unique<te::TeModule>()));
+  (void)apparmor_mod;
+
+  std::printf("LSM stack:");
+  for (const auto& name : k.lsm().module_names())
+    std::printf(" %s", name.c_str());
+  std::printf("\n\n");
+
+  // World: a diagnostics tool and the vehicle bus device.
+  kernel::Process admin(k, k.init_task());
+  k.vfs().mkdir_p("/etc/vehicle");
+  (void)admin.write_file("/usr/bin/diag_tool", "ELF");
+  (void)k.sys_chmod(k.init_task(), "/usr/bin/diag_tool", 0755);
+  (void)admin.write_file("/dev/vehicle_bus", "");
+  (void)admin.write_file("/etc/vehicle/calib", "calibration");
+
+  // Layer 1 — SACK: bus writes only while parked, with a 5 s service window
+  // fail-safe (timed transition back to driving).
+  (void)sack_mod->load_policy_text(R"(
+states { driving = 0; service = 1; }
+initial driving;
+transitions {
+  driving -> service on service_mode_enabled;
+  service -> driving on service_mode_disabled;
+  service -> driving after 5000;           # fail-safe window
+}
+permissions { BUS_WRITE; }
+state_per { service: BUS_WRITE; }
+per_rules { BUS_WRITE { allow * /dev/vehicle_bus write ioctl; } }
+)");
+
+  // Layer 2 — AppArmor: only the diagnostics tool's profile mentions the bus.
+  (void)apparmor_mod->load_policy_text(R"(
+profile diag_tool /usr/bin/diag_tool {
+  /dev/vehicle_bus rwi,
+  /etc/vehicle/** r,
+}
+profile media_app /usr/bin/media_app {
+  /var/media/** r,
+}
+# The rogue updater service is known and confined — its profile simply has
+# no business with the vehicle bus. (A binary AppArmor has never heard of
+# would run unconfined here; independent SACK still guards the bus object
+# itself, which is exactly the gap the paper closes.)
+profile rogue /usr/bin/rogue {
+  /var/cache/** rw,
+}
+)");
+
+  // Layer 3 — setype: only the diag domain reaches the bus type.
+  (void)te_mod->load_policy_text(R"(
+type diag_t;
+type diag_exec_t;
+type vbus_t;
+type vehicle_conf_t;
+allow diag_t vbus_t : file { read write ioctl };
+allow diag_t diag_exec_t : file { execute getattr };
+allow diag_t vehicle_conf_t : file { read getattr };
+domain_transition unconfined_t diag_exec_t diag_t;
+filecon /usr/bin/diag_tool diag_exec_t;
+filecon /dev/vehicle_bus vbus_t;
+filecon /etc/vehicle/** vehicle_conf_t;
+)");
+
+  // Actors.
+  auto& diag_task = k.spawn_task("sh", kernel::Cred::root(), "/bin/sh");
+  (void)k.sys_execve(diag_task, "/usr/bin/diag_tool");  // enters all domains
+  kernel::Process diag(k, diag_task);
+  auto& rogue_task =
+      k.spawn_task("rogue", kernel::Cred::root(), "/usr/bin/rogue");
+  kernel::Process rogue(k, rogue_task);
+
+  auto try_bus = [&](kernel::Process& p) {
+    auto fd = p.open("/dev/vehicle_bus", kernel::OpenFlags::write);
+    if (!fd.ok()) return false;
+    (void)p.close(*fd);
+    return true;
+  };
+
+  std::printf("[driving] nobody may touch the bus (SACK layer):\n");
+  verdict("diag_tool writes /dev/vehicle_bus", try_bus(diag), "denied");
+  verdict("rogue    writes /dev/vehicle_bus", try_bus(rogue), "denied");
+
+  std::printf("\n[service mode enabled]\n");
+  (void)sack_mod->deliver_event("service_mode_enabled");
+  verdict("diag_tool writes /dev/vehicle_bus", try_bus(diag), "ALLOWED");
+  verdict("rogue    writes /dev/vehicle_bus (AppArmor+TE layers)",
+          try_bus(rogue), "denied");
+  verdict("diag_tool reads /etc/vehicle/calib",
+          diag.read_file("/etc/vehicle/calib").ok(), "ALLOWED");
+
+  std::printf("\n[5 s pass with no service activity -> timed fail-safe]\n");
+  k.advance_clock_ms(5001);
+  std::printf("  situation is now: %s\n",
+              sack_mod->current_state_name().c_str());
+  verdict("diag_tool writes /dev/vehicle_bus", try_bus(diag), "denied");
+
+  std::printf("\naudit trail (denials + transitions):\n%s",
+              admin.read_file("/sys/kernel/security/audit/log")
+                  .value_or("(unreadable)")
+                  .c_str());
+  return 0;
+}

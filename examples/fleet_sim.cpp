@@ -1,0 +1,83 @@
+// fleet_sim: plays several full driving scenarios through independent
+// vehicles (kernel + SACK + SDS each) and prints a per-vehicle journal of
+// situation transitions and access decisions — a miniature fleet telemetry
+// view of situation-aware access control at work.
+//
+//   $ ./examples/fleet_sim [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "ivi/ivi_system.h"
+#include "sds/traces.h"
+
+using namespace sack;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  sds::Trace trace;
+};
+
+void run_vehicle(int index, const Scenario& scenario) {
+  ivi::IviSystem ivi({.mac = ivi::MacConfig::independent_sack});
+  std::printf("vehicle %d: scenario '%s' (%zu frames)\n", index,
+              scenario.name, scenario.trace.size());
+
+  std::string last = ivi.situation();
+  std::printf("    start situation: %s\n", last.c_str());
+  std::size_t media_ok = 0, media_denied = 0;
+  std::size_t doors_ok = 0, doors_denied = 0;
+
+  for (std::size_t i = 0; i < scenario.trace.size(); ++i) {
+    (void)ivi.sds().feed(scenario.trace[i]);
+    std::string now = ivi.situation();
+    if (now != last) {
+      std::printf("    t=%6.1fs  %-22s -> %s\n",
+                  static_cast<double>(scenario.trace[i].time_ms) / 1000.0,
+                  last.c_str(), now.c_str());
+      last = now;
+    }
+    // Every ~2 seconds of scenario time the apps try their thing.
+    if (i % 20 == 0) {
+      if (ivi.media().play_track(ivi::IviSystem::kMediaTrack).ok()) {
+        ++media_ok;
+      } else {
+        ++media_denied;
+      }
+      auto rescue = ivi.rescue().respond_to_emergency();
+      if (rescue.all_ok()) {
+        ++doors_ok;
+        (void)ivi.rescue().secure_vehicle();
+      } else {
+        ++doors_denied;
+      }
+    }
+  }
+  std::printf("    end situation: %s\n", last.c_str());
+  std::printf("    media reads:   %zu allowed, %zu denied\n", media_ok,
+              media_denied);
+  std::printf("    door control:  %zu allowed, %zu denied  (allowed only "
+              "while in 'emergency')\n\n",
+              doors_ok, doors_denied);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  Scenario scenarios[] = {
+      {"city errands", sds::city_drive_trace(90, {.seed = seed})},
+      {"highway crash + rescue", sds::highway_crash_trace(30, {.seed = seed + 1})},
+      {"parking handoff", sds::parking_handoff_trace({.seed = seed + 2})},
+  };
+
+  std::printf("=== SACK fleet simulation (seed %llu) ===\n\n",
+              static_cast<unsigned long long>(seed));
+  for (int v = 0; v < 3; ++v) run_vehicle(v, scenarios[v]);
+
+  std::printf("fleet run complete: each vehicle enforced situation-adaptive "
+              "permissions in its own simulated kernel.\n");
+  return 0;
+}

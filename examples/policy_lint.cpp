@@ -1,0 +1,125 @@
+// policy_lint: the SACK policy-checking tool (§III-D: "Our policy-checking
+// tools also handle errors and conflicts").
+//
+//   $ ./examples/policy_lint <policy-file> [--mode independent|enhanced]
+//   $ ./examples/policy_lint --demo        # lint a deliberately broken policy
+//
+// Exit status: 0 clean, 1 warnings only, 2 errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/policy_checker.h"
+#include "core/policy_parser.h"
+
+using namespace sack;
+
+namespace {
+
+constexpr std::string_view kDemoPolicy = R"(
+states {
+  normal = 0;
+  driving = 1;
+  ghost_town = 2;
+  twin = 0;           # duplicate encoding, and unreachable
+}
+initial normal;
+transitions {
+  normal -> driving on start_driving;
+  driving -> normal on stop_driving;
+  normal -> nowhere on teleport;            # undefined target state
+  normal -> driving on conflicting;
+  normal -> ghost_town on conflicting;      # nondeterministic (same trigger)
+}
+events { start_driving; stop_driving; conflicting; teleport; unused_event; }
+permissions { MEDIA; DOORS; ORPHAN; }
+state_per {
+  normal: MEDIA;
+  driving: MEDIA, UNDECLARED_PERM;          # undeclared permission
+  missing_state: DOORS;                     # undeclared state
+}
+per_rules {
+  MEDIA {
+    allow * /var/media/** read;
+    deny  * /var/media/** read;             # shadows the allow
+  }
+  DOORS { allow @rescue /dev/door* ioctl; }
+}
+)";
+
+int lint(std::string_view text, core::CheckMode mode) {
+  auto parsed = core::parse_policy(text);
+  if (!parsed.errors.empty()) {
+    std::printf("-- syntax --\n");
+    for (const auto& e : parsed.errors)
+      std::printf("  error: %s\n", e.to_string().c_str());
+  }
+  auto diagnostics = core::check_policy(parsed.policy, mode);
+  if (!diagnostics.empty()) {
+    std::printf("-- semantics --\n");
+    for (const auto& d : diagnostics)
+      std::printf("  %s\n", d.to_string().c_str());
+  }
+
+  std::size_t rules = 0;
+  for (const auto& [perm, rs] : parsed.policy.per_rules) rules += rs.size();
+  std::printf("-- summary --\n"
+              "  states: %zu  transitions: %zu  permissions: %zu  "
+              "MAC rules: %zu\n",
+              parsed.policy.states.size(), parsed.policy.transitions.size(),
+              parsed.policy.permissions.size(), rules);
+
+  bool syntax_errors = !parsed.errors.empty();
+  bool semantic_errors = core::has_errors(diagnostics);
+  if (syntax_errors || semantic_errors) {
+    std::printf("  result: REJECTED (the kernel would refuse this policy)\n");
+    return 2;
+  }
+  if (!diagnostics.empty()) {
+    std::printf("  result: loadable, with warnings\n");
+    return 1;
+  }
+  std::printf("  result: clean\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::CheckMode mode = core::CheckMode::any;
+  std::string path;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      ++i;
+      if (std::strcmp(argv[i], "independent") == 0)
+        mode = core::CheckMode::independent;
+      else if (std::strcmp(argv[i], "enhanced") == 0)
+        mode = core::CheckMode::apparmor_enhanced;
+    } else {
+      path = argv[i];
+    }
+  }
+
+  if (demo) {
+    std::printf("linting the built-in demo policy (intentionally broken):\n\n");
+    return lint(kDemoPolicy, mode);
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: policy_lint <policy-file> [--mode "
+                 "independent|enhanced] | --demo\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint(buffer.str(), mode);
+}

@@ -1,0 +1,95 @@
+// Quickstart: boot a simulated kernel with SACK, load a small situation
+// policy, and watch permissions change with the environmental situation.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the public API end to end: Kernel + SackModule setup, policy
+// loading through SACKfs, situation events, and access checks.
+#include <cstdio>
+
+#include "core/sack_module.h"
+#include "kernel/kernel.h"
+#include "kernel/process.h"
+
+using namespace sack;
+
+namespace {
+
+constexpr std::string_view kPolicy = R"(
+# Two situations; the door device is controllable only in emergencies.
+states { normal = 0; emergency = 1; }
+initial normal;
+transitions {
+  normal -> emergency on crash_detected;
+  emergency -> normal on emergency_cleared;
+}
+permissions { CONTROL_CAR_DOORS; }
+state_per { emergency: CONTROL_CAR_DOORS; }
+per_rules {
+  CONTROL_CAR_DOORS { allow /usr/bin/rescue_daemon /dev/door write ioctl; }
+}
+)";
+
+void show(const char* what, bool allowed) {
+  std::printf("  %-42s %s\n", what, allowed ? "ALLOWED" : "denied");
+}
+
+}  // namespace
+
+int main() {
+  // 1. Boot the simulated kernel with SACK as the (only) MAC module.
+  kernel::Kernel kernel;
+  auto* sack_module = static_cast<core::SackModule*>(kernel.add_lsm(
+      std::make_unique<core::SackModule>(core::SackMode::independent)));
+
+  // 2. Create the world: a door device file and the rescue daemon binary.
+  kernel::Process admin(kernel, kernel.init_task());
+  (void)admin.write_file("/dev/door", "");
+  (void)admin.write_file("/usr/bin/rescue_daemon", "ELF");
+
+  // 3. Load the situation policy the way a real administrator would:
+  //    by writing the SACKfs policy interface.
+  auto rc = admin.write_existing("/sys/kernel/security/SACK/policy/load",
+                                 kPolicy);
+  if (!rc.ok()) {
+    std::fprintf(stderr, "policy load failed: %s\n",
+                 std::string(errno_name(rc.error())).c_str());
+    return 1;
+  }
+  std::printf("policy loaded; current situation: %s\n\n",
+              admin.read_file("/sys/kernel/security/SACK/current_state")
+                  ->c_str());
+
+  // 4. A rescue daemon process tries to use the door device.
+  auto& rescue_task = kernel.spawn_task("rescue_daemon", kernel::Cred::root(),
+                                        "/usr/bin/rescue_daemon");
+  kernel::Process rescue(kernel, rescue_task);
+  auto try_door = [&] {
+    auto fd = rescue.open("/dev/door", kernel::OpenFlags::write);
+    if (!fd.ok()) return false;
+    (void)rescue.close(*fd);
+    return true;
+  };
+
+  std::printf("in 'normal' (POLP: nobody needs door control):\n");
+  show("rescue_daemon opens /dev/door for writing", try_door());
+
+  // 5. A crash: the situation detection service reports the event.
+  (void)admin.write_existing("/sys/kernel/security/SACK/events",
+                             "crash_detected\n");
+  std::printf("\nevent 'crash_detected' -> situation: %s\n",
+              sack_module->current_state_name().c_str());
+  std::printf("in 'emergency' (OAC: break the glass):\n");
+  show("rescue_daemon opens /dev/door for writing", try_door());
+
+  // 6. Emergency over: the permission disappears again.
+  (void)admin.write_existing("/sys/kernel/security/SACK/events",
+                             "emergency_cleared\n");
+  std::printf("\nevent 'emergency_cleared' -> situation: %s\n",
+              sack_module->current_state_name().c_str());
+  show("rescue_daemon opens /dev/door for writing", try_door());
+
+  std::printf("\nkernel status:\n%s",
+              admin.read_file("/sys/kernel/security/SACK/status")->c_str());
+  return 0;
+}

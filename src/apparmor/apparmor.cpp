@@ -1,0 +1,394 @@
+#include "apparmor/apparmor.h"
+
+#include "kernel/process.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace sack::apparmor {
+
+using kernel::AccessMask;
+using kernel::Capability;
+using kernel::Task;
+
+namespace {
+// Task blob: the confining profile name. A shared_ptr<const string> so fork
+// can share it copy-free until a transition replaces it.
+using ProfileRef = std::shared_ptr<std::string>;
+}  // namespace
+
+// --- securityfs plumbing ---
+
+class AppArmorModule::LoadFile final : public kernel::VirtualFileOps {
+ public:
+  explicit LoadFile(AppArmorModule* mod) : mod_(mod) {}
+  Result<void> write_content(Task& task, std::string_view data) override {
+    if (mod_->kernel_->capable(task, Capability::mac_admin) != Errno::ok)
+      return Errno::eperm;
+    std::vector<ParseError> errors;
+    auto rc = mod_->load_policy_text(data, &errors);
+    if (!rc.ok()) {
+      for (const auto& e : errors)
+        log_warn("apparmor: policy load error: ", e.to_string());
+      return Errno::einval;
+    }
+    return {};
+  }
+
+ private:
+  AppArmorModule* mod_;
+};
+
+class AppArmorModule::RemoveFile final : public kernel::VirtualFileOps {
+ public:
+  explicit RemoveFile(AppArmorModule* mod) : mod_(mod) {}
+  Result<void> write_content(Task& task, std::string_view data) override {
+    if (mod_->kernel_->capable(task, Capability::mac_admin) != Errno::ok)
+      return Errno::eperm;
+    std::string name(trim(data));
+    return mod_->remove_profile(name);
+  }
+
+ private:
+  AppArmorModule* mod_;
+};
+
+class AppArmorModule::ProfilesFile final : public kernel::VirtualFileOps {
+ public:
+  explicit ProfilesFile(AppArmorModule* mod) : mod_(mod) {}
+  Result<std::string> read_content(Task&) override {
+    std::string out;
+    for (const auto& [name, entry] : mod_->profiles_) {
+      out += name;
+      out += entry.profile.mode == ProfileMode::enforce ? " (enforce)\n"
+                                                        : " (complain)\n";
+    }
+    return out;
+  }
+
+ private:
+  AppArmorModule* mod_;
+};
+
+AppArmorModule::AppArmorModule() = default;
+AppArmorModule::~AppArmorModule() = default;
+
+void AppArmorModule::initialize(kernel::Kernel& kernel) {
+  kernel_ = &kernel;
+  load_file_ = std::make_unique<LoadFile>(this);
+  remove_file_ = std::make_unique<RemoveFile>(this);
+  profiles_file_ = std::make_unique<ProfilesFile>(this);
+  auto& fs = kernel.securityfs();
+  (void)fs.register_file("apparmor/.load", load_file_.get(), 0200);
+  (void)fs.register_file("apparmor/.remove", remove_file_.get(), 0200);
+  (void)fs.register_file("apparmor/profiles", profiles_file_.get(), 0444);
+}
+
+// --- policy management ---
+
+Result<void> AppArmorModule::load_policy_text(std::string_view text,
+                                              std::vector<ParseError>* errors) {
+  ParseResult parsed = parse_profiles(text);
+  if (errors) *errors = parsed.errors;
+  if (!parsed.ok()) return Errno::einval;
+  for (auto& profile : parsed.profiles) {
+    SACK_TRY(replace_profile(std::move(profile)));
+  }
+  return {};
+}
+
+Result<void> AppArmorModule::replace_profile(Profile profile) {
+  if (profile.name.empty()) return Errno::einval;
+  Entry entry;
+  entry.matcher.rebuild(profile);
+  entry.profile = std::move(profile);
+  profiles_[entry.profile.name] = std::move(entry);
+  bump_generation();
+  return {};
+}
+
+Result<void> AppArmorModule::remove_profile(std::string_view name) {
+  auto it = profiles_.find(name);
+  if (it == profiles_.end()) return Errno::enoent;
+  profiles_.erase(it);
+  bump_generation();
+  return {};
+}
+
+const Profile* AppArmorModule::find_profile(std::string_view name) const {
+  auto it = profiles_.find(name);
+  return it == profiles_.end() ? nullptr : &it->second.profile;
+}
+
+std::vector<std::string> AppArmorModule::profile_names() const {
+  std::vector<std::string> out;
+  out.reserve(profiles_.size());
+  for (const auto& [name, entry] : profiles_) out.push_back(name);
+  return out;
+}
+
+Result<void> AppArmorModule::inject_rules(std::string_view profile_name,
+                                          std::vector<FileRule> rules) {
+  auto it = profiles_.find(profile_name);
+  if (it == profiles_.end()) return Errno::enoent;
+  auto& entry = it->second;
+  for (auto& rule : rules) entry.profile.rules.push_back(std::move(rule));
+  entry.matcher.rebuild(entry.profile);
+  bump_generation();
+  return {};
+}
+
+std::size_t AppArmorModule::remove_rules_by_origin(std::string_view origin) {
+  std::size_t removed = 0;
+  for (auto& [name, entry] : profiles_) {
+    auto& rules = entry.profile.rules;
+    std::size_t before = rules.size();
+    std::erase_if(rules,
+                  [&](const FileRule& r) { return r.origin == origin; });
+    if (rules.size() != before) {
+      removed += before - rules.size();
+      entry.matcher.rebuild(entry.profile);
+    }
+  }
+  if (removed) bump_generation();
+  return removed;
+}
+
+// --- confinement ---
+
+std::string AppArmorModule::profile_of(const Task& task) const {
+  auto ref = task.security_blob<std::string>(std::string(kName));
+  return ref ? *ref : std::string{};
+}
+
+void AppArmorModule::confine(Task& task, std::string profile_name) {
+  task.set_security_blob(std::string(kName),
+                         std::make_shared<std::string>(
+                             std::move(profile_name)));
+}
+
+const AppArmorModule::Entry* AppArmorModule::entry_of(const Task& task) const {
+  auto ref = task.security_blob<std::string>(std::string(kName));
+  if (!ref || ref->empty()) return nullptr;  // unconfined
+  auto it = profiles_.find(*ref);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+// --- checks ---
+
+FilePerm AppArmorModule::perms_from_access(AccessMask access) {
+  FilePerm p = FilePerm::none;
+  if (has_any(access, AccessMask::read)) p |= FilePerm::read;
+  if (has_any(access, AccessMask::write)) p |= FilePerm::write;
+  if (has_any(access, AccessMask::append)) p |= FilePerm::append;
+  if (has_any(access, AccessMask::exec)) p |= FilePerm::exec;
+  return p;
+}
+
+Errno AppArmorModule::check_path(const Task& task, std::string_view path,
+                                 FilePerm wanted) {
+  const Entry* entry = entry_of(task);
+  if (!entry) return Errno::ok;  // unconfined
+  Errno rc = entry->matcher.check(path, wanted);
+  if (rc != Errno::ok) {
+    ++denials_;
+    bool complain = entry->profile.mode == ProfileMode::complain;
+    if (kernel_) {
+      kernel::AuditRecord record;
+      record.time = kernel_->clock().now();
+      record.module = std::string(kName);
+      record.pid = task.pid();
+      record.subject = entry->profile.name;
+      record.object = std::string(path);
+      record.operation = format_perms(wanted);
+      record.verdict = complain ? kernel::AuditVerdict::allowed
+                                : kernel::AuditVerdict::denied;
+      record.context = complain ? "complain" : "enforce";
+      kernel_->audit().record(std::move(record));
+    }
+    if (complain) {
+      log_info("apparmor: ALLOWED (complain) ", entry->profile.name, " ",
+               path, " ", format_perms(wanted));
+      return Errno::ok;
+    }
+    log_debug("apparmor: DENIED ", entry->profile.name, " ", path, " ",
+              format_perms(wanted));
+  }
+  return rc;
+}
+
+Errno AppArmorModule::file_open(Task& task, const std::string& path,
+                                const kernel::Inode&, AccessMask access) {
+  return check_path(task, path, perms_from_access(access));
+}
+
+Errno AppArmorModule::file_permission(Task& task, const kernel::File& file,
+                                      AccessMask access) {
+  if (file.path().starts_with("pipe:") || file.is_socket())
+    return Errno::ok;  // no path to mediate
+  // Revalidation cache: a successful check is valid until the policy OR the
+  // task's confinement changes (an exec can swap the profile under a kept
+  // fd, so the subject is part of the cache key).
+  std::string subject = profile_of(task);
+  auto& file_mut = const_cast<kernel::File&>(file);
+  auto [it, inserted] =
+      file_mut.mac_revalidate.try_emplace(std::string(kName));
+  if (!inserted && it->second.generation == generation_ &&
+      it->second.subject == subject)
+    return Errno::ok;
+  Errno rc = check_path(task, file.path(), perms_from_access(access));
+  if (rc == Errno::ok) {
+    it->second.generation = generation_;
+    it->second.subject = std::move(subject);
+  }
+  return rc;
+}
+
+Errno AppArmorModule::file_ioctl(Task& task, const kernel::File& file,
+                                 std::uint32_t) {
+  return check_path(task, file.path(), FilePerm::ioctl);
+}
+
+Errno AppArmorModule::mmap_file(Task& task, const kernel::File& file,
+                                AccessMask prot) {
+  return check_path(task, file.path(),
+                    FilePerm::mmap | perms_from_access(prot));
+}
+
+Errno AppArmorModule::path_mknod(Task& task, const std::string& path,
+                                 kernel::InodeType) {
+  return check_path(task, path, FilePerm::write);
+}
+Errno AppArmorModule::path_unlink(Task& task, const std::string& path) {
+  return check_path(task, path, FilePerm::write);
+}
+Errno AppArmorModule::path_mkdir(Task& task, const std::string& path) {
+  return check_path(task, path, FilePerm::write);
+}
+Errno AppArmorModule::path_rmdir(Task& task, const std::string& path) {
+  return check_path(task, path, FilePerm::write);
+}
+Errno AppArmorModule::path_rename(Task& task, const std::string& old_path,
+                                  const std::string& new_path) {
+  if (Errno rc = check_path(task, old_path, FilePerm::write); rc != Errno::ok)
+    return rc;
+  return check_path(task, new_path, FilePerm::write);
+}
+Errno AppArmorModule::path_symlink(Task& task, const std::string& path,
+                                   const std::string&) {
+  return check_path(task, path, FilePerm::write);
+}
+Errno AppArmorModule::path_link(Task& task, const std::string& old_path,
+                                const std::string& new_path) {
+  // AppArmor semantics: the new name needs the 'l' permission; the rule set
+  // must also let the subject read the target (a link is a new way to reach
+  // the same object).
+  if (Errno rc = check_path(task, old_path, FilePerm::read); rc != Errno::ok)
+    return rc;
+  return check_path(task, new_path, FilePerm::link);
+}
+
+Errno AppArmorModule::path_truncate(Task& task, const std::string& path) {
+  return check_path(task, path, FilePerm::write);
+}
+Errno AppArmorModule::path_chmod(Task& task, const std::string& path,
+                                 kernel::FileMode) {
+  return check_path(task, path, FilePerm::write);
+}
+Errno AppArmorModule::path_chown(Task& task, const std::string& path,
+                                 kernel::Uid, kernel::Gid) {
+  return check_path(task, path, FilePerm::write);
+}
+Errno AppArmorModule::inode_getattr(Task& task, const std::string& path) {
+  return check_path(task, path, FilePerm::read);
+}
+
+Errno AppArmorModule::bprm_check_security(Task& task,
+                                          const std::string& path) {
+  if (Errno rc = check_path(task, path, FilePerm::exec); rc != Errno::ok)
+    return rc;
+  // An explicit exec transition whose target profile is not loaded fails
+  // the exec (AppArmor refuses rather than running unconfined).
+  const Entry* entry = entry_of(task);
+  if (entry) {
+    for (const auto& t : entry->profile.exec_transitions) {
+      if (t.pattern.matches(path) && !profiles_.contains(t.target)) {
+        ++denials_;
+        log_warn("apparmor: exec transition target '", t.target,
+                 "' not loaded for ", path);
+        return Errno::eacces;
+      }
+    }
+  }
+  return Errno::ok;
+}
+
+void AppArmorModule::bprm_committed_creds(Task& task,
+                                          const std::string& path) {
+  // Explicit transitions of the current profile take precedence...
+  const Entry* entry = entry_of(task);
+  if (entry) {
+    for (const auto& t : entry->profile.exec_transitions) {
+      if (t.pattern.matches(path)) {
+        confine(task, t.target);
+        return;
+      }
+    }
+  }
+  // ...then global attachment: the first profile whose attachment matches
+  // wins (profiles_ is name-ordered, giving deterministic precedence).
+  for (const auto& [name, e] : profiles_) {
+    if (e.profile.attachment && e.profile.attachment->matches(path)) {
+      confine(task, name);
+      return;
+    }
+  }
+  confine(task, "");  // unconfined
+}
+
+Errno AppArmorModule::task_alloc(Task& parent, Task& child) {
+  // fork: the child inherits the parent's confinement (shared ref).
+  auto ref = parent.security_blob<std::string>(std::string(kName));
+  if (ref) child.set_security_blob(std::string(kName), ref);
+  return Errno::ok;
+}
+
+Errno AppArmorModule::task_kill(Task& sender, Task& target, int) {
+  // Simplified signal mediation: a confined task may signal peers under the
+  // same profile; anything else needs the 'kill' capability in its profile.
+  const Entry* entry = entry_of(sender);
+  if (!entry) return Errno::ok;  // unconfined sender
+  if (profile_of(sender) == profile_of(target)) return Errno::ok;
+  if (entry->profile.caps.has(Capability::kill)) return Errno::ok;
+  if (entry->profile.mode == ProfileMode::complain) return Errno::ok;
+  ++denials_;
+  return Errno::eperm;
+}
+
+std::string AppArmorModule::getprocattr(const Task& task) {
+  const Entry* entry = entry_of(task);
+  if (!entry) return "unconfined";
+  return entry->profile.name +
+         (entry->profile.mode == ProfileMode::enforce ? " (enforce)"
+                                                      : " (complain)");
+}
+
+Errno AppArmorModule::capable(const Task& task, Capability cap) {
+  const Entry* entry = entry_of(task);
+  if (!entry) return Errno::ok;
+  if (entry->profile.caps.has(cap)) return Errno::ok;
+  if (entry->profile.mode == ProfileMode::complain) return Errno::ok;
+  ++denials_;
+  return Errno::eperm;
+}
+
+Errno AppArmorModule::socket_create(Task& task, kernel::SockFamily family,
+                                    kernel::SockType) {
+  const Entry* entry = entry_of(task);
+  if (!entry) return Errno::ok;
+  if (entry->profile.net_families.contains(family)) return Errno::ok;
+  if (entry->profile.mode == ProfileMode::complain) return Errno::ok;
+  ++denials_;
+  return Errno::eacces;
+}
+
+}  // namespace sack::apparmor

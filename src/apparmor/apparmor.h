@@ -1,0 +1,136 @@
+// AppArmorModule: the AppArmor-like path-based MAC security module.
+//
+// Semantics follow AppArmor where the simulator can express them:
+//   - tasks are unconfined until an exec path matches a profile attachment
+//     (domain transition in bprm_committed_creds);
+//   - confined tasks are deny-by-default: every mediated operation needs a
+//     matching allow rule, deny rules take precedence;
+//   - complain-mode profiles log instead of denying;
+//   - capability and network (socket-family) rules gate capable()/socket
+//     hooks;
+//   - policy loads through securityfs (/sys/kernel/security/apparmor/.load),
+//     guarded by CAP_MAC_ADMIN.
+//
+// Divergence from mainline AppArmor, required by SACK-enhanced mode: the
+// rule set of a loaded profile can be patched at runtime (inject_rules /
+// remove_rules_by_origin) and a policy-generation counter invalidates
+// open-file permission caches so in-flight fds feel the change immediately.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apparmor/matcher.h"
+#include "apparmor/parser.h"
+#include "apparmor/profile.h"
+#include "kernel/kernel.h"
+#include "kernel/lsm/module.h"
+
+namespace sack::apparmor {
+
+class AppArmorModule final : public kernel::SecurityModule {
+ public:
+  static constexpr std::string_view kName = "apparmor";
+
+  AppArmorModule();
+  ~AppArmorModule() override;
+
+  std::string_view name() const override { return kName; }
+  void initialize(kernel::Kernel& kernel) override;
+
+  // --- policy management (kernel-side API; securityfs routes here) ---
+
+  // Parses and loads/replaces every profile in `text`.
+  Result<void> load_policy_text(std::string_view text,
+                                std::vector<ParseError>* errors = nullptr);
+  Result<void> replace_profile(Profile profile);
+  Result<void> remove_profile(std::string_view name);
+  const Profile* find_profile(std::string_view name) const;
+  std::vector<std::string> profile_names() const;
+
+  // --- runtime patching (used by SACK-enhanced mode) ---
+  Result<void> inject_rules(std::string_view profile_name,
+                            std::vector<FileRule> rules);
+  // Removes every rule whose origin matches, across all profiles. Returns
+  // the number of rules removed.
+  std::size_t remove_rules_by_origin(std::string_view origin);
+
+  // Bumped on every policy change; file permission caches key off it.
+  std::uint64_t policy_generation() const { return generation_; }
+
+  // --- confinement ---
+  // Profile name confining `task`, or "" when unconfined.
+  std::string profile_of(const kernel::Task& task) const;
+  void confine(kernel::Task& task, std::string profile_name);
+
+  std::uint64_t denial_count() const { return denials_; }
+
+  // --- LSM hooks ---
+  Errno file_open(kernel::Task& task, const std::string& path,
+                  const kernel::Inode& inode,
+                  kernel::AccessMask access) override;
+  Errno file_permission(kernel::Task& task, const kernel::File& file,
+                        kernel::AccessMask access) override;
+  Errno file_ioctl(kernel::Task& task, const kernel::File& file,
+                   std::uint32_t cmd) override;
+  Errno mmap_file(kernel::Task& task, const kernel::File& file,
+                  kernel::AccessMask prot) override;
+  Errno path_mknod(kernel::Task& task, const std::string& path,
+                   kernel::InodeType type) override;
+  Errno path_unlink(kernel::Task& task, const std::string& path) override;
+  Errno path_mkdir(kernel::Task& task, const std::string& path) override;
+  Errno path_rmdir(kernel::Task& task, const std::string& path) override;
+  Errno path_rename(kernel::Task& task, const std::string& old_path,
+                    const std::string& new_path) override;
+  Errno path_symlink(kernel::Task& task, const std::string& path,
+                     const std::string& target) override;
+  Errno path_link(kernel::Task& task, const std::string& old_path,
+                  const std::string& new_path) override;
+  Errno path_truncate(kernel::Task& task, const std::string& path) override;
+  Errno path_chmod(kernel::Task& task, const std::string& path,
+                   kernel::FileMode mode) override;
+  Errno path_chown(kernel::Task& task, const std::string& path,
+                   kernel::Uid uid, kernel::Gid gid) override;
+  Errno inode_getattr(kernel::Task& task, const std::string& path) override;
+  Errno bprm_check_security(kernel::Task& task,
+                            const std::string& path) override;
+  void bprm_committed_creds(kernel::Task& task,
+                            const std::string& path) override;
+  Errno task_alloc(kernel::Task& parent, kernel::Task& child) override;
+  Errno task_kill(kernel::Task& sender, kernel::Task& target,
+                  int sig) override;
+  std::string getprocattr(const kernel::Task& task) override;
+  Errno capable(const kernel::Task& task, kernel::Capability cap) override;
+  Errno socket_create(kernel::Task& task, kernel::SockFamily family,
+                      kernel::SockType type) override;
+
+ private:
+  struct Entry {
+    Profile profile;
+    ProfileMatcher matcher;
+  };
+
+  // Returns the entry confining `task`, or nullptr when unconfined.
+  const Entry* entry_of(const kernel::Task& task) const;
+  Errno check_path(const kernel::Task& task, std::string_view path,
+                   FilePerm wanted);
+  static FilePerm perms_from_access(kernel::AccessMask access);
+  void bump_generation() { ++generation_; }
+
+  std::map<std::string, Entry, std::less<>> profiles_;
+  std::uint64_t generation_ = 1;
+  std::uint64_t denials_ = 0;
+
+  class LoadFile;
+  class RemoveFile;
+  class ProfilesFile;
+  std::unique_ptr<LoadFile> load_file_;
+  std::unique_ptr<RemoveFile> remove_file_;
+  std::unique_ptr<ProfilesFile> profiles_file_;
+  kernel::Kernel* kernel_ = nullptr;
+};
+
+}  // namespace sack::apparmor

@@ -1,0 +1,51 @@
+#include "apparmor/matcher.h"
+
+namespace sack::apparmor {
+
+void ProfileMatcher::rebuild(const Profile& profile) {
+  literal_.clear();
+  globs_.clear();
+  for (const auto& rule : profile.rules) {
+    if (rule.pattern.is_literal()) {
+      Masks& m = literal_[rule.pattern.literal()];
+      if (rule.deny) {
+        m.deny |= rule.perms;
+      } else {
+        m.allow |= rule.perms;
+      }
+    } else {
+      globs_.push_back({rule.pattern, rule.perms, rule.deny});
+    }
+  }
+}
+
+FilePerm ProfileMatcher::allowed(std::string_view path) const {
+  FilePerm allow = FilePerm::none;
+  FilePerm deny = FilePerm::none;
+  if (!literal_.empty()) {
+    auto it = literal_.find(path);
+    if (it != literal_.end()) {
+      allow |= it->second.allow;
+      deny |= it->second.deny;
+    }
+  }
+  for (const auto& g : globs_) {
+    if (g.pattern.matches(path)) {
+      if (g.deny) {
+        deny |= g.perms;
+      } else {
+        allow |= g.perms;
+      }
+    }
+  }
+  // 'w' implies 'a': a rule granting write also covers append-only opens.
+  if (has_any(allow, FilePerm::write)) allow |= FilePerm::append;
+  if (has_any(deny, FilePerm::write)) deny |= FilePerm::append;
+  return allow & ~deny;
+}
+
+Errno ProfileMatcher::check(std::string_view path, FilePerm wanted) const {
+  return has_all(allowed(path), wanted) ? Errno::ok : Errno::eacces;
+}
+
+}  // namespace sack::apparmor

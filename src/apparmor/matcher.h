@@ -1,0 +1,46 @@
+// ProfileMatcher: the compiled lookup structure for one profile.
+//
+// Real AppArmor compiles profiles to a DFA so rule count barely affects
+// match cost; we approximate that with a literal-path hash index (the common
+// case in large generated policies) plus a linear scan over the remaining
+// glob rules. This is what keeps Table III's overhead flat in rule count.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "apparmor/profile.h"
+#include "util/transparent_hash.h"
+
+namespace sack::apparmor {
+
+class ProfileMatcher {
+ public:
+  ProfileMatcher() = default;
+  explicit ProfileMatcher(const Profile& profile) { rebuild(profile); }
+
+  // Rebuilds the index after the profile's rules changed.
+  void rebuild(const Profile& profile);
+
+  // Permissions granted for `path`: union of matching allow rules minus any
+  // matching deny rule bit (deny has precedence, as in AppArmor).
+  FilePerm allowed(std::string_view path) const;
+
+  // EACCES unless all bits of `wanted` are granted.
+  Errno check(std::string_view path, FilePerm wanted) const;
+
+ private:
+  struct Masks {
+    FilePerm allow = FilePerm::none;
+    FilePerm deny = FilePerm::none;
+  };
+  StringMap<Masks> literal_;
+  struct GlobRule {
+    Glob pattern;
+    FilePerm perms;
+    bool deny;
+  };
+  std::vector<GlobRule> globs_;
+};
+
+}  // namespace sack::apparmor

@@ -1,0 +1,195 @@
+#include "apparmor/parser.h"
+
+#include "apparmor/perms.h"
+#include "util/strings.h"
+
+namespace sack::apparmor {
+
+namespace {
+
+// Skips to the next statement boundary after an error so one bad rule
+// doesn't cascade.
+void synchronize(TokenStream& ts) {
+  while (!ts.at_end()) {
+    const Token& t = ts.peek();
+    if (t.is_punct(',') || t.is_punct(';')) {
+      ts.next();
+      return;
+    }
+    if (t.is_punct('}')) return;
+    ts.next();
+  }
+}
+
+bool parse_rule(TokenStream& ts, Profile& profile) {
+  bool deny = ts.accept_ident("deny");
+  bool allow = !deny && ts.accept_ident("allow");  // optional keyword
+  (void)allow;
+
+  const Token& t = ts.peek();
+
+  if (t.is_ident("capability")) {
+    ts.next();
+    auto cap_tok = ts.expect_ident();
+    if (!cap_tok.ok()) return false;
+    auto cap = kernel::capability_from_name(cap_tok->text);
+    if (!cap.ok()) {
+      ts.record_error("unknown capability '" + cap_tok->text + "'");
+      return false;
+    }
+    if (deny) {
+      profile.caps.remove(cap.value());
+    } else {
+      profile.caps.add(cap.value());
+    }
+    return ts.expect_punct(',').ok();
+  }
+
+  if (t.is_ident("network")) {
+    ts.next();
+    // Optional family; bare "network," allows both.
+    if (ts.peek().kind == TokenKind::identifier) {
+      const std::string fam = ts.next().text;
+      if (fam == "inet" || fam == "tcp") {
+        profile.net_families.insert(kernel::SockFamily::inet);
+      } else if (fam == "unix" || fam == "local") {
+        profile.net_families.insert(kernel::SockFamily::unix_);
+      } else {
+        ts.record_error("unknown network family '" + fam + "'");
+        return false;
+      }
+      // Skip an optional socket type word ("stream"/"dgram").
+      if (ts.peek().kind == TokenKind::identifier) ts.next();
+    } else {
+      profile.net_families.insert(kernel::SockFamily::inet);
+      profile.net_families.insert(kernel::SockFamily::unix_);
+    }
+    return ts.expect_punct(',').ok();
+  }
+
+  if (t.kind == TokenKind::path) {
+    std::string pattern = ts.next().text;
+    auto perm_tok = ts.expect_ident();
+    if (!perm_tok.ok()) return false;
+    auto perms = parse_perms(perm_tok->text);
+    if (!perms.ok()) {
+      ts.record_error("bad permission string '" + perm_tok->text + "'");
+      return false;
+    }
+    auto glob = Glob::compile(pattern);
+    if (!glob.ok()) {
+      ts.record_error("bad path pattern '" + pattern + "'");
+      return false;
+    }
+    FileRule rule;
+    rule.pattern = std::move(glob).value();
+    rule.perms = perms.value();
+    rule.deny = deny;
+
+    // Optional exec transition: "<path> rx -> target_profile,".
+    if (ts.peek().kind == TokenKind::arrow) {
+      ts.next();
+      auto target = ts.expect_ident();
+      if (!target.ok()) return false;
+      if (deny || !has_any(rule.perms, FilePerm::exec)) {
+        ts.record_error(
+            "exec transition requires an allow rule with 'x' permission");
+        return false;
+      }
+      ExecTransition transition;
+      auto tglob = Glob::compile(pattern);
+      transition.pattern = std::move(tglob).value();
+      transition.target = target->text;
+      profile.exec_transitions.push_back(std::move(transition));
+    }
+
+    profile.rules.push_back(std::move(rule));
+    return ts.expect_punct(',').ok();
+  }
+
+  ts.record_error("expected a rule, got '" + t.text + "'");
+  return false;
+}
+
+bool parse_profile(TokenStream& ts, ParseResult& result) {
+  Profile profile;
+
+  if (ts.accept_ident("profile")) {
+    const Token& name_tok = ts.peek();
+    if (name_tok.kind == TokenKind::identifier ||
+        name_tok.kind == TokenKind::path) {
+      profile.name = ts.next().text;
+    } else {
+      ts.record_error("expected profile name");
+      return false;
+    }
+    if (ts.peek().kind == TokenKind::path) {
+      auto glob = Glob::compile(ts.next().text);
+      if (!glob.ok()) {
+        ts.record_error("bad attachment pattern");
+        return false;
+      }
+      profile.attachment = std::move(glob).value();
+    }
+  } else if (ts.peek().kind == TokenKind::path) {
+    profile.name = ts.next().text;
+  } else {
+    ts.record_error("expected 'profile' or an attachment path, got '" +
+                    ts.peek().text + "'");
+    ts.next();
+    return false;
+  }
+
+  // Path-named profiles attach by their own name.
+  if (!profile.attachment && !profile.name.empty() &&
+      profile.name[0] == '/') {
+    auto glob = Glob::compile(profile.name);
+    if (!glob.ok()) {
+      ts.record_error("profile name is not a valid attachment pattern");
+      return false;
+    }
+    profile.attachment = std::move(glob).value();
+  }
+
+  // Optional flags=(complain).
+  if (ts.accept_ident("flags")) {
+    if (!ts.expect_punct('=').ok() || !ts.expect_punct('(').ok()) return false;
+    auto flag = ts.expect_ident();
+    if (!flag.ok()) return false;
+    if (flag->text == "complain") {
+      profile.mode = ProfileMode::complain;
+    } else if (flag->text != "enforce") {
+      ts.record_error("unknown profile flag '" + flag->text + "'");
+    }
+    if (!ts.expect_punct(')').ok()) return false;
+  }
+
+  if (!ts.expect_punct('{').ok()) return false;
+  while (!ts.at_end() && !ts.peek().is_punct('}')) {
+    if (!parse_rule(ts, profile)) synchronize(ts);
+  }
+  if (!ts.expect_punct('}').ok()) return false;
+
+  result.profiles.push_back(std::move(profile));
+  return true;
+}
+
+}  // namespace
+
+ParseResult parse_profiles(std::string_view text) {
+  ParseResult result;
+  Tokenizer tokenizer(text);
+  auto tokens = tokenizer.run();
+  if (!tokens.ok()) {
+    result.errors.push_back(tokenizer.last_error());
+    return result;
+  }
+  TokenStream ts(std::move(tokens).value());
+  while (!ts.at_end()) {
+    parse_profile(ts, result);
+  }
+  result.errors = ts.take_errors();
+  return result;
+}
+
+}  // namespace sack::apparmor

@@ -1,0 +1,34 @@
+// Parser for the simplified AppArmor profile language.
+//
+// Grammar (subset of apparmor.d(5), one or more profiles per document):
+//
+//   profile NAME [ATTACHMENT-PATH] [flags=(complain)] {
+//     [deny] PATH-GLOB PERMS ,
+//     capability CAP-NAME ,
+//     network FAMILY ,
+//   }
+//
+//   /attachment/path { ... }        # path form: name == attachment
+//
+// '#' starts a comment. Errors carry line/column and the parse continues
+// where possible so a document reports all its problems at once.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "apparmor/profile.h"
+#include "util/tokenizer.h"
+
+namespace sack::apparmor {
+
+struct ParseResult {
+  std::vector<Profile> profiles;
+  std::vector<ParseError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+ParseResult parse_profiles(std::string_view text);
+
+}  // namespace sack::apparmor

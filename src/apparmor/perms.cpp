@@ -1,0 +1,38 @@
+#include "apparmor/perms.h"
+
+namespace sack::apparmor {
+
+Result<FilePerm> parse_perms(std::string_view s) {
+  FilePerm p = FilePerm::none;
+  for (char c : s) {
+    switch (c) {
+      case 'r': p |= FilePerm::read; break;
+      case 'w': p |= FilePerm::write; break;
+      case 'a': p |= FilePerm::append; break;
+      case 'x': p |= FilePerm::exec; break;
+      case 'm': p |= FilePerm::mmap; break;
+      case 'k': p |= FilePerm::lock; break;
+      case 'l': p |= FilePerm::link; break;
+      case 'i': p |= FilePerm::ioctl; break;
+      default: return Errno::einval;
+    }
+  }
+  if (has_all(p, FilePerm::write | FilePerm::append)) return Errno::einval;
+  if (is_empty(p)) return Errno::einval;
+  return p;
+}
+
+std::string format_perms(FilePerm p) {
+  std::string out;
+  if (has_any(p, FilePerm::read)) out += 'r';
+  if (has_any(p, FilePerm::write)) out += 'w';
+  if (has_any(p, FilePerm::append)) out += 'a';
+  if (has_any(p, FilePerm::exec)) out += 'x';
+  if (has_any(p, FilePerm::mmap)) out += 'm';
+  if (has_any(p, FilePerm::lock)) out += 'k';
+  if (has_any(p, FilePerm::link)) out += 'l';
+  if (has_any(p, FilePerm::ioctl)) out += 'i';
+  return out;
+}
+
+}  // namespace sack::apparmor

@@ -1,0 +1,42 @@
+// AppArmor-style file permission masks.
+//
+// Follows apparmor.d(5): r (read), w (write), a (append), x (execute),
+// m (memory-map), k (lock), l (link). We add one divergence needed by the
+// paper's case study: 'i' gates ioctl on device nodes, which mainline
+// AppArmor folds into write access; SACK needs ioctl-granular control over
+// /dev/vehicle/* so both MAC engines here treat it as its own bit.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/bitmask.h"
+#include "util/result.h"
+
+namespace sack::apparmor {
+
+enum class FilePerm : std::uint32_t {
+  none = 0,
+  read = 1u << 0,    // r
+  write = 1u << 1,   // w
+  append = 1u << 2,  // a
+  exec = 1u << 3,    // x
+  mmap = 1u << 4,    // m
+  lock = 1u << 5,    // k
+  link = 1u << 6,    // l
+  ioctl = 1u << 7,   // i (divergence, see above)
+};
+
+// Parses "rwx", "rix", ... Fails with EINVAL on unknown letters or 'w'+'a'
+// in one rule (AppArmor rejects that combination).
+Result<FilePerm> parse_perms(std::string_view s);
+
+// Canonical letter form, e.g. "rw".
+std::string format_perms(FilePerm p);
+
+}  // namespace sack::apparmor
+
+namespace sack {
+template <>
+struct EnableBitmask<apparmor::FilePerm> : std::true_type {};
+}  // namespace sack

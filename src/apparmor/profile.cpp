@@ -1,0 +1,40 @@
+#include "apparmor/profile.h"
+
+namespace sack::apparmor {
+
+std::string Profile::to_text() const {
+  std::string out = "profile " + name;
+  if (attachment && attachment->pattern() != name)
+    out += " " + attachment->pattern();
+  if (mode == ProfileMode::complain) out += " flags=(complain)";
+  out += " {\n";
+  for (const auto& rule : rules) {
+    out += "  ";
+    if (rule.deny) out += "deny ";
+    out += rule.pattern.pattern() + " " + format_perms(rule.perms);
+    for (const auto& t : exec_transitions) {
+      if (t.pattern.pattern() == rule.pattern.pattern() && !rule.deny &&
+          has_any(rule.perms, FilePerm::exec)) {
+        out += " -> " + t.target;
+        break;
+      }
+    }
+    if (!rule.origin.empty()) out += "  # origin: " + rule.origin;
+    out += ",\n";
+  }
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(kernel::Capability::count_); ++i) {
+    auto cap = static_cast<kernel::Capability>(i);
+    if (caps.has(cap))
+      out += "  capability " + std::string(kernel::capability_name(cap)) +
+             ",\n";
+  }
+  for (auto fam : net_families) {
+    out += std::string("  network ") +
+           (fam == kernel::SockFamily::inet ? "inet" : "unix") + ",\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sack::apparmor

@@ -1,0 +1,55 @@
+// Profile model: what a loaded AppArmor-like profile looks like in memory.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apparmor/perms.h"
+#include "kernel/cred.h"
+#include "kernel/types.h"
+#include "util/glob.h"
+
+namespace sack::apparmor {
+
+struct FileRule {
+  Glob pattern;
+  FilePerm perms = FilePerm::none;
+  bool deny = false;
+  // Origin tag: empty for rules from the loaded profile text; SACK-injected
+  // rules carry "sack:<PERMISSION>" so the APE can retract exactly what it
+  // added when the situation state changes.
+  std::string origin;
+};
+
+enum class ProfileMode : std::uint8_t {
+  enforce,   // denials fail the operation
+  complain,  // denials are logged but allowed
+};
+
+// An explicit exec transition (AppArmor's "px -> target" form):
+//   /usr/bin/child rx -> child_profile,
+// When a confined task execs a matching path it enters `target` instead of
+// going through global attachment matching.
+struct ExecTransition {
+  Glob pattern;
+  std::string target;
+};
+
+struct Profile {
+  std::string name;
+  // Exec paths matching this attach the profile (domain transition). When a
+  // profile is declared with a path name, the name doubles as attachment.
+  std::optional<Glob> attachment;
+  std::vector<FileRule> rules;
+  std::vector<ExecTransition> exec_transitions;
+  kernel::CapSet caps;
+  std::set<kernel::SockFamily> net_families;
+  ProfileMode mode = ProfileMode::enforce;
+
+  // Serializes back to profile-language text (canonical form).
+  std::string to_text() const;
+};
+
+}  // namespace sack::apparmor

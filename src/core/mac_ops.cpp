@@ -1,0 +1,49 @@
+#include "core/mac_ops.h"
+
+#include <array>
+#include <bit>
+
+namespace sack::core {
+
+namespace {
+constexpr std::array<std::string_view, kMacOpCount> kNames = {
+    "read",   "write",  "append", "exec",  "ioctl",
+    "mmap",   "create", "unlink", "mkdir", "rmdir",
+    "rename", "getattr", "chmod", "chown", "truncate",
+};
+}  // namespace
+
+std::size_t mac_op_index(MacOp op) {
+  return static_cast<std::size_t>(
+      std::countr_zero(static_cast<std::uint32_t>(op)));
+}
+
+MacOp mac_op_from_index(std::size_t idx) {
+  return static_cast<MacOp>(1u << idx);
+}
+
+Result<MacOp> mac_op_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == name) return mac_op_from_index(i);
+  }
+  return Errno::einval;
+}
+
+std::string_view mac_op_name(MacOp op) {
+  std::size_t idx = mac_op_index(op);
+  if (idx >= kNames.size()) return "?";
+  return kNames[idx];
+}
+
+std::string format_mac_ops(MacOp mask) {
+  std::string out;
+  for (std::size_t i = 0; i < kMacOpCount; ++i) {
+    if (has_any(mask, mac_op_from_index(i))) {
+      if (!out.empty()) out += ',';
+      out += kNames[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace sack::core

@@ -1,0 +1,52 @@
+// MacOp: the operation vocabulary of SACK MAC rules (Per_Rules interface).
+//
+// These name kernel-level operations — the granularity SACK policies control
+// — and map 1:1 onto the LSM hooks of the simulated kernel.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/bitmask.h"
+#include "util/result.h"
+
+namespace sack::core {
+
+enum class MacOp : std::uint32_t {
+  none = 0,
+  read = 1u << 0,
+  write = 1u << 1,
+  append = 1u << 2,
+  exec = 1u << 3,
+  ioctl = 1u << 4,
+  mmap = 1u << 5,
+  create = 1u << 6,
+  unlink = 1u << 7,
+  mkdir = 1u << 8,
+  rmdir = 1u << 9,
+  rename = 1u << 10,
+  getattr = 1u << 11,
+  chmod = 1u << 12,
+  chown = 1u << 13,
+  truncate = 1u << 14,
+};
+
+inline constexpr std::size_t kMacOpCount = 15;
+
+// Index of a single-bit op (for per-op rule tables).
+std::size_t mac_op_index(MacOp op);
+MacOp mac_op_from_index(std::size_t idx);
+
+// "read" -> MacOp::read; EINVAL for unknown names.
+Result<MacOp> mac_op_from_name(std::string_view name);
+std::string_view mac_op_name(MacOp op);
+
+// "read,write" style list for a mask.
+std::string format_mac_ops(MacOp mask);
+
+}  // namespace sack::core
+
+namespace sack {
+template <>
+struct EnableBitmask<core::MacOp> : std::true_type {};
+}  // namespace sack

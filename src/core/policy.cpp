@@ -1,0 +1,115 @@
+#include "core/policy.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sack::core {
+
+std::string MacRule::to_text() const {
+  std::string out = effect == RuleEffect::allow ? "allow " : "deny ";
+  switch (subject_kind) {
+    case SubjectKind::any: out += "*"; break;
+    case SubjectKind::path: out += subject_text; break;
+    case SubjectKind::profile: out += "@" + subject_text; break;
+  }
+  out += " " + object.pattern() + " ";
+  // Ops as space-separated words (the parser's input form).
+  bool first = true;
+  for (std::size_t i = 0; i < kMacOpCount; ++i) {
+    MacOp op = mac_op_from_index(i);
+    if (has_any(ops, op)) {
+      if (!first) out += ' ';
+      out += mac_op_name(op);
+      first = false;
+    }
+  }
+  out += ";";
+  return out;
+}
+
+bool SackPolicy::has_state(std::string_view name) const {
+  return find_state(name) != nullptr;
+}
+
+const SituationState* SackPolicy::find_state(std::string_view name) const {
+  for (const auto& s : states)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+bool SackPolicy::has_permission(std::string_view name) const {
+  return std::find(permissions.begin(), permissions.end(), name) !=
+         permissions.end();
+}
+
+std::vector<std::string> SackPolicy::all_events() const {
+  std::set<std::string> uniq(events.begin(), events.end());
+  for (const auto& t : transitions) uniq.insert(t.event);
+  return {uniq.begin(), uniq.end()};
+}
+
+std::vector<std::string> SackPolicy::permissions_of(
+    std::string_view state) const {
+  auto it = state_per.find(std::string(state));
+  return it == state_per.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::string SackPolicy::states_text() const {
+  std::string out = "states {\n";
+  for (const auto& s : states)
+    out += "  " + s.name + " = " + std::to_string(s.encoding) + ";\n";
+  out += "}\n";
+  if (!initial_state.empty()) out += "initial " + initial_state + ";\n";
+  if (!transitions.empty() || !timed_transitions.empty()) {
+    out += "transitions {\n";
+    for (const auto& t : transitions)
+      out += "  " + t.from + " -> " + t.to + " on " + t.event + ";\n";
+    for (const auto& t : timed_transitions)
+      out += "  " + t.from + " -> " + t.to + " after " +
+             std::to_string(t.after_ms) + ";\n";
+    out += "}\n";
+  }
+  if (!events.empty()) {
+    out += "events {\n";
+    for (const auto& e : events) out += "  " + e + ";\n";
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string SackPolicy::permissions_text() const {
+  std::string out = "permissions {\n";
+  for (const auto& p : permissions) out += "  " + p + ";\n";
+  out += "}\n";
+  return out;
+}
+
+std::string SackPolicy::state_per_text() const {
+  std::string out = "state_per {\n";
+  for (const auto& [state, perms] : state_per) {
+    out += "  " + state + ":";
+    for (std::size_t i = 0; i < perms.size(); ++i)
+      out += (i ? ", " : " ") + perms[i];
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string SackPolicy::per_rules_text() const {
+  std::string out = "per_rules {\n";
+  for (const auto& [perm, rules] : per_rules) {
+    out += "  " + perm + " {\n";
+    for (const auto& r : rules) out += "    " + r.to_text() + "\n";
+    out += "  }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string SackPolicy::to_text() const {
+  return states_text() + permissions_text() + state_per_text() +
+         per_rules_text();
+}
+
+}  // namespace sack::core

@@ -1,0 +1,102 @@
+// SackPolicy: the in-memory model of the four SACK policy interfaces
+// (Table I of the paper): States, Permissions, State_Per, Per_Rules.
+//
+// Each enforcement policy is conceptually the triple (SS_i, P_i, MR_i): a
+// situation state, the SACK permissions it grants, and the MAC rules each
+// permission expands to.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/mac_ops.h"
+#include "util/glob.h"
+
+namespace sack::core {
+
+// --- States interface ---
+
+struct SituationState {
+  std::string name;
+  int encoding = 0;  // the kernel-side numeric security-context value
+};
+
+struct TransitionRule {
+  std::string from;
+  std::string event;
+  std::string to;
+};
+
+// Extension beyond the paper: a dwell-time transition. After `after_ms`
+// milliseconds in `from` (with no other transition resetting the clock) the
+// SSM moves to `to` on the next kernel clock tick. The motivating use is a
+// fail-safe: an emergency that auto-reverts even if the SDS dies before
+// sending the clearing event.
+struct TimedTransitionRule {
+  std::string from;
+  std::int64_t after_ms = 0;
+  std::string to;
+};
+
+// --- Per_Rules interface ---
+
+enum class RuleEffect : std::uint8_t { allow, deny };
+
+enum class SubjectKind : std::uint8_t {
+  any,      // '*': every task
+  path,     // glob over the task's executable path (independent SACK)
+  profile,  // '@name': an AppArmor profile (SACK-enhanced AppArmor)
+};
+
+struct MacRule {
+  RuleEffect effect = RuleEffect::allow;
+  SubjectKind subject_kind = SubjectKind::any;
+  std::string subject_text;  // raw subject ("" for any, name for profile)
+  Glob subject_glob;         // compiled, for path subjects
+  Glob object;               // object path pattern
+  MacOp ops = MacOp::none;
+
+  std::string to_text() const;
+};
+
+// --- the whole policy ---
+
+struct SackPolicy {
+  // States
+  std::vector<SituationState> states;
+  std::string initial_state;
+  std::vector<TransitionRule> transitions;
+  std::vector<TimedTransitionRule> timed_transitions;
+  std::vector<std::string> events;  // optional explicit declarations
+
+  // Permissions
+  std::vector<std::string> permissions;
+
+  // State_Per: state name -> granted permission names
+  std::map<std::string, std::vector<std::string>> state_per;
+
+  // Per_Rules: permission name -> MAC rules
+  std::map<std::string, std::vector<MacRule>> per_rules;
+
+  bool has_state(std::string_view name) const;
+  bool has_permission(std::string_view name) const;
+  const SituationState* find_state(std::string_view name) const;
+
+  // Every event referenced by a transition or declared explicitly.
+  std::vector<std::string> all_events() const;
+
+  // Permissions granted in `state` (empty if none configured).
+  std::vector<std::string> permissions_of(std::string_view state) const;
+
+  // Canonical policy-language dump (round-trips through the parser).
+  std::string to_text() const;
+  std::string states_text() const;
+  std::string permissions_text() const;
+  std::string state_per_text() const;
+  std::string per_rules_text() const;
+};
+
+}  // namespace sack::core

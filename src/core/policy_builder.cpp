@@ -1,0 +1,94 @@
+#include "core/policy_builder.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sack::core {
+
+Result<MacRule> make_rule(RuleEffect effect, std::string_view subject,
+                          std::string_view object, MacOp ops) {
+  MacRule rule;
+  rule.effect = effect;
+  rule.ops = ops;
+  if (subject == "*") {
+    rule.subject_kind = SubjectKind::any;
+  } else if (!subject.empty() && subject[0] == '@') {
+    rule.subject_kind = SubjectKind::profile;
+    rule.subject_text = std::string(subject.substr(1));
+  } else {
+    rule.subject_kind = SubjectKind::path;
+    rule.subject_text = std::string(subject);
+    SACK_ASSIGN_OR_RETURN(rule.subject_glob, Glob::compile(subject));
+  }
+  SACK_ASSIGN_OR_RETURN(rule.object, Glob::compile(object));
+  if (is_empty(ops)) return Errno::einval;
+  return rule;
+}
+
+PolicyBuilder& PolicyBuilder::state(std::string name, int encoding) {
+  policy_.states.push_back({std::move(name), encoding});
+  return *this;
+}
+
+PolicyBuilder& PolicyBuilder::initial(std::string name) {
+  policy_.initial_state = std::move(name);
+  return *this;
+}
+
+PolicyBuilder& PolicyBuilder::transition(std::string from, std::string event,
+                                         std::string to) {
+  policy_.transitions.push_back(
+      {std::move(from), std::move(event), std::move(to)});
+  return *this;
+}
+
+PolicyBuilder& PolicyBuilder::timed_transition(std::string from,
+                                               std::int64_t after_ms,
+                                               std::string to) {
+  policy_.timed_transitions.push_back({std::move(from), after_ms,
+                                       std::move(to)});
+  return *this;
+}
+
+PolicyBuilder& PolicyBuilder::event(std::string name) {
+  policy_.events.push_back(std::move(name));
+  return *this;
+}
+
+PolicyBuilder& PolicyBuilder::permission(std::string name) {
+  policy_.permissions.push_back(std::move(name));
+  return *this;
+}
+
+PolicyBuilder& PolicyBuilder::grant(std::string state, std::string permission) {
+  policy_.state_per[std::move(state)].push_back(std::move(permission));
+  return *this;
+}
+
+PolicyBuilder& PolicyBuilder::rule(RuleEffect effect, std::string permission,
+                                   std::string_view subject,
+                                   std::string_view object, MacOp ops) {
+  auto r = make_rule(effect, subject, object, ops);
+  if (!r.ok()) {
+    std::fprintf(stderr, "PolicyBuilder: bad rule (subject='%.*s' object='%.*s')\n",
+                 static_cast<int>(subject.size()), subject.data(),
+                 static_cast<int>(object.size()), object.data());
+    std::abort();
+  }
+  policy_.per_rules[std::move(permission)].push_back(std::move(r).value());
+  return *this;
+}
+
+PolicyBuilder& PolicyBuilder::allow(std::string permission,
+                                    std::string_view subject,
+                                    std::string_view object, MacOp ops) {
+  return rule(RuleEffect::allow, std::move(permission), subject, object, ops);
+}
+
+PolicyBuilder& PolicyBuilder::deny(std::string permission,
+                                   std::string_view subject,
+                                   std::string_view object, MacOp ops) {
+  return rule(RuleEffect::deny, std::move(permission), subject, object, ops);
+}
+
+}  // namespace sack::core

@@ -1,0 +1,50 @@
+// PolicyBuilder: fluent programmatic construction of SackPolicy objects.
+//
+// The benchmarks and tests generate many synthetic policies (N states,
+// N rules); building them as text and re-parsing would be slow and noisy,
+// so this builder produces the model directly (still validated by
+// check_policy on load).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/policy.h"
+#include "util/result.h"
+
+namespace sack::core {
+
+class PolicyBuilder {
+ public:
+  PolicyBuilder& state(std::string name, int encoding);
+  PolicyBuilder& initial(std::string name);
+  PolicyBuilder& transition(std::string from, std::string event,
+                            std::string to);
+  PolicyBuilder& timed_transition(std::string from, std::int64_t after_ms,
+                                  std::string to);
+  PolicyBuilder& event(std::string name);
+  PolicyBuilder& permission(std::string name);
+  PolicyBuilder& grant(std::string state, std::string permission);
+
+  // Rule helpers; patterns are compiled here (hard failure on bad globs —
+  // builder inputs are programmer-controlled).
+  PolicyBuilder& allow(std::string permission, std::string_view subject,
+                       std::string_view object, MacOp ops);
+  PolicyBuilder& deny(std::string permission, std::string_view subject,
+                      std::string_view object, MacOp ops);
+
+  SackPolicy build() const { return policy_; }
+
+ private:
+  PolicyBuilder& rule(RuleEffect effect, std::string permission,
+                      std::string_view subject, std::string_view object,
+                      MacOp ops);
+  SackPolicy policy_;
+};
+
+// Subject spelling shared with the policy language: "*", "@profile", or a
+// path glob.
+Result<MacRule> make_rule(RuleEffect effect, std::string_view subject,
+                          std::string_view object, MacOp ops);
+
+}  // namespace sack::core

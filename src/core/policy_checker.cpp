@@ -1,0 +1,216 @@
+#include "core/policy_checker.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace sack::core {
+
+std::string Diagnostic::to_string() const {
+  return std::string(severity == Severity::error ? "error: " : "warning: ") +
+         message;
+}
+
+bool has_errors(const std::vector<Diagnostic>& diagnostics) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [](const Diagnostic& d) {
+                       return d.severity == Severity::error;
+                     });
+}
+
+namespace {
+
+// True if two rules could apply to the same access: overlap is approximated
+// by identical object patterns (precise glob-intersection is undecidable in
+// general but identical patterns are the common authoring mistake).
+bool same_target(const MacRule& a, const MacRule& b) {
+  return a.object.pattern() == b.object.pattern() &&
+         a.subject_kind == b.subject_kind &&
+         a.subject_text == b.subject_text;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_policy(const SackPolicy& policy,
+                                     CheckMode mode) {
+  std::vector<Diagnostic> out;
+  auto error = [&out](CheckCode code, std::string msg) {
+    out.push_back({Severity::error, code, std::move(msg)});
+  };
+  auto warn = [&out](CheckCode code, std::string msg) {
+    out.push_back({Severity::warning, code, std::move(msg)});
+  };
+
+  // --- states ---
+  if (policy.states.empty()) {
+    error(CheckCode::no_states, "policy declares no situation states");
+    return out;
+  }
+  {
+    std::set<std::string> names;
+    std::map<int, std::string> encodings;
+    for (const auto& s : policy.states) {
+      if (!names.insert(s.name).second)
+        error(CheckCode::duplicate_state_name,
+              "duplicate situation state '" + s.name + "'");
+      auto [it, inserted] = encodings.emplace(s.encoding, s.name);
+      if (!inserted)
+        error(CheckCode::duplicate_state_encoding,
+              "states '" + it->second + "' and '" + s.name +
+                  "' share encoding " + std::to_string(s.encoding));
+    }
+  }
+  if (policy.initial_state.empty()) {
+    error(CheckCode::missing_initial, "no initial state declared");
+  } else if (!policy.has_state(policy.initial_state)) {
+    error(CheckCode::undefined_initial,
+          "initial state '" + policy.initial_state + "' is not declared");
+  }
+
+  // --- transitions ---
+  std::map<std::pair<std::string, std::string>, std::string> seen_transition;
+  for (const auto& t : policy.transitions) {
+    if (!policy.has_state(t.from))
+      error(CheckCode::undefined_transition_state,
+            "transition source state '" + t.from + "' is not declared");
+    if (!policy.has_state(t.to))
+      error(CheckCode::undefined_transition_state,
+            "transition target state '" + t.to + "' is not declared");
+    auto key = std::pair{t.from, t.event};
+    auto [it, inserted] = seen_transition.emplace(key, t.to);
+    if (!inserted && it->second != t.to)
+      error(CheckCode::nondeterministic_transition,
+            "state '" + t.from + "' has conflicting transitions on event '" +
+                t.event + "' (to '" + it->second + "' and '" + t.to + "')");
+  }
+
+  // --- timed transitions (extension) ---
+  {
+    std::set<std::string> timed_sources;
+    for (const auto& t : policy.timed_transitions) {
+      if (!policy.has_state(t.from))
+        error(CheckCode::undefined_transition_state,
+              "timed transition source state '" + t.from +
+                  "' is not declared");
+      if (!policy.has_state(t.to))
+        error(CheckCode::undefined_transition_state,
+              "timed transition target state '" + t.to + "' is not declared");
+      if (t.after_ms <= 0)
+        error(CheckCode::nondeterministic_transition,
+              "timed transition from '" + t.from +
+                  "' has a non-positive delay");
+      if (!timed_sources.insert(t.from).second)
+        error(CheckCode::nondeterministic_transition,
+              "state '" + t.from + "' has more than one timed transition");
+    }
+  }
+
+  // --- reachability from the initial state ---
+  if (policy.has_state(policy.initial_state)) {
+    std::set<std::string> reachable{policy.initial_state};
+    std::queue<std::string> frontier;
+    frontier.push(policy.initial_state);
+    while (!frontier.empty()) {
+      std::string cur = frontier.front();
+      frontier.pop();
+      for (const auto& t : policy.transitions) {
+        if (t.from == cur && reachable.insert(t.to).second) frontier.push(t.to);
+      }
+      for (const auto& t : policy.timed_transitions) {
+        if (t.from == cur && reachable.insert(t.to).second) frontier.push(t.to);
+      }
+    }
+    for (const auto& s : policy.states) {
+      if (!reachable.contains(s.name))
+        warn(CheckCode::unreachable_state,
+             "situation state '" + s.name +
+                 "' is unreachable from the initial state");
+    }
+  }
+
+  // --- permissions ---
+  {
+    std::set<std::string> perms;
+    for (const auto& p : policy.permissions) {
+      if (!perms.insert(p).second)
+        error(CheckCode::duplicate_permission,
+              "duplicate permission '" + p + "'");
+    }
+  }
+
+  // --- state_per ---
+  std::set<std::string> granted_somewhere;
+  for (const auto& [state, perms] : policy.state_per) {
+    if (!policy.has_state(state))
+      error(CheckCode::undefined_state_in_state_per,
+            "State_Per references undeclared state '" + state + "'");
+    for (const auto& p : perms) {
+      if (!policy.has_permission(p))
+        error(CheckCode::undefined_permission_in_state_per,
+              "State_Per grants undeclared permission '" + p + "' in state '" +
+                  state + "'");
+      granted_somewhere.insert(p);
+    }
+  }
+  for (const auto& p : policy.permissions) {
+    if (!granted_somewhere.contains(p))
+      warn(CheckCode::permission_never_granted,
+           "permission '" + p + "' is never granted by any state");
+  }
+
+  // --- per_rules ---
+  for (const auto& [perm, rules] : policy.per_rules) {
+    if (!policy.has_permission(perm))
+      error(CheckCode::undefined_permission_in_per_rules,
+            "Per_Rules defines rules for undeclared permission '" + perm +
+                "'");
+    for (const auto& r : rules) {
+      if (r.subject_kind == SubjectKind::profile &&
+          mode == CheckMode::independent)
+        error(CheckCode::profile_subject_in_independent_mode,
+              "rule in '" + perm + "' names AppArmor profile '@" +
+                  r.subject_text +
+                  "' but independent SACK has no profiles to match");
+      if (r.subject_kind == SubjectKind::path &&
+          mode == CheckMode::apparmor_enhanced)
+        warn(CheckCode::path_subject_in_enhanced_mode,
+             "rule in '" + perm + "' uses a path subject '" + r.subject_text +
+                 "'; SACK-enhanced AppArmor only injects '@profile' rules");
+    }
+    // Dead allows: an allow rule fully shadowed by a deny with the same
+    // subject/object inside the same permission can never take effect.
+    for (const auto& r : rules) {
+      if (r.effect != RuleEffect::allow) continue;
+      for (const auto& d : rules) {
+        if (d.effect != RuleEffect::deny || !same_target(r, d)) continue;
+        if (has_all(d.ops, r.ops)) {
+          warn(CheckCode::shadowed_allow_rule,
+               "allow rule '" + r.to_text() + "' in '" + perm +
+                   "' is fully shadowed by deny rule '" + d.to_text() + "'");
+        }
+      }
+    }
+  }
+  for (const auto& p : policy.permissions) {
+    auto it = policy.per_rules.find(p);
+    if (it == policy.per_rules.end() || it->second.empty())
+      warn(CheckCode::permission_without_rules,
+           "permission '" + p + "' has no MAC rules (grants nothing)");
+  }
+
+  // --- declared events ---
+  {
+    std::set<std::string> used;
+    for (const auto& t : policy.transitions) used.insert(t.event);
+    for (const auto& e : policy.events) {
+      if (!used.contains(e))
+        warn(CheckCode::declared_event_unused,
+             "declared event '" + e + "' triggers no transition");
+    }
+  }
+
+  return out;
+}
+
+}  // namespace sack::core

@@ -1,0 +1,58 @@
+// PolicyChecker: semantic validation of a SackPolicy — the paper's
+// "policy-checking tools [that] handle errors and conflicts" (§III-D).
+//
+// Errors make the policy unloadable; warnings indicate likely mistakes
+// (dead rules, unreachable states) but do not block loading.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace sack::core {
+
+enum class Severity : std::uint8_t { warning, error };
+
+enum class CheckCode : std::uint8_t {
+  // errors
+  no_states,
+  duplicate_state_name,
+  duplicate_state_encoding,
+  missing_initial,
+  undefined_initial,
+  undefined_transition_state,
+  nondeterministic_transition,
+  duplicate_permission,
+  undefined_state_in_state_per,
+  undefined_permission_in_state_per,
+  undefined_permission_in_per_rules,
+  profile_subject_in_independent_mode,
+  // warnings
+  unreachable_state,
+  permission_never_granted,
+  permission_without_rules,
+  declared_event_unused,
+  shadowed_allow_rule,
+  path_subject_in_enhanced_mode,
+};
+
+struct Diagnostic {
+  Severity severity{};
+  CheckCode code{};
+  std::string message;
+
+  std::string to_string() const;
+};
+
+// Mode-dependent checks: independent SACK enforces its own rules (profile
+// subjects can never match), SACK-enhanced AppArmor injects into profiles
+// (path subjects are ignored by the APE).
+enum class CheckMode : std::uint8_t { independent, apparmor_enhanced, any };
+
+std::vector<Diagnostic> check_policy(const SackPolicy& policy,
+                                     CheckMode mode = CheckMode::any);
+
+bool has_errors(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace sack::core

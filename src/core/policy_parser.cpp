@@ -1,0 +1,293 @@
+#include "core/policy_parser.h"
+
+namespace sack::core {
+
+namespace {
+
+void synchronize_stmt(TokenStream& ts) {
+  while (!ts.at_end()) {
+    const Token& t = ts.peek();
+    if (t.is_punct(';')) {
+      ts.next();
+      return;
+    }
+    if (t.is_punct('}')) return;
+    ts.next();
+  }
+}
+
+void parse_states_block(TokenStream& ts, SackPolicy& policy) {
+  if (!ts.expect_punct('{').ok()) return;
+  while (!ts.at_end() && !ts.peek().is_punct('}')) {
+    auto name = ts.expect_ident();
+    if (!name.ok()) {
+      synchronize_stmt(ts);
+      continue;
+    }
+    if (!ts.expect_punct('=').ok()) {
+      synchronize_stmt(ts);
+      continue;
+    }
+    auto num = ts.expect_number();
+    if (!num.ok()) {
+      synchronize_stmt(ts);
+      continue;
+    }
+    if (!ts.expect_punct(';').ok()) {
+      synchronize_stmt(ts);
+      continue;
+    }
+    policy.states.push_back({name->text, std::stoi(num->text)});
+  }
+  (void)ts.expect_punct('}');
+}
+
+void parse_transitions_block(TokenStream& ts, SackPolicy& policy) {
+  if (!ts.expect_punct('{').ok()) return;
+  while (!ts.at_end() && !ts.peek().is_punct('}')) {
+    auto from = ts.expect_ident();
+    if (!from.ok()) {
+      synchronize_stmt(ts);
+      continue;
+    }
+    if (ts.peek().kind != TokenKind::arrow) {
+      ts.record_error("expected '->' in transition rule");
+      synchronize_stmt(ts);
+      continue;
+    }
+    ts.next();
+    auto to = ts.expect_ident();
+    if (!to.ok()) {
+      synchronize_stmt(ts);
+      continue;
+    }
+    if (ts.accept_ident("after")) {
+      // Timed transition: "<from> -> <to> after <milliseconds>;"
+      auto ms = ts.expect_number();
+      if (!ms.ok() || !ts.expect_punct(';').ok()) {
+        synchronize_stmt(ts);
+        continue;
+      }
+      policy.timed_transitions.push_back(
+          {from->text, std::stoll(ms->text), to->text});
+      continue;
+    }
+    if (!ts.accept_ident("on")) {
+      ts.record_error("expected 'on <event>' or 'after <ms>' in transition "
+                      "rule");
+      synchronize_stmt(ts);
+      continue;
+    }
+    auto event = ts.expect_ident();
+    if (!event.ok()) {
+      synchronize_stmt(ts);
+      continue;
+    }
+    if (!ts.expect_punct(';').ok()) {
+      synchronize_stmt(ts);
+      continue;
+    }
+    policy.transitions.push_back({from->text, event->text, to->text});
+  }
+  (void)ts.expect_punct('}');
+}
+
+void parse_ident_list_block(TokenStream& ts, std::vector<std::string>& out) {
+  if (!ts.expect_punct('{').ok()) return;
+  while (!ts.at_end() && !ts.peek().is_punct('}')) {
+    auto name = ts.expect_ident();
+    if (!name.ok() || !ts.expect_punct(';').ok()) {
+      synchronize_stmt(ts);
+      continue;
+    }
+    out.push_back(name->text);
+  }
+  (void)ts.expect_punct('}');
+}
+
+void parse_state_per_block(TokenStream& ts, SackPolicy& policy) {
+  if (!ts.expect_punct('{').ok()) return;
+  while (!ts.at_end() && !ts.peek().is_punct('}')) {
+    auto state = ts.expect_ident();
+    if (!state.ok() || !ts.expect_punct(':').ok()) {
+      synchronize_stmt(ts);
+      continue;
+    }
+    std::vector<std::string> perms;
+    bool bad = false;
+    for (;;) {
+      auto perm = ts.expect_ident();
+      if (!perm.ok()) {
+        bad = true;
+        break;
+      }
+      perms.push_back(perm->text);
+      if (ts.accept_punct(',')) continue;
+      break;
+    }
+    if (bad || !ts.expect_punct(';').ok()) {
+      synchronize_stmt(ts);
+      continue;
+    }
+    auto& existing = policy.state_per[state->text];
+    existing.insert(existing.end(), perms.begin(), perms.end());
+  }
+  (void)ts.expect_punct('}');
+}
+
+bool parse_mac_rule(TokenStream& ts, std::vector<MacRule>& out) {
+  MacRule rule;
+  if (ts.accept_ident("allow")) {
+    rule.effect = RuleEffect::allow;
+  } else if (ts.accept_ident("deny")) {
+    rule.effect = RuleEffect::deny;
+  } else {
+    ts.record_error("expected 'allow' or 'deny', got '" + ts.peek().text +
+                    "'");
+    return false;
+  }
+
+  // Subject.
+  const Token& subj = ts.peek();
+  if (subj.is_punct('*')) {
+    ts.next();
+    rule.subject_kind = SubjectKind::any;
+  } else if (subj.is_punct('@')) {
+    ts.next();
+    auto prof = ts.expect_ident();
+    if (!prof.ok()) return false;
+    rule.subject_kind = SubjectKind::profile;
+    rule.subject_text = prof->text;
+  } else if (subj.kind == TokenKind::path) {
+    rule.subject_kind = SubjectKind::path;
+    rule.subject_text = ts.next().text;
+    auto glob = Glob::compile(rule.subject_text);
+    if (!glob.ok()) {
+      ts.record_error("bad subject pattern '" + rule.subject_text + "'");
+      return false;
+    }
+    rule.subject_glob = std::move(glob).value();
+  } else {
+    ts.record_error("expected subject ('*', '@profile' or a path), got '" +
+                    subj.text + "'");
+    return false;
+  }
+
+  // Object.
+  auto obj = ts.expect(TokenKind::path, "object path pattern");
+  if (!obj.ok()) return false;
+  auto glob = Glob::compile(obj->text);
+  if (!glob.ok()) {
+    ts.record_error("bad object pattern '" + obj->text + "'");
+    return false;
+  }
+  rule.object = std::move(glob).value();
+
+  // Ops (one or more, space- or comma-separated, terminated by ';').
+  bool any_op = false;
+  while (ts.peek().kind == TokenKind::identifier) {
+    auto op = mac_op_from_name(ts.peek().text);
+    if (!op.ok()) {
+      ts.record_error("unknown operation '" + ts.peek().text + "'");
+      return false;
+    }
+    ts.next();
+    rule.ops |= op.value();
+    any_op = true;
+    (void)ts.accept_punct(',');
+  }
+  if (!any_op) {
+    ts.record_error("rule grants no operations");
+    return false;
+  }
+  if (!ts.expect_punct(';').ok()) return false;
+  out.push_back(std::move(rule));
+  return true;
+}
+
+void parse_per_rules_block(TokenStream& ts, SackPolicy& policy) {
+  if (!ts.expect_punct('{').ok()) return;
+  while (!ts.at_end() && !ts.peek().is_punct('}')) {
+    auto perm = ts.expect_ident();
+    if (!perm.ok()) {
+      synchronize_stmt(ts);
+      continue;
+    }
+    if (!ts.expect_punct('{').ok()) {
+      synchronize_stmt(ts);
+      continue;
+    }
+    auto& rules = policy.per_rules[perm->text];
+    while (!ts.at_end() && !ts.peek().is_punct('}')) {
+      if (!parse_mac_rule(ts, rules)) synchronize_stmt(ts);
+    }
+    (void)ts.expect_punct('}');
+  }
+  (void)ts.expect_punct('}');
+}
+
+}  // namespace
+
+PolicyParseResult parse_policy(std::string_view text,
+                               SectionPresence* presence) {
+  PolicyParseResult result;
+  SectionPresence local;
+  Tokenizer tokenizer(text);
+  auto tokens = tokenizer.run();
+  if (!tokens.ok()) {
+    result.errors.push_back(tokenizer.last_error());
+    return result;
+  }
+  TokenStream ts(std::move(tokens).value());
+  while (!ts.at_end()) {
+    if (ts.accept_ident("states")) {
+      parse_states_block(ts, result.policy);
+      local.states = true;
+    } else if (ts.accept_ident("initial")) {
+      auto name = ts.expect_ident();
+      if (name.ok()) result.policy.initial_state = name->text;
+      (void)ts.expect_punct(';');
+      local.states = true;
+    } else if (ts.accept_ident("transitions")) {
+      parse_transitions_block(ts, result.policy);
+      local.states = true;
+    } else if (ts.accept_ident("events")) {
+      parse_ident_list_block(ts, result.policy.events);
+      local.states = true;
+    } else if (ts.accept_ident("permissions")) {
+      parse_ident_list_block(ts, result.policy.permissions);
+      local.permissions = true;
+    } else if (ts.accept_ident("state_per")) {
+      parse_state_per_block(ts, result.policy);
+      local.state_per = true;
+    } else if (ts.accept_ident("per_rules")) {
+      parse_per_rules_block(ts, result.policy);
+      local.per_rules = true;
+    } else {
+      ts.record_error("expected a section keyword (states / initial / "
+                      "transitions / events / permissions / state_per / "
+                      "per_rules), got '" +
+                      ts.peek().text + "'");
+      ts.next();
+    }
+  }
+  result.errors = ts.take_errors();
+  if (presence) *presence = local;
+  return result;
+}
+
+void merge_policy_sections(SackPolicy& base, const SackPolicy& incoming,
+                           const SectionPresence& presence) {
+  if (presence.states) {
+    base.states = incoming.states;
+    base.initial_state = incoming.initial_state;
+    base.transitions = incoming.transitions;
+    base.timed_transitions = incoming.timed_transitions;
+    base.events = incoming.events;
+  }
+  if (presence.permissions) base.permissions = incoming.permissions;
+  if (presence.state_per) base.state_per = incoming.state_per;
+  if (presence.per_rules) base.per_rules = incoming.per_rules;
+}
+
+}  // namespace sack::core

@@ -1,0 +1,72 @@
+// Parser for the SACK policy language.
+//
+// A policy document is any combination of the four interface sections:
+//
+//   states {                        # States interface
+//     normal = 0;
+//     emergency = 4;
+//   }
+//   initial normal;
+//   transitions {
+//     normal -> emergency on crash_detected;
+//     emergency -> normal on emergency_cleared;
+//   }
+//   events { crash_detected; emergency_cleared; }     # optional
+//
+//   permissions {                   # Permissions interface
+//     NORMAL;
+//     CONTROL_CAR_DOORS;
+//   }
+//
+//   state_per {                     # State_Per interface
+//     normal: NORMAL;
+//     emergency: NORMAL, CONTROL_CAR_DOORS;
+//   }
+//
+//   per_rules {                     # Per_Rules interface
+//     CONTROL_CAR_DOORS {
+//       allow @rescue_daemon /dev/vehicle/door* ioctl write;
+//       allow /usr/bin/rescue_* /dev/vehicle/window* ioctl;
+//       deny * /dev/vehicle/door* write;
+//     }
+//   }
+//
+// Subjects: '*' (any task), a path glob over the task's executable, or
+// '@profile' naming an AppArmor profile (SACK-enhanced mode).
+// '#' starts a comment. Errors are collected with positions; parsing
+// continues past recoverable mistakes.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/policy.h"
+#include "util/tokenizer.h"
+
+namespace sack::core {
+
+struct PolicyParseResult {
+  SackPolicy policy;
+  std::vector<ParseError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+// Which sections a document actually contained (used by the per-section
+// securityfs interfaces to replace just their part).
+struct SectionPresence {
+  bool states = false;
+  bool permissions = false;
+  bool state_per = false;
+  bool per_rules = false;
+};
+
+PolicyParseResult parse_policy(std::string_view text,
+                               SectionPresence* presence = nullptr);
+
+// Merges the sections present in `incoming` into `base` (replacing those
+// sections wholesale) — the securityfs per-section write semantics.
+void merge_policy_sections(SackPolicy& base, const SackPolicy& incoming,
+                           const SectionPresence& presence);
+
+}  // namespace sack::core

@@ -1,0 +1,168 @@
+#include "core/ruleset.h"
+
+namespace sack::core {
+
+namespace detail {
+
+bool subject_matches(const MacRule& rule, const AccessQuery& query) {
+  switch (rule.subject_kind) {
+    case SubjectKind::any:
+      return true;
+    case SubjectKind::path:
+      return rule.subject_glob.matches(query.subject_exe);
+    case SubjectKind::profile:
+      return !query.subject_profile.empty() &&
+             rule.subject_text == query.subject_profile;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+// --- CompiledRuleSet ---
+
+void CompiledRuleSet::load(const SackPolicy& policy) {
+  policy_ = policy;  // own a copy: indexes borrow pointers into it
+  guard_literals_.clear();
+  guard_globs_.clear();
+  by_permission_.clear();
+  total_rules_ = 0;
+
+  for (const auto& [perm, rules] : policy_.per_rules) {
+    auto& slot = by_permission_[perm];
+    for (const auto& rule : rules) {
+      slot.push_back(&rule);
+      ++total_rules_;
+      if (rule.object.is_literal()) {
+        guard_literals_.insert(rule.object.literal());
+      } else {
+        guard_globs_.push_back(&rule.object);
+      }
+    }
+  }
+  activate({});
+}
+
+void CompiledRuleSet::activate(const std::vector<std::string>& permissions) {
+  for (auto& t : active_allow_) {
+    t.literal.clear();
+    t.globs.clear();
+  }
+  for (auto& t : active_deny_) {
+    t.literal.clear();
+    t.globs.clear();
+  }
+  active_rules_ = 0;
+
+  for (const auto& perm : permissions) {
+    auto it = by_permission_.find(perm);
+    if (it == by_permission_.end()) continue;
+    for (const MacRule* rule : it->second) {
+      ++active_rules_;
+      auto& tables =
+          rule->effect == RuleEffect::allow ? active_allow_ : active_deny_;
+      for (std::size_t i = 0; i < kMacOpCount; ++i) {
+        if (!has_any(rule->ops, mac_op_from_index(i))) continue;
+        if (rule->object.is_literal()) {
+          tables[i].literal[rule->object.literal()].push_back({rule});
+        } else {
+          tables[i].globs.push_back({rule});
+        }
+      }
+    }
+  }
+}
+
+bool CompiledRuleSet::guarded(std::string_view object_path) const {
+  if (guard_literals_.contains(object_path)) return true;
+  for (const Glob* g : guard_globs_) {
+    if (g->matches(object_path)) return true;
+  }
+  return false;
+}
+
+Errno CompiledRuleSet::check(const AccessQuery& query) const {
+  if (!guarded(query.object_path)) return Errno::ok;
+
+  const std::size_t op = mac_op_index(query.op);
+  if (op >= kMacOpCount) return Errno::einval;
+
+  // Deny rules first: deny wins over any allow.
+  const OpTable& deny = active_deny_[op];
+  if (!deny.literal.empty()) {
+    auto it = deny.literal.find(query.object_path);
+    if (it != deny.literal.end()) {
+      for (const auto& r : it->second) {
+        if (detail::subject_matches(*r.rule, query)) return Errno::eacces;
+      }
+    }
+  }
+  for (const auto& r : deny.globs) {
+    if (r.rule->object.matches(query.object_path) &&
+        detail::subject_matches(*r.rule, query))
+      return Errno::eacces;
+  }
+
+  const OpTable& allow = active_allow_[op];
+  if (!allow.literal.empty()) {
+    auto it = allow.literal.find(query.object_path);
+    if (it != allow.literal.end()) {
+      for (const auto& r : it->second) {
+        if (detail::subject_matches(*r.rule, query)) return Errno::ok;
+      }
+    }
+  }
+  for (const auto& r : allow.globs) {
+    if (r.rule->object.matches(query.object_path) &&
+        detail::subject_matches(*r.rule, query))
+      return Errno::ok;
+  }
+  return Errno::eacces;  // guarded and not allowed in the current state
+}
+
+// --- LinearRuleSet (ablation baseline) ---
+
+void LinearRuleSet::load(const SackPolicy& policy) {
+  policy_ = policy;
+  active_.clear();
+}
+
+void LinearRuleSet::activate(const std::vector<std::string>& permissions) {
+  active_.clear();
+  for (const auto& perm : permissions) {
+    auto it = policy_.per_rules.find(perm);
+    if (it == policy_.per_rules.end()) continue;
+    for (const auto& rule : it->second) active_.push_back(&rule);
+  }
+}
+
+bool LinearRuleSet::guarded(std::string_view object_path) const {
+  // Naive: scan every rule of every permission.
+  for (const auto& [perm, rules] : policy_.per_rules) {
+    for (const auto& rule : rules) {
+      if (rule.object.matches(object_path)) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t LinearRuleSet::total_rule_count() const {
+  std::size_t n = 0;
+  for (const auto& [perm, rules] : policy_.per_rules) n += rules.size();
+  return n;
+}
+
+Errno LinearRuleSet::check(const AccessQuery& query) const {
+  if (!guarded(query.object_path)) return Errno::ok;
+  bool allowed = false;
+  for (const MacRule* rule : active_) {
+    if (!has_any(rule->ops, query.op)) continue;
+    if (!rule->object.matches(query.object_path)) continue;
+    if (!detail::subject_matches(*rule, query)) continue;
+    if (rule->effect == RuleEffect::deny) return Errno::eacces;
+    allowed = true;
+  }
+  return allowed ? Errno::ok : Errno::eacces;
+}
+
+}  // namespace sack::core

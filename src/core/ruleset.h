@@ -1,0 +1,126 @@
+// Rule-set compilation for independent SACK enforcement.
+//
+// Independent SACK is deny-by-default over *guarded* objects: a path is
+// guarded if any rule anywhere in the loaded policy names it. Access to a
+// guarded path is allowed only by the rules mapped from the *current*
+// situation state (State_Per ∘ Per_Rules, Algorithm 1's g(f(SS_current))).
+// Unguarded paths are untouched — that check is the per-operation hot path,
+// so it is a literal hash probe plus a scan of the (few) non-literal globs.
+//
+// Two implementations share an interface so the matcher ablation bench can
+// compare them: CompiledRuleSet (indexes, the real thing) and LinearRuleSet
+// (naive full scan, what a straightforward port would do).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "core/mac_ops.h"
+#include "core/policy.h"
+#include "util/transparent_hash.h"
+
+namespace sack::core {
+
+// A fully-resolved access query.
+struct AccessQuery {
+  std::string_view subject_exe;   // task executable path
+  std::string_view subject_profile;  // AppArmor profile, "" if none/unknown
+  std::string_view object_path;
+  MacOp op = MacOp::none;
+};
+
+class RuleSetBase {
+ public:
+  virtual ~RuleSetBase() = default;
+
+  // Loads the full policy's rule inventory (builds the guard set).
+  virtual void load(const SackPolicy& policy) = 0;
+
+  // Activates the rules of exactly these permissions (APE, on transition).
+  virtual void activate(const std::vector<std::string>& permissions) = 0;
+
+  // The decision: OK for unguarded objects, otherwise allow iff an active
+  // allow rule matches and no active deny rule does.
+  virtual Errno check(const AccessQuery& query) const = 0;
+
+  virtual bool guarded(std::string_view object_path) const = 0;
+
+  virtual std::size_t total_rule_count() const = 0;
+  virtual std::size_t active_rule_count() const = 0;
+};
+
+namespace detail {
+// One rule with its owning permission resolved.
+struct OwnedRule {
+  const MacRule* rule;
+  std::string permission;
+};
+
+bool subject_matches(const MacRule& rule, const AccessQuery& query);
+}  // namespace detail
+
+class CompiledRuleSet final : public RuleSetBase {
+ public:
+  CompiledRuleSet() = default;
+  // Non-copyable/movable: the indexes hold raw pointers into this object's
+  // own policy_ copy; a copy would silently dangle.
+  CompiledRuleSet(const CompiledRuleSet&) = delete;
+  CompiledRuleSet& operator=(const CompiledRuleSet&) = delete;
+
+  void load(const SackPolicy& policy) override;
+  void activate(const std::vector<std::string>& permissions) override;
+  Errno check(const AccessQuery& query) const override;
+  bool guarded(std::string_view object_path) const override;
+  std::size_t total_rule_count() const override { return total_rules_; }
+  std::size_t active_rule_count() const override { return active_rules_; }
+
+ private:
+  struct ActiveRule {
+    const MacRule* rule;
+  };
+  struct OpTable {
+    // Literal object path -> rules naming exactly that path.
+    StringMap<std::vector<ActiveRule>> literal;
+    std::vector<ActiveRule> globs;
+  };
+
+  // Guard inventory over the whole policy.
+  std::unordered_set<std::string, TransparentStringHash, std::equal_to<>>
+      guard_literals_;
+  std::vector<const Glob*> guard_globs_;
+
+  // Rules grouped by permission (borrowing pointers into policy_).
+  StringMap<std::vector<const MacRule*>> by_permission_;
+
+  // Active (current-state) rules, indexed per op, denies separated so the
+  // precedence scan touches them first.
+  std::vector<OpTable> active_allow_ = std::vector<OpTable>(kMacOpCount);
+  std::vector<OpTable> active_deny_ = std::vector<OpTable>(kMacOpCount);
+
+  SackPolicy policy_;  // owns the rules the indexes point into
+  std::size_t total_rules_ = 0;
+  std::size_t active_rules_ = 0;
+};
+
+class LinearRuleSet final : public RuleSetBase {
+ public:
+  LinearRuleSet() = default;
+  LinearRuleSet(const LinearRuleSet&) = delete;  // active_ points into policy_
+  LinearRuleSet& operator=(const LinearRuleSet&) = delete;
+
+  void load(const SackPolicy& policy) override;
+  void activate(const std::vector<std::string>& permissions) override;
+  Errno check(const AccessQuery& query) const override;
+  bool guarded(std::string_view object_path) const override;
+  std::size_t total_rule_count() const override;
+  std::size_t active_rule_count() const override { return active_.size(); }
+
+ private:
+  SackPolicy policy_;
+  std::vector<const MacRule*> active_;
+};
+
+}  // namespace sack::core

@@ -1,0 +1,555 @@
+#include "core/sack_module.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace sack::core {
+
+using kernel::AccessMask;
+using kernel::Capability;
+using kernel::Task;
+
+namespace {
+
+// MacOp -> AppArmor file-permission letters, for enhanced-mode injection.
+apparmor::FilePerm apparmor_perms_for(MacOp ops) {
+  using apparmor::FilePerm;
+  FilePerm p = FilePerm::none;
+  if (has_any(ops, MacOp::read | MacOp::getattr)) p |= FilePerm::read;
+  if (has_any(ops, MacOp::write | MacOp::create | MacOp::unlink |
+                       MacOp::mkdir | MacOp::rmdir | MacOp::rename |
+                       MacOp::chmod | MacOp::chown | MacOp::truncate))
+    p |= FilePerm::write;
+  if (has_any(ops, MacOp::append)) p |= FilePerm::append;
+  if (has_any(ops, MacOp::exec)) p |= FilePerm::exec;
+  if (has_any(ops, MacOp::ioctl)) p |= FilePerm::ioctl;
+  if (has_any(ops, MacOp::mmap)) p |= FilePerm::mmap;
+  // 'w' and 'a' cannot coexist in one AppArmor rule; write subsumes append.
+  if (has_all(p, FilePerm::write | FilePerm::append)) p &= ~FilePerm::append;
+  return p;
+}
+
+}  // namespace
+
+// --- SACKfs files ---
+
+class SackModule::EventsFile final : public kernel::VirtualFileOps {
+ public:
+  explicit EventsFile(SackModule* mod) : mod_(mod) {}
+  Result<void> write_content(Task&, std::string_view data) override {
+    // One event per line; empty lines ignored. The handler runs inside the
+    // write(2) path — this synchronous dispatch is SACK's low-latency
+    // transmission channel.
+    bool any_bad = false;
+    for (auto line : split(data, '\n')) {
+      auto name = trim(line);
+      if (name.empty()) continue;
+      if (!mod_->deliver_event(name).ok()) any_bad = true;
+    }
+    return any_bad ? Result<void>(Errno::einval) : Result<void>();
+  }
+
+ private:
+  SackModule* mod_;
+};
+
+class SackModule::CurrentStateFile final : public kernel::VirtualFileOps {
+ public:
+  explicit CurrentStateFile(SackModule* mod) : mod_(mod) {}
+  Result<std::string> read_content(Task&) override {
+    if (!mod_->ssm_) return std::string("(no policy)\n");
+    return mod_->ssm_->current_name() + " " +
+           std::to_string(mod_->ssm_->current_encoding()) + "\n";
+  }
+
+ private:
+  SackModule* mod_;
+};
+
+class SackModule::StatusFile final : public kernel::VirtualFileOps {
+ public:
+  explicit StatusFile(SackModule* mod) : mod_(mod) {}
+  Result<std::string> read_content(Task&) override {
+    return mod_->status_text();
+  }
+
+ private:
+  SackModule* mod_;
+};
+
+class SackModule::PolicyLoadFile final : public kernel::VirtualFileOps {
+ public:
+  explicit PolicyLoadFile(SackModule* mod) : mod_(mod) {}
+  Result<void> write_content(Task& task, std::string_view data) override {
+    if (mod_->kernel_->capable(task, Capability::mac_admin) != Errno::ok)
+      return Errno::eperm;
+    std::vector<Diagnostic> diags;
+    std::vector<ParseError> perrs;
+    auto rc = mod_->load_policy_text(data, &diags, &perrs);
+    if (!rc.ok()) {
+      for (const auto& e : perrs)
+        log_warn("sack: policy parse error: ", e.to_string());
+      for (const auto& d : diags)
+        log_warn("sack: policy check: ", d.to_string());
+    }
+    return rc;
+  }
+
+ private:
+  SackModule* mod_;
+};
+
+// Dry-run validation: write a candidate policy, read back the full
+// diagnostic report. Never touches the loaded policy — the administrator's
+// pre-flight check (the user-space policy_lint tool runs the same checker).
+class SackModule::PolicyValidateFile final : public kernel::VirtualFileOps {
+ public:
+  explicit PolicyValidateFile(SackModule* mod) : mod_(mod) {}
+
+  Result<std::string> read_content(Task&) override {
+    return mod_->last_validation_report_;
+  }
+
+  Result<void> write_content(Task& task, std::string_view data) override {
+    if (mod_->kernel_->capable(task, Capability::mac_admin) != Errno::ok)
+      return Errno::eperm;
+    std::string report;
+    auto parsed = parse_policy(data);
+    for (const auto& e : parsed.errors)
+      report += "syntax error: " + e.to_string() + "\n";
+    auto diags = check_policy(parsed.policy,
+                              mod_->mode_ == SackMode::independent
+                                  ? CheckMode::independent
+                                  : CheckMode::apparmor_enhanced);
+    for (const auto& d : diags) report += d.to_string() + "\n";
+    bool loadable = parsed.ok() && !has_errors(diags);
+    report += std::string("verdict: ") +
+              (loadable ? "loadable" : "REJECTED") + "\n";
+    mod_->last_validation_report_ = std::move(report);
+    // The write itself reports the verdict too.
+    return loadable ? Result<void>() : Result<void>(Errno::einval);
+  }
+
+ private:
+  SackModule* mod_;
+};
+
+// One per section interface (Table I). Reading dumps the canonical section;
+// writing replaces it (atomically: a rejected policy leaves the old one).
+class SackModule::SectionFile final : public kernel::VirtualFileOps {
+ public:
+  enum class Which { states, permissions, state_per, per_rules };
+  SectionFile(SackModule* mod, Which which) : mod_(mod), which_(which) {}
+
+  Result<std::string> read_content(Task&) override {
+    switch (which_) {
+      case Which::states: return mod_->policy_.states_text();
+      case Which::permissions: return mod_->policy_.permissions_text();
+      case Which::state_per: return mod_->policy_.state_per_text();
+      case Which::per_rules: return mod_->policy_.per_rules_text();
+    }
+    return Errno::einval;
+  }
+
+  Result<void> write_content(Task& task, std::string_view data) override {
+    if (mod_->kernel_->capable(task, Capability::mac_admin) != Errno::ok)
+      return Errno::eperm;
+    return mod_->load_section_text(data);
+  }
+
+ private:
+  SackModule* mod_;
+  Which which_;
+};
+
+// --- module ---
+
+SackModule::SackModule(SackMode mode, RuleSetKind ruleset_kind)
+    : mode_(mode) {
+  if (ruleset_kind == RuleSetKind::compiled) {
+    rules_ = std::make_unique<CompiledRuleSet>();
+  } else {
+    rules_ = std::make_unique<LinearRuleSet>();
+  }
+}
+
+SackModule::~SackModule() = default;
+
+void SackModule::initialize(kernel::Kernel& kernel) {
+  kernel_ = &kernel;
+  auto& fs = kernel.securityfs();
+  auto dir = std::string(kFsDir);
+
+  auto add = [&](std::string path, std::unique_ptr<kernel::VirtualFileOps> f,
+                 kernel::FileMode mode) {
+    (void)fs.register_file(path, f.get(), mode);
+    fs_files_.push_back(std::move(f));
+  };
+  add(dir + "/events", std::make_unique<EventsFile>(this), 0200);
+  add(dir + "/current_state", std::make_unique<CurrentStateFile>(this), 0444);
+  add(dir + "/status", std::make_unique<StatusFile>(this), 0444);
+  add(dir + "/policy/load", std::make_unique<PolicyLoadFile>(this), 0200);
+  add(dir + "/policy/validate", std::make_unique<PolicyValidateFile>(this),
+      0600);
+  add(dir + "/policy/states",
+      std::make_unique<SectionFile>(this, SectionFile::Which::states), 0600);
+  add(dir + "/policy/permissions",
+      std::make_unique<SectionFile>(this, SectionFile::Which::permissions),
+      0600);
+  add(dir + "/policy/state_per",
+      std::make_unique<SectionFile>(this, SectionFile::Which::state_per),
+      0600);
+  add(dir + "/policy/per_rules",
+      std::make_unique<SectionFile>(this, SectionFile::Which::per_rules),
+      0600);
+}
+
+Result<void> SackModule::load_policy(SackPolicy policy,
+                                     std::vector<Diagnostic>* diagnostics) {
+  auto diags = check_policy(policy, mode_ == SackMode::independent
+                                        ? CheckMode::independent
+                                        : CheckMode::apparmor_enhanced);
+  if (diagnostics) *diagnostics = diags;
+  if (has_errors(diags)) return Errno::einval;
+  if (mode_ == SackMode::apparmor_enhanced && !apparmor_) return Errno::einval;
+
+  auto ssm = SituationStateMachine::build(policy);
+  if (!ssm.ok()) return ssm.error();
+
+  // Commit point: retract what the old policy injected, swap, re-apply.
+  retract_all_injected();
+  policy_ = std::move(policy);
+  ssm_ = std::move(ssm).value();
+  rules_->load(policy_);
+  loaded_ = true;
+  apply_current_state();
+  log_info("sack: policy loaded: ", policy_.states.size(), " states, ",
+           policy_.permissions.size(), " permissions, ",
+           rules_->total_rule_count(), " MAC rules, initial state '",
+           ssm_->current_name(), "'");
+  return {};
+}
+
+Result<void> SackModule::load_policy_text(
+    std::string_view text, std::vector<Diagnostic>* diagnostics,
+    std::vector<ParseError>* parse_errors) {
+  auto parsed = parse_policy(text);
+  if (parse_errors) *parse_errors = parsed.errors;
+  if (!parsed.ok()) return Errno::einval;
+  return load_policy(std::move(parsed.policy), diagnostics);
+}
+
+Result<void> SackModule::load_section_text(std::string_view text) {
+  SectionPresence presence;
+  auto parsed = parse_policy(text, &presence);
+  if (!parsed.ok()) return Errno::einval;
+  SackPolicy merged = policy_;
+  merge_policy_sections(merged, parsed.policy, presence);
+  return load_policy(std::move(merged));
+}
+
+Result<SituationStateMachine::Outcome> SackModule::deliver_event(
+    std::string_view event_name) {
+  ++events_received_;
+  if (!ssm_) {
+    ++events_rejected_;
+    return Errno::einval;
+  }
+  auto outcome =
+      ssm_->deliver(event_name, kernel_ ? kernel_->clock().now() : 0);
+  if (!outcome.ok()) {
+    ++events_rejected_;
+    log_warn("sack: unknown situation event '", event_name, "'");
+    return outcome.error();
+  }
+  if (outcome->transitioned) {
+    log_info("sack: situation transition '",
+             ssm_->state_name(outcome->from), "' -> '",
+             ssm_->state_name(outcome->to), "' on event '", event_name, "'");
+    if (kernel_) {
+      // Situation transitions are security-relevant: audit them like the
+      // permission changes they are.
+      kernel::AuditRecord record;
+      record.time = kernel_->clock().now();
+      record.module = std::string(kName);
+      record.subject = ssm_->state_name(outcome->from);
+      record.object = ssm_->state_name(outcome->to);
+      record.operation = "transition:" + std::string(event_name);
+      record.verdict = kernel::AuditVerdict::allowed;
+      kernel_->audit().record(std::move(record));
+    }
+    apply_current_state();
+  }
+  return outcome;
+}
+
+std::string SackModule::current_state_name() const {
+  return ssm_ ? ssm_->current_name() : std::string{};
+}
+
+std::vector<std::string> SackModule::current_permissions() const {
+  if (!ssm_) return {};
+  return policy_.permissions_of(ssm_->current_name());
+}
+
+void SackModule::retract_all_injected() {
+  if (mode_ != SackMode::apparmor_enhanced || !apparmor_) return;
+  for (const auto& perm : injected_perms_) {
+    apparmor_->remove_rules_by_origin("sack:" + perm);
+  }
+  injected_perms_.clear();
+}
+
+void SackModule::apply_current_state() {
+  ++generation_;
+  auto perms = current_permissions();
+
+  if (mode_ == SackMode::independent) {
+    rules_->activate(perms);
+    return;
+  }
+
+  // SACK-enhanced AppArmor: reconcile injected rules with the new state.
+  std::set<std::string> target(perms.begin(), perms.end());
+  for (auto it = injected_perms_.begin(); it != injected_perms_.end();) {
+    if (!target.contains(*it)) {
+      apparmor_->remove_rules_by_origin("sack:" + *it);
+      it = injected_perms_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& perm : target) {
+    if (injected_perms_.contains(perm)) continue;
+    auto rules_it = policy_.per_rules.find(perm);
+    if (rules_it == policy_.per_rules.end()) continue;
+    // Group this permission's rules by target profile.
+    std::map<std::string, std::vector<apparmor::FileRule>> by_profile;
+    for (const MacRule& rule : rules_it->second) {
+      if (rule.subject_kind != SubjectKind::profile) continue;
+      apparmor::FileRule fr;
+      fr.pattern = rule.object;
+      fr.perms = apparmor_perms_for(rule.ops);
+      fr.deny = rule.effect == RuleEffect::deny;
+      fr.origin = "sack:" + perm;
+      by_profile[rule.subject_text].push_back(std::move(fr));
+    }
+    for (auto& [profile, frs] : by_profile) {
+      auto rc = apparmor_->inject_rules(profile, std::move(frs));
+      if (!rc.ok())
+        log_warn("sack: cannot inject rules for permission '", perm,
+                 "': AppArmor profile '", profile, "' not loaded");
+    }
+    injected_perms_.insert(perm);
+  }
+}
+
+std::string SackModule::status_text() const {
+  std::string out;
+  out += "mode: ";
+  out += mode_ == SackMode::independent ? "independent" : "apparmor_enhanced";
+  out += "\npolicy_loaded: ";
+  out += loaded_ ? "yes" : "no";
+  out += "\ncurrent_state: " + current_state_name();
+  if (ssm_) {
+    out += "\nstates: " + std::to_string(ssm_->state_count());
+    out += "\nevents_delivered: " + std::to_string(ssm_->events_delivered());
+    out += "\ntransitions_taken: " + std::to_string(ssm_->transitions_taken());
+  }
+  out += "\nevents_received: " + std::to_string(events_received_);
+  out += "\nevents_rejected: " + std::to_string(events_rejected_);
+  out += "\ngeneration: " + std::to_string(generation_);
+  out += "\ntotal_rules: " + std::to_string(rules_->total_rule_count());
+  out += "\nactive_rules: " + std::to_string(rules_->active_rule_count());
+  out += "\ndenials: " + std::to_string(denials_);
+  out += "\n";
+  return out;
+}
+
+// --- independent-mode enforcement ---
+
+std::string_view SackModule::profile_of(const Task& task) const {
+  if (!apparmor_) return {};
+  auto ref = task.security_blob<std::string>(
+      std::string(apparmor::AppArmorModule::kName));
+  return ref ? std::string_view(*ref) : std::string_view{};
+}
+
+Errno SackModule::check_op(const Task& task, std::string_view path,
+                           MacOp op) {
+  if (mode_ != SackMode::independent || !loaded_) return Errno::ok;
+  AccessQuery query;
+  query.subject_exe = task.exe_path();
+  query.subject_profile = profile_of(task);
+  query.object_path = path;
+  query.op = op;
+  Errno rc = rules_->check(query);
+  if (rc != Errno::ok) {
+    ++denials_;
+    if (kernel_) {
+      kernel::AuditRecord record;
+      record.time = kernel_->clock().now();
+      record.module = std::string(kName);
+      record.pid = task.pid();
+      record.subject = task.exe_path();
+      record.object = std::string(path);
+      record.operation = std::string(mac_op_name(op));
+      record.verdict = kernel::AuditVerdict::denied;
+      record.context = "state=" + current_state_name();
+      kernel_->audit().record(std::move(record));
+    }
+    log_debug("sack: DENIED state=", current_state_name(), " subject=",
+              task.exe_path(), " object=", path, " op=", mac_op_name(op));
+  }
+  return rc;
+}
+
+Errno SackModule::check_access_mask(const Task& task, std::string_view path,
+                                    AccessMask access) {
+  if (has_any(access, AccessMask::read)) {
+    if (Errno rc = check_op(task, path, MacOp::read); rc != Errno::ok)
+      return rc;
+  }
+  if (has_any(access, AccessMask::write)) {
+    if (Errno rc = check_op(task, path, MacOp::write); rc != Errno::ok)
+      return rc;
+  }
+  if (has_any(access, AccessMask::append)) {
+    if (Errno rc = check_op(task, path, MacOp::append); rc != Errno::ok)
+      return rc;
+  }
+  if (has_any(access, AccessMask::exec)) {
+    if (Errno rc = check_op(task, path, MacOp::exec); rc != Errno::ok)
+      return rc;
+  }
+  return Errno::ok;
+}
+
+Errno SackModule::file_open(Task& task, const std::string& path,
+                            const kernel::Inode&, AccessMask access) {
+  return check_access_mask(task, path, access);
+}
+
+Errno SackModule::file_permission(Task& task, const kernel::File& file,
+                                  AccessMask access) {
+  if (mode_ != SackMode::independent || !loaded_) return Errno::ok;
+  if (file.path().starts_with("pipe:") || file.is_socket()) return Errno::ok;
+  if (!revalidate_cache_) return check_access_mask(task, file.path(), access);
+  // Revalidate when the situation/policy changed (generation) OR the subject
+  // changed (open files survive exec) since the last successful check on
+  // this open file — the adaptive-revocation path.
+  std::string subject = task.exe_path();
+  subject += '\0';
+  subject += profile_of(task);
+  auto& file_mut = const_cast<kernel::File&>(file);
+  auto [it, inserted] =
+      file_mut.mac_revalidate.try_emplace(std::string(kName));
+  if (!inserted && it->second.generation == generation_ &&
+      it->second.subject == subject)
+    return Errno::ok;
+  Errno rc = check_access_mask(task, file.path(), access);
+  if (rc == Errno::ok) {
+    it->second.generation = generation_;
+    it->second.subject = std::move(subject);
+  }
+  return rc;
+}
+
+Errno SackModule::file_ioctl(Task& task, const kernel::File& file,
+                             std::uint32_t) {
+  return check_op(task, file.path(), MacOp::ioctl);
+}
+
+Errno SackModule::mmap_file(Task& task, const kernel::File& file,
+                            AccessMask) {
+  return check_op(task, file.path(), MacOp::mmap);
+}
+
+Errno SackModule::path_mknod(Task& task, const std::string& path,
+                             kernel::InodeType) {
+  return check_op(task, path, MacOp::create);
+}
+Errno SackModule::path_unlink(Task& task, const std::string& path) {
+  return check_op(task, path, MacOp::unlink);
+}
+Errno SackModule::path_mkdir(Task& task, const std::string& path) {
+  return check_op(task, path, MacOp::mkdir);
+}
+Errno SackModule::path_rmdir(Task& task, const std::string& path) {
+  return check_op(task, path, MacOp::rmdir);
+}
+Errno SackModule::path_rename(Task& task, const std::string& old_path,
+                              const std::string& new_path) {
+  if (Errno rc = check_op(task, old_path, MacOp::rename); rc != Errno::ok)
+    return rc;
+  return check_op(task, new_path, MacOp::rename);
+}
+Errno SackModule::path_symlink(Task& task, const std::string& path,
+                               const std::string&) {
+  return check_op(task, path, MacOp::create);
+}
+Errno SackModule::path_link(Task& task, const std::string& old_path,
+                            const std::string& new_path) {
+  // A hard link is a new name for a guarded object: gate it like creation on
+  // the new name, and like a read on the existing one (aliasing a guarded
+  // object out from under its rules must not be free).
+  if (Errno rc = check_op(task, old_path, MacOp::read); rc != Errno::ok)
+    return rc;
+  return check_op(task, new_path, MacOp::create);
+}
+
+Errno SackModule::path_truncate(Task& task, const std::string& path) {
+  return check_op(task, path, MacOp::truncate);
+}
+Errno SackModule::path_chmod(Task& task, const std::string& path,
+                             kernel::FileMode) {
+  return check_op(task, path, MacOp::chmod);
+}
+Errno SackModule::path_chown(Task& task, const std::string& path, kernel::Uid,
+                             kernel::Gid) {
+  return check_op(task, path, MacOp::chown);
+}
+Errno SackModule::inode_getattr(Task& task, const std::string& path) {
+  return check_op(task, path, MacOp::getattr);
+}
+Errno SackModule::bprm_check_security(Task& task, const std::string& path) {
+  return check_op(task, path, MacOp::exec);
+}
+
+std::string SackModule::getprocattr(const kernel::Task& task) {
+  (void)task;
+  if (!loaded_ || !ssm_) return {};
+  std::string out = "state=" + ssm_->current_name() +
+                    " encoding=" + std::to_string(ssm_->current_encoding());
+  auto perms = current_permissions();
+  if (!perms.empty()) {
+    out += " permissions=";
+    for (std::size_t i = 0; i < perms.size(); ++i)
+      out += (i ? "," : "") + perms[i];
+  }
+  return out;
+}
+
+void SackModule::clock_tick(SimTime now) {
+  if (!ssm_ || !ssm_->has_timed_rule()) return;
+  auto outcome = ssm_->tick(now);
+  if (!outcome.transitioned) return;
+  log_info("sack: timed situation transition '",
+           ssm_->state_name(outcome.from), "' -> '",
+           ssm_->state_name(outcome.to), "'");
+  if (kernel_) {
+    kernel::AuditRecord record;
+    record.time = now;
+    record.module = std::string(kName);
+    record.subject = ssm_->state_name(outcome.from);
+    record.object = ssm_->state_name(outcome.to);
+    record.operation = "transition:timeout";
+    record.verdict = kernel::AuditVerdict::allowed;
+    kernel_->audit().record(std::move(record));
+  }
+  apply_current_state();
+}
+
+}  // namespace sack::core

@@ -1,0 +1,183 @@
+// SackModule: the SACK security module (the paper's contribution).
+//
+// Two deployment modes, matching §III-E.3:
+//
+//  * SackMode::independent — SACK enforces its own MAC rules. The APE keeps
+//    a compiled rule set activated for the current situation state; LSM
+//    hooks consult it. Guarded objects are deny-by-default (POLP), and a
+//    situation transition re-activates the rule set and bumps the policy
+//    generation so even already-open fds are re-validated (OAC: permissions
+//    appear in emergencies and vanish when the emergency clears).
+//
+//  * SackMode::apparmor_enhanced — SACK does not mediate file access itself;
+//    on every situation transition the APE injects/retracts origin-tagged
+//    rules in the loaded AppArmor profiles, and AppArmor enforces as usual
+//    ("the permission check process ... is the same as that for the original
+//    AppArmor").
+//
+// SACKfs (on securityfs, §III-C):
+//   /sys/kernel/security/SACK/events          write: situation events (SDS)
+//   /sys/kernel/security/SACK/current_state   read:  name + encoding
+//   /sys/kernel/security/SACK/status          read:  counters & mode
+//   /sys/kernel/security/SACK/policy/load     write: full policy document
+//   /sys/kernel/security/SACK/policy/{states,permissions,state_per,per_rules}
+//                                             write: replace one section
+//                                             read:  canonical section dump
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apparmor/apparmor.h"
+#include "core/policy.h"
+#include "core/policy_checker.h"
+#include "core/policy_parser.h"
+#include "core/ruleset.h"
+#include "core/ssm.h"
+#include "kernel/kernel.h"
+#include "kernel/lsm/module.h"
+
+namespace sack::core {
+
+enum class SackMode : std::uint8_t { independent, apparmor_enhanced };
+
+enum class RuleSetKind : std::uint8_t { compiled, linear };
+
+class SackModule final : public kernel::SecurityModule {
+ public:
+  static constexpr std::string_view kName = "sack";
+  static constexpr std::string_view kFsDir = "SACK";  // as in the paper
+
+  explicit SackModule(SackMode mode,
+                      RuleSetKind ruleset_kind = RuleSetKind::compiled);
+
+  // Ablation hook: disable the per-file revalidation cache so every
+  // file_permission check re-runs the full rule match (what a naive port
+  // would do). Enabled by default.
+  void set_revalidation_cache(bool enabled) { revalidate_cache_ = enabled; }
+  ~SackModule() override;
+
+  std::string_view name() const override { return kName; }
+  void initialize(kernel::Kernel& kernel) override;
+
+  SackMode mode() const { return mode_; }
+
+  // Enhanced mode needs the AppArmor module to patch. Must be called before
+  // the first policy load in apparmor_enhanced mode.
+  void attach_apparmor(apparmor::AppArmorModule* apparmor) {
+    apparmor_ = apparmor;
+  }
+
+  // --- policy (kernel-side API; SACKfs routes here) ---
+  Result<void> load_policy(SackPolicy policy,
+                           std::vector<Diagnostic>* diagnostics = nullptr);
+  Result<void> load_policy_text(std::string_view text,
+                                std::vector<Diagnostic>* diagnostics = nullptr,
+                                std::vector<ParseError>* parse_errors = nullptr);
+  // Per-section write (States / Permissions / State_Per / Per_Rules
+  // interfaces): replaces the sections present in `text`, revalidates, and
+  // re-applies. Incomplete intermediate policies are rejected atomically.
+  Result<void> load_section_text(std::string_view text);
+
+  bool policy_loaded() const { return loaded_; }
+  const SackPolicy& policy() const { return policy_; }
+
+  // --- situation events ---
+  // Kernel-internal delivery (tests, SACKfs handler): runs the SSM and, on
+  // transition, the APE.
+  Result<SituationStateMachine::Outcome> deliver_event(
+      std::string_view event_name);
+
+  const SituationStateMachine* ssm() const {
+    return ssm_ ? &*ssm_ : nullptr;
+  }
+  std::string current_state_name() const;
+
+  // Active SACK permissions for the current situation state.
+  std::vector<std::string> current_permissions() const;
+
+  // Bumped on every policy load and situation transition.
+  std::uint64_t policy_generation() const { return generation_; }
+
+  std::uint64_t events_received() const { return events_received_; }
+  std::uint64_t events_rejected() const { return events_rejected_; }
+  std::uint64_t denial_count() const { return denials_; }
+  const RuleSetBase& ruleset() const { return *rules_; }
+
+  std::string status_text() const;
+
+  // --- LSM hooks (independent mode enforcement) ---
+  Errno file_open(kernel::Task& task, const std::string& path,
+                  const kernel::Inode& inode,
+                  kernel::AccessMask access) override;
+  Errno file_permission(kernel::Task& task, const kernel::File& file,
+                        kernel::AccessMask access) override;
+  Errno file_ioctl(kernel::Task& task, const kernel::File& file,
+                   std::uint32_t cmd) override;
+  Errno mmap_file(kernel::Task& task, const kernel::File& file,
+                  kernel::AccessMask prot) override;
+  Errno path_mknod(kernel::Task& task, const std::string& path,
+                   kernel::InodeType type) override;
+  Errno path_unlink(kernel::Task& task, const std::string& path) override;
+  Errno path_mkdir(kernel::Task& task, const std::string& path) override;
+  Errno path_rmdir(kernel::Task& task, const std::string& path) override;
+  Errno path_rename(kernel::Task& task, const std::string& old_path,
+                    const std::string& new_path) override;
+  Errno path_symlink(kernel::Task& task, const std::string& path,
+                     const std::string& target) override;
+  Errno path_link(kernel::Task& task, const std::string& old_path,
+                  const std::string& new_path) override;
+  Errno path_truncate(kernel::Task& task, const std::string& path) override;
+  Errno path_chmod(kernel::Task& task, const std::string& path,
+                   kernel::FileMode mode) override;
+  Errno path_chown(kernel::Task& task, const std::string& path,
+                   kernel::Uid uid, kernel::Gid gid) override;
+  Errno inode_getattr(kernel::Task& task, const std::string& path) override;
+  Errno bprm_check_security(kernel::Task& task,
+                            const std::string& path) override;
+  void clock_tick(SimTime now) override;
+  // SACK's security context is the (global) situation state plus the
+  // permissions it grants this task's subject identity.
+  std::string getprocattr(const kernel::Task& task) override;
+
+ private:
+  // The Adaptive Policy Enforcer: maps the current situation state to
+  // active MAC rules (independent) or AppArmor profile patches (enhanced).
+  void apply_current_state();
+  void retract_all_injected();
+
+  Errno check_op(const kernel::Task& task, std::string_view path, MacOp op);
+  Errno check_access_mask(const kernel::Task& task, std::string_view path,
+                          kernel::AccessMask access);
+  std::string_view profile_of(const kernel::Task& task) const;
+
+  SackMode mode_;
+  bool revalidate_cache_ = true;
+  std::unique_ptr<RuleSetBase> rules_;
+  SackPolicy policy_;
+  bool loaded_ = false;
+  std::optional<SituationStateMachine> ssm_;
+  apparmor::AppArmorModule* apparmor_ = nullptr;
+  kernel::Kernel* kernel_ = nullptr;
+
+  std::uint64_t generation_ = 1;
+  std::uint64_t events_received_ = 0;
+  std::uint64_t events_rejected_ = 0;
+  std::uint64_t denials_ = 0;
+  std::set<std::string> injected_perms_;
+
+  class EventsFile;
+  class CurrentStateFile;
+  class StatusFile;
+  class PolicyLoadFile;
+  class PolicyValidateFile;
+  class SectionFile;
+  std::vector<std::unique_ptr<kernel::VirtualFileOps>> fs_files_;
+  std::string last_validation_report_ = "(nothing validated yet)\n";
+};
+
+}  // namespace sack::core

@@ -1,0 +1,129 @@
+#include "core/ssm.h"
+
+namespace sack::core {
+
+Result<SituationStateMachine> SituationStateMachine::build(
+    const SackPolicy& policy) {
+  SituationStateMachine ssm;
+  if (policy.states.empty() || policy.initial_state.empty())
+    return Errno::einval;
+
+  for (const auto& s : policy.states) {
+    if (ssm.state_by_name_.contains(s.name)) return Errno::einval;
+    StateId id(static_cast<StateId::rep_type>(ssm.state_names_.size()));
+    ssm.state_by_name_.emplace(s.name, id);
+    ssm.state_names_.push_back(s.name);
+    ssm.encodings_.push_back(s.encoding);
+  }
+
+  for (const auto& name : policy.all_events()) {
+    EventId id(static_cast<EventId::rep_type>(ssm.event_names_.size()));
+    ssm.event_by_name_.emplace(name, id);
+    ssm.event_names_.push_back(name);
+  }
+
+  const std::size_t n_states = ssm.state_names_.size();
+  const std::size_t n_events = ssm.event_names_.size();
+  ssm.transition_.assign(n_states * n_events, -1);
+  for (const auto& t : policy.transitions) {
+    auto from = ssm.state_by_name_.find(t.from);
+    auto to = ssm.state_by_name_.find(t.to);
+    auto ev = ssm.event_by_name_.find(t.event);
+    if (from == ssm.state_by_name_.end() || to == ssm.state_by_name_.end() ||
+        ev == ssm.event_by_name_.end())
+      return Errno::einval;
+    auto& slot = ssm.transition_[idx(from->second) * n_events +
+                                 idx(ev->second)];
+    if (slot != -1 &&
+        slot != static_cast<std::int32_t>(idx(to->second)))
+      return Errno::einval;  // nondeterministic
+    slot = static_cast<std::int32_t>(idx(to->second));
+  }
+
+  ssm.timed_.assign(n_states, TimedRule{});
+  for (const auto& t : policy.timed_transitions) {
+    auto from = ssm.state_by_name_.find(t.from);
+    auto to = ssm.state_by_name_.find(t.to);
+    if (from == ssm.state_by_name_.end() || to == ssm.state_by_name_.end())
+      return Errno::einval;
+    if (t.after_ms <= 0) return Errno::einval;
+    TimedRule& slot = ssm.timed_[idx(from->second)];
+    if (slot.delay_ns != -1) return Errno::einval;  // one per state
+    slot.delay_ns = t.after_ms * 1'000'000;
+    slot.target = static_cast<std::int32_t>(idx(to->second));
+  }
+
+  auto init = ssm.state_by_name_.find(policy.initial_state);
+  if (init == ssm.state_by_name_.end()) return Errno::einval;
+  ssm.initial_ = init->second;
+  ssm.current_ = ssm.initial_;
+  return ssm;
+}
+
+void SituationStateMachine::reset() {
+  current_ = initial_;
+  entered_at_ = 0;
+  events_delivered_ = 0;
+  transitions_taken_ = 0;
+}
+
+Result<SituationStateMachine::Outcome> SituationStateMachine::deliver(
+    std::string_view event_name, SimTime now) {
+  auto it = event_by_name_.find(event_name);
+  if (it == event_by_name_.end()) return Errno::einval;
+  return deliver(it->second, now);
+}
+
+SituationStateMachine::Outcome SituationStateMachine::deliver(EventId event,
+                                                              SimTime now) {
+  ++events_delivered_;
+  Outcome outcome;
+  outcome.from = current_;
+  outcome.to = current_;
+  std::int32_t target =
+      transition_[idx(current_) * event_names_.size() + idx(event)];
+  if (target >= 0 && static_cast<std::size_t>(target) != idx(current_)) {
+    current_ = StateId(target);
+    entered_at_ = now;
+    outcome.to = current_;
+    outcome.transitioned = true;
+    ++transitions_taken_;
+  } else if (target >= 0) {
+    // Self-loop: matches a rule but stays put; not counted as a transition.
+    outcome.transitioned = false;
+  }
+  return outcome;
+}
+
+SituationStateMachine::Outcome SituationStateMachine::tick(SimTime now) {
+  Outcome outcome;
+  outcome.from = current_;
+  outcome.to = current_;
+  const TimedRule& rule = timed_[idx(current_)];
+  if (rule.delay_ns < 0) return outcome;
+  if (now - entered_at_ < rule.delay_ns) return outcome;
+  current_ = StateId(rule.target);
+  entered_at_ = now;
+  outcome.to = current_;
+  outcome.transitioned = outcome.from != outcome.to;
+  if (outcome.transitioned) ++transitions_taken_;
+  return outcome;
+}
+
+bool SituationStateMachine::has_timed_rule() const {
+  return timed_[idx(current_)].delay_ns >= 0;
+}
+
+Result<StateId> SituationStateMachine::state_id(std::string_view name) const {
+  auto it = state_by_name_.find(name);
+  if (it == state_by_name_.end()) return Errno::einval;
+  return it->second;
+}
+
+Result<EventId> SituationStateMachine::event_id(std::string_view name) const {
+  auto it = event_by_name_.find(name);
+  if (it == event_by_name_.end()) return Errno::einval;
+  return it->second;
+}
+
+}  // namespace sack::core

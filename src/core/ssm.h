@@ -1,0 +1,107 @@
+// SituationStateMachine (SSM): the kernel-resident finite state machine that
+// maintains the current situation state (the new security context) and
+// performs the transition half of the paper's Algorithm 1:
+//
+//   if SE_current != NULL and (SE_current, SS_current) match TR_i then
+//     SS_current = TR_i(SE_current, SS_current)
+//
+// States and events are interned to dense ids at build time; a delivery is
+// then two array lookups — which is why the transition path stays in the
+// microsecond range regardless of policy size.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/policy.h"
+#include "util/clock.h"
+#include "util/result.h"
+#include "util/strong_id.h"
+#include "util/transparent_hash.h"
+
+namespace sack::core {
+
+class SituationStateMachine {
+ public:
+  SituationStateMachine() = default;
+
+  // Builds from the States interface of `policy`. Fails with EINVAL if the
+  // policy has structural errors (undefined states, no initial state); run
+  // check_policy first for diagnostics.
+  static Result<SituationStateMachine> build(const SackPolicy& policy);
+
+  // --- current state ---
+  StateId current() const { return current_; }
+  const std::string& current_name() const { return state_names_[idx(current_)]; }
+  int current_encoding() const { return encodings_[idx(current_)]; }
+
+  // Resets to the initial state (policy reload).
+  void reset();
+
+  struct Outcome {
+    bool transitioned = false;
+    StateId from;
+    StateId to;
+  };
+
+  // Delivers a situation event by name. Unknown events are EINVAL (they
+  // indicate an SDS/policy mismatch); known events that match no transition
+  // rule from the current state are accepted but cause no transition.
+  // `now` stamps the dwell clock for timed transitions.
+  Result<Outcome> deliver(std::string_view event_name, SimTime now = 0);
+
+  // Fast path for pre-interned events.
+  Outcome deliver(EventId event, SimTime now = 0);
+
+  // Timed-transition extension: fires the current state's dwell-time rule if
+  // its delay has elapsed at `now`. Call from the kernel's clock tick.
+  Outcome tick(SimTime now);
+
+  // Dwell-time rule of the current state, if any: (delay_ns, target).
+  bool has_timed_rule() const;
+  SimTime entered_current_at() const { return entered_at_; }
+
+  // --- lookups ---
+  std::size_t state_count() const { return state_names_.size(); }
+  std::size_t event_count() const { return event_names_.size(); }
+  Result<StateId> state_id(std::string_view name) const;
+  Result<EventId> event_id(std::string_view name) const;
+  const std::string& state_name(StateId id) const { return state_names_[idx(id)]; }
+  const std::string& event_name(EventId id) const { return event_names_[idx(id)]; }
+  int encoding(StateId id) const { return encodings_[idx(id)]; }
+
+  // --- statistics (surfaced through /sys/kernel/security/SACK/status) ---
+  std::uint64_t events_delivered() const { return events_delivered_; }
+  std::uint64_t transitions_taken() const { return transitions_taken_; }
+
+ private:
+  template <typename Id>
+  static std::size_t idx(Id id) {
+    return static_cast<std::size_t>(id.get());
+  }
+
+  std::vector<std::string> state_names_;
+  std::vector<int> encodings_;
+  std::vector<std::string> event_names_;
+  StringMap<StateId> state_by_name_;
+  StringMap<EventId> event_by_name_;
+
+  // transition_[state * event_count + event] = target state or -1.
+  std::vector<std::int32_t> transition_;
+
+  // Per-state dwell-time rule: delay in ns (-1 = none) and target state.
+  struct TimedRule {
+    SimTime delay_ns = -1;
+    std::int32_t target = -1;
+  };
+  std::vector<TimedRule> timed_;
+
+  StateId initial_;
+  StateId current_;
+  SimTime entered_at_ = 0;
+  std::uint64_t events_delivered_ = 0;
+  std::uint64_t transitions_taken_ = 0;
+};
+
+}  // namespace sack::core

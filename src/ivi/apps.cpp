@@ -1,0 +1,142 @@
+#include "ivi/apps.h"
+
+#include <algorithm>
+
+namespace sack::ivi {
+
+using sack::Fd;
+using kernel::OpenFlags;
+
+bool AttemptLog::all_ok() const {
+  return std::all_of(attempts.begin(), attempts.end(),
+                     [](const Attempt& a) { return a.result == Errno::ok; });
+}
+
+bool AttemptLog::all_denied() const {
+  return !attempts.empty() &&
+         std::all_of(attempts.begin(), attempts.end(), [](const Attempt& a) {
+           return a.result != Errno::ok;
+         });
+}
+
+std::size_t AttemptLog::count(Errno e) const {
+  return static_cast<std::size_t>(
+      std::count_if(attempts.begin(), attempts.end(),
+                    [e](const Attempt& a) { return a.result == e; }));
+}
+
+// --- RescueDaemon ---
+
+Result<void> RescueDaemon::door_ioctl(std::uint32_t cmd, long arg,
+                                      AttemptLog& log,
+                                      std::string_view what) {
+  auto record = [&](Errno e) {
+    log.attempts.push_back({std::string(what), e});
+  };
+  auto fd = process_.open(VehicleHardware::kDoorPath, OpenFlags::write);
+  if (!fd.ok()) {
+    record(fd.error());
+    return fd.error();
+  }
+  auto rc = process_.ioctl(*fd, cmd, arg);
+  (void)process_.close(*fd);
+  record(rc.ok() ? Errno::ok : rc.error());
+  return rc.ok() ? Result<void>() : Result<void>(rc.error());
+}
+
+Result<void> RescueDaemon::window_set(long arg, AttemptLog& log,
+                                      std::string_view what) {
+  auto record = [&](Errno e) {
+    log.attempts.push_back({std::string(what), e});
+  };
+  auto fd = process_.open(VehicleHardware::kWindowPath, OpenFlags::write);
+  if (!fd.ok()) {
+    record(fd.error());
+    return fd.error();
+  }
+  auto rc = process_.ioctl(*fd, VEH_WINDOW_SET, arg);
+  (void)process_.close(*fd);
+  record(rc.ok() ? Errno::ok : rc.error());
+  return rc.ok() ? Result<void>() : Result<void>(rc.error());
+}
+
+AttemptLog RescueDaemon::respond_to_emergency() {
+  AttemptLog log;
+  (void)door_ioctl(VEH_DOOR_UNLOCK, kAllDoors, log, "unlock all doors");
+  (void)window_set((0xffL << 8) | 100, log, "open all windows");
+  return log;
+}
+
+AttemptLog RescueDaemon::secure_vehicle() {
+  AttemptLog log;
+  (void)door_ioctl(VEH_DOOR_LOCK, kAllDoors, log, "lock all doors");
+  (void)window_set((0xffL << 8) | 0, log, "close all windows");
+  return log;
+}
+
+// --- MediaApp ---
+
+Result<std::string> MediaApp::play_track(std::string_view path) {
+  return process_.read_file(path);
+}
+
+Result<void> MediaApp::set_volume(long volume) {
+  SACK_ASSIGN_OR_RETURN(
+      Fd fd, process_.open(VehicleHardware::kAudioPath, OpenFlags::write));
+  auto rc = process_.ioctl(fd, VEH_AUDIO_SET_VOLUME, volume);
+  (void)process_.close(fd);
+  if (!rc.ok()) return rc.error();
+  return {};
+}
+
+// --- KoffeeInjector ---
+
+AttemptLog KoffeeInjector::inject_vehicle_control() {
+  AttemptLog log;
+  auto attempt_ioctl = [&](std::string_view dev, std::uint32_t cmd, long arg,
+                           std::string_view what) {
+    auto fd = process_.open(dev, OpenFlags::write);
+    if (!fd.ok()) {
+      log.attempts.push_back({std::string(what), fd.error()});
+      return;
+    }
+    auto rc = process_.ioctl(*fd, cmd, arg);
+    (void)process_.close(*fd);
+    log.attempts.push_back(
+        {std::string(what), rc.ok() ? Errno::ok : rc.error()});
+  };
+  attempt_ioctl(VehicleHardware::kDoorPath, VEH_DOOR_UNLOCK, kAllDoors,
+                "inject: unlock doors");
+  attempt_ioctl(VehicleHardware::kWindowPath, VEH_WINDOW_SET,
+                (0xffL << 8) | 100, "inject: open windows");
+  attempt_ioctl(VehicleHardware::kAudioPath, VEH_AUDIO_SET_VOLUME, kMaxVolume,
+                "inject: max volume");
+  return log;
+}
+
+Result<void> KoffeeInjector::max_volume() {
+  SACK_ASSIGN_OR_RETURN(
+      Fd fd, process_.open(VehicleHardware::kAudioPath, OpenFlags::write));
+  auto rc = process_.ioctl(fd, VEH_AUDIO_SET_VOLUME, kMaxVolume);
+  (void)process_.close(fd);
+  if (!rc.ok()) return rc.error();
+  return {};
+}
+
+Result<std::string> KoffeeInjector::read_sensitive(std::string_view path) {
+  return process_.read_file(path);
+}
+
+Result<void> KoffeeInjector::inject_can_frames() {
+  SACK_ASSIGN_OR_RETURN(Fd fd, process_.open("/dev/can0", OpenFlags::write));
+  // unlock all doors + open all windows + max volume, candump syntax.
+  auto rc = process_.write(fd,
+                           "2a1#02ff\n"   // DOOR_CONTROL: unlock, all
+                           "2a2#ff64\n"   // WINDOW_CONTROL: all, 100%
+                           "2a3#28\n");   // AUDIO_CONTROL: volume 40
+  (void)process_.close(fd);
+  if (!rc.ok()) return rc.error();
+  return {};
+}
+
+}  // namespace sack::ivi

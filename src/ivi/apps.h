@@ -1,0 +1,94 @@
+// IVI applications: the user-space actors of the case studies.
+//
+//  * RescueDaemon — the privileged service that opens doors/windows after a
+//    crash ("break the glass", OAC). Whether its ioctls succeed is entirely
+//    up to the MAC stack — it retries on every attempt.
+//  * MediaApp — a benign infotainment app (reads media, adjusts volume).
+//  * KoffeeInjector — models KOFFEE (CVE-2020-8539): an attacker who has
+//    already bypassed user-space permission checks and injects vehicle
+//    control commands directly at the syscall boundary. Also replays
+//    CVE-2023-6073 (max volume while driving).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ivi/vehicle_hw.h"
+#include "kernel/process.h"
+
+namespace sack::ivi {
+
+struct AttemptLog {
+  struct Attempt {
+    std::string action;
+    Errno result{};
+  };
+  std::vector<Attempt> attempts;
+
+  bool all_ok() const;
+  bool all_denied() const;
+  std::size_t count(Errno e) const;
+};
+
+class RescueDaemon {
+ public:
+  explicit RescueDaemon(kernel::Process process) : process_(process) {}
+
+  // The emergency response: unlock all doors, open all windows.
+  // Every step is attempted even if earlier ones fail; the log records the
+  // MAC verdicts.
+  AttemptLog respond_to_emergency();
+
+  // Re-secure the vehicle (lock doors, close windows) after recovery.
+  AttemptLog secure_vehicle();
+
+  static constexpr std::string_view kExePath = "/usr/bin/rescue_daemon";
+
+ private:
+  Result<void> door_ioctl(std::uint32_t cmd, long arg, AttemptLog& log,
+                          std::string_view what);
+  Result<void> window_set(long arg, AttemptLog& log, std::string_view what);
+  kernel::Process process_;
+};
+
+class MediaApp {
+ public:
+  explicit MediaApp(kernel::Process process) : process_(process) {}
+
+  // Reads a track from the media library.
+  Result<std::string> play_track(std::string_view path);
+
+  // Normal in-range volume adjustment.
+  Result<void> set_volume(long volume);
+
+  static constexpr std::string_view kExePath = "/usr/bin/media_app";
+
+ private:
+  kernel::Process process_;
+};
+
+class KoffeeInjector {
+ public:
+  explicit KoffeeInjector(kernel::Process process) : process_(process) {}
+
+  // The KOFFEE-style injection payload: unlock doors, open windows, blast
+  // the volume — issued as raw ioctls, past any user-space checks.
+  AttemptLog inject_vehicle_control();
+
+  // CVE-2023-6073 specifically: set audio volume to maximum.
+  Result<void> max_volume();
+
+  // Data exfiltration attempt on a sensitive file.
+  Result<std::string> read_sensitive(std::string_view path);
+
+  // The raw KOFFEE payload: inject unlock/window/volume frames straight
+  // onto the CAN bus via /dev/can0, bypassing every IVI service.
+  Result<void> inject_can_frames();
+
+  static constexpr std::string_view kExePath = "/usr/bin/ota_helper";
+
+ private:
+  kernel::Process process_;
+};
+
+}  // namespace sack::ivi

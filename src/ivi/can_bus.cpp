@@ -1,0 +1,132 @@
+#include "ivi/can_bus.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace sack::ivi {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string CanFrame::to_text() const {
+  char buf[40];
+  int off = std::snprintf(buf, sizeof buf, "%x#", id);
+  for (std::uint8_t i = 0; i < dlc && i < 8; ++i)
+    off += std::snprintf(buf + off, sizeof buf - static_cast<std::size_t>(off),
+                         "%02x", data[i]);
+  buf[off++] = '\n';
+  return std::string(buf, static_cast<std::size_t>(off));
+}
+
+Result<CanFrame> CanFrame::parse(std::string_view text) {
+  auto line = trim(text);
+  auto hash = line.find('#');
+  if (hash == std::string_view::npos || hash == 0) return Errno::einval;
+
+  CanFrame frame;
+  std::uint32_t id = 0;
+  for (char c : line.substr(0, hash)) {
+    int d = hex_digit(c);
+    if (d < 0) return Errno::einval;
+    id = id * 16 + static_cast<std::uint32_t>(d);
+    if (id > 0x1fffffff) return Errno::einval;  // extended-ID limit
+  }
+  frame.id = id;
+
+  auto payload = line.substr(hash + 1);
+  if (payload.size() % 2 != 0 || payload.size() > 16) return Errno::einval;
+  frame.dlc = static_cast<std::uint8_t>(payload.size() / 2);
+  for (std::size_t i = 0; i < payload.size(); i += 2) {
+    int hi = hex_digit(payload[i]);
+    int lo = hex_digit(payload[i + 1]);
+    if (hi < 0 || lo < 0) return Errno::einval;
+    frame.data[i / 2] = static_cast<std::uint8_t>(hi * 16 + lo);
+  }
+  return frame;
+}
+
+void CanBus::send(const CanFrame& frame) {
+  ++frames_sent_;
+  history_.push_back(frame);
+  for (const auto& listener : listeners_) listener(frame);
+}
+
+Result<std::size_t> CanDevice::write(kernel::Task&, kernel::File&,
+                                     std::string_view data) {
+  // One frame per line; a malformed line poisons the whole write (EINVAL)
+  // without sending anything after it — partial injection is worse than
+  // none.
+  std::vector<CanFrame> frames;
+  for (auto line : split(data, '\n')) {
+    if (trim(line).empty()) continue;
+    SACK_ASSIGN_OR_RETURN(CanFrame frame, CanFrame::parse(line));
+    frames.push_back(frame);
+  }
+  for (const auto& frame : frames) bus_->send(frame);
+  return data.size();
+}
+
+Result<std::size_t> CanDevice::read(kernel::Task&, kernel::File& file,
+                                    std::string& out, std::size_t n) {
+  // The file offset indexes into the bus history (a promiscuous capture).
+  out.clear();
+  while (file.offset < bus_->history_.size() && out.size() < n) {
+    out += bus_->history_[file.offset].to_text();
+    ++file.offset;
+  }
+  return out.size();
+}
+
+BodyControlEcu::BodyControlEcu(CanBus* bus, VehicleHardware* hardware)
+    : hardware_(hardware) {
+  bus->subscribe([this](const CanFrame& frame) { on_frame(frame); });
+}
+
+void BodyControlEcu::on_frame(const CanFrame& frame) {
+  auto& state = hardware_->state();
+  switch (frame.id) {
+    case CAN_ID_DOOR_CONTROL: {
+      if (frame.dlc < 2) return;
+      ++frames_handled_;
+      bool lock = frame.data[0] == CAN_DOOR_CMD_LOCK;
+      if (!lock && frame.data[0] != CAN_DOOR_CMD_UNLOCK) return;
+      if (frame.data[1] == 0xff) {
+        state.door_locked.fill(lock);
+      } else if (frame.data[1] < kDoorCount) {
+        state.door_locked[frame.data[1]] = lock;
+      }
+      break;
+    }
+    case CAN_ID_WINDOW_CONTROL: {
+      if (frame.dlc < 2) return;
+      ++frames_handled_;
+      std::uint8_t which = frame.data[0];
+      std::uint8_t pct = std::min<std::uint8_t>(frame.data[1], 100);
+      if (which == 0xff) {
+        state.window_open_pct.fill(pct);
+      } else if (which < kDoorCount) {
+        state.window_open_pct[which] = pct;
+      }
+      break;
+    }
+    case CAN_ID_AUDIO_CONTROL: {
+      if (frame.dlc < 1) return;
+      ++frames_handled_;
+      state.audio_volume = std::min<long>(frame.data[0], kMaxVolume);
+      break;
+    }
+    default:
+      break;  // not ours (speed broadcasts etc.)
+  }
+}
+
+}  // namespace sack::ivi

@@ -1,0 +1,99 @@
+// A miniature in-vehicle CAN bus.
+//
+// KOFFEE (CVE-2020-8539) works by injecting CAN frames from the compromised
+// IVI into the vehicle network; modelling the bus makes that attack path
+// concrete: /dev/can0 is a char device whose write(2) sends a frame and
+// whose read(2) pops received frames. ECUs (here: the body-control model
+// that drives doors/windows/audio) subscribe to frame IDs. MAC mediation of
+// the device node is exactly what stands between a compromised root process
+// and the physical vehicle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ivi/vehicle_hw.h"
+#include "kernel/device.h"
+#include "kernel/kernel.h"
+
+namespace sack::ivi {
+
+struct CanFrame {
+  std::uint32_t id = 0;
+  std::uint8_t dlc = 0;         // payload length 0..8
+  std::uint8_t data[8] = {};
+
+  // Wire format used by the /dev/can0 read/write interface:
+  // "ID#HEXBYTES\n", e.g. "2a1#04ff" (candump/cansend style).
+  std::string to_text() const;
+  static Result<CanFrame> parse(std::string_view text);
+};
+
+// Well-known frame IDs of the simulated body-control ECU.
+inline constexpr std::uint32_t CAN_ID_DOOR_CONTROL = 0x2a1;
+inline constexpr std::uint32_t CAN_ID_WINDOW_CONTROL = 0x2a2;
+inline constexpr std::uint32_t CAN_ID_AUDIO_CONTROL = 0x2a3;
+inline constexpr std::uint32_t CAN_ID_SPEED_BROADCAST = 0x1f0;
+
+// Door-control payload byte 0: command; byte 1: door index (0xff = all).
+inline constexpr std::uint8_t CAN_DOOR_CMD_LOCK = 0x01;
+inline constexpr std::uint8_t CAN_DOOR_CMD_UNLOCK = 0x02;
+
+class CanBus {
+ public:
+  using Listener = std::function<void(const CanFrame&)>;
+
+  // Delivers synchronously to every listener and appends to the rx queues
+  // of the open device readers.
+  void send(const CanFrame& frame);
+
+  void subscribe(Listener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  const std::vector<CanFrame>& history() const { return history_; }
+
+ private:
+  friend class CanDevice;
+  std::vector<Listener> listeners_;
+  std::vector<CanFrame> history_;
+  std::uint64_t frames_sent_ = 0;
+};
+
+// The /dev/can0 char device: write = send frame(s), read = pop from a
+// shared receive log (every sent frame is visible, like a promiscuous
+// SocketCAN socket).
+class CanDevice final : public kernel::DeviceOps {
+ public:
+  explicit CanDevice(CanBus* bus) : bus_(bus) {}
+
+  std::string_view device_name() const override { return "can0"; }
+  Result<std::size_t> write(kernel::Task& task, kernel::File& file,
+                            std::string_view data) override;
+  Result<std::size_t> read(kernel::Task& task, kernel::File& file,
+                           std::string& out, std::size_t n) override;
+
+ private:
+  CanBus* bus_;
+};
+
+// The body-control ECU: listens for control frames and actuates the
+// vehicle hardware model, exactly as if the commands had arrived from a
+// legitimate controller.
+class BodyControlEcu {
+ public:
+  BodyControlEcu(CanBus* bus, VehicleHardware* hardware);
+
+  std::uint64_t frames_handled() const { return frames_handled_; }
+
+ private:
+  void on_frame(const CanFrame& frame);
+  VehicleHardware* hardware_;
+  std::uint64_t frames_handled_ = 0;
+};
+
+}  // namespace sack::ivi

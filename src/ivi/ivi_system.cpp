@@ -1,0 +1,225 @@
+#include "ivi/ivi_system.h"
+
+#include "util/log.h"
+
+namespace sack::ivi {
+
+using kernel::Cred;
+using kernel::OpenFlags;
+
+std::string_view mac_config_name(MacConfig config) {
+  switch (config) {
+    case MacConfig::none: return "none";
+    case MacConfig::apparmor_only: return "apparmor";
+    case MacConfig::independent_sack: return "sack";
+    case MacConfig::sack_enhanced_apparmor: return "sack+apparmor(enhanced)";
+    case MacConfig::stacked_independent: return "sack,apparmor(stacked)";
+  }
+  return "?";
+}
+
+std::string default_sack_policy_text(bool profile_subjects) {
+  // Subjects: executable paths for independent SACK, @profiles for
+  // SACK-enhanced AppArmor (the APE injects into those profiles).
+  const std::string rescue =
+      profile_subjects ? "@rescue_daemon" : std::string(RescueDaemon::kExePath);
+  const std::string media =
+      profile_subjects ? "@media_app" : std::string(MediaApp::kExePath);
+
+  return std::string(R"(# SACK default CAV policy (Fig 2 states + case-study permissions)
+states {
+  parked_with_driver = 0;
+  parked_without_driver = 1;
+  driving = 2;
+  emergency = 3;
+}
+initial parked_with_driver;
+transitions {
+  parked_with_driver -> driving on start_driving;
+  driving -> parked_with_driver on stop_driving;
+  parked_with_driver -> parked_without_driver on parked_without_driver;
+  parked_without_driver -> parked_with_driver on parked_with_driver;
+  parked_with_driver -> emergency on crash_detected;
+  parked_without_driver -> emergency on crash_detected;
+  driving -> emergency on crash_detected;
+  emergency -> parked_with_driver on emergency_cleared;
+}
+# Declared so the default SDS detector set can always transmit them, even
+# though this policy attaches no transition to speed-band changes.
+events { high_speed_entered; low_speed_entered; }
+permissions {
+  MEDIA_READ;
+  AUDIO_CONTROL;
+  CONTROL_CAR_DOORS;
+  CONTROL_CAR_WINDOWS;
+  VEHICLE_CAN_TX;
+}
+state_per {
+  parked_with_driver: MEDIA_READ, AUDIO_CONTROL;
+  parked_without_driver: MEDIA_READ;
+  driving: MEDIA_READ, AUDIO_CONTROL;
+  emergency: MEDIA_READ, CONTROL_CAR_DOORS, CONTROL_CAR_WINDOWS, VEHICLE_CAN_TX;
+}
+per_rules {
+  MEDIA_READ {
+    allow * /var/media/** read getattr;
+  }
+  AUDIO_CONTROL {
+    allow )") + media + R"( /dev/vehicle/audio write ioctl;
+  }
+  CONTROL_CAR_DOORS {
+    allow )" + rescue + R"( /dev/vehicle/door* write ioctl;
+  }
+  CONTROL_CAR_WINDOWS {
+    allow )" + rescue + R"( /dev/vehicle/window* write ioctl;
+  }
+  # Raw CAN injection is the KOFFEE attack vector: the bus device is guarded
+  # at all times, and only the rescue daemon may transmit, only in an
+  # emergency (e.g. to command the body ECU directly if the IVI path died).
+  VEHICLE_CAN_TX {
+    allow )" + rescue + R"( /dev/can0 read write;
+  }
+}
+)";
+}
+
+std::string default_apparmor_profiles_text() {
+  return R"(# Default IVI AppArmor profiles.
+# Note: no profile grants /dev/vehicle/door* or window* — in enhanced mode
+# SACK injects those rules into rescue_daemon only during emergencies.
+profile rescue_daemon /usr/bin/rescue_daemon {
+  /etc/vehicle/** r,
+  /var/log/** w,
+  /var/log/** r,
+  capability sys_admin,
+}
+profile media_app /usr/bin/media_app {
+  /var/media/** r,
+  /dev/vehicle/audio rwi,
+  network unix,
+}
+profile ota_helper /usr/bin/ota_helper {
+  /var/ota/** rw,
+  /var/ota/** r,
+  network inet,
+}
+)";
+}
+
+IviSystem::IviSystem(Options options) {
+  kernel_ = std::make_unique<kernel::Kernel>();
+
+  // CONFIG_LSM ordering: SACK first where present (whitelist stacking).
+  switch (options.mac) {
+    case MacConfig::none:
+      break;
+    case MacConfig::apparmor_only:
+      apparmor_ = static_cast<apparmor::AppArmorModule*>(
+          kernel_->add_lsm(std::make_unique<apparmor::AppArmorModule>()));
+      break;
+    case MacConfig::independent_sack: {
+      auto sack = std::make_unique<core::SackModule>(
+          core::SackMode::independent);
+      sack_ = static_cast<core::SackModule*>(kernel_->add_lsm(std::move(sack)));
+      break;
+    }
+    case MacConfig::sack_enhanced_apparmor: {
+      auto sack = std::make_unique<core::SackModule>(
+          core::SackMode::apparmor_enhanced);
+      sack_ = static_cast<core::SackModule*>(kernel_->add_lsm(std::move(sack)));
+      apparmor_ = static_cast<apparmor::AppArmorModule*>(
+          kernel_->add_lsm(std::make_unique<apparmor::AppArmorModule>()));
+      sack_->attach_apparmor(apparmor_);
+      break;
+    }
+    case MacConfig::stacked_independent: {
+      auto sack = std::make_unique<core::SackModule>(
+          core::SackMode::independent);
+      sack_ = static_cast<core::SackModule*>(kernel_->add_lsm(std::move(sack)));
+      apparmor_ = static_cast<apparmor::AppArmorModule*>(
+          kernel_->add_lsm(std::make_unique<apparmor::AppArmorModule>()));
+      sack_->attach_apparmor(apparmor_);
+      break;
+    }
+  }
+
+  hardware_ = std::make_unique<VehicleHardware>(*kernel_);
+  can_bus_ = std::make_unique<CanBus>();
+  can_device_ = std::make_unique<CanDevice>(can_bus_.get());
+  body_ecu_ = std::make_unique<BodyControlEcu>(can_bus_.get(),
+                                               hardware_.get());
+  (void)kernel_->register_chardev("/dev/can0", can_device_.get(), 0660);
+  populate_filesystem();
+
+  if (options.load_default_policies) {
+    if (apparmor_) {
+      auto rc = apparmor_->load_policy_text(default_apparmor_profiles_text());
+      if (!rc.ok()) log_error("ivi: default AppArmor profiles failed to load");
+    }
+    if (sack_) {
+      bool profile_subjects = sack_->mode() == core::SackMode::apparmor_enhanced;
+      auto rc = sack_->load_policy_text(
+          default_sack_policy_text(profile_subjects));
+      if (!rc.ok()) log_error("ivi: default SACK policy failed to load");
+    }
+  }
+
+  spawn_apps();
+
+  sds_ = std::make_unique<sds::SituationDetectionService>(
+      kernel::Process(*kernel_, *sds_task_));
+  if (options.start_sds) sds_->add_default_detectors();
+}
+
+IviSystem::~IviSystem() = default;
+
+void IviSystem::populate_filesystem() {
+  kernel::Process admin(*kernel_, kernel_->init_task());
+  auto& vfs = kernel_->vfs();
+  vfs.mkdir_p("/var/media");
+  vfs.mkdir_p("/var/ota");
+  vfs.mkdir_p("/etc/vehicle");
+
+  // Binaries (content only matters for exec checksum cost).
+  (void)admin.write_file(RescueDaemon::kExePath, "\x7f" "ELF rescue_daemon");
+  (void)admin.write_file(MediaApp::kExePath, "\x7f" "ELF media_app");
+  (void)admin.write_file(KoffeeInjector::kExePath, "\x7f" "ELF ota_helper");
+  (void)admin.write_file("/usr/bin/sds", "\x7f" "ELF sds");
+  for (auto* bin : {"/usr/bin/rescue_daemon", "/usr/bin/media_app",
+                    "/usr/bin/ota_helper", "/usr/bin/sds"}) {
+    (void)kernel_->sys_chmod(kernel_->init_task(), bin, 0755);
+  }
+
+  // Data files.
+  (void)admin.write_file(kMediaTrack, std::string(4096, 'A'));
+  (void)admin.write_file(kSensitiveFile, "WVWZZZ1JZXW000001\n");
+  (void)kernel_->sys_chmod(kernel_->init_task(), kSensitiveFile, 0600);
+}
+
+void IviSystem::spawn_apps() {
+  // IVI services commonly run as root — which is exactly why DAC alone is
+  // not enough and MAC must carry the policy.
+  rescue_task_ = &kernel_->spawn_task("rescue_daemon", Cred::root(),
+                                      std::string(RescueDaemon::kExePath));
+  media_task_ = &kernel_->spawn_task("media_app", Cred::root(),
+                                     std::string(MediaApp::kExePath));
+  attacker_task_ = &kernel_->spawn_task("ota_helper", Cred::root(),
+                                        std::string(KoffeeInjector::kExePath));
+  sds_task_ = &kernel_->spawn_task("sds", Cred::root(), "/usr/bin/sds");
+
+  rescue_ = std::make_unique<RescueDaemon>(
+      kernel::Process(*kernel_, *rescue_task_));
+  media_ = std::make_unique<MediaApp>(kernel::Process(*kernel_, *media_task_));
+  attacker_ = std::make_unique<KoffeeInjector>(
+      kernel::Process(*kernel_, *attacker_task_));
+}
+
+kernel::Process IviSystem::admin_process() {
+  return {*kernel_, kernel_->init_task()};
+}
+
+std::string IviSystem::situation() const {
+  return sack_ ? sack_->current_state_name() : std::string{};
+}
+
+}  // namespace sack::ivi

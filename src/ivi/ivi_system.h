@@ -1,0 +1,102 @@
+// IviSystem: a complete simulated in-vehicle infotainment stack.
+//
+// Wires together the simulated kernel, a chosen MAC configuration, the
+// vehicle hardware devices, the standard IVI filesystem layout, the
+// user-space apps (rescue daemon, media app, KOFFEE-style attacker) and the
+// SDS. This is the environment the paper's case studies (§IV-C) and
+// compatibility evaluation (§IV-D) run in.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "apparmor/apparmor.h"
+#include "core/sack_module.h"
+#include "ivi/apps.h"
+#include "ivi/can_bus.h"
+#include "ivi/vehicle_hw.h"
+#include "kernel/kernel.h"
+#include "kernel/process.h"
+#include "sds/sds.h"
+
+namespace sack::ivi {
+
+// The MAC stack to boot with, i.e. the CONFIG_LSM line.
+enum class MacConfig : std::uint8_t {
+  none,                     // DAC only
+  apparmor_only,            // the paper's baseline
+  independent_sack,         // CONFIG_LSM="sack"
+  sack_enhanced_apparmor,   // CONFIG_LSM="sack,apparmor", SACK patches AppArmor
+  stacked_independent,      // CONFIG_LSM="sack,apparmor", both enforce (E7)
+};
+
+std::string_view mac_config_name(MacConfig config);
+
+// Canonical policy texts for the default CAV scenario (Fig 2's four states
+// plus the case-study permissions). `profile_subjects` selects '@profile'
+// subjects (enhanced mode) instead of executable-path subjects.
+std::string default_sack_policy_text(bool profile_subjects);
+std::string default_apparmor_profiles_text();
+
+class IviSystem {
+ public:
+  struct Options {
+    MacConfig mac = MacConfig::independent_sack;
+    bool load_default_policies = true;
+    bool start_sds = true;
+  };
+
+  explicit IviSystem(Options options);
+  IviSystem() : IviSystem(Options{}) {}
+  ~IviSystem();
+
+  kernel::Kernel& kernel() { return *kernel_; }
+  VehicleHardware& hardware() { return *hardware_; }
+  CanBus& can_bus() { return *can_bus_; }
+
+  // Null unless the configuration includes the module.
+  core::SackModule* sack() { return sack_; }
+  apparmor::AppArmorModule* apparmor() { return apparmor_; }
+
+  sds::SituationDetectionService& sds() { return *sds_; }
+  RescueDaemon& rescue() { return *rescue_; }
+  MediaApp& media() { return *media_; }
+  KoffeeInjector& attacker() { return *attacker_; }
+
+  // Process handles for ad-hoc actions in tests/examples.
+  kernel::Process admin_process();     // root shell
+  kernel::Process rescue_process() { return {*kernel_, *rescue_task_}; }
+  kernel::Process media_process() { return {*kernel_, *media_task_}; }
+  kernel::Process attacker_process() { return {*kernel_, *attacker_task_}; }
+
+  // Current situation state as SACK reports it ("" without SACK).
+  std::string situation() const;
+
+  static constexpr std::string_view kMediaTrack = "/var/media/track01.pcm";
+  static constexpr std::string_view kSensitiveFile = "/etc/vehicle/vin";
+
+ private:
+  void populate_filesystem();
+  void spawn_apps();
+
+  std::unique_ptr<kernel::Kernel> kernel_;
+  std::unique_ptr<VehicleHardware> hardware_;
+  std::unique_ptr<CanBus> can_bus_;
+  std::unique_ptr<CanDevice> can_device_;
+  std::unique_ptr<BodyControlEcu> body_ecu_;
+  core::SackModule* sack_ = nullptr;
+  apparmor::AppArmorModule* apparmor_ = nullptr;
+
+  kernel::Task* rescue_task_ = nullptr;
+  kernel::Task* media_task_ = nullptr;
+  kernel::Task* attacker_task_ = nullptr;
+  kernel::Task* sds_task_ = nullptr;
+
+  std::unique_ptr<RescueDaemon> rescue_;
+  std::unique_ptr<MediaApp> media_;
+  std::unique_ptr<KoffeeInjector> attacker_;
+  std::unique_ptr<sds::SituationDetectionService> sds_;
+};
+
+}  // namespace sack::ivi

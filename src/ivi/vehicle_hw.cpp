@@ -1,0 +1,147 @@
+#include "ivi/vehicle_hw.h"
+
+#include "kernel/task.h"
+#include "util/log.h"
+
+namespace sack::ivi {
+
+bool VehicleState::all_doors_locked() const {
+  for (bool locked : door_locked)
+    if (!locked) return false;
+  return true;
+}
+
+bool VehicleState::any_window_open() const {
+  for (int pct : window_open_pct)
+    if (pct > 0) return true;
+  return false;
+}
+
+namespace {
+void record(std::vector<ActuationRecord>& log, std::string_view device,
+            std::uint32_t cmd, long arg, kernel::Task& task) {
+  log.push_back({std::string(device), cmd, arg, task.pid(), task.exe_path()});
+}
+}  // namespace
+
+class VehicleHardware::DoorDevice final : public kernel::DeviceOps {
+ public:
+  DoorDevice(VehicleHardware* hw) : hw_(hw) {}
+  std::string_view device_name() const override { return "vehicle-door"; }
+
+  Result<long> ioctl(kernel::Task& task, kernel::File&, std::uint32_t cmd,
+                     long arg) override {
+    auto& st = hw_->state_;
+    switch (cmd) {
+      case VEH_DOOR_LOCK:
+      case VEH_DOOR_UNLOCK: {
+        bool lock = cmd == VEH_DOOR_LOCK;
+        if (arg == kAllDoors) {
+          st.door_locked.fill(lock);
+        } else if (arg >= 0 && arg < kDoorCount) {
+          st.door_locked[static_cast<std::size_t>(arg)] = lock;
+        } else {
+          return Errno::einval;
+        }
+        record(hw_->actuations_, kDoorPath, cmd, arg, task);
+        log_info("vehicle: doors ", lock ? "LOCKED" : "UNLOCKED", " by ",
+                 task.exe_path());
+        return 0;
+      }
+      case VEH_DOOR_STATUS: {
+        long mask = 0;
+        for (int i = 0; i < kDoorCount; ++i)
+          if (st.door_locked[static_cast<std::size_t>(i)]) mask |= 1L << i;
+        return mask;
+      }
+      default:
+        return Errno::einval;
+    }
+  }
+
+ private:
+  VehicleHardware* hw_;
+};
+
+class VehicleHardware::WindowDevice final : public kernel::DeviceOps {
+ public:
+  WindowDevice(VehicleHardware* hw) : hw_(hw) {}
+  std::string_view device_name() const override { return "vehicle-window"; }
+
+  Result<long> ioctl(kernel::Task& task, kernel::File&, std::uint32_t cmd,
+                     long arg) override {
+    auto& st = hw_->state_;
+    switch (cmd) {
+      case VEH_WINDOW_SET: {
+        // arg encodes (window << 8) | percent; window 0xff = all.
+        long pct = arg & 0xff;
+        long which = (arg >> 8) & 0xff;
+        if (pct > 100) return Errno::einval;
+        if (which == 0xff) {
+          st.window_open_pct.fill(static_cast<int>(pct));
+        } else if (which < kDoorCount) {
+          st.window_open_pct[static_cast<std::size_t>(which)] =
+              static_cast<int>(pct);
+        } else {
+          return Errno::einval;
+        }
+        record(hw_->actuations_, kWindowPath, cmd, arg, task);
+        return 0;
+      }
+      case VEH_WINDOW_GET: {
+        if (arg < 0 || arg >= kDoorCount) return Errno::einval;
+        return st.window_open_pct[static_cast<std::size_t>(arg)];
+      }
+      default:
+        return Errno::einval;
+    }
+  }
+
+ private:
+  VehicleHardware* hw_;
+};
+
+class VehicleHardware::AudioDevice final : public kernel::DeviceOps {
+ public:
+  AudioDevice(VehicleHardware* hw) : hw_(hw) {}
+  std::string_view device_name() const override { return "vehicle-audio"; }
+
+  Result<long> ioctl(kernel::Task& task, kernel::File&, std::uint32_t cmd,
+                     long arg) override {
+    auto& st = hw_->state_;
+    switch (cmd) {
+      case VEH_AUDIO_SET_VOLUME:
+        if (arg < 0 || arg > kMaxVolume) return Errno::einval;
+        st.audio_volume = arg;
+        record(hw_->actuations_, kAudioPath, cmd, arg, task);
+        return 0;
+      case VEH_AUDIO_GET_VOLUME:
+        return st.audio_volume;
+      default:
+        return Errno::einval;
+    }
+  }
+
+  // The audio device also accepts PCM writes (so profiles can grant plain
+  // 'w' for playback without granting 'i' for volume control).
+  Result<std::size_t> write(kernel::Task&, kernel::File&,
+                            std::string_view data) override {
+    return data.size();  // bit bucket
+  }
+
+ private:
+  VehicleHardware* hw_;
+};
+
+VehicleHardware::VehicleHardware(kernel::Kernel& kernel) {
+  door_ = std::make_unique<DoorDevice>(this);
+  window_ = std::make_unique<WindowDevice>(this);
+  audio_ = std::make_unique<AudioDevice>(this);
+  (void)kernel.register_chardev(kDoorPath, door_.get(), 0660);
+  (void)kernel.register_chardev(kWindowPath, window_.get(), 0660);
+  (void)kernel.register_chardev(kAudioPath, audio_.get(), 0660);
+}
+
+VehicleHardware::~VehicleHardware() = default;
+
+}  // namespace sack::ivi

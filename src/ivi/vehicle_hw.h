@@ -1,0 +1,85 @@
+// Simulated vehicle hardware behind char devices.
+//
+// The paper's case study controls "window and door devices" through specific
+// ioctl system calls; here those devices are /dev/vehicle/door,
+// /dev/vehicle/window and /dev/vehicle/audio, each a DeviceOps registered
+// with the simulated kernel. The audio device exists to replay CVE-2023-6073
+// (attacker sets volume to maximum while driving).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/device.h"
+#include "kernel/kernel.h"
+
+namespace sack::ivi {
+
+// ioctl command numbers (stable ABI of the simulated vehicle drivers).
+inline constexpr std::uint32_t VEH_DOOR_LOCK = 0x1001;
+inline constexpr std::uint32_t VEH_DOOR_UNLOCK = 0x1002;
+inline constexpr std::uint32_t VEH_DOOR_STATUS = 0x1003;   // returns bitmask
+inline constexpr std::uint32_t VEH_WINDOW_SET = 0x2001;    // arg: percent open
+inline constexpr std::uint32_t VEH_WINDOW_GET = 0x2002;
+inline constexpr std::uint32_t VEH_AUDIO_SET_VOLUME = 0x3001;  // arg: 0..40
+inline constexpr std::uint32_t VEH_AUDIO_GET_VOLUME = 0x3002;
+
+inline constexpr int kDoorCount = 4;
+inline constexpr long kAllDoors = -1;
+inline constexpr long kMaxVolume = 40;
+
+// The physical state all devices mutate.
+struct VehicleState {
+  std::array<bool, kDoorCount> door_locked{true, true, true, true};
+  std::array<int, kDoorCount> window_open_pct{0, 0, 0, 0};
+  long audio_volume = 10;
+
+  bool all_doors_locked() const;
+  bool any_window_open() const;
+};
+
+// An audit record of every device actuation, for tests and the case-study
+// narration.
+struct ActuationRecord {
+  std::string device;
+  std::uint32_t cmd = 0;
+  long arg = 0;
+  Pid pid;
+  std::string exe;
+};
+
+class VehicleHardware {
+ public:
+  // Registers /dev/vehicle/{door,window,audio}. Device nodes are 0660
+  // root-owned: DAC alone does not stop a root-running IVI service — that is
+  // exactly the gap MAC fills.
+  explicit VehicleHardware(kernel::Kernel& kernel);
+  ~VehicleHardware();
+
+  VehicleState& state() { return state_; }
+  const VehicleState& state() const { return state_; }
+
+  const std::vector<ActuationRecord>& actuations() const {
+    return actuations_;
+  }
+  void clear_actuations() { actuations_.clear(); }
+
+  static constexpr std::string_view kDoorPath = "/dev/vehicle/door";
+  static constexpr std::string_view kWindowPath = "/dev/vehicle/window";
+  static constexpr std::string_view kAudioPath = "/dev/vehicle/audio";
+
+ private:
+  class DoorDevice;
+  class WindowDevice;
+  class AudioDevice;
+
+  VehicleState state_;
+  std::vector<ActuationRecord> actuations_;
+  std::unique_ptr<DoorDevice> door_;
+  std::unique_ptr<WindowDevice> window_;
+  std::unique_ptr<AudioDevice> audio_;
+};
+
+}  // namespace sack::ivi

@@ -1,0 +1,40 @@
+#include "kernel/audit.h"
+
+namespace sack::kernel {
+
+std::string AuditRecord::to_line() const {
+  std::string out = "audit seq=" + std::to_string(seq) +
+                    " time=" + std::to_string(time) + " module=" + module +
+                    " pid=" + std::to_string(pid.get()) + " subject=" +
+                    (subject.empty() ? "?" : subject) + " op=" + operation +
+                    " object=" + (object.empty() ? "?" : object) +
+                    " verdict=" +
+                    (verdict == AuditVerdict::denied ? "DENIED" : "allowed");
+  if (!context.empty()) out += " ctx=" + context;
+  out += "\n";
+  return out;
+}
+
+void AuditLog::record(AuditRecord record) {
+  record.seq = next_seq_++;
+  records_.push_back(std::move(record));
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+std::string AuditLog::to_text() const {
+  std::string out;
+  for (const auto& r : records_) out += r.to_line();
+  return out;
+}
+
+std::size_t AuditLog::count_denials(std::string_view module) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.verdict != AuditVerdict::denied) continue;
+    if (!module.empty() && r.module != module) continue;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace sack::kernel

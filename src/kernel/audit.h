@@ -1,0 +1,62 @@
+// Kernel audit subsystem (a slim take on the Linux audit framework).
+//
+// Security modules record access-control verdicts here; user space reads
+// them back through securityfs (<mount>/audit/log). The log is a bounded
+// ring: old records fall off, a sequence counter exposes loss, matching how
+// audit consumers detect dropped records.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "kernel/types.h"
+#include "util/clock.h"
+
+namespace sack::kernel {
+
+enum class AuditVerdict : std::uint8_t { allowed, denied };
+
+struct AuditRecord {
+  std::uint64_t seq = 0;
+  SimTime time = 0;
+  std::string module;   // "apparmor", "sack", ...
+  Pid pid;
+  std::string subject;  // task exe path or profile/domain
+  std::string object;   // path / capability name / socket family
+  std::string operation;
+  AuditVerdict verdict{};
+  std::string context;  // module-specific (situation state, profile, ...)
+
+  std::string to_line() const;
+};
+
+class AuditLog {
+ public:
+  explicit AuditLog(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  void record(AuditRecord record);
+
+  const std::deque<AuditRecord>& records() const { return records_; }
+  std::uint64_t total_recorded() const { return next_seq_; }
+  std::uint64_t dropped() const {
+    return next_seq_ - static_cast<std::uint64_t>(records_.size());
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  void clear() { records_.clear(); }
+
+  // Full log as text, newest last (the securityfs read content).
+  std::string to_text() const;
+
+  // Convenience: count of records matching a predicate field.
+  std::size_t count_denials(std::string_view module = {}) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 0;
+  std::deque<AuditRecord> records_;
+};
+
+}  // namespace sack::kernel

@@ -1,0 +1,63 @@
+#include "kernel/cred.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace sack::kernel {
+
+namespace {
+constexpr std::array<std::string_view,
+                     static_cast<std::size_t>(Capability::count_)>
+    kCapNames = {
+        "chown",       "dac_override", "dac_read_search", "fowner",
+        "kill",        "setuid",       "setgid",          "net_bind_service",
+        "net_raw",     "net_admin",    "ipc_lock",        "sys_module",
+        "sys_rawio",   "sys_admin",    "sys_boot",        "sys_nice",
+        "sys_time",    "mknod",        "audit_write",     "mac_override",
+        "mac_admin",
+};
+}  // namespace
+
+std::string_view capability_name(Capability c) {
+  auto idx = static_cast<std::size_t>(c);
+  if (idx >= kCapNames.size()) return "unknown";
+  return kCapNames[idx];
+}
+
+Result<Capability> capability_from_name(std::string_view name) {
+  std::string lowered = to_lower(name);
+  std::string_view n = lowered;
+  if (n.starts_with("cap_")) n.remove_prefix(4);
+  for (std::size_t i = 0; i < kCapNames.size(); ++i) {
+    if (kCapNames[i] == n) return static_cast<Capability>(i);
+  }
+  return Errno::einval;
+}
+
+CapSet CapSet::full() {
+  CapSet s;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Capability::count_);
+       ++i) {
+    s.add(static_cast<Capability>(i));
+  }
+  return s;
+}
+
+Cred Cred::root() {
+  Cred c;
+  c.uid = c.euid = kRootUid;
+  c.gid = c.egid = kRootGid;
+  c.caps = CapSet::full();
+  return c;
+}
+
+Cred Cred::user(Uid uid, Gid gid) {
+  Cred c;
+  c.uid = c.euid = uid;
+  c.gid = c.egid = gid;
+  c.caps = CapSet::empty();
+  return c;
+}
+
+}  // namespace sack::kernel

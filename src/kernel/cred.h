@@ -1,0 +1,80 @@
+// Credentials and POSIX capabilities.
+//
+// SACK's threat model leans on capabilities: policy loading requires
+// CAP_MAC_ADMIN and only CAP_MAC_OVERRIDE (which attackers are assumed not to
+// hold) can bypass MAC decisions, mirroring the paper's §III-A.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "kernel/types.h"
+#include "util/result.h"
+
+namespace sack::kernel {
+
+enum class Capability : std::uint8_t {
+  chown = 0,
+  dac_override,
+  dac_read_search,
+  fowner,
+  kill,
+  setuid,
+  setgid,
+  net_bind_service,
+  net_raw,
+  net_admin,
+  ipc_lock,
+  sys_module,
+  sys_rawio,
+  sys_admin,
+  sys_boot,
+  sys_nice,
+  sys_time,
+  mknod,
+  audit_write,
+  mac_override,  // bypass MAC policy (out of attacker reach by assumption)
+  mac_admin,     // configure MAC policy (load SACK/AppArmor policies)
+  count_,        // sentinel
+};
+
+std::string_view capability_name(Capability c);
+
+// Parses "mac_admin" / "CAP_MAC_ADMIN" style names.
+Result<Capability> capability_from_name(std::string_view name);
+
+class CapSet {
+ public:
+  constexpr CapSet() = default;
+
+  static CapSet full();   // everything (root's default)
+  static CapSet empty() { return CapSet(); }
+
+  bool has(Capability c) const {
+    return bits_ & (1ull << static_cast<unsigned>(c));
+  }
+  void add(Capability c) { bits_ |= 1ull << static_cast<unsigned>(c); }
+  void remove(Capability c) { bits_ &= ~(1ull << static_cast<unsigned>(c)); }
+  void clear() { bits_ = 0; }
+  bool none() const { return bits_ == 0; }
+
+  friend bool operator==(CapSet a, CapSet b) = default;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+struct Cred {
+  Uid uid = 0;
+  Uid euid = 0;
+  Gid gid = 0;
+  Gid egid = 0;
+  CapSet caps;
+
+  bool is_root() const { return euid == kRootUid; }
+
+  static Cred root();
+  static Cred user(Uid uid, Gid gid);
+};
+
+}  // namespace sack::kernel

@@ -1,0 +1,23 @@
+#include "kernel/device.h"
+
+namespace sack::kernel {
+
+// Default device behaviour mirrors a driver without the respective
+// file_operations entry: reads return no data, writes and ioctls are
+// rejected with the errno the VFS would produce.
+
+Result<std::size_t> DeviceOps::read(Task&, File&, std::string& out,
+                                    std::size_t) {
+  out.clear();
+  return std::size_t{0};
+}
+
+Result<std::size_t> DeviceOps::write(Task&, File&, std::string_view) {
+  return Errno::einval;
+}
+
+Result<long> DeviceOps::ioctl(Task&, File&, std::uint32_t, long) {
+  return Errno::enotty;
+}
+
+}  // namespace sack::kernel

@@ -1,0 +1,57 @@
+// Character-device and virtual-file operation interfaces.
+//
+// Char devices back the simulated vehicle hardware (/dev/vehicle/door, ...);
+// virtual files back securityfs entries (SACKfs, AppArmor's policy loader).
+// Both are implemented by objects *registered* with the kernel — inodes hold
+// non-owning pointers, matching how the real VFS dispatches through
+// file_operations tables owned by drivers/modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace sack::kernel {
+
+class Task;
+class File;
+
+class DeviceOps {
+ public:
+  virtual ~DeviceOps() = default;
+
+  virtual std::string_view device_name() const = 0;
+
+  // Reads up to `n` bytes into `out` (replacing its contents).
+  virtual Result<std::size_t> read(Task& task, File& file, std::string& out,
+                                   std::size_t n);
+
+  virtual Result<std::size_t> write(Task& task, File& file,
+                                    std::string_view data);
+
+  virtual Result<long> ioctl(Task& task, File& file, std::uint32_t cmd,
+                             long arg);
+};
+
+// securityfs-style virtual file: read() produces a full snapshot, write()
+// receives each write(2) payload synchronously (this synchronous dispatch is
+// what gives SACK its microsecond event-transmission latency).
+class VirtualFileOps {
+ public:
+  virtual ~VirtualFileOps() = default;
+
+  virtual Result<std::string> read_content(Task& task) {
+    (void)task;
+    return std::string{};
+  }
+
+  virtual Result<void> write_content(Task& task, std::string_view data) {
+    (void)task;
+    (void)data;
+    return Errno::eacces;
+  }
+};
+
+}  // namespace sack::kernel

@@ -1,0 +1,63 @@
+#include "kernel/file.h"
+
+namespace sack::kernel {
+
+File::~File() {
+  if (pipe_) {
+    if (pipe_end_ == PipeEnd::read) {
+      pipe_->reader_open = false;
+    } else {
+      pipe_->writer_open = false;
+    }
+  }
+  if (socket_) socket_->shutdown();
+}
+
+Result<Fd> FdTable::install(FilePtr file) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].file) {
+      slots_[i] = {std::move(file), false};
+      return Fd(static_cast<Fd::rep_type>(i));
+    }
+  }
+  if (slots_.size() >= kMaxFds) return Errno::emfile;
+  slots_.push_back({std::move(file), false});
+  return Fd(static_cast<Fd::rep_type>(slots_.size() - 1));
+}
+
+Result<FilePtr> FdTable::get(Fd fd) const {
+  if (!fd.valid() || static_cast<std::size_t>(fd.get()) >= slots_.size())
+    return Errno::ebadf;
+  const auto& slot = slots_[static_cast<std::size_t>(fd.get())];
+  if (!slot.file) return Errno::ebadf;
+  return slot.file;
+}
+
+Result<void> FdTable::remove(Fd fd) {
+  if (!fd.valid() || static_cast<std::size_t>(fd.get()) >= slots_.size())
+    return Errno::ebadf;
+  auto& slot = slots_[static_cast<std::size_t>(fd.get())];
+  if (!slot.file) return Errno::ebadf;
+  slot = {};
+  return {};
+}
+
+std::size_t FdTable::open_count() const {
+  std::size_t n = 0;
+  for (const auto& s : slots_)
+    if (s.file) ++n;
+  return n;
+}
+
+void FdTable::set_cloexec(Fd fd, bool on) {
+  if (fd.valid() && static_cast<std::size_t>(fd.get()) < slots_.size())
+    slots_[static_cast<std::size_t>(fd.get())].cloexec = on;
+}
+
+void FdTable::drop_cloexec() {
+  for (auto& s : slots_) {
+    if (s.file && s.cloexec) s = {};
+  }
+}
+
+}  // namespace sack::kernel

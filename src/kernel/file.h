@@ -1,0 +1,117 @@
+// Open file descriptions and per-task fd tables.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/inode.h"
+#include "kernel/pipe.h"
+#include "kernel/socket.h"
+#include "kernel/types.h"
+#include "util/result.h"
+
+namespace sack::kernel {
+
+enum class PipeEnd : std::uint8_t { read, write };
+
+// An open file description (struct file). Shared between fds after dup/fork.
+class File {
+ public:
+  File(InodePtr inode, OpenFlags flags, std::string path)
+      : inode_(std::move(inode)), flags_(flags), path_(std::move(path)) {}
+
+  // Pipe end constructor.
+  File(std::shared_ptr<PipeBuffer> pipe, PipeEnd end)
+      : flags_(end == PipeEnd::read ? OpenFlags::read : OpenFlags::write),
+        path_(end == PipeEnd::read ? "pipe:[r]" : "pipe:[w]"),
+        pipe_(std::move(pipe)),
+        pipe_end_(end) {}
+
+  // Socket constructor.
+  explicit File(std::shared_ptr<Socket> sock)
+      : flags_(OpenFlags::rdwr), path_("socket:"), socket_(std::move(sock)) {}
+
+  // Closing the last fd on a pipe end or socket tears the endpoint down.
+  ~File();
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  const InodePtr& inode() const { return inode_; }
+  OpenFlags flags() const { return flags_; }
+  // Resolved absolute path captured at open time; this is what path-based
+  // LSMs (AppArmor, SACK) match against, like the kernel's file->f_path.
+  const std::string& path() const { return path_; }
+
+  bool readable() const { return has_any(flags_, OpenFlags::read); }
+  bool writable() const { return has_any(flags_, OpenFlags::write); }
+  bool append_only() const { return has_any(flags_, OpenFlags::append); }
+
+  std::uint64_t offset = 0;
+
+  bool is_pipe() const { return pipe_ != nullptr; }
+  const std::shared_ptr<PipeBuffer>& pipe() const { return pipe_; }
+  PipeEnd pipe_end() const { return pipe_end_; }
+
+  bool is_socket() const { return socket_ != nullptr; }
+  const std::shared_ptr<Socket>& socket() const { return socket_; }
+
+  // securityfs read snapshot: filled on first read, served from then on, so a
+  // reader sees one consistent version even if the handler's state changes.
+  std::optional<std::string> vfile_snapshot;
+
+  // Per-module revalidation cache, keyed by LSM name. A MAC module stores
+  // its policy generation AND the subject identity it validated after a
+  // successful file_permission check, and skips re-matching until either
+  // changes — the mechanism that makes already-open fds subject to situation
+  // transitions without paying a full rule match on every read/write. The
+  // subject field matters because open files survive exec(): the task's
+  // executable/profile can change under a cached verdict.
+  struct MacCacheEntry {
+    std::uint64_t generation = 0;
+    std::string subject;
+  };
+  std::unordered_map<std::string, MacCacheEntry> mac_revalidate;
+
+ private:
+  InodePtr inode_;
+  OpenFlags flags_;
+  std::string path_;
+  std::shared_ptr<PipeBuffer> pipe_;
+  PipeEnd pipe_end_ = PipeEnd::read;
+  std::shared_ptr<Socket> socket_;
+};
+
+using FilePtr = std::shared_ptr<File>;
+
+class FdTable {
+ public:
+  static constexpr std::size_t kMaxFds = 1024;  // RLIMIT_NOFILE default
+
+  // Lowest-free-slot allocation, as POSIX requires.
+  Result<Fd> install(FilePtr file);
+  Result<FilePtr> get(Fd fd) const;
+  Result<void> remove(Fd fd);
+
+  std::size_t open_count() const;
+
+  // fork() shares open file descriptions.
+  FdTable clone() const { return *this; }
+
+  void close_all() { slots_.clear(); }
+
+  // Marks/queries close-on-exec (tracked per slot, not per description).
+  void set_cloexec(Fd fd, bool on);
+  void drop_cloexec();
+
+ private:
+  struct Slot {
+    FilePtr file;
+    bool cloexec = false;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace sack::kernel

@@ -1,0 +1,46 @@
+#include "kernel/inode.h"
+
+namespace sack::kernel {
+
+std::string_view inode_type_name(InodeType t) {
+  switch (t) {
+    case InodeType::regular: return "regular";
+    case InodeType::directory: return "directory";
+    case InodeType::symlink: return "symlink";
+    case InodeType::chardev: return "chardev";
+    case InodeType::fifo: return "fifo";
+    case InodeType::socket: return "socket";
+  }
+  return "?";
+}
+
+std::uint64_t Inode::size() const {
+  switch (type_) {
+    case InodeType::regular: return data_.size();
+    case InodeType::symlink: return symlink_target_.size();
+    case InodeType::directory: return children_.size();
+    default: return 0;
+  }
+}
+
+InodePtr Inode::lookup_child(const std::string& name) const {
+  auto it = children_.find(name);
+  return it == children_.end() ? nullptr : it->second;
+}
+
+void Inode::add_child(const std::string& name, InodePtr child) {
+  children_[name] = std::move(child);
+}
+
+void Inode::remove_child(const std::string& name) { children_.erase(name); }
+
+const std::string* Inode::get_security(const std::string& lsm) const {
+  auto it = security_.find(lsm);
+  return it == security_.end() ? nullptr : &it->second;
+}
+
+void Inode::set_security(const std::string& lsm, std::string value) {
+  security_[lsm] = std::move(value);
+}
+
+}  // namespace sack::kernel

@@ -1,0 +1,84 @@
+// Inodes: the single node type of the in-memory VFS.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "kernel/device.h"
+#include "kernel/types.h"
+
+namespace sack::kernel {
+
+class Inode;
+using InodePtr = std::shared_ptr<Inode>;
+
+class Inode {
+ public:
+  Inode(InodeNo ino, InodeType type, FileMode mode, Uid uid, Gid gid)
+      : ino_(ino), type_(type), mode_(mode), uid_(uid), gid_(gid) {}
+
+  InodeNo ino() const { return ino_; }
+  InodeType type() const { return type_; }
+  bool is_dir() const { return type_ == InodeType::directory; }
+  bool is_regular() const { return type_ == InodeType::regular; }
+  bool is_symlink() const { return type_ == InodeType::symlink; }
+  bool is_chardev() const { return type_ == InodeType::chardev; }
+
+  FileMode mode() const { return mode_; }
+  void set_mode(FileMode m) { mode_ = m; }
+  Uid uid() const { return uid_; }
+  Gid gid() const { return gid_; }
+  void set_owner(Uid u, Gid g) { uid_ = u; gid_ = g; }
+
+  std::uint32_t nlink() const { return nlink_; }
+  void set_nlink(std::uint32_t n) { nlink_ = n; }
+
+  SimTime atime = 0, mtime = 0, ctime = 0;
+
+  // --- regular files ---
+  std::string& data() { return data_; }
+  const std::string& data() const { return data_; }
+  std::uint64_t size() const;
+
+  // --- symlinks ---
+  const std::string& symlink_target() const { return symlink_target_; }
+  void set_symlink_target(std::string t) { symlink_target_ = std::move(t); }
+
+  // --- directories ---
+  const std::map<std::string, InodePtr>& children() const { return children_; }
+  InodePtr lookup_child(const std::string& name) const;
+  void add_child(const std::string& name, InodePtr child);
+  void remove_child(const std::string& name);
+
+  std::weak_ptr<Inode> parent;
+
+  // --- device / virtual file dispatch (non-owning) ---
+  DeviceOps* device = nullptr;
+  VirtualFileOps* vfile = nullptr;
+
+  // --- per-LSM security labels (like security.* xattrs) ---
+  // Keys without a '.' are module labels (exposed as "security.<key>");
+  // the xattr syscalls additionally store free-form "user.*" entries under
+  // their full names.
+  const std::string* get_security(const std::string& lsm) const;
+  void set_security(const std::string& lsm, std::string value);
+  void remove_security(const std::string& key) { security_.erase(key); }
+  const std::map<std::string, std::string>& security_all() const {
+    return security_;
+  }
+
+ private:
+  InodeNo ino_;
+  InodeType type_;
+  FileMode mode_;
+  Uid uid_;
+  Gid gid_;
+  std::uint32_t nlink_ = 1;
+  std::string data_;
+  std::string symlink_target_;
+  std::map<std::string, InodePtr> children_;
+  std::map<std::string, std::string> security_;
+};
+
+}  // namespace sack::kernel

@@ -1,0 +1,247 @@
+#include "kernel/kernel.h"
+
+#include "kernel/lsm/capability_module.h"
+#include "util/log.h"
+
+namespace sack::kernel {
+
+// securityfs view of the audit ring: read dumps the log, a (root) write
+// clears it.
+class Kernel::AuditLogFile final : public VirtualFileOps {
+ public:
+  explicit AuditLogFile(AuditLog* log) : log_(log) {}
+  Result<std::string> read_content(Task&) override {
+    std::string out = "capacity=" + std::to_string(log_->capacity()) +
+                      " recorded=" + std::to_string(log_->total_recorded()) +
+                      " dropped=" + std::to_string(log_->dropped()) + "\n";
+    return out + log_->to_text();
+  }
+  Result<void> write_content(Task&, std::string_view) override {
+    log_->clear();
+    return {};
+  }
+
+ private:
+  AuditLog* log_;
+};
+
+Kernel::Kernel(KernelConfig config) : vfs_(&clock_) {
+  securityfs_ = std::make_unique<SecurityFs>(&vfs_);
+  audit_file_ = std::make_unique<AuditLogFile>(&audit_);
+  (void)securityfs_->register_file("audit/log", audit_file_.get(), 0600);
+  if (config.install_capability_module) {
+    lsm_.add(std::make_unique<CapabilityModule>());
+  }
+  boot();
+}
+
+Kernel::~Kernel() = default;
+
+void Kernel::boot() {
+  // Standard tree.
+  vfs_.mkdir_p("/bin");
+  vfs_.mkdir_p("/sbin");
+  vfs_.mkdir_p("/usr/bin");
+  vfs_.mkdir_p("/etc");
+  vfs_.mkdir_p("/dev/vehicle");
+  vfs_.mkdir_p("/tmp", 01777);
+  vfs_.mkdir_p("/var/log");
+  vfs_.mkdir_p("/home");
+  vfs_.mkdir_p("/proc");
+  vfs_.mkdir_p("/sys/kernel/security");
+
+  // init (pid 1).
+  auto init = std::make_shared<Task>(Pid(next_pid_++), Pid(0), "init",
+                                     Cred::root());
+  init->set_exe_path("/sbin/init");
+  tasks_[init->pid()] = init;
+
+  procfs_ = std::make_unique<ProcFs>(this, &vfs_);
+  procfs_->on_task_created(*init);
+}
+
+SecurityModule* Kernel::add_lsm(std::unique_ptr<SecurityModule> module) {
+  SecurityModule* m = lsm_.add(std::move(module));
+  m->initialize(*this);
+  return m;
+}
+
+Result<InodePtr> Kernel::register_chardev(std::string_view path,
+                                          DeviceOps* ops, FileMode mode) {
+  if (!ops) return Errno::einval;
+  auto r = vfs_.resolve_parent(Cred::root(), path, "/");
+  if (!r.ok()) return r.error();
+  if (r->inode) return Errno::eexist;
+  auto inode = vfs_.make_inode(InodeType::chardev, mode, kRootUid, kRootGid);
+  inode->device = ops;
+  vfs_.link_child(r->parent, r->leaf, inode);
+  return inode;
+}
+
+Result<std::reference_wrapper<Task>> Kernel::task(Pid pid) {
+  auto it = tasks_.find(pid);
+  if (it == tasks_.end()) return Errno::esrch;
+  return std::ref(*it->second);
+}
+
+std::size_t Kernel::live_task_count() const {
+  std::size_t n = 0;
+  for (const auto& [pid, t] : tasks_)
+    if (t->state == TaskState::running) ++n;
+  return n;
+}
+
+Task& Kernel::spawn_task(std::string comm, Cred cred, std::string exe_path) {
+  auto t = std::make_shared<Task>(Pid(next_pid_++), Pid(1), std::move(comm),
+                                  std::move(cred));
+  t->set_exe_path(std::move(exe_path));
+  tasks_[t->pid()] = t;
+  procfs_->on_task_created(*t);
+  // Give LSMs a chance to set up blobs, inheriting from init.
+  lsm_.notify([&](SecurityModule& m) { (void)m.task_alloc(init_task(), *t); });
+  // A directly spawned task "executed" its binary: run the domain-transition
+  // notification so path-attached profiles apply.
+  if (!t->exe_path().empty()) {
+    lsm_.notify(
+        [&](SecurityModule& m) { m.bprm_committed_creds(*t, t->exe_path()); });
+  }
+  return *t;
+}
+
+void Kernel::advance_clock_ms(SimTime ms) {
+  clock_.advance_ms(ms);
+  const SimTime now = clock_.now();
+  lsm_.notify([&](SecurityModule& m) { m.clock_tick(now); });
+}
+
+Errno Kernel::capable(const Task& task, Capability cap) {
+  return lsm_.check([&](SecurityModule& m) { return m.capable(task, cap); });
+}
+
+// --- process syscalls ---
+
+Result<Pid> Kernel::sys_fork(Task& parent) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto child = std::make_shared<Task>(Pid(next_pid_++), parent.pid(),
+                                      parent.comm(), parent.cred());
+  child->set_exe_path(parent.exe_path());
+  child->set_cwd(parent.cwd());
+  child->fds() = parent.fds().clone();
+
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_alloc(parent, *child); });
+  if (rc != Errno::ok) return rc;
+
+  tasks_[child->pid()] = child;
+  procfs_->on_task_created(*child);
+  return child->pid();
+}
+
+Result<void> Kernel::sys_execve(Task& task, std::string_view path) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve(task.cred(), path, task.cwd());
+  if (!r.ok()) return r.error();
+  const InodePtr& inode = r->inode;
+  if (inode->is_dir()) return Errno::eisdir;
+  if (!inode->is_regular()) return Errno::eacces;
+  if (Errno rc = dac_check(task.cred(), *inode, AccessMask::exec);
+      rc != Errno::ok)
+    return rc;
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.bprm_check_security(task, r->path); });
+  if (rc != Errno::ok) return rc;
+
+  // "Load" the image: walk the binary once (this is where exec's cost lives).
+  std::uint64_t checksum = 0;
+  for (unsigned char c : inode->data()) checksum = checksum * 31 + c;
+  (void)checksum;
+
+  task.fds().drop_cloexec();
+  task.mmaps().clear();
+  task.set_exe_path(r->path);
+  auto slash = r->path.find_last_of('/');
+  task.set_comm(slash == std::string::npos ? r->path
+                                           : r->path.substr(slash + 1));
+  lsm_.notify(
+      [&](SecurityModule& m) { m.bprm_committed_creds(task, r->path); });
+  return {};
+}
+
+void Kernel::sys_exit(Task& task, int code) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  task.fds().close_all();
+  task.mmaps().clear();
+  task.exit_code = code;
+  task.state = TaskState::zombie;
+  // Reparent children to init.
+  for (auto& [pid, t] : tasks_) {
+    if (t->ppid() == task.pid()) t->set_ppid(Pid(1));
+  }
+}
+
+void Kernel::reap(Task& child) {
+  lsm_.notify([&](SecurityModule& m) { m.task_free(child); });
+  procfs_->on_task_reaped(child);
+  child.state = TaskState::dead;
+  tasks_.erase(child.pid());
+}
+
+Result<int> Kernel::sys_waitpid(Task& task, Pid child_pid) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto it = tasks_.find(child_pid);
+  if (it == tasks_.end()) return Errno::echild;
+  Task& child = *it->second;
+  if (child.ppid() != task.pid()) return Errno::echild;
+  if (child.state != TaskState::zombie) return Errno::eagain;
+  int code = child.exit_code;
+  reap(child);
+  return code;
+}
+
+long Kernel::sys_getpid(Task& task) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  return task.pid().get();
+}
+
+long Kernel::sys_nop(Task& task) {
+  (void)task;
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  return 0;
+}
+
+Result<void> Kernel::sys_capset_drop(Task& task, Capability cap) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  task.cred().caps.remove(cap);
+  return {};
+}
+
+Result<void> Kernel::sys_kill(Task& task, Pid target_pid, int sig) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  if (sig < 0 || sig > 64) return Errno::einval;
+  auto it = tasks_.find(target_pid);
+  if (it == tasks_.end() || it->second->state == TaskState::dead)
+    return Errno::esrch;
+  Task& target = *it->second;
+  // DAC: same effective uid, or CAP_KILL.
+  if (task.cred().euid != target.cred().euid &&
+      capable(task, Capability::kill) != Errno::ok)
+    return Errno::eperm;
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_kill(task, target, sig); });
+  if (rc != Errno::ok) return rc;
+  if (sig == 0) return {};  // permission probe only
+  if (target.state == TaskState::running) {
+    sys_exit(target, 128 + sig);
+  }
+  return {};
+}
+
+}  // namespace sack::kernel

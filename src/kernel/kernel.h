@@ -1,0 +1,182 @@
+// Kernel: the simulated Linux kernel.
+//
+// Owns the task table, the VFS, the device registry, securityfs, and the LSM
+// stack, and exposes the syscall surface the benchmarks, tests, and example
+// applications drive. Every syscall places its LSM hooks at the same points
+// the real kernel does, so a security module ported into this simulator sees
+// the same sequence of mediation opportunities.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/audit.h"
+#include "kernel/cred.h"
+#include "kernel/file.h"
+#include "kernel/lsm/stack.h"
+#include "kernel/procfs.h"
+#include "kernel/securityfs.h"
+#include "kernel/task.h"
+#include "kernel/types.h"
+#include "kernel/vfs.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace sack::kernel {
+
+struct KernelConfig {
+  // LSM module order is fixed by the order of add_lsm() calls, mirroring
+  // CONFIG_LSM="...". The capability module is always implicitly first.
+  bool install_capability_module = true;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(KernelConfig config = {});
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- subsystems ---
+  Vfs& vfs() { return vfs_; }
+  SecurityFs& securityfs() { return *securityfs_; }
+  LsmStack& lsm() { return lsm_; }
+  VirtualClock& clock() { return clock_; }
+  AuditLog& audit() { return audit_; }
+
+  // Registers an LSM (after the ones already present). Calls initialize().
+  SecurityModule* add_lsm(std::unique_ptr<SecurityModule> module);
+
+  // Registers a char device; creates /dev-style node at `path`.
+  Result<InodePtr> register_chardev(std::string_view path, DeviceOps* ops,
+                                    FileMode mode = 0600);
+
+  // --- task management ---
+  Task& init_task() { return *tasks_.at(Pid(1)); }
+  Result<std::reference_wrapper<Task>> task(Pid pid);
+  std::size_t live_task_count() const;
+
+  // Creates a task directly (a "kernel-spawned" process for tests/apps that
+  // don't want to script fork+exec). Inherits nothing.
+  Task& spawn_task(std::string comm, Cred cred, std::string exe_path = "");
+
+  // --- process syscalls ---
+  Result<Pid> sys_fork(Task& parent);
+  Result<void> sys_execve(Task& task, std::string_view path);
+  void sys_exit(Task& task, int code);
+  Result<int> sys_waitpid(Task& task, Pid child);
+  long sys_getpid(Task& task);
+  // The LMBench "null syscall": full entry/exit, no work.
+  long sys_nop(Task& task);
+  Result<void> sys_capset_drop(Task& task, Capability cap);
+  // Delivers a (terminating) signal: DAC requires same-euid or CAP_KILL;
+  // the LSM task_kill hook mediates on top. SIGTERM/SIGKILL end the target;
+  // signal 0 only probes permission, as in POSIX.
+  Result<void> sys_kill(Task& task, Pid target, int sig);
+
+  // --- file syscalls ---
+  Result<Fd> sys_open(Task& task, std::string_view path, OpenFlags flags,
+                      FileMode mode = kModeDefaultFile);
+  Result<void> sys_close(Task& task, Fd fd);
+  Result<std::size_t> sys_read(Task& task, Fd fd, std::string& out,
+                               std::size_t n);
+  Result<std::size_t> sys_write(Task& task, Fd fd, std::string_view data);
+  Result<std::uint64_t> sys_lseek(Task& task, Fd fd, std::int64_t offset,
+                                  Whence whence);
+  Result<Stat> sys_stat(Task& task, std::string_view path);
+  Result<Stat> sys_fstat(Task& task, Fd fd);
+  Result<void> sys_mkdir(Task& task, std::string_view path,
+                         FileMode mode = kModeDefaultDir);
+  Result<void> sys_rmdir(Task& task, std::string_view path);
+  Result<void> sys_unlink(Task& task, std::string_view path);
+  Result<void> sys_rename(Task& task, std::string_view from,
+                          std::string_view to);
+  Result<void> sys_symlink(Task& task, std::string_view target,
+                           std::string_view linkpath);
+  Result<void> sys_link(Task& task, std::string_view existing,
+                        std::string_view newpath);
+  Result<std::string> sys_readlink(Task& task, std::string_view path);
+  Result<void> sys_chmod(Task& task, std::string_view path, FileMode mode);
+  Result<void> sys_chown(Task& task, std::string_view path, Uid uid, Gid gid);
+  Result<void> sys_truncate(Task& task, std::string_view path,
+                            std::uint64_t length);
+  Result<long> sys_ioctl(Task& task, Fd fd, std::uint32_t cmd, long arg);
+  // Extended attributes. "security.<module>" names read/write the per-LSM
+  // inode labels (setting those additionally needs CAP_MAC_ADMIN);
+  // "user.*" names are free-form metadata gated by DAC.
+  Result<std::string> sys_getxattr(Task& task, std::string_view path,
+                                   std::string_view name);
+  Result<void> sys_setxattr(Task& task, std::string_view path,
+                            std::string_view name, std::string_view value);
+  Result<std::vector<std::string>> sys_listxattr(Task& task,
+                                                 std::string_view path);
+  Result<Fd> sys_dup(Task& task, Fd fd);
+  Result<std::vector<std::string>> sys_readdir(Task& task,
+                                               std::string_view path);
+  Result<void> sys_chdir(Task& task, std::string_view path);
+
+  // --- mmap ---
+  Result<int> sys_mmap(Task& task, Fd fd, std::size_t length, AccessMask prot);
+  Result<int> sys_mmap_anon(Task& task, std::size_t length, AccessMask prot);
+  Result<void> sys_munmap(Task& task, int mmap_id);
+  // Reads from a mapping (the simulator's substitute for dereferencing it).
+  Result<std::size_t> mmap_read(Task& task, int mmap_id, std::string& out,
+                                std::size_t offset, std::size_t n);
+
+  // --- pipes & sockets ---
+  Result<std::pair<Fd, Fd>> sys_pipe(Task& task);
+  Result<Fd> sys_socket(Task& task, SockFamily family, SockType type);
+  Result<std::pair<Fd, Fd>> sys_socketpair(Task& task, SockFamily family);
+  Result<void> sys_bind(Task& task, Fd fd, const SockAddr& addr);
+  Result<void> sys_listen(Task& task, Fd fd, int backlog);
+  Result<void> sys_connect(Task& task, Fd fd, const SockAddr& addr);
+  Result<Fd> sys_accept(Task& task, Fd fd);
+  Result<std::size_t> sys_send(Task& task, Fd fd, std::string_view data);
+  Result<std::size_t> sys_recv(Task& task, Fd fd, std::string& out,
+                               std::size_t n);
+
+  // Advances the virtual clock and runs the modules' clock_tick hooks (the
+  // timer-interrupt analogue; timed SACK transitions fire here).
+  void advance_clock_ms(SimTime ms);
+
+  // --- capability check used by modules and in-kernel services ---
+  Errno capable(const Task& task, Capability cap);
+
+  // Statistics (used by tests to assert hook traffic happened).
+  std::uint64_t syscall_count() const { return syscall_count_; }
+
+ private:
+  void boot();
+  void reap(Task& child);
+
+  // Hook helpers; each bundles the DAC + LSM sequence for one operation.
+  Errno check_open(Task& task, const Vfs::Resolved& r, OpenFlags flags,
+                   AccessMask access);
+
+  VirtualClock clock_;
+  Vfs vfs_;
+  std::unique_ptr<SecurityFs> securityfs_;
+  LsmStack lsm_;
+  AuditLog audit_;
+  class AuditLogFile;
+  std::unique_ptr<AuditLogFile> audit_file_;
+  std::unique_ptr<ProcFs> procfs_;
+
+  std::map<Pid, TaskPtr> tasks_;
+  Pid::rep_type next_pid_ = 1;
+
+  // weak_ptr: the fd table owns the listening socket; a fully-closed
+  // listener releases its address automatically.
+  std::unordered_map<std::uint16_t, std::weak_ptr<File>> inet_listeners_;
+  std::unordered_map<std::string, std::weak_ptr<File>> unix_listeners_;
+
+  std::uint64_t syscall_count_ = 0;
+};
+
+}  // namespace sack::kernel

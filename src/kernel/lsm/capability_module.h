@@ -1,0 +1,20 @@
+// The "capability" LSM: the always-present module that implements POSIX
+// capability semantics for the capable() hook, as in the real kernel where
+// it is implicitly first on every LSM list.
+#pragma once
+
+#include "kernel/lsm/module.h"
+#include "kernel/task.h"
+
+namespace sack::kernel {
+
+class CapabilityModule final : public SecurityModule {
+ public:
+  std::string_view name() const override { return "capability"; }
+
+  Errno capable(const Task& task, Capability cap) override {
+    return task.cred().caps.has(cap) ? Errno::ok : Errno::eperm;
+  }
+};
+
+}  // namespace sack::kernel

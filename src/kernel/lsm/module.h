@@ -1,0 +1,183 @@
+// SecurityModule: the LSM hook interface.
+//
+// Hook names and call sites mirror the real LSM framework (security/security.c)
+// for the subset the simulator's syscalls exercise. A hook returning
+// Errno::ok allows the operation; anything else denies it with that error.
+// Default implementations allow everything, so modules override only the
+// hooks they mediate — exactly like a sparse struct security_hook_list.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "kernel/cred.h"
+#include "kernel/types.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace sack::kernel {
+
+class Task;
+class File;
+class Inode;
+class Socket;
+class Kernel;
+
+class SecurityModule {
+ public:
+  virtual ~SecurityModule() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Called once after the module is added to the stack, with the kernel
+  // booted far enough for securityfs registration.
+  virtual void initialize(Kernel& kernel) { (void)kernel; }
+
+  // --- file hooks ---
+  virtual Errno file_open(Task& task, const std::string& path,
+                          const Inode& inode, AccessMask access) {
+    (void)task; (void)path; (void)inode; (void)access;
+    return Errno::ok;
+  }
+  virtual Errno file_permission(Task& task, const File& file,
+                                AccessMask access) {
+    (void)task; (void)file; (void)access;
+    return Errno::ok;
+  }
+  virtual Errno file_ioctl(Task& task, const File& file, std::uint32_t cmd) {
+    (void)task; (void)file; (void)cmd;
+    return Errno::ok;
+  }
+  virtual Errno mmap_file(Task& task, const File& file, AccessMask prot) {
+    (void)task; (void)file; (void)prot;
+    return Errno::ok;
+  }
+
+  // --- path hooks (path-based MAC: AppArmor, SACK) ---
+  virtual Errno path_mknod(Task& task, const std::string& path,
+                           InodeType type) {
+    (void)task; (void)path; (void)type;
+    return Errno::ok;
+  }
+  virtual Errno path_unlink(Task& task, const std::string& path) {
+    (void)task; (void)path;
+    return Errno::ok;
+  }
+  virtual Errno path_mkdir(Task& task, const std::string& path) {
+    (void)task; (void)path;
+    return Errno::ok;
+  }
+  virtual Errno path_rmdir(Task& task, const std::string& path) {
+    (void)task; (void)path;
+    return Errno::ok;
+  }
+  virtual Errno path_rename(Task& task, const std::string& old_path,
+                            const std::string& new_path) {
+    (void)task; (void)old_path; (void)new_path;
+    return Errno::ok;
+  }
+  virtual Errno path_symlink(Task& task, const std::string& path,
+                             const std::string& target) {
+    (void)task; (void)path; (void)target;
+    return Errno::ok;
+  }
+  virtual Errno path_link(Task& task, const std::string& old_path,
+                          const std::string& new_path) {
+    (void)task; (void)old_path; (void)new_path;
+    return Errno::ok;
+  }
+  virtual Errno path_truncate(Task& task, const std::string& path) {
+    (void)task; (void)path;
+    return Errno::ok;
+  }
+  virtual Errno path_chmod(Task& task, const std::string& path,
+                           FileMode mode) {
+    (void)task; (void)path; (void)mode;
+    return Errno::ok;
+  }
+  virtual Errno path_chown(Task& task, const std::string& path, Uid uid,
+                           Gid gid) {
+    (void)task; (void)path; (void)uid; (void)gid;
+    return Errno::ok;
+  }
+  virtual Errno inode_getattr(Task& task, const std::string& path) {
+    (void)task; (void)path;
+    return Errno::ok;
+  }
+  virtual Errno inode_getxattr(Task& task, const std::string& path,
+                               const std::string& name) {
+    (void)task; (void)path; (void)name;
+    return Errno::ok;
+  }
+  virtual Errno inode_setxattr(Task& task, const std::string& path,
+                               const std::string& name,
+                               const std::string& value) {
+    (void)task; (void)path; (void)name; (void)value;
+    return Errno::ok;
+  }
+
+  // --- program execution ---
+  virtual Errno bprm_check_security(Task& task, const std::string& path) {
+    (void)task; (void)path;
+    return Errno::ok;
+  }
+  // Domain transitions happen here (no veto possible, like the real hook).
+  virtual void bprm_committed_creds(Task& task, const std::string& path) {
+    (void)task; (void)path;
+  }
+
+  // --- task lifecycle ---
+  virtual Errno task_alloc(Task& parent, Task& child) {
+    (void)parent; (void)child;
+    return Errno::ok;
+  }
+  virtual void task_free(Task& task) { (void)task; }
+  virtual Errno task_kill(Task& sender, Task& target, int sig) {
+    (void)sender; (void)target; (void)sig;
+    return Errno::ok;
+  }
+
+  // --- introspection ---
+  // The module's contribution to /proc/<pid>/attr/current (how AppArmor &
+  // SELinux expose task confinement). Empty string = nothing to report.
+  virtual std::string getprocattr(const Task& task) {
+    (void)task;
+    return {};
+  }
+
+  // --- time ---
+  // Called when the kernel's virtual clock advances (timer interrupt
+  // analogue); modules with time-dependent policy react here.
+  virtual void clock_tick(SimTime now) { (void)now; }
+
+  // --- capabilities ---
+  virtual Errno capable(const Task& task, Capability cap) {
+    (void)task; (void)cap;
+    return Errno::ok;
+  }
+
+  // --- sockets ---
+  virtual Errno socket_create(Task& task, SockFamily family, SockType type) {
+    (void)task; (void)family; (void)type;
+    return Errno::ok;
+  }
+  virtual Errno socket_bind(Task& task, const Socket& sock) {
+    (void)task; (void)sock;
+    return Errno::ok;
+  }
+  virtual Errno socket_connect(Task& task, const Socket& sock) {
+    (void)task; (void)sock;
+    return Errno::ok;
+  }
+  virtual Errno socket_sendmsg(Task& task, const Socket& sock) {
+    (void)task; (void)sock;
+    return Errno::ok;
+  }
+  virtual Errno socket_recvmsg(Task& task, const Socket& sock) {
+    (void)task; (void)sock;
+    return Errno::ok;
+  }
+};
+
+}  // namespace sack::kernel

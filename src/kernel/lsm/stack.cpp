@@ -1,0 +1,24 @@
+#include "kernel/lsm/stack.h"
+
+namespace sack::kernel {
+
+SecurityModule* LsmStack::add(std::unique_ptr<SecurityModule> module) {
+  modules_.push_back(std::move(module));
+  return modules_.back().get();
+}
+
+SecurityModule* LsmStack::find(std::string_view name) const {
+  for (const auto& m : modules_) {
+    if (m->name() == name) return m.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> LsmStack::module_names() const {
+  std::vector<std::string> names;
+  names.reserve(modules_.size());
+  for (const auto& m : modules_) names.emplace_back(m->name());
+  return names;
+}
+
+}  // namespace sack::kernel

@@ -1,0 +1,49 @@
+// LsmStack: ordered module list with first-deny-wins semantics.
+//
+// This reproduces the whitelist-based stacking the paper relies on
+// (CONFIG_LSM="SACK,AppArmor,..."): modules are consulted in registration
+// order and the first non-OK verdict short-circuits the chain, so SACK
+// placed first filters every access before AppArmor sees it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kernel/lsm/module.h"
+
+namespace sack::kernel {
+
+class LsmStack {
+ public:
+  // Appends a module (later == lower priority). Returns the raw pointer for
+  // convenience; the stack owns the module.
+  SecurityModule* add(std::unique_ptr<SecurityModule> module);
+
+  SecurityModule* find(std::string_view name) const;
+
+  std::vector<std::string> module_names() const;
+  std::size_t size() const { return modules_.size(); }
+
+  // Generic dispatcher: fn(module) -> Errno; stops at the first non-OK.
+  template <typename Fn>
+  Errno check(Fn&& fn) const {
+    for (const auto& m : modules_) {
+      Errno rc = fn(*m);
+      if (rc != Errno::ok) return rc;
+    }
+    return Errno::ok;
+  }
+
+  // Void dispatcher for notification hooks.
+  template <typename Fn>
+  void notify(Fn&& fn) const {
+    for (const auto& m : modules_) fn(*m);
+  }
+
+ private:
+  std::vector<std::unique_ptr<SecurityModule>> modules_;
+};
+
+}  // namespace sack::kernel

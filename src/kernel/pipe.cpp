@@ -1,0 +1,40 @@
+#include "kernel/pipe.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sack::kernel {
+
+Result<std::size_t> PipeBuffer::write(std::string_view data) {
+  if (!reader_open) return Errno::epipe;
+  if (data.empty()) return std::size_t{0};
+  if (space() == 0) return Errno::eagain;
+  std::size_t to_write = std::min(data.size(), space());
+  if (buf_.size() < capacity_) buf_.resize(capacity_);
+  std::size_t tail = (head_ + size_) % capacity_;
+  std::size_t first = std::min(to_write, capacity_ - tail);
+  std::memcpy(buf_.data() + tail, data.data(), first);
+  if (first < to_write)
+    std::memcpy(buf_.data(), data.data() + first, to_write - first);
+  size_ += to_write;
+  return to_write;
+}
+
+Result<std::size_t> PipeBuffer::read(std::string& out, std::size_t n) {
+  out.clear();
+  if (empty()) {
+    if (!writer_open) return std::size_t{0};  // EOF
+    return Errno::eagain;
+  }
+  std::size_t to_read = std::min(n, size_);
+  out.resize(to_read);
+  std::size_t first = std::min(to_read, capacity_ - head_);
+  std::memcpy(out.data(), buf_.data() + head_, first);
+  if (first < to_read)
+    std::memcpy(out.data() + first, buf_.data(), to_read - first);
+  head_ = (head_ + to_read) % capacity_;
+  size_ -= to_read;
+  return to_read;
+}
+
+}  // namespace sack::kernel

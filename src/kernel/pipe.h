@@ -1,0 +1,45 @@
+// Pipe buffers.
+//
+// The simulator is single-threaded and cooperative, so pipe I/O never blocks:
+// a write into a full pipe and a read from an empty pipe return EAGAIN, and
+// callers (benchmarks, apps) interleave the two ends explicitly. Capacity
+// matches Linux's default 64 KiB.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace sack::kernel {
+
+class PipeBuffer {
+ public:
+  static constexpr std::size_t kCapacity = 64 * 1024;
+
+  explicit PipeBuffer(std::size_t capacity = kCapacity)
+      : capacity_(capacity) {}
+
+  std::size_t available() const { return size_; }
+  std::size_t space() const { return capacity_ - size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool reader_open = true;
+  bool writer_open = true;
+
+  // Writes as much as fits; EPIPE if the read end is gone, EAGAIN if full.
+  Result<std::size_t> write(std::string_view data);
+
+  // Reads up to n bytes; 0 at EOF (writer closed), EAGAIN if empty.
+  Result<std::size_t> read(std::string& out, std::size_t n);
+
+ private:
+  // Ring buffer over a flat string.
+  std::size_t capacity_;
+  std::string buf_ = std::string(kCapacity, '\0');
+  std::size_t head_ = 0;  // read position
+  std::size_t size_ = 0;
+};
+
+}  // namespace sack::kernel

@@ -1,0 +1,102 @@
+// Process: the "user-space" view of a task.
+//
+// Applications in this reproduction (the SDS daemon, the IVI apps, the
+// benchmark workloads) hold a Process and issue syscalls through it, so the
+// code reads like ordinary POSIX user-space code. The wrapper also carries
+// one-shot convenience helpers (read_file/write_file) built purely from
+// syscalls — no back doors around the LSM stack.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "kernel/kernel.h"
+
+namespace sack::kernel {
+
+class Process {
+ public:
+  Process(Kernel& kernel, Task& task) : kernel_(&kernel), task_(&task) {}
+
+  Kernel& kernel() { return *kernel_; }
+  Task& task() { return *task_; }
+  const Task& task() const { return *task_; }
+  Pid pid() const { return task_->pid(); }
+
+  // --- direct syscall forwards ---
+  Result<Fd> open(std::string_view path, OpenFlags flags,
+                  FileMode mode = kModeDefaultFile) {
+    return kernel_->sys_open(*task_, path, flags, mode);
+  }
+  Result<void> close(Fd fd) { return kernel_->sys_close(*task_, fd); }
+  Result<std::size_t> read(Fd fd, std::string& out, std::size_t n) {
+    return kernel_->sys_read(*task_, fd, out, n);
+  }
+  Result<std::size_t> write(Fd fd, std::string_view data) {
+    return kernel_->sys_write(*task_, fd, data);
+  }
+  Result<long> ioctl(Fd fd, std::uint32_t cmd, long arg = 0) {
+    return kernel_->sys_ioctl(*task_, fd, cmd, arg);
+  }
+  Result<Stat> stat(std::string_view path) {
+    return kernel_->sys_stat(*task_, path);
+  }
+  Result<void> mkdir(std::string_view path, FileMode mode = kModeDefaultDir) {
+    return kernel_->sys_mkdir(*task_, path, mode);
+  }
+  Result<void> unlink(std::string_view path) {
+    return kernel_->sys_unlink(*task_, path);
+  }
+  Result<void> exec(std::string_view path) {
+    return kernel_->sys_execve(*task_, path);
+  }
+
+  // --- one-shot helpers (open + I/O + close) ---
+  Result<std::string> read_file(std::string_view path) {
+    SACK_ASSIGN_OR_RETURN(Fd fd, open(path, OpenFlags::read));
+    std::string out, chunk;
+    for (;;) {
+      auto n = read(fd, chunk, 64 * 1024);
+      if (!n.ok()) {
+        (void)close(fd);
+        return n.error();
+      }
+      if (*n == 0) break;
+      out += chunk;
+    }
+    SACK_TRY(close(fd));
+    return out;
+  }
+
+  Result<void> write_file(std::string_view path, std::string_view data,
+                          OpenFlags extra = OpenFlags::none) {
+    SACK_ASSIGN_OR_RETURN(
+        Fd fd, open(path, OpenFlags::write | OpenFlags::create | extra));
+    auto n = write(fd, data);
+    if (!n.ok()) {
+      (void)close(fd);
+      return n.error();
+    }
+    SACK_TRY(close(fd));
+    if (*n != data.size()) return Errno::eio;
+    return {};
+  }
+
+  // Appends one line to a securityfs-style control file (no O_CREAT).
+  Result<void> write_existing(std::string_view path, std::string_view data) {
+    SACK_ASSIGN_OR_RETURN(Fd fd, open(path, OpenFlags::write));
+    auto n = write(fd, data);
+    if (!n.ok()) {
+      (void)close(fd);
+      return n.error();
+    }
+    SACK_TRY(close(fd));
+    return {};
+  }
+
+ private:
+  Kernel* kernel_;
+  Task* task_;
+};
+
+}  // namespace sack::kernel

@@ -1,0 +1,62 @@
+#include "kernel/procfs.h"
+
+#include "kernel/inode.h"
+#include "kernel/kernel.h"
+#include "kernel/vfs.h"
+
+namespace sack::kernel {
+
+// Reads as "module: attribute" lines, one per module with something to say,
+// plus the task's executable for orientation.
+class ProcFs::AttrFile final : public VirtualFileOps {
+ public:
+  AttrFile(Kernel* kernel, Pid pid) : kernel_(kernel), pid_(pid) {}
+
+  Result<std::string> read_content(Task&) override {
+    auto task = kernel_->task(pid_);
+    if (!task.ok()) return Errno::esrch;
+    const Task& t = task.value();
+    std::string out = "exe: " + (t.exe_path().empty() ? "?" : t.exe_path()) +
+                      "\n";
+    kernel_->lsm().notify([&](SecurityModule& m) {
+      std::string attr = m.getprocattr(t);
+      if (!attr.empty())
+        out += std::string(m.name()) + ": " + attr + "\n";
+    });
+    return out;
+  }
+
+ private:
+  Kernel* kernel_;
+  Pid pid_;
+};
+
+ProcFs::ProcFs(Kernel* kernel, Vfs* vfs) : kernel_(kernel), vfs_(vfs) {
+  proc_root_ = vfs_->mkdir_p("/proc", 0555);
+}
+
+ProcFs::~ProcFs() = default;
+
+void ProcFs::on_task_created(const Task& task) {
+  auto file = std::make_unique<AttrFile>(kernel_, task.pid());
+  const std::string pid_name = std::to_string(task.pid().get());
+  auto pid_dir = vfs_->make_inode(InodeType::directory, 0555, kRootUid,
+                                  kRootGid);
+  pid_dir->set_nlink(2);
+  vfs_->link_child(proc_root_, pid_name, pid_dir);
+  auto attr_dir = vfs_->make_inode(InodeType::directory, 0555, kRootUid,
+                                   kRootGid);
+  attr_dir->set_nlink(2);
+  vfs_->link_child(pid_dir, "attr", attr_dir);
+  auto node = vfs_->make_inode(InodeType::regular, 0444, kRootUid, kRootGid);
+  node->vfile = file.get();
+  vfs_->link_child(attr_dir, "current", node);
+  files_[task.pid()] = std::move(file);
+}
+
+void ProcFs::on_task_reaped(const Task& task) {
+  vfs_->unlink_child(proc_root_, std::to_string(task.pid().get()));
+  files_.erase(task.pid());
+}
+
+}  // namespace sack::kernel

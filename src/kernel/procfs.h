@@ -1,0 +1,39 @@
+// A /proc-like view of task security attributes.
+//
+// Real LSMs expose per-task confinement through /proc/<pid>/attr/current;
+// this component maintains /proc/<pid>/attr/current nodes in the simulated
+// VFS for every live task, answering reads by asking each module's
+// getprocattr hook. Nodes appear at task creation and vanish when the task
+// is reaped.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "kernel/device.h"
+#include "kernel/inode.h"
+#include "kernel/types.h"
+
+namespace sack::kernel {
+
+class Kernel;
+class Vfs;
+
+class ProcFs {
+ public:
+  ProcFs(Kernel* kernel, Vfs* vfs);
+  ~ProcFs();
+
+  void on_task_created(const Task& task);
+  void on_task_reaped(const Task& task);
+
+ private:
+  class AttrFile;
+
+  Kernel* kernel_;
+  Vfs* vfs_;
+  InodePtr proc_root_;
+  std::map<Pid, std::unique_ptr<AttrFile>> files_;
+};
+
+}  // namespace sack::kernel

@@ -1,0 +1,59 @@
+#include "kernel/securityfs.h"
+
+#include "util/strings.h"
+
+namespace sack::kernel {
+
+SecurityFs::SecurityFs(Vfs* vfs) : vfs_(vfs) {
+  mount_root_ = vfs_->mkdir_p(kMountPoint);
+}
+
+Result<InodePtr> SecurityFs::register_file(std::string_view rel_path,
+                                           VirtualFileOps* ops,
+                                           FileMode mode) {
+  if (rel_path.empty() || !ops) return Errno::einval;
+  auto parts = split(rel_path, '/');
+  InodePtr dir = mount_root_;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (parts[i].empty()) continue;
+    std::string name(parts[i]);
+    InodePtr child = dir->lookup_child(name);
+    if (!child) {
+      child = vfs_->make_inode(InodeType::directory, 0700, kRootUid, kRootGid);
+      child->set_nlink(2);
+      vfs_->link_child(dir, name, child);
+    }
+    if (!child->is_dir()) return Errno::enotdir;
+    dir = child;
+  }
+  std::string leaf(parts.back());
+  if (leaf.empty()) return Errno::einval;
+  if (dir->lookup_child(leaf)) return Errno::eexist;
+  auto inode = vfs_->make_inode(InodeType::regular, mode, kRootUid, kRootGid);
+  inode->vfile = ops;
+  vfs_->link_child(dir, leaf, inode);
+  return inode;
+}
+
+Result<InodePtr> SecurityFs::register_dir(std::string_view rel_path) {
+  if (rel_path.empty()) return Errno::einval;
+  std::string full = std::string(kMountPoint) + "/" + std::string(rel_path);
+  return vfs_->mkdir_p(full, 0700);
+}
+
+Result<void> SecurityFs::unregister(std::string_view rel_path) {
+  auto parts = split(rel_path, '/');
+  InodePtr dir = mount_root_;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (parts[i].empty()) continue;
+    auto child = dir->lookup_child(std::string(parts[i]));
+    if (!child || !child->is_dir()) return Errno::enoent;
+    dir = child;
+  }
+  std::string leaf(parts.back());
+  if (!dir->lookup_child(leaf)) return Errno::enoent;
+  vfs_->unlink_child(dir, leaf);
+  return {};
+}
+
+}  // namespace sack::kernel

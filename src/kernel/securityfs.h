@@ -1,0 +1,39 @@
+// securityfs: the kernel-provided filesystem for security modules, mounted
+// at /sys/kernel/security. Modules register virtual files whose read/write
+// handlers run synchronously inside the write(2)/read(2) path — the property
+// SACK exploits for low-latency situation-event transmission (SACKfs).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "kernel/vfs.h"
+
+namespace sack::kernel {
+
+class SecurityFs {
+ public:
+  static constexpr std::string_view kMountPoint = "/sys/kernel/security";
+
+  explicit SecurityFs(Vfs* vfs);
+
+  // Registers a virtual file at kMountPoint/<rel_path>, creating intermediate
+  // directories. `ops` is non-owning: the registering module keeps ownership,
+  // like the real securityfs_create_file(data, fops) contract.
+  // Default mode 0600: root-only, the securityfs convention.
+  Result<InodePtr> register_file(std::string_view rel_path,
+                                 VirtualFileOps* ops, FileMode mode = 0600);
+
+  Result<InodePtr> register_dir(std::string_view rel_path);
+
+  // Removes a previously registered entry.
+  Result<void> unregister(std::string_view rel_path);
+
+  const InodePtr& mount_root() const { return mount_root_; }
+
+ private:
+  Vfs* vfs_;
+  InodePtr mount_root_;
+};
+
+}  // namespace sack::kernel

@@ -1,0 +1,75 @@
+// Loopback-only socket simulation: AF_UNIX and AF_INET stream sockets.
+//
+// A connected socket pair is two PipeBuffers (one per direction). INET
+// sockets additionally pay a simulated protocol cost per segment (header
+// build + checksum over the payload) so that TCP bandwidth and AF_UNIX
+// bandwidth are distinguishable, as they are in LMBench.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "kernel/pipe.h"
+#include "kernel/types.h"
+#include "util/result.h"
+
+namespace sack::kernel {
+
+struct SockAddr {
+  SockFamily family{};
+  std::string path;        // AF_UNIX
+  std::uint32_t ip = 0;    // AF_INET (loopback only)
+  std::uint16_t port = 0;  // AF_INET
+
+  friend bool operator==(const SockAddr& a, const SockAddr& b) = default;
+
+  static SockAddr un(std::string path) {
+    return {SockFamily::unix_, std::move(path), 0, 0};
+  }
+  static SockAddr in(std::uint16_t port) {
+    return {SockFamily::inet, {}, 0x7f000001, port};
+  }
+};
+
+enum class SockState : std::uint8_t {
+  created,
+  bound,
+  listening,
+  connected,
+  closed,
+};
+
+class Socket {
+ public:
+  Socket(SockFamily family, SockType type) : family_(family), type_(type) {}
+
+  SockFamily family() const { return family_; }
+  SockType type() const { return type_; }
+  SockState state = SockState::created;
+  SockAddr local;
+  SockAddr peer;
+
+  // Data path: rx is what we read, tx is what the peer reads.
+  std::shared_ptr<PipeBuffer> rx;
+  std::shared_ptr<PipeBuffer> tx;
+
+  // Listening sockets queue fully-formed peer endpoints for accept().
+  std::deque<std::shared_ptr<Socket>> backlog;
+  int backlog_limit = 0;
+
+  Result<std::size_t> send(std::string_view data);
+  Result<std::size_t> recv(std::string& out, std::size_t n);
+
+  void shutdown();
+
+ private:
+  SockFamily family_;
+  SockType type_;
+};
+
+// Wires a <-> b as a connected pair.
+void connect_sockets(Socket& a, Socket& b);
+
+}  // namespace sack::kernel

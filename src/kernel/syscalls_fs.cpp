@@ -1,0 +1,700 @@
+// File-system syscalls. LSM hook placement follows fs/namei.c, fs/open.c,
+// fs/read_write.c: DAC first, then the LSM chain, then the operation.
+#include <algorithm>
+
+#include "kernel/kernel.h"
+#include "util/log.h"
+
+namespace sack::kernel {
+
+namespace {
+
+AccessMask open_access(OpenFlags flags) {
+  AccessMask a = AccessMask::none;
+  if (has_any(flags, OpenFlags::read)) a |= AccessMask::read;
+  if (has_any(flags, OpenFlags::write)) a |= AccessMask::write;
+  if (has_any(flags, OpenFlags::append)) a |= AccessMask::append;
+  return a;
+}
+
+}  // namespace
+
+Result<Fd> Kernel::sys_open(Task& task, std::string_view path, OpenFlags flags,
+                            FileMode mode) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  if (is_empty(open_access(flags))) return Errno::einval;
+
+  bool want_create = has_any(flags, OpenFlags::create);
+  auto r = want_create
+               ? vfs_.resolve_parent(task.cred(), path, task.cwd())
+               : vfs_.resolve(task.cred(), path, task.cwd(),
+                              !has_any(flags, OpenFlags::nofollow));
+  if (!r.ok()) return r.error();
+
+  InodePtr inode = r->inode;
+  bool created = false;
+
+  if (!inode) {
+    // O_CREAT on a missing file.
+    if (Errno rc = dac_check(task.cred(), *r->parent, AccessMask::write);
+        rc != Errno::ok)
+      return rc;
+    Errno rc = lsm_.check([&](SecurityModule& m) {
+      return m.path_mknod(task, r->path, InodeType::regular);
+    });
+    if (rc != Errno::ok) return rc;
+    inode = vfs_.make_inode(InodeType::regular, mode, task.cred().euid,
+                            task.cred().egid);
+    vfs_.link_child(r->parent, r->leaf, inode);
+    created = true;
+  } else {
+    if (want_create && has_any(flags, OpenFlags::excl)) return Errno::eexist;
+    if (inode->is_symlink()) {
+      // resolve_parent / nofollow left us at the link itself.
+      if (has_any(flags, OpenFlags::nofollow)) return Errno::eloop;
+      auto rr = vfs_.resolve(task.cred(), path, task.cwd());
+      if (!rr.ok()) return rr.error();
+      r = rr;
+      inode = r->inode;
+    }
+  }
+
+  if (inode->is_dir()) {
+    if (has_any(flags, OpenFlags::write)) return Errno::eisdir;
+  } else if (has_any(flags, OpenFlags::directory)) {
+    return Errno::enotdir;
+  }
+
+  AccessMask access = open_access(flags);
+  if (!created) {
+    if (Errno rc = dac_check(task.cred(), *inode, access); rc != Errno::ok)
+      return rc;
+  }
+  Errno rc = lsm_.check([&](SecurityModule& m) {
+    return m.file_open(task, r->path, *inode, access);
+  });
+  if (rc != Errno::ok) {
+    log_debug("open denied by MAC: ", r->path);
+    return rc;
+  }
+
+  if (has_any(flags, OpenFlags::trunc) && inode->is_regular() &&
+      has_any(flags, OpenFlags::write) && !inode->data().empty()) {
+    Errno trc = lsm_.check(
+        [&](SecurityModule& m) { return m.path_truncate(task, r->path); });
+    if (trc != Errno::ok) return trc;
+    inode->data().clear();
+    inode->mtime = clock_.now();
+  }
+
+  auto file = std::make_shared<File>(inode, flags, r->path);
+  if (has_any(flags, OpenFlags::append)) file->offset = inode->data().size();
+  auto fd = task.fds().install(file);
+  if (!fd.ok()) return fd.error();
+  if (has_any(flags, OpenFlags::cloexec))
+    task.fds().set_cloexec(fd.value(), true);
+  inode->atime = clock_.now();
+  return fd;
+}
+
+Result<void> Kernel::sys_close(Task& task, Fd fd) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  return task.fds().remove(fd);
+}
+
+Result<std::size_t> Kernel::sys_read(Task& task, Fd fd, std::string& out,
+                                     std::size_t n) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto fr = task.fds().get(fd);
+  if (!fr.ok()) return fr.error();
+  File& file = **fr;
+  if (!file.readable()) return Errno::ebadf;
+
+  if (file.is_socket()) {
+    Errno rc = lsm_.check([&](SecurityModule& m) {
+      return m.socket_recvmsg(task, *file.socket());
+    });
+    if (rc != Errno::ok) return rc;
+    return file.socket()->recv(out, n);
+  }
+
+  Errno rc = lsm_.check([&](SecurityModule& m) {
+    return m.file_permission(task, file, AccessMask::read);
+  });
+  if (rc != Errno::ok) return rc;
+
+  if (file.is_pipe()) {
+    if (file.pipe_end() != PipeEnd::read) return Errno::ebadf;
+    return file.pipe()->read(out, n);
+  }
+
+  const InodePtr& inode = file.inode();
+  if (inode->is_dir()) return Errno::eisdir;
+
+  if (inode->vfile) {
+    // securityfs read: snapshot once per description, serve from it.
+    if (!file.vfile_snapshot) {
+      auto content = inode->vfile->read_content(task);
+      if (!content.ok()) return content.error();
+      file.vfile_snapshot = std::move(content).value();
+    }
+    const std::string& snap = *file.vfile_snapshot;
+    if (file.offset >= snap.size()) {
+      out.clear();
+      return std::size_t{0};
+    }
+    std::size_t take = std::min(n, snap.size() - file.offset);
+    out.assign(snap, file.offset, take);
+    file.offset += take;
+    return take;
+  }
+
+  if (inode->is_chardev()) {
+    if (!inode->device) return Errno::enodev;
+    return inode->device->read(task, file, out, n);
+  }
+
+  const std::string& data = inode->data();
+  if (file.offset >= data.size()) {
+    out.clear();
+    return std::size_t{0};
+  }
+  std::size_t take = std::min(n, data.size() - file.offset);
+  out.assign(data, file.offset, take);
+  file.offset += take;
+  inode->atime = clock_.now();
+  return take;
+}
+
+Result<std::size_t> Kernel::sys_write(Task& task, Fd fd,
+                                      std::string_view data) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto fr = task.fds().get(fd);
+  if (!fr.ok()) return fr.error();
+  File& file = **fr;
+  if (!file.writable()) return Errno::ebadf;
+
+  if (file.is_socket()) {
+    Errno rc = lsm_.check([&](SecurityModule& m) {
+      return m.socket_sendmsg(task, *file.socket());
+    });
+    if (rc != Errno::ok) return rc;
+    return file.socket()->send(data);
+  }
+
+  Errno rc = lsm_.check([&](SecurityModule& m) {
+    return m.file_permission(task, file,
+                             file.append_only() ? AccessMask::append
+                                                : AccessMask::write);
+  });
+  if (rc != Errno::ok) return rc;
+
+  if (file.is_pipe()) {
+    if (file.pipe_end() != PipeEnd::write) return Errno::ebadf;
+    return file.pipe()->write(data);
+  }
+
+  const InodePtr& inode = file.inode();
+
+  if (inode->vfile) {
+    // securityfs write: dispatch synchronously to the owning module.
+    auto wr = inode->vfile->write_content(task, data);
+    if (!wr.ok()) return wr.error();
+    return data.size();
+  }
+
+  if (inode->is_chardev()) {
+    if (!inode->device) return Errno::enodev;
+    return inode->device->write(task, file, data);
+  }
+  if (!inode->is_regular()) return Errno::einval;
+
+  std::string& content = inode->data();
+  if (file.append_only()) file.offset = content.size();
+  if (file.offset + data.size() > content.size())
+    content.resize(file.offset + data.size());
+  std::copy(data.begin(), data.end(), content.begin() + static_cast<std::ptrdiff_t>(file.offset));
+  file.offset += data.size();
+  inode->mtime = clock_.now();
+  return data.size();
+}
+
+Result<std::uint64_t> Kernel::sys_lseek(Task& task, Fd fd, std::int64_t offset,
+                                        Whence whence) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto fr = task.fds().get(fd);
+  if (!fr.ok()) return fr.error();
+  File& file = **fr;
+  if (file.is_pipe() || file.is_socket()) return Errno::espipe;
+  std::int64_t base = 0;
+  switch (whence) {
+    case Whence::set: base = 0; break;
+    case Whence::cur: base = static_cast<std::int64_t>(file.offset); break;
+    case Whence::end:
+      base = static_cast<std::int64_t>(file.inode()->data().size());
+      break;
+  }
+  std::int64_t target = base + offset;
+  if (target < 0) return Errno::einval;
+  file.offset = static_cast<std::uint64_t>(target);
+  return file.offset;
+}
+
+namespace {
+Stat stat_of(const Inode& inode) {
+  Stat st;
+  st.ino = inode.ino();
+  st.type = inode.type();
+  st.mode = inode.mode();
+  st.uid = inode.uid();
+  st.gid = inode.gid();
+  st.size = inode.size();
+  st.nlink = inode.nlink();
+  st.atime = inode.atime;
+  st.mtime = inode.mtime;
+  st.ctime = inode.ctime;
+  return st;
+}
+}  // namespace
+
+Result<Stat> Kernel::sys_stat(Task& task, std::string_view path) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve(task.cred(), path, task.cwd());
+  if (!r.ok()) return r.error();
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.inode_getattr(task, r->path); });
+  if (rc != Errno::ok) return rc;
+  return stat_of(*r->inode);
+}
+
+Result<Stat> Kernel::sys_fstat(Task& task, Fd fd) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto fr = task.fds().get(fd);
+  if (!fr.ok()) return fr.error();
+  File& file = **fr;
+  if (!file.inode()) return Errno::ebadf;  // pipe/socket: not modeled
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.inode_getattr(task, file.path()); });
+  if (rc != Errno::ok) return rc;
+  return stat_of(*file.inode());
+}
+
+Result<void> Kernel::sys_mkdir(Task& task, std::string_view path,
+                               FileMode mode) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve_parent(task.cred(), path, task.cwd());
+  if (!r.ok()) return r.error();
+  if (r->inode) return Errno::eexist;
+  if (Errno rc = dac_check(task.cred(), *r->parent, AccessMask::write);
+      rc != Errno::ok)
+    return rc;
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.path_mkdir(task, r->path); });
+  if (rc != Errno::ok) return rc;
+  auto dir = vfs_.make_inode(InodeType::directory, mode, task.cred().euid,
+                             task.cred().egid);
+  dir->set_nlink(2);
+  vfs_.link_child(r->parent, r->leaf, dir);
+  return {};
+}
+
+Result<void> Kernel::sys_rmdir(Task& task, std::string_view path) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve(task.cred(), path, task.cwd(), false);
+  if (!r.ok()) return r.error();
+  if (!r->inode->is_dir()) return Errno::enotdir;
+  if (!r->inode->children().empty()) return Errno::enotempty;
+  if (r->inode == vfs_.root()) return Errno::ebusy;
+  if (Errno rc = dac_check(task.cred(), *r->parent, AccessMask::write);
+      rc != Errno::ok)
+    return rc;
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.path_rmdir(task, r->path); });
+  if (rc != Errno::ok) return rc;
+  vfs_.unlink_child(r->parent, r->leaf);
+  return {};
+}
+
+Result<void> Kernel::sys_unlink(Task& task, std::string_view path) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve(task.cred(), path, task.cwd(), false);
+  if (!r.ok()) return r.error();
+  if (r->inode->is_dir()) return Errno::eisdir;
+  if (Errno rc = dac_check(task.cred(), *r->parent, AccessMask::write);
+      rc != Errno::ok)
+    return rc;
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.path_unlink(task, r->path); });
+  if (rc != Errno::ok) return rc;
+  vfs_.unlink_child(r->parent, r->leaf);
+  return {};
+}
+
+Result<void> Kernel::sys_rename(Task& task, std::string_view from,
+                                std::string_view to) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto rf = vfs_.resolve(task.cred(), from, task.cwd(), false);
+  if (!rf.ok()) return rf.error();
+  auto rt = vfs_.resolve_parent(task.cred(), to, task.cwd());
+  if (!rt.ok()) return rt.error();
+  // Renaming a path onto itself is a no-op (POSIX) — short-circuit before
+  // the unlink/link dance would corrupt the link count.
+  if (rf->path == rt->path) return {};
+  if (rt->inode && rt->inode->is_dir()) return Errno::eisdir;
+  // Renaming a directory into its own subtree would orphan the subtree (and
+  // cycle the tree); the real VFS returns EINVAL for this.
+  if (rf->inode->is_dir()) {
+    for (InodePtr p = rt->parent; p; p = p->parent.lock()) {
+      if (p == rf->inode) return Errno::einval;
+    }
+  }
+  if (Errno rc = dac_check(task.cred(), *rf->parent, AccessMask::write);
+      rc != Errno::ok)
+    return rc;
+  if (Errno rc = dac_check(task.cred(), *rt->parent, AccessMask::write);
+      rc != Errno::ok)
+    return rc;
+  Errno rc = lsm_.check([&](SecurityModule& m) {
+    return m.path_rename(task, rf->path, rt->path);
+  });
+  if (rc != Errno::ok) return rc;
+  InodePtr moving = rf->inode;
+  vfs_.unlink_child(rf->parent, rf->leaf);
+  if (rt->inode) vfs_.unlink_child(rt->parent, rt->leaf);
+  vfs_.link_child(rt->parent, rt->leaf, moving);
+  // Renames of directories re-root a subtree; path-based labels follow paths,
+  // so nothing else to fix up.
+  return {};
+}
+
+Result<void> Kernel::sys_symlink(Task& task, std::string_view target,
+                                 std::string_view linkpath) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve_parent(task.cred(), linkpath, task.cwd());
+  if (!r.ok()) return r.error();
+  if (r->inode) return Errno::eexist;
+  if (Errno rc = dac_check(task.cred(), *r->parent, AccessMask::write);
+      rc != Errno::ok)
+    return rc;
+  Errno rc = lsm_.check([&](SecurityModule& m) {
+    return m.path_symlink(task, r->path, std::string(target));
+  });
+  if (rc != Errno::ok) return rc;
+  auto link = vfs_.make_inode(InodeType::symlink, 0777, task.cred().euid,
+                              task.cred().egid);
+  link->set_symlink_target(std::string(target));
+  vfs_.link_child(r->parent, r->leaf, link);
+  return {};
+}
+
+Result<void> Kernel::sys_link(Task& task, std::string_view existing,
+                              std::string_view newpath) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto src = vfs_.resolve(task.cred(), existing, task.cwd());
+  if (!src.ok()) return src.error();
+  if (src->inode->is_dir()) return Errno::eperm;  // no directory hard links
+  auto dst = vfs_.resolve_parent(task.cred(), newpath, task.cwd());
+  if (!dst.ok()) return dst.error();
+  if (dst->inode) return Errno::eexist;
+  if (Errno rc = dac_check(task.cred(), *dst->parent, AccessMask::write);
+      rc != Errno::ok)
+    return rc;
+  Errno rc = lsm_.check([&](SecurityModule& m) {
+    return m.path_link(task, src->path, dst->path);
+  });
+  if (rc != Errno::ok) return rc;
+  vfs_.link_child(dst->parent, dst->leaf, src->inode);
+  src->inode->set_nlink(src->inode->nlink() + 1);
+  src->inode->ctime = clock_.now();
+  return {};
+}
+
+Result<std::string> Kernel::sys_readlink(Task& task, std::string_view path) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve(task.cred(), path, task.cwd(), false);
+  if (!r.ok()) return r.error();
+  if (!r->inode->is_symlink()) return Errno::einval;
+  return r->inode->symlink_target();
+}
+
+Result<void> Kernel::sys_chmod(Task& task, std::string_view path,
+                               FileMode mode) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve(task.cred(), path, task.cwd());
+  if (!r.ok()) return r.error();
+  if (task.cred().euid != r->inode->uid() &&
+      !task.cred().caps.has(Capability::fowner))
+    return Errno::eperm;
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.path_chmod(task, r->path, mode); });
+  if (rc != Errno::ok) return rc;
+  r->inode->set_mode(mode & 07777);
+  r->inode->ctime = clock_.now();
+  return {};
+}
+
+Result<void> Kernel::sys_chown(Task& task, std::string_view path, Uid uid,
+                               Gid gid) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve(task.cred(), path, task.cwd());
+  if (!r.ok()) return r.error();
+  if (!task.cred().caps.has(Capability::chown)) return Errno::eperm;
+  Errno rc = lsm_.check([&](SecurityModule& m) {
+    return m.path_chown(task, r->path, uid, gid);
+  });
+  if (rc != Errno::ok) return rc;
+  r->inode->set_owner(uid, gid);
+  r->inode->ctime = clock_.now();
+  return {};
+}
+
+Result<void> Kernel::sys_truncate(Task& task, std::string_view path,
+                                  std::uint64_t length) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve(task.cred(), path, task.cwd());
+  if (!r.ok()) return r.error();
+  if (!r->inode->is_regular()) return Errno::einval;
+  if (Errno rc = dac_check(task.cred(), *r->inode, AccessMask::write);
+      rc != Errno::ok)
+    return rc;
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.path_truncate(task, r->path); });
+  if (rc != Errno::ok) return rc;
+  r->inode->data().resize(length);
+  r->inode->mtime = clock_.now();
+  return {};
+}
+
+Result<long> Kernel::sys_ioctl(Task& task, Fd fd, std::uint32_t cmd,
+                               long arg) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto fr = task.fds().get(fd);
+  if (!fr.ok()) return fr.error();
+  File& file = **fr;
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.file_ioctl(task, file, cmd); });
+  if (rc != Errno::ok) {
+    log_debug("ioctl denied by MAC: ", file.path(), " cmd=", cmd);
+    return rc;
+  }
+  if (!file.inode() || !file.inode()->is_chardev()) return Errno::enotty;
+  if (!file.inode()->device) return Errno::enodev;
+  return file.inode()->device->ioctl(task, file, cmd, arg);
+}
+
+namespace {
+constexpr std::string_view kSecurityPrefix = "security.";
+constexpr std::string_view kUserPrefix = "user.";
+}  // namespace
+
+Result<std::string> Kernel::sys_getxattr(Task& task, std::string_view path,
+                                         std::string_view name) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve(task.cred(), path, task.cwd());
+  if (!r.ok()) return r.error();
+  Errno rc = lsm_.check([&](SecurityModule& m) {
+    return m.inode_getxattr(task, r->path, std::string(name));
+  });
+  if (rc != Errno::ok) return rc;
+
+  std::string key;
+  if (name.starts_with(kSecurityPrefix)) {
+    key = std::string(name.substr(kSecurityPrefix.size()));
+  } else if (name.starts_with(kUserPrefix)) {
+    if (Errno drc = dac_check(task.cred(), *r->inode, AccessMask::read);
+        drc != Errno::ok)
+      return drc;
+    key = std::string(name);
+  } else {
+    return Errno::eopnotsupp;
+  }
+  const std::string* value = r->inode->get_security(key);
+  if (!value) return Errno::enodata;
+  return *value;
+}
+
+Result<void> Kernel::sys_setxattr(Task& task, std::string_view path,
+                                  std::string_view name,
+                                  std::string_view value) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve(task.cred(), path, task.cwd());
+  if (!r.ok()) return r.error();
+
+  std::string key;
+  if (name.starts_with(kSecurityPrefix)) {
+    // Security labels are MAC state: only a MAC administrator may set them.
+    if (capable(task, Capability::mac_admin) != Errno::ok)
+      return Errno::eperm;
+    key = std::string(name.substr(kSecurityPrefix.size()));
+  } else if (name.starts_with(kUserPrefix)) {
+    if (Errno drc = dac_check(task.cred(), *r->inode, AccessMask::write);
+        drc != Errno::ok)
+      return drc;
+    key = std::string(name);
+  } else {
+    return Errno::eopnotsupp;
+  }
+  Errno rc = lsm_.check([&](SecurityModule& m) {
+    return m.inode_setxattr(task, r->path, std::string(name),
+                            std::string(value));
+  });
+  if (rc != Errno::ok) return rc;
+  r->inode->set_security(key, std::string(value));
+  r->inode->ctime = clock_.now();
+  return {};
+}
+
+Result<std::vector<std::string>> Kernel::sys_listxattr(Task& task,
+                                                       std::string_view path) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve(task.cred(), path, task.cwd());
+  if (!r.ok()) return r.error();
+  if (Errno drc = dac_check(task.cred(), *r->inode, AccessMask::read);
+      drc != Errno::ok)
+    return drc;
+  std::vector<std::string> names;
+  for (const auto& [key, value] : r->inode->security_all()) {
+    if (key.find('.') == std::string::npos) {
+      names.push_back(std::string(kSecurityPrefix) + key);  // module label
+    } else if (key.starts_with(kUserPrefix)) {
+      names.push_back(key);
+    }
+    // Other dotted keys are module-internal bookkeeping; not surfaced.
+  }
+  return names;
+}
+
+Result<Fd> Kernel::sys_dup(Task& task, Fd fd) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto fr = task.fds().get(fd);
+  if (!fr.ok()) return fr.error();
+  return task.fds().install(*fr);
+}
+
+Result<std::vector<std::string>> Kernel::sys_readdir(Task& task,
+                                                     std::string_view path) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve(task.cred(), path, task.cwd());
+  if (!r.ok()) return r.error();
+  if (!r->inode->is_dir()) return Errno::enotdir;
+  if (Errno rc = dac_check(task.cred(), *r->inode, AccessMask::read);
+      rc != Errno::ok)
+    return rc;
+  Errno rc = lsm_.check([&](SecurityModule& m) {
+    return m.file_open(task, r->path, *r->inode, AccessMask::read);
+  });
+  if (rc != Errno::ok) return rc;
+  std::vector<std::string> names;
+  names.reserve(r->inode->children().size());
+  for (const auto& [name, child] : r->inode->children()) names.push_back(name);
+  return names;
+}
+
+Result<void> Kernel::sys_chdir(Task& task, std::string_view path) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto r = vfs_.resolve(task.cred(), path, task.cwd());
+  if (!r.ok()) return r.error();
+  if (!r->inode->is_dir()) return Errno::enotdir;
+  if (Errno rc = dac_check(task.cred(), *r->inode, AccessMask::exec);
+      rc != Errno::ok)
+    return rc;
+  task.set_cwd(r->path);
+  return {};
+}
+
+// --- mmap ---
+
+Result<int> Kernel::sys_mmap(Task& task, Fd fd, std::size_t length,
+                             AccessMask prot) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  if (length == 0) return Errno::einval;
+  auto fr = task.fds().get(fd);
+  if (!fr.ok()) return fr.error();
+  File& file = **fr;
+  if (!file.inode() || !file.inode()->is_regular()) return Errno::enodev;
+  if (has_any(prot, AccessMask::read) && !file.readable()) return Errno::eacces;
+  if (has_any(prot, AccessMask::write) && !file.writable())
+    return Errno::eacces;
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.mmap_file(task, file, prot); });
+  if (rc != Errno::ok) return rc;
+
+  MmapRegion region;
+  region.id = task.next_mmap_id();
+  region.inode = file.inode();
+  region.offset = 0;
+  region.length = std::min(length, file.inode()->data().size());
+  region.prot = prot;
+  region.path = file.path();
+  int id = region.id;
+  task.mmaps().emplace(id, std::move(region));
+  return id;
+}
+
+Result<int> Kernel::sys_mmap_anon(Task& task, std::size_t length,
+                                  AccessMask prot) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  if (length == 0) return Errno::einval;
+  MmapRegion region;
+  region.id = task.next_mmap_id();
+  region.anon_data.assign(length, '\0');
+  region.length = length;
+  region.prot = prot;
+  int id = region.id;
+  task.mmaps().emplace(id, std::move(region));
+  return id;
+}
+
+Result<void> Kernel::sys_munmap(Task& task, int mmap_id) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  if (task.mmaps().erase(mmap_id) == 0) return Errno::einval;
+  return {};
+}
+
+Result<std::size_t> Kernel::mmap_read(Task& task, int mmap_id,
+                                      std::string& out, std::size_t offset,
+                                      std::size_t n) {
+  auto it = task.mmaps().find(mmap_id);
+  if (it == task.mmaps().end()) return Errno::einval;
+  const MmapRegion& region = it->second;
+  if (!has_any(region.prot, AccessMask::read)) return Errno::eacces;
+  const std::string& data =
+      region.inode ? region.inode->data() : region.anon_data;
+  std::size_t limit = std::min<std::size_t>(region.length, data.size());
+  if (offset >= limit) {
+    out.clear();
+    return std::size_t{0};
+  }
+  std::size_t take = std::min(n, limit - offset);
+  out.assign(data, region.offset + offset, take);
+  return take;
+}
+
+}  // namespace sack::kernel

@@ -1,0 +1,192 @@
+// Pipe and socket syscalls (loopback only).
+#include "kernel/kernel.h"
+
+namespace sack::kernel {
+
+Result<std::pair<Fd, Fd>> Kernel::sys_pipe(Task& task) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto buffer = std::make_shared<PipeBuffer>();
+  auto rd = std::make_shared<File>(buffer, PipeEnd::read);
+  auto wr = std::make_shared<File>(buffer, PipeEnd::write);
+  auto rfd = task.fds().install(rd);
+  if (!rfd.ok()) return rfd.error();
+  auto wfd = task.fds().install(wr);
+  if (!wfd.ok()) {
+    (void)task.fds().remove(rfd.value());
+    return wfd.error();
+  }
+  return std::pair{rfd.value(), wfd.value()};
+}
+
+Result<Fd> Kernel::sys_socket(Task& task, SockFamily family, SockType type) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.socket_create(task, family, type); });
+  if (rc != Errno::ok) return rc;
+  auto sock = std::make_shared<Socket>(family, type);
+  return task.fds().install(std::make_shared<File>(std::move(sock)));
+}
+
+Result<std::pair<Fd, Fd>> Kernel::sys_socketpair(Task& task,
+                                                 SockFamily family) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  Errno rc = lsm_.check([&](SecurityModule& m) {
+    return m.socket_create(task, family, SockType::stream);
+  });
+  if (rc != Errno::ok) return rc;
+  auto a = std::make_shared<Socket>(family, SockType::stream);
+  auto b = std::make_shared<Socket>(family, SockType::stream);
+  connect_sockets(*a, *b);
+  auto afd = task.fds().install(std::make_shared<File>(std::move(a)));
+  if (!afd.ok()) return afd.error();
+  auto bfd = task.fds().install(std::make_shared<File>(std::move(b)));
+  if (!bfd.ok()) {
+    (void)task.fds().remove(afd.value());
+    return bfd.error();
+  }
+  return std::pair{afd.value(), bfd.value()};
+}
+
+namespace {
+Result<std::shared_ptr<Socket>> socket_of(Task& task, Fd fd) {
+  auto fr = task.fds().get(fd);
+  if (!fr.ok()) return fr.error();
+  if (!(*fr)->is_socket()) return Errno::enotsock;
+  return (*fr)->socket();
+}
+}  // namespace
+
+Result<void> Kernel::sys_bind(Task& task, Fd fd, const SockAddr& addr) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto sr = socket_of(task, fd);
+  if (!sr.ok()) return sr.error();
+  Socket& sock = **sr;
+  if (sock.state != SockState::created) return Errno::einval;
+  if (addr.family != sock.family()) return Errno::einval;
+  // Binding to a privileged port needs CAP_NET_BIND_SERVICE.
+  if (addr.family == SockFamily::inet && addr.port < 1024) {
+    if (capable(task, Capability::net_bind_service) != Errno::ok)
+      return Errno::eacces;
+  }
+  Errno rc =
+      lsm_.check([&](SecurityModule& m) { return m.socket_bind(task, sock); });
+  if (rc != Errno::ok) return rc;
+  // The address is reserved at bind time, as in real TCP/unix sockets.
+  // A closed previous holder releases the address lazily here.
+  auto fr = task.fds().get(fd);
+  auto stale = [](const std::weak_ptr<File>& w) {
+    auto f = w.lock();
+    return !f || !f->socket() || f->socket()->state == SockState::closed;
+  };
+  if (addr.family == SockFamily::inet) {
+    auto it = inet_listeners_.find(addr.port);
+    if (it != inet_listeners_.end()) {
+      if (!stale(it->second)) return Errno::eaddrinuse;
+      inet_listeners_.erase(it);
+    }
+    inet_listeners_[addr.port] = *fr;
+  } else {
+    auto it = unix_listeners_.find(addr.path);
+    if (it != unix_listeners_.end()) {
+      if (!stale(it->second)) return Errno::eaddrinuse;
+      unix_listeners_.erase(it);
+    }
+    unix_listeners_[addr.path] = *fr;
+  }
+  sock.local = addr;
+  sock.state = SockState::bound;
+  return {};
+}
+
+Result<void> Kernel::sys_listen(Task& task, Fd fd, int backlog) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto fr = task.fds().get(fd);
+  if (!fr.ok()) return fr.error();
+  if (!(*fr)->is_socket()) return Errno::enotsock;
+  Socket& sock = *(*fr)->socket();
+  if (sock.state != SockState::bound) return Errno::einval;
+  sock.state = SockState::listening;
+  sock.backlog_limit = backlog;
+  return {};
+}
+
+Result<void> Kernel::sys_connect(Task& task, Fd fd, const SockAddr& addr) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto sr = socket_of(task, fd);
+  if (!sr.ok()) return sr.error();
+  Socket& sock = **sr;
+  if (sock.state == SockState::connected) return Errno::einval;
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.socket_connect(task, sock); });
+  if (rc != Errno::ok) return rc;
+
+  FilePtr listener_file;
+  if (addr.family == SockFamily::inet) {
+    auto it = inet_listeners_.find(addr.port);
+    if (it == inet_listeners_.end()) return Errno::econnrefused;
+    listener_file = it->second.lock();
+  } else {
+    auto it = unix_listeners_.find(addr.path);
+    if (it == unix_listeners_.end()) return Errno::econnrefused;
+    listener_file = it->second.lock();
+  }
+  if (!listener_file) return Errno::econnrefused;
+  Socket& listener = *listener_file->socket();
+  if (listener.state != SockState::listening) return Errno::econnrefused;
+  if (listener.backlog_limit > 0 &&
+      static_cast<int>(listener.backlog.size()) >= listener.backlog_limit)
+    return Errno::econnrefused;
+
+  // Create the server-side endpoint and hand it to the listener's backlog.
+  auto server_end =
+      std::make_shared<Socket>(listener.family(), listener.type());
+  server_end->local = listener.local;
+  connect_sockets(sock, *server_end);
+  listener.backlog.push_back(std::move(server_end));
+  return {};
+}
+
+Result<Fd> Kernel::sys_accept(Task& task, Fd fd) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto sr = socket_of(task, fd);
+  if (!sr.ok()) return sr.error();
+  Socket& listener = **sr;
+  if (listener.state != SockState::listening) return Errno::einval;
+  if (listener.backlog.empty()) return Errno::eagain;
+  auto endpoint = listener.backlog.front();
+  listener.backlog.pop_front();
+  return task.fds().install(std::make_shared<File>(std::move(endpoint)));
+}
+
+Result<std::size_t> Kernel::sys_send(Task& task, Fd fd,
+                                     std::string_view data) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto sr = socket_of(task, fd);
+  if (!sr.ok()) return sr.error();
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.socket_sendmsg(task, **sr); });
+  if (rc != Errno::ok) return rc;
+  return (*sr)->send(data);
+}
+
+Result<std::size_t> Kernel::sys_recv(Task& task, Fd fd, std::string& out,
+                                     std::size_t n) {
+  ++syscall_count_;
+  clock_.advance_ns(1);
+  auto sr = socket_of(task, fd);
+  if (!sr.ok()) return sr.error();
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.socket_recvmsg(task, **sr); });
+  if (rc != Errno::ok) return rc;
+  return (*sr)->recv(out, n);
+}
+
+}  // namespace sack::kernel

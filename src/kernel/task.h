@@ -1,0 +1,94 @@
+// Tasks (processes). The simulator has no preemption: host code drives tasks
+// by invoking syscalls on their behalf, which is exactly what the benchmark
+// harness and the IVI apps do.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "kernel/cred.h"
+#include "kernel/file.h"
+#include "kernel/types.h"
+
+namespace sack::kernel {
+
+enum class TaskState : std::uint8_t { running, zombie, dead };
+
+// A memory mapping created by sys_mmap.
+struct MmapRegion {
+  int id = 0;
+  InodePtr inode;          // file-backed if set
+  std::string anon_data;   // anonymous otherwise
+  std::uint64_t offset = 0;
+  std::size_t length = 0;
+  AccessMask prot{};
+  std::string path;        // file path for MAC bookkeeping
+};
+
+class Task {
+ public:
+  Task(Pid pid, Pid ppid, std::string comm, Cred cred)
+      : pid_(pid), ppid_(ppid), comm_(std::move(comm)), cred_(std::move(cred)) {}
+
+  Pid pid() const { return pid_; }
+  Pid ppid() const { return ppid_; }
+  void set_ppid(Pid p) { ppid_ = p; }
+
+  const std::string& comm() const { return comm_; }
+  void set_comm(std::string c) { comm_ = std::move(c); }
+
+  // Absolute path of the current executable (set by exec); path-based LSMs
+  // use it to attach profiles.
+  const std::string& exe_path() const { return exe_path_; }
+  void set_exe_path(std::string p) { exe_path_ = std::move(p); }
+
+  Cred& cred() { return cred_; }
+  const Cred& cred() const { return cred_; }
+
+  const std::string& cwd() const { return cwd_; }
+  void set_cwd(std::string c) { cwd_ = std::move(c); }
+
+  FdTable& fds() { return fds_; }
+  const FdTable& fds() const { return fds_; }
+
+  TaskState state = TaskState::running;
+  int exit_code = 0;
+
+  // --- mmap regions ---
+  std::map<int, MmapRegion>& mmaps() { return mmaps_; }
+  int next_mmap_id() { return next_mmap_id_++; }
+
+  // --- per-LSM security blobs (task->security) ---
+  // Each LSM stores what it likes under its own name; AppArmor keeps the
+  // attached profile name here.
+  template <typename T>
+  std::shared_ptr<T> security_blob(const std::string& lsm) const {
+    auto it = blobs_.find(lsm);
+    if (it == blobs_.end()) return nullptr;
+    return std::static_pointer_cast<T>(it->second);
+  }
+  void set_security_blob(const std::string& lsm, std::shared_ptr<void> blob) {
+    blobs_[lsm] = std::move(blob);
+  }
+  const std::unordered_map<std::string, std::shared_ptr<void>>& blobs() const {
+    return blobs_;
+  }
+
+ private:
+  Pid pid_;
+  Pid ppid_;
+  std::string comm_;
+  std::string exe_path_;
+  Cred cred_;
+  std::string cwd_ = "/";
+  FdTable fds_;
+  std::map<int, MmapRegion> mmaps_;
+  int next_mmap_id_ = 1;
+  std::unordered_map<std::string, std::shared_ptr<void>> blobs_;
+};
+
+using TaskPtr = std::shared_ptr<Task>;
+
+}  // namespace sack::kernel

@@ -1,0 +1,96 @@
+// Common value types for the simulated kernel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bitmask.h"
+#include "util/clock.h"
+#include "util/strong_id.h"
+
+namespace sack::kernel {
+
+// Re-export the strong ids so kernel::Fd / kernel::Pid spell naturally.
+using sack::EventId;
+using sack::Fd;
+using sack::InodeNo;
+using sack::PermId;
+using sack::Pid;
+using sack::StateId;
+
+using Uid = std::int32_t;
+using Gid = std::int32_t;
+
+inline constexpr Uid kRootUid = 0;
+inline constexpr Gid kRootGid = 0;
+
+enum class InodeType : std::uint8_t {
+  regular,
+  directory,
+  symlink,
+  chardev,
+  fifo,
+  socket,
+};
+
+std::string_view inode_type_name(InodeType t);
+
+// Permission bits, same layout as POSIX mode & 0777.
+using FileMode = std::uint16_t;
+inline constexpr FileMode kModeDefaultFile = 0644;
+inline constexpr FileMode kModeDefaultDir = 0755;
+inline constexpr FileMode kModeDefaultExe = 0755;
+
+// open(2) flags. Unlike POSIX, the access mode is a pair of bits so that
+// "wants read" / "wants write" are independently testable.
+enum class OpenFlags : std::uint32_t {
+  none = 0,
+  read = 1u << 0,
+  write = 1u << 1,
+  rdwr = read | write,
+  create = 1u << 2,
+  excl = 1u << 3,
+  trunc = 1u << 4,
+  append = 1u << 5,
+  directory = 1u << 6,
+  nofollow = 1u << 7,
+  cloexec = 1u << 8,
+};
+
+// Requested access kinds, used by DAC checks and LSM hooks.
+enum class AccessMask : std::uint32_t {
+  none = 0,
+  read = 1u << 0,
+  write = 1u << 1,
+  exec = 1u << 2,
+  append = 1u << 3,
+};
+
+enum class Whence : std::uint8_t { set, cur, end };
+
+// stat(2) result.
+struct Stat {
+  InodeNo ino;
+  InodeType type{};
+  FileMode mode{};
+  Uid uid = 0;
+  Gid gid = 0;
+  std::uint64_t size = 0;
+  std::uint32_t nlink = 0;
+  SimTime atime = 0;
+  SimTime mtime = 0;
+  SimTime ctime = 0;
+};
+
+// Socket address families / types (loopback-only simulation).
+enum class SockFamily : std::uint8_t { unix_, inet };
+enum class SockType : std::uint8_t { stream, dgram };
+
+}  // namespace sack::kernel
+
+namespace sack {
+template <>
+struct EnableBitmask<kernel::OpenFlags> : std::true_type {};
+template <>
+struct EnableBitmask<kernel::AccessMask> : std::true_type {};
+}  // namespace sack

@@ -1,0 +1,216 @@
+#include "kernel/vfs.h"
+
+#include <deque>
+
+#include "util/strings.h"
+
+namespace sack::kernel {
+
+namespace {
+constexpr int kMaxSymlinkDepth = 40;  // ELOOP budget, same as Linux
+
+std::string join_canon(const std::vector<std::string>& parts) {
+  if (parts.empty()) return "/";
+  std::string out;
+  for (const auto& p : parts) {
+    out += '/';
+    out += p;
+  }
+  return out;
+}
+}  // namespace
+
+Errno dac_check(const Cred& cred, const Inode& inode, AccessMask access) {
+  if (is_empty(access)) return Errno::ok;
+  // CAP_DAC_OVERRIDE bypasses everything except exec of files with no x bit.
+  if (cred.caps.has(Capability::dac_override)) {
+    if (has_any(access, AccessMask::exec) && !inode.is_dir() &&
+        (inode.mode() & 0111) == 0) {
+      return Errno::eacces;
+    }
+    return Errno::ok;
+  }
+  FileMode mode = inode.mode();
+  unsigned shift;
+  if (cred.euid == inode.uid()) {
+    shift = 6;
+  } else if (cred.egid == inode.gid()) {
+    shift = 3;
+  } else {
+    shift = 0;
+  }
+  unsigned bits = (mode >> shift) & 7u;
+  if (has_any(access, AccessMask::read)) {
+    if (!(bits & 4u)) {
+      if (!(cred.caps.has(Capability::dac_read_search) &&
+            !has_any(access, AccessMask::write | AccessMask::exec)))
+        return Errno::eacces;
+    }
+  }
+  if (has_any(access, AccessMask::write | AccessMask::append) && !(bits & 2u))
+    return Errno::eacces;
+  if (has_any(access, AccessMask::exec) && !(bits & 1u)) {
+    if (inode.is_dir() && cred.caps.has(Capability::dac_read_search))
+      return Errno::ok;
+    return Errno::eacces;
+  }
+  return Errno::ok;
+}
+
+Vfs::Vfs(VirtualClock* clock) : clock_(clock) {
+  root_ = make_inode(InodeType::directory, 0755, kRootUid, kRootGid);
+  root_->set_nlink(2);
+}
+
+InodePtr Vfs::make_inode(InodeType type, FileMode mode, Uid uid, Gid gid) {
+  auto inode = std::make_shared<Inode>(InodeNo(static_cast<InodeNo::rep_type>(next_ino_++)),
+                                       type, mode, uid, gid);
+  inode->atime = inode->mtime = inode->ctime = now();
+  return inode;
+}
+
+void Vfs::link_child(const InodePtr& parent, const std::string& name,
+                     const InodePtr& child) {
+  parent->add_child(name, child);
+  child->parent = parent;
+  if (child->is_dir()) parent->set_nlink(parent->nlink() + 1);
+  parent->mtime = now();
+}
+
+void Vfs::unlink_child(const InodePtr& parent, const std::string& name) {
+  auto child = parent->lookup_child(name);
+  if (child) {
+    if (child->is_dir()) parent->set_nlink(parent->nlink() - 1);
+    child->set_nlink(child->nlink() > 0 ? child->nlink() - 1 : 0);
+  }
+  parent->remove_child(name);
+  parent->mtime = now();
+}
+
+InodePtr Vfs::mkdir_p(std::string_view path, FileMode mode) {
+  InodePtr cur = root_;
+  for (auto comp : split(path, '/')) {
+    if (comp.empty() || comp == ".") continue;
+    std::string name(comp);
+    InodePtr child = cur->lookup_child(name);
+    if (!child) {
+      child = make_inode(InodeType::directory, mode, kRootUid, kRootGid);
+      child->set_nlink(2);
+      link_child(cur, name, child);
+    }
+    cur = child;
+  }
+  return cur;
+}
+
+Result<Vfs::Resolved> Vfs::walk(const Cred& cred, std::string_view path,
+                                const std::string& cwd, bool follow_final,
+                                Mode mode) const {
+  if (path.empty()) return Errno::enoent;
+  if (path.size() > 4096) return Errno::enametoolong;
+
+  std::deque<std::string> todo;
+  std::vector<std::string> canon;
+  InodePtr cur;
+
+  auto push_components = [&todo](std::string_view p) {
+    auto comps = split(p, '/');
+    for (auto it = comps.rbegin(); it != comps.rend(); ++it) {
+      if (it->empty()) continue;
+      todo.emplace_front(*it);
+    }
+  };
+
+  if (path[0] == '/') {
+    cur = root_;
+  } else {
+    // cwd is maintained canonical by the kernel; seed the walk from it.
+    cur = root_;
+    for (auto comp : split(cwd, '/')) {
+      if (comp.empty()) continue;
+      auto child = cur->lookup_child(std::string(comp));
+      if (!child || !child->is_dir()) return Errno::enoent;
+      canon.emplace_back(comp);
+      cur = child;
+    }
+  }
+  push_components(path);
+
+  int symlink_budget = kMaxSymlinkDepth;
+  InodePtr parent = cur;
+
+  while (!todo.empty()) {
+    std::string comp = std::move(todo.front());
+    todo.pop_front();
+    if (comp == ".") continue;
+    if (comp == "..") {
+      if (!canon.empty()) {
+        canon.pop_back();
+        auto p = cur->parent.lock();
+        cur = p ? p : root_;
+      }
+      continue;
+    }
+    if (!cur->is_dir()) return Errno::enotdir;
+    if (Errno rc = dac_check(cred, *cur, AccessMask::exec); rc != Errno::ok)
+      return rc;
+
+    InodePtr child = cur->lookup_child(comp);
+    bool is_final = todo.empty();
+
+    if (!child) {
+      if (is_final && mode == Mode::parent) {
+        Resolved r;
+        r.inode = nullptr;
+        r.parent = cur;
+        canon.push_back(comp);
+        r.path = join_canon(canon);
+        r.leaf = comp;
+        return r;
+      }
+      return Errno::enoent;
+    }
+
+    if (child->is_symlink() && (!is_final || follow_final)) {
+      if (--symlink_budget < 0) return Errno::eloop;
+      const std::string& target = child->symlink_target();
+      if (!target.empty() && target[0] == '/') {
+        cur = root_;
+        canon.clear();
+      }
+      if (is_final && mode == Mode::parent) {
+        // Creation through a symlink final component: re-walk the target.
+        push_components(target);
+        continue;
+      }
+      push_components(target);
+      continue;
+    }
+
+    canon.push_back(comp);
+    parent = cur;
+    cur = child;
+  }
+
+  Resolved r;
+  r.inode = cur;
+  r.parent = cur == root_ ? root_ : parent;
+  r.path = join_canon(canon);
+  r.leaf = canon.empty() ? std::string("/") : canon.back();
+  if (mode == Mode::parent && cur == root_) return Errno::eexist;
+  return r;
+}
+
+Result<Vfs::Resolved> Vfs::resolve(const Cred& cred, std::string_view path,
+                                   const std::string& cwd,
+                                   bool follow_final) const {
+  return walk(cred, path, cwd, follow_final, Mode::existing);
+}
+
+Result<Vfs::Resolved> Vfs::resolve_parent(const Cred& cred,
+                                          std::string_view path,
+                                          const std::string& cwd) const {
+  return walk(cred, path, cwd, /*follow_final=*/false, Mode::parent);
+}
+
+}  // namespace sack::kernel

@@ -1,0 +1,71 @@
+// In-memory VFS: a single tree of inodes with POSIX-style path resolution
+// (symlink following with a loop budget, "." / ".." handling, per-component
+// DAC search checks) and canonical-path tracking. Canonical paths matter
+// because the MAC modules in this reproduction are path-based.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "kernel/cred.h"
+#include "kernel/inode.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace sack::kernel {
+
+// DAC (mode-bit) check, honoring CAP_DAC_OVERRIDE / CAP_DAC_READ_SEARCH.
+Errno dac_check(const Cred& cred, const Inode& inode, AccessMask access);
+
+class Vfs {
+ public:
+  explicit Vfs(VirtualClock* clock);
+
+  const InodePtr& root() const { return root_; }
+
+  struct Resolved {
+    InodePtr inode;       // null if the final component does not exist
+    InodePtr parent;      // directory containing the final component
+    std::string path;     // canonical absolute path of the final component
+    std::string leaf;     // final component name
+  };
+
+  // Resolves a path to an existing inode. ENOENT if missing.
+  // `follow_final`: whether a symlink as the *final* component is followed.
+  Result<Resolved> resolve(const Cred& cred, std::string_view path,
+                           const std::string& cwd,
+                           bool follow_final = true) const;
+
+  // Resolves for creation: the parent must exist and be searchable; the
+  // final component may or may not exist (inode null if not).
+  Result<Resolved> resolve_parent(const Cred& cred, std::string_view path,
+                                  const std::string& cwd) const;
+
+  // Allocates a fresh inode (not yet linked anywhere).
+  InodePtr make_inode(InodeType type, FileMode mode, Uid uid, Gid gid);
+
+  // Links `child` into `parent` under `name` and maintains nlink/parent.
+  void link_child(const InodePtr& parent, const std::string& name,
+                  const InodePtr& child);
+  void unlink_child(const InodePtr& parent, const std::string& name);
+
+  // Boot-time helper: creates all missing directories along `path` with
+  // root ownership. No DAC/LSM checks (the kernel building its own tree).
+  InodePtr mkdir_p(std::string_view path, FileMode mode = kModeDefaultDir);
+
+  SimTime now() const { return clock_ ? clock_->now() : 0; }
+
+  std::uint64_t inode_count() const { return next_ino_; }
+
+ private:
+  enum class Mode { existing, parent };
+  Result<Resolved> walk(const Cred& cred, std::string_view path,
+                        const std::string& cwd, bool follow_final,
+                        Mode mode) const;
+
+  VirtualClock* clock_;
+  InodePtr root_;
+  std::uint64_t next_ino_ = 1;
+};
+
+}  // namespace sack::kernel

@@ -1,0 +1,107 @@
+#include "sds/detectors.h"
+
+namespace sack::sds {
+
+std::vector<std::string> CrashDetector::on_frame(const SensorFrame& frame) {
+  std::vector<std::string> events;
+  bool crash_now = frame.crash_signal || frame.accel_g >= threshold_g_;
+  if (!in_emergency_) {
+    if (crash_now) {
+      in_emergency_ = true;
+      quiet_since_.reset();
+      events.emplace_back("crash_detected");
+    }
+    return events;
+  }
+  // In emergency: wait for a sustained quiet period before clearing.
+  bool quiet = !crash_now && frame.speed_kmh < 0.5;
+  if (!quiet) {
+    quiet_since_.reset();
+    return events;
+  }
+  if (!quiet_since_) quiet_since_ = frame.time_ms;
+  if (frame.time_ms - *quiet_since_ >= clear_ms_) {
+    in_emergency_ = false;
+    quiet_since_.reset();
+    events.emplace_back("emergency_cleared");
+  }
+  return events;
+}
+
+void CrashDetector::reset() {
+  in_emergency_ = false;
+  quiet_since_.reset();
+}
+
+std::vector<std::string> DrivingDetector::on_frame(const SensorFrame& frame) {
+  std::vector<std::string> events;
+  if (!driving_) {
+    if (frame.speed_kmh >= start_kmh_ &&
+        (frame.gear == Gear::drive || frame.gear == Gear::reverse)) {
+      driving_ = true;
+      events.emplace_back("start_driving");
+    }
+  } else {
+    if (frame.speed_kmh <= stop_kmh_ && frame.gear == Gear::park) {
+      driving_ = false;
+      events.emplace_back("stop_driving");
+    }
+  }
+  return events;
+}
+
+void DrivingDetector::reset() { driving_ = false; }
+
+std::vector<std::string> SpeedBandDetector::on_frame(
+    const SensorFrame& frame) {
+  std::vector<std::string> events;
+  if (!high_) {
+    if (frame.speed_kmh >= boundary_ + hysteresis_) {
+      high_ = true;
+      events.emplace_back("high_speed_entered");
+    }
+  } else {
+    if (frame.speed_kmh <= boundary_ - hysteresis_) {
+      high_ = false;
+      events.emplace_back("low_speed_entered");
+    }
+  }
+  return events;
+}
+
+void SpeedBandDetector::reset() { high_ = false; }
+
+std::vector<std::string> GeofenceDetector::on_frame(const SensorFrame& frame) {
+  std::vector<std::string> events;
+  double dlat = frame.latitude - lat_;
+  double dlon = frame.longitude - lon_;
+  bool now_inside = dlat * dlat + dlon * dlon <= radius_deg_ * radius_deg_;
+  if (now_inside != inside_) {
+    inside_ = now_inside;
+    events.emplace_back((now_inside ? "entered_" : "left_") + zone_);
+  }
+  return events;
+}
+
+void GeofenceDetector::reset() { inside_ = false; }
+
+std::vector<std::string> ParkingDetector::on_frame(const SensorFrame& frame) {
+  std::vector<std::string> events;
+  State next;
+  if (frame.gear == Gear::park && frame.speed_kmh < 0.5) {
+    next = frame.driver_present ? State::with_driver : State::without_driver;
+  } else {
+    next = State::moving;
+  }
+  if (next != state_) {
+    if (next == State::with_driver) events.emplace_back("parked_with_driver");
+    if (next == State::without_driver)
+      events.emplace_back("parked_without_driver");
+    state_ = next;
+  }
+  return events;
+}
+
+void ParkingDetector::reset() { state_ = State::unknown; }
+
+}  // namespace sack::sds

@@ -1,0 +1,127 @@
+// Situation-event detectors.
+//
+// Each detector watches the frame stream for one class of situation change
+// and emits named situation events — the only thing that crosses into the
+// kernel. Detectors are stateful (hysteresis, debouncing) so a noisy signal
+// doesn't flood SACKfs with spurious events.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sds/sensors.h"
+
+namespace sack::sds {
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+  virtual std::string_view detector_name() const = 0;
+  // Zero or more situation events triggered by this frame.
+  virtual std::vector<std::string> on_frame(const SensorFrame& frame) = 0;
+  virtual void reset() {}
+};
+
+// Crash: fires "crash_detected" on the dedicated crash signal or an
+// acceleration spike above `threshold_g`; fires "emergency_cleared" once the
+// vehicle has been quiet (no crash indication, standstill) for `clear_ms`.
+class CrashDetector final : public Detector {
+ public:
+  explicit CrashDetector(double threshold_g = 4.0,
+                         std::int64_t clear_ms = 30'000)
+      : threshold_g_(threshold_g), clear_ms_(clear_ms) {}
+
+  std::string_view detector_name() const override { return "crash"; }
+  std::vector<std::string> on_frame(const SensorFrame& frame) override;
+  void reset() override;
+
+  bool in_emergency() const { return in_emergency_; }
+
+ private:
+  double threshold_g_;
+  std::int64_t clear_ms_;
+  bool in_emergency_ = false;
+  std::optional<std::int64_t> quiet_since_;
+};
+
+// Driving state: "start_driving" when speed exceeds `start_kmh` in a driving
+// gear, "stop_driving" when the vehicle parks (gear park + standstill).
+// Hysteresis between the two thresholds prevents chatter at walking pace.
+class DrivingDetector final : public Detector {
+ public:
+  DrivingDetector(double start_kmh = 5.0, double stop_kmh = 1.0)
+      : start_kmh_(start_kmh), stop_kmh_(stop_kmh) {}
+
+  std::string_view detector_name() const override { return "driving"; }
+  std::vector<std::string> on_frame(const SensorFrame& frame) override;
+  void reset() override;
+
+  bool driving() const { return driving_; }
+
+ private:
+  double start_kmh_;
+  double stop_kmh_;
+  bool driving_ = false;
+};
+
+// Speed band: "high_speed_entered"/"low_speed_entered" around a boundary
+// with hysteresis — the Fig 3(b) experiment's two situations.
+class SpeedBandDetector final : public Detector {
+ public:
+  explicit SpeedBandDetector(double boundary_kmh = 60.0,
+                             double hysteresis_kmh = 5.0)
+      : boundary_(boundary_kmh), hysteresis_(hysteresis_kmh) {}
+
+  std::string_view detector_name() const override { return "speed_band"; }
+  std::vector<std::string> on_frame(const SensorFrame& frame) override;
+  void reset() override;
+
+ private:
+  double boundary_;
+  double hysteresis_;
+  bool high_ = false;
+};
+
+// Geofence: enters/leaves a named circular zone (depot, restricted area,
+// school zone, ...). Location is one of the environmental attributes the
+// paper calls out (§II-A3); a geofence turns raw coordinates into the
+// situation events "entered_<zone>" / "left_<zone>".
+class GeofenceDetector final : public Detector {
+ public:
+  GeofenceDetector(std::string zone_name, double center_lat,
+                   double center_lon, double radius_deg)
+      : zone_(std::move(zone_name)),
+        lat_(center_lat),
+        lon_(center_lon),
+        radius_deg_(radius_deg) {}
+
+  std::string_view detector_name() const override { return "geofence"; }
+  std::vector<std::string> on_frame(const SensorFrame& frame) override;
+  void reset() override;
+
+  bool inside() const { return inside_; }
+
+ private:
+  std::string zone_;
+  double lat_;
+  double lon_;
+  double radius_deg_;  // simple planar radius in degrees
+  bool inside_ = false;
+};
+
+// Parking occupancy: when parked, distinguishes "parked_with_driver" and
+// "parked_without_driver" (two of the paper's Fig 2 states).
+class ParkingDetector final : public Detector {
+ public:
+  std::string_view detector_name() const override { return "parking"; }
+  std::vector<std::string> on_frame(const SensorFrame& frame) override;
+  void reset() override;
+
+ private:
+  enum class State : std::uint8_t { unknown, with_driver, without_driver, moving };
+  State state_ = State::unknown;
+};
+
+}  // namespace sack::sds

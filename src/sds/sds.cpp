@@ -1,0 +1,70 @@
+#include "sds/sds.h"
+
+#include "util/log.h"
+
+namespace sack::sds {
+
+SituationDetectionService::SituationDetectionService(kernel::Process process)
+    : process_(process) {}
+
+void SituationDetectionService::add_detector(
+    std::unique_ptr<Detector> detector) {
+  detectors_.push_back(std::move(detector));
+}
+
+void SituationDetectionService::add_default_detectors() {
+  add_detector(std::make_unique<CrashDetector>());
+  add_detector(std::make_unique<DrivingDetector>());
+  add_detector(std::make_unique<SpeedBandDetector>());
+  add_detector(std::make_unique<ParkingDetector>());
+}
+
+Result<void> SituationDetectionService::send_event(std::string_view event) {
+  std::string line(event);
+  line += '\n';
+  auto rc = process_.write_existing(kEventsPath, line);
+  if (rc.ok()) {
+    ++events_sent_;
+  } else {
+    ++send_failures_;
+    log_warn("sds: failed to transmit event '", event, "': ",
+             errno_name(rc.error()));
+  }
+  return rc;
+}
+
+std::vector<std::string> SituationDetectionService::feed(
+    const SensorFrame& frame) {
+  std::vector<std::string> emitted;
+  for (auto& detector : detectors_) {
+    for (auto& event : detector->on_frame(frame)) {
+      if (min_interval_ms_ > 0) {
+        auto it = last_sent_ms_.find(event);
+        if (it != last_sent_ms_.end() &&
+            frame.time_ms - it->second < min_interval_ms_) {
+          ++events_suppressed_;
+          continue;
+        }
+        last_sent_ms_[event] = frame.time_ms;
+      }
+      (void)send_event(event);
+      emitted.push_back(std::move(event));
+    }
+  }
+  return emitted;
+}
+
+std::vector<std::string> SituationDetectionService::play(const Trace& trace) {
+  std::vector<std::string> all;
+  for (const auto& frame : trace) {
+    auto events = feed(frame);
+    all.insert(all.end(), events.begin(), events.end());
+  }
+  return all;
+}
+
+void SituationDetectionService::reset_detectors() {
+  for (auto& d : detectors_) d->reset();
+}
+
+}  // namespace sack::sds

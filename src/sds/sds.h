@@ -1,0 +1,68 @@
+// SituationDetectionService (SDS): the user-space half of SACK (§III-B).
+//
+// Monitors environment information (sensor frames), detects situation events,
+// and transmits *only events* — not raw telemetry — to the kernel by writing
+// /sys/kernel/security/SACK/events. This is the paper's separation of
+// situation tracking (user space) from access-control enforcement (kernel).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/process.h"
+#include "sds/detectors.h"
+#include "sds/sensors.h"
+
+namespace sack::sds {
+
+class SituationDetectionService {
+ public:
+  // `process` must be privileged enough to write the SACKfs events file
+  // (the SDS is a root daemon in the paper's deployment).
+  explicit SituationDetectionService(kernel::Process process);
+
+  void add_detector(std::unique_ptr<Detector> detector);
+
+  // Convenience: the standard CAV detector set (crash, driving, speed band,
+  // parking).
+  void add_default_detectors();
+
+  // Feeds one frame through every detector and transmits resulting events.
+  // Returns the events emitted for this frame.
+  std::vector<std::string> feed(const SensorFrame& frame);
+
+  // Plays a whole trace; returns all events in order.
+  std::vector<std::string> play(const Trace& trace);
+
+  // Sends one event directly (used to emulate events in the case studies,
+  // matching the paper's pseudo-file interface methodology).
+  Result<void> send_event(std::string_view event);
+
+  void reset_detectors();
+
+  // Flood protection: suppress a repeat of the *same* event name within
+  // `ms` of scenario time (0 = off). A flapping detector (or a compromised
+  // sensor trying to thrash the kernel SSM) is throttled here, before the
+  // kernel ever sees the traffic.
+  void set_min_event_interval_ms(std::int64_t ms) { min_interval_ms_ = ms; }
+
+  std::uint64_t events_sent() const { return events_sent_; }
+  std::uint64_t send_failures() const { return send_failures_; }
+  std::uint64_t events_suppressed() const { return events_suppressed_; }
+
+  static constexpr std::string_view kEventsPath =
+      "/sys/kernel/security/SACK/events";
+
+ private:
+  kernel::Process process_;
+  std::vector<std::unique_ptr<Detector>> detectors_;
+  std::int64_t min_interval_ms_ = 0;
+  std::map<std::string, std::int64_t, std::less<>> last_sent_ms_;
+  std::uint64_t events_sent_ = 0;
+  std::uint64_t send_failures_ = 0;
+  std::uint64_t events_suppressed_ = 0;
+};
+
+}  // namespace sack::sds

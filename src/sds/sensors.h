@@ -1,0 +1,31 @@
+// Sensor frames: the synthetic stand-in for the vehicle's environment
+// perception (CAN speed, IMU, seat occupancy, crash sensor).
+//
+// The paper assumes "environmental information perception is trusted"
+// (§III-A) and evaluates with emulated events; we generate frames from
+// deterministic scenario traces (see traces.h) and let the detectors turn
+// them into situation events — exercising the same SDS → SACKfs path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sack::sds {
+
+enum class Gear : std::uint8_t { park, reverse, neutral, drive };
+
+struct SensorFrame {
+  std::int64_t time_ms = 0;     // scenario time
+  double speed_kmh = 0.0;
+  double accel_g = 0.0;         // magnitude of acceleration
+  Gear gear = Gear::park;
+  bool driver_present = false;  // seat occupancy
+  bool crash_signal = false;    // dedicated crash sensor (airbag controller)
+  double latitude = 0.0;
+  double longitude = 0.0;
+};
+
+using Trace = std::vector<SensorFrame>;
+
+}  // namespace sack::sds

@@ -1,0 +1,136 @@
+#include "sds/traces.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sack::sds {
+
+namespace {
+
+// Small jitter so traces are not suspiciously smooth, but deterministic.
+double jitter(Rng& rng, double magnitude) {
+  return (rng.unit() - 0.5) * 2.0 * magnitude;
+}
+
+}  // namespace
+
+Trace city_drive_trace(int duration_s, TraceOptions options) {
+  Rng rng(options.seed);
+  Trace trace;
+  const std::int64_t total_ms = static_cast<std::int64_t>(duration_s) * 1000;
+  double speed = 0.0;
+  for (std::int64_t t = 0; t <= total_ms; t += options.frame_interval_ms) {
+    SensorFrame f;
+    f.time_ms = t;
+    f.driver_present = true;
+    double phase = static_cast<double>(t) / total_ms;
+    if (phase < 0.05) {
+      // Still parked.
+      f.gear = Gear::park;
+      speed = 0.0;
+    } else if (phase > 0.95) {
+      // Parking at the end.
+      f.gear = Gear::park;
+      speed = std::max(0.0, speed - 3.0);
+    } else {
+      f.gear = Gear::drive;
+      // Stop-and-go: sinusoidal target speed with red-light stops.
+      double target =
+          30.0 + 25.0 * std::sin(phase * 20.0) + jitter(rng, 3.0);
+      bool red_light = std::fmod(phase * 10.0, 1.0) < 0.12;
+      if (red_light) target = 0.0;
+      target = std::clamp(target, 0.0, 60.0);
+      speed += std::clamp(target - speed, -4.0, 3.0);
+    }
+    f.speed_kmh = std::max(0.0, speed);
+    f.accel_g = std::abs(jitter(rng, 0.15));
+    f.latitude = 48.77 + phase * 0.01;
+    f.longitude = 9.18 + phase * 0.02;
+    trace.push_back(f);
+  }
+  return trace;
+}
+
+Trace highway_crash_trace(int crash_at_s, TraceOptions options) {
+  Rng rng(options.seed);
+  Trace trace;
+  const std::int64_t crash_ms = static_cast<std::int64_t>(crash_at_s) * 1000;
+  // Run long enough after the crash for the 30 s emergency-clear window.
+  const std::int64_t total_ms = crash_ms + 45'000;
+  double speed = 0.0;
+  for (std::int64_t t = 0; t <= total_ms; t += options.frame_interval_ms) {
+    SensorFrame f;
+    f.time_ms = t;
+    f.driver_present = true;
+    if (t < crash_ms) {
+      f.gear = Gear::drive;
+      speed = std::min(120.0, speed + 2.0);
+      f.speed_kmh = speed + jitter(rng, 1.5);
+      f.accel_g = std::abs(jitter(rng, 0.1));
+    } else if (t < crash_ms + 1000) {
+      // The crash second: huge deceleration, crash signal latched.
+      f.gear = Gear::drive;
+      speed = std::max(0.0, speed - 40.0);
+      f.speed_kmh = speed;
+      f.accel_g = 8.0 + jitter(rng, 1.0);
+      f.crash_signal = true;
+    } else {
+      // At rest after the crash.
+      f.gear = Gear::park;
+      speed = 0.0;
+      f.speed_kmh = 0.0;
+      f.accel_g = std::abs(jitter(rng, 0.05));
+    }
+    trace.push_back(f);
+  }
+  return trace;
+}
+
+Trace parking_handoff_trace(TraceOptions options) {
+  Rng rng(options.seed);
+  Trace trace;
+  auto emit = [&](std::int64_t from_ms, std::int64_t to_ms, Gear gear,
+                  double speed, bool driver) {
+    for (std::int64_t t = from_ms; t < to_ms; t += options.frame_interval_ms) {
+      SensorFrame f;
+      f.time_ms = t;
+      f.gear = gear;
+      f.speed_kmh = speed + (speed > 0 ? jitter(rng, 1.0) : 0.0);
+      f.accel_g = std::abs(jitter(rng, 0.05));
+      f.driver_present = driver;
+      trace.push_back(f);
+    }
+  };
+  emit(0, 10'000, Gear::park, 0.0, true);        // parked, driver inside
+  emit(10'000, 40'000, Gear::park, 0.0, false);  // driver leaves
+  emit(40'000, 50'000, Gear::park, 0.0, true);   // driver returns
+  emit(50'000, 80'000, Gear::drive, 30.0, true); // drives away
+  emit(80'000, 90'000, Gear::park, 0.0, true);   // parks again
+  return trace;
+}
+
+Trace speed_oscillation_trace(std::int64_t period_ms, int cycles,
+                              TraceOptions options) {
+  Trace trace;
+  std::int64_t t = 0;
+  for (int c = 0; c < cycles; ++c) {
+    for (int half = 0; half < 2; ++half) {
+      double speed = half == 0 ? 90.0 : 30.0;  // above / below the band
+      for (std::int64_t el = 0; el < period_ms;
+           el += options.frame_interval_ms) {
+        SensorFrame f;
+        f.time_ms = t;
+        f.gear = Gear::drive;
+        f.speed_kmh = speed;
+        f.driver_present = true;
+        trace.push_back(f);
+        t += options.frame_interval_ms;
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace sack::sds

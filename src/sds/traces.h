@@ -1,0 +1,37 @@
+// Deterministic synthetic driving traces.
+//
+// Substitutes for the production telemetry we cannot have: each generator
+// produces a frame stream whose shape triggers the detector/SSM paths the
+// paper's scenarios need (city driving, a highway crash, parking hand-offs).
+#pragma once
+
+#include <cstdint>
+
+#include "sds/sensors.h"
+
+namespace sack::sds {
+
+struct TraceOptions {
+  std::uint64_t seed = 42;
+  std::int64_t frame_interval_ms = 100;  // 10 Hz sensor rate
+};
+
+// Pull away from parking, drive through town with speed variation
+// (0..60 km/h), stop at lights, park again. ~`duration_s` long.
+Trace city_drive_trace(int duration_s = 120, TraceOptions options = {});
+
+// Accelerate to highway speed, cruise, then crash at `crash_at_s`:
+// acceleration spike + crash signal, vehicle comes to rest, stays quiet
+// long enough for the emergency to clear.
+Trace highway_crash_trace(int crash_at_s = 60, TraceOptions options = {});
+
+// Park with driver, driver leaves, driver returns, drive off: exercises the
+// parked_with/without_driver states.
+Trace parking_handoff_trace(TraceOptions options = {});
+
+// Repeatedly crosses the high/low speed boundary every `period_ms` — the
+// transition-frequency workload of Fig 3(b).
+Trace speed_oscillation_trace(std::int64_t period_ms, int cycles,
+                              TraceOptions options = {});
+
+}  // namespace sack::sds

@@ -1,0 +1,28 @@
+#include "simbench/capture.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sack::simbench {
+
+double CaptureReporter::ns(const std::string& name) const {
+  auto it = results_.find(name);
+  if (it == results_.end()) {
+    std::fprintf(stderr, "CaptureReporter: no result for '%s'\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second.real_ns_per_iter;
+}
+
+double CaptureReporter::mbps(const std::string& name) const {
+  auto it = results_.find(name);
+  if (it == results_.end()) {
+    std::fprintf(stderr, "CaptureReporter: no result for '%s'\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second.bytes_per_second / 1e6;
+}
+
+}  // namespace sack::simbench

@@ -1,0 +1,52 @@
+// CaptureReporter: a google-benchmark reporter that records every run so a
+// bench binary can print the paper-shaped comparison table afterwards.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+namespace sack::simbench {
+
+struct CapturedRun {
+  double real_ns_per_iter = 0;
+  double bytes_per_second = 0;
+  std::int64_t iterations = 0;
+};
+
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      // Strip option suffixes ("/min_time:0.050") so lookups use the
+      // registration name.
+      std::string name = run.benchmark_name();
+      if (auto pos = name.find("/min_time:"); pos != std::string::npos)
+        name.resize(pos);
+      CapturedRun& c = results_[name];
+      c.real_ns_per_iter = run.GetAdjustedRealTime();
+      // counters: bytes_per_second lives in run.counters["bytes_per_second"]
+      auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) c.bytes_per_second = it->second.value;
+      c.iterations = run.iterations;
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  // ns/iter of a named benchmark; aborts if missing (a bench binary bug).
+  double ns(const std::string& name) const;
+  // MB/s of a named bandwidth benchmark.
+  double mbps(const std::string& name) const;
+  bool has(const std::string& name) const { return results_.contains(name); }
+
+ private:
+  std::map<std::string, CapturedRun> results_;
+};
+
+}  // namespace sack::simbench

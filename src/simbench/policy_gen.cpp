@@ -1,0 +1,175 @@
+#include "simbench/policy_gen.h"
+
+#include "core/policy_builder.h"
+
+namespace sack::simbench {
+
+using core::MacOp;
+using core::PolicyBuilder;
+using core::SackPolicy;
+
+SackPolicy default_bench_sack_policy(bool profile_subjects) {
+  const std::string rescue =
+      profile_subjects ? "@rescue_daemon" : "/usr/bin/rescue_daemon";
+  const std::string media =
+      profile_subjects ? "@media_app" : "/usr/bin/media_app";
+  PolicyBuilder b;
+  b.state("parked_with_driver", 0)
+      .state("parked_without_driver", 1)
+      .state("driving", 2)
+      .state("emergency", 3)
+      .initial("parked_with_driver")
+      .transition("parked_with_driver", "start_driving", "driving")
+      .transition("driving", "stop_driving", "parked_with_driver")
+      .transition("parked_with_driver", "parked_without_driver",
+                  "parked_without_driver")
+      .transition("parked_without_driver", "parked_with_driver",
+                  "parked_with_driver")
+      .transition("parked_with_driver", "crash_detected", "emergency")
+      .transition("parked_without_driver", "crash_detected", "emergency")
+      .transition("driving", "crash_detected", "emergency")
+      .transition("emergency", "emergency_cleared", "parked_with_driver")
+      .event("high_speed_entered")
+      .event("low_speed_entered")
+      .permission("MEDIA_READ")
+      .permission("AUDIO_CONTROL")
+      .permission("CONTROL_CAR_DOORS")
+      .permission("CONTROL_CAR_WINDOWS")
+      .grant("parked_with_driver", "MEDIA_READ")
+      .grant("parked_with_driver", "AUDIO_CONTROL")
+      .grant("parked_without_driver", "MEDIA_READ")
+      .grant("driving", "MEDIA_READ")
+      .grant("driving", "AUDIO_CONTROL")
+      .permission("VEHICLE_CAN_TX")
+      .grant("emergency", "MEDIA_READ")
+      .grant("emergency", "CONTROL_CAR_DOORS")
+      .grant("emergency", "CONTROL_CAR_WINDOWS")
+      .grant("emergency", "VEHICLE_CAN_TX")
+      .allow("MEDIA_READ", "*", "/var/media/**",
+             MacOp::read | MacOp::getattr)
+      .allow("AUDIO_CONTROL", media, "/dev/vehicle/audio",
+             MacOp::write | MacOp::ioctl)
+      .allow("CONTROL_CAR_DOORS", rescue, "/dev/vehicle/door*",
+             MacOp::write | MacOp::ioctl)
+      .allow("CONTROL_CAR_WINDOWS", rescue, "/dev/vehicle/window*",
+             MacOp::write | MacOp::ioctl)
+      .allow("VEHICLE_CAN_TX", rescue, "/dev/can0",
+             MacOp::read | MacOp::write);
+  return b.build();
+}
+
+SackPolicy sack_policy_with_rules(int rule_count, bool profile_subjects) {
+  // A minimal two-state skeleton so the 0-rule column measures the bare SSM
+  // presence, exactly like the paper's "0 (baseline)" column.
+  PolicyBuilder b;
+  b.state("normal", 0)
+      .state("restricted", 1)
+      .initial("normal")
+      .transition("normal", "restrict", "restricted")
+      .transition("restricted", "relax", "normal");
+  if (rule_count > 0) {
+    // BULK is granted in every state so all its rules stay loaded/active.
+    b.permission("BULK").grant("normal", "BULK").grant("restricted", "BULK");
+  }
+  SackPolicy policy = b.build();
+  if (rule_count == 0) return policy;
+  auto& rules = policy.per_rules["BULK"];
+  rules.reserve(static_cast<std::size_t>(rule_count));
+  for (int i = 0; i < rule_count; ++i) {
+    auto rule = core::make_rule(
+        core::RuleEffect::allow,
+        profile_subjects ? "@media_app" : "*",
+        "/var/rules/object_" + std::to_string(i), MacOp::read | MacOp::write);
+    rules.push_back(std::move(rule).value());
+  }
+  return policy;
+}
+
+SackPolicy sack_policy_with_states(int state_count) {
+  PolicyBuilder b;
+  for (int i = 0; i < state_count; ++i)
+    b.state("s" + std::to_string(i), i);
+  b.initial("s0");
+  for (int i = 0; i < state_count; ++i) {
+    b.transition("s" + std::to_string(i), "advance",
+                 "s" + std::to_string((i + 1) % state_count));
+  }
+  // Common permission active everywhere.
+  b.permission("COMMON");
+  b.allow("COMMON", "*", "/var/bench/critical", MacOp::read | MacOp::write);
+  for (int i = 0; i < state_count; ++i) {
+    std::string state = "s" + std::to_string(i);
+    std::string perm = "P" + std::to_string(i);
+    b.permission(perm)
+        .grant(state, "COMMON")
+        .grant(state, perm)
+        .allow(perm, "*", "/var/guarded/file_" + std::to_string(i),
+               MacOp::read | MacOp::write);
+  }
+  return b.build();
+}
+
+SackPolicy speed_gate_policy() {
+  PolicyBuilder b;
+  b.state("low_speed", 0)
+      .state("high_speed", 1)
+      .initial("low_speed")
+      .transition("low_speed", "high_speed_entered", "high_speed")
+      .transition("high_speed", "low_speed_entered", "low_speed")
+      .permission("CRITICAL_FILE_ACCESS")
+      .grant("low_speed", "CRITICAL_FILE_ACCESS")
+      .allow("CRITICAL_FILE_ACCESS", "*", "/var/bench/critical",
+             MacOp::read | MacOp::write | MacOp::getattr);
+  return b.build();
+}
+
+std::vector<SackPolicy> compatibility_policies() {
+  std::vector<SackPolicy> out;
+  struct Spec {
+    const char* perm;
+    const char* subject;
+    const char* object;
+    MacOp ops;
+  };
+  const Spec specs[] = {
+      {"DOOR_CONTROL", "/usr/bin/rescue_daemon", "/dev/vehicle/door*",
+       MacOp::ioctl | MacOp::write},
+      {"WINDOW_CONTROL", "/usr/bin/rescue_daemon", "/dev/vehicle/window*",
+       MacOp::ioctl | MacOp::write},
+      {"AUDIO_LIMIT", "/usr/bin/media_app", "/dev/vehicle/audio",
+       MacOp::ioctl | MacOp::write},
+      {"LOG_WRITE", "*", "/var/log/ivi/**", MacOp::write | MacOp::create},
+      // Kept at an even index: MEDIA_LIBRARY guards the media tree, which
+      // must stay readable in 'normal' for the compatibility matrix.
+      {"MEDIA_LIBRARY", "*", "/var/media/**", MacOp::read | MacOp::getattr},
+      {"DIAG_READ", "/usr/bin/diag_*", "/etc/vehicle/**",
+       MacOp::read | MacOp::getattr},
+      {"OTA_STAGING", "/usr/bin/ota_helper", "/var/ota/**",
+       MacOp::read | MacOp::write | MacOp::create | MacOp::unlink},
+      {"NAV_CACHE", "/usr/bin/nav", "/var/cache/nav/**",
+       MacOp::read | MacOp::write | MacOp::create},
+      {"CAM_STREAM", "/usr/bin/parkassist", "/dev/vehicle/camera*",
+       MacOp::read | MacOp::ioctl},
+      {"CFG_UPDATE", "/usr/bin/settingsd", "/etc/vehicle/settings.conf",
+       MacOp::read | MacOp::write | MacOp::truncate},
+  };
+  int idx = 0;
+  for (const auto& spec : specs) {
+    PolicyBuilder b;
+    b.state("normal", 0)
+        .state("special", 1)
+        .initial("normal")
+        .transition("normal", "enter_special", "special")
+        .transition("special", "leave_special", "normal")
+        .permission(spec.perm)
+        .grant("special", spec.perm)
+        .allow(spec.perm, spec.subject, spec.object, spec.ops);
+    // Vary which policies also grant in normal, so the matrix covers both.
+    if (idx % 2 == 0) b.grant("normal", spec.perm);
+    out.push_back(b.build());
+    ++idx;
+  }
+  return out;
+}
+
+}  // namespace sack::simbench

@@ -1,0 +1,30 @@
+// Synthetic SACK policy generators for the scaling experiments.
+#pragma once
+
+#include "core/policy.h"
+
+namespace sack::simbench {
+
+// The "default policies" used in Table II: the standard CAV policy with
+// executable-path subjects (independent) or @profile subjects (enhanced).
+core::SackPolicy default_bench_sack_policy(bool profile_subjects);
+
+// Table III: the default policy plus `rule_count` extra MAC rules attached
+// to a permission that is granted in every state. Objects are literal paths
+// under /var/rules/, mirroring the shape of large real-world policies.
+core::SackPolicy sack_policy_with_rules(int rule_count, bool profile_subjects);
+
+// Fig 3(a): a policy with `state_count` situation states in a ring
+// (s_i -> s_{i+1} on "advance"), one permission per state guarding a
+// per-state file, plus a common permission guarding /var/bench/critical.
+core::SackPolicy sack_policy_with_states(int state_count);
+
+// Fig 3(b): two situations (low_speed / high_speed); a critical file is
+// readable only in low_speed.
+core::SackPolicy speed_gate_policy();
+
+// E7: ten distinct small SACK policies exercising different object spaces,
+// for the compatibility matrix against the default AppArmor profiles.
+std::vector<core::SackPolicy> compatibility_policies();
+
+}  // namespace sack::simbench

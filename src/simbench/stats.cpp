@@ -1,0 +1,45 @@
+#include "simbench/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace sack::simbench {
+
+Stats compute_stats(std::vector<double> samples) {
+  Stats s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = samples.size() % 2 == 1
+                 ? samples[samples.size() / 2]
+                 : 0.5 * (samples[samples.size() / 2 - 1] +
+                          samples[samples.size() / 2]);
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+double percent_delta(double baseline, double measured) {
+  if (baseline == 0) return 0;
+  return (measured - baseline) / baseline * 100.0;
+}
+
+std::string format_delta(double baseline, double measured) {
+  double d = percent_delta(baseline, measured);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "(%s%.2f%%)", d >= 0 ? "+" : "-",
+                std::abs(d));
+  return buf;
+}
+
+}  // namespace sack::simbench

@@ -1,0 +1,26 @@
+// Sample statistics for benchmark results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sack::simbench {
+
+struct Stats {
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  std::size_t n = 0;
+};
+
+Stats compute_stats(std::vector<double> samples);
+
+// Percent change of `measured` relative to `baseline` (positive = slower /
+// bigger). The paper reports |delta| with an up/down arrow; format_delta
+// reproduces that, e.g. "(+2.56%)" / "(-0.40%)".
+double percent_delta(double baseline, double measured);
+std::string format_delta(double baseline, double measured);
+
+}  // namespace sack::simbench

@@ -1,0 +1,105 @@
+#include "simbench/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "simbench/stats.h"
+
+namespace sack::simbench {
+
+std::string format_value(double v, const std::string& unit) {
+  char buf[64];
+  double av = std::abs(v);
+  if (av >= 1000)
+    std::snprintf(buf, sizeof buf, "%.0f %s", v, unit.c_str());
+  else if (av >= 10)
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, unit.c_str());
+  else
+    std::snprintf(buf, sizeof buf, "%.3f %s", v, unit.c_str());
+  return buf;
+}
+
+PaperTable::PaperTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void PaperTable::section(std::string heading) {
+  Row r;
+  r.is_section = true;
+  r.name = std::move(heading);
+  rows_.push_back(std::move(r));
+}
+
+void PaperTable::row(std::string name, const std::vector<double>& values,
+                     std::string unit, bool higher_is_better) {
+  Row r;
+  r.name = std::move(name);
+  r.values = values;
+  r.unit = std::move(unit);
+  r.higher_is_better = higher_is_better;
+  rows_.push_back(std::move(r));
+}
+
+std::string PaperTable::to_string() const {
+  // Build cell text first, then size columns.
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header{""};
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::string name = columns_[c];
+    if (c == 0) name += " (baseline)";
+    header.push_back(std::move(name));
+  }
+  cells.push_back(header);
+
+  for (const auto& r : rows_) {
+    if (r.is_section) {
+      cells.push_back({"## " + r.name});
+      continue;
+    }
+    std::vector<std::string> line{r.name};
+    for (std::size_t c = 0; c < r.values.size(); ++c) {
+      std::string cell = format_value(r.values[c], r.unit);
+      if (c > 0) {
+        // The paper annotates overhead; for throughput metrics a positive
+        // delta means *more* bandwidth, so the sign already reads naturally.
+        cell += " " + format_delta(r.values[0], r.values[c]);
+      }
+      line.push_back(std::move(cell));
+    }
+    cells.push_back(std::move(line));
+  }
+
+  std::vector<std::size_t> widths;
+  for (const auto& line : cells) {
+    if (line.size() == 1) continue;  // section rows span
+    widths.resize(std::max(widths.size(), line.size()), 0);
+    for (std::size_t c = 0; c < line.size(); ++c)
+      widths[c] = std::max(widths[c], line[c].size());
+  }
+
+  std::string out = "=== " + title_ + " ===\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& line = cells[i];
+    if (line.size() == 1) {
+      out += line[0] + "\n";
+      continue;
+    }
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      std::string cell = line[c];
+      cell.resize(widths[c], ' ');
+      out += cell;
+      if (c + 1 < line.size()) out += "  ";
+    }
+    out += "\n";
+    if (i == 0) {
+      std::size_t total = 0;
+      for (std::size_t w : widths) total += w + 2;
+      out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+    }
+  }
+  return out;
+}
+
+void PaperTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace sack::simbench

@@ -1,0 +1,46 @@
+// Paper-style result tables.
+//
+// Formats benchmark results the way the paper's Tables II/III do: one row
+// per operation, one column per configuration, each non-baseline cell
+// annotated with its percent delta vs the baseline column.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sack::simbench {
+
+class PaperTable {
+ public:
+  // `columns` are configuration names; column 0 is the baseline.
+  PaperTable(std::string title, std::vector<std::string> columns);
+
+  // Starts a group header row (e.g. "Processes (times in us ...)").
+  void section(std::string heading);
+
+  // Adds a data row. `values` must have one entry per column; `unit`
+  // controls formatting. For "bigger is better" metrics pass
+  // higher_is_better=true (deltas then report throughput change).
+  void row(std::string name, const std::vector<double>& values,
+           std::string unit, bool higher_is_better = false);
+
+  std::string to_string() const;
+  void print() const;
+
+ private:
+  struct Row {
+    bool is_section = false;
+    std::string name;
+    std::vector<double> values;
+    std::string unit;
+    bool higher_is_better = false;
+  };
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+// Formats a value with an engineering-friendly precision.
+std::string format_value(double v, const std::string& unit);
+
+}  // namespace sack::simbench

@@ -1,0 +1,224 @@
+#include "simbench/workloads.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sack::simbench {
+
+using kernel::Fd;
+using kernel::OpenFlags;
+using kernel::SockAddr;
+using kernel::SockFamily;
+using kernel::SockType;
+using kernel::Whence;
+
+namespace {
+
+[[noreturn]] void workload_die(const char* what, Errno e) {
+  std::fprintf(stderr, "simbench workload failure: %s: %.*s\n", what,
+               static_cast<int>(errno_name(e).size()), errno_name(e).data());
+  std::abort();
+}
+
+template <typename T>
+T must(Result<T> r, const char* what) {
+  if (!r.ok()) workload_die(what, r.error());
+  return std::move(r).value();
+}
+
+inline void must_ok(Result<void> r, const char* what) {
+  if (!r.ok()) workload_die(what, r.error());
+}
+
+}  // namespace
+
+void wl_null_syscall(BenchEnv& env) {
+  env.kernel().sys_nop(env.task());
+}
+
+void wl_fork_exit_wait(BenchEnv& env) {
+  auto& k = env.kernel();
+  auto pid = must(k.sys_fork(env.task()), "fork");
+  auto& child = k.task(pid).value().get();
+  k.sys_exit(child, 0);
+  (void)must(k.sys_waitpid(env.task(), pid), "waitpid");
+}
+
+void wl_stat(BenchEnv& env) {
+  (void)must(env.kernel().sys_stat(env.task(), BenchEnv::kRereadFile), "stat");
+}
+
+void wl_open_close(BenchEnv& env) {
+  auto& k = env.kernel();
+  Fd fd = must(k.sys_open(env.task(), BenchEnv::kRereadFile, OpenFlags::read),
+               "open");
+  must_ok(k.sys_close(env.task(), fd), "close");
+}
+
+void wl_exec(BenchEnv& env) {
+  must_ok(env.kernel().sys_execve(env.exec_task(), BenchEnv::kExecTarget),
+          "exec");
+}
+
+void wl_file_create_delete(BenchEnv& env, std::size_t size) {
+  auto& k = env.kernel();
+  const std::string path = std::string(BenchEnv::kWorkDir) + "/scratch";
+  Fd fd = must(k.sys_open(env.task(), path,
+                          OpenFlags::write | OpenFlags::create),
+               "create");
+  if (size > 0) {
+    static const std::string payload(10 * 1024, 'x');
+    (void)must(k.sys_write(env.task(), fd, std::string_view(payload).substr(0, size)),
+               "write");
+  }
+  must_ok(k.sys_close(env.task(), fd), "close");
+  must_ok(k.sys_unlink(env.task(), path), "unlink");
+}
+
+void wl_mmap_cycle(BenchEnv& env) {
+  auto& k = env.kernel();
+  Fd fd = must(k.sys_open(env.task(), BenchEnv::kRereadFile, OpenFlags::read),
+               "open");
+  int id = must(k.sys_mmap(env.task(), fd, BenchEnv::kRereadFileSize,
+                           kernel::AccessMask::read),
+                "mmap");
+  std::string page;
+  (void)must(k.mmap_read(env.task(), id, page, 0, 4096), "mmap read");
+  must_ok(k.sys_munmap(env.task(), id), "munmap");
+  must_ok(k.sys_close(env.task(), fd), "close");
+}
+
+// --- bandwidth fixtures ---
+
+PipeChannel::PipeChannel(BenchEnv& env, std::size_t chunk)
+    : env_(env), chunk_(chunk, 'P') {
+  auto fds = must(env_.kernel().sys_pipe(env_.task()), "pipe");
+  read_fd_ = fds.first;
+  write_fd_ = fds.second;
+}
+
+std::size_t PipeChannel::transfer() {
+  auto& k = env_.kernel();
+  std::size_t wrote =
+      must(k.sys_write(env_.task(), write_fd_, chunk_), "pipe write");
+  std::size_t read =
+      must(k.sys_read(env_.task(), read_fd_, scratch_, chunk_.size()),
+           "pipe read");
+  assert(wrote == read);
+  (void)wrote;
+  return read;
+}
+
+SocketChannel::SocketChannel(BenchEnv& env, SockFamily family,
+                             std::size_t chunk)
+    : env_(env), chunk_(chunk, 'S') {
+  auto& k = env_.kernel();
+  if (family == SockFamily::unix_) {
+    auto pair = must(k.sys_socketpair(env_.task(), family), "socketpair");
+    client_ = pair.first;
+    server_ = pair.second;
+    return;
+  }
+  // Loopback TCP: listener + connect + accept.
+  Fd listener = must(k.sys_socket(env_.task(), family, SockType::stream),
+                     "socket");
+  must_ok(k.sys_bind(env_.task(), listener, SockAddr::in(15001)), "bind");
+  must_ok(k.sys_listen(env_.task(), listener, 8), "listen");
+  client_ = must(k.sys_socket(env_.task(), family, SockType::stream),
+                 "socket");
+  must_ok(k.sys_connect(env_.task(), client_, SockAddr::in(15001)), "connect");
+  server_ = must(k.sys_accept(env_.task(), listener), "accept");
+  must_ok(k.sys_close(env_.task(), listener), "close listener");
+}
+
+std::size_t SocketChannel::transfer() {
+  auto& k = env_.kernel();
+  (void)must(k.sys_send(env_.task(), client_, chunk_), "send");
+  return must(k.sys_recv(env_.task(), server_, scratch_, chunk_.size()),
+              "recv");
+}
+
+NullIo::NullIo(BenchEnv& env) : env_(env) {
+  fd_ = must(env_.kernel().sys_open(env_.task(), BenchEnv::kRereadFile,
+                                    OpenFlags::read),
+             "open null-io file");
+}
+
+void NullIo::io_once() {
+  auto& k = env_.kernel();
+  (void)must(k.sys_read(env_.task(), fd_, scratch_, 1), "null io read");
+  (void)must(k.sys_lseek(env_.task(), fd_, 0, Whence::set), "null io lseek");
+}
+
+FileReread::FileReread(BenchEnv& env, std::size_t chunk)
+    : env_(env), chunk_(chunk) {
+  fd_ = must(env_.kernel().sys_open(env_.task(), BenchEnv::kRereadFile,
+                                    OpenFlags::read),
+             "open reread file");
+}
+
+std::size_t FileReread::transfer() {
+  auto& k = env_.kernel();
+  std::size_t n =
+      must(k.sys_read(env_.task(), fd_, scratch_, chunk_), "reread");
+  if (n < chunk_) {
+    (void)must(k.sys_lseek(env_.task(), fd_, 0, Whence::set), "rewind");
+    if (n == 0)
+      n = must(k.sys_read(env_.task(), fd_, scratch_, chunk_), "reread");
+  }
+  return n;
+}
+
+MmapReread::MmapReread(BenchEnv& env, std::size_t chunk)
+    : env_(env), chunk_(chunk) {
+  auto& k = env_.kernel();
+  Fd fd = must(k.sys_open(env_.task(), BenchEnv::kRereadFile, OpenFlags::read),
+               "open");
+  mmap_id_ = must(k.sys_mmap(env_.task(), fd, BenchEnv::kRereadFileSize,
+                             kernel::AccessMask::read),
+                  "mmap");
+  must_ok(k.sys_close(env_.task(), fd), "close");
+}
+
+std::size_t MmapReread::transfer() {
+  auto& k = env_.kernel();
+  std::size_t n = must(
+      k.mmap_read(env_.task(), mmap_id_, scratch_, offset_, chunk_), "mmap read");
+  offset_ += n;
+  if (n < chunk_ || offset_ >= BenchEnv::kRereadFileSize) offset_ = 0;
+  return n == 0 ? transfer() : n;
+}
+
+// --- context switching ---
+
+CtxSwitchPair::CtxSwitchPair(BenchEnv& env, std::size_t wset_bytes)
+    : env_(env), wset_a_(wset_bytes, 'a'), wset_b_(wset_bytes, 'b') {
+  auto& k = env_.kernel();
+  auto p1 = must(k.sys_pipe(env_.task()), "pipe1");
+  auto p2 = must(k.sys_pipe(env_.peer_task()), "pipe2");
+  a_to_b_read_ = p1.first;
+  a_to_b_write_ = p1.second;
+  b_to_a_read_ = p2.first;
+  b_to_a_write_ = p2.second;
+}
+
+void CtxSwitchPair::touch(std::string& wset) {
+  // Walk the working set like lat_ctx: one write per cache line.
+  for (std::size_t i = 0; i < wset.size(); i += 64) wset[i]++;
+}
+
+void CtxSwitchPair::round_trip() {
+  auto& k = env_.kernel();
+  // A -> B
+  (void)must(k.sys_write(env_.task(), a_to_b_write_, "x"), "token write");
+  (void)must(k.sys_read(env_.task(), a_to_b_read_, scratch_, 1), "token read");
+  touch(wset_b_);
+  // B -> A
+  (void)must(k.sys_write(env_.peer_task(), b_to_a_write_, "x"), "token write");
+  (void)must(k.sys_read(env_.peer_task(), b_to_a_read_, scratch_, 1),
+             "token read");
+  touch(wset_a_);
+}
+
+}  // namespace sack::simbench

@@ -1,0 +1,118 @@
+// LMBench-style workloads against the simulated kernel.
+//
+// Each latency workload performs one complete operation cycle per call (so
+// it can sit directly in a google-benchmark loop); bandwidth workloads move
+// one chunk and return the byte count for SetBytesProcessed. The set mirrors
+// the rows of Table II:
+//   processes: syscall, fork, stat, open/close, exec
+//   file:      create/delete 0K & 10K, mmap latency
+//   bandwidth: pipe, AF_UNIX, TCP, file reread, mmap reread
+//   context switching: 2p/0K, 2p/16K
+#pragma once
+
+#include <cstddef>
+
+#include "simbench/env.h"
+
+namespace sack::simbench {
+
+// --- process latencies ---
+void wl_null_syscall(BenchEnv& env);
+void wl_fork_exit_wait(BenchEnv& env);
+void wl_stat(BenchEnv& env);
+void wl_open_close(BenchEnv& env);
+void wl_exec(BenchEnv& env);
+
+// --- file latencies ---
+// One create(write size bytes)+delete cycle.
+void wl_file_create_delete(BenchEnv& env, std::size_t size);
+// One mmap+read-first-page+munmap cycle over the 1 MiB bench file.
+void wl_mmap_cycle(BenchEnv& env);
+
+// --- bandwidths (return bytes moved per call) ---
+// Persistent channel state lives in these small fixtures so per-call work is
+// purely the data movement.
+class PipeChannel {
+ public:
+  explicit PipeChannel(BenchEnv& env, std::size_t chunk = 64 * 1024);
+  std::size_t transfer();  // write one chunk, read it back
+
+ private:
+  BenchEnv& env_;
+  kernel::Fd write_fd_;
+  kernel::Fd read_fd_;
+  std::string chunk_;
+  std::string scratch_;
+};
+
+class SocketChannel {
+ public:
+  SocketChannel(BenchEnv& env, kernel::SockFamily family,
+                std::size_t chunk = 64 * 1024);
+  std::size_t transfer();
+
+ private:
+  BenchEnv& env_;
+  kernel::Fd client_;
+  kernel::Fd server_;
+  std::string chunk_;
+  std::string scratch_;
+};
+
+// LMBench's "null I/O": a one-byte read on an already-open fd (plus the
+// rewind lseek), isolating the per-syscall read path.
+class NullIo {
+ public:
+  explicit NullIo(BenchEnv& env);
+  void io_once();
+
+ private:
+  BenchEnv& env_;
+  kernel::Fd fd_;
+  std::string scratch_;
+};
+
+class FileReread {
+ public:
+  explicit FileReread(BenchEnv& env, std::size_t chunk = 64 * 1024);
+  std::size_t transfer();  // read the next chunk, rewinding at EOF
+
+ private:
+  BenchEnv& env_;
+  kernel::Fd fd_;
+  std::string scratch_;
+  std::size_t chunk_;
+};
+
+class MmapReread {
+ public:
+  explicit MmapReread(BenchEnv& env, std::size_t chunk = 64 * 1024);
+  std::size_t transfer();
+
+ private:
+  BenchEnv& env_;
+  int mmap_id_;
+  std::size_t offset_ = 0;
+  std::string scratch_;
+  std::size_t chunk_;
+};
+
+// --- context switching ---
+// Two tasks ping-pong a token over two pipes, each touching a working set of
+// `wset_bytes` per switch (lat_ctx's -s parameter; 0 and 16K in the paper).
+class CtxSwitchPair {
+ public:
+  CtxSwitchPair(BenchEnv& env, std::size_t wset_bytes);
+  void round_trip();  // two context switches
+
+ private:
+  void touch(std::string& wset);
+
+  BenchEnv& env_;
+  kernel::Fd a_to_b_write_, a_to_b_read_;
+  kernel::Fd b_to_a_write_, b_to_a_read_;
+  std::string wset_a_, wset_b_;
+  std::string scratch_;
+};
+
+}  // namespace sack::simbench

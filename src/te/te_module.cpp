@@ -1,0 +1,293 @@
+#include "te/te_module.h"
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace sack::te {
+
+using kernel::AccessMask;
+using kernel::Task;
+
+class TeModule::PolicyFile final : public kernel::VirtualFileOps {
+ public:
+  explicit PolicyFile(TeModule* mod) : mod_(mod) {}
+  Result<void> write_content(Task& task, std::string_view data) override {
+    if (mod_->kernel_->capable(task, kernel::Capability::mac_admin) !=
+        Errno::ok)
+      return Errno::eperm;
+    return mod_->load_policy_text(data);
+  }
+
+ private:
+  TeModule* mod_;
+};
+
+class TeModule::StatusFile final : public kernel::VirtualFileOps {
+ public:
+  explicit StatusFile(TeModule* mod) : mod_(mod) {}
+  Result<std::string> read_content(Task&) override {
+    return "policy_loaded: " + std::string(mod_->loaded_ ? "yes" : "no") +
+           "\ntypes: " + std::to_string(mod_->policy_.types.size()) +
+           "\nrules: " + std::to_string(mod_->policy_.rules.size()) +
+           "\ndenials: " + std::to_string(mod_->denials_) + "\n";
+  }
+
+ private:
+  TeModule* mod_;
+};
+
+// Boolean control: read lists "name value" lines; write takes "name 0|1".
+class TeModule::BooleansFile final : public kernel::VirtualFileOps {
+ public:
+  explicit BooleansFile(TeModule* mod) : mod_(mod) {}
+  Result<std::string> read_content(Task&) override {
+    std::string out;
+    for (const auto& [name, value] : mod_->boolean_values_)
+      out += name + " " + (value ? "1" : "0") + "\n";
+    return out;
+  }
+  Result<void> write_content(Task& task, std::string_view data) override {
+    if (mod_->kernel_->capable(task, kernel::Capability::mac_admin) !=
+        Errno::ok)
+      return Errno::eperm;
+    auto fields = split_ws(data);
+    if (fields.size() != 2 || (fields[1] != "0" && fields[1] != "1"))
+      return Errno::einval;
+    return mod_->set_boolean(fields[0], fields[1] == "1");
+  }
+
+ private:
+  TeModule* mod_;
+};
+
+TeModule::TeModule() = default;
+TeModule::~TeModule() = default;
+
+void TeModule::initialize(kernel::Kernel& kernel) {
+  kernel_ = &kernel;
+  policy_file_ = std::make_unique<PolicyFile>(this);
+  status_file_ = std::make_unique<StatusFile>(this);
+  (void)kernel.securityfs().register_file("setype/policy", policy_file_.get(),
+                                          0200);
+  (void)kernel.securityfs().register_file("setype/status", status_file_.get(),
+                                          0444);
+  booleans_file_ = std::make_unique<BooleansFile>(this);
+  (void)kernel.securityfs().register_file("setype/booleans",
+                                          booleans_file_.get(), 0600);
+}
+
+Result<void> TeModule::load_policy_text(std::string_view text,
+                                        std::vector<ParseError>* errors) {
+  auto parsed = parse_te_policy(text);
+  if (errors) *errors = parsed.errors;
+  if (!parsed.ok()) {
+    for (const auto& e : parsed.errors)
+      log_warn("setype: parse error: ", e.to_string());
+    return Errno::einval;
+  }
+  return load_policy(std::move(parsed.policy));
+}
+
+Result<void> TeModule::load_policy(TePolicy policy) {
+  auto problems = check_te_policy(policy);
+  if (!problems.empty()) {
+    for (const auto& p : problems) log_warn("setype: ", p);
+    return Errno::einval;
+  }
+  policy_ = std::move(policy);
+  boolean_values_.clear();
+  for (const auto& b : policy_.booleans)
+    boolean_values_[b.name] = b.default_value;
+  rebuild_rule_index();
+  loaded_ = true;
+  ++generation_;
+  return {};
+}
+
+void TeModule::rebuild_rule_index() {
+  rule_index_.clear();
+  for (const auto& rule : policy_.rules) {
+    if (!rule.condition.empty()) {
+      auto it = boolean_values_.find(rule.condition);
+      if (it == boolean_values_.end() ||
+          it->second != rule.condition_value)
+        continue;  // conditional rule currently inactive
+    }
+    rule_index_[{rule.source, rule.target, rule.cls}] |= rule.perms;
+  }
+}
+
+Result<void> TeModule::set_boolean(std::string_view name, bool value) {
+  auto it = boolean_values_.find(name);
+  if (it == boolean_values_.end()) return Errno::enoent;
+  if (it->second == value) return {};
+  it->second = value;
+  rebuild_rule_index();
+  ++generation_;
+  log_info("setype: boolean '", name, "' = ", value ? "1" : "0");
+  return {};
+}
+
+Result<bool> TeModule::get_boolean(std::string_view name) const {
+  auto it = boolean_values_.find(name);
+  if (it == boolean_values_.end()) return Errno::enoent;
+  return it->second;
+}
+
+std::string TeModule::type_of_path(std::string_view path) const {
+  // Last match wins, like file_contexts ordering in SELinux userspace.
+  const FileContext* match = nullptr;
+  for (const auto& fc : policy_.file_contexts) {
+    if (fc.pattern.matches(path)) match = &fc;
+  }
+  return match ? match->type : policy_.default_file_type;
+}
+
+std::string TeModule::type_of(const std::string& path,
+                              const kernel::Inode& inode) {
+  // Labels are cached on the inode (visible as the security.setype xattr);
+  // a side entry records the policy generation so reloads relabel lazily.
+  const std::string key = std::string(kName);
+  const std::string gen_key = key + ".cache_gen";
+  const std::string* cached = inode.get_security(key);
+  const std::string* cached_gen = inode.get_security(gen_key);
+  if (cached && cached_gen &&
+      std::stoull(*cached_gen) == generation_) {
+    return *cached;
+  }
+  std::string type = type_of_path(path);
+  auto& mutable_inode = const_cast<kernel::Inode&>(inode);
+  mutable_inode.set_security(key, type);
+  mutable_inode.set_security(gen_key, std::to_string(generation_));
+  return type;
+}
+
+std::string TeModule::domain_of(const Task& task) const {
+  auto blob = task.security_blob<std::string>(std::string(kName));
+  return blob ? *blob : policy_.default_domain;
+}
+
+void TeModule::set_domain(Task& task, std::string domain) {
+  task.set_security_blob(std::string(kName),
+                         std::make_shared<std::string>(std::move(domain)));
+}
+
+bool TeModule::allowed(std::string_view domain, std::string_view type,
+                       TeClass cls, TePerm wanted) const {
+  auto it = rule_index_.find(
+      Key{std::string(domain), std::string(type), cls});
+  if (it == rule_index_.end()) return false;
+  return has_all(it->second, wanted);
+}
+
+Errno TeModule::check(const Task& task, std::string_view object_type,
+                      TeClass cls, TePerm wanted,
+                      std::string_view object_path) {
+  if (!loaded_) return Errno::ok;
+  std::string domain = domain_of(task);
+  if (domain == policy_.default_domain) return Errno::ok;  // unconfined
+  if (allowed(domain, object_type, cls, wanted)) return Errno::ok;
+  ++denials_;
+  if (kernel_) {
+    kernel::AuditRecord record;
+    record.time = kernel_->clock().now();
+    record.module = std::string(kName);
+    record.pid = task.pid();
+    record.subject = domain;
+    record.object = std::string(object_path) + " (" +
+                    std::string(object_type) + ")";
+    record.operation = format_te_perms(wanted);
+    record.verdict = kernel::AuditVerdict::denied;
+    kernel_->audit().record(std::move(record));
+  }
+  return Errno::eacces;
+}
+
+namespace {
+
+TeClass class_of_inode(const kernel::Inode& inode) {
+  switch (inode.type()) {
+    case kernel::InodeType::directory: return TeClass::dir;
+    case kernel::InodeType::chardev: return TeClass::chardev;
+    case kernel::InodeType::symlink: return TeClass::symlink;
+    case kernel::InodeType::socket: return TeClass::socket;
+    default: return TeClass::file;
+  }
+}
+
+TePerm perms_from_access(AccessMask access) {
+  TePerm p = TePerm::none;
+  if (has_any(access, AccessMask::read)) p |= TePerm::read;
+  if (has_any(access, AccessMask::write)) p |= TePerm::write;
+  if (has_any(access, AccessMask::append)) p |= TePerm::append;
+  if (has_any(access, AccessMask::exec)) p |= TePerm::execute;
+  return p;
+}
+
+}  // namespace
+
+Errno TeModule::file_open(Task& task, const std::string& path,
+                          const kernel::Inode& inode, AccessMask access) {
+  if (!loaded_) return Errno::ok;
+  return check(task, type_of(path, inode), class_of_inode(inode),
+               perms_from_access(access), path);
+}
+
+Errno TeModule::file_ioctl(Task& task, const kernel::File& file,
+                           std::uint32_t) {
+  if (!loaded_ || !file.inode()) return Errno::ok;
+  return check(task, type_of(file.path(), *file.inode()),
+               class_of_inode(*file.inode()), TePerm::ioctl, file.path());
+}
+
+Errno TeModule::mmap_file(Task& task, const kernel::File& file, AccessMask) {
+  if (!loaded_ || !file.inode()) return Errno::ok;
+  return check(task, type_of(file.path(), *file.inode()),
+               class_of_inode(*file.inode()), TePerm::mmap, file.path());
+}
+
+Errno TeModule::path_mknod(Task& task, const std::string& path,
+                           kernel::InodeType) {
+  if (!loaded_) return Errno::ok;
+  return check(task, type_of_path(path), TeClass::file, TePerm::create, path);
+}
+
+Errno TeModule::path_unlink(Task& task, const std::string& path) {
+  if (!loaded_) return Errno::ok;
+  return check(task, type_of_path(path), TeClass::file, TePerm::unlink, path);
+}
+
+Errno TeModule::inode_getattr(Task& task, const std::string& path) {
+  if (!loaded_) return Errno::ok;
+  std::string domain = domain_of(task);
+  if (domain == policy_.default_domain) return Errno::ok;
+  // getattr is class-agnostic here; check against the path label as a file.
+  return check(task, type_of_path(path), TeClass::file, TePerm::getattr,
+               path);
+}
+
+Errno TeModule::bprm_check_security(Task& task, const std::string& path) {
+  if (!loaded_) return Errno::ok;
+  return check(task, type_of_path(path), TeClass::file, TePerm::execute,
+               path);
+}
+
+void TeModule::bprm_committed_creds(Task& task, const std::string& path) {
+  if (!loaded_) return;
+  std::string exec_type = type_of_path(path);
+  std::string current = domain_of(task);
+  for (const auto& t : policy_.transitions) {
+    if (t.source_domain == current && t.exec_type == exec_type) {
+      set_domain(task, t.target_domain);
+      return;
+    }
+  }
+}
+
+Errno TeModule::task_alloc(Task& parent, Task& child) {
+  auto blob = parent.security_blob<std::string>(std::string(kName));
+  if (blob) child.set_security_blob(std::string(kName), blob);
+  return Errno::ok;
+}
+
+}  // namespace sack::te

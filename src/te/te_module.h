@@ -1,0 +1,118 @@
+// TeModule: the type-enforcement LSM.
+//
+// Labels: object types come from filecon patterns, computed on first use and
+// cached in the inode's security map under this module's name; task domains
+// live in the task security blob and change on exec via domain_transition
+// rules. Tasks in the default domain ("unconfined_t" unless the policy says
+// otherwise) bypass enforcement, so an unloaded/minimal policy is harmless —
+// mirroring SELinux's permissive bring-up story without modelling it fully.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kernel/kernel.h"
+#include "kernel/lsm/module.h"
+#include "te/te_policy.h"
+#include "util/transparent_hash.h"
+
+namespace sack::te {
+
+class TeModule final : public kernel::SecurityModule {
+ public:
+  static constexpr std::string_view kName = "setype";
+
+  TeModule();
+  ~TeModule() override;
+
+  std::string_view name() const override { return kName; }
+  void initialize(kernel::Kernel& kernel) override;
+
+  // --- policy ---
+  Result<void> load_policy_text(std::string_view text,
+                                std::vector<ParseError>* errors = nullptr);
+  Result<void> load_policy(TePolicy policy);
+  const TePolicy& policy() const { return policy_; }
+  bool policy_loaded() const { return loaded_; }
+
+  // --- labels ---
+  // The type of the object at `path` (labels the inode on first query).
+  std::string type_of(const std::string& path, const kernel::Inode& inode);
+  // The domain confining `task` (default domain when unset).
+  std::string domain_of(const kernel::Task& task) const;
+  void set_domain(kernel::Task& task, std::string domain);
+
+  std::uint64_t denial_count() const { return denials_; }
+
+  // --- booleans (conditional policy) ---
+  // Flips a policy boolean and rebuilds the active rule index. This is the
+  // pre-SACK way to make policy react to the environment: a user-space
+  // daemon toggling booleans. Note what it does NOT do: unlike SACK's
+  // generation bump, already-open fds keep their access (no file_permission
+  // revalidation in TE), and the flip rebuilds the whole index instead of
+  // an O(1) state transition.
+  Result<void> set_boolean(std::string_view name, bool value);
+  Result<bool> get_boolean(std::string_view name) const;
+
+  // --- hooks ---
+  Errno file_open(kernel::Task& task, const std::string& path,
+                  const kernel::Inode& inode,
+                  kernel::AccessMask access) override;
+  Errno file_ioctl(kernel::Task& task, const kernel::File& file,
+                   std::uint32_t cmd) override;
+  Errno mmap_file(kernel::Task& task, const kernel::File& file,
+                  kernel::AccessMask prot) override;
+  Errno path_mknod(kernel::Task& task, const std::string& path,
+                   kernel::InodeType type) override;
+  Errno path_unlink(kernel::Task& task, const std::string& path) override;
+  Errno inode_getattr(kernel::Task& task, const std::string& path) override;
+  Errno bprm_check_security(kernel::Task& task,
+                            const std::string& path) override;
+  void bprm_committed_creds(kernel::Task& task,
+                            const std::string& path) override;
+  Errno task_alloc(kernel::Task& parent, kernel::Task& child) override;
+  std::string getprocattr(const kernel::Task& task) override {
+    return loaded_ ? domain_of(task) : std::string{};
+  }
+
+ private:
+  // Type of a path per filecon rules (no inode cache).
+  std::string type_of_path(std::string_view path) const;
+  Errno check(const kernel::Task& task, std::string_view object_type,
+              TeClass cls, TePerm wanted, std::string_view object_path);
+  bool allowed(std::string_view domain, std::string_view type, TeClass cls,
+               TePerm wanted) const;
+
+  void rebuild_rule_index();
+
+  TePolicy policy_;
+  bool loaded_ = false;
+  std::uint64_t denials_ = 0;
+  std::uint64_t generation_ = 1;
+  std::map<std::string, bool, std::less<>> boolean_values_;
+
+  // (source, target, class) -> permission mask, built at load time.
+  struct Key {
+    std::string source, target;
+    TeClass cls;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = std::hash<std::string>{}(k.source);
+      h = h * 31 + std::hash<std::string>{}(k.target);
+      return h * 31 + static_cast<std::size_t>(k.cls);
+    }
+  };
+  std::unordered_map<Key, TePerm, KeyHash> rule_index_;
+
+  class PolicyFile;
+  class StatusFile;
+  class BooleansFile;
+  std::unique_ptr<PolicyFile> policy_file_;
+  std::unique_ptr<StatusFile> status_file_;
+  std::unique_ptr<BooleansFile> booleans_file_;
+  kernel::Kernel* kernel_ = nullptr;
+};
+
+}  // namespace sack::te

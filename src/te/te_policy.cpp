@@ -1,0 +1,247 @@
+#include "te/te_policy.h"
+
+namespace sack::te {
+
+std::string_view te_class_name(TeClass c) {
+  switch (c) {
+    case TeClass::file: return "file";
+    case TeClass::dir: return "dir";
+    case TeClass::chardev: return "chardev";
+    case TeClass::symlink: return "symlink";
+    case TeClass::socket: return "socket";
+    case TeClass::process: return "process";
+  }
+  return "?";
+}
+
+Result<TeClass> te_class_from_name(std::string_view name) {
+  for (auto c : {TeClass::file, TeClass::dir, TeClass::chardev,
+                 TeClass::symlink, TeClass::socket, TeClass::process}) {
+    if (te_class_name(c) == name) return c;
+  }
+  return Errno::einval;
+}
+
+namespace {
+constexpr std::pair<std::string_view, TePerm> kPermNames[] = {
+    {"read", TePerm::read},       {"write", TePerm::write},
+    {"append", TePerm::append},   {"execute", TePerm::execute},
+    {"getattr", TePerm::getattr}, {"setattr", TePerm::setattr},
+    {"create", TePerm::create},   {"unlink", TePerm::unlink},
+    {"ioctl", TePerm::ioctl},     {"mmap", TePerm::mmap},
+    {"transition", TePerm::transition},
+};
+}  // namespace
+
+Result<TePerm> te_perm_from_name(std::string_view name) {
+  for (const auto& [n, p] : kPermNames) {
+    if (n == name) return p;
+  }
+  return Errno::einval;
+}
+
+std::string format_te_perms(TePerm perms) {
+  std::string out;
+  for (const auto& [n, p] : kPermNames) {
+    if (has_any(perms, p)) {
+      if (!out.empty()) out += ' ';
+      out += n;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void sync_stmt(TokenStream& ts) {
+  while (!ts.at_end()) {
+    if (ts.peek().is_punct(';')) {
+      ts.next();
+      return;
+    }
+    ts.next();
+  }
+}
+
+bool parse_allow(TokenStream& ts, TePolicy& policy,
+                 const std::string& condition = {},
+                 bool condition_value = true) {
+  TeRule rule;
+  auto src = ts.expect_ident();
+  if (!src.ok()) return false;
+  rule.source = src->text;
+  auto tgt = ts.expect_ident();
+  if (!tgt.ok()) return false;
+  rule.target = tgt->text;
+  if (!ts.expect_punct(':').ok()) return false;
+  auto cls = ts.expect_ident();
+  if (!cls.ok()) return false;
+  auto parsed_cls = te_class_from_name(cls->text);
+  if (!parsed_cls.ok()) {
+    ts.record_error("unknown object class '" + cls->text + "'");
+    return false;
+  }
+  rule.cls = parsed_cls.value();
+  if (!ts.expect_punct('{').ok()) return false;
+  while (!ts.at_end() && !ts.peek().is_punct('}')) {
+    auto perm = ts.expect_ident();
+    if (!perm.ok()) return false;
+    auto parsed = te_perm_from_name(perm->text);
+    if (!parsed.ok()) {
+      ts.record_error("unknown permission '" + perm->text + "'");
+      return false;
+    }
+    rule.perms |= parsed.value();
+  }
+  if (!ts.expect_punct('}').ok() || !ts.expect_punct(';').ok()) return false;
+  if (is_empty(rule.perms)) {
+    ts.record_error("allow rule grants no permissions");
+    return false;
+  }
+  rule.condition = condition;
+  rule.condition_value = condition_value;
+  policy.rules.push_back(std::move(rule));
+  return true;
+}
+
+// "if [!]BOOL { allow ...; allow ...; }" — conditional rule blocks.
+bool parse_if_block(TokenStream& ts, TePolicy& policy) {
+  bool value = true;
+  // Optional negation: "if !name" spelled as identifier 'not' or '!'? The
+  // tokenizer has no '!', so the grammar uses "if name" / "ifnot name".
+  auto name = ts.expect_ident();
+  if (!name.ok()) return false;
+  if (!ts.expect_punct('{').ok()) return false;
+  while (!ts.at_end() && !ts.peek().is_punct('}')) {
+    if (!ts.accept_ident("allow")) {
+      ts.record_error("only allow rules may appear in an if block");
+      return false;
+    }
+    if (!parse_allow(ts, policy, name->text, value)) return false;
+  }
+  return ts.expect_punct('}').ok();
+}
+
+}  // namespace
+
+TeParseResult parse_te_policy(std::string_view text) {
+  TeParseResult result;
+  Tokenizer tokenizer(text);
+  auto tokens = tokenizer.run();
+  if (!tokens.ok()) {
+    result.errors.push_back(tokenizer.last_error());
+    return result;
+  }
+  TokenStream ts(std::move(tokens).value());
+  while (!ts.at_end()) {
+    if (ts.accept_ident("type")) {
+      auto name = ts.expect_ident();
+      if (!name.ok() || !ts.expect_punct(';').ok()) {
+        sync_stmt(ts);
+        continue;
+      }
+      result.policy.types.insert(name->text);
+    } else if (ts.accept_ident("attribute")) {
+      auto name = ts.expect_ident();
+      if (!name.ok() || !ts.expect_punct(';').ok()) {
+        sync_stmt(ts);
+        continue;
+      }
+      result.policy.attributes.insert(name->text);
+    } else if (ts.accept_ident("allow")) {
+      if (!parse_allow(ts, result.policy)) sync_stmt(ts);
+    } else if (ts.accept_ident("bool")) {
+      auto name = ts.expect_ident();
+      auto value = ts.expect_ident();
+      if (!name.ok() || !value.ok() || !ts.expect_punct(';').ok() ||
+          (value->text != "true" && value->text != "false")) {
+        if (name.ok() && value.ok() && value->text != "true" &&
+            value->text != "false")
+          ts.record_error("boolean default must be 'true' or 'false'");
+        sync_stmt(ts);
+        continue;
+      }
+      result.policy.booleans.push_back({name->text, value->text == "true"});
+    } else if (ts.accept_ident("if")) {
+      if (!parse_if_block(ts, result.policy)) sync_stmt(ts);
+    } else if (ts.accept_ident("domain_transition")) {
+      auto a = ts.expect_ident();
+      auto b = ts.expect_ident();
+      auto c = ts.expect_ident();
+      if (!a.ok() || !b.ok() || !c.ok() || !ts.expect_punct(';').ok()) {
+        sync_stmt(ts);
+        continue;
+      }
+      result.policy.transitions.push_back({a->text, b->text, c->text});
+    } else if (ts.accept_ident("filecon")) {
+      auto path = ts.expect(TokenKind::path, "path pattern");
+      auto type = ts.expect_ident();
+      if (!path.ok() || !type.ok() || !ts.expect_punct(';').ok()) {
+        sync_stmt(ts);
+        continue;
+      }
+      auto glob = Glob::compile(path->text);
+      if (!glob.ok()) {
+        ts.record_error("bad file-context pattern '" + path->text + "'");
+        sync_stmt(ts);
+        continue;
+      }
+      result.policy.file_contexts.push_back(
+          {std::move(glob).value(), type->text});
+    } else if (ts.accept_ident("default_domain")) {
+      auto name = ts.expect_ident();
+      if (!name.ok() || !ts.expect_punct(';').ok()) {
+        sync_stmt(ts);
+        continue;
+      }
+      result.policy.default_domain = name->text;
+    } else if (ts.accept_ident("default_file_type")) {
+      auto name = ts.expect_ident();
+      if (!name.ok() || !ts.expect_punct(';').ok()) {
+        sync_stmt(ts);
+        continue;
+      }
+      result.policy.default_file_type = name->text;
+    } else {
+      ts.record_error("expected a TE statement, got '" + ts.peek().text +
+                      "'");
+      ts.next();
+    }
+  }
+  result.errors = ts.take_errors();
+  return result;
+}
+
+std::vector<std::string> check_te_policy(const TePolicy& policy) {
+  std::vector<std::string> problems;
+  auto require_type = [&](const std::string& name, const char* where) {
+    if (!policy.has_type(name) && name != policy.default_domain &&
+        name != policy.default_file_type) {
+      problems.push_back(std::string("undefined type '") + name + "' in " +
+                         where);
+    }
+  };
+  std::set<std::string> bool_names;
+  for (const auto& b : policy.booleans) {
+    if (!bool_names.insert(b.name).second)
+      problems.push_back("duplicate boolean '" + b.name + "'");
+  }
+  for (const auto& rule : policy.rules) {
+    require_type(rule.source, "allow rule source");
+    require_type(rule.target, "allow rule target");
+    if (!rule.condition.empty() && !bool_names.contains(rule.condition))
+      problems.push_back("conditional rule references undeclared boolean '" +
+                         rule.condition + "'");
+  }
+  for (const auto& t : policy.transitions) {
+    require_type(t.source_domain, "domain_transition source");
+    require_type(t.exec_type, "domain_transition exec type");
+    require_type(t.target_domain, "domain_transition target");
+  }
+  for (const auto& fc : policy.file_contexts) {
+    require_type(fc.type, "filecon");
+  }
+  return problems;
+}
+
+}  // namespace sack::te

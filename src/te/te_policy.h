@@ -1,0 +1,122 @@
+// Type-enforcement (TE) policy model — a compact SELinux-flavoured MAC
+// module. The paper notes that "most security modules are based on the type
+// enforcement (TE) model"; this module exists to demonstrate SACK's
+// compatibility claims against a second, label-based LSM (not just the
+// path-based AppArmor-alike).
+//
+// Simplifications vs SELinux: a security context is a single type (no
+// user:role:level), object classes are the simulator's inode/socket kinds,
+// and labels are assigned by file-context patterns instead of persisted
+// xattrs (they are cached in the inode security map once computed).
+//
+// Policy language:
+//
+//   type init_t;
+//   type media_exec_t;
+//   attribute domain;                     # declared but informational
+//   allow media_t media_file_t : file { read getattr };
+//   allow media_t audio_dev_t : chardev { write ioctl };
+//   bool emergency_mode false;
+//   if emergency_mode { allow rescue_t door_dev_t : chardev { write ioctl }; }
+//   domain_transition init_t media_exec_t media_t;
+//   filecon /usr/bin/media_app media_exec_t;
+//   filecon /var/media/** media_file_t;
+//   default_domain unconfined_t;
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/bitmask.h"
+#include "util/glob.h"
+#include "util/tokenizer.h"
+
+namespace sack::te {
+
+enum class TeClass : std::uint8_t { file, dir, chardev, symlink, socket, process };
+
+std::string_view te_class_name(TeClass c);
+Result<TeClass> te_class_from_name(std::string_view name);
+
+enum class TePerm : std::uint32_t {
+  none = 0,
+  read = 1u << 0,
+  write = 1u << 1,
+  append = 1u << 2,
+  execute = 1u << 3,
+  getattr = 1u << 4,
+  setattr = 1u << 5,
+  create = 1u << 6,
+  unlink = 1u << 7,
+  ioctl = 1u << 8,
+  mmap = 1u << 9,
+  transition = 1u << 10,  // process class: domain entry
+};
+
+Result<TePerm> te_perm_from_name(std::string_view name);
+std::string format_te_perms(TePerm perms);
+
+struct TeRule {
+  std::string source;  // subject domain type
+  std::string target;  // object type
+  TeClass cls{};
+  TePerm perms = TePerm::none;
+  // SELinux-style conditional: the rule is active only while the named
+  // boolean has the given value ("" = unconditional). Booleans are the
+  // closest pre-SACK mechanism to situation awareness — a user-space daemon
+  // flipping them approximates situation-adaptive policy, which is exactly
+  // the comparison the ablation bench draws.
+  std::string condition;
+  bool condition_value = true;
+};
+
+struct TeBoolean {
+  std::string name;
+  bool default_value = false;
+};
+
+struct DomainTransition {
+  std::string source_domain;
+  std::string exec_type;
+  std::string target_domain;
+};
+
+struct FileContext {
+  Glob pattern;
+  std::string type;
+};
+
+struct TePolicy {
+  std::set<std::string> types;
+  std::set<std::string> attributes;
+  std::vector<TeBoolean> booleans;
+  std::vector<TeRule> rules;
+  std::vector<DomainTransition> transitions;
+  std::vector<FileContext> file_contexts;
+  std::string default_domain = "unconfined_t";
+  std::string default_file_type = "unlabeled_t";
+
+  bool has_type(std::string_view name) const {
+    return types.contains(std::string(name));
+  }
+};
+
+struct TeParseResult {
+  TePolicy policy;
+  std::vector<ParseError> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+TeParseResult parse_te_policy(std::string_view text);
+
+// Semantic validation: undefined types in rules/transitions/contexts.
+std::vector<std::string> check_te_policy(const TePolicy& policy);
+
+}  // namespace sack::te
+
+namespace sack {
+template <>
+struct EnableBitmask<te::TePerm> : std::true_type {};
+}  // namespace sack

@@ -1,0 +1,70 @@
+// Helpers for scoped-enum bit masks (permission masks, open flags, ...).
+//
+// Opt a flag enum in by specializing EnableBitmask; operators stay out of the
+// way for ordinary enums.
+#pragma once
+
+#include <type_traits>
+
+namespace sack {
+
+template <typename E>
+struct EnableBitmask : std::false_type {};
+
+template <typename E>
+concept BitmaskEnum = std::is_enum_v<E> && EnableBitmask<E>::value;
+
+template <BitmaskEnum E>
+constexpr E operator|(E a, E b) {
+  using U = std::underlying_type_t<E>;
+  return static_cast<E>(static_cast<U>(a) | static_cast<U>(b));
+}
+
+template <BitmaskEnum E>
+constexpr E operator&(E a, E b) {
+  using U = std::underlying_type_t<E>;
+  return static_cast<E>(static_cast<U>(a) & static_cast<U>(b));
+}
+
+template <BitmaskEnum E>
+constexpr E operator^(E a, E b) {
+  using U = std::underlying_type_t<E>;
+  return static_cast<E>(static_cast<U>(a) ^ static_cast<U>(b));
+}
+
+template <BitmaskEnum E>
+constexpr E operator~(E a) {
+  using U = std::underlying_type_t<E>;
+  return static_cast<E>(~static_cast<U>(a));
+}
+
+template <BitmaskEnum E>
+constexpr E& operator|=(E& a, E b) {
+  return a = a | b;
+}
+
+template <BitmaskEnum E>
+constexpr E& operator&=(E& a, E b) {
+  return a = a & b;
+}
+
+// True if all bits of `wanted` are present in `mask`.
+template <BitmaskEnum E>
+constexpr bool has_all(E mask, E wanted) {
+  return (mask & wanted) == wanted;
+}
+
+// True if any bit of `wanted` is present in `mask`.
+template <BitmaskEnum E>
+constexpr bool has_any(E mask, E wanted) {
+  using U = std::underlying_type_t<E>;
+  return static_cast<U>(mask & wanted) != 0;
+}
+
+template <BitmaskEnum E>
+constexpr bool is_empty(E mask) {
+  using U = std::underlying_type_t<E>;
+  return static_cast<U>(mask) == 0;
+}
+
+}  // namespace sack

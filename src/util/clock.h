@@ -1,0 +1,48 @@
+// Clocks.
+//
+// The simulation itself is deterministic: everything that needs "time"
+// inside the simulated kernel (inode timestamps, event timestamps, the
+// transition-frequency experiment's schedule) reads a VirtualClock that only
+// moves when ticked. Benchmarks measure real elapsed time with MonotonicTimer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sack {
+
+// Nanoseconds since simulation boot.
+using SimTime = std::int64_t;
+
+class VirtualClock {
+ public:
+  SimTime now() const { return now_ns_; }
+
+  void advance_ns(SimTime delta) { now_ns_ += delta; }
+  void advance_us(SimTime delta) { now_ns_ += delta * 1000; }
+  void advance_ms(SimTime delta) { now_ns_ += delta * 1'000'000; }
+
+ private:
+  SimTime now_ns_ = 0;
+};
+
+// Thin wrapper over steady_clock for benchmark code.
+class MonotonicTimer {
+ public:
+  MonotonicTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double elapsed_ns() const {
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double elapsed_us() const { return elapsed_ns() / 1e3; }
+  double elapsed_ms() const { return elapsed_ns() / 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sack

@@ -1,0 +1,105 @@
+#include "util/errno.h"
+
+namespace sack {
+
+std::string_view errno_name(Errno e) {
+  switch (e) {
+    case Errno::ok: return "OK";
+    case Errno::eperm: return "EPERM";
+    case Errno::enoent: return "ENOENT";
+    case Errno::esrch: return "ESRCH";
+    case Errno::eintr: return "EINTR";
+    case Errno::eio: return "EIO";
+    case Errno::enxio: return "ENXIO";
+    case Errno::e2big: return "E2BIG";
+    case Errno::enoexec: return "ENOEXEC";
+    case Errno::ebadf: return "EBADF";
+    case Errno::echild: return "ECHILD";
+    case Errno::eagain: return "EAGAIN";
+    case Errno::enomem: return "ENOMEM";
+    case Errno::eacces: return "EACCES";
+    case Errno::efault: return "EFAULT";
+    case Errno::ebusy: return "EBUSY";
+    case Errno::eexist: return "EEXIST";
+    case Errno::exdev: return "EXDEV";
+    case Errno::enodev: return "ENODEV";
+    case Errno::enotdir: return "ENOTDIR";
+    case Errno::eisdir: return "EISDIR";
+    case Errno::einval: return "EINVAL";
+    case Errno::enfile: return "ENFILE";
+    case Errno::emfile: return "EMFILE";
+    case Errno::enotty: return "ENOTTY";
+    case Errno::efbig: return "EFBIG";
+    case Errno::enospc: return "ENOSPC";
+    case Errno::espipe: return "ESPIPE";
+    case Errno::erofs: return "EROFS";
+    case Errno::emlink: return "EMLINK";
+    case Errno::epipe: return "EPIPE";
+    case Errno::erange: return "ERANGE";
+    case Errno::enametoolong: return "ENAMETOOLONG";
+    case Errno::enosys: return "ENOSYS";
+    case Errno::enotempty: return "ENOTEMPTY";
+    case Errno::eloop: return "ELOOP";
+    case Errno::enodata: return "ENODATA";
+    case Errno::eproto: return "EPROTO";
+    case Errno::enotsock: return "ENOTSOCK";
+    case Errno::eopnotsupp: return "EOPNOTSUPP";
+    case Errno::eaddrinuse: return "EADDRINUSE";
+    case Errno::econnrefused: return "ECONNREFUSED";
+    case Errno::enotconn: return "ENOTCONN";
+    case Errno::econnreset: return "ECONNRESET";
+  }
+  return "E???";
+}
+
+std::string_view errno_message(Errno e) {
+  switch (e) {
+    case Errno::ok: return "success";
+    case Errno::eperm: return "operation not permitted";
+    case Errno::enoent: return "no such file or directory";
+    case Errno::esrch: return "no such process";
+    case Errno::eintr: return "interrupted system call";
+    case Errno::eio: return "input/output error";
+    case Errno::enxio: return "no such device or address";
+    case Errno::e2big: return "argument list too long";
+    case Errno::enoexec: return "exec format error";
+    case Errno::ebadf: return "bad file descriptor";
+    case Errno::echild: return "no child processes";
+    case Errno::eagain: return "resource temporarily unavailable";
+    case Errno::enomem: return "cannot allocate memory";
+    case Errno::eacces: return "permission denied";
+    case Errno::efault: return "bad address";
+    case Errno::ebusy: return "device or resource busy";
+    case Errno::eexist: return "file exists";
+    case Errno::exdev: return "invalid cross-device link";
+    case Errno::enodev: return "no such device";
+    case Errno::enotdir: return "not a directory";
+    case Errno::eisdir: return "is a directory";
+    case Errno::einval: return "invalid argument";
+    case Errno::enfile: return "too many open files in system";
+    case Errno::emfile: return "too many open files";
+    case Errno::enotty: return "inappropriate ioctl for device";
+    case Errno::efbig: return "file too large";
+    case Errno::enospc: return "no space left on device";
+    case Errno::espipe: return "illegal seek";
+    case Errno::erofs: return "read-only file system";
+    case Errno::emlink: return "too many links";
+    case Errno::epipe: return "broken pipe";
+    case Errno::erange: return "numerical result out of range";
+    case Errno::enametoolong: return "file name too long";
+    case Errno::enosys: return "function not implemented";
+    case Errno::enotempty: return "directory not empty";
+    case Errno::eloop: return "too many levels of symbolic links";
+    case Errno::enodata: return "no data available";
+    case Errno::eproto: return "protocol error";
+    case Errno::enotsock: return "socket operation on non-socket";
+    case Errno::eopnotsupp: return "operation not supported";
+    case Errno::eaddrinuse: return "address already in use";
+    case Errno::econnrefused: return "connection refused";
+    case Errno::enotconn: return "transport endpoint is not connected";
+    case Errno::econnreset: return "connection reset by peer";
+  }
+  return "unknown error";
+}
+
+}  // namespace sack

@@ -1,0 +1,66 @@
+// Errno: the simulated kernel's error-code vocabulary.
+//
+// The simulator mirrors the Linux syscall ABI: every syscall either succeeds
+// with a value or fails with a negative errno. We model that with a scoped
+// enum plus Result<T> (see result.h) instead of raw ints so that forgetting
+// to check a failure is a compile error rather than a silent bug.
+#pragma once
+
+#include <string_view>
+
+namespace sack {
+
+enum class Errno {
+  ok = 0,
+  eperm,         // operation not permitted
+  enoent,        // no such file or directory
+  esrch,         // no such process
+  eintr,         // interrupted
+  eio,           // I/O error
+  enxio,         // no such device or address
+  e2big,         // argument list too long
+  enoexec,       // exec format error
+  ebadf,         // bad file descriptor
+  echild,        // no child processes
+  eagain,        // try again
+  enomem,        // out of memory
+  eacces,        // permission denied (DAC / MAC denial)
+  efault,        // bad address
+  ebusy,         // device or resource busy
+  eexist,        // file exists
+  exdev,         // cross-device link
+  enodev,        // no such device
+  enotdir,       // not a directory
+  eisdir,        // is a directory
+  einval,        // invalid argument
+  enfile,        // file table overflow
+  emfile,        // too many open files
+  enotty,        // inappropriate ioctl for device
+  efbig,         // file too large
+  enospc,        // no space left on device
+  espipe,        // illegal seek
+  erofs,         // read-only file system
+  emlink,        // too many links
+  epipe,         // broken pipe
+  erange,        // result out of range
+  enametoolong,  // file name too long
+  enosys,        // function not implemented
+  enotempty,     // directory not empty
+  eloop,         // too many symbolic links
+  enodata,       // no data available
+  eproto,        // protocol error
+  enotsock,      // socket operation on non-socket
+  eopnotsupp,    // operation not supported
+  eaddrinuse,    // address already in use
+  econnrefused,  // connection refused
+  enotconn,      // socket is not connected
+  econnreset,    // connection reset by peer
+};
+
+// Short symbolic name, e.g. "EACCES".
+std::string_view errno_name(Errno e);
+
+// Human-readable description, e.g. "permission denied".
+std::string_view errno_message(Errno e);
+
+}  // namespace sack

@@ -1,0 +1,245 @@
+#include "util/glob.h"
+
+#include <optional>
+
+namespace sack {
+
+namespace {
+
+// True if `pat` has no unescaped glob metacharacters.
+bool is_plain_literal(std::string_view pat) {
+  for (std::size_t i = 0; i < pat.size(); ++i) {
+    switch (pat[i]) {
+      case '*':
+      case '?':
+      case '[':
+      case ']':
+      case '{':
+      case '}':
+      case '\\':
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> Glob::expand_braces(std::string_view pat) {
+  // Find the first unescaped '{', locate its matching '}', split on
+  // top-level ',', recurse on each expansion. Depth-first, so nested braces
+  // work. Character classes shield metacharacters.
+  int depth = 0;
+  bool in_class = false;
+  std::size_t open = std::string_view::npos;
+  for (std::size_t i = 0; i < pat.size(); ++i) {
+    char c = pat[i];
+    if (c == '\\') {
+      if (i + 1 >= pat.size()) return Errno::einval;
+      ++i;
+      continue;
+    }
+    if (in_class) {
+      if (c == ']') in_class = false;
+      continue;
+    }
+    if (c == '[') {
+      in_class = true;
+    } else if (c == '{') {
+      if (depth == 0) open = i;
+      ++depth;
+    } else if (c == '}') {
+      if (depth == 0) return Errno::einval;
+      --depth;
+      if (depth == 0) {
+        // Split pat[open+1 .. i-1] on top-level commas.
+        std::vector<std::string> branches;
+        std::string cur;
+        int inner = 0;
+        bool inner_class = false;
+        for (std::size_t j = open + 1; j < i; ++j) {
+          char d = pat[j];
+          if (d == '\\' && j + 1 < i) {
+            cur += d;
+            cur += pat[++j];
+            continue;
+          }
+          if (inner_class) {
+            if (d == ']') inner_class = false;
+            cur += d;
+            continue;
+          }
+          if (d == '[') inner_class = true;
+          if (d == '{') ++inner;
+          if (d == '}') --inner;
+          if (d == ',' && inner == 0) {
+            branches.push_back(cur);
+            cur.clear();
+          } else {
+            cur += d;
+          }
+        }
+        branches.push_back(cur);
+
+        std::vector<std::string> out;
+        for (const auto& b : branches) {
+          std::string joined;
+          joined.append(pat.substr(0, open));
+          joined.append(b);
+          joined.append(pat.substr(i + 1));
+          SACK_ASSIGN_OR_RETURN(auto sub, expand_braces(joined));
+          for (auto& s : sub) out.push_back(std::move(s));
+        }
+        return out;
+      }
+    }
+  }
+  if (depth != 0 || in_class) return Errno::einval;
+  return std::vector<std::string>{std::string(pat)};
+}
+
+Result<Glob::TokenSeq> Glob::tokenize(std::string_view pat) {
+  TokenSeq seq;
+  for (std::size_t i = 0; i < pat.size(); ++i) {
+    char c = pat[i];
+    switch (c) {
+      case '\\': {
+        if (i + 1 >= pat.size()) return Errno::einval;
+        seq.push_back({TokKind::literal, pat[++i], {}, false});
+        break;
+      }
+      case '?':
+        seq.push_back({TokKind::any_one, 0, {}, false});
+        break;
+      case '*': {
+        if (i + 1 < pat.size() && pat[i + 1] == '*') {
+          ++i;
+          seq.push_back({TokKind::any_deep, 0, {}, false});
+        } else {
+          seq.push_back({TokKind::any_seq, 0, {}, false});
+        }
+        break;
+      }
+      case '[': {
+        Token tok{TokKind::char_class, 0, {}, false};
+        ++i;
+        if (i < pat.size() && (pat[i] == '^' || pat[i] == '!')) {
+          tok.negated = true;
+          ++i;
+        }
+        bool closed = false;
+        bool first = true;
+        while (i < pat.size()) {
+          char d = pat[i];
+          if (d == ']' && !first) {
+            closed = true;
+            break;
+          }
+          first = false;
+          if (d == '\\') {
+            if (i + 1 >= pat.size()) return Errno::einval;
+            d = pat[++i];
+            tok.set += d;
+            ++i;
+            continue;
+          }
+          // Range a-z (the '-' must not be last-in-class).
+          if (i + 2 < pat.size() && pat[i + 1] == '-' && pat[i + 2] != ']') {
+            char lo = d, hi = pat[i + 2];
+            if (lo > hi) return Errno::einval;
+            for (char x = lo;; ++x) {
+              tok.set += x;
+              if (x == hi) break;
+            }
+            i += 3;
+            continue;
+          }
+          tok.set += d;
+          ++i;
+        }
+        if (!closed || tok.set.empty()) return Errno::einval;
+        seq.push_back(std::move(tok));
+        break;
+      }
+      case ']':
+      case '{':
+      case '}':
+        // Brace expansion already removed {} pairs; stray ones are errors.
+        return Errno::einval;
+      default:
+        seq.push_back({TokKind::literal, c, {}, false});
+        break;
+    }
+  }
+  return seq;
+}
+
+Result<Glob> Glob::compile(std::string_view pattern) {
+  Glob g;
+  g.pattern_ = std::string(pattern);
+  SACK_ASSIGN_OR_RETURN(auto expanded, expand_braces(pattern));
+  g.alternatives_.reserve(expanded.size());
+  for (const auto& alt : expanded) {
+    SACK_ASSIGN_OR_RETURN(auto seq, tokenize(alt));
+    g.alternatives_.push_back(std::move(seq));
+  }
+  if (expanded.size() == 1 && is_plain_literal(pattern)) {
+    g.literal_ = std::string(pattern);
+  }
+  return g;
+}
+
+bool Glob::match_seq(const TokenSeq& seq, std::size_t ti, std::string_view path,
+                     std::size_t pi) {
+  // Linear scan with backtracking only at wildcard tokens. Patterns in MAC
+  // policies are short, so plain recursion is fine.
+  while (ti < seq.size()) {
+    const Token& t = seq[ti];
+    switch (t.kind) {
+      case TokKind::literal:
+        if (pi >= path.size() || path[pi] != t.ch) return false;
+        ++ti;
+        ++pi;
+        break;
+      case TokKind::any_one:
+        if (pi >= path.size() || path[pi] == '/') return false;
+        ++ti;
+        ++pi;
+        break;
+      case TokKind::char_class: {
+        if (pi >= path.size() || path[pi] == '/') return false;
+        bool in = t.set.find(path[pi]) != std::string::npos;
+        if (in == t.negated) return false;
+        ++ti;
+        ++pi;
+        break;
+      }
+      case TokKind::any_seq: {
+        // Try the longest extension first is unnecessary; shortest-first is
+        // simpler and equivalent for acceptance.
+        for (std::size_t k = pi;; ++k) {
+          if (match_seq(seq, ti + 1, path, k)) return true;
+          if (k >= path.size() || path[k] == '/') return false;
+        }
+      }
+      case TokKind::any_deep: {
+        for (std::size_t k = pi;; ++k) {
+          if (match_seq(seq, ti + 1, path, k)) return true;
+          if (k >= path.size()) return false;
+        }
+      }
+    }
+  }
+  return pi == path.size();
+}
+
+bool Glob::matches(std::string_view path) const {
+  for (const auto& alt : alternatives_) {
+    if (match_seq(alt, 0, path, 0)) return true;
+  }
+  return false;
+}
+
+}  // namespace sack

@@ -1,0 +1,76 @@
+// AppArmor-style path globs.
+//
+// Shared by the AppArmor-like module (profile file rules) and by SACK
+// (Per_Rules MAC-rule object patterns). Semantics follow apparmor.d(5):
+//
+//   *        any sequence of characters, not crossing '/'
+//   **       any sequence of characters, including '/'
+//   ?        any single character except '/'
+//   [abc]    one character from the set; [a-z] ranges; [^abc] negation
+//   {a,b}    alternation (may nest)
+//   \x       literal x
+//
+// Patterns are compiled once (brace-expansion + tokenization) and matched
+// with linear backtracking; rule sets are small and paths are short, and the
+// compiled form also exposes whether the pattern is a plain literal so rule
+// tables can hash-index the common case.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sack {
+
+class Glob {
+ public:
+  Glob() = default;
+
+  // Compiles `pattern`. Fails with EINVAL on malformed patterns
+  // (unbalanced braces/brackets, trailing backslash).
+  static Result<Glob> compile(std::string_view pattern);
+
+  bool matches(std::string_view path) const;
+
+  // True if the pattern contains no metacharacters: it matches exactly one
+  // path. literal() is that path.
+  bool is_literal() const { return literal_.has_value() ? true : false; }
+  const std::string& literal() const { return *literal_; }
+
+  const std::string& pattern() const { return pattern_; }
+
+  friend bool operator==(const Glob& a, const Glob& b) {
+    return a.pattern_ == b.pattern_;
+  }
+
+ private:
+  enum class TokKind : std::uint8_t {
+    literal,    // exact character
+    any_one,    // ?      (one char, not '/')
+    any_seq,    // *      (zero+ chars, no '/')
+    any_deep,   // **     (zero+ chars, '/' allowed)
+    char_class  // [...]
+  };
+  struct Token {
+    TokKind kind{};
+    char ch = 0;             // literal
+    std::string set;         // char_class members (ranges pre-expanded)
+    bool negated = false;    // char_class
+  };
+  using TokenSeq = std::vector<Token>;
+
+  static Result<std::vector<std::string>> expand_braces(std::string_view pat);
+  static Result<TokenSeq> tokenize(std::string_view pat);
+  static bool match_seq(const TokenSeq& seq, std::size_t ti,
+                        std::string_view path, std::size_t pi);
+
+  std::string pattern_;
+  std::vector<TokenSeq> alternatives_;
+  std::optional<std::string> literal_;
+};
+
+}  // namespace sack

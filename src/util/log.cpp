@@ -1,0 +1,48 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace sack {
+
+namespace {
+const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view msg) {
+    std::fprintf(stderr, "[%s] %.*s\n", level_tag(level),
+                 static_cast<int>(msg.size()), msg.data());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, std::string_view msg) {
+      std::fprintf(stderr, "[%s] %.*s\n", level_tag(level),
+                   static_cast<int>(msg.size()), msg.data());
+    };
+  }
+}
+
+void Logger::log(LogLevel level, std::string_view msg) {
+  if (level < level_) return;
+  sink_(level, msg);
+}
+
+}  // namespace sack

@@ -1,0 +1,73 @@
+// Minimal leveled logger.
+//
+// The simulated kernel logs denials and state transitions the way the real
+// one uses printk/audit; tests flip the level to capture or silence it.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sack {
+
+enum class LogLevel : std::uint8_t { debug = 0, info, warn, error, off };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // Replaces the output sink (default: stderr). Pass nullptr to restore.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view msg);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::warn;
+  Sink sink_;
+};
+
+namespace log_detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace log_detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  auto& lg = Logger::instance();
+  if (lg.level() <= LogLevel::debug)
+    lg.log(LogLevel::debug, log_detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  auto& lg = Logger::instance();
+  if (lg.level() <= LogLevel::info)
+    lg.log(LogLevel::info, log_detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  auto& lg = Logger::instance();
+  if (lg.level() <= LogLevel::warn)
+    lg.log(LogLevel::warn, log_detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  auto& lg = Logger::instance();
+  if (lg.level() <= LogLevel::error)
+    lg.log(LogLevel::error, log_detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace sack

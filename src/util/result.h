@@ -1,0 +1,108 @@
+// Result<T>: value-or-Errno return type for all simulated syscalls.
+//
+// A minimal std::expected-alike (std::expected is C++23; we target C++20).
+// Accessing value() on an error aborts loudly — in the simulator an unchecked
+// syscall failure is a programming bug, matching the kernel's BUG_ON habit.
+#pragma once
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "util/errno.h"
+
+namespace sack {
+
+namespace detail {
+[[noreturn]] inline void result_abort(Errno e, const char* what) {
+  std::fprintf(stderr, "Result: %s on error %.*s (%.*s)\n", what,
+               static_cast<int>(errno_name(e).size()), errno_name(e).data(),
+               static_cast<int>(errno_message(e).size()),
+               errno_message(e).data());
+  std::abort();
+}
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from both the value and the error so call sites read naturally:
+  //   return Errno::enoent;   /   return fd;
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Errno err) : state_(err) { assert(err != Errno::ok); }  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  Errno error() const { return ok() ? Errno::ok : std::get<Errno>(state_); }
+
+  T& value() & {
+    if (!ok()) detail::result_abort(error(), "value() called");
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    if (!ok()) detail::result_abort(error(), "value() called");
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    if (!ok()) detail::result_abort(error(), "value() called");
+    return std::get<T>(std::move(state_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Errno> state_;
+};
+
+// Result<void>: success/Errno with no payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() : err_(Errno::ok) {}
+  Result(Errno err) : err_(err) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return err_ == Errno::ok; }
+  explicit operator bool() const { return ok(); }
+  Errno error() const { return err_; }
+
+  void value() const {
+    if (!ok()) detail::result_abort(err_, "value() called");
+  }
+
+ private:
+  Errno err_;
+};
+
+using VoidResult = Result<void>;
+
+// Propagate-on-error helper:
+//   SACK_TRY(kernel.sys_close(task, fd));
+#define SACK_TRY(expr)                                \
+  do {                                                \
+    if (auto sack_try_r_ = (expr); !sack_try_r_.ok()) \
+      return sack_try_r_.error();                     \
+  } while (0)
+
+// Bind-or-propagate helper (uses a GCC/Clang statement expression would hurt
+// portability, so we bind through a named temporary):
+//   SACK_ASSIGN_OR_RETURN(auto fd, kernel.sys_open(task, path, flags));
+#define SACK_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.error();                \
+  decl = std::move(tmp).value()
+#define SACK_ASSIGN_CAT2(a, b) a##b
+#define SACK_ASSIGN_CAT(a, b) SACK_ASSIGN_CAT2(a, b)
+#define SACK_ASSIGN_OR_RETURN(decl, expr) \
+  SACK_ASSIGN_OR_RETURN_IMPL(SACK_ASSIGN_CAT(sack_r_, __LINE__), decl, expr)
+
+}  // namespace sack

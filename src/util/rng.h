@@ -1,0 +1,41 @@
+// Deterministic RNG (SplitMix64) for workload/trace generation.
+//
+// std::mt19937 would work, but SplitMix64 is tiny, seedable in one word, and
+// its output sequence is stable across standard-library versions, which keeps
+// generated test fixtures reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace sack {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5ac4'5ac4'5ac4'5ac4ULL) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  bool chance(double p) { return unit() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sack

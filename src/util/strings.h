@@ -1,0 +1,31 @@
+// Small string helpers used across the parsers and the VFS path walker.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sack {
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+// Splits on `sep`, keeping empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+// Splits on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+// Joins with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// True for [A-Za-z0-9_].
+bool is_word_char(char c);
+
+// True if `name` is a valid identifier: [A-Za-z_][A-Za-z0-9_-]*.
+bool is_identifier(std::string_view name);
+
+// Lowercase copy (ASCII only).
+std::string to_lower(std::string_view s);
+
+}  // namespace sack

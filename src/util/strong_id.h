@@ -1,0 +1,55 @@
+// Strongly-typed integer identifiers (Pid, Fd, InodeNo, ...).
+//
+// A Pid and an Fd are both "small ints" but mixing them up is a classic
+// simulator bug; the tag parameter makes each id its own type.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace sack {
+
+template <typename Tag, typename Rep = std::int64_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : v_(v) {}
+
+  constexpr Rep get() const { return v_; }
+  constexpr bool valid() const { return v_ >= 0; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+  static constexpr StrongId invalid() { return StrongId(-1); }
+
+ private:
+  Rep v_ = -1;
+};
+
+struct PidTag {};
+struct FdTag {};
+struct InodeNoTag {};
+struct StateIdTag {};
+struct EventIdTag {};
+struct PermIdTag {};
+
+using Pid = StrongId<PidTag>;
+using Fd = StrongId<FdTag>;
+using InodeNo = StrongId<InodeNoTag>;
+using StateId = StrongId<StateIdTag>;   // SACK situation-state encoding
+using EventId = StrongId<EventIdTag>;   // SACK situation-event id
+using PermId = StrongId<PermIdTag>;     // SACK permission id
+
+}  // namespace sack
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<sack::StrongId<Tag, Rep>> {
+  size_t operator()(sack::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.get());
+  }
+};
+}  // namespace std

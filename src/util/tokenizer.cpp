@@ -1,0 +1,220 @@
+#include "util/tokenizer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace sack {
+
+std::string ParseError::to_string() const {
+  return "line " + std::to_string(line) + ":" + std::to_string(column) + ": " +
+         message;
+}
+
+Tokenizer::Tokenizer(std::string_view input) : input_(input) {}
+
+Result<std::vector<Token>> Tokenizer::run() {
+  std::vector<Token> out;
+  int line = 1, col = 1;
+  std::size_t i = 0;
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < input_.size(); ++k) {
+      if (input_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+
+  while (i < input_.size()) {
+    char c = input_[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < input_.size() && input_[i] != '\n') advance();
+      continue;
+    }
+    Token tok;
+    tok.line = line;
+    tok.column = col;
+
+    if (c == '-' && i + 1 < input_.size() && input_[i + 1] == '>') {
+      tok.kind = TokenKind::arrow;
+      tok.text = "->";
+      advance(2);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '/') {
+      // Path token: runs until whitespace or statement punctuation. Glob
+      // metacharacters (including braces and commas inside braces) belong to
+      // the path, so track brace depth.
+      tok.kind = TokenKind::path;
+      int brace = 0;
+      while (i < input_.size()) {
+        char d = input_[i];
+        if (std::isspace(static_cast<unsigned char>(d))) break;
+        if (d == '{') ++brace;
+        if (d == '}') {
+          if (brace == 0) break;  // block close, not part of the path
+          --brace;
+        }
+        if (brace == 0 && (d == ',' || d == ';' || d == ')')) break;
+        tok.text += d;
+        advance();
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      tok.kind = TokenKind::string;
+      advance();
+      bool closed = false;
+      while (i < input_.size()) {
+        char d = input_[i];
+        if (d == '"') {
+          closed = true;
+          advance();
+          break;
+        }
+        if (d == '\\' && i + 1 < input_.size()) {
+          advance();
+          d = input_[i];
+          switch (d) {
+            case 'n': tok.text += '\n'; break;
+            case 't': tok.text += '\t'; break;
+            default: tok.text += d; break;
+          }
+          advance();
+          continue;
+        }
+        if (d == '\n') break;  // unterminated
+        tok.text += d;
+        advance();
+      }
+      if (!closed) {
+        error_ = {tok.line, tok.column, "unterminated string literal"};
+        return Errno::einval;
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      tok.kind = TokenKind::number;
+      while (i < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[i]))) {
+        tok.text += input_[i];
+        advance();
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      tok.kind = TokenKind::identifier;
+      while (i < input_.size() &&
+             (is_word_char(input_[i]) || input_[i] == '-' ||
+              input_[i] == '.')) {
+        // Allow '-' and '.' inside identifiers ("parking-with-driver",
+        // "usr.bin.mediaplayer"), but not a trailing "->" arrow.
+        if (input_[i] == '-' && i + 1 < input_.size() && input_[i + 1] == '>')
+          break;
+        tok.text += input_[i];
+        advance();
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    switch (c) {
+      case '{': case '}': case '(': case ')': case '=': case ';':
+      case ',': case ':': case '@': case '*':
+        tok.kind = TokenKind::punct;
+        tok.text = std::string(1, c);
+        advance();
+        out.push_back(std::move(tok));
+        continue;
+      default:
+        error_ = {line, col, std::string("unexpected character '") + c + "'"};
+        return Errno::einval;
+    }
+  }
+  Token end;
+  end.kind = TokenKind::end;
+  end.line = line;
+  end.column = col;
+  out.push_back(std::move(end));
+  return out;
+}
+
+TokenStream::TokenStream(std::vector<Token> tokens)
+    : tokens_(std::move(tokens)) {
+  if (tokens_.empty()) tokens_.push_back(Token{TokenKind::end, "", 0, 0});
+}
+
+const Token& TokenStream::peek(std::size_t ahead) const {
+  std::size_t idx = pos_ + ahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+  return tokens_[idx];
+}
+
+const Token& TokenStream::next() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool TokenStream::at_end() const {
+  return tokens_[pos_].kind == TokenKind::end;
+}
+
+bool TokenStream::accept_punct(char c) {
+  if (peek().is_punct(c)) {
+    next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenStream::accept_ident(std::string_view kw) {
+  if (peek().is_ident(kw)) {
+    next();
+    return true;
+  }
+  return false;
+}
+
+Result<Token> TokenStream::expect(TokenKind kind, std::string_view what) {
+  if (peek().kind != kind) {
+    record_error("expected " + std::string(what) + ", got '" + peek().text +
+                 "'");
+    return Errno::einval;
+  }
+  return next();
+}
+
+Result<void> TokenStream::expect_punct(char c) {
+  if (!accept_punct(c)) {
+    record_error(std::string("expected '") + c + "', got '" + peek().text +
+                 "'");
+    return Errno::einval;
+  }
+  return {};
+}
+
+Result<Token> TokenStream::expect_ident() {
+  return expect(TokenKind::identifier, "identifier");
+}
+
+Result<Token> TokenStream::expect_number() {
+  return expect(TokenKind::number, "number");
+}
+
+void TokenStream::record_error(std::string message) {
+  errors_.push_back({peek().line, peek().column, std::move(message)});
+}
+
+}  // namespace sack

@@ -1,0 +1,91 @@
+// Shared lexer for the SACK policy language and the AppArmor-like profile
+// language. Both are small line-oriented C-like grammars: identifiers,
+// integers, quoted strings, paths (tokens starting with '/'), punctuation,
+// '->' arrows, and '#' comments.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sack {
+
+enum class TokenKind : std::uint8_t {
+  identifier,  // state names, keywords, permission names
+  number,      // decimal integer
+  string,      // "quoted"
+  path,        // starts with '/', may contain glob metacharacters
+  punct,       // single character: { } ( ) = ; , : @
+  arrow,       // ->
+  end          // end of input
+};
+
+struct Token {
+  TokenKind kind{};
+  std::string text;
+  int line = 0;
+  int column = 0;
+
+  bool is_punct(char c) const {
+    return kind == TokenKind::punct && text.size() == 1 && text[0] == c;
+  }
+  bool is_ident(std::string_view s) const {
+    return kind == TokenKind::identifier && text == s;
+  }
+};
+
+// A parse-time diagnostic; parsers collect these instead of throwing.
+struct ParseError {
+  int line = 0;
+  int column = 0;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view input);
+
+  // Lexes the whole input. On a lexical error returns EINVAL and stores the
+  // diagnostic (readable via last_error()).
+  Result<std::vector<Token>> run();
+
+  const ParseError& last_error() const { return error_; }
+
+ private:
+  std::string_view input_;
+  ParseError error_;
+};
+
+// Cursor over a token vector with the usual expect/accept helpers.
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens);
+
+  const Token& peek(std::size_t ahead = 0) const;
+  const Token& next();
+  bool at_end() const;
+
+  bool accept_punct(char c);
+  bool accept_ident(std::string_view kw);
+
+  // expect_* return EINVAL and record a diagnostic on mismatch.
+  Result<Token> expect(TokenKind kind, std::string_view what);
+  Result<void> expect_punct(char c);
+  Result<Token> expect_ident();
+  Result<Token> expect_number();
+
+  void record_error(std::string message);
+  const std::vector<ParseError>& errors() const { return errors_; }
+  std::vector<ParseError> take_errors() { return std::move(errors_); }
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::vector<ParseError> errors_;
+};
+
+}  // namespace sack

@@ -1,0 +1,25 @@
+// Heterogeneous string hashing for unordered containers, so hot-path lookups
+// by string_view don't allocate a temporary std::string.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace sack {
+
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  std::size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+template <typename V>
+using StringMap = std::unordered_map<std::string, V, TransparentStringHash,
+                                     std::equal_to<>>;
+
+}  // namespace sack

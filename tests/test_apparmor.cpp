@@ -1,0 +1,430 @@
+// AppArmor-like module: parser, matcher, confinement, runtime patching.
+#include <gtest/gtest.h>
+
+#include "apparmor/apparmor.h"
+#include "apparmor/parser.h"
+#include "kernel/process.h"
+
+namespace sack::apparmor {
+namespace {
+
+using kernel::Capability;
+using kernel::Cred;
+using kernel::Fd;
+using kernel::Kernel;
+using kernel::OpenFlags;
+using kernel::Process;
+using kernel::SockFamily;
+using kernel::SockType;
+using kernel::Task;
+
+// --- parser ---
+
+TEST(AaParser, ParsesFullProfile) {
+  auto result = parse_profiles(R"(
+# media player
+profile media /usr/bin/media_app flags=(complain) {
+  /var/media/** r,
+  deny /etc/shadow rwx,
+  /dev/vehicle/audio rwi,
+  capability net_bind_service,
+  network inet stream,
+}
+)");
+  ASSERT_TRUE(result.ok()) << (result.errors.empty()
+                                   ? ""
+                                   : result.errors[0].to_string());
+  ASSERT_EQ(result.profiles.size(), 1u);
+  const Profile& p = result.profiles[0];
+  EXPECT_EQ(p.name, "media");
+  ASSERT_TRUE(p.attachment.has_value());
+  EXPECT_TRUE(p.attachment->matches("/usr/bin/media_app"));
+  EXPECT_EQ(p.mode, ProfileMode::complain);
+  ASSERT_EQ(p.rules.size(), 3u);
+  EXPECT_FALSE(p.rules[0].deny);
+  EXPECT_TRUE(p.rules[1].deny);
+  EXPECT_TRUE(has_all(p.rules[2].perms, FilePerm::ioctl));
+  EXPECT_TRUE(p.caps.has(Capability::net_bind_service));
+  EXPECT_TRUE(p.net_families.contains(SockFamily::inet));
+}
+
+TEST(AaParser, PathNamedProfileAttachesByName) {
+  auto result = parse_profiles("/usr/bin/tool { /tmp/** rw, }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.profiles[0].name, "/usr/bin/tool");
+  EXPECT_TRUE(result.profiles[0].attachment->matches("/usr/bin/tool"));
+}
+
+TEST(AaParser, MultipleProfilesInOneDocument) {
+  auto result = parse_profiles(R"(
+profile a /bin/a { /x r, }
+profile b /bin/b { /y w, }
+)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.profiles.size(), 2u);
+}
+
+TEST(AaParser, CollectsErrorsAndContinues) {
+  auto result = parse_profiles(R"(
+profile a /bin/a {
+  /x q,
+  /y r,
+}
+)");
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.profiles.size(), 1u);
+  // The good rule survived.
+  EXPECT_EQ(result.profiles[0].rules.size(), 1u);
+}
+
+TEST(AaParser, RejectsWriteAppendCombo) {
+  auto result = parse_profiles("profile a /b { /x wa, }");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(AaParser, RoundTripThroughToText) {
+  auto result = parse_profiles(R"(
+profile media /usr/bin/media_app {
+  /var/media/** r,
+  deny /etc/shadow r,
+  capability chown,
+  network unix,
+}
+)");
+  ASSERT_TRUE(result.ok());
+  auto again = parse_profiles(result.profiles[0].to_text());
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again.profiles.size(), 1u);
+  EXPECT_EQ(again.profiles[0].name, "media");
+  EXPECT_EQ(again.profiles[0].rules.size(), 2u);
+  EXPECT_TRUE(again.profiles[0].caps.has(Capability::chown));
+}
+
+// --- matcher ---
+
+TEST(AaMatcher, DenyHasPrecedence) {
+  auto result = parse_profiles(R"(
+profile p /bin/p {
+  /data/** rw,
+  deny /data/secret/** w,
+}
+)");
+  ASSERT_TRUE(result.ok());
+  ProfileMatcher m(result.profiles[0]);
+  EXPECT_EQ(m.check("/data/a", FilePerm::write), Errno::ok);
+  EXPECT_EQ(m.check("/data/secret/key", FilePerm::read), Errno::ok);
+  EXPECT_EQ(m.check("/data/secret/key", FilePerm::write), Errno::eacces);
+}
+
+TEST(AaMatcher, PermsAccumulateAcrossRules) {
+  auto result = parse_profiles(R"(
+profile p /bin/p {
+  /f r,
+  /f w,
+}
+)");
+  ASSERT_TRUE(result.ok());
+  ProfileMatcher m(result.profiles[0]);
+  EXPECT_EQ(m.check("/f", FilePerm::read | FilePerm::write), Errno::ok);
+}
+
+TEST(AaMatcher, WriteImpliesAppend) {
+  auto result = parse_profiles("profile p /bin/p { /log w, }");
+  ASSERT_TRUE(result.ok());
+  ProfileMatcher m(result.profiles[0]);
+  EXPECT_EQ(m.check("/log", FilePerm::append), Errno::ok);
+}
+
+TEST(AaMatcher, UnmatchedPathDenied) {
+  auto result = parse_profiles("profile p /bin/p { /a r, }");
+  ASSERT_TRUE(result.ok());
+  ProfileMatcher m(result.profiles[0]);
+  EXPECT_EQ(m.check("/b", FilePerm::read), Errno::eacces);
+}
+
+// --- module behaviour in the kernel ---
+
+class AaModuleTest : public ::testing::Test {
+ protected:
+  AaModuleTest() {
+    aa_ = static_cast<AppArmorModule*>(
+        kernel_.add_lsm(std::make_unique<AppArmorModule>()));
+    kernel_.vfs().mkdir_p("/data");
+    kernel_.vfs().mkdir_p("/scratch");
+    Process admin(kernel_, kernel_.init_task());
+    EXPECT_TRUE(admin.write_file("/usr/bin/confined", "ELF").ok());
+    EXPECT_TRUE(
+        kernel_.sys_chmod(kernel_.init_task(), "/usr/bin/confined", 0755)
+            .ok());
+    EXPECT_TRUE(admin.write_file("/data/allowed.txt", "ok").ok());
+    EXPECT_TRUE(admin.write_file("/data/other.txt", "no").ok());
+    EXPECT_TRUE(aa_->load_policy_text(R"(
+profile confined /usr/bin/confined {
+  /data/allowed.txt r,
+  /scratch/** rwx,
+  /scratch rw,
+}
+)")
+                    .ok());
+  }
+
+  Task& confined() {
+    if (!task_) {
+      task_ = &kernel_.spawn_task("confined", Cred::root(),
+                                  "/usr/bin/confined");
+    }
+    return *task_;
+  }
+
+  Kernel kernel_;
+  AppArmorModule* aa_ = nullptr;
+  Task* task_ = nullptr;
+};
+
+TEST_F(AaModuleTest, AttachmentOnSpawn) {
+  EXPECT_EQ(aa_->profile_of(confined()), "confined");
+}
+
+TEST_F(AaModuleTest, UnconfinedTaskUnrestricted) {
+  Process p(kernel_, kernel_.init_task());
+  EXPECT_TRUE(p.read_file("/data/other.txt").ok());
+}
+
+TEST_F(AaModuleTest, ConfinedTaskDenyByDefault) {
+  Process p(kernel_, confined());
+  EXPECT_TRUE(p.read_file("/data/allowed.txt").ok());
+  EXPECT_EQ(p.open("/data/other.txt", OpenFlags::read).error(),
+            Errno::eacces);
+  EXPECT_EQ(aa_->denial_count(), 1u);
+}
+
+TEST_F(AaModuleTest, ConfinementInheritedAcrossFork) {
+  Pid child_pid = *kernel_.sys_fork(confined());
+  Task& child = kernel_.task(child_pid).value();
+  EXPECT_EQ(aa_->profile_of(child), "confined");
+  Process p(kernel_, child);
+  EXPECT_EQ(p.open("/data/other.txt", OpenFlags::read).error(),
+            Errno::eacces);
+}
+
+TEST_F(AaModuleTest, DomainTransitionOnExec) {
+  // confined's profile has /scratch/** rwx but exec of an unprofiled binary
+  // needs x on its path, which the profile lacks -> denied.
+  Process admin(kernel_, kernel_.init_task());
+  ASSERT_TRUE(admin.write_file("/usr/bin/other", "ELF").ok());
+  ASSERT_TRUE(
+      kernel_.sys_chmod(kernel_.init_task(), "/usr/bin/other", 0755).ok());
+  EXPECT_EQ(kernel_.sys_execve(confined(), "/usr/bin/other").error(),
+            Errno::eacces);
+
+  // An unconfined task execing the profiled binary becomes confined.
+  Task& fresh = kernel_.spawn_task("sh", Cred::root(), "/bin/sh");
+  EXPECT_EQ(aa_->profile_of(fresh), "");
+  ASSERT_TRUE(kernel_.sys_execve(fresh, "/usr/bin/confined").ok());
+  EXPECT_EQ(aa_->profile_of(fresh), "confined");
+}
+
+TEST_F(AaModuleTest, CreateUnlinkMediatedByWritePerm) {
+  Process p(kernel_, confined());
+  kernel_.vfs().mkdir_p("/scratch");
+  EXPECT_TRUE(p.write_file("/scratch/f", "x").ok());
+  EXPECT_TRUE(p.unlink("/scratch/f").ok());
+  EXPECT_EQ(p.write_file("/data/new.txt", "x").error(), Errno::eacces);
+}
+
+TEST(AaExecTransition, ExplicitTransitionOverridesAttachment) {
+  Kernel kernel;
+  auto* aa = static_cast<AppArmorModule*>(
+      kernel.add_lsm(std::make_unique<AppArmorModule>()));
+  Process admin(kernel, kernel.init_task());
+  ASSERT_TRUE(admin.write_file("/usr/bin/launcher", "ELF").ok());
+  ASSERT_TRUE(admin.write_file("/usr/bin/helper", "ELF").ok());
+  for (auto* bin : {"/usr/bin/launcher", "/usr/bin/helper"})
+    ASSERT_TRUE(kernel.sys_chmod(kernel.init_task(), bin, 0755).ok());
+
+  ASSERT_TRUE(aa->load_policy_text(R"(
+profile launcher /usr/bin/launcher {
+  /usr/bin/helper rx -> helper_sandbox,
+}
+profile helper /usr/bin/helper {
+  /etc/** r,
+}
+profile helper_sandbox {
+  /tmp/** rw,
+}
+)")
+                  .ok());
+
+  // From the launcher profile the explicit transition wins over the
+  // attachment-matched "helper" profile.
+  Task& t = kernel.spawn_task("launcher", Cred::root(), "/usr/bin/launcher");
+  ASSERT_EQ(aa->profile_of(t), "launcher");
+  ASSERT_TRUE(kernel.sys_execve(t, "/usr/bin/helper").ok());
+  EXPECT_EQ(aa->profile_of(t), "helper_sandbox");
+
+  // From anywhere else, attachment matching still applies.
+  Task& other = kernel.spawn_task("sh", Cred::root(), "/bin/sh");
+  ASSERT_TRUE(kernel.sys_execve(other, "/usr/bin/helper").ok());
+  EXPECT_EQ(aa->profile_of(other), "helper");
+}
+
+TEST(AaExecTransition, MissingTargetFailsExec) {
+  Kernel kernel;
+  auto* aa = static_cast<AppArmorModule*>(
+      kernel.add_lsm(std::make_unique<AppArmorModule>()));
+  Process admin(kernel, kernel.init_task());
+  ASSERT_TRUE(admin.write_file("/usr/bin/launcher", "ELF").ok());
+  ASSERT_TRUE(admin.write_file("/usr/bin/helper", "ELF").ok());
+  for (auto* bin : {"/usr/bin/launcher", "/usr/bin/helper"})
+    ASSERT_TRUE(kernel.sys_chmod(kernel.init_task(), bin, 0755).ok());
+  ASSERT_TRUE(aa->load_policy_text(R"(
+profile launcher /usr/bin/launcher {
+  /usr/bin/helper rx -> ghost_profile,
+}
+)")
+                  .ok());
+  Task& t = kernel.spawn_task("launcher", Cred::root(), "/usr/bin/launcher");
+  EXPECT_EQ(kernel.sys_execve(t, "/usr/bin/helper").error(), Errno::eacces);
+  EXPECT_EQ(aa->profile_of(t), "launcher");  // unchanged
+}
+
+TEST(AaExecTransition, ParserRejectsTransitionWithoutExec) {
+  EXPECT_FALSE(parse_profiles(
+                   "profile a /bin/a { /bin/b r -> target, }")
+                   .ok());
+  EXPECT_FALSE(parse_profiles(
+                   "profile a /bin/a { deny /bin/b rx -> target, }")
+                   .ok());
+}
+
+TEST(AaExecTransition, RoundTripsThroughText) {
+  auto parsed = parse_profiles(
+      "profile a /bin/a { /bin/b rx -> sandbox, }");
+  ASSERT_TRUE(parsed.ok());
+  auto again = parse_profiles(parsed.profiles[0].to_text());
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again.profiles[0].exec_transitions.size(), 1u);
+  EXPECT_EQ(again.profiles[0].exec_transitions[0].target, "sandbox");
+}
+
+TEST_F(AaModuleTest, HardLinkNeedsLinkPermission) {
+  Process admin(kernel_, kernel_.init_task());
+  // The confined profile can read /data/allowed.txt but has no 'l' anywhere:
+  // linking it into /scratch must fail despite rwx there ('x' != 'l').
+  EXPECT_EQ(kernel_.sys_link(confined(), "/data/allowed.txt",
+                             "/scratch/alias")
+                .error(),
+            Errno::eacces);
+  Profile p = *aa_->find_profile("confined");
+  FileRule rule;
+  rule.pattern = *Glob::compile("/scratch/**");
+  rule.perms = FilePerm::link;
+  p.rules.push_back(std::move(rule));
+  ASSERT_TRUE(aa_->replace_profile(std::move(p)).ok());
+  EXPECT_TRUE(
+      kernel_.sys_link(confined(), "/data/allowed.txt", "/scratch/alias")
+          .ok());
+}
+
+TEST_F(AaModuleTest, CapabilityRulesGateCapable) {
+  EXPECT_EQ(kernel_.capable(confined(), Capability::sys_admin), Errno::eperm);
+  Profile p = *aa_->find_profile("confined");
+  p.caps.add(Capability::sys_admin);
+  ASSERT_TRUE(aa_->replace_profile(std::move(p)).ok());
+  EXPECT_EQ(kernel_.capable(confined(), Capability::sys_admin), Errno::ok);
+}
+
+TEST_F(AaModuleTest, NetworkRulesGateSocketCreate) {
+  EXPECT_EQ(kernel_.sys_socket(confined(), SockFamily::inet,
+                               SockType::stream)
+                .error(),
+            Errno::eacces);
+  Profile p = *aa_->find_profile("confined");
+  p.net_families.insert(SockFamily::inet);
+  ASSERT_TRUE(aa_->replace_profile(std::move(p)).ok());
+  EXPECT_TRUE(
+      kernel_.sys_socket(confined(), SockFamily::inet, SockType::stream)
+          .ok());
+}
+
+TEST_F(AaModuleTest, ComplainModeLogsButAllows) {
+  Profile p = *aa_->find_profile("confined");
+  p.mode = ProfileMode::complain;
+  ASSERT_TRUE(aa_->replace_profile(std::move(p)).ok());
+  Process proc(kernel_, confined());
+  EXPECT_TRUE(proc.read_file("/data/other.txt").ok());
+  EXPECT_GT(aa_->denial_count(), 0u);  // still recorded
+}
+
+TEST_F(AaModuleTest, InjectAndRetractRulesByOrigin) {
+  Process p(kernel_, confined());
+  EXPECT_EQ(p.open("/data/other.txt", OpenFlags::read).error(),
+            Errno::eacces);
+
+  auto glob = Glob::compile("/data/other.txt");
+  std::vector<FileRule> rules;
+  rules.push_back({std::move(glob).value(), FilePerm::read, false,
+                   "sack:TEST_PERM"});
+  ASSERT_TRUE(aa_->inject_rules("confined", std::move(rules)).ok());
+  EXPECT_TRUE(p.read_file("/data/other.txt").ok());
+
+  EXPECT_EQ(aa_->remove_rules_by_origin("sack:TEST_PERM"), 1u);
+  EXPECT_EQ(p.open("/data/other.txt", OpenFlags::read).error(),
+            Errno::eacces);
+  EXPECT_EQ(aa_->remove_rules_by_origin("sack:TEST_PERM"), 0u);
+}
+
+TEST_F(AaModuleTest, GenerationBumpsInvalidateOpenFileCache) {
+  Process p(kernel_, confined());
+  Fd fd = *p.open("/data/allowed.txt", OpenFlags::read);
+  std::string out;
+  EXPECT_TRUE(p.read(fd, out, 2).ok());
+
+  // Replace the profile with one that no longer allows the file: the open fd
+  // must stop working (adaptive revocation through file_permission).
+  Profile replacement;
+  replacement.name = "confined";
+  replacement.attachment = *Glob::compile("/usr/bin/confined");
+  ASSERT_TRUE(aa_->replace_profile(std::move(replacement)).ok());
+  EXPECT_EQ(p.read(fd, out, 2).error(), Errno::eacces);
+}
+
+TEST_F(AaModuleTest, SecurityfsLoadInterface) {
+  Process admin(kernel_, kernel_.init_task());
+  ASSERT_TRUE(admin
+                  .write_existing("/sys/kernel/security/apparmor/.load",
+                                  "profile extra /usr/bin/extra { /e r, }")
+                  .ok());
+  EXPECT_NE(aa_->find_profile("extra"), nullptr);
+
+  auto listing = admin.read_file("/sys/kernel/security/apparmor/profiles");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_NE(listing->find("extra (enforce)"), std::string::npos);
+
+  ASSERT_TRUE(
+      admin.write_existing("/sys/kernel/security/apparmor/.remove", "extra")
+          .ok());
+  EXPECT_EQ(aa_->find_profile("extra"), nullptr);
+}
+
+TEST_F(AaModuleTest, SecurityfsLoadRequiresMacAdmin) {
+  Task& user = kernel_.spawn_task("user", Cred::user(1000, 1000));
+  user.cred().caps.add(Capability::dac_override);  // get past DAC 0200
+  Process up(kernel_, user);
+  EXPECT_EQ(up.write_existing("/sys/kernel/security/apparmor/.load",
+                              "profile x /x { /y r, }")
+                .error(),
+            Errno::eperm);
+}
+
+TEST_F(AaModuleTest, RemovingProfileUnconfinesFutureChecks) {
+  Process p(kernel_, confined());
+  EXPECT_EQ(p.open("/data/other.txt", OpenFlags::read).error(),
+            Errno::eacces);
+  ASSERT_TRUE(aa_->remove_profile("confined").ok());
+  // Blob still names "confined" but the profile is gone -> unconfined.
+  EXPECT_TRUE(p.read_file("/data/other.txt").ok());
+}
+
+}  // namespace
+}  // namespace sack::apparmor

@@ -1,0 +1,159 @@
+// Kernel audit subsystem + its securityfs interface + MAC integration.
+#include <gtest/gtest.h>
+
+#include "apparmor/apparmor.h"
+#include "core/sack_module.h"
+#include "kernel/process.h"
+
+namespace sack::kernel {
+namespace {
+
+TEST(AuditLog, RecordsAndFormats) {
+  AuditLog log(8);
+  AuditRecord r;
+  r.module = "testmod";
+  r.pid = Pid(42);
+  r.subject = "/usr/bin/app";
+  r.object = "/etc/secret";
+  r.operation = "read";
+  r.verdict = AuditVerdict::denied;
+  r.context = "state=driving";
+  log.record(r);
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0].seq, 0u);
+  std::string line = log.records()[0].to_line();
+  EXPECT_NE(line.find("module=testmod"), std::string::npos);
+  EXPECT_NE(line.find("pid=42"), std::string::npos);
+  EXPECT_NE(line.find("verdict=DENIED"), std::string::npos);
+  EXPECT_NE(line.find("ctx=state=driving"), std::string::npos);
+}
+
+TEST(AuditLog, RingDropsOldestAndCountsLoss) {
+  AuditLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    AuditRecord r;
+    r.module = "m";
+    r.operation = "op" + std::to_string(i);
+    log.record(r);
+  }
+  EXPECT_EQ(log.records().size(), 4u);
+  EXPECT_EQ(log.total_recorded(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  EXPECT_EQ(log.records().front().operation, "op6");  // oldest surviving
+  EXPECT_EQ(log.records().back().seq, 9u);
+}
+
+TEST(AuditLog, CountDenialsFiltersByModule) {
+  AuditLog log;
+  for (int i = 0; i < 3; ++i) {
+    AuditRecord r;
+    r.module = i == 0 ? "a" : "b";
+    r.verdict = AuditVerdict::denied;
+    log.record(r);
+  }
+  AuditRecord allowed;
+  allowed.module = "a";
+  allowed.verdict = AuditVerdict::allowed;
+  log.record(allowed);
+  EXPECT_EQ(log.count_denials(), 3u);
+  EXPECT_EQ(log.count_denials("a"), 1u);
+  EXPECT_EQ(log.count_denials("b"), 2u);
+}
+
+TEST(AuditIntegration, SackDenialLandsInAuditLog) {
+  Kernel kernel;
+  auto* sack_module = static_cast<core::SackModule*>(kernel.add_lsm(
+      std::make_unique<core::SackModule>(core::SackMode::independent)));
+  Process admin(kernel, kernel.init_task());
+  ASSERT_TRUE(admin.write_file("/dev/door", "").ok());
+  ASSERT_TRUE(sack_module->load_policy_text(R"(
+states { normal = 0; }
+initial normal;
+permissions { DOORS; }
+per_rules { DOORS { allow /usr/bin/rescue /dev/door write; } }
+)")
+                  .ok());
+
+  Task& task = kernel.spawn_task("app", Cred::root(), "/usr/bin/app");
+  Process p(kernel, task);
+  EXPECT_EQ(p.open("/dev/door", OpenFlags::write).error(), Errno::eacces);
+
+  ASSERT_EQ(kernel.audit().count_denials("sack"), 1u);
+  const auto& rec = kernel.audit().records().back();
+  EXPECT_EQ(rec.subject, "/usr/bin/app");
+  EXPECT_EQ(rec.object, "/dev/door");
+  EXPECT_EQ(rec.operation, "write");
+  EXPECT_EQ(rec.context, "state=normal");
+  EXPECT_EQ(rec.pid, task.pid());
+}
+
+TEST(AuditIntegration, AppArmorDenialLandsInAuditLog) {
+  Kernel kernel;
+  auto* aa = static_cast<apparmor::AppArmorModule*>(
+      kernel.add_lsm(std::make_unique<apparmor::AppArmorModule>()));
+  Process admin(kernel, kernel.init_task());
+  ASSERT_TRUE(admin.write_file("/usr/bin/app", "ELF").ok());
+  ASSERT_TRUE(admin.write_file("/etc/other", "x").ok());
+  ASSERT_TRUE(
+      aa->load_policy_text("profile app /usr/bin/app { /tmp/** rw, }").ok());
+  Task& task = kernel.spawn_task("app", Cred::root(), "/usr/bin/app");
+  Process p(kernel, task);
+  EXPECT_EQ(p.open("/etc/other", OpenFlags::read).error(), Errno::eacces);
+  ASSERT_EQ(kernel.audit().count_denials("apparmor"), 1u);
+  EXPECT_EQ(kernel.audit().records().back().subject, "app");
+}
+
+TEST(AuditIntegration, ComplainModeAuditsAsAllowed) {
+  Kernel kernel;
+  auto* aa = static_cast<apparmor::AppArmorModule*>(
+      kernel.add_lsm(std::make_unique<apparmor::AppArmorModule>()));
+  Process admin(kernel, kernel.init_task());
+  ASSERT_TRUE(admin.write_file("/usr/bin/app", "ELF").ok());
+  ASSERT_TRUE(admin.write_file("/etc/other", "x").ok());
+  ASSERT_TRUE(aa->load_policy_text(
+                    "profile app /usr/bin/app flags=(complain) { /tmp/** rw, }")
+                  .ok());
+  Task& task = kernel.spawn_task("app", Cred::root(), "/usr/bin/app");
+  Process p(kernel, task);
+  EXPECT_TRUE(p.read_file("/etc/other").ok());
+  EXPECT_EQ(kernel.audit().count_denials("apparmor"), 0u);
+  ASSERT_FALSE(kernel.audit().records().empty());
+  EXPECT_EQ(kernel.audit().records().back().context, "complain");
+}
+
+TEST(AuditIntegration, SecurityfsReadAndClear) {
+  Kernel kernel;
+  auto* sack_module = static_cast<core::SackModule*>(kernel.add_lsm(
+      std::make_unique<core::SackModule>(core::SackMode::independent)));
+  Process admin(kernel, kernel.init_task());
+  ASSERT_TRUE(admin.write_file("/dev/door", "").ok());
+  ASSERT_TRUE(sack_module->load_policy_text(R"(
+states { normal = 0; }
+initial normal;
+permissions { DOORS; }
+per_rules { DOORS { allow /usr/bin/rescue /dev/door write; } }
+)")
+                  .ok());
+  Task& task = kernel.spawn_task("app", Cred::root(), "/usr/bin/app");
+  Process p(kernel, task);
+  (void)p.open("/dev/door", OpenFlags::write);
+
+  auto text = admin.read_file("/sys/kernel/security/audit/log");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("module=sack"), std::string::npos);
+  EXPECT_NE(text->find("verdict=DENIED"), std::string::npos);
+
+  ASSERT_TRUE(
+      admin.write_existing("/sys/kernel/security/audit/log", "clear").ok());
+  EXPECT_TRUE(kernel.audit().records().empty());
+
+  // Non-root cannot read the audit log (mode 0600).
+  Task& user = kernel.spawn_task("user", Cred::user(1000, 1000));
+  Process up(kernel, user);
+  EXPECT_EQ(up.open("/sys/kernel/security/audit/log", OpenFlags::read)
+                .error(),
+            Errno::eacces);
+}
+
+}  // namespace
+}  // namespace sack::kernel

@@ -1,0 +1,154 @@
+// CAN bus substrate + the raw-frame KOFFEE injection path.
+#include <gtest/gtest.h>
+
+#include "ivi/can_bus.h"
+#include "ivi/ivi_system.h"
+
+namespace sack::ivi {
+namespace {
+
+using kernel::Fd;
+using kernel::OpenFlags;
+
+// --- frame codec ---
+
+TEST(CanFrame, TextRoundTrip) {
+  CanFrame f;
+  f.id = 0x2a1;
+  f.dlc = 2;
+  f.data[0] = 0x02;
+  f.data[1] = 0xff;
+  EXPECT_EQ(f.to_text(), "2a1#02ff\n");
+  auto parsed = CanFrame::parse("2a1#02ff\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->id, 0x2a1u);
+  EXPECT_EQ(parsed->dlc, 2);
+  EXPECT_EQ(parsed->data[1], 0xff);
+}
+
+TEST(CanFrame, ParsesEmptyPayloadAndMaxLength) {
+  auto empty = CanFrame::parse("100#");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->dlc, 0);
+  auto full = CanFrame::parse("1f0#0011223344556677");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->dlc, 8);
+  EXPECT_EQ(full->data[7], 0x77);
+}
+
+TEST(CanFrame, RejectsMalformed) {
+  EXPECT_FALSE(CanFrame::parse("nohash").ok());
+  EXPECT_FALSE(CanFrame::parse("#00").ok());              // missing id
+  EXPECT_FALSE(CanFrame::parse("xyz#00").ok());           // bad id hex
+  EXPECT_FALSE(CanFrame::parse("100#0").ok());            // odd nibbles
+  EXPECT_FALSE(CanFrame::parse("100#001122334455667788").ok());  // > 8 bytes
+  EXPECT_FALSE(CanFrame::parse("fffffffff#00").ok());     // id overflow
+}
+
+// --- bus + ECU ---
+
+TEST(CanBusUnit, DeliversToSubscribers) {
+  CanBus bus;
+  std::vector<std::uint32_t> seen;
+  bus.subscribe([&](const CanFrame& f) { seen.push_back(f.id); });
+  CanFrame f;
+  f.id = 0x123;
+  bus.send(f);
+  bus.send(f);
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(bus.frames_sent(), 2u);
+  EXPECT_EQ(bus.history().size(), 2u);
+}
+
+TEST(CanBusUnit, BodyEcuActuatesHardware) {
+  kernel::Kernel kernel;
+  VehicleHardware hw(kernel);
+  CanBus bus;
+  BodyControlEcu ecu(&bus, &hw);
+
+  ASSERT_TRUE(hw.state().all_doors_locked());
+  bus.send(*CanFrame::parse("2a1#02ff"));  // unlock all
+  EXPECT_FALSE(hw.state().all_doors_locked());
+  bus.send(*CanFrame::parse("2a1#0101"));  // lock door 1
+  EXPECT_TRUE(hw.state().door_locked[1]);
+  bus.send(*CanFrame::parse("2a2#0232"));  // window 2 to 50%
+  EXPECT_EQ(hw.state().window_open_pct[2], 0x32);
+  bus.send(*CanFrame::parse("2a3#28"));    // volume 40
+  EXPECT_EQ(hw.state().audio_volume, 40);
+  // Unknown and short frames are ignored.
+  bus.send(*CanFrame::parse("1f0#50"));
+  bus.send(*CanFrame::parse("2a1#02"));
+  EXPECT_EQ(ecu.frames_handled(), 4u);
+}
+
+// --- device node semantics ---
+
+TEST(CanDeviceNode, WriteSendsAndReadCaptures) {
+  IviSystem ivi({.mac = MacConfig::none});
+  auto admin = ivi.admin_process();
+  Fd tx = *admin.open("/dev/can0", OpenFlags::write);
+  ASSERT_TRUE(admin.write(tx, "2a1#02ff\n1f0#50\n").ok());
+  EXPECT_EQ(ivi.can_bus().frames_sent(), 2u);
+  EXPECT_FALSE(ivi.hardware().state().all_doors_locked());
+
+  Fd rx = *admin.open("/dev/can0", OpenFlags::read);
+  std::string captured;
+  ASSERT_TRUE(admin.read(rx, captured, 4096).ok());
+  EXPECT_EQ(captured, "2a1#02ff\n1f0#50\n");
+}
+
+TEST(CanDeviceNode, MalformedWriteSendsNothing) {
+  IviSystem ivi({.mac = MacConfig::none});
+  auto admin = ivi.admin_process();
+  Fd tx = *admin.open("/dev/can0", OpenFlags::write);
+  EXPECT_EQ(admin.write(tx, "2a1#02ff\ngarbage\n").error(), Errno::einval);
+  EXPECT_EQ(ivi.can_bus().frames_sent(), 0u);  // atomic: nothing went out
+  EXPECT_TRUE(ivi.hardware().state().all_doors_locked());
+}
+
+// --- the attack, across MAC configurations ---
+
+TEST(CanInjection, SucceedsWithoutMac) {
+  IviSystem ivi({.mac = MacConfig::none});
+  ASSERT_TRUE(ivi.attacker().inject_can_frames().ok());
+  EXPECT_FALSE(ivi.hardware().state().all_doors_locked());
+  EXPECT_EQ(ivi.hardware().state().audio_volume, kMaxVolume);
+}
+
+TEST(CanInjection, BlockedByIndependentSackInEveryState) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  EXPECT_FALSE(ivi.attacker().inject_can_frames().ok());
+  ASSERT_TRUE(ivi.sds().send_event("crash_detected").ok());
+  // Even in the emergency, only the rescue daemon's subject may transmit.
+  EXPECT_FALSE(ivi.attacker().inject_can_frames().ok());
+  EXPECT_TRUE(ivi.hardware().state().all_doors_locked());
+  EXPECT_EQ(ivi.can_bus().frames_sent(), 0u);
+}
+
+TEST(CanInjection, RescueMayTransmitOnlyInEmergency) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  auto rescue = ivi.rescue_process();
+  EXPECT_EQ(rescue.open("/dev/can0", OpenFlags::write).error(),
+            Errno::eacces);
+  ASSERT_TRUE(ivi.sds().send_event("crash_detected").ok());
+  Fd tx = *rescue.open("/dev/can0", OpenFlags::write);
+  ASSERT_TRUE(rescue.write(tx, "2a1#02ff\n").ok());
+  EXPECT_FALSE(ivi.hardware().state().all_doors_locked());
+  // The emergency clears; the held fd is revoked mid-stream.
+  ASSERT_TRUE(ivi.sds().send_event("emergency_cleared").ok());
+  EXPECT_EQ(rescue.write(tx, "2a1#02ff\n").error(), Errno::eacces);
+}
+
+TEST(CanInjection, EnhancedModeBlocksConfinedAttacker) {
+  IviSystem ivi({.mac = MacConfig::sack_enhanced_apparmor});
+  // ota_helper's AppArmor profile has no /dev/can0 rule.
+  EXPECT_FALSE(ivi.attacker().inject_can_frames().ok());
+  // In an emergency, SACK injects the CAN rule into rescue_daemon only.
+  ASSERT_TRUE(ivi.sds().send_event("crash_detected").ok());
+  EXPECT_FALSE(ivi.attacker().inject_can_frames().ok());
+  auto rescue = ivi.rescue_process();
+  EXPECT_TRUE(rescue.open("/dev/can0", OpenFlags::write).ok());
+}
+
+}  // namespace
+}  // namespace sack::ivi

@@ -1,0 +1,159 @@
+// Hook-coverage matrix: for every MacOp, a policy granting exactly that op
+// on a guarded object must allow exactly the corresponding syscall and deny
+// the others. This pins the hook→operation mapping end to end.
+#include <gtest/gtest.h>
+
+#include "core/policy_builder.h"
+#include "core/sack_module.h"
+#include "kernel/process.h"
+
+namespace sack::core {
+namespace {
+
+using kernel::AccessMask;
+using kernel::Cred;
+using kernel::Fd;
+using kernel::Kernel;
+using kernel::OpenFlags;
+using kernel::Process;
+using kernel::Task;
+
+// The world: /guarded/dir and files inside it, all guarded by the policy
+// (object pattern /guarded/**).
+class HookCoverage : public ::testing::TestWithParam<MacOp> {
+ protected:
+  HookCoverage() {
+    sack_ = static_cast<SackModule*>(kernel_.add_lsm(
+        std::make_unique<SackModule>(SackMode::independent)));
+    kernel_.vfs().mkdir_p("/guarded/dir");
+    kernel_.vfs().mkdir_p("/guarded/emptydir");
+    Process admin(kernel_, kernel_.init_task());
+    EXPECT_TRUE(admin.write_file("/guarded/file", "0123456789").ok());
+    EXPECT_TRUE(admin.write_file("/guarded/other", "x").ok());
+    EXPECT_TRUE(admin.write_file("/guarded/binary", "ELF").ok());
+    EXPECT_TRUE(
+        kernel_.sys_chmod(kernel_.init_task(), "/guarded/binary", 0755).ok());
+    task_ = &kernel_.spawn_task("probe", Cred::root(), "/usr/bin/probe");
+  }
+
+  void load(MacOp op) {
+    PolicyBuilder b;
+    b.state("s", 0).initial("s").permission("P").grant("s", "P");
+    b.allow("P", "*", "/guarded/**", op);
+    std::vector<Diagnostic> diags;
+    ASSERT_TRUE(sack_->load_policy(b.build(), &diags).ok());
+  }
+
+  // Attempts the operation corresponding to `op`; true if it succeeded.
+  bool attempt(MacOp op) {
+    Process p(kernel_, *task_);
+    auto ok = [](auto result) { return result.ok(); };
+    switch (op) {
+      case MacOp::read: {
+        auto fd = p.open("/guarded/file", OpenFlags::read);
+        if (!fd.ok()) return false;
+        (void)p.close(*fd);
+        return true;
+      }
+      case MacOp::write: {
+        auto fd = p.open("/guarded/file", OpenFlags::write);
+        if (!fd.ok()) return false;
+        (void)p.close(*fd);
+        return true;
+      }
+      case MacOp::append: {
+        auto fd = p.open("/guarded/file",
+                         OpenFlags::write | OpenFlags::append);
+        if (!fd.ok()) return false;
+        (void)p.close(*fd);
+        return true;
+      }
+      case MacOp::exec:
+        return ok(kernel_.sys_execve(*task_, "/guarded/binary"));
+      case MacOp::ioctl: {
+        // The LSM hook runs before the "is it a device" check, so ENOTTY
+        // (not EACCES) proves the MAC layer allowed the ioctl.
+        auto pf = p.open("/guarded/file", OpenFlags::read);
+        if (!pf.ok()) return false;  // needs read too; see companions()
+        auto io = p.ioctl(*pf, 1, 0);
+        (void)p.close(*pf);
+        return io.error() == Errno::enotty;
+      }
+      case MacOp::mmap: {
+        auto fd = p.open("/guarded/file", OpenFlags::read);
+        if (!fd.ok()) return false;
+        auto id = kernel_.sys_mmap(*task_, *fd, 4096, AccessMask::read);
+        bool mapped = id.ok();
+        if (mapped) (void)kernel_.sys_munmap(*task_, *id);
+        (void)p.close(*fd);
+        return mapped;
+      }
+      case MacOp::create:
+        return ok(p.write_file("/guarded/newfile", "x"));
+      case MacOp::unlink:
+        return ok(p.unlink("/guarded/other"));
+      case MacOp::mkdir:
+        return ok(p.mkdir("/guarded/newdir"));
+      case MacOp::rmdir:
+        return ok(kernel_.sys_rmdir(*task_, "/guarded/emptydir"));
+      case MacOp::rename:
+        return ok(kernel_.sys_rename(*task_, "/guarded/other",
+                                     "/guarded/renamed"));
+      case MacOp::getattr:
+        return ok(p.stat("/guarded/file"));
+      case MacOp::chmod:
+        return ok(kernel_.sys_chmod(*task_, "/guarded/file", 0640));
+      case MacOp::chown:
+        return ok(kernel_.sys_chown(*task_, "/guarded/file", 1, 1));
+      case MacOp::truncate:
+        return ok(kernel_.sys_truncate(*task_, "/guarded/file", 1));
+      default:
+        ADD_FAILURE() << "unhandled op";
+        return false;
+    }
+  }
+
+  // Ops whose probe path inherently performs extra mediated operations.
+  static MacOp companions(MacOp op) {
+    switch (op) {
+      case MacOp::ioctl:
+      case MacOp::mmap:
+        return op | MacOp::read;        // the probe opens the file to get a fd
+      case MacOp::append:
+        return op | MacOp::write;       // open(write|append) checks both
+      case MacOp::create:
+        return op | MacOp::write;       // the new file is opened for writing
+      default:
+        return op;
+    }
+  }
+
+  Kernel kernel_;
+  SackModule* sack_ = nullptr;
+  Task* task_ = nullptr;
+};
+
+TEST_P(HookCoverage, ExactlyTheGrantedOpSucceeds) {
+  MacOp op = GetParam();
+
+  // With nothing granted the op must fail.
+  load(MacOp::getattr == op ? MacOp::ioctl : MacOp::getattr);
+  EXPECT_FALSE(attempt(op)) << "op allowed without grant: "
+                            << mac_op_name(op);
+
+  // With the op (and its probe companions) granted, it must succeed.
+  load(companions(op));
+  EXPECT_TRUE(attempt(op)) << "op denied despite grant: " << mac_op_name(op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, HookCoverage,
+    ::testing::Values(MacOp::read, MacOp::write, MacOp::append, MacOp::exec,
+                      MacOp::ioctl, MacOp::mmap, MacOp::create, MacOp::unlink,
+                      MacOp::mkdir, MacOp::rmdir, MacOp::rename,
+                      MacOp::getattr, MacOp::chmod, MacOp::chown,
+                      MacOp::truncate),
+    [](const auto& info) { return std::string(mac_op_name(info.param)); });
+
+}  // namespace
+}  // namespace sack::core

@@ -1,0 +1,205 @@
+// System-level integration and failure-injection tests: long interleaved
+// scenarios, event floods, policy reloads under load, fd-table pressure.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <map>
+#include <utility>
+
+#include "core/policy_builder.h"
+#include "ivi/ivi_system.h"
+#include "sds/traces.h"
+#include "util/rng.h"
+
+namespace sack {
+namespace {
+
+using ivi::IviSystem;
+using ivi::MacConfig;
+using kernel::Fd;
+using kernel::OpenFlags;
+
+// The full pipeline, many times over: traces drive detectors drive SACKfs
+// drives the SSM drives the APE; access decisions stay consistent with the
+// situation at every step.
+TEST(Integration, RepeatedCrashRecoveryCyclesStayConsistent) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  for (int cycle = 0; cycle < 25; ++cycle) {
+    ASSERT_EQ(ivi.situation(), "parked_with_driver") << "cycle " << cycle;
+    EXPECT_TRUE(ivi.rescue().respond_to_emergency().all_denied());
+
+    ASSERT_TRUE(ivi.sds().send_event("crash_detected").ok());
+    ASSERT_EQ(ivi.situation(), "emergency");
+    EXPECT_TRUE(ivi.rescue().respond_to_emergency().all_ok());
+    EXPECT_TRUE(ivi.rescue().secure_vehicle().all_ok());
+
+    ASSERT_TRUE(ivi.sds().send_event("emergency_cleared").ok());
+  }
+  // Kernel-side accounting is exact.
+  EXPECT_EQ(ivi.sack()->ssm()->transitions_taken(), 50u);
+  EXPECT_EQ(ivi.sack()->events_rejected(), 0u);
+}
+
+TEST(Integration, EventFloodIsStableAndAccurate) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  auto& sds = ivi.sds();
+  Rng rng(7);
+  const char* events[] = {"start_driving", "stop_driving", "crash_detected",
+                          "emergency_cleared", "parked_with_driver",
+                          "parked_without_driver"};
+  // Model the SSM in parallel to verify the kernel agrees after a flood.
+  std::string model = "parked_with_driver";
+  auto step = [&](const std::string& event) {
+    // Mirror of the default policy's transition table.
+    static const std::map<std::pair<std::string, std::string>, std::string>
+        table = {
+            {{"parked_with_driver", "start_driving"}, "driving"},
+            {{"driving", "stop_driving"}, "parked_with_driver"},
+            {{"parked_with_driver", "parked_without_driver"},
+             "parked_without_driver"},
+            {{"parked_without_driver", "parked_with_driver"},
+             "parked_with_driver"},
+            {{"parked_with_driver", "crash_detected"}, "emergency"},
+            {{"parked_without_driver", "crash_detected"}, "emergency"},
+            {{"driving", "crash_detected"}, "emergency"},
+            {{"emergency", "emergency_cleared"}, "parked_with_driver"},
+        };
+    auto it = table.find({model, event});
+    if (it != table.end()) model = it->second;
+  };
+
+  for (int i = 0; i < 5000; ++i) {
+    const char* event = events[rng.below(std::size(events))];
+    ASSERT_TRUE(sds.send_event(event).ok());
+    step(event);
+    if (i % 500 == 0) ASSERT_EQ(ivi.situation(), model) << "at event " << i;
+  }
+  EXPECT_EQ(ivi.situation(), model);
+  EXPECT_EQ(ivi.sack()->events_rejected(), 0u);
+  EXPECT_EQ(ivi.sack()->events_received(), 5000u);
+}
+
+TEST(Integration, PolicyReloadUnderLoadIsAtomic) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  auto admin = ivi.admin_process();
+  auto media = ivi.media_process();
+
+  for (int round = 0; round < 50; ++round) {
+    // Interleave accesses with full policy reloads (alternating a policy
+    // that grants media reads everywhere with one that grants nothing).
+    bool permissive = round % 2 == 0;
+    core::PolicyBuilder b;
+    b.state("only", 0).initial("only").permission("MEDIA");
+    b.allow("MEDIA", "*", "/var/media/**",
+            core::MacOp::read | core::MacOp::getattr);
+    if (permissive) b.grant("only", "MEDIA");
+    ASSERT_TRUE(ivi.sack()->load_policy(b.build()).ok());
+
+    auto fd = media.open(IviSystem::kMediaTrack, OpenFlags::read);
+    EXPECT_EQ(fd.ok(), permissive) << "round " << round;
+    if (fd.ok()) (void)media.close(*fd);
+
+    // A broken reload must not disturb the active policy.
+    core::PolicyBuilder broken;
+    broken.state("a", 0).initial("ghost");
+    EXPECT_FALSE(ivi.sack()->load_policy(broken.build()).ok());
+    auto fd2 = media.open(IviSystem::kMediaTrack, OpenFlags::read);
+    EXPECT_EQ(fd2.ok(), permissive);
+    if (fd2.ok()) (void)media.close(*fd2);
+  }
+  (void)admin;
+}
+
+TEST(Integration, LongLivedFdsTrackSituationAcrossManyTransitions) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  // Rescue opens the door device during the first emergency and holds the
+  // fd across dozens of situation changes.
+  ASSERT_TRUE(ivi.sds().send_event("crash_detected").ok());
+  auto rescue = ivi.rescue_process();
+  Fd fd = *rescue.open(ivi::VehicleHardware::kDoorPath, OpenFlags::write);
+
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    bool in_emergency = ivi.situation() == "emergency";
+    EXPECT_EQ(
+        rescue.ioctl(fd, ivi::VEH_DOOR_UNLOCK, ivi::kAllDoors).ok(),
+        in_emergency)
+        << "iteration " << i;
+    if (in_emergency) {
+      if (rng.chance(0.5))
+        ASSERT_TRUE(ivi.sds().send_event("emergency_cleared").ok());
+    } else {
+      if (rng.chance(0.5))
+        ASSERT_TRUE(ivi.sds().send_event("crash_detected").ok());
+    }
+  }
+}
+
+TEST(Integration, FdTableExhaustionIsCleanlyReported) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  auto media = ivi.media_process();
+  std::vector<Fd> fds;
+  for (;;) {
+    auto fd = media.open(IviSystem::kMediaTrack, OpenFlags::read);
+    if (!fd.ok()) {
+      EXPECT_EQ(fd.error(), Errno::emfile);
+      break;
+    }
+    fds.push_back(*fd);
+    ASSERT_LE(fds.size(), kernel::FdTable::kMaxFds + 1);
+  }
+  EXPECT_EQ(fds.size(), kernel::FdTable::kMaxFds);
+  for (Fd fd : fds) ASSERT_TRUE(media.close(fd).ok());
+  // Everything works again after closing.
+  EXPECT_TRUE(ivi.media().play_track(IviSystem::kMediaTrack).ok());
+}
+
+TEST(Integration, MixedValidAndUnknownEventsInOneWrite) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  auto admin = ivi.admin_process();
+  // One write(2) carrying a valid event, garbage, and another valid event:
+  // the handler processes all lines, reports EINVAL, and the valid ones
+  // still took effect (write-side error does not roll back transitions, as
+  // with a real pseudo-file interface).
+  auto rc = admin.write_existing("/sys/kernel/security/SACK/events",
+                                 "start_driving\nnot_an_event\ncrash_detected\n");
+  EXPECT_EQ(rc.error(), Errno::einval);
+  EXPECT_EQ(ivi.situation(), "emergency");
+  EXPECT_EQ(ivi.sack()->events_rejected(), 1u);
+}
+
+TEST(Integration, AuditTrailCoversWholeScenario) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  // Denials before the emergency...
+  EXPECT_TRUE(ivi.rescue().respond_to_emergency().all_denied());
+  auto denials_before = ivi.kernel().audit().count_denials("sack");
+  EXPECT_GT(denials_before, 0u);
+  // ...no new denials while the emergency grants access...
+  ASSERT_TRUE(ivi.sds().send_event("crash_detected").ok());
+  EXPECT_TRUE(ivi.rescue().respond_to_emergency().all_ok());
+  EXPECT_EQ(ivi.kernel().audit().count_denials("sack"), denials_before);
+  // ...and the log records context (the situation state at denial time).
+  const auto& records = ivi.kernel().audit().records();
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records.front().context, "state=parked_with_driver");
+}
+
+TEST(Integration, EnhancedModeSurvivesProfileReloadDuringEmergency) {
+  IviSystem ivi({.mac = MacConfig::sack_enhanced_apparmor});
+  ASSERT_TRUE(ivi.sds().send_event("crash_detected").ok());
+  EXPECT_TRUE(ivi.rescue().respond_to_emergency().all_ok());
+
+  // An administrator reloads the rescue profile mid-emergency (wiping the
+  // injected rules); the next transition cycle restores consistency.
+  auto text = ivi::default_apparmor_profiles_text();
+  ASSERT_TRUE(ivi.apparmor()->load_policy_text(text).ok());
+  // The reloaded profile lost the injected rules: access is denied again
+  // (fail-safe direction), until the situation re-applies.
+  EXPECT_TRUE(ivi.rescue().respond_to_emergency().all_denied());
+  ASSERT_TRUE(ivi.sds().send_event("emergency_cleared").ok());
+  ASSERT_TRUE(ivi.sds().send_event("crash_detected").ok());
+  EXPECT_TRUE(ivi.rescue().respond_to_emergency().all_ok());
+}
+
+}  // namespace
+}  // namespace sack

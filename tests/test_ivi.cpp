@@ -1,0 +1,236 @@
+// IVI case studies (paper §IV-C) and compatibility (§IV-D).
+#include <gtest/gtest.h>
+
+#include "core/policy_builder.h"
+#include "ivi/ivi_system.h"
+#include "simbench/policy_gen.h"
+
+namespace sack::ivi {
+namespace {
+
+using kernel::OpenFlags;
+
+// --- the paper's headline case study: unlock car doors only in emergencies.
+
+class CaseStudyTest : public ::testing::TestWithParam<MacConfig> {};
+
+TEST_P(CaseStudyTest, DoorUnlockOnlyInEmergency) {
+  IviSystem ivi({.mac = GetParam()});
+  ASSERT_TRUE(ivi.hardware().state().all_doors_locked());
+
+  // Normal situation: the rescue daemon must NOT be able to unlock doors.
+  auto normal_attempt = ivi.rescue().respond_to_emergency();
+  EXPECT_TRUE(normal_attempt.all_denied());
+  EXPECT_TRUE(ivi.hardware().state().all_doors_locked());
+  EXPECT_FALSE(ivi.hardware().state().any_window_open());
+
+  // A crash happens (react app triggers the vehicle crash event).
+  ASSERT_TRUE(ivi.sds().send_event("crash_detected").ok());
+  EXPECT_EQ(ivi.situation(), "emergency");
+
+  // Break the glass: now the rescue daemon can open everything.
+  auto emergency_attempt = ivi.rescue().respond_to_emergency();
+  EXPECT_TRUE(emergency_attempt.all_ok())
+      << "first failure: "
+      << (emergency_attempt.attempts.empty()
+              ? "?"
+              : emergency_attempt.attempts[0].action);
+  EXPECT_FALSE(ivi.hardware().state().all_doors_locked());
+  EXPECT_TRUE(ivi.hardware().state().any_window_open());
+
+  // Rescue crews secure the car, the emergency clears, privileges vanish.
+  ASSERT_TRUE(ivi.rescue().secure_vehicle().all_ok());
+  ASSERT_TRUE(ivi.sds().send_event("emergency_cleared").ok());
+  EXPECT_EQ(ivi.situation(), "parked_with_driver");
+  EXPECT_TRUE(ivi.rescue().respond_to_emergency().all_denied());
+  EXPECT_TRUE(ivi.hardware().state().all_doors_locked());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSackModes, CaseStudyTest,
+                         ::testing::Values(MacConfig::independent_sack,
+                                           MacConfig::sack_enhanced_apparmor),
+                         [](const auto& info) {
+                           return info.param == MacConfig::independent_sack
+                                      ? "IndependentSack"
+                                      : "SackEnhancedAppArmor";
+                         });
+
+// --- KOFFEE (CVE-2020-8539): command injection past user-space checks.
+
+TEST(KoffeeAttack, BaselineAppArmorBlocksConfinedAttacker) {
+  // The attacker rides the confined-but-over-networked ota_helper; its
+  // profile has no vehicle-device rules, so AppArmor blocks the injection.
+  IviSystem ivi({.mac = MacConfig::apparmor_only});
+  auto log = ivi.attacker().inject_vehicle_control();
+  EXPECT_TRUE(log.all_denied());
+  EXPECT_TRUE(ivi.hardware().state().all_doors_locked());
+}
+
+TEST(KoffeeAttack, BaselineAppArmorMissesUnconfinedAttacker) {
+  // But an injected binary AppArmor never heard of runs unconfined: with a
+  // static profile set the attack goes through. This is the gap SACK closes.
+  IviSystem ivi({.mac = MacConfig::apparmor_only});
+  auto& kernel = ivi.kernel();
+  auto& task = kernel.spawn_task("dropped", kernel::Cred::root(),
+                                 "/usr/bin/dropped_payload");
+  KoffeeInjector dropped{kernel::Process(kernel, task)};
+  auto log = dropped.inject_vehicle_control();
+  EXPECT_TRUE(log.all_ok());  // the attack succeeds
+  EXPECT_FALSE(ivi.hardware().state().all_doors_locked());
+}
+
+TEST(KoffeeAttack, IndependentSackBlocksEvenUnconfinedAttacker) {
+  // Independent SACK guards the device objects themselves: subject identity
+  // doesn't help an attacker the policy never allowed.
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  auto& kernel = ivi.kernel();
+  auto& task = kernel.spawn_task("dropped", kernel::Cred::root(),
+                                 "/usr/bin/dropped_payload");
+  KoffeeInjector dropped{kernel::Process(kernel, task)};
+  EXPECT_TRUE(dropped.inject_vehicle_control().all_denied());
+  EXPECT_TRUE(ivi.hardware().state().all_doors_locked());
+
+  // Even in an emergency only the rescue daemon's paths gain access.
+  ASSERT_TRUE(ivi.sds().send_event("crash_detected").ok());
+  EXPECT_TRUE(dropped.inject_vehicle_control().all_denied());
+}
+
+TEST(KoffeeAttack, AttackerCannotForgeSituationEvents) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  // SACKfs events file is 0200 root-owned; the attacker process runs as
+  // root here (worst case) so drop its caps to model a sandboxed service.
+  auto& kernel = ivi.kernel();
+  auto& task = kernel.spawn_task("evil", kernel::Cred::user(1000, 1000),
+                                 "/usr/bin/evil");
+  kernel::Process evil(kernel, task);
+  EXPECT_EQ(evil.open("/sys/kernel/security/SACK/events", OpenFlags::write)
+                .error(),
+            Errno::eacces);
+  EXPECT_EQ(ivi.situation(), "parked_with_driver");
+}
+
+// --- CVE-2023-6073: volume to max while driving.
+
+TEST(Cve20236073, MediaAppVolumeAllowedWhenPermitted) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  // parked_with_driver grants AUDIO_CONTROL to the media app.
+  ASSERT_TRUE(ivi.media().set_volume(15).ok());
+  EXPECT_EQ(ivi.hardware().state().audio_volume, 15);
+}
+
+TEST(Cve20236073, AttackerVolumeInjectionBlocked) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  EXPECT_FALSE(ivi.attacker().max_volume().ok());
+  EXPECT_NE(ivi.hardware().state().audio_volume, kMaxVolume);
+}
+
+TEST(Cve20236073, NoAudioControlWithoutDriver) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  ASSERT_TRUE(ivi.sds().send_event("parked_without_driver").ok());
+  EXPECT_EQ(ivi.situation(), "parked_without_driver");
+  // Even the legitimate media app loses AUDIO_CONTROL (POLP).
+  EXPECT_FALSE(ivi.media().set_volume(20).ok());
+  ASSERT_TRUE(ivi.sds().send_event("parked_with_driver").ok());
+  EXPECT_TRUE(ivi.media().set_volume(20).ok());
+}
+
+// --- media reading across situations ---
+
+TEST(MediaAccess, ReadableInAllDefaultStates) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  EXPECT_TRUE(ivi.media().play_track(IviSystem::kMediaTrack).ok());
+  ASSERT_TRUE(ivi.sds().send_event("start_driving").ok());
+  EXPECT_TRUE(ivi.media().play_track(IviSystem::kMediaTrack).ok());
+  ASSERT_TRUE(ivi.sds().send_event("crash_detected").ok());
+  EXPECT_TRUE(ivi.media().play_track(IviSystem::kMediaTrack).ok());
+}
+
+TEST(MediaAccess, SensitiveFileUnguardedButDacProtected) {
+  IviSystem ivi({.mac = MacConfig::independent_sack});
+  // /etc/vehicle/vin is not in any SACK rule -> SACK doesn't mediate it;
+  // root attacker reads it via DAC. (Defense in depth would add a rule.)
+  EXPECT_TRUE(ivi.attacker().read_sensitive(IviSystem::kSensitiveFile).ok());
+}
+
+// --- §IV-D compatibility: SACK stacked before AppArmor (E7) ---
+
+TEST(Compatibility, TenPoliciesCoexistWithDefaultAppArmor) {
+  auto policies = simbench::compatibility_policies();
+  ASSERT_EQ(policies.size(), 10u);
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    IviSystem ivi({.mac = MacConfig::stacked_independent});
+    auto rc = ivi.sack()->load_policy(policies[i]);
+    ASSERT_TRUE(rc.ok()) << "policy " << i;
+
+    // AppArmor's own profiles still enforce underneath SACK.
+    ASSERT_NE(ivi.apparmor(), nullptr);
+    EXPECT_NE(ivi.apparmor()->find_profile("media_app"), nullptr);
+    // Media app still plays media (allowed by both modules or unguarded).
+    EXPECT_TRUE(ivi.media().play_track(IviSystem::kMediaTrack).ok())
+        << "policy " << i;
+    // The attacker still cannot touch vehicle devices (AppArmor profile).
+    EXPECT_TRUE(ivi.attacker().inject_vehicle_control().all_denied())
+        << "policy " << i;
+  }
+}
+
+TEST(Compatibility, SackDeniesBeforeAppArmorSees) {
+  // Whitelist stacking: SACK first; when SACK denies, AppArmor's verdict is
+  // irrelevant. Construct a SACK policy denying media reads in 'special'.
+  IviSystem ivi({.mac = MacConfig::stacked_independent});
+  core::PolicyBuilder b;
+  b.state("normal", 0)
+      .state("special", 1)
+      .initial("normal")
+      .transition("normal", "enter_special", "special")
+      .transition("special", "leave_special", "normal")
+      .permission("MEDIA")
+      .grant("normal", "MEDIA")
+      .allow("MEDIA", "*", "/var/media/**", core::MacOp::read |
+                                                core::MacOp::getattr);
+  ASSERT_TRUE(ivi.sack()->load_policy(b.build()).ok());
+
+  EXPECT_TRUE(ivi.media().play_track(IviSystem::kMediaTrack).ok());
+  ASSERT_TRUE(ivi.sds().send_event("enter_special").ok());
+  // Media files are guarded and MEDIA is inactive: SACK denies although the
+  // AppArmor profile still allows /var/media/** r.
+  EXPECT_FALSE(ivi.media().play_track(IviSystem::kMediaTrack).ok());
+  ASSERT_TRUE(ivi.sds().send_event("leave_special").ok());
+  EXPECT_TRUE(ivi.media().play_track(IviSystem::kMediaTrack).ok());
+}
+
+TEST(Compatibility, ModuleOrderReportedAsConfigured) {
+  IviSystem ivi({.mac = MacConfig::stacked_independent});
+  auto names = ivi.kernel().lsm().module_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "capability");
+  EXPECT_EQ(names[1], "sack");      // CONFIG_LSM="sack,apparmor"
+  EXPECT_EQ(names[2], "apparmor");
+}
+
+// --- hardware model sanity ---
+
+TEST(VehicleHardwareModel, IoctlContract) {
+  IviSystem ivi({.mac = MacConfig::none});
+  auto admin = ivi.admin_process();
+  auto fd = admin.open(VehicleHardware::kDoorPath, OpenFlags::write);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(admin.ioctl(*fd, VEH_DOOR_UNLOCK, 2).ok());
+  EXPECT_FALSE(ivi.hardware().state().door_locked[2]);
+  EXPECT_TRUE(ivi.hardware().state().door_locked[0]);
+  auto status = admin.ioctl(*fd, VEH_DOOR_STATUS, 0);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 0b1011);
+  EXPECT_EQ(admin.ioctl(*fd, VEH_DOOR_UNLOCK, 99).error(), Errno::einval);
+
+  auto wfd = admin.open(VehicleHardware::kWindowPath, OpenFlags::write);
+  ASSERT_TRUE(wfd.ok());
+  EXPECT_TRUE(admin.ioctl(*wfd, VEH_WINDOW_SET, (2L << 8) | 40).ok());
+  EXPECT_EQ(ivi.hardware().state().window_open_pct[2], 40);
+  EXPECT_EQ(*admin.ioctl(*wfd, VEH_WINDOW_GET, 2), 40);
+
+  EXPECT_EQ(ivi.hardware().actuations().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sack::ivi

@@ -1,0 +1,99 @@
+// IviSystem wiring options and small IVI helpers.
+#include <gtest/gtest.h>
+
+#include "ivi/ivi_system.h"
+
+namespace sack::ivi {
+namespace {
+
+using kernel::OpenFlags;
+
+TEST(IviSystemOptions, NoDefaultPoliciesMeansNoConfinement) {
+  IviSystem ivi({.mac = MacConfig::independent_sack,
+                 .load_default_policies = false});
+  ASSERT_NE(ivi.sack(), nullptr);
+  EXPECT_FALSE(ivi.sack()->policy_loaded());
+  // Without a policy the attacker roams free (and that is the point of
+  // loading one).
+  EXPECT_TRUE(ivi.attacker().inject_vehicle_control().all_ok());
+}
+
+TEST(IviSystemOptions, MacNoneHasOnlyCapabilityModule) {
+  IviSystem ivi({.mac = MacConfig::none});
+  EXPECT_EQ(ivi.sack(), nullptr);
+  EXPECT_EQ(ivi.apparmor(), nullptr);
+  EXPECT_EQ(ivi.kernel().lsm().size(), 1u);
+}
+
+TEST(IviSystemOptions, ConfigNames) {
+  EXPECT_EQ(mac_config_name(MacConfig::none), "none");
+  EXPECT_EQ(mac_config_name(MacConfig::apparmor_only), "apparmor");
+  EXPECT_EQ(mac_config_name(MacConfig::independent_sack), "sack");
+  EXPECT_EQ(mac_config_name(MacConfig::sack_enhanced_apparmor),
+            "sack+apparmor(enhanced)");
+  EXPECT_EQ(mac_config_name(MacConfig::stacked_independent),
+            "sack,apparmor(stacked)");
+}
+
+TEST(IviSystemOptions, ProcessHandlesTargetDistinctTasks) {
+  IviSystem ivi({.mac = MacConfig::none});
+  EXPECT_NE(ivi.rescue_process().pid(), ivi.media_process().pid());
+  EXPECT_NE(ivi.media_process().pid(), ivi.attacker_process().pid());
+  EXPECT_EQ(ivi.rescue_process().task().exe_path(),
+            RescueDaemon::kExePath);
+}
+
+TEST(VehicleStateModel, Invariants) {
+  VehicleState state;
+  EXPECT_TRUE(state.all_doors_locked());
+  EXPECT_FALSE(state.any_window_open());
+  state.door_locked[2] = false;
+  EXPECT_FALSE(state.all_doors_locked());
+  state.window_open_pct[0] = 5;
+  EXPECT_TRUE(state.any_window_open());
+}
+
+TEST(AttemptLogModel, Aggregations) {
+  AttemptLog log;
+  EXPECT_FALSE(log.all_denied());  // vacuously false: nothing attempted
+  EXPECT_TRUE(log.all_ok());       // vacuously true
+  log.attempts.push_back({"a", Errno::ok});
+  log.attempts.push_back({"b", Errno::eacces});
+  EXPECT_FALSE(log.all_ok());
+  EXPECT_FALSE(log.all_denied());
+  EXPECT_EQ(log.count(Errno::ok), 1u);
+  EXPECT_EQ(log.count(Errno::eacces), 1u);
+}
+
+TEST(IviFilesystem, StandardLayoutPresent) {
+  IviSystem ivi({.mac = MacConfig::none});
+  auto admin = ivi.admin_process();
+  for (const char* path :
+       {"/var/media", "/etc/vehicle", "/dev/vehicle/door",
+        "/dev/vehicle/window", "/dev/vehicle/audio", "/dev/can0",
+        "/usr/bin/rescue_daemon", "/usr/bin/media_app"}) {
+    EXPECT_TRUE(admin.stat(path).ok()) << path;
+  }
+  EXPECT_EQ(*admin.read_file(IviSystem::kSensitiveFile),
+            "WVWZZZ1JZXW000001\n");
+}
+
+TEST(IviAudio, MediaVolumeClampsAtDevice) {
+  IviSystem ivi({.mac = MacConfig::none});
+  EXPECT_FALSE(ivi.media().set_volume(kMaxVolume + 1).ok());  // EINVAL
+  EXPECT_TRUE(ivi.media().set_volume(kMaxVolume).ok());
+  EXPECT_EQ(ivi.hardware().state().audio_volume, kMaxVolume);
+}
+
+TEST(IviAudio, PcmWritesNeedNoIoctlPermission) {
+  // Playback (write) vs control (ioctl): the audio device accepts PCM via
+  // write so a profile can grant w without i.
+  IviSystem ivi({.mac = MacConfig::none});
+  auto media = ivi.media_process();
+  auto fd = media.open(VehicleHardware::kAudioPath, OpenFlags::write);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(media.write(*fd, std::string(1024, 'p')).ok());
+}
+
+}  // namespace
+}  // namespace sack::ivi

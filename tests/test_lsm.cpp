@@ -1,0 +1,197 @@
+// LSM framework: stacking order, first-deny-wins, blobs, securityfs.
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.h"
+#include "kernel/lsm/module.h"
+#include "kernel/process.h"
+
+namespace sack::kernel {
+namespace {
+
+// A module that records hook invocations and can be told to deny.
+class SpyModule : public SecurityModule {
+ public:
+  explicit SpyModule(std::string name) : name_(std::move(name)) {}
+  std::string_view name() const override { return name_; }
+
+  Errno file_open(Task&, const std::string& path, const Inode&,
+                  AccessMask) override {
+    opens.push_back(path);
+    return deny_opens ? Errno::eacces : Errno::ok;
+  }
+  Errno capable(const Task&, Capability cap) override {
+    capable_calls.push_back(cap);
+    return Errno::ok;
+  }
+  Errno task_alloc(Task&, Task& child) override {
+    child.set_security_blob(name_, std::make_shared<std::string>("inherited"));
+    return Errno::ok;
+  }
+
+  std::vector<std::string> opens;
+  std::vector<Capability> capable_calls;
+  bool deny_opens = false;
+
+ private:
+  std::string name_;
+};
+
+TEST(LsmStack, ModulesCalledInRegistrationOrder) {
+  Kernel kernel;
+  auto* first = static_cast<SpyModule*>(
+      kernel.add_lsm(std::make_unique<SpyModule>("first")));
+  auto* second = static_cast<SpyModule*>(
+      kernel.add_lsm(std::make_unique<SpyModule>("second")));
+
+  Process p(kernel, kernel.init_task());
+  ASSERT_TRUE(p.write_file("/tmp/f", "x").ok());
+  first->opens.clear();
+  second->opens.clear();
+  ASSERT_TRUE(p.read_file("/tmp/f").ok());
+  ASSERT_EQ(first->opens.size(), 1u);
+  ASSERT_EQ(second->opens.size(), 1u);
+  EXPECT_EQ(first->opens[0], "/tmp/f");
+}
+
+TEST(LsmStack, FirstDenyShortCircuits) {
+  Kernel kernel;
+  auto* first = static_cast<SpyModule*>(
+      kernel.add_lsm(std::make_unique<SpyModule>("first")));
+  auto* second = static_cast<SpyModule*>(
+      kernel.add_lsm(std::make_unique<SpyModule>("second")));
+
+  Process p(kernel, kernel.init_task());
+  ASSERT_TRUE(p.write_file("/tmp/f", "x").ok());
+  first->deny_opens = true;
+  first->opens.clear();
+  second->opens.clear();
+  EXPECT_EQ(p.open("/tmp/f", OpenFlags::read).error(), Errno::eacces);
+  EXPECT_EQ(first->opens.size(), 1u);
+  EXPECT_EQ(second->opens.size(), 0u);  // never consulted
+}
+
+TEST(LsmStack, CapabilityModuleDeniesMissingCaps) {
+  Kernel kernel;  // capability module installed by default
+  Task& user = kernel.spawn_task("user", Cred::user(1000, 1000));
+  EXPECT_EQ(kernel.capable(user, Capability::mac_admin), Errno::eperm);
+  EXPECT_EQ(kernel.capable(kernel.init_task(), Capability::mac_admin),
+            Errno::ok);
+  user.cred().caps.add(Capability::mac_admin);
+  EXPECT_EQ(kernel.capable(user, Capability::mac_admin), Errno::ok);
+}
+
+TEST(LsmStack, TaskAllocHookRunsOnFork) {
+  Kernel kernel;
+  kernel.add_lsm(std::make_unique<SpyModule>("spy"));
+  Pid child_pid = *kernel.sys_fork(kernel.init_task());
+  Task& child = kernel.task(child_pid).value();
+  auto blob = child.security_blob<std::string>("spy");
+  ASSERT_NE(blob, nullptr);
+  EXPECT_EQ(*blob, "inherited");
+}
+
+TEST(LsmStack, FindByName) {
+  Kernel kernel;
+  kernel.add_lsm(std::make_unique<SpyModule>("alpha"));
+  EXPECT_NE(kernel.lsm().find("alpha"), nullptr);
+  EXPECT_NE(kernel.lsm().find("capability"), nullptr);
+  EXPECT_EQ(kernel.lsm().find("nope"), nullptr);
+  auto names = kernel.lsm().module_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "capability");  // implicitly first
+  EXPECT_EQ(names[1], "alpha");
+}
+
+// --- securityfs ---
+
+class CounterFile : public VirtualFileOps {
+ public:
+  Result<std::string> read_content(Task&) override {
+    return std::to_string(value) + "\n";
+  }
+  Result<void> write_content(Task&, std::string_view data) override {
+    value = std::atoi(std::string(data).c_str());
+    return {};
+  }
+  int value = 0;
+};
+
+TEST(SecurityFs, RegisterReadWrite) {
+  Kernel kernel;
+  CounterFile counter;
+  ASSERT_TRUE(
+      kernel.securityfs().register_file("testmod/counter", &counter, 0600)
+          .ok());
+
+  Process p(kernel, kernel.init_task());
+  auto content = p.read_file("/sys/kernel/security/testmod/counter");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "0\n");
+
+  ASSERT_TRUE(
+      p.write_existing("/sys/kernel/security/testmod/counter", "41").ok());
+  EXPECT_EQ(counter.value, 41);
+  EXPECT_EQ(*p.read_file("/sys/kernel/security/testmod/counter"), "41\n");
+}
+
+TEST(SecurityFs, SnapshotIsStablePerOpen) {
+  Kernel kernel;
+  CounterFile counter;
+  ASSERT_TRUE(
+      kernel.securityfs().register_file("testmod/counter", &counter).ok());
+  Process p(kernel, kernel.init_task());
+  Fd fd = *p.open("/sys/kernel/security/testmod/counter", OpenFlags::read);
+  std::string first;
+  ASSERT_TRUE(p.read(fd, first, 1).ok());  // snapshot taken now
+  counter.value = 99;
+  std::string rest;
+  ASSERT_TRUE(p.read(fd, rest, 64).ok());
+  EXPECT_EQ(first + rest, "0\n");  // still the old snapshot
+  ASSERT_TRUE(p.close(fd).ok());
+}
+
+TEST(SecurityFs, ModeBitsEnforcedByDac) {
+  Kernel kernel;
+  CounterFile counter;
+  ASSERT_TRUE(
+      kernel.securityfs().register_file("testmod/counter", &counter, 0600)
+          .ok());
+  Task& user = kernel.spawn_task("user", Cred::user(1000, 1000));
+  Process up(kernel, user);
+  EXPECT_EQ(up.open("/sys/kernel/security/testmod/counter", OpenFlags::read)
+                .error(),
+            Errno::eacces);
+}
+
+TEST(SecurityFs, DuplicateRegistrationRejected) {
+  Kernel kernel;
+  CounterFile a, b;
+  ASSERT_TRUE(kernel.securityfs().register_file("m/f", &a).ok());
+  EXPECT_EQ(kernel.securityfs().register_file("m/f", &b).error(),
+            Errno::eexist);
+}
+
+TEST(SecurityFs, UnregisterRemovesNode) {
+  Kernel kernel;
+  CounterFile a;
+  ASSERT_TRUE(kernel.securityfs().register_file("m/f", &a).ok());
+  ASSERT_TRUE(kernel.securityfs().unregister("m/f").ok());
+  Process p(kernel, kernel.init_task());
+  EXPECT_EQ(p.stat("/sys/kernel/security/m/f").error(), Errno::enoent);
+  EXPECT_EQ(kernel.securityfs().unregister("m/f").error(), Errno::enoent);
+}
+
+TEST(SecurityFs, WriteToReadOnlyHandlerFails) {
+  Kernel kernel;
+  class ReadOnly : public VirtualFileOps {
+   public:
+    Result<std::string> read_content(Task&) override { return std::string("ro\n"); }
+  } ro;
+  ASSERT_TRUE(kernel.securityfs().register_file("m/ro", &ro, 0644).ok());
+  Process p(kernel, kernel.init_task());
+  EXPECT_EQ(p.write_existing("/sys/kernel/security/m/ro", "x").error(),
+            Errno::eacces);
+}
+
+}  // namespace
+}  // namespace sack::kernel

@@ -1,0 +1,160 @@
+// PolicyChecker: error and conflict detection (the paper's policy tools).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/policy_builder.h"
+#include "core/policy_checker.h"
+
+namespace sack::core {
+namespace {
+
+bool has_code(const std::vector<Diagnostic>& diags, CheckCode code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [code](const Diagnostic& d) { return d.code == code; });
+}
+
+SackPolicy valid_policy() {
+  PolicyBuilder b;
+  b.state("normal", 0)
+      .state("emergency", 1)
+      .initial("normal")
+      .transition("normal", "crash", "emergency")
+      .transition("emergency", "clear", "normal")
+      .permission("P")
+      .grant("normal", "P")
+      .allow("P", "*", "/x", MacOp::read);
+  return b.build();
+}
+
+TEST(PolicyChecker, ValidPolicyIsClean) {
+  auto diags = check_policy(valid_policy());
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(PolicyChecker, NoStates) {
+  SackPolicy p;
+  auto diags = check_policy(p);
+  EXPECT_TRUE(has_code(diags, CheckCode::no_states));
+  EXPECT_TRUE(has_errors(diags));
+}
+
+TEST(PolicyChecker, DuplicateStateNameAndEncoding) {
+  PolicyBuilder b;
+  b.state("a", 0).state("a", 1).state("b", 0).initial("a");
+  auto diags = check_policy(b.build());
+  EXPECT_TRUE(has_code(diags, CheckCode::duplicate_state_name));
+  EXPECT_TRUE(has_code(diags, CheckCode::duplicate_state_encoding));
+}
+
+TEST(PolicyChecker, MissingAndUndefinedInitial) {
+  PolicyBuilder b;
+  b.state("a", 0);
+  EXPECT_TRUE(has_code(check_policy(b.build()), CheckCode::missing_initial));
+  b.initial("ghost");
+  EXPECT_TRUE(
+      has_code(check_policy(b.build()), CheckCode::undefined_initial));
+}
+
+TEST(PolicyChecker, UndefinedTransitionStates) {
+  PolicyBuilder b;
+  b.state("a", 0).initial("a").transition("a", "e", "ghost");
+  EXPECT_TRUE(has_code(check_policy(b.build()),
+                       CheckCode::undefined_transition_state));
+}
+
+TEST(PolicyChecker, NondeterministicTransition) {
+  PolicyBuilder b;
+  b.state("a", 0).state("b", 1).state("c", 2).initial("a");
+  b.transition("a", "e", "b").transition("a", "e", "c");
+  EXPECT_TRUE(has_code(check_policy(b.build()),
+                       CheckCode::nondeterministic_transition));
+}
+
+TEST(PolicyChecker, DuplicateTransitionIsNotConflict) {
+  PolicyBuilder b;
+  b.state("a", 0).state("b", 1).initial("a");
+  b.transition("a", "e", "b").transition("a", "e", "b");
+  EXPECT_FALSE(has_code(check_policy(b.build()),
+                        CheckCode::nondeterministic_transition));
+}
+
+TEST(PolicyChecker, UnreachableStateWarned) {
+  PolicyBuilder b;
+  b.state("a", 0).state("island", 1).initial("a");
+  auto diags = check_policy(b.build());
+  EXPECT_TRUE(has_code(diags, CheckCode::unreachable_state));
+  EXPECT_FALSE(has_errors(diags));  // warning only
+}
+
+TEST(PolicyChecker, StatePerReferencesChecked) {
+  PolicyBuilder b;
+  b.state("a", 0).initial("a").permission("P");
+  b.grant("ghost_state", "P").grant("a", "GHOST_PERM");
+  auto diags = check_policy(b.build());
+  EXPECT_TRUE(has_code(diags, CheckCode::undefined_state_in_state_per));
+  EXPECT_TRUE(has_code(diags, CheckCode::undefined_permission_in_state_per));
+}
+
+TEST(PolicyChecker, PerRulesForUndeclaredPermission) {
+  auto p = valid_policy();
+  auto rule = make_rule(RuleEffect::allow, "*", "/y", MacOp::read);
+  p.per_rules["GHOST"].push_back(std::move(rule).value());
+  EXPECT_TRUE(has_code(check_policy(p),
+                       CheckCode::undefined_permission_in_per_rules));
+}
+
+TEST(PolicyChecker, NeverGrantedAndRulelessPermissionsWarned) {
+  PolicyBuilder b;
+  b.state("a", 0).initial("a");
+  b.permission("GRANTED_NO_RULES").permission("NEVER_GRANTED");
+  b.grant("a", "GRANTED_NO_RULES");
+  b.allow("NEVER_GRANTED", "*", "/x", MacOp::read);
+  auto diags = check_policy(b.build());
+  EXPECT_TRUE(has_code(diags, CheckCode::permission_never_granted));
+  EXPECT_TRUE(has_code(diags, CheckCode::permission_without_rules));
+}
+
+TEST(PolicyChecker, ShadowedAllowRuleWarned) {
+  auto p = valid_policy();
+  auto deny = make_rule(RuleEffect::deny, "*", "/x", MacOp::read);
+  p.per_rules["P"].push_back(std::move(deny).value());
+  auto diags = check_policy(p);
+  EXPECT_TRUE(has_code(diags, CheckCode::shadowed_allow_rule));
+}
+
+TEST(PolicyChecker, PartialDenyDoesNotShadow) {
+  auto p = valid_policy();
+  // The allow grants read; the deny only covers write -> no shadow warning.
+  auto deny = make_rule(RuleEffect::deny, "*", "/x", MacOp::write);
+  p.per_rules["P"].push_back(std::move(deny).value());
+  EXPECT_FALSE(has_code(check_policy(p), CheckCode::shadowed_allow_rule));
+}
+
+TEST(PolicyChecker, DeclaredEventUnused) {
+  auto p = valid_policy();
+  p.events.push_back("phantom_event");
+  EXPECT_TRUE(has_code(check_policy(p), CheckCode::declared_event_unused));
+}
+
+TEST(PolicyChecker, ProfileSubjectErrorsInIndependentMode) {
+  auto p = valid_policy();
+  auto rule = make_rule(RuleEffect::allow, "@prof", "/y", MacOp::read);
+  p.per_rules["P"].push_back(std::move(rule).value());
+  EXPECT_TRUE(has_code(check_policy(p, CheckMode::independent),
+                       CheckCode::profile_subject_in_independent_mode));
+  EXPECT_FALSE(has_code(check_policy(p, CheckMode::any),
+                        CheckCode::profile_subject_in_independent_mode));
+}
+
+TEST(PolicyChecker, PathSubjectWarnsInEnhancedMode) {
+  auto p = valid_policy();
+  auto rule = make_rule(RuleEffect::allow, "/usr/bin/app", "/y", MacOp::read);
+  p.per_rules["P"].push_back(std::move(rule).value());
+  auto diags = check_policy(p, CheckMode::apparmor_enhanced);
+  EXPECT_TRUE(has_code(diags, CheckCode::path_subject_in_enhanced_mode));
+  EXPECT_FALSE(has_errors(diags));
+}
+
+}  // namespace
+}  // namespace sack::core

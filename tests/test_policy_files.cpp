@@ -1,0 +1,106 @@
+// The shipped policy artifacts under policies/ must stay loadable: these
+// tests read them from disk (SACK_POLICY_DIR is set by CMake) and load each
+// into the matching engine.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "apparmor/apparmor.h"
+#include "core/sack_module.h"
+#include "kernel/process.h"
+#include "ivi/ivi_system.h"
+#include "te/te_module.h"
+
+#ifndef SACK_POLICY_DIR
+#define SACK_POLICY_DIR "policies"
+#endif
+
+namespace sack {
+namespace {
+
+std::string read_policy_file(const std::string& name) {
+  std::ifstream in(std::string(SACK_POLICY_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "cannot open " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ShippedPolicies, CavDefaultLoadsCleanly) {
+  kernel::Kernel k;
+  auto* mod = static_cast<core::SackModule*>(k.add_lsm(
+      std::make_unique<core::SackModule>(core::SackMode::independent)));
+  std::vector<core::Diagnostic> diags;
+  ASSERT_TRUE(
+      mod->load_policy_text(read_policy_file("cav_default.sack"), &diags)
+          .ok());
+  // The deliberately declared-but-unbound speed-band events warn; nothing
+  // else may.
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.code, core::CheckCode::declared_event_unused)
+        << d.to_string();
+  }
+  EXPECT_EQ(mod->current_state_name(), "parked_with_driver");
+  EXPECT_EQ(mod->policy().permissions.size(), 5u);
+}
+
+TEST(ShippedPolicies, EmergencyFailsafeHasTimedRule) {
+  kernel::Kernel k;
+  auto* mod = static_cast<core::SackModule*>(k.add_lsm(
+      std::make_unique<core::SackModule>(core::SackMode::independent)));
+  ASSERT_TRUE(
+      mod->load_policy_text(read_policy_file("emergency_failsafe.sack")).ok());
+  ASSERT_TRUE(mod->deliver_event("crash_detected").ok());
+  EXPECT_EQ(mod->current_state_name(), "emergency");
+  k.advance_clock_ms(300'001);
+  EXPECT_EQ(mod->current_state_name(), "normal");
+}
+
+TEST(ShippedPolicies, SpeedGateLoadsCleanly) {
+  kernel::Kernel k;
+  auto* mod = static_cast<core::SackModule*>(k.add_lsm(
+      std::make_unique<core::SackModule>(core::SackMode::independent)));
+  std::vector<core::Diagnostic> diags;
+  ASSERT_TRUE(
+      mod->load_policy_text(read_policy_file("speed_gate.sack"), &diags)
+          .ok());
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(ShippedPolicies, AppArmorProfilesLoadCleanly) {
+  kernel::Kernel k;
+  auto* aa = static_cast<apparmor::AppArmorModule*>(
+      k.add_lsm(std::make_unique<apparmor::AppArmorModule>()));
+  std::vector<ParseError> errors;
+  ASSERT_TRUE(
+      aa->load_policy_text(read_policy_file("ivi_default.apparmor"), &errors)
+          .ok())
+      << (errors.empty() ? "" : errors[0].to_string());
+  EXPECT_EQ(aa->profile_names().size(), 3u);
+}
+
+TEST(ShippedPolicies, TePolicyLoadsCleanly) {
+  kernel::Kernel k;
+  auto* te = static_cast<te::TeModule*>(
+      k.add_lsm(std::make_unique<te::TeModule>()));
+  ASSERT_TRUE(te->load_policy_text(read_policy_file("ivi_default.te")).ok());
+  EXPECT_EQ(te->policy().types.size(), 4u);
+}
+
+TEST(ShippedPolicies, CavDefaultMatchesBuiltin) {
+  // The shipped file and the built-in default must stay in sync: loading
+  // either produces the same canonical dump.
+  kernel::Kernel k;
+  auto* mod = static_cast<core::SackModule*>(k.add_lsm(
+      std::make_unique<core::SackModule>(core::SackMode::independent)));
+  ASSERT_TRUE(
+      mod->load_policy_text(read_policy_file("cav_default.sack")).ok());
+  std::string from_file = mod->policy().to_text();
+  ASSERT_TRUE(
+      mod->load_policy_text(ivi::default_sack_policy_text(false)).ok());
+  EXPECT_EQ(mod->policy().to_text(), from_file);
+}
+
+}  // namespace
+}  // namespace sack

@@ -1,0 +1,166 @@
+// SACK policy language: parsing, canonical dump round-trip, section merge.
+#include <gtest/gtest.h>
+
+#include "core/policy_builder.h"
+#include "core/policy_parser.h"
+
+namespace sack::core {
+namespace {
+
+constexpr std::string_view kFullPolicy = R"(
+# SACK example policy
+states {
+  normal = 0;
+  emergency = 4;
+}
+initial normal;
+transitions {
+  normal -> emergency on crash_detected;
+  emergency -> normal on emergency_cleared;
+}
+events { crash_detected; emergency_cleared; }
+permissions {
+  NORMAL;
+  CONTROL_CAR_DOORS;
+}
+state_per {
+  normal: NORMAL;
+  emergency: NORMAL, CONTROL_CAR_DOORS;
+}
+per_rules {
+  NORMAL {
+    allow * /var/media/** read;
+  }
+  CONTROL_CAR_DOORS {
+    allow @rescue_daemon /dev/vehicle/door* write ioctl;
+    allow /usr/bin/rescue* /dev/vehicle/window* ioctl;
+    deny * /dev/vehicle/door3 write;
+  }
+}
+)";
+
+TEST(PolicyParser, ParsesFullDocument) {
+  SectionPresence presence;
+  auto result = parse_policy(kFullPolicy, &presence);
+  ASSERT_TRUE(result.ok()) << result.errors[0].to_string();
+  const SackPolicy& p = result.policy;
+
+  EXPECT_TRUE(presence.states);
+  EXPECT_TRUE(presence.permissions);
+  EXPECT_TRUE(presence.state_per);
+  EXPECT_TRUE(presence.per_rules);
+
+  ASSERT_EQ(p.states.size(), 2u);
+  EXPECT_EQ(p.states[1].name, "emergency");
+  EXPECT_EQ(p.states[1].encoding, 4);
+  EXPECT_EQ(p.initial_state, "normal");
+  ASSERT_EQ(p.transitions.size(), 2u);
+  EXPECT_EQ(p.transitions[0].event, "crash_detected");
+  EXPECT_EQ(p.permissions.size(), 2u);
+  EXPECT_EQ(p.permissions_of("emergency").size(), 2u);
+
+  const auto& door_rules = p.per_rules.at("CONTROL_CAR_DOORS");
+  ASSERT_EQ(door_rules.size(), 3u);
+  EXPECT_EQ(door_rules[0].subject_kind, SubjectKind::profile);
+  EXPECT_EQ(door_rules[0].subject_text, "rescue_daemon");
+  EXPECT_TRUE(has_all(door_rules[0].ops, MacOp::write | MacOp::ioctl));
+  EXPECT_EQ(door_rules[1].subject_kind, SubjectKind::path);
+  EXPECT_TRUE(door_rules[1].subject_glob.matches("/usr/bin/rescue_daemon"));
+  EXPECT_EQ(door_rules[2].effect, RuleEffect::deny);
+  EXPECT_EQ(door_rules[2].subject_kind, SubjectKind::any);
+}
+
+TEST(PolicyParser, CanonicalDumpRoundTrips) {
+  auto first = parse_policy(kFullPolicy);
+  ASSERT_TRUE(first.ok());
+  std::string dumped = first.policy.to_text();
+  auto second = parse_policy(dumped);
+  ASSERT_TRUE(second.ok()) << dumped;
+  EXPECT_EQ(second.policy.states.size(), first.policy.states.size());
+  EXPECT_EQ(second.policy.initial_state, first.policy.initial_state);
+  EXPECT_EQ(second.policy.transitions.size(),
+            first.policy.transitions.size());
+  EXPECT_EQ(second.policy.permissions, first.policy.permissions);
+  EXPECT_EQ(second.policy.state_per, first.policy.state_per);
+  ASSERT_EQ(second.policy.per_rules.size(), first.policy.per_rules.size());
+  EXPECT_EQ(second.policy.per_rules.at("CONTROL_CAR_DOORS").size(), 3u);
+  // And the dump is a fixed point.
+  EXPECT_EQ(second.policy.to_text(), dumped);
+}
+
+TEST(PolicyParser, PartialDocumentsReportPresence) {
+  SectionPresence presence;
+  auto result = parse_policy("permissions { A; B; }", &presence);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(presence.states);
+  EXPECT_TRUE(presence.permissions);
+  EXPECT_FALSE(presence.state_per);
+  EXPECT_EQ(result.policy.permissions.size(), 2u);
+}
+
+TEST(PolicyParser, MergeReplacesOnlyPresentSections) {
+  auto base = parse_policy(kFullPolicy).policy;
+  SectionPresence presence;
+  auto incoming = parse_policy("permissions { ONLY_ONE; }", &presence);
+  ASSERT_TRUE(incoming.ok());
+  merge_policy_sections(base, incoming.policy, presence);
+  EXPECT_EQ(base.permissions, std::vector<std::string>{"ONLY_ONE"});
+  EXPECT_EQ(base.states.size(), 2u);           // untouched
+  EXPECT_EQ(base.per_rules.size(), 2u);        // untouched
+}
+
+TEST(PolicyParser, ErrorsCarryPositionsAndRecover) {
+  auto result = parse_policy(R"(
+states {
+  ok_state = 0;
+  broken @;
+  another = 2;
+}
+initial ok_state;
+)");
+  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.errors.empty());
+  EXPECT_EQ(result.errors[0].line, 4);
+  // Recovery: the following state still parsed.
+  EXPECT_EQ(result.policy.states.size(), 2u);
+}
+
+TEST(PolicyParser, UnknownOpRejected) {
+  auto result = parse_policy(R"(
+per_rules { P { allow * /x fly; } }
+)");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(PolicyParser, RuleWithoutOpsRejected) {
+  auto result = parse_policy("per_rules { P { allow * /x; } }");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(PolicyParser, UnknownSectionKeywordRejected) {
+  auto result = parse_policy("bogus { }");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(PolicyParser, CommaSeparatedOpsAccepted) {
+  auto result = parse_policy("per_rules { P { allow * /x read,write,ioctl; } }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(has_all(result.policy.per_rules.at("P")[0].ops,
+                      MacOp::read | MacOp::write | MacOp::ioctl));
+}
+
+TEST(PolicyParser, MacRuleToTextRoundTrips) {
+  auto rule = make_rule(RuleEffect::deny, "@media", "/dev/audio",
+                        MacOp::ioctl | MacOp::write);
+  ASSERT_TRUE(rule.ok());
+  std::string text = "per_rules { P { " + rule->to_text() + " } }";
+  auto parsed = parse_policy(text);
+  ASSERT_TRUE(parsed.ok()) << text;
+  const MacRule& r = parsed.policy.per_rules.at("P")[0];
+  EXPECT_EQ(r.effect, RuleEffect::deny);
+  EXPECT_EQ(r.subject_text, "media");
+  EXPECT_EQ(r.ops, MacOp::ioctl | MacOp::write);
+}
+
+}  // namespace
+}  // namespace sack::core

@@ -1,0 +1,109 @@
+// /proc/<pid>/attr/current: task-confinement introspection.
+#include <gtest/gtest.h>
+
+#include "apparmor/apparmor.h"
+#include "core/sack_module.h"
+#include "kernel/process.h"
+#include "te/te_module.h"
+
+namespace sack::kernel {
+namespace {
+
+TEST(ProcAttr, InitTaskHasNode) {
+  Kernel kernel;
+  Process p(kernel, kernel.init_task());
+  auto content = p.read_file("/proc/1/attr/current");
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content->find("exe: /sbin/init"), std::string::npos);
+}
+
+TEST(ProcAttr, NodesFollowTaskLifecycle) {
+  Kernel kernel;
+  Process p(kernel, kernel.init_task());
+  Pid child = *kernel.sys_fork(kernel.init_task());
+  std::string path = "/proc/" + std::to_string(child.get()) + "/attr/current";
+  EXPECT_TRUE(p.read_file(path).ok());
+  kernel.sys_exit(kernel.task(child).value(), 0);
+  // Zombie: still listed until reaped.
+  EXPECT_TRUE(p.stat(path).ok());
+  (void)kernel.sys_waitpid(kernel.init_task(), child);
+  EXPECT_EQ(p.stat(path).error(), Errno::enoent);
+}
+
+TEST(ProcAttr, ReportsAllModuleContexts) {
+  Kernel kernel;
+  auto* sack_module = static_cast<core::SackModule*>(kernel.add_lsm(
+      std::make_unique<core::SackModule>(core::SackMode::independent)));
+  auto* aa = static_cast<apparmor::AppArmorModule*>(
+      kernel.add_lsm(std::make_unique<apparmor::AppArmorModule>()));
+  auto* te = static_cast<te::TeModule*>(
+      kernel.add_lsm(std::make_unique<te::TeModule>()));
+
+  Process admin(kernel, kernel.init_task());
+  ASSERT_TRUE(admin.write_file("/usr/bin/media_app", "ELF").ok());
+  ASSERT_TRUE(aa->load_policy_text(
+                    "profile media_app /usr/bin/media_app { /var/** r, }")
+                  .ok());
+  ASSERT_TRUE(te->load_policy_text(R"(
+type media_t; type media_exec_t;
+domain_transition unconfined_t media_exec_t media_t;
+filecon /usr/bin/media_app media_exec_t;
+)")
+                  .ok());
+  ASSERT_TRUE(sack_module->load_policy_text(R"(
+states { normal = 0; driving = 7; }
+initial normal;
+transitions { normal -> driving on start_driving; }
+permissions { MEDIA; }
+state_per { normal: MEDIA; driving: MEDIA; }
+per_rules { MEDIA { allow * /var/media/** read; } }
+)")
+                  .ok());
+
+  Task& media = kernel.spawn_task("media_app", Cred::root(),
+                                  "/usr/bin/media_app");
+  std::string path =
+      "/proc/" + std::to_string(media.pid().get()) + "/attr/current";
+  auto content = admin.read_file(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content->find("apparmor: media_app (enforce)"),
+            std::string::npos);
+  EXPECT_NE(content->find("setype: media_t"), std::string::npos);
+  EXPECT_NE(content->find("sack: state=normal encoding=0"),
+            std::string::npos);
+  EXPECT_NE(content->find("permissions=MEDIA"), std::string::npos);
+
+  // The situation context updates live.
+  ASSERT_TRUE(sack_module->deliver_event("start_driving").ok());
+  content = admin.read_file(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content->find("sack: state=driving encoding=7"),
+            std::string::npos);
+
+  // Unconfined tasks read as such.
+  auto init_attr = admin.read_file("/proc/1/attr/current");
+  ASSERT_TRUE(init_attr.ok());
+  EXPECT_NE(init_attr->find("apparmor: unconfined"), std::string::npos);
+  EXPECT_NE(init_attr->find("setype: unconfined_t"), std::string::npos);
+}
+
+TEST(ProcAttr, SnapshotPerOpenButFreshPerRead) {
+  Kernel kernel;
+  auto* sack_module = static_cast<core::SackModule*>(kernel.add_lsm(
+      std::make_unique<core::SackModule>(core::SackMode::independent)));
+  ASSERT_TRUE(sack_module->load_policy_text(R"(
+states { a = 0; b = 1; }
+initial a;
+transitions { a -> b on go; }
+)")
+                  .ok());
+  Process p(kernel, kernel.init_task());
+  auto before = *p.read_file("/proc/1/attr/current");
+  EXPECT_NE(before.find("state=a"), std::string::npos);
+  ASSERT_TRUE(sack_module->deliver_event("go").ok());
+  auto after = *p.read_file("/proc/1/attr/current");
+  EXPECT_NE(after.find("state=b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sack::kernel

@@ -1,0 +1,164 @@
+// Reference-model property tests: pit the optimized implementations against
+// brutally simple oracles on randomized inputs.
+//
+//  * Glob vs std::regex translation of the same pattern
+//  * ProfileMatcher (hash-indexed) vs a naive scan over the rule list
+#include <gtest/gtest.h>
+
+#include <regex>
+
+#include "apparmor/matcher.h"
+#include "util/glob.h"
+#include "util/rng.h"
+
+namespace sack {
+namespace {
+
+// Translates a brace- and class-free glob into an equivalent std::regex
+// (the random pattern generator below only emits '*', '**', '?' and
+// literals, so that subset suffices for the oracle).
+std::string glob_to_regex(std::string_view pattern) {
+  std::string out = "^";
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    char c = pattern[i];
+    switch (c) {
+      case '*':
+        if (i + 1 < pattern.size() && pattern[i + 1] == '*') {
+          out += ".*";
+          ++i;
+        } else {
+          out += "[^/]*";
+        }
+        break;
+      case '?':
+        out += "[^/]";
+        break;
+      case '.': case '+': case '(': case ')': case '^': case '$':
+      case '|': case '\\': case '{': case '}': case '[': case ']':
+        out += '\\';
+        out += c;
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '$';
+  return out;
+}
+
+// Random path over a tiny alphabet so collisions with patterns are common.
+std::string random_path(Rng& rng) {
+  std::string path;
+  int segments = 1 + static_cast<int>(rng.below(4));
+  for (int s = 0; s < segments; ++s) {
+    path += '/';
+    int len = 1 + static_cast<int>(rng.below(3));
+    for (int i = 0; i < len; ++i)
+      path += static_cast<char>('a' + rng.below(3));
+  }
+  return path;
+}
+
+std::string random_pattern(Rng& rng) {
+  std::string pattern;
+  int segments = 1 + static_cast<int>(rng.below(3));
+  for (int s = 0; s < segments; ++s) {
+    pattern += '/';
+    switch (rng.below(5)) {
+      case 0: pattern += "*"; break;
+      case 1: pattern += "**"; break;
+      case 2: pattern += static_cast<char>('a' + rng.below(3)); break;
+      case 3:
+        pattern += static_cast<char>('a' + rng.below(3));
+        pattern += '?';
+        break;
+      default:
+        pattern += static_cast<char>('a' + rng.below(3));
+        pattern += static_cast<char>('a' + rng.below(3));
+        break;
+    }
+  }
+  return pattern;
+}
+
+class GlobVsRegex : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GlobVsRegex, AgreeOnRandomInputs) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::string pattern = random_pattern(rng);
+    auto glob = Glob::compile(pattern);
+    ASSERT_TRUE(glob.ok()) << pattern;
+    std::regex re;
+    // '**' followed by nothing vs "[^/]*" subtleties are encoded in
+    // glob_to_regex; a throw here would be a translation bug, not a Glob bug.
+    ASSERT_NO_THROW(re = std::regex(glob_to_regex(pattern)));
+    for (int p = 0; p < 30; ++p) {
+      std::string path = random_path(rng);
+      EXPECT_EQ(glob->matches(path), std::regex_match(path, re))
+          << "pattern=" << pattern << " path=" << path;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobVsRegex,
+                         ::testing::Values(3u, 14u, 159u, 2653u));
+
+// --- ProfileMatcher vs naive oracle ---
+
+apparmor::FilePerm naive_allowed(const apparmor::Profile& profile,
+                                 std::string_view path) {
+  using apparmor::FilePerm;
+  FilePerm allow = FilePerm::none, deny = FilePerm::none;
+  for (const auto& rule : profile.rules) {
+    if (!rule.pattern.matches(path)) continue;
+    if (rule.deny) {
+      deny |= rule.perms;
+    } else {
+      allow |= rule.perms;
+    }
+  }
+  if (has_any(allow, FilePerm::write)) allow |= FilePerm::append;
+  if (has_any(deny, FilePerm::write)) deny |= FilePerm::append;
+  return allow & ~deny;
+}
+
+class MatcherVsOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatcherVsOracle, AgreeOnRandomProfiles) {
+  using apparmor::FilePerm;
+  Rng rng(GetParam());
+  const FilePerm perm_choices[] = {
+      FilePerm::read, FilePerm::write, FilePerm::read | FilePerm::exec,
+      FilePerm::ioctl | FilePerm::write, FilePerm::mmap | FilePerm::read};
+
+  for (int round = 0; round < 40; ++round) {
+    apparmor::Profile profile;
+    profile.name = "random";
+    int n_rules = 1 + static_cast<int>(rng.below(12));
+    for (int r = 0; r < n_rules; ++r) {
+      apparmor::FileRule rule;
+      // Half the rules literal (exercise the hash index), half globby.
+      std::string pattern =
+          rng.chance(0.5) ? random_path(rng) : random_pattern(rng);
+      auto glob = Glob::compile(pattern);
+      ASSERT_TRUE(glob.ok());
+      rule.pattern = std::move(glob).value();
+      rule.perms = perm_choices[rng.below(5)];
+      rule.deny = rng.chance(0.3);
+      profile.rules.push_back(std::move(rule));
+    }
+    apparmor::ProfileMatcher matcher(profile);
+    for (int p = 0; p < 40; ++p) {
+      std::string path = random_path(rng);
+      EXPECT_EQ(matcher.allowed(path), naive_allowed(profile, path))
+          << "path=" << path;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherVsOracle,
+                         ::testing::Values(7u, 77u, 777u, 7777u));
+
+}  // namespace
+}  // namespace sack

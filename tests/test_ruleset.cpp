@@ -1,0 +1,195 @@
+// Rule sets: guarded-object semantics, deny precedence, and the property
+// that the compiled and linear implementations are decision-equivalent.
+#include <gtest/gtest.h>
+
+#include "core/policy_builder.h"
+#include "core/ruleset.h"
+#include "util/rng.h"
+
+namespace sack::core {
+namespace {
+
+SackPolicy demo_policy() {
+  PolicyBuilder b;
+  b.state("normal", 0)
+      .state("emergency", 1)
+      .initial("normal")
+      .transition("normal", "crash", "emergency")
+      .permission("MEDIA")
+      .permission("DOORS")
+      .grant("normal", "MEDIA")
+      .grant("emergency", "MEDIA")
+      .grant("emergency", "DOORS")
+      .allow("MEDIA", "*", "/var/media/**", MacOp::read)
+      .allow("DOORS", "/usr/bin/rescue", "/dev/door*",
+             MacOp::ioctl | MacOp::write)
+      .deny("DOORS", "*", "/dev/door9", MacOp::ioctl);
+  return b.build();
+}
+
+AccessQuery query(std::string_view exe, std::string_view obj, MacOp op) {
+  AccessQuery q;
+  q.subject_exe = exe;
+  q.object_path = obj;
+  q.op = op;
+  return q;
+}
+
+TEST(CompiledRuleSet, UnguardedObjectsAlwaysAllowed) {
+  CompiledRuleSet rs;
+  rs.load(demo_policy());
+  rs.activate({});  // no permissions at all
+  EXPECT_EQ(rs.check(query("/bin/x", "/etc/passwd", MacOp::read)), Errno::ok);
+  EXPECT_EQ(rs.check(query("/bin/x", "/tmp/f", MacOp::write)), Errno::ok);
+  EXPECT_FALSE(rs.guarded("/etc/passwd"));
+  EXPECT_TRUE(rs.guarded("/var/media/track.pcm"));
+  EXPECT_TRUE(rs.guarded("/dev/door0"));
+}
+
+TEST(CompiledRuleSet, GuardedDenyByDefault) {
+  CompiledRuleSet rs;
+  rs.load(demo_policy());
+  rs.activate({"MEDIA"});  // normal state
+  EXPECT_EQ(rs.check(query("/usr/bin/rescue", "/dev/door0", MacOp::ioctl)),
+            Errno::eacces);
+  EXPECT_EQ(rs.check(query("/bin/app", "/var/media/t.pcm", MacOp::read)),
+            Errno::ok);
+  // MEDIA grants read only; write to a guarded media file is denied.
+  EXPECT_EQ(rs.check(query("/bin/app", "/var/media/t.pcm", MacOp::write)),
+            Errno::eacces);
+}
+
+TEST(CompiledRuleSet, ActivationFollowsState) {
+  CompiledRuleSet rs;
+  rs.load(demo_policy());
+  rs.activate({"MEDIA", "DOORS"});  // emergency state
+  EXPECT_EQ(rs.check(query("/usr/bin/rescue", "/dev/door0", MacOp::ioctl)),
+            Errno::ok);
+  // Subject must match.
+  EXPECT_EQ(rs.check(query("/usr/bin/evil", "/dev/door0", MacOp::ioctl)),
+            Errno::eacces);
+  EXPECT_EQ(rs.active_rule_count(), 3u);
+  rs.activate({"MEDIA"});
+  EXPECT_EQ(rs.check(query("/usr/bin/rescue", "/dev/door0", MacOp::ioctl)),
+            Errno::eacces);
+  EXPECT_EQ(rs.active_rule_count(), 1u);
+}
+
+TEST(CompiledRuleSet, DenyBeatsAllow) {
+  CompiledRuleSet rs;
+  rs.load(demo_policy());
+  rs.activate({"DOORS"});
+  // door9 matches both the allow glob and the literal deny.
+  EXPECT_EQ(rs.check(query("/usr/bin/rescue", "/dev/door9", MacOp::ioctl)),
+            Errno::eacces);
+  // ...but only for the denied op.
+  EXPECT_EQ(rs.check(query("/usr/bin/rescue", "/dev/door9", MacOp::write)),
+            Errno::ok);
+}
+
+TEST(CompiledRuleSet, ProfileSubjectMatching) {
+  PolicyBuilder b;
+  b.state("s", 0).initial("s").permission("P").grant("s", "P");
+  b.allow("P", "@rescue", "/dev/door*", MacOp::ioctl);
+  CompiledRuleSet rs;
+  rs.load(b.build());
+  rs.activate({"P"});
+  AccessQuery q = query("/usr/bin/anything", "/dev/door0", MacOp::ioctl);
+  EXPECT_EQ(rs.check(q), Errno::eacces);  // no profile info
+  q.subject_profile = "rescue";
+  EXPECT_EQ(rs.check(q), Errno::ok);
+  q.subject_profile = "media";
+  EXPECT_EQ(rs.check(q), Errno::eacces);
+}
+
+TEST(LinearRuleSet, MatchesSemantics) {
+  LinearRuleSet rs;
+  rs.load(demo_policy());
+  rs.activate({"MEDIA", "DOORS"});
+  EXPECT_EQ(rs.check(query("/usr/bin/rescue", "/dev/door0", MacOp::ioctl)),
+            Errno::ok);
+  EXPECT_EQ(rs.check(query("/usr/bin/rescue", "/dev/door9", MacOp::ioctl)),
+            Errno::eacces);
+  EXPECT_EQ(rs.check(query("/x", "/unguarded", MacOp::read)), Errno::ok);
+  EXPECT_EQ(rs.total_rule_count(), 3u);
+}
+
+// Property: CompiledRuleSet and LinearRuleSet agree on every query, across
+// randomized policies and queries.
+class RuleSetEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RuleSetEquivalence, CompiledEqualsLinear) {
+  Rng rng(GetParam());
+
+  // Random policy: a handful of permissions with randomized rules.
+  PolicyBuilder b;
+  b.state("s0", 0).state("s1", 1).initial("s0");
+  b.transition("s0", "go", "s1");
+  const char* objects[] = {"/a/lit1", "/a/lit2",   "/b/file",
+                           "/a/*",    "/b/**",     "/dev/node[0-5]"};
+  const char* subjects[] = {"*", "/bin/app1", "/bin/app2", "/bin/*"};
+  const MacOp ops[] = {MacOp::read, MacOp::write, MacOp::ioctl,
+                       MacOp::read | MacOp::write};
+  std::vector<std::string> perms;
+  for (int p = 0; p < 4; ++p) {
+    std::string perm = "P" + std::to_string(p);
+    b.permission(perm);
+    if (rng.chance(0.7)) b.grant("s0", perm);
+    if (rng.chance(0.7)) b.grant("s1", perm);
+    int n_rules = 1 + static_cast<int>(rng.below(4));
+    for (int r = 0; r < n_rules; ++r) {
+      bool deny = rng.chance(0.25);
+      const char* subject = subjects[rng.below(4)];
+      const char* object = objects[rng.below(6)];
+      MacOp op = ops[rng.below(4)];
+      if (deny) {
+        b.deny(perm, subject, object, op);
+      } else {
+        b.allow(perm, subject, object, op);
+      }
+    }
+    perms.push_back(perm);
+  }
+  SackPolicy policy = b.build();
+
+  CompiledRuleSet compiled;
+  LinearRuleSet linear;
+  compiled.load(policy);
+  linear.load(policy);
+
+  const char* probe_objects[] = {"/a/lit1", "/a/lit2", "/a/other", "/b/file",
+                                 "/b/deep/path", "/dev/node3", "/dev/node7",
+                                 "/unrelated"};
+  const char* probe_subjects[] = {"/bin/app1", "/bin/app2", "/bin/zzz",
+                                  "/sbin/x"};
+  const MacOp probe_ops[] = {MacOp::read, MacOp::write, MacOp::ioctl,
+                             MacOp::exec};
+
+  for (int round = 0; round < 20; ++round) {
+    // Random activation set.
+    std::vector<std::string> active;
+    for (const auto& p : perms)
+      if (rng.chance(0.5)) active.push_back(p);
+    compiled.activate(active);
+    linear.activate(active);
+    ASSERT_EQ(compiled.active_rule_count(), linear.active_rule_count());
+
+    for (const char* obj : probe_objects) {
+      EXPECT_EQ(compiled.guarded(obj), linear.guarded(obj)) << obj;
+      for (const char* subj : probe_subjects) {
+        for (MacOp op : probe_ops) {
+          auto q = query(subj, obj, op);
+          EXPECT_EQ(compiled.check(q), linear.check(q))
+              << "subject=" << subj << " object=" << obj
+              << " op=" << mac_op_name(op);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleSetEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace sack::core

@@ -1,0 +1,182 @@
+// SACK-enhanced AppArmor: the APE patches AppArmor profiles on situation
+// transitions; AppArmor enforces.
+#include <gtest/gtest.h>
+
+#include "apparmor/apparmor.h"
+#include "core/sack_module.h"
+#include "kernel/process.h"
+
+namespace sack::core {
+namespace {
+
+using apparmor::AppArmorModule;
+using kernel::Cred;
+using kernel::Fd;
+using kernel::Kernel;
+using kernel::OpenFlags;
+using kernel::Process;
+using kernel::Task;
+
+constexpr std::string_view kProfiles = R"(
+profile rescue_daemon /usr/bin/rescue_daemon {
+  /etc/rescue.conf r,
+}
+profile media_app /usr/bin/media_app {
+  /var/media/** r,
+}
+)";
+
+constexpr std::string_view kPolicy = R"(
+states { normal = 0; emergency = 1; }
+initial normal;
+transitions {
+  normal -> emergency on crash_detected;
+  emergency -> normal on emergency_cleared;
+}
+permissions { DOOR_CONTROL; LOUD_ALERTS; }
+state_per {
+  emergency: DOOR_CONTROL, LOUD_ALERTS;
+}
+per_rules {
+  DOOR_CONTROL { allow @rescue_daemon /dev/door* write ioctl; }
+  LOUD_ALERTS  { allow @media_app /dev/audio write ioctl; }
+}
+)";
+
+class SackEnhancedTest : public ::testing::Test {
+ protected:
+  SackEnhancedTest() {
+    sack_ = static_cast<SackModule*>(kernel_.add_lsm(
+        std::make_unique<SackModule>(SackMode::apparmor_enhanced)));
+    aa_ = static_cast<AppArmorModule*>(
+        kernel_.add_lsm(std::make_unique<AppArmorModule>()));
+    sack_->attach_apparmor(aa_);
+
+    Process admin(kernel_, kernel_.init_task());
+    EXPECT_TRUE(admin.write_file("/etc/rescue.conf", "cfg").ok());
+    EXPECT_TRUE(admin.write_file("/dev/door0", "").ok());
+    EXPECT_TRUE(admin.write_file("/dev/audio", "").ok());
+    EXPECT_TRUE(admin.write_file("/usr/bin/rescue_daemon", "ELF").ok());
+    EXPECT_TRUE(admin.write_file("/usr/bin/media_app", "ELF").ok());
+    EXPECT_TRUE(aa_->load_policy_text(kProfiles).ok());
+    EXPECT_TRUE(sack_->load_policy_text(kPolicy).ok());
+    rescue_ = &kernel_.spawn_task("rescue", Cred::root(),
+                                  "/usr/bin/rescue_daemon");
+  }
+
+  Kernel kernel_;
+  SackModule* sack_ = nullptr;
+  AppArmorModule* aa_ = nullptr;
+  Task* rescue_ = nullptr;
+};
+
+TEST_F(SackEnhancedTest, RequiresAttachedAppArmor) {
+  Kernel k2;
+  auto* lone = static_cast<SackModule*>(k2.add_lsm(
+      std::make_unique<SackModule>(SackMode::apparmor_enhanced)));
+  EXPECT_FALSE(lone->load_policy_text(kPolicy).ok());
+}
+
+TEST_F(SackEnhancedTest, BaseProfileHasNoDoorAccess) {
+  Process p(kernel_, *rescue_);
+  EXPECT_TRUE(p.read_file("/etc/rescue.conf").ok());  // base rule works
+  EXPECT_EQ(p.open("/dev/door0", OpenFlags::write).error(), Errno::eacces);
+}
+
+TEST_F(SackEnhancedTest, TransitionInjectsRulesIntoProfiles) {
+  ASSERT_TRUE(sack_->deliver_event("crash_detected").ok());
+
+  // The rescue profile gained the origin-tagged door rule.
+  const auto* profile = aa_->find_profile("rescue_daemon");
+  ASSERT_NE(profile, nullptr);
+  ASSERT_EQ(profile->rules.size(), 2u);
+  EXPECT_EQ(profile->rules[1].origin, "sack:DOOR_CONTROL");
+
+  Process p(kernel_, *rescue_);
+  Fd fd = *p.open("/dev/door0", OpenFlags::write);
+  EXPECT_TRUE(p.write(fd, "unlock").ok());
+
+  // And media_app got its audio rule.
+  const auto* media = aa_->find_profile("media_app");
+  ASSERT_EQ(media->rules.size(), 2u);
+  EXPECT_EQ(media->rules[1].origin, "sack:LOUD_ALERTS");
+}
+
+TEST_F(SackEnhancedTest, ReverseTransitionRetractsRules) {
+  ASSERT_TRUE(sack_->deliver_event("crash_detected").ok());
+  Process p(kernel_, *rescue_);
+  Fd fd = *p.open("/dev/door0", OpenFlags::write);
+  EXPECT_TRUE(p.write(fd, "unlock").ok());
+
+  ASSERT_TRUE(sack_->deliver_event("emergency_cleared").ok());
+  EXPECT_EQ(aa_->find_profile("rescue_daemon")->rules.size(), 1u);
+  // The open fd is revoked through AppArmor's generation bump.
+  EXPECT_EQ(p.write(fd, "unlock").error(), Errno::eacces);
+  EXPECT_EQ(p.open("/dev/door0", OpenFlags::write).error(), Errno::eacces);
+}
+
+TEST_F(SackEnhancedTest, SackDoesNotEnforceByItself) {
+  // In enhanced mode an unconfined task is not restricted by SACK: the
+  // enforcement lives entirely in AppArmor (matching the paper: the check
+  // process is the same as original AppArmor).
+  Process p(kernel_, kernel_.init_task());
+  EXPECT_TRUE(p.write_file("/dev/door0", "raw").ok());
+}
+
+TEST_F(SackEnhancedTest, RepeatedTransitionsAreIdempotent) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(sack_->deliver_event("crash_detected").ok());
+    EXPECT_EQ(aa_->find_profile("rescue_daemon")->rules.size(), 2u);
+    ASSERT_TRUE(sack_->deliver_event("emergency_cleared").ok());
+    EXPECT_EQ(aa_->find_profile("rescue_daemon")->rules.size(), 1u);
+  }
+}
+
+TEST_F(SackEnhancedTest, PolicyReloadRetractsInjectedRules) {
+  ASSERT_TRUE(sack_->deliver_event("crash_detected").ok());
+  EXPECT_EQ(aa_->find_profile("rescue_daemon")->rules.size(), 2u);
+  // Reload: back to initial state, injected rules must be gone.
+  ASSERT_TRUE(sack_->load_policy_text(kPolicy).ok());
+  EXPECT_EQ(aa_->find_profile("rescue_daemon")->rules.size(), 1u);
+}
+
+TEST_F(SackEnhancedTest, MissingProfileIsToleratedAtTransition) {
+  ASSERT_TRUE(aa_->remove_profile("media_app").ok());
+  // Transition still works; the missing profile's injection is skipped.
+  ASSERT_TRUE(sack_->deliver_event("crash_detected").ok());
+  EXPECT_EQ(aa_->find_profile("rescue_daemon")->rules.size(), 2u);
+}
+
+TEST_F(SackEnhancedTest, DenyRulesInjectAsDenies) {
+  constexpr std::string_view kDenyPolicy = R"(
+states { normal = 0; driving = 1; }
+initial normal;
+transitions { normal -> driving on start_driving;
+              driving -> normal on stop_driving; }
+permissions { QUIET_DRIVE; }
+state_per { driving: QUIET_DRIVE; }
+per_rules { QUIET_DRIVE { deny @media_app /dev/audio write ioctl; } }
+)";
+  ASSERT_TRUE(sack_->load_policy_text(kDenyPolicy).ok());
+  Task& media = kernel_.spawn_task("media", Cred::root(),
+                                   "/usr/bin/media_app");
+  Process p(kernel_, media);
+
+  // Give media a base audio rule so the deny has something to override.
+  apparmor::Profile prof = *aa_->find_profile("media_app");
+  auto glob = Glob::compile("/dev/audio");
+  prof.rules.push_back({std::move(glob).value(),
+                        apparmor::FilePerm::write | apparmor::FilePerm::ioctl,
+                        false, ""});
+  ASSERT_TRUE(aa_->replace_profile(std::move(prof)).ok());
+  EXPECT_TRUE(p.open("/dev/audio", OpenFlags::write).ok());
+
+  ASSERT_TRUE(sack_->deliver_event("start_driving").ok());
+  EXPECT_EQ(p.open("/dev/audio", OpenFlags::write).error(), Errno::eacces);
+
+  ASSERT_TRUE(sack_->deliver_event("stop_driving").ok());
+  EXPECT_TRUE(p.open("/dev/audio", OpenFlags::write).ok());
+}
+
+}  // namespace
+}  // namespace sack::core

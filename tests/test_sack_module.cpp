@@ -1,0 +1,341 @@
+// SackModule, independent mode: policy loading through SACKfs, situation
+// events, adaptive enforcement, fd revocation, status interfaces.
+#include <gtest/gtest.h>
+
+#include "core/sack_module.h"
+#include "kernel/process.h"
+#include "simbench/policy_gen.h"
+
+namespace sack::core {
+namespace {
+
+using kernel::Capability;
+using kernel::Cred;
+using kernel::Fd;
+using kernel::Kernel;
+using kernel::OpenFlags;
+using kernel::Process;
+using kernel::Task;
+
+constexpr std::string_view kPolicy = R"(
+states { normal = 0; emergency = 1; }
+initial normal;
+transitions {
+  normal -> emergency on crash_detected;
+  emergency -> normal on emergency_cleared;
+}
+permissions { MEDIA_READ; DOOR_CONTROL; }
+state_per {
+  normal: MEDIA_READ;
+  emergency: MEDIA_READ, DOOR_CONTROL;
+}
+per_rules {
+  MEDIA_READ { allow * /var/media/** read getattr; }
+  DOOR_CONTROL { allow /usr/bin/rescue /dev/door write ioctl; }
+}
+)";
+
+class SackModuleTest : public ::testing::Test {
+ protected:
+  SackModuleTest() {
+    sack_ = static_cast<SackModule*>(kernel_.add_lsm(
+        std::make_unique<SackModule>(SackMode::independent)));
+    kernel_.vfs().mkdir_p("/var/media");
+    Process admin(kernel_, kernel_.init_task());
+    EXPECT_TRUE(admin.write_file("/var/media/track.pcm", "DATA").ok());
+    EXPECT_TRUE(admin.write_file("/dev/door", "").ok());
+    EXPECT_TRUE(admin.write_file("/usr/bin/rescue", "ELF").ok());
+    EXPECT_TRUE(admin.write_file("/usr/bin/other", "ELF").ok());
+  }
+
+  void load_default() {
+    ASSERT_TRUE(sack_->load_policy_text(kPolicy).ok());
+  }
+
+  Task& rescue() {
+    if (!rescue_)
+      rescue_ = &kernel_.spawn_task("rescue", Cred::root(), "/usr/bin/rescue");
+    return *rescue_;
+  }
+  Task& other() {
+    if (!other_)
+      other_ = &kernel_.spawn_task("other", Cred::root(), "/usr/bin/other");
+    return *other_;
+  }
+
+  Kernel kernel_;
+  SackModule* sack_ = nullptr;
+  Task* rescue_ = nullptr;
+  Task* other_ = nullptr;
+};
+
+TEST_F(SackModuleTest, NoPolicyMeansNoEnforcement) {
+  Process p(kernel_, other());
+  EXPECT_TRUE(p.read_file("/var/media/track.pcm").ok());
+  EXPECT_FALSE(sack_->policy_loaded());
+}
+
+TEST_F(SackModuleTest, LoadPolicyAndInitialState) {
+  load_default();
+  EXPECT_TRUE(sack_->policy_loaded());
+  EXPECT_EQ(sack_->current_state_name(), "normal");
+  EXPECT_EQ(sack_->current_permissions(),
+            std::vector<std::string>{"MEDIA_READ"});
+}
+
+TEST_F(SackModuleTest, GuardedObjectDeniedWithoutStatePermission) {
+  load_default();
+  Process p(kernel_, rescue());
+  // /dev/door is guarded; DOOR_CONTROL is not active in 'normal'.
+  EXPECT_EQ(p.open("/dev/door", OpenFlags::write).error(), Errno::eacces);
+  EXPECT_GT(sack_->denial_count(), 0u);
+}
+
+TEST_F(SackModuleTest, UnguardedObjectsUntouched) {
+  load_default();
+  Process p(kernel_, other());
+  EXPECT_TRUE(p.write_file("/tmp/anything", "x").ok());
+}
+
+TEST_F(SackModuleTest, TransitionActivatesPermission) {
+  load_default();
+  Process p(kernel_, rescue());
+  EXPECT_EQ(p.open("/dev/door", OpenFlags::write).error(), Errno::eacces);
+
+  auto outcome = sack_->deliver_event("crash_detected");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->transitioned);
+  EXPECT_EQ(sack_->current_state_name(), "emergency");
+
+  EXPECT_TRUE(p.open("/dev/door", OpenFlags::write).ok());
+  // Subject matters: another task may not, even in emergency.
+  Process q(kernel_, other());
+  EXPECT_EQ(q.open("/dev/door", OpenFlags::write).error(), Errno::eacces);
+
+  ASSERT_TRUE(sack_->deliver_event("emergency_cleared").ok());
+  EXPECT_EQ(p.open("/dev/door", OpenFlags::write).error(), Errno::eacces);
+}
+
+TEST_F(SackModuleTest, OpenFdRevokedOnTransition) {
+  load_default();
+  (void)sack_->deliver_event("crash_detected");
+  Process p(kernel_, rescue());
+  Fd fd = *p.open("/dev/door", OpenFlags::write);
+  EXPECT_TRUE(p.write(fd, "unlock").ok());
+
+  // Situation resolves; the already-open fd must lose write access (OAC:
+  // break-the-glass access disappears with the emergency).
+  (void)sack_->deliver_event("emergency_cleared");
+  EXPECT_EQ(p.write(fd, "unlock").error(), Errno::eacces);
+
+  // And recovers when the emergency returns.
+  (void)sack_->deliver_event("crash_detected");
+  EXPECT_TRUE(p.write(fd, "unlock").ok());
+}
+
+TEST_F(SackModuleTest, ExecInvalidatesOpenFileVerdicts) {
+  // Regression: the revalidation cache must key on the subject, not just the
+  // policy generation — open fds survive exec() and the new image may not be
+  // allowed what the old one was.
+  load_default();
+  (void)sack_->deliver_event("crash_detected");
+  Process p(kernel_, rescue());
+  Fd fd = *p.open("/dev/door", OpenFlags::write);
+  EXPECT_TRUE(p.write(fd, "unlock").ok());  // verdict cached for /usr/bin/rescue
+
+  // The rescue process execs into a different binary (no rule names it).
+  ASSERT_TRUE(
+      kernel_.sys_chmod(kernel_.init_task(), "/usr/bin/other", 0755).ok());
+  ASSERT_TRUE(kernel_.sys_execve(rescue(), "/usr/bin/other").ok());
+  EXPECT_EQ(p.write(fd, "unlock").error(), Errno::eacces);
+}
+
+TEST_F(SackModuleTest, EventsViaSackfs) {
+  load_default();
+  Process admin(kernel_, kernel_.init_task());
+  ASSERT_TRUE(admin
+                  .write_existing("/sys/kernel/security/SACK/events",
+                                  "crash_detected\n")
+                  .ok());
+  EXPECT_EQ(sack_->current_state_name(), "emergency");
+
+  // Multiple events in one write, with blank lines.
+  ASSERT_TRUE(admin
+                  .write_existing("/sys/kernel/security/SACK/events",
+                                  "\nemergency_cleared\ncrash_detected\n")
+                  .ok());
+  EXPECT_EQ(sack_->current_state_name(), "emergency");
+  EXPECT_EQ(sack_->events_received(), 3u);
+}
+
+TEST_F(SackModuleTest, UnknownEventRejectedAndCounted) {
+  load_default();
+  Process admin(kernel_, kernel_.init_task());
+  EXPECT_EQ(admin
+                .write_existing("/sys/kernel/security/SACK/events",
+                                "bogus_event\n")
+                .error(),
+            Errno::einval);
+  EXPECT_EQ(sack_->events_rejected(), 1u);
+  EXPECT_EQ(sack_->current_state_name(), "normal");
+}
+
+TEST_F(SackModuleTest, CurrentStateAndStatusFiles) {
+  load_default();
+  Process admin(kernel_, kernel_.init_task());
+  EXPECT_EQ(*admin.read_file("/sys/kernel/security/SACK/current_state"),
+            "normal 0\n");
+  (void)sack_->deliver_event("crash_detected");
+  EXPECT_EQ(*admin.read_file("/sys/kernel/security/SACK/current_state"),
+            "emergency 1\n");
+  auto status = admin.read_file("/sys/kernel/security/SACK/status");
+  ASSERT_TRUE(status.ok());
+  EXPECT_NE(status->find("mode: independent"), std::string::npos);
+  EXPECT_NE(status->find("current_state: emergency"), std::string::npos);
+  EXPECT_NE(status->find("transitions_taken: 1"), std::string::npos);
+}
+
+TEST_F(SackModuleTest, PolicyLoadViaSackfs) {
+  Process admin(kernel_, kernel_.init_task());
+  ASSERT_TRUE(
+      admin.write_existing("/sys/kernel/security/SACK/policy/load", kPolicy)
+          .ok());
+  EXPECT_TRUE(sack_->policy_loaded());
+  EXPECT_EQ(sack_->current_state_name(), "normal");
+}
+
+TEST_F(SackModuleTest, PolicyLoadRequiresMacAdmin) {
+  Task& user = kernel_.spawn_task("user", Cred::user(1000, 1000));
+  user.cred().caps.add(Capability::dac_override);
+  Process up(kernel_, user);
+  EXPECT_EQ(
+      up.write_existing("/sys/kernel/security/SACK/policy/load", kPolicy)
+          .error(),
+      Errno::eperm);
+}
+
+TEST_F(SackModuleTest, BadPolicyRejectedAtomically) {
+  load_default();
+  Process admin(kernel_, kernel_.init_task());
+  // References an undeclared state -> checker error -> EINVAL, old policy
+  // stays in force.
+  EXPECT_EQ(admin
+                .write_existing("/sys/kernel/security/SACK/policy/load",
+                                "states { a = 0; } initial ghost;")
+                .error(),
+            Errno::einval);
+  EXPECT_EQ(sack_->current_state_name(), "normal");
+  EXPECT_EQ(sack_->policy().permissions.size(), 2u);
+}
+
+TEST_F(SackModuleTest, SectionInterfacesReadAndWrite) {
+  load_default();
+  Process admin(kernel_, kernel_.init_task());
+
+  auto states = admin.read_file("/sys/kernel/security/SACK/policy/states");
+  ASSERT_TRUE(states.ok());
+  EXPECT_NE(states->find("normal = 0;"), std::string::npos);
+  EXPECT_NE(states->find("initial normal;"), std::string::npos);
+
+  auto perms =
+      admin.read_file("/sys/kernel/security/SACK/policy/permissions");
+  ASSERT_TRUE(perms.ok());
+  EXPECT_NE(perms->find("MEDIA_READ;"), std::string::npos);
+
+  // Replace just Per_Rules: drop the door rule entirely.
+  ASSERT_TRUE(admin
+                  .write_existing(
+                      "/sys/kernel/security/SACK/policy/per_rules",
+                      "per_rules { MEDIA_READ { allow * /var/media/** read "
+                      "getattr; } DOOR_CONTROL { allow /usr/bin/rescue "
+                      "/dev/door write; } }")
+                  .ok());
+  (void)sack_->deliver_event("crash_detected");
+  Process p(kernel_, rescue());
+  Fd fd = *p.open("/dev/door", OpenFlags::write);
+  EXPECT_EQ(p.ioctl(fd, 1, 0).error(), Errno::eacces);  // ioctl dropped
+}
+
+TEST_F(SackModuleTest, SectionWriteValidatedAgainstWholePolicy) {
+  load_default();
+  Process admin(kernel_, kernel_.init_task());
+  // Replacing permissions with a set that state_per doesn't reference
+  // anymore must fail the cross-section validation.
+  EXPECT_EQ(admin
+                .write_existing(
+                    "/sys/kernel/security/SACK/policy/permissions",
+                    "permissions { SOMETHING_ELSE; }")
+                .error(),
+            Errno::einval);
+  EXPECT_TRUE(sack_->policy().has_permission("MEDIA_READ"));
+}
+
+TEST_F(SackModuleTest, ValidateInterfaceIsDryRun) {
+  load_default();
+  Process admin(kernel_, kernel_.init_task());
+  // A broken candidate: the verdict is REJECTED, the report is readable,
+  // and the loaded policy is untouched.
+  EXPECT_EQ(admin
+                .write_existing("/sys/kernel/security/SACK/policy/validate",
+                                "states { a = 0; } initial ghost;")
+                .error(),
+            Errno::einval);
+  auto report =
+      admin.read_file("/sys/kernel/security/SACK/policy/validate");
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("initial state 'ghost'"), std::string::npos);
+  EXPECT_NE(report->find("verdict: REJECTED"), std::string::npos);
+  EXPECT_EQ(sack_->current_state_name(), "normal");  // untouched
+
+  // A clean candidate validates without being loaded.
+  ASSERT_TRUE(admin
+                  .write_existing(
+                      "/sys/kernel/security/SACK/policy/validate",
+                      "states { x = 0; } initial x;")
+                  .ok());
+  report = admin.read_file("/sys/kernel/security/SACK/policy/validate");
+  EXPECT_NE(report->find("verdict: loadable"), std::string::npos);
+  EXPECT_EQ(sack_->current_state_name(), "normal");
+  EXPECT_TRUE(sack_->policy().has_state("emergency"));  // still the old one
+}
+
+TEST_F(SackModuleTest, ExecGuardedByExecOp) {
+  // chmod before the policy guards the binary (afterwards even chmod is a
+  // mediated op on the guarded object).
+  ASSERT_TRUE(
+      kernel_.sys_chmod(kernel_.init_task(), "/usr/bin/rescue", 0755).ok());
+  // A policy that guards an executable: exec allowed only in 'emergency'.
+  ASSERT_TRUE(sack_->load_policy_text(R"(
+states { normal = 0; emergency = 1; }
+initial normal;
+transitions { normal -> emergency on crash_detected; }
+permissions { RUN_RESCUE_TOOLS; }
+state_per { emergency: RUN_RESCUE_TOOLS; }
+per_rules { RUN_RESCUE_TOOLS { allow * /usr/bin/rescue exec getattr; } }
+)")
+                  .ok());
+  Task& t = kernel_.spawn_task("sh", Cred::root(), "/bin/sh");
+  EXPECT_EQ(kernel_.sys_execve(t, "/usr/bin/rescue").error(), Errno::eacces);
+  (void)sack_->deliver_event("crash_detected");
+  EXPECT_TRUE(kernel_.sys_execve(t, "/usr/bin/rescue").ok());
+}
+
+TEST_F(SackModuleTest, ReloadRestartsSsm) {
+  load_default();
+  (void)sack_->deliver_event("crash_detected");
+  EXPECT_EQ(sack_->current_state_name(), "emergency");
+  load_default();
+  EXPECT_EQ(sack_->current_state_name(), "normal");
+}
+
+TEST_F(SackModuleTest, GenerationBumpsOnLoadAndTransition) {
+  auto g0 = sack_->policy_generation();
+  load_default();
+  auto g1 = sack_->policy_generation();
+  EXPECT_GT(g1, g0);
+  (void)sack_->deliver_event("crash_detected");
+  EXPECT_GT(sack_->policy_generation(), g1);
+}
+
+}  // namespace
+}  // namespace sack::core

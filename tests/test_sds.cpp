@@ -1,0 +1,260 @@
+// SDS: detectors, traces, and transmission into SACKfs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/sack_module.h"
+#include "ivi/ivi_system.h"
+#include "kernel/process.h"
+#include "sds/detectors.h"
+#include "sds/sds.h"
+#include "sds/traces.h"
+
+namespace sack::sds {
+namespace {
+
+SensorFrame frame(std::int64_t t_ms, double speed, Gear gear,
+                  bool driver = true, double accel = 0.0,
+                  bool crash = false) {
+  SensorFrame f;
+  f.time_ms = t_ms;
+  f.speed_kmh = speed;
+  f.gear = gear;
+  f.driver_present = driver;
+  f.accel_g = accel;
+  f.crash_signal = crash;
+  return f;
+}
+
+TEST(CrashDetector, FiresOnCrashSignalOnce) {
+  CrashDetector d;
+  auto e1 = d.on_frame(frame(0, 80, Gear::drive, true, 0.2, true));
+  ASSERT_EQ(e1.size(), 1u);
+  EXPECT_EQ(e1[0], "crash_detected");
+  // Latched: no repeat while still crashed.
+  EXPECT_TRUE(d.on_frame(frame(100, 40, Gear::drive, true, 0.2, true)).empty());
+  EXPECT_TRUE(d.in_emergency());
+}
+
+TEST(CrashDetector, FiresOnAccelSpike) {
+  CrashDetector d(4.0);
+  EXPECT_TRUE(d.on_frame(frame(0, 80, Gear::drive, true, 3.9)).empty());
+  auto e = d.on_frame(frame(100, 80, Gear::drive, true, 6.5));
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0], "crash_detected");
+}
+
+TEST(CrashDetector, ClearsAfterQuietPeriod) {
+  CrashDetector d(4.0, /*clear_ms=*/1000);
+  (void)d.on_frame(frame(0, 80, Gear::drive, true, 8.0));
+  // Quiet but not long enough.
+  EXPECT_TRUE(d.on_frame(frame(500, 0.0, Gear::park)).empty());
+  EXPECT_TRUE(d.on_frame(frame(1400, 0.0, Gear::park)).empty());
+  auto e = d.on_frame(frame(1600, 0.0, Gear::park));
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0], "emergency_cleared");
+  EXPECT_FALSE(d.in_emergency());
+}
+
+TEST(CrashDetector, MovementResetsQuietWindow) {
+  CrashDetector d(4.0, 1000);
+  (void)d.on_frame(frame(0, 80, Gear::drive, true, 8.0));
+  EXPECT_TRUE(d.on_frame(frame(600, 0.0, Gear::park)).empty());
+  // Vehicle moves again (towing?) -> the quiet window restarts.
+  EXPECT_TRUE(d.on_frame(frame(900, 3.0, Gear::park)).empty());
+  EXPECT_TRUE(d.on_frame(frame(1000, 0.0, Gear::park)).empty());
+  // 1000 ms after the *restart*, not the crash: still latched at 1900...
+  EXPECT_TRUE(d.on_frame(frame(1900, 0.0, Gear::park)).empty());
+  // ...cleared once the restarted window elapses.
+  auto e = d.on_frame(frame(2100, 0.0, Gear::park));
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0], "emergency_cleared");
+}
+
+TEST(DrivingDetector, HysteresisPreventsChatter) {
+  DrivingDetector d(5.0, 1.0);
+  EXPECT_TRUE(d.on_frame(frame(0, 3, Gear::drive)).empty());
+  auto start = d.on_frame(frame(1, 6, Gear::drive));
+  ASSERT_EQ(start.size(), 1u);
+  EXPECT_EQ(start[0], "start_driving");
+  // Slow to 3 km/h in drive: still driving (stop needs park + <=1).
+  EXPECT_TRUE(d.on_frame(frame(2, 3, Gear::drive)).empty());
+  auto stop = d.on_frame(frame(3, 0.5, Gear::park));
+  ASSERT_EQ(stop.size(), 1u);
+  EXPECT_EQ(stop[0], "stop_driving");
+}
+
+TEST(SpeedBandDetector, CrossesWithHysteresis) {
+  SpeedBandDetector d(60, 5);
+  EXPECT_TRUE(d.on_frame(frame(0, 60, Gear::drive)).empty());  // inside band
+  auto high = d.on_frame(frame(1, 66, Gear::drive));
+  ASSERT_EQ(high.size(), 1u);
+  EXPECT_EQ(high[0], "high_speed_entered");
+  EXPECT_TRUE(d.on_frame(frame(2, 58, Gear::drive)).empty());  // within band
+  auto low = d.on_frame(frame(3, 54, Gear::drive));
+  ASSERT_EQ(low.size(), 1u);
+  EXPECT_EQ(low[0], "low_speed_entered");
+}
+
+TEST(ParkingDetector, DistinguishesOccupancy) {
+  ParkingDetector d;
+  auto with_driver = d.on_frame(frame(0, 0, Gear::park, true));
+  ASSERT_EQ(with_driver.size(), 1u);
+  EXPECT_EQ(with_driver[0], "parked_with_driver");
+  auto left = d.on_frame(frame(1, 0, Gear::park, false));
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0], "parked_without_driver");
+  EXPECT_TRUE(d.on_frame(frame(2, 0, Gear::park, false)).empty());
+  EXPECT_TRUE(d.on_frame(frame(3, 30, Gear::drive, true)).empty());
+  auto back = d.on_frame(frame(4, 0, Gear::park, true));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], "parked_with_driver");
+}
+
+TEST(GeofenceDetector, EntersAndLeavesZone) {
+  GeofenceDetector d("depot", 48.0, 9.0, 0.01);
+  SensorFrame far = frame(0, 30, Gear::drive);
+  far.latitude = 48.5;
+  far.longitude = 9.5;
+  EXPECT_TRUE(d.on_frame(far).empty());
+  EXPECT_FALSE(d.inside());
+
+  SensorFrame near = far;
+  near.time_ms = 100;
+  near.latitude = 48.004;
+  near.longitude = 9.003;
+  auto entered = d.on_frame(near);
+  ASSERT_EQ(entered.size(), 1u);
+  EXPECT_EQ(entered[0], "entered_depot");
+  EXPECT_TRUE(d.inside());
+  // Staying inside: no repeat.
+  EXPECT_TRUE(d.on_frame(near).empty());
+
+  auto left = d.on_frame(far);
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0], "left_depot");
+}
+
+// --- traces ---
+
+TEST(Traces, HighwayCrashProducesCrashAndClear) {
+  auto trace = highway_crash_trace(10);
+  CrashDetector d;
+  std::vector<std::string> events;
+  for (const auto& f : trace) {
+    for (auto& e : d.on_frame(f)) events.push_back(e);
+  }
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "crash_detected");
+  EXPECT_EQ(events[1], "emergency_cleared");
+}
+
+TEST(Traces, CityDriveStartsAndStops) {
+  auto trace = city_drive_trace(60);
+  DrivingDetector d;
+  std::vector<std::string> events;
+  for (const auto& f : trace)
+    for (auto& e : d.on_frame(f)) events.push_back(e);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front(), "start_driving");
+  EXPECT_EQ(events.back(), "stop_driving");
+}
+
+TEST(Traces, Deterministic) {
+  auto a = city_drive_trace(30, {.seed = 7});
+  auto b = city_drive_trace(30, {.seed = 7});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].speed_kmh, b[i].speed_kmh);
+    EXPECT_EQ(a[i].accel_g, b[i].accel_g);
+  }
+}
+
+TEST(Traces, SpeedOscillationCrossesBandEveryPeriod) {
+  auto trace = speed_oscillation_trace(500, 4);
+  SpeedBandDetector d(60, 5);
+  int events = 0;
+  for (const auto& f : trace) events += static_cast<int>(d.on_frame(f).size());
+  EXPECT_EQ(events, 8);  // 4 cycles x 2 crossings
+}
+
+TEST(Traces, ParkingHandoffSequence) {
+  auto trace = parking_handoff_trace();
+  ParkingDetector d;
+  std::vector<std::string> events;
+  for (const auto& f : trace)
+    for (auto& e : d.on_frame(f)) events.push_back(e);
+  std::vector<std::string> expected{"parked_with_driver",
+                                    "parked_without_driver",
+                                    "parked_with_driver",
+                                    "parked_with_driver"};
+  EXPECT_EQ(events, expected);
+}
+
+// --- end-to-end: SDS drives the kernel SSM ---
+
+TEST(SdsEndToEnd, TraceMovesKernelSituationState) {
+  ivi::IviSystem ivi({.mac = ivi::MacConfig::independent_sack});
+  auto& sds = ivi.sds();
+
+  auto trace = highway_crash_trace(5);
+  std::size_t crash_frame = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    (void)sds.feed(trace[i]);
+    if (trace[i].crash_signal && crash_frame == 0) {
+      crash_frame = i;
+      EXPECT_EQ(ivi.situation(), "emergency");
+    }
+  }
+  EXPECT_GT(crash_frame, 0u);
+  // After the quiet period the SDS cleared the emergency.
+  EXPECT_EQ(ivi.situation(), "parked_with_driver");
+  EXPECT_GT(sds.events_sent(), 0u);
+  EXPECT_EQ(sds.send_failures(), 0u);
+}
+
+TEST(SdsEndToEnd, DirectEventEmulation) {
+  // The paper emulates events by writing the pseudo-file; send_event is that.
+  ivi::IviSystem ivi({.mac = ivi::MacConfig::independent_sack});
+  ASSERT_TRUE(ivi.sds().send_event("crash_detected").ok());
+  EXPECT_EQ(ivi.situation(), "emergency");
+}
+
+TEST(SdsEndToEnd, FloodThrottlingSuppressesRepeats) {
+  ivi::IviSystem ivi({.mac = ivi::MacConfig::independent_sack, .start_sds = false});
+  auto& sds = ivi.sds();
+  // A flapping detector: emits on every frame.
+  class Flapper : public Detector {
+   public:
+    std::string_view detector_name() const override { return "flapper"; }
+    std::vector<std::string> on_frame(const SensorFrame&) override {
+      return {"start_driving"};
+    }
+  };
+  sds.add_detector(std::make_unique<Flapper>());
+  sds.set_min_event_interval_ms(1000);
+
+  for (int i = 0; i < 50; ++i) {
+    (void)sds.feed(frame(i * 100, 30, Gear::drive));  // 10 Hz flapping
+  }
+  // 5 s of scenario time at a 1 s throttle: at most ~5-6 sends.
+  EXPECT_LE(sds.events_sent(), 6u);
+  EXPECT_GE(sds.events_suppressed(), 44u);
+
+  // Distinct events are not throttled against each other.
+  sds.set_min_event_interval_ms(1'000'000);
+  ASSERT_TRUE(sds.send_event("stop_driving").ok());
+}
+
+TEST(SdsEndToEnd, UnprivilegedWriterCannotInjectEvents) {
+  ivi::IviSystem ivi({.mac = ivi::MacConfig::independent_sack});
+  auto& kernel = ivi.kernel();
+  auto& user = kernel.spawn_task("evil", kernel::Cred::user(1000, 1000));
+  SituationDetectionService evil_sds(kernel::Process(kernel, user));
+  EXPECT_FALSE(evil_sds.send_event("crash_detected").ok());
+  EXPECT_EQ(ivi.situation(), "parked_with_driver");
+  EXPECT_EQ(evil_sds.send_failures(), 1u);
+}
+
+}  // namespace
+}  // namespace sack::sds

@@ -1,0 +1,79 @@
+// Signals: sys_kill DAC + LSM task_kill mediation.
+#include <gtest/gtest.h>
+
+#include "apparmor/apparmor.h"
+#include "kernel/kernel.h"
+#include "kernel/process.h"
+
+namespace sack::kernel {
+namespace {
+
+constexpr int kSigTerm = 15;
+
+TEST(Signals, RootKillsAnyone) {
+  Kernel kernel;
+  Task& victim = kernel.spawn_task("victim", Cred::user(1000, 1000));
+  ASSERT_TRUE(kernel.sys_kill(kernel.init_task(), victim.pid(), kSigTerm)
+                  .ok());
+  EXPECT_EQ(victim.state, TaskState::zombie);
+  EXPECT_EQ(victim.exit_code, 128 + kSigTerm);
+}
+
+TEST(Signals, DacRequiresSameUidOrCapKill) {
+  Kernel kernel;
+  Task& alice = kernel.spawn_task("alice", Cred::user(1000, 1000));
+  Task& bob = kernel.spawn_task("bob", Cred::user(1001, 1001));
+  Task& alice2 = kernel.spawn_task("alice2", Cred::user(1000, 1000));
+
+  EXPECT_EQ(kernel.sys_kill(alice, bob.pid(), kSigTerm).error(),
+            Errno::eperm);
+  EXPECT_TRUE(kernel.sys_kill(alice, alice2.pid(), 0).ok());  // probe
+  EXPECT_EQ(alice2.state, TaskState::running);                // sig 0 = probe
+
+  alice.cred().caps.add(Capability::kill);
+  EXPECT_TRUE(kernel.sys_kill(alice, bob.pid(), kSigTerm).ok());
+  EXPECT_EQ(bob.state, TaskState::zombie);
+}
+
+TEST(Signals, MissingTargetAndBadSignal) {
+  Kernel kernel;
+  EXPECT_EQ(kernel.sys_kill(kernel.init_task(), Pid(999), kSigTerm).error(),
+            Errno::esrch);
+  Task& t = kernel.spawn_task("t", Cred::root());
+  EXPECT_EQ(kernel.sys_kill(kernel.init_task(), t.pid(), -1).error(),
+            Errno::einval);
+}
+
+TEST(Signals, AppArmorConfinesCrossProfileSignals) {
+  Kernel kernel;
+  auto* aa = static_cast<apparmor::AppArmorModule*>(
+      kernel.add_lsm(std::make_unique<apparmor::AppArmorModule>()));
+  ASSERT_TRUE(aa->load_policy_text(R"(
+profile worker /usr/bin/worker { /tmp/** rw, }
+profile manager /usr/bin/manager {
+  /tmp/** rw,
+  capability kill,
+}
+)")
+                  .ok());
+  Task& worker_a = kernel.spawn_task("w1", Cred::root(), "/usr/bin/worker");
+  Task& worker_b = kernel.spawn_task("w2", Cred::root(), "/usr/bin/worker");
+  Task& manager = kernel.spawn_task("m", Cred::root(), "/usr/bin/manager");
+  Task& outsider = kernel.spawn_task("o", Cred::root(), "/usr/bin/outsider");
+
+  // Same profile: allowed.
+  EXPECT_TRUE(kernel.sys_kill(worker_a, worker_b.pid(), 0).ok());
+  // Cross profile without capability kill: denied by AppArmor (root DAC
+  // passes, so this is MAC).
+  EXPECT_EQ(kernel.sys_kill(worker_a, manager.pid(), 0).error(),
+            Errno::eperm);
+  EXPECT_EQ(kernel.sys_kill(worker_a, outsider.pid(), 0).error(),
+            Errno::eperm);
+  // The manager profile holds capability kill.
+  EXPECT_TRUE(kernel.sys_kill(manager, worker_a.pid(), 0).ok());
+  // Unconfined sender is unrestricted by AppArmor.
+  EXPECT_TRUE(kernel.sys_kill(outsider, worker_a.pid(), 0).ok());
+}
+
+}  // namespace
+}  // namespace sack::kernel

@@ -1,0 +1,144 @@
+// simbench utilities: stats, table formatting, policy generators, envs and
+// workloads (smoke-level, so the bench binaries can't rot silently).
+#include <gtest/gtest.h>
+
+#include "core/policy_checker.h"
+#include "simbench/env.h"
+#include "simbench/policy_gen.h"
+#include "simbench/stats.h"
+#include "simbench/table.h"
+#include "simbench/workloads.h"
+
+namespace sack::simbench {
+namespace {
+
+TEST(Stats, BasicMoments) {
+  auto s = compute_stats({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.29099, 1e-4);
+  EXPECT_EQ(s.n, 4u);
+}
+
+TEST(Stats, OddMedianAndEmpty) {
+  EXPECT_DOUBLE_EQ(compute_stats({5.0, 1.0, 3.0}).median, 3.0);
+  EXPECT_EQ(compute_stats({}).n, 0u);
+  EXPECT_DOUBLE_EQ(compute_stats({7.0}).stddev, 0.0);
+}
+
+TEST(Stats, Deltas) {
+  EXPECT_DOUBLE_EQ(percent_delta(100, 103), 3.0);
+  EXPECT_DOUBLE_EQ(percent_delta(100, 97), -3.0);
+  EXPECT_EQ(format_delta(100, 102.5), "(+2.50%)");
+  EXPECT_EQ(format_delta(100, 97.5), "(-2.50%)");
+}
+
+TEST(PaperTableFormat, ColumnsAlignAndDeltasAppear) {
+  PaperTable t("Demo", {"base", "variant"});
+  t.section("Latency");
+  t.row("op_a", {1.0, 1.1}, "us");
+  t.row("op_b", {2000.0, 1900.0}, "MB/s", true);
+  std::string out = t.to_string();
+  EXPECT_NE(out.find("=== Demo ==="), std::string::npos);
+  EXPECT_NE(out.find("base (baseline)"), std::string::npos);
+  EXPECT_NE(out.find("## Latency"), std::string::npos);
+  EXPECT_NE(out.find("(+10.00%)"), std::string::npos);
+  EXPECT_NE(out.find("(-5.00%)"), std::string::npos);
+}
+
+TEST(PolicyGen, DefaultPolicyIsClean) {
+  for (bool profiles : {false, true}) {
+    auto policy = default_bench_sack_policy(profiles);
+    auto diags = core::check_policy(
+        policy, profiles ? core::CheckMode::apparmor_enhanced
+                         : core::CheckMode::independent);
+    EXPECT_FALSE(core::has_errors(diags));
+  }
+}
+
+TEST(PolicyGen, RulesPolicyHasExactCount) {
+  for (int count : {0, 10, 500}) {
+    auto policy = sack_policy_with_rules(count, false);
+    std::size_t rules = 0;
+    for (const auto& [perm, rs] : policy.per_rules) rules += rs.size();
+    EXPECT_EQ(rules, static_cast<std::size_t>(count));
+    EXPECT_FALSE(core::has_errors(
+        core::check_policy(policy, core::CheckMode::independent)));
+  }
+}
+
+TEST(PolicyGen, StatesPolicyScales) {
+  auto policy = sack_policy_with_states(50);
+  EXPECT_EQ(policy.states.size(), 50u);
+  EXPECT_EQ(policy.transitions.size(), 50u);  // the ring
+  EXPECT_FALSE(core::has_errors(
+      core::check_policy(policy, core::CheckMode::independent)));
+}
+
+TEST(PolicyGen, CompatibilityPoliciesAllLoadable) {
+  auto policies = compatibility_policies();
+  ASSERT_EQ(policies.size(), 10u);
+  for (const auto& policy : policies) {
+    EXPECT_FALSE(core::has_errors(
+        core::check_policy(policy, core::CheckMode::independent)));
+  }
+}
+
+// Smoke: every workload runs against every MAC configuration without
+// tripping its internal must() checks (which abort on unexpected errno).
+class WorkloadSmoke : public ::testing::TestWithParam<BenchMac> {};
+
+TEST_P(WorkloadSmoke, AllWorkloadsExecute) {
+  EnvOptions options;
+  options.mac = GetParam();
+  BenchEnv env(options);
+
+  for (int i = 0; i < 3; ++i) {
+    wl_null_syscall(env);
+    wl_fork_exit_wait(env);
+    wl_stat(env);
+    wl_open_close(env);
+    wl_exec(env);
+    wl_file_create_delete(env, 0);
+    wl_file_create_delete(env, 10 * 1024);
+    wl_mmap_cycle(env);
+  }
+  PipeChannel pipe_ch(env);
+  SocketChannel unix_ch(env, kernel::SockFamily::unix_);
+  SocketChannel tcp_ch(env, kernel::SockFamily::inet);
+  FileReread reread(env);
+  MmapReread mmap_reread(env);
+  NullIo null_io(env);
+  CtxSwitchPair ctx(env, 16 * 1024);
+  std::size_t moved = 0;
+  for (int i = 0; i < 20; ++i) {
+    moved += pipe_ch.transfer();
+    moved += unix_ch.transfer();
+    moved += tcp_ch.transfer();
+    moved += reread.transfer();
+    moved += mmap_reread.transfer();
+    null_io.io_once();
+    ctx.round_trip();
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, WorkloadSmoke,
+    ::testing::Values(BenchMac::none, BenchMac::apparmor,
+                      BenchMac::sack_enhanced_apparmor,
+                      BenchMac::independent_sack),
+    [](const auto& info) {
+      switch (info.param) {
+        case BenchMac::none: return "none";
+        case BenchMac::apparmor: return "apparmor";
+        case BenchMac::sack_enhanced_apparmor: return "sack_aa";
+        case BenchMac::independent_sack: return "sack";
+      }
+      return "unknown";
+    });
+
+}  // namespace
+}  // namespace sack::simbench

@@ -1,0 +1,149 @@
+// SituationStateMachine: Algorithm 1's transition half.
+#include <gtest/gtest.h>
+
+#include "core/policy_builder.h"
+#include "core/ssm.h"
+#include "simbench/policy_gen.h"
+#include "util/rng.h"
+
+namespace sack::core {
+namespace {
+
+SackPolicy fig2_policy() {
+  // The paper's Fig 2: emergency, driving, parking with/without driver.
+  PolicyBuilder b;
+  b.state("parking_with_driver", 0)
+      .state("parking_without_driver", 1)
+      .state("driving", 2)
+      .state("emergency", 3)
+      .initial("parking_with_driver")
+      .transition("parking_with_driver", "start_driving", "driving")
+      .transition("driving", "stop_driving", "parking_with_driver")
+      .transition("parking_with_driver", "driver_left",
+                  "parking_without_driver")
+      .transition("parking_without_driver", "driver_returned",
+                  "parking_with_driver")
+      .transition("driving", "crash_detected", "emergency")
+      .transition("parking_with_driver", "crash_detected", "emergency")
+      .transition("emergency", "emergency_cleared", "parking_with_driver");
+  return b.build();
+}
+
+TEST(Ssm, BuildsAndStartsAtInitial) {
+  auto ssm = SituationStateMachine::build(fig2_policy());
+  ASSERT_TRUE(ssm.ok());
+  EXPECT_EQ(ssm->current_name(), "parking_with_driver");
+  EXPECT_EQ(ssm->current_encoding(), 0);
+  EXPECT_EQ(ssm->state_count(), 4u);
+  EXPECT_EQ(ssm->event_count(), 6u);
+}
+
+TEST(Ssm, TransitionsFollowRules) {
+  auto ssm = *SituationStateMachine::build(fig2_policy());
+  auto o1 = ssm.deliver("start_driving");
+  ASSERT_TRUE(o1.ok());
+  EXPECT_TRUE(o1->transitioned);
+  EXPECT_EQ(ssm.current_name(), "driving");
+
+  auto o2 = ssm.deliver("crash_detected");
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(ssm.current_name(), "emergency");
+  EXPECT_EQ(ssm.current_encoding(), 3);
+
+  auto o3 = ssm.deliver("emergency_cleared");
+  ASSERT_TRUE(o3.ok());
+  EXPECT_EQ(ssm.current_name(), "parking_with_driver");
+}
+
+TEST(Ssm, NonMatchingEventIsAcceptedButNoTransition) {
+  auto ssm = *SituationStateMachine::build(fig2_policy());
+  // stop_driving doesn't apply while parked.
+  auto o = ssm.deliver("stop_driving");
+  ASSERT_TRUE(o.ok());
+  EXPECT_FALSE(o->transitioned);
+  EXPECT_EQ(o->from, o->to);
+  EXPECT_EQ(ssm.current_name(), "parking_with_driver");
+}
+
+TEST(Ssm, UnknownEventIsEinval) {
+  auto ssm = *SituationStateMachine::build(fig2_policy());
+  EXPECT_EQ(ssm.deliver("martian_invasion").error(), Errno::einval);
+}
+
+TEST(Ssm, StatisticsCount) {
+  auto ssm = *SituationStateMachine::build(fig2_policy());
+  (void)ssm.deliver("start_driving");   // transition
+  (void)ssm.deliver("start_driving");   // no match from driving
+  (void)ssm.deliver("stop_driving");    // transition
+  EXPECT_EQ(ssm.events_delivered(), 3u);
+  EXPECT_EQ(ssm.transitions_taken(), 2u);
+}
+
+TEST(Ssm, ResetReturnsToInitial) {
+  auto ssm = *SituationStateMachine::build(fig2_policy());
+  (void)ssm.deliver("start_driving");
+  ssm.reset();
+  EXPECT_EQ(ssm.current_name(), "parking_with_driver");
+  EXPECT_EQ(ssm.events_delivered(), 0u);
+}
+
+TEST(Ssm, BuildRejectsBrokenPolicies) {
+  SackPolicy empty;
+  EXPECT_FALSE(SituationStateMachine::build(empty).ok());
+
+  PolicyBuilder nondet;
+  nondet.state("a", 0).state("b", 1).state("c", 2).initial("a");
+  nondet.transition("a", "e", "b").transition("a", "e", "c");
+  EXPECT_FALSE(SituationStateMachine::build(nondet.build()).ok());
+
+  PolicyBuilder bad_initial;
+  bad_initial.state("a", 0).initial("ghost");
+  EXPECT_FALSE(SituationStateMachine::build(bad_initial.build()).ok());
+}
+
+TEST(Ssm, SelfLoopDoesNotCountAsTransition) {
+  PolicyBuilder b;
+  b.state("a", 0).initial("a").transition("a", "ping", "a");
+  auto ssm = *SituationStateMachine::build(b.build());
+  auto o = ssm.deliver("ping");
+  ASSERT_TRUE(o.ok());
+  EXPECT_FALSE(o->transitioned);
+  EXPECT_EQ(ssm.transitions_taken(), 0u);
+}
+
+TEST(Ssm, InternedIdsRoundTrip) {
+  auto ssm = *SituationStateMachine::build(fig2_policy());
+  auto sid = ssm.state_id("driving");
+  ASSERT_TRUE(sid.ok());
+  EXPECT_EQ(ssm.state_name(*sid), "driving");
+  EXPECT_EQ(ssm.encoding(*sid), 2);
+  auto eid = ssm.event_id("crash_detected");
+  ASSERT_TRUE(eid.ok());
+  EXPECT_EQ(ssm.event_name(*eid), "crash_detected");
+  EXPECT_FALSE(ssm.state_id("nope").ok());
+}
+
+// Property: in a ring SSM, delivering "advance" k times lands on state k % n,
+// for any n — the deterministic-model check used by Fig 3(a)'s policies.
+class SsmRingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsmRingProperty, AdvanceWalksTheRing) {
+  int n = GetParam();
+  auto policy = simbench::sack_policy_with_states(n);
+  auto ssm = *SituationStateMachine::build(policy);
+  Rng rng(static_cast<std::uint64_t>(n));
+  int expected = 0;
+  for (int step = 0; step < 200; ++step) {
+    int hops = static_cast<int>(rng.below(5)) + 1;
+    for (int h = 0; h < hops; ++h) (void)ssm.deliver("advance");
+    expected = (expected + hops) % n;
+    EXPECT_EQ(ssm.current_name(), "s" + std::to_string(expected));
+    EXPECT_EQ(ssm.current_encoding(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, SsmRingProperty,
+                         ::testing::Values(2, 3, 10, 50, 100));
+
+}  // namespace
+}  // namespace sack::core

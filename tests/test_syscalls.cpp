@@ -1,0 +1,498 @@
+// Syscall surface: files, fds, pipes, sockets, mmap, process lifecycle.
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.h"
+#include "kernel/process.h"
+
+namespace sack::kernel {
+namespace {
+
+class SyscallTest : public ::testing::Test {
+ protected:
+  Kernel kernel_;
+  Task& root() { return kernel_.init_task(); }
+  Process proc() { return {kernel_, root()}; }
+};
+
+TEST_F(SyscallTest, OpenCreateWriteReadClose) {
+  auto p = proc();
+  Fd fd = *p.open("/tmp/f.txt", OpenFlags::write | OpenFlags::create);
+  EXPECT_EQ(*p.write(fd, "hello world"), 11u);
+  ASSERT_TRUE(p.close(fd).ok());
+
+  auto content = p.read_file("/tmp/f.txt");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello world");
+}
+
+TEST_F(SyscallTest, OpenMissingWithoutCreateFails) {
+  EXPECT_EQ(proc().open("/tmp/missing", OpenFlags::read).error(),
+            Errno::enoent);
+}
+
+TEST_F(SyscallTest, OpenExclFailsIfExists) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/f", "x").ok());
+  EXPECT_EQ(p.open("/tmp/f",
+                   OpenFlags::write | OpenFlags::create | OpenFlags::excl)
+                .error(),
+            Errno::eexist);
+}
+
+TEST_F(SyscallTest, TruncateOnOpen) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/f", "0123456789").ok());
+  Fd fd = *p.open("/tmp/f", OpenFlags::write | OpenFlags::trunc);
+  ASSERT_TRUE(p.close(fd).ok());
+  EXPECT_EQ(*p.read_file("/tmp/f"), "");
+}
+
+TEST_F(SyscallTest, AppendAlwaysWritesAtEnd) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/log", "one\n").ok());
+  Fd fd = *p.open("/tmp/log", OpenFlags::write | OpenFlags::append);
+  EXPECT_EQ(*p.write(fd, "two\n"), 4u);
+  ASSERT_TRUE(p.close(fd).ok());
+  EXPECT_EQ(*p.read_file("/tmp/log"), "one\ntwo\n");
+}
+
+TEST_F(SyscallTest, LseekAndPartialReads) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/f", "abcdefgh").ok());
+  Fd fd = *p.open("/tmp/f", OpenFlags::read);
+  ASSERT_TRUE(kernel_.sys_lseek(root(), fd, 4, Whence::set).ok());
+  std::string out;
+  EXPECT_EQ(*p.read(fd, out, 2), 2u);
+  EXPECT_EQ(out, "ef");
+  EXPECT_EQ(*kernel_.sys_lseek(root(), fd, 0, Whence::cur), 6u);
+  EXPECT_EQ(*kernel_.sys_lseek(root(), fd, -1, Whence::end), 7u);
+  EXPECT_EQ(kernel_.sys_lseek(root(), fd, -100, Whence::set).error(),
+            Errno::einval);
+  ASSERT_TRUE(p.close(fd).ok());
+}
+
+TEST_F(SyscallTest, ReadOnWriteOnlyFdFails) {
+  auto p = proc();
+  Fd fd = *p.open("/tmp/f", OpenFlags::write | OpenFlags::create);
+  std::string out;
+  EXPECT_EQ(p.read(fd, out, 4).error(), Errno::ebadf);
+  ASSERT_TRUE(p.close(fd).ok());
+}
+
+TEST_F(SyscallTest, BadFdEverywhere) {
+  std::string out;
+  EXPECT_EQ(proc().close(Fd(99)).error(), Errno::ebadf);
+  EXPECT_EQ(proc().read(Fd(99), out, 1).error(), Errno::ebadf);
+  EXPECT_EQ(proc().write(Fd(99), "x").error(), Errno::ebadf);
+  EXPECT_EQ(kernel_.sys_dup(root(), Fd(99)).error(), Errno::ebadf);
+}
+
+TEST_F(SyscallTest, DupSharesOffset) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/f", "abcdef").ok());
+  Fd a = *p.open("/tmp/f", OpenFlags::read);
+  Fd b = *kernel_.sys_dup(root(), a);
+  std::string out;
+  EXPECT_EQ(*p.read(a, out, 2), 2u);
+  EXPECT_EQ(*p.read(b, out, 2), 2u);
+  EXPECT_EQ(out, "cd");  // shared description, shared offset
+  ASSERT_TRUE(p.close(a).ok());
+  EXPECT_EQ(*p.read(b, out, 2), 2u);  // still open through b
+  ASSERT_TRUE(p.close(b).ok());
+}
+
+TEST_F(SyscallTest, StatReportsMetadata) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/f", "12345").ok());
+  auto st = p.stat("/tmp/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 5u);
+  EXPECT_EQ(st->type, InodeType::regular);
+  EXPECT_EQ(st->uid, 0);
+  auto dir = p.stat("/tmp");
+  ASSERT_TRUE(dir.ok());
+  EXPECT_EQ(dir->type, InodeType::directory);
+}
+
+TEST_F(SyscallTest, MkdirRmdirSemantics) {
+  auto p = proc();
+  ASSERT_TRUE(p.mkdir("/tmp/d").ok());
+  EXPECT_EQ(p.mkdir("/tmp/d").error(), Errno::eexist);
+  ASSERT_TRUE(p.write_file("/tmp/d/f", "x").ok());
+  EXPECT_EQ(kernel_.sys_rmdir(root(), "/tmp/d").error(), Errno::enotempty);
+  ASSERT_TRUE(p.unlink("/tmp/d/f").ok());
+  ASSERT_TRUE(kernel_.sys_rmdir(root(), "/tmp/d").ok());
+  EXPECT_EQ(p.stat("/tmp/d").error(), Errno::enoent);
+}
+
+TEST_F(SyscallTest, UnlinkDirectoryIsEisdir) {
+  ASSERT_TRUE(proc().mkdir("/tmp/d").ok());
+  EXPECT_EQ(proc().unlink("/tmp/d").error(), Errno::eisdir);
+}
+
+TEST_F(SyscallTest, RenameMovesAndReplaces) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/a", "A").ok());
+  ASSERT_TRUE(p.write_file("/tmp/b", "B").ok());
+  ASSERT_TRUE(kernel_.sys_rename(root(), "/tmp/a", "/tmp/b").ok());
+  EXPECT_EQ(p.stat("/tmp/a").error(), Errno::enoent);
+  EXPECT_EQ(*p.read_file("/tmp/b"), "A");
+}
+
+TEST_F(SyscallTest, RenameOntoItselfIsNoOp) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/same", "data").ok());
+  ASSERT_TRUE(kernel_.sys_rename(root(), "/tmp/same", "/tmp/same").ok());
+  auto st = p.stat("/tmp/same");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->nlink, 1u);  // regression: used to drop to 0
+  EXPECT_EQ(*p.read_file("/tmp/same"), "data");
+  // Also via a different spelling of the same path.
+  ASSERT_TRUE(kernel_.sys_rename(root(), "/tmp/../tmp/same", "/tmp/same").ok());
+  EXPECT_EQ(p.stat("/tmp/same")->nlink, 1u);
+}
+
+TEST_F(SyscallTest, RenameDirIntoOwnSubtreeRejected) {
+  auto p = proc();
+  ASSERT_TRUE(p.mkdir("/tmp/a").ok());
+  ASSERT_TRUE(p.mkdir("/tmp/a/b").ok());
+  EXPECT_EQ(kernel_.sys_rename(root(), "/tmp/a", "/tmp/a/b/c").error(),
+            Errno::einval);
+  EXPECT_EQ(kernel_.sys_rename(root(), "/tmp/a", "/tmp/a/self").error(),
+            Errno::einval);
+  // Renaming a directory sideways still works.
+  ASSERT_TRUE(kernel_.sys_rename(root(), "/tmp/a/b", "/tmp/b2").ok());
+  EXPECT_TRUE(p.stat("/tmp/b2").ok());
+}
+
+TEST_F(SyscallTest, ChmodChownTruncate) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/f", "0123456789").ok());
+  ASSERT_TRUE(kernel_.sys_chmod(root(), "/tmp/f", 0400).ok());
+  EXPECT_EQ(p.stat("/tmp/f")->mode, 0400);
+  ASSERT_TRUE(kernel_.sys_chown(root(), "/tmp/f", 1000, 1000).ok());
+  EXPECT_EQ(p.stat("/tmp/f")->uid, 1000);
+  ASSERT_TRUE(kernel_.sys_truncate(root(), "/tmp/f", 4).ok());
+  EXPECT_EQ(p.stat("/tmp/f")->size, 4u);
+}
+
+TEST_F(SyscallTest, ReaddirListsChildren) {
+  auto p = proc();
+  ASSERT_TRUE(p.mkdir("/tmp/dir").ok());
+  ASSERT_TRUE(p.write_file("/tmp/dir/one", "").ok());
+  ASSERT_TRUE(p.write_file("/tmp/dir/two", "").ok());
+  auto names = kernel_.sys_readdir(root(), "/tmp/dir");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 2u);
+}
+
+TEST_F(SyscallTest, HardLinkSharesInode) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/orig", "shared").ok());
+  ASSERT_TRUE(kernel_.sys_link(root(), "/tmp/orig", "/tmp/alias").ok());
+  EXPECT_EQ(p.stat("/tmp/orig")->nlink, 2u);
+  EXPECT_EQ(p.stat("/tmp/alias")->ino, p.stat("/tmp/orig")->ino);
+  // Writing through one name is visible through the other.
+  Fd fd = *p.open("/tmp/alias", OpenFlags::write | OpenFlags::append);
+  ASSERT_TRUE(p.write(fd, "!").ok());
+  ASSERT_TRUE(p.close(fd).ok());
+  EXPECT_EQ(*p.read_file("/tmp/orig"), "shared!");
+  // Unlinking one name keeps the other.
+  ASSERT_TRUE(p.unlink("/tmp/orig").ok());
+  EXPECT_EQ(*p.read_file("/tmp/alias"), "shared!");
+  EXPECT_EQ(p.stat("/tmp/alias")->nlink, 1u);
+}
+
+TEST_F(SyscallTest, HardLinkRestrictions) {
+  EXPECT_EQ(kernel_.sys_link(root(), "/tmp", "/tmp/dirlink").error(),
+            Errno::eperm);
+  ASSERT_TRUE(proc().write_file("/tmp/f", "x").ok());
+  EXPECT_EQ(kernel_.sys_link(root(), "/tmp/f", "/tmp/f").error(),
+            Errno::eexist);
+  EXPECT_EQ(kernel_.sys_link(root(), "/tmp/missing", "/tmp/l").error(),
+            Errno::enoent);
+}
+
+TEST_F(SyscallTest, SymlinkReadlink) {
+  ASSERT_TRUE(kernel_.sys_symlink(root(), "/etc", "/tmp/etclink").ok());
+  auto target = kernel_.sys_readlink(root(), "/tmp/etclink");
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, "/etc");
+}
+
+// --- pipes ---
+
+TEST_F(SyscallTest, PipeRoundTrip) {
+  auto [rfd, wfd] = *kernel_.sys_pipe(root());
+  EXPECT_EQ(*proc().write(wfd, "ping"), 4u);
+  std::string out;
+  EXPECT_EQ(*proc().read(rfd, out, 16), 4u);
+  EXPECT_EQ(out, "ping");
+}
+
+TEST_F(SyscallTest, PipeEmptyReadIsEagainThenEofAfterWriterCloses) {
+  auto [rfd, wfd] = *kernel_.sys_pipe(root());
+  std::string out;
+  EXPECT_EQ(proc().read(rfd, out, 4).error(), Errno::eagain);
+  ASSERT_TRUE(proc().close(wfd).ok());
+  EXPECT_EQ(*proc().read(rfd, out, 4), 0u);  // EOF
+}
+
+TEST_F(SyscallTest, PipeWriteAfterReaderClosesIsEpipe) {
+  auto [rfd, wfd] = *kernel_.sys_pipe(root());
+  ASSERT_TRUE(proc().close(rfd).ok());
+  EXPECT_EQ(proc().write(wfd, "x").error(), Errno::epipe);
+}
+
+TEST_F(SyscallTest, PipeCapacityBackpressure) {
+  auto [rfd, wfd] = *kernel_.sys_pipe(root());
+  std::string big(PipeBuffer::kCapacity + 100, 'x');
+  EXPECT_EQ(*proc().write(wfd, big), PipeBuffer::kCapacity);  // partial
+  EXPECT_EQ(proc().write(wfd, "y").error(), Errno::eagain);   // full
+  std::string out;
+  EXPECT_EQ(*proc().read(rfd, out, 4096), 4096u);
+  EXPECT_EQ(*proc().write(wfd, "y"), 1u);  // space again
+  (void)proc().close(rfd);
+  (void)proc().close(wfd);
+}
+
+TEST_F(SyscallTest, PipeRingWrapsCorrectly) {
+  // Drive the ring buffer through many partial wrap-arounds with an odd
+  // chunk size and verify byte-exact FIFO order.
+  auto [rfd, wfd] = *kernel_.sys_pipe(root());
+  std::string pattern;
+  for (int i = 0; i < 977; ++i) pattern += static_cast<char>('A' + i % 26);
+  std::string received;
+  std::string chunk;
+  std::size_t sent = 0;
+  for (int round = 0; round < 500; ++round) {
+    sent += *proc().write(wfd, pattern);
+    // Drain in odd-sized bites.
+    for (;;) {
+      auto n = proc().read(rfd, chunk, 613);
+      if (!n.ok() || *n == 0) break;
+      received += chunk;
+      if (*n < 613) break;
+    }
+  }
+  ASSERT_EQ(received.size(), sent);
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    ASSERT_EQ(received[i], pattern[i % pattern.size()]) << "at byte " << i;
+  }
+}
+
+TEST_F(SyscallTest, ListenBacklogLimitRefusesConnections) {
+  Fd listener = *kernel_.sys_socket(root(), SockFamily::inet,
+                                    SockType::stream);
+  ASSERT_TRUE(kernel_.sys_bind(root(), listener, SockAddr::in(9000)).ok());
+  ASSERT_TRUE(kernel_.sys_listen(root(), listener, 2).ok());
+  Fd c1 = *kernel_.sys_socket(root(), SockFamily::inet, SockType::stream);
+  Fd c2 = *kernel_.sys_socket(root(), SockFamily::inet, SockType::stream);
+  Fd c3 = *kernel_.sys_socket(root(), SockFamily::inet, SockType::stream);
+  ASSERT_TRUE(kernel_.sys_connect(root(), c1, SockAddr::in(9000)).ok());
+  ASSERT_TRUE(kernel_.sys_connect(root(), c2, SockAddr::in(9000)).ok());
+  EXPECT_EQ(kernel_.sys_connect(root(), c3, SockAddr::in(9000)).error(),
+            Errno::econnrefused);
+  // Accepting frees a slot.
+  ASSERT_TRUE(kernel_.sys_accept(root(), listener).ok());
+  EXPECT_TRUE(kernel_.sys_connect(root(), c3, SockAddr::in(9000)).ok());
+}
+
+// --- sockets ---
+
+TEST_F(SyscallTest, UnixSocketpairRoundTrip) {
+  auto [a, b] = *kernel_.sys_socketpair(root(), SockFamily::unix_);
+  EXPECT_EQ(*kernel_.sys_send(root(), a, "hello"), 5u);
+  std::string out;
+  EXPECT_EQ(*kernel_.sys_recv(root(), b, out, 16), 5u);
+  EXPECT_EQ(out, "hello");
+  // And the reverse direction.
+  EXPECT_EQ(*kernel_.sys_send(root(), b, "yo"), 2u);
+  EXPECT_EQ(*kernel_.sys_recv(root(), a, out, 16), 2u);
+}
+
+TEST_F(SyscallTest, TcpListenConnectAccept) {
+  Fd listener = *kernel_.sys_socket(root(), SockFamily::inet, SockType::stream);
+  ASSERT_TRUE(kernel_.sys_bind(root(), listener, SockAddr::in(8080)).ok());
+  ASSERT_TRUE(kernel_.sys_listen(root(), listener, 4).ok());
+
+  Fd client = *kernel_.sys_socket(root(), SockFamily::inet, SockType::stream);
+  ASSERT_TRUE(kernel_.sys_connect(root(), client, SockAddr::in(8080)).ok());
+  Fd server = *kernel_.sys_accept(root(), listener);
+
+  EXPECT_EQ(*kernel_.sys_send(root(), client, "GET /"), 5u);
+  std::string out;
+  EXPECT_EQ(*kernel_.sys_recv(root(), server, out, 64), 5u);
+}
+
+TEST_F(SyscallTest, ConnectToNothingRefused) {
+  Fd client = *kernel_.sys_socket(root(), SockFamily::inet, SockType::stream);
+  EXPECT_EQ(kernel_.sys_connect(root(), client, SockAddr::in(9999)).error(),
+            Errno::econnrefused);
+}
+
+TEST_F(SyscallTest, DoubleBindIsAddrInUse) {
+  Fd a = *kernel_.sys_socket(root(), SockFamily::inet, SockType::stream);
+  Fd b = *kernel_.sys_socket(root(), SockFamily::inet, SockType::stream);
+  ASSERT_TRUE(kernel_.sys_bind(root(), a, SockAddr::in(7000)).ok());
+  EXPECT_EQ(kernel_.sys_bind(root(), b, SockAddr::in(7000)).error(),
+            Errno::eaddrinuse);
+  // Closing the holder releases the address.
+  ASSERT_TRUE(proc().close(a).ok());
+  EXPECT_TRUE(kernel_.sys_bind(root(), b, SockAddr::in(7000)).ok());
+}
+
+TEST_F(SyscallTest, PrivilegedPortNeedsCapability) {
+  Task& user = kernel_.spawn_task("web", Cred::user(1000, 1000));
+  Fd s = *kernel_.sys_socket(user, SockFamily::inet, SockType::stream);
+  EXPECT_EQ(kernel_.sys_bind(user, s, SockAddr::in(80)).error(),
+            Errno::eacces);
+}
+
+// --- mmap ---
+
+TEST_F(SyscallTest, MmapReadsFileContents) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/f", "mapped contents").ok());
+  Fd fd = *p.open("/tmp/f", OpenFlags::read);
+  int id = *kernel_.sys_mmap(root(), fd, 1 << 16, AccessMask::read);
+  std::string out;
+  EXPECT_EQ(*kernel_.mmap_read(root(), id, out, 7, 8), 8u);
+  EXPECT_EQ(out, "contents");
+  ASSERT_TRUE(kernel_.sys_munmap(root(), id).ok());
+  EXPECT_EQ(kernel_.mmap_read(root(), id, out, 0, 1).error(), Errno::einval);
+}
+
+TEST_F(SyscallTest, MmapProtMustMatchOpenMode) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/f", "x").ok());
+  Fd fd = *p.open("/tmp/f", OpenFlags::read);
+  EXPECT_EQ(kernel_.sys_mmap(root(), fd, 4096, AccessMask::write).error(),
+            Errno::eacces);
+}
+
+TEST_F(SyscallTest, AnonymousMmap) {
+  int id = *kernel_.sys_mmap_anon(root(), 4096, AccessMask::read);
+  std::string out;
+  EXPECT_EQ(*kernel_.mmap_read(root(), id, out, 0, 16), 16u);
+  EXPECT_EQ(out, std::string(16, '\0'));
+}
+
+// --- processes ---
+
+TEST_F(SyscallTest, ForkExitWait) {
+  Pid child_pid = *kernel_.sys_fork(root());
+  Task& child = kernel_.task(child_pid).value();
+  EXPECT_EQ(child.ppid(), root().pid());
+  EXPECT_EQ(child.comm(), root().comm());
+  kernel_.sys_exit(child, 7);
+  EXPECT_EQ(*kernel_.sys_waitpid(root(), child_pid), 7);
+  EXPECT_EQ(kernel_.task(child_pid).error(), Errno::esrch);  // reaped
+}
+
+TEST_F(SyscallTest, WaitForRunningChildIsEagain) {
+  Pid child_pid = *kernel_.sys_fork(root());
+  EXPECT_EQ(kernel_.sys_waitpid(root(), child_pid).error(), Errno::eagain);
+}
+
+TEST_F(SyscallTest, WaitForNonChildIsEchild) {
+  Task& stranger = kernel_.spawn_task("other", Cred::root());
+  Pid grandchild = *kernel_.sys_fork(stranger);
+  EXPECT_EQ(kernel_.sys_waitpid(root(), grandchild).error(), Errno::echild);
+}
+
+TEST_F(SyscallTest, ForkInheritsOpenFiles) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/f", "shared").ok());
+  Fd fd = *p.open("/tmp/f", OpenFlags::read);
+  Pid child_pid = *kernel_.sys_fork(root());
+  Task& child = kernel_.task(child_pid).value();
+  std::string out;
+  EXPECT_EQ(*kernel_.sys_read(child, fd, out, 3), 3u);
+  EXPECT_EQ(out, "sha");
+  // Offset is shared with the parent (same open file description).
+  EXPECT_EQ(*kernel_.sys_read(root(), fd, out, 3), 3u);
+  EXPECT_EQ(out, "red");
+}
+
+TEST_F(SyscallTest, ExecReplacesImageAndDropsCloexec) {
+  Process p(kernel_, root());
+  ASSERT_TRUE(p.write_file("/usr/bin/newprog", "ELF").ok());
+  ASSERT_TRUE(kernel_.sys_chmod(root(), "/usr/bin/newprog", 0755).ok());
+
+  Fd keep = *p.open("/tmp/keep", OpenFlags::write | OpenFlags::create);
+  Fd gone = *p.open("/tmp/gone", OpenFlags::write | OpenFlags::create |
+                                     OpenFlags::cloexec);
+  ASSERT_TRUE(kernel_.sys_execve(root(), "/usr/bin/newprog").ok());
+  EXPECT_EQ(root().exe_path(), "/usr/bin/newprog");
+  EXPECT_EQ(root().comm(), "newprog");
+  EXPECT_TRUE(root().fds().get(keep).ok());
+  EXPECT_EQ(root().fds().get(gone).error(), Errno::ebadf);
+}
+
+TEST_F(SyscallTest, ExecNonExecutableFails) {
+  Process p(kernel_, root());
+  ASSERT_TRUE(p.write_file("/tmp/script", "#!").ok());
+  ASSERT_TRUE(kernel_.sys_chmod(root(), "/tmp/script", 0644).ok());
+  EXPECT_EQ(kernel_.sys_execve(root(), "/tmp/script").error(), Errno::eacces);
+  EXPECT_EQ(kernel_.sys_execve(root(), "/tmp").error(), Errno::eisdir);
+}
+
+TEST_F(SyscallTest, SyscallCounterAdvances) {
+  auto before = kernel_.syscall_count();
+  kernel_.sys_nop(root());
+  kernel_.sys_nop(root());
+  EXPECT_EQ(kernel_.syscall_count(), before + 2);
+}
+
+TEST_F(SyscallTest, ChdirChangesRelativeBase) {
+  ASSERT_TRUE(proc().mkdir("/tmp/wd").ok());
+  ASSERT_TRUE(proc().write_file("/tmp/wd/f", "x").ok());
+  ASSERT_TRUE(kernel_.sys_chdir(root(), "/tmp/wd").ok());
+  EXPECT_EQ(root().cwd(), "/tmp/wd");
+  EXPECT_TRUE(proc().stat("f").ok());
+  EXPECT_EQ(kernel_.sys_chdir(root(), "/tmp/wd/f").error(), Errno::enotdir);
+}
+
+// --- char devices ---
+
+class EchoDevice : public DeviceOps {
+ public:
+  std::string_view device_name() const override { return "echo"; }
+  Result<std::size_t> write(Task&, File&, std::string_view data) override {
+    last = std::string(data);
+    return data.size();
+  }
+  Result<std::size_t> read(Task&, File&, std::string& out,
+                           std::size_t) override {
+    out = last;
+    return out.size();
+  }
+  Result<long> ioctl(Task&, File&, std::uint32_t cmd, long arg) override {
+    return cmd == 1 ? Result<long>(arg * 2) : Result<long>(Errno::einval);
+  }
+  std::string last;
+};
+
+TEST_F(SyscallTest, CharDeviceDispatch) {
+  EchoDevice dev;
+  ASSERT_TRUE(kernel_.register_chardev("/dev/echo", &dev).ok());
+  auto p = proc();
+  Fd fd = *p.open("/dev/echo", OpenFlags::rdwr);
+  EXPECT_EQ(*p.write(fd, "abc"), 3u);
+  std::string out;
+  EXPECT_EQ(*p.read(fd, out, 16), 3u);
+  EXPECT_EQ(out, "abc");
+  EXPECT_EQ(*p.ioctl(fd, 1, 21), 42);
+  EXPECT_EQ(p.ioctl(fd, 9, 0).error(), Errno::einval);
+}
+
+TEST_F(SyscallTest, IoctlOnRegularFileIsEnotty) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/f", "x").ok());
+  Fd fd = *p.open("/tmp/f", OpenFlags::read);
+  EXPECT_EQ(p.ioctl(fd, 1, 0).error(), Errno::enotty);
+}
+
+}  // namespace
+}  // namespace sack::kernel

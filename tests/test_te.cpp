@@ -1,0 +1,324 @@
+// Type-enforcement module: parser, labeling, domains, enforcement, and
+// coexistence with SACK in the LSM stack.
+#include <gtest/gtest.h>
+
+#include "core/sack_module.h"
+#include "kernel/process.h"
+#include "te/te_module.h"
+
+namespace sack::te {
+namespace {
+
+using kernel::Cred;
+using kernel::Kernel;
+using kernel::OpenFlags;
+using kernel::Process;
+using kernel::Task;
+
+// A do-nothing char device so /dev/audio really is a chardev-class object.
+class NullAudioDevice : public kernel::DeviceOps {
+ public:
+  std::string_view device_name() const override { return "null-audio"; }
+  Result<std::size_t> write(Task&, kernel::File&,
+                            std::string_view data) override {
+    return data.size();
+  }
+  Result<long> ioctl(Task&, kernel::File&, std::uint32_t, long) override {
+    return 0;
+  }
+};
+
+NullAudioDevice& audio_device() {
+  static NullAudioDevice device;
+  return device;
+}
+
+constexpr std::string_view kPolicy = R"(
+# media player domain
+type media_t;
+type media_exec_t;
+type media_file_t;
+type audio_dev_t;
+type secret_t;
+
+allow media_t media_file_t : file { read getattr };
+allow media_t audio_dev_t : chardev { write ioctl };
+allow media_t media_exec_t : file { execute getattr };
+
+domain_transition unconfined_t media_exec_t media_t;
+
+filecon /usr/bin/media_app media_exec_t;
+filecon /var/media/** media_file_t;
+filecon /dev/audio audio_dev_t;
+filecon /etc/secret secret_t;
+)";
+
+// --- parser ---
+
+TEST(TeParser, ParsesFullPolicy) {
+  auto result = parse_te_policy(kPolicy);
+  ASSERT_TRUE(result.ok()) << result.errors[0].to_string();
+  const TePolicy& p = result.policy;
+  EXPECT_EQ(p.types.size(), 5u);
+  ASSERT_EQ(p.rules.size(), 3u);
+  EXPECT_EQ(p.rules[0].source, "media_t");
+  EXPECT_EQ(p.rules[0].cls, TeClass::file);
+  EXPECT_TRUE(has_all(p.rules[0].perms, TePerm::read | TePerm::getattr));
+  ASSERT_EQ(p.transitions.size(), 1u);
+  EXPECT_EQ(p.transitions[0].target_domain, "media_t");
+  EXPECT_EQ(p.file_contexts.size(), 4u);
+  EXPECT_EQ(p.default_domain, "unconfined_t");
+}
+
+TEST(TeParser, RejectsUnknownClassAndPerm) {
+  EXPECT_FALSE(parse_te_policy("type a; allow a a : widget { read };").ok());
+  EXPECT_FALSE(parse_te_policy("type a; allow a a : file { fly };").ok());
+  EXPECT_FALSE(parse_te_policy("type a; allow a a : file { };").ok());
+}
+
+TEST(TeChecker, FlagsUndefinedTypes) {
+  auto result = parse_te_policy("type a; allow a ghost_t : file { read };");
+  ASSERT_TRUE(result.ok());
+  auto problems = check_te_policy(result.policy);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("ghost_t"), std::string::npos);
+}
+
+// --- module ---
+
+class TeModuleTest : public ::testing::Test {
+ protected:
+  TeModuleTest() {
+    te_ = static_cast<TeModule*>(
+        kernel_.add_lsm(std::make_unique<TeModule>()));
+    kernel_.vfs().mkdir_p("/var/media");
+    Process admin(kernel_, kernel_.init_task());
+    EXPECT_TRUE(admin.write_file("/usr/bin/media_app", "ELF").ok());
+    EXPECT_TRUE(
+        kernel_.sys_chmod(kernel_.init_task(), "/usr/bin/media_app", 0755)
+            .ok());
+    EXPECT_TRUE(admin.write_file("/var/media/track.pcm", "DATA").ok());
+    EXPECT_TRUE(kernel_.register_chardev("/dev/audio", &audio_device()).ok());
+    EXPECT_TRUE(admin.write_file("/etc/secret", "s3cret").ok());
+    EXPECT_TRUE(te_->load_policy_text(kPolicy).ok());
+  }
+
+  Task& media() {
+    if (!media_) {
+      media_ = &kernel_.spawn_task("sh", Cred::root(), "/bin/sh");
+      // Enter the media domain by exec'ing the labeled binary.
+      EXPECT_TRUE(kernel_.sys_execve(*media_, "/usr/bin/media_app").ok());
+    }
+    return *media_;
+  }
+
+  Kernel kernel_;
+  TeModule* te_ = nullptr;
+  Task* media_ = nullptr;
+};
+
+TEST_F(TeModuleTest, DomainTransitionOnExec) {
+  EXPECT_EQ(te_->domain_of(kernel_.init_task()), "unconfined_t");
+  EXPECT_EQ(te_->domain_of(media()), "media_t");
+}
+
+TEST_F(TeModuleTest, AllowRulesGrantExactly) {
+  Process p(kernel_, media());
+  EXPECT_TRUE(p.read_file("/var/media/track.pcm").ok());
+  // No write permission on media_file_t.
+  EXPECT_EQ(p.open("/var/media/track.pcm", OpenFlags::write).error(),
+            Errno::eacces);
+  // audio_dev_t: write+ioctl allowed, read not.
+  EXPECT_TRUE(p.open("/dev/audio", OpenFlags::write).ok());
+  EXPECT_EQ(p.open("/dev/audio", OpenFlags::read).error(), Errno::eacces);
+  // Unrelated labels: denied.
+  EXPECT_EQ(p.open("/etc/secret", OpenFlags::read).error(), Errno::eacces);
+  EXPECT_GT(te_->denial_count(), 0u);
+}
+
+TEST_F(TeModuleTest, UnconfinedDomainBypasses) {
+  Process p(kernel_, kernel_.init_task());
+  EXPECT_TRUE(p.read_file("/etc/secret").ok());
+}
+
+TEST_F(TeModuleTest, DomainInheritedOnFork) {
+  Pid child = *kernel_.sys_fork(media());
+  EXPECT_EQ(te_->domain_of(kernel_.task(child).value()), "media_t");
+}
+
+TEST_F(TeModuleTest, LabelsCachedAndRelabeledOnReload) {
+  Process p(kernel_, media());
+  EXPECT_TRUE(p.read_file("/var/media/track.pcm").ok());
+  // Reload with the media tree relabeled as secret: access must flip.
+  std::string flipped(kPolicy);
+  flipped += "\nfilecon /var/media/** secret_t;\n";
+  ASSERT_TRUE(te_->load_policy_text(flipped).ok());
+  EXPECT_EQ(p.open("/var/media/track.pcm", OpenFlags::read).error(),
+            Errno::eacces);
+}
+
+TEST_F(TeModuleTest, ExecIntoUnlabeledBinaryDeniedForConfined) {
+  Process admin(kernel_, kernel_.init_task());
+  ASSERT_TRUE(admin.write_file("/usr/bin/other", "ELF").ok());
+  ASSERT_TRUE(
+      kernel_.sys_chmod(kernel_.init_task(), "/usr/bin/other", 0755).ok());
+  EXPECT_EQ(kernel_.sys_execve(media(), "/usr/bin/other").error(),
+            Errno::eacces);
+}
+
+TEST_F(TeModuleTest, PolicyLoadViaSecurityfsNeedsMacAdmin) {
+  Task& user = kernel_.spawn_task("user", Cred::user(1000, 1000));
+  user.cred().caps.add(kernel::Capability::dac_override);
+  Process up(kernel_, user);
+  EXPECT_EQ(up.write_existing("/sys/kernel/security/setype/policy",
+                              "type x;")
+                .error(),
+            Errno::eperm);
+  Process admin(kernel_, kernel_.init_task());
+  EXPECT_TRUE(admin
+                  .write_existing("/sys/kernel/security/setype/policy",
+                                  std::string(kPolicy))
+                  .ok());
+}
+
+// --- booleans (conditional policy, the pre-SACK adaptation mechanism) ---
+
+constexpr std::string_view kBooleanPolicy = R"(
+type rescue_t;
+type rescue_exec_t;
+type door_dev_t;
+bool emergency_mode false;
+allow rescue_t rescue_exec_t : file { execute getattr };
+if emergency_mode {
+  allow rescue_t door_dev_t : chardev { write ioctl };
+}
+domain_transition unconfined_t rescue_exec_t rescue_t;
+filecon /usr/bin/rescued rescue_exec_t;
+filecon /dev/door door_dev_t;
+)";
+
+class TeBooleanTest : public ::testing::Test {
+ protected:
+  TeBooleanTest() {
+    te_ = static_cast<TeModule*>(
+        kernel_.add_lsm(std::make_unique<TeModule>()));
+    Process admin(kernel_, kernel_.init_task());
+    EXPECT_TRUE(admin.write_file("/usr/bin/rescued", "ELF").ok());
+    EXPECT_TRUE(
+        kernel_.sys_chmod(kernel_.init_task(), "/usr/bin/rescued", 0755).ok());
+    EXPECT_TRUE(kernel_.register_chardev("/dev/door", &audio_device()).ok());
+    EXPECT_TRUE(te_->load_policy_text(kBooleanPolicy).ok());
+    rescue_ = &kernel_.spawn_task("sh", Cred::root(), "/bin/sh");
+    EXPECT_TRUE(kernel_.sys_execve(*rescue_, "/usr/bin/rescued").ok());
+  }
+
+  Kernel kernel_;
+  TeModule* te_ = nullptr;
+  Task* rescue_ = nullptr;
+};
+
+TEST_F(TeBooleanTest, ConditionalRuleFollowsBoolean) {
+  Process p(kernel_, *rescue_);
+  EXPECT_EQ(p.open("/dev/door", OpenFlags::write).error(), Errno::eacces);
+  ASSERT_TRUE(te_->set_boolean("emergency_mode", true).ok());
+  EXPECT_TRUE(p.open("/dev/door", OpenFlags::write).ok());
+  ASSERT_TRUE(te_->set_boolean("emergency_mode", false).ok());
+  EXPECT_EQ(p.open("/dev/door", OpenFlags::write).error(), Errno::eacces);
+}
+
+TEST_F(TeBooleanTest, SecurityfsBooleanInterface) {
+  Process admin(kernel_, kernel_.init_task());
+  EXPECT_EQ(*admin.read_file("/sys/kernel/security/setype/booleans"),
+            "emergency_mode 0\n");
+  ASSERT_TRUE(admin
+                  .write_existing("/sys/kernel/security/setype/booleans",
+                                  "emergency_mode 1")
+                  .ok());
+  EXPECT_EQ(*te_->get_boolean("emergency_mode"), true);
+  EXPECT_EQ(admin
+                .write_existing("/sys/kernel/security/setype/booleans",
+                                "no_such_bool 1")
+                .error(),
+            Errno::enoent);
+  EXPECT_EQ(admin
+                .write_existing("/sys/kernel/security/setype/booleans",
+                                "emergency_mode maybe")
+                .error(),
+            Errno::einval);
+}
+
+TEST_F(TeBooleanTest, UndeclaredConditionRejectedAtLoad) {
+  EXPECT_FALSE(te_->load_policy_text(R"(
+type a_t;
+if ghost_bool { allow a_t a_t : file { read }; }
+)")
+                   .ok());
+}
+
+TEST_F(TeBooleanTest, BooleanFlipDoesNotRevokeOpenFds) {
+  // The design gap SACK closes: TE booleans change future decisions but a
+  // kept-open fd retains access (no file_permission revalidation), whereas
+  // SACK's generation bump revokes in-flight fds on situation change
+  // (SackModuleTest.OpenFdRevokedOnTransition).
+  ASSERT_TRUE(te_->set_boolean("emergency_mode", true).ok());
+  Process p(kernel_, *rescue_);
+  auto fd = p.open("/dev/door", OpenFlags::write);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(te_->set_boolean("emergency_mode", false).ok());
+  EXPECT_TRUE(p.write(*fd, "unlock").ok());  // still allowed: the gap
+  EXPECT_EQ(p.open("/dev/door", OpenFlags::write).error(), Errno::eacces);
+}
+
+// --- SACK + TE coexistence (generalizes the paper's §IV-D claim) ---
+
+TEST(TeWithSack, StackedEnforcementIsConjunction) {
+  Kernel kernel;
+  auto* sack_module = static_cast<core::SackModule*>(kernel.add_lsm(
+      std::make_unique<core::SackModule>(core::SackMode::independent)));
+  auto* te = static_cast<TeModule*>(
+      kernel.add_lsm(std::make_unique<TeModule>()));
+
+  kernel.vfs().mkdir_p("/var/media");
+  Process admin(kernel, kernel.init_task());
+  ASSERT_TRUE(admin.write_file("/usr/bin/media_app", "ELF").ok());
+  ASSERT_TRUE(
+      kernel.sys_chmod(kernel.init_task(), "/usr/bin/media_app", 0755).ok());
+  ASSERT_TRUE(admin.write_file("/var/media/track.pcm", "DATA").ok());
+  ASSERT_TRUE(kernel.register_chardev("/dev/audio", &audio_device()).ok());
+
+  ASSERT_TRUE(te->load_policy_text(kPolicy).ok());
+  ASSERT_TRUE(sack_module->load_policy_text(R"(
+states { normal = 0; driving = 1; }
+initial normal;
+transitions { normal -> driving on start_driving;
+              driving -> normal on stop_driving; }
+permissions { MEDIA; }
+state_per { normal: MEDIA; }
+per_rules { MEDIA { allow * /var/media/** read getattr; } }
+)")
+                  .ok());
+
+  Task& task = kernel.spawn_task("sh", Cred::root(), "/bin/sh");
+  ASSERT_TRUE(kernel.sys_execve(task, "/usr/bin/media_app").ok());
+  Process p(kernel, task);
+
+  // normal: both modules allow reads.
+  EXPECT_TRUE(p.read_file("/var/media/track.pcm").ok());
+  // TE allows audio writes, but SACK guards nothing there -> allowed.
+  EXPECT_TRUE(p.open("/dev/audio", OpenFlags::write).ok());
+
+  // driving: SACK retracts MEDIA -> denied even though TE still allows.
+  ASSERT_TRUE(sack_module->deliver_event("start_driving").ok());
+  EXPECT_EQ(p.open("/var/media/track.pcm", OpenFlags::read).error(),
+            Errno::eacces);
+
+  // back to normal: SACK allows again; TE still vetoes what it never
+  // allowed (writes to media files), proving deny-wins conjunction.
+  ASSERT_TRUE(sack_module->deliver_event("stop_driving").ok());
+  EXPECT_TRUE(p.read_file("/var/media/track.pcm").ok());
+  EXPECT_EQ(p.open("/var/media/track.pcm", OpenFlags::write).error(),
+            Errno::eacces);
+}
+
+}  // namespace
+}  // namespace sack::te

@@ -1,0 +1,159 @@
+// Timed (dwell-time) situation transitions — the fail-safe extension:
+// "emergency auto-reverts after N ms even if the SDS never clears it".
+#include <gtest/gtest.h>
+
+#include "core/policy_builder.h"
+#include "core/policy_checker.h"
+#include "core/policy_parser.h"
+#include "core/sack_module.h"
+#include "core/ssm.h"
+#include "kernel/process.h"
+
+namespace sack::core {
+namespace {
+
+using kernel::Cred;
+using kernel::Kernel;
+using kernel::OpenFlags;
+using kernel::Process;
+using kernel::Task;
+
+SackPolicy failsafe_policy() {
+  PolicyBuilder b;
+  b.state("normal", 0)
+      .state("emergency", 1)
+      .initial("normal")
+      .transition("normal", "crash_detected", "emergency")
+      .transition("emergency", "emergency_cleared", "normal")
+      .timed_transition("emergency", 30'000, "normal")
+      .permission("DOORS")
+      .grant("emergency", "DOORS")
+      .allow("DOORS", "*", "/dev/door", MacOp::write | MacOp::ioctl);
+  return b.build();
+}
+
+TEST(TimedTransitions, ParserAcceptsAfterSyntax) {
+  auto parsed = parse_policy(R"(
+states { a = 0; b = 1; }
+initial a;
+transitions {
+  a -> b on go;
+  b -> a after 5000;
+}
+)");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.policy.timed_transitions.size(), 1u);
+  EXPECT_EQ(parsed.policy.timed_transitions[0].from, "b");
+  EXPECT_EQ(parsed.policy.timed_transitions[0].after_ms, 5000);
+  EXPECT_EQ(parsed.policy.timed_transitions[0].to, "a");
+  // Round-trips through the canonical dump.
+  auto again = parse_policy(parsed.policy.to_text());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.policy.timed_transitions.size(), 1u);
+}
+
+TEST(TimedTransitions, CheckerValidates) {
+  PolicyBuilder b;
+  b.state("a", 0).initial("a");
+  b.timed_transition("a", 100, "ghost");
+  EXPECT_TRUE(has_errors(check_policy(b.build())));
+
+  PolicyBuilder dup;
+  dup.state("a", 0).state("b", 1).state("c", 2).initial("a");
+  dup.timed_transition("a", 100, "b").timed_transition("a", 200, "c");
+  EXPECT_TRUE(has_errors(check_policy(dup.build())));
+
+  PolicyBuilder nonpos;
+  nonpos.state("a", 0).state("b", 1).initial("a");
+  nonpos.timed_transition("a", 0, "b");
+  EXPECT_TRUE(has_errors(check_policy(nonpos.build())));
+
+  // Reachability counts timed edges: 'b' reachable only via the timer.
+  PolicyBuilder reach;
+  reach.state("a", 0).state("b", 1).initial("a");
+  reach.timed_transition("a", 100, "b");
+  EXPECT_FALSE(has_errors(check_policy(reach.build())));
+  for (const auto& d : check_policy(reach.build()))
+    EXPECT_NE(d.code, CheckCode::unreachable_state);
+}
+
+TEST(TimedTransitions, SsmTickFiresAfterDwell) {
+  auto ssm = *SituationStateMachine::build(failsafe_policy());
+  ASSERT_TRUE(ssm.deliver("crash_detected", /*now=*/1'000'000).ok());
+  EXPECT_EQ(ssm.current_name(), "emergency");
+
+  // Not yet: 29.999 s after entry.
+  auto o1 = ssm.tick(1'000'000 + 29'999'000'000LL);
+  EXPECT_FALSE(o1.transitioned);
+  EXPECT_EQ(ssm.current_name(), "emergency");
+
+  auto o2 = ssm.tick(1'000'000 + 30'000'000'000LL);
+  EXPECT_TRUE(o2.transitioned);
+  EXPECT_EQ(ssm.current_name(), "normal");
+  // No timed rule in 'normal': further ticks are no-ops.
+  EXPECT_FALSE(ssm.tick(1'000'000'000'000'000'000LL).transitioned);
+}
+
+TEST(TimedTransitions, EventTransitionResetsDwellClock) {
+  auto ssm = *SituationStateMachine::build(failsafe_policy());
+  (void)ssm.deliver("crash_detected", 0);
+  (void)ssm.deliver("emergency_cleared", 10'000'000'000LL);
+  // Re-enter the emergency late; the timeout counts from the re-entry.
+  (void)ssm.deliver("crash_detected", 50'000'000'000LL);
+  EXPECT_FALSE(ssm.tick(60'000'000'000LL).transitioned);   // 10 s in
+  EXPECT_TRUE(ssm.tick(80'000'000'000LL).transitioned);    // 30 s in
+}
+
+TEST(TimedTransitions, KernelClockDrivesFailsafe) {
+  Kernel kernel;
+  auto* sack_module = static_cast<SackModule*>(kernel.add_lsm(
+      std::make_unique<SackModule>(SackMode::independent)));
+  Process admin(kernel, kernel.init_task());
+  ASSERT_TRUE(admin.write_file("/dev/door", "").ok());
+  ASSERT_TRUE(sack_module->load_policy(failsafe_policy()).ok());
+
+  Task& rescue = kernel.spawn_task("rescue", Cred::root(), "/usr/bin/rescue");
+  Process p(kernel, rescue);
+
+  ASSERT_TRUE(sack_module->deliver_event("crash_detected").ok());
+  EXPECT_TRUE(p.open("/dev/door", OpenFlags::write).ok());
+
+  // The SDS dies; nobody sends emergency_cleared. Time passes.
+  kernel.advance_clock_ms(29'999);
+  EXPECT_EQ(sack_module->current_state_name(), "emergency");
+  kernel.advance_clock_ms(2);
+  EXPECT_EQ(sack_module->current_state_name(), "normal");
+  // The fail-safe revoked the emergency permissions.
+  EXPECT_EQ(p.open("/dev/door", OpenFlags::write).error(), Errno::eacces);
+
+  // And it is audited as a timeout transition.
+  bool found = false;
+  for (const auto& r : kernel.audit().records()) {
+    if (r.operation == "transition:timeout") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TimedTransitions, SackfsLoadedPolicyWorksToo) {
+  Kernel kernel;
+  auto* sack_module = static_cast<SackModule*>(kernel.add_lsm(
+      std::make_unique<SackModule>(SackMode::independent)));
+  Process admin(kernel, kernel.init_task());
+  ASSERT_TRUE(admin.write_existing("/sys/kernel/security/SACK/policy/load",
+                                   R"(
+states { quiet = 0; loud = 1; }
+initial quiet;
+transitions {
+  quiet -> loud on party_started;
+  loud -> quiet after 1000;
+}
+)")
+                  .ok());
+  ASSERT_TRUE(sack_module->deliver_event("party_started").ok());
+  EXPECT_EQ(sack_module->current_state_name(), "loud");
+  kernel.advance_clock_ms(1001);
+  EXPECT_EQ(sack_module->current_state_name(), "quiet");
+}
+
+}  // namespace
+}  // namespace sack::core

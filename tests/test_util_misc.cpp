@@ -1,0 +1,172 @@
+// Result<T>, strings, tokenizer, bitmask, rng, clock.
+#include <gtest/gtest.h>
+
+#include "kernel/types.h"
+#include "util/bitmask.h"
+#include "util/clock.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/tokenizer.h"
+
+namespace sack {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.error(), Errno::ok);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Errno::enoent;
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Errno::enoent);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, VoidSpecialization) {
+  VoidResult ok;
+  EXPECT_TRUE(ok.ok());
+  VoidResult err = Errno::eacces;
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), Errno::eacces);
+}
+
+Result<int> try_helper(Result<int> in) {
+  SACK_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(Result, TryMacroPropagates) {
+  EXPECT_EQ(*try_helper(21), 42);
+  EXPECT_EQ(try_helper(Errno::eio).error(), Errno::eio);
+}
+
+TEST(ErrnoNames, RoundTripish) {
+  EXPECT_EQ(errno_name(Errno::eacces), "EACCES");
+  EXPECT_EQ(errno_message(Errno::enoent), "no such file or directory");
+  EXPECT_EQ(errno_name(Errno::ok), "OK");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc \n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Split) {
+  auto parts = split("a/b//c", '/');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, SplitWs) {
+  auto parts = split_ws("  one\ttwo \n three ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "two");
+}
+
+TEST(Strings, Identifier) {
+  EXPECT_TRUE(is_identifier("normal_state"));
+  EXPECT_TRUE(is_identifier("parking-with-driver"));
+  EXPECT_FALSE(is_identifier("9lives"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("has space"));
+}
+
+TEST(Tokenizer, BasicKinds) {
+  Tokenizer t("states { a = 0; } /dev/door* -> \"str\" @p # comment\nnext");
+  auto toks = t.run();
+  ASSERT_TRUE(toks.ok());
+  auto& v = *toks;
+  EXPECT_EQ(v[0].kind, TokenKind::identifier);
+  EXPECT_EQ(v[0].text, "states");
+  EXPECT_TRUE(v[1].is_punct('{'));
+  EXPECT_EQ(v[3].kind, TokenKind::punct);  // '='
+  EXPECT_EQ(v[4].kind, TokenKind::number);
+  EXPECT_EQ(v[7].kind, TokenKind::path);
+  EXPECT_EQ(v[7].text, "/dev/door*");
+  EXPECT_EQ(v[8].kind, TokenKind::arrow);
+  EXPECT_EQ(v[9].kind, TokenKind::string);
+  EXPECT_EQ(v[9].text, "str");
+  EXPECT_TRUE(v[10].is_punct('@'));
+  // comment swallowed; "next" follows
+  EXPECT_EQ(v[12].text, "next");
+  EXPECT_EQ(v.back().kind, TokenKind::end);
+}
+
+TEST(Tokenizer, PathStopsAtStatementPunctuation) {
+  Tokenizer t("/a/b, /c/d; /e{f,g}h");
+  auto toks = t.run();
+  ASSERT_TRUE(toks.ok());
+  auto& v = *toks;
+  EXPECT_EQ(v[0].text, "/a/b");
+  EXPECT_TRUE(v[1].is_punct(','));
+  EXPECT_EQ(v[2].text, "/c/d");
+  EXPECT_TRUE(v[3].is_punct(';'));
+  EXPECT_EQ(v[4].text, "/e{f,g}h");  // braces keep the comma in the path
+}
+
+TEST(Tokenizer, UnterminatedStringFails) {
+  Tokenizer t("\"abc");
+  EXPECT_FALSE(t.run().ok());
+}
+
+TEST(Tokenizer, TracksLineNumbers) {
+  Tokenizer t("a\nb\n  c");
+  auto toks = t.run();
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].line, 1);
+  EXPECT_EQ((*toks)[1].line, 2);
+  EXPECT_EQ((*toks)[2].line, 3);
+  EXPECT_EQ((*toks)[2].column, 3);
+}
+
+TEST(Bitmask, Operators) {
+  using kernel::OpenFlags;
+  OpenFlags f = OpenFlags::read | OpenFlags::create;
+  EXPECT_TRUE(has_any(f, OpenFlags::read));
+  EXPECT_TRUE(has_all(f, OpenFlags::read | OpenFlags::create));
+  EXPECT_FALSE(has_all(f, OpenFlags::rdwr));
+  f |= OpenFlags::write;
+  EXPECT_TRUE(has_all(f, OpenFlags::rdwr));
+  f &= ~OpenFlags::read;
+  EXPECT_FALSE(has_any(f, OpenFlags::read));
+  EXPECT_TRUE(is_empty(OpenFlags::none));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double u = r.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(VirtualClock, AdvancesOnly) {
+  VirtualClock c;
+  EXPECT_EQ(c.now(), 0);
+  c.advance_ms(3);
+  c.advance_us(5);
+  c.advance_ns(7);
+  EXPECT_EQ(c.now(), 3'000'000 + 5'000 + 7);
+}
+
+}  // namespace
+}  // namespace sack

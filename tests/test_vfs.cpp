@@ -1,0 +1,154 @@
+// VFS: path resolution, DAC, symlinks.
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.h"
+#include "kernel/process.h"
+#include "kernel/vfs.h"
+
+namespace sack::kernel {
+namespace {
+
+class VfsTest : public ::testing::Test {
+ protected:
+  Kernel kernel_;
+  Task& root() { return kernel_.init_task(); }
+};
+
+TEST_F(VfsTest, BootTreeExists) {
+  auto r = kernel_.vfs().resolve(Cred::root(), "/sys/kernel/security", "/");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->inode->is_dir());
+  EXPECT_EQ(r->path, "/sys/kernel/security");
+}
+
+TEST_F(VfsTest, ResolveMissingIsEnoent) {
+  auto r = kernel_.vfs().resolve(Cred::root(), "/no/such/path", "/");
+  EXPECT_EQ(r.error(), Errno::enoent);
+}
+
+TEST_F(VfsTest, DotAndDotDot) {
+  auto r = kernel_.vfs().resolve(Cred::root(), "/tmp/./../tmp/.", "/");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->path, "/tmp");
+}
+
+TEST_F(VfsTest, DotDotAboveRootStaysAtRoot) {
+  auto r = kernel_.vfs().resolve(Cred::root(), "/../../tmp", "/");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->path, "/tmp");
+}
+
+TEST_F(VfsTest, RelativePathsUseCwd) {
+  Process p(kernel_, root());
+  ASSERT_TRUE(p.write_file("/tmp/rel.txt", "hi").ok());
+  root().set_cwd("/tmp");
+  auto r = kernel_.vfs().resolve(root().cred(), "rel.txt", root().cwd());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->path, "/tmp/rel.txt");
+}
+
+TEST_F(VfsTest, SymlinkFollowedByDefault) {
+  Process p(kernel_, root());
+  ASSERT_TRUE(p.write_file("/tmp/target.txt", "data").ok());
+  ASSERT_TRUE(kernel_.sys_symlink(root(), "/tmp/target.txt", "/tmp/link").ok());
+  auto r = kernel_.vfs().resolve(Cred::root(), "/tmp/link", "/");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->path, "/tmp/target.txt");
+  EXPECT_TRUE(r->inode->is_regular());
+}
+
+TEST_F(VfsTest, SymlinkNotFollowedWhenAsked) {
+  Process p(kernel_, root());
+  ASSERT_TRUE(p.write_file("/tmp/target.txt", "data").ok());
+  ASSERT_TRUE(kernel_.sys_symlink(root(), "/tmp/target.txt", "/tmp/link").ok());
+  auto r = kernel_.vfs().resolve(Cred::root(), "/tmp/link", "/", false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->inode->is_symlink());
+}
+
+TEST_F(VfsTest, RelativeSymlinkResolvesInItsDirectory) {
+  Process p(kernel_, root());
+  ASSERT_TRUE(p.mkdir("/tmp/d").ok());
+  ASSERT_TRUE(p.write_file("/tmp/d/real", "x").ok());
+  ASSERT_TRUE(kernel_.sys_symlink(root(), "real", "/tmp/d/alias").ok());
+  auto r = kernel_.vfs().resolve(Cred::root(), "/tmp/d/alias", "/");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->path, "/tmp/d/real");
+}
+
+TEST_F(VfsTest, SymlinkLoopHitsEloop) {
+  ASSERT_TRUE(kernel_.sys_symlink(root(), "/tmp/b", "/tmp/a").ok());
+  ASSERT_TRUE(kernel_.sys_symlink(root(), "/tmp/a", "/tmp/b").ok());
+  auto r = kernel_.vfs().resolve(Cred::root(), "/tmp/a", "/");
+  EXPECT_EQ(r.error(), Errno::eloop);
+}
+
+TEST_F(VfsTest, WalkThroughFileIsEnotdir) {
+  Process p(kernel_, root());
+  ASSERT_TRUE(p.write_file("/tmp/f", "x").ok());
+  auto r = kernel_.vfs().resolve(Cred::root(), "/tmp/f/sub", "/");
+  EXPECT_EQ(r.error(), Errno::enotdir);
+}
+
+TEST_F(VfsTest, ResolveParentForCreation) {
+  auto r = kernel_.vfs().resolve_parent(Cred::root(), "/tmp/newfile", "/");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->inode, nullptr);
+  EXPECT_EQ(r->leaf, "newfile");
+  EXPECT_EQ(r->path, "/tmp/newfile");
+  ASSERT_NE(r->parent, nullptr);
+}
+
+TEST_F(VfsTest, NameTooLongRejected) {
+  std::string path = "/" + std::string(5000, 'a');
+  auto r = kernel_.vfs().resolve(Cred::root(), path, "/");
+  EXPECT_EQ(r.error(), Errno::enametoolong);
+}
+
+// --- DAC ---
+
+TEST(DacCheck, OwnerGroupOtherBits) {
+  VirtualClock clock;
+  Vfs vfs(&clock);
+  auto inode = vfs.make_inode(InodeType::regular, 0640, 100, 200);
+  Cred owner = Cred::user(100, 200);
+  Cred groupie = Cred::user(101, 200);
+  Cred other = Cred::user(102, 300);
+
+  EXPECT_EQ(dac_check(owner, *inode, AccessMask::read), Errno::ok);
+  EXPECT_EQ(dac_check(owner, *inode, AccessMask::write), Errno::ok);
+  EXPECT_EQ(dac_check(groupie, *inode, AccessMask::read), Errno::ok);
+  EXPECT_EQ(dac_check(groupie, *inode, AccessMask::write), Errno::eacces);
+  EXPECT_EQ(dac_check(other, *inode, AccessMask::read), Errno::eacces);
+}
+
+TEST(DacCheck, RootOverridesViaCapability) {
+  VirtualClock clock;
+  Vfs vfs(&clock);
+  auto inode = vfs.make_inode(InodeType::regular, 0000, 100, 100);
+  EXPECT_EQ(dac_check(Cred::root(), *inode, AccessMask::read), Errno::ok);
+  EXPECT_EQ(dac_check(Cred::root(), *inode, AccessMask::write), Errno::ok);
+  // ... but not exec of a file with no x bit anywhere (Linux semantics).
+  EXPECT_EQ(dac_check(Cred::root(), *inode, AccessMask::exec), Errno::eacces);
+}
+
+TEST(DacCheck, UnprivilegedUserBlockedFromRootFile) {
+  VirtualClock clock;
+  Vfs vfs(&clock);
+  auto inode = vfs.make_inode(InodeType::regular, 0600, 0, 0);
+  Cred user = Cred::user(1000, 1000);
+  EXPECT_EQ(dac_check(user, *inode, AccessMask::read), Errno::eacces);
+  EXPECT_EQ(dac_check(user, *inode, AccessMask::write), Errno::eacces);
+}
+
+TEST_F(VfsTest, SearchPermissionRequiredOnPathWalk) {
+  Process p(kernel_, root());
+  ASSERT_TRUE(p.mkdir("/tmp/private", 0700).ok());
+  ASSERT_TRUE(p.write_file("/tmp/private/data", "secret").ok());
+  Cred user = Cred::user(1000, 1000);
+  auto r = kernel_.vfs().resolve(user, "/tmp/private/data", "/");
+  EXPECT_EQ(r.error(), Errno::eacces);
+}
+
+}  // namespace
+}  // namespace sack::kernel
