@@ -1,11 +1,15 @@
 // A2 ablation (design choice from §III-E): compiled, indexed rule set vs a
 // naive linear scan, as a function of loaded rule count. This is the
 // mechanism behind Table III's flat overhead — with a linear matcher the
-// guard check alone would scale with policy size.
+// guard check alone would scale with policy size. The AVC column layers the
+// access vector cache (core/avc.h) on top of each matcher: at steady state
+// the decision collapses to one sharded hash probe regardless of matcher.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 
+#include "core/avc.h"
 #include "core/ruleset.h"
 #include "simbench/capture.h"
 #include "simbench/policy_gen.h"
@@ -13,6 +17,7 @@
 namespace {
 
 using sack::core::AccessQuery;
+using sack::core::AccessVectorCache;
 using sack::core::CompiledRuleSet;
 using sack::core::LinearRuleSet;
 using sack::core::MacOp;
@@ -52,6 +57,27 @@ void register_checks(RuleSetBase* rs, const std::string& tag) {
         for (auto _ : s) benchmark::DoNotOptimize(rs->check(q));
       })
       ->MinTime(0.05);
+  // Same guarded-hit probe through an AVC, mirroring SackModule::check_op:
+  // probe, fall back to the matcher on a miss, insert. Steady state is all
+  // hits, so this measures the cached decision path.
+  benchmark::RegisterBenchmark(
+      ("guarded_hit_avc/" + tag).c_str(),
+      [rs](benchmark::State& s) {
+        AccessVectorCache avc;
+        std::atomic<std::uint64_t> generation{1};
+        auto q = query("/var/rules/object_5", MacOp::read);
+        for (auto _ : s) {
+          const std::uint64_t gen = generation.load(std::memory_order_acquire);
+          if (auto cached = avc.probe(q, gen)) {
+            benchmark::DoNotOptimize(*cached);
+            continue;
+          }
+          auto rc = rs->check(q);
+          avc.insert(q, gen, rc);
+          benchmark::DoNotOptimize(rc);
+        }
+      })
+      ->MinTime(0.05);
 }
 
 }  // namespace
@@ -87,17 +113,20 @@ int main(int argc, char** argv) {
 
   std::printf("\n=== Ablation: compiled (indexed) vs linear rule matching "
               "===\n");
-  std::printf("%-18s %14s %14s %14s\n", "matcher/rules", "guarded hit",
-              "guarded denied", "unguarded");
+  std::printf("%-18s %14s %14s %14s %14s\n", "matcher/rules", "guarded hit",
+              "guarded denied", "unguarded", "hit (AVC on)");
   for (const auto& [tag, label] : tags) {
-    std::printf("%-18s %11.1f ns %11.1f ns %11.1f ns\n", label.c_str(),
-                reporter.ns("guarded_hit/" + tag),
+    std::printf("%-18s %11.1f ns %11.1f ns %11.1f ns %11.1f ns\n",
+                label.c_str(), reporter.ns("guarded_hit/" + tag),
                 reporter.ns("guarded_denied/" + tag),
-                reporter.ns("unguarded/" + tag));
+                reporter.ns("unguarded/" + tag),
+                reporter.ns("guarded_hit_avc/" + tag));
   }
   std::printf(
       "\nShape check: the compiled matcher is ~flat in rule count; the\n"
       "linear matcher's cost grows linearly, which would put MAC-check\n"
-      "latency on every file operation at 1000+ rules (cf. Table III).\n");
+      "latency on every file operation at 1000+ rules (cf. Table III).\n"
+      "The AVC column is ~constant for *both* matchers at any rule count —\n"
+      "a steady-state hit never reaches the matcher at all.\n");
   return 0;
 }

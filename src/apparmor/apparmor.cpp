@@ -229,17 +229,10 @@ Errno AppArmorModule::file_permission(Task& task, const kernel::File& file,
   // task's confinement changes (an exec can swap the profile under a kept
   // fd, so the subject is part of the cache key).
   std::string subject = profile_of(task);
-  auto& file_mut = const_cast<kernel::File&>(file);
-  auto [it, inserted] =
-      file_mut.mac_revalidate.try_emplace(std::string(kName));
-  if (!inserted && it->second.generation == generation_ &&
-      it->second.subject == subject)
-    return Errno::ok;
+  if (file.mac_verdict_current(kName, generation_, subject)) return Errno::ok;
   Errno rc = check_path(task, file.path(), perms_from_access(access));
-  if (rc == Errno::ok) {
-    it->second.generation = generation_;
-    it->second.subject = std::move(subject);
-  }
+  if (rc == Errno::ok)
+    file.mac_verdict_store(kName, generation_, std::move(subject));
   return rc;
 }
 

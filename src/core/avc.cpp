@@ -1,0 +1,75 @@
+#include "core/avc.h"
+
+namespace sack::core {
+
+AccessVectorCache::AccessVectorCache(std::size_t capacity)
+    : shards_(std::make_unique<Shard[]>(kShards)),
+      shard_capacity_(capacity >= kShards ? capacity / kShards : 1) {}
+
+std::optional<Errno> AccessVectorCache::probe(const AccessQuery& query,
+                                              std::uint64_t generation) const {
+  const KeyView key{query.subject_exe, query.subject_profile,
+                    query.object_path, query.op};
+  const std::size_t hash = KeyHash{}(key);
+  Shard& shard = shard_for(hash);
+  {
+    std::shared_lock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end() && it->second.generation == generation) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.verdict;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void AccessVectorCache::insert(const AccessQuery& query,
+                               std::uint64_t generation, Errno verdict) {
+  Key key{std::string(query.subject_exe), std::string(query.subject_profile),
+          std::string(query.object_path), query.op};
+  const std::size_t hash = KeyHash{}(key);
+  Shard& shard = shard_for(hash);
+  std::unique_lock lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second = Entry{verdict, generation};
+    return;
+  }
+  if (shard.map.size() >= shard_capacity_) {
+    shard.map.erase(shard.map.begin());
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.map.emplace(std::move(key), Entry{verdict, generation});
+}
+
+void AccessVectorCache::invalidate_all() {
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::unique_lock lock(shards_[i].mu);
+    shards_[i].map.clear();
+  }
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+AccessVectorCache::Stats AccessVectorCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.capacity = shard_capacity_ * kShards;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::shared_lock lock(shards_[i].mu);
+    s.entries += shards_[i].map.size();
+  }
+  return s;
+}
+
+void AccessVectorCache::reset_stats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sack::core

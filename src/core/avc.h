@@ -1,0 +1,143 @@
+// Access vector cache (AVC) for the SACK enforcement hot path.
+//
+// The same idea as SELinux's avc.c: remember the verdict of a fully-resolved
+// access query so repeated hooks on the same (subject, object, op) tuple skip
+// the rule walk entirely. Correctness under adaptive revocation comes from
+// generation stamping: every entry records the policy generation it was
+// computed under, and a probe only hits when the stamp matches the caller's
+// current generation. A situation transition bumps the generation (and clears
+// the cache wholesale), so a revoked permission can never be served stale —
+// even an insert racing a transition lands with an old stamp and is dead on
+// arrival.
+//
+// The cache is sharded: each shard is an independent bounded map behind its
+// own shared_mutex, so concurrent probes from enforcement threads only
+// contend when they hash to the same shard. Eviction is bounded and cheap
+// (drop an arbitrary resident entry of the full shard); an AVC is a cache of
+// recomputable verdicts, so eviction policy affects only the hit rate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/ruleset.h"
+#include "util/errno.h"
+
+namespace sack::core {
+
+class AccessVectorCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit AccessVectorCache(std::size_t capacity = kDefaultCapacity);
+  AccessVectorCache(const AccessVectorCache&) = delete;
+  AccessVectorCache& operator=(const AccessVectorCache&) = delete;
+
+  // Returns the cached verdict for `query` iff it was computed under
+  // `generation`; a stale-stamped entry counts as a miss (it is overwritten
+  // by the next insert for that key rather than erased here, keeping the
+  // probe path read-only).
+  std::optional<Errno> probe(const AccessQuery& query,
+                             std::uint64_t generation) const;
+
+  // Records a verdict computed under `generation`. The caller must pass the
+  // generation it read *before* running the rule match — if a transition
+  // happened in between, the stale stamp keeps the entry from ever hitting.
+  void insert(const AccessQuery& query, std::uint64_t generation,
+              Errno verdict);
+
+  // Whole-cache flush, called on every policy load / situation transition.
+  void invalidate_all();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+    }
+  };
+  Stats stats() const;
+  void reset_stats();
+
+ private:
+  struct Key {
+    std::string subject_exe;
+    std::string subject_profile;
+    std::string object_path;
+    MacOp op = MacOp::none;
+  };
+  // Heterogeneous lookup view so a probe never allocates.
+  struct KeyView {
+    std::string_view subject_exe;
+    std::string_view subject_profile;
+    std::string_view object_path;
+    MacOp op = MacOp::none;
+  };
+  struct KeyHash {
+    using is_transparent = void;
+    static std::size_t mix(std::size_t seed, std::size_t h) {
+      return seed ^ (h + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+    }
+    static std::size_t of(std::string_view exe, std::string_view profile,
+                          std::string_view path, MacOp op) {
+      std::size_t h = std::hash<std::string_view>{}(exe);
+      h = mix(h, std::hash<std::string_view>{}(profile));
+      h = mix(h, std::hash<std::string_view>{}(path));
+      return mix(h, static_cast<std::size_t>(op));
+    }
+    std::size_t operator()(const Key& k) const {
+      return of(k.subject_exe, k.subject_profile, k.object_path, k.op);
+    }
+    std::size_t operator()(const KeyView& k) const {
+      return of(k.subject_exe, k.subject_profile, k.object_path, k.op);
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      return a.op == b.op && a.object_path == b.object_path &&
+             a.subject_exe == b.subject_exe &&
+             a.subject_profile == b.subject_profile;
+    }
+  };
+  struct Entry {
+    Errno verdict = Errno::ok;
+    std::uint64_t generation = 0;
+  };
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Key, Entry, KeyHash, KeyEq> map;
+  };
+
+  static constexpr std::size_t kShards = 16;  // power of two
+
+  Shard& shard_for(std::size_t hash) const {
+    // The map consumes the hash from the low bits; pick the shard from
+    // higher bits so shard choice and in-shard bucket stay independent.
+    return shards_[(hash >> 16) & (kShards - 1)];
+  }
+
+  mutable std::unique_ptr<Shard[]> shards_;
+  std::size_t shard_capacity_;
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+};
+
+}  // namespace sack::core

@@ -21,46 +21,51 @@ bool subject_matches(const MacRule& rule, const AccessQuery& query) {
 
 // --- CompiledRuleSet ---
 
-void CompiledRuleSet::load(const SackPolicy& policy) {
-  policy_ = policy;  // own a copy: indexes borrow pointers into it
-  guard_literals_.clear();
-  guard_globs_.clear();
-  by_permission_.clear();
-  total_rules_ = 0;
+CompiledRuleSet::CompiledRuleSet() {
+  // Never-null snapshot: readers skip a branch, and a check() before the
+  // first load() is simply "nothing guarded".
+  snap_.store(make_snapshot(std::make_shared<const LoadedPolicy>(), {}));
+}
 
-  for (const auto& [perm, rules] : policy_.per_rules) {
-    auto& slot = by_permission_[perm];
+bool CompiledRuleSet::LoadedPolicy::guarded(
+    std::string_view object_path) const {
+  if (guard_literals.contains(object_path)) return true;
+  for (const Glob* g : guard_globs) {
+    if (g->matches(object_path)) return true;
+  }
+  return false;
+}
+
+void CompiledRuleSet::load(const SackPolicy& policy) {
+  auto base = std::make_shared<LoadedPolicy>();
+  base->policy = policy;  // own a copy: indexes borrow pointers into it
+
+  for (const auto& [perm, rules] : base->policy.per_rules) {
+    auto& slot = base->by_permission[perm];
     for (const auto& rule : rules) {
       slot.push_back(&rule);
-      ++total_rules_;
+      ++base->total_rules;
       if (rule.object.is_literal()) {
-        guard_literals_.insert(rule.object.literal());
+        base->guard_literals.insert(rule.object.literal());
       } else {
-        guard_globs_.push_back(&rule.object);
+        base->guard_globs.push_back(&rule.object);
       }
     }
   }
-  activate({});
+  snap_.store(make_snapshot(std::move(base), {}));
 }
 
-void CompiledRuleSet::activate(const std::vector<std::string>& permissions) {
-  for (auto& t : active_allow_) {
-    t.literal.clear();
-    t.globs.clear();
-  }
-  for (auto& t : active_deny_) {
-    t.literal.clear();
-    t.globs.clear();
-  }
-  active_rules_ = 0;
-
+std::shared_ptr<const CompiledRuleSet::Snapshot> CompiledRuleSet::make_snapshot(
+    std::shared_ptr<const LoadedPolicy> base,
+    const std::vector<std::string>& permissions) {
+  auto snap = std::make_shared<Snapshot>();
   for (const auto& perm : permissions) {
-    auto it = by_permission_.find(perm);
-    if (it == by_permission_.end()) continue;
+    auto it = base->by_permission.find(perm);
+    if (it == base->by_permission.end()) continue;
     for (const MacRule* rule : it->second) {
-      ++active_rules_;
-      auto& tables =
-          rule->effect == RuleEffect::allow ? active_allow_ : active_deny_;
+      ++snap->active_rules;
+      auto& tables = rule->effect == RuleEffect::allow ? snap->active_allow
+                                                       : snap->active_deny;
       for (std::size_t i = 0; i < kMacOpCount; ++i) {
         if (!has_any(rule->ops, mac_op_from_index(i))) continue;
         if (rule->object.is_literal()) {
@@ -71,24 +76,39 @@ void CompiledRuleSet::activate(const std::vector<std::string>& permissions) {
       }
     }
   }
+  snap->base = std::move(base);
+  return snap;
+}
+
+void CompiledRuleSet::activate(const std::vector<std::string>& permissions) {
+  // All rebuild work happens on this (control) thread against a private
+  // snapshot; readers see either the old or the new one, never a partial.
+  snap_.store(make_snapshot(snapshot()->base, permissions));
 }
 
 bool CompiledRuleSet::guarded(std::string_view object_path) const {
-  if (guard_literals_.contains(object_path)) return true;
-  for (const Glob* g : guard_globs_) {
-    if (g->matches(object_path)) return true;
-  }
-  return false;
+  return snapshot()->base->guarded(object_path);
+}
+
+std::size_t CompiledRuleSet::total_rule_count() const {
+  return snapshot()->base->total_rules;
+}
+
+std::size_t CompiledRuleSet::active_rule_count() const {
+  return snapshot()->active_rules;
 }
 
 Errno CompiledRuleSet::check(const AccessQuery& query) const {
-  if (!guarded(query.object_path)) return Errno::ok;
+  // One snapshot for the whole decision: guard set and active indexes are
+  // guaranteed mutually consistent, and stay alive until `snap` drops.
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  if (!snap->base->guarded(query.object_path)) return Errno::ok;
 
   const std::size_t op = mac_op_index(query.op);
   if (op >= kMacOpCount) return Errno::einval;
 
   // Deny rules first: deny wins over any allow.
-  const OpTable& deny = active_deny_[op];
+  const OpTable& deny = snap->active_deny[op];
   if (!deny.literal.empty()) {
     auto it = deny.literal.find(query.object_path);
     if (it != deny.literal.end()) {
@@ -103,7 +123,7 @@ Errno CompiledRuleSet::check(const AccessQuery& query) const {
       return Errno::eacces;
   }
 
-  const OpTable& allow = active_allow_[op];
+  const OpTable& allow = snap->active_allow[op];
   if (!allow.literal.empty()) {
     auto it = allow.literal.find(query.object_path);
     if (it != allow.literal.end()) {

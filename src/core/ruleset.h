@@ -20,6 +20,7 @@
 
 #include "core/mac_ops.h"
 #include "core/policy.h"
+#include "util/rcu_ptr.h"
 #include "util/transparent_hash.h"
 
 namespace sack::core {
@@ -62,11 +63,22 @@ struct OwnedRule {
 bool subject_matches(const MacRule& rule, const AccessQuery& query);
 }  // namespace detail
 
+// Read-mostly, concurrency-safe rule set. Readers (`check`/`guarded`, every
+// LSM hook) grab one atomically-published shared_ptr to an immutable
+// Snapshot and work entirely off it. Writers (`load` on policy replacement,
+// `activate` on situation transition) build a *fresh* snapshot off the read
+// path and publish it with a single atomic swap — the RCU read-mostly
+// pattern (see util/rcu_ptr.h for why the publication cell is hand-rolled
+// rather than std::atomic<std::shared_ptr>). Readers mid-check keep the old
+// snapshot alive through their shared_ptr; it is destroyed when the last
+// one drops it. Writers are the control plane (policy load, situation
+// transitions) and are assumed serialized with respect to each other, as in
+// the kernel.
 class CompiledRuleSet final : public RuleSetBase {
  public:
-  CompiledRuleSet() = default;
-  // Non-copyable/movable: the indexes hold raw pointers into this object's
-  // own policy_ copy; a copy would silently dangle.
+  CompiledRuleSet();
+  // Non-copyable/movable: the snapshots hold raw pointers into the shared
+  // LoadedPolicy; identity matters.
   CompiledRuleSet(const CompiledRuleSet&) = delete;
   CompiledRuleSet& operator=(const CompiledRuleSet&) = delete;
 
@@ -74,8 +86,8 @@ class CompiledRuleSet final : public RuleSetBase {
   void activate(const std::vector<std::string>& permissions) override;
   Errno check(const AccessQuery& query) const override;
   bool guarded(std::string_view object_path) const override;
-  std::size_t total_rule_count() const override { return total_rules_; }
-  std::size_t active_rule_count() const override { return active_rules_; }
+  std::size_t total_rule_count() const override;
+  std::size_t active_rule_count() const override;
 
  private:
   struct ActiveRule {
@@ -87,22 +99,38 @@ class CompiledRuleSet final : public RuleSetBase {
     std::vector<ActiveRule> globs;
   };
 
-  // Guard inventory over the whole policy.
-  std::unordered_set<std::string, TransparentStringHash, std::equal_to<>>
-      guard_literals_;
-  std::vector<const Glob*> guard_globs_;
+  // Everything derived from one load(): the policy copy that owns the rule
+  // storage, the guard inventory, and the permission -> rules grouping.
+  // Immutable once built; shared by every snapshot activated from it.
+  struct LoadedPolicy {
+    SackPolicy policy;  // owns the rules the pointers below point into
+    std::unordered_set<std::string, TransparentStringHash, std::equal_to<>>
+        guard_literals;
+    std::vector<const Glob*> guard_globs;
+    StringMap<std::vector<const MacRule*>> by_permission;
+    std::size_t total_rules = 0;
 
-  // Rules grouped by permission (borrowing pointers into policy_).
-  StringMap<std::vector<const MacRule*>> by_permission_;
+    bool guarded(std::string_view object_path) const;
+  };
 
-  // Active (current-state) rules, indexed per op, denies separated so the
-  // precedence scan touches them first.
-  std::vector<OpTable> active_allow_ = std::vector<OpTable>(kMacOpCount);
-  std::vector<OpTable> active_deny_ = std::vector<OpTable>(kMacOpCount);
+  // One activation: the per-op active-rule indexes for a permission set,
+  // denies separated so the precedence scan touches them first. Keeps its
+  // base alive so the borrowed rule pointers stay valid even if a concurrent
+  // load() republished.
+  struct Snapshot {
+    std::shared_ptr<const LoadedPolicy> base;
+    std::vector<OpTable> active_allow = std::vector<OpTable>(kMacOpCount);
+    std::vector<OpTable> active_deny = std::vector<OpTable>(kMacOpCount);
+    std::size_t active_rules = 0;
+  };
 
-  SackPolicy policy_;  // owns the rules the indexes point into
-  std::size_t total_rules_ = 0;
-  std::size_t active_rules_ = 0;
+  static std::shared_ptr<const Snapshot> make_snapshot(
+      std::shared_ptr<const LoadedPolicy> base,
+      const std::vector<std::string>& permissions);
+
+  std::shared_ptr<const Snapshot> snapshot() const { return snap_.load(); }
+
+  RcuPtr<const Snapshot> snap_;
 };
 
 class LinearRuleSet final : public RuleSetBase {

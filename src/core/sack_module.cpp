@@ -1,6 +1,7 @@
 #include "core/sack_module.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "util/log.h"
 #include "util/strings.h"
@@ -224,7 +225,7 @@ Result<void> SackModule::load_policy(SackPolicy policy,
   ssm_ = std::move(ssm).value();
   rules_->load(policy_);
   loaded_ = true;
-  apply_current_state();
+  apply_current_state(/*force=*/true);
   log_info("sack: policy loaded: ", policy_.states.size(), " states, ",
            policy_.permissions.size(), " permissions, ",
            rules_->total_rule_count(), " MAC rules, initial state '",
@@ -302,14 +303,33 @@ void SackModule::retract_all_injected() {
   injected_perms_.clear();
 }
 
-void SackModule::apply_current_state() {
-  ++generation_;
+void SackModule::apply_current_state(bool force) {
   auto perms = current_permissions();
 
+  // Enforcement-neutral transitions (self-loops, equivalent states) keep the
+  // same permission set: skip the index rebuild, the generation bump, and
+  // the AVC flush — open-fd verdicts and cached decisions stay warm.
+  std::vector<std::string> sorted = perms;
+  std::sort(sorted.begin(), sorted.end());
+  if (!force && applied_valid_ && sorted == applied_perms_) return;
+  applied_perms_ = std::move(sorted);
+  applied_valid_ = true;
+
   if (mode_ == SackMode::independent) {
+    // Ordering matters for cache correctness under concurrent enforcement:
+    // 1. publish the new rule snapshot (readers switch atomically),
+    // 2. bump the generation with release semantics — any reader that
+    //    observes the new generation also observes the new snapshot, so a
+    //    verdict stamped with the new generation was computed on it,
+    // 3. flush the AVC. Entries inserted before the flush are gone; a racing
+    //    insert computed on the old snapshot carries the old generation
+    //    stamp and can never be served after the bump.
     rules_->activate(perms);
+    generation_.fetch_add(1, std::memory_order_release);
+    avc_.invalidate_all();
     return;
   }
+  generation_.fetch_add(1, std::memory_order_release);
 
   // SACK-enhanced AppArmor: reconcile injected rules with the new state.
   std::set<std::string> target(perms.begin(), perms.end());
@@ -360,10 +380,23 @@ std::string SackModule::status_text() const {
   }
   out += "\nevents_received: " + std::to_string(events_received_);
   out += "\nevents_rejected: " + std::to_string(events_rejected_);
-  out += "\ngeneration: " + std::to_string(generation_);
+  out += "\ngeneration: " + std::to_string(policy_generation());
   out += "\ntotal_rules: " + std::to_string(rules_->total_rule_count());
   out += "\nactive_rules: " + std::to_string(rules_->active_rule_count());
-  out += "\ndenials: " + std::to_string(denials_);
+  out += "\ndenials: " + std::to_string(denial_count());
+  const auto avc = avc_.stats();
+  out += "\navc_enabled: ";
+  out += avc_enabled_ ? "yes" : "no";
+  out += "\navc_hits: " + std::to_string(avc.hits);
+  out += "\navc_misses: " + std::to_string(avc.misses);
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.3f", avc.hit_rate());
+  out += "\navc_hit_rate: ";
+  out += rate;
+  out += "\navc_entries: " + std::to_string(avc.entries) + "/" +
+         std::to_string(avc.capacity);
+  out += "\navc_evictions: " + std::to_string(avc.evictions);
+  out += "\navc_invalidations: " + std::to_string(avc.invalidations);
   out += "\n";
   return out;
 }
@@ -377,6 +410,25 @@ std::string_view SackModule::profile_of(const Task& task) const {
   return ref ? std::string_view(*ref) : std::string_view{};
 }
 
+void SackModule::note_denial(const Task& task, std::string_view path,
+                             MacOp op) {
+  denials_.fetch_add(1, std::memory_order_relaxed);
+  if (kernel_) {
+    kernel::AuditRecord record;
+    record.time = kernel_->clock().now();
+    record.module = std::string(kName);
+    record.pid = task.pid();
+    record.subject = task.exe_path();
+    record.object = std::string(path);
+    record.operation = std::string(mac_op_name(op));
+    record.verdict = kernel::AuditVerdict::denied;
+    record.context = "state=" + current_state_name();
+    kernel_->audit().record(std::move(record));
+  }
+  log_debug("sack: DENIED state=", current_state_name(), " subject=",
+            task.exe_path(), " object=", path, " op=", mac_op_name(op));
+}
+
 Errno SackModule::check_op(const Task& task, std::string_view path,
                            MacOp op) {
   if (mode_ != SackMode::independent || !loaded_) return Errno::ok;
@@ -385,24 +437,22 @@ Errno SackModule::check_op(const Task& task, std::string_view path,
   query.subject_profile = profile_of(task);
   query.object_path = path;
   query.op = op;
-  Errno rc = rules_->check(query);
-  if (rc != Errno::ok) {
-    ++denials_;
-    if (kernel_) {
-      kernel::AuditRecord record;
-      record.time = kernel_->clock().now();
-      record.module = std::string(kName);
-      record.pid = task.pid();
-      record.subject = task.exe_path();
-      record.object = std::string(path);
-      record.operation = std::string(mac_op_name(op));
-      record.verdict = kernel::AuditVerdict::denied;
-      record.context = "state=" + current_state_name();
-      kernel_->audit().record(std::move(record));
+  // Read the generation before consulting any cache or rule snapshot. If a
+  // transition lands between this load and the rule walk below, the verdict
+  // we insert carries this (now old) stamp and is never served again.
+  const std::uint64_t generation =
+      generation_.load(std::memory_order_acquire);
+  if (avc_enabled_) {
+    if (auto cached = avc_.probe(query, generation)) {
+      // Denials audit on every occurrence, cached or not — the AVC caches
+      // the decision, not the audit obligation.
+      if (*cached != Errno::ok) note_denial(task, path, op);
+      return *cached;
     }
-    log_debug("sack: DENIED state=", current_state_name(), " subject=",
-              task.exe_path(), " object=", path, " op=", mac_op_name(op));
   }
+  Errno rc = rules_->check(query);
+  if (avc_enabled_) avc_.insert(query, generation, rc);
+  if (rc != Errno::ok) note_denial(task, path, op);
   return rc;
 }
 
@@ -439,21 +489,18 @@ Errno SackModule::file_permission(Task& task, const kernel::File& file,
   if (!revalidate_cache_) return check_access_mask(task, file.path(), access);
   // Revalidate when the situation/policy changed (generation) OR the subject
   // changed (open files survive exec) since the last successful check on
-  // this open file — the adaptive-revocation path.
+  // this open file — the adaptive-revocation path. Read the generation once
+  // so a transition racing this check can only make us re-validate, never
+  // stamp a new-generation verdict computed on old rules.
+  const std::uint64_t generation =
+      generation_.load(std::memory_order_acquire);
   std::string subject = task.exe_path();
   subject += '\0';
   subject += profile_of(task);
-  auto& file_mut = const_cast<kernel::File&>(file);
-  auto [it, inserted] =
-      file_mut.mac_revalidate.try_emplace(std::string(kName));
-  if (!inserted && it->second.generation == generation_ &&
-      it->second.subject == subject)
-    return Errno::ok;
+  if (file.mac_verdict_current(kName, generation, subject)) return Errno::ok;
   Errno rc = check_access_mask(task, file.path(), access);
-  if (rc == Errno::ok) {
-    it->second.generation = generation_;
-    it->second.subject = std::move(subject);
-  }
+  if (rc == Errno::ok)
+    file.mac_verdict_store(kName, generation, std::move(subject));
   return rc;
 }
 

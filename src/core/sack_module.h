@@ -25,6 +25,7 @@
 //                                             read:  canonical section dump
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <set>
@@ -33,6 +34,7 @@
 #include <vector>
 
 #include "apparmor/apparmor.h"
+#include "core/avc.h"
 #include "core/policy.h"
 #include "core/policy_checker.h"
 #include "core/policy_parser.h"
@@ -59,6 +61,10 @@ class SackModule final : public kernel::SecurityModule {
   // file_permission check re-runs the full rule match (what a naive port
   // would do). Enabled by default.
   void set_revalidation_cache(bool enabled) { revalidate_cache_ = enabled; }
+  // Ablation hook: disable the access vector cache so every check_op pays
+  // the full rule walk. Enabled by default.
+  void set_avc(bool enabled) { avc_enabled_ = enabled; }
+  const AccessVectorCache& avc() const { return avc_; }
   ~SackModule() override;
 
   std::string_view name() const override { return kName; }
@@ -100,12 +106,18 @@ class SackModule final : public kernel::SecurityModule {
   // Active SACK permissions for the current situation state.
   std::vector<std::string> current_permissions() const;
 
-  // Bumped on every policy load and situation transition.
-  std::uint64_t policy_generation() const { return generation_; }
+  // Bumped on every policy load and on every situation transition that
+  // changes the granted permission set (equivalent-state transitions keep
+  // the generation, so caches stay warm).
+  std::uint64_t policy_generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   std::uint64_t events_received() const { return events_received_; }
   std::uint64_t events_rejected() const { return events_rejected_; }
-  std::uint64_t denial_count() const { return denials_; }
+  std::uint64_t denial_count() const {
+    return denials_.load(std::memory_order_relaxed);
+  }
   const RuleSetBase& ruleset() const { return *rules_; }
 
   std::string status_text() const;
@@ -147,28 +159,38 @@ class SackModule final : public kernel::SecurityModule {
  private:
   // The Adaptive Policy Enforcer: maps the current situation state to
   // active MAC rules (independent) or AppArmor profile patches (enhanced).
-  void apply_current_state();
+  // `force` rebuilds even when the permission set is unchanged (policy
+  // load); transitions pass false so self-loops and equivalent states skip
+  // the rebuild, the generation bump, and the AVC flush.
+  void apply_current_state(bool force = false);
   void retract_all_injected();
 
   Errno check_op(const kernel::Task& task, std::string_view path, MacOp op);
   Errno check_access_mask(const kernel::Task& task, std::string_view path,
                           kernel::AccessMask access);
+  void note_denial(const kernel::Task& task, std::string_view path, MacOp op);
   std::string_view profile_of(const kernel::Task& task) const;
 
   SackMode mode_;
   bool revalidate_cache_ = true;
+  bool avc_enabled_ = true;
   std::unique_ptr<RuleSetBase> rules_;
+  AccessVectorCache avc_;
   SackPolicy policy_;
   bool loaded_ = false;
   std::optional<SituationStateMachine> ssm_;
   apparmor::AppArmorModule* apparmor_ = nullptr;
   kernel::Kernel* kernel_ = nullptr;
 
-  std::uint64_t generation_ = 1;
+  std::atomic<std::uint64_t> generation_{1};
   std::uint64_t events_received_ = 0;
   std::uint64_t events_rejected_ = 0;
-  std::uint64_t denials_ = 0;
+  std::atomic<std::uint64_t> denials_{0};
   std::set<std::string> injected_perms_;
+  // Permission set (sorted) the APE last applied; equality means a
+  // transition is enforcement-neutral and can skip the rebuild.
+  std::vector<std::string> applied_perms_;
+  bool applied_valid_ = false;
 
   class EventsFile;
   class CurrentStateFile;

@@ -13,6 +13,26 @@ File::~File() {
   if (socket_) socket_->shutdown();
 }
 
+bool File::mac_verdict_current(std::string_view module,
+                               std::uint64_t generation,
+                               std::string_view subject) const {
+  std::lock_guard lock(mac_mu_);
+  auto it = mac_revalidate_.find(module);
+  return it != mac_revalidate_.end() &&
+         it->second.generation == generation && it->second.subject == subject;
+}
+
+void File::mac_verdict_store(std::string_view module,
+                             std::uint64_t generation,
+                             std::string subject) const {
+  std::lock_guard lock(mac_mu_);
+  auto it = mac_revalidate_.find(module);
+  if (it == mac_revalidate_.end())
+    it = mac_revalidate_.emplace(std::string(module), MacCacheEntry{}).first;
+  it->second.generation = generation;
+  it->second.subject = std::move(subject);
+}
+
 Result<Fd> FdTable::install(FilePtr file) {
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (!slots_[i].file) {

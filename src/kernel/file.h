@@ -2,9 +2,10 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "kernel/inode.h"
@@ -12,6 +13,7 @@
 #include "kernel/socket.h"
 #include "kernel/types.h"
 #include "util/result.h"
+#include "util/transparent_hash.h"
 
 namespace sack::kernel {
 
@@ -62,26 +64,40 @@ class File {
   // reader sees one consistent version even if the handler's state changes.
   std::optional<std::string> vfile_snapshot;
 
-  // Per-module revalidation cache, keyed by LSM name. A MAC module stores
-  // its policy generation AND the subject identity it validated after a
-  // successful file_permission check, and skips re-matching until either
-  // changes — the mechanism that makes already-open fds subject to situation
-  // transitions without paying a full rule match on every read/write. The
-  // subject field matters because open files survive exec(): the task's
-  // executable/profile can change under a cached verdict.
+  // --- per-module revalidation cache, keyed by LSM name ---
+  // A MAC module stores its policy generation AND the subject identity it
+  // validated after a successful file_permission check, and skips
+  // re-matching until either changes — the mechanism that makes
+  // already-open fds subject to situation transitions without paying a full
+  // rule match on every read/write. The subject matters because open files
+  // survive exec(): the task's executable/profile can change under a cached
+  // verdict. The cache is logically not file state (it memoizes a
+  // recomputable decision), so the accessors are const over a mutable,
+  // mutex-guarded map — open file descriptions are shared across fds and
+  // tasks after dup()/fork(), and hooks may run concurrently.
+
+  // True iff `module` validated this file under exactly this generation and
+  // subject.
+  bool mac_verdict_current(std::string_view module, std::uint64_t generation,
+                           std::string_view subject) const;
+  // Records a successful validation (overwrites any previous entry).
+  void mac_verdict_store(std::string_view module, std::uint64_t generation,
+                         std::string subject) const;
+
+ private:
   struct MacCacheEntry {
     std::uint64_t generation = 0;
     std::string subject;
   };
-  std::unordered_map<std::string, MacCacheEntry> mac_revalidate;
 
- private:
   InodePtr inode_;
   OpenFlags flags_;
   std::string path_;
   std::shared_ptr<PipeBuffer> pipe_;
   PipeEnd pipe_end_ = PipeEnd::read;
   std::shared_ptr<Socket> socket_;
+  mutable std::mutex mac_mu_;
+  mutable StringMap<MacCacheEntry> mac_revalidate_;
 };
 
 using FilePtr = std::shared_ptr<File>;
