@@ -28,6 +28,8 @@
 #include "core/avc.h"
 #include "core/policy_parser.h"
 #include "core/ruleset.h"
+#include "util/clock.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -184,6 +186,42 @@ StormResult run_storm(Enforcer& enf, int threads, int transitions_per_sec,
   return r;
 }
 
+// Per-stage attribution: the same check sequence, timed per stage with the
+// module's log2 histograms. Steady state (cache warm) so the probe numbers
+// are the hit path and the walk numbers come from the miss-only warmup.
+struct StageHistograms {
+  sack::util::LatencyHistogram probe_ns;   // AVC probe, hit or miss
+  sack::util::LatencyHistogram walk_ns;    // rule walk on AVC miss
+  sack::util::LatencyHistogram total_ns;   // full check
+};
+
+void run_instrumented(Enforcer& enf, const std::vector<std::string>& paths,
+                      int iterations, StageHistograms& h) {
+  const std::string exe = "/usr/bin/ivi_media";
+  std::size_t i = 0;
+  for (int n = 0; n < iterations; ++n, ++i) {
+    AccessQuery q;
+    q.subject_exe = exe;
+    q.object_path = paths[i % paths.size()];
+    q.op = MacOp::read;
+    const std::uint64_t gen =
+        enf.generation.load(std::memory_order_acquire);
+    const std::uint64_t t0 = sack::monotonic_ns();
+    auto cached = enf.avc.probe(q, gen);
+    const std::uint64_t t1 = sack::monotonic_ns();
+    h.probe_ns.record(t1 - t0);
+    if (!cached) {
+      Errno rc = enf.rules.check(q);
+      const std::uint64_t t2 = sack::monotonic_ns();
+      h.walk_ns.record(t2 - t1);
+      enf.avc.insert(q, gen, rc);
+      h.total_ns.record(t2 - t0);
+    } else {
+      h.total_ns.record(t1 - t0);
+    }
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -263,6 +301,17 @@ int main() {
       "count, and storms should degrade hit rate gracefully rather than\n"
       "serve stale verdicts (correctness is covered by tests/test_avc.cpp).\n");
 
+  // Per-stage latency attribution (steady-state, single thread): where a
+  // check spends its time — the AVC probe vs the glob-rule walk.
+  enf.avc.invalidate_all();
+  enf.avc.reset_stats();
+  StageHistograms stages;
+  run_instrumented(enf, guarded, 200'000, stages);
+  std::printf("\nper-stage latency (guarded, steady state):\n");
+  std::printf("  avc_probe:    %s\n", stages.probe_ns.summary().c_str());
+  std::printf("  matcher_walk: %s\n", stages.walk_ns.summary().c_str());
+  std::printf("  check_total:  %s\n", stages.total_ns.summary().c_str());
+
   // Machine-readable trajectory for future PRs.
   std::ofstream json("BENCH_mt.json");
   json << "{\n"
@@ -289,7 +338,11 @@ int main() {
          << ", \"transitions_taken\": " << storms[i].result.transitions << "}"
          << (i + 1 < storms.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n  \"per_stage\": {\n"
+       << "    \"avc_probe_ns\": " << stages.probe_ns.json() << ",\n"
+       << "    \"matcher_walk_ns\": " << stages.walk_ns.json() << ",\n"
+       << "    \"check_total_ns\": " << stages.total_ns.json() << "\n  }\n";
+  json << "}\n";
   std::printf("\nwrote BENCH_mt.json\n");
   return 0;
 }

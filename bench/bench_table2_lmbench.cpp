@@ -8,8 +8,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "lmbench_suite.h"
+#include "simbench/workloads.h"
 
 namespace {
 
@@ -30,13 +33,51 @@ constexpr Config kConfigs[] = {
     {BenchMac::independent_sack, "sack", "Independent SACK"},
 };
 
+// Reruns a slice of the workload mix with the observability layer on and
+// returns the module's per-stage percentiles. This is deliberately separate
+// from the timed table above: the table measures the enforcement cost with
+// tracing off (the deployment default), the instrumented pass attributes
+// where hook time goes (AVC probe vs matcher walk vs event->enforce).
+std::string instrumented_metrics_json(BenchEnv& env, int iterations) {
+  auto* sack = env.sack();
+  if (!sack) return "null";
+  sack->reset_metrics();
+  sack->set_observe(true);
+  for (int i = 0; i < iterations; ++i) {
+    sack::simbench::wl_stat(env);
+    sack::simbench::wl_open_close(env);
+  }
+  // Drive the event half of the pipeline too, so event_to_enforce_ns and
+  // apply_state_ns have samples.
+  auto root = env.root_process();
+  for (int i = 0; i < 32; ++i) {
+    (void)root.write_existing("/sys/kernel/security/SACK/events",
+                              "crash_detected\n");
+    (void)root.write_existing("/sys/kernel/security/SACK/events",
+                              "emergency_cleared\n");
+  }
+  sack->set_observe(false);
+  return sack->metrics_json();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --fast: CI smoke mode — tiny min_time per benchmark, same coverage.
+  bool fast = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      fast = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
   benchmark::Initialize(&argc, argv);
 
   std::vector<std::unique_ptr<BenchEnv>> envs;
   SuiteOptions options;
+  if (fast) options.min_time = 0.01;
   for (const Config& config : kConfigs) {
     EnvOptions env_options;
     env_options.mac = config.mac;
@@ -59,5 +100,22 @@ int main(int argc, char** argv) {
       "\nPaper shape check: SACK columns should stay within low single-digit\n"
       "percent of the AppArmor baseline on every row (Table II reports\n"
       "deltas between -7.4%% and +6.4%%, average below 3%%).\n");
+
+  // Instrumented pass: per-stage latency percentiles for each SACK config,
+  // written to BENCH_table2.json for trajectory tracking across PRs.
+  const int iterations = fast ? 500 : 5000;
+  std::ofstream json("BENCH_table2.json");
+  json << "{\n  \"fast\": " << (fast ? "true" : "false")
+       << ",\n  \"per_stage_metrics\": {\n";
+  bool first = true;
+  for (std::size_t i = 0; i < envs.size(); ++i) {
+    if (!envs[i]->sack()) continue;
+    if (!first) json << ",\n";
+    first = false;
+    json << "    \"" << kConfigs[i].tag
+         << "\": " << instrumented_metrics_json(*envs[i], iterations);
+  }
+  json << "\n  }\n}\n";
+  std::printf("\nwrote BENCH_table2.json (per-stage hook percentiles)\n");
   return 0;
 }

@@ -43,13 +43,23 @@ class SackModule::EventsFile final : public kernel::VirtualFileOps {
     // One event per line; empty lines ignored. The handler runs inside the
     // write(2) path — this synchronous dispatch is SACK's low-latency
     // transmission channel.
-    bool any_bad = false;
+    //
+    // Partial-write semantics: every valid line is delivered, and the write
+    // succeeds if *any* line was accepted — a batch with one typo must not
+    // be reported to the SDS as a total failure (it would retry events that
+    // already took effect). Rejected lines are visible individually through
+    // events_rejected in status/metrics; only an all-bad write is EINVAL.
+    std::size_t accepted = 0, rejected = 0;
     for (auto line : split(data, '\n')) {
       auto name = trim(line);
       if (name.empty()) continue;
-      if (!mod_->deliver_event(name).ok()) any_bad = true;
+      if (mod_->deliver_event(name).ok())
+        ++accepted;
+      else
+        ++rejected;
     }
-    return any_bad ? Result<void>(Errno::einval) : Result<void>();
+    if (rejected > 0 && accepted == 0) return Errno::einval;
+    return {};
   }
 
  private:
@@ -165,6 +175,65 @@ class SackModule::SectionFile final : public kernel::VirtualFileOps {
   Which which_;
 };
 
+class SackModule::MetricsFile final : public kernel::VirtualFileOps {
+ public:
+  explicit MetricsFile(SackModule* mod) : mod_(mod) {}
+  Result<std::string> read_content(Task&) override {
+    return mod_->metrics_text();
+  }
+
+ private:
+  SackModule* mod_;
+};
+
+class SackModule::TraceFile final : public kernel::VirtualFileOps {
+ public:
+  static constexpr std::size_t kReadBack = 256;  // last N records per read
+  explicit TraceFile(SackModule* mod) : mod_(mod) {}
+  Result<std::string> read_content(Task&) override {
+    const auto& ring = mod_->trace_;
+    std::string out = "# trace enabled=" +
+                      std::string(ring.enabled() ? "1" : "0") +
+                      " recorded=" + std::to_string(ring.recorded()) +
+                      " dropped=" + std::to_string(ring.dropped()) +
+                      " capacity=" + std::to_string(ring.capacity()) + "\n";
+    for (const auto& r : ring.snapshot(kReadBack)) out += r.to_line();
+    return out;
+  }
+
+ private:
+  SackModule* mod_;
+};
+
+// Runtime toggle: "1"/"on" enables tracing + hook timing, "0"/"off"
+// disables. Toggling off leaves the collected data readable; writing
+// "clear" resets histograms and the ring.
+class SackModule::TraceEnableFile final : public kernel::VirtualFileOps {
+ public:
+  explicit TraceEnableFile(SackModule* mod) : mod_(mod) {}
+  Result<std::string> read_content(Task&) override {
+    return std::string(mod_->observing() ? "1\n" : "0\n");
+  }
+  Result<void> write_content(Task& task, std::string_view data) override {
+    if (mod_->kernel_->capable(task, Capability::mac_admin) != Errno::ok)
+      return Errno::eperm;
+    auto word = trim(data);
+    if (word == "1" || word == "on") {
+      mod_->set_observe(true);
+    } else if (word == "0" || word == "off") {
+      mod_->set_observe(false);
+    } else if (word == "clear") {
+      mod_->reset_metrics();
+    } else {
+      return Errno::einval;
+    }
+    return {};
+  }
+
+ private:
+  SackModule* mod_;
+};
+
 // --- module ---
 
 SackModule::SackModule(SackMode mode, RuleSetKind ruleset_kind)
@@ -205,6 +274,9 @@ void SackModule::initialize(kernel::Kernel& kernel) {
   add(dir + "/policy/per_rules",
       std::make_unique<SectionFile>(this, SectionFile::Which::per_rules),
       0600);
+  add(dir + "/metrics", std::make_unique<MetricsFile>(this), 0444);
+  add(dir + "/trace", std::make_unique<TraceFile>(this), 0600);
+  add(dir + "/trace_enable", std::make_unique<TraceEnableFile>(this), 0600);
 }
 
 Result<void> SackModule::load_policy(SackPolicy policy,
@@ -224,6 +296,9 @@ Result<void> SackModule::load_policy(SackPolicy policy,
   policy_ = std::move(policy);
   ssm_ = std::move(ssm).value();
   rules_->load(policy_);
+  // Fresh per-state occupancy/entry stats: state ids are policy-relative.
+  state_stats_count_ = ssm_->state_count();
+  state_stats_ = std::make_unique<StateStats[]>(state_stats_count_);
   loaded_ = true;
   apply_current_state(/*force=*/true);
   log_info("sack: policy loaded: ", policy_.states.size(), " states, ",
@@ -254,17 +329,31 @@ Result<void> SackModule::load_section_text(std::string_view text) {
 Result<SituationStateMachine::Outcome> SackModule::deliver_event(
     std::string_view event_name) {
   ++events_received_;
+  const bool obs = observing();
+  const std::uint64_t t_start = obs ? monotonic_ns() : 0;
   if (!ssm_) {
     ++events_rejected_;
     return Errno::einval;
   }
-  auto outcome =
-      ssm_->deliver(event_name, kernel_ ? kernel_->clock().now() : 0);
+  const SimTime now = kernel_ ? kernel_->clock().now() : 0;
+  const SimTime prev_entered = ssm_->entered_current_at();
+  auto outcome = ssm_->deliver(event_name, now);
   if (!outcome.ok()) {
     ++events_rejected_;
     log_warn("sack: unknown situation event '", event_name, "'");
+    if (obs) {
+      TraceRecord tr;
+      tr.time = now;
+      tr.hook = TraceHook::event;
+      tr.verdict = Errno::einval;
+      tr.state_encoding = current_encoding_or(-1);
+      tr.subject = std::string(event_name);
+      tr.latency_ns = monotonic_ns() - t_start;
+      trace_.append(std::move(tr));
+    }
     return outcome.error();
   }
+  metrics_.events_accepted.inc();
   if (outcome->transitioned) {
     log_info("sack: situation transition '",
              ssm_->state_name(outcome->from), "' -> '",
@@ -273,7 +362,7 @@ Result<SituationStateMachine::Outcome> SackModule::deliver_event(
       // Situation transitions are security-relevant: audit them like the
       // permission changes they are.
       kernel::AuditRecord record;
-      record.time = kernel_->clock().now();
+      record.time = now;
       record.module = std::string(kName);
       record.subject = ssm_->state_name(outcome->from);
       record.object = ssm_->state_name(outcome->to);
@@ -281,9 +370,46 @@ Result<SituationStateMachine::Outcome> SackModule::deliver_event(
       record.verdict = kernel::AuditVerdict::allowed;
       kernel_->audit().record(std::move(record));
     }
+    note_transition(outcome->from, outcome->to, prev_entered, now,
+                    event_name);
     apply_current_state();
   }
+  if (obs) {
+    // Event->enforcement latency: from SACKfs write entry to the APE having
+    // applied the (possibly unchanged) state.
+    const std::uint64_t elapsed = monotonic_ns() - t_start;
+    metrics_.event_to_enforce_ns.record(elapsed);
+    TraceRecord tr;
+    tr.time = now;
+    tr.hook = TraceHook::event;
+    tr.state_encoding = current_encoding_or(-1);
+    tr.subject = std::string(event_name);
+    tr.latency_ns = elapsed;
+    trace_.append(std::move(tr));
+  }
   return outcome;
+}
+
+void SackModule::note_transition(StateId from, StateId to,
+                                 SimTime prev_entered, SimTime now,
+                                 std::string_view via) {
+  if (state_stats_ && ssm_) {
+    const auto from_i = static_cast<std::size_t>(from.get());
+    const auto to_i = static_cast<std::size_t>(to.get());
+    if (from_i < state_stats_count_ && now >= prev_entered)
+      state_stats_[from_i].occupied_ns.inc(
+          static_cast<std::uint64_t>(now - prev_entered));
+    if (to_i < state_stats_count_) state_stats_[to_i].entries.inc();
+  }
+  if (observing() && ssm_) {
+    TraceRecord tr;
+    tr.time = now;
+    tr.hook = TraceHook::transition;
+    tr.state_encoding = ssm_->encoding(to);
+    tr.subject = ssm_->state_name(from) + " -> " + ssm_->state_name(to);
+    tr.object = std::string(via);
+    trace_.append(std::move(tr));
+  }
 }
 
 std::string SackModule::current_state_name() const {
@@ -299,11 +425,31 @@ void SackModule::retract_all_injected() {
   if (mode_ != SackMode::apparmor_enhanced || !apparmor_) return;
   for (const auto& perm : injected_perms_) {
     apparmor_->remove_rules_by_origin("sack:" + perm);
+    metrics_.aa_rulesets_retracted.inc();
   }
   injected_perms_.clear();
 }
 
 void SackModule::apply_current_state(bool force) {
+  const bool obs = observing();
+  const std::uint64_t t_start = obs ? monotonic_ns() : 0;
+  struct ApeTimer {
+    SackModule* mod;
+    bool obs;
+    std::uint64_t t_start;
+    ~ApeTimer() {
+      if (!obs) return;
+      const std::uint64_t elapsed = monotonic_ns() - t_start;
+      mod->metrics_.apply_state_ns.record(elapsed);
+      TraceRecord tr;
+      tr.time = mod->kernel_ ? mod->kernel_->clock().now() : 0;
+      tr.hook = TraceHook::apply_state;
+      tr.state_encoding = mod->current_encoding_or(-1);
+      tr.latency_ns = elapsed;
+      mod->trace_.append(std::move(tr));
+    }
+  } ape_timer{this, obs, t_start};
+
   auto perms = current_permissions();
 
   // Enforcement-neutral transitions (self-loops, equivalent states) keep the
@@ -336,6 +482,7 @@ void SackModule::apply_current_state(bool force) {
   for (auto it = injected_perms_.begin(); it != injected_perms_.end();) {
     if (!target.contains(*it)) {
       apparmor_->remove_rules_by_origin("sack:" + *it);
+      metrics_.aa_rulesets_retracted.inc();
       it = injected_perms_.erase(it);
     } else {
       ++it;
@@ -362,6 +509,7 @@ void SackModule::apply_current_state(bool force) {
         log_warn("sack: cannot inject rules for permission '", perm,
                  "': AppArmor profile '", profile, "' not loaded");
     }
+    metrics_.aa_rulesets_injected.inc();
     injected_perms_.insert(perm);
   }
 }
@@ -401,6 +549,111 @@ std::string SackModule::status_text() const {
   return out;
 }
 
+std::string SackModule::metrics_text() const {
+  const auto avc = avc_.stats();
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.3f", avc.hit_rate());
+  std::string out = "# SACK pipeline metrics\n";
+  out += "observe: ";
+  out += observing() ? "on" : "off";
+  out += "\nchecks: " + std::to_string(avc.hits + avc.misses);
+  out += "\ndenials: " + std::to_string(denial_count());
+  out += "\navc_hits: " + std::to_string(avc.hits);
+  out += "\navc_misses: " + std::to_string(avc.misses);
+  out += "\navc_hit_rate: ";
+  out += rate;
+  out += "\nhook_total_ns: " + metrics_.hook_total_ns.summary();
+  out += "\navc_probe_ns: " + metrics_.avc_probe_ns.summary();
+  out += "\nmatcher_walk_ns: " + metrics_.matcher_walk_ns.summary();
+  out += "\nevent_to_enforce_ns: " + metrics_.event_to_enforce_ns.summary();
+  out += "\napply_state_ns: " + metrics_.apply_state_ns.summary();
+  out += "\nevents_received: " + std::to_string(events_received_);
+  out += "\nevents_accepted: " +
+         std::to_string(metrics_.events_accepted.value());
+  out += "\nevents_rejected: " + std::to_string(events_rejected_);
+  if (ssm_) {
+    out += "\ntransitions_taken: " +
+           std::to_string(ssm_->transitions_taken());
+    out += "\ninvalid_event_ids: " +
+           std::to_string(ssm_->events_invalid());
+  }
+  out += "\naa_rulesets_injected: " +
+         std::to_string(metrics_.aa_rulesets_injected.value());
+  out += "\naa_rulesets_retracted: " +
+         std::to_string(metrics_.aa_rulesets_retracted.value());
+  if (ssm_ && state_stats_) {
+    out += "\nstate_occupancy:";
+    for (std::size_t i = 0; i < state_stats_count_; ++i) {
+      out += "\n  " + ssm_->state_name(StateId(
+                          static_cast<StateId::rep_type>(i))) +
+             ": entries=" + std::to_string(state_stats_[i].entries.value()) +
+             " occupied_ns=" +
+             std::to_string(state_stats_[i].occupied_ns.value());
+    }
+  }
+  out += "\ntrace_enabled: ";
+  out += trace_.enabled() ? "1" : "0";
+  out += "\ntrace_recorded: " + std::to_string(trace_.recorded());
+  out += "\ntrace_dropped: " + std::to_string(trace_.dropped());
+  out += "\n";
+  return out;
+}
+
+std::string SackModule::metrics_json() const {
+  const auto avc = avc_.stats();
+  std::string out = "{";
+  out += "\"checks\": " + std::to_string(avc.hits + avc.misses);
+  out += ", \"denials\": " + std::to_string(denial_count());
+  out += ", \"avc_hits\": " + std::to_string(avc.hits);
+  out += ", \"avc_misses\": " + std::to_string(avc.misses);
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.4f", avc.hit_rate());
+  out += ", \"avc_hit_rate\": ";
+  out += rate;
+  out += ", \"hook_total_ns\": " + metrics_.hook_total_ns.json();
+  out += ", \"avc_probe_ns\": " + metrics_.avc_probe_ns.json();
+  out += ", \"matcher_walk_ns\": " + metrics_.matcher_walk_ns.json();
+  out += ", \"event_to_enforce_ns\": " +
+         metrics_.event_to_enforce_ns.json();
+  out += ", \"apply_state_ns\": " + metrics_.apply_state_ns.json();
+  out += ", \"events\": {\"received\": " + std::to_string(events_received_) +
+         ", \"accepted\": " +
+         std::to_string(metrics_.events_accepted.value()) +
+         ", \"rejected\": " + std::to_string(events_rejected_) + "}";
+  out += ", \"aa_rulesets\": {\"injected\": " +
+         std::to_string(metrics_.aa_rulesets_injected.value()) +
+         ", \"retracted\": " +
+         std::to_string(metrics_.aa_rulesets_retracted.value()) + "}";
+  if (ssm_ && state_stats_) {
+    out += ", \"states\": [";
+    for (std::size_t i = 0; i < state_stats_count_; ++i) {
+      if (i) out += ", ";
+      out += "{\"name\": \"" +
+             ssm_->state_name(StateId(static_cast<StateId::rep_type>(i))) +
+             "\", \"entries\": " +
+             std::to_string(state_stats_[i].entries.value()) +
+             ", \"occupied_ns\": " +
+             std::to_string(state_stats_[i].occupied_ns.value()) + "}";
+    }
+    out += "]";
+  }
+  out += ", \"trace\": {\"enabled\": ";
+  out += trace_.enabled() ? "true" : "false";
+  out += ", \"recorded\": " + std::to_string(trace_.recorded()) +
+         ", \"dropped\": " + std::to_string(trace_.dropped()) + "}";
+  out += "}";
+  return out;
+}
+
+void SackModule::reset_metrics() {
+  metrics_.hook_total_ns.reset();
+  metrics_.avc_probe_ns.reset();
+  metrics_.matcher_walk_ns.reset();
+  metrics_.event_to_enforce_ns.reset();
+  metrics_.apply_state_ns.reset();
+  trace_.clear();
+}
+
 // --- independent-mode enforcement ---
 
 std::string_view SackModule::profile_of(const Task& task) const {
@@ -432,6 +685,11 @@ void SackModule::note_denial(const Task& task, std::string_view path,
 Errno SackModule::check_op(const Task& task, std::string_view path,
                            MacOp op) {
   if (mode_ != SackMode::independent || !loaded_) return Errno::ok;
+  // Observability gate: one relaxed load. Everything below only takes
+  // timestamps / appends trace records when `obs` is set, so the disabled
+  // hook path is the pre-observability code plus predictable branches.
+  const bool obs = observing();
+  const std::uint64_t t_start = obs ? monotonic_ns() : 0;
   AccessQuery query;
   query.subject_exe = task.exe_path();
   query.subject_profile = profile_of(task);
@@ -442,17 +700,40 @@ Errno SackModule::check_op(const Task& task, std::string_view path,
   // we insert carries this (now old) stamp and is never served again.
   const std::uint64_t generation =
       generation_.load(std::memory_order_acquire);
+  bool avc_hit = false;
+  Errno rc = Errno::ok;
   if (avc_enabled_) {
     if (auto cached = avc_.probe(query, generation)) {
-      // Denials audit on every occurrence, cached or not — the AVC caches
-      // the decision, not the audit obligation.
-      if (*cached != Errno::ok) note_denial(task, path, op);
-      return *cached;
+      avc_hit = true;
+      rc = *cached;
     }
   }
-  Errno rc = rules_->check(query);
-  if (avc_enabled_) avc_.insert(query, generation, rc);
+  const std::uint64_t t_probe = obs ? monotonic_ns() : 0;
+  if (!avc_hit) {
+    rc = rules_->check(query);
+    if (avc_enabled_) avc_.insert(query, generation, rc);
+  }
+  // Denials audit on every occurrence, cached or not — the AVC caches the
+  // decision, not the audit obligation.
   if (rc != Errno::ok) note_denial(task, path, op);
+  if (obs) {
+    const std::uint64_t t_end = monotonic_ns();
+    metrics_.hook_total_ns.record(t_end - t_start);
+    metrics_.avc_probe_ns.record(t_probe - t_start);
+    if (!avc_hit) metrics_.matcher_walk_ns.record(t_end - t_probe);
+    TraceRecord tr;
+    tr.time = kernel_ ? kernel_->clock().now() : 0;
+    tr.pid = task.pid().get();
+    tr.hook = TraceHook::check_op;
+    tr.op = op;
+    tr.verdict = rc;
+    tr.avc_hit = avc_hit;
+    tr.state_encoding = current_encoding_or(-1);
+    tr.subject = task.exe_path();
+    tr.object = std::string(path);
+    tr.latency_ns = t_end - t_start;
+    trace_.append(std::move(tr));
+  }
   return rc;
 }
 
@@ -581,8 +862,10 @@ std::string SackModule::getprocattr(const kernel::Task& task) {
 
 void SackModule::clock_tick(SimTime now) {
   if (!ssm_ || !ssm_->has_timed_rule()) return;
+  const SimTime prev_entered = ssm_->entered_current_at();
   auto outcome = ssm_->tick(now);
   if (!outcome.transitioned) return;
+  note_transition(outcome.from, outcome.to, prev_entered, now, "timeout");
   log_info("sack: timed situation transition '",
            ssm_->state_name(outcome.from), "' -> '",
            ssm_->state_name(outcome.to), "'");

@@ -23,6 +23,10 @@
 //   /sys/kernel/security/SACK/policy/{states,permissions,state_per,per_rules}
 //                                             write: replace one section
 //                                             read:  canonical section dump
+//   /sys/kernel/security/SACK/metrics         read:  counters + per-stage
+//                                                    latency percentiles
+//   /sys/kernel/security/SACK/trace           read:  last-N trace records
+//   /sys/kernel/security/SACK/trace_enable    read/write: toggle tracing
 #pragma once
 
 #include <atomic>
@@ -40,8 +44,10 @@
 #include "core/policy_parser.h"
 #include "core/ruleset.h"
 #include "core/ssm.h"
+#include "core/trace.h"
 #include "kernel/kernel.h"
 #include "kernel/lsm/module.h"
+#include "util/metrics.h"
 
 namespace sack::core {
 
@@ -122,6 +128,22 @@ class SackModule final : public kernel::SecurityModule {
 
   std::string status_text() const;
 
+  // --- observability ---
+  // One runtime toggle gates the whole layer: hook timing, per-stage
+  // histograms, and the trace ring. Off (the default), every hook pays one
+  // relaxed atomic load and nothing else — the Table II overhead guarantee.
+  // Toggle programmatically here or via the SACKfs `trace_enable` file.
+  bool observing() const { return trace_.enabled(); }
+  void set_observe(bool on) { trace_.set_enabled(on); }
+  const TraceRing& trace_ring() const { return trace_; }
+  // Human-readable dump (the SACKfs `metrics` file content).
+  std::string metrics_text() const;
+  // Machine-readable per-stage percentiles; benches embed this verbatim.
+  std::string metrics_json() const;
+  // Clears histograms, observability counters, and the trace ring (not the
+  // enforcement counters surfaced in status_text).
+  void reset_metrics();
+
   // --- LSM hooks (independent mode enforcement) ---
   Errno file_open(kernel::Task& task, const std::string& path,
                   const kernel::Inode& inode,
@@ -170,6 +192,14 @@ class SackModule final : public kernel::SecurityModule {
                           kernel::AccessMask access);
   void note_denial(const kernel::Task& task, std::string_view path, MacOp op);
   std::string_view profile_of(const kernel::Task& task) const;
+  // Occupancy + entry accounting and the transition trace record, shared by
+  // the event and timed transition paths. `prev_entered` is the virtual time
+  // the old state was entered (captured before the SSM moved).
+  void note_transition(StateId from, StateId to, SimTime prev_entered,
+                       SimTime now, std::string_view via);
+  int current_encoding_or(int fallback) const {
+    return ssm_ ? ssm_->current_encoding() : fallback;
+  }
 
   SackMode mode_;
   bool revalidate_cache_ = true;
@@ -192,12 +222,40 @@ class SackModule final : public kernel::SecurityModule {
   std::vector<std::string> applied_perms_;
   bool applied_valid_ = false;
 
+  // --- observability state (tentpole: hook-path tracing + metrics) ---
+  TraceRing trace_{TraceRing::kDefaultCapacity};
+  struct PipelineMetrics {
+    // check_op end-to-end, split into the AVC probe and (on miss) the
+    // matcher walk — the per-hook attribution Table II cannot give.
+    util::LatencyHistogram hook_total_ns;
+    util::LatencyHistogram avc_probe_ns;
+    util::LatencyHistogram matcher_walk_ns;
+    // deliver_event entry -> enforcement applied (the event->APE latency).
+    util::LatencyHistogram event_to_enforce_ns;
+    // One APE application (rule activation or AppArmor reconcile).
+    util::LatencyHistogram apply_state_ns;
+    util::Counter events_accepted;
+    util::Counter aa_rulesets_injected;
+    util::Counter aa_rulesets_retracted;
+  };
+  PipelineMetrics metrics_;
+  // Per-state SSM statistics, indexed by StateId; rebuilt on policy load.
+  struct StateStats {
+    util::Counter entries;
+    util::Counter occupied_ns;  // virtual ns spent before each exit
+  };
+  std::unique_ptr<StateStats[]> state_stats_;
+  std::size_t state_stats_count_ = 0;
+
   class EventsFile;
   class CurrentStateFile;
   class StatusFile;
   class PolicyLoadFile;
   class PolicyValidateFile;
   class SectionFile;
+  class MetricsFile;
+  class TraceFile;
+  class TraceEnableFile;
   std::vector<std::unique_ptr<kernel::VirtualFileOps>> fs_files_;
   std::string last_validation_report_ = "(nothing validated yet)\n";
 };

@@ -65,6 +65,7 @@ void SituationStateMachine::reset() {
   entered_at_ = 0;
   events_delivered_ = 0;
   transitions_taken_ = 0;
+  events_invalid_ = 0;
 }
 
 Result<SituationStateMachine::Outcome> SituationStateMachine::deliver(
@@ -76,10 +77,18 @@ Result<SituationStateMachine::Outcome> SituationStateMachine::deliver(
 
 SituationStateMachine::Outcome SituationStateMachine::deliver(EventId event,
                                                               SimTime now) {
-  ++events_delivered_;
   Outcome outcome;
   outcome.from = current_;
   outcome.to = current_;
+  // A pre-interned EventId is only valid against the machine that interned
+  // it. After a policy reload the id space changes, so a stale or foreign id
+  // would index transition_ out of bounds — ignore it cleanly instead (the
+  // caller kept an id across a reload; the by-name path is the safe one).
+  if (idx(event) >= event_names_.size()) {
+    ++events_invalid_;
+    return outcome;
+  }
+  ++events_delivered_;
   std::int32_t target =
       transition_[idx(current_) * event_names_.size() + idx(event)];
   if (target >= 0 && static_cast<std::size_t>(target) != idx(current_)) {

@@ -74,6 +74,9 @@ class SituationStateMachine {
   // --- statistics (surfaced through /sys/kernel/security/SACK/status) ---
   std::uint64_t events_delivered() const { return events_delivered_; }
   std::uint64_t transitions_taken() const { return transitions_taken_; }
+  // Pre-interned ids rejected by the bounds check in deliver(EventId) —
+  // nonzero means a caller held an EventId across a policy reload.
+  std::uint64_t events_invalid() const { return events_invalid_; }
 
  private:
   template <typename Id>
@@ -102,6 +105,7 @@ class SituationStateMachine {
   SimTime entered_at_ = 0;
   std::uint64_t events_delivered_ = 0;
   std::uint64_t transitions_taken_ = 0;
+  std::uint64_t events_invalid_ = 0;
 };
 
 }  // namespace sack::core

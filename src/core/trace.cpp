@@ -1,0 +1,75 @@
+#include "core/trace.h"
+
+namespace sack::core {
+
+std::string_view trace_hook_name(TraceHook hook) {
+  switch (hook) {
+    case TraceHook::check_op: return "check_op";
+    case TraceHook::event: return "event";
+    case TraceHook::transition: return "transition";
+    case TraceHook::apply_state: return "apply_state";
+  }
+  return "?";
+}
+
+std::string TraceRecord::to_line() const {
+  std::string out = "seq=" + std::to_string(seq) +
+                    " t=" + std::to_string(time) +
+                    " pid=" + std::to_string(pid) + " hook=";
+  out += trace_hook_name(hook);
+  if (hook == TraceHook::check_op) {
+    out += " op=";
+    out += mac_op_name(op);
+    out += " avc=";
+    out += avc_hit ? "hit" : "miss";
+  }
+  out += " verdict=";
+  out += verdict == Errno::ok ? "ok" : errno_name(verdict);
+  out += " state=" + std::to_string(state_encoding);
+  if (!subject.empty()) out += " subject=" + subject;
+  if (!object.empty()) out += " object=" + object;
+  out += " latency_ns=" + std::to_string(latency_ns) + "\n";
+  return out;
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1) {
+  ring_.resize(capacity_);
+}
+
+void TraceRing::append(TraceRecord record) {
+  std::lock_guard lock(mu_);
+  record.seq = recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (count_ < capacity_) {
+    ring_[(head_ + count_) % capacity_] = std::move(record);
+    ++count_;
+  } else {
+    // Full: overwrite the oldest record and account for the loss.
+    ring_[head_] = std::move(record);
+    head_ = (head_ + 1) % capacity_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<TraceRecord> TraceRing::snapshot(std::size_t n) const {
+  std::lock_guard lock(mu_);
+  const std::size_t take = n < count_ ? n : count_;
+  std::vector<TraceRecord> out;
+  out.reserve(take);
+  for (std::size_t i = count_ - take; i < count_; ++i)
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  return out;
+}
+
+std::size_t TraceRing::size() const {
+  std::lock_guard lock(mu_);
+  return count_;
+}
+
+void TraceRing::clear() {
+  std::lock_guard lock(mu_);
+  head_ = 0;
+  count_ = 0;
+}
+
+}  // namespace sack::core

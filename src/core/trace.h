@@ -1,0 +1,93 @@
+// Ring-buffer event tracer for the SACK hook path.
+//
+// Compiled in, runtime-toggleable: the `enabled()` probe the hooks run on
+// every operation is a single relaxed atomic load, so with tracing off the
+// enforcement hot path is unperturbed (the Table II guarantee). When
+// enabled, every decision appends one record — timestamp, task, hook, op,
+// verdict, AVC hit/miss, situation state at decision time, and the measured
+// latency — into a bounded ring. The ring never grows: once full, each
+// append overwrites the oldest record and bumps a drop counter, the same
+// loss-visibility contract as the kernel audit ring.
+//
+// Appends take a mutex (tracing is a diagnostic mode; the lock is
+// uncontended in the common case and keeps snapshot() trivially correct
+// under concurrent enforcement threads — the TSan suite covers that).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/mac_ops.h"
+#include "util/clock.h"
+#include "util/errno.h"
+
+namespace sack::core {
+
+enum class TraceHook : std::uint8_t {
+  check_op,     // one enforcement decision (LSM hook -> verdict)
+  event,        // situation event delivered to the SSM
+  transition,   // SSM state change (event or timed)
+  apply_state,  // APE applied the new state (rules or AppArmor patch)
+};
+
+std::string_view trace_hook_name(TraceHook hook);
+
+struct TraceRecord {
+  std::uint64_t seq = 0;
+  SimTime time = 0;             // virtual kernel clock at the decision
+  std::int64_t pid = 0;         // 0 = kernel-internal (events, timers)
+  TraceHook hook = TraceHook::check_op;
+  MacOp op = MacOp::none;       // check_op records only
+  Errno verdict = Errno::ok;
+  bool avc_hit = false;         // check_op records only
+  int state_encoding = -1;      // situation state at decision time
+  std::string subject;          // exe path / event name / from-state
+  std::string object;           // object path / to-state
+  std::uint64_t latency_ns = 0; // measured wall-clock cost of the stage
+
+  std::string to_line() const;
+};
+
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  void append(TraceRecord record);
+
+  // The last min(n, size) records, oldest first.
+  std::vector<TraceRecord> snapshot(std::size_t n) const;
+
+  std::uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  mutable std::mutex mu_;
+  std::vector<TraceRecord> ring_;  // ring_[ (head_ + i) % capacity_ ]
+  std::size_t head_ = 0;           // index of oldest record
+  std::size_t count_ = 0;
+};
+
+}  // namespace sack::core

@@ -1,16 +1,55 @@
 #include "kernel/audit.h"
 
+#include <cstdio>
+
 namespace sack::kernel {
+
+std::string audit_escape_field(std::string_view value) {
+  if (value.empty()) return "?";
+  bool needs_quoting = false;
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '\\' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      needs_quoting = true;
+      break;
+    }
+  }
+  if (!needs_quoting) return std::string(value);
+  std::string out;
+  out.reserve(value.size() + 2);
+  out += '"';
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
 
 std::string AuditRecord::to_line() const {
   std::string out = "audit seq=" + std::to_string(seq) +
-                    " time=" + std::to_string(time) + " module=" + module +
-                    " pid=" + std::to_string(pid.get()) + " subject=" +
-                    (subject.empty() ? "?" : subject) + " op=" + operation +
-                    " object=" + (object.empty() ? "?" : object) +
-                    " verdict=" +
+                    " time=" + std::to_string(time) +
+                    " module=" + audit_escape_field(module) +
+                    " pid=" + std::to_string(pid.get()) +
+                    " subject=" + audit_escape_field(subject) +
+                    " op=" + audit_escape_field(operation) +
+                    " object=" + audit_escape_field(object) + " verdict=" +
                     (verdict == AuditVerdict::denied ? "DENIED" : "allowed");
-  if (!context.empty()) out += " ctx=" + context;
+  if (!context.empty()) out += " ctx=" + audit_escape_field(context);
   out += "\n";
   return out;
 }

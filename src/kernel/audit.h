@@ -18,6 +18,14 @@ namespace sack::kernel {
 
 enum class AuditVerdict : std::uint8_t { allowed, denied };
 
+// Renders one record field for the key=value log line. Fields whose content
+// is attacker-influenced (paths, event names) could otherwise forge extra
+// fields or whole records: a value containing whitespace, quotes, or
+// control characters is double-quoted with backslash escapes (\" \\ \n \r
+// \t), so one record is always exactly one line and `verdict=` appears only
+// where the kernel wrote it. Empty fields render as "?".
+std::string audit_escape_field(std::string_view value);
+
 struct AuditRecord {
   std::uint64_t seq = 0;
   SimTime time = 0;

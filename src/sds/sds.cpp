@@ -22,7 +22,9 @@ void SituationDetectionService::add_default_detectors() {
 Result<void> SituationDetectionService::send_event(std::string_view event) {
   std::string line(event);
   line += '\n';
+  const std::uint64_t t_start = monotonic_ns();
   auto rc = process_.write_existing(kEventsPath, line);
+  send_ns_.record(monotonic_ns() - t_start);
   if (rc.ok()) {
     ++events_sent_;
   } else {
@@ -45,13 +47,23 @@ std::vector<std::string> SituationDetectionService::feed(
           ++events_suppressed_;
           continue;
         }
-        last_sent_ms_[event] = frame.time_ms;
       }
-      (void)send_event(event);
+      // Stamp the rate limiter only after a *successful* transmit: a failed
+      // write must leave the window open so the event is retried on the
+      // next frame instead of being silently lost for min_interval_ms_.
+      if (send_event(event).ok() && min_interval_ms_ > 0)
+        last_sent_ms_[event] = frame.time_ms;
       emitted.push_back(std::move(event));
     }
   }
   return emitted;
+}
+
+std::string SituationDetectionService::metrics_json() const {
+  return "{\"events_sent\": " + std::to_string(events_sent_) +
+         ", \"send_failures\": " + std::to_string(send_failures_) +
+         ", \"events_suppressed\": " + std::to_string(events_suppressed_) +
+         ", \"send_ns\": " + send_ns_.json() + "}";
 }
 
 std::vector<std::string> SituationDetectionService::play(const Trace& trace) {

@@ -14,6 +14,7 @@
 #include "kernel/process.h"
 #include "sds/detectors.h"
 #include "sds/sensors.h"
+#include "util/metrics.h"
 
 namespace sack::sds {
 
@@ -52,6 +53,12 @@ class SituationDetectionService {
   std::uint64_t send_failures() const { return send_failures_; }
   std::uint64_t events_suppressed() const { return events_suppressed_; }
 
+  // Transmit latency (the write(2) into SACKfs, i.e. the paper's
+  // low-latency channel) and the counters above, as JSON — the user-space
+  // half of the pipeline's observability.
+  const util::LatencyHistogram& send_latency() const { return send_ns_; }
+  std::string metrics_json() const;
+
   static constexpr std::string_view kEventsPath =
       "/sys/kernel/security/SACK/events";
 
@@ -63,6 +70,7 @@ class SituationDetectionService {
   std::uint64_t events_sent_ = 0;
   std::uint64_t send_failures_ = 0;
   std::uint64_t events_suppressed_ = 0;
+  util::LatencyHistogram send_ns_;
 };
 
 }  // namespace sack::sds

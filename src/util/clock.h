@@ -26,6 +26,15 @@ class VirtualClock {
   SimTime now_ns_ = 0;
 };
 
+// Raw monotonic nanoseconds, for instrumentation that must timestamp
+// without constructing a timer (the observability hooks).
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 // Thin wrapper over steady_clock for benchmark code.
 class MonotonicTimer {
  public:

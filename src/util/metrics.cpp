@@ -1,0 +1,77 @@
+#include "util/metrics.h"
+
+#include <cstdio>
+
+namespace sack::util {
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t n = 0;
+  for (int i = 0; i < kBuckets; ++i) n += bucket_count(i);
+  return n;
+}
+
+double LatencyHistogram::mean_ns() const {
+  const std::uint64_t n = count();
+  return n ? static_cast<double>(sum_ns()) / static_cast<double>(n) : 0.0;
+}
+
+double LatencyHistogram::percentile_ns(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the target sample, 1-based; walk buckets until we pass it.
+  const double rank = p / 100.0 * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      // Linear interpolation across the bucket's value range. The top
+      // bucket is open-ended; report its lower bound rather than inventing
+      // an upper one.
+      const double lo = static_cast<double>(bucket_lower(i));
+      if (i >= kBuckets - 1) return lo;
+      const double hi = static_cast<double>(bucket_upper(i));
+      const double into =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * (into < 0.0 ? 0.0 : into > 1.0 ? 1.0 : into);
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max_bound_ns());
+}
+
+std::uint64_t LatencyHistogram::max_bound_ns() const {
+  for (int i = kBuckets - 1; i >= 0; --i)
+    if (bucket_count(i) > 0) return bucket_upper(i);
+  return 0;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.0f p50=%.0f p95=%.0f p99=%.0f max<%llu",
+                static_cast<unsigned long long>(count()), mean_ns(),
+                percentile_ns(50), percentile_ns(95), percentile_ns(99),
+                static_cast<unsigned long long>(max_bound_ns()));
+  return buf;
+}
+
+std::string LatencyHistogram::json() const {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"mean\":%.1f,\"p50\":%.1f,\"p95\":%.1f,"
+                "\"p99\":%.1f,\"max_bound\":%llu}",
+                static_cast<unsigned long long>(count()), mean_ns(),
+                percentile_ns(50), percentile_ns(95), percentile_ns(99),
+                static_cast<unsigned long long>(max_bound_ns()));
+  return buf;
+}
+
+}  // namespace sack::util

@@ -1,0 +1,100 @@
+// Lock-cheap metrics primitives for the observability layer.
+//
+// Everything here is safe to update from concurrent enforcement threads and
+// to scrape concurrently from a reader: counters and histogram buckets are
+// relaxed atomics (monotonic event counts need no ordering; a scrape is a
+// statistical snapshot, not a linearizable one). Nothing allocates or locks
+// on the update path, so a histogram record costs two atomic adds and the
+// disabled observability path in the hooks stays at one relaxed load.
+//
+// LatencyHistogram uses fixed log2 buckets: bucket 0 holds [0,1) ns (i.e.
+// the value 0), bucket i holds [2^(i-1), 2^i). 64 buckets cover the full
+// uint64 nanosecond range, so recording never clips. Percentiles are
+// extracted by rank walk with linear interpolation inside the winning
+// bucket — coarse (log2 resolution) but exactly what per-hook latency
+// attribution needs, and immune to reservoir-sampling bias.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace sack::util {
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Instantaneous value (e.g. cache occupancy, active rule count).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t ns) {
+    buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const;
+  std::uint64_t sum_ns() const {
+    return sum_ns_.load(std::memory_order_relaxed);
+  }
+  double mean_ns() const;
+
+  // Value at percentile `p` (0..100), interpolated within the log2 bucket
+  // that holds the rank. Returns 0 for an empty histogram.
+  double percentile_ns(double p) const;
+
+  // Upper bound of the highest non-empty bucket (0 if empty): a cheap
+  // "max observed was below this" figure.
+  std::uint64_t max_bound_ns() const;
+
+  void reset();
+
+  // "count=N mean=X p50=X p95=X p99=X max<X" (ns, rounded).
+  std::string summary() const;
+  // {"count":N,"mean":X,"p50":X,"p95":X,"p99":X,"max_bound":X}
+  std::string json() const;
+
+  static int bucket_of(std::uint64_t ns) {
+    if (ns == 0) return 0;
+    const int b = std::bit_width(ns);
+    return b < kBuckets ? b : kBuckets - 1;  // top bucket is open-ended
+  }
+  // [lower, upper) value range of bucket i.
+  static std::uint64_t bucket_lower(int i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  static std::uint64_t bucket_upper(int i) {
+    return i == 0 ? 1
+                  : (i >= kBuckets - 1 ? ~std::uint64_t{0}
+                                       : std::uint64_t{1} << i);
+  }
+  std::uint64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+}  // namespace sack::util

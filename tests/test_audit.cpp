@@ -1,6 +1,8 @@
 // Kernel audit subsystem + its securityfs interface + MAC integration.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "apparmor/apparmor.h"
 #include "core/sack_module.h"
 #include "kernel/process.h"
@@ -58,6 +60,49 @@ TEST(AuditLog, CountDenialsFiltersByModule) {
   EXPECT_EQ(log.count_denials(), 3u);
   EXPECT_EQ(log.count_denials("a"), 1u);
   EXPECT_EQ(log.count_denials("b"), 2u);
+}
+
+TEST(AuditLog, EscapeFieldQuotesHostileContent) {
+  EXPECT_EQ(audit_escape_field("plain"), "plain");
+  EXPECT_EQ(audit_escape_field("/usr/bin/app"), "/usr/bin/app");
+  EXPECT_EQ(audit_escape_field(""), "?");
+  EXPECT_EQ(audit_escape_field("a b"), "\"a b\"");
+  EXPECT_EQ(audit_escape_field("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(audit_escape_field("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(audit_escape_field("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(audit_escape_field(std::string_view("a\x01z", 3)), "\"a\\x01z\"");
+}
+
+TEST(AuditLog, HostileFilenameCannotForgeRecord) {
+  // Regression: to_line() concatenated raw field values, so a filename
+  // containing spaces and newlines could inject fake fields — or a whole
+  // fake "verdict=allowed" record — into the audit stream. Fields with
+  // attacker-influenced content must render quoted and escaped, keeping
+  // exactly one record per line with the kernel's own verdict last.
+  AuditLog log(8);
+  AuditRecord r;
+  r.module = "sack";
+  r.pid = Pid(7);
+  r.subject = "/usr/bin/app";
+  r.object = "/tmp/x verdict=allowed\naudit seq=999 module=sack "
+             "subject=/usr/bin/app op=write object=/etc/shadow "
+             "verdict=allowed";
+  r.operation = "write";
+  r.verdict = AuditVerdict::denied;
+  log.record(r);
+
+  const std::string line = log.records()[0].to_line();
+  // One record is one line: the embedded newline never splits the record.
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_NE(line.find("\\n"), std::string::npos);
+  // The kernel's verdict is the last one on the line, and it says DENIED.
+  const auto last_verdict = line.rfind("verdict=");
+  ASSERT_NE(last_verdict, std::string::npos);
+  EXPECT_EQ(line.substr(last_verdict, 14), "verdict=DENIED");
+  // The full log still parses as one record, not two.
+  EXPECT_EQ(log.to_text(), line);
+  EXPECT_EQ(log.count_denials("sack"), 1u);
 }
 
 TEST(AuditIntegration, SackDenialLandsInAuditLog) {

@@ -158,14 +158,20 @@ TEST(Integration, MixedValidAndUnknownEventsInOneWrite) {
   IviSystem ivi({.mac = MacConfig::independent_sack});
   auto admin = ivi.admin_process();
   // One write(2) carrying a valid event, garbage, and another valid event:
-  // the handler processes all lines, reports EINVAL, and the valid ones
-  // still took effect (write-side error does not roll back transitions, as
-  // with a real pseudo-file interface).
+  // the handler processes all lines and the write *succeeds* — the accepted
+  // events took effect, so reporting the batch as failed would make the SDS
+  // retry transitions that already happened. The bad line is still visible
+  // through the events_rejected counter; only an all-bad write is EINVAL.
   auto rc = admin.write_existing("/sys/kernel/security/SACK/events",
                                  "start_driving\nnot_an_event\ncrash_detected\n");
-  EXPECT_EQ(rc.error(), Errno::einval);
+  EXPECT_TRUE(rc.ok());
   EXPECT_EQ(ivi.situation(), "emergency");
   EXPECT_EQ(ivi.sack()->events_rejected(), 1u);
+
+  auto all_bad = admin.write_existing("/sys/kernel/security/SACK/events",
+                                      "bogus_one\nbogus_two\n");
+  EXPECT_EQ(all_bad.error(), Errno::einval);
+  EXPECT_EQ(ivi.sack()->events_rejected(), 3u);
 }
 
 TEST(Integration, AuditTrailCoversWholeScenario) {

@@ -1,0 +1,151 @@
+// util/metrics: counters, gauges, log2 latency histograms + percentiles.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace sack::util {
+namespace {
+
+TEST(MetricsCounter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsGauge, SetAndAdd) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(MetricsHistogram, BucketBoundaries) {
+  // Bucket 0 holds the value 0; bucket i (i>=1) holds [2^(i-1), 2^i).
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 1);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_of(4), 3);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1023), 10);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1024), 11);
+  // The top bucket is open-ended: huge values must not index out of range.
+  EXPECT_EQ(LatencyHistogram::bucket_of(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+  for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1},
+                          std::uint64_t{777}, std::uint64_t{1} << 40}) {
+    const int b = LatencyHistogram::bucket_of(v);
+    EXPECT_GE(v, LatencyHistogram::bucket_lower(b)) << v;
+    EXPECT_LT(v, LatencyHistogram::bucket_upper(b)) << v;
+  }
+}
+
+TEST(MetricsHistogram, CountSumMean) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_ns(), 600u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 200.0);
+}
+
+TEST(MetricsHistogram, EmptyPercentilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile_ns(50), 0.0);
+  EXPECT_EQ(h.percentile_ns(99), 0.0);
+  EXPECT_EQ(h.max_bound_ns(), 0u);
+}
+
+TEST(MetricsHistogram, PercentilesLandInTheRightBucket) {
+  LatencyHistogram h;
+  // 1..1000 ns uniform: p50 must land in [256,1024) (log2 resolution
+  // around the true 500), p99 in [512,1024), and the ordering must hold.
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const double p50 = h.percentile_ns(50);
+  const double p95 = h.percentile_ns(95);
+  const double p99 = h.percentile_ns(99);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LT(p50, 1024.0);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, static_cast<double>(h.max_bound_ns()));
+  EXPECT_EQ(h.max_bound_ns(), 1024u);  // 1000 lives in [512,1024)
+}
+
+TEST(MetricsHistogram, SingleBucketInterpolation) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(600);  // all in [512,1024)
+  const double p50 = h.percentile_ns(50);
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p50, 1024.0);
+  EXPECT_EQ(h.max_bound_ns(), 1024u);
+}
+
+TEST(MetricsHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_ns(), 0u);
+  EXPECT_EQ(h.max_bound_ns(), 0u);
+}
+
+TEST(MetricsHistogram, SummaryAndJsonShape) {
+  LatencyHistogram h;
+  h.record(100);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+  const std::string j = h.json();
+  EXPECT_NE(j.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(j.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(j.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(j.find("\"max_bound\":"), std::string::npos);
+}
+
+TEST(MetricsMt, ConcurrentRecordAndScrape) {
+  // Recording threads race a scraper: counts are never lost (atomic
+  // buckets) and the scraper never crashes or reads torn state. TSan runs
+  // this in CI.
+  LatencyHistogram h;
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, &c, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t * 1000 + i % 997));
+        c.inc();
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)h.count();
+      (void)h.percentile_ns(95);
+      (void)h.summary();
+    }
+  });
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace sack::util

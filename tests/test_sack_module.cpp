@@ -180,6 +180,37 @@ TEST_F(SackModuleTest, UnknownEventRejectedAndCounted) {
   EXPECT_EQ(sack_->current_state_name(), "normal");
 }
 
+TEST_F(SackModuleTest, PartialEventBatchSucceedsAndIsAccounted) {
+  // Regression: a batch with one bad line used to fail the whole write(2)
+  // even though the good lines had already transitioned the SSM — the SDS
+  // would then retry events that already took effect. The write succeeds,
+  // and the bad line shows up in the rejected counters instead.
+  load_default();
+  Process admin(kernel_, kernel_.init_task());
+  EXPECT_TRUE(admin
+                  .write_existing("/sys/kernel/security/SACK/events",
+                                  "crash_detected\nnot_a_thing\n")
+                  .ok());
+  EXPECT_EQ(sack_->current_state_name(), "emergency");
+  EXPECT_EQ(sack_->events_received(), 2u);
+  EXPECT_EQ(sack_->events_rejected(), 1u);
+
+  auto metrics = admin.read_file("/sys/kernel/security/SACK/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("events_received: 2"), std::string::npos);
+  EXPECT_NE(metrics->find("events_accepted: 1"), std::string::npos);
+  EXPECT_NE(metrics->find("events_rejected: 1"), std::string::npos);
+
+  // All-bad batches still fail loudly.
+  EXPECT_EQ(admin
+                .write_existing("/sys/kernel/security/SACK/events",
+                                "junk_a\njunk_b\n")
+                .error(),
+            Errno::einval);
+  EXPECT_EQ(sack_->events_rejected(), 3u);
+  EXPECT_EQ(sack_->current_state_name(), "emergency");
+}
+
 TEST_F(SackModuleTest, CurrentStateAndStatusFiles) {
   load_default();
   Process admin(kernel_, kernel_.init_task());

@@ -246,6 +246,39 @@ TEST(SdsEndToEnd, FloodThrottlingSuppressesRepeats) {
   ASSERT_TRUE(sds.send_event("stop_driving").ok());
 }
 
+TEST(SdsEndToEnd, RateLimiterRetriesAfterFailedTransmit) {
+  // Regression: the rate limiter used to stamp last_sent_ms_ on every
+  // attempt, so a *failed* transmit silenced that event for the whole
+  // min_interval window — an event could be lost for seconds even though
+  // the kernel never saw it. A failed send must leave the window open.
+  ivi::IviSystem ivi({.mac = ivi::MacConfig::independent_sack});
+  auto& kernel = ivi.kernel();
+  auto& user = kernel.spawn_task("evil", kernel::Cred::user(1000, 1000));
+  SituationDetectionService sds(kernel::Process(kernel, user));
+  class Flapper : public Detector {
+   public:
+    std::string_view detector_name() const override { return "flapper"; }
+    std::vector<std::string> on_frame(const SensorFrame&) override {
+      return {"crash_detected"};
+    }
+  };
+  sds.add_detector(std::make_unique<Flapper>());
+  sds.set_min_event_interval_ms(1'000'000);  // would suppress all repeats
+
+  for (int i = 0; i < 10; ++i)
+    (void)sds.feed(frame(i * 100, 30, Gear::drive));
+
+  // Every frame retried the transmit; none were rate-limited away.
+  EXPECT_EQ(sds.events_sent(), 0u);
+  EXPECT_EQ(sds.send_failures(), 10u);
+  EXPECT_EQ(sds.events_suppressed(), 0u);
+  // The transmit latency histogram saw every attempt.
+  EXPECT_EQ(sds.send_latency().count(), 10u);
+  const std::string json = sds.metrics_json();
+  EXPECT_NE(json.find("\"send_failures\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"send_ns\": {"), std::string::npos);
+}
+
 TEST(SdsEndToEnd, UnprivilegedWriterCannotInjectEvents) {
   ivi::IviSystem ivi({.mac = ivi::MacConfig::independent_sack});
   auto& kernel = ivi.kernel();

@@ -123,6 +123,35 @@ TEST(Ssm, InternedIdsRoundTrip) {
   EXPECT_FALSE(ssm.state_id("nope").ok());
 }
 
+TEST(Ssm, StaleEventIdAfterReloadIsIgnored) {
+  // Regression: deliver(EventId) indexed the transition table without a
+  // bounds check, so an id interned against a *previous* policy (an SDS or
+  // bench caching ids across a reload) read out of range. A stale id must
+  // be dropped — counted, never transitioned on.
+  auto big = *SituationStateMachine::build(fig2_policy());
+  EventId stale = *big.event_id("emergency_cleared");  // id 5 of 6
+
+  PolicyBuilder b;
+  b.state("a", 0).state("b", 1).initial("a").transition("a", "ping", "b");
+  auto small = *SituationStateMachine::build(b.build());
+  ASSERT_LT(small.event_count(), big.event_count());
+  ASSERT_GE(static_cast<std::size_t>(stale.get()), small.event_count());
+
+  auto out = small.deliver(stale);
+  EXPECT_FALSE(out.transitioned);
+  EXPECT_EQ(out.from, small.current());
+  EXPECT_EQ(out.to, small.current());
+  EXPECT_EQ(small.events_invalid(), 1u);
+  EXPECT_EQ(small.events_delivered(), 0u);
+  EXPECT_EQ(small.transitions_taken(), 0u);
+  EXPECT_EQ(small.current_name(), "a");
+
+  // A valid pre-interned id still works after the rejection.
+  auto good = small.deliver(*small.event_id("ping"));
+  EXPECT_TRUE(good.transitioned);
+  EXPECT_EQ(small.events_invalid(), 1u);
+}
+
 // Property: in a ring SSM, delivering "advance" k times lands on state k % n,
 // for any n — the deterministic-model check used by Fig 3(a)'s policies.
 class SsmRingProperty : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,280 @@
+// Observability: trace ring semantics, SACKfs metrics/trace files, the
+// runtime toggle's zero-cost-when-off contract, and TSan-checked concurrent
+// enforcement + scraping.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/sack_module.h"
+#include "core/trace.h"
+#include "kernel/process.h"
+
+namespace sack::core {
+namespace {
+
+using kernel::Cred;
+using kernel::Kernel;
+using kernel::OpenFlags;
+using kernel::Process;
+using kernel::Task;
+
+TraceRecord rec(std::uint64_t latency) {
+  TraceRecord r;
+  r.hook = TraceHook::check_op;
+  r.op = MacOp::read;
+  r.latency_ns = latency;
+  return r;
+}
+
+TEST(TraceRing, AppendsAndSnapshotsInOrder) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.append(rec(i));
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.recorded(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  auto snap = ring.snapshot(100);
+  ASSERT_EQ(snap.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(snap[i].seq, i);
+    EXPECT_EQ(snap[i].latency_ns, i);
+  }
+  // last-N read.
+  auto tail = ring.snapshot(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].seq, 3u);
+  EXPECT_EQ(tail[1].seq, 4u);
+}
+
+TEST(TraceRing, WraparoundDropsOldestAndCounts) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) ring.append(rec(i));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  auto snap = ring.snapshot(100);
+  ASSERT_EQ(snap.size(), 4u);
+  // The oldest surviving record is #6; order is preserved across the wrap.
+  EXPECT_EQ(snap.front().seq, 6u);
+  EXPECT_EQ(snap.back().seq, 9u);
+}
+
+TEST(TraceRing, ClearEmptiesButKeepsLossCounters) {
+  TraceRing ring(2);
+  for (int i = 0; i < 5; ++i) ring.append(rec(1));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.snapshot(10).empty());
+  EXPECT_EQ(ring.recorded(), 5u);  // monotonic: loss stays visible
+}
+
+TEST(TraceRing, RecordLineFormat) {
+  TraceRecord r;
+  r.hook = TraceHook::check_op;
+  r.op = MacOp::write;
+  r.verdict = Errno::eacces;
+  r.avc_hit = true;
+  r.state_encoding = 3;
+  r.subject = "/usr/bin/app";
+  r.object = "/dev/door";
+  r.latency_ns = 77;
+  const std::string line = r.to_line();
+  EXPECT_NE(line.find("hook=check_op"), std::string::npos);
+  EXPECT_NE(line.find("op=write"), std::string::npos);
+  EXPECT_NE(line.find("avc=hit"), std::string::npos);
+  EXPECT_NE(line.find("verdict=EACCES"), std::string::npos);
+  EXPECT_NE(line.find("state=3"), std::string::npos);
+  EXPECT_NE(line.find("latency_ns=77"), std::string::npos);
+}
+
+// --- SackModule integration ---
+
+constexpr std::string_view kPolicy = R"(
+states { normal = 0; emergency = 1; }
+initial normal;
+transitions {
+  normal -> emergency on crash_detected;
+  emergency -> normal on emergency_cleared;
+}
+permissions { MEDIA_READ; DOOR_CONTROL; }
+state_per {
+  normal: MEDIA_READ;
+  emergency: MEDIA_READ, DOOR_CONTROL;
+}
+per_rules {
+  MEDIA_READ { allow * /var/media/** read getattr; }
+  DOOR_CONTROL { allow /usr/bin/rescue /dev/door write ioctl; }
+}
+)";
+
+class TraceObservabilityTest : public ::testing::Test {
+ protected:
+  TraceObservabilityTest() {
+    sack_ = static_cast<SackModule*>(kernel_.add_lsm(
+        std::make_unique<SackModule>(SackMode::independent)));
+    kernel_.vfs().mkdir_p("/var/media");
+    Process admin(kernel_, kernel_.init_task());
+    EXPECT_TRUE(admin.write_file("/var/media/track.pcm", "DATA").ok());
+    EXPECT_TRUE(admin.write_file("/dev/door", "").ok());
+    EXPECT_TRUE(admin.write_file("/usr/bin/app", "ELF").ok());
+    EXPECT_TRUE(sack_->load_policy_text(kPolicy).ok());
+  }
+
+  Process admin() { return {kernel_, kernel_.init_task()}; }
+
+  Kernel kernel_;
+  SackModule* sack_ = nullptr;
+};
+
+TEST_F(TraceObservabilityTest, DisabledByDefaultAndCollectsNothing) {
+  EXPECT_FALSE(sack_->observing());
+  auto p = admin();
+  EXPECT_TRUE(p.read_file("/var/media/track.pcm").ok());
+  EXPECT_EQ(sack_->trace_ring().recorded(), 0u);
+  auto metrics = p.read_file("/sys/kernel/security/SACK/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("observe: off"), std::string::npos);
+  EXPECT_NE(metrics->find("hook_total_ns: count=0"), std::string::npos);
+}
+
+TEST_F(TraceObservabilityTest, ToggleViaSackfsCollectsHookLatencies) {
+  auto p = admin();
+  ASSERT_TRUE(
+      p.write_existing("/sys/kernel/security/SACK/trace_enable", "1").ok());
+  EXPECT_TRUE(sack_->observing());
+
+  for (int i = 0; i < 32; ++i)
+    EXPECT_TRUE(p.read_file("/var/media/track.pcm").ok());
+  ASSERT_TRUE(p.write_existing("/sys/kernel/security/SACK/events",
+                               "crash_detected\n")
+                  .ok());
+
+  auto metrics = p.read_file("/sys/kernel/security/SACK/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("observe: on"), std::string::npos);
+  // Non-zero hook latency percentiles and AVC traffic after real hooks ran.
+  EXPECT_EQ(metrics->find("hook_total_ns: count=0"), std::string::npos);
+  EXPECT_NE(metrics->find("avc_hits:"), std::string::npos);
+  EXPECT_NE(metrics->find("event_to_enforce_ns: count="),
+            std::string::npos);
+  EXPECT_NE(metrics->find("state_occupancy:"), std::string::npos);
+  EXPECT_GT(sack_->trace_ring().recorded(), 0u);
+
+  auto trace = p.read_file("/sys/kernel/security/SACK/trace");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NE(trace->find("hook=check_op"), std::string::npos);
+  EXPECT_NE(trace->find("hook=transition"), std::string::npos);
+  EXPECT_NE(trace->find("hook=event"), std::string::npos);
+  EXPECT_NE(trace->find("hook=apply_state"), std::string::npos);
+
+  // JSON mirror carries the same per-stage percentiles.
+  const std::string json = sack_->metrics_json();
+  EXPECT_NE(json.find("\"hook_total_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"avc_probe_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"matcher_walk_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"event_to_enforce_ns\""), std::string::npos);
+
+  // Toggle off: collection stops, data stays readable.
+  ASSERT_TRUE(
+      p.write_existing("/sys/kernel/security/SACK/trace_enable", "0").ok());
+  const auto recorded = sack_->trace_ring().recorded();
+  EXPECT_TRUE(p.read_file("/var/media/track.pcm").ok());
+  EXPECT_EQ(sack_->trace_ring().recorded(), recorded);
+
+  // "clear" resets histograms and the ring.
+  ASSERT_TRUE(p.write_existing("/sys/kernel/security/SACK/trace_enable",
+                               "clear")
+                  .ok());
+  metrics = p.read_file("/sys/kernel/security/SACK/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("hook_total_ns: count=0"), std::string::npos);
+}
+
+TEST_F(TraceObservabilityTest, TraceRecordsCarryDecisionContext) {
+  sack_->set_observe(true);
+  Task& app = kernel_.spawn_task("app", Cred::root(), "/usr/bin/app");
+  Process p(kernel_, app);
+  // Denied op: /dev/door is guarded, DOOR_CONTROL inactive in 'normal'.
+  EXPECT_FALSE(p.open("/dev/door", OpenFlags::write).ok());
+  auto snap = sack_->trace_ring().snapshot(4);
+  ASSERT_FALSE(snap.empty());
+  bool saw_denial = false;
+  for (const auto& r : snap) {
+    if (r.hook == TraceHook::check_op && r.verdict == Errno::eacces) {
+      saw_denial = true;
+      EXPECT_EQ(r.subject, "/usr/bin/app");
+      EXPECT_EQ(r.object, "/dev/door");
+      EXPECT_EQ(r.state_encoding, 0);
+      EXPECT_EQ(r.pid, app.pid().get());
+    }
+  }
+  EXPECT_TRUE(saw_denial);
+}
+
+TEST_F(TraceObservabilityTest, UnprivilegedCannotToggle) {
+  Task& user = kernel_.spawn_task("user", Cred::user(1000, 1000));
+  Process up(kernel_, user);
+  EXPECT_FALSE(
+      up.write_existing("/sys/kernel/security/SACK/trace_enable", "1").ok());
+  EXPECT_FALSE(sack_->observing());
+}
+
+// Concurrent enforcement + scrape + toggling: run under TSan in CI. Worker
+// threads drive the public hook surface on distinct tasks while the main
+// thread scrapes metrics/trace and flips the toggle — the hot path and the
+// scrape path must share only atomics and the ring mutex.
+TEST(TraceMt, ConcurrentCheckOpAndMetricsScrape) {
+  Kernel kernel;
+  auto* sack = static_cast<SackModule*>(
+      kernel.add_lsm(std::make_unique<SackModule>(SackMode::independent)));
+  kernel.vfs().mkdir_p("/var/media");
+  Process admin(kernel, kernel.init_task());
+  ASSERT_TRUE(admin.write_file("/var/media/track.pcm", "DATA").ok());
+  ASSERT_TRUE(sack->load_policy_text(kPolicy).ok());
+  sack->set_observe(true);
+
+  constexpr int kThreads = 4;
+  std::vector<Task*> tasks;
+  for (int t = 0; t < kThreads; ++t)
+    tasks.push_back(&kernel.spawn_task("worker" + std::to_string(t),
+                                       Cred::root(), "/usr/bin/worker"));
+
+  constexpr int kOpsPerThread = 4000;
+  std::atomic<int> done{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      // Allowed paths only: denials would route into the (single-threaded)
+      // audit log, which is not part of the lock-cheap hot path.
+      const std::string guarded = "/var/media/track.pcm";
+      const std::string unguarded = "/tmp/scratch_" + std::to_string(t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        EXPECT_EQ(sack->inode_getattr(*tasks[t], guarded), Errno::ok);
+        EXPECT_EQ(sack->inode_getattr(*tasks[t], unguarded), Errno::ok);
+      }
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // Scrape (and flap the toggle) for as long as the workers are running.
+  int round = 0;
+  while (done.load(std::memory_order_relaxed) < kThreads) {
+    (void)sack->metrics_text();
+    (void)sack->metrics_json();
+    (void)sack->trace_ring().snapshot(64);
+    sack->set_observe(++round % 4 != 0);  // mostly on, sometimes off
+  }
+  sack->set_observe(true);
+  for (auto& w : workers) w.join();
+  // One final traced op so recorded() is non-zero regardless of how the
+  // toggle flapping interleaved with the workers.
+  EXPECT_EQ(sack->inode_getattr(*tasks[0], "/var/media/track.pcm"),
+            Errno::ok);
+
+  EXPECT_GT(sack->trace_ring().recorded(), 0u);
+  const auto& h = sack->avc().stats();
+  EXPECT_GT(h.hits + h.misses, 0u);
+}
+
+}  // namespace
+}  // namespace sack::core
