@@ -1,0 +1,271 @@
+// Chaos campaign: availability and failover timing under injected faults.
+//
+// Each trial boots the full stack (kernel + SACK module with a watchdog
+// policy + SDS with a crash detector), drives ~10 Hz sensor frames on the
+// virtual clock, and starves the SDS for a randomized outage window while
+// ENOSPC faults bite the events channel. Measured per trial:
+//
+//   time_to_failsafe_ms  outage start -> SSM forced into the declared
+//                        failsafe state (bounded by the watchdog deadline
+//                        plus one clock tick);
+//   time_to_recovery_ms  outage end -> resync handshake complete and the
+//                        SSM re-converged with the SDS's detector belief
+//                        (target: within one frame);
+//   availability         1 - (undefined window / scenario time), where the
+//                        undefined window is outage time before the trip —
+//                        the only span where the kernel believes a dead SDS
+//                        is alive.
+//
+// Everything is deterministic from the trial seeds: a regression replays.
+// Results land in BENCH_chaos.json. `--fast` runs a reduced trial count for
+// CI smoke.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy_builder.h"
+#include "core/sack_module.h"
+#include "kernel/kernel.h"
+#include "kernel/process.h"
+#include "sds/detectors.h"
+#include "sds/sds.h"
+#include "util/fault.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace {
+
+using sack::Rng;
+using sack::operator|;
+using sack::core::MacOp;
+using sack::core::PolicyBuilder;
+using sack::core::SackMode;
+using sack::core::SackModule;
+using sack::kernel::Kernel;
+using sack::kernel::Process;
+using sack::sds::CrashDetector;
+using sack::sds::SensorFrame;
+using sack::sds::SituationDetectionService;
+using sack::util::FaultInjector;
+using sack::util::FaultSpec;
+
+constexpr std::int64_t kDeadlineMs = 500;
+
+sack::core::SackPolicy chaos_policy() {
+  PolicyBuilder b;
+  b.state("normal", 0)
+      .state("emergency", 1)
+      .state("lockdown", 2)
+      .initial("normal")
+      .transition("normal", "crash_detected", "emergency")
+      .transition("emergency", "emergency_cleared", "normal")
+      .transition("lockdown", "sds_recovered", "normal")
+      .watchdog(kDeadlineMs, "lockdown")
+      .permission("DOORS")
+      .grant("emergency", "DOORS")
+      .allow("DOORS", "*", "/dev/door", MacOp::write | MacOp::ioctl);
+  return b.build();
+}
+
+struct TrialResult {
+  double availability = 0;
+  std::int64_t time_to_failsafe_ms = -1;  // -1: outage ended before trip
+  std::int64_t time_to_recovery_ms = -1;
+  bool reconverged = false;
+  std::uint64_t retry_enqueued = 0;
+  std::uint64_t retry_succeeded = 0;
+  std::uint64_t retry_dropped = 0;
+  std::uint64_t retry_exhausted = 0;
+};
+
+TrialResult run_trial(std::uint64_t trial) {
+  Rng rng(0xc4a05'0000ULL + trial);
+
+  Kernel kernel;
+  auto* mod = static_cast<SackModule*>(
+      kernel.add_lsm(std::make_unique<SackModule>(SackMode::independent)));
+  if (!mod->load_policy(chaos_policy()).ok()) std::abort();
+  SituationDetectionService sds(Process(kernel, kernel.init_task()));
+  sds.add_detector(std::make_unique<CrashDetector>());
+
+  // Transient disk pressure on the events channel for the whole trial; the
+  // retry queue has to absorb it without losing events unaccounted.
+  FaultInjector::instance().reset();
+  FaultSpec enospc;
+  enospc.probability = 0.15;
+  enospc.seed = 0xd15c'0000ULL + trial;
+  enospc.error = sack::Errno::enospc;
+  enospc.match = "events";
+  FaultInjector::instance().arm("sackfs.write", enospc);
+
+  // Scenario: ~20 s of frames with jittered periods (so the outage phase
+  // lands at varying offsets inside the watchdog deadline), a crash in
+  // roughly half the trials, and one SDS outage long enough to trip.
+  const std::size_t total_frames = 200;
+  const std::size_t outage_start = 30 + rng.below(60);
+  const std::size_t outage_frames = 8 + rng.below(30);
+  const std::size_t crash_frame = rng.chance(0.5) ? 10 + rng.below(15) : 0;
+
+  std::int64_t t_ms = 0;
+  std::int64_t outage_start_ms = -1, outage_end_ms = -1;
+  std::int64_t trip_ms = -1, recovery_ms = -1;
+  std::int64_t undefined_ms = 0;
+  bool pending_recovery = false;
+
+  for (std::size_t i = 0; i < total_frames; ++i) {
+    const std::int64_t step =
+        60 + static_cast<std::int64_t>(rng.below(80));  // ~10 Hz, jittered
+    const bool starved =
+        i >= outage_start && i < outage_start + outage_frames;
+    if (starved) {
+      if (outage_start_ms < 0) outage_start_ms = t_ms;
+    } else {
+      const bool was_tripped = !mod->sds_alive();
+      SensorFrame f;
+      f.time_ms = t_ms;
+      f.speed_kmh = 80.0;
+      f.gear = sack::sds::Gear::drive;
+      f.driver_present = true;
+      f.crash_signal = crash_frame != 0 && i == crash_frame;
+      (void)sds.feed(f);
+      if (outage_start_ms >= 0 && outage_end_ms < 0) {
+        outage_end_ms = t_ms;  // first frame the SDS ran again
+        pending_recovery = was_tripped;
+      }
+    }
+    const bool was_alive = mod->sds_alive();
+    kernel.advance_clock_ms(step);
+    t_ms += step;
+    if (starved && was_alive) {
+      // Kernel still trusts a silent SDS: the undefined span. Charge the
+      // whole tick even when the trip lands inside it (conservative).
+      undefined_ms += step;
+      if (!mod->sds_alive()) trip_ms = t_ms;
+    }
+    if (pending_recovery && recovery_ms < 0 && mod->resyncs() > 0 &&
+        mod->sds_alive()) {
+      recovery_ms = t_ms;  // handshake completed within this frame period
+    }
+  }
+
+  TrialResult r;
+  r.availability =
+      1.0 - static_cast<double>(undefined_ms) / static_cast<double>(t_ms);
+  if (trip_ms >= 0 && outage_start_ms >= 0)
+    r.time_to_failsafe_ms = trip_ms - outage_start_ms;
+  if (recovery_ms >= 0 && outage_end_ms >= 0)
+    r.time_to_recovery_ms = recovery_ms - outage_end_ms;
+  // Reconvergence: the kernel's state must match the SDS's belief again.
+  const std::string state = mod->current_state_name();
+  const bool believes_emergency = crash_frame != 0;
+  r.reconverged = believes_emergency ? state == "emergency"
+                                     : state == "normal";
+  r.retry_enqueued = sds.retry_enqueued();
+  r.retry_succeeded = sds.retry_succeeded();
+  r.retry_dropped = sds.retry_dropped();
+  r.retry_exhausted = sds.retry_exhausted();
+  // Conservation law, checked every trial.
+  if (r.retry_enqueued !=
+      r.retry_succeeded + r.retry_dropped + r.retry_exhausted +
+          sds.retry_depth())
+    std::abort();
+  FaultInjector::instance().reset();
+  return r;
+}
+
+double pct(std::vector<std::int64_t> v, double p) {
+  if (v.empty()) return -1;
+  std::sort(v.begin(), v.end());
+  const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  return static_cast<double>(v[static_cast<std::size_t>(idx + 0.5)]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Hundreds of trials each tripping the watchdog on purpose: the expected
+  // warnings would drown the results table.
+  sack::Logger::instance().set_level(sack::LogLevel::error);
+  bool fast = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+  const std::uint64_t trials = fast ? 40 : 200;
+
+  std::vector<std::int64_t> failsafe_ms, recovery_ms;
+  double avail_sum = 0, avail_min = 1.0;
+  std::uint64_t reconverged = 0, tripped = 0;
+  std::uint64_t enq = 0, ok = 0, dropped = 0, exhausted = 0;
+
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto r = run_trial(t);
+    avail_sum += r.availability;
+    avail_min = std::min(avail_min, r.availability);
+    if (r.time_to_failsafe_ms >= 0) {
+      failsafe_ms.push_back(r.time_to_failsafe_ms);
+      ++tripped;
+    }
+    if (r.time_to_recovery_ms >= 0) recovery_ms.push_back(r.time_to_recovery_ms);
+    if (r.reconverged) ++reconverged;
+    enq += r.retry_enqueued;
+    ok += r.retry_succeeded;
+    dropped += r.retry_dropped;
+    exhausted += r.retry_exhausted;
+  }
+
+  const double avail_mean = avail_sum / static_cast<double>(trials);
+  std::printf("=== chaos campaign: %llu trials (deadline %lld ms) ===\n",
+              static_cast<unsigned long long>(trials),
+              static_cast<long long>(kDeadlineMs));
+  std::printf("availability:        mean %.4f  min %.4f\n", avail_mean,
+              avail_min);
+  std::printf("watchdog trips:      %llu/%llu trials\n",
+              static_cast<unsigned long long>(tripped),
+              static_cast<unsigned long long>(trials));
+  std::printf("time_to_failsafe_ms: p50 %.0f  p95 %.0f  p99 %.0f\n",
+              pct(failsafe_ms, 50), pct(failsafe_ms, 95),
+              pct(failsafe_ms, 99));
+  std::printf("time_to_recovery_ms: p50 %.0f  p95 %.0f  p99 %.0f\n",
+              pct(recovery_ms, 50), pct(recovery_ms, 95),
+              pct(recovery_ms, 99));
+  std::printf("reconverged:         %llu/%llu trials\n",
+              static_cast<unsigned long long>(reconverged),
+              static_cast<unsigned long long>(trials));
+  std::printf("retry accounting:    enqueued %llu = succeeded %llu + dropped "
+              "%llu + exhausted %llu (+ depth)\n",
+              static_cast<unsigned long long>(enq),
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(dropped),
+              static_cast<unsigned long long>(exhausted));
+
+  // Shape guarantees the suite relies on: every sufficiently long outage
+  // trips, failsafe latency is bounded by deadline + one (jittered) tick,
+  // and every trial ends reconverged.
+  const double p99_failsafe = pct(failsafe_ms, 99);
+  const bool sane = !failsafe_ms.empty() && reconverged == trials &&
+                    p99_failsafe <= kDeadlineMs + 140;
+  std::printf("shape check: %s\n", sane ? "OK" : "FAILED");
+
+  std::ofstream json("BENCH_chaos.json");
+  json << "{\n"
+       << "  \"trials\": " << trials << ",\n"
+       << "  \"deadline_ms\": " << kDeadlineMs << ",\n"
+       << "  \"availability\": {\"mean\": " << avail_mean
+       << ", \"min\": " << avail_min << "},\n"
+       << "  \"time_to_failsafe_ms\": {\"p50\": " << pct(failsafe_ms, 50)
+       << ", \"p95\": " << pct(failsafe_ms, 95)
+       << ", \"p99\": " << pct(failsafe_ms, 99) << "},\n"
+       << "  \"time_to_recovery_ms\": {\"p50\": " << pct(recovery_ms, 50)
+       << ", \"p95\": " << pct(recovery_ms, 95)
+       << ", \"p99\": " << pct(recovery_ms, 99) << "},\n"
+       << "  \"reconverged_trials\": " << reconverged << ",\n"
+       << "  \"watchdog_trip_trials\": " << tripped << ",\n"
+       << "  \"retry\": {\"enqueued\": " << enq << ", \"succeeded\": " << ok
+       << ", \"dropped\": " << dropped << ", \"exhausted\": " << exhausted
+       << "}\n}\n";
+  std::printf("wrote BENCH_chaos.json\n");
+  return sane ? 0 : 1;
+}

@@ -60,8 +60,8 @@ int main(int argc, char** argv) {
   auto trace = sds::highway_crash_trace(/*crash_at_s=*/20);
   bool responded = false;
   for (const auto& frame : trace) {
-    auto events = ivi.sds().feed(frame);
-    for (const auto& event : events) {
+    auto fed = ivi.sds().feed(frame);
+    for (const auto& event : fed.delivered) {
       std::printf("    t=%6.1fs  SDS event: %-22s -> situation: %s\n",
                   static_cast<double>(frame.time_ms) / 1000.0, event.c_str(),
                   ivi.situation().c_str());

@@ -77,6 +77,18 @@ std::string SackPolicy::states_text() const {
   return out;
 }
 
+std::string SackPolicy::watchdog_text() const {
+  // An empty block is the canonical "no watchdog" dump: writing it to the
+  // SACKfs section file clears the clause, so the round-trip is lossless.
+  std::string out = "watchdog {\n";
+  if (watchdog) {
+    out += "  deadline " + std::to_string(watchdog->deadline_ms) + ";\n";
+    out += "  failsafe " + watchdog->failsafe_state + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
 std::string SackPolicy::permissions_text() const {
   std::string out = "permissions {\n";
   for (const auto& p : permissions) out += "  " + p + ";\n";
@@ -108,8 +120,8 @@ std::string SackPolicy::per_rules_text() const {
 }
 
 std::string SackPolicy::to_text() const {
-  return states_text() + permissions_text() + state_per_text() +
-         per_rules_text();
+  return states_text() + (watchdog ? watchdog_text() : std::string{}) +
+         permissions_text() + state_per_text() + per_rules_text();
 }
 
 }  // namespace sack::core

@@ -41,6 +41,16 @@ struct TimedTransitionRule {
   std::string to;
 };
 
+// Extension beyond the paper: the SDS liveness contract. The SDS is a single
+// point of failure — if the daemon dies, the SSM freezes in its last state
+// (possibly holding emergency permissions forever). A watchdog clause makes
+// the failure mode explicit: if the kernel sees neither an events-file write
+// nor a heartbeat for `deadline_ms`, it forces the SSM into `failsafe_state`.
+struct WatchdogSpec {
+  std::int64_t deadline_ms = 0;
+  std::string failsafe_state;
+};
+
 // --- Per_Rules interface ---
 
 enum class RuleEffect : std::uint8_t { allow, deny };
@@ -71,6 +81,7 @@ struct SackPolicy {
   std::vector<TransitionRule> transitions;
   std::vector<TimedTransitionRule> timed_transitions;
   std::vector<std::string> events;  // optional explicit declarations
+  std::optional<WatchdogSpec> watchdog;
 
   // Permissions
   std::vector<std::string> permissions;
@@ -94,6 +105,7 @@ struct SackPolicy {
   // Canonical policy-language dump (round-trips through the parser).
   std::string to_text() const;
   std::string states_text() const;
+  std::string watchdog_text() const;
   std::string permissions_text() const;
   std::string state_per_text() const;
   std::string per_rules_text() const;

@@ -55,6 +55,12 @@ PolicyBuilder& PolicyBuilder::event(std::string name) {
   return *this;
 }
 
+PolicyBuilder& PolicyBuilder::watchdog(std::int64_t deadline_ms,
+                                       std::string failsafe) {
+  policy_.watchdog = WatchdogSpec{deadline_ms, std::move(failsafe)};
+  return *this;
+}
+
 PolicyBuilder& PolicyBuilder::permission(std::string name) {
   policy_.permissions.push_back(std::move(name));
   return *this;

@@ -23,6 +23,7 @@ class PolicyBuilder {
   PolicyBuilder& timed_transition(std::string from, std::int64_t after_ms,
                                   std::string to);
   PolicyBuilder& event(std::string name);
+  PolicyBuilder& watchdog(std::int64_t deadline_ms, std::string failsafe);
   PolicyBuilder& permission(std::string name);
   PolicyBuilder& grant(std::string state, std::string permission);
 

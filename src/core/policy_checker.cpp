@@ -106,11 +106,30 @@ std::vector<Diagnostic> check_policy(const SackPolicy& policy,
     }
   }
 
+  // --- watchdog (extension) ---
+  if (policy.watchdog) {
+    if (policy.watchdog->deadline_ms <= 0)
+      error(CheckCode::invalid_watchdog_deadline,
+            "watchdog deadline must be a positive number of milliseconds");
+    if (policy.watchdog->failsafe_state.empty())
+      error(CheckCode::undefined_watchdog_state,
+            "watchdog declares no failsafe state");
+    else if (!policy.has_state(policy.watchdog->failsafe_state))
+      error(CheckCode::undefined_watchdog_state,
+            "watchdog failsafe state '" + policy.watchdog->failsafe_state +
+                "' is not declared");
+  }
+
   // --- reachability from the initial state ---
   if (policy.has_state(policy.initial_state)) {
     std::set<std::string> reachable{policy.initial_state};
     std::queue<std::string> frontier;
     frontier.push(policy.initial_state);
+    // The watchdog can force the SSM into its failsafe state from anywhere,
+    // so that state (and everything below it) is reachable by design.
+    if (policy.watchdog && policy.has_state(policy.watchdog->failsafe_state) &&
+        reachable.insert(policy.watchdog->failsafe_state).second)
+      frontier.push(policy.watchdog->failsafe_state);
     while (!frontier.empty()) {
       std::string cur = frontier.front();
       frontier.pop();

@@ -28,6 +28,8 @@ enum class CheckCode : std::uint8_t {
   undefined_permission_in_state_per,
   undefined_permission_in_per_rules,
   profile_subject_in_independent_mode,
+  invalid_watchdog_deadline,
+  undefined_watchdog_state,
   // warnings
   unreachable_state,
   permission_never_granted,

@@ -92,6 +92,41 @@ void parse_transitions_block(TokenStream& ts, SackPolicy& policy) {
   (void)ts.expect_punct('}');
 }
 
+// "watchdog { deadline <ms>; failsafe <state>; }" — the SDS liveness
+// contract. An empty block clears the clause (the canonical "no watchdog"
+// form); completeness of a non-empty block is the checker's job.
+void parse_watchdog_block(TokenStream& ts, SackPolicy& policy) {
+  if (!ts.expect_punct('{').ok()) return;
+  WatchdogSpec spec;
+  bool any = false;
+  while (!ts.at_end() && !ts.peek().is_punct('}')) {
+    if (ts.accept_ident("deadline")) {
+      auto ms = ts.expect_number();
+      if (!ms.ok() || !ts.expect_punct(';').ok()) {
+        synchronize_stmt(ts);
+        continue;
+      }
+      spec.deadline_ms = std::stoll(ms->text);
+      any = true;
+    } else if (ts.accept_ident("failsafe")) {
+      auto state = ts.expect_ident();
+      if (!state.ok() || !ts.expect_punct(';').ok()) {
+        synchronize_stmt(ts);
+        continue;
+      }
+      spec.failsafe_state = state->text;
+      any = true;
+    } else {
+      ts.record_error("expected 'deadline <ms>;' or 'failsafe <state>;' in "
+                      "watchdog block, got '" +
+                      ts.peek().text + "'");
+      synchronize_stmt(ts);
+    }
+  }
+  (void)ts.expect_punct('}');
+  if (any) policy.watchdog = std::move(spec);
+}
+
 void parse_ident_list_block(TokenStream& ts, std::vector<std::string>& out) {
   if (!ts.expect_punct('{').ok()) return;
   while (!ts.at_end() && !ts.peek().is_punct('}')) {
@@ -254,6 +289,9 @@ PolicyParseResult parse_policy(std::string_view text,
     } else if (ts.accept_ident("events")) {
       parse_ident_list_block(ts, result.policy.events);
       local.states = true;
+    } else if (ts.accept_ident("watchdog")) {
+      parse_watchdog_block(ts, result.policy);
+      local.watchdog = true;
     } else if (ts.accept_ident("permissions")) {
       parse_ident_list_block(ts, result.policy.permissions);
       local.permissions = true;
@@ -265,8 +303,8 @@ PolicyParseResult parse_policy(std::string_view text,
       local.per_rules = true;
     } else {
       ts.record_error("expected a section keyword (states / initial / "
-                      "transitions / events / permissions / state_per / "
-                      "per_rules), got '" +
+                      "transitions / events / watchdog / permissions / "
+                      "state_per / per_rules), got '" +
                       ts.peek().text + "'");
       ts.next();
     }
@@ -285,6 +323,7 @@ void merge_policy_sections(SackPolicy& base, const SackPolicy& incoming,
     base.timed_transitions = incoming.timed_transitions;
     base.events = incoming.events;
   }
+  if (presence.watchdog) base.watchdog = incoming.watchdog;
   if (presence.permissions) base.permissions = incoming.permissions;
   if (presence.state_per) base.state_per = incoming.state_per;
   if (presence.per_rules) base.per_rules = incoming.per_rules;

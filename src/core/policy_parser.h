@@ -56,6 +56,7 @@ struct PolicyParseResult {
 // securityfs interfaces to replace just their part).
 struct SectionPresence {
   bool states = false;
+  bool watchdog = false;
   bool permissions = false;
   bool state_per = false;
   bool per_rules = false;

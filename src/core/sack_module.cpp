@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/fault.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -44,15 +45,44 @@ class SackModule::EventsFile final : public kernel::VirtualFileOps {
     // write(2) path — this synchronous dispatch is SACK's low-latency
     // transmission channel.
     //
+    // A line may carry a sequence stamp: "seq=<n> <event>". The kernel keeps
+    // the highest delivered sequence per event name; a replay (seq <= that)
+    // is accepted as a no-op — the SDS retry path can safely re-send a write
+    // whose success report was lost without double-transitioning the SSM.
+    // Unstamped lines bypass the check (back-compat; the raw emulation
+    // channel used by the case studies).
+    //
     // Partial-write semantics: every valid line is delivered, and the write
     // succeeds if *any* line was accepted — a batch with one typo must not
     // be reported to the SDS as a total failure (it would retry events that
     // already took effect). Rejected lines are visible individually through
     // events_rejected in status/metrics; only an all-bad write is EINVAL.
+    mod_->note_sds_activity(mod_->kernel_ ? mod_->kernel_->clock().now() : 0);
     std::size_t accepted = 0, rejected = 0;
     for (auto line : split(data, '\n')) {
       auto name = trim(line);
       if (name.empty()) continue;
+      std::uint64_t seq = 0;
+      bool stamped = false;
+      if (name.starts_with("seq=")) {
+        auto rest = name.substr(4);
+        std::size_t i = 0;
+        while (i < rest.size() && rest[i] >= '0' && rest[i] <= '9') {
+          seq = seq * 10 + static_cast<std::uint64_t>(rest[i] - '0');
+          ++i;
+        }
+        if (i == 0 || i >= rest.size() || rest[i] != ' ') {
+          ++rejected;
+          ++mod_->events_rejected_;
+          continue;
+        }
+        name = trim(rest.substr(i));
+        stamped = true;
+      }
+      if (stamped && mod_->stale_event_seq(name, seq)) {
+        ++accepted;  // replay of an already-delivered event: success, no-op
+        continue;
+      }
       if (mod_->deliver_event(name).ok())
         ++accepted;
       else
@@ -60,6 +90,43 @@ class SackModule::EventsFile final : public kernel::VirtualFileOps {
     }
     if (rejected > 0 && accepted == 0) return Errno::einval;
     return {};
+  }
+
+ private:
+  SackModule* mod_;
+};
+
+// The SDS liveness beacon. The SDS writes one line per frame ("alive"), and
+// "resync" after a restart when the kernel reports resync_pending — the
+// recovery handshake that re-converges the SSM (force to initial, then the
+// SDS replays its detector consensus). Reading returns the watchdog status
+// the SDS polls to learn it must resync. Mode 0600: only root's SDS may
+// claim liveness.
+class SackModule::HeartbeatFile final : public kernel::VirtualFileOps {
+ public:
+  explicit HeartbeatFile(SackModule* mod) : mod_(mod) {}
+
+  Result<std::string> read_content(Task&) override {
+    std::string out = "sds_alive=";
+    out += mod_->sds_alive_ ? "1" : "0";
+    out += " resync_pending=";
+    out += mod_->resync_pending_ ? "1" : "0";
+    out += " deadline_ms=" +
+           std::to_string(mod_->watchdog_deadline_ns_ / 1'000'000);
+    out += " trips=" + std::to_string(mod_->watchdog_trips_) + "\n";
+    return out;
+  }
+
+  Result<void> write_content(Task&, std::string_view data) override {
+    const SimTime now = mod_->kernel_ ? mod_->kernel_->clock().now() : 0;
+    auto word = trim(data);
+    if (word.empty() || word == "alive" || word == "ping") {
+      ++mod_->heartbeats_received_;
+      mod_->note_sds_activity(now);
+      return {};
+    }
+    if (word == "resync") return mod_->resync_from_sds();
+    return Errno::einval;
   }
 
  private:
@@ -151,12 +218,13 @@ class SackModule::PolicyValidateFile final : public kernel::VirtualFileOps {
 // writing replaces it (atomically: a rejected policy leaves the old one).
 class SackModule::SectionFile final : public kernel::VirtualFileOps {
  public:
-  enum class Which { states, permissions, state_per, per_rules };
+  enum class Which { states, watchdog, permissions, state_per, per_rules };
   SectionFile(SackModule* mod, Which which) : mod_(mod), which_(which) {}
 
   Result<std::string> read_content(Task&) override {
     switch (which_) {
       case Which::states: return mod_->policy_.states_text();
+      case Which::watchdog: return mod_->policy_.watchdog_text();
       case Which::permissions: return mod_->policy_.permissions_text();
       case Which::state_per: return mod_->policy_.state_per_text();
       case Which::per_rules: return mod_->policy_.per_rules_text();
@@ -258,6 +326,7 @@ void SackModule::initialize(kernel::Kernel& kernel) {
     fs_files_.push_back(std::move(f));
   };
   add(dir + "/events", std::make_unique<EventsFile>(this), 0200);
+  add(dir + "/heartbeat", std::make_unique<HeartbeatFile>(this), 0600);
   add(dir + "/current_state", std::make_unique<CurrentStateFile>(this), 0444);
   add(dir + "/status", std::make_unique<StatusFile>(this), 0444);
   add(dir + "/policy/load", std::make_unique<PolicyLoadFile>(this), 0200);
@@ -265,6 +334,8 @@ void SackModule::initialize(kernel::Kernel& kernel) {
       0600);
   add(dir + "/policy/states",
       std::make_unique<SectionFile>(this, SectionFile::Which::states), 0600);
+  add(dir + "/policy/watchdog",
+      std::make_unique<SectionFile>(this, SectionFile::Which::watchdog), 0600);
   add(dir + "/policy/permissions",
       std::make_unique<SectionFile>(this, SectionFile::Which::permissions),
       0600);
@@ -281,6 +352,11 @@ void SackModule::initialize(kernel::Kernel& kernel) {
 
 Result<void> SackModule::load_policy(SackPolicy policy,
                                      std::vector<Diagnostic>* diagnostics) {
+  // Chaos site: a reload that fails here must leave the running policy, the
+  // SSM, and the liveness state untouched (reload is all-or-nothing).
+  if (auto injected = util::FaultInjector::instance().fail_errno(
+          "sack.policy.reload"))
+    return *injected;
   auto diags = check_policy(policy, mode_ == SackMode::independent
                                         ? CheckMode::independent
                                         : CheckMode::apparmor_enhanced);
@@ -299,6 +375,21 @@ Result<void> SackModule::load_policy(SackPolicy policy,
   // Fresh per-state occupancy/entry stats: state ids are policy-relative.
   state_stats_count_ = ssm_->state_count();
   state_stats_ = std::make_unique<StateStats[]>(state_stats_count_);
+  // Fresh liveness contract: the new policy defines (or drops) the watchdog,
+  // and the reload itself proves an administrator is alive — restart the
+  // deadline clock instead of tripping on stale pre-reload silence. Sequence
+  // history is policy-relative (the SDS restarts its counters on reload).
+  watchdog_deadline_ns_ = 0;
+  failsafe_state_.reset();
+  if (policy_.watchdog) {
+    watchdog_deadline_ns_ = policy_.watchdog->deadline_ms * 1'000'000;
+    auto id = ssm_->state_id(policy_.watchdog->failsafe_state);
+    if (id.ok()) failsafe_state_ = *id;  // checker guarantees this
+  }
+  last_sds_activity_ = kernel_ ? kernel_->clock().now() : 0;
+  sds_alive_ = true;
+  resync_pending_ = false;
+  event_seq_.clear();
   loaded_ = true;
   apply_current_state(/*force=*/true);
   log_info("sack: policy loaded: ", policy_.states.size(), " states, ",
@@ -528,6 +619,16 @@ std::string SackModule::status_text() const {
   }
   out += "\nevents_received: " + std::to_string(events_received_);
   out += "\nevents_rejected: " + std::to_string(events_rejected_);
+  out += "\nevents_stale: " + std::to_string(events_stale_);
+  out += "\nwatchdog_deadline_ms: " +
+         std::to_string(watchdog_deadline_ns_ / 1'000'000);
+  out += "\nsds_alive: ";
+  out += sds_alive_ ? "1" : "0";
+  out += "\nresync_pending: ";
+  out += resync_pending_ ? "1" : "0";
+  out += "\nwatchdog_trips: " + std::to_string(watchdog_trips_);
+  out += "\nresyncs: " + std::to_string(resyncs_);
+  out += "\nheartbeats_received: " + std::to_string(heartbeats_received_);
   out += "\ngeneration: " + std::to_string(policy_generation());
   out += "\ntotal_rules: " + std::to_string(rules_->total_rule_count());
   out += "\nactive_rules: " + std::to_string(rules_->active_rule_count());
@@ -577,6 +678,14 @@ std::string SackModule::metrics_text() const {
     out += "\ninvalid_event_ids: " +
            std::to_string(ssm_->events_invalid());
   }
+  out += "\nevents_stale: " + std::to_string(events_stale_);
+  out += "\nwatchdog_deadline_ms: " +
+         std::to_string(watchdog_deadline_ns_ / 1'000'000);
+  out += "\nsds_alive: ";
+  out += sds_alive_ ? "1" : "0";
+  out += "\nwatchdog_trips: " + std::to_string(watchdog_trips_);
+  out += "\nresyncs: " + std::to_string(resyncs_);
+  out += "\nheartbeats_received: " + std::to_string(heartbeats_received_);
   out += "\naa_rulesets_injected: " +
          std::to_string(metrics_.aa_rulesets_injected.value());
   out += "\naa_rulesets_retracted: " +
@@ -619,7 +728,14 @@ std::string SackModule::metrics_json() const {
   out += ", \"events\": {\"received\": " + std::to_string(events_received_) +
          ", \"accepted\": " +
          std::to_string(metrics_.events_accepted.value()) +
-         ", \"rejected\": " + std::to_string(events_rejected_) + "}";
+         ", \"rejected\": " + std::to_string(events_rejected_) +
+         ", \"stale\": " + std::to_string(events_stale_) + "}";
+  out += ", \"watchdog\": {\"deadline_ms\": " +
+         std::to_string(watchdog_deadline_ns_ / 1'000'000) +
+         ", \"sds_alive\": " + (sds_alive_ ? "true" : "false") +
+         ", \"trips\": " + std::to_string(watchdog_trips_) +
+         ", \"resyncs\": " + std::to_string(resyncs_) +
+         ", \"heartbeats\": " + std::to_string(heartbeats_received_) + "}";
   out += ", \"aa_rulesets\": {\"injected\": " +
          std::to_string(metrics_.aa_rulesets_injected.value()) +
          ", \"retracted\": " +
@@ -861,25 +977,112 @@ std::string SackModule::getprocattr(const kernel::Task& task) {
 }
 
 void SackModule::clock_tick(SimTime now) {
-  if (!ssm_ || !ssm_->has_timed_rule()) return;
+  if (!ssm_) return;
+  if (ssm_->has_timed_rule()) {
+    const SimTime prev_entered = ssm_->entered_current_at();
+    auto outcome = ssm_->tick(now);
+    if (outcome.transitioned) {
+      note_transition(outcome.from, outcome.to, prev_entered, now, "timeout");
+      log_info("sack: timed situation transition '",
+               ssm_->state_name(outcome.from), "' -> '",
+               ssm_->state_name(outcome.to), "'");
+      if (kernel_) {
+        kernel::AuditRecord record;
+        record.time = now;
+        record.module = std::string(kName);
+        record.subject = ssm_->state_name(outcome.from);
+        record.object = ssm_->state_name(outcome.to);
+        record.operation = "transition:timeout";
+        record.verdict = kernel::AuditVerdict::allowed;
+        kernel_->audit().record(std::move(record));
+      }
+      apply_current_state();
+    }
+  }
+  check_watchdog(now);
+}
+
+void SackModule::check_watchdog(SimTime now) {
+  if (watchdog_deadline_ns_ <= 0 || !failsafe_state_) return;
+  if (!sds_alive_) return;  // already tripped; waiting for the SDS to return
+  if (now - last_sds_activity_ < watchdog_deadline_ns_) return;
+  sds_alive_ = false;
+  resync_pending_ = true;
+  ++watchdog_trips_;
   const SimTime prev_entered = ssm_->entered_current_at();
-  auto outcome = ssm_->tick(now);
-  if (!outcome.transitioned) return;
-  note_transition(outcome.from, outcome.to, prev_entered, now, "timeout");
-  log_info("sack: timed situation transition '",
-           ssm_->state_name(outcome.from), "' -> '",
-           ssm_->state_name(outcome.to), "'");
+  auto outcome = ssm_->force(*failsafe_state_, now);
+  log_warn("sack: SDS liveness watchdog tripped (no activity for ",
+           (now - last_sds_activity_) / 1'000'000, " ms >= deadline ",
+           watchdog_deadline_ns_ / 1'000'000, " ms); failsafe state '",
+           ssm_->state_name(*failsafe_state_), "'");
   if (kernel_) {
     kernel::AuditRecord record;
     record.time = now;
     record.module = std::string(kName);
     record.subject = ssm_->state_name(outcome.from);
-    record.object = ssm_->state_name(outcome.to);
-    record.operation = "transition:timeout";
+    record.object = ssm_->state_name(*failsafe_state_);
+    record.operation = outcome.transitioned ? "transition:watchdog_failsafe"
+                                            : "watchdog:trip";
     record.verdict = kernel::AuditVerdict::allowed;
     kernel_->audit().record(std::move(record));
   }
-  apply_current_state();
+  if (outcome.transitioned) {
+    note_transition(outcome.from, outcome.to, prev_entered, now, "watchdog");
+    apply_current_state();
+  }
+}
+
+void SackModule::note_sds_activity(SimTime now) {
+  if (now > last_sds_activity_) last_sds_activity_ = now;
+  if (!sds_alive_) {
+    sds_alive_ = true;
+    log_info("sack: SDS activity resumed",
+             resync_pending_ ? " (resync pending)" : "");
+  }
+}
+
+Result<void> SackModule::resync_from_sds() {
+  if (!ssm_) return Errno::einval;
+  const SimTime now = kernel_ ? kernel_->clock().now() : 0;
+  note_sds_activity(now);
+  // The restarted SDS has no memory of past sequence numbers; its replayed
+  // consensus starts a fresh numbering, so the old history must not mark it
+  // stale.
+  event_seq_.clear();
+  const SimTime prev_entered = ssm_->entered_current_at();
+  auto outcome = ssm_->force(ssm_->initial(), now);
+  resync_pending_ = false;
+  ++resyncs_;
+  log_info("sack: SDS resync: SSM reset to '", ssm_->current_name(),
+           "' awaiting consensus replay");
+  if (kernel_) {
+    kernel::AuditRecord record;
+    record.time = now;
+    record.module = std::string(kName);
+    record.subject = ssm_->state_name(outcome.from);
+    record.object = ssm_->current_name();
+    record.operation = "transition:resync";
+    record.verdict = kernel::AuditVerdict::allowed;
+    kernel_->audit().record(std::move(record));
+  }
+  if (outcome.transitioned) {
+    note_transition(outcome.from, outcome.to, prev_entered, now, "resync");
+    apply_current_state();
+  }
+  return {};
+}
+
+bool SackModule::stale_event_seq(std::string_view name, std::uint64_t seq) {
+  auto it = event_seq_.find(name);
+  if (it != event_seq_.end() && seq <= it->second) {
+    ++events_stale_;
+    return true;
+  }
+  if (it != event_seq_.end())
+    it->second = seq;
+  else
+    event_seq_.emplace(std::string(name), seq);
+  return false;
 }
 
 }  // namespace sack::core

@@ -27,6 +27,8 @@
 //                                                    latency percentiles
 //   /sys/kernel/security/SACK/trace           read:  last-N trace records
 //   /sys/kernel/security/SACK/trace_enable    read/write: toggle tracing
+//   /sys/kernel/security/SACK/heartbeat       write: SDS liveness beacon
+//                                             read:  watchdog status line
 #pragma once
 
 #include <atomic>
@@ -48,6 +50,7 @@
 #include "kernel/kernel.h"
 #include "kernel/lsm/module.h"
 #include "util/metrics.h"
+#include "util/transparent_hash.h"
 
 namespace sack::core {
 
@@ -121,6 +124,24 @@ class SackModule final : public kernel::SecurityModule {
 
   std::uint64_t events_received() const { return events_received_; }
   std::uint64_t events_rejected() const { return events_rejected_; }
+  // Stale-sequence replays (accepted no-ops; see the events-file protocol).
+  std::uint64_t events_stale() const { return events_stale_; }
+
+  // --- SDS liveness watchdog (policy `watchdog` clause) ---
+  // Any events-file or heartbeat write counts as SDS activity. When the
+  // policy declares a watchdog and no activity arrives within the deadline,
+  // the next clock tick forces the SSM into the failsafe state and latches
+  // resync_pending until the (restarted) SDS writes "resync" to the
+  // heartbeat file.
+  bool watchdog_enabled() const { return watchdog_deadline_ns_ > 0; }
+  bool sds_alive() const { return sds_alive_; }
+  bool resync_pending() const { return resync_pending_; }
+  std::uint64_t watchdog_trips() const { return watchdog_trips_; }
+  std::uint64_t resyncs() const { return resyncs_; }
+  std::uint64_t heartbeats_received() const { return heartbeats_received_; }
+  // Kernel-internal entry points (the SACKfs heartbeat file routes here).
+  void note_sds_activity(SimTime now);
+  Result<void> resync_from_sds();
   std::uint64_t denial_count() const {
     return denials_.load(std::memory_order_relaxed);
   }
@@ -212,9 +233,28 @@ class SackModule final : public kernel::SecurityModule {
   apparmor::AppArmorModule* apparmor_ = nullptr;
   kernel::Kernel* kernel_ = nullptr;
 
+  void check_watchdog(SimTime now);
+  // Stale-replay suppression: true if `seq` was already seen for `name`
+  // (the delivery must become a no-op); otherwise records it.
+  bool stale_event_seq(std::string_view name, std::uint64_t seq);
+
   std::atomic<std::uint64_t> generation_{1};
   std::uint64_t events_received_ = 0;
   std::uint64_t events_rejected_ = 0;
+  std::uint64_t events_stale_ = 0;
+
+  // --- watchdog state ---
+  SimTime watchdog_deadline_ns_ = 0;  // 0 = no watchdog clause
+  std::optional<StateId> failsafe_state_;
+  SimTime last_sds_activity_ = 0;
+  bool sds_alive_ = true;
+  bool resync_pending_ = false;
+  std::uint64_t watchdog_trips_ = 0;
+  std::uint64_t resyncs_ = 0;
+  std::uint64_t heartbeats_received_ = 0;
+  // Highest sequence number delivered per event name ("seq=<n> <event>"
+  // lines); cleared on policy load and on resync (the SDS restarts at 1).
+  StringMap<std::uint64_t> event_seq_;
   std::atomic<std::uint64_t> denials_{0};
   std::set<std::string> injected_perms_;
   // Permission set (sorted) the APE last applied; equality means a
@@ -248,6 +288,7 @@ class SackModule final : public kernel::SecurityModule {
   std::size_t state_stats_count_ = 0;
 
   class EventsFile;
+  class HeartbeatFile;
   class CurrentStateFile;
   class StatusFile;
   class PolicyLoadFile;

@@ -119,6 +119,21 @@ SituationStateMachine::Outcome SituationStateMachine::tick(SimTime now) {
   return outcome;
 }
 
+SituationStateMachine::Outcome SituationStateMachine::force(StateId target,
+                                                            SimTime now) {
+  Outcome outcome;
+  outcome.from = current_;
+  outcome.to = current_;
+  if (idx(target) >= state_names_.size() || target == current_)
+    return outcome;
+  current_ = target;
+  entered_at_ = now;
+  outcome.to = current_;
+  outcome.transitioned = true;
+  ++transitions_taken_;
+  return outcome;
+}
+
 bool SituationStateMachine::has_timed_rule() const {
   return timed_[idx(current_)].delay_ns >= 0;
 }

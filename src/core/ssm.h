@@ -39,6 +39,8 @@ class SituationStateMachine {
   // Resets to the initial state (policy reload).
   void reset();
 
+  StateId initial() const { return initial_; }
+
   struct Outcome {
     bool transitioned = false;
     StateId from;
@@ -57,6 +59,11 @@ class SituationStateMachine {
   // Timed-transition extension: fires the current state's dwell-time rule if
   // its delay has elapsed at `now`. Call from the kernel's clock tick.
   Outcome tick(SimTime now);
+
+  // Forces the machine into `target` regardless of transition rules — the
+  // watchdog failsafe path and the post-recovery resync use this. Returns
+  // the outcome exactly like deliver() (transitioned=false on a no-op).
+  Outcome force(StateId target, SimTime now);
 
   // Dwell-time rule of the current state, if any: (delay_ns, target).
   bool has_timed_rule() const;

@@ -11,6 +11,7 @@
 #include <string_view>
 
 #include "kernel/kernel.h"
+#include "util/fault.h"
 
 namespace sack::kernel {
 
@@ -83,7 +84,13 @@ class Process {
   }
 
   // Appends one line to a securityfs-style control file (no O_CREAT).
+  // Fault-injection site "sackfs.write" (detail = path): chaos tests inject
+  // transient/persistent write errors here to exercise the SDS retry path
+  // and the kernel liveness watchdog.
   Result<void> write_existing(std::string_view path, std::string_view data) {
+    if (auto injected =
+            util::FaultInjector::instance().fail_errno("sackfs.write", path))
+      return *injected;
     SACK_ASSIGN_OR_RETURN(Fd fd, open(path, OpenFlags::write));
     auto n = write(fd, data);
     if (!n.ok()) {

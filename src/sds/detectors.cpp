@@ -33,6 +33,11 @@ void CrashDetector::reset() {
   quiet_since_.reset();
 }
 
+std::vector<std::string> CrashDetector::consensus() const {
+  if (in_emergency_) return {"crash_detected"};
+  return {};
+}
+
 std::vector<std::string> DrivingDetector::on_frame(const SensorFrame& frame) {
   std::vector<std::string> events;
   if (!driving_) {
@@ -51,6 +56,11 @@ std::vector<std::string> DrivingDetector::on_frame(const SensorFrame& frame) {
 }
 
 void DrivingDetector::reset() { driving_ = false; }
+
+std::vector<std::string> DrivingDetector::consensus() const {
+  if (driving_) return {"start_driving"};
+  return {};
+}
 
 std::vector<std::string> SpeedBandDetector::on_frame(
     const SensorFrame& frame) {
@@ -71,6 +81,11 @@ std::vector<std::string> SpeedBandDetector::on_frame(
 
 void SpeedBandDetector::reset() { high_ = false; }
 
+std::vector<std::string> SpeedBandDetector::consensus() const {
+  if (high_) return {"high_speed_entered"};
+  return {};
+}
+
 std::vector<std::string> GeofenceDetector::on_frame(const SensorFrame& frame) {
   std::vector<std::string> events;
   double dlat = frame.latitude - lat_;
@@ -84,6 +99,11 @@ std::vector<std::string> GeofenceDetector::on_frame(const SensorFrame& frame) {
 }
 
 void GeofenceDetector::reset() { inside_ = false; }
+
+std::vector<std::string> GeofenceDetector::consensus() const {
+  if (inside_) return {"entered_" + zone_};
+  return {};
+}
 
 std::vector<std::string> ParkingDetector::on_frame(const SensorFrame& frame) {
   std::vector<std::string> events;
@@ -103,5 +123,64 @@ std::vector<std::string> ParkingDetector::on_frame(const SensorFrame& frame) {
 }
 
 void ParkingDetector::reset() { state_ = State::unknown; }
+
+std::vector<std::string> ParkingDetector::consensus() const {
+  if (state_ == State::with_driver) return {"parked_with_driver"};
+  if (state_ == State::without_driver) return {"parked_without_driver"};
+  return {};  // moving is the driving detector's consensus to restate
+}
+
+std::vector<std::string> SensorHealthMonitor::on_frame(
+    const SensorFrame& frame) {
+  std::vector<std::string> events;
+
+  bool out_of_range = frame.speed_kmh < 0.0 || frame.speed_kmh > 400.0 ||
+                      frame.accel_g < 0.0 || frame.accel_g > 50.0 ||
+                      frame.latitude < -90.0 || frame.latitude > 90.0 ||
+                      frame.longitude < -180.0 || frame.longitude > 180.0;
+
+  bool dropout = have_prev_ && frame.time_ms - prev_time_ms_ > dropout_gap_ms_;
+
+  bool stuck = false;
+  if (have_prev_ && frame.speed_kmh > 0.0 &&
+      frame.speed_kmh == prev_speed_ && frame.accel_g == prev_accel_) {
+    if (++stuck_run_ >= stuck_frames_) stuck = true;
+  } else {
+    stuck_run_ = 0;
+  }
+
+  have_prev_ = true;
+  prev_time_ms_ = frame.time_ms;
+  prev_speed_ = frame.speed_kmh;
+  prev_accel_ = frame.accel_g;
+
+  if (out_of_range || dropout || stuck) {
+    healthy_run_ = 0;
+    if (!faulted_) {
+      faulted_ = true;
+      events.emplace_back("sensor_fault");
+    }
+    return events;
+  }
+  if (faulted_ && ++healthy_run_ >= recover_frames_) {
+    faulted_ = false;
+    healthy_run_ = 0;
+    stuck_run_ = 0;
+    events.emplace_back("sensor_recovered");
+  }
+  return events;
+}
+
+void SensorHealthMonitor::reset() {
+  faulted_ = false;
+  have_prev_ = false;
+  stuck_run_ = 0;
+  healthy_run_ = 0;
+}
+
+std::vector<std::string> SensorHealthMonitor::consensus() const {
+  if (faulted_) return {"sensor_fault"};
+  return {};
+}
 
 }  // namespace sack::sds

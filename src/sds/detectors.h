@@ -22,6 +22,11 @@ class Detector {
   // Zero or more situation events triggered by this frame.
   virtual std::vector<std::string> on_frame(const SensorFrame& frame) = 0;
   virtual void reset() {}
+  // Recovery resync: the events that reconstruct this detector's current
+  // belief from the policy's initial state (replayed to the kernel after a
+  // watchdog trip so the SSM re-converges). Empty means "initial state is
+  // correct" — stateless or currently-neutral detectors return nothing.
+  virtual std::vector<std::string> consensus() const { return {}; }
 };
 
 // Crash: fires "crash_detected" on the dedicated crash signal or an
@@ -36,6 +41,7 @@ class CrashDetector final : public Detector {
   std::string_view detector_name() const override { return "crash"; }
   std::vector<std::string> on_frame(const SensorFrame& frame) override;
   void reset() override;
+  std::vector<std::string> consensus() const override;
 
   bool in_emergency() const { return in_emergency_; }
 
@@ -57,6 +63,7 @@ class DrivingDetector final : public Detector {
   std::string_view detector_name() const override { return "driving"; }
   std::vector<std::string> on_frame(const SensorFrame& frame) override;
   void reset() override;
+  std::vector<std::string> consensus() const override;
 
   bool driving() const { return driving_; }
 
@@ -77,6 +84,7 @@ class SpeedBandDetector final : public Detector {
   std::string_view detector_name() const override { return "speed_band"; }
   std::vector<std::string> on_frame(const SensorFrame& frame) override;
   void reset() override;
+  std::vector<std::string> consensus() const override;
 
  private:
   double boundary_;
@@ -100,6 +108,7 @@ class GeofenceDetector final : public Detector {
   std::string_view detector_name() const override { return "geofence"; }
   std::vector<std::string> on_frame(const SensorFrame& frame) override;
   void reset() override;
+  std::vector<std::string> consensus() const override;
 
   bool inside() const { return inside_; }
 
@@ -118,10 +127,49 @@ class ParkingDetector final : public Detector {
   std::string_view detector_name() const override { return "parking"; }
   std::vector<std::string> on_frame(const SensorFrame& frame) override;
   void reset() override;
+  std::vector<std::string> consensus() const override;
 
  private:
   enum class State : std::uint8_t { unknown, with_driver, without_driver, moving };
   State state_ = State::unknown;
+};
+
+// Sensor-health monitor: turns implausible telemetry into the situation
+// events "sensor_fault" / "sensor_recovered" so a policy can react to a
+// degraded perception layer (e.g. drop into a conservative state). Checks:
+//   * out-of-range — speed/acceleration/coordinates beyond physical bounds
+//   * dropout     — a gap in frame timestamps longer than `dropout_gap_ms`
+//   * stuck value — a nonzero speed reading frozen bit-for-bit for
+//                   `stuck_frames` consecutive frames (real sensors jitter)
+// The fault is latched; recovery needs `recover_frames` consecutive healthy
+// frames so a marginal sensor doesn't flap. Not part of the default set —
+// policies must declare the events to use it.
+class SensorHealthMonitor final : public Detector {
+ public:
+  explicit SensorHealthMonitor(std::int64_t dropout_gap_ms = 5'000,
+                               int stuck_frames = 25, int recover_frames = 3)
+      : dropout_gap_ms_(dropout_gap_ms),
+        stuck_frames_(stuck_frames),
+        recover_frames_(recover_frames) {}
+
+  std::string_view detector_name() const override { return "sensor_health"; }
+  std::vector<std::string> on_frame(const SensorFrame& frame) override;
+  void reset() override;
+  std::vector<std::string> consensus() const override;
+
+  bool faulted() const { return faulted_; }
+
+ private:
+  std::int64_t dropout_gap_ms_;
+  int stuck_frames_;
+  int recover_frames_;
+  bool faulted_ = false;
+  bool have_prev_ = false;
+  std::int64_t prev_time_ms_ = 0;
+  double prev_speed_ = 0.0;
+  double prev_accel_ = 0.0;
+  int stuck_run_ = 0;
+  int healthy_run_ = 0;
 };
 
 }  // namespace sack::sds

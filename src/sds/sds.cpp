@@ -1,5 +1,9 @@
 #include "sds/sds.h"
 
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/fault.h"
 #include "util/log.h"
 
 namespace sack::sds {
@@ -10,6 +14,8 @@ SituationDetectionService::SituationDetectionService(kernel::Process process)
 void SituationDetectionService::add_detector(
     std::unique_ptr<Detector> detector) {
   detectors_.push_back(std::move(detector));
+  consecutive_faults_.push_back(0);
+  quarantined_.push_back(false);
 }
 
 void SituationDetectionService::add_default_detectors() {
@@ -19,27 +25,255 @@ void SituationDetectionService::add_default_detectors() {
   add_detector(std::make_unique<ParkingDetector>());
 }
 
-Result<void> SituationDetectionService::send_event(std::string_view event) {
-  std::string line(event);
-  line += '\n';
+bool SituationDetectionService::transient_error(Errno e) {
+  // Retry only conditions that can clear on their own. EACCES/EINVAL/ENOENT
+  // are configuration problems — retrying them would just repeat the
+  // failure (and, for EINVAL, possibly replay an event the kernel already
+  // rejected for cause).
+  switch (e) {
+    case Errno::enospc:
+    case Errno::eagain:
+    case Errno::eio:
+    case Errno::eintr:
+    case Errno::ebusy:
+    case Errno::enomem:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::int64_t SituationDetectionService::backoff_ms(int attempts) {
+  // base * 2^(attempts-1) plus deterministic jitter in [0, base/2] so a
+  // fleet of queued events doesn't retry in lockstep.
+  std::int64_t delay = retry_base_ms_;
+  for (int i = 1; i < attempts && delay < 60'000; ++i) delay *= 2;
+  return delay + static_cast<std::int64_t>(
+                     rng_.below(static_cast<std::uint64_t>(retry_base_ms_) / 2 +
+                                1));
+}
+
+Result<void> SituationDetectionService::transmit_line(const std::string& line,
+                                                      std::string_view label) {
   const std::uint64_t t_start = monotonic_ns();
   auto rc = process_.write_existing(kEventsPath, line);
   send_ns_.record(monotonic_ns() - t_start);
   if (rc.ok()) {
     ++events_sent_;
+    if (warns_suppressed_run_ > 0) {
+      log_warn("sds: transmit recovered; suppressed ", warns_suppressed_run_,
+               " repeated failure warnings");
+      warns_suppressed_run_ = 0;
+    }
+    failure_streak_ = 0;
   } else {
     ++send_failures_;
-    log_warn("sds: failed to transmit event '", event, "': ",
-             errno_name(rc.error()));
+    // Only the first failure of a streak is worth a log line: a dead SACKfs
+    // at a 10 Hz frame rate would otherwise flood the log at exactly the
+    // moment an operator needs to read it.
+    if (++failure_streak_ == 1) {
+      log_warn("sds: failed to transmit event '", label, "': ",
+               errno_name(rc.error()));
+    } else {
+      ++warns_suppressed_run_;
+      ++warns_suppressed_;
+    }
   }
   return rc;
 }
 
-std::vector<std::string> SituationDetectionService::feed(
-    const SensorFrame& frame) {
-  std::vector<std::string> emitted;
-  for (auto& detector : detectors_) {
-    for (auto& event : detector->on_frame(frame)) {
+Result<void> SituationDetectionService::transmit(const std::string& event,
+                                                 std::uint64_t seq) {
+  return transmit_line("seq=" + std::to_string(seq) + " " + event + "\n",
+                       event);
+}
+
+Result<void> SituationDetectionService::send_event(std::string_view event) {
+  return transmit_line(std::string(event) + "\n", event);
+}
+
+void SituationDetectionService::stamp_rate_limiter(const std::string& event,
+                                                   std::int64_t frame_ms) {
+  if (min_interval_ms_ <= 0) return;
+  if (last_sent_ms_.size() >= kMaxRateLimitEntries &&
+      !last_sent_ms_.contains(event)) {
+    // Bounded: evict the stalest stamp. An unbounded map keyed by event
+    // names is an amplification target for a compromised detector.
+    auto oldest = std::min_element(
+        last_sent_ms_.begin(), last_sent_ms_.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    last_sent_ms_.erase(oldest);
+  }
+  last_sent_ms_[event] = frame_ms;
+}
+
+void SituationDetectionService::enqueue_retry(std::string name,
+                                              std::uint64_t seq, int attempts,
+                                              std::int64_t now_ms) {
+  // Coalesce by name: a newer emission supersedes the queued one (the
+  // sequence stamp advances so the kernel treats the retry as current).
+  for (auto& p : retry_queue_) {
+    if (p.name == name) {
+      p.seq = std::max(p.seq, seq);
+      ++retry_coalesced_;
+      return;
+    }
+  }
+  if (retry_queue_.size() >= kMaxRetryQueue) {
+    log_warn("sds: retry queue full; dropping oldest queued event '",
+             retry_queue_.front().name, "'");
+    retry_queue_.pop_front();
+    ++retry_dropped_;
+  }
+  PendingEvent p;
+  p.name = std::move(name);
+  p.seq = seq;
+  p.attempts = attempts;
+  p.not_before_ms = now_ms + backoff_ms(attempts);
+  retry_queue_.push_back(std::move(p));
+  ++retry_enqueued_;
+}
+
+void SituationDetectionService::drain_retries(std::int64_t now_ms,
+                                              FeedResult& result) {
+  if (retry_queue_.empty()) return;
+  std::deque<PendingEvent> keep;
+  while (!retry_queue_.empty()) {
+    PendingEvent p = std::move(retry_queue_.front());
+    retry_queue_.pop_front();
+    if (p.not_before_ms > now_ms) {
+      keep.push_back(std::move(p));
+      continue;
+    }
+    auto rc = transmit(p.name, p.seq);
+    if (rc.ok()) {
+      ++retry_succeeded_;
+      result.delivered.push_back(std::move(p.name));
+      continue;
+    }
+    if (!transient_error(rc.error()) || ++p.attempts > retry_max_attempts_) {
+      ++retry_exhausted_;
+      log_warn("sds: giving up on queued event '", p.name, "' after ",
+               p.attempts, " attempts (", errno_name(rc.error()), ")");
+      continue;
+    }
+    p.not_before_ms = now_ms + backoff_ms(p.attempts);
+    keep.push_back(std::move(p));
+  }
+  retry_queue_ = std::move(keep);
+}
+
+void SituationDetectionService::heartbeat_and_poll(std::int64_t frame_ms) {
+  if (!heartbeat_enabled_) return;
+  auto& fault = util::FaultInjector::instance();
+  // Fault site "sds.heartbeat.drop": the beacon write is skipped as if the
+  // daemon missed its frame deadline — the kernel watchdog sees silence.
+  if (!fault.fire("sds.heartbeat.drop")) {
+    auto rc = process_.write_existing(kHeartbeatPath, "alive\n");
+    if (rc.ok()) {
+      ++heartbeats_sent_;
+    } else {
+      ++heartbeat_failures_;
+      if (rc.error() == Errno::enoent || rc.error() == Errno::eacces) {
+        // No SACK in this kernel (or we lack the privilege): beaconing can
+        // never succeed, so stop hammering the path. reset_detectors()
+        // (the restart hook) re-arms it.
+        heartbeat_enabled_ = false;
+        log_info("sds: heartbeat disabled (", errno_name(rc.error()), ")");
+        return;
+      }
+    }
+  }
+  // Recovery handshake: the kernel latches resync_pending after a watchdog
+  // trip; reading the heartbeat file is how the SDS learns it must replay.
+  auto status = process_.read_file(kHeartbeatPath);
+  if (status.ok() && status->find("resync_pending=1") != std::string::npos)
+    resync(frame_ms);
+}
+
+void SituationDetectionService::resync(std::int64_t frame_ms) {
+  auto rc = process_.write_existing(kHeartbeatPath, "resync\n");
+  if (!rc.ok()) {
+    ++heartbeat_failures_;
+    return;
+  }
+  ++resyncs_sent_;
+  // Queued retries predate the trip; the consensus replay below supersedes
+  // them (account them as dropped, not lost silently).
+  retry_dropped_ += retry_queue_.size();
+  retry_queue_.clear();
+  std::size_t replayed = 0;
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    if (quarantined_[i]) continue;
+    for (const auto& event : detectors_[i]->consensus()) {
+      const std::uint64_t seq = next_seq_++;
+      auto sent = transmit(event, seq);
+      if (sent.ok())
+        ++replayed;
+      else if (transient_error(sent.error()))
+        enqueue_retry(event, seq, 1, frame_ms);
+    }
+  }
+  log_info("sds: resynced with kernel (replayed ", replayed,
+           " consensus events)");
+}
+
+FeedResult SituationDetectionService::feed(const SensorFrame& frame) {
+  FeedResult result;
+  auto& fault = util::FaultInjector::instance();
+  // Frame-level fault sites: the SDS process was starved this frame. A
+  // dropped frame vanishes; a delayed frame is processed (in order) at the
+  // start of the next feed — either way no heartbeat goes out, which is
+  // exactly what the kernel watchdog is for.
+  if (fault.fire("sds.frame.drop")) {
+    ++frames_dropped_;
+    return result;
+  }
+  if (fault.fire("sds.frame.delay")) {
+    ++frames_delayed_;
+    delayed_frames_.push_back(frame);
+    return result;
+  }
+  if (!delayed_frames_.empty()) {
+    auto backlog = std::move(delayed_frames_);
+    delayed_frames_.clear();
+    for (const auto& f : backlog) process_frame(f, result);
+  }
+  process_frame(frame, result);
+  return result;
+}
+
+void SituationDetectionService::process_frame(const SensorFrame& frame,
+                                              FeedResult& result) {
+  auto& fault = util::FaultInjector::instance();
+  heartbeat_and_poll(frame.time_ms);
+  drain_retries(frame.time_ms, result);
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    if (quarantined_[i]) continue;
+    Detector& detector = *detectors_[i];
+    std::vector<std::string> events;
+    // Per-detector fault isolation: one buggy (or injected-faulty) detector
+    // must not take down the frame for the others.
+    try {
+      if (fault.fire("sds.detector.throw", detector.detector_name()))
+        throw std::runtime_error("injected detector fault");
+      events = detector.on_frame(frame);
+      consecutive_faults_[i] = 0;
+    } catch (const std::exception& e) {
+      ++detector_faults_;
+      if (++consecutive_faults_[i] >= kQuarantineAfter) {
+        quarantined_[i] = true;
+        ++detectors_quarantined_;
+        log_warn("sds: detector '", detector.detector_name(),
+                 "' quarantined after ", consecutive_faults_[i],
+                 " consecutive faults (", e.what(), ")");
+      } else {
+        log_warn("sds: detector '", detector.detector_name(),
+                 "' failed: ", e.what());
+      }
+      continue;
+    }
+    for (auto& event : events) {
       if (min_interval_ms_ > 0) {
         auto it = last_sent_ms_.find(event);
         if (it != last_sent_ms_.end() &&
@@ -48,35 +282,68 @@ std::vector<std::string> SituationDetectionService::feed(
           continue;
         }
       }
-      // Stamp the rate limiter only after a *successful* transmit: a failed
-      // write must leave the window open so the event is retried on the
-      // next frame instead of being silently lost for min_interval_ms_.
-      if (send_event(event).ok() && min_interval_ms_ > 0)
-        last_sent_ms_[event] = frame.time_ms;
-      emitted.push_back(std::move(event));
+      result.emitted.push_back(event);
+      const std::uint64_t seq = next_seq_++;
+      auto rc = transmit(event, seq);
+      if (rc.ok()) {
+        // Stamp the rate limiter only after a *successful* transmit: a
+        // failed write must leave the window open so the event is retried
+        // on the next frame instead of being silently lost for
+        // min_interval_ms_.
+        stamp_rate_limiter(event, frame.time_ms);
+        result.delivered.push_back(std::move(event));
+      } else if (transient_error(rc.error())) {
+        enqueue_retry(std::move(event), seq, 1, frame.time_ms);
+        ++result.queued_for_retry;
+      }
     }
   }
-  return emitted;
 }
 
 std::string SituationDetectionService::metrics_json() const {
   return "{\"events_sent\": " + std::to_string(events_sent_) +
          ", \"send_failures\": " + std::to_string(send_failures_) +
          ", \"events_suppressed\": " + std::to_string(events_suppressed_) +
+         ", \"warns_suppressed\": " + std::to_string(warns_suppressed_) +
+         ", \"heartbeats_sent\": " + std::to_string(heartbeats_sent_) +
+         ", \"heartbeat_failures\": " + std::to_string(heartbeat_failures_) +
+         ", \"resyncs_sent\": " + std::to_string(resyncs_sent_) +
+         ", \"retry\": {\"depth\": " + std::to_string(retry_queue_.size()) +
+         ", \"enqueued\": " + std::to_string(retry_enqueued_) +
+         ", \"succeeded\": " + std::to_string(retry_succeeded_) +
+         ", \"coalesced\": " + std::to_string(retry_coalesced_) +
+         ", \"dropped\": " + std::to_string(retry_dropped_) +
+         ", \"exhausted\": " + std::to_string(retry_exhausted_) + "}" +
+         ", \"detector_faults\": " + std::to_string(detector_faults_) +
+         ", \"detectors_quarantined\": " +
+         std::to_string(detectors_quarantined_) +
+         ", \"frames_dropped\": " + std::to_string(frames_dropped_) +
+         ", \"frames_delayed\": " + std::to_string(frames_delayed_) +
          ", \"send_ns\": " + send_ns_.json() + "}";
 }
 
 std::vector<std::string> SituationDetectionService::play(const Trace& trace) {
   std::vector<std::string> all;
   for (const auto& frame : trace) {
-    auto events = feed(frame);
-    all.insert(all.end(), events.begin(), events.end());
+    auto result = feed(frame);
+    all.insert(all.end(), result.delivered.begin(), result.delivered.end());
   }
   return all;
 }
 
 void SituationDetectionService::reset_detectors() {
   for (auto& d : detectors_) d->reset();
+  // Regression fix: the rate limiter must forget pre-reset timestamps —
+  // after a reset the detectors re-derive their state from scratch, and a
+  // stale stamp would silently swallow the re-emitted events for up to
+  // min_interval_ms_ of scenario time.
+  last_sent_ms_.clear();
+  retry_dropped_ += retry_queue_.size();
+  retry_queue_.clear();
+  delayed_frames_.clear();
+  std::fill(consecutive_faults_.begin(), consecutive_faults_.end(), 0);
+  std::fill(quarantined_.begin(), quarantined_.end(), false);
+  heartbeat_enabled_ = true;
 }
 
 }  // namespace sack::sds

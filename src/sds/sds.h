@@ -4,8 +4,24 @@
 // and transmits *only events* — not raw telemetry — to the kernel by writing
 // /sys/kernel/security/SACK/events. This is the paper's separation of
 // situation tracking (user space) from access-control enforcement (kernel).
+//
+// Resilience layer (beyond the paper):
+//   * Every frame also writes a liveness beacon to SACKfs/heartbeat and
+//     polls it for the kernel watchdog's resync_pending flag; when set, the
+//     SDS performs the recovery handshake ("resync" + detector consensus
+//     replay) so the SSM re-converges after a watchdog trip.
+//   * Event writes carry monotonic sequence stamps ("seq=<n> <event>") so a
+//     retried write whose success report was lost can never
+//     double-transition the kernel SSM.
+//   * Transient transmit errors (ENOSPC/EAGAIN/EIO/...) land in a bounded
+//     retry queue with exponential backoff + deterministic jitter; permanent
+//     errors (EACCES/EINVAL/ENOENT) are not retried. Nothing leaves the
+//     queue unaccounted: delivered, coalesced, evicted, or exhausted.
+//   * A throwing detector is isolated (the frame continues through the
+//     others) and quarantined after repeated consecutive faults.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -15,8 +31,19 @@
 #include "sds/detectors.h"
 #include "sds/sensors.h"
 #include "util/metrics.h"
+#include "util/rng.h"
 
 namespace sack::sds {
+
+// Delivery-aware outcome of one frame. `emitted` is what the detectors
+// produced (post rate-limit); `delivered` is the subset (plus any drained
+// retries) confirmed written into SACKfs — a failed transmit is visible as
+// the difference, not silently reported as sent.
+struct FeedResult {
+  std::vector<std::string> emitted;
+  std::vector<std::string> delivered;
+  std::size_t queued_for_retry = 0;
+};
 
 class SituationDetectionService {
  public:
@@ -27,20 +54,25 @@ class SituationDetectionService {
   void add_detector(std::unique_ptr<Detector> detector);
 
   // Convenience: the standard CAV detector set (crash, driving, speed band,
-  // parking).
+  // parking). SensorHealthMonitor is deliberately not included — its events
+  // are only useful to policies that declare them.
   void add_default_detectors();
 
   // Feeds one frame through every detector and transmits resulting events.
-  // Returns the events emitted for this frame.
-  std::vector<std::string> feed(const SensorFrame& frame);
+  FeedResult feed(const SensorFrame& frame);
 
-  // Plays a whole trace; returns all events in order.
+  // Plays a whole trace; returns all *delivered* events in order.
   std::vector<std::string> play(const Trace& trace);
 
   // Sends one event directly (used to emulate events in the case studies,
-  // matching the paper's pseudo-file interface methodology).
+  // matching the paper's pseudo-file interface methodology). Raw channel:
+  // no sequence stamp, no retry.
   Result<void> send_event(std::string_view event);
 
+  // Resets detector state AND the transport state keyed to it: rate-limiter
+  // stamps, the retry queue (evictions accounted), delayed frames, and
+  // detector quarantine — the "SDS restart" hook. The heartbeat beacon is
+  // re-armed too.
   void reset_detectors();
 
   // Flood protection: suppress a repeat of the *same* event name within
@@ -49,9 +81,36 @@ class SituationDetectionService {
   // kernel ever sees the traffic.
   void set_min_event_interval_ms(std::int64_t ms) { min_interval_ms_ = ms; }
 
+  // Retry tuning: first retry after `base_ms` (doubling each attempt, plus
+  // jitter in [0, base_ms/2]); an event is abandoned after `max_attempts`.
+  void set_retry_policy(std::int64_t base_ms, int max_attempts) {
+    retry_base_ms_ = base_ms;
+    retry_max_attempts_ = max_attempts;
+  }
+  void set_heartbeat_enabled(bool on) { heartbeat_enabled_ = on; }
+
   std::uint64_t events_sent() const { return events_sent_; }
   std::uint64_t send_failures() const { return send_failures_; }
   std::uint64_t events_suppressed() const { return events_suppressed_; }
+  std::uint64_t warns_suppressed() const { return warns_suppressed_; }
+
+  std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+  std::uint64_t heartbeat_failures() const { return heartbeat_failures_; }
+  std::uint64_t resyncs_sent() const { return resyncs_sent_; }
+
+  std::size_t retry_depth() const { return retry_queue_.size(); }
+  std::uint64_t retry_enqueued() const { return retry_enqueued_; }
+  std::uint64_t retry_succeeded() const { return retry_succeeded_; }
+  std::uint64_t retry_coalesced() const { return retry_coalesced_; }
+  std::uint64_t retry_dropped() const { return retry_dropped_; }
+  std::uint64_t retry_exhausted() const { return retry_exhausted_; }
+
+  std::uint64_t detector_faults() const { return detector_faults_; }
+  std::uint64_t detectors_quarantined() const {
+    return detectors_quarantined_;
+  }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t frames_delayed() const { return frames_delayed_; }
 
   // Transmit latency (the write(2) into SACKfs, i.e. the paper's
   // low-latency channel) and the counters above, as JSON — the user-space
@@ -61,15 +120,73 @@ class SituationDetectionService {
 
   static constexpr std::string_view kEventsPath =
       "/sys/kernel/security/SACK/events";
+  static constexpr std::string_view kHeartbeatPath =
+      "/sys/kernel/security/SACK/heartbeat";
+
+  // A detector is quarantined after this many consecutive faults.
+  static constexpr int kQuarantineAfter = 3;
+  // Bounds: oldest entries are evicted (with accounting) beyond these.
+  static constexpr std::size_t kMaxRetryQueue = 64;
+  static constexpr std::size_t kMaxRateLimitEntries = 512;
 
  private:
+  struct PendingEvent {
+    std::string name;
+    std::uint64_t seq = 0;
+    int attempts = 0;
+    std::int64_t not_before_ms = 0;
+  };
+
+  void process_frame(const SensorFrame& frame, FeedResult& result);
+  void heartbeat_and_poll(std::int64_t frame_ms);
+  void resync(std::int64_t frame_ms);
+  void drain_retries(std::int64_t now_ms, FeedResult& result);
+  void enqueue_retry(std::string name, std::uint64_t seq, int attempts,
+                     std::int64_t now_ms);
+  void stamp_rate_limiter(const std::string& event, std::int64_t frame_ms);
+  // Shared transmit path: one SACKfs write + latency + counters + throttled
+  // failure logging. `line` must end in '\n'.
+  Result<void> transmit_line(const std::string& line, std::string_view label);
+  Result<void> transmit(const std::string& event, std::uint64_t seq);
+  static bool transient_error(Errno e);
+  std::int64_t backoff_ms(int attempts);
+
   kernel::Process process_;
   std::vector<std::unique_ptr<Detector>> detectors_;
+  std::vector<int> consecutive_faults_;
+  std::vector<bool> quarantined_;
   std::int64_t min_interval_ms_ = 0;
   std::map<std::string, std::int64_t, std::less<>> last_sent_ms_;
+
+  std::uint64_t next_seq_ = 1;
+  std::deque<PendingEvent> retry_queue_;
+  std::int64_t retry_base_ms_ = 50;
+  int retry_max_attempts_ = 5;
+  Rng rng_{0x5d5'fa11'baccULL};  // deterministic backoff jitter
+
+  bool heartbeat_enabled_ = true;
+  std::vector<SensorFrame> delayed_frames_;
+
   std::uint64_t events_sent_ = 0;
   std::uint64_t send_failures_ = 0;
   std::uint64_t events_suppressed_ = 0;
+  std::uint64_t heartbeats_sent_ = 0;
+  std::uint64_t heartbeat_failures_ = 0;
+  std::uint64_t resyncs_sent_ = 0;
+  std::uint64_t retry_enqueued_ = 0;
+  std::uint64_t retry_succeeded_ = 0;
+  std::uint64_t retry_coalesced_ = 0;
+  std::uint64_t retry_dropped_ = 0;
+  std::uint64_t retry_exhausted_ = 0;
+  std::uint64_t detector_faults_ = 0;
+  std::uint64_t detectors_quarantined_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_delayed_ = 0;
+  // Log hygiene: only the first transmit failure of a streak is logged; the
+  // rest are counted and summarized when a transmit succeeds again.
+  std::uint64_t failure_streak_ = 0;
+  std::uint64_t warns_suppressed_run_ = 0;
+  std::uint64_t warns_suppressed_ = 0;
   util::LatencyHistogram send_ns_;
 };
 

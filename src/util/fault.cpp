@@ -1,0 +1,74 @@
+#include "util/fault.h"
+
+namespace sack::util {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(std::string_view site, FaultSpec spec) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = sites_.try_emplace(std::string(site));
+  it->second.spec = std::move(spec);
+  it->second.rng = Rng(it->second.spec.seed);
+  it->second.hits = 0;
+  it->second.fires = 0;
+  if (inserted) armed_sites_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(std::string_view site) {
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  sites_.erase(it);
+  armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  std::lock_guard lock(mu_);
+  armed_sites_.fetch_sub(static_cast<int>(sites_.size()),
+                         std::memory_order_relaxed);
+  sites_.clear();
+}
+
+bool FaultInjector::probe_locked(Site& site, std::string_view detail) {
+  if (!site.spec.match.empty() &&
+      detail.find(site.spec.match) == std::string_view::npos)
+    return false;
+  const std::uint64_t hit = site.hits++;
+  if (hit < site.spec.skip) return false;
+  if (site.spec.max_fires != 0 && site.fires >= site.spec.max_fires)
+    return false;
+  if (site.spec.probability < 1.0 && !site.rng.chance(site.spec.probability))
+    return false;
+  ++site.fires;
+  return true;
+}
+
+bool FaultInjector::fire(std::string_view site, std::string_view detail) {
+  if (!any_armed()) return false;
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  return probe_locked(it->second, detail);
+}
+
+std::optional<Errno> FaultInjector::fail_errno(std::string_view site,
+                                               std::string_view detail) {
+  if (!any_armed()) return std::nullopt;
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return std::nullopt;
+  if (!probe_locked(it->second, detail)) return std::nullopt;
+  return it->second.spec.error;
+}
+
+FaultSiteStats FaultInjector::stats(std::string_view site) const {
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return {};
+  return {it->second.hits, it->second.fires};
+}
+
+}  // namespace sack::util

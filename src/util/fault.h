@@ -1,0 +1,104 @@
+// Deterministic fault injection.
+//
+// Robustness claims ("the watchdog fires", "a burst of ENOSPC never loses an
+// event") are only testable if failures can be produced on demand and
+// *reproducibly*. This registry provides named injection points: production
+// code probes a site by name, tests arm the site with a FaultSpec describing
+// when it fires and what error it injects. Everything is deterministic from
+// the spec (skip/max_fires counters, SplitMix64-seeded probability), so a
+// failing chaos run replays exactly from its seed.
+//
+// Sites wired in this repo:
+//   sackfs.write       Process::write_existing fails with the armed errno
+//                      (detail = target path, so "events" vs "heartbeat"
+//                      writes can be targeted via FaultSpec::match)
+//   sds.heartbeat.drop SDS skips this frame's heartbeat write
+//   sds.frame.drop     SDS discards the incoming sensor frame
+//   sds.frame.delay    SDS defers the frame to the next feed() call
+//   sds.detector.throw detector on_frame throws (detail = detector name)
+//   sack.policy.reload chaos harness triggers a policy reload at this point
+//
+// The disarmed fast path is one relaxed atomic load — production code can
+// leave probes in unconditionally. Armed probes take a mutex (fault testing
+// is not a throughput mode); the registry is safe to probe from concurrent
+// threads and is TSan-clean.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/errno.h"
+#include "util/rng.h"
+
+namespace sack::util {
+
+// When an armed site fires, and what it injects.
+struct FaultSpec {
+  // Let this many matching hits pass before the site becomes eligible.
+  std::uint64_t skip = 0;
+  // Stop firing after this many fires (0 = unlimited).
+  std::uint64_t max_fires = 0;
+  // Fire an eligible hit with this probability (1.0 = always). Draws come
+  // from a SplitMix64 stream seeded with `seed`, so runs are reproducible.
+  double probability = 1.0;
+  std::uint64_t seed = 0x5eedULL;
+  // Error injected by fail_errno() sites (ignored by boolean fire() sites).
+  Errno error = Errno::eio;
+  // Only hits whose detail string contains this substring match ("" = all).
+  std::string match;
+};
+
+struct FaultSiteStats {
+  std::uint64_t hits = 0;   // matching probes observed
+  std::uint64_t fires = 0;  // probes that injected the fault
+};
+
+class FaultInjector {
+ public:
+  // Process-wide registry, like Logger: the code under test reaches the
+  // injection points through whatever layers exist, so the switchboard has
+  // to be ambient. Tests arm in SetUp and reset() in TearDown.
+  static FaultInjector& instance();
+
+  void arm(std::string_view site, FaultSpec spec);
+  void disarm(std::string_view site);
+  // Disarms every site and clears all statistics.
+  void reset();
+
+  // Probe a boolean site: true if the armed spec fires on this hit.
+  bool fire(std::string_view site, std::string_view detail = {});
+
+  // Probe an error-injecting site: the armed errno, if it fires.
+  std::optional<Errno> fail_errno(std::string_view site,
+                                  std::string_view detail = {});
+
+  FaultSiteStats stats(std::string_view site) const;
+  bool any_armed() const {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  FaultInjector() = default;
+
+  struct Site {
+    FaultSpec spec;
+    Rng rng{0};
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  // nullptr when the site is disarmed or the detail does not match;
+  // otherwise whether this hit fires. Caller must hold mu_.
+  bool probe_locked(Site& site, std::string_view detail);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site, std::less<>> sites_;
+  std::atomic<int> armed_sites_{0};
+};
+
+}  // namespace sack::util

@@ -57,6 +57,26 @@ TEST(ShippedPolicies, EmergencyFailsafeHasTimedRule) {
   EXPECT_EQ(mod->current_state_name(), "normal");
 }
 
+TEST(ShippedPolicies, WatchdogFailsafeTripsAndRecovers) {
+  kernel::Kernel k;
+  auto* mod = static_cast<core::SackModule*>(k.add_lsm(
+      std::make_unique<core::SackModule>(core::SackMode::independent)));
+  std::vector<core::Diagnostic> diags;
+  ASSERT_TRUE(
+      mod->load_policy_text(read_policy_file("watchdog_failsafe.sack"), &diags)
+          .ok());
+  EXPECT_TRUE(diags.empty());
+  ASSERT_TRUE(mod->policy().watchdog.has_value());
+  EXPECT_EQ(mod->policy().watchdog->deadline_ms, 2000);
+
+  // 2 s without SDS activity: forced into the declared failsafe.
+  k.advance_clock_ms(2000);
+  EXPECT_EQ(mod->current_state_name(), "lockdown");
+  // The explicit recovery transition leads back out.
+  ASSERT_TRUE(mod->deliver_event("sds_recovered").ok());
+  EXPECT_EQ(mod->current_state_name(), "normal");
+}
+
 TEST(ShippedPolicies, SpeedGateLoadsCleanly) {
   kernel::Kernel k;
   auto* mod = static_cast<core::SackModule*>(k.add_lsm(

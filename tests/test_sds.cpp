@@ -279,6 +279,81 @@ TEST(SdsEndToEnd, RateLimiterRetriesAfterFailedTransmit) {
   EXPECT_NE(json.find("\"send_ns\": {"), std::string::npos);
 }
 
+TEST(SdsEndToEnd, ResetDetectorsClearsRateLimiterState) {
+  // Regression: reset_detectors() reset the detectors but kept the rate
+  // limiter's last_sent_ms_ stamps, so the re-derived events after a restart
+  // were silently swallowed for up to min_interval_ms of scenario time.
+  ivi::IviSystem ivi({.mac = ivi::MacConfig::independent_sack});
+  SituationDetectionService sds(
+      kernel::Process(ivi.kernel(), ivi.kernel().init_task()));
+  class Flapper : public Detector {
+   public:
+    std::string_view detector_name() const override { return "flapper"; }
+    std::vector<std::string> on_frame(const SensorFrame&) override {
+      return {"crash_detected"};
+    }
+  };
+  sds.add_detector(std::make_unique<Flapper>());
+  sds.set_min_event_interval_ms(1'000'000);
+
+  auto first = sds.feed(frame(0, 30, Gear::drive));
+  ASSERT_EQ(first.delivered.size(), 1u);
+  EXPECT_TRUE(sds.feed(frame(100, 30, Gear::drive)).emitted.empty());
+  EXPECT_EQ(sds.events_suppressed(), 1u);
+
+  sds.reset_detectors();
+  auto after_reset = sds.feed(frame(200, 30, Gear::drive));
+  ASSERT_EQ(after_reset.delivered.size(), 1u);
+  EXPECT_EQ(after_reset.delivered[0], "crash_detected");
+  EXPECT_EQ(sds.events_suppressed(), 1u);
+}
+
+TEST(SdsEndToEnd, FeedReportsDeliveryStatusSeparately) {
+  // Regression: feed() used to report every emitted event as sent even when
+  // the SACKfs write failed. The caller now sees emitted vs delivered.
+  ivi::IviSystem ivi({.mac = ivi::MacConfig::independent_sack});
+  auto& kernel = ivi.kernel();
+  auto& user = kernel.spawn_task("evil", kernel::Cred::user(1000, 1000));
+  SituationDetectionService sds(kernel::Process(kernel, user));
+  class Flapper : public Detector {
+   public:
+    std::string_view detector_name() const override { return "flapper"; }
+    std::vector<std::string> on_frame(const SensorFrame&) override {
+      return {"crash_detected"};
+    }
+  };
+  sds.add_detector(std::make_unique<Flapper>());
+
+  auto fed = sds.feed(frame(0, 30, Gear::drive));
+  ASSERT_EQ(fed.emitted.size(), 1u);
+  EXPECT_TRUE(fed.delivered.empty());
+  EXPECT_EQ(fed.queued_for_retry, 0u);  // EACCES is permanent, not retried
+  EXPECT_EQ(ivi.situation(), "parked_with_driver");
+}
+
+TEST(SdsEndToEnd, TransmitWarnFloodIsSuppressed) {
+  // Log hygiene: a dead SACKfs at frame rate logs once per failure streak;
+  // the rest are counted and reported when (if) a transmit succeeds again.
+  ivi::IviSystem ivi({.mac = ivi::MacConfig::independent_sack});
+  auto& kernel = ivi.kernel();
+  auto& user = kernel.spawn_task("evil", kernel::Cred::user(1000, 1000));
+  SituationDetectionService sds(kernel::Process(kernel, user));
+  class Flapper : public Detector {
+   public:
+    std::string_view detector_name() const override { return "flapper"; }
+    std::vector<std::string> on_frame(const SensorFrame&) override {
+      return {"crash_detected"};
+    }
+  };
+  sds.add_detector(std::make_unique<Flapper>());
+
+  for (int i = 0; i < 10; ++i) (void)sds.feed(frame(i * 100, 30, Gear::drive));
+  EXPECT_EQ(sds.send_failures(), 10u);
+  EXPECT_EQ(sds.warns_suppressed(), 9u);  // only the first hit the log
+  EXPECT_NE(sds.metrics_json().find("\"warns_suppressed\": 9"),
+            std::string::npos);
+}
+
 TEST(SdsEndToEnd, UnprivilegedWriterCannotInjectEvents) {
   ivi::IviSystem ivi({.mac = ivi::MacConfig::independent_sack});
   auto& kernel = ivi.kernel();

@@ -1,0 +1,406 @@
+// SDS liveness watchdog: the policy clause, the kernel-side deadline and
+// failsafe forcing, the heartbeat file, the resync handshake, and the
+// sequence-stamp replay suppression on the events file.
+#include <gtest/gtest.h>
+
+#include "core/policy_builder.h"
+#include "core/policy_checker.h"
+#include "core/policy_parser.h"
+#include "core/sack_module.h"
+#include "kernel/process.h"
+#include "sds/sds.h"
+#include "sds/traces.h"
+
+namespace sack::core {
+namespace {
+
+using kernel::Cred;
+using kernel::Kernel;
+using kernel::OpenFlags;
+using kernel::Process;
+using kernel::Task;
+
+constexpr std::string_view kHeartbeat = "/sys/kernel/security/SACK/heartbeat";
+constexpr std::string_view kEvents = "/sys/kernel/security/SACK/events";
+
+SackPolicy watchdog_policy(std::int64_t deadline_ms = 500) {
+  PolicyBuilder b;
+  b.state("normal", 0)
+      .state("emergency", 1)
+      .state("lockdown", 2)
+      .initial("normal")
+      .transition("normal", "crash_detected", "emergency")
+      .transition("emergency", "emergency_cleared", "normal")
+      .transition("lockdown", "sds_recovered", "normal")
+      .watchdog(deadline_ms, "lockdown")
+      .permission("DOORS")
+      .grant("emergency", "DOORS")
+      .allow("DOORS", "*", "/dev/door", MacOp::write | MacOp::ioctl);
+  return b.build();
+}
+
+struct Rig {
+  Kernel kernel;
+  SackModule* mod;
+  Rig() {
+    mod = static_cast<SackModule*>(kernel.add_lsm(
+        std::make_unique<SackModule>(SackMode::independent)));
+  }
+};
+
+// --- policy language ---
+
+TEST(WatchdogPolicy, ParsesAndRoundTrips) {
+  auto parsed = parse_policy(R"(
+states { a = 0; b = 1; }
+initial a;
+transitions { a -> b on go; }
+watchdog {
+  deadline 750;
+  failsafe b;
+}
+)");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.policy.watchdog.has_value());
+  EXPECT_EQ(parsed.policy.watchdog->deadline_ms, 750);
+  EXPECT_EQ(parsed.policy.watchdog->failsafe_state, "b");
+
+  auto again = parse_policy(parsed.policy.to_text());
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE(again.policy.watchdog.has_value());
+  EXPECT_EQ(again.policy.watchdog->deadline_ms, 750);
+  EXPECT_EQ(again.policy.watchdog->failsafe_state, "b");
+}
+
+TEST(WatchdogPolicy, SectionPresenceAndMerge) {
+  SectionPresence presence;
+  auto parsed = parse_policy("watchdog { deadline 100; failsafe x; }",
+                             &presence);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(presence.watchdog);
+  EXPECT_FALSE(presence.states);
+
+  // Merging a document with a watchdog section replaces the clause...
+  SackPolicy base = watchdog_policy();
+  merge_policy_sections(base, parsed.policy, presence);
+  ASSERT_TRUE(base.watchdog.has_value());
+  EXPECT_EQ(base.watchdog->deadline_ms, 100);
+  EXPECT_EQ(base.watchdog->failsafe_state, "x");
+
+  // ...and an *empty* watchdog block clears it (the canonical "none" form).
+  SectionPresence p2;
+  auto cleared = parse_policy("watchdog { }", &p2);
+  ASSERT_TRUE(cleared.ok());
+  EXPECT_TRUE(p2.watchdog);
+  merge_policy_sections(base, cleared.policy, p2);
+  EXPECT_FALSE(base.watchdog.has_value());
+}
+
+TEST(WatchdogPolicy, CheckerRejectsBadClauses) {
+  {
+    PolicyBuilder b;
+    b.state("a", 0).initial("a").watchdog(0, "a");
+    auto diags = check_policy(b.build());
+    EXPECT_TRUE(has_errors(diags));
+    bool found = false;
+    for (const auto& d : diags)
+      if (d.code == CheckCode::invalid_watchdog_deadline) found = true;
+    EXPECT_TRUE(found);
+  }
+  {
+    PolicyBuilder b;
+    b.state("a", 0).initial("a").watchdog(100, "ghost");
+    auto diags = check_policy(b.build());
+    EXPECT_TRUE(has_errors(diags));
+    bool found = false;
+    for (const auto& d : diags)
+      if (d.code == CheckCode::undefined_watchdog_state) found = true;
+    EXPECT_TRUE(found);
+  }
+  {
+    PolicyBuilder b;
+    b.state("a", 0).initial("a").watchdog(100, "");
+    EXPECT_TRUE(has_errors(check_policy(b.build())));
+  }
+}
+
+TEST(WatchdogPolicy, FailsafeStateCountsAsReachable) {
+  // 'lockdown' has no inbound transition edge; only the watchdog can enter
+  // it. That must not warn as unreachable.
+  PolicyBuilder b;
+  b.state("a", 0).state("lockdown", 1).initial("a").watchdog(100, "lockdown");
+  for (const auto& d : check_policy(b.build()))
+    EXPECT_NE(d.code, CheckCode::unreachable_state) << d.to_string();
+}
+
+// --- SACKfs policy/watchdog section file ---
+
+TEST(WatchdogPolicy, SectionFileRoundTripsThroughSackfs) {
+  Rig rig;
+  ASSERT_TRUE(rig.mod->load_policy(watchdog_policy(500)).ok());
+  Process admin(rig.kernel, rig.kernel.init_task());
+
+  auto dump = admin.read_file("/sys/kernel/security/SACK/policy/watchdog");
+  ASSERT_TRUE(dump.ok());
+  EXPECT_NE(dump->find("deadline 500;"), std::string::npos);
+  EXPECT_NE(dump->find("failsafe lockdown;"), std::string::npos);
+
+  // Replace just the watchdog section; the rest of the policy survives.
+  ASSERT_TRUE(admin.write_existing("/sys/kernel/security/SACK/policy/watchdog",
+                                   "watchdog { deadline 900; failsafe "
+                                   "lockdown; }")
+                  .ok());
+  EXPECT_EQ(rig.mod->policy().watchdog->deadline_ms, 900);
+  EXPECT_EQ(rig.mod->policy().states.size(), 3u);
+
+  // A section write naming an undeclared failsafe is rejected atomically.
+  EXPECT_FALSE(
+      admin.write_existing("/sys/kernel/security/SACK/policy/watchdog",
+                           "watchdog { deadline 900; failsafe ghost; }")
+          .ok());
+  EXPECT_EQ(rig.mod->policy().watchdog->deadline_ms, 900);
+}
+
+// --- kernel-side watchdog ---
+
+TEST(Watchdog, TripsExactlyAtDeadline) {
+  Rig rig;
+  ASSERT_TRUE(rig.mod->load_policy(watchdog_policy(500)).ok());
+  EXPECT_TRUE(rig.mod->watchdog_enabled());
+  EXPECT_TRUE(rig.mod->sds_alive());
+
+  // One tick *before* the deadline: still alive.
+  rig.kernel.advance_clock_ms(499);
+  EXPECT_TRUE(rig.mod->sds_alive());
+  EXPECT_EQ(rig.mod->current_state_name(), "normal");
+
+  // Exactly at the deadline — not a millisecond later.
+  rig.kernel.advance_clock_ms(1);
+  EXPECT_FALSE(rig.mod->sds_alive());
+  EXPECT_TRUE(rig.mod->resync_pending());
+  EXPECT_EQ(rig.mod->watchdog_trips(), 1u);
+  EXPECT_EQ(rig.mod->current_state_name(), "lockdown");
+
+  // Latched: further silence does not re-trip.
+  rig.kernel.advance_clock_ms(10'000);
+  EXPECT_EQ(rig.mod->watchdog_trips(), 1u);
+
+  bool audited = false;
+  for (const auto& r : rig.kernel.audit().records())
+    if (r.operation == "transition:watchdog_failsafe") audited = true;
+  EXPECT_TRUE(audited);
+}
+
+TEST(Watchdog, EventsWriteDefersDeadline) {
+  Rig rig;
+  ASSERT_TRUE(rig.mod->load_policy(watchdog_policy(500)).ok());
+  Process root(rig.kernel, rig.kernel.init_task());
+
+  for (int i = 0; i < 5; ++i) {
+    rig.kernel.advance_clock_ms(400);
+    ASSERT_TRUE(root.write_existing(kEvents, "crash_detected\n").ok());
+  }
+  EXPECT_TRUE(rig.mod->sds_alive());
+  EXPECT_EQ(rig.mod->watchdog_trips(), 0u);
+  EXPECT_EQ(rig.mod->current_state_name(), "emergency");
+}
+
+TEST(Watchdog, HeartbeatDefersDeadline) {
+  Rig rig;
+  ASSERT_TRUE(rig.mod->load_policy(watchdog_policy(500)).ok());
+  Process root(rig.kernel, rig.kernel.init_task());
+
+  for (int i = 0; i < 5; ++i) {
+    rig.kernel.advance_clock_ms(400);
+    ASSERT_TRUE(root.write_existing(kHeartbeat, "alive\n").ok());
+  }
+  EXPECT_TRUE(rig.mod->sds_alive());
+  EXPECT_EQ(rig.mod->heartbeats_received(), 5u);
+  EXPECT_EQ(rig.mod->watchdog_trips(), 0u);
+  // The heartbeat proves liveness but is not a situation event.
+  EXPECT_EQ(rig.mod->events_received(), 0u);
+}
+
+TEST(Watchdog, HeartbeatFileIsRootOnly) {
+  Rig rig;
+  ASSERT_TRUE(rig.mod->load_policy(watchdog_policy(500)).ok());
+  Task& evil = rig.kernel.spawn_task("evil", Cred::user(1000, 1000));
+  Process p(rig.kernel, evil);
+  // 0600: an unprivileged process can neither fake liveness nor spy on the
+  // watchdog state.
+  EXPECT_EQ(p.open(kHeartbeat, OpenFlags::write).error(), Errno::eacces);
+  EXPECT_EQ(p.open(kHeartbeat, OpenFlags::read).error(), Errno::eacces);
+  EXPECT_EQ(rig.mod->heartbeats_received(), 0u);
+}
+
+TEST(Watchdog, ResyncRestoresConvergence) {
+  Rig rig;
+  ASSERT_TRUE(rig.mod->load_policy(watchdog_policy(500)).ok());
+  Process root(rig.kernel, rig.kernel.init_task());
+
+  // The SDS raises an emergency, then dies.
+  ASSERT_TRUE(root.write_existing(kEvents, "seq=1 crash_detected\n").ok());
+  EXPECT_EQ(rig.mod->current_state_name(), "emergency");
+  rig.kernel.advance_clock_ms(500);
+  EXPECT_EQ(rig.mod->current_state_name(), "lockdown");
+  EXPECT_TRUE(rig.mod->resync_pending());
+
+  // Restarted SDS reads the pending flag, shakes hands, replays consensus.
+  auto status = root.read_file(kHeartbeat);
+  ASSERT_TRUE(status.ok());
+  EXPECT_NE(status->find("resync_pending=1"), std::string::npos);
+
+  ASSERT_TRUE(root.write_existing(kHeartbeat, "resync\n").ok());
+  EXPECT_FALSE(rig.mod->resync_pending());
+  EXPECT_TRUE(rig.mod->sds_alive());
+  EXPECT_EQ(rig.mod->resyncs(), 1u);
+  EXPECT_EQ(rig.mod->current_state_name(), "normal");  // forced to initial
+
+  // Consensus replay: the crash detector still believes in the emergency.
+  // Its fresh numbering must not be shadowed by pre-crash sequence history.
+  ASSERT_TRUE(root.write_existing(kEvents, "seq=1 crash_detected\n").ok());
+  EXPECT_EQ(rig.mod->current_state_name(), "emergency");
+  EXPECT_EQ(rig.mod->events_stale(), 0u);
+
+  bool audited = false;
+  for (const auto& r : rig.kernel.audit().records())
+    if (r.operation == "transition:resync") audited = true;
+  EXPECT_TRUE(audited);
+}
+
+TEST(Watchdog, NoClauseMeansNoTrip) {
+  Rig rig;
+  PolicyBuilder b;
+  b.state("a", 0).initial("a");
+  ASSERT_TRUE(rig.mod->load_policy(b.build()).ok());
+  EXPECT_FALSE(rig.mod->watchdog_enabled());
+  rig.kernel.advance_clock_ms(1'000'000);
+  EXPECT_TRUE(rig.mod->sds_alive());
+  EXPECT_EQ(rig.mod->watchdog_trips(), 0u);
+}
+
+TEST(Watchdog, PolicyReloadRestartsLiveness) {
+  Rig rig;
+  ASSERT_TRUE(rig.mod->load_policy(watchdog_policy(500)).ok());
+  rig.kernel.advance_clock_ms(500);
+  EXPECT_FALSE(rig.mod->sds_alive());
+
+  // Reloading proves an administrator is alive: the deadline restarts and
+  // the trip latch clears.
+  ASSERT_TRUE(rig.mod->load_policy(watchdog_policy(500)).ok());
+  EXPECT_TRUE(rig.mod->sds_alive());
+  EXPECT_FALSE(rig.mod->resync_pending());
+  EXPECT_EQ(rig.mod->current_state_name(), "normal");
+  rig.kernel.advance_clock_ms(499);
+  EXPECT_TRUE(rig.mod->sds_alive());
+}
+
+TEST(Watchdog, StatusAndMetricsExposeLiveness) {
+  Rig rig;
+  ASSERT_TRUE(rig.mod->load_policy(watchdog_policy(500)).ok());
+  rig.kernel.advance_clock_ms(500);
+
+  auto status = rig.mod->status_text();
+  EXPECT_NE(status.find("watchdog_deadline_ms: 500"), std::string::npos);
+  EXPECT_NE(status.find("sds_alive: 0"), std::string::npos);
+  EXPECT_NE(status.find("watchdog_trips: 1"), std::string::npos);
+  auto json = rig.mod->metrics_json();
+  EXPECT_NE(json.find("\"watchdog\": {\"deadline_ms\": 500"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"sds_alive\": false"), std::string::npos);
+}
+
+// --- events-file sequence stamps ---
+
+TEST(EventSeq, StaleReplayIsAcceptedNoOp) {
+  Rig rig;
+  ASSERT_TRUE(rig.mod->load_policy(watchdog_policy(500)).ok());
+  Process root(rig.kernel, rig.kernel.init_task());
+
+  ASSERT_TRUE(root.write_existing(kEvents, "seq=3 crash_detected\n").ok());
+  EXPECT_EQ(rig.mod->current_state_name(), "emergency");
+  ASSERT_TRUE(root.write_existing(kEvents, "seq=1 emergency_cleared\n").ok());
+  EXPECT_EQ(rig.mod->current_state_name(), "normal");
+
+  // Replaying an old crash write must not re-enter the emergency — the
+  // write still succeeds (the SDS retry path treats it as delivered).
+  ASSERT_TRUE(root.write_existing(kEvents, "seq=3 crash_detected\n").ok());
+  EXPECT_EQ(rig.mod->current_state_name(), "normal");
+  EXPECT_EQ(rig.mod->events_stale(), 1u);
+
+  // A fresh emission moves forward again.
+  ASSERT_TRUE(root.write_existing(kEvents, "seq=4 crash_detected\n").ok());
+  EXPECT_EQ(rig.mod->current_state_name(), "emergency");
+}
+
+TEST(EventSeq, MalformedStampIsRejected) {
+  Rig rig;
+  ASSERT_TRUE(rig.mod->load_policy(watchdog_policy(500)).ok());
+  Process root(rig.kernel, rig.kernel.init_task());
+  EXPECT_EQ(root.write_existing(kEvents, "seq=x crash_detected\n").error(),
+            Errno::einval);
+  EXPECT_EQ(root.write_existing(kEvents, "seq=12\n").error(), Errno::einval);
+  EXPECT_EQ(rig.mod->current_state_name(), "normal");
+}
+
+TEST(EventSeq, UnstampedLinesBypassSuppression) {
+  Rig rig;
+  ASSERT_TRUE(rig.mod->load_policy(watchdog_policy(500)).ok());
+  Process root(rig.kernel, rig.kernel.init_task());
+  // The raw emulation channel has no stamps; repeats deliver every time.
+  ASSERT_TRUE(root.write_existing(kEvents, "crash_detected\n").ok());
+  ASSERT_TRUE(root.write_existing(kEvents, "emergency_cleared\n").ok());
+  ASSERT_TRUE(root.write_existing(kEvents, "crash_detected\n").ok());
+  EXPECT_EQ(rig.mod->current_state_name(), "emergency");
+  EXPECT_EQ(rig.mod->events_stale(), 0u);
+}
+
+// --- end-to-end: SDS heartbeats keep the kernel alive; silence trips it ---
+
+TEST(WatchdogEndToEnd, SdsLoopAndRecovery) {
+  Rig rig;
+  ASSERT_TRUE(rig.mod->load_policy(watchdog_policy(500)).ok());
+  sds::SituationDetectionService daemon(
+      Process(rig.kernel, rig.kernel.init_task()));
+  daemon.add_default_detectors();
+
+  // 10 Hz frames: each feed writes a heartbeat, so the 500 ms deadline
+  // never elapses.
+  std::int64_t t_ms = 0;
+  auto drive_frame = [&](double speed, bool crash = false) {
+    sds::SensorFrame f;
+    f.time_ms = t_ms;
+    f.speed_kmh = speed;
+    f.gear = sds::Gear::drive;
+    f.driver_present = true;
+    f.crash_signal = crash;
+    (void)daemon.feed(f);
+    rig.kernel.advance_clock_ms(100);
+    t_ms += 100;
+  };
+  for (int i = 0; i < 20; ++i) drive_frame(80);
+  EXPECT_TRUE(rig.mod->sds_alive());
+  EXPECT_EQ(daemon.heartbeats_sent(), 20u);
+
+  drive_frame(80, /*crash=*/true);
+  EXPECT_EQ(rig.mod->current_state_name(), "emergency");
+
+  // The SDS stops being scheduled: five silent ticks reach the deadline.
+  for (int i = 0; i < 5; ++i) rig.kernel.advance_clock_ms(100);
+  EXPECT_EQ(rig.mod->current_state_name(), "lockdown");
+  EXPECT_TRUE(rig.mod->resync_pending());
+
+  // First frame after the stall: the SDS sees resync_pending in its poll,
+  // shakes hands, and replays consensus (the crash detector still latches
+  // the emergency) — the SSM re-converges within one frame.
+  t_ms += 500;
+  drive_frame(80, /*crash=*/true);
+  EXPECT_EQ(rig.mod->current_state_name(), "emergency");
+  EXPECT_EQ(daemon.resyncs_sent(), 1u);
+  EXPECT_EQ(rig.mod->resyncs(), 1u);
+  EXPECT_FALSE(rig.mod->resync_pending());
+  EXPECT_TRUE(rig.mod->sds_alive());
+}
+
+}  // namespace
+}  // namespace sack::core
