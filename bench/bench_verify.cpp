@@ -1,0 +1,190 @@
+// Verification-cost scaling: wall time of the three verify engines vs
+// policy size.
+//
+// Three sweeps, all over the simbench synthetic generators so the shapes
+// match the paper's scaling experiments:
+//
+//   states  N-state ring policies -> model-checker construction + the full
+//           privilege-diff/escalation report, and the differential oracle
+//           (reference vs compiled vs linear vs AVC) over the generated
+//           universe;
+//   rules   N extra MAC rules -> the pairwise glob-subsumption matrix
+//           (the quadratic kernel of shadow analysis);
+//   verify  N extra MAC rules -> verify_policy end to end (lints, model
+//           checker, state-level shadow pass; oracle timed separately).
+//
+// Deterministic; results land in BENCH_verify.json. `--fast` runs reduced
+// sizes for CI smoke.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "simbench/policy_gen.h"
+#include "verify/model_checker.h"
+#include "verify/oracle.h"
+#include "verify/subsume.h"
+#include "verify/universe.h"
+#include "verify/verifier.h"
+
+namespace {
+
+using sack::core::MacRule;
+using sack::core::SackPolicy;
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::vector<const MacRule*> all_rules(const SackPolicy& policy) {
+  std::vector<const MacRule*> rules;
+  for (const auto& [perm, list] : policy.per_rules)
+    for (const auto& rule : list) rules.push_back(&rule);
+  return rules;
+}
+
+struct StatesRow {
+  int states = 0;
+  std::size_t reachable = 0;
+  double check_ms = 0;
+  double oracle_ms = 0;
+  std::size_t oracle_tuples = 0;
+  bool oracle_ok = false;
+};
+
+struct SubsumeRow {
+  int rules = 0;
+  std::size_t pairs = 0;
+  std::size_t subsumed = 0;
+  double ms = 0;
+};
+
+struct VerifyRow {
+  int rules = 0;
+  double ms = 0;
+  std::size_t findings = 0;
+  std::size_t errors = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+
+  const std::vector<int> state_sizes =
+      fast ? std::vector<int>{4, 8} : std::vector<int>{4, 8, 16, 32};
+  const std::vector<int> subsume_sizes =
+      fast ? std::vector<int>{32, 128} : std::vector<int>{32, 128, 512};
+  const std::vector<int> verify_sizes =
+      fast ? std::vector<int>{32, 64} : std::vector<int>{32, 64, 128, 256};
+
+  bool all_ok = true;
+
+  // --- sweep 1: model checker + oracle vs state count -----------------
+  std::vector<StatesRow> states_rows;
+  for (int n : state_sizes) {
+    auto policy = sack::simbench::sack_policy_with_states(n);
+    StatesRow row;
+    row.states = n;
+
+    auto t0 = std::chrono::steady_clock::now();
+    sack::verify::ModelChecker checker(policy);
+    auto universe = sack::verify::build_universe(policy);
+    auto diffs = checker.privilege_diffs(universe);
+    (void)diffs;
+    row.check_ms = elapsed_ms(t0);
+    row.reachable = checker.reachable().size();
+
+    t0 = std::chrono::steady_clock::now();
+    auto oracle = sack::verify::run_differential_oracle(policy);
+    row.oracle_ms = elapsed_ms(t0);
+    row.oracle_tuples = oracle.tuples_checked;
+    row.oracle_ok = oracle.ok();
+    all_ok = all_ok && row.oracle_ok && row.reachable == static_cast<std::size_t>(n);
+
+    std::printf(
+        "states %3d: reachable %3zu  model+diff %8.2f ms  oracle %8.2f ms "
+        "(%zu tuples, %s)\n",
+        n, row.reachable, row.check_ms, row.oracle_ms, row.oracle_tuples,
+        row.oracle_ok ? "ok" : "MISMATCH");
+    states_rows.push_back(row);
+  }
+
+  // --- sweep 2: pairwise subsumption matrix vs rule count -------------
+  std::vector<SubsumeRow> subsume_rows;
+  for (int n : subsume_sizes) {
+    auto policy = sack::simbench::sack_policy_with_rules(n, false);
+    auto rules = all_rules(policy);
+    SubsumeRow row;
+    row.rules = n;
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto* general : rules) {
+      for (const auto* specific : rules) {
+        if (general == specific) continue;
+        ++row.pairs;
+        if (sack::verify::rule_subsumes(*general, *specific)) ++row.subsumed;
+      }
+    }
+    row.ms = elapsed_ms(t0);
+    std::printf("rules %4d: %8zu pairs  subsume matrix %8.2f ms  (%zu held)\n",
+                n, row.pairs, row.ms, row.subsumed);
+    subsume_rows.push_back(row);
+  }
+
+  // --- sweep 3: verify_policy end to end vs rule count ----------------
+  std::vector<VerifyRow> verify_rows;
+  for (int n : verify_sizes) {
+    auto policy = sack::simbench::sack_policy_with_rules(n, false);
+    sack::verify::VerifyOptions options;
+    options.run_oracle = false;  // oracle cost is sweep 1's measurement
+    VerifyRow row;
+    row.rules = n;
+    auto t0 = std::chrono::steady_clock::now();
+    auto report = sack::verify::verify_policy(policy, options, "bench");
+    row.ms = elapsed_ms(t0);
+    row.findings = report.findings.size();
+    row.errors = report.count(sack::verify::FindingSeverity::error);
+    all_ok = all_ok && row.errors == 0;
+    std::printf("verify %4d rules: %8.2f ms  (%zu findings, %zu errors)\n", n,
+                row.ms, row.findings, row.errors);
+    verify_rows.push_back(row);
+  }
+
+  std::printf("shape check: %s\n", all_ok ? "OK" : "FAILED");
+
+  std::ofstream json("BENCH_verify.json");
+  json << "{\n  \"fast\": " << (fast ? "true" : "false") << ",\n";
+  json << "  \"model_check_states\": [";
+  for (std::size_t i = 0; i < states_rows.size(); ++i) {
+    const auto& r = states_rows[i];
+    json << (i ? ", " : "") << "{\"states\": " << r.states
+         << ", \"reachable\": " << r.reachable
+         << ", \"check_ms\": " << r.check_ms
+         << ", \"oracle_ms\": " << r.oracle_ms
+         << ", \"oracle_tuples\": " << r.oracle_tuples
+         << ", \"oracle_ok\": " << (r.oracle_ok ? "true" : "false") << "}";
+  }
+  json << "],\n  \"subsume_rules\": [";
+  for (std::size_t i = 0; i < subsume_rows.size(); ++i) {
+    const auto& r = subsume_rows[i];
+    json << (i ? ", " : "") << "{\"rules\": " << r.rules
+         << ", \"pairs\": " << r.pairs << ", \"subsumed\": " << r.subsumed
+         << ", \"ms\": " << r.ms << "}";
+  }
+  json << "],\n  \"verify_rules\": [";
+  for (std::size_t i = 0; i < verify_rows.size(); ++i) {
+    const auto& r = verify_rows[i];
+    json << (i ? ", " : "") << "{\"rules\": " << r.rules
+         << ", \"ms\": " << r.ms << ", \"findings\": " << r.findings
+         << ", \"errors\": " << r.errors << "}";
+  }
+  json << "]\n}\n";
+  std::printf("wrote BENCH_verify.json\n");
+  return all_ok ? 0 : 1;
+}

@@ -5,6 +5,8 @@
 #include <queue>
 #include <set>
 
+#include "util/glob_subsume.h"
+
 namespace sack::core {
 
 std::string Diagnostic::to_string() const {
@@ -21,13 +23,30 @@ bool has_errors(const std::vector<Diagnostic>& diagnostics) {
 
 namespace {
 
-// True if two rules could apply to the same access: overlap is approximated
-// by identical object patterns (precise glob-intersection is undecidable in
-// general but identical patterns are the common authoring mistake).
-bool same_target(const MacRule& a, const MacRule& b) {
-  return a.object.pattern() == b.object.pattern() &&
-         a.subject_kind == b.subject_kind &&
-         a.subject_text == b.subject_text;
+// True if `general`'s subject matches every task `specific`'s subject
+// matches: '*' covers everything, profile subjects compare by name, path
+// subjects by glob containment. Path and profile subjects constrain
+// different identities (executable vs AppArmor label), so neither covers
+// the other.
+bool subject_subsumes(const MacRule& general, const MacRule& specific) {
+  if (general.subject_kind == SubjectKind::any) return true;
+  if (specific.subject_kind == SubjectKind::any) return false;
+  if (general.subject_kind != specific.subject_kind) return false;
+  if (general.subject_kind == SubjectKind::profile)
+    return general.subject_text == specific.subject_text;
+  return glob_subsumes(general.subject_glob, specific.subject_glob)
+      .subsumes();
+}
+
+// True if the deny covers every access the allow could grant: subject,
+// object pattern (by glob containment — `deny * /data/** read` shadows
+// `allow * /data/logs/app.log read`), and operation mask. An `undecided`
+// containment verdict (budget blown on pathological patterns) produces no
+// warning rather than a wrong one.
+bool deny_shadows(const MacRule& deny, const MacRule& allow) {
+  if (!has_all(deny.ops, allow.ops)) return false;
+  if (!subject_subsumes(deny, allow)) return false;
+  return glob_subsumes(deny.object, allow.object).subsumes();
 }
 
 }  // namespace
@@ -197,13 +216,17 @@ std::vector<Diagnostic> check_policy(const SackPolicy& policy,
              "rule in '" + perm + "' uses a path subject '" + r.subject_text +
                  "'; SACK-enhanced AppArmor only injects '@profile' rules");
     }
-    // Dead allows: an allow rule fully shadowed by a deny with the same
-    // subject/object inside the same permission can never take effect.
+    // Dead allows: an allow rule can never take effect when a deny in the
+    // same permission subsumes it — same or broader subject, an object
+    // pattern that contains the allow's (decided by util/glob_subsume), and
+    // a superset of its ops. (Cross-permission shadows depend on which
+    // permissions are co-active, i.e. on State_Per and reachability; the
+    // verify subsystem's state-level shadow analysis covers those.)
     for (const auto& r : rules) {
       if (r.effect != RuleEffect::allow) continue;
       for (const auto& d : rules) {
-        if (d.effect != RuleEffect::deny || !same_target(r, d)) continue;
-        if (has_all(d.ops, r.ops)) {
+        if (d.effect != RuleEffect::deny) continue;
+        if (deny_shadows(d, r)) {
           warn(CheckCode::shadowed_allow_rule,
                "allow rule '" + r.to_text() + "' in '" + perm +
                    "' is fully shadowed by deny rule '" + d.to_text() + "'");

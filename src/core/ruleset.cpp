@@ -64,6 +64,7 @@ std::shared_ptr<const CompiledRuleSet::Snapshot> CompiledRuleSet::make_snapshot(
     if (it == base->by_permission.end()) continue;
     for (const MacRule* rule : it->second) {
       ++snap->active_rules;
+      snap->active_list.push_back(rule);
       auto& tables = rule->effect == RuleEffect::allow ? snap->active_allow
                                                        : snap->active_deny;
       for (std::size_t i = 0; i < kMacOpCount; ++i) {
@@ -96,6 +97,10 @@ std::size_t CompiledRuleSet::total_rule_count() const {
 
 std::size_t CompiledRuleSet::active_rule_count() const {
   return snapshot()->active_rules;
+}
+
+std::vector<const MacRule*> CompiledRuleSet::active_rules() const {
+  return snapshot()->active_list;
 }
 
 Errno CompiledRuleSet::check(const AccessQuery& query) const {

@@ -51,6 +51,12 @@ class RuleSetBase {
 
   virtual std::size_t total_rule_count() const = 0;
   virtual std::size_t active_rule_count() const = 0;
+
+  // Enumeration hook for analysis tooling (the verify subsystem's
+  // differential oracle cross-checks this against State_Per ∘ Per_Rules):
+  // the rules the current activation actually enforces, in no particular
+  // order. Pointers stay valid until the next load().
+  virtual std::vector<const MacRule*> active_rules() const = 0;
 };
 
 namespace detail {
@@ -88,6 +94,7 @@ class CompiledRuleSet final : public RuleSetBase {
   bool guarded(std::string_view object_path) const override;
   std::size_t total_rule_count() const override;
   std::size_t active_rule_count() const override;
+  std::vector<const MacRule*> active_rules() const override;
 
  private:
   struct ActiveRule {
@@ -122,6 +129,8 @@ class CompiledRuleSet final : public RuleSetBase {
     std::vector<OpTable> active_allow = std::vector<OpTable>(kMacOpCount);
     std::vector<OpTable> active_deny = std::vector<OpTable>(kMacOpCount);
     std::size_t active_rules = 0;
+    // Flat activation inventory for the enumeration hook (off the hot path).
+    std::vector<const MacRule*> active_list;
   };
 
   static std::shared_ptr<const Snapshot> make_snapshot(
@@ -145,6 +154,7 @@ class LinearRuleSet final : public RuleSetBase {
   bool guarded(std::string_view object_path) const override;
   std::size_t total_rule_count() const override;
   std::size_t active_rule_count() const override { return active_.size(); }
+  std::vector<const MacRule*> active_rules() const override { return active_; }
 
  private:
   SackPolicy policy_;

@@ -28,26 +28,10 @@ namespace sack {
 
 class Glob {
  public:
-  Glob() = default;
-
-  // Compiles `pattern`. Fails with EINVAL on malformed patterns
-  // (unbalanced braces/brackets, trailing backslash).
-  static Result<Glob> compile(std::string_view pattern);
-
-  bool matches(std::string_view path) const;
-
-  // True if the pattern contains no metacharacters: it matches exactly one
-  // path. literal() is that path.
-  bool is_literal() const { return literal_.has_value() ? true : false; }
-  const std::string& literal() const { return *literal_; }
-
-  const std::string& pattern() const { return pattern_; }
-
-  friend bool operator==(const Glob& a, const Glob& b) {
-    return a.pattern_ == b.pattern_;
-  }
-
- private:
+  // The compiled token structure is public so analysis passes (the glob
+  // subsumption decision procedure in util/glob_subsume.h, witness-path
+  // generation in the policy verifier) can build automata from the exact
+  // semantics the matcher executes, instead of re-parsing the pattern text.
   enum class TokKind : std::uint8_t {
     literal,    // exact character
     any_one,    // ?      (one char, not '/')
@@ -63,6 +47,30 @@ class Glob {
   };
   using TokenSeq = std::vector<Token>;
 
+  Glob() = default;
+
+  // Compiles `pattern`. Fails with EINVAL on malformed patterns
+  // (unbalanced braces/brackets, trailing backslash).
+  static Result<Glob> compile(std::string_view pattern);
+
+  bool matches(std::string_view path) const;
+
+  // True if the pattern contains no metacharacters: it matches exactly one
+  // path. literal() is that path.
+  bool is_literal() const { return literal_.has_value() ? true : false; }
+  const std::string& literal() const { return *literal_; }
+
+  const std::string& pattern() const { return pattern_; }
+
+  // One token sequence per brace-expansion alternative; the pattern's
+  // language is the union over alternatives.
+  const std::vector<TokenSeq>& alternatives() const { return alternatives_; }
+
+  friend bool operator==(const Glob& a, const Glob& b) {
+    return a.pattern_ == b.pattern_;
+  }
+
+ private:
   static Result<std::vector<std::string>> expand_braces(std::string_view pat);
   static Result<TokenSeq> tokenize(std::string_view pat);
   static bool match_seq(const TokenSeq& seq, std::size_t ti,

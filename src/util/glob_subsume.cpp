@@ -1,0 +1,193 @@
+#include "util/glob_subsume.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace sack {
+
+namespace {
+
+using TokKind = Glob::TokKind;
+using Token = Glob::Token;
+using TokenSeq = Glob::TokenSeq;
+
+// An NFA over token positions. State ids are dense: alternative `a` of the
+// glob contributes positions 0..len(a), flattened with per-alternative
+// offsets. Position len(a) is the accept state of that alternative.
+struct Nfa {
+  struct Alt {
+    const TokenSeq* seq;
+    std::size_t offset;  // state id of position 0
+  };
+  std::vector<Alt> alts;
+  std::size_t state_count = 0;
+
+  explicit Nfa(const Glob& g) {
+    for (const auto& seq : g.alternatives()) {
+      alts.push_back({&seq, state_count});
+      state_count += seq.size() + 1;
+    }
+  }
+
+  // Epsilon closure: a star token may be skipped, so position i with an
+  // any_seq/any_deep token also reaches i+1 (transitively).
+  void close(std::set<std::size_t>& states) const {
+    std::deque<std::size_t> work(states.begin(), states.end());
+    while (!work.empty()) {
+      std::size_t s = work.front();
+      work.pop_front();
+      for (const auto& alt : alts) {
+        if (s < alt.offset || s >= alt.offset + alt.seq->size()) continue;
+        const Token& t = (*alt.seq)[s - alt.offset];
+        if (t.kind == TokKind::any_seq || t.kind == TokKind::any_deep) {
+          if (states.insert(s + 1).second) work.push_back(s + 1);
+        }
+        break;  // a state id belongs to exactly one alternative
+      }
+    }
+  }
+
+  std::set<std::size_t> start() const {
+    std::set<std::size_t> s;
+    for (const auto& alt : alts) s.insert(alt.offset);
+    close(s);
+    return s;
+  }
+
+  bool accepts(const std::set<std::size_t>& states) const {
+    for (const auto& alt : alts) {
+      if (states.contains(alt.offset + alt.seq->size())) return true;
+    }
+    return false;
+  }
+
+  // One step on concrete character `c`.
+  std::set<std::size_t> step(const std::set<std::size_t>& states,
+                             char c) const {
+    std::set<std::size_t> next;
+    for (std::size_t s : states) {
+      for (const auto& alt : alts) {
+        if (s < alt.offset || s >= alt.offset + alt.seq->size()) continue;
+        const Token& t = (*alt.seq)[s - alt.offset];
+        switch (t.kind) {
+          case TokKind::literal:
+            if (t.ch == c) next.insert(s + 1);
+            break;
+          case TokKind::any_one:
+            if (c != '/') next.insert(s + 1);
+            break;
+          case TokKind::char_class:
+            // '/' never matches a class, negated or not (see Glob::match_seq).
+            if (c != '/' &&
+                (t.set.find(c) != std::string::npos) != t.negated)
+              next.insert(s + 1);
+            break;
+          case TokKind::any_seq:
+            if (c != '/') next.insert(s);  // self-loop; closure adds s+1
+            break;
+          case TokKind::any_deep:
+            next.insert(s);
+            break;
+        }
+        break;
+      }
+    }
+    close(next);
+    return next;
+  }
+};
+
+// The symbolic alphabet: every character either pattern mentions (literals
+// and class members), '/', and one representative unmentioned character.
+std::string symbolic_alphabet(const Glob& a, const Glob& b) {
+  std::set<char> mentioned{'/'};
+  auto gather = [&mentioned](const Glob& g) {
+    for (const auto& seq : g.alternatives()) {
+      for (const auto& t : seq) {
+        if (t.kind == TokKind::literal) mentioned.insert(t.ch);
+        if (t.kind == TokKind::char_class)
+          for (char c : t.set) mentioned.insert(c);
+      }
+    }
+  };
+  gather(a);
+  gather(b);
+  std::string alphabet(mentioned.begin(), mentioned.end());
+  // All unmentioned characters behave identically in every token of both
+  // patterns, so one representative stands for the whole class. Prefer a
+  // readable one for witness output.
+  for (char c : std::string("zqxjkvw0189_~")) {
+    if (!mentioned.contains(c)) return alphabet + c;
+  }
+  for (int c = 33; c < 127; ++c) {
+    if (!mentioned.contains(static_cast<char>(c)))
+      return alphabet + static_cast<char>(c);
+  }
+  for (int c = 1; c < 256; ++c) {
+    if (!mentioned.contains(static_cast<char>(c)))
+      return alphabet + static_cast<char>(c);
+  }
+  return alphabet;  // every byte mentioned: no representative needed
+}
+
+}  // namespace
+
+SubsumeVerdict glob_subsumes(const Glob& general, const Glob& specific,
+                             std::size_t state_limit) {
+  const Nfa gen(general);
+  const Nfa spec(specific);
+  const std::string alphabet = symbolic_alphabet(general, specific);
+
+  // Product walk: (specific subset, general subset). A pair where specific
+  // accepts and general does not is a containment counterexample; the BFS
+  // order makes the reconstructed witness shortest.
+  using Pair = std::pair<std::set<std::size_t>, std::set<std::size_t>>;
+  std::map<Pair, std::pair<const Pair*, char>> parent;  // for witnesses
+  std::deque<const Pair*> work;
+
+  auto visit = [&parent, &work](Pair&& p, const Pair* from,
+                                char via) -> const Pair* {
+    auto [it, inserted] = parent.try_emplace(std::move(p), from, via);
+    if (!inserted) return nullptr;
+    work.push_back(&it->first);
+    return &it->first;
+  };
+
+  auto witness_of = [&parent](const Pair* p) {
+    std::string w;
+    while (p != nullptr) {
+      auto& [from, via] = parent.at(*p);
+      if (from != nullptr) w += via;
+      p = from;
+    }
+    std::reverse(w.begin(), w.end());
+    return w;
+  };
+
+  visit({spec.start(), gen.start()}, nullptr, 0);
+  while (!work.empty()) {
+    const Pair* cur = work.front();
+    work.pop_front();
+    if (spec.accepts(cur->first) && !gen.accepts(cur->second))
+      return {SubsumeVerdict::Kind::diverges, witness_of(cur)};
+    for (char c : alphabet) {
+      auto next_spec = spec.step(cur->first, c);
+      if (next_spec.empty()) continue;  // specific is stuck: nothing to cover
+      Pair next{std::move(next_spec), gen.step(cur->second, c)};
+      if (const Pair* p = visit(std::move(next), cur, c)) {
+        // Check acceptance eagerly so a witness surfaces even if the budget
+        // runs out before the queue drains.
+        if (spec.accepts(p->first) && !gen.accepts(p->second))
+          return {SubsumeVerdict::Kind::diverges, witness_of(p)};
+      }
+      if (parent.size() > state_limit)
+        return {SubsumeVerdict::Kind::undecided, {}};
+    }
+  }
+  return {SubsumeVerdict::Kind::subsumes, {}};
+}
+
+}  // namespace sack

@@ -1,0 +1,51 @@
+// Glob subsumption: a pattern-implies-pattern decision procedure.
+//
+// `glob_subsumes(general, specific)` decides whether every path matched by
+// `specific` is also matched by `general` — language containment
+// L(specific) ⊆ L(general) over the apparmor.d(5) glob semantics implemented
+// in util/glob.h. The policy checker uses it to find allow rules fully
+// shadowed by a broader deny, and the verify subsystem reuses it for
+// rule-level implication and state-level shadow analysis.
+//
+// Method: both patterns compile to token sequences (one per brace
+// alternative); each side becomes a nondeterministic finite automaton whose
+// states are token positions. The alphabet is reduced to a finite symbolic
+// partition — every character mentioned literally by either pattern, '/'
+// (which wildcards and classes treat specially), and one representative
+// "other" character that no pattern mentions; all unmentioned characters are
+// bisimilar, so one representative suffices. Containment is then a product
+// walk of `specific`'s subset states against `general`'s: reaching a pair
+// where `specific` accepts and `general` does not yields a concrete witness
+// path (matched by `specific`, rejected by `general`).
+//
+// The product is exponential in the worst case, so the walk is bounded; a
+// blown budget returns `undecided`, which callers must treat as "no claim"
+// (for shadow warnings that means: do not warn).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/glob.h"
+
+namespace sack {
+
+struct SubsumeVerdict {
+  enum class Kind : std::uint8_t {
+    subsumes,   // every path matched by `specific` is matched by `general`
+    diverges,   // witness: a path matched by `specific` but not `general`
+    undecided,  // state budget exhausted; no claim either way
+  };
+  Kind kind = Kind::undecided;
+  // For `diverges`: one shortest witness path.
+  std::string witness;
+
+  bool subsumes() const { return kind == Kind::subsumes; }
+};
+
+// Decides L(specific) ⊆ L(general). `state_limit` bounds the number of
+// distinct product states explored before giving up.
+SubsumeVerdict glob_subsumes(const Glob& general, const Glob& specific,
+                             std::size_t state_limit = 1 << 16);
+
+}  // namespace sack

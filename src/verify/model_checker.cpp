@@ -1,0 +1,164 @@
+#include "verify/model_checker.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace sack::verify {
+
+std::string TraceStep::to_string() const {
+  switch (kind) {
+    case Kind::event:
+      return from + " -[" + label + "]-> " + to;
+    case Kind::timed:
+      return from + " -[after " + std::to_string(after_ms) + "ms]-> " + to;
+    case Kind::watchdog:
+      return from + " -[watchdog timeout " + std::to_string(after_ms) +
+             "ms]-> " + to;
+  }
+  return {};
+}
+
+std::string format_trace(const std::vector<TraceStep>& trace) {
+  if (trace.empty()) return "(initial state)";
+  std::string out;
+  for (const auto& step : trace) {
+    if (!out.empty()) out += "; ";
+    out += step.to_string();
+  }
+  return out;
+}
+
+ModelChecker::ModelChecker(const core::SackPolicy& policy)
+    : policy_(policy), reference_(policy) {
+  if (!policy.has_state(policy.initial_state)) return;  // structurally broken
+
+  // BFS over the labeled transition graph. Edges per state: the event
+  // transitions, at most one timed rule, and the watchdog failsafe edge
+  // (forcible from anywhere, including states with no outgoing events —
+  // exactly the edge a checker ignoring the extension would miss).
+  std::map<std::string, std::vector<TraceStep>> best;
+  std::deque<std::string> frontier;
+  best[policy.initial_state] = {};
+  frontier.push_back(policy.initial_state);
+  reachable_.push_back({policy.initial_state, {}});
+
+  auto relax = [this, &best, &frontier](const std::vector<TraceStep>& via,
+                                        TraceStep step) {
+    if (best.contains(step.to)) return;
+    auto trace = via;
+    trace.push_back(step);
+    reachable_.push_back({step.to, trace});
+    best.emplace(step.to, std::move(trace));
+    frontier.push_back(reachable_.back().state);
+  };
+
+  while (!frontier.empty()) {
+    std::string cur = frontier.front();
+    frontier.pop_front();
+    const auto& via = best.at(cur);
+    for (const auto& t : policy.transitions) {
+      if (t.from != cur || !policy.has_state(t.to)) continue;
+      relax(via, {TraceStep::Kind::event, t.event, 0, cur, t.to});
+    }
+    for (const auto& t : policy.timed_transitions) {
+      if (t.from != cur || !policy.has_state(t.to)) continue;
+      relax(via, {TraceStep::Kind::timed, "", t.after_ms, cur, t.to});
+    }
+    if (policy.watchdog && policy.has_state(policy.watchdog->failsafe_state) &&
+        policy.watchdog->failsafe_state != cur) {
+      relax(via, {TraceStep::Kind::watchdog, "", policy.watchdog->deadline_ms,
+                  cur, policy.watchdog->failsafe_state});
+    }
+  }
+}
+
+std::optional<Grant> ModelChecker::find_grant(
+    const AccessRequest& request) const {
+  auto grants = find_all_grants(request);
+  if (grants.empty()) return std::nullopt;
+  return grants.front();
+}
+
+std::vector<Grant> ModelChecker::find_all_grants(
+    const AccessRequest& request) const {
+  std::vector<Grant> out;
+  for (const auto& rs : reachable_) {
+    for (std::size_t i = 0; i < core::kMacOpCount; ++i) {
+      core::MacOp op = core::mac_op_from_index(i);
+      if (!has_any(request.ops, op)) continue;
+      core::AccessQuery q{request.subject_exe, request.subject_profile,
+                          request.object, op};
+      if (reference_.decide(rs.state, q) == Errno::ok) {
+        out.push_back(
+            {rs.state, rs.trace,
+             {request.subject_exe, request.subject_profile}, request.object,
+             op});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<PrivilegeDiff> ModelChecker::privilege_diffs(
+    const Universe& universe, bool include_neutral,
+    std::size_t max_escalations_per_state) const {
+  std::vector<PrivilegeDiff> out;
+  if (reachable_.empty()) return out;
+  const std::string& initial = reachable_.front().state;
+  auto initial_perms = policy_.permissions_of(initial);
+  std::set<std::string> initial_set(initial_perms.begin(),
+                                    initial_perms.end());
+
+  // Decisions in the initial state, computed once.
+  std::vector<Errno> base;
+  base.reserve(universe.subjects.size() * universe.objects.size() *
+               universe.ops.size());
+  for (const auto& s : universe.subjects) {
+    for (const auto& o : universe.objects) {
+      for (core::MacOp op : universe.ops) {
+        base.push_back(
+            reference_.decide(initial, {s.exe, s.profile, o, op}));
+      }
+    }
+  }
+
+  for (std::size_t ri = 1; ri < reachable_.size(); ++ri) {
+    const auto& rs = reachable_[ri];
+    PrivilegeDiff diff{rs.state, rs.trace, {}, {}, {}, 0};
+
+    auto perms = policy_.permissions_of(rs.state);
+    std::set<std::string> perm_set(perms.begin(), perms.end());
+    std::set_difference(perm_set.begin(), perm_set.end(), initial_set.begin(),
+                        initial_set.end(),
+                        std::back_inserter(diff.permissions_added));
+    std::set_difference(initial_set.begin(), initial_set.end(),
+                        perm_set.begin(), perm_set.end(),
+                        std::back_inserter(diff.permissions_removed));
+
+    std::size_t idx = 0;
+    for (const auto& s : universe.subjects) {
+      for (const auto& o : universe.objects) {
+        for (core::MacOp op : universe.ops) {
+          Errno here = reference_.decide(rs.state, {s.exe, s.profile, o, op});
+          Errno init = base[idx++];
+          if (here == Errno::ok && init != Errno::ok &&
+              diff.escalations.size() < max_escalations_per_state) {
+            diff.escalations.push_back({rs.state, rs.trace, s, o, op});
+          } else if (here != Errno::ok && init == Errno::ok) {
+            ++diff.revocations;
+          }
+        }
+      }
+    }
+    if (include_neutral || !diff.permissions_added.empty() ||
+        !diff.permissions_removed.empty() || !diff.escalations.empty() ||
+        diff.revocations > 0) {
+      out.push_back(std::move(diff));
+    }
+  }
+  return out;
+}
+
+}  // namespace sack::verify

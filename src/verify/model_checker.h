@@ -1,0 +1,115 @@
+// Model checker over the SSM product automaton.
+//
+// The situation state machine is a labeled transition system: nodes are
+// situation states, edges are situation events, dwell-time ("after N ms")
+// expiries, and — when the policy declares a watchdog — the failsafe edge
+// the kernel can force from *any* state when the SDS goes silent. Because a
+// SACK access decision depends only on the current state (the SSM is global
+// and memoryless), every cross-state security question reduces to labeled
+// reachability plus the reference interpreter:
+//
+//   "can subject S ever be granted op O on object P?"
+//       -> find a reachable state whose active rules admit (S, P, O) and
+//          return the shortest event trace from the initial state;
+//
+//   "never allow ..." invariants -> the same search, where any hit is a
+//          violation, reported with its concrete trace;
+//
+//   escalation reports -> every tuple denied initially but granted in some
+//          reachable state, with the trace that gets there;
+//
+//   per-state privilege diffs -> permission and tuple deltas vs initial.
+//
+// Traces are genuine counterexamples: replaying the listed events (plus
+// clock advances for timed edges and SDS silence for the watchdog edge)
+// against a live SackModule reproduces the state.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mac_ops.h"
+#include "core/policy.h"
+#include "verify/reference.h"
+#include "verify/universe.h"
+
+namespace sack::verify {
+
+// One edge of a counterexample trace.
+struct TraceStep {
+  enum class Kind : std::uint8_t { event, timed, watchdog };
+  Kind kind = Kind::event;
+  std::string label;  // event name; "" for timed/watchdog
+  std::int64_t after_ms = 0;  // timed: dwell, watchdog: deadline
+  std::string from;
+  std::string to;
+
+  std::string to_string() const;
+};
+
+std::string format_trace(const std::vector<TraceStep>& trace);
+
+struct ReachableState {
+  std::string state;
+  std::vector<TraceStep> trace;  // shortest edge path from initial
+};
+
+struct AccessRequest {
+  std::string subject_exe;
+  std::string subject_profile;
+  std::string object;
+  core::MacOp ops = core::MacOp::none;  // one or more ops, checked singly
+};
+
+// A (state, tuple) pair where the tuple is granted.
+struct Grant {
+  std::string state;
+  std::vector<TraceStep> trace;
+  SubjectSample subject;
+  std::string object;
+  core::MacOp op = core::MacOp::none;
+};
+
+// Tuples granted in `state` but denied in the initial state (or the
+// reverse, for `revoked`).
+struct PrivilegeDiff {
+  std::string state;
+  std::vector<TraceStep> trace;
+  std::vector<std::string> permissions_added;
+  std::vector<std::string> permissions_removed;
+  std::vector<Grant> escalations;   // denied initially, granted here
+  std::size_t revocations = 0;      // granted initially, denied here
+};
+
+class ModelChecker {
+ public:
+  explicit ModelChecker(const core::SackPolicy& policy);
+
+  // Every state reachable from the initial state (BFS order; index 0 is the
+  // initial state itself), each with its shortest trace.
+  const std::vector<ReachableState>& reachable() const { return reachable_; }
+
+  const ReferenceInterpreter& reference() const { return reference_; }
+
+  // First reachable state (in BFS order) granting any op of `request`;
+  // nullopt when no reachable state grants any of them.
+  std::optional<Grant> find_grant(const AccessRequest& request) const;
+
+  // All reachable states granting any op of `request` — the full violation
+  // list for a `never allow` invariant.
+  std::vector<Grant> find_all_grants(const AccessRequest& request) const;
+
+  // Per-state privilege diff vs the initial state over `universe`. States
+  // with no delta are omitted unless `include_neutral`.
+  std::vector<PrivilegeDiff> privilege_diffs(const Universe& universe,
+                                             bool include_neutral = false,
+                                             std::size_t max_escalations_per_state = 16) const;
+
+ private:
+  const core::SackPolicy& policy_;
+  ReferenceInterpreter reference_;
+  std::vector<ReachableState> reachable_;
+};
+
+}  // namespace sack::verify

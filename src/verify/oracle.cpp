@@ -1,0 +1,133 @@
+#include "verify/oracle.h"
+
+#include <algorithm>
+
+#include "core/avc.h"
+#include "core/ruleset.h"
+#include "verify/reference.h"
+
+namespace sack::verify {
+
+std::string OracleMismatch::to_string() const {
+  return engine + " disagrees in state '" + state + "': (" + subject.exe +
+         (subject.profile.empty() ? "" : ", @" + subject.profile) + ", " +
+         object + ", " + std::string(core::mac_op_name(op)) +
+         ") reference=" + std::string(errno_name(reference)) +
+         " observed=" + std::string(errno_name(observed));
+}
+
+namespace {
+
+// The multiset of active rule texts a rule set should expose for a state,
+// straight from State_Per ∘ Per_Rules.
+std::vector<std::string> expected_active_texts(
+    const core::SackPolicy& policy, const std::vector<std::string>& perms) {
+  std::vector<std::string> out;
+  for (const auto& perm : perms) {
+    auto it = policy.per_rules.find(perm);
+    if (it == policy.per_rules.end()) continue;
+    for (const auto& rule : it->second) out.push_back(rule.to_text());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> observed_active_texts(const core::RuleSetBase& rs) {
+  std::vector<std::string> out;
+  for (const core::MacRule* rule : rs.active_rules())
+    out.push_back(rule->to_text());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+OracleReport run_differential_oracle(const core::SackPolicy& policy,
+                                     const OracleOptions& options) {
+  return run_differential_oracle(policy, build_universe(policy, options.universe),
+                                 options);
+}
+
+OracleReport run_differential_oracle(const core::SackPolicy& policy,
+                                     const Universe& universe,
+                                     const OracleOptions& options) {
+  OracleReport report;
+  ReferenceInterpreter reference(policy);
+
+  core::CompiledRuleSet compiled;
+  compiled.load(policy);
+  core::LinearRuleSet linear;
+  linear.load(policy);
+  core::AccessVectorCache avc;
+
+  auto record = [&report, &options](OracleMismatch m) {
+    ++report.mismatches_total;
+    if (report.mismatches.size() < options.max_mismatches)
+      report.mismatches.push_back(std::move(m));
+  };
+
+  // Structural cross-check: guard predicate over every generated object.
+  for (const auto& o : universe.objects) {
+    bool want = reference.guarded(o);
+    if (compiled.guarded(o) != want) {
+      record({"guard", "(any)", {}, o, core::MacOp::none,
+              want ? Errno::eacces : Errno::ok,
+              compiled.guarded(o) ? Errno::eacces : Errno::ok});
+    }
+  }
+
+  std::uint64_t generation = 0;
+  for (const auto& state : policy.states) {
+    ++report.states_checked;
+    ++generation;  // one AVC generation per activation, as the module does
+    const auto perms = policy.permissions_of(state.name);
+    compiled.activate(perms);
+    if (options.check_linear) linear.activate(perms);
+
+    // Enumeration-hook cross-check: the active rule multiset must be exactly
+    // the State_Per ∘ Per_Rules expansion.
+    auto expected = expected_active_texts(policy, perms);
+    if (observed_active_texts(compiled) != expected) {
+      record({"active-set", state.name, {}, "(rule enumeration)",
+              core::MacOp::none, Errno::ok, Errno::einval});
+    }
+    if (options.check_linear && observed_active_texts(linear) != expected) {
+      record({"active-set(linear)", state.name, {}, "(rule enumeration)",
+              core::MacOp::none, Errno::ok, Errno::einval});
+    }
+
+    for (const auto& s : universe.subjects) {
+      for (const auto& o : universe.objects) {
+        for (core::MacOp op : universe.ops) {
+          ++report.tuples_checked;
+          core::AccessQuery q{s.exe, s.profile, o, op};
+          Errno want = reference.decide(state.name, q);
+          Errno got = compiled.check(q);
+          if (got != want)
+            record({"compiled", state.name, s, o, op, want, got});
+          if (options.check_linear) {
+            Errno lin = linear.check(q);
+            if (lin != want)
+              record({"linear", state.name, s, o, op, want, lin});
+          }
+          if (options.check_avc) {
+            // The check_op sequence: probe (miss or generation-stale),
+            // insert the computed verdict, re-probe — the hit must serve
+            // exactly what the matcher computed.
+            avc.insert(q, generation, got);
+            auto hit = avc.probe(q, generation);
+            if (!hit.has_value() || *hit != want) {
+              record({"avc", state.name, s, o, op, want,
+                      hit.value_or(Errno::einval)});
+            } else {
+              ++report.avc_hits_verified;
+            }
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sack::verify

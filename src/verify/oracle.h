@@ -1,0 +1,68 @@
+// The differential oracle: compiled engines vs the reference interpreter.
+//
+// Enumerates every (state, subject, object, op) tuple of the generated
+// universe and cross-checks four implementations that must agree on each:
+//
+//   reference   the naive spec interpreter (verify/reference.h) — truth;
+//   compiled    CompiledRuleSet: per-op tables, literal hash indexes,
+//               RCU-published snapshots (the production matcher);
+//   linear      LinearRuleSet: the unindexed scan (the ablation baseline);
+//   avc         the AccessVectorCache round-trip: miss-probe, insert of the
+//               compiled verdict, then a hit-probe that must return it —
+//               the exact sequence SackModule::check_op performs.
+//
+// On top of the per-tuple sweep the oracle cross-checks structure: the
+// guard-set predicate against the reference definition, and the rule sets'
+// active_rules() enumeration hooks against State_Per ∘ Per_Rules.
+//
+// Any mismatch is a matcher/compiler/cache regression caught before it
+// ships; PR 1's AVC and snapshot optimizations stay provably equivalent to
+// the spec as long as this oracle stays green on the shipped policies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "verify/universe.h"
+
+namespace sack::verify {
+
+struct OracleMismatch {
+  std::string engine;  // "compiled" | "linear" | "avc" | "guard" | "active-set"
+  std::string state;
+  SubjectSample subject;
+  std::string object;
+  core::MacOp op = core::MacOp::none;
+  Errno reference = Errno::ok;
+  Errno observed = Errno::ok;
+
+  std::string to_string() const;
+};
+
+struct OracleReport {
+  std::size_t states_checked = 0;
+  std::size_t tuples_checked = 0;
+  std::size_t avc_hits_verified = 0;
+  std::size_t mismatches_total = 0;
+  std::vector<OracleMismatch> mismatches;  // capped at `max_mismatches`
+
+  bool ok() const { return mismatches_total == 0; }
+};
+
+struct OracleOptions {
+  UniverseOptions universe;
+  bool check_avc = true;
+  bool check_linear = true;
+  std::size_t max_mismatches = 32;
+};
+
+OracleReport run_differential_oracle(const core::SackPolicy& policy,
+                                     const OracleOptions& options = {});
+
+// As above over a pre-built universe (the bench reuses one).
+OracleReport run_differential_oracle(const core::SackPolicy& policy,
+                                     const Universe& universe,
+                                     const OracleOptions& options);
+
+}  // namespace sack::verify

@@ -1,0 +1,127 @@
+#include "verify/query.h"
+
+#include "core/mac_ops.h"
+
+namespace sack::verify {
+
+std::string Query::to_string() const {
+  switch (kind) {
+    case Kind::never_allow:
+      return "never allow " + subject + " " + object + " " +
+             core::format_mac_ops(ops);
+    case Kind::can:
+      return "can " + subject + " " + object + " " +
+             core::format_mac_ops(ops);
+    case Kind::reach:
+      return "reach " + state;
+  }
+  return {};
+}
+
+namespace {
+
+// Subject spelling, mirroring parse_mac_rule: '*', '@profile', or a path.
+bool parse_subject(TokenStream& ts, Query& q) {
+  const Token& subj = ts.peek();
+  if (subj.is_punct('*')) {
+    ts.next();
+    q.subject = "*";
+    return true;
+  }
+  if (subj.is_punct('@')) {
+    ts.next();
+    auto prof = ts.expect_ident();
+    if (!prof.ok()) return false;
+    q.subject = "@" + prof->text;
+    return true;
+  }
+  if (subj.kind == TokenKind::path) {
+    q.subject = ts.next().text;
+    return true;
+  }
+  ts.record_error("expected subject ('*', '@profile' or a path), got '" +
+                  subj.text + "'");
+  return false;
+}
+
+bool parse_access_tail(TokenStream& ts, Query& q) {
+  if (!parse_subject(ts, q)) return false;
+  auto obj = ts.expect(TokenKind::path, "object path pattern");
+  if (!obj.ok()) return false;
+  q.object = obj->text;
+  bool any_op = false;
+  while (ts.peek().kind == TokenKind::identifier) {
+    auto op = core::mac_op_from_name(ts.peek().text);
+    if (!op.ok()) {
+      ts.record_error("unknown operation '" + ts.peek().text + "'");
+      return false;
+    }
+    ts.next();
+    q.ops |= op.value();
+    any_op = true;
+    (void)ts.accept_punct(',');
+  }
+  if (!any_op) {
+    ts.record_error("query names no operations");
+    return false;
+  }
+  return ts.expect_punct(';').ok();
+}
+
+void synchronize(TokenStream& ts) {
+  while (!ts.at_end() && !ts.accept_punct(';')) ts.next();
+}
+
+}  // namespace
+
+QueryParseResult parse_queries(std::string_view text) {
+  QueryParseResult result;
+  Tokenizer tokenizer(text);
+  auto tokens = tokenizer.run();
+  if (!tokens.ok()) {
+    result.errors.push_back(tokenizer.last_error());
+    return result;
+  }
+  TokenStream ts(std::move(tokens).value());
+  while (!ts.at_end()) {
+    Query q;
+    q.line = ts.peek().line;
+    if (ts.accept_ident("never")) {
+      if (!ts.accept_ident("allow")) {
+        ts.record_error("expected 'allow' after 'never', got '" +
+                        ts.peek().text + "'");
+        synchronize(ts);
+        continue;
+      }
+      q.kind = Query::Kind::never_allow;
+      if (!parse_access_tail(ts, q)) {
+        synchronize(ts);
+        continue;
+      }
+    } else if (ts.accept_ident("can")) {
+      q.kind = Query::Kind::can;
+      if (!parse_access_tail(ts, q)) {
+        synchronize(ts);
+        continue;
+      }
+    } else if (ts.accept_ident("reach")) {
+      q.kind = Query::Kind::reach;
+      auto state = ts.expect_ident();
+      if (!state.ok() || !ts.expect_punct(';').ok()) {
+        synchronize(ts);
+        continue;
+      }
+      q.state = state->text;
+    } else {
+      ts.record_error("expected 'never', 'can' or 'reach', got '" +
+                      ts.peek().text + "'");
+      synchronize(ts);
+      continue;
+    }
+    result.queries.push_back(std::move(q));
+  }
+  result.errors = ts.take_errors();
+  return result;
+}
+
+}  // namespace sack::verify

@@ -1,0 +1,55 @@
+// The sack-verify query language: assertions checked by the model checker.
+//
+// A query document is a ';'-terminated statement list, '#' comments, with
+// the same subject/object/op spellings as Per_Rules:
+//
+//   # invariant: no reachable state may grant any listed op
+//   never allow /usr/bin/media_app /dev/vehicle/door* write ioctl;
+//   never allow * /etc/shadow read;
+//
+//   # reachability query: report the first state (and trace) granting one
+//   can /usr/bin/rescue_daemon /dev/vehicle/door0 write;
+//
+//   # state assertion: the named state must be reachable
+//   reach emergency;
+//
+// Subjects: '*', a path glob over the task executable, or '@profile'.
+// Objects are concrete paths or globs — a glob object asserts over the
+// witness expansion of the pattern, not the raw text.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/mac_ops.h"
+#include "util/tokenizer.h"
+
+namespace sack::verify {
+
+struct Query {
+  enum class Kind : std::uint8_t {
+    never_allow,  // invariant: all listed ops denied in every reachable state
+    can,          // query: is some listed op granted somewhere reachable?
+    reach,        // assertion: the named state is reachable
+  };
+  Kind kind = Kind::never_allow;
+  std::string subject;       // raw spelling: '*', glob, or '@profile'
+  std::string object;        // path or glob
+  core::MacOp ops = core::MacOp::none;
+  std::string state;         // for `reach`
+  int line = 0;
+
+  std::string to_string() const;
+};
+
+struct QueryParseResult {
+  std::vector<Query> queries;
+  std::vector<ParseError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+QueryParseResult parse_queries(std::string_view text);
+
+}  // namespace sack::verify

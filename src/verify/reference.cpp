@@ -1,0 +1,56 @@
+#include "verify/reference.h"
+
+namespace sack::verify {
+
+namespace {
+
+bool subject_applies(const core::MacRule& rule,
+                     const core::AccessQuery& query) {
+  switch (rule.subject_kind) {
+    case core::SubjectKind::any:
+      return true;
+    case core::SubjectKind::path:
+      return rule.subject_glob.matches(query.subject_exe);
+    case core::SubjectKind::profile:
+      return !query.subject_profile.empty() &&
+             rule.subject_text == query.subject_profile;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ReferenceInterpreter::guarded(std::string_view object_path) const {
+  for (const auto& [perm, rules] : policy_.per_rules) {
+    for (const auto& rule : rules) {
+      if (rule.object.matches(object_path)) return true;
+    }
+  }
+  return false;
+}
+
+Errno ReferenceInterpreter::decide_with_permissions(
+    const std::vector<std::string>& permissions,
+    const core::AccessQuery& query) const {
+  if (!guarded(query.object_path)) return Errno::ok;
+  bool allowed = false;
+  for (const auto& perm : permissions) {
+    auto it = policy_.per_rules.find(perm);
+    if (it == policy_.per_rules.end()) continue;
+    for (const auto& rule : it->second) {
+      if (!has_any(rule.ops, query.op)) continue;
+      if (!rule.object.matches(query.object_path)) continue;
+      if (!subject_applies(rule, query)) continue;
+      if (rule.effect == core::RuleEffect::deny) return Errno::eacces;
+      allowed = true;
+    }
+  }
+  return allowed ? Errno::ok : Errno::eacces;
+}
+
+Errno ReferenceInterpreter::decide(std::string_view state,
+                                   const core::AccessQuery& query) const {
+  return decide_with_permissions(policy_.permissions_of(state), query);
+}
+
+}  // namespace sack::verify

@@ -1,0 +1,117 @@
+#include "verify/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sack::verify {
+
+std::string_view severity_name(FindingSeverity severity) {
+  switch (severity) {
+    case FindingSeverity::info:
+      return "info";
+    case FindingSeverity::warning:
+      return "warning";
+    case FindingSeverity::error:
+      return "error";
+  }
+  return "?";
+}
+
+std::size_t VerifyReport::count(FindingSeverity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [severity](const Finding& f) {
+                      return f.severity == severity;
+                    }));
+}
+
+std::string VerifyReport::to_text() const {
+  std::string out = "== sack-verify: " + policy_name + " ==\n";
+  for (const auto& f : findings) {
+    out += std::string(severity_name(f.severity)) + " [" + f.code + "] " +
+           f.message + "\n";
+    for (const auto& step : f.trace) out += "    " + step + "\n";
+  }
+  out += "states: " + std::to_string(stats.states_reachable) + "/" +
+         std::to_string(stats.states_total) + " reachable";
+  if (stats.queries_checked > 0)
+    out += "; queries: " + std::to_string(stats.queries_checked);
+  if (stats.oracle_tuples > 0)
+    out += "; oracle: " + std::to_string(stats.oracle_tuples) + " tuples, " +
+           std::to_string(stats.oracle_mismatches) + " mismatches";
+  if (stats.subsumption_pairs > 0)
+    out += "; subsumption pairs: " + std::to_string(stats.subsumption_pairs);
+  out += "\nresult: " + std::to_string(count(FindingSeverity::error)) +
+         " error(s), " + std::to_string(count(FindingSeverity::warning)) +
+         " warning(s), " + std::to_string(count(FindingSeverity::info)) +
+         " info\n";
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string VerifyReport::to_json() const {
+  std::string out = "{\n  \"policy\": \"" + json_escape(policy_name) + "\",\n";
+  out += "  \"errors\": " + std::to_string(count(FindingSeverity::error)) +
+         ",\n  \"warnings\": " +
+         std::to_string(count(FindingSeverity::warning)) + ",\n  \"infos\": " +
+         std::to_string(count(FindingSeverity::info)) + ",\n";
+  out += "  \"stats\": {\"states_total\": " +
+         std::to_string(stats.states_total) + ", \"states_reachable\": " +
+         std::to_string(stats.states_reachable) + ", \"queries_checked\": " +
+         std::to_string(stats.queries_checked) + ", \"oracle_states\": " +
+         std::to_string(stats.oracle_states) + ", \"oracle_tuples\": " +
+         std::to_string(stats.oracle_tuples) + ", \"oracle_mismatches\": " +
+         std::to_string(stats.oracle_mismatches) +
+         ", \"subsumption_pairs\": " +
+         std::to_string(stats.subsumption_pairs) + "},\n";
+  out += "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"severity\": \"" + std::string(severity_name(f.severity)) +
+           "\", \"code\": \"" + json_escape(f.code) + "\", \"message\": \"" +
+           json_escape(f.message) + "\", \"trace\": [";
+    for (std::size_t j = 0; j < f.trace.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += "\"" + json_escape(f.trace[j]) + "\"";
+    }
+    out += "]}";
+  }
+  out += findings.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sack::verify

@@ -1,0 +1,61 @@
+// Verification findings and their text/JSON rendering.
+//
+// Everything the verify engines produce funnels into one flat finding list
+// so the CLI, the CI gate, and tests consume a single shape. Severities:
+// `error` findings fail the CI gate (`sack-verify` exits nonzero), `warning`
+// findings indicate likely authoring mistakes, `info` findings are evidence
+// (reachability traces, escalation inventories) for human review.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sack::verify {
+
+enum class FindingSeverity : std::uint8_t { info, warning, error };
+
+std::string_view severity_name(FindingSeverity severity);
+
+struct Finding {
+  FindingSeverity severity = FindingSeverity::info;
+  // Stable machine-readable category, dot-scoped by engine:
+  //   lint.*        policy checker diagnostics
+  //   invariant.*   `never allow` violations
+  //   query.*       `can` / `reach` results
+  //   escalation.*  privilege-diff report entries
+  //   shadow.*      state-level subsumption shadows
+  //   oracle.*      differential-oracle mismatches
+  //   parse.*       policy/query parse failures
+  std::string code;
+  std::string message;
+  // Event trace witnessing the finding (rendered TraceStep lines), empty
+  // when the finding is not tied to a reachable state.
+  std::vector<std::string> trace;
+};
+
+struct VerifyStats {
+  std::size_t states_total = 0;
+  std::size_t states_reachable = 0;
+  std::size_t queries_checked = 0;
+  std::size_t oracle_states = 0;
+  std::size_t oracle_tuples = 0;
+  std::size_t oracle_mismatches = 0;
+  std::size_t subsumption_pairs = 0;
+};
+
+struct VerifyReport {
+  std::string policy_name;
+  std::vector<Finding> findings;
+  VerifyStats stats;
+
+  std::size_t count(FindingSeverity severity) const;
+  bool has_errors() const { return count(FindingSeverity::error) > 0; }
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+std::string json_escape(std::string_view s);
+
+}  // namespace sack::verify

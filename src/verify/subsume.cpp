@@ -1,0 +1,29 @@
+#include "verify/subsume.h"
+
+#include "util/bitmask.h"
+
+namespace sack::verify {
+
+using core::MacRule;
+using core::SubjectKind;
+
+bool subject_subsumes(const MacRule& general, const MacRule& specific) {
+  // '*' covers every subject. Anything narrower never covers '*'.
+  if (general.subject_kind == SubjectKind::any) return true;
+  if (specific.subject_kind == SubjectKind::any) return false;
+  // Path and profile subjects live in disjoint identity spaces: a path glob
+  // constrains the executable, a profile name constrains the AppArmor label.
+  // Neither can stand in for the other.
+  if (general.subject_kind != specific.subject_kind) return false;
+  if (general.subject_kind == SubjectKind::profile)
+    return general.subject_text == specific.subject_text;
+  return glob_subsumes(general.subject_glob, specific.subject_glob).subsumes();
+}
+
+bool rule_subsumes(const MacRule& general, const MacRule& specific) {
+  if (!has_all(general.ops, specific.ops)) return false;
+  if (!subject_subsumes(general, specific)) return false;
+  return glob_subsumes(general.object, specific.object).subsumes();
+}
+
+}  // namespace sack::verify

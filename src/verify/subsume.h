@@ -1,0 +1,29 @@
+// Rule-level subsumption: does one MAC rule imply another?
+//
+// Built on the glob containment decision procedure (util/glob_subsume.h),
+// lifted to whole Per_Rules entries: subjects, object patterns, and the
+// operation mask. `rule_subsumes(general, specific)` means every concrete
+// access (subject, object, op) the specific rule applies to is also covered
+// by the general rule — the precise notion behind "this allow is dead under
+// that deny" and "this rule is redundant next to that one".
+#pragma once
+
+#include <string>
+
+#include "core/policy.h"
+#include "util/glob_subsume.h"
+
+namespace sack::verify {
+
+// True iff `general` applies to every access `specific` applies to
+// (undecided glob containment counts as "not shown to subsume").
+bool rule_subsumes(const core::MacRule& general, const core::MacRule& specific);
+
+// Subject-only half of the implication: does `general`'s subject match
+// every task `specific`'s subject matches? (The policy checker's shadow
+// analysis applies the same relation, built directly on util/glob_subsume —
+// core cannot link against this library.)
+bool subject_subsumes(const core::MacRule& general,
+                      const core::MacRule& specific);
+
+}  // namespace sack::verify

@@ -1,0 +1,156 @@
+#include "verify/universe.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sack::verify {
+
+namespace {
+
+using TokKind = Glob::TokKind;
+using Token = Glob::Token;
+
+// A filler character the pattern is unlikely to constrain; varied per
+// witness so two wildcards in one pattern do not always expand identically.
+constexpr char kFillers[] = {'w', 'q', 'z'};
+
+// Picks a concrete character a char_class token accepts, or 0 if the class
+// is unsatisfiable in practice.
+char class_member(const Token& t, int variant) {
+  if (!t.negated) {
+    if (t.set.empty()) return 0;
+    return t.set[static_cast<std::size_t>(variant) % t.set.size()];
+  }
+  for (char c : std::string("mnpt4680") + kFillers[variant % 3]) {
+    if (c != '/' && t.set.find(c) == std::string::npos) return c;
+  }
+  for (int c = 'a'; c <= 'z'; ++c) {
+    if (t.set.find(static_cast<char>(c)) == std::string::npos)
+      return static_cast<char>(c);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<std::string> glob_witnesses(const Glob& glob, int variants) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (int v = 0; v < variants; ++v) {
+    for (const auto& seq : glob.alternatives()) {
+      std::string path;
+      bool ok = true;
+      for (const Token& t : seq) {
+        switch (t.kind) {
+          case TokKind::literal:
+            path += t.ch;
+            break;
+          case TokKind::any_one:
+            path += kFillers[v % 3];
+            break;
+          case TokKind::char_class: {
+            char c = class_member(t, v);
+            if (c == 0)
+              ok = false;
+            else
+              path += c;
+            break;
+          }
+          case TokKind::any_seq:
+            // Variant 0: empty expansion (the boundary case a naive
+            // enumerator misses); later variants: short fillers.
+            if (v == 1) path += kFillers[v % 3];
+            if (v >= 2) path += {kFillers[v % 3], kFillers[(v + 1) % 3]};
+            break;
+          case TokKind::any_deep:
+            // '**' may cross directory boundaries; make one variant do so.
+            if (v == 1) path += kFillers[v % 3];
+            if (v >= 2) path += {kFillers[v % 3], '/', kFillers[(v + 1) % 3]};
+            break;
+        }
+        if (!ok) break;
+      }
+      if (ok && glob.matches(path) && seen.insert(path).second)
+        out.push_back(std::move(path));
+    }
+  }
+  return out;
+}
+
+Universe build_universe(const core::SackPolicy& policy,
+                        const UniverseOptions& options) {
+  Universe u;
+  std::set<std::string> objects;
+  std::set<std::pair<std::string, std::string>> subjects;
+  core::MacOp mentioned_ops = core::MacOp::none;
+
+  auto add_object_pattern = [&objects, &options](const Glob& g) {
+    if (g.is_literal()) {
+      objects.insert(g.literal());
+      return;
+    }
+    for (auto& w : glob_witnesses(g, options.variants_per_glob))
+      objects.insert(std::move(w));
+  };
+
+  for (const auto& [perm, rules] : policy.per_rules) {
+    for (const auto& rule : rules) {
+      add_object_pattern(rule.object);
+      mentioned_ops = mentioned_ops | rule.ops;
+      switch (rule.subject_kind) {
+        case core::SubjectKind::any:
+          break;
+        case core::SubjectKind::path:
+          if (rule.subject_glob.is_literal()) {
+            subjects.insert({rule.subject_glob.literal(), ""});
+          } else {
+            for (auto& w :
+                 glob_witnesses(rule.subject_glob, options.variants_per_glob))
+              subjects.insert({std::move(w), ""});
+          }
+          break;
+        case core::SubjectKind::profile:
+          subjects.insert({"/usr/bin/profiled_app", rule.subject_text});
+          break;
+      }
+    }
+  }
+
+  if (options.boundary_probes) {
+    // Just-outside probes: tweak every generated object so near-misses of
+    // literal indexes and glob tails are both exercised.
+    std::vector<std::string> probes;
+    for (const auto& o : objects) {
+      probes.push_back(o + "x");                       // suffix extension
+      probes.push_back(o + "/sub");                    // child path
+      if (auto cut = o.find_last_of('/'); cut != std::string::npos)
+        probes.push_back(o.substr(0, cut + 1) + "sibling_probe");
+    }
+    objects.insert(probes.begin(), probes.end());
+  }
+  objects.insert("/unguarded/probe");  // must always decide to OK
+
+  // The bystander: matches no subject rule unless '*' applies.
+  subjects.insert({"/usr/bin/uninvolved_app", ""});
+  subjects.insert({"/usr/bin/uninvolved_app", "bystander_profile"});
+
+  for (auto& [exe, profile] : subjects) u.subjects.push_back({exe, profile});
+  u.objects.assign(objects.begin(), objects.end());
+
+  // Every op the policy mentions, plus one it does not (deny-by-default on
+  // guarded objects must hold for unmentioned ops too).
+  for (std::size_t i = 0; i < core::kMacOpCount; ++i) {
+    core::MacOp op = core::mac_op_from_index(i);
+    if (has_any(mentioned_ops, op)) u.ops.push_back(op);
+  }
+  for (std::size_t i = 0; i < core::kMacOpCount; ++i) {
+    core::MacOp op = core::mac_op_from_index(i);
+    if (!has_any(mentioned_ops, op)) {
+      u.ops.push_back(op);
+      break;
+    }
+  }
+  return u;
+}
+
+}  // namespace sack::verify

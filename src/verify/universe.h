@@ -1,0 +1,59 @@
+// Concrete enumeration universes for policy analysis.
+//
+// Globs denote infinite path languages, so exhaustive tuple enumeration is
+// impossible; instead the universe generator derives a finite, deterministic
+// set of *representative* concrete paths from the policy itself:
+//
+//   * every literal object path, verbatim;
+//   * for every non-literal object pattern, several witness paths produced
+//     by walking the compiled tokens (wildcards expanded to varied fillers,
+//     '**' expanded both flat and across a directory boundary);
+//   * boundary probes: mutations of the above (suffix/prefix extensions,
+//     sibling names) that sit just outside the common patterns;
+//   * a fixed unguarded probe path, exercising the guarded-set fast path.
+//
+// Subjects get the same treatment over subject globs and profile names, plus
+// an uninvolved bystander executable. The result is the tuple space the
+// differential oracle sweeps: small enough to enumerate, adversarial enough
+// that a matcher/compiler regression which changes any decision boundary
+// named by the policy shows up.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mac_ops.h"
+#include "core/policy.h"
+
+namespace sack::verify {
+
+struct SubjectSample {
+  std::string exe;      // task executable path
+  std::string profile;  // AppArmor profile label ("" = none)
+};
+
+struct Universe {
+  std::vector<SubjectSample> subjects;
+  std::vector<std::string> objects;
+  std::vector<core::MacOp> ops;
+
+  std::size_t tuple_count(std::size_t state_count) const {
+    return state_count * subjects.size() * objects.size() * ops.size();
+  }
+};
+
+// How many witness variants to derive per non-literal pattern.
+struct UniverseOptions {
+  int variants_per_glob = 3;
+  bool boundary_probes = true;
+};
+
+// Generates witness paths for one glob: concrete paths the pattern matches.
+// Deterministic; at most `variants` entries (fewer when the pattern admits
+// fewer distinct short witnesses).
+std::vector<std::string> glob_witnesses(const Glob& glob, int variants);
+
+Universe build_universe(const core::SackPolicy& policy,
+                        const UniverseOptions& options = {});
+
+}  // namespace sack::verify

@@ -1,0 +1,285 @@
+#include "verify/verifier.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/policy_parser.h"
+#include "verify/model_checker.h"
+#include "verify/subsume.h"
+#include "verify/universe.h"
+
+namespace sack::verify {
+
+namespace {
+
+std::vector<std::string> render_trace(const std::vector<TraceStep>& trace) {
+  std::vector<std::string> out;
+  if (trace.empty()) {
+    out.push_back("(initial state)");
+    return out;
+  }
+  out.reserve(trace.size());
+  for (const auto& step : trace) out.push_back(step.to_string());
+  return out;
+}
+
+std::string describe_subject(const SubjectSample& s) {
+  return s.profile.empty() ? s.exe : s.exe + " (@" + s.profile + ")";
+}
+
+// Expands a query's subject spelling into concrete subject samples.
+std::vector<SubjectSample> expand_query_subject(const std::string& subject,
+                                                std::vector<Finding>& findings,
+                                                const Query& query) {
+  std::vector<SubjectSample> out;
+  if (subject == "*") {
+    // "any subject": a bystander that only '*' rules match. A hit for the
+    // bystander is a hit for everyone; rules targeting specific subjects
+    // need their own queries.
+    out.push_back({"/usr/bin/uninvolved_app", ""});
+    return out;
+  }
+  if (subject.size() > 1 && subject[0] == '@') {
+    out.push_back({"/usr/bin/profiled_app", subject.substr(1)});
+    return out;
+  }
+  auto glob = Glob::compile(subject);
+  if (!glob.ok()) {
+    findings.push_back({FindingSeverity::error, "parse.query",
+                        "bad subject pattern in query: " + query.to_string(),
+                        {}});
+    return out;
+  }
+  if (glob->is_literal()) {
+    out.push_back({glob->literal(), ""});
+  } else {
+    for (auto& w : glob_witnesses(*glob, 3)) out.push_back({std::move(w), ""});
+  }
+  return out;
+}
+
+std::vector<std::string> expand_query_object(const std::string& object,
+                                             std::vector<Finding>& findings,
+                                             const Query& query) {
+  std::vector<std::string> out;
+  auto glob = Glob::compile(object);
+  if (!glob.ok()) {
+    findings.push_back({FindingSeverity::error, "parse.query",
+                        "bad object pattern in query: " + query.to_string(),
+                        {}});
+    return out;
+  }
+  if (glob->is_literal())
+    out.push_back(glob->literal());
+  else
+    out = glob_witnesses(*glob, 3);
+  return out;
+}
+
+void run_queries(const ModelChecker& checker, const VerifyOptions& options,
+                 VerifyReport& report) {
+  for (const Query& query : options.queries) {
+    ++report.stats.queries_checked;
+    if (query.kind == Query::Kind::reach) {
+      const auto& reachable = checker.reachable();
+      auto it = std::find_if(reachable.begin(), reachable.end(),
+                             [&query](const ReachableState& rs) {
+                               return rs.state == query.state;
+                             });
+      if (it == reachable.end()) {
+        report.findings.push_back(
+            {FindingSeverity::error, "query.unreachable",
+             "`" + query.to_string() + "` failed: state is not reachable",
+             {}});
+      } else {
+        report.findings.push_back({FindingSeverity::info, "query.reach",
+                                   "`" + query.to_string() + "` holds",
+                                   render_trace(it->trace)});
+      }
+      continue;
+    }
+
+    auto subjects =
+        expand_query_subject(query.subject, report.findings, query);
+    auto objects = expand_query_object(query.object, report.findings, query);
+    bool any_grant = false;
+    for (const auto& s : subjects) {
+      for (const auto& o : objects) {
+        AccessRequest request{s.exe, s.profile, o, query.ops};
+        if (query.kind == Query::Kind::never_allow) {
+          for (const auto& grant : checker.find_all_grants(request)) {
+            any_grant = true;
+            report.findings.push_back(
+                {FindingSeverity::error, "invariant.violated",
+                 "`" + query.to_string() + "` violated: " +
+                     describe_subject(grant.subject) + " is granted " +
+                     std::string(core::mac_op_name(grant.op)) + " on " +
+                     grant.object + " in state '" + grant.state + "'",
+                 render_trace(grant.trace)});
+          }
+        } else if (auto grant = checker.find_grant(request)) {
+          any_grant = true;
+          report.findings.push_back(
+              {FindingSeverity::info, "query.granted",
+               "`" + query.to_string() + "`: " +
+                   describe_subject(grant->subject) + " is granted " +
+                   std::string(core::mac_op_name(grant->op)) + " on " +
+                   grant->object + " in state '" + grant->state + "'",
+               render_trace(grant->trace)});
+        }
+      }
+    }
+    if (!any_grant) {
+      if (query.kind == Query::Kind::never_allow) {
+        report.findings.push_back({FindingSeverity::info, "invariant.holds",
+                                   "`" + query.to_string() +
+                                       "` holds in every reachable state",
+                                   {}});
+      } else {
+        report.findings.push_back({FindingSeverity::warning, "query.denied",
+                                   "`" + query.to_string() +
+                                       "`: no reachable state grants it",
+                                   {}});
+      }
+    }
+  }
+}
+
+void run_escalation_report(const ModelChecker& checker,
+                           const Universe& universe, VerifyReport& report) {
+  for (const auto& diff : checker.privilege_diffs(universe)) {
+    std::string msg = "state '" + diff.state + "'";
+    if (!diff.permissions_added.empty()) {
+      msg += " grants";
+      for (const auto& p : diff.permissions_added) msg += " +" + p;
+    }
+    if (!diff.permissions_removed.empty()) {
+      msg += " drops";
+      for (const auto& p : diff.permissions_removed) msg += " -" + p;
+    }
+    msg += ": " + std::to_string(diff.escalations.size()) +
+           " escalated tuple(s), " + std::to_string(diff.revocations) +
+           " revoked tuple(s) vs initial";
+    if (!diff.escalations.empty()) {
+      const auto& e = diff.escalations.front();
+      msg += "; e.g. " + describe_subject(e.subject) + " gains " +
+             std::string(core::mac_op_name(e.op)) + " on " + e.object;
+    }
+    report.findings.push_back({FindingSeverity::info, "escalation.state", msg,
+                               render_trace(diff.trace)});
+  }
+}
+
+// Allow rules dead under a deny from a *different* permission active in the
+// same reachable state (the same-permission case is check_policy's).
+void run_state_shadow(const core::SackPolicy& policy,
+                      const ModelChecker& checker, VerifyReport& report) {
+  std::set<std::string> reported;
+  for (const auto& rs : checker.reachable()) {
+    struct Owned {
+      const core::MacRule* rule;
+      const std::string* permission;
+    };
+    std::vector<Owned> active;
+    auto perms = policy.permissions_of(rs.state);
+    for (const auto& perm : perms) {
+      auto it = policy.per_rules.find(perm);
+      if (it == policy.per_rules.end()) continue;
+      for (const auto& rule : it->second) active.push_back({&rule, &it->first});
+    }
+    for (const auto& allow : active) {
+      if (allow.rule->effect != core::RuleEffect::allow) continue;
+      for (const auto& deny : active) {
+        if (deny.rule->effect != core::RuleEffect::deny ||
+            deny.permission == allow.permission)
+          continue;
+        ++report.stats.subsumption_pairs;
+        if (!rule_subsumes(*deny.rule, *allow.rule)) continue;
+        std::string key = allow.rule->to_text() + "|" + deny.rule->to_text();
+        if (!reported.insert(key).second) continue;  // same pair, later state
+        report.findings.push_back(
+            {FindingSeverity::warning, "shadow.cross_permission",
+             "allow rule '" + allow.rule->to_text() + "' (permission '" +
+                 *allow.permission + "') is dead in state '" + rs.state +
+                 "': fully shadowed by deny rule '" + deny.rule->to_text() +
+                 "' (permission '" + *deny.permission + "')",
+             render_trace(rs.trace)});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+VerifyReport verify_policy(const core::SackPolicy& policy,
+                           const VerifyOptions& options,
+                           std::string policy_name) {
+  VerifyReport report;
+  report.policy_name = std::move(policy_name);
+  report.stats.states_total = policy.states.size();
+
+  auto diagnostics = core::check_policy(policy, options.mode);
+  for (const auto& d : diagnostics) {
+    report.findings.push_back({d.severity == core::Severity::error
+                                   ? FindingSeverity::error
+                                   : FindingSeverity::warning,
+                               "lint", d.message, {}});
+  }
+  if (core::has_errors(diagnostics)) {
+    // Structurally broken: the automaton and rule tables are not
+    // well-defined, so the deeper engines would chase ghosts.
+    return report;
+  }
+
+  ModelChecker checker(policy);
+  report.stats.states_reachable = checker.reachable().size();
+
+  run_queries(checker, options, report);
+
+  Universe universe;
+  const bool need_universe =
+      options.run_escalation_report || options.run_oracle;
+  if (need_universe) universe = build_universe(policy, options.oracle.universe);
+
+  if (options.run_escalation_report)
+    run_escalation_report(checker, universe, report);
+  if (options.run_state_shadow) run_state_shadow(policy, checker, report);
+
+  if (options.run_oracle) {
+    auto oracle = run_differential_oracle(policy, universe, options.oracle);
+    report.stats.oracle_states = oracle.states_checked;
+    report.stats.oracle_tuples = oracle.tuples_checked;
+    report.stats.oracle_mismatches = oracle.mismatches_total;
+    for (const auto& m : oracle.mismatches) {
+      report.findings.push_back({FindingSeverity::error, "oracle.mismatch",
+                                 m.to_string(),
+                                 {}});
+    }
+    if (oracle.mismatches_total > oracle.mismatches.size()) {
+      report.findings.push_back(
+          {FindingSeverity::error, "oracle.mismatch",
+           std::to_string(oracle.mismatches_total - oracle.mismatches.size()) +
+               " further oracle mismatch(es) suppressed",
+           {}});
+    }
+  }
+  return report;
+}
+
+VerifyReport verify_policy_text(std::string_view text,
+                                const VerifyOptions& options,
+                                std::string policy_name) {
+  auto parsed = core::parse_policy(text);
+  if (!parsed.ok()) {
+    VerifyReport report;
+    report.policy_name = std::move(policy_name);
+    for (const auto& e : parsed.errors) {
+      report.findings.push_back(
+          {FindingSeverity::error, "parse.policy", e.to_string(), {}});
+    }
+    return report;
+  }
+  return verify_policy(parsed.policy, options, std::move(policy_name));
+}
+
+}  // namespace sack::verify

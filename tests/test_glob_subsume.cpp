@@ -1,0 +1,126 @@
+// Glob subsumption decision procedure (util/glob_subsume.h): containment
+// verdicts and witness paths. Every `diverges` case cross-checks the witness
+// against the real matcher, so the procedure can never drift from the glob
+// semantics it claims to decide.
+#include <gtest/gtest.h>
+
+#include "util/glob.h"
+#include "util/glob_subsume.h"
+
+namespace sack {
+namespace {
+
+Glob g(std::string_view pattern) {
+  auto r = Glob::compile(pattern);
+  EXPECT_TRUE(r.ok()) << pattern;
+  return std::move(r).value();
+}
+
+SubsumeVerdict check(std::string_view general, std::string_view specific) {
+  Glob gen = g(general), spec = g(specific);
+  SubsumeVerdict v = glob_subsumes(gen, spec);
+  if (v.kind == SubsumeVerdict::Kind::diverges) {
+    // The witness must actually separate the languages.
+    EXPECT_TRUE(spec.matches(v.witness))
+        << "witness '" << v.witness << "' not matched by specific '"
+        << specific << "'";
+    EXPECT_FALSE(gen.matches(v.witness))
+        << "witness '" << v.witness << "' matched by general '" << general
+        << "'";
+  }
+  return v;
+}
+
+bool subsumes(std::string_view general, std::string_view specific) {
+  return check(general, specific).subsumes();
+}
+
+TEST(GlobSubsume, IdenticalPatterns) {
+  EXPECT_TRUE(subsumes("/a/b", "/a/b"));
+  EXPECT_TRUE(subsumes("/dev/vehicle/door*", "/dev/vehicle/door*"));
+  EXPECT_TRUE(subsumes("/var/**", "/var/**"));
+}
+
+TEST(GlobSubsume, LiteralUnderGlob) {
+  EXPECT_TRUE(subsumes("/data/**", "/data/logs/app.log"));
+  EXPECT_TRUE(subsumes("/data/*", "/data/app.log"));
+  EXPECT_FALSE(subsumes("/data/*", "/data/logs/app.log"));  // '*' stops at '/'
+  EXPECT_FALSE(subsumes("/data/logs/app.log", "/data/**"));
+}
+
+TEST(GlobSubsume, StarVsDeepStar) {
+  EXPECT_TRUE(subsumes("/a/**", "/a/*"));
+  EXPECT_FALSE(subsumes("/a/*", "/a/**"));
+  EXPECT_TRUE(subsumes("/**", "/a/b/c"));
+  EXPECT_FALSE(subsumes("/a/**", "/b/**"));
+}
+
+TEST(GlobSubsume, QuestionMark) {
+  EXPECT_TRUE(subsumes("/dev/tty?", "/dev/tty1"));
+  EXPECT_TRUE(subsumes("/dev/tty*", "/dev/tty?"));
+  EXPECT_FALSE(subsumes("/dev/tty?", "/dev/tty12"));
+  EXPECT_FALSE(subsumes("/dev/tty?", "/dev/tty*"));  // '*' can be empty
+}
+
+TEST(GlobSubsume, CharClasses) {
+  EXPECT_TRUE(subsumes("/dev/tty[0-9]", "/dev/tty[0-3]"));
+  EXPECT_FALSE(subsumes("/dev/tty[0-3]", "/dev/tty[0-9]"));
+  EXPECT_TRUE(subsumes("/dev/tty?", "/dev/tty[0-9]"));
+  EXPECT_FALSE(subsumes("/dev/tty[0-9]", "/dev/tty?"));
+  // Negated classes: [^a] still never matches '/'.
+  EXPECT_TRUE(subsumes("/x/?", "/x/[^a]"));
+  EXPECT_FALSE(subsumes("/x/[^a]", "/x/?"));  // '?' admits 'a'
+}
+
+TEST(GlobSubsume, BraceAlternation) {
+  EXPECT_TRUE(subsumes("/dev/{door,window}*", "/dev/door1"));
+  EXPECT_TRUE(subsumes("/dev/{door,window}*", "/dev/door*"));
+  EXPECT_FALSE(subsumes("/dev/door*", "/dev/{door,window}*"));
+  EXPECT_TRUE(subsumes("/a/{b,c}/**", "/a/{c,b}/**"));  // order-insensitive
+}
+
+TEST(GlobSubsume, EmptyStarSuffix) {
+  // `door*` matches "door" itself; the general side must cover that.
+  EXPECT_TRUE(subsumes("/dev/door*", "/dev/door"));
+  EXPECT_FALSE(subsumes("/dev/door?", "/dev/door*"));
+}
+
+TEST(GlobSubsume, DivergenceWitnessIsShortest) {
+  auto v = check("/data/logs/**", "/data/**");
+  ASSERT_EQ(v.kind, SubsumeVerdict::Kind::diverges);
+  // The shortest separator is /data/<one unmentioned char> or similar —
+  // certainly shorter than any path under /data/logs/.
+  EXPECT_LT(v.witness.size(), std::string("/data/logs/x").size());
+}
+
+TEST(GlobSubsume, IssueExample) {
+  // The motivating checker case: an allow on a literal under a broad deny.
+  EXPECT_TRUE(subsumes("/data/**", "/data/logs/app.log"));
+}
+
+TEST(GlobSubsume, EscapedMetacharacters) {
+  EXPECT_TRUE(subsumes("/a/\\*", "/a/\\*"));
+  EXPECT_FALSE(subsumes("/a/\\*", "/a/b"));
+  EXPECT_TRUE(subsumes("/a/*", "/a/\\*"));  // literal '*' is one non-'/' char
+}
+
+TEST(GlobSubsume, UndecidedOnBudget) {
+  // A pathological pattern pair that blows the subset budget when it is
+  // artificially tiny; the caller must get "no claim", not a wrong answer.
+  Glob gen = g("/*a*a*a*a*a*a*a*a*");
+  Glob spec = g("/*a*a*a*a*a*a*a*a*a*");
+  SubsumeVerdict v = glob_subsumes(gen, spec, /*state_limit=*/4);
+  EXPECT_EQ(v.kind, SubsumeVerdict::Kind::undecided);
+}
+
+TEST(GlobSubsume, SlashBoundaries) {
+  EXPECT_TRUE(subsumes("/a/**", "/a/b/c/d"));
+  EXPECT_FALSE(subsumes("/a/*/c", "/a/b/b/c"));
+  EXPECT_TRUE(subsumes("/a/*/c", "/a/b/c"));
+  EXPECT_FALSE(subsumes("/a/*", "/a/*/"));
+  // '**' crosses separators both ways.
+  EXPECT_TRUE(subsumes("/**", "/a/**"));
+}
+
+}  // namespace
+}  // namespace sack

@@ -131,6 +131,75 @@ TEST(PolicyChecker, PartialDenyDoesNotShadow) {
   EXPECT_FALSE(has_code(check_policy(p), CheckCode::shadowed_allow_rule));
 }
 
+TEST(PolicyChecker, GlobSubsumedAllowIsShadowed) {
+  // The exact-match era missed this: a literal allow under a '**' deny.
+  PolicyBuilder b;
+  b.state("s", 0).initial("s").permission("P").grant("s", "P");
+  b.allow("P", "*", "/data/logs/app.log", MacOp::read);
+  b.deny("P", "*", "/data/**", MacOp::read);
+  auto diags = check_policy(b.build());
+  EXPECT_TRUE(has_code(diags, CheckCode::shadowed_allow_rule));
+}
+
+TEST(PolicyChecker, NonSubsumingDenyDoesNotShadow) {
+  // `/data/*` does not cross '/', so it cannot cover /data/logs/app.log.
+  PolicyBuilder b;
+  b.state("s", 0).initial("s").permission("P").grant("s", "P");
+  b.allow("P", "*", "/data/logs/app.log", MacOp::read);
+  b.deny("P", "*", "/data/*", MacOp::read);
+  EXPECT_FALSE(
+      has_code(check_policy(b.build()), CheckCode::shadowed_allow_rule));
+}
+
+TEST(PolicyChecker, GlobAllowUnderBroaderGlobDenyIsShadowed) {
+  PolicyBuilder b;
+  b.state("s", 0).initial("s").permission("P").grant("s", "P");
+  b.allow("P", "*", "/dev/vehicle/door*", MacOp::write);
+  b.deny("P", "*", "/dev/vehicle/**", MacOp::write | MacOp::ioctl);
+  EXPECT_TRUE(
+      has_code(check_policy(b.build()), CheckCode::shadowed_allow_rule));
+}
+
+TEST(PolicyChecker, AnySubjectDenyShadowsPathSubjectAllow) {
+  PolicyBuilder b;
+  b.state("s", 0).initial("s").permission("P").grant("s", "P");
+  b.allow("P", "/usr/bin/media_app", "/var/media/**", MacOp::read);
+  b.deny("P", "*", "/var/media/**", MacOp::read);
+  EXPECT_TRUE(
+      has_code(check_policy(b.build()), CheckCode::shadowed_allow_rule));
+}
+
+TEST(PolicyChecker, NarrowerSubjectDenyDoesNotShadow) {
+  // The deny binds one executable; the allow grants to all of them.
+  PolicyBuilder b;
+  b.state("s", 0).initial("s").permission("P").grant("s", "P");
+  b.allow("P", "*", "/var/media/**", MacOp::read);
+  b.deny("P", "/usr/bin/media_app", "/var/media/**", MacOp::read);
+  EXPECT_FALSE(
+      has_code(check_policy(b.build()), CheckCode::shadowed_allow_rule));
+}
+
+TEST(PolicyChecker, SubjectGlobContainmentShadows) {
+  PolicyBuilder b;
+  b.state("s", 0).initial("s").permission("P").grant("s", "P");
+  b.allow("P", "/usr/bin/rescue_1", "/dev/door", MacOp::write);
+  b.deny("P", "/usr/bin/rescue_*", "/dev/door", MacOp::write);
+  auto diags = check_policy(b.build());
+  EXPECT_TRUE(has_code(diags, CheckCode::shadowed_allow_rule));
+}
+
+TEST(PolicyChecker, ProfileSubjectShadowRequiresSameProfile) {
+  PolicyBuilder b;
+  b.state("s", 0).initial("s").permission("P").grant("s", "P");
+  b.allow("P", "@media", "/dev/audio", MacOp::write);
+  b.deny("P", "@other", "/dev/audio", MacOp::write);
+  EXPECT_FALSE(
+      has_code(check_policy(b.build()), CheckCode::shadowed_allow_rule));
+  b.deny("P", "@media", "/dev/audio", MacOp::write);
+  EXPECT_TRUE(
+      has_code(check_policy(b.build()), CheckCode::shadowed_allow_rule));
+}
+
 TEST(PolicyChecker, DeclaredEventUnused) {
   auto p = valid_policy();
   p.events.push_back("phantom_event");

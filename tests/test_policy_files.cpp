@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "apparmor/apparmor.h"
+#include "core/policy_parser.h"
 #include "core/sack_module.h"
 #include "kernel/process.h"
 #include "ivi/ivi_system.h"
@@ -106,6 +107,35 @@ TEST(ShippedPolicies, TePolicyLoadsCleanly) {
       k.add_lsm(std::make_unique<te::TeModule>()));
   ASSERT_TRUE(te->load_policy_text(read_policy_file("ivi_default.te")).ok());
   EXPECT_EQ(te->policy().types.size(), 4u);
+}
+
+TEST(ShippedPolicies, CanonicalDumpRoundTripsThroughParser) {
+  // Property: parse -> to_text -> re-parse -> to_text is a fixed point for
+  // every shipped policy. A dump that loses a section (the watchdog clause,
+  // timed transitions, subject spellings) diverges on the second pass.
+  for (const char* name :
+       {"cav_default.sack", "speed_gate.sack", "emergency_failsafe.sack",
+        "watchdog_failsafe.sack"}) {
+    auto first = core::parse_policy(read_policy_file(name));
+    ASSERT_TRUE(first.ok()) << name;
+    std::string dump = first.policy.to_text();
+    auto second = core::parse_policy(dump);
+    ASSERT_TRUE(second.ok())
+        << name << ": canonical dump failed to re-parse: "
+        << (second.errors.empty() ? "" : second.errors[0].to_string());
+    EXPECT_EQ(second.policy.to_text(), dump) << name;
+    // Structural spot checks the textual equality could in principle mask.
+    EXPECT_EQ(second.policy.states.size(), first.policy.states.size()) << name;
+    EXPECT_EQ(second.policy.initial_state, first.policy.initial_state) << name;
+    EXPECT_EQ(second.policy.watchdog.has_value(),
+              first.policy.watchdog.has_value())
+        << name;
+    if (first.policy.watchdog.has_value()) {
+      EXPECT_EQ(second.policy.watchdog->deadline_ms,
+                first.policy.watchdog->deadline_ms)
+          << name;
+    }
+  }
 }
 
 TEST(ShippedPolicies, CavDefaultMatchesBuiltin) {

@@ -1,0 +1,121 @@
+// sack-verify: offline policy verification CLI.
+//
+//   sack-verify [options] <policy.sack>...
+//
+//   --mode independent|enhanced|any   checker mode (default: any)
+//   --queries FILE                    load `never allow`/`can`/`reach`
+//                                     assertions from FILE
+//   --query 'never allow ...;'        add one inline query (repeatable)
+//   --json                            machine-readable report per policy
+//   --no-oracle                       skip the differential oracle sweep
+//   --no-escalation                   skip the privilege-diff report
+//
+// Exit status: 0 when every policy verifies without error-severity
+// findings, 1 when any policy has errors (parse failures, lint errors,
+// violated invariants, oracle mismatches), 2 on usage or I/O problems.
+// This is the CI gate contract: `sack-verify policies/*.sack` fails the
+// build exactly when a shipped policy stops verifying.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "verify/verifier.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--mode independent|enhanced|any] [--queries FILE]\n"
+               "          [--query 'stmt;'] [--json] [--no-oracle]\n"
+               "          [--no-escalation] <policy.sack>...\n",
+               argv0);
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sack::verify::VerifyOptions options;
+  bool json = false;
+  std::vector<std::string> policy_paths;
+  std::string query_text;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-oracle") {
+      options.run_oracle = false;
+    } else if (arg == "--no-escalation") {
+      options.run_escalation_report = false;
+    } else if (arg == "--mode") {
+      if (++i >= argc) return usage(argv[0]);
+      std::string mode = argv[i];
+      if (mode == "independent") {
+        options.mode = sack::core::CheckMode::independent;
+      } else if (mode == "enhanced") {
+        options.mode = sack::core::CheckMode::apparmor_enhanced;
+      } else if (mode == "any") {
+        options.mode = sack::core::CheckMode::any;
+      } else {
+        std::fprintf(stderr, "sack-verify: unknown mode '%s'\n", mode.c_str());
+        return 2;
+      }
+    } else if (arg == "--queries") {
+      if (++i >= argc) return usage(argv[0]);
+      std::string text;
+      if (!read_file(argv[i], text)) {
+        std::fprintf(stderr, "sack-verify: cannot read queries file '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      query_text += text + "\n";
+    } else if (arg == "--query") {
+      if (++i >= argc) return usage(argv[0]);
+      query_text += std::string(argv[i]) + "\n";
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "sack-verify: unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      policy_paths.push_back(std::move(arg));
+    }
+  }
+  if (policy_paths.empty()) return usage(argv[0]);
+
+  if (!query_text.empty()) {
+    auto parsed = sack::verify::parse_queries(query_text);
+    if (!parsed.ok()) {
+      for (const auto& e : parsed.errors)
+        std::fprintf(stderr, "sack-verify: query %s\n", e.to_string().c_str());
+      return 2;
+    }
+    options.queries = std::move(parsed.queries);
+  }
+
+  bool any_errors = false;
+  for (const auto& path : policy_paths) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "sack-verify: cannot read policy '%s'\n",
+                   path.c_str());
+      return 2;
+    }
+    auto report = sack::verify::verify_policy_text(text, options, path);
+    std::fputs((json ? report.to_json() : report.to_text()).c_str(), stdout);
+    if (!json) std::fputs("\n", stdout);
+    any_errors = any_errors || report.has_errors();
+  }
+  return any_errors ? 1 : 0;
+}
