@@ -1,0 +1,166 @@
+// Analyzer-cost benchmark for sack-hookcheck.
+//
+// Two sweeps:
+//
+//   tree       the shipped kernel tree against docs/hook_manifest.toml,
+//              repeated; reports best-of-N parse and check wall time so the
+//              CI smoke can assert the gate stays cheap enough to run on
+//              every build (and that the shipped tree stays clean);
+//   synthetic  generated trees of N syscalls (one hook + one manifest spec
+//              each) through the in-memory pipeline, so extraction and
+//              reachability scaling is visible independently of repo size.
+//
+// Deterministic; results land in BENCH_hookcheck.json. `--fast` runs
+// reduced sizes for CI smoke.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/hookcheck.h"
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct SyntheticTree {
+  std::string manifest;
+  std::vector<std::pair<std::string, std::string>> sources;
+};
+
+// N syscalls, each dispatching its own hook and guarded by an order rule.
+SyntheticTree make_tree(int n) {
+  SyntheticTree t;
+  std::string header =
+      "namespace sack {\n"
+      "class SecurityModule {\n"
+      " public:\n"
+      "  virtual ~SecurityModule() = default;\n";
+  std::string kernel = "namespace sack {\n";
+  t.manifest =
+      "[hookcheck]\n"
+      "sources = [\"src/kernel\"]\n"
+      "hook_header = \"src/kernel/lsm/module.h\"\n\n";
+  for (int i = 0; i < n; ++i) {
+    const std::string id = std::to_string(i);
+    header += "  virtual Errno hook_" + id +
+              "(int pid) { return Errno::ok; }\n";
+    kernel += "Errno Kernel::sys_op_" + id +
+              "(int pid) {\n"
+              "  Errno rc = lsm_.check([&](SecurityModule& m) {"
+              " return m.hook_" + id + "(pid); });\n"
+              "  if (rc != Errno::ok) return rc;\n"
+              "  table_" + id + ".install(pid);\n"
+              "  return Errno::ok;\n"
+              "}\n";
+    t.manifest += "[syscall.sys_op_" + id + "]\nrequire = [\"hook_" + id +
+                  "\"]\norder = [\"hook_" + id + " < table_" + id +
+                  ".install\"]\n\n";
+  }
+  header += "};\n}\n";
+  kernel += "}\n";
+  t.sources = {{"src/kernel/lsm/module.h", std::move(header)},
+               {"src/kernel/kernel.cpp", std::move(kernel)}};
+  return t;
+}
+
+struct SyntheticRow {
+  int syscalls = 0;
+  std::size_t functions = 0;
+  std::size_t dispatch_sites = 0;
+  double ms = 0;
+  std::size_t errors = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+
+  bool all_ok = true;
+
+  // --- sweep 1: the shipped tree --------------------------------------
+  const int reps = fast ? 3 : 10;
+  const std::string root = SACK_SOURCE_DIR;
+  sack::analysis::HookcheckResult tree;
+  double best_ms = 0;
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = sack::analysis::run_hookcheck(root,
+                                           root + "/docs/hook_manifest.toml");
+    double ms = elapsed_ms(t0);
+    if (i == 0 || ms < best_ms) best_ms = ms;
+    tree = std::move(r);
+  }
+  if (!tree.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", tree.fatal.c_str());
+    return 1;
+  }
+  all_ok = all_ok && tree.errors() == 0;
+  std::printf(
+      "tree: %zu files %zu functions %zu dispatch sites %zu entries  "
+      "best %.2f ms (parse %.2f + check %.2f)  %zu error(s)\n",
+      tree.stats.files, tree.stats.functions, tree.stats.dispatch_sites,
+      tree.stats.entries_checked, best_ms, tree.stats.parse_ms,
+      tree.stats.check_ms, tree.errors());
+
+  // --- sweep 2: synthetic scaling -------------------------------------
+  const std::vector<int> sizes =
+      fast ? std::vector<int>{64, 256} : std::vector<int>{64, 256, 1024};
+  std::vector<SyntheticRow> rows;
+  for (int n : sizes) {
+    SyntheticTree t = make_tree(n);
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = sack::analysis::run_hookcheck_on_sources(
+        t.manifest, "synthetic.toml", t.sources);
+    SyntheticRow row;
+    row.syscalls = n;
+    row.ms = elapsed_ms(t0);
+    if (!r.ok()) {
+      std::fprintf(stderr, "fatal: %s\n", r.fatal.c_str());
+      return 1;
+    }
+    row.functions = r.stats.functions;
+    row.dispatch_sites = r.stats.dispatch_sites;
+    row.errors = r.errors();
+    all_ok = all_ok && row.errors == 0 &&
+             row.dispatch_sites == static_cast<std::size_t>(n);
+    std::printf("synthetic %5d syscalls: %8.2f ms  (%zu functions, "
+                "%zu dispatch sites, %zu errors)\n",
+                n, row.ms, row.functions, row.dispatch_sites, row.errors);
+    rows.push_back(row);
+  }
+
+  std::printf("shape check: %s\n", all_ok ? "OK" : "FAILED");
+
+  std::ofstream json("BENCH_hookcheck.json");
+  json << "{\n  \"fast\": " << (fast ? "true" : "false") << ",\n";
+  json << "  \"tree\": {\"files\": " << tree.stats.files
+       << ", \"functions\": " << tree.stats.functions
+       << ", \"dispatch_sites\": " << tree.stats.dispatch_sites
+       << ", \"entries\": " << tree.stats.entries_checked
+       << ", \"best_ms\": " << best_ms
+       << ", \"parse_ms\": " << tree.stats.parse_ms
+       << ", \"check_ms\": " << tree.stats.check_ms
+       << ", \"errors\": " << tree.errors() << "},\n";
+  json << "  \"synthetic\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << (i ? ", " : "") << "{\"syscalls\": " << r.syscalls
+         << ", \"functions\": " << r.functions
+         << ", \"dispatch_sites\": " << r.dispatch_sites
+         << ", \"ms\": " << r.ms << ", \"errors\": " << r.errors << "}";
+  }
+  json << "]\n}\n";
+  std::printf("wrote BENCH_hookcheck.json\n");
+  return all_ok ? 0 : 1;
+}

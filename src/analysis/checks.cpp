@@ -1,0 +1,379 @@
+#include "analysis/checks.h"
+
+#include <algorithm>
+
+namespace sack::analysis {
+namespace {
+
+constexpr int kMaxDepth = 48;
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+bool excluded(const std::vector<std::string>& exclude,
+              const std::string& qualified) {
+  for (const auto& prefix : exclude)
+    if (qualified.rfind(prefix, 0) == 0) return true;
+  return false;
+}
+
+void dfs(const Corpus& corpus, const FunctionDef* fn, bool uncond,
+         const std::vector<std::string>& exclude, Reachability& out,
+         std::set<std::pair<const FunctionDef*, bool>>& visited, int depth) {
+  if (depth > kMaxDepth) return;
+  if (!visited.insert({fn, uncond}).second) return;
+  out.functions.insert(fn);
+
+  for (const HookCall& hc : fn->hooks) {
+    bool u = uncond && !hc.conditional;
+    auto [it, inserted] = out.hooks.emplace(hc.hook, HookReach{});
+    HookReach& r = it->second;
+    if (inserted || (u && !r.unconditional)) {
+      r.unconditional = r.unconditional || u;
+      r.via_notify = hc.via_notify;
+      r.site = &hc;
+      r.in = fn;
+    }
+    r.unconditional = r.unconditional || u;
+  }
+
+  for (const CallSite& c : fn->calls) {
+    auto it = corpus.by_name.find(c.callee);
+    if (it == corpus.by_name.end()) continue;
+    for (const FunctionDef* target : it->second) {
+      if (target == fn) continue;
+      if (excluded(exclude, target->qualified)) continue;
+      dfs(corpus, target, uncond && !c.conditional, exclude, out, visited,
+          depth + 1);
+    }
+  }
+}
+
+Finding make(Severity sev, std::string cls, std::string file, int line,
+             std::string entry, std::string hook, std::string msg) {
+  Finding f;
+  f.severity = sev;
+  f.cls = std::move(cls);
+  f.file = std::move(file);
+  f.line = line;
+  f.entry = std::move(entry);
+  f.hook = std::move(hook);
+  f.message = std::move(msg);
+  return f;
+}
+
+}  // namespace
+
+const FunctionDef* Corpus::find_entry(const std::string& qualified) const {
+  auto it = by_qualified.find(qualified);
+  if (it != by_qualified.end()) return it->second;
+  // Fall back to an unambiguous unqualified match.
+  std::string tail = qualified;
+  std::size_t sep = tail.rfind("::");
+  if (sep != std::string::npos) tail = tail.substr(sep + 2);
+  auto nit = by_name.find(tail);
+  if (nit != by_name.end() && nit->second.size() == 1)
+    return nit->second.front();
+  return nullptr;
+}
+
+const std::vector<Token>* Corpus::tokens_of(const FunctionDef* fn) const {
+  for (const auto& f : files)
+    if (f.path == fn->file) return &f.tokens;
+  return nullptr;
+}
+
+Corpus build_corpus(HookTable table, std::vector<SourceFile> files) {
+  Corpus c;
+  c.table = std::move(table);
+  c.files = std::move(files);
+  for (const auto& f : c.files) {
+    for (const auto& fn : f.functions) {
+      c.by_name[fn.name].push_back(&fn);
+      c.by_qualified.emplace(fn.qualified, &fn);
+    }
+  }
+  return c;
+}
+
+Reachability compute_reachability(const Corpus& corpus,
+                                  const FunctionDef* entry,
+                                  const std::vector<std::string>& exclude) {
+  Reachability out;
+  std::set<std::pair<const FunctionDef*, bool>> visited;
+  dfs(corpus, entry, /*uncond=*/true, exclude, out, visited, 0);
+  return out;
+}
+
+std::vector<Finding> run_checks(const Corpus& corpus, const Manifest& manifest,
+                                const std::string& manifest_path,
+                                RunStats& stats) {
+  std::vector<Finding> findings;
+  const HookTable& table = corpus.table;
+  stats.hooks_in_table = table.hooks.size();
+
+  // --- manifest sanity -----------------------------------------------------
+  auto check_hook_ref = [&](const SyscallSpec& spec, const std::string& hook,
+                            HookKind want, const char* what) {
+    auto it = table.hooks.find(hook);
+    if (it == table.hooks.end()) {
+      findings.push_back(make(
+          Severity::error, "manifest-error", manifest_path, spec.decl_line,
+          spec.name, hook,
+          "manifest references unknown hook '" + hook + "' in " + what));
+      return false;
+    }
+    if (it->second != want) {
+      findings.push_back(make(
+          Severity::error, "manifest-error", manifest_path, spec.decl_line,
+          spec.name, hook,
+          std::string("hook '") + hook + "' has the wrong kind for " + what +
+              (want == HookKind::mediation ? " (need an Errno hook)"
+                                           : " (need a void hook)")));
+      return false;
+    }
+    return true;
+  };
+
+  for (const auto& spec : manifest.syscalls) {
+    for (const auto& h : spec.require)
+      check_hook_ref(spec, h, HookKind::mediation, "require");
+    for (const auto& h : spec.conditional)
+      check_hook_ref(spec, h, HookKind::mediation, "conditional");
+    for (const auto& h : spec.notify)
+      check_hook_ref(spec, h, HookKind::notify, "notify");
+    for (const auto& r : spec.order)
+      check_hook_ref(spec, r.hook, HookKind::mediation, "order");
+    if (manifest.unmediated.count(spec.name)) {
+      findings.push_back(make(Severity::error, "manifest-error", manifest_path,
+                              spec.decl_line, spec.name, "",
+                              "'" + spec.name +
+                                  "' is listed both as a syscall spec and as "
+                                  "unmediated"));
+    }
+  }
+  for (const auto& h : manifest.ignore_hooks) {
+    if (!table.contains(h))
+      findings.push_back(make(Severity::error, "manifest-error", manifest_path,
+                              0, "", h,
+                              "ignore_hooks references unknown hook '" + h +
+                                  "'"));
+  }
+
+  // --- unlisted syscalls ---------------------------------------------------
+  std::set<std::string> spec_names;
+  for (const auto& spec : manifest.syscalls) spec_names.insert(spec.name);
+  for (const auto& f : corpus.files) {
+    for (const auto& fn : f.functions) {
+      if (fn.qualified.rfind("Kernel::sys_", 0) != 0) continue;
+      const std::string name = fn.qualified.substr(8);
+      if (spec_names.count(name) || manifest.unmediated.count(name)) continue;
+      findings.push_back(
+          make(Severity::error, "unlisted-syscall", fn.file, fn.line, name, "",
+               "syscall entry point '" + fn.qualified +
+                   "' is neither specified in the manifest nor listed as "
+                   "unmediated — new syscalls must declare their mediation"));
+    }
+  }
+
+  // --- per-entry coverage / ordering ---------------------------------------
+  std::set<std::string> reached_hooks_global;
+  std::set<const FunctionDef*> reachable_global;
+
+  auto analyze_entry = [&](const std::string& entry_name,
+                           const SyscallSpec* spec) {
+    const FunctionDef* fn = corpus.find_entry(entry_name);
+    if (!fn) {
+      findings.push_back(make(
+          Severity::error, "manifest-error", manifest_path,
+          spec ? spec->decl_line : 0, entry_name, "",
+          "entry point '" + entry_name + "' not found in the scanned tree"));
+      return;
+    }
+    ++stats.entries_checked;
+    Reachability reach = compute_reachability(corpus, fn, manifest.exclude);
+    for (const auto& [hook, r] : reach.hooks) reached_hooks_global.insert(hook);
+    reachable_global.insert(reach.functions.begin(), reach.functions.end());
+    if (!spec) return;
+
+    for (const auto& h : spec->require) {
+      auto it = reach.hooks.find(h);
+      if (it == reach.hooks.end()) {
+        findings.push_back(make(
+            Severity::error, "missing-hook", fn->file, fn->line, spec->name, h,
+            "required hook '" + h + "' is not reachable from '" +
+                fn->qualified + "' — the operation proceeds without LSM "
+                "mediation"));
+      } else if (!it->second.unconditional) {
+        findings.push_back(make(
+            Severity::error, "conditional-hook", it->second.in->file,
+            it->second.site->line, spec->name, h,
+            "required hook '" + h + "' only fires on some paths through '" +
+                fn->qualified + "' — every non-error path must consult it"));
+      }
+    }
+    for (const auto& h : spec->conditional) {
+      if (!reach.hooks.count(h)) {
+        findings.push_back(make(
+            Severity::error, "missing-hook", fn->file, fn->line, spec->name, h,
+            "hook '" + h + "' is declared conditional for '" + fn->qualified +
+                "' but is not reachable at all"));
+      }
+    }
+    for (const auto& h : spec->notify) {
+      auto it = reach.hooks.find(h);
+      if (it == reach.hooks.end()) {
+        findings.push_back(make(
+            Severity::error, "missing-hook", fn->file, fn->line, spec->name, h,
+            "notification hook '" + h + "' never fires from '" +
+                fn->qualified + "'"));
+      }
+    }
+    for (const auto& [hook, r] : reach.hooks) {
+      if (table.kind(hook) == HookKind::other) continue;
+      if (contains(spec->require, hook) || contains(spec->conditional, hook) ||
+          contains(spec->notify, hook))
+        continue;
+      findings.push_back(make(
+          Severity::warning, "undeclared-hook", r.in->file,
+          r.site ? r.site->line : r.in->line, spec->name, hook,
+          "hook '" + hook + "' is reachable from '" + fn->qualified +
+              "' but the manifest does not declare it — add it to require/"
+              "conditional/notify or restructure the call path"));
+    }
+
+    // Ordering: the hook must dominate the mutation it guards.
+    const std::vector<Token>* toks = corpus.tokens_of(fn);
+    for (const auto& rule : spec->order) {
+      const HookCall* site = nullptr;
+      for (const auto& hc : fn->hooks) {
+        if (hc.hook == rule.hook) {
+          site = &hc;
+          break;
+        }
+      }
+      if (!site || !toks) continue;  // missing-hook already reported
+      std::vector<Token> pattern = lex(rule.pattern);
+      std::size_t at =
+          find_pattern(*toks, fn->body_begin, fn->body_end, pattern);
+      if (at == std::string::npos) {
+        findings.push_back(make(
+            Severity::error, "stale-order-pattern", fn->file, fn->line,
+            spec->name, rule.hook,
+            "ordering anchor '" + rule.pattern + "' no longer matches the "
+                "body of '" + fn->qualified +
+                "' — update the manifest so the ordering guarantee stays "
+                "checkable"));
+        continue;
+      }
+      if (at < site->pos) {
+        findings.push_back(make(
+            Severity::error, "hook-after-mutation", fn->file,
+            (*toks)[at].line, spec->name, rule.hook,
+            "state mutation '" + rule.pattern + "' happens before hook '" +
+                rule.hook + "' in '" + fn->qualified +
+                "' — a denial would leave the mutation in place"));
+      }
+    }
+
+    // Double dispatch of the same hook on one unconditional path.
+    std::map<std::string, int> uncond_count;
+    for (const auto& hc : fn->hooks)
+      if (!hc.conditional && !hc.via_notify) ++uncond_count[hc.hook];
+    for (const auto& [hook, n] : uncond_count) {
+      if (n > 1) {
+        findings.push_back(make(
+            Severity::error, "double-hook", fn->file, fn->line, spec->name,
+            hook,
+            "hook '" + hook + "' is dispatched " + std::to_string(n) +
+                " times unconditionally in '" + fn->qualified +
+                "' — duplicate mediation distorts audit and AVC statistics"));
+      }
+    }
+  };
+
+  for (const auto& spec : manifest.syscalls) analyze_entry(spec.entry, &spec);
+  for (const auto& extra : manifest.extra_entries)
+    analyze_entry(extra, nullptr);
+
+  // --- consistency: verdict handling at every reachable dispatch ----------
+  for (const FunctionDef* fn : reachable_global) {
+    for (const auto& hc : fn->hooks) {
+      if (hc.via_notify) {
+        if (table.kind(hc.hook) == HookKind::mediation) {
+          findings.push_back(make(
+              Severity::error, "notify-discards-verdict", fn->file, hc.line,
+              "", hc.hook,
+              "Errno hook '" + hc.hook + "' is dispatched through notify() "
+                  "in '" + fn->qualified +
+                  "' — its verdict is silently discarded"));
+        }
+        continue;
+      }
+      switch (hc.guard) {
+        case Guard::propagated:
+          break;
+        case Guard::hardcoded:
+          findings.push_back(make(
+              Severity::error, "hardcoded-denial", fn->file, hc.line, "",
+              hc.hook,
+              "denial path for hook '" + hc.hook + "' in '" + fn->qualified +
+                  "' returns '" + hc.hardcoded_errno +
+                  "' instead of the stack verdict — modules lose control of "
+                  "the error code"));
+          break;
+        case Guard::swallowed:
+          findings.push_back(make(
+              Severity::error, "swallowed-denial", fn->file, hc.line, "",
+              hc.hook,
+              "verdict of hook '" + hc.hook + "' in '" + fn->qualified +
+                  "' is checked but the denial path does not return — the "
+                  "operation proceeds despite the denial"));
+          break;
+        case Guard::unguarded:
+          findings.push_back(make(
+              Severity::error, "unguarded-hook", fn->file, hc.line, "",
+              hc.hook,
+              "verdict of hook '" + hc.hook + "' in '" + fn->qualified +
+                  "' is never checked against Errno::ok"));
+          break;
+        case Guard::notify:
+          break;
+      }
+    }
+    for (std::size_t line : fn->opaque_dispatch_lines) {
+      findings.push_back(make(
+          Severity::error, "opaque-dispatch", fn->file,
+          static_cast<int>(line), "", "",
+          "LSM dispatch in '" + fn->qualified +
+              "' invokes no hook known to SecurityModule — renamed or "
+              "mistyped hook?"));
+    }
+  }
+
+  // --- drift: declared hooks that never fire -------------------------------
+  for (const auto& [hook, kind] : table.hooks) {
+    if (kind == HookKind::other) continue;
+    if (contains(manifest.ignore_hooks, hook)) continue;
+    if (reached_hooks_global.count(hook)) continue;
+    findings.push_back(make(
+        Severity::error, "dead-hook", manifest.hook_header, table.line(hook),
+        "", hook,
+        std::string(kind == HookKind::mediation ? "mediation" : "notification") +
+            " hook '" + hook + "' is declared in SecurityModule but no entry "
+            "point ever dispatches it — dead hooks hide coverage regressions"));
+  }
+
+  // Stats: dispatch sites across the whole corpus.
+  for (const auto& f : corpus.files) {
+    stats.functions += f.functions.size();
+    for (const auto& fn : f.functions)
+      stats.dispatch_sites += fn.hooks.size();
+  }
+  stats.files = corpus.files.size();
+
+  return findings;
+}
+
+}  // namespace sack::analysis

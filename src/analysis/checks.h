@@ -1,0 +1,56 @@
+// Mediation checks: coverage, ordering, consistency, drift.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/extractor.h"
+#include "analysis/manifest.h"
+#include "analysis/report.h"
+
+namespace sack::analysis {
+
+// The fully-extracted source tree plus name-resolution indexes.
+struct Corpus {
+  HookTable table;
+  std::vector<SourceFile> files;
+  std::map<std::string, std::vector<const FunctionDef*>> by_name;
+  std::map<std::string, const FunctionDef*> by_qualified;
+
+  const FunctionDef* find_entry(const std::string& qualified) const;
+  const std::vector<Token>* tokens_of(const FunctionDef* fn) const;
+};
+
+Corpus build_corpus(HookTable table, std::vector<SourceFile> files);
+
+// How a hook is reachable from one entry point.
+struct HookReach {
+  bool unconditional = false;
+  bool via_notify = false;
+  const HookCall* site = nullptr;   // representative dispatch site
+  const FunctionDef* in = nullptr;  // function containing that site
+};
+
+struct Reachability {
+  std::map<std::string, HookReach> hooks;
+  std::set<const FunctionDef*> functions;  // everything reachable
+};
+
+// Depth-bounded call-graph walk from `entry`. Conditional call edges and
+// conditional dispatch sites taint reachability: a hook is `unconditional`
+// only if some chain of unconditional edges leads to an unconditional
+// dispatch. Functions whose qualified name starts with one of `exclude`
+// never resolve as call targets.
+Reachability compute_reachability(const Corpus& corpus,
+                                  const FunctionDef* entry,
+                                  const std::vector<std::string>& exclude);
+
+// Runs every check; `manifest_path` is used for provenance on
+// manifest-level findings.
+std::vector<Finding> run_checks(const Corpus& corpus, const Manifest& manifest,
+                                const std::string& manifest_path,
+                                RunStats& stats);
+
+}  // namespace sack::analysis

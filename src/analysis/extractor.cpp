@@ -1,0 +1,752 @@
+#include "analysis/extractor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace sack::analysis {
+namespace {
+
+const std::unordered_set<std::string>& control_keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "if",     "else",   "for",      "while",  "do",       "switch",
+      "case",   "return", "break",    "continue", "sizeof", "alignof",
+      "new",    "delete", "throw",    "catch",  "true",     "false",
+      "nullptr", "goto",  "default",  "operator",
+  };
+  return kw;
+}
+
+bool is_control_kw(const Token& t) {
+  return t.kind == TokKind::ident && control_keywords().count(t.text) > 0;
+}
+
+// Matching close paren for the '(' at `open`; npos if unterminated.
+std::size_t match_paren(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].is("(")) ++depth;
+    else if (t[i].is(")") && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+std::size_t match_brace(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].is("{")) ++depth;
+    else if (t[i].is("}") && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+// Backward matching open paren for the ')' at `close`; npos if none.
+std::size_t match_paren_back(const std::vector<Token>& t, std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (t[i].is(")")) ++depth;
+    else if (t[i].is("(") && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Body scanning
+// ---------------------------------------------------------------------------
+
+// One control-header paren extent, e.g. the (...) of `if (...)`.
+struct HeaderExtent {
+  std::size_t open = 0;
+  std::size_t close = 0;
+  bool is_for = false;
+  // First top-level `;` (for-init boundary) and first top-level `&&`/`||`
+  // (short-circuit boundary); npos when absent.
+  std::size_t first_semi = std::string::npos;
+  std::size_t first_shortcircuit = std::string::npos;
+
+  // Does a call at token index i inside this extent run conditionally?
+  bool conditional_at(std::size_t i) const {
+    if (is_for && first_semi != std::string::npos && i > first_semi)
+      return true;  // for-loop condition/step may run zero times
+    return first_shortcircuit != std::string::npos && i > first_shortcircuit;
+  }
+};
+
+struct DispatchExtent {
+  std::size_t close = 0;
+  bool via_notify = false;
+  bool conditional = false;
+  Guard guard = Guard::notify;
+  std::string hardcoded_errno;
+  std::size_t pos = 0;
+  int line = 0;
+  bool saw_table_ident = false;
+  bool attributed = false;  // at least one hook call recorded
+};
+
+struct GuardResult {
+  Guard guard = Guard::unguarded;
+  std::string errno_text;
+};
+
+// Classifies how the statement(s) after a `Errno NAME = lsm_.check(...);`
+// consume the verdict. `k` points at the token right after the `;`.
+GuardResult analyze_guard(const std::vector<Token>& t, std::size_t k,
+                          const std::string& var, bool if_init_form) {
+  GuardResult r;
+  std::size_t g;  // token after the guard's `)`
+  if (if_init_form) {
+    // `if (Errno NAME = lsm_.check(...); NAME != Errno::ok) stmt`
+    // k points right after the `;` inside the if-parens.
+    if (k + 5 >= t.size() || !t[k].ident_is(var) || !t[k + 1].is("!=") ||
+        !t[k + 2].ident_is("Errno") || !t[k + 3].is("::") ||
+        !t[k + 4].ident_is("ok") || !t[k + 5].is(")"))
+      return r;
+    g = k + 6;
+  } else {
+    // `if (NAME != Errno::ok)` or `if (Errno::ok != NAME)` must be the very
+    // next statement; anything in between counts as unguarded.
+    if (k + 1 >= t.size() || !t[k].ident_is("if") || !t[k + 1].is("("))
+      return r;
+    std::size_t c = k + 2;
+    if (c + 5 < t.size() && t[c].ident_is(var) && t[c + 1].is("!=") &&
+        t[c + 2].ident_is("Errno") && t[c + 3].is("::") &&
+        t[c + 4].ident_is("ok") && t[c + 5].is(")")) {
+      g = c + 6;
+    } else if (c + 5 < t.size() && t[c].ident_is("Errno") && t[c + 1].is("::") &&
+               t[c + 2].ident_is("ok") && t[c + 3].is("!=") &&
+               t[c + 4].ident_is(var) && t[c + 5].is(")")) {
+      g = c + 6;
+    } else {
+      return r;
+    }
+  }
+  // Find the denial-path `return` statement.
+  std::size_t ret = std::string::npos;
+  std::size_t stop = t.size();
+  if (g < t.size() && t[g].is("{")) {
+    stop = match_brace(t, g);
+    if (stop == std::string::npos) stop = t.size();
+    for (std::size_t i = g + 1; i < stop; ++i) {
+      if (t[i].ident_is("return")) { ret = i; break; }
+    }
+  } else if (g < t.size() && t[g].ident_is("return")) {
+    ret = g;
+  }
+  if (ret == std::string::npos) {
+    r.guard = Guard::swallowed;
+    return r;
+  }
+  // Classify the returned expression.
+  std::size_t semi = ret;
+  while (semi < t.size() && !t[semi].is(";")) ++semi;
+  std::size_t len = semi - (ret + 1);
+  if (len == 1 && t[ret + 1].ident_is(var)) {
+    r.guard = Guard::propagated;
+  } else if (len >= 3 && t[ret + 1].ident_is("Errno") && t[ret + 2].is("::")) {
+    r.guard = Guard::hardcoded;
+    r.errno_text = "Errno::" + t[ret + 3].text;
+  } else {
+    r.guard = Guard::hardcoded;
+    for (std::size_t i = ret + 1; i < semi; ++i) {
+      if (!r.errno_text.empty()) r.errno_text += ' ';
+      r.errno_text += t[i].text;
+    }
+  }
+  return r;
+}
+
+// Finds the first token of the receiver chain ending in the `.`/`->` at
+// `dot`, e.g. `kernel_->lsm().notify` -> index of `kernel_`.
+std::size_t chain_start(const std::vector<Token>& t, std::size_t dot) {
+  std::size_t s = dot;
+  std::size_t k = dot;
+  while (k > 0 && (t[k].is(".") || t[k].is("->"))) {
+    std::size_t prev = k - 1;
+    if (t[prev].is(")")) {
+      std::size_t open = match_paren_back(t, prev);
+      if (open == std::string::npos || open == 0) return s;
+      prev = open - 1;
+      if (prev == 0 || t[prev].kind != TokKind::ident) return s;
+    } else if (t[prev].kind != TokKind::ident) {
+      return s;
+    }
+    s = prev;
+    if (prev == 0) return s;
+    k = prev - 1;
+    if (!(t[k].is(".") || t[k].is("->"))) return s;
+  }
+  return s;
+}
+
+class BodyScanner {
+ public:
+  BodyScanner(const std::vector<Token>& toks, const HookTable& table,
+              FunctionDef& fn)
+      : t_(toks), table_(table), fn_(fn) {}
+
+  void scan() {
+    std::size_t i = fn_.body_begin;
+    const std::size_t end = fn_.body_end;
+    bool pending_cond_brace = false;
+    bool pending_control_stmt = false;  // header closed, next token decides
+    while (i < end) {
+      const Token& tok = t_[i];
+      expire(i);
+
+      if (pending_control_stmt) {
+        pending_control_stmt = false;
+        if (tok.is("{")) {
+          pending_cond_brace = true;
+        } else {
+          unbraced_cond_ = true;
+          unbraced_depth_ = braces_.size();
+        }
+      }
+
+      if (tok.is("{")) {
+        braces_.push_back(pending_cond_brace || pending_brace_is_cond_ ||
+                          effective_cond(i));
+        pending_cond_brace = false;
+        pending_brace_is_cond_ = false;
+        ++i;
+        continue;
+      }
+      if (tok.is("}")) {
+        if (!braces_.empty()) braces_.pop_back();
+        if (unbraced_cond_ && braces_.size() < unbraced_depth_)
+          unbraced_cond_ = false;
+        ++i;
+        continue;
+      }
+      if (tok.is(";")) {
+        if (unbraced_cond_ && braces_.size() <= unbraced_depth_ &&
+            !inside_header(i))
+          unbraced_cond_ = false;
+        ++i;
+        continue;
+      }
+
+      if (tok.kind == TokKind::ident) {
+        const std::string& s = tok.text;
+        if (s == "if" || s == "for" || s == "while" || s == "switch") {
+          if (i + 1 < end && t_[i + 1].is("(")) {
+            push_header(i + 1, s == "for");
+            // `do { } while (...)` ends in `;`, never opens a statement.
+            bool do_while = s == "while" && i > fn_.body_begin &&
+                            t_[i - 1].is("}");
+            if (!do_while) {
+              std::size_t close = headers_.back().close;
+              // Mark that after the header a statement/brace follows.
+              pending_after_header_.push_back(close);
+            }
+            ++i;
+            continue;
+          }
+        }
+        if (s == "else") {
+          if (!(i + 1 < end && t_[i + 1].ident_is("if")))
+            pending_control_stmt = true;
+          ++i;
+          continue;
+        }
+        if (s == "do") {
+          pending_control_stmt = true;
+          ++i;
+          continue;
+        }
+
+        // LSM dispatch site?
+        if ((s == "check" || s == "notify") && i + 1 < end &&
+            t_[i + 1].is("(") && i > 0 &&
+            (t_[i - 1].is(".") || t_[i - 1].is("->"))) {
+          std::size_t cs = chain_start(t_, i - 1);
+          bool is_lsm = false;
+          for (std::size_t k = cs; k <= i; ++k) {
+            if (t_[k].kind == TokKind::ident &&
+                t_[k].text.rfind("lsm", 0) == 0) {
+              is_lsm = true;
+              break;
+            }
+          }
+          if (is_lsm) {
+            open_dispatch(i, cs, s == "notify");
+            ++i;
+            continue;
+          }
+        }
+
+        // Member / free call site.
+        if (i + 1 < end && t_[i + 1].is("(") && !is_control_kw(tok)) {
+          bool member = i > 0 && (t_[i - 1].is(".") || t_[i - 1].is("->"));
+          // `Type var(args)` declarations: previous token is an identifier
+          // (or `>`/`&`/`*` closing a type) — not a call. Control keywords
+          // (`return foo()`, `else bar()`) are never type names.
+          bool prev_type_ident = i > 0 && t_[i - 1].kind == TokKind::ident &&
+                                 !is_control_kw(t_[i - 1]);
+          bool decl_like =
+              !member && i > 0 &&
+              (prev_type_ident || t_[i - 1].is(">") || t_[i - 1].is("&") ||
+               t_[i - 1].is("*"));
+          if (!decl_like) {
+            if (member && table_.contains(s)) {
+              DispatchExtent* d = active_dispatch(i);
+              if (d) {
+                d->saw_table_ident = true;
+                if (table_.kind(s) != HookKind::other) {
+                  HookCall hc;
+                  hc.hook = s;
+                  hc.via_notify = d->via_notify;
+                  hc.conditional = d->conditional;
+                  hc.guard = d->via_notify ? Guard::notify : d->guard;
+                  hc.hardcoded_errno = d->hardcoded_errno;
+                  hc.pos = d->pos;
+                  hc.line = d->line;
+                  fn_.hooks.push_back(hc);
+                  d->attributed = true;
+                }
+                ++i;
+                continue;
+              }
+            }
+            CallSite c;
+            c.callee = s;
+            c.member = member;
+            if (member && i >= 2 && t_[i - 2].kind == TokKind::ident)
+              c.receiver = t_[i - 2].text;
+            c.conditional = effective_cond(i);
+            c.pos = i;
+            c.line = tok.line;
+            fn_.calls.push_back(c);
+          }
+        }
+      }
+      ++i;
+    }
+    // Close any still-open dispatch bookkeeping.
+    expire(end + 1);
+  }
+
+ private:
+  bool inside_header(std::size_t i) const {
+    for (const auto& h : headers_)
+      if (i > h.open && i < h.close) return true;
+    return false;
+  }
+
+  bool effective_cond(std::size_t i) const {
+    for (bool b : braces_)
+      if (b) return true;
+    if (unbraced_cond_) return true;
+    for (const auto& h : headers_)
+      if (i > h.open && i < h.close && h.conditional_at(i)) return true;
+    return false;
+  }
+
+  void expire(std::size_t i) {
+    while (!headers_.empty() && i > headers_.back().close)
+      headers_.pop_back();
+    while (!pending_after_header_.empty() &&
+           i == pending_after_header_.back() + 1) {
+      pending_after_header_.pop_back();
+      // Token at close+1 decides braced vs unbraced conditional statement.
+      if (i < fn_.body_end) {
+        if (t_[i].is("{")) {
+          // handled by the caller pushing a conditional brace
+          pending_brace_is_cond_ = true;
+        } else if (!t_[i].is(";")) {
+          unbraced_cond_ = true;
+          unbraced_depth_ = braces_.size();
+        }
+      }
+    }
+    while (!dispatches_.empty() && i > dispatches_.back().close) {
+      if (!dispatches_.back().saw_table_ident)
+        fn_.opaque_dispatch_lines.push_back(
+            static_cast<std::size_t>(dispatches_.back().line));
+      dispatches_.pop_back();
+    }
+  }
+
+  void push_header(std::size_t open, bool is_for) {
+    HeaderExtent h;
+    h.open = open;
+    h.close = match_paren(t_, open);
+    if (h.close == std::string::npos) h.close = fn_.body_end;
+    h.is_for = is_for;
+    int depth = 0;
+    for (std::size_t k = open; k <= h.close && k < t_.size(); ++k) {
+      if (t_[k].is("(")) ++depth;
+      else if (t_[k].is(")")) --depth;
+      else if (depth == 1 && t_[k].is(";") &&
+               h.first_semi == std::string::npos)
+        h.first_semi = k;
+      else if (depth == 1 && (t_[k].is("&&") || t_[k].is("||")) &&
+               h.first_shortcircuit == std::string::npos)
+        h.first_shortcircuit = k;
+    }
+    headers_.push_back(h);
+  }
+
+  DispatchExtent* active_dispatch(std::size_t i) {
+    for (auto it = dispatches_.rbegin(); it != dispatches_.rend(); ++it)
+      if (i < it->close) return &*it;
+    return nullptr;
+  }
+
+  // `i` is the `check`/`notify` token; `cs` the chain start (e.g. `lsm_`).
+  void open_dispatch(std::size_t i, std::size_t cs, bool via_notify) {
+    DispatchExtent d;
+    d.pos = i;
+    d.line = t_[i].line;
+    d.via_notify = via_notify;
+    d.close = match_paren(t_, i + 1);
+    if (d.close == std::string::npos) d.close = fn_.body_end;
+    d.conditional = effective_cond(cs);
+
+    if (!via_notify) {
+      d.guard = Guard::unguarded;
+      if (cs > 0 && t_[cs - 1].ident_is("return")) {
+        d.guard = Guard::propagated;
+      } else if (cs >= 2 && t_[cs - 1].is("=") &&
+                 t_[cs - 2].kind == TokKind::ident) {
+        std::string var = t_[cs - 2].text;
+        bool if_init = cs >= 5 && t_[cs - 3].ident_is("Errno") &&
+                       t_[cs - 4].is("(") && t_[cs - 5].ident_is("if");
+        std::size_t after = d.close + 1;
+        if (after < t_.size() && t_[after].is(";")) {
+          GuardResult g = analyze_guard(t_, after + 1, var, if_init);
+          d.guard = g.guard;
+          d.hardcoded_errno = g.errno_text;
+          if (if_init) d.conditional = effective_cond(cs - 5);
+        }
+      }
+    }
+    dispatches_.push_back(d);
+  }
+
+  const std::vector<Token>& t_;
+  const HookTable& table_;
+  FunctionDef& fn_;
+  std::vector<bool> braces_;
+  std::vector<HeaderExtent> headers_;
+  std::vector<std::size_t> pending_after_header_;
+  std::vector<DispatchExtent> dispatches_;
+  bool unbraced_cond_ = false;
+  std::size_t unbraced_depth_ = 0;
+  bool pending_brace_is_cond_ = false;
+
+  friend class ScannerTestPeer;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Hook table
+// ---------------------------------------------------------------------------
+
+HookTable parse_hook_table(const std::vector<Token>& t) {
+  HookTable table;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!t[i].ident_is("virtual")) continue;
+    // Walk forward to `name (`; collect the return-type tokens in between.
+    std::size_t j = i + 1;
+    std::vector<const Token*> ret;
+    bool dtor = false;
+    while (j + 1 < t.size()) {
+      if (t[j].is("~")) dtor = true;
+      if (t[j].kind == TokKind::ident && t[j + 1].is("(")) break;
+      ret.push_back(&t[j]);
+      ++j;
+    }
+    if (j + 1 >= t.size() || dtor) continue;
+    HookKind kind = HookKind::other;
+    if (ret.size() == 1 && ret[0]->ident_is("Errno"))
+      kind = HookKind::mediation;
+    else if (ret.size() == 1 && ret[0]->ident_is("void"))
+      kind = HookKind::notify;
+    table.hooks.emplace(t[j].text, kind);
+    table.lines.emplace(t[j].text, t[j].line);
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Pattern search
+// ---------------------------------------------------------------------------
+
+namespace {
+std::string_view norm(const Token& t) {
+  return t.text == "->" ? std::string_view(".") : std::string_view(t.text);
+}
+}  // namespace
+
+std::size_t find_pattern(const std::vector<Token>& toks, std::size_t begin,
+                         std::size_t end, const std::vector<Token>& pattern) {
+  if (pattern.empty() || end > toks.size()) return std::string::npos;
+  const std::size_t m = pattern.size();
+  if (end < m) return std::string::npos;
+  for (std::size_t i = begin; i + m <= end; ++i) {
+    bool ok = true;
+    for (std::size_t k = 0; k < m; ++k) {
+      if (norm(toks[i + k]) != norm(pattern[k])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return i;
+  }
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Top-level extraction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Context kinds while walking namespace/class scope.
+enum class Ctx : std::uint8_t { ns, type, opaque };
+
+struct CtxFrame {
+  Ctx kind;
+  std::string type_name;  // for Ctx::type
+};
+
+// Consumes a constructor init list starting at the `:` (index `colon`).
+// Returns the index of the body `{`, or npos if this is not an init list.
+std::size_t skip_init_list(const std::vector<Token>& t, std::size_t colon) {
+  std::size_t i = colon + 1;
+  while (i < t.size()) {
+    // Entry name: identifier chain (possibly with template args).
+    if (t[i].kind != TokKind::ident) return std::string::npos;
+    ++i;
+    while (i < t.size() && (t[i].is("::") || t[i].kind == TokKind::ident)) ++i;
+    if (i < t.size() && t[i].is("<")) {
+      int depth = 0;
+      while (i < t.size()) {
+        if (t[i].is("<")) ++depth;
+        else if (t[i].is(">") && --depth == 0) { ++i; break; }
+        ++i;
+      }
+    }
+    if (i >= t.size()) return std::string::npos;
+    if (t[i].is("(")) {
+      std::size_t c = match_paren(t, i);
+      if (c == std::string::npos) return std::string::npos;
+      i = c + 1;
+    } else if (t[i].is("{")) {
+      std::size_t c = match_brace(t, i);
+      if (c == std::string::npos) return std::string::npos;
+      i = c + 1;
+    } else {
+      return std::string::npos;
+    }
+    if (i < t.size() && t[i].is(",")) {
+      ++i;
+      continue;
+    }
+    if (i < t.size() && t[i].is("{")) return i;
+    return std::string::npos;
+  }
+  return std::string::npos;
+}
+
+// After the parameter list's `)` at index `close`, finds the body `{`.
+// Returns npos when this is a declaration (or something we don't model).
+std::size_t find_body_open(const std::vector<Token>& t, std::size_t close) {
+  std::size_t i = close + 1;
+  while (i < t.size()) {
+    const Token& tok = t[i];
+    if (tok.is("{")) return i;
+    if (tok.is(";") || tok.is("=") || tok.is(",") || tok.is(")"))
+      return std::string::npos;
+    if (tok.is(":")) return skip_init_list(t, i);
+    if (tok.ident_is("const") || tok.ident_is("override") ||
+        tok.ident_is("final") || tok.ident_is("mutable")) {
+      ++i;
+      continue;
+    }
+    if (tok.ident_is("noexcept")) {
+      ++i;
+      if (i < t.size() && t[i].is("(")) {
+        std::size_t c = match_paren(t, i);
+        if (c == std::string::npos) return std::string::npos;
+        i = c + 1;
+      }
+      continue;
+    }
+    if (tok.is("->")) {
+      // Trailing return type: consume type tokens up to `{` or `;`.
+      ++i;
+      int angle = 0;
+      while (i < t.size()) {
+        if (t[i].is("<")) ++angle;
+        else if (t[i].is(">")) --angle;
+        else if (angle == 0 && (t[i].is("{") || t[i].is(";"))) break;
+        ++i;
+      }
+      continue;
+    }
+    if (tok.is("[") && i + 1 < t.size() && t[i + 1].is("[")) {
+      // [[attribute]]
+      while (i < t.size() && !(t[i].is("]") && i + 1 < t.size() &&
+                               t[i + 1].is("]")))
+        ++i;
+      i += 2;
+      continue;
+    }
+    if (tok.kind == TokKind::ident) {
+      // Annotation-style macro, e.g. `SACK_ACQUIRE()`.
+      ++i;
+      if (i < t.size() && t[i].is("(")) {
+        std::size_t c = match_paren(t, i);
+        if (c == std::string::npos) return std::string::npos;
+        i = c + 1;
+      }
+      continue;
+    }
+    if (tok.is("&") || tok.is("&&")) {
+      ++i;
+      continue;
+    }
+    return std::string::npos;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+SourceFile extract(std::string path, const std::vector<Token>& t,
+                   const HookTable& table) {
+  SourceFile sf;
+  sf.path = std::move(path);
+  sf.tokens = t;
+  std::vector<CtxFrame> ctx;
+
+  auto in_extractable_scope = [&]() {
+    return ctx.empty() || ctx.back().kind == Ctx::ns ||
+           ctx.back().kind == Ctx::type;
+  };
+
+  std::size_t i = 0;
+  while (i < t.size()) {
+    const Token& tok = t[i];
+
+    if (tok.is("{")) {
+      ctx.push_back({Ctx::opaque, ""});
+      ++i;
+      continue;
+    }
+    if (tok.is("}")) {
+      if (!ctx.empty()) ctx.pop_back();
+      ++i;
+      continue;
+    }
+
+    if (tok.ident_is("namespace") && in_extractable_scope()) {
+      std::size_t j = i + 1;
+      while (j < t.size() && !t[j].is("{") && !t[j].is(";") && !t[j].is("="))
+        ++j;
+      if (j < t.size() && t[j].is("{")) {
+        ctx.push_back({Ctx::ns, ""});
+        i = j + 1;
+        continue;
+      }
+      i = j + 1;  // alias or malformed; skip
+      continue;
+    }
+
+    if ((tok.ident_is("class") || tok.ident_is("struct") ||
+         tok.ident_is("union")) &&
+        in_extractable_scope() &&
+        !(i > 0 && t[i - 1].ident_is("enum"))) {
+      // Name = identifier chain right after the keyword.
+      std::string name;
+      std::size_t j = i + 1;
+      while (j < t.size() &&
+             (t[j].kind == TokKind::ident || t[j].is("::"))) {
+        if (t[j].ident_is("final")) break;
+        if (!name.empty() || t[j].is("::")) name += t[j].text;
+        else name = t[j].text;
+        ++j;
+      }
+      // Find `{` (definition) or `;` (forward decl) next.
+      while (j < t.size() && !t[j].is("{") && !t[j].is(";")) ++j;
+      if (j < t.size() && t[j].is("{")) {
+        ctx.push_back({Ctx::type, name});
+        i = j + 1;
+        continue;
+      }
+      i = j + 1;
+      continue;
+    }
+
+    if (tok.ident_is("enum") && in_extractable_scope()) {
+      std::size_t j = i + 1;
+      while (j < t.size() && !t[j].is("{") && !t[j].is(";")) ++j;
+      if (j < t.size() && t[j].is("{")) {
+        std::size_t c = match_brace(t, j);
+        i = (c == std::string::npos) ? t.size() : c + 1;
+        continue;
+      }
+      i = j + 1;
+      continue;
+    }
+
+    // Candidate function: `ident (` at namespace/class scope.
+    if (tok.kind == TokKind::ident && i + 1 < t.size() && t[i + 1].is("(") &&
+        in_extractable_scope() && !is_control_kw(tok)) {
+      // Gather qualifiers: (ident ::)* [~] name
+      std::vector<std::string> quals;
+      std::string name = tok.text;
+      std::size_t k = i;
+      if (k > 0 && t[k - 1].is("~")) {
+        name = "~" + name;
+        --k;
+      }
+      while (k >= 2 && t[k - 1].is("::") && t[k - 2].kind == TokKind::ident) {
+        quals.insert(quals.begin(), t[k - 2].text);
+        k -= 2;
+      }
+      std::size_t close = match_paren(t, i + 1);
+      if (close == std::string::npos) {
+        ++i;
+        continue;
+      }
+      std::size_t body = find_body_open(t, close);
+      if (body == std::string::npos) {
+        i = close + 1;  // declaration / macro / initializer — skip params
+        continue;
+      }
+      std::size_t body_close = match_brace(t, body);
+      if (body_close == std::string::npos) body_close = t.size();
+
+      FunctionDef fn;
+      fn.name = name;
+      if (!quals.empty()) {
+        std::string q;
+        for (const auto& s : quals) q += s + "::";
+        fn.qualified = q + name;
+      } else if (!ctx.empty() && ctx.back().kind == Ctx::type &&
+                 !ctx.back().type_name.empty()) {
+        fn.qualified = ctx.back().type_name + "::" + name;
+      } else {
+        fn.qualified = name;
+      }
+      fn.file = sf.path;
+      fn.line = tok.line;
+      fn.body_begin = body + 1;
+      fn.body_end = body_close;
+      BodyScanner(t, table, fn).scan();
+      sf.functions.push_back(std::move(fn));
+      i = body_close + 1;
+      continue;
+    }
+
+    ++i;
+  }
+  return sf;
+}
+
+}  // namespace sack::analysis

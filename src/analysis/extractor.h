@@ -1,0 +1,112 @@
+// Function-definition and hook-call extraction for sack-hookcheck.
+//
+// Works on the token stream from lexer.h. The extractor understands just
+// enough C++ structure for mediation analysis:
+//
+//   * function definitions at namespace/class scope (incl. out-of-class
+//     `Kernel::sys_open`, constructor init lists, trailing return types);
+//   * call sites inside bodies, with receiver and conditional-context
+//     tracking (a call under `if`/`for`/`while`/`&&` may not execute);
+//   * LSM dispatch sites: `lsm_.check([&](SecurityModule& m) { m.hook(...) })`
+//     and `lsm_.notify(...)`, including which hook(s) the closure invokes and
+//     how the verdict is consumed (propagated / hardcoded / swallowed /
+//     unguarded).
+//
+// The hook vocabulary comes from parsing the SecurityModule interface header
+// (module.h): `virtual Errno name(` declares a mediation hook, `virtual void
+// name(` a notification hook. Anything else (e.g. `getprocattr` returning a
+// string) is "other" — recognized so a dispatch over it is not flagged as
+// unknown, but never treated as mediation.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/lexer.h"
+
+namespace sack::analysis {
+
+enum class HookKind : std::uint8_t {
+  mediation,  // virtual Errno ...
+  notify,     // virtual void ...
+  other,      // virtual <anything else> ... — introspection, ignored
+};
+
+struct HookTable {
+  std::map<std::string, HookKind> hooks;
+  std::map<std::string, int> lines;  // declaration line in the hook header
+
+  bool contains(const std::string& name) const { return hooks.count(name); }
+  HookKind kind(const std::string& name) const { return hooks.at(name); }
+  int line(const std::string& name) const {
+    auto it = lines.find(name);
+    return it == lines.end() ? 0 : it->second;
+  }
+};
+
+// How a dispatch site consumes the stack verdict.
+enum class Guard : std::uint8_t {
+  propagated,  // `return lsm_.check(...)` or `if (rc != ok) return rc;`
+  hardcoded,   // denial path returns a literal Errno, not the verdict
+  swallowed,   // verdict checked but denial path does not return
+  unguarded,   // verdict assigned (or discarded) and never checked
+  notify,      // void dispatch — nothing to guard
+};
+
+struct HookCall {
+  std::string hook;         // e.g. "file_open"
+  bool via_notify = false;  // dispatched through lsm_.notify()
+  bool conditional = false; // under if/loop/&&/|| at the dispatch site
+  Guard guard = Guard::notify;
+  std::string hardcoded_errno;  // set when guard == hardcoded
+  std::size_t pos = 0;          // token index of the dispatch, for ordering
+  int line = 0;
+};
+
+struct CallSite {
+  std::string callee;    // unqualified name
+  std::string receiver;  // identifier before `.`/`->`, if any
+  bool member = false;
+  bool conditional = false;
+  std::size_t pos = 0;
+  int line = 0;
+};
+
+struct FunctionDef {
+  std::string qualified;  // "Kernel::sys_open" or "name" at namespace scope
+  std::string name;       // unqualified
+  std::string file;
+  int line = 0;
+  std::size_t body_begin = 0;  // token index just after '{'
+  std::size_t body_end = 0;    // token index of matching '}'
+  std::vector<CallSite> calls;
+  std::vector<HookCall> hooks;
+  // True if any lsm dispatch extent in the body contained no identifier from
+  // the hook table at all (likely a renamed/mistyped hook).
+  std::vector<std::size_t> opaque_dispatch_lines;
+};
+
+struct SourceFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<FunctionDef> functions;
+};
+
+// Parses the SecurityModule interface header into the hook vocabulary.
+HookTable parse_hook_table(const std::vector<Token>& toks);
+
+// Extracts all function definitions (with call/hook info) from one file.
+SourceFile extract(std::string path, const std::vector<Token>& toks,
+                   const HookTable& table);
+
+// Token-subsequence search used for ordering anchors. `pattern` is lexed
+// with the same lexer; `->` is normalized to `.` on both sides; a trailing
+// `=` in the pattern must match a literal `=` token (assignment), never a
+// comparison (the lexer keeps `!=`/`==` whole, so this is sound). Returns
+// the token index of the first match in [begin, end), or npos.
+std::size_t find_pattern(const std::vector<Token>& toks, std::size_t begin,
+                         std::size_t end, const std::vector<Token>& pattern);
+
+}  // namespace sack::analysis

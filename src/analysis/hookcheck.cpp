@@ -1,0 +1,150 @@
+#include "analysis/hookcheck.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sack::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+HookcheckResult run_hookcheck_on_sources(
+    const std::string& manifest_text, const std::string& manifest_path,
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  HookcheckResult result;
+  auto t0 = std::chrono::steady_clock::now();
+
+  ManifestParse mp = parse_manifest(manifest_text);
+  if (!mp.error.empty()) {
+    result.fatal = mp.error;
+    return result;
+  }
+  const Manifest& manifest = mp.manifest;
+  if (manifest.hook_header.empty()) {
+    result.fatal = "manifest is missing hook_header";
+    return result;
+  }
+
+  // The hook vocabulary comes from the SecurityModule interface header.
+  const std::string* header_text = nullptr;
+  for (const auto& [path, text] : sources) {
+    if (ends_with(path, manifest.hook_header) ||
+        ends_with(manifest.hook_header, path)) {
+      header_text = &text;
+      break;
+    }
+  }
+  if (!header_text) {
+    result.fatal = "hook header '" + manifest.hook_header +
+                   "' not among the scanned sources";
+    return result;
+  }
+  HookTable table = parse_hook_table(lex(*header_text));
+  if (table.hooks.empty()) {
+    result.fatal = "no hooks found in '" + manifest.hook_header +
+                   "' — wrong header?";
+    return result;
+  }
+
+  std::vector<SourceFile> files;
+  files.reserve(sources.size());
+  for (const auto& [path, text] : sources)
+    files.push_back(extract(path, lex(text), table));
+  Corpus corpus = build_corpus(std::move(table), std::move(files));
+  result.stats.parse_ms = ms_since(t0);
+
+  auto t1 = std::chrono::steady_clock::now();
+  result.findings =
+      run_checks(corpus, manifest, manifest_path, result.stats);
+  result.stats.check_ms = ms_since(t1);
+  return result;
+}
+
+HookcheckResult run_hookcheck(const std::string& root,
+                              const std::string& manifest_path) {
+  HookcheckResult result;
+
+  auto read_file = [](const fs::path& p, std::string& out) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+  };
+
+  std::string manifest_text;
+  if (!read_file(manifest_path, manifest_text)) {
+    result.fatal = "cannot read manifest '" + manifest_path + "'";
+    return result;
+  }
+  ManifestParse mp = parse_manifest(manifest_text);
+  if (!mp.error.empty()) {
+    result.fatal = mp.error;
+    return result;
+  }
+
+  std::vector<std::pair<std::string, std::string>> sources;
+  std::error_code ec;
+  auto add_file = [&](const fs::path& p) {
+    std::string text;
+    if (!read_file(p, text)) return;
+    // Report repo-relative paths when the file lives under `root`.
+    std::string rel = fs::relative(p, root, ec).generic_string();
+    if (ec || rel.rfind("..", 0) == 0) rel = p.generic_string();
+    sources.emplace_back(std::move(rel), std::move(text));
+  };
+
+  for (const auto& dir : mp.manifest.sources) {
+    fs::path base = fs::path(root) / dir;
+    if (!fs::is_directory(base, ec)) {
+      result.fatal = "source directory '" + base.generic_string() +
+                     "' does not exist";
+      return result;
+    }
+    std::vector<fs::path> paths;
+    for (auto it = fs::recursive_directory_iterator(base, ec);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file(ec)) continue;
+      std::string name = it->path().generic_string();
+      if (ends_with(name, ".h") || ends_with(name, ".cpp") ||
+          ends_with(name, ".cc") || ends_with(name, ".hpp"))
+        paths.push_back(it->path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const auto& p : paths) add_file(p);
+  }
+  // Make sure the hook header itself is present even if it lives outside
+  // the listed source dirs.
+  if (!mp.manifest.hook_header.empty()) {
+    bool have = false;
+    for (const auto& [path, text] : sources) {
+      (void)text;
+      if (ends_with(path, mp.manifest.hook_header)) {
+        have = true;
+        break;
+      }
+    }
+    if (!have) add_file(fs::path(root) / mp.manifest.hook_header);
+  }
+
+  return run_hookcheck_on_sources(manifest_text, manifest_path, sources);
+}
+
+}  // namespace sack::analysis

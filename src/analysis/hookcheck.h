@@ -1,0 +1,36 @@
+// sack-hookcheck driver: ties manifest + extraction + checks together.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/checks.h"
+#include "analysis/manifest.h"
+#include "analysis/report.h"
+
+namespace sack::analysis {
+
+struct HookcheckResult {
+  std::string fatal;  // non-empty: could not run (bad manifest / IO error)
+  std::vector<Finding> findings;
+  RunStats stats;
+
+  bool ok() const { return fatal.empty(); }
+  std::size_t errors() const { return count_errors(findings); }
+};
+
+// In-memory run: `sources` are (path, content) pairs; the hook header is
+// looked up among them by the manifest's hook_header (suffix match). Used by
+// the unit tests and the benchmark, and by run_hookcheck below.
+HookcheckResult run_hookcheck_on_sources(
+    const std::string& manifest_text, const std::string& manifest_path,
+    const std::vector<std::pair<std::string, std::string>>& sources);
+
+// Filesystem run: reads the manifest at `manifest_path`, then scans the
+// manifest's `sources` directories (plus the hook header) relative to
+// `root` for .h/.cpp files.
+HookcheckResult run_hookcheck(const std::string& root,
+                              const std::string& manifest_path);
+
+}  // namespace sack::analysis

@@ -1,0 +1,178 @@
+#include "analysis/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace sack::analysis {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Longest-match punctuator table. Three-char first, then two-char.
+// Keeping `!=` / `==` / `+=` as single tokens is load-bearing: the
+// mutation-anchor matcher treats a bare `=` token as "assignment", and that
+// only works if comparisons never split into `!` `=`.
+constexpr std::array<std::string_view, 5> kPunct3 = {
+    "<<=", ">>=", "...", "->*", "<=>",
+};
+constexpr std::array<std::string_view, 19> kPunct2 = {
+    "->", "::", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++",
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  out.reserve(src.size() / 4);
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+
+  auto bump = [&](char c) {
+    if (c == '\n') ++line;
+  };
+
+  while (i < n) {
+    char c = src[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      bump(c);
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: drop the whole (possibly continued) line.
+    // Only fires at a point where the previous char on this line was
+    // whitespace-only, which is true whenever we meet '#' as a token start —
+    // '#' is not a valid C++ operator outside the preprocessor.
+    if (c == '#') {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        bump(src[i]);
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(') ++d;
+      std::string close = ")";
+      close.append(src.substr(i + 2, d - (i + 2)));
+      close.push_back('"');
+      std::size_t end = src.find(close, d);
+      for (std::size_t k = i; k < (end == std::string_view::npos ? n : end);
+           ++k)
+        bump(src[k]);
+      out.push_back({TokKind::str, "\"\"", line});
+      i = (end == std::string_view::npos) ? n : end + close.size();
+      continue;
+    }
+    // String / char literal (contents dropped).
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      std::size_t start_line = line;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          bump(src[i + 1]);
+          i += 2;
+          continue;
+        }
+        bump(src[i]);
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      out.push_back({quote == '"' ? TokKind::str : TokKind::chr,
+                     quote == '"' ? "\"\"" : "''",
+                     static_cast<int>(start_line)});
+      continue;
+    }
+    // Number (incl. hex/float/suffixes — verbatim, we never interpret them).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t start = i;
+      ++i;
+      while (i < n && (ident_cont(src[i]) || src[i] == '.' ||
+                       ((src[i] == '+' || src[i] == '-') &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P'))))
+        ++i;
+      out.push_back({TokKind::number, std::string(src.substr(start, i - start)),
+                     line});
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && ident_cont(src[i])) ++i;
+      out.push_back({TokKind::ident, std::string(src.substr(start, i - start)),
+                     line});
+      continue;
+    }
+    // Punctuator, longest match first.
+    bool matched = false;
+    if (i + 2 < n) {
+      std::string_view three = src.substr(i, 3);
+      for (auto p : kPunct3) {
+        if (three == p) {
+          out.push_back({TokKind::punct, std::string(p), line});
+          i += 3;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched && i + 1 < n) {
+      std::string_view two = src.substr(i, 2);
+      // `--` is deliberately absent from kPunct2 so that `operator--` still
+      // lexes; add it here where it cannot collide with anything we match on.
+      if (two == "--") {
+        out.push_back({TokKind::punct, "--", line});
+        i += 2;
+        matched = true;
+      } else {
+        for (auto p : kPunct2) {
+          if (two == p) {
+            out.push_back({TokKind::punct, std::string(p), line});
+            i += 2;
+            matched = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!matched) {
+      out.push_back({TokKind::punct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace sack::analysis

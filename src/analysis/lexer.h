@@ -1,0 +1,43 @@
+// Lightweight C++ lexer for sack-hookcheck.
+//
+// This is not a compiler front end: it produces exactly the token stream the
+// mediation analyzer needs — identifiers, literals, and punctuators with
+// line numbers — and throws away everything that could confuse a textual
+// scan (comments, string/char literal *contents*, preprocessor lines,
+// line continuations). That is the whole trick that makes the downstream
+// call-graph extraction robust: a hook name mentioned in a comment or a log
+// string can never be mistaken for a call.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sack::analysis {
+
+enum class TokKind : std::uint8_t {
+  ident,   // identifiers and keywords (keyword classification is the
+           // extractor's business)
+  number,  // numeric literal, verbatim text
+  str,     // string literal; text is "" (contents dropped on purpose)
+  chr,     // char literal; text is ''
+  punct,   // operator / punctuator, longest-match (e.g. "->", "::", "!=")
+};
+
+struct Token {
+  TokKind kind = TokKind::punct;
+  std::string text;
+  int line = 1;
+
+  bool is(std::string_view t) const { return text == t; }
+  bool ident_is(std::string_view t) const {
+    return kind == TokKind::ident && text == t;
+  }
+};
+
+// Tokenizes `source`. Never fails: unterminated constructs lex to the end
+// of file (the analyzer reports on what it could see).
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace sack::analysis

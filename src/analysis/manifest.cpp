@@ -1,0 +1,245 @@
+#include "analysis/manifest.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace sack::analysis {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+// Strips a trailing comment that is not inside a quoted string.
+std::string strip_comment(const std::string& s) {
+  bool in_str = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"' && (i == 0 || s[i - 1] != '\\')) in_str = !in_str;
+    if (s[i] == '#' && !in_str) return s.substr(0, i);
+  }
+  return s;
+}
+
+struct Parser {
+  std::istringstream in;
+  int line_no = 0;
+  std::string error;
+
+  void fail(const std::string& msg) {
+    if (error.empty())
+      error = "manifest line " + std::to_string(line_no) + ": " + msg;
+  }
+
+  // Parses `"..."` at position i; advances i past the close quote.
+  bool parse_string(const std::string& s, std::size_t& i, std::string& out) {
+    if (i >= s.size() || s[i] != '"') {
+      fail("expected string");
+      return false;
+    }
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) ++i;
+      out.push_back(s[i]);
+      ++i;
+    }
+    if (i >= s.size()) {
+      fail("unterminated string");
+      return false;
+    }
+    ++i;
+    return true;
+  }
+
+  bool parse_array(const std::string& s, std::size_t& i,
+                   std::vector<std::string>& out) {
+    if (i >= s.size() || s[i] != '[') {
+      fail("expected array");
+      return false;
+    }
+    ++i;
+    while (true) {
+      while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+        ++i;
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return true;
+      }
+      std::string v;
+      if (!parse_string(s, i, v)) return false;
+      out.push_back(v);
+      while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+        ++i;
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return true;
+      }
+      fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+};
+
+// Splits "hook < pattern" into an OrderRule.
+bool parse_order_rule(const std::string& raw, OrderRule& out,
+                      std::string& err) {
+  std::size_t lt = raw.find('<');
+  if (lt == std::string::npos) {
+    err = "order rule '" + raw + "' has no '<'";
+    return false;
+  }
+  out.hook = trim(raw.substr(0, lt));
+  out.pattern = trim(raw.substr(lt + 1));
+  out.raw = raw;
+  if (out.hook.empty() || out.pattern.empty()) {
+    err = "order rule '" + raw + "' is missing a side";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ManifestParse parse_manifest(const std::string& text) {
+  ManifestParse result;
+  Manifest& m = result.manifest;
+  Parser p;
+  p.in.str(text);
+
+  enum class Section { none, hookcheck, unmediated, syscall };
+  Section section = Section::none;
+  SyscallSpec* current = nullptr;
+
+  std::string raw_line;
+  while (std::getline(p.in, raw_line)) {
+    ++p.line_no;
+    std::string line = trim(strip_comment(raw_line));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        p.fail("unterminated section header");
+        break;
+      }
+      std::string name = trim(line.substr(1, line.size() - 2));
+      if (name == "hookcheck") {
+        section = Section::hookcheck;
+      } else if (name == "unmediated") {
+        section = Section::unmediated;
+      } else if (name.rfind("syscall.", 0) == 0 ||
+                 name.rfind("entry.", 0) == 0) {
+        // [entry.X] declares a non-syscall entry point (e.g. the clock tick)
+        // with the same spec shape as a syscall.
+        section = Section::syscall;
+        m.syscalls.push_back({});
+        current = &m.syscalls.back();
+        current->name = name.substr(name.find('.') + 1);
+        current->decl_line = p.line_no;
+      } else {
+        p.fail("unknown section [" + name + "]");
+        break;
+      }
+      continue;
+    }
+
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      p.fail("expected key = value");
+      break;
+    }
+    std::string key = trim(line.substr(0, eq));
+    std::string val = trim(line.substr(eq + 1));
+    // Multi-line arrays: keep appending lines until the bracket closes.
+    if (!val.empty() && val.front() == '[') {
+      auto closed = [](const std::string& s) {
+        bool in_str = false;
+        int depth = 0;
+        for (std::size_t k = 0; k < s.size(); ++k) {
+          if (s[k] == '"' && (k == 0 || s[k - 1] != '\\')) in_str = !in_str;
+          if (in_str) continue;
+          if (s[k] == '[') ++depth;
+          if (s[k] == ']') --depth;
+        }
+        return depth <= 0;
+      };
+      std::string more;
+      while (!closed(val) && std::getline(p.in, more)) {
+        ++p.line_no;
+        val += ' ' + trim(strip_comment(more));
+      }
+    }
+    std::size_t i = 0;
+
+    if (section == Section::hookcheck) {
+      if (key == "sources") {
+        if (!p.parse_array(val, i, m.sources)) break;
+      } else if (key == "hook_header") {
+        if (!p.parse_string(val, i, m.hook_header)) break;
+      } else if (key == "ignore_hooks") {
+        if (!p.parse_array(val, i, m.ignore_hooks)) break;
+      } else if (key == "extra_entries") {
+        if (!p.parse_array(val, i, m.extra_entries)) break;
+      } else if (key == "exclude") {
+        if (!p.parse_array(val, i, m.exclude)) break;
+      } else {
+        p.fail("unknown key '" + key + "' in [hookcheck]");
+        break;
+      }
+    } else if (section == Section::unmediated) {
+      std::string reason;
+      if (!p.parse_string(val, i, reason)) break;
+      if (m.unmediated.count(key)) {
+        p.fail("duplicate unmediated entry '" + key + "'");
+        break;
+      }
+      m.unmediated.emplace(key, reason);
+    } else if (section == Section::syscall) {
+      if (key == "entry") {
+        if (!p.parse_string(val, i, current->entry)) break;
+      } else if (key == "require") {
+        if (!p.parse_array(val, i, current->require)) break;
+      } else if (key == "conditional") {
+        if (!p.parse_array(val, i, current->conditional)) break;
+      } else if (key == "notify") {
+        if (!p.parse_array(val, i, current->notify)) break;
+      } else if (key == "order") {
+        std::vector<std::string> raws;
+        if (!p.parse_array(val, i, raws)) break;
+        for (const auto& r : raws) {
+          OrderRule rule;
+          std::string err;
+          if (!parse_order_rule(r, rule, err)) {
+            p.fail(err);
+            break;
+          }
+          current->order.push_back(rule);
+        }
+        if (!p.error.empty()) break;
+      } else {
+        p.fail("unknown key '" + key + "' in [syscall." + current->name + "]");
+        break;
+      }
+    } else {
+      p.fail("key outside any section");
+      break;
+    }
+  }
+
+  // Defaults mirroring the shipped tree layout.
+  if (p.error.empty()) {
+    for (auto& spec : m.syscalls) {
+      if (spec.entry.empty()) spec.entry = "Kernel::" + spec.name;
+    }
+  }
+  result.error = p.error;
+  return result;
+}
+
+}  // namespace sack::analysis

@@ -1,0 +1,54 @@
+// The mediation manifest: which syscall entry points must reach which LSM
+// hooks, and in what order relative to the state they guard.
+//
+// The manifest is a checked-in TOML file (docs/hook_manifest.toml). Only the
+// TOML subset the manifest needs is implemented — sections, string / bool /
+// integer values, and arrays of strings — because the container ships no
+// TOML library and the analyzer must stay dependency-free.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sack::analysis {
+
+struct OrderRule {
+  std::string hook;     // hook that must dominate...
+  std::string pattern;  // ...this token pattern (the guarded mutation)
+  std::string raw;      // original "hook < pattern" text, for messages
+};
+
+struct SyscallSpec {
+  std::string name;                    // "sys_open"
+  std::string entry;                   // "Kernel::sys_open"
+  std::vector<std::string> require;    // hooks on every non-error path
+  std::vector<std::string> conditional;  // hooks on some paths
+  std::vector<std::string> notify;     // void hooks expected to fire
+  std::vector<OrderRule> order;
+  int decl_line = 0;  // manifest line, for provenance in findings
+};
+
+struct Manifest {
+  std::vector<std::string> sources;   // directories to scan, repo-relative
+  std::string hook_header;            // SecurityModule interface header
+  std::vector<std::string> ignore_hooks;   // exempt from drift checks
+  std::vector<std::string> extra_entries;  // non-sys_* entry points
+  // Qualified-name prefixes excluded from call-graph resolution (e.g. the
+  // user-space `Process::` wrapper: kernel code never calls into it, but
+  // name-based resolution would otherwise route `buf.read()` through it).
+  std::vector<std::string> exclude;
+  std::map<std::string, std::string> unmediated;  // syscall -> reason
+  std::vector<SyscallSpec> syscalls;
+};
+
+// Parses manifest text. On failure the error message includes a line number.
+struct ManifestParse {
+  Manifest manifest;
+  std::string error;  // empty on success
+};
+ManifestParse parse_manifest(const std::string& text);
+
+}  // namespace sack::analysis

@@ -1,0 +1,112 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sack::analysis {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::vector<const Finding*> sorted(const std::vector<Finding>& findings) {
+  std::vector<const Finding*> v;
+  v.reserve(findings.size());
+  for (const auto& f : findings) v.push_back(&f);
+  std::stable_sort(v.begin(), v.end(), [](const Finding* a, const Finding* b) {
+    if (a->severity != b->severity)
+      return a->severity == Severity::error;
+    if (a->file != b->file) return a->file < b->file;
+    return a->line < b->line;
+  });
+  return v;
+}
+
+}  // namespace
+
+std::size_t count_errors(const std::vector<Finding>& findings) {
+  std::size_t n = 0;
+  for (const auto& f : findings)
+    if (f.severity == Severity::error) ++n;
+  return n;
+}
+
+std::size_t count_warnings(const std::vector<Finding>& findings) {
+  return findings.size() - count_errors(findings);
+}
+
+std::string render_text(const std::vector<Finding>& findings,
+                        const RunStats& stats) {
+  std::ostringstream out;
+  for (const Finding* f : sorted(findings)) {
+    out << f->file << ':' << f->line << ": "
+        << (f->severity == Severity::error ? "error" : "warning") << ": ["
+        << f->cls << "] " << f->message;
+    bool paren = false;
+    if (!f->entry.empty()) {
+      out << " (entry=" << f->entry;
+      paren = true;
+    }
+    if (!f->hook.empty()) {
+      out << (paren ? ", " : " (") << "hook=" << f->hook;
+      paren = true;
+    }
+    if (paren) out << ')';
+    out << '\n';
+  }
+  out << "hookcheck: " << count_errors(findings) << " error(s), "
+      << count_warnings(findings) << " warning(s) — " << stats.files
+      << " files, " << stats.functions << " functions, "
+      << stats.dispatch_sites << " dispatch sites, " << stats.entries_checked
+      << " entries checked, " << stats.hooks_in_table << " hooks in table\n";
+  return out.str();
+}
+
+std::string render_json(const std::vector<Finding>& findings,
+                        const RunStats& stats) {
+  std::ostringstream out;
+  out << "{\n  \"findings\": [";
+  bool first = true;
+  for (const Finding* f : sorted(findings)) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"severity\": \""
+        << (f->severity == Severity::error ? "error" : "warning")
+        << "\", \"class\": \"" << json_escape(f->cls) << "\", \"file\": \""
+        << json_escape(f->file) << "\", \"line\": " << f->line
+        << ", \"entry\": \"" << json_escape(f->entry) << "\", \"hook\": \""
+        << json_escape(f->hook) << "\", \"message\": \""
+        << json_escape(f->message) << "\"}";
+  }
+  out << (first ? "]" : "\n  ]") << ",\n  \"stats\": {\"files\": "
+      << stats.files << ", \"functions\": " << stats.functions
+      << ", \"dispatch_sites\": " << stats.dispatch_sites
+      << ", \"entries_checked\": " << stats.entries_checked
+      << ", \"hooks_in_table\": " << stats.hooks_in_table
+      << ", \"errors\": " << count_errors(findings)
+      << ", \"warnings\": " << count_warnings(findings)
+      << ", \"parse_ms\": " << stats.parse_ms
+      << ", \"check_ms\": " << stats.check_ms << "}\n}\n";
+  return out.str();
+}
+
+}  // namespace sack::analysis

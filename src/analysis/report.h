@@ -1,0 +1,58 @@
+// Finding model and rendering (text + JSON) for sack-hookcheck.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sack::analysis {
+
+enum class Severity : std::uint8_t { error, warning };
+
+// Stable finding classes; scripts key off these, so renames are breaking.
+//   missing-hook         required/conditional hook not reachable from entry
+//   conditional-hook     required hook reachable only on some paths
+//   hook-after-mutation  hook runs after the state change it guards
+//   stale-order-pattern  ordering anchor no longer matches the source
+//   unguarded-hook       verdict assigned but never checked
+//   hardcoded-denial     denial path returns a literal, not the verdict
+//   swallowed-denial     verdict checked but denial path doesn't return
+//   notify-discards-verdict  Errno hook dispatched through notify()
+//   double-hook          same hook fires twice unconditionally on one path
+//   dead-hook            hook declared in SecurityModule but never dispatched
+//   opaque-dispatch      lsm dispatch whose closure names no known hook
+//   unlisted-syscall     sys_* entry point absent from the manifest
+//   manifest-error       manifest references unknown hooks/entries
+//   undeclared-hook      (warn) reachable hook the manifest doesn't list
+struct Finding {
+  Severity severity = Severity::error;
+  std::string cls;
+  std::string file;
+  int line = 0;
+  std::string entry;  // syscall entry the finding belongs to, if any
+  std::string hook;   // hook involved, if any
+  std::string message;
+};
+
+struct RunStats {
+  std::size_t files = 0;
+  std::size_t functions = 0;
+  std::size_t dispatch_sites = 0;
+  std::size_t entries_checked = 0;
+  std::size_t hooks_in_table = 0;
+  double parse_ms = 0.0;
+  double check_ms = 0.0;
+};
+
+std::size_t count_errors(const std::vector<Finding>& findings);
+std::size_t count_warnings(const std::vector<Finding>& findings);
+
+// `file:line: severity: [class] message (entry=..., hook=...)` lines,
+// errors first, then warnings, each group sorted by file/line.
+std::string render_text(const std::vector<Finding>& findings,
+                        const RunStats& stats);
+
+// Machine-readable report: {"findings": [...], "stats": {...}}.
+std::string render_json(const std::vector<Finding>& findings,
+                        const RunStats& stats);
+
+}  // namespace sack::analysis

@@ -13,7 +13,7 @@ std::optional<Errno> AccessVectorCache::probe(const AccessQuery& query,
   const std::size_t hash = KeyHash{}(key);
   Shard& shard = shard_for(hash);
   {
-    std::shared_lock lock(shard.mu);
+    util::SharedReadLock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end() && it->second.generation == generation) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -30,7 +30,7 @@ void AccessVectorCache::insert(const AccessQuery& query,
           std::string(query.object_path), query.op};
   const std::size_t hash = KeyHash{}(key);
   Shard& shard = shard_for(hash);
-  std::unique_lock lock(shard.mu);
+  util::WriteLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     it->second = Entry{verdict, generation};
@@ -45,7 +45,7 @@ void AccessVectorCache::insert(const AccessQuery& query,
 
 void AccessVectorCache::invalidate_all() {
   for (std::size_t i = 0; i < kShards; ++i) {
-    std::unique_lock lock(shards_[i].mu);
+    util::WriteLock lock(shards_[i].mu);
     shards_[i].map.clear();
   }
   invalidations_.fetch_add(1, std::memory_order_relaxed);
@@ -59,7 +59,7 @@ AccessVectorCache::Stats AccessVectorCache::stats() const {
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
   s.capacity = shard_capacity_ * kShards;
   for (std::size_t i = 0; i < kShards; ++i) {
-    std::shared_lock lock(shards_[i].mu);
+    util::SharedReadLock lock(shards_[i].mu);
     s.entries += shards_[i].map.size();
   }
   return s;

@@ -20,15 +20,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "core/ruleset.h"
 #include "util/errno.h"
+#include "util/thread_annotations.h"
 
 namespace sack::core {
 
@@ -119,8 +118,8 @@ class AccessVectorCache {
     std::uint64_t generation = 0;
   };
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<Key, Entry, KeyHash, KeyEq> map;
+    mutable util::SharedMutex mu;
+    std::unordered_map<Key, Entry, KeyHash, KeyEq> map SACK_GUARDED_BY(mu);
   };
 
   static constexpr std::size_t kShards = 16;  // power of two

@@ -38,7 +38,7 @@ TraceRing::TraceRing(std::size_t capacity)
 }
 
 void TraceRing::append(TraceRecord record) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   record.seq = recorded_.fetch_add(1, std::memory_order_relaxed);
   if (count_ < capacity_) {
     ring_[(head_ + count_) % capacity_] = std::move(record);
@@ -52,7 +52,7 @@ void TraceRing::append(TraceRecord record) {
 }
 
 std::vector<TraceRecord> TraceRing::snapshot(std::size_t n) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const std::size_t take = n < count_ ? n : count_;
   std::vector<TraceRecord> out;
   out.reserve(take);
@@ -62,12 +62,12 @@ std::vector<TraceRecord> TraceRing::snapshot(std::size_t n) const {
 }
 
 std::size_t TraceRing::size() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return count_;
 }
 
 void TraceRing::clear() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   head_ = 0;
   count_ = 0;
 }

@@ -16,13 +16,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/mac_ops.h"
 #include "util/clock.h"
 #include "util/errno.h"
+#include "util/thread_annotations.h"
 
 namespace sack::core {
 
@@ -84,10 +84,11 @@ class TraceRing {
   std::atomic<std::uint64_t> recorded_{0};
   std::atomic<std::uint64_t> dropped_{0};
 
-  mutable std::mutex mu_;
-  std::vector<TraceRecord> ring_;  // ring_[ (head_ + i) % capacity_ ]
-  std::size_t head_ = 0;           // index of oldest record
-  std::size_t count_ = 0;
+  mutable util::Mutex mu_;
+  // ring_[ (head_ + i) % capacity_ ]
+  std::vector<TraceRecord> ring_ SACK_GUARDED_BY(mu_);
+  std::size_t head_ SACK_GUARDED_BY(mu_) = 0;  // index of oldest record
+  std::size_t count_ SACK_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sack::core

@@ -16,7 +16,7 @@ File::~File() {
 bool File::mac_verdict_current(std::string_view module,
                                std::uint64_t generation,
                                std::string_view subject) const {
-  std::lock_guard lock(mac_mu_);
+  util::MutexLock lock(mac_mu_);
   auto it = mac_revalidate_.find(module);
   return it != mac_revalidate_.end() &&
          it->second.generation == generation && it->second.subject == subject;
@@ -25,7 +25,7 @@ bool File::mac_verdict_current(std::string_view module,
 void File::mac_verdict_store(std::string_view module,
                              std::uint64_t generation,
                              std::string subject) const {
-  std::lock_guard lock(mac_mu_);
+  util::MutexLock lock(mac_mu_);
   auto it = mac_revalidate_.find(module);
   if (it == mac_revalidate_.end())
     it = mac_revalidate_.emplace(std::string(module), MacCacheEntry{}).first;

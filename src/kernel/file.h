@@ -2,7 +2,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -13,6 +12,7 @@
 #include "kernel/socket.h"
 #include "kernel/types.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 #include "util/transparent_hash.h"
 
 namespace sack::kernel {
@@ -96,8 +96,8 @@ class File {
   std::shared_ptr<PipeBuffer> pipe_;
   PipeEnd pipe_end_ = PipeEnd::read;
   std::shared_ptr<Socket> socket_;
-  mutable std::mutex mac_mu_;
-  mutable StringMap<MacCacheEntry> mac_revalidate_;
+  mutable util::Mutex mac_mu_;
+  mutable StringMap<MacCacheEntry> mac_revalidate_ SACK_GUARDED_BY(mac_mu_);
 };
 
 using FilePtr = std::shared_ptr<File>;

@@ -105,6 +105,18 @@ class SecurityModule {
     (void)task; (void)path;
     return Errno::ok;
   }
+  // Mirrors security_inode_readlink: reading a link target leaks where the
+  // link points, so it is mediated like getattr.
+  virtual Errno inode_readlink(Task& task, const std::string& path) {
+    (void)task; (void)path;
+    return Errno::ok;
+  }
+  // Mirrors security_inode_listxattr: enumerating attribute names reveals
+  // which LSM labels an object carries.
+  virtual Errno inode_listxattr(Task& task, const std::string& path) {
+    (void)task; (void)path;
+    return Errno::ok;
+  }
   virtual Errno inode_getxattr(Task& task, const std::string& path,
                                const std::string& name) {
     (void)task; (void)path; (void)name;
@@ -167,6 +179,18 @@ class SecurityModule {
     return Errno::ok;
   }
   virtual Errno socket_connect(Task& task, const Socket& sock) {
+    (void)task; (void)sock;
+    return Errno::ok;
+  }
+  // Mirrors security_socket_listen: checked before the socket becomes
+  // reachable by peers.
+  virtual Errno socket_listen(Task& task, const Socket& sock, int backlog) {
+    (void)task; (void)sock; (void)backlog;
+    return Errno::ok;
+  }
+  // Mirrors security_socket_accept: checked before a queued connection is
+  // handed to the caller (a denial must leave the backlog intact).
+  virtual Errno socket_accept(Task& task, const Socket& sock) {
     (void)task; (void)sock;
     return Errno::ok;
   }

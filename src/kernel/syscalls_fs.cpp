@@ -428,6 +428,11 @@ Result<std::string> Kernel::sys_readlink(Task& task, std::string_view path) {
   auto r = vfs_.resolve(task.cred(), path, task.cwd(), false);
   if (!r.ok()) return r.error();
   if (!r->inode->is_symlink()) return Errno::einval;
+  // Mediation gap fix (found by sack-hookcheck): link targets were
+  // disclosed without any LSM consultation (security_inode_readlink).
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.inode_readlink(task, r->path); });
+  if (rc != Errno::ok) return rc;
   return r->inode->symlink_target();
 }
 
@@ -573,6 +578,11 @@ Result<std::vector<std::string>> Kernel::sys_listxattr(Task& task,
   if (Errno drc = dac_check(task.cred(), *r->inode, AccessMask::read);
       drc != Errno::ok)
     return drc;
+  // Mediation gap fix (found by sack-hookcheck): attribute-name enumeration
+  // leaks which LSM labels an object carries (security_inode_listxattr).
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.inode_listxattr(task, r->path); });
+  if (rc != Errno::ok) return rc;
   std::vector<std::string> names;
   for (const auto& [key, value] : r->inode->security_all()) {
     if (key.find('.') == std::string::npos) {

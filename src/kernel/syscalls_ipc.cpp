@@ -110,6 +110,12 @@ Result<void> Kernel::sys_listen(Task& task, Fd fd, int backlog) {
   if (!(*fr)->is_socket()) return Errno::enotsock;
   Socket& sock = *(*fr)->socket();
   if (sock.state != SockState::bound) return Errno::einval;
+  // Mediation gap fix (found by sack-hookcheck): the listen transition used
+  // to happen with no LSM consultation at all.
+  Errno rc = lsm_.check([&](SecurityModule& m) {
+    return m.socket_listen(task, sock, backlog);
+  });
+  if (rc != Errno::ok) return rc;
   sock.state = SockState::listening;
   sock.backlog_limit = backlog;
   return {};
@@ -160,6 +166,12 @@ Result<Fd> Kernel::sys_accept(Task& task, Fd fd) {
   Socket& listener = **sr;
   if (listener.state != SockState::listening) return Errno::einval;
   if (listener.backlog.empty()) return Errno::eagain;
+  // Mediation gap fix (found by sack-hookcheck): the hook must run before
+  // the backlog pop — a denied accept may not consume the pending
+  // connection.
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.socket_accept(task, listener); });
+  if (rc != Errno::ok) return rc;
   auto endpoint = listener.backlog.front();
   listener.backlog.pop_front();
   return task.fds().install(std::make_shared<File>(std::move(endpoint)));

@@ -110,6 +110,7 @@ void SituationDetectionService::stamp_rate_limiter(const std::string& event,
 void SituationDetectionService::enqueue_retry(std::string name,
                                               std::uint64_t seq, int attempts,
                                               std::int64_t now_ms) {
+  util::MutexLock lock(retry_mu_);
   // Coalesce by name: a newer emission supersedes the queued one (the
   // sequence stamp advances so the kernel treats the retry as current).
   for (auto& p : retry_queue_) {
@@ -136,6 +137,7 @@ void SituationDetectionService::enqueue_retry(std::string name,
 
 void SituationDetectionService::drain_retries(std::int64_t now_ms,
                                               FeedResult& result) {
+  util::MutexLock lock(retry_mu_);
   if (retry_queue_.empty()) return;
   std::deque<PendingEvent> keep;
   while (!retry_queue_.empty()) {
@@ -198,10 +200,13 @@ void SituationDetectionService::resync(std::int64_t frame_ms) {
     return;
   }
   ++resyncs_sent_;
-  // Queued retries predate the trip; the consensus replay below supersedes
-  // them (account them as dropped, not lost silently).
-  retry_dropped_ += retry_queue_.size();
-  retry_queue_.clear();
+  {
+    // Queued retries predate the trip; the consensus replay below supersedes
+    // them (account them as dropped, not lost silently).
+    util::MutexLock lock(retry_mu_);
+    retry_dropped_ += retry_queue_.size();
+    retry_queue_.clear();
+  }
   std::size_t replayed = 0;
   for (std::size_t i = 0; i < detectors_.size(); ++i) {
     if (quarantined_[i]) continue;
@@ -308,7 +313,7 @@ std::string SituationDetectionService::metrics_json() const {
          ", \"heartbeats_sent\": " + std::to_string(heartbeats_sent_) +
          ", \"heartbeat_failures\": " + std::to_string(heartbeat_failures_) +
          ", \"resyncs_sent\": " + std::to_string(resyncs_sent_) +
-         ", \"retry\": {\"depth\": " + std::to_string(retry_queue_.size()) +
+         ", \"retry\": {\"depth\": " + std::to_string(retry_depth()) +
          ", \"enqueued\": " + std::to_string(retry_enqueued_) +
          ", \"succeeded\": " + std::to_string(retry_succeeded_) +
          ", \"coalesced\": " + std::to_string(retry_coalesced_) +
@@ -338,8 +343,11 @@ void SituationDetectionService::reset_detectors() {
   // stale stamp would silently swallow the re-emitted events for up to
   // min_interval_ms_ of scenario time.
   last_sent_ms_.clear();
-  retry_dropped_ += retry_queue_.size();
-  retry_queue_.clear();
+  {
+    util::MutexLock lock(retry_mu_);
+    retry_dropped_ += retry_queue_.size();
+    retry_queue_.clear();
+  }
   delayed_frames_.clear();
   std::fill(consecutive_faults_.begin(), consecutive_faults_.end(), 0);
   std::fill(quarantined_.begin(), quarantined_.end(), false);

@@ -32,6 +32,7 @@
 #include "sds/sensors.h"
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace sack::sds {
 
@@ -98,7 +99,10 @@ class SituationDetectionService {
   std::uint64_t heartbeat_failures() const { return heartbeat_failures_; }
   std::uint64_t resyncs_sent() const { return resyncs_sent_; }
 
-  std::size_t retry_depth() const { return retry_queue_.size(); }
+  std::size_t retry_depth() const {
+    util::MutexLock lock(retry_mu_);
+    return retry_queue_.size();
+  }
   std::uint64_t retry_enqueued() const { return retry_enqueued_; }
   std::uint64_t retry_succeeded() const { return retry_succeeded_; }
   std::uint64_t retry_coalesced() const { return retry_coalesced_; }
@@ -159,7 +163,13 @@ class SituationDetectionService {
   std::map<std::string, std::int64_t, std::less<>> last_sent_ms_;
 
   std::uint64_t next_seq_ = 1;
-  std::deque<PendingEvent> retry_queue_;
+  // The retry queue is the one piece of SDS state a supervising control
+  // thread may touch concurrently with the feed path (reset_detectors() /
+  // retry_depth() / metrics_json() from a monitoring thread), so it is
+  // lock-protected and capability-annotated; the rest of the service is
+  // single-threaded by contract.
+  mutable util::Mutex retry_mu_;
+  std::deque<PendingEvent> retry_queue_ SACK_GUARDED_BY(retry_mu_);
   std::int64_t retry_base_ms_ = 50;
   int retry_max_attempts_ = 5;
   Rng rng_{0x5d5'fa11'baccULL};  // deterministic backoff jitter

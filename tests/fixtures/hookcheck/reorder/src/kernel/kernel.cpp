@@ -1,0 +1,25 @@
+// Seeded-bad tree for the hookcheck gate: sys_unlink removes the directory
+// entry BEFORE dispatching path_unlink (a denial would leave the mutation in
+// place), and sys_chmod replaces the stack's verdict with a hardcoded
+// Errno::eacces.
+#include "lsm/module.h"
+
+namespace sack {
+
+Errno Kernel::sys_unlink(int pid, const std::string& path) {
+  vfs_.unlink_child(parent_of(path), leaf_of(path));  // BUG: mutation first
+  Errno rc =
+      lsm_.check([&](SecurityModule& m) { return m.path_unlink(pid, path); });
+  if (rc != Errno::ok) return rc;
+  return Errno::ok;
+}
+
+Errno Kernel::sys_chmod(int pid, const std::string& path, int mode) {
+  Errno rc =
+      lsm_.check([&](SecurityModule& m) { return m.path_chmod(pid, path); });
+  if (rc != Errno::ok) return Errno::eacces;  // BUG: hardcoded denial
+  inode_of(path).set_mode(mode);
+  return Errno::ok;
+}
+
+}  // namespace sack

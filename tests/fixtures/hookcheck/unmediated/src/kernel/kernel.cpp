@@ -1,0 +1,27 @@
+// Seeded-bad tree for the hookcheck gate: sys_read hands file contents to
+// the caller without ever consulting file_permission, and sys_spy is a new
+// syscall declared nowhere in the manifest.
+#include "lsm/module.h"
+
+namespace sack {
+
+Errno Kernel::sys_open(int pid, const std::string& path) {
+  Errno rc =
+      lsm_.check([&](SecurityModule& m) { return m.file_open(pid, path); });
+  if (rc != Errno::ok) return rc;
+  fds().install(pid, path);
+  return Errno::ok;
+}
+
+Errno Kernel::sys_read(int pid, int fd, std::string& out) {
+  // BUG: no file_permission hook before handing bytes to the caller.
+  out.assign(data_of(fd));
+  return Errno::ok;
+}
+
+Errno Kernel::sys_spy(int pid, int fd) {
+  // BUG: new syscall, declared neither as a spec nor as unmediated.
+  return Errno::ok;
+}
+
+}  // namespace sack

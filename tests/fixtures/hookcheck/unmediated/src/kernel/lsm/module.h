@@ -1,0 +1,21 @@
+// Miniature SecurityModule mirroring the real hook-interface shape.
+// This tree is a hookcheck regression fixture; it is parsed, never compiled.
+#pragma once
+
+#include <string>
+
+namespace sack {
+
+enum class Errno { ok, eacces, enoent };
+
+class SecurityModule {
+ public:
+  virtual ~SecurityModule() = default;
+
+  virtual Errno file_open(int pid, const std::string& path) {
+    return Errno::ok;
+  }
+  virtual Errno file_permission(int pid, int fd) { return Errno::ok; }
+};
+
+}  // namespace sack

@@ -1,0 +1,317 @@
+// Pipeline tests for sack-hookcheck: manifest parsing, the full
+// manifest+extract+check run over in-memory trees, the seeded-bad fixture
+// trees, and — the gate itself — the shipped kernel tree, which must be
+// clean against docs/hook_manifest.toml.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/hookcheck.h"
+#include "analysis/manifest.h"
+#include "analysis/report.h"
+
+namespace sack::analysis {
+namespace {
+
+constexpr const char* kHeaderPath = "src/kernel/lsm/module.h";
+constexpr const char* kHeader = R"(
+namespace sack {
+class SecurityModule {
+ public:
+  virtual ~SecurityModule() = default;
+  virtual Errno file_open(int pid, const std::string& path) {
+    return Errno::ok;
+  }
+  virtual Errno path_unlink(int pid, const std::string& path) {
+    return Errno::ok;
+  }
+  virtual void task_free(int pid) {}
+};
+}  // namespace sack
+)";
+
+constexpr const char* kManifest = R"(
+[hookcheck]
+sources = ["src/kernel"]
+hook_header = "src/kernel/lsm/module.h"
+
+[unmediated]
+sys_nop = "no object touched"
+
+[syscall.sys_open]
+require = ["file_open"]
+order = ["file_open < fds().install"]
+
+[syscall.sys_unlink]
+require = ["path_unlink"]
+order = ["path_unlink < vfs_.unlink_child"]
+
+[syscall.sys_waitpid]
+notify = ["task_free"]
+)";
+
+// A fully well-behaved kernel against kManifest.
+constexpr const char* kGoodKernel = R"(
+#include "lsm/module.h"
+namespace sack {
+Errno Kernel::sys_open(int pid, const std::string& path) {
+  Errno rc =
+      lsm_.check([&](SecurityModule& m) { return m.file_open(pid, path); });
+  if (rc != Errno::ok) return rc;
+  fds().install(pid, path);
+  return Errno::ok;
+}
+Errno Kernel::sys_unlink(int pid, const std::string& path) {
+  Errno rc =
+      lsm_.check([&](SecurityModule& m) { return m.path_unlink(pid, path); });
+  if (rc != Errno::ok) return rc;
+  vfs_.unlink_child(parent_of(path), leaf_of(path));
+  return Errno::ok;
+}
+Errno Kernel::sys_waitpid(int pid) {
+  lsm_.notify([&](SecurityModule& m) { m.task_free(pid); });
+  return Errno::ok;
+}
+Errno Kernel::sys_nop(int pid) { return Errno::ok; }
+}  // namespace sack
+)";
+
+HookcheckResult run_mem(const std::string& manifest,
+                        const std::string& kernel_cpp) {
+  return run_hookcheck_on_sources(
+      manifest, "hook_manifest.toml",
+      {{kHeaderPath, kHeader}, {"src/kernel/kernel.cpp", kernel_cpp}});
+}
+
+bool has_finding(const HookcheckResult& r, const std::string& cls,
+                 const std::string& hook = "") {
+  return std::any_of(r.findings.begin(), r.findings.end(),
+                     [&](const Finding& f) {
+                       return f.cls == cls && (hook.empty() || f.hook == hook);
+                     });
+}
+
+// --- manifest parser -------------------------------------------------------
+
+TEST(HookcheckManifest, ParsesSpecsAndDefaults) {
+  ManifestParse p = parse_manifest(kManifest);
+  ASSERT_TRUE(p.error.empty()) << p.error;
+  EXPECT_EQ(p.manifest.hook_header, "src/kernel/lsm/module.h");
+  ASSERT_EQ(p.manifest.syscalls.size(), 3u);
+  EXPECT_EQ(p.manifest.syscalls[0].entry, "Kernel::sys_open");
+  ASSERT_EQ(p.manifest.syscalls[1].order.size(), 1u);
+  EXPECT_EQ(p.manifest.syscalls[1].order[0].hook, "path_unlink");
+  EXPECT_EQ(p.manifest.syscalls[1].order[0].pattern, "vfs_.unlink_child");
+  EXPECT_EQ(p.manifest.unmediated.at("sys_nop"), "no object touched");
+}
+
+TEST(HookcheckManifest, MultiLineArraysAndComments) {
+  ManifestParse p = parse_manifest(
+      "[hookcheck]\n"
+      "sources = [\n"
+      "  \"src/kernel\",  # scanned tree\n"
+      "  \"src/extra\",\n"
+      "]\n"
+      "hook_header = \"src/kernel/lsm/module.h\"\n");
+  ASSERT_TRUE(p.error.empty()) << p.error;
+  ASSERT_EQ(p.manifest.sources.size(), 2u);
+  EXPECT_EQ(p.manifest.sources[1], "src/extra");
+}
+
+TEST(HookcheckManifest, RejectsMalformedInputWithLineNumber) {
+  EXPECT_NE(parse_manifest("[hookcheck]\nsources = nope\n").error.find(
+                "line 2"),
+            std::string::npos);
+  EXPECT_FALSE(parse_manifest("[what]\n").error.empty());
+  EXPECT_FALSE(parse_manifest("key = \"outside any section\"\n").error.empty());
+  EXPECT_FALSE(
+      parse_manifest("[syscall.sys_x]\norder = [\"no separator\"]\n")
+          .error.empty());
+}
+
+// --- full pipeline over in-memory trees ------------------------------------
+
+TEST(HookcheckPipeline, CleanTreeHasNoFindings) {
+  HookcheckResult r = run_mem(kManifest, kGoodKernel);
+  ASSERT_TRUE(r.ok()) << r.fatal;
+  EXPECT_EQ(r.findings.size(), 0u);
+  EXPECT_EQ(r.stats.entries_checked, 3u);
+  EXPECT_EQ(r.stats.hooks_in_table, 3u);
+}
+
+TEST(HookcheckPipeline, MissingHookAndDeadHookDetected) {
+  // sys_open proceeds without any dispatch: coverage + drift both fire.
+  std::string kernel = kGoodKernel;
+  std::size_t at = kernel.find("Errno rc =\n      lsm_.check([&](SecurityModule& m) { return m.file_open(pid, path); });\n  if (rc != Errno::ok) return rc;\n");
+  ASSERT_NE(at, std::string::npos);
+  kernel.erase(at, kernel.find("fds()", at) - at);
+  HookcheckResult r = run_mem(kManifest, kernel);
+  ASSERT_TRUE(r.ok()) << r.fatal;
+  EXPECT_TRUE(has_finding(r, "missing-hook", "file_open"));
+  EXPECT_TRUE(has_finding(r, "dead-hook", "file_open"));
+  EXPECT_GE(r.errors(), 2u);
+}
+
+TEST(HookcheckPipeline, ConditionalRequiredHookDetected) {
+  HookcheckResult r = run_mem(kManifest,
+      "namespace sack {\n"
+      "Errno Kernel::sys_open(int pid, const std::string& path, int flags) {\n"
+      "  if (flags != 0) {\n"
+      "    Errno rc =\n"
+      "        lsm_.check([&](SecurityModule& m) {"
+      " return m.file_open(pid, path); });\n"
+      "    if (rc != Errno::ok) return rc;\n"
+      "  }\n"
+      "  fds().install(pid, path);\n"
+      "  return Errno::ok;\n"
+      "}\n"
+      "Errno Kernel::sys_unlink(int pid, const std::string& path) {\n"
+      "  Errno rc =\n"
+      "      lsm_.check([&](SecurityModule& m) {"
+      " return m.path_unlink(pid, path); });\n"
+      "  if (rc != Errno::ok) return rc;\n"
+      "  vfs_.unlink_child(path);\n"
+      "  return Errno::ok;\n"
+      "}\n"
+      "Errno Kernel::sys_waitpid(int pid) {\n"
+      "  lsm_.notify([&](SecurityModule& m) { m.task_free(pid); });\n"
+      "  return Errno::ok;\n"
+      "}\n"
+      "}\n");
+  ASSERT_TRUE(r.ok()) << r.fatal;
+  EXPECT_TRUE(has_finding(r, "conditional-hook", "file_open"));
+}
+
+TEST(HookcheckPipeline, NotifyDiscardingVerdictDetected) {
+  std::string kernel = kGoodKernel;
+  // Dispatch the Errno-returning unlink hook through notify().
+  std::size_t at = kernel.find(
+      "Errno rc =\n      lsm_.check([&](SecurityModule& m) { return "
+      "m.path_unlink(pid, path); });\n  if (rc != Errno::ok) return rc;");
+  ASSERT_NE(at, std::string::npos);
+  kernel.replace(at, kernel.find("return rc;", at) + 10 - at,
+                 "lsm_.notify([&](SecurityModule& m) {"
+                 " m.path_unlink(pid, path); });");
+  HookcheckResult r = run_mem(kManifest, kernel);
+  ASSERT_TRUE(r.ok()) << r.fatal;
+  EXPECT_TRUE(has_finding(r, "notify-discards-verdict", "path_unlink"));
+}
+
+TEST(HookcheckPipeline, DoubleDispatchDetected) {
+  std::string kernel = kGoodKernel;
+  const std::string dispatch =
+      "Errno rc2 =\n"
+      "      lsm_.check([&](SecurityModule& m) {"
+      " return m.file_open(pid, path); });\n"
+      "  if (rc2 != Errno::ok) return rc2;\n  ";
+  std::size_t at = kernel.find("fds().install");
+  ASSERT_NE(at, std::string::npos);
+  kernel.insert(at, dispatch);
+  HookcheckResult r = run_mem(kManifest, kernel);
+  ASSERT_TRUE(r.ok()) << r.fatal;
+  EXPECT_TRUE(has_finding(r, "double-hook", "file_open"));
+}
+
+TEST(HookcheckPipeline, StaleOrderAnchorDetected) {
+  std::string manifest = kManifest;
+  std::size_t at = manifest.find("fds().install");
+  ASSERT_NE(at, std::string::npos);
+  manifest.replace(at, std::string("fds().install").size(),
+                   "descriptor_table().emplace");
+  HookcheckResult r = run_mem(manifest, kGoodKernel);
+  ASSERT_TRUE(r.ok()) << r.fatal;
+  EXPECT_TRUE(has_finding(r, "stale-order-pattern", "file_open"));
+}
+
+TEST(HookcheckPipeline, ManifestReferencingUnknownHookIsAnError) {
+  std::string manifest = kManifest;
+  std::size_t at = manifest.find("\"file_open\"");
+  manifest.replace(at, std::string("\"file_open\"").size(), "\"file_opne\"");
+  HookcheckResult r = run_mem(manifest, kGoodKernel);
+  ASSERT_TRUE(r.ok()) << r.fatal;
+  EXPECT_TRUE(has_finding(r, "manifest-error", "file_opne"));
+}
+
+TEST(HookcheckPipeline, UndeclaredReachableHookIsAWarning) {
+  std::string manifest = kManifest;
+  // Drop the order rule together with the require so the reachable hook
+  // becomes undeclared rather than required.
+  std::size_t at = manifest.find("require = [\"file_open\"]");
+  ASSERT_NE(at, std::string::npos);
+  manifest.erase(at, manifest.find("[syscall.sys_unlink]") - at);
+  HookcheckResult r = run_mem(manifest, kGoodKernel);
+  ASSERT_TRUE(r.ok()) << r.fatal;
+  EXPECT_TRUE(has_finding(r, "undeclared-hook", "file_open"));
+  EXPECT_EQ(r.errors(), 0u);
+  EXPECT_GE(count_warnings(r.findings), 1u);
+}
+
+TEST(HookcheckPipeline, BadManifestIsFatalNotAFinding) {
+  HookcheckResult r = run_mem("[hookcheck]\nsources = nope\n", kGoodKernel);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.fatal.find("line 2"), std::string::npos);
+}
+
+// --- report rendering ------------------------------------------------------
+
+TEST(HookcheckReport, TextAndJsonCarryProvenance) {
+  std::string kernel = kGoodKernel;
+  std::size_t at = kernel.find("Errno rc =");
+  kernel.erase(at, kernel.find("fds()", at) - at);
+  HookcheckResult r = run_mem(kManifest, kernel);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r.findings.size(), 1u);
+
+  std::string text = render_text(r.findings, r.stats);
+  EXPECT_NE(text.find("src/kernel/kernel.cpp:"), std::string::npos);
+  EXPECT_NE(text.find("[missing-hook]"), std::string::npos);
+
+  std::string json = render_json(r.findings, r.stats);
+  EXPECT_NE(json.find("\"class\": \"missing-hook\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"src/kernel/kernel.cpp\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"errors\":"), std::string::npos);
+}
+
+// --- the gate: fixtures and the shipped tree -------------------------------
+
+TEST(HookcheckGate, UnmediatedFixtureTrips) {
+  const std::string root =
+      std::string(SACK_SOURCE_DIR) + "/tests/fixtures/hookcheck/unmediated";
+  HookcheckResult r = run_hookcheck(root, root + "/hook_manifest.toml");
+  ASSERT_TRUE(r.ok()) << r.fatal;
+  EXPECT_TRUE(has_finding(r, "missing-hook", "file_permission"));
+  EXPECT_TRUE(has_finding(r, "unlisted-syscall"));
+  EXPECT_TRUE(has_finding(r, "dead-hook", "file_permission"));
+  for (const auto& f : r.findings) {
+    EXPECT_FALSE(f.file.empty());
+    EXPECT_GT(f.line, 0);
+  }
+}
+
+TEST(HookcheckGate, ReorderFixtureTrips) {
+  const std::string root =
+      std::string(SACK_SOURCE_DIR) + "/tests/fixtures/hookcheck/reorder";
+  HookcheckResult r = run_hookcheck(root, root + "/hook_manifest.toml");
+  ASSERT_TRUE(r.ok()) << r.fatal;
+  EXPECT_TRUE(has_finding(r, "hook-after-mutation", "path_unlink"));
+  EXPECT_TRUE(has_finding(r, "hardcoded-denial", "path_chmod"));
+  EXPECT_EQ(r.errors(), 2u);
+}
+
+TEST(HookcheckGate, ShippedKernelTreeIsClean) {
+  const std::string root = SACK_SOURCE_DIR;
+  HookcheckResult r = run_hookcheck(root, root + "/docs/hook_manifest.toml");
+  ASSERT_TRUE(r.ok()) << r.fatal;
+  for (const auto& f : r.findings)
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.cls << "] "
+                  << f.message;
+  EXPECT_GE(r.stats.entries_checked, 34u);
+  EXPECT_GE(r.stats.dispatch_sites, 40u);
+}
+
+}  // namespace
+}  // namespace sack::analysis

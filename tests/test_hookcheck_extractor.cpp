@@ -1,0 +1,383 @@
+// Unit tests for the sack-hookcheck C++ extractor: the lexer, the hook-table
+// parser, function/dispatch extraction, guard classification, and the
+// ordering-anchor pattern matcher. Focuses on the shapes that historically
+// break lightweight parsers: overloads, lambdas, early returns, helper
+// wrappers, conditional dispatch, and if-init guards.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/checks.h"
+#include "analysis/extractor.h"
+#include "analysis/lexer.h"
+
+namespace sack::analysis {
+namespace {
+
+// A representative hook header shared by most tests.
+constexpr const char* kHeader = R"(
+namespace sack {
+class SecurityModule {
+ public:
+  virtual ~SecurityModule() = default;
+  virtual Errno file_open(int pid, const std::string& path) {
+    return Errno::ok;
+  }
+  virtual Errno file_permission(int pid, int fd) { return Errno::ok; }
+  virtual void task_free(int pid) {}
+  virtual std::string getprocattr(int pid) { return {}; }
+};
+}  // namespace sack
+)";
+
+HookTable table() { return parse_hook_table(lex(kHeader)); }
+
+SourceFile extract_src(const std::string& body) {
+  return extract("test.cpp", lex(body), table());
+}
+
+const FunctionDef* fn_named(const SourceFile& f, const std::string& name) {
+  for (const auto& fn : f.functions)
+    if (fn.name == name) return &fn;
+  return nullptr;
+}
+
+// --- lexer -----------------------------------------------------------------
+
+TEST(HookcheckLexer, StripsCommentsPreprocessorAndStringContents) {
+  auto toks = lex("#include <map>\n// file_open in a comment\n"
+                  "/* file_open again */ int x = 1; auto s = \"file_open\";");
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::ident) EXPECT_NE(t.text, "file_open");
+    if (t.kind == TokKind::str) EXPECT_EQ(t.text, "\"\"");
+  }
+}
+
+TEST(HookcheckLexer, MultiCharOperatorsStayWhole) {
+  auto toks = lex("a != b; c == d; e -> f; g::h; i <= j;");
+  int two_char = 0;
+  for (const auto& t : toks) {
+    if (t.kind != TokKind::punct) continue;
+    EXPECT_NE(t.text, "!");  // `!=` must never split
+    if (t.text.size() == 2) ++two_char;
+  }
+  EXPECT_EQ(two_char, 5);
+}
+
+TEST(HookcheckLexer, RawStringsAreOpaque) {
+  auto toks = lex("auto s = R\"x(lsm_.check mutation = )x\"; int y;");
+  for (const auto& t : toks)
+    if (t.kind == TokKind::ident) EXPECT_NE(t.text, "lsm_");
+}
+
+TEST(HookcheckLexer, TracksLineNumbers) {
+  auto toks = lex("int a;\nint b;\n\nint c;");
+  ASSERT_GE(toks.size(), 9u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[3].line, 2);
+  EXPECT_EQ(toks[6].line, 4);
+}
+
+// --- hook table ------------------------------------------------------------
+
+TEST(HookcheckTable, ClassifiesHookKinds) {
+  HookTable t = table();
+  ASSERT_TRUE(t.contains("file_open"));
+  EXPECT_EQ(t.kind("file_open"), HookKind::mediation);
+  EXPECT_EQ(t.kind("file_permission"), HookKind::mediation);
+  EXPECT_EQ(t.kind("task_free"), HookKind::notify);
+  EXPECT_EQ(t.kind("getprocattr"), HookKind::other);
+  EXPECT_FALSE(t.contains("SecurityModule"));  // dtor is not a hook
+  EXPECT_GT(t.line("file_open"), 0);
+}
+
+// --- function extraction ---------------------------------------------------
+
+TEST(HookcheckExtract, QualifiedOutOfClassDefinition) {
+  auto f = extract_src("Errno Kernel::sys_open(int pid) { return Errno::ok; }");
+  ASSERT_EQ(f.functions.size(), 1u);
+  EXPECT_EQ(f.functions[0].qualified, "Kernel::sys_open");
+  EXPECT_EQ(f.functions[0].name, "sys_open");
+}
+
+TEST(HookcheckExtract, OverloadsBothRecorded) {
+  auto f = extract_src(
+      "int Kernel::resolve(int fd) { return fd; }\n"
+      "int Kernel::resolve(const std::string& p) { return 0; }");
+  ASSERT_EQ(f.functions.size(), 2u);
+  EXPECT_EQ(f.functions[0].name, "resolve");
+  EXPECT_EQ(f.functions[1].name, "resolve");
+  Corpus c = build_corpus(table(), {f});
+  EXPECT_EQ(c.by_name.at("resolve").size(), 2u);
+}
+
+TEST(HookcheckExtract, DeclarationsAreNotDefinitions) {
+  auto f = extract_src(
+      "Errno sys_open(int pid);\n"
+      "class K { Errno sys_read(int fd); };\n"
+      "Errno K::sys_read(int fd) { return Errno::ok; }");
+  ASSERT_EQ(f.functions.size(), 1u);
+  EXPECT_EQ(f.functions[0].qualified, "K::sys_read");
+}
+
+TEST(HookcheckExtract, ConstructorInitListSkipped) {
+  auto f = extract_src(
+      "Kernel::Kernel(Vfs& v) : vfs_(v), clock_{0} { boot(); }");
+  ASSERT_EQ(f.functions.size(), 1u);
+  ASSERT_EQ(f.functions[0].calls.size(), 1u);
+  EXPECT_EQ(f.functions[0].calls[0].callee, "boot");
+}
+
+TEST(HookcheckExtract, HelperWrapperCallSitesRecorded) {
+  auto f = extract_src(
+      "Errno Kernel::check_path(int pid, const std::string& p) {\n"
+      "  return lsm_.check([&](SecurityModule& m) {\n"
+      "    return m.file_open(pid, p); });\n"
+      "}\n"
+      "Errno Kernel::sys_open(int pid, const std::string& p) {\n"
+      "  Errno rc = check_path(pid, p);\n"
+      "  if (rc != Errno::ok) return rc;\n"
+      "  return Errno::ok;\n"
+      "}");
+  const FunctionDef* open = fn_named(f, "sys_open");
+  ASSERT_NE(open, nullptr);
+  bool saw = false;
+  for (const auto& c : open->calls) saw = saw || c.callee == "check_path";
+  EXPECT_TRUE(saw);
+  // ...and the wrapper itself carries the hook, so reachability closes over it.
+  const FunctionDef* helper = fn_named(f, "check_path");
+  ASSERT_NE(helper, nullptr);
+  ASSERT_EQ(helper->hooks.size(), 1u);
+  EXPECT_EQ(helper->hooks[0].hook, "file_open");
+
+  Corpus corpus = build_corpus(table(), {f});
+  Reachability r = compute_reachability(corpus, open, {});
+  ASSERT_TRUE(r.hooks.count("file_open"));
+  EXPECT_TRUE(r.hooks.at("file_open").unconditional);
+}
+
+// --- guard classification --------------------------------------------------
+
+TEST(HookcheckGuard, DirectReturnPropagates) {
+  auto f = extract_src(
+      "Errno Kernel::sys_stat(int pid) {\n"
+      "  return lsm_.check([&](SecurityModule& m) {\n"
+      "    return m.file_permission(pid, 0); });\n"
+      "}");
+  ASSERT_EQ(f.functions[0].hooks.size(), 1u);
+  EXPECT_EQ(f.functions[0].hooks[0].guard, Guard::propagated);
+}
+
+TEST(HookcheckGuard, CheckedVariablePropagates) {
+  auto f = extract_src(
+      "Errno Kernel::sys_open(int pid) {\n"
+      "  Errno rc = lsm_.check([&](SecurityModule& m) {\n"
+      "    return m.file_open(pid, \"/\"); });\n"
+      "  if (rc != Errno::ok) return rc;\n"
+      "  return Errno::ok;\n"
+      "}");
+  ASSERT_EQ(f.functions[0].hooks.size(), 1u);
+  EXPECT_EQ(f.functions[0].hooks[0].guard, Guard::propagated);
+}
+
+TEST(HookcheckGuard, IfInitFormPropagates) {
+  auto f = extract_src(
+      "Errno Kernel::sys_open(int pid) {\n"
+      "  if (Errno rc = lsm_.check([&](SecurityModule& m) {\n"
+      "        return m.file_open(pid, \"/\"); });\n"
+      "      rc != Errno::ok)\n"
+      "    return rc;\n"
+      "  return Errno::ok;\n"
+      "}");
+  ASSERT_EQ(f.functions[0].hooks.size(), 1u);
+  EXPECT_EQ(f.functions[0].hooks[0].guard, Guard::propagated);
+}
+
+TEST(HookcheckGuard, DenialWithLoggingBeforeReturnStillPropagates) {
+  auto f = extract_src(
+      "Errno Kernel::sys_open(int pid) {\n"
+      "  Errno rc = lsm_.check([&](SecurityModule& m) {\n"
+      "    return m.file_open(pid, \"/\"); });\n"
+      "  if (rc != Errno::ok) {\n"
+      "    log_debug(\"denied\");\n"
+      "    return rc;\n"
+      "  }\n"
+      "  return Errno::ok;\n"
+      "}");
+  ASSERT_EQ(f.functions[0].hooks.size(), 1u);
+  EXPECT_EQ(f.functions[0].hooks[0].guard, Guard::propagated);
+}
+
+TEST(HookcheckGuard, HardcodedDenialDetected) {
+  auto f = extract_src(
+      "Errno Kernel::sys_open(int pid) {\n"
+      "  Errno rc = lsm_.check([&](SecurityModule& m) {\n"
+      "    return m.file_open(pid, \"/\"); });\n"
+      "  if (rc != Errno::ok) return Errno::eacces;\n"
+      "  return Errno::ok;\n"
+      "}");
+  ASSERT_EQ(f.functions[0].hooks.size(), 1u);
+  EXPECT_EQ(f.functions[0].hooks[0].guard, Guard::hardcoded);
+  EXPECT_EQ(f.functions[0].hooks[0].hardcoded_errno, "Errno::eacces");
+}
+
+TEST(HookcheckGuard, SwallowedDenialDetected) {
+  auto f = extract_src(
+      "Errno Kernel::sys_open(int pid) {\n"
+      "  Errno rc = lsm_.check([&](SecurityModule& m) {\n"
+      "    return m.file_open(pid, \"/\"); });\n"
+      "  if (rc != Errno::ok) { log_debug(\"denied\"); }\n"
+      "  return Errno::ok;\n"
+      "}");
+  ASSERT_EQ(f.functions[0].hooks.size(), 1u);
+  EXPECT_EQ(f.functions[0].hooks[0].guard, Guard::swallowed);
+}
+
+TEST(HookcheckGuard, UnguardedVerdictDetected) {
+  auto f = extract_src(
+      "Errno Kernel::sys_open(int pid) {\n"
+      "  Errno rc = lsm_.check([&](SecurityModule& m) {\n"
+      "    return m.file_open(pid, \"/\"); });\n"
+      "  return Errno::ok;\n"
+      "}");
+  ASSERT_EQ(f.functions[0].hooks.size(), 1u);
+  EXPECT_EQ(f.functions[0].hooks[0].guard, Guard::unguarded);
+}
+
+TEST(HookcheckGuard, NotifyDispatchIsNotGuarded) {
+  auto f = extract_src(
+      "void Kernel::reap(int pid) {\n"
+      "  lsm_.notify([&](SecurityModule& m) { m.task_free(pid); });\n"
+      "}");
+  ASSERT_EQ(f.functions[0].hooks.size(), 1u);
+  EXPECT_TRUE(f.functions[0].hooks[0].via_notify);
+  EXPECT_EQ(f.functions[0].hooks[0].guard, Guard::notify);
+}
+
+// --- conditional-context tracking ------------------------------------------
+
+TEST(HookcheckConditional, DispatchUnderIfIsConditional) {
+  auto f = extract_src(
+      "Errno Kernel::sys_open(int pid, int flags) {\n"
+      "  if (flags != 0) {\n"
+      "    Errno rc = lsm_.check([&](SecurityModule& m) {\n"
+      "      return m.file_open(pid, \"/\"); });\n"
+      "    if (rc != Errno::ok) return rc;\n"
+      "  }\n"
+      "  return Errno::ok;\n"
+      "}");
+  ASSERT_EQ(f.functions[0].hooks.size(), 1u);
+  EXPECT_TRUE(f.functions[0].hooks[0].conditional);
+}
+
+TEST(HookcheckConditional, EarlyReturnDoesNotTaintLaterDispatch) {
+  auto f = extract_src(
+      "Errno Kernel::sys_open(int pid, int fd) {\n"
+      "  if (fd < 0) return Errno::enoent;\n"
+      "  return lsm_.check([&](SecurityModule& m) {\n"
+      "    return m.file_open(pid, \"/\"); });\n"
+      "}");
+  ASSERT_EQ(f.functions[0].hooks.size(), 1u);
+  EXPECT_FALSE(f.functions[0].hooks[0].conditional);
+}
+
+TEST(HookcheckConditional, UnbracedIfBodyIsConditional) {
+  auto f = extract_src(
+      "void Kernel::maybe_log(int pid, bool v) {\n"
+      "  if (v)\n"
+      "    audit(pid);\n"
+      "  commit(pid);\n"
+      "}");
+  const FunctionDef* fn = fn_named(f, "maybe_log");
+  ASSERT_NE(fn, nullptr);
+  bool audit_cond = false, commit_cond = true;
+  for (const auto& c : fn->calls) {
+    if (c.callee == "audit") audit_cond = c.conditional;
+    if (c.callee == "commit") commit_cond = c.conditional;
+  }
+  EXPECT_TRUE(audit_cond);
+  EXPECT_FALSE(commit_cond);
+}
+
+TEST(HookcheckConditional, ShortCircuitRhsInControlHeaderIsConditional) {
+  // The left operand of a header condition always evaluates; everything after
+  // a top-level `&&` may be skipped, so calls there are conditional.
+  auto f = extract_src(
+      "void Kernel::gate(int pid) {\n"
+      "  if (is_root(pid) && audited(pid)) { mark(pid); }\n"
+      "}");
+  const FunctionDef* fn = fn_named(f, "gate");
+  ASSERT_NE(fn, nullptr);
+  bool lhs_cond = true, rhs_cond = false, body_cond = false;
+  for (const auto& c : fn->calls) {
+    if (c.callee == "is_root") lhs_cond = c.conditional;
+    if (c.callee == "audited") rhs_cond = c.conditional;
+    if (c.callee == "mark") body_cond = c.conditional;
+  }
+  EXPECT_FALSE(lhs_cond);
+  EXPECT_TRUE(rhs_cond);
+  EXPECT_TRUE(body_cond);
+}
+
+TEST(HookcheckConditional, CallsInsideNonDispatchLambdaStillRecorded) {
+  auto f = extract_src(
+      "void Kernel::walk(int pid) {\n"
+      "  for_each([&](int fd) { revalidate(fd); });\n"
+      "}");
+  const FunctionDef* fn = fn_named(f, "walk");
+  ASSERT_NE(fn, nullptr);
+  bool saw = false;
+  for (const auto& c : fn->calls) saw = saw || c.callee == "revalidate";
+  EXPECT_TRUE(saw);
+}
+
+// --- opaque dispatch -------------------------------------------------------
+
+TEST(HookcheckOpaque, UnknownHookNameInDispatchFlagged) {
+  auto f = extract_src(
+      "Errno Kernel::sys_open(int pid) {\n"
+      "  return lsm_.check([&](SecurityModule& m) {\n"
+      "    return m.file_opne(pid, \"/\"); });\n"  // typo'd hook
+      "}");
+  ASSERT_EQ(f.functions[0].hooks.size(), 0u);
+  EXPECT_EQ(f.functions[0].opaque_dispatch_lines.size(), 1u);
+}
+
+TEST(HookcheckOpaque, OtherKindHookIsNotOpaque) {
+  auto f = extract_src(
+      "void Procfs::render(int pid) {\n"
+      "  kernel_->lsm().notify([&](SecurityModule& m) {\n"
+      "    out_ += m.getprocattr(pid); });\n"
+      "}");
+  ASSERT_EQ(f.functions.size(), 1u);
+  EXPECT_TRUE(f.functions[0].opaque_dispatch_lines.empty());
+  EXPECT_TRUE(f.functions[0].hooks.empty());  // "other" never mediates
+}
+
+// --- ordering-anchor pattern matching --------------------------------------
+
+TEST(HookcheckPattern, ArrowAndDotAreInterchangeable) {
+  auto toks = lex("void f() { fds()->install(fd); }");
+  auto pat = lex("fds().install");
+  EXPECT_NE(find_pattern(toks, 0, toks.size(), pat), std::string::npos);
+}
+
+TEST(HookcheckPattern, TrailingAssignNeverMatchesComparison) {
+  auto toks = lex("void f() { if (sock.state == kOpen) {} }");
+  auto pat = lex("sock.state =");
+  EXPECT_EQ(find_pattern(toks, 0, toks.size(), pat), std::string::npos);
+
+  auto toks2 = lex("void f() { sock.state = kOpen; }");
+  EXPECT_NE(find_pattern(toks2, 0, toks2.size(), pat), std::string::npos);
+}
+
+TEST(HookcheckPattern, RespectsRange) {
+  auto toks = lex("int a; vfs_.unlink_child(p, l); int b;");
+  auto pat = lex("vfs_.unlink_child");
+  std::size_t at = find_pattern(toks, 0, toks.size(), pat);
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_EQ(find_pattern(toks, at + 1, toks.size(), pat), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sack::analysis

@@ -193,5 +193,135 @@ TEST(SecurityFs, WriteToReadOnlyHandlerFails) {
             Errno::eacces);
 }
 
+// --- mediation-gap regressions (found by sack-hookcheck) ---
+//
+// listen/accept/readlink/listxattr used to mutate or disclose state with no
+// LSM consultation at all. Each test pins (a) the hook fires, (b) a denial
+// sticks, and (c) a denial leaves kernel state untouched — the
+// hook-before-mutation ordering the static analyzer now enforces.
+
+class GapSpyModule : public SecurityModule {
+ public:
+  std::string_view name() const override { return "gapspy"; }
+
+  Errno socket_listen(Task&, const Socket&, int backlog) override {
+    ++listen_calls;
+    last_backlog = backlog;
+    return deny_listen ? Errno::eacces : Errno::ok;
+  }
+  Errno socket_accept(Task&, const Socket&) override {
+    ++accept_calls;
+    return deny_accept ? Errno::eacces : Errno::ok;
+  }
+  Errno inode_readlink(Task&, const std::string& path) override {
+    readlinks.push_back(path);
+    return deny_readlink ? Errno::eacces : Errno::ok;
+  }
+  Errno inode_listxattr(Task&, const std::string& path) override {
+    listxattrs.push_back(path);
+    return deny_listxattr ? Errno::eacces : Errno::ok;
+  }
+
+  int listen_calls = 0;
+  int accept_calls = 0;
+  int last_backlog = -1;
+  std::vector<std::string> readlinks;
+  std::vector<std::string> listxattrs;
+  bool deny_listen = false;
+  bool deny_accept = false;
+  bool deny_readlink = false;
+  bool deny_listxattr = false;
+};
+
+TEST(MediationGaps, ListenIsMediatedBeforeStateChange) {
+  Kernel kernel;
+  auto* spy = static_cast<GapSpyModule*>(
+      kernel.add_lsm(std::make_unique<GapSpyModule>()));
+  Task& root = kernel.init_task();
+  auto fd = kernel.sys_socket(root, SockFamily::inet, SockType::stream);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel.sys_bind(root, *fd, SockAddr::in(7000)).ok());
+
+  spy->deny_listen = true;
+  EXPECT_EQ(kernel.sys_listen(root, *fd, 4).error(), Errno::eacces);
+  EXPECT_EQ(spy->listen_calls, 1);
+  EXPECT_EQ(spy->last_backlog, 4);
+  // Ordering: the denied listen must not have flipped the socket state —
+  // a connect must still fail (nothing is listening on the port).
+  auto client = kernel.sys_socket(root, SockFamily::inet, SockType::stream);
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ(kernel.sys_connect(root, *client, SockAddr::in(7000)).error(),
+            Errno::econnrefused);
+
+  spy->deny_listen = false;
+  EXPECT_TRUE(kernel.sys_listen(root, *fd, 4).ok());
+  EXPECT_EQ(spy->listen_calls, 2);
+  EXPECT_TRUE(kernel.sys_connect(root, *client, SockAddr::in(7000)).ok());
+}
+
+TEST(MediationGaps, AcceptDenialLeavesBacklogIntact) {
+  Kernel kernel;
+  auto* spy = static_cast<GapSpyModule*>(
+      kernel.add_lsm(std::make_unique<GapSpyModule>()));
+  Task& root = kernel.init_task();
+  auto listener = kernel.sys_socket(root, SockFamily::inet, SockType::stream);
+  ASSERT_TRUE(listener.ok());
+  ASSERT_TRUE(kernel.sys_bind(root, *listener, SockAddr::in(7100)).ok());
+  ASSERT_TRUE(kernel.sys_listen(root, *listener, 2).ok());
+  auto client = kernel.sys_socket(root, SockFamily::inet, SockType::stream);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(kernel.sys_connect(root, *client, SockAddr::in(7100)).ok());
+
+  spy->deny_accept = true;
+  EXPECT_EQ(kernel.sys_accept(root, *listener).error(), Errno::eacces);
+  EXPECT_EQ(spy->accept_calls, 1);
+
+  // Ordering: the denial must not have consumed the pending connection.
+  spy->deny_accept = false;
+  EXPECT_TRUE(kernel.sys_accept(root, *listener).ok());
+  EXPECT_EQ(spy->accept_calls, 2);
+}
+
+TEST(MediationGaps, ReadlinkIsMediated) {
+  Kernel kernel;
+  auto* spy = static_cast<GapSpyModule*>(
+      kernel.add_lsm(std::make_unique<GapSpyModule>()));
+  Task& root = kernel.init_task();
+  Process p(kernel, root);
+  ASSERT_TRUE(p.write_file("/tmp/target", "x").ok());
+  ASSERT_TRUE(kernel.sys_symlink(root, "/tmp/target", "/tmp/link").ok());
+
+  spy->deny_readlink = true;
+  EXPECT_EQ(kernel.sys_readlink(root, "/tmp/link").error(), Errno::eacces);
+  ASSERT_EQ(spy->readlinks.size(), 1u);
+  EXPECT_EQ(spy->readlinks[0], "/tmp/link");
+
+  spy->deny_readlink = false;
+  auto target = kernel.sys_readlink(root, "/tmp/link");
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, "/tmp/target");
+}
+
+TEST(MediationGaps, ListxattrIsMediated) {
+  Kernel kernel;
+  auto* spy = static_cast<GapSpyModule*>(
+      kernel.add_lsm(std::make_unique<GapSpyModule>()));
+  Task& root = kernel.init_task();
+  Process p(kernel, root);
+  ASSERT_TRUE(p.write_file("/tmp/f", "x").ok());
+  ASSERT_TRUE(
+      kernel.sys_setxattr(root, "/tmp/f", "user.note", "v").ok());
+
+  spy->deny_listxattr = true;
+  EXPECT_EQ(kernel.sys_listxattr(root, "/tmp/f").error(), Errno::eacces);
+  ASSERT_EQ(spy->listxattrs.size(), 1u);
+  EXPECT_EQ(spy->listxattrs[0], "/tmp/f");
+
+  spy->deny_listxattr = false;
+  auto names = kernel.sys_listxattr(root, "/tmp/f");
+  ASSERT_TRUE(names.ok());
+  EXPECT_FALSE(names->empty());
+}
+
 }  // namespace
 }  // namespace sack::kernel

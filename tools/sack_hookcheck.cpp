@@ -1,0 +1,76 @@
+// sack-hookcheck: static hook-mediation analyzer for the simulated kernel.
+//
+//   sack-hookcheck [options]
+//
+//   --root DIR        repository root to scan (default: .)
+//   --manifest FILE   mediation manifest
+//                     (default: <root>/docs/hook_manifest.toml)
+//   --json            machine-readable report
+//   --quiet           suppress the report, keep only the exit status
+//
+// The analyzer parses the simulated kernel sources, builds the syscall-entry
+// to LSM-hook reachability graph, and checks it against the checked-in
+// mediation manifest: required hooks must be reachable on every non-error
+// path, each hook must dominate the state mutation it guards, denial paths
+// must propagate the stack verdict, and the hook table must stay free of
+// drift (dead hooks, unknown dispatches, unlisted syscalls).
+//
+// Exit status: 0 when the tree has no error-class findings, 1 when it does,
+// 2 on usage / IO / manifest problems. This is the CI gate contract: the
+// build fails exactly when a kernel change regresses mediation coverage.
+#include <cstdio>
+#include <string>
+
+#include "analysis/hookcheck.h"
+#include "analysis/report.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--manifest FILE] [--json] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string manifest;
+  bool json = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      root = argv[i];
+    } else if (arg == "--manifest") {
+      if (++i >= argc) return usage(argv[0]);
+      manifest = argv[i];
+    } else {
+      std::fprintf(stderr, "sack-hookcheck: unknown argument '%s'\n",
+                   arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (manifest.empty()) manifest = root + "/docs/hook_manifest.toml";
+
+  auto result = sack::analysis::run_hookcheck(root, manifest);
+  if (!result.ok()) {
+    std::fprintf(stderr, "sack-hookcheck: %s\n", result.fatal.c_str());
+    return 2;
+  }
+  if (!quiet) {
+    std::string report =
+        json ? sack::analysis::render_json(result.findings, result.stats)
+             : sack::analysis::render_text(result.findings, result.stats);
+    std::fputs(report.c_str(), stdout);
+  }
+  return result.errors() > 0 ? 1 : 0;
+}
