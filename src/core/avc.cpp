@@ -26,12 +26,16 @@ std::optional<Errno> AccessVectorCache::probe(const AccessQuery& query,
 
 void AccessVectorCache::insert(const AccessQuery& query,
                                std::uint64_t generation, Errno verdict) {
-  Key key{std::string(query.subject_exe), std::string(query.subject_profile),
-          std::string(query.object_path), query.op};
-  const std::size_t hash = KeyHash{}(key);
+  // Probe with the transparent view key first: re-stamping an existing entry
+  // (the common case after an AVC flush — same queries, new generation)
+  // never copies the key strings. Only a genuinely new entry materializes an
+  // owned Key.
+  const KeyView view{query.subject_exe, query.subject_profile,
+                     query.object_path, query.op};
+  const std::size_t hash = KeyHash{}(view);
   Shard& shard = shard_for(hash);
   util::WriteLock lock(shard.mu);
-  auto it = shard.map.find(key);
+  auto it = shard.map.find(view);
   if (it != shard.map.end()) {
     it->second = Entry{verdict, generation};
     return;
@@ -40,6 +44,8 @@ void AccessVectorCache::insert(const AccessQuery& query,
     shard.map.erase(shard.map.begin());
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+  Key key{std::string(query.subject_exe), std::string(query.subject_profile),
+          std::string(query.object_path), query.op};
   shard.map.emplace(std::move(key), Entry{verdict, generation});
 }
 

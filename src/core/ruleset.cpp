@@ -107,13 +107,26 @@ Errno CompiledRuleSet::check(const AccessQuery& query) const {
   // One snapshot for the whole decision: guard set and active indexes are
   // guaranteed mutually consistent, and stay alive until `snap` drops.
   const std::shared_ptr<const Snapshot> snap = snapshot();
-  if (!snap->base->guarded(query.object_path)) return Errno::ok;
+  return decide(*snap, query);
+}
+
+void CompiledRuleSet::check_ops(std::span<const AccessQuery> queries,
+                                std::span<Errno> verdicts) const {
+  // One snapshot acquisition for the whole batch: every verdict is computed
+  // on the same consistent activation, and the RcuPtr load is paid once.
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    verdicts[i] = decide(*snap, queries[i]);
+}
+
+Errno CompiledRuleSet::decide(const Snapshot& snap, const AccessQuery& query) {
+  if (!snap.base->guarded(query.object_path)) return Errno::ok;
 
   const std::size_t op = mac_op_index(query.op);
   if (op >= kMacOpCount) return Errno::einval;
 
   // Deny rules first: deny wins over any allow.
-  const OpTable& deny = snap->active_deny[op];
+  const OpTable& deny = snap.active_deny[op];
   if (!deny.literal.empty()) {
     auto it = deny.literal.find(query.object_path);
     if (it != deny.literal.end()) {
@@ -128,7 +141,7 @@ Errno CompiledRuleSet::check(const AccessQuery& query) const {
       return Errno::eacces;
   }
 
-  const OpTable& allow = snap->active_allow[op];
+  const OpTable& allow = snap.active_allow[op];
   if (!allow.literal.empty()) {
     auto it = allow.literal.find(query.object_path);
     if (it != allow.literal.end()) {
@@ -143,6 +156,185 @@ Errno CompiledRuleSet::check(const AccessQuery& query) const {
       return Errno::ok;
   }
   return Errno::eacces;  // guarded and not allowed in the current state
+}
+
+// --- DfaRuleSet (table-driven matcher) ---
+
+DfaRuleSet::DfaRuleSet() {
+  // Never-null snapshot, same contract as CompiledRuleSet.
+  snap_.store(make_snapshot(std::make_shared<const Program>(), {}));
+}
+
+std::shared_ptr<const ObjectLabel> DfaRuleSet::Program::resolve(
+    const std::shared_ptr<const Program>& self, std::string_view path) const {
+  if (dfa) {
+    // The accept mask lives in the DFA's per-state storage: alias it so the
+    // label shares ownership of the Program (and thus stays a valid pointer
+    // even if a concurrent load() republished a new Program).
+    return {self, &dfa->match(path)};
+  }
+  // Scan fallback: materialize the mask rule by rule.
+  auto label = std::make_shared<ObjectLabel>(rules.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i]->object.matches(path)) label->set(i);
+  }
+  return label;
+}
+
+void DfaRuleSet::load(const SackPolicy& policy) {
+  auto base = std::make_shared<Program>();
+  base->policy = policy;  // own a copy: rule ids index into it
+
+  for (const auto& [perm, rules] : base->policy.per_rules) {
+    auto& slot = base->by_permission[perm];
+    for (const auto& rule : rules) {
+      slot.push_back(static_cast<std::uint32_t>(base->rules.size()));
+      base->rules.push_back(&rule);
+    }
+  }
+  std::vector<const Glob*> patterns;
+  patterns.reserve(base->rules.size());
+  for (const MacRule* rule : base->rules) patterns.push_back(&rule->object);
+  if (!patterns.empty()) {
+    auto dfa = GlobDfa::build(patterns);
+    if (dfa.ok()) base->dfa = std::move(dfa).value();
+    // else: budget blown — keep the scan fallback (correctness unchanged).
+  }
+  base->empty_label = ObjectLabel(base->rules.size());
+  base->label_gen = next_label_gen_.fetch_add(1, std::memory_order_relaxed);
+  snap_.store(make_snapshot(std::move(base), {}));
+}
+
+std::shared_ptr<const DfaRuleSet::Snapshot> DfaRuleSet::make_snapshot(
+    std::shared_ptr<const Program> base,
+    const std::vector<std::string>& permissions) {
+  auto snap = std::make_shared<Snapshot>();
+  const std::size_t n = base->rules.size();
+  snap->active_allow.assign(kMacOpCount, ObjectLabel(n));
+  snap->active_deny.assign(kMacOpCount, ObjectLabel(n));
+  for (const auto& perm : permissions) {
+    auto it = base->by_permission.find(perm);
+    if (it == base->by_permission.end()) continue;
+    for (std::uint32_t id : it->second) {
+      const MacRule* rule = base->rules[id];
+      snap->active_list.push_back(rule);
+      auto& masks = rule->effect == RuleEffect::allow ? snap->active_allow
+                                                      : snap->active_deny;
+      for (std::size_t i = 0; i < kMacOpCount; ++i) {
+        if (has_any(rule->ops, mac_op_from_index(i))) masks[i].set(id);
+      }
+    }
+  }
+  snap->base = std::move(base);
+  return snap;
+}
+
+void DfaRuleSet::activate(const std::vector<std::string>& permissions) {
+  // The DFA is untouched: a transition republishes only the active masks.
+  snap_.store(make_snapshot(snapshot()->base, permissions));
+}
+
+Errno DfaRuleSet::decide(const Snapshot& snap, const AccessQuery& query,
+                         const ObjectLabel& label) {
+  // An empty label means no loaded rule names this path: unguarded, OK.
+  if (label.none()) return Errno::ok;
+
+  const std::size_t op = mac_op_index(query.op);
+  if (op >= kMacOpCount) return Errno::einval;
+
+  const std::vector<const MacRule*>& rules = snap.base->rules;
+  // Deny wins over any allow; subject predicates only run on the (few)
+  // candidate rules the mask intersection leaves.
+  Errno verdict = Errno::eacces;
+  bool denied = false;
+  DenseBitset::for_each_and(label, snap.active_deny[op],
+                            [&](std::size_t id) {
+                              if (!denied &&
+                                  detail::subject_matches(*rules[id], query))
+                                denied = true;
+                            });
+  if (denied) return Errno::eacces;
+  DenseBitset::for_each_and(label, snap.active_allow[op],
+                            [&](std::size_t id) {
+                              if (verdict != Errno::ok &&
+                                  detail::subject_matches(*rules[id], query))
+                                verdict = Errno::ok;
+                            });
+  return verdict;  // guarded and not allowed in the current state: EACCES
+}
+
+Errno DfaRuleSet::check(const AccessQuery& query) const {
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  const Program& prog = *snap->base;
+  if (prog.dfa) {
+    // One pass over the path; the accept mask is a reference into the DFA —
+    // the whole decision is allocation-free.
+    return decide(*snap, query, prog.dfa->match(query.object_path));
+  }
+  auto label = prog.resolve(snap->base, query.object_path);
+  return decide(*snap, query, *label);
+}
+
+void DfaRuleSet::check_ops(std::span<const AccessQuery> queries,
+                           std::span<Errno> verdicts) const {
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  const Program& prog = *snap->base;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (prog.dfa) {
+      verdicts[i] =
+          decide(*snap, queries[i], prog.dfa->match(queries[i].object_path));
+    } else {
+      auto label = prog.resolve(snap->base, queries[i].object_path);
+      verdicts[i] = decide(*snap, queries[i], *label);
+    }
+  }
+}
+
+bool DfaRuleSet::guarded(std::string_view object_path) const {
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  const Program& prog = *snap->base;
+  if (prog.dfa) return prog.dfa->match(object_path).any();
+  for (const MacRule* rule : prog.rules) {
+    if (rule->object.matches(object_path)) return true;
+  }
+  return false;
+}
+
+std::uint64_t DfaRuleSet::label_generation() const {
+  return snapshot()->base->label_gen;
+}
+
+std::shared_ptr<const ObjectLabel> DfaRuleSet::resolve_label(
+    std::string_view path) const {
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  return snap->base->resolve(snap->base, path);
+}
+
+Errno DfaRuleSet::check_labeled(const AccessQuery& query,
+                                const ObjectLabel& label,
+                                std::uint64_t generation) const {
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  // A label carries bit indices of the Program it was resolved under; if a
+  // load() republished since, the numbering is stale — recompute instead of
+  // intersecting apples with oranges.
+  if (snap->base->label_gen != generation) return check(query);
+  return decide(*snap, query, label);
+}
+
+std::size_t DfaRuleSet::total_rule_count() const {
+  return snapshot()->base->rules.size();
+}
+
+std::size_t DfaRuleSet::active_rule_count() const {
+  return snapshot()->active_list.size();
+}
+
+std::vector<const MacRule*> DfaRuleSet::active_rules() const {
+  return snapshot()->active_list;
+}
+
+bool DfaRuleSet::table_driven() const {
+  return snapshot()->base->dfa.has_value();
 }
 
 // --- LinearRuleSet (ablation baseline) ---

@@ -12,7 +12,10 @@
 // (naive full scan, what a straightforward port would do).
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -20,6 +23,8 @@
 
 #include "core/mac_ops.h"
 #include "core/policy.h"
+#include "util/dense_bitset.h"
+#include "util/glob_dfa.h"
 #include "util/rcu_ptr.h"
 #include "util/transparent_hash.h"
 
@@ -32,6 +37,12 @@ struct AccessQuery {
   std::string_view object_path;
   MacOp op = MacOp::none;
 };
+
+// A pre-resolved object label: one bit per loaded rule whose object pattern
+// matches the path. Everything about a decision that depends only on the
+// loaded policy and the path — not on the active situation state — so a
+// label survives activate() and is what the per-inode cache stores.
+using ObjectLabel = DenseBitset;
 
 class RuleSetBase {
  public:
@@ -47,7 +58,39 @@ class RuleSetBase {
   // allow rule matches and no active deny rule does.
   virtual Errno check(const AccessQuery& query) const = 0;
 
+  // Batch decision: verdicts[i] = check(queries[i]), with snapshot
+  // acquisition amortized across the batch by implementations that publish
+  // snapshots. `verdicts.size()` must be >= `queries.size()`.
+  virtual void check_ops(std::span<const AccessQuery> queries,
+                         std::span<Errno> verdicts) const {
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      verdicts[i] = check(queries[i]);
+  }
+
   virtual bool guarded(std::string_view object_path) const = 0;
+
+  // --- pre-resolved object labels (per-inode caching) ---
+  // label_generation() identifies the rule numbering labels are valid for;
+  // it changes on every load() and never on activate() (a label records
+  // which *loaded* rules match, not which are active). Zero means the
+  // implementation does not support labels — callers skip the cache.
+  virtual std::uint64_t label_generation() const { return 0; }
+  // Resolves the label for a path, or nullptr when unsupported. The result
+  // stays valid across load() (it shares ownership of the rule numbering it
+  // was computed under) but is only *meaningful* while label_generation()
+  // still returns `label_generation()` observed at resolve time.
+  virtual std::shared_ptr<const ObjectLabel> resolve_label(
+      std::string_view /*path*/) const {
+    return nullptr;
+  }
+  // The decision given a pre-resolved label computed under `generation`.
+  // Implementations must fall back to a full check when `generation` is not
+  // the current label generation (the label's bit numbering is stale).
+  virtual Errno check_labeled(const AccessQuery& query,
+                              const ObjectLabel& /*label*/,
+                              std::uint64_t /*generation*/) const {
+    return check(query);
+  }
 
   virtual std::size_t total_rule_count() const = 0;
   virtual std::size_t active_rule_count() const = 0;
@@ -91,6 +134,8 @@ class CompiledRuleSet final : public RuleSetBase {
   void load(const SackPolicy& policy) override;
   void activate(const std::vector<std::string>& permissions) override;
   Errno check(const AccessQuery& query) const override;
+  void check_ops(std::span<const AccessQuery> queries,
+                 std::span<Errno> verdicts) const override;
   bool guarded(std::string_view object_path) const override;
   std::size_t total_rule_count() const override;
   std::size_t active_rule_count() const override;
@@ -136,10 +181,88 @@ class CompiledRuleSet final : public RuleSetBase {
   static std::shared_ptr<const Snapshot> make_snapshot(
       std::shared_ptr<const LoadedPolicy> base,
       const std::vector<std::string>& permissions);
+  static Errno decide(const Snapshot& snap, const AccessQuery& query);
 
   std::shared_ptr<const Snapshot> snapshot() const { return snap_.load(); }
 
   RcuPtr<const Snapshot> snap_;
+};
+
+// Table-driven rule set: the whole loaded rule inventory compiles into one
+// GlobDfa whose accepting states carry per-rule bitmasks, so a miss-path
+// decision is a single pass over the path bytes followed by mask
+// intersections — no per-rule glob walk, at any rule count. Activation is a
+// *mask swap*: the DFA (built once per load) never changes; activate() just
+// publishes fresh per-op allow/deny rule-id masks, which makes transition
+// storms cheap — a post-storm AVC miss re-runs the table walk (or skips even
+// that via a cached inode label), not a rule-set walk.
+//
+// Concurrency follows CompiledRuleSet: immutable Program (per load) and
+// Snapshot (per activation) published through RcuPtr. If the pattern set is
+// pathological enough to blow the DFA construction budget, the Program
+// keeps a per-rule scan fallback — decisions stay correct, only the speed
+// claim degrades.
+class DfaRuleSet final : public RuleSetBase {
+ public:
+  DfaRuleSet();
+  DfaRuleSet(const DfaRuleSet&) = delete;
+  DfaRuleSet& operator=(const DfaRuleSet&) = delete;
+
+  void load(const SackPolicy& policy) override;
+  void activate(const std::vector<std::string>& permissions) override;
+  Errno check(const AccessQuery& query) const override;
+  void check_ops(std::span<const AccessQuery> queries,
+                 std::span<Errno> verdicts) const override;
+  bool guarded(std::string_view object_path) const override;
+  std::uint64_t label_generation() const override;
+  std::shared_ptr<const ObjectLabel> resolve_label(
+      std::string_view path) const override;
+  Errno check_labeled(const AccessQuery& query, const ObjectLabel& label,
+                      std::uint64_t generation) const override;
+  std::size_t total_rule_count() const override;
+  std::size_t active_rule_count() const override;
+  std::vector<const MacRule*> active_rules() const override;
+
+  // True when the loaded rules determinized within budget (the table path);
+  // false on the scan fallback. Surfaced for tests and status reporting.
+  bool table_driven() const;
+
+ private:
+  // Everything derived from one load(): the owning policy copy, the dense
+  // rule numbering (bit i of every mask refers to rules[i]), the compiled
+  // automaton, and the permission -> rule-id grouping. Immutable once built.
+  struct Program {
+    SackPolicy policy;  // owns the rules the pointers below point into
+    std::vector<const MacRule*> rules;
+    StringMap<std::vector<std::uint32_t>> by_permission;
+    std::optional<GlobDfa> dfa;  // nullopt: scan fallback
+    std::uint64_t label_gen = 0;
+    ObjectLabel empty_label;  // returned for paths no rule matches (scan path)
+
+    // The activation-independent half of a decision.
+    std::shared_ptr<const ObjectLabel> resolve(
+        const std::shared_ptr<const Program>& self,
+        std::string_view path) const;
+  };
+
+  // One activation: per-op allow/deny masks over the Program's rule ids.
+  struct Snapshot {
+    std::shared_ptr<const Program> base;
+    std::vector<ObjectLabel> active_allow;  // kMacOpCount masks
+    std::vector<ObjectLabel> active_deny;
+    std::vector<const MacRule*> active_list;
+  };
+
+  static std::shared_ptr<const Snapshot> make_snapshot(
+      std::shared_ptr<const Program> base,
+      const std::vector<std::string>& permissions);
+  static Errno decide(const Snapshot& snap, const AccessQuery& query,
+                      const ObjectLabel& label);
+
+  std::shared_ptr<const Snapshot> snapshot() const { return snap_.load(); }
+
+  RcuPtr<const Snapshot> snap_;
+  std::atomic<std::uint64_t> next_label_gen_{1};
 };
 
 class LinearRuleSet final : public RuleSetBase {

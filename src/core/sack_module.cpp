@@ -306,10 +306,16 @@ class SackModule::TraceEnableFile final : public kernel::VirtualFileOps {
 
 SackModule::SackModule(SackMode mode, RuleSetKind ruleset_kind)
     : mode_(mode) {
-  if (ruleset_kind == RuleSetKind::compiled) {
-    rules_ = std::make_unique<CompiledRuleSet>();
-  } else {
-    rules_ = std::make_unique<LinearRuleSet>();
+  switch (ruleset_kind) {
+    case RuleSetKind::compiled:
+      rules_ = std::make_unique<CompiledRuleSet>();
+      break;
+    case RuleSetKind::linear:
+      rules_ = std::make_unique<LinearRuleSet>();
+      break;
+    case RuleSetKind::dfa:
+      rules_ = std::make_unique<DfaRuleSet>();
+      break;
   }
 }
 
@@ -798,8 +804,8 @@ void SackModule::note_denial(const Task& task, std::string_view path,
             task.exe_path(), " object=", path, " op=", mac_op_name(op));
 }
 
-Errno SackModule::check_op(const Task& task, std::string_view path,
-                           MacOp op) {
+Errno SackModule::check_op(const Task& task, std::string_view path, MacOp op,
+                           const kernel::Inode* inode) {
   if (mode_ != SackMode::independent || !loaded_) return Errno::ok;
   // Observability gate: one relaxed load. Everything below only takes
   // timestamps / appends trace records when `obs` is set, so the disabled
@@ -826,7 +832,29 @@ Errno SackModule::check_op(const Task& task, std::string_view path,
   }
   const std::uint64_t t_probe = obs ? monotonic_ns() : 0;
   if (!avc_hit) {
-    rc = rules_->check(query);
+    // Pre-resolved label fast path: when the rule set supports labels and
+    // the hook has an inode, the activation-independent half of the decision
+    // ("which loaded rules name this path") is cached on the inode — an AVC
+    // miss then costs only mask intersections, not a matcher walk. The label
+    // generation is read before resolving; if a policy load lands in
+    // between, check_labeled sees the stale stamp and recomputes.
+    bool labeled = false;
+    if (inode != nullptr) {
+      if (const std::uint64_t label_gen = rules_->label_generation();
+          label_gen != 0) {
+        if (auto cached = inode->mac_label(kName, label_gen)) {
+          rc = rules_->check_labeled(
+              query, *static_cast<const ObjectLabel*>(cached.get()),
+              label_gen);
+          labeled = true;
+        } else if (auto label = rules_->resolve_label(path)) {
+          rc = rules_->check_labeled(query, *label, label_gen);
+          inode->mac_label_store(kName, label_gen, std::move(label));
+          labeled = true;
+        }
+      }
+    }
+    if (!labeled) rc = rules_->check(query);
     if (avc_enabled_) avc_.insert(query, generation, rc);
   }
   // Denials audit on every occurrence, cached or not — the AVC caches the
@@ -854,61 +882,115 @@ Errno SackModule::check_op(const Task& task, std::string_view path,
 }
 
 Errno SackModule::check_access_mask(const Task& task, std::string_view path,
-                                    AccessMask access) {
+                                    AccessMask access,
+                                    const kernel::Inode* inode) {
   if (has_any(access, AccessMask::read)) {
-    if (Errno rc = check_op(task, path, MacOp::read); rc != Errno::ok)
+    if (Errno rc = check_op(task, path, MacOp::read, inode); rc != Errno::ok)
       return rc;
   }
   if (has_any(access, AccessMask::write)) {
-    if (Errno rc = check_op(task, path, MacOp::write); rc != Errno::ok)
+    if (Errno rc = check_op(task, path, MacOp::write, inode); rc != Errno::ok)
       return rc;
   }
   if (has_any(access, AccessMask::append)) {
-    if (Errno rc = check_op(task, path, MacOp::append); rc != Errno::ok)
+    if (Errno rc = check_op(task, path, MacOp::append, inode); rc != Errno::ok)
       return rc;
   }
   if (has_any(access, AccessMask::exec)) {
-    if (Errno rc = check_op(task, path, MacOp::exec); rc != Errno::ok)
+    if (Errno rc = check_op(task, path, MacOp::exec, inode); rc != Errno::ok)
       return rc;
   }
   return Errno::ok;
 }
 
+void SackModule::check_ops(const kernel::Task& task,
+                           std::span<AccessQuery> queries,
+                           std::span<Errno> verdicts) {
+  if (mode_ != SackMode::independent || !loaded_) {
+    for (std::size_t i = 0; i < queries.size(); ++i) verdicts[i] = Errno::ok;
+    return;
+  }
+  const std::string_view exe = task.exe_path();
+  const std::string_view profile = profile_of(task);
+  const std::uint64_t generation =
+      generation_.load(std::memory_order_acquire);
+  std::vector<std::size_t> miss_index;
+  std::vector<AccessQuery> misses;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    AccessQuery& query = queries[i];
+    query.subject_exe = exe;
+    query.subject_profile = profile;
+    bool avc_hit = false;
+    if (avc_enabled_) {
+      if (auto cached = avc_.probe(query, generation)) {
+        verdicts[i] = *cached;
+        avc_hit = true;
+      }
+    }
+    if (!avc_hit) miss_index.push_back(i);
+  }
+  if (!miss_index.empty()) {
+    misses.reserve(miss_index.size());
+    for (std::size_t i : miss_index) misses.push_back(queries[i]);
+    std::vector<Errno> miss_verdicts(misses.size());
+    rules_->check_ops(misses, miss_verdicts);
+    for (std::size_t m = 0; m < miss_index.size(); ++m) {
+      verdicts[miss_index[m]] = miss_verdicts[m];
+      if (avc_enabled_)
+        avc_.insert(misses[m], generation, miss_verdicts[m]);
+    }
+  }
+  // The AVC caches decisions, not audit obligations: every denial in the
+  // batch audits, exactly as the equivalent check_op sequence would.
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (verdicts[i] != Errno::ok)
+      note_denial(task, queries[i].object_path, queries[i].op);
+  }
+}
+
 Errno SackModule::file_open(Task& task, const std::string& path,
-                            const kernel::Inode&, AccessMask access) {
-  return check_access_mask(task, path, access);
+                            const kernel::Inode& inode, AccessMask access) {
+  return check_access_mask(task, path, access, &inode);
 }
 
 Errno SackModule::file_permission(Task& task, const kernel::File& file,
                                   AccessMask access) {
   if (mode_ != SackMode::independent || !loaded_) return Errno::ok;
   if (file.path().starts_with("pipe:") || file.is_socket()) return Errno::ok;
-  if (!revalidate_cache_) return check_access_mask(task, file.path(), access);
+  if (!revalidate_cache_)
+    return check_access_mask(task, file.path(), access, file.inode().get());
   // Revalidate when the situation/policy changed (generation) OR the subject
   // changed (open files survive exec) since the last successful check on
   // this open file — the adaptive-revocation path. Read the generation once
   // so a transition racing this check can only make us re-validate, never
-  // stamp a new-generation verdict computed on old rules.
+  // stamp a new-generation verdict computed on old rules. The cache probe
+  // compares the subject views against the stored key in place — the warm
+  // path (every read/write after the first) allocates nothing; the composed
+  // subject string is only built to store a fresh verdict.
   const std::uint64_t generation =
       generation_.load(std::memory_order_acquire);
-  std::string subject = task.exe_path();
-  subject += '\0';
-  subject += profile_of(task);
-  if (file.mac_verdict_current(kName, generation, subject)) return Errno::ok;
-  Errno rc = check_access_mask(task, file.path(), access);
-  if (rc == Errno::ok)
+  const std::string_view exe = task.exe_path();
+  const std::string_view profile = profile_of(task);
+  if (file.mac_verdict_current(kName, generation, exe, profile))
+    return Errno::ok;
+  Errno rc = check_access_mask(task, file.path(), access, file.inode().get());
+  if (rc == Errno::ok) {
+    std::string subject(exe);
+    subject += '\0';
+    subject += profile;
     file.mac_verdict_store(kName, generation, std::move(subject));
+  }
   return rc;
 }
 
 Errno SackModule::file_ioctl(Task& task, const kernel::File& file,
                              std::uint32_t) {
-  return check_op(task, file.path(), MacOp::ioctl);
+  return check_op(task, file.path(), MacOp::ioctl, file.inode().get());
 }
 
 Errno SackModule::mmap_file(Task& task, const kernel::File& file,
                             AccessMask) {
-  return check_op(task, file.path(), MacOp::mmap);
+  return check_op(task, file.path(), MacOp::mmap, file.inode().get());
 }
 
 Errno SackModule::path_mknod(Task& task, const std::string& path,

@@ -35,6 +35,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -56,7 +57,11 @@ namespace sack::core {
 
 enum class SackMode : std::uint8_t { independent, apparmor_enhanced };
 
-enum class RuleSetKind : std::uint8_t { compiled, linear };
+// Which RuleSetBase implementation backs enforcement. `dfa` (the default)
+// compiles the loaded globs into one table-driven automaton with pre-
+// resolvable object labels; `compiled` is the indexed per-rule matcher it
+// replaced; `linear` is the naive-scan ablation baseline.
+enum class RuleSetKind : std::uint8_t { compiled, linear, dfa };
 
 class SackModule final : public kernel::SecurityModule {
  public:
@@ -64,7 +69,7 @@ class SackModule final : public kernel::SecurityModule {
   static constexpr std::string_view kFsDir = "SACK";  // as in the paper
 
   explicit SackModule(SackMode mode,
-                      RuleSetKind ruleset_kind = RuleSetKind::compiled);
+                      RuleSetKind ruleset_kind = RuleSetKind::dfa);
 
   // Ablation hook: disable the per-file revalidation cache so every
   // file_permission check re-runs the full rule match (what a naive port
@@ -147,6 +152,16 @@ class SackModule final : public kernel::SecurityModule {
   }
   const RuleSetBase& ruleset() const { return *rules_; }
 
+  // Batch enforcement: decides queries[i] for `task`, writing verdicts[i].
+  // Fills each query's subject fields in place from the task (callers set
+  // only object_path and op). The subject resolution, generation read, and
+  // rule-set snapshot are amortized over the whole batch; per-query AVC
+  // probe/insert and denial auditing match check_op exactly, so a batch
+  // decision is indistinguishable from the equivalent sequence of hooks.
+  // `verdicts.size()` must be >= `queries.size()`.
+  void check_ops(const kernel::Task& task, std::span<AccessQuery> queries,
+                 std::span<Errno> verdicts);
+
   std::string status_text() const;
 
   // --- observability ---
@@ -208,9 +223,14 @@ class SackModule final : public kernel::SecurityModule {
   void apply_current_state(bool force = false);
   void retract_all_injected();
 
-  Errno check_op(const kernel::Task& task, std::string_view path, MacOp op);
+  // `inode`, when the hook has one, enables the pre-resolved label cache: an
+  // AVC miss re-runs only the activation-dependent half of the decision
+  // against the label cached on the inode instead of the full matcher walk.
+  Errno check_op(const kernel::Task& task, std::string_view path, MacOp op,
+                 const kernel::Inode* inode = nullptr);
   Errno check_access_mask(const kernel::Task& task, std::string_view path,
-                          kernel::AccessMask access);
+                          kernel::AccessMask access,
+                          const kernel::Inode* inode = nullptr);
   void note_denial(const kernel::Task& task, std::string_view path, MacOp op);
   std::string_view profile_of(const kernel::Task& task) const;
   // Occupancy + entry accounting and the transition trace record, shared by

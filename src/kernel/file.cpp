@@ -22,6 +22,20 @@ bool File::mac_verdict_current(std::string_view module,
          it->second.generation == generation && it->second.subject == subject;
 }
 
+bool File::mac_verdict_current(std::string_view module,
+                               std::uint64_t generation, std::string_view exe,
+                               std::string_view profile) const {
+  util::MutexLock lock(mac_mu_);
+  auto it = mac_revalidate_.find(module);
+  if (it == mac_revalidate_.end() || it->second.generation != generation)
+    return false;
+  const std::string& subject = it->second.subject;
+  return subject.size() == exe.size() + 1 + profile.size() &&
+         subject.compare(0, exe.size(), exe) == 0 &&
+         subject[exe.size()] == '\0' &&
+         subject.compare(exe.size() + 1, std::string_view::npos, profile) == 0;
+}
+
 void File::mac_verdict_store(std::string_view module,
                              std::uint64_t generation,
                              std::string subject) const {

@@ -80,6 +80,12 @@ class File {
   // subject.
   bool mac_verdict_current(std::string_view module, std::uint64_t generation,
                            std::string_view subject) const;
+  // Same check for a subject stored as `exe + '\0' + profile`, compared
+  // piecewise against the cached key so the (hot) probe never composes the
+  // subject string — file_permission's warm path stays allocation-free.
+  bool mac_verdict_current(std::string_view module, std::uint64_t generation,
+                           std::string_view exe,
+                           std::string_view profile) const;
   // Records a successful validation (overwrites any previous entry).
   void mac_verdict_store(std::string_view module, std::uint64_t generation,
                          std::string subject) const;

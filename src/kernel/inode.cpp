@@ -43,4 +43,23 @@ void Inode::set_security(const std::string& lsm, std::string value) {
   security_[lsm] = std::move(value);
 }
 
+std::shared_ptr<const void> Inode::mac_label(std::string_view module,
+                                             std::uint64_t generation) const {
+  util::MutexLock lock(label_mu_);
+  auto it = mac_labels_.find(module);
+  if (it == mac_labels_.end() || it->second.generation != generation)
+    return nullptr;
+  return it->second.label;
+}
+
+void Inode::mac_label_store(std::string_view module, std::uint64_t generation,
+                            std::shared_ptr<const void> label) const {
+  util::MutexLock lock(label_mu_);
+  auto it = mac_labels_.find(module);
+  if (it == mac_labels_.end())
+    it = mac_labels_.emplace(std::string(module), MacLabelEntry{}).first;
+  it->second.generation = generation;
+  it->second.label = std::move(label);
+}
+
 }  // namespace sack::kernel

@@ -4,9 +4,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "kernel/device.h"
 #include "kernel/types.h"
+#include "util/thread_annotations.h"
+#include "util/transparent_hash.h"
 
 namespace sack::kernel {
 
@@ -68,7 +71,28 @@ class Inode {
     return security_;
   }
 
+  // --- per-module pre-resolved MAC label cache (the i_security analogue) ---
+  // A MAC module that pre-resolves the policy-dependent half of a decision
+  // for this object (SACK's table-driven matcher resolves "which loaded
+  // rules name this path" into a rule bitmask) parks the result here,
+  // stamped with the label generation it was computed under. The pointer is
+  // opaque to the VFS — only the owning module knows the concrete type. A
+  // lookup under any other generation misses, so stale labels die on policy
+  // load without any sweep over the inode table. Like File's revalidation
+  // cache this memoizes a recomputable decision, so the accessors are const
+  // over a mutable, mutex-guarded map (inodes are shared VFS-wide and hooks
+  // may run concurrently).
+  std::shared_ptr<const void> mac_label(std::string_view module,
+                                        std::uint64_t generation) const;
+  void mac_label_store(std::string_view module, std::uint64_t generation,
+                       std::shared_ptr<const void> label) const;
+
  private:
+  struct MacLabelEntry {
+    std::uint64_t generation = 0;
+    std::shared_ptr<const void> label;
+  };
+
   InodeNo ino_;
   InodeType type_;
   FileMode mode_;
@@ -79,6 +103,8 @@ class Inode {
   std::string symlink_target_;
   std::map<std::string, InodePtr> children_;
   std::map<std::string, std::string> security_;
+  mutable util::Mutex label_mu_;
+  mutable StringMap<MacLabelEntry> mac_labels_ SACK_GUARDED_BY(label_mu_);
 };
 
 }  // namespace sack::kernel

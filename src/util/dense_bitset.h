@@ -1,0 +1,98 @@
+// DenseBitset: a fixed-size dynamic bit vector over 64-bit words.
+//
+// The rule-mask currency of the DFA matcher: a compiled path automaton's
+// accepting states carry one bit per loaded rule, and an activation is a
+// pair of per-op masks (allow/deny) that check() intersects with the path's
+// accept mask. All operations the hot path needs — word access, on-the-fly
+// AND iteration — are allocation-free; only construction/resizing allocates.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sack {
+
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return bits_; }
+  std::size_t word_count() const { return words_.size(); }
+  std::uint64_t word(std::size_t i) const { return words_[i]; }
+
+  void set(std::size_t i) { words_[i / 64] |= std::uint64_t{1} << (i % 64); }
+  void reset(std::size_t i) {
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+  bool test(std::size_t i) const {
+    return i < bits_ && (words_[i / 64] >> (i % 64)) & 1;
+  }
+
+  bool any() const {
+    for (std::uint64_t w : words_)
+      if (w) return true;
+    return false;
+  }
+  bool none() const { return !any(); }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  friend bool operator==(const DenseBitset& a, const DenseBitset& b) {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+  // True if (a & b) has any bit set. Tolerates different sizes (missing
+  // words are zero).
+  static bool intersects(const DenseBitset& a, const DenseBitset& b) {
+    const std::size_t n = a.word_count() < b.word_count() ? a.word_count()
+                                                          : b.word_count();
+    for (std::size_t i = 0; i < n; ++i)
+      if (a.words_[i] & b.words_[i]) return true;
+    return false;
+  }
+
+  // Calls `fn(index)` for every set bit of (a & b), ascending, without
+  // materializing the intersection.
+  template <typename Fn>
+  static void for_each_and(const DenseBitset& a, const DenseBitset& b,
+                           Fn&& fn) {
+    const std::size_t n = a.word_count() < b.word_count() ? a.word_count()
+                                                          : b.word_count();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t w = a.words_[i] & b.words_[i];
+      while (w) {
+        fn(i * 64 + static_cast<std::size_t>(std::countr_zero(w)));
+        w &= w - 1;
+      }
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w) {
+        fn(i * 64 + static_cast<std::size_t>(std::countr_zero(w)));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace sack

@@ -1,0 +1,225 @@
+#include "util/glob_dfa.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace sack {
+
+namespace {
+
+using TokKind = Glob::TokKind;
+using Token = Glob::Token;
+using TokenSeq = Glob::TokenSeq;
+
+// The combined NFA over token positions of every alternative of every
+// pattern — the multi-pattern generalization of the automaton in
+// util/glob_subsume.cpp, with the same token semantics as Glob::match_seq:
+// position i on an any_seq/any_deep token epsilon-reaches i+1 (the star may
+// match empty), and steps self-loop on the star for each consumed byte.
+struct MultiNfa {
+  struct Alt {
+    const TokenSeq* seq;
+    std::size_t offset;         // state id of token position 0
+    std::size_t pattern_index;  // which input pattern this alternative is from
+  };
+  std::vector<Alt> alts;
+  std::size_t state_count = 0;
+
+  // alt_of[state] -> index into alts (dense; accept states included).
+  std::vector<std::uint32_t> alt_of;
+
+  explicit MultiNfa(std::span<const Glob* const> patterns) {
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      for (const auto& seq : patterns[p]->alternatives()) {
+        alts.push_back({&seq, state_count, p});
+        state_count += seq.size() + 1;
+      }
+    }
+    alt_of.resize(state_count);
+    for (std::size_t a = 0; a < alts.size(); ++a) {
+      for (std::size_t s = alts[a].offset;
+           s < alts[a].offset + alts[a].seq->size() + 1; ++s)
+        alt_of[s] = static_cast<std::uint32_t>(a);
+    }
+  }
+
+  const Token* token_at(std::size_t state) const {
+    const Alt& alt = alts[alt_of[state]];
+    const std::size_t pos = state - alt.offset;
+    if (pos >= alt.seq->size()) return nullptr;  // accept position
+    return &(*alt.seq)[pos];
+  }
+
+  // Epsilon closure over skippable star tokens, in place on a sorted,
+  // deduplicated state vector.
+  void close(std::vector<std::uint32_t>& states) const {
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      const Token* t = token_at(states[i]);
+      if (t != nullptr &&
+          (t->kind == TokKind::any_seq || t->kind == TokKind::any_deep)) {
+        const std::uint32_t next = states[i] + 1;
+        if (std::find(states.begin(), states.end(), next) == states.end())
+          states.push_back(next);
+      }
+    }
+    std::sort(states.begin(), states.end());
+    states.erase(std::unique(states.begin(), states.end()), states.end());
+  }
+
+  std::vector<std::uint32_t> start() const {
+    std::vector<std::uint32_t> s;
+    s.reserve(alts.size());
+    for (const auto& alt : alts)
+      s.push_back(static_cast<std::uint32_t>(alt.offset));
+    close(s);
+    return s;
+  }
+
+  bool token_accepts_byte(const Token& t, char c) const {
+    switch (t.kind) {
+      case TokKind::literal:
+        return t.ch == c;
+      case TokKind::any_one:
+        return c != '/';
+      case TokKind::char_class:
+        // '/' never matches a class, negated or not (Glob::match_seq).
+        return c != '/' && (t.set.find(c) != std::string::npos) != t.negated;
+      case TokKind::any_seq:
+        return c != '/';
+      case TokKind::any_deep:
+        return true;
+    }
+    return false;
+  }
+
+  // One determinized step on byte `c` from a closed state set.
+  std::vector<std::uint32_t> step(const std::vector<std::uint32_t>& states,
+                                  char c) const {
+    std::vector<std::uint32_t> next;
+    next.reserve(states.size());
+    for (std::uint32_t s : states) {
+      const Token* t = token_at(s);
+      if (t == nullptr) continue;  // accept position consumes nothing
+      if (!token_accepts_byte(*t, c)) continue;
+      // Stars self-loop (closure re-adds s+1); consuming tokens advance.
+      if (t->kind == TokKind::any_seq || t->kind == TokKind::any_deep)
+        next.push_back(s);
+      else
+        next.push_back(s + 1);
+    }
+    close(next);
+    return next;
+  }
+
+  void accept_mask(const std::vector<std::uint32_t>& states,
+                   DenseBitset& mask) const {
+    for (std::uint32_t s : states) {
+      const Alt& alt = alts[alt_of[s]];
+      if (s - alt.offset == alt.seq->size()) mask.set(alt.pattern_index);
+    }
+  }
+};
+
+}  // namespace
+
+Result<GlobDfa> GlobDfa::build(std::span<const Glob* const> patterns,
+                               const BuildLimits& limits) {
+  GlobDfa dfa;
+  dfa.pattern_count_ = patterns.size();
+  const MultiNfa nfa(patterns);
+
+  // --- byte equivalence classes ---
+  // Two bytes are interchangeable iff every token of every pattern treats
+  // them identically. The distinguishing predicates are: equality with each
+  // mentioned literal byte (a literal byte is only distinguishable from
+  // other bytes, so each mentioned literal is its own class), being '/',
+  // and membership in each distinct character class.
+  std::vector<const Token*> class_tokens;
+  std::array<bool, 256> is_literal{};
+  {
+    std::vector<std::pair<const std::string*, bool>> seen_classes;
+    for (const auto& alt : nfa.alts) {
+      for (const Token& t : *alt.seq) {
+        if (t.kind == TokKind::literal)
+          is_literal[static_cast<unsigned char>(t.ch)] = true;
+        if (t.kind == TokKind::char_class) {
+          bool dup = false;
+          for (const auto& [set, neg] : seen_classes)
+            if (neg == t.negated && *set == t.set) { dup = true; break; }
+          if (!dup) {
+            seen_classes.emplace_back(&t.set, t.negated);
+            class_tokens.push_back(&t);
+          }
+        }
+      }
+    }
+  }
+  {
+    std::map<std::string, std::uint8_t> signature_class;
+    std::size_t next_class = 0;
+    for (int b = 0; b < 256; ++b) {
+      const char c = static_cast<char>(b);
+      std::string sig;
+      // Mentioned literals are singleton classes: key by the byte itself.
+      if (is_literal[b]) sig += c;
+      sig += c == '/' ? 'S' : '-';
+      for (const Token* t : class_tokens)
+        sig += (t->set.find(c) != std::string::npos) ? '1' : '0';
+      auto [it, inserted] = signature_class.try_emplace(
+          std::move(sig), static_cast<std::uint8_t>(next_class));
+      if (inserted) ++next_class;
+      dfa.class_of_[static_cast<std::size_t>(b)] = it->second;
+    }
+    dfa.class_count_ = next_class;
+  }
+  // One representative byte per class, for stepping the NFA.
+  std::vector<char> representative(dfa.class_count_, 0);
+  {
+    std::vector<bool> have(dfa.class_count_, false);
+    for (int b = 0; b < 256; ++b) {
+      const std::uint8_t cls = dfa.class_of_[static_cast<std::size_t>(b)];
+      if (!have[cls]) {
+        have[cls] = true;
+        representative[cls] = static_cast<char>(b);
+      }
+    }
+  }
+
+  // --- subset construction ---
+  // DFA state 0 is the absorbing dead state (empty NFA set); the start state
+  // is the closure of all alternatives' position 0.
+  std::map<std::vector<std::uint32_t>, std::uint32_t> state_ids;
+  std::vector<std::vector<std::uint32_t>> sets;
+  auto intern = [&](std::vector<std::uint32_t>&& set) -> std::uint32_t {
+    auto [it, inserted] =
+        state_ids.try_emplace(std::move(set),
+                              static_cast<std::uint32_t>(sets.size()));
+    if (inserted) sets.push_back(it->first);
+    return it->second;
+  };
+  intern({});  // dead state = 0
+  dfa.start_ = intern(nfa.start());
+
+  for (std::size_t s = 0; s < sets.size(); ++s) {
+    if (sets.size() > limits.max_states) return Errno::enomem;
+    dfa.table_.resize((s + 1) * dfa.class_count_, kDead);
+    // `sets` may reallocate as intern() appends: copy the current set.
+    const std::vector<std::uint32_t> current = sets[s];
+    for (std::size_t cls = 0; cls < dfa.class_count_; ++cls) {
+      dfa.table_[s * dfa.class_count_ + cls] =
+          current.empty() ? kDead
+                          : intern(nfa.step(current, representative[cls]));
+    }
+  }
+
+  dfa.accept_.reserve(sets.size());
+  for (const auto& set : sets) {
+    DenseBitset mask(patterns.size());
+    nfa.accept_mask(set, mask);
+    dfa.accept_.push_back(std::move(mask));
+  }
+  return dfa;
+}
+
+}  // namespace sack

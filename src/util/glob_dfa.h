@@ -1,0 +1,84 @@
+// GlobDfa: a determinized, table-driven matcher for a *set* of globs.
+//
+// The subsumption machinery in util/glob_subsume.h showed that the
+// apparmor.d(5) glob semantics of util/glob.h compile cleanly into an NFA
+// over token positions with a finite symbolic alphabet. This module takes
+// that construction the rest of the way: all patterns of a rule set are
+// flattened into one combined NFA, the 256 byte values are partitioned into
+// equivalence classes (bytes no pattern distinguishes behave identically in
+// every token, so one transition column covers them all), and the NFA is
+// determinized by subset construction into a dense transition table.
+//
+// The payoff is the enforcement miss path: matching a path against N rules
+// costs one table walk over the path's bytes — state = table[state][class] —
+// instead of N backtracking glob matches. Each accepting DFA state carries a
+// DenseBitset over pattern indices ("which of the N patterns match here"),
+// which is exactly the rule mask DfaRuleSet intersects with its active
+// allow/deny masks, and exactly the label the per-inode cache pre-resolves.
+//
+// Subset construction is worst-case exponential, so build() is budgeted: a
+// pathological pattern set fails with ENOMEM and the caller falls back to
+// per-rule matching (DfaRuleSet keeps a scan path for that). Real policies —
+// literal paths, directory-prefix globs like /var/media/**, short classes —
+// determinize to a few states per pattern character.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/dense_bitset.h"
+#include "util/glob.h"
+#include "util/result.h"
+
+namespace sack {
+
+class GlobDfa {
+ public:
+  struct BuildLimits {
+    // Cap on determinized states; blowing it fails the build (the caller
+    // falls back to linear matching — correctness never depends on the DFA).
+    std::size_t max_states = 1 << 16;
+  };
+
+  // Compiles `patterns` into one automaton. Pattern i owns bit i of every
+  // accept mask. Pointers must stay valid for the duration of the call only
+  // (the DFA copies what it needs).
+  static Result<GlobDfa> build(std::span<const Glob* const> patterns,
+                               const BuildLimits& limits);
+  static Result<GlobDfa> build(std::span<const Glob* const> patterns) {
+    return build(patterns, BuildLimits{});
+  }
+
+  // One pass over `path`, no allocation: returns the accept mask of the
+  // final state, a reference into this DFA's per-state mask storage (valid
+  // for the DFA's lifetime). An empty mask means no pattern matches.
+  const DenseBitset& match(std::string_view path) const {
+    std::uint32_t s = start_;
+    for (const char c : path) {
+      s = table_[s * class_count_ + class_of_[static_cast<unsigned char>(c)]];
+      if (s == kDead) return accept_[kDead];  // absorbing reject state
+    }
+    return accept_[s];
+  }
+
+  std::size_t state_count() const { return accept_.size(); }
+  std::size_t class_count() const { return class_count_; }
+  std::size_t pattern_count() const { return pattern_count_; }
+
+ private:
+  static constexpr std::uint32_t kDead = 0;
+
+  GlobDfa() = default;
+
+  std::vector<std::uint32_t> table_;  // state*class_count_ + class -> state
+  std::array<std::uint8_t, 256> class_of_{};
+  std::size_t class_count_ = 1;
+  std::uint32_t start_ = 0;
+  std::vector<DenseBitset> accept_;  // per-state pattern mask
+  std::size_t pattern_count_ = 0;
+};
+
+}  // namespace sack

@@ -1,6 +1,8 @@
 #include "verify/oracle.h"
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
 #include "core/avc.h"
 #include "core/ruleset.h"
@@ -58,7 +60,20 @@ OracleReport run_differential_oracle(const core::SackPolicy& policy,
   compiled.load(policy);
   core::LinearRuleSet linear;
   linear.load(policy);
+  core::DfaRuleSet dfa;
+  if (options.check_dfa) dfa.load(policy);
   core::AccessVectorCache avc;
+
+  // Labels are activation-independent: pre-resolve one per object, exactly
+  // what the per-inode cache would hold, and re-decide every tuple through
+  // check_labeled as well — the cached-inode sequence must agree with the
+  // uncached one in every state.
+  const std::uint64_t label_gen = dfa.label_generation();
+  std::vector<std::shared_ptr<const core::ObjectLabel>> labels;
+  if (options.check_dfa) {
+    labels.reserve(universe.objects.size());
+    for (const auto& o : universe.objects) labels.push_back(dfa.resolve_label(o));
+  }
 
   auto record = [&report, &options](OracleMismatch m) {
     ++report.mismatches_total;
@@ -74,6 +89,11 @@ OracleReport run_differential_oracle(const core::SackPolicy& policy,
               want ? Errno::eacces : Errno::ok,
               compiled.guarded(o) ? Errno::eacces : Errno::ok});
     }
+    if (options.check_dfa && dfa.guarded(o) != want) {
+      record({"guard(dfa)", "(any)", {}, o, core::MacOp::none,
+              want ? Errno::eacces : Errno::ok,
+              dfa.guarded(o) ? Errno::eacces : Errno::ok});
+    }
   }
 
   std::uint64_t generation = 0;
@@ -83,6 +103,7 @@ OracleReport run_differential_oracle(const core::SackPolicy& policy,
     const auto perms = policy.permissions_of(state.name);
     compiled.activate(perms);
     if (options.check_linear) linear.activate(perms);
+    if (options.check_dfa) dfa.activate(perms);
 
     // Enumeration-hook cross-check: the active rule multiset must be exactly
     // the State_Per ∘ Per_Rules expansion.
@@ -95,9 +116,16 @@ OracleReport run_differential_oracle(const core::SackPolicy& policy,
       record({"active-set(linear)", state.name, {}, "(rule enumeration)",
               core::MacOp::none, Errno::ok, Errno::einval});
     }
+    if (options.check_dfa && observed_active_texts(dfa) != expected) {
+      record({"active-set(dfa)", state.name, {}, "(rule enumeration)",
+              core::MacOp::none, Errno::ok, Errno::einval});
+    }
 
     for (const auto& s : universe.subjects) {
-      for (const auto& o : universe.objects) {
+      std::vector<core::AccessQuery> batch;
+      std::vector<Errno> batch_want;
+      for (std::size_t oi = 0; oi < universe.objects.size(); ++oi) {
+        const auto& o = universe.objects[oi];
         for (core::MacOp op : universe.ops) {
           ++report.tuples_checked;
           core::AccessQuery q{s.exe, s.profile, o, op};
@@ -105,6 +133,15 @@ OracleReport run_differential_oracle(const core::SackPolicy& policy,
           Errno got = compiled.check(q);
           if (got != want)
             record({"compiled", state.name, s, o, op, want, got});
+          if (options.check_dfa) {
+            Errno d = dfa.check(q);
+            if (d != want) record({"dfa", state.name, s, o, op, want, d});
+            Errno dl = dfa.check_labeled(q, *labels[oi], label_gen);
+            if (dl != want)
+              record({"dfa-labeled", state.name, s, o, op, want, dl});
+            batch.push_back(q);
+            batch_want.push_back(want);
+          }
           if (options.check_linear) {
             Errno lin = linear.check(q);
             if (lin != want)
@@ -122,6 +159,19 @@ OracleReport run_differential_oracle(const core::SackPolicy& policy,
             } else {
               ++report.avc_hits_verified;
             }
+          }
+        }
+      }
+      // Batch-API cross-check: one check_ops call over every (object, op)
+      // pair of this subject must reproduce the scalar verdicts.
+      if (options.check_dfa && !batch.empty()) {
+        std::vector<Errno> batch_got(batch.size());
+        dfa.check_ops(batch, batch_got);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (batch_got[i] != batch_want[i]) {
+            record({"dfa-batch", state.name, s,
+                    std::string(batch[i].object_path), batch[i].op,
+                    batch_want[i], batch_got[i]});
           }
         }
       }

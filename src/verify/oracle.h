@@ -5,7 +5,12 @@
 //
 //   reference   the naive spec interpreter (verify/reference.h) — truth;
 //   compiled    CompiledRuleSet: per-op tables, literal hash indexes,
-//               RCU-published snapshots (the production matcher);
+//               RCU-published snapshots;
+//   dfa         DfaRuleSet: the table-driven automaton matcher (the
+//               production default), checked through check() AND through
+//               the pre-resolved-label path (resolve_label + check_labeled,
+//               the sequence the per-inode cache performs) AND through the
+//               batch check_ops() API;
 //   linear      LinearRuleSet: the unindexed scan (the ablation baseline);
 //   avc         the AccessVectorCache round-trip: miss-probe, insert of the
 //               compiled verdict, then a hit-probe that must return it —
@@ -29,7 +34,9 @@
 namespace sack::verify {
 
 struct OracleMismatch {
-  std::string engine;  // "compiled" | "linear" | "avc" | "guard" | "active-set"
+  // "compiled" | "dfa" | "dfa-labeled" | "dfa-batch" | "linear" | "avc" |
+  // "guard" | "guard(dfa)" | "active-set" | "active-set(...)"
+  std::string engine;
   std::string state;
   SubjectSample subject;
   std::string object;
@@ -54,6 +61,7 @@ struct OracleOptions {
   UniverseOptions universe;
   bool check_avc = true;
   bool check_linear = true;
+  bool check_dfa = true;
   std::size_t max_mismatches = 32;
 };
 

@@ -1,0 +1,114 @@
+// Chaos-grade DFA equivalence fuzz: randomly *generated* glob corpora (not
+// just a fixed hostile list) determinized and cross-checked against the
+// backtracking matcher on thousands of adversarial paths. Runs in the chaos
+// suite so CI exercises it under ASan/UBSan, where an out-of-bounds class
+// index or a bad accept-mask aliasing bug would trip instantly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/glob.h"
+#include "util/glob_dfa.h"
+#include "util/rng.h"
+
+namespace sack {
+namespace {
+
+// Grammar-directed pattern generator biased toward the shapes that stress
+// determinization: star runs (**, ***, *?*), adjacent char classes, negated
+// classes, escaped metacharacters, and nested brace alternation.
+std::string random_pattern(Rng& rng) {
+  static const char* kAtoms[] = {
+      "*",      "**",   "?",     "[abc]",  "[^ab]", "[a-c0-2]",
+      "\\*",    "\\[",  "a",     "b",      "/",     "x",
+      "{a,b}",  "**/",  "*?",    "?*",     "**a**", "[/x]",  // '/' in a class
+  };
+  std::string pat = "/";
+  const std::size_t parts = 1 + rng.below(6);
+  for (std::size_t i = 0; i < parts; ++i)
+    pat += kAtoms[rng.below(std::size(kAtoms))];
+  return pat;
+}
+
+std::string random_path(Rng& rng) {
+  static const char kAlpha[] = "ab/cx*?[]\\-^";
+  std::string path = "/";
+  const std::size_t len = rng.below(14);
+  for (std::size_t i = 0; i < len; ++i)
+    path += kAlpha[rng.below(sizeof(kAlpha) - 1)];
+  return path;
+}
+
+TEST(GlobDfaChaos, RandomCorporaAgreeWithBacktracker) {
+  Rng rng(0xC0FFEE);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<Glob> globs;
+    std::vector<std::string> texts;
+    const std::size_t count = 1 + rng.below(12);
+    while (globs.size() < count) {
+      std::string pat = random_pattern(rng);
+      auto g = Glob::compile(pat);
+      if (!g.ok()) continue;  // generator can emit malformed escapes; skip
+      texts.push_back(std::move(pat));
+      globs.push_back(std::move(g).value());
+    }
+    std::vector<const Glob*> ptrs;
+    for (const auto& g : globs) ptrs.push_back(&g);
+    auto built = GlobDfa::build(ptrs);
+    ASSERT_TRUE(built.ok());
+    const GlobDfa dfa = std::move(built).value();
+
+    for (int q = 0; q < 400; ++q) {
+      const std::string path = random_path(rng);
+      const DenseBitset& mask = dfa.match(path);
+      for (std::size_t p = 0; p < globs.size(); ++p) {
+        ASSERT_EQ(mask.test(p), globs[p].matches(path))
+            << "round " << round << " pattern '" << texts[p] << "' path '"
+            << path << "'";
+      }
+    }
+  }
+}
+
+// Star-run blowup probe: long runs of * and ** interleaved with literals are
+// the classic subset-construction stressor. They must either determinize
+// within budget and agree, or fail closed with ENOMEM — never build a wrong
+// table.
+TEST(GlobDfaChaos, StarRunsDeterminizeOrFailClosed) {
+  std::vector<std::string> texts;
+  for (int stars = 1; stars <= 6; ++stars) {
+    std::string pat = "/a";
+    for (int i = 0; i < stars; ++i) pat += i % 2 ? "*b" : "**";
+    texts.push_back(pat);
+  }
+  std::vector<Glob> globs;
+  for (const auto& t : texts) {
+    auto g = Glob::compile(t);
+    ASSERT_TRUE(g.ok()) << t;
+    globs.push_back(std::move(g).value());
+  }
+  std::vector<const Glob*> ptrs;
+  for (const auto& g : globs) ptrs.push_back(&g);
+  auto built = GlobDfa::build(ptrs);
+  if (!built.ok()) {
+    EXPECT_EQ(built.error(), Errno::enomem);
+    return;
+  }
+  const GlobDfa dfa = std::move(built).value();
+  Rng rng(0x57A2);
+  static const char kAlpha[] = "ab/c";
+  for (int q = 0; q < 2000; ++q) {
+    std::string path = "/";
+    const std::size_t len = rng.below(16);
+    for (std::size_t i = 0; i < len; ++i)
+      path += kAlpha[rng.below(sizeof(kAlpha) - 1)];
+    const DenseBitset& mask = dfa.match(path);
+    for (std::size_t p = 0; p < globs.size(); ++p)
+      ASSERT_EQ(mask.test(p), globs[p].matches(path))
+          << "pattern '" << texts[p] << "' path '" << path << "'";
+  }
+}
+
+}  // namespace
+}  // namespace sack

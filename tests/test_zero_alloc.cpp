@@ -1,0 +1,206 @@
+// Steady-state allocation audit for the enforcement hot path.
+//
+// A global counting allocator (operator new/delete overrides, which is why
+// this suite lives in its own binary) measures heap traffic across warmed-up
+// check sequences. The contract under test: once the caches are warm, a
+// hook-path decision — AVC hit, AVC re-stamp after a flush, DFA table walk,
+// labeled inode check, file_permission revalidation probe — performs ZERO
+// allocations. Any regression (a composed subject string, an owned AVC key
+// on the re-stamp path, a materialized label) shows up as a nonzero delta.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/avc.h"
+#include "core/policy_builder.h"
+#include "core/ruleset.h"
+#include "core/sack_module.h"
+#include "kernel/file.h"
+#include "kernel/inode.h"
+#include "kernel/task.h"
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) /
+                                       static_cast<std::size_t>(align) *
+                                       static_cast<std::size_t>(align)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace sack::core {
+namespace {
+
+// Counts allocations across `fn` after the caller warmed the relevant caches.
+template <typename Fn>
+std::size_t allocations_during(Fn&& fn) {
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  fn();
+  return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+
+SackPolicy demo_policy() {
+  PolicyBuilder b;
+  b.state("normal", 0)
+      .state("emergency", 1)
+      .initial("normal")
+      .transition("normal", "crash", "emergency")
+      .permission("MEDIA")
+      .grant("normal", "MEDIA")
+      .grant("emergency", "MEDIA")
+      .allow("MEDIA", "*", "/var/media/**", MacOp::read | MacOp::getattr);
+  return b.build();
+}
+
+kernel::Task make_task() {
+  kernel::Task task(kernel::Pid(42), kernel::Pid(1), "app", kernel::Cred{});
+  task.set_exe_path("/usr/bin/app");
+  return task;
+}
+
+TEST(ZeroAlloc, AvcHitPathIsAllocationFree) {
+  SackModule module(SackMode::independent);
+  ASSERT_TRUE(module.load_policy(demo_policy()).ok());
+  kernel::Task task = make_task();
+  const std::string path = "/var/media/track.pcm";
+  // Warm: first call misses the AVC, walks the matcher, inserts.
+  ASSERT_EQ(module.inode_getattr(task, path), Errno::ok);
+  EXPECT_EQ(allocations_during([&] {
+              for (int i = 0; i < 1000; ++i)
+                ASSERT_EQ(module.inode_getattr(task, path), Errno::ok);
+            }),
+            0u);
+}
+
+TEST(ZeroAlloc, DfaMissPathIsAllocationFree) {
+  // AVC off: every check pays the full rule-set decision. With the DFA that
+  // is a table walk returning a reference into the automaton's mask storage
+  // — no label materialization, no subject composition.
+  SackModule module(SackMode::independent);
+  module.set_avc(false);
+  ASSERT_TRUE(module.load_policy(demo_policy()).ok());
+  kernel::Task task = make_task();
+  const std::string path = "/var/media/track.pcm";
+  ASSERT_EQ(module.inode_getattr(task, path), Errno::ok);
+  EXPECT_EQ(allocations_during([&] {
+              for (int i = 0; i < 1000; ++i)
+                ASSERT_EQ(module.inode_getattr(task, path), Errno::ok);
+            }),
+            0u);
+}
+
+TEST(ZeroAlloc, WarmInodeLabelPathIsAllocationFree) {
+  SackModule module(SackMode::independent);
+  module.set_avc(false);  // force every check through the label path
+  ASSERT_TRUE(module.load_policy(demo_policy()).ok());
+  kernel::Task task = make_task();
+  const kernel::Inode inode(kernel::InodeNo(7), kernel::InodeType::regular,
+                            0644, kernel::Uid(0), kernel::Gid(0));
+  const std::string path = "/var/media/track.pcm";
+  // Warm: resolves and stores the label on the inode.
+  ASSERT_EQ(module.file_open(task, path, inode, kernel::AccessMask::read),
+            Errno::ok);
+  EXPECT_EQ(allocations_during([&] {
+              for (int i = 0; i < 1000; ++i)
+                ASSERT_EQ(module.file_open(task, path, inode,
+                                           kernel::AccessMask::read),
+                          Errno::ok);
+            }),
+            0u);
+}
+
+TEST(ZeroAlloc, FilePermissionRevalidationProbeIsAllocationFree) {
+  SackModule module(SackMode::independent);
+  ASSERT_TRUE(module.load_policy(demo_policy()).ok());
+  kernel::Task task = make_task();
+  auto inode = std::make_shared<kernel::Inode>(
+      kernel::InodeNo(8), kernel::InodeType::regular, 0644, kernel::Uid(0),
+      kernel::Gid(0));
+  const kernel::File file(inode, kernel::OpenFlags::read,
+                          "/var/media/track.pcm");
+  // Warm: first call checks and stores the composed-subject verdict.
+  ASSERT_EQ(module.file_permission(task, file, kernel::AccessMask::read),
+            Errno::ok);
+  EXPECT_EQ(allocations_during([&] {
+              for (int i = 0; i < 1000; ++i)
+                ASSERT_EQ(module.file_permission(task, file,
+                                                 kernel::AccessMask::read),
+                          Errno::ok);
+            }),
+            0u);
+}
+
+TEST(ZeroAlloc, AvcRestampAfterFlushIsAllocationFree) {
+  // The transition-storm shape: the AVC is flushed (generation bump), the
+  // same queries return, and each insert re-stamps an existing entry. The
+  // transparent-lookup insert must not copy the key strings again.
+  AccessVectorCache avc;
+  AccessQuery query;
+  query.subject_exe = "/usr/bin/app";
+  query.subject_profile = "";
+  query.object_path = "/var/media/track.pcm";
+  query.op = MacOp::read;
+  avc.insert(query, 1, Errno::ok);  // owned key materialized once
+  EXPECT_EQ(allocations_during([&] {
+              for (std::uint64_t gen = 2; gen < 1000; ++gen) {
+                avc.insert(query, gen, Errno::ok);
+                auto hit = avc.probe(query, gen);
+                ASSERT_TRUE(hit.has_value());
+                ASSERT_EQ(*hit, Errno::ok);
+              }
+            }),
+            0u);
+}
+
+TEST(ZeroAlloc, MaskSwapActivationKeepsCheckAllocationFree) {
+  // Steady-state enforcement racing activation: the reader side must stay
+  // allocation-free even while activations republish masks. (The writer
+  // side allocates — that is the control plane.)
+  DfaRuleSet rules;
+  rules.load(demo_policy());
+  rules.activate({"MEDIA"});
+  AccessQuery query;
+  query.subject_exe = "/usr/bin/app";
+  query.subject_profile = "";
+  query.object_path = "/var/media/track.pcm";
+  query.op = MacOp::read;
+  ASSERT_EQ(rules.check(query), Errno::ok);
+  EXPECT_EQ(allocations_during([&] {
+              for (int i = 0; i < 1000; ++i)
+                ASSERT_EQ(rules.check(query), Errno::ok);
+            }),
+            0u);
+}
+
+}  // namespace
+}  // namespace sack::core
