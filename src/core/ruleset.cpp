@@ -160,19 +160,30 @@ Errno CompiledRuleSet::decide(const Snapshot& snap, const AccessQuery& query) {
 
 // --- DfaRuleSet (table-driven matcher) ---
 
+namespace {
+// Process-wide label-generation source. Labels are stamped onto inodes that
+// several module/rule-set instances can share (one VFS, stacked or test
+// fixtures side by side), and the inode cache keys on (module name, gen):
+// per-instance counters would both count 1, 2, 3…, letting one instance hit
+// a label resolved under another's rule numbering. A global counter makes
+// every load() generation unique across the process.
+std::atomic<std::uint64_t> g_label_gen{0};
+}  // namespace
+
 DfaRuleSet::DfaRuleSet() {
   // Never-null snapshot, same contract as CompiledRuleSet.
   snap_.store(make_snapshot(std::make_shared<const Program>(), {}));
 }
 
 std::shared_ptr<const ObjectLabel> DfaRuleSet::Program::resolve(
-    const std::shared_ptr<const Program>& self, std::string_view path) const {
-  if (dfa) {
-    // The accept mask lives in the DFA's per-state storage: alias it so the
-    // label shares ownership of the Program (and thus stays a valid pointer
-    // even if a concurrent load() republished a new Program).
-    return {self, &dfa->match(path)};
-  }
+    std::string_view path) const {
+  // Copy the accept mask out of the DFA's per-state storage rather than
+  // aliasing it: resolve() feeds the inode label cache, and an aliased
+  // pointer would keep this entire Program (policy copy + DFA tables) alive
+  // for as long as any inode anywhere still holds a label from it. The copy
+  // costs one allocation on the resolve (store) path only — label *hits*
+  // never come through here.
+  if (dfa) return std::make_shared<ObjectLabel>(dfa->match(path));
   // Scan fallback: materialize the mask rule by rule.
   auto label = std::make_shared<ObjectLabel>(rules.size());
   for (std::size_t i = 0; i < rules.size(); ++i) {
@@ -201,7 +212,8 @@ void DfaRuleSet::load(const SackPolicy& policy) {
     // else: budget blown — keep the scan fallback (correctness unchanged).
   }
   base->empty_label = ObjectLabel(base->rules.size());
-  base->label_gen = next_label_gen_.fetch_add(1, std::memory_order_relaxed);
+  base->label_gen =
+      g_label_gen.fetch_add(1, std::memory_order_relaxed) + 1;  // never 0
   snap_.store(make_snapshot(std::move(base), {}));
 }
 
@@ -271,7 +283,7 @@ Errno DfaRuleSet::check(const AccessQuery& query) const {
     // the whole decision is allocation-free.
     return decide(*snap, query, prog.dfa->match(query.object_path));
   }
-  auto label = prog.resolve(snap->base, query.object_path);
+  auto label = prog.resolve(query.object_path);
   return decide(*snap, query, *label);
 }
 
@@ -284,7 +296,7 @@ void DfaRuleSet::check_ops(std::span<const AccessQuery> queries,
       verdicts[i] =
           decide(*snap, queries[i], prog.dfa->match(queries[i].object_path));
     } else {
-      auto label = prog.resolve(snap->base, queries[i].object_path);
+      auto label = prog.resolve(queries[i].object_path);
       verdicts[i] = decide(*snap, queries[i], *label);
     }
   }
@@ -306,8 +318,7 @@ std::uint64_t DfaRuleSet::label_generation() const {
 
 std::shared_ptr<const ObjectLabel> DfaRuleSet::resolve_label(
     std::string_view path) const {
-  const std::shared_ptr<const Snapshot> snap = snapshot();
-  return snap->base->resolve(snap->base, path);
+  return snapshot()->base->resolve(path);
 }
 
 Errno DfaRuleSet::check_labeled(const AccessQuery& query,

@@ -76,9 +76,10 @@ class RuleSetBase {
   // implementation does not support labels — callers skip the cache.
   virtual std::uint64_t label_generation() const { return 0; }
   // Resolves the label for a path, or nullptr when unsupported. The result
-  // stays valid across load() (it shares ownership of the rule numbering it
-  // was computed under) but is only *meaningful* while label_generation()
-  // still returns `label_generation()` observed at resolve time.
+  // owns its storage — it stays valid across load() without pinning the
+  // retired rule tables it was computed from — but is only *meaningful*
+  // while label_generation() still returns the value observed at resolve
+  // time.
   virtual std::shared_ptr<const ObjectLabel> resolve_label(
       std::string_view /*path*/) const {
     return nullptr;
@@ -239,10 +240,11 @@ class DfaRuleSet final : public RuleSetBase {
     std::uint64_t label_gen = 0;
     ObjectLabel empty_label;  // returned for paths no rule matches (scan path)
 
-    // The activation-independent half of a decision.
-    std::shared_ptr<const ObjectLabel> resolve(
-        const std::shared_ptr<const Program>& self,
-        std::string_view path) const;
+    // The activation-independent half of a decision. The returned label
+    // owns its bits: callers park these on inodes for arbitrarily long, so
+    // aliasing the Program here would let every stale inode label pin a
+    // whole retired policy (DFA tables included) across loads.
+    std::shared_ptr<const ObjectLabel> resolve(std::string_view path) const;
   };
 
   // One activation: per-op allow/deny masks over the Program's rule ids.
@@ -262,7 +264,6 @@ class DfaRuleSet final : public RuleSetBase {
   std::shared_ptr<const Snapshot> snapshot() const { return snap_.load(); }
 
   RcuPtr<const Snapshot> snap_;
-  std::atomic<std::uint64_t> next_label_gen_{1};
 };
 
 class LinearRuleSet final : public RuleSetBase {

@@ -837,19 +837,22 @@ Errno SackModule::check_op(const Task& task, std::string_view path, MacOp op,
     // ("which loaded rules name this path") is cached on the inode — an AVC
     // miss then costs only mask intersections, not a matcher walk. The label
     // generation is read before resolving; if a policy load lands in
-    // between, check_labeled sees the stale stamp and recomputes.
+    // between, check_labeled sees the stale stamp and recomputes. The probe
+    // is keyed on the path too: a hard-linked inode reached under another
+    // name, or an inode re-checked after rename, misses and re-resolves
+    // rather than reusing a label that encodes a different name's rules.
     bool labeled = false;
     if (inode != nullptr) {
       if (const std::uint64_t label_gen = rules_->label_generation();
           label_gen != 0) {
-        if (auto cached = inode->mac_label(kName, label_gen)) {
+        if (auto cached = inode->mac_label(kName, label_gen, path)) {
           rc = rules_->check_labeled(
               query, *static_cast<const ObjectLabel*>(cached.get()),
               label_gen);
           labeled = true;
         } else if (auto label = rules_->resolve_label(path)) {
           rc = rules_->check_labeled(query, *label, label_gen);
-          inode->mac_label_store(kName, label_gen, std::move(label));
+          inode->mac_label_store(kName, label_gen, path, std::move(label));
           labeled = true;
         }
       }
@@ -910,6 +913,8 @@ void SackModule::check_ops(const kernel::Task& task,
     for (std::size_t i = 0; i < queries.size(); ++i) verdicts[i] = Errno::ok;
     return;
   }
+  const bool obs = observing();
+  const std::uint64_t t_start = obs ? monotonic_ns() : 0;
   const std::string_view exe = task.exe_path();
   const std::string_view profile = profile_of(task);
   const std::uint64_t generation =
@@ -929,6 +934,7 @@ void SackModule::check_ops(const kernel::Task& task,
     }
     if (!avc_hit) miss_index.push_back(i);
   }
+  const std::uint64_t t_probe = obs ? monotonic_ns() : 0;
   if (!miss_index.empty()) {
     misses.reserve(miss_index.size());
     for (std::size_t i : miss_index) misses.push_back(queries[i]);
@@ -940,11 +946,49 @@ void SackModule::check_ops(const kernel::Task& task,
         avc_.insert(misses[m], generation, miss_verdicts[m]);
     }
   }
+  const std::uint64_t t_walk = obs ? monotonic_ns() : 0;
   // The AVC caches decisions, not audit obligations: every denial in the
   // batch audits, exactly as the equivalent check_op sequence would.
   for (std::size_t i = 0; i < queries.size(); ++i) {
     if (verdicts[i] != Errno::ok)
       note_denial(task, queries[i].object_path, queries[i].op);
+  }
+  if (obs && !queries.empty()) {
+    // Batch observability mirrors check_op's one-sample-per-decision shape:
+    // each query contributes one trace record and one sample per stage
+    // histogram, with the measured batch stage cost split evenly across the
+    // queries that went through that stage. Sample counts (and therefore
+    // percentile weighting against the hook path) stay honest; only the
+    // per-query attribution is amortized, as the header documents.
+    const std::uint64_t t_end = monotonic_ns();
+    const std::uint64_t per_query_total = (t_end - t_start) / queries.size();
+    const std::uint64_t per_query_probe =
+        (t_probe - t_start) / queries.size();
+    const std::uint64_t per_miss_walk =
+        miss_index.empty() ? 0 : (t_walk - t_probe) / miss_index.size();
+    const SimTime now = kernel_ ? kernel_->clock().now() : 0;
+    const int state = current_encoding_or(-1);
+    std::size_t next_miss = 0;  // miss_index is ascending by construction
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const bool missed =
+          next_miss < miss_index.size() && miss_index[next_miss] == i;
+      if (missed) ++next_miss;
+      metrics_.hook_total_ns.record(per_query_total);
+      metrics_.avc_probe_ns.record(per_query_probe);
+      if (missed) metrics_.matcher_walk_ns.record(per_miss_walk);
+      TraceRecord tr;
+      tr.time = now;
+      tr.pid = task.pid().get();
+      tr.hook = TraceHook::check_op;
+      tr.op = queries[i].op;
+      tr.verdict = verdicts[i];
+      tr.avc_hit = !missed;
+      tr.state_encoding = state;
+      tr.subject = task.exe_path();
+      tr.object = std::string(queries[i].object_path);
+      tr.latency_ns = per_query_total;
+      trace_.append(std::move(tr));
+    }
   }
 }
 

@@ -156,8 +156,14 @@ class SackModule final : public kernel::SecurityModule {
   // Fills each query's subject fields in place from the task (callers set
   // only object_path and op). The subject resolution, generation read, and
   // rule-set snapshot are amortized over the whole batch; per-query AVC
-  // probe/insert and denial auditing match check_op exactly, so a batch
-  // decision is indistinguishable from the equivalent sequence of hooks.
+  // probe/insert and denial auditing match check_op exactly, and with
+  // observability on, every query still yields one trace record and one
+  // sample per stage histogram (stage costs divided evenly across the
+  // batch, keeping sample counts and percentiles comparable with the hook
+  // path). Two deliberate deviations from the equivalent hook sequence:
+  // per-query latencies are amortized rather than individually timed, and
+  // batch queries carry no inode, so the per-inode label fast path does not
+  // apply — misses take the rule set's own batch walk instead.
   // `verdicts.size()` must be >= `queries.size()`.
   void check_ops(const kernel::Task& task, std::span<AccessQuery> queries,
                  std::span<Errno> verdicts);

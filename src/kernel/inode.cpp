@@ -44,21 +44,25 @@ void Inode::set_security(const std::string& lsm, std::string value) {
 }
 
 std::shared_ptr<const void> Inode::mac_label(std::string_view module,
-                                             std::uint64_t generation) const {
+                                             std::uint64_t generation,
+                                             std::string_view path) const {
   util::MutexLock lock(label_mu_);
   auto it = mac_labels_.find(module);
-  if (it == mac_labels_.end() || it->second.generation != generation)
+  if (it == mac_labels_.end() || it->second.generation != generation ||
+      it->second.path != path)
     return nullptr;
   return it->second.label;
 }
 
 void Inode::mac_label_store(std::string_view module, std::uint64_t generation,
+                            std::string_view path,
                             std::shared_ptr<const void> label) const {
   util::MutexLock lock(label_mu_);
   auto it = mac_labels_.find(module);
   if (it == mac_labels_.end())
     it = mac_labels_.emplace(std::string(module), MacLabelEntry{}).first;
   it->second.generation = generation;
+  it->second.path.assign(path.data(), path.size());
   it->second.label = std::move(label);
 }
 

@@ -75,21 +75,29 @@ class Inode {
   // A MAC module that pre-resolves the policy-dependent half of a decision
   // for this object (SACK's table-driven matcher resolves "which loaded
   // rules name this path" into a rule bitmask) parks the result here,
-  // stamped with the label generation it was computed under. The pointer is
-  // opaque to the VFS — only the owning module knows the concrete type. A
-  // lookup under any other generation misses, so stale labels die on policy
-  // load without any sweep over the inode table. Like File's revalidation
+  // stamped with the label generation it was computed under AND the path it
+  // was resolved for. The pointer is opaque to the VFS — only the owning
+  // module knows the concrete type. A lookup under any other generation
+  // misses, so stale labels die on policy load without any sweep over the
+  // inode table; a lookup under any other *path* also misses, because the
+  // label is a property of a name, not of the inode — one inode is
+  // reachable under several names (hard links) and keeps its name-derived
+  // state across rename, and serving a label resolved for a different name
+  // would be a wrong verdict, not a slow one. Like File's revalidation
   // cache this memoizes a recomputable decision, so the accessors are const
   // over a mutable, mutex-guarded map (inodes are shared VFS-wide and hooks
   // may run concurrently).
   std::shared_ptr<const void> mac_label(std::string_view module,
-                                        std::uint64_t generation) const;
+                                        std::uint64_t generation,
+                                        std::string_view path) const;
   void mac_label_store(std::string_view module, std::uint64_t generation,
+                       std::string_view path,
                        std::shared_ptr<const void> label) const;
 
  private:
   struct MacLabelEntry {
     std::uint64_t generation = 0;
+    std::string path;  // the name the label was resolved for
     std::shared_ptr<const void> label;
   };
 

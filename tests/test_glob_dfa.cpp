@@ -239,6 +239,42 @@ TEST(DfaRuleSet, LabelsSurviveActivationAndDieOnLoad) {
             Errno::ok);
 }
 
+TEST(DfaRuleSet, LabelGenerationsAreProcessUnique) {
+  // Labels get parked on inodes that several module/rule-set instances can
+  // share (stacked modules, one VFS) under the same module name. If each
+  // instance counted generations from 1, instance B could hit a label
+  // resolved under instance A's rule numbering — so generations come from
+  // one process-wide counter and never collide.
+  DfaRuleSet a;
+  DfaRuleSet b;
+  a.load(demo_policy());
+  b.load(demo_policy());
+  EXPECT_NE(a.label_generation(), 0u);
+  EXPECT_NE(b.label_generation(), 0u);
+  EXPECT_NE(a.label_generation(), b.label_generation());
+}
+
+TEST(DfaRuleSet, ResolvedLabelsOwnTheirBits) {
+  // A resolved label can sit on an inode indefinitely; it must own its mask
+  // rather than alias the Program's DFA storage, or every stale inode label
+  // would pin a whole retired policy across loads.
+  DfaRuleSet rs;
+  rs.load(demo_policy());
+  rs.activate({"MEDIA"});
+  const std::uint64_t gen = rs.label_generation();
+  auto label = rs.resolve_label("/var/media/t.pcm");
+  ASSERT_NE(label, nullptr);
+  EXPECT_TRUE(label->any());
+  // Retire the Program the label was resolved from.
+  rs.load(SackPolicy{});
+  // The label's storage is still the holder's to read, and the stale stamp
+  // forces a recompute (empty policy: everything unguarded).
+  EXPECT_TRUE(label->any());
+  EXPECT_EQ(rs.check_labeled(query("/bin/app", "/var/media/t.pcm", MacOp::read),
+                             *label, gen),
+            Errno::ok);
+}
+
 TEST(DfaRuleSet, BatchCheckOpsMatchesScalar) {
   DfaRuleSet rs;
   rs.load(demo_policy());

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "core/sack_module.h"
+#include "kernel/inode.h"
 #include "kernel/process.h"
+#include "kernel/task.h"
 #include "simbench/policy_gen.h"
 
 namespace sack::core {
@@ -366,6 +368,84 @@ TEST_F(SackModuleTest, GenerationBumpsOnLoadAndTransition) {
   EXPECT_GT(g1, g0);
   (void)sack_->deliver_event("crash_detected");
   EXPECT_GT(sack_->policy_generation(), g1);
+}
+
+// --- inode label cache keying ---
+// The per-inode label cache memoizes "which loaded rules name this path";
+// a label is a property of a *name*, and one inode can carry several names
+// (hard links) or change its name (rename). These tests pin the cache's
+// miss conditions: same inode + different path, and same inode + a label
+// stamped by a different module instance.
+
+kernel::Task standalone_task(const char* exe) {
+  kernel::Task task(kernel::Pid(42), kernel::Pid(1), "t", Cred{});
+  task.set_exe_path(exe);
+  return task;
+}
+
+TEST(InodeLabelCache, PathChangeMissesInsteadOfServingWrongLabel) {
+  SackModule module(SackMode::independent);
+  module.set_avc(false);  // force every decision through the label path
+  ASSERT_TRUE(module.load_policy_text(kPolicy).ok());
+  kernel::Task task = standalone_task("/usr/bin/other");
+  const kernel::Inode inode(kernel::InodeNo(7), kernel::InodeType::regular,
+                            0644, kernel::Uid(0), kernel::Gid(0));
+  // Warm the cache under an unguarded name: empty label, access OK.
+  EXPECT_EQ(module.file_open(task, "/tmp/unguarded.txt", inode,
+                             kernel::AccessMask::read),
+            Errno::ok);
+  // The same inode reached under a guarded name (a hard link, or the same
+  // file after rename) must be denied: serving the cached empty label would
+  // read as "unguarded" and bypass the /dev/door guard.
+  EXPECT_EQ(module.file_open(task, "/dev/door", inode,
+                             kernel::AccessMask::write),
+            Errno::eacces);
+  // No false denial in the other direction either: the denying name's label
+  // must not stick to the inode when it is reached via an allowed name.
+  EXPECT_EQ(module.file_open(task, "/var/media/track.pcm", inode,
+                             kernel::AccessMask::read),
+            Errno::ok);
+}
+
+TEST(InodeLabelCache, ModulesNeverHitEachOthersLabels) {
+  // Stacked module instances share inodes and both store labels under the
+  // SACK module name. With per-instance generation counters, both first
+  // loads would stamp generation 1 and module B could hit a label resolved
+  // under module A's rule numbering; generations are process-unique, so B
+  // misses and resolves its own.
+  constexpr std::string_view kEtcOnlyPolicy = R"(
+states { normal = 0; }
+initial normal;
+permissions { ETC_READ; }
+state_per { normal: ETC_READ; }
+per_rules { ETC_READ { allow * /etc/** read; } }
+)";
+  constexpr std::string_view kRescueMediaPolicy = R"(
+states { normal = 0; }
+initial normal;
+permissions { MEDIA_RESCUE; }
+state_per { normal: MEDIA_RESCUE; }
+per_rules { MEDIA_RESCUE { allow /usr/bin/rescue /var/media/** read; } }
+)";
+  SackModule a(SackMode::independent);
+  SackModule b(SackMode::independent);
+  a.set_avc(false);
+  b.set_avc(false);
+  ASSERT_TRUE(a.load_policy_text(kEtcOnlyPolicy).ok());
+  ASSERT_TRUE(b.load_policy_text(kRescueMediaPolicy).ok());
+  ASSERT_NE(a.ruleset().label_generation(), b.ruleset().label_generation());
+  kernel::Task task = standalone_task("/usr/bin/other");
+  const kernel::Inode inode(kernel::InodeNo(8), kernel::InodeType::regular,
+                            0644, kernel::Uid(0), kernel::Gid(0));
+  // A does not guard /var/media: empty label cached on the shared inode.
+  EXPECT_EQ(a.file_open(task, "/var/media/track.pcm", inode,
+                        kernel::AccessMask::read),
+            Errno::ok);
+  // B guards /var/media for rescue only; hitting A's empty label would
+  // allow. Same path, so only the generation distinguishes the entries.
+  EXPECT_EQ(b.file_open(task, "/var/media/track.pcm", inode,
+                        kernel::AccessMask::read),
+            Errno::eacces);
 }
 
 }  // namespace

@@ -212,6 +212,46 @@ TEST_F(TraceObservabilityTest, TraceRecordsCarryDecisionContext) {
   EXPECT_TRUE(saw_denial);
 }
 
+TEST_F(TraceObservabilityTest, BatchCheckOpsTracesEveryQuery) {
+  // The batch API mirrors check_op's observability shape: one trace record
+  // per query (with per-query verdict and AVC hit flag), not one per batch.
+  Task& app = kernel_.spawn_task("app", Cred::root(), "/usr/bin/app");
+  sack_->set_observe(true);
+  std::vector<AccessQuery> queries(2);
+  queries[0].object_path = "/var/media/track.pcm";
+  queries[0].op = MacOp::read;
+  queries[1].object_path = "/dev/door";
+  queries[1].op = MacOp::write;
+  std::vector<Errno> verdicts(queries.size());
+
+  sack_->check_ops(app, queries, verdicts);
+  EXPECT_EQ(verdicts[0], Errno::ok);
+  EXPECT_EQ(verdicts[1], Errno::eacces);  // guarded, inactive in 'normal'
+  ASSERT_EQ(sack_->trace_ring().recorded(), 2u);
+  auto snap = sack_->trace_ring().snapshot(2);
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].object, "/var/media/track.pcm");
+  EXPECT_EQ(snap[0].verdict, Errno::ok);
+  EXPECT_FALSE(snap[0].avc_hit);
+  EXPECT_EQ(snap[1].object, "/dev/door");
+  EXPECT_EQ(snap[1].verdict, Errno::eacces);
+  EXPECT_FALSE(snap[1].avc_hit);
+  EXPECT_EQ(snap[1].subject, "/usr/bin/app");
+  EXPECT_EQ(snap[1].pid, app.pid().get());
+  EXPECT_EQ(sack_->denial_count(), 1u);  // denials audit per occurrence
+
+  // Second round: both verdicts now come from the AVC; still one record
+  // each, flagged as hits, and the denial audits again.
+  sack_->check_ops(app, queries, verdicts);
+  EXPECT_EQ(verdicts[1], Errno::eacces);
+  ASSERT_EQ(sack_->trace_ring().recorded(), 4u);
+  snap = sack_->trace_ring().snapshot(2);
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_TRUE(snap[0].avc_hit);
+  EXPECT_TRUE(snap[1].avc_hit);
+  EXPECT_EQ(sack_->denial_count(), 2u);
+}
+
 TEST_F(TraceObservabilityTest, UnprivilegedCannotToggle) {
   Task& user = kernel_.spawn_task("user", Cred::user(1000, 1000));
   Process up(kernel_, user);
