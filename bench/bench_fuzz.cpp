@@ -1,0 +1,84 @@
+// Fuzzer throughput and time-to-coverage-plateau.
+//
+// Runs one deterministic sack-fuzz campaign (seed 42, checked-in seed
+// corpus, hostile racer armed) and reports:
+//
+//   execs_per_sec          whole-campaign execution rate — each exec boots a
+//                          fresh simulated kernel, replays one program under
+//                          the mediation oracle, and runs the whole-program
+//                          invariant walks;
+//   time_to_plateau_ms     wall-clock until the last new coverage key;
+//   plateau_execs          exec index of that last coverage gain;
+//   coverage_keys          (syscall x state x errno) + (syscall x hook x
+//                          verdict) tuples reached;
+//   oracle_violations      must be 0 on a healthy tree — any nonzero value
+//                          is a mediation regression, and the bench fails.
+//
+// Results land in BENCH_fuzz.json. `--fast` runs a reduced budget for CI
+// smoke.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "fuzz/fuzzer.h"
+#include "util/log.h"
+
+int main(int argc, char** argv) {
+  sack::Logger::instance().set_level(sack::LogLevel::off);
+  bool fast = false;
+  std::string source_dir = SACK_SOURCE_DIR;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+
+  sack::fuzz::FuzzConfig config;
+  config.seed = 42;
+  config.max_execs = fast ? 2000 : 100000;
+  config.plateau_execs = fast ? 1000 : 8000;
+  config.corpus_dir = source_dir + "/tests/fixtures/fuzz/corpus";
+
+  sack::fuzz::Fuzzer fuzzer(config, sack::fuzz::load_manifest_or_die(
+                                        source_dir + "/docs/hook_manifest.toml"));
+  fuzzer.run();
+
+  const auto& s = fuzzer.stats();
+  const double secs =
+      s.elapsed_ms > 0 ? static_cast<double>(s.elapsed_ms) / 1000.0 : 1e-3;
+  const double execs_per_sec = static_cast<double>(s.execs) / secs;
+
+  std::printf("=== sack-fuzz campaign: seed %llu, budget %zu execs ===\n",
+              static_cast<unsigned long long>(config.seed), config.max_execs);
+  std::printf("execs:              %zu (%.0f/sec)\n", s.execs, execs_per_sec);
+  std::printf("coverage keys:      %zu\n", s.coverage_keys);
+  std::printf("corpus:             %zu programs\n", s.corpus_size);
+  std::printf("plateau:            %s at exec %zu (~%llu ms)\n",
+              s.hit_plateau ? "reached" : "not reached", s.plateau_execs,
+              static_cast<unsigned long long>(s.time_to_plateau_ms));
+  std::printf("oracle violations:  %zu (%zu findings)\n", s.violations,
+              fuzzer.findings().size());
+  for (const auto& f : fuzzer.findings()) {
+    std::printf("FINDING %s in %s: %s\n", f.violations.front().rule.c_str(),
+                f.violations.front().syscall.c_str(),
+                f.violations.front().detail.c_str());
+  }
+
+  const bool sane = fuzzer.findings().empty() && s.coverage_keys > 100;
+  std::printf("shape check: %s\n", sane ? "OK" : "FAILED");
+
+  std::ofstream json("BENCH_fuzz.json");
+  json << "{\n"
+       << "  \"seed\": " << config.seed << ",\n"
+       << "  \"execs\": " << s.execs << ",\n"
+       << "  \"execs_per_sec\": " << execs_per_sec << ",\n"
+       << "  \"coverage_keys\": " << s.coverage_keys << ",\n"
+       << "  \"corpus_size\": " << s.corpus_size << ",\n"
+       << "  \"hit_plateau\": " << (s.hit_plateau ? "true" : "false") << ",\n"
+       << "  \"plateau_execs\": " << s.plateau_execs << ",\n"
+       << "  \"time_to_plateau_ms\": " << s.time_to_plateau_ms << ",\n"
+       << "  \"elapsed_ms\": " << s.elapsed_ms << ",\n"
+       << "  \"oracle_violations\": " << s.violations << ",\n"
+       << "  \"findings\": " << fuzzer.findings().size() << "\n"
+       << "}\n";
+  std::printf("wrote BENCH_fuzz.json\n");
+  return sane ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sack::fuzz {
+
+namespace fs = std::filesystem;
+
+std::size_t Corpus::load_dir(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return 0;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".prog")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  std::size_t loaded = 0;
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    if (!in) continue;
+    std::ostringstream text;
+    text << in.rdbuf();
+    Program prog = Program::from_text(text.str());
+    if (prog.ops.empty()) continue;
+    programs_.push_back(std::move(prog));
+    ++loaded;
+  }
+  return loaded;
+}
+
+std::size_t Corpus::save_dir(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "%03zu.prog", i);
+    std::ofstream out(fs::path(dir) / name);
+    if (!out) continue;
+    out << programs_[i].to_text();
+    ++written;
+  }
+  return written;
+}
+
+Program minimize(const Program& prog,
+                 const std::function<bool(const Program&)>& still_interesting) {
+  Program best = prog;
+  bool shrunk = true;
+  while (shrunk && best.ops.size() > 1) {
+    shrunk = false;
+    for (std::size_t i = 0; i < best.ops.size();) {
+      Program candidate = best;
+      candidate.ops.erase(candidate.ops.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      if (!candidate.ops.empty() && still_interesting(candidate)) {
+        best = std::move(candidate);
+        shrunk = true;
+        // Re-test the same index: it now holds the next op.
+      } else {
+        ++i;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace sack::fuzz

@@ -1,0 +1,37 @@
+// Corpus management: a directory of .prog text files plus in-memory
+// distillation (keep only coverage-adding inputs) and greedy minimization.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fuzz/program.h"
+
+namespace sack::fuzz {
+
+class Corpus {
+ public:
+  void add(Program prog) { programs_.push_back(std::move(prog)); }
+  const std::vector<Program>& programs() const { return programs_; }
+  bool empty() const { return programs_.empty(); }
+  std::size_t size() const { return programs_.size(); }
+
+  // Loads every *.prog file in `dir` (sorted by filename for determinism).
+  // Returns the number of programs loaded; a missing directory loads zero.
+  std::size_t load_dir(const std::string& dir);
+
+  // Writes programs as 000.prog, 001.prog, ... into `dir` (created if
+  // needed). Returns the number written.
+  std::size_t save_dir(const std::string& dir) const;
+
+ private:
+  std::vector<Program> programs_;
+};
+
+// Greedy one-pass minimization: repeatedly drop each op and keep the smaller
+// program whenever `still_interesting` holds (e.g. "still violates").
+Program minimize(const Program& prog,
+                 const std::function<bool(const Program&)>& still_interesting);
+
+}  // namespace sack::fuzz

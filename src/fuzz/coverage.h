@@ -1,0 +1,52 @@
+// Coverage feedback for the mediation fuzzer.
+//
+// Two key families, packed into one uint64 set:
+//   exec keys:  (opcode, SSM situation state, errno)  — did this syscall,
+//               issued in this situation, produce this outcome before?
+//   hook keys:  (opcode, hook, allow/deny)            — did this syscall
+//               drive this hook chain to this verdict class before?
+//
+// Both are tiny domains by fuzzing standards, which is the point: the
+// product space is the kernel's *mediation* behavior, and a plateau over it
+// means every reachable (syscall x situation x verdict) combination the
+// program generator can express has been witnessed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_set>
+
+#include "fuzz/program.h"
+
+namespace sack::fuzz {
+
+class Coverage {
+ public:
+  // Each add_* returns true when the key was new.
+  bool add_exec(OpCode op, std::uint32_t state_id, int err) {
+    return add(pack(1, op, state_id, static_cast<std::uint32_t>(err) & 0xff));
+  }
+  bool add_hook(OpCode op, std::string_view hook, bool allowed) {
+    return add(pack(2, op, hash16(hook), allowed ? 1 : 0));
+  }
+
+  std::size_t size() const { return keys_.size(); }
+  void clear() { keys_.clear(); }
+
+ private:
+  static std::uint32_t hash16(std::string_view s) {
+    std::uint32_t h = 2166136261u;
+    for (unsigned char c : s) h = (h ^ c) * 16777619u;
+    return (h ^ (h >> 16)) & 0xffff;
+  }
+  static std::uint64_t pack(std::uint64_t kind, OpCode op, std::uint32_t mid,
+                            std::uint32_t low) {
+    return (kind << 56) | (static_cast<std::uint64_t>(op) << 40) |
+           (static_cast<std::uint64_t>(mid & 0xffff) << 16) | (low & 0xffff);
+  }
+  bool add(std::uint64_t key) { return keys_.insert(key).second; }
+
+  std::unordered_set<std::uint64_t> keys_;
+};
+
+}  // namespace sack::fuzz

@@ -1,0 +1,107 @@
+#include "fuzz/env.h"
+
+#include "kernel/process.h"
+#include "kernel/task.h"
+
+namespace sack::fuzz {
+
+using kernel::Cred;
+using kernel::Fd;
+using kernel::Kernel;
+using kernel::Process;
+using kernel::Task;
+
+const std::string_view kFuzzPolicy = R"(
+states { normal = 0; emergency = 1; lockdown = 2; }
+initial normal;
+transitions {
+  normal -> emergency on crash_detected;
+  emergency -> normal on emergency_cleared;
+  lockdown -> normal on sds_recovered;
+}
+watchdog {
+  deadline 2000;
+  failsafe lockdown;
+}
+permissions { MEDIA_READ; DOOR_CONTROL; }
+state_per {
+  normal: MEDIA_READ;
+  emergency: MEDIA_READ, DOOR_CONTROL;
+}
+per_rules {
+  MEDIA_READ { allow * /var/media/** read getattr; }
+  DOOR_CONTROL { allow /usr/bin/admin /dev/vehicle/door* write ioctl; }
+}
+)";
+
+const std::string_view kFuzzEvents[4] = {
+    "crash_detected", "emergency_cleared", "sds_recovered", "bogus_event"};
+
+Errno RacerModule::socket_bind(Task& task, const kernel::Socket&) {
+  // TOCTOU canary: with 1-in-4 probability, close a handful of low
+  // descriptors from inside the bind chain. A syscall that re-fetches its fd
+  // after the verdict instead of pinning the description it validated will
+  // dereference a dead slot here.
+  if (enabled_ && rng_.below(4) == 0) {
+    for (int i = 0; i < 3; ++i) {
+      (void)task.fds().remove(Fd(static_cast<Fd::rep_type>(rng_.below(12))));
+    }
+  }
+  return Errno::ok;
+}
+
+Errno RacerModule::file_permission(Task&, const kernel::File&,
+                                           kernel::AccessMask) {
+  // Interrupt analogue: deliver an SDS situation event mid-syscall so the
+  // situation state (and thus SACK's verdicts) can change between two hook
+  // chains of the same program.
+  if (enabled_ && sack_ && sack_->policy_loaded() && rng_.below(16) == 0) {
+    (void)sack_->deliver_event(kFuzzEvents[rng_.below(3)]);
+  }
+  return Errno::ok;
+}
+
+FuzzEnv::FuzzEnv(kernel::MediationWitness* witness, std::uint64_t racer_seed) {
+  sack_ = static_cast<core::SackModule*>(kernel_.add_lsm(
+      std::make_unique<core::SackModule>(core::SackMode::independent)));
+  racer_ = static_cast<RacerModule*>(
+      kernel_.add_lsm(std::make_unique<RacerModule>()));
+
+  // Fixtures the path table points at.
+  kernel_.vfs().mkdir_p("/var/media");
+  Process boot(kernel_, kernel_.init_task());
+  (void)boot.write_file("/usr/bin/admin", "ELF");
+  (void)boot.write_file("/usr/bin/media", "ELF");
+  (void)boot.write_file("/usr/bin/sds_daemon", "ELF");
+  (void)boot.write_file("/var/media/track.pcm", "PCMDATA");
+  (void)boot.write_file("/var/media/x", "X");
+  (void)boot.write_file("/dev/vehicle/door0", "");
+  (void)boot.write_file("/etc/cfg", "k=v");
+
+  (void)sack_->load_policy_text(kFuzzPolicy);
+
+  Cred media_cred = Cred::user(1000, 1000);
+  tasks_[0] = &kernel_.spawn_task("admin", Cred::root(), "/usr/bin/admin");
+  tasks_[1] = &kernel_.spawn_task("media", media_cred, "/usr/bin/media");
+  tasks_[2] = &kernel_.spawn_task("sds", Cred::root(), "/usr/bin/sds_daemon");
+
+  if (racer_seed != 0) racer_->arm(racer_seed, sack_);
+
+  // Sentinel goes in front of everything (including the capability module)
+  // and the witness is attached last, so env construction itself produces no
+  // oracle traffic.
+  kernel_.add_lsm_front(std::make_unique<WitnessSentinel>(witness));
+  kernel_.set_mediation_witness(witness);
+}
+
+Task& FuzzEnv::task(std::uint32_t index) {
+  return *tasks_[index % kTaskCount];
+}
+
+std::uint32_t FuzzEnv::state_id() const {
+  const core::SituationStateMachine* ssm = sack_->ssm();
+  if (!ssm) return kStateUnknown;
+  return static_cast<std::uint32_t>(ssm->current_encoding());
+}
+
+}  // namespace sack::fuzz

@@ -1,0 +1,84 @@
+// FuzzEnv: one disposable simulated-kernel universe per program execution.
+//
+// Boots a fresh Kernel with the SACK module (independent mode, DFA ruleset)
+// and a three-state watchdog policy, spawns the three actor tasks the
+// program ops index (admin, media, sds), and installs:
+//
+//   * a WitnessSentinel at the head of the LSM stack (add_lsm_front), so
+//     every hook dispatch is reported to the oracle before any module can
+//     deny it;
+//   * a RacerModule behind SACK — a deterministic, program-seeded hostile
+//     module that closes descriptors during socket_bind chains (the TOCTOU
+//     canary that flushed out the sys_bind post-hook re-fetch bug) and
+//     injects SDS situation events during file_permission chains
+//     (mid-syscall state transitions, the interrupt analogue).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/sack_module.h"
+#include "fuzz/oracle.h"
+#include "kernel/kernel.h"
+#include "util/rng.h"
+
+namespace sack::fuzz {
+
+// The policy every FuzzEnv loads: three situation states, a watchdog with a
+// failsafe, and permissions that differ per state so situation transitions
+// flip verdicts mid-campaign.
+extern const std::string_view kFuzzPolicy;
+
+// Situation events worth injecting (the last one is deliberately unknown to
+// the policy, to exercise the rejection path).
+extern const std::string_view kFuzzEvents[4];
+
+class RacerModule final : public kernel::SecurityModule {
+ public:
+  std::string_view name() const override { return "fuzz_racer"; }
+
+  void arm(std::uint64_t seed, core::SackModule* sack) {
+    rng_ = Rng(seed);
+    sack_ = sack;
+    enabled_ = true;
+  }
+  void disarm() { enabled_ = false; }
+
+  Errno socket_bind(kernel::Task& task,
+                            const kernel::Socket& sock) override;
+  Errno file_permission(kernel::Task& task, const kernel::File& file,
+                                kernel::AccessMask access) override;
+
+ private:
+  bool enabled_ = false;
+  Rng rng_{0};
+  core::SackModule* sack_ = nullptr;
+};
+
+class FuzzEnv {
+ public:
+  // `witness` may be null (no oracle attached). `racer_seed` derives the
+  // racer's deterministic schedule; pass 0 to disable the racer entirely.
+  explicit FuzzEnv(kernel::MediationWitness* witness,
+                   std::uint64_t racer_seed = 0);
+
+  kernel::Kernel& kernel() { return kernel_; }
+  core::SackModule& sack() { return *sack_; }
+
+  // Actor tasks, indexed by op.a % kTaskCount.
+  static constexpr int kTaskCount = 3;
+  kernel::Task& task(std::uint32_t index);
+
+  // Numeric encoding of the current situation state (policy `states`
+  // encoding; kStateUnknown before the policy loads or after parse issues).
+  static constexpr std::uint32_t kStateUnknown = 0xffff;
+  std::uint32_t state_id() const;
+
+ private:
+  kernel::Kernel kernel_;
+  core::SackModule* sack_ = nullptr;
+  RacerModule* racer_ = nullptr;
+  kernel::Task* tasks_[kTaskCount] = {};
+};
+
+}  // namespace sack::fuzz

@@ -1,0 +1,459 @@
+#include "fuzz/executor.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "kernel/file.h"
+#include "kernel/inode.h"
+#include "kernel/socket.h"
+#include "kernel/task.h"
+
+namespace sack::fuzz {
+
+using kernel::AccessMask;
+using sack::Errno;
+using kernel::Fd;
+using kernel::Inode;
+using kernel::InodePtr;
+using kernel::OpenFlags;
+using kernel::Pid;
+using kernel::SockAddr;
+using kernel::SockFamily;
+using kernel::SockType;
+using kernel::Task;
+using kernel::Whence;
+using sack::operator|;
+using sack::operator|=;
+
+namespace {
+
+constexpr std::string_view kPaths[] = {
+    "/tmp/a",     "/tmp/b",   "/tmp/d1", "/tmp/d1/c", "/var/media/track.pcm",
+    "/var/media/x", "/dev/vehicle/door0", "/home/u", "/etc/cfg", "/tmp/ln",
+    "/tmp",       "/var/media",
+};
+constexpr std::string_view kExePaths[] = {
+    "/usr/bin/admin", "/usr/bin/media", "/usr/bin/sds_daemon", "/etc/cfg"};
+constexpr std::string_view kXattrNames[] = {"user.tag", "security.sack",
+                                            "user.note"};
+constexpr std::string_view kEventsFile = "/sys/kernel/security/SACK/events";
+constexpr std::string_view kHeartbeatFile =
+    "/sys/kernel/security/SACK/heartbeat";
+constexpr std::string_view kPolicyLoadFile =
+    "/sys/kernel/security/SACK/policy/load";
+
+constexpr int kFdSlots = 8;
+constexpr int kMmapSlots = 4;
+constexpr int kPidSlots = 4;
+
+template <typename T>
+Errno err_of(const Result<T>& r) {
+  return r.ok() ? Errno::ok : r.error();
+}
+Errno err_of(const Result<void>& r) {
+  return r.ok() ? Errno::ok : r.error();
+}
+
+std::string_view path_arg(std::uint32_t sel) {
+  return kPaths[sel % (sizeof(kPaths) / sizeof(kPaths[0]))];
+}
+
+OpenFlags flags_arg(std::uint32_t d) {
+  OpenFlags f = OpenFlags::none;
+  switch (d % 3) {
+    case 0: f = OpenFlags::read; break;
+    case 1: f = OpenFlags::write; break;
+    default: f = OpenFlags::rdwr; break;
+  }
+  if (d & 4) f |= OpenFlags::create;
+  if (d & 8) f |= OpenFlags::trunc;
+  if (d & 16) f |= OpenFlags::append;
+  if (d & 32) f |= OpenFlags::excl;
+  if (d & 64) f |= OpenFlags::cloexec;
+  return f;
+}
+
+SockAddr addr_arg(std::uint32_t c, std::uint32_t d) {
+  if (c % 2 == 0)
+    return SockAddr::un("/tmp/sock" + std::to_string(d % 3));
+  // 1-in-16 privileged port to exercise the capable() conditional chain.
+  return SockAddr::in(d % 16 == 0 ? std::uint16_t{80}
+                                  : static_cast<std::uint16_t>(1024 + d % 4));
+}
+
+}  // namespace
+
+analysis::Manifest load_manifest_or_die(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fuzz: cannot open manifest %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = analysis::parse_manifest(text.str());
+  if (!parsed.error.empty()) {
+    std::fprintf(stderr, "fuzz: manifest parse error: %s\n",
+                 parsed.error.c_str());
+    std::exit(2);
+  }
+  return std::move(parsed.manifest);
+}
+
+ExecResult Executor::run(const Program& prog, Coverage& coverage,
+                         std::uint64_t seed) const {
+  ExecResult result;
+  MediationOracle oracle(manifest_);
+  FuzzEnv env(&oracle, seed);
+  kernel::Kernel& k = env.kernel();
+
+  // Per-task fd / pair-tracking slots. pair[t][s] is the (task, slot) of the
+  // other end of a socketpair created into these slots, or {-1, -1}.
+  int fds[FuzzEnv::kTaskCount][kFdSlots];
+  std::pair<int, int> pair[FuzzEnv::kTaskCount][kFdSlots];
+  int mmaps[FuzzEnv::kTaskCount][kMmapSlots];
+  for (int t = 0; t < FuzzEnv::kTaskCount; ++t) {
+    for (int s = 0; s < kFdSlots; ++s) {
+      fds[t][s] = -1;
+      pair[t][s] = {-1, -1};
+    }
+    for (int s = 0; s < kMmapSlots; ++s) mmaps[t][s] = -1;
+  }
+  long pids[kPidSlots] = {0, 0, 0, 0};
+
+  auto unpair = [&](int t, int s) {
+    auto [pt, ps] = pair[t][s];
+    if (pt >= 0) pair[pt][ps] = {-1, -1};
+    pair[t][s] = {-1, -1};
+  };
+  auto set_fd = [&](int t, int s, int fd) {
+    unpair(t, s);
+    fds[t][s] = fd;
+  };
+  auto unpair_all = [&] {
+    for (int t = 0; t < FuzzEnv::kTaskCount; ++t)
+      for (int s = 0; s < kFdSlots; ++s) pair[t][s] = {-1, -1};
+  };
+
+  for (const Op& op : prog.ops) {
+    const int ti = static_cast<int>(op.a % FuzzEnv::kTaskCount);
+    Task& t = env.task(op.a);
+    const int fslot = static_cast<int>(op.b % kFdSlots);
+    const int dslot = static_cast<int>(op.c % kFdSlots);
+    const Fd fd{fds[ti][fslot]};
+
+    // Record one completed kernel syscall: consume the oracle's staged
+    // result and fold the outcome plus the observed hook chains into
+    // coverage, crediting new keys to this run.
+    auto record = [&](Errno e) {
+      oracle.syscall_result(e);
+      const std::uint32_t state = env.state_id();
+      if (coverage.add_exec(op.code, state, static_cast<int>(e)))
+        ++result.new_coverage;
+      for (const ChainRecord& c : oracle.last_chains()) {
+        if (coverage.add_hook(op.code, c.hook, c.verdict == Errno::ok))
+          ++result.new_coverage;
+      }
+    };
+
+    try {
+      switch (op.code) {
+        case OpCode::open: {
+          auto r = k.sys_open(t, path_arg(op.b), flags_arg(op.d));
+          record(err_of(r));
+          if (r.ok()) set_fd(ti, dslot, static_cast<int>(r->get()));
+          break;
+        }
+        case OpCode::close: {
+          // IPC lifecycle probe setup. Slot tracking is advisory — racer
+          // closes and fd-number reuse can alias slots — so the probe is
+          // gated on ground truth read out of the kernel first: the two
+          // slots must still hold the two cross-wired ends of one pair, and
+          // this close must drop the description's last fd-table reference
+          // (use_count == 2: the table's ref plus our probe handle).
+          const auto peer = pair[ti][fslot];
+          int pfd = peer.first >= 0 ? fds[peer.first][peer.second] : -1;
+          bool probe = false;
+          if (pfd >= 0) {
+            // Inner scope: these handles each add a reference and MUST be
+            // gone before sys_close, or the close can never destroy the
+            // description and the probe would always see a live writer.
+            auto cf = t.fds().get(fd);
+            auto pf = env.task(static_cast<std::uint32_t>(peer.first))
+                          .fds()
+                          .get(Fd{pfd});
+            probe = cf.ok() && pf.ok() && (*cf)->is_socket() &&
+                    (*pf)->is_socket() && (*cf)->socket()->rx &&
+                    (*cf)->socket()->rx == (*pf)->socket()->tx &&
+                    (*cf)->socket()->tx == (*pf)->socket()->rx &&
+                    cf->use_count() == 2;
+          }
+          auto r = k.sys_close(t, fd);
+          record(err_of(r));
+          if (r.ok() && peer.first >= 0) {
+            // The surviving end of a closed pair must see EOF (or buffered
+            // data) — EAGAIN means a half-open leak (Socket::shutdown
+            // flipping the wrong buffer ends was exactly this bug).
+            unpair(ti, fslot);
+            if (probe) {
+              Task& pt = env.task(static_cast<std::uint32_t>(peer.first));
+              std::string out;
+              auto pr = k.sys_recv(pt, Fd{pfd}, out, 16);
+              record(err_of(pr));
+              if (!pr.ok() && pr.error() == Errno::eagain) {
+                result.violations.push_back(
+                    {"ipc-half-open", "sys_close",
+                     "peer recv returned EAGAIN after counterpart close"});
+              }
+            }
+          }
+          break;
+        }
+        case OpCode::read: {
+          std::string out;
+          record(err_of(k.sys_read(t, fd, out, (op.d % 4096) + 1)));
+          break;
+        }
+        case OpCode::write: {
+          std::string data(static_cast<std::size_t>(op.d % 300) + 1, 'x');
+          record(err_of(k.sys_write(t, fd, data)));
+          break;
+        }
+        case OpCode::lseek: {
+          std::int64_t off = op.d % 8 == 0 ? std::int64_t{2'000'000'000}
+                                           : std::int64_t(op.d % 70000);
+          record(err_of(
+              k.sys_lseek(t, fd, off, static_cast<Whence>(op.c % 3))));
+          break;
+        }
+        case OpCode::dup: {
+          auto r = k.sys_dup(t, fd);
+          record(err_of(r));
+          // The description now has two refs: close() on either fd no longer
+          // tears the socket down, so pair tracking for both slots is void.
+          unpair(ti, fslot);
+          if (r.ok()) set_fd(ti, dslot, static_cast<int>(r->get()));
+          break;
+        }
+        case OpCode::stat:
+          record(err_of(k.sys_stat(t, path_arg(op.b))));
+          break;
+        case OpCode::mkdir:
+          record(err_of(k.sys_mkdir(t, path_arg(op.b))));
+          break;
+        case OpCode::rmdir:
+          record(err_of(k.sys_rmdir(t, path_arg(op.b))));
+          break;
+        case OpCode::unlink:
+          record(err_of(k.sys_unlink(t, path_arg(op.b))));
+          break;
+        case OpCode::rename:
+          record(err_of(k.sys_rename(t, path_arg(op.b), path_arg(op.c))));
+          break;
+        case OpCode::symlink:
+          record(err_of(k.sys_symlink(t, path_arg(op.b), path_arg(op.c))));
+          break;
+        case OpCode::link:
+          record(err_of(k.sys_link(t, path_arg(op.b), path_arg(op.c))));
+          break;
+        case OpCode::chmod:
+          record(err_of(k.sys_chmod(t, path_arg(op.b),
+                                    static_cast<kernel::FileMode>(op.d & 0777))));
+          break;
+        case OpCode::truncate: {
+          std::uint64_t len = op.d % 8 == 0 ? kernel::kMaxFileSize + 1 + op.d
+                                            : op.d % 5000;
+          record(err_of(k.sys_truncate(t, path_arg(op.b), len)));
+          break;
+        }
+        case OpCode::setxattr:
+          record(err_of(k.sys_setxattr(t, path_arg(op.b),
+                                       kXattrNames[op.c % 3], "v")));
+          break;
+        case OpCode::getxattr:
+          record(err_of(
+              k.sys_getxattr(t, path_arg(op.b), kXattrNames[op.c % 3])));
+          break;
+        case OpCode::readdir:
+          record(err_of(k.sys_readdir(t, path_arg(op.b))));
+          break;
+        case OpCode::chdir:
+          record(err_of(k.sys_chdir(t, path_arg(op.b))));
+          break;
+        case OpCode::mmap: {
+          AccessMask prot =
+              op.c % 2 == 0 ? AccessMask::read
+                            : (AccessMask::read | AccessMask::write);
+          auto r = k.sys_mmap(t, fd, (op.d % 4096) + 1, prot);
+          record(err_of(r));
+          if (r.ok()) mmaps[ti][op.c % kMmapSlots] = *r;
+          break;
+        }
+        case OpCode::munmap:
+          record(err_of(k.sys_munmap(t, mmaps[ti][op.b % kMmapSlots])));
+          break;
+        case OpCode::pipe: {
+          auto r = k.sys_pipe(t);
+          record(err_of(r));
+          if (r.ok()) {
+            set_fd(ti, dslot, static_cast<int>(r->first.get()));
+            set_fd(ti, (dslot + 1) % kFdSlots,
+                   static_cast<int>(r->second.get()));
+          }
+          break;
+        }
+        case OpCode::socket: {
+          auto r = k.sys_socket(t,
+                                op.b % 2 ? SockFamily::inet : SockFamily::unix_,
+                                SockType::stream);
+          record(err_of(r));
+          if (r.ok()) set_fd(ti, dslot, static_cast<int>(r->get()));
+          break;
+        }
+        case OpCode::socketpair: {
+          auto r = k.sys_socketpair(
+              t, op.b % 2 ? SockFamily::inet : SockFamily::unix_);
+          record(err_of(r));
+          if (r.ok()) {
+            int s2 = (dslot + 1) % kFdSlots;
+            if (s2 == dslot) s2 = (dslot + 1) % kFdSlots;
+            set_fd(ti, dslot, static_cast<int>(r->first.get()));
+            set_fd(ti, s2, static_cast<int>(r->second.get()));
+            pair[ti][dslot] = {ti, s2};
+            pair[ti][s2] = {ti, dslot};
+          }
+          break;
+        }
+        case OpCode::bind:
+          record(err_of(k.sys_bind(t, fd, addr_arg(op.c, op.d))));
+          break;
+        case OpCode::listen:
+          record(err_of(k.sys_listen(t, fd, static_cast<int>(op.d % 4))));
+          break;
+        case OpCode::connect:
+          record(err_of(k.sys_connect(t, fd, addr_arg(op.c, op.d))));
+          break;
+        case OpCode::accept: {
+          auto r = k.sys_accept(t, fd);
+          record(err_of(r));
+          if (r.ok()) set_fd(ti, dslot, static_cast<int>(r->get()));
+          break;
+        }
+        case OpCode::send: {
+          std::string data(static_cast<std::size_t>(op.d % 200) + 1, 's');
+          record(err_of(k.sys_send(t, fd, data)));
+          break;
+        }
+        case OpCode::recv: {
+          std::string out;
+          record(err_of(k.sys_recv(t, fd, out, (op.d % 256) + 1)));
+          break;
+        }
+        case OpCode::fork: {
+          auto r = k.sys_fork(t);
+          record(err_of(r));
+          if (r.ok()) {
+            pids[op.c % kPidSlots] = r->get();
+            // The child cloned the fd table; every tracked description now
+            // has a second reference, so close-probes would false-positive.
+            unpair_all();
+          }
+          break;
+        }
+        case OpCode::kill: {
+          long target = pids[op.b % kPidSlots];
+          Pid tp{target != 0 ? target : static_cast<long>(op.d % 5 + 1)};
+          record(err_of(k.sys_kill(t, tp, op.d % 4 == 0 ? 0 : 15)));
+          break;
+        }
+        case OpCode::waitpid: {
+          long target = pids[op.b % kPidSlots];
+          record(err_of(k.sys_waitpid(t, Pid{target != 0 ? target : 1})));
+          break;
+        }
+        case OpCode::execve:
+          record(err_of(k.sys_execve(t, kExePaths[op.b % 4])));
+          break;
+        case OpCode::sds_event:
+        case OpCode::heartbeat:
+        case OpCode::policy_reload: {
+          // Environment ops expand to a real open/write/close lifecycle
+          // through the syscall surface, so SACKfs writes are mediated and
+          // witnessed like any other file I/O.
+          Task& actor = env.task(op.code == OpCode::policy_reload ? 0u : 2u);
+          std::string_view file =
+              op.code == OpCode::sds_event
+                  ? kEventsFile
+                  : (op.code == OpCode::heartbeat ? kHeartbeatFile
+                                                  : kPolicyLoadFile);
+          std::string payload;
+          if (op.code == OpCode::sds_event)
+            payload = std::string(kFuzzEvents[op.b % 4]);
+          else if (op.code == OpCode::heartbeat)
+            payload = op.b % 2 ? "resync" : "beat";
+          else
+            payload = std::string(kFuzzPolicy);
+          auto fr = k.sys_open(actor, file, OpenFlags::write);
+          record(err_of(fr));
+          if (fr.ok()) {
+            record(err_of(k.sys_write(actor, *fr, payload)));
+            record(err_of(k.sys_close(actor, *fr)));
+          }
+          break;
+        }
+        case OpCode::clock_tick:
+          k.advance_clock_ms((op.d % 700) + 1);
+          break;
+        case OpCode::kCount:
+          break;
+      }
+    } catch (const std::exception& e) {
+      result.violations.push_back(
+          {"op-exception", std::string(op_name(op.code)),
+           std::string("syscall threw: ") + e.what()});
+    }
+    ++result.ops_run;
+  }
+
+  // vfs-nlink invariant walk: count directory entries per reachable regular
+  // inode and compare with its recorded link count.
+  {
+    std::unordered_map<const Inode*, int> names;
+    std::vector<const Inode*> regulars;
+    std::vector<InodePtr> stack = {k.vfs().root()};
+    while (!stack.empty()) {
+      InodePtr dir = stack.back();
+      stack.pop_back();
+      for (const auto& [name, child] : dir->children()) {
+        if (child->is_dir()) {
+          stack.push_back(child);
+          continue;
+        }
+        if (child->is_regular() && !child->vfile && !child->device) {
+          if (++names[child.get()] == 1) regulars.push_back(child.get());
+        }
+      }
+    }
+    for (const Inode* ino : regulars) {
+      if (static_cast<int>(ino->nlink()) != names[ino]) {
+        result.violations.push_back(
+            {"vfs-nlink", "program",
+             "inode has " + std::to_string(names[ino]) +
+                 " directory entries but nlink=" +
+                 std::to_string(ino->nlink())});
+      }
+    }
+  }
+
+  // Detach before teardown so destructor-time traffic is not witnessed.
+  k.set_mediation_witness(nullptr);
+
+  for (const Violation& v : oracle.violations()) result.violations.push_back(v);
+  return result;
+}
+
+}  // namespace sack::fuzz

@@ -1,0 +1,55 @@
+// Executor: runs one fuzz Program against a fresh FuzzEnv under the
+// MediationOracle, collecting coverage and findings.
+//
+// Beyond the oracle's per-syscall mediation rules, the executor layers
+// whole-program invariants the witness stream alone cannot see:
+//
+//   vfs-nlink      after the program, every regular inode reachable from /
+//                  must have a link count equal to the number of directory
+//                  entries naming it (the invariant the sys_rename
+//                  link-count leak violated);
+//   ipc-half-open  closing one end of a tracked socket pair must leave the
+//                  survivor seeing EOF or buffered data on recv — never
+//                  EAGAIN-forever (the invariant Socket::shutdown's swapped
+//                  buffer ends violated);
+//   op-exception   no syscall may throw (std::length_error from unbounded
+//                  resize was a user-triggerable kernel crash).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/manifest.h"
+#include "fuzz/coverage.h"
+#include "fuzz/env.h"
+#include "fuzz/oracle.h"
+#include "fuzz/program.h"
+
+namespace sack::fuzz {
+
+struct ExecResult {
+  std::size_t ops_run = 0;
+  std::uint64_t new_coverage = 0;  // coverage keys this run added
+  std::vector<Violation> violations;
+};
+
+// Loads and parses the mediation manifest; aborts the process with a
+// diagnostic on parse failure (a fuzzer without its contract is useless).
+analysis::Manifest load_manifest_or_die(const std::string& path);
+
+class Executor {
+ public:
+  explicit Executor(analysis::Manifest manifest)
+      : manifest_(std::move(manifest)) {}
+
+  // Runs `prog` in a fresh environment. `seed` feeds the racer module (0
+  // disables it). Coverage accumulates across calls.
+  ExecResult run(const Program& prog, Coverage& coverage,
+                 std::uint64_t seed) const;
+
+ private:
+  analysis::Manifest manifest_;
+};
+
+}  // namespace sack::fuzz

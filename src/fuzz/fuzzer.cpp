@@ -1,0 +1,98 @@
+#include "fuzz/fuzzer.h"
+
+#include <chrono>
+#include <utility>
+
+#include "fuzz/mutate.h"
+#include "util/rng.h"
+
+namespace sack::fuzz {
+
+namespace {
+
+std::uint64_t now_ms(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+Fuzzer::Fuzzer(FuzzConfig config, analysis::Manifest manifest)
+    : config_(std::move(config)), executor_(std::move(manifest)) {}
+
+void Fuzzer::step(const Program& prog, std::uint64_t racer_seed) {
+  ExecResult res = executor_.run(prog, coverage_, racer_seed);
+  ++stats_.execs;
+  stats_.violations += res.violations.size();
+  if (res.new_coverage > 0) {
+    corpus_.add(prog);
+    stats_.plateau_execs = stats_.execs;
+  }
+  if (!res.violations.empty()) {
+    Finding f;
+    f.program = prog;
+    f.violations = std::move(res.violations);
+    if (config_.minimize_findings) {
+      // A candidate stays interesting while it still produces any violation
+      // of the same rule as the original finding's first one.
+      const std::string rule = f.violations.front().rule;
+      f.program = minimize(prog, [&](const Program& candidate) {
+        Coverage scratch;  // minimization must not pollute campaign coverage
+        ExecResult r = executor_.run(candidate, scratch, racer_seed);
+        for (const Violation& v : r.violations)
+          if (v.rule == rule) return true;
+        return false;
+      });
+    }
+    findings_.push_back(std::move(f));
+  }
+}
+
+void Fuzzer::run() {
+  const auto start = std::chrono::steady_clock::now();
+  Rng rng(config_.seed);
+
+  if (!config_.corpus_dir.empty()) corpus_.load_dir(config_.corpus_dir);
+
+  // Replay the seed corpus first so its coverage baseline is established
+  // before mutation starts spending the budget.
+  std::vector<Program> seeds = corpus_.programs();
+  for (const Program& prog : seeds) {
+    if (stats_.execs >= config_.max_execs) break;
+    step(prog, config_.racer ? rng.next() | 1 : 0);
+  }
+
+  while (stats_.execs < config_.max_execs) {
+    if (stats_.execs - stats_.plateau_execs >= config_.plateau_execs &&
+        stats_.execs >= config_.plateau_execs) {
+      stats_.hit_plateau = true;
+      break;
+    }
+    Program prog;
+    if (corpus_.empty() || rng.chance(0.15)) {
+      prog = generate(rng);
+    } else if (corpus_.size() >= 2 && rng.chance(0.2)) {
+      const Program& a = corpus_.programs()[rng.below(corpus_.size())];
+      const Program& b = corpus_.programs()[rng.below(corpus_.size())];
+      prog = splice(rng, a, b);
+    } else {
+      prog = mutate(rng, corpus_.programs()[rng.below(corpus_.size())]);
+    }
+    step(prog, config_.racer ? rng.next() | 1 : 0);
+  }
+
+  stats_.coverage_keys = coverage_.size();
+  stats_.corpus_size = corpus_.size();
+  stats_.elapsed_ms = now_ms(start);
+  // plateau_execs marks the exec index of the last coverage gain; the time
+  // estimate scales elapsed time by that fraction (good enough for a trend
+  // metric without timestamping every exec).
+  stats_.time_to_plateau_ms =
+      stats_.execs == 0
+          ? 0
+          : stats_.elapsed_ms * stats_.plateau_execs / stats_.execs;
+}
+
+}  // namespace sack::fuzz

@@ -1,0 +1,71 @@
+// The coverage-guided campaign loop.
+//
+// seed corpus -> (mutate | splice | generate) -> execute under the oracle ->
+// keep coverage-adding inputs -> stop at plateau or exec budget. Findings
+// (programs whose execution produced violations) are minimized before being
+// reported, so each one reads as a near-minimal reproducer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "fuzz/coverage.h"
+#include "fuzz/executor.h"
+#include "fuzz/program.h"
+
+namespace sack::fuzz {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  std::size_t max_execs = 20000;
+  // Stop after this many consecutive executions without new coverage.
+  std::size_t plateau_execs = 2000;
+  bool racer = true;        // arm the hostile RacerModule
+  bool minimize_findings = true;
+  std::string corpus_dir;   // optional: seed corpus to load
+};
+
+struct Finding {
+  Program program;          // minimized (if enabled)
+  std::vector<Violation> violations;
+};
+
+struct FuzzStats {
+  std::size_t execs = 0;
+  std::size_t coverage_keys = 0;
+  std::size_t corpus_size = 0;
+  std::size_t violations = 0;         // total, pre-dedup
+  std::size_t plateau_execs = 0;      // execs when coverage last grew
+  std::uint64_t elapsed_ms = 0;
+  std::uint64_t time_to_plateau_ms = 0;
+  bool hit_plateau = false;
+};
+
+class Fuzzer {
+ public:
+  Fuzzer(FuzzConfig config, analysis::Manifest manifest);
+
+  // Runs one campaign to completion. Deterministic for a given config
+  // (timing fields in stats aside).
+  void run();
+
+  const FuzzStats& stats() const { return stats_; }
+  const std::vector<Finding>& findings() const { return findings_; }
+  const Corpus& corpus() const { return corpus_; }
+  Coverage& coverage() { return coverage_; }
+
+ private:
+  // Executes `prog`, updates coverage/corpus/stats, records findings.
+  void step(const Program& prog, std::uint64_t racer_seed);
+
+  FuzzConfig config_;
+  Executor executor_;
+  Corpus corpus_;
+  Coverage coverage_;
+  FuzzStats stats_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace sack::fuzz

@@ -1,0 +1,104 @@
+#include "fuzz/mutate.h"
+
+#include <algorithm>
+
+namespace sack::fuzz {
+
+namespace {
+
+Op random_op(Rng& rng) {
+  Op op;
+  op.code = static_cast<OpCode>(rng.below(kOpCount));
+  op.a = static_cast<std::uint32_t>(rng.below(3));
+  op.b = static_cast<std::uint32_t>(rng.below(16));
+  op.c = static_cast<std::uint32_t>(rng.below(16));
+  op.d = static_cast<std::uint32_t>(rng.below(1u << 12));
+  return op;
+}
+
+}  // namespace
+
+Program generate(Rng& rng, std::size_t min_len, std::size_t max_len) {
+  Program prog;
+  const std::size_t len = static_cast<std::size_t>(
+      rng.range(static_cast<std::int64_t>(min_len),
+                static_cast<std::int64_t>(max_len)));
+  prog.ops.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    Op op = random_op(rng);
+    // Bias toward coherent lifecycles: after a resource-creating op, lean on
+    // the slot it just filled so read/write/bind land on live descriptors.
+    if (!prog.ops.empty() && rng.chance(0.5)) {
+      const Op& prev = prog.ops.back();
+      op.a = prev.a;           // same task
+      op.b = prev.c;           // fd slot the previous op installed into
+    }
+    prog.ops.push_back(op);
+  }
+  return prog;
+}
+
+Program mutate(Rng& rng, const Program& base) {
+  Program prog = base;
+  if (prog.ops.empty()) return generate(rng);
+  switch (rng.below(5)) {
+    case 0: {  // insert
+      const std::size_t at = rng.below(prog.ops.size() + 1);
+      prog.ops.insert(prog.ops.begin() + static_cast<std::ptrdiff_t>(at),
+                      random_op(rng));
+      break;
+    }
+    case 1: {  // delete
+      if (prog.ops.size() > 1) {
+        const std::size_t at = rng.below(prog.ops.size());
+        prog.ops.erase(prog.ops.begin() + static_cast<std::ptrdiff_t>(at));
+      }
+      break;
+    }
+    case 2: {  // replace
+      prog.ops[rng.below(prog.ops.size())] = random_op(rng);
+      break;
+    }
+    case 3: {  // tweak one argument
+      Op& op = prog.ops[rng.below(prog.ops.size())];
+      switch (rng.below(4)) {
+        case 0: op.a = static_cast<std::uint32_t>(rng.below(3)); break;
+        case 1: op.b = static_cast<std::uint32_t>(rng.below(16)); break;
+        case 2: op.c = static_cast<std::uint32_t>(rng.below(16)); break;
+        default: op.d = static_cast<std::uint32_t>(rng.below(1u << 12)); break;
+      }
+      break;
+    }
+    default: {  // duplicate a run (amplifies lifecycles like open/write/close)
+      const std::size_t at = rng.below(prog.ops.size());
+      const std::size_t run =
+          std::min<std::size_t>(1 + rng.below(4), prog.ops.size() - at);
+      std::vector<Op> chunk(prog.ops.begin() + static_cast<std::ptrdiff_t>(at),
+                            prog.ops.begin() +
+                                static_cast<std::ptrdiff_t>(at + run));
+      prog.ops.insert(prog.ops.begin() + static_cast<std::ptrdiff_t>(at + run),
+                      chunk.begin(), chunk.end());
+      break;
+    }
+  }
+  if (prog.ops.size() > 256) prog.ops.resize(256);
+  return prog;
+}
+
+Program splice(Rng& rng, const Program& a, const Program& b) {
+  if (a.ops.empty()) return b;
+  if (b.ops.empty()) return a;
+  Program prog;
+  const std::size_t cut_a = rng.below(a.ops.size() + 1);
+  const std::size_t cut_b = rng.below(b.ops.size());
+  prog.ops.assign(a.ops.begin(),
+                  a.ops.begin() + static_cast<std::ptrdiff_t>(cut_a));
+  prog.ops.insert(prog.ops.end(),
+                  b.ops.begin() + static_cast<std::ptrdiff_t>(cut_b),
+                  b.ops.end());
+  if (prog.ops.empty()) prog.ops.push_back(a.ops.front());
+  if (prog.ops.size() > 256) prog.ops.resize(256);
+  return prog;
+}
+
+}  // namespace sack::fuzz

@@ -1,0 +1,21 @@
+// Program generation and mutation, all driven by a caller-owned Rng so a
+// campaign seed reproduces the exact input stream.
+#pragma once
+
+#include "fuzz/program.h"
+#include "util/rng.h"
+
+namespace sack::fuzz {
+
+// A fresh random program of ~min_len..max_len ops with slot-coherent
+// arguments (ops that need an fd tend to index slots earlier ops filled).
+Program generate(Rng& rng, std::size_t min_len = 5, std::size_t max_len = 40);
+
+// One mutation step: insert / delete / replace an op, tweak one argument, or
+// duplicate a run. Never returns an empty program.
+Program mutate(Rng& rng, const Program& base);
+
+// Crossover: a prefix of `a` spliced to a suffix of `b`.
+Program splice(Rng& rng, const Program& a, const Program& b);
+
+}  // namespace sack::fuzz

@@ -1,0 +1,202 @@
+#include "fuzz/oracle.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/errno.h"
+
+namespace sack::fuzz {
+
+using sack::Errno;
+
+namespace {
+
+// Mutation-site -> guard hooks. A site fires legally when one of its guard
+// chains already returned Errno::ok in the same syscall scope, or when the
+// enclosing syscall is listed [unmediated] in the manifest. A site mapped to
+// an empty set is legal *only* inside unmediated syscalls — it has no hook
+// that could ever authorize it in a mediated one. This table is the runtime
+// analogue of the manifest's `order = ["hook < pattern"]` anchors;
+// docs/FUZZER.md documents every entry.
+const std::map<std::string, std::set<std::string>, std::less<>>& site_guards() {
+  static const std::map<std::string, std::set<std::string>, std::less<>> kMap =
+      {
+          {"vfs_create", {"path_mknod", "path_mkdir", "path_symlink"}},
+          {"vfs_unlink", {"path_unlink", "path_rmdir"}},
+          {"vfs_rename", {"path_rename"}},
+          {"vfs_link", {"path_link"}},
+          {"fd_install", {"file_open", "socket_create", "socket_accept"}},
+          {"fd_close", {}},
+          {"file_write", {"file_permission"}},
+          {"file_truncate", {"path_truncate"}},
+          {"pipe_read", {"file_permission"}},
+          {"pipe_write", {"file_permission"}},
+          {"vfile_write", {"file_permission"}},
+          {"dev_write", {"file_permission"}},
+          {"dev_ioctl", {"file_ioctl"}},
+          {"sock_send", {"socket_sendmsg"}},
+          {"sock_recv", {"socket_recvmsg"}},
+          {"sock_bind", {"socket_bind"}},
+          {"sock_listen", {"socket_listen"}},
+          {"sock_connect", {"socket_connect", "socket_create"}},
+          {"sock_accept", {"socket_accept"}},
+          {"inode_setattr", {"path_chmod", "path_chown"}},
+          {"inode_setxattr", {"inode_setxattr"}},
+          {"mmap_install", {"mmap_file"}},
+          {"mmap_remove", {}},
+          {"task_create", {"task_alloc"}},
+          {"task_exec", {"bprm_check_security"}},
+          {"task_exit", {}},
+          {"task_reap", {"task_free"}},
+          {"task_chdir", {}},
+          {"cred_change", {}},
+      };
+  return kMap;
+}
+
+}  // namespace
+
+MediationOracle::MediationOracle(analysis::Manifest manifest)
+    : manifest_(std::move(manifest)) {
+  known_syscalls_.reserve(manifest_.syscalls.size());
+  for (const auto& spec : manifest_.syscalls)
+    known_syscalls_.push_back(spec.name);
+}
+
+void MediationOracle::violate(std::string rule, const std::string& syscall,
+                              std::string detail) {
+  violations_.push_back({std::move(rule), syscall, std::move(detail)});
+}
+
+void MediationOracle::syscall_enter(std::string_view name) {
+  Scope scope;
+  scope.name = std::string(name);
+  scope.unmediated = manifest_.unmediated.contains(scope.name);
+  if (!scope.unmediated &&
+      std::find(known_syscalls_.begin(), known_syscalls_.end(), scope.name) ==
+          known_syscalls_.end()) {
+    violate("manifest-drift", scope.name,
+            "syscall appears in neither [syscall.*] nor [unmediated]");
+  }
+  scopes_.push_back(std::move(scope));
+  ++syscalls_observed_;
+}
+
+void MediationOracle::syscall_exit(std::string_view name) {
+  if (scopes_.empty()) {
+    violate("unbalanced-scope", std::string(name),
+            "syscall_exit with no open scope");
+    return;
+  }
+  Scope scope = std::move(scopes_.back());
+  scopes_.pop_back();
+  if (scope.name != name) {
+    violate("unbalanced-scope", scope.name,
+            "exit name mismatch: got " + std::string(name));
+  }
+  if (!scope.pending.empty()) {
+    violate("verdict-missing", scope.name,
+            "chain '" + scope.pending.back() +
+                "' dispatched but no verdict arrived before syscall exit");
+  }
+  if (scopes_.empty()) {
+    // Outermost scope closed: stage the summary for syscall_result().
+    last_name_ = scope.name;
+    last_chains_ = std::move(scope.chains);
+    last_denial_ = scope.first_denial;
+    last_denial_capable_ = scope.denial_from_capable;
+    result_pending_ = true;
+  } else {
+    // Nested syscall (sys_exit inside sys_kill): fold its chains into the
+    // parent for coverage, but denials stay the inner scope's business —
+    // the outer syscall's return value never carried them.
+    auto& parent = scopes_.back();
+    for (auto& c : scope.chains) parent.chains.push_back(std::move(c));
+  }
+}
+
+void MediationOracle::hook_enter(std::string_view hook) {
+  if (scopes_.empty()) return;  // boot / harness / clock-tick traffic
+  scopes_.back().pending.push_back(std::string(hook));
+}
+
+void MediationOracle::chain_verdict(Errno verdict) {
+  if (scopes_.empty()) return;
+  Scope& scope = scopes_.back();
+  ++chains_observed_;
+  if (scope.pending.empty()) {
+    violate("verdict-unpaired", scope.name,
+            "chain_verdict with no dispatched chain (sentinel bypassed?)");
+    return;
+  }
+  ChainRecord rec;
+  rec.hook = std::move(scope.pending.back());
+  scope.pending.pop_back();
+  rec.verdict = verdict;
+  if (verdict != Errno::ok && scope.first_denial == Errno::ok) {
+    scope.first_denial = verdict;
+    scope.denial_from_capable = (rec.hook == "capable");
+  }
+  scope.chains.push_back(std::move(rec));
+}
+
+void MediationOracle::mutation(std::string_view site) {
+  if (scopes_.empty()) return;
+  Scope& scope = scopes_.back();
+  ++mutations_observed_;
+  if (scope.unmediated) return;  // the manifest blesses the whole syscall
+  auto it = site_guards().find(site);
+  if (it == site_guards().end()) {
+    violate("unknown-site", scope.name,
+            "mutation site '" + std::string(site) + "' not in guard table");
+    return;
+  }
+  if (it->second.empty()) {
+    violate("guarded-mutation", scope.name,
+            "site '" + std::string(site) +
+                "' is only legal in [unmediated] syscalls");
+    return;
+  }
+  bool guarded = false;
+  for (const ChainRecord& c : scope.chains) {
+    if (c.verdict == Errno::ok && it->second.contains(c.hook)) {
+      guarded = true;
+      break;
+    }
+  }
+  if (!guarded) {
+    std::string detail = "site '" + std::string(site) +
+                         "' fired with no prior allow verdict from any of {";
+    bool first = true;
+    for (const auto& g : it->second) {
+      if (!first) detail += ", ";
+      detail += g;
+      first = false;
+    }
+    detail += "}";
+    violate("guarded-mutation", scope.name, std::move(detail));
+  }
+}
+
+void MediationOracle::syscall_result(Errno err) {
+  if (!result_pending_) return;
+  result_pending_ = false;
+  if (last_denial_ == Errno::ok) return;
+  if (err == Errno::ok) {
+    violate("no-swallow", last_name_,
+            std::string("chain denied with ") +
+                std::string(errno_name(last_denial_)) +
+                " but the syscall returned success");
+    return;
+  }
+  if (!last_denial_capable_ && err != last_denial_) {
+    violate("no-swallow", last_name_,
+            std::string("chain denied with ") +
+                std::string(errno_name(last_denial_)) +
+                " but the syscall returned " +
+                std::string(errno_name(err)));
+  }
+}
+
+}  // namespace sack::fuzz

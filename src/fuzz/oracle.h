@@ -1,0 +1,241 @@
+// Runtime mediation oracle.
+//
+// Consumes the MediationWitness event stream a live kernel emits and checks,
+// per syscall invocation, the same contract sack-hookcheck proves statically
+// from docs/hook_manifest.toml — but against what actually happened:
+//
+//   guarded-mutation   every state-mutation site must be preceded, in the
+//                      same syscall scope, by an allow verdict from one of
+//                      its guard hooks (see kSiteGuards in oracle.cpp) —
+//                      unless the syscall is listed [unmediated] in the
+//                      manifest;
+//   no-swallow         a chain denial must surface as the syscall's errno
+//                      (exactly, except for `capable` chains, whose callers
+//                      legitimately remap the error as real kernels do);
+//   no-reorder         a guard verdict arriving only after the mutation it
+//                      guards is a violation (the mutation finds no prior
+//                      allow verdict);
+//   manifest-drift     a syscall scope whose name appears in neither the
+//                      manifest's [syscall.*] list nor [unmediated] is
+//                      unknown to the contract and flagged;
+//   paired-chains      every chain_verdict must match a pending hook_enter
+//                      (LIFO, so nested dispatches like capable() inside a
+//                      hook body pair correctly).
+//
+// Events arriving outside any syscall scope (boot, harness setup,
+// advance_clock_ms ticks) are intentionally ignored: the contract is scoped
+// to the syscall surface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/manifest.h"
+#include "kernel/lsm/module.h"
+#include "kernel/lsm/witness.h"
+
+namespace sack::fuzz {
+
+struct Violation {
+  std::string rule;     // "guarded-mutation", "no-swallow", ...
+  std::string syscall;  // scope the violation was observed in
+  std::string detail;
+};
+
+// One completed hook chain inside a syscall scope.
+struct ChainRecord {
+  std::string hook;
+  Errno verdict = Errno::ok;
+};
+
+class MediationOracle final : public kernel::MediationWitness {
+ public:
+  explicit MediationOracle(analysis::Manifest manifest);
+
+  // --- witness interface (called by the kernel) ---
+  void syscall_enter(std::string_view name) override;
+  void syscall_exit(std::string_view name) override;
+  void hook_enter(std::string_view hook) override;
+  void chain_verdict(Errno verdict) override;
+  void mutation(std::string_view site) override;
+
+  // --- executor interface ---
+  // Report the errno the syscall wrapper returned for the op whose outermost
+  // scope most recently closed; this is where no-swallow is decided.
+  void syscall_result(Errno err);
+
+  // Chains observed in the most recently completed outermost scope, for
+  // coverage accounting.
+  const std::vector<ChainRecord>& last_chains() const { return last_chains_; }
+  const std::string& last_syscall() const { return last_name_; }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  void clear_violations() { violations_.clear(); }
+
+  std::uint64_t syscalls_observed() const { return syscalls_observed_; }
+  std::uint64_t chains_observed() const { return chains_observed_; }
+  std::uint64_t mutations_observed() const { return mutations_observed_; }
+
+ private:
+  struct Scope {
+    std::string name;
+    bool unmediated = false;
+    std::vector<ChainRecord> chains;      // completed, in order
+    std::vector<std::string> pending;     // dispatched, verdict outstanding
+    Errno first_denial = Errno::ok;
+    bool denial_from_capable = false;
+  };
+
+  void violate(std::string rule, const std::string& syscall,
+               std::string detail);
+
+  analysis::Manifest manifest_;
+  std::vector<std::string> known_syscalls_;  // manifest [syscall.*] names
+  std::vector<Scope> scopes_;
+
+  // Closed-outermost-scope summary, consumed by syscall_result().
+  std::string last_name_;
+  std::vector<ChainRecord> last_chains_;
+  Errno last_denial_ = Errno::ok;
+  bool last_denial_capable_ = false;
+  bool result_pending_ = false;
+
+  std::vector<Violation> violations_;
+  std::uint64_t syscalls_observed_ = 0;
+  std::uint64_t chains_observed_ = 0;
+  std::uint64_t mutations_observed_ = 0;
+};
+
+// Head-of-stack observation module: overrides every hook only to report the
+// dispatch to the witness, then allows. Installed with add_lsm_front so it
+// sees chains before any enforcing module can deny and short-circuit.
+class WitnessSentinel final : public kernel::SecurityModule {
+ public:
+  explicit WitnessSentinel(kernel::MediationWitness* witness)
+      : witness_(witness) {}
+
+  std::string_view name() const override { return "fuzz_sentinel"; }
+
+  Errno file_open(kernel::Task&, const std::string&,
+                          const kernel::Inode&, kernel::AccessMask) override {
+    return seen("file_open");
+  }
+  Errno file_permission(kernel::Task&, const kernel::File&,
+                                kernel::AccessMask) override {
+    return seen("file_permission");
+  }
+  Errno file_ioctl(kernel::Task&, const kernel::File&,
+                           std::uint32_t) override {
+    return seen("file_ioctl");
+  }
+  Errno mmap_file(kernel::Task&, const kernel::File&,
+                          kernel::AccessMask) override {
+    return seen("mmap_file");
+  }
+  Errno path_mknod(kernel::Task&, const std::string&,
+                           kernel::InodeType) override {
+    return seen("path_mknod");
+  }
+  Errno path_unlink(kernel::Task&, const std::string&) override {
+    return seen("path_unlink");
+  }
+  Errno path_mkdir(kernel::Task&, const std::string&) override {
+    return seen("path_mkdir");
+  }
+  Errno path_rmdir(kernel::Task&, const std::string&) override {
+    return seen("path_rmdir");
+  }
+  Errno path_rename(kernel::Task&, const std::string&,
+                            const std::string&) override {
+    return seen("path_rename");
+  }
+  Errno path_symlink(kernel::Task&, const std::string&,
+                             const std::string&) override {
+    return seen("path_symlink");
+  }
+  Errno path_link(kernel::Task&, const std::string&,
+                          const std::string&) override {
+    return seen("path_link");
+  }
+  Errno path_truncate(kernel::Task&, const std::string&) override {
+    return seen("path_truncate");
+  }
+  Errno path_chmod(kernel::Task&, const std::string&,
+                           kernel::FileMode) override {
+    return seen("path_chmod");
+  }
+  Errno path_chown(kernel::Task&, const std::string&, kernel::Uid,
+                           kernel::Gid) override {
+    return seen("path_chown");
+  }
+  Errno inode_getattr(kernel::Task&, const std::string&) override {
+    return seen("inode_getattr");
+  }
+  Errno inode_readlink(kernel::Task&, const std::string&) override {
+    return seen("inode_readlink");
+  }
+  Errno inode_listxattr(kernel::Task&, const std::string&) override {
+    return seen("inode_listxattr");
+  }
+  Errno inode_getxattr(kernel::Task&, const std::string&,
+                               const std::string&) override {
+    return seen("inode_getxattr");
+  }
+  Errno inode_setxattr(kernel::Task&, const std::string&,
+                               const std::string&,
+                               const std::string&) override {
+    return seen("inode_setxattr");
+  }
+  Errno bprm_check_security(kernel::Task&,
+                                    const std::string&) override {
+    return seen("bprm_check_security");
+  }
+  void bprm_committed_creds(kernel::Task&, const std::string&) override {
+    (void)seen("bprm_committed_creds");
+  }
+  Errno task_alloc(kernel::Task&, kernel::Task&) override {
+    return seen("task_alloc");
+  }
+  void task_free(kernel::Task&) override { (void)seen("task_free"); }
+  Errno task_kill(kernel::Task&, kernel::Task&, int) override {
+    return seen("task_kill");
+  }
+  void clock_tick(SimTime) override { (void)seen("clock_tick"); }
+  Errno capable(const kernel::Task&, kernel::Capability) override {
+    return seen("capable");
+  }
+  Errno socket_create(kernel::Task&, kernel::SockFamily,
+                              kernel::SockType) override {
+    return seen("socket_create");
+  }
+  Errno socket_bind(kernel::Task&, const kernel::Socket&) override {
+    return seen("socket_bind");
+  }
+  Errno socket_connect(kernel::Task&, const kernel::Socket&) override {
+    return seen("socket_connect");
+  }
+  Errno socket_listen(kernel::Task&, const kernel::Socket&,
+                              int) override {
+    return seen("socket_listen");
+  }
+  Errno socket_accept(kernel::Task&, const kernel::Socket&) override {
+    return seen("socket_accept");
+  }
+  Errno socket_sendmsg(kernel::Task&, const kernel::Socket&) override {
+    return seen("socket_sendmsg");
+  }
+  Errno socket_recvmsg(kernel::Task&, const kernel::Socket&) override {
+    return seen("socket_recvmsg");
+  }
+
+ private:
+  Errno seen(std::string_view hook) {
+    if (witness_) witness_->hook_enter(hook);
+    return Errno::ok;
+  }
+  kernel::MediationWitness* witness_;
+};
+
+}  // namespace sack::fuzz

@@ -1,0 +1,63 @@
+#include "fuzz/program.h"
+
+#include <array>
+#include <sstream>
+
+namespace sack::fuzz {
+
+namespace {
+
+constexpr std::array<std::string_view, kOpCount> kOpNames = {
+    "open",     "close",      "read",       "write",     "lseek",
+    "dup",      "stat",       "mkdir",      "rmdir",     "unlink",
+    "rename",   "symlink",    "link",       "chmod",     "truncate",
+    "setxattr", "getxattr",   "readdir",    "chdir",     "mmap",
+    "munmap",   "pipe",       "socket",     "socketpair", "bind",
+    "listen",   "connect",    "accept",     "send",      "recv",
+    "fork",     "kill",       "waitpid",    "execve",    "sds_event",
+    "heartbeat", "policy_reload", "clock_tick",
+};
+
+}  // namespace
+
+std::string_view op_name(OpCode code) {
+  return kOpNames.at(static_cast<std::size_t>(code));
+}
+
+OpCode op_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kOpNames.size(); ++i) {
+    if (kOpNames[i] == name) return static_cast<OpCode>(i);
+  }
+  return OpCode::kCount;
+}
+
+std::string Program::to_text() const {
+  std::ostringstream out;
+  for (const Op& op : ops) {
+    out << op_name(op.code) << ' ' << op.a << ' ' << op.b << ' ' << op.c
+        << ' ' << op.d << '\n';
+  }
+  return out.str();
+}
+
+Program Program::from_text(std::string_view text) {
+  Program prog;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string name;
+    if (!(ls >> name)) continue;
+    OpCode code = op_from_name(name);
+    if (code == OpCode::kCount) continue;
+    Op op;
+    op.code = code;
+    ls >> op.a >> op.b >> op.c >> op.d;  // missing args stay 0
+    prog.ops.push_back(op);
+  }
+  return prog;
+}
+
+}  // namespace sack::fuzz

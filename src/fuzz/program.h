@@ -1,0 +1,63 @@
+// Fuzz programs: deterministic, seedable syscall sequences.
+//
+// A Program is a flat list of Ops, syzkaller-style: each Op names one
+// syscall (or one harness action — SDS event injection, policy reload,
+// clock advance) plus four small integer arguments the executor maps onto
+// concrete tasks, paths, fd slots, and sizes. Keeping arguments abstract
+// makes every byte of the program meaningful under mutation and makes the
+// text form diffable and checkable into the corpus.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sack::fuzz {
+
+enum class OpCode : std::uint8_t {
+  // file
+  open, close, read, write, lseek, dup, stat, mkdir, rmdir, unlink, rename,
+  symlink, link, chmod, truncate, setxattr, getxattr, readdir, chdir,
+  // memory
+  mmap, munmap,
+  // ipc
+  pipe, socket, socketpair, bind, listen, connect, accept, send, recv,
+  // process
+  fork, kill, waitpid, execve,
+  // environment (each expands to real syscalls or a clock advance)
+  sds_event, heartbeat, policy_reload, clock_tick,
+  kCount,
+};
+
+inline constexpr std::size_t kOpCount = static_cast<std::size_t>(OpCode::kCount);
+
+// Stable names, one per OpCode, used by the .prog text format.
+std::string_view op_name(OpCode code);
+// Returns kCount for an unknown name.
+OpCode op_from_name(std::string_view name);
+
+struct Op {
+  OpCode code = OpCode::open;
+  // Abstract arguments; meaning depends on the op (see docs/FUZZER.md):
+  // typically a = task index, b = path/fd-slot/event selector,
+  // c = destination slot / secondary selector, d = flags/size material.
+  std::uint32_t a = 0, b = 0, c = 0, d = 0;
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+struct Program {
+  std::vector<Op> ops;
+
+  friend bool operator==(const Program&, const Program&) = default;
+
+  // One op per line: "<name> <a> <b> <c> <d>". '#' starts a comment.
+  std::string to_text() const;
+  // Parses the text form; unknown op names and malformed lines are skipped
+  // (forward compatibility for corpora written by newer op tables), so this
+  // never fails — an unreadable file simply yields an empty program.
+  static Program from_text(std::string_view text);
+};
+
+}  // namespace sack::fuzz

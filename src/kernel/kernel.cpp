@@ -66,6 +66,12 @@ SecurityModule* Kernel::add_lsm(std::unique_ptr<SecurityModule> module) {
   return m;
 }
 
+SecurityModule* Kernel::add_lsm_front(std::unique_ptr<SecurityModule> module) {
+  SecurityModule* m = lsm_.add_front(std::move(module));
+  m->initialize(*this);
+  return m;
+}
+
 Result<InodePtr> Kernel::register_chardev(std::string_view path,
                                           DeviceOps* ops, FileMode mode) {
   if (!ops) return Errno::einval;
@@ -121,8 +127,7 @@ Errno Kernel::capable(const Task& task, Capability cap) {
 // --- process syscalls ---
 
 Result<Pid> Kernel::sys_fork(Task& parent) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_fork");
   auto child = std::make_shared<Task>(Pid(next_pid_++), parent.pid(),
                                       parent.comm(), parent.cred());
   child->set_exe_path(parent.exe_path());
@@ -133,14 +138,14 @@ Result<Pid> Kernel::sys_fork(Task& parent) {
       [&](SecurityModule& m) { return m.task_alloc(parent, *child); });
   if (rc != Errno::ok) return rc;
 
+  note_mutation("task_create");
   tasks_[child->pid()] = child;
   procfs_->on_task_created(*child);
   return child->pid();
 }
 
 Result<void> Kernel::sys_execve(Task& task, std::string_view path) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_execve");
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   const InodePtr& inode = r->inode;
@@ -158,6 +163,7 @@ Result<void> Kernel::sys_execve(Task& task, std::string_view path) {
   for (unsigned char c : inode->data()) checksum = checksum * 31 + c;
   (void)checksum;
 
+  note_mutation("task_exec");
   task.fds().drop_cloexec();
   task.mmaps().clear();
   task.set_exe_path(r->path);
@@ -170,8 +176,8 @@ Result<void> Kernel::sys_execve(Task& task, std::string_view path) {
 }
 
 void Kernel::sys_exit(Task& task, int code) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_exit");
+  note_mutation("task_exit");
   task.fds().close_all();
   task.mmaps().clear();
   task.exit_code = code;
@@ -184,14 +190,14 @@ void Kernel::sys_exit(Task& task, int code) {
 
 void Kernel::reap(Task& child) {
   lsm_.notify([&](SecurityModule& m) { m.task_free(child); });
+  note_mutation("task_reap");
   procfs_->on_task_reaped(child);
   child.state = TaskState::dead;
   tasks_.erase(child.pid());
 }
 
 Result<int> Kernel::sys_waitpid(Task& task, Pid child_pid) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_waitpid");
   auto it = tasks_.find(child_pid);
   if (it == tasks_.end()) return Errno::echild;
   Task& child = *it->second;
@@ -203,28 +209,25 @@ Result<int> Kernel::sys_waitpid(Task& task, Pid child_pid) {
 }
 
 long Kernel::sys_getpid(Task& task) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_getpid");
   return task.pid().get();
 }
 
 long Kernel::sys_nop(Task& task) {
   (void)task;
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_nop");
   return 0;
 }
 
 Result<void> Kernel::sys_capset_drop(Task& task, Capability cap) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_capset_drop");
+  note_mutation("cred_change");
   task.cred().caps.remove(cap);
   return {};
 }
 
 Result<void> Kernel::sys_kill(Task& task, Pid target_pid, int sig) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_kill");
   if (sig < 0 || sig > 64) return Errno::einval;
   auto it = tasks_.find(target_pid);
   if (it == tasks_.end() || it->second->state == TaskState::dead)

@@ -53,6 +53,20 @@ class Kernel {
   // Registers an LSM (after the ones already present). Calls initialize().
   SecurityModule* add_lsm(std::unique_ptr<SecurityModule> module);
 
+  // Registers an observation module ahead of the whole stack (including the
+  // capability module). Used by the mediation fuzzer's sentinel; enforcing
+  // modules must go through add_lsm.
+  SecurityModule* add_lsm_front(std::unique_ptr<SecurityModule> module);
+
+  // Installs (or clears, with nullptr) the runtime mediation witness. The
+  // witness receives syscall_enter/exit markers, per-chain verdicts, and
+  // mutation-site events; with none installed every observation point is a
+  // single untaken null-pointer branch.
+  void set_mediation_witness(MediationWitness* witness) {
+    witness_ = witness;
+    lsm_.set_witness(witness);
+  }
+
   // Registers a char device; creates /dev-style node at `path`.
   Result<InodePtr> register_chardev(std::string_view path, DeviceOps* ops,
                                     FileMode mode = 0600);
@@ -152,6 +166,37 @@ class Kernel {
   std::uint64_t syscall_count() const { return syscall_count_; }
 
  private:
+  // Syscall prologue/epilogue: counts the call, advances the virtual clock
+  // one tick, and brackets the body with witness enter/exit markers so a
+  // runtime oracle can attribute hook chains and mutations to the syscall
+  // that issued them. Scopes nest for kernel-internal syscalls (sys_exit
+  // inside sys_kill).
+  class SyscallScope {
+   public:
+    SyscallScope(Kernel& kernel, std::string_view name)
+        : kernel_(kernel), name_(name) {
+      ++kernel_.syscall_count_;
+      kernel_.clock_.advance_ns(1);
+      if (kernel_.witness_) kernel_.witness_->syscall_enter(name_);
+    }
+    ~SyscallScope() {
+      if (kernel_.witness_) kernel_.witness_->syscall_exit(name_);
+    }
+    SyscallScope(const SyscallScope&) = delete;
+    SyscallScope& operator=(const SyscallScope&) = delete;
+
+   private:
+    Kernel& kernel_;
+    std::string_view name_;
+  };
+
+  // Mutation observation point: called right before a named state-mutation
+  // site executes. Site names are listed in docs/FUZZER.md and consumed by
+  // the runtime mediation oracle.
+  void note_mutation(std::string_view site) {
+    if (witness_) witness_->mutation(site);
+  }
+
   void boot();
   void reap(Task& child);
 
@@ -177,6 +222,7 @@ class Kernel {
   std::unordered_map<std::string, std::weak_ptr<File>> unix_listeners_;
 
   std::uint64_t syscall_count_ = 0;
+  MediationWitness* witness_ = nullptr;
 };
 
 }  // namespace sack::kernel

@@ -7,6 +7,11 @@ SecurityModule* LsmStack::add(std::unique_ptr<SecurityModule> module) {
   return modules_.back().get();
 }
 
+SecurityModule* LsmStack::add_front(std::unique_ptr<SecurityModule> module) {
+  modules_.insert(modules_.begin(), std::move(module));
+  return modules_.front().get();
+}
+
 SecurityModule* LsmStack::find(std::string_view name) const {
   for (const auto& m : modules_) {
     if (m->name() == name) return m.get();

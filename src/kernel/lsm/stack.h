@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "kernel/lsm/module.h"
+#include "kernel/lsm/witness.h"
 
 namespace sack::kernel {
 
@@ -21,29 +22,43 @@ class LsmStack {
   // convenience; the stack owns the module.
   SecurityModule* add(std::unique_ptr<SecurityModule> module);
 
+  // Prepends a module ahead of everything already registered, including the
+  // capability module. Only observation modules belong here: a head-of-stack
+  // sentinel sees every hook dispatch before any enforcing module can deny
+  // and short-circuit the chain.
+  SecurityModule* add_front(std::unique_ptr<SecurityModule> module);
+
   SecurityModule* find(std::string_view name) const;
 
   std::vector<std::string> module_names() const;
   std::size_t size() const { return modules_.size(); }
 
+  // Installs (or clears, with nullptr) the runtime mediation witness that
+  // receives one chain_verdict per dispatched chain. Not owned.
+  void set_witness(MediationWitness* witness) { witness_ = witness; }
+
   // Generic dispatcher: fn(module) -> Errno; stops at the first non-OK.
   template <typename Fn>
   Errno check(Fn&& fn) const {
+    Errno rc = Errno::ok;
     for (const auto& m : modules_) {
-      Errno rc = fn(*m);
-      if (rc != Errno::ok) return rc;
+      rc = fn(*m);
+      if (rc != Errno::ok) break;
     }
-    return Errno::ok;
+    if (witness_) witness_->chain_verdict(rc);
+    return rc;
   }
 
   // Void dispatcher for notification hooks.
   template <typename Fn>
   void notify(Fn&& fn) const {
     for (const auto& m : modules_) fn(*m);
+    if (witness_) witness_->chain_verdict(Errno::ok);
   }
 
  private:
   std::vector<std::unique_ptr<SecurityModule>> modules_;
+  MediationWitness* witness_ = nullptr;
 };
 
 }  // namespace sack::kernel

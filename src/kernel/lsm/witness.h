@@ -1,0 +1,57 @@
+// MediationWitness: runtime observation points for dynamic mediation
+// verification (the dynamic half of the hookcheck story).
+//
+// The static analyzer (sack-hookcheck) proves that every syscall entry *can*
+// reach its manifest-required hooks; the witness lets a runtime oracle watch
+// what actually happens on a live kernel: which syscalls ran, which hook
+// chains were dispatched inside them, what each chain decided, and where
+// state was mutated. The kernel emits four kinds of events:
+//
+//   syscall_enter/exit  - one pair per syscall invocation (nested pairs for
+//                         kernel-internal syscalls, e.g. sys_exit inside
+//                         sys_kill);
+//   hook_enter          - a named hook chain started (reported by a
+//                         fuzz-harness sentinel module installed at the head
+//                         of the LSM stack, so denials by real modules cannot
+//                         hide the dispatch);
+//   chain_verdict       - the first-deny-wins result of the chain that most
+//                         recently entered (reported by LsmStack itself);
+//   mutation            - a named state-mutation site fired (reported by the
+//                         syscall bodies right before the mutation).
+//
+// With no witness installed every observation point is a single untaken
+// branch on a null pointer — the enforcement hot path is unaffected, which
+// is why the witness can stay compiled in unconditionally.
+#pragma once
+
+#include <string_view>
+
+#include "util/errno.h"
+
+namespace sack::kernel {
+
+class MediationWitness {
+ public:
+  virtual ~MediationWitness() = default;
+
+  // A syscall entry point began / returned. `name` is the kernel entry name
+  // ("sys_open"). Pairs may nest; exits match the innermost open enter.
+  virtual void syscall_enter(std::string_view name) { (void)name; }
+  virtual void syscall_exit(std::string_view name) { (void)name; }
+
+  // A hook chain was dispatched under the given hook name. Emitted by the
+  // head-of-stack sentinel module, i.e. before any enforcing module has had
+  // a chance to deny.
+  virtual void hook_enter(std::string_view hook) { (void)hook; }
+
+  // The chain that most recently entered resolved to `verdict`
+  // (Errno::ok for notify chains, which cannot veto).
+  virtual void chain_verdict(Errno verdict) { (void)verdict; }
+
+  // A named state-mutation site is about to execute (fd_install,
+  // vfs_create, sock_bind, ...). Site names are the runtime analogue of the
+  // manifest's static ordering anchors; docs/FUZZER.md lists them.
+  virtual void mutation(std::string_view site) { (void)site; }
+};
+
+}  // namespace sack::kernel

@@ -43,8 +43,13 @@ Result<std::size_t> Socket::recv(std::string& out, std::size_t n) {
 }
 
 void Socket::shutdown() {
-  if (rx) rx->writer_open = false;
-  if (tx) tx->reader_open = false;
+  // We are the reader of rx and the writer of tx; closing must drop *our*
+  // ends so the surviving peer sees EOF on its next recv (our tx is its rx,
+  // now writerless) and EPIPE on its next send (our rx is its tx, now
+  // readerless). The old code flipped the peer's ends instead, leaving the
+  // survivor polling EAGAIN on a connection nobody could ever finish.
+  if (rx) rx->reader_open = false;
+  if (tx) tx->writer_open = false;
   state = SockState::closed;
 }
 

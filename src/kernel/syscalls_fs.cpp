@@ -21,8 +21,7 @@ AccessMask open_access(OpenFlags flags) {
 
 Result<Fd> Kernel::sys_open(Task& task, std::string_view path, OpenFlags flags,
                             FileMode mode) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_open");
   if (is_empty(open_access(flags))) return Errno::einval;
 
   bool want_create = has_any(flags, OpenFlags::create);
@@ -44,6 +43,7 @@ Result<Fd> Kernel::sys_open(Task& task, std::string_view path, OpenFlags flags,
       return m.path_mknod(task, r->path, InodeType::regular);
     });
     if (rc != Errno::ok) return rc;
+    note_mutation("vfs_create");
     inode = vfs_.make_inode(InodeType::regular, mode, task.cred().euid,
                             task.cred().egid);
     vfs_.link_child(r->parent, r->leaf, inode);
@@ -84,12 +84,14 @@ Result<Fd> Kernel::sys_open(Task& task, std::string_view path, OpenFlags flags,
     Errno trc = lsm_.check(
         [&](SecurityModule& m) { return m.path_truncate(task, r->path); });
     if (trc != Errno::ok) return trc;
+    note_mutation("file_truncate");
     inode->data().clear();
     inode->mtime = clock_.now();
   }
 
   auto file = std::make_shared<File>(inode, flags, r->path);
   if (has_any(flags, OpenFlags::append)) file->offset = inode->data().size();
+  note_mutation("fd_install");
   auto fd = task.fds().install(file);
   if (!fd.ok()) return fd.error();
   if (has_any(flags, OpenFlags::cloexec))
@@ -99,15 +101,14 @@ Result<Fd> Kernel::sys_open(Task& task, std::string_view path, OpenFlags flags,
 }
 
 Result<void> Kernel::sys_close(Task& task, Fd fd) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_close");
+  note_mutation("fd_close");
   return task.fds().remove(fd);
 }
 
 Result<std::size_t> Kernel::sys_read(Task& task, Fd fd, std::string& out,
                                      std::size_t n) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_read");
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
   File& file = **fr;
@@ -118,6 +119,7 @@ Result<std::size_t> Kernel::sys_read(Task& task, Fd fd, std::string& out,
       return m.socket_recvmsg(task, *file.socket());
     });
     if (rc != Errno::ok) return rc;
+    note_mutation("sock_recv");
     return file.socket()->recv(out, n);
   }
 
@@ -128,6 +130,7 @@ Result<std::size_t> Kernel::sys_read(Task& task, Fd fd, std::string& out,
 
   if (file.is_pipe()) {
     if (file.pipe_end() != PipeEnd::read) return Errno::ebadf;
+    note_mutation("pipe_read");
     return file.pipe()->read(out, n);
   }
 
@@ -171,8 +174,7 @@ Result<std::size_t> Kernel::sys_read(Task& task, Fd fd, std::string& out,
 
 Result<std::size_t> Kernel::sys_write(Task& task, Fd fd,
                                       std::string_view data) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_write");
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
   File& file = **fr;
@@ -183,6 +185,7 @@ Result<std::size_t> Kernel::sys_write(Task& task, Fd fd,
       return m.socket_sendmsg(task, *file.socket());
     });
     if (rc != Errno::ok) return rc;
+    note_mutation("sock_send");
     return file.socket()->send(data);
   }
 
@@ -195,6 +198,7 @@ Result<std::size_t> Kernel::sys_write(Task& task, Fd fd,
 
   if (file.is_pipe()) {
     if (file.pipe_end() != PipeEnd::write) return Errno::ebadf;
+    note_mutation("pipe_write");
     return file.pipe()->write(data);
   }
 
@@ -202,6 +206,7 @@ Result<std::size_t> Kernel::sys_write(Task& task, Fd fd,
 
   if (inode->vfile) {
     // securityfs write: dispatch synchronously to the owning module.
+    note_mutation("vfile_write");
     auto wr = inode->vfile->write_content(task, data);
     if (!wr.ok()) return wr.error();
     return data.size();
@@ -209,12 +214,18 @@ Result<std::size_t> Kernel::sys_write(Task& task, Fd fd,
 
   if (inode->is_chardev()) {
     if (!inode->device) return Errno::enodev;
+    note_mutation("dev_write");
     return inode->device->write(task, file, data);
   }
   if (!inode->is_regular()) return Errno::einval;
 
   std::string& content = inode->data();
   if (file.append_only()) file.offset = content.size();
+  // An lseek far past EOF followed by a write would otherwise ask resize()
+  // for an arbitrary caller-chosen size — std::length_error, i.e. a
+  // user-triggerable kernel crash. Real filesystems bound this with EFBIG.
+  if (file.offset + data.size() > kMaxFileSize) return Errno::efbig;
+  note_mutation("file_write");
   if (file.offset + data.size() > content.size())
     content.resize(file.offset + data.size());
   std::copy(data.begin(), data.end(), content.begin() + static_cast<std::ptrdiff_t>(file.offset));
@@ -225,8 +236,7 @@ Result<std::size_t> Kernel::sys_write(Task& task, Fd fd,
 
 Result<std::uint64_t> Kernel::sys_lseek(Task& task, Fd fd, std::int64_t offset,
                                         Whence whence) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_lseek");
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
   File& file = **fr;
@@ -263,8 +273,7 @@ Stat stat_of(const Inode& inode) {
 }  // namespace
 
 Result<Stat> Kernel::sys_stat(Task& task, std::string_view path) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_stat");
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   Errno rc = lsm_.check(
@@ -274,8 +283,7 @@ Result<Stat> Kernel::sys_stat(Task& task, std::string_view path) {
 }
 
 Result<Stat> Kernel::sys_fstat(Task& task, Fd fd) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_fstat");
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
   File& file = **fr;
@@ -288,8 +296,7 @@ Result<Stat> Kernel::sys_fstat(Task& task, Fd fd) {
 
 Result<void> Kernel::sys_mkdir(Task& task, std::string_view path,
                                FileMode mode) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_mkdir");
   auto r = vfs_.resolve_parent(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   if (r->inode) return Errno::eexist;
@@ -299,6 +306,7 @@ Result<void> Kernel::sys_mkdir(Task& task, std::string_view path,
   Errno rc = lsm_.check(
       [&](SecurityModule& m) { return m.path_mkdir(task, r->path); });
   if (rc != Errno::ok) return rc;
+  note_mutation("vfs_create");
   auto dir = vfs_.make_inode(InodeType::directory, mode, task.cred().euid,
                              task.cred().egid);
   dir->set_nlink(2);
@@ -307,8 +315,7 @@ Result<void> Kernel::sys_mkdir(Task& task, std::string_view path,
 }
 
 Result<void> Kernel::sys_rmdir(Task& task, std::string_view path) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_rmdir");
   auto r = vfs_.resolve(task.cred(), path, task.cwd(), false);
   if (!r.ok()) return r.error();
   if (!r->inode->is_dir()) return Errno::enotdir;
@@ -320,13 +327,13 @@ Result<void> Kernel::sys_rmdir(Task& task, std::string_view path) {
   Errno rc = lsm_.check(
       [&](SecurityModule& m) { return m.path_rmdir(task, r->path); });
   if (rc != Errno::ok) return rc;
+  note_mutation("vfs_unlink");
   vfs_.unlink_child(r->parent, r->leaf);
   return {};
 }
 
 Result<void> Kernel::sys_unlink(Task& task, std::string_view path) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_unlink");
   auto r = vfs_.resolve(task.cred(), path, task.cwd(), false);
   if (!r.ok()) return r.error();
   if (r->inode->is_dir()) return Errno::eisdir;
@@ -336,21 +343,24 @@ Result<void> Kernel::sys_unlink(Task& task, std::string_view path) {
   Errno rc = lsm_.check(
       [&](SecurityModule& m) { return m.path_unlink(task, r->path); });
   if (rc != Errno::ok) return rc;
+  note_mutation("vfs_unlink");
   vfs_.unlink_child(r->parent, r->leaf);
   return {};
 }
 
 Result<void> Kernel::sys_rename(Task& task, std::string_view from,
                                 std::string_view to) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_rename");
   auto rf = vfs_.resolve(task.cred(), from, task.cwd(), false);
   if (!rf.ok()) return rf.error();
   auto rt = vfs_.resolve_parent(task.cred(), to, task.cwd());
   if (!rt.ok()) return rt.error();
   // Renaming a path onto itself is a no-op (POSIX) — short-circuit before
-  // the unlink/link dance would corrupt the link count.
+  // the unlink/link dance would corrupt the link count. The same applies to
+  // two hard links of one inode: rename("a", "b") with a and b linked to the
+  // same file must leave both names in place and succeed.
   if (rf->path == rt->path) return {};
+  if (rt->inode && rt->inode == rf->inode) return {};
   if (rt->inode && rt->inode->is_dir()) return Errno::eisdir;
   // Renaming a directory into its own subtree would orphan the subtree (and
   // cycle the tree); the real VFS returns EINVAL for this.
@@ -370,9 +380,15 @@ Result<void> Kernel::sys_rename(Task& task, std::string_view from,
   });
   if (rc != Errno::ok) return rc;
   InodePtr moving = rf->inode;
+  note_mutation("vfs_rename");
   vfs_.unlink_child(rf->parent, rf->leaf);
   if (rt->inode) vfs_.unlink_child(rt->parent, rt->leaf);
   vfs_.link_child(rt->parent, rt->leaf, moving);
+  // unlink_child dropped the moving inode's link count but link_child does
+  // not restore it (hard links go through sys_link, which bumps explicitly).
+  // Without this, every rename leaked one link and a renamed multi-link file
+  // could hit nlink 0 with live names still pointing at it.
+  moving->set_nlink(moving->nlink() + 1);
   // Renames of directories re-root a subtree; path-based labels follow paths,
   // so nothing else to fix up.
   return {};
@@ -380,8 +396,7 @@ Result<void> Kernel::sys_rename(Task& task, std::string_view from,
 
 Result<void> Kernel::sys_symlink(Task& task, std::string_view target,
                                  std::string_view linkpath) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_symlink");
   auto r = vfs_.resolve_parent(task.cred(), linkpath, task.cwd());
   if (!r.ok()) return r.error();
   if (r->inode) return Errno::eexist;
@@ -392,6 +407,7 @@ Result<void> Kernel::sys_symlink(Task& task, std::string_view target,
     return m.path_symlink(task, r->path, std::string(target));
   });
   if (rc != Errno::ok) return rc;
+  note_mutation("vfs_create");
   auto link = vfs_.make_inode(InodeType::symlink, 0777, task.cred().euid,
                               task.cred().egid);
   link->set_symlink_target(std::string(target));
@@ -401,8 +417,7 @@ Result<void> Kernel::sys_symlink(Task& task, std::string_view target,
 
 Result<void> Kernel::sys_link(Task& task, std::string_view existing,
                               std::string_view newpath) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_link");
   auto src = vfs_.resolve(task.cred(), existing, task.cwd());
   if (!src.ok()) return src.error();
   if (src->inode->is_dir()) return Errno::eperm;  // no directory hard links
@@ -416,6 +431,7 @@ Result<void> Kernel::sys_link(Task& task, std::string_view existing,
     return m.path_link(task, src->path, dst->path);
   });
   if (rc != Errno::ok) return rc;
+  note_mutation("vfs_link");
   vfs_.link_child(dst->parent, dst->leaf, src->inode);
   src->inode->set_nlink(src->inode->nlink() + 1);
   src->inode->ctime = clock_.now();
@@ -423,8 +439,7 @@ Result<void> Kernel::sys_link(Task& task, std::string_view existing,
 }
 
 Result<std::string> Kernel::sys_readlink(Task& task, std::string_view path) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_readlink");
   auto r = vfs_.resolve(task.cred(), path, task.cwd(), false);
   if (!r.ok()) return r.error();
   if (!r->inode->is_symlink()) return Errno::einval;
@@ -438,8 +453,7 @@ Result<std::string> Kernel::sys_readlink(Task& task, std::string_view path) {
 
 Result<void> Kernel::sys_chmod(Task& task, std::string_view path,
                                FileMode mode) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_chmod");
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   if (task.cred().euid != r->inode->uid() &&
@@ -448,6 +462,7 @@ Result<void> Kernel::sys_chmod(Task& task, std::string_view path,
   Errno rc = lsm_.check(
       [&](SecurityModule& m) { return m.path_chmod(task, r->path, mode); });
   if (rc != Errno::ok) return rc;
+  note_mutation("inode_setattr");
   r->inode->set_mode(mode & 07777);
   r->inode->ctime = clock_.now();
   return {};
@@ -455,8 +470,7 @@ Result<void> Kernel::sys_chmod(Task& task, std::string_view path,
 
 Result<void> Kernel::sys_chown(Task& task, std::string_view path, Uid uid,
                                Gid gid) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_chown");
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   if (!task.cred().caps.has(Capability::chown)) return Errno::eperm;
@@ -464,6 +478,7 @@ Result<void> Kernel::sys_chown(Task& task, std::string_view path, Uid uid,
     return m.path_chown(task, r->path, uid, gid);
   });
   if (rc != Errno::ok) return rc;
+  note_mutation("inode_setattr");
   r->inode->set_owner(uid, gid);
   r->inode->ctime = clock_.now();
   return {};
@@ -471,8 +486,7 @@ Result<void> Kernel::sys_chown(Task& task, std::string_view path, Uid uid,
 
 Result<void> Kernel::sys_truncate(Task& task, std::string_view path,
                                   std::uint64_t length) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_truncate");
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   if (!r->inode->is_regular()) return Errno::einval;
@@ -482,6 +496,8 @@ Result<void> Kernel::sys_truncate(Task& task, std::string_view path,
   Errno rc = lsm_.check(
       [&](SecurityModule& m) { return m.path_truncate(task, r->path); });
   if (rc != Errno::ok) return rc;
+  if (length > kMaxFileSize) return Errno::efbig;
+  note_mutation("file_truncate");
   r->inode->data().resize(length);
   r->inode->mtime = clock_.now();
   return {};
@@ -489,8 +505,7 @@ Result<void> Kernel::sys_truncate(Task& task, std::string_view path,
 
 Result<long> Kernel::sys_ioctl(Task& task, Fd fd, std::uint32_t cmd,
                                long arg) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_ioctl");
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
   File& file = **fr;
@@ -502,6 +517,7 @@ Result<long> Kernel::sys_ioctl(Task& task, Fd fd, std::uint32_t cmd,
   }
   if (!file.inode() || !file.inode()->is_chardev()) return Errno::enotty;
   if (!file.inode()->device) return Errno::enodev;
+  note_mutation("dev_ioctl");
   return file.inode()->device->ioctl(task, file, cmd, arg);
 }
 
@@ -512,8 +528,7 @@ constexpr std::string_view kUserPrefix = "user.";
 
 Result<std::string> Kernel::sys_getxattr(Task& task, std::string_view path,
                                          std::string_view name) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_getxattr");
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   Errno rc = lsm_.check([&](SecurityModule& m) {
@@ -540,8 +555,7 @@ Result<std::string> Kernel::sys_getxattr(Task& task, std::string_view path,
 Result<void> Kernel::sys_setxattr(Task& task, std::string_view path,
                                   std::string_view name,
                                   std::string_view value) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_setxattr");
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
 
@@ -564,6 +578,7 @@ Result<void> Kernel::sys_setxattr(Task& task, std::string_view path,
                             std::string(value));
   });
   if (rc != Errno::ok) return rc;
+  note_mutation("inode_setxattr");
   r->inode->set_security(key, std::string(value));
   r->inode->ctime = clock_.now();
   return {};
@@ -571,8 +586,7 @@ Result<void> Kernel::sys_setxattr(Task& task, std::string_view path,
 
 Result<std::vector<std::string>> Kernel::sys_listxattr(Task& task,
                                                        std::string_view path) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_listxattr");
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   if (Errno drc = dac_check(task.cred(), *r->inode, AccessMask::read);
@@ -596,17 +610,16 @@ Result<std::vector<std::string>> Kernel::sys_listxattr(Task& task,
 }
 
 Result<Fd> Kernel::sys_dup(Task& task, Fd fd) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_dup");
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
+  note_mutation("fd_install");
   return task.fds().install(*fr);
 }
 
 Result<std::vector<std::string>> Kernel::sys_readdir(Task& task,
                                                      std::string_view path) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_readdir");
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   if (!r->inode->is_dir()) return Errno::enotdir;
@@ -624,14 +637,14 @@ Result<std::vector<std::string>> Kernel::sys_readdir(Task& task,
 }
 
 Result<void> Kernel::sys_chdir(Task& task, std::string_view path) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_chdir");
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   if (!r->inode->is_dir()) return Errno::enotdir;
   if (Errno rc = dac_check(task.cred(), *r->inode, AccessMask::exec);
       rc != Errno::ok)
     return rc;
+  note_mutation("task_chdir");
   task.set_cwd(r->path);
   return {};
 }
@@ -640,8 +653,7 @@ Result<void> Kernel::sys_chdir(Task& task, std::string_view path) {
 
 Result<int> Kernel::sys_mmap(Task& task, Fd fd, std::size_t length,
                              AccessMask prot) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_mmap");
   if (length == 0) return Errno::einval;
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
@@ -662,14 +674,14 @@ Result<int> Kernel::sys_mmap(Task& task, Fd fd, std::size_t length,
   region.prot = prot;
   region.path = file.path();
   int id = region.id;
+  note_mutation("mmap_install");
   task.mmaps().emplace(id, std::move(region));
   return id;
 }
 
 Result<int> Kernel::sys_mmap_anon(Task& task, std::size_t length,
                                   AccessMask prot) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_mmap_anon");
   if (length == 0) return Errno::einval;
   MmapRegion region;
   region.id = task.next_mmap_id();
@@ -677,13 +689,14 @@ Result<int> Kernel::sys_mmap_anon(Task& task, std::size_t length,
   region.length = length;
   region.prot = prot;
   int id = region.id;
+  note_mutation("mmap_install");
   task.mmaps().emplace(id, std::move(region));
   return id;
 }
 
 Result<void> Kernel::sys_munmap(Task& task, int mmap_id) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_munmap");
+  note_mutation("mmap_remove");
   if (task.mmaps().erase(mmap_id) == 0) return Errno::einval;
   return {};
 }

@@ -4,13 +4,14 @@
 namespace sack::kernel {
 
 Result<std::pair<Fd, Fd>> Kernel::sys_pipe(Task& task) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_pipe");
   auto buffer = std::make_shared<PipeBuffer>();
   auto rd = std::make_shared<File>(buffer, PipeEnd::read);
   auto wr = std::make_shared<File>(buffer, PipeEnd::write);
+  note_mutation("fd_install");
   auto rfd = task.fds().install(rd);
   if (!rfd.ok()) return rfd.error();
+  note_mutation("fd_install");
   auto wfd = task.fds().install(wr);
   if (!wfd.ok()) {
     (void)task.fds().remove(rfd.value());
@@ -20,31 +21,45 @@ Result<std::pair<Fd, Fd>> Kernel::sys_pipe(Task& task) {
 }
 
 Result<Fd> Kernel::sys_socket(Task& task, SockFamily family, SockType type) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_socket");
   Errno rc = lsm_.check(
       [&](SecurityModule& m) { return m.socket_create(task, family, type); });
   if (rc != Errno::ok) return rc;
   auto sock = std::make_shared<Socket>(family, type);
+  note_mutation("fd_install");
   return task.fds().install(std::make_shared<File>(std::move(sock)));
 }
 
 Result<std::pair<Fd, Fd>> Kernel::sys_socketpair(Task& task,
                                                  SockFamily family) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_socketpair");
   Errno rc = lsm_.check([&](SecurityModule& m) {
     return m.socket_create(task, family, SockType::stream);
   });
   if (rc != Errno::ok) return rc;
   auto a = std::make_shared<Socket>(family, SockType::stream);
   auto b = std::make_shared<Socket>(family, SockType::stream);
+  note_mutation("sock_connect");
   connect_sockets(*a, *b);
-  auto afd = task.fds().install(std::make_shared<File>(std::move(a)));
-  if (!afd.ok()) return afd.error();
-  auto bfd = task.fds().install(std::make_shared<File>(std::move(b)));
+  // Keep both Files in named locals so a partial failure can tear the pair
+  // down symmetrically: the previous version moved the sockets straight into
+  // install() and left the surviving endpoint of a half-installed pair
+  // connected to a peer that no descriptor could ever close.
+  auto fa = std::make_shared<File>(a);
+  auto fb = std::make_shared<File>(b);
+  note_mutation("fd_install");
+  auto afd = task.fds().install(fa);
+  if (!afd.ok()) {
+    a->shutdown();
+    b->shutdown();
+    return afd.error();
+  }
+  note_mutation("fd_install");
+  auto bfd = task.fds().install(fb);
   if (!bfd.ok()) {
     (void)task.fds().remove(afd.value());
+    a->shutdown();
+    b->shutdown();
     return bfd.error();
   }
   return std::pair{afd.value(), bfd.value()};
@@ -60,11 +75,16 @@ Result<std::shared_ptr<Socket>> socket_of(Task& task, Fd fd) {
 }  // namespace
 
 Result<void> Kernel::sys_bind(Task& task, Fd fd, const SockAddr& addr) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
-  auto sr = socket_of(task, fd);
-  if (!sr.ok()) return sr.error();
-  Socket& sock = **sr;
+  SyscallScope scope(*this, "sys_bind");
+  auto fr = task.fds().get(fd);
+  if (!fr.ok()) return fr.error();
+  // Pin the validated description for the whole syscall. The hook chain may
+  // run arbitrary module code; a module (or, on a real SMP kernel, a sibling
+  // thread) that closes the fd mid-hook must not leave us re-fetching a dead
+  // or recycled table slot after the verdict.
+  FilePtr file = *fr;
+  if (!file->is_socket()) return Errno::enotsock;
+  Socket& sock = *file->socket();
   if (sock.state != SockState::created) return Errno::einval;
   if (addr.family != sock.family()) return Errno::einval;
   // Binding to a privileged port needs CAP_NET_BIND_SERVICE.
@@ -76,26 +96,28 @@ Result<void> Kernel::sys_bind(Task& task, Fd fd, const SockAddr& addr) {
       lsm_.check([&](SecurityModule& m) { return m.socket_bind(task, sock); });
   if (rc != Errno::ok) return rc;
   // The address is reserved at bind time, as in real TCP/unix sockets.
-  // A closed previous holder releases the address lazily here.
-  auto fr = task.fds().get(fd);
+  // A closed previous holder releases the address lazily here. The
+  // reservation names `file` — the description the hook actually mediated —
+  // never a re-fetch of whatever the slot holds now.
   auto stale = [](const std::weak_ptr<File>& w) {
     auto f = w.lock();
     return !f || !f->socket() || f->socket()->state == SockState::closed;
   };
+  note_mutation("sock_bind");
   if (addr.family == SockFamily::inet) {
     auto it = inet_listeners_.find(addr.port);
     if (it != inet_listeners_.end()) {
       if (!stale(it->second)) return Errno::eaddrinuse;
       inet_listeners_.erase(it);
     }
-    inet_listeners_[addr.port] = *fr;
+    inet_listeners_[addr.port] = file;
   } else {
     auto it = unix_listeners_.find(addr.path);
     if (it != unix_listeners_.end()) {
       if (!stale(it->second)) return Errno::eaddrinuse;
       unix_listeners_.erase(it);
     }
-    unix_listeners_[addr.path] = *fr;
+    unix_listeners_[addr.path] = file;
   }
   sock.local = addr;
   sock.state = SockState::bound;
@@ -103,8 +125,7 @@ Result<void> Kernel::sys_bind(Task& task, Fd fd, const SockAddr& addr) {
 }
 
 Result<void> Kernel::sys_listen(Task& task, Fd fd, int backlog) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_listen");
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
   if (!(*fr)->is_socket()) return Errno::enotsock;
@@ -116,14 +137,14 @@ Result<void> Kernel::sys_listen(Task& task, Fd fd, int backlog) {
     return m.socket_listen(task, sock, backlog);
   });
   if (rc != Errno::ok) return rc;
+  note_mutation("sock_listen");
   sock.state = SockState::listening;
   sock.backlog_limit = backlog;
   return {};
 }
 
 Result<void> Kernel::sys_connect(Task& task, Fd fd, const SockAddr& addr) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_connect");
   auto sr = socket_of(task, fd);
   if (!sr.ok()) return sr.error();
   Socket& sock = **sr;
@@ -153,14 +174,14 @@ Result<void> Kernel::sys_connect(Task& task, Fd fd, const SockAddr& addr) {
   auto server_end =
       std::make_shared<Socket>(listener.family(), listener.type());
   server_end->local = listener.local;
+  note_mutation("sock_connect");
   connect_sockets(sock, *server_end);
   listener.backlog.push_back(std::move(server_end));
   return {};
 }
 
 Result<Fd> Kernel::sys_accept(Task& task, Fd fd) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_accept");
   auto sr = socket_of(task, fd);
   if (!sr.ok()) return sr.error();
   Socket& listener = **sr;
@@ -172,32 +193,34 @@ Result<Fd> Kernel::sys_accept(Task& task, Fd fd) {
   Errno rc = lsm_.check(
       [&](SecurityModule& m) { return m.socket_accept(task, listener); });
   if (rc != Errno::ok) return rc;
+  note_mutation("sock_accept");
   auto endpoint = listener.backlog.front();
   listener.backlog.pop_front();
+  note_mutation("fd_install");
   return task.fds().install(std::make_shared<File>(std::move(endpoint)));
 }
 
 Result<std::size_t> Kernel::sys_send(Task& task, Fd fd,
                                      std::string_view data) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_send");
   auto sr = socket_of(task, fd);
   if (!sr.ok()) return sr.error();
   Errno rc = lsm_.check(
       [&](SecurityModule& m) { return m.socket_sendmsg(task, **sr); });
   if (rc != Errno::ok) return rc;
+  note_mutation("sock_send");
   return (*sr)->send(data);
 }
 
 Result<std::size_t> Kernel::sys_recv(Task& task, Fd fd, std::string& out,
                                      std::size_t n) {
-  ++syscall_count_;
-  clock_.advance_ns(1);
+  SyscallScope scope(*this, "sys_recv");
   auto sr = socket_of(task, fd);
   if (!sr.ok()) return sr.error();
   Errno rc = lsm_.check(
       [&](SecurityModule& m) { return m.socket_recvmsg(task, **sr); });
   if (rc != Errno::ok) return rc;
+  note_mutation("sock_recv");
   return (*sr)->recv(out, n);
 }
 

@@ -35,6 +35,11 @@ enum class InodeType : std::uint8_t {
 
 std::string_view inode_type_name(InodeType t);
 
+// Largest regular file the simulated VFS will materialise. Writes and
+// truncates past this return EFBIG instead of letting a sparse lseek turn
+// into an unbounded (and throwing) std::string::resize.
+inline constexpr std::uint64_t kMaxFileSize = 1ull << 30;
+
 // Permission bits, same layout as POSIX mode & 0777.
 using FileMode = std::uint16_t;
 inline constexpr FileMode kModeDefaultFile = 0644;

@@ -1,0 +1,409 @@
+// sack-fuzz: program format, mediation oracle, executor, and campaign.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/corpus.h"
+#include "fuzz/executor.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/mutate.h"
+#include "util/log.h"
+
+namespace sack::fuzz {
+namespace {
+
+analysis::Manifest test_manifest() {
+  return load_manifest_or_die(SACK_SOURCE_DIR "/docs/hook_manifest.toml");
+}
+
+// ---------- program text format ----------
+
+TEST(FuzzProgram, TextRoundTrip) {
+  Program prog;
+  prog.ops.push_back({OpCode::open, 0, 1, 2, 3});
+  prog.ops.push_back({OpCode::sds_event, 2, 0, 0, 0});
+  prog.ops.push_back({OpCode::clock_tick, 0, 0, 0, 2500});
+  EXPECT_EQ(Program::from_text(prog.to_text()), prog);
+}
+
+TEST(FuzzProgram, ParserSkipsCommentsAndUnknownOps) {
+  Program prog = Program::from_text(
+      "# a comment\n"
+      "open 0 1 2 3\n"
+      "frobnicate 1 2 3 4\n"
+      "close 0 1 0 0\n");
+  ASSERT_EQ(prog.ops.size(), 2u);
+  EXPECT_EQ(prog.ops[0].code, OpCode::open);
+  EXPECT_EQ(prog.ops[1].code, OpCode::close);
+}
+
+TEST(FuzzProgram, EveryOpNameRoundTrips) {
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    const OpCode code = static_cast<OpCode>(i);
+    EXPECT_EQ(op_from_name(op_name(code)), code) << op_name(code);
+  }
+  EXPECT_EQ(op_from_name("nonsense"), OpCode::kCount);
+}
+
+// ---------- oracle unit tests (hand-driven witness streams) ----------
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest() : oracle_(test_manifest()) {}
+
+  // Drives one complete, well-formed mediated unlink through the witness.
+  void clean_unlink() {
+    oracle_.syscall_enter("sys_unlink");
+    oracle_.hook_enter("path_unlink");
+    oracle_.chain_verdict(Errno::ok);
+    oracle_.mutation("vfs_unlink");
+    oracle_.syscall_exit("sys_unlink");
+    oracle_.syscall_result(Errno::ok);
+  }
+
+  MediationOracle oracle_;
+};
+
+TEST_F(OracleTest, CleanTraceHasNoViolations) {
+  clean_unlink();
+  EXPECT_TRUE(oracle_.violations().empty());
+  EXPECT_EQ(oracle_.syscalls_observed(), 1u);
+  EXPECT_EQ(oracle_.chains_observed(), 1u);
+  EXPECT_EQ(oracle_.mutations_observed(), 1u);
+}
+
+TEST_F(OracleTest, MutationBeforeVerdictIsReorder) {
+  // The hook is dispatched, but the mutation lands before its verdict: the
+  // exact shape of a hook-after-mutation reorder at runtime.
+  oracle_.syscall_enter("sys_unlink");
+  oracle_.hook_enter("path_unlink");
+  oracle_.mutation("vfs_unlink");
+  oracle_.chain_verdict(Errno::ok);
+  oracle_.syscall_exit("sys_unlink");
+  oracle_.syscall_result(Errno::ok);
+  ASSERT_EQ(oracle_.violations().size(), 1u);
+  EXPECT_EQ(oracle_.violations()[0].rule, "guarded-mutation");
+}
+
+TEST_F(OracleTest, MutationWithNoHookAtAllIsViolation) {
+  oracle_.syscall_enter("sys_unlink");
+  oracle_.mutation("vfs_unlink");
+  oracle_.syscall_exit("sys_unlink");
+  oracle_.syscall_result(Errno::ok);
+  ASSERT_EQ(oracle_.violations().size(), 1u);
+  EXPECT_EQ(oracle_.violations()[0].rule, "guarded-mutation");
+}
+
+TEST_F(OracleTest, DeniedMutationIsViolation) {
+  oracle_.syscall_enter("sys_unlink");
+  oracle_.hook_enter("path_unlink");
+  oracle_.chain_verdict(Errno::eacces);
+  oracle_.mutation("vfs_unlink");
+  oracle_.syscall_exit("sys_unlink");
+  oracle_.syscall_result(Errno::eacces);
+  ASSERT_EQ(oracle_.violations().size(), 1u);
+  EXPECT_EQ(oracle_.violations()[0].rule, "guarded-mutation");
+}
+
+TEST_F(OracleTest, SwallowedDenialIsViolation) {
+  oracle_.syscall_enter("sys_unlink");
+  oracle_.hook_enter("path_unlink");
+  oracle_.chain_verdict(Errno::eacces);
+  oracle_.syscall_exit("sys_unlink");
+  oracle_.syscall_result(Errno::ok);  // denial did not surface
+  ASSERT_EQ(oracle_.violations().size(), 1u);
+  EXPECT_EQ(oracle_.violations()[0].rule, "no-swallow");
+}
+
+TEST_F(OracleTest, RewrittenDenialErrnoIsViolation) {
+  oracle_.syscall_enter("sys_unlink");
+  oracle_.hook_enter("path_unlink");
+  oracle_.chain_verdict(Errno::eacces);
+  oracle_.syscall_exit("sys_unlink");
+  oracle_.syscall_result(Errno::eio);
+  ASSERT_EQ(oracle_.violations().size(), 1u);
+  EXPECT_EQ(oracle_.violations()[0].rule, "no-swallow");
+}
+
+TEST_F(OracleTest, CapableDenialMayBeRemapped) {
+  // sys_bind legitimately turns a capable() denial into EACCES.
+  oracle_.syscall_enter("sys_bind");
+  oracle_.hook_enter("socket_bind");
+  oracle_.chain_verdict(Errno::ok);
+  oracle_.hook_enter("capable");
+  oracle_.chain_verdict(Errno::eperm);
+  oracle_.syscall_exit("sys_bind");
+  oracle_.syscall_result(Errno::eacces);
+  EXPECT_TRUE(oracle_.violations().empty());
+}
+
+TEST_F(OracleTest, UnmediatedSyscallMayMutateFreely) {
+  oracle_.syscall_enter("sys_close");  // [unmediated] in the manifest
+  oracle_.mutation("fd_close");
+  oracle_.syscall_exit("sys_close");
+  oracle_.syscall_result(Errno::ok);
+  EXPECT_TRUE(oracle_.violations().empty());
+}
+
+TEST_F(OracleTest, UnmediatedOnlySiteInMediatedSyscallIsViolation) {
+  oracle_.syscall_enter("sys_unlink");
+  oracle_.hook_enter("path_unlink");
+  oracle_.chain_verdict(Errno::ok);
+  oracle_.mutation("fd_close");  // empty guard set: unmediated-only site
+  oracle_.syscall_exit("sys_unlink");
+  oracle_.syscall_result(Errno::ok);
+  ASSERT_EQ(oracle_.violations().size(), 1u);
+  EXPECT_EQ(oracle_.violations()[0].rule, "guarded-mutation");
+}
+
+TEST_F(OracleTest, UnknownSyscallIsManifestDrift) {
+  oracle_.syscall_enter("sys_mystery");
+  oracle_.syscall_exit("sys_mystery");
+  oracle_.syscall_result(Errno::ok);
+  ASSERT_EQ(oracle_.violations().size(), 1u);
+  EXPECT_EQ(oracle_.violations()[0].rule, "manifest-drift");
+}
+
+TEST_F(OracleTest, UnknownMutationSiteIsViolation) {
+  oracle_.syscall_enter("sys_unlink");
+  oracle_.hook_enter("path_unlink");
+  oracle_.chain_verdict(Errno::ok);
+  oracle_.mutation("warp_core");
+  oracle_.syscall_exit("sys_unlink");
+  oracle_.syscall_result(Errno::ok);
+  ASSERT_EQ(oracle_.violations().size(), 1u);
+  EXPECT_EQ(oracle_.violations()[0].rule, "unknown-site");
+}
+
+TEST_F(OracleTest, HookWithoutVerdictIsViolation) {
+  oracle_.syscall_enter("sys_unlink");
+  oracle_.hook_enter("path_unlink");
+  oracle_.syscall_exit("sys_unlink");
+  oracle_.syscall_result(Errno::ok);
+  ASSERT_EQ(oracle_.violations().size(), 1u);
+  EXPECT_EQ(oracle_.violations()[0].rule, "verdict-missing");
+}
+
+TEST_F(OracleTest, NestedScopeFoldsChainsIntoParent) {
+  // sys_exit dispatched from inside sys_kill, as the kernel really does it.
+  oracle_.syscall_enter("sys_kill");
+  oracle_.hook_enter("task_kill");
+  oracle_.chain_verdict(Errno::ok);
+  oracle_.syscall_enter("sys_exit");
+  oracle_.mutation("task_exit");
+  oracle_.syscall_exit("sys_exit");
+  oracle_.syscall_exit("sys_kill");
+  oracle_.syscall_result(Errno::ok);
+  EXPECT_TRUE(oracle_.violations().empty());
+  ASSERT_EQ(oracle_.last_chains().size(), 1u);
+  EXPECT_EQ(oracle_.last_chains()[0].hook, "task_kill");
+}
+
+TEST_F(OracleTest, EventsOutsideScopesAreIgnored) {
+  oracle_.hook_enter("clock_tick");
+  oracle_.chain_verdict(Errno::ok);
+  oracle_.mutation("vfs_create");
+  EXPECT_TRUE(oracle_.violations().empty());
+}
+
+// ---------- seeded-bad trace fixture ----------
+
+// Replays a recorded witness stream (one event per line) into an oracle.
+void replay_trace(MediationOracle& oracle, std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string ev, arg;
+    fields >> ev >> arg;
+    if (ev == "syscall_enter") {
+      oracle.syscall_enter(arg);
+    } else if (ev == "syscall_exit") {
+      oracle.syscall_exit(arg);
+    } else if (ev == "hook_enter") {
+      oracle.hook_enter(arg);
+    } else if (ev == "chain_verdict") {
+      oracle.chain_verdict(static_cast<Errno>(std::stoi(arg)));
+    } else if (ev == "mutation") {
+      oracle.mutation(arg);
+    } else if (ev == "syscall_result") {
+      oracle.syscall_result(static_cast<Errno>(std::stoi(arg)));
+    } else {
+      FAIL() << "unknown trace event: " << ev;
+    }
+  }
+}
+
+TEST(FuzzTraceFixture, OracleTripsOnSeededReorderedHook) {
+  std::ifstream in(SACK_SOURCE_DIR "/tests/fixtures/fuzz/reordered_hook.trace");
+  ASSERT_TRUE(in.is_open());
+  MediationOracle oracle(test_manifest());
+  replay_trace(oracle, in);
+  ASSERT_FALSE(oracle.violations().empty())
+      << "seeded reorder fixture must trip the oracle";
+  EXPECT_EQ(oracle.violations()[0].rule, "guarded-mutation");
+  EXPECT_EQ(oracle.violations()[0].syscall, "sys_rename");
+}
+
+// ---------- executor ----------
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : executor_(test_manifest()) {
+    Logger::instance().set_level(LogLevel::off);
+  }
+  ~ExecutorTest() override { Logger::instance().set_level(LogLevel::warn); }
+
+  Executor executor_;
+  Coverage coverage_;
+};
+
+TEST_F(ExecutorTest, FileLifecycleRunsCleanly) {
+  Program prog = Program::from_text(
+      "open 0 0 0 5\n"    // create+write /tmp/a into slot 0
+      "write 0 0 0 64\n"
+      "lseek 0 0 0 8\n"
+      "read 0 0 0 64\n"
+      "close 0 0 0 0\n"
+      "unlink 0 0 0 0\n");
+  ExecResult res = executor_.run(prog, coverage_, /*seed=*/0);
+  EXPECT_EQ(res.ops_run, prog.ops.size());
+  EXPECT_GT(res.new_coverage, 0u);
+  EXPECT_TRUE(res.violations.empty()) << res.violations[0].rule << ": "
+                                      << res.violations[0].detail;
+}
+
+TEST_F(ExecutorTest, SeedCorpusRunsWithZeroViolations) {
+  Corpus corpus;
+  ASSERT_GT(corpus.load_dir(SACK_SOURCE_DIR "/tests/fixtures/fuzz/corpus"),
+            0u);
+  for (const Program& prog : corpus.programs()) {
+    ExecResult res = executor_.run(prog, coverage_, /*seed=*/0);
+    EXPECT_TRUE(res.violations.empty())
+        << res.violations[0].rule << " in " << res.violations[0].syscall
+        << ": " << res.violations[0].detail;
+  }
+}
+
+// The TOCTOU canary: the racer module closes descriptors out from under
+// sys_bind's hook chain. Before the fix, the post-hook re-fetch aborted the
+// process; with the fix, the pinned description is used and the oracle stays
+// quiet. Many seeds, so the 1-in-4 racer branch fires with certainty.
+TEST_F(ExecutorTest, BindSurvivesRacerClosingFds) {
+  Program prog = Program::from_text(
+      "socket 0 1 0 0\n"  // inet socket into slot 0
+      "bind 0 0 1 1\n"    // inet port 1025
+      "socket 0 1 1 0\n"
+      "bind 0 1 1 2\n"
+      "socket 0 1 2 0\n"
+      "bind 0 2 1 3\n");
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    ExecResult res = executor_.run(prog, coverage_, seed);
+    EXPECT_TRUE(res.violations.empty())
+        << "seed " << seed << ": " << res.violations[0].rule << ": "
+        << res.violations[0].detail;
+  }
+}
+
+// Mid-syscall SDS event injection (racer's file_permission branch) must not
+// produce mediation violations either: verdicts may change, order may not.
+TEST_F(ExecutorTest, SituationFlipsMidProgramStayMediated) {
+  Program prog = Program::from_text(
+      "open 1 4 0 0\n"    // media task opens /var/media/track.pcm read-only
+      "read 1 0 0 128\n"
+      "read 1 0 0 128\n"
+      "read 1 0 0 128\n"
+      "sds_event 2 0 0 0\n"  // crash_detected: normal -> emergency
+      "read 1 0 0 128\n"
+      // Four 700ms ticks blow the 2000ms watchdog deadline: -> lockdown.
+      "clock_tick 0 0 0 699\n"
+      "clock_tick 0 0 0 699\n"
+      "clock_tick 0 0 0 699\n"
+      "clock_tick 0 0 0 699\n"
+      "read 1 0 0 128\n"
+      "close 1 0 0 0\n");
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    ExecResult res = executor_.run(prog, coverage_, seed);
+    EXPECT_TRUE(res.violations.empty())
+        << "seed " << seed << ": " << res.violations[0].rule << ": "
+        << res.violations[0].detail;
+  }
+}
+
+// ---------- mutation & corpus machinery ----------
+
+TEST(FuzzMutate, GenerateIsDeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(generate(a), generate(b));
+  Rng a2(7);
+  EXPECT_NE(generate(a2), generate(c));  // overwhelmingly likely
+}
+
+TEST(FuzzMutate, MutateNeverReturnsEmpty) {
+  Rng rng(3);
+  Program prog = generate(rng);
+  for (int i = 0; i < 200; ++i) {
+    prog = mutate(rng, prog);
+    ASSERT_FALSE(prog.ops.empty());
+    ASSERT_LE(prog.ops.size(), 256u);
+  }
+}
+
+TEST(FuzzCorpus, SaveAndLoadRoundTrip) {
+  Rng rng(11);
+  Corpus corpus;
+  for (int i = 0; i < 5; ++i) corpus.add(generate(rng));
+
+  const std::string dir =
+      ::testing::TempDir() + "/sack_fuzz_corpus_roundtrip";
+  ASSERT_EQ(corpus.save_dir(dir), 5u);
+
+  Corpus loaded;
+  ASSERT_EQ(loaded.load_dir(dir), 5u);
+  EXPECT_EQ(loaded.programs(), corpus.programs());
+}
+
+TEST(FuzzCorpus, MinimizeShrinksToPredicateCore) {
+  // 1 essential op drowned in 20 noise ops.
+  Program prog;
+  for (int i = 0; i < 10; ++i) prog.ops.push_back({OpCode::read, 0, 0, 0, 0});
+  prog.ops.push_back({OpCode::unlink, 1, 2, 3, 4});
+  for (int i = 0; i < 10; ++i) prog.ops.push_back({OpCode::stat, 0, 0, 0, 0});
+
+  Program min = minimize(prog, [](const Program& candidate) {
+    for (const Op& op : candidate.ops)
+      if (op.code == OpCode::unlink) return true;
+    return false;
+  });
+  ASSERT_EQ(min.ops.size(), 1u);
+  EXPECT_EQ(min.ops[0].code, OpCode::unlink);
+}
+
+// ---------- short campaign ----------
+
+TEST(FuzzCampaign, ShortCampaignIsCleanAndDeterministic) {
+  Logger::instance().set_level(LogLevel::off);
+  FuzzConfig config;
+  config.seed = 5;
+  config.max_execs = 120;
+  config.plateau_execs = 120;
+  Fuzzer fuzzer(config, test_manifest());
+  fuzzer.run();
+  Logger::instance().set_level(LogLevel::warn);
+
+  EXPECT_EQ(fuzzer.stats().execs, 120u);
+  EXPECT_GT(fuzzer.stats().coverage_keys, 50u);
+  EXPECT_TRUE(fuzzer.findings().empty());
+
+  // Same seed, same coverage: the campaign is reproducible.
+  Logger::instance().set_level(LogLevel::off);
+  Fuzzer again(config, test_manifest());
+  again.run();
+  Logger::instance().set_level(LogLevel::warn);
+  EXPECT_EQ(again.stats().coverage_keys, fuzzer.stats().coverage_keys);
+  EXPECT_EQ(again.stats().corpus_size, fuzzer.stats().corpus_size);
+}
+
+}  // namespace
+}  // namespace sack::fuzz

@@ -1,0 +1,37 @@
+// Chaos-suite entry: a real (if short) coverage-guided campaign with the
+// hostile racer armed, seeded from the checked-in corpus. Any mediation
+// violation, kernel abort, or sanitizer report fails the suite.
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.h"
+#include "util/log.h"
+
+namespace sack::fuzz {
+namespace {
+
+TEST(FuzzChaosCampaign, SeededCampaignFindsNoViolations) {
+  Logger::instance().set_level(LogLevel::off);
+
+  FuzzConfig config;
+  config.seed = 0xC4A05;
+  config.max_execs = 1500;
+  config.plateau_execs = 1500;  // spend the whole budget
+  config.corpus_dir = SACK_SOURCE_DIR "/tests/fixtures/fuzz/corpus";
+  Fuzzer fuzzer(
+      config, load_manifest_or_die(SACK_SOURCE_DIR "/docs/hook_manifest.toml"));
+  fuzzer.run();
+
+  Logger::instance().set_level(LogLevel::warn);
+
+  EXPECT_EQ(fuzzer.stats().execs, 1500u);
+  EXPECT_GT(fuzzer.stats().coverage_keys, 150u);
+  for (const Finding& f : fuzzer.findings()) {
+    ADD_FAILURE() << f.violations.front().rule << " in "
+                  << f.violations.front().syscall << ": "
+                  << f.violations.front().detail << "\nreproducer:\n"
+                  << f.program.to_text();
+  }
+}
+
+}  // namespace
+}  // namespace sack::fuzz

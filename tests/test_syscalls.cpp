@@ -494,5 +494,111 @@ TEST_F(SyscallTest, IoctlOnRegularFileIsEnotty) {
   EXPECT_EQ(p.ioctl(fd, 1, 0).error(), Errno::enotty);
 }
 
+// --- regressions for fuzzer-confirmed findings ---
+
+// vfs-nlink: renaming one name of a multiply-linked file used to lose a link
+// count (unlink_child decremented, link_child didn't restore).
+TEST_F(SyscallTest, RenamePreservesLinkCountOfHardlinkedFile) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/f", "x").ok());
+  ASSERT_TRUE(kernel_.sys_link(root(), "/tmp/f", "/tmp/g").ok());
+  EXPECT_EQ(p.stat("/tmp/f")->nlink, 2u);
+
+  ASSERT_TRUE(kernel_.sys_rename(root(), "/tmp/g", "/tmp/h").ok());
+  EXPECT_EQ(p.stat("/tmp/f")->nlink, 2u);
+  EXPECT_EQ(p.stat("/tmp/h")->nlink, 2u);
+
+  // Both names must really die independently.
+  ASSERT_TRUE(p.unlink("/tmp/h").ok());
+  EXPECT_EQ(p.stat("/tmp/f")->nlink, 1u);
+  EXPECT_EQ(*p.read_file("/tmp/f"), "x");
+}
+
+// Renaming a name onto another name of the *same* inode is a POSIX no-op;
+// the general replace path would decrement the shared inode's link count.
+TEST_F(SyscallTest, RenameOntoHardlinkAliasIsNoOp) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/f", "x").ok());
+  ASSERT_TRUE(kernel_.sys_link(root(), "/tmp/f", "/tmp/g").ok());
+
+  ASSERT_TRUE(kernel_.sys_rename(root(), "/tmp/f", "/tmp/g").ok());
+  EXPECT_EQ(p.stat("/tmp/f")->nlink, 2u);
+  EXPECT_EQ(p.stat("/tmp/g")->nlink, 2u);
+}
+
+// Unbounded file growth: a far lseek plus a one-byte write used to ask
+// std::string for a multi-gigabyte resize (std::length_error from inside a
+// "kernel" path). Now bounded by kMaxFileSize -> EFBIG.
+TEST_F(SyscallTest, WriteBeyondMaxFileSizeIsEfbig) {
+  auto p = proc();
+  Fd fd = *p.open("/tmp/big", OpenFlags::write | OpenFlags::create);
+  ASSERT_TRUE(
+      kernel_.sys_lseek(root(), fd, static_cast<std::int64_t>(kMaxFileSize),
+                        Whence::set)
+          .ok());
+  EXPECT_EQ(p.write(fd, "x").error(), Errno::efbig);
+
+  // The descriptor is still usable at sane offsets afterwards. (Writing at
+  // kMaxFileSize - 1 would also succeed, but materializing a 1 GiB string
+  // is too heavy for the sanitizer jobs.)
+  ASSERT_TRUE(kernel_.sys_lseek(root(), fd, 4096, Whence::set).ok());
+  EXPECT_EQ(*p.write(fd, "x"), 1u);
+}
+
+TEST_F(SyscallTest, TruncateBeyondMaxFileSizeIsEfbig) {
+  auto p = proc();
+  ASSERT_TRUE(p.write_file("/tmp/f", "x").ok());
+  EXPECT_EQ(kernel_.sys_truncate(root(), "/tmp/f", kMaxFileSize + 1).error(),
+            Errno::efbig);
+  ASSERT_TRUE(kernel_.sys_truncate(root(), "/tmp/f", 4096).ok());
+  EXPECT_EQ(p.stat("/tmp/f")->size, 4096u);
+}
+
+// ipc-half-open: Socket::shutdown flipped the wrong buffer ends, so the
+// surviving peer of a closed socketpair spun on EAGAIN instead of seeing
+// EOF / EPIPE.
+TEST_F(SyscallTest, SocketpairCloseGivesPeerEofAfterDrain) {
+  auto p = proc();
+  auto pair = *kernel_.sys_socketpair(root(), SockFamily::unix_);
+  ASSERT_TRUE(kernel_.sys_send(root(), pair.first, "bye").ok());
+  ASSERT_TRUE(p.close(pair.first).ok());
+
+  std::string out;
+  EXPECT_EQ(*kernel_.sys_recv(root(), pair.second, out, 16), 3u);
+  EXPECT_EQ(out, "bye");
+  // Drained and the writer is gone: EOF, not EAGAIN.
+  EXPECT_EQ(*kernel_.sys_recv(root(), pair.second, out, 16), 0u);
+}
+
+TEST_F(SyscallTest, SocketpairCloseMakesPeerSendEpipe) {
+  auto p = proc();
+  auto pair = *kernel_.sys_socketpair(root(), SockFamily::unix_);
+  ASSERT_TRUE(p.close(pair.first).ok());
+  EXPECT_EQ(kernel_.sys_send(root(), pair.second, "x").error(), Errno::epipe);
+}
+
+// sys_socketpair used to leak a connected, half-installed pair when the
+// second fd allocation failed.
+TEST_F(SyscallTest, SocketpairUnwindsCleanlyWhenFdTableAlmostFull) {
+  auto p = proc();
+  // Fill the table until exactly one slot is free.
+  std::vector<Fd> held;
+  for (;;) {
+    auto fd = p.open("/tmp/fill", OpenFlags::write | OpenFlags::create);
+    if (!fd.ok()) break;
+    held.push_back(*fd);
+    if (held.size() > FdTable::kMaxFds) FAIL() << "fd table never filled";
+  }
+  ASSERT_TRUE(p.close(held.back()).ok());
+  held.pop_back();
+
+  EXPECT_EQ(kernel_.sys_socketpair(root(), SockFamily::unix_).error(),
+            Errno::emfile);
+
+  // The single free slot must have been returned on unwind.
+  auto fd = p.open("/tmp/fill", OpenFlags::read);
+  ASSERT_TRUE(fd.ok());
+}
+
 }  // namespace
 }  // namespace sack::kernel
