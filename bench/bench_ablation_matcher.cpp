@@ -94,13 +94,13 @@ int main(int argc, char** argv) {
   for (int count : kRuleCounts) {
     auto policy = sack::simbench::sack_policy_with_rules(count, false);
     auto compiled = std::make_unique<CompiledRuleSet>();
-    compiled->load(policy);
+    (void)compiled->load(policy);
     compiled->activate({"BULK"});
     auto linear = std::make_unique<LinearRuleSet>();
-    linear->load(policy);
+    (void)linear->load(policy);
     linear->activate({"BULK"});
     auto dfa = std::make_unique<DfaRuleSet>();
-    dfa->load(policy);
+    (void)dfa->load(policy);
     dfa->activate({"BULK"});
     if (!dfa->table_driven())
       std::fprintf(stderr, "warning: %d-rule policy fell back to scan\n",

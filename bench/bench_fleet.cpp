@@ -1,0 +1,284 @@
+// Fleet control-plane benchmark: scale and convergence.
+//
+// Part 1 — scale sweep. For fleet sizes 1 → 10k vehicles (each a full
+// kernel + SACK module stack): sharded boot time, aggregate enforcement
+// throughput through the batch check API, rollout convergence time for a
+// verify-gated benign update, and rollback latency for a health-gated
+// regression (the "bad" policy that verifies clean but denies the fleet's
+// media workload).
+//
+// Part 2 — chaos campaign. >= 200 seeded trials with every fleet.* fault
+// site armed (push drops/delays, activation failures, vehicle crashes).
+// Invariants the suite relies on, asserted here and by the CI smoke job:
+// every trial ends fully rolled out or fully rolled back (zero
+// mixed-version vehicles), rollback is exercised at least once, and the
+// rollback-equivalence oracle reports zero verdict mismatches.
+//
+// Deterministic modulo wall-clock timing fields. Results land in
+// BENCH_fleet.json; `--fast` shrinks fleet sizes and workloads for CI.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fleet/rollout.h"
+#include "util/clock.h"
+#include "util/fault.h"
+#include "util/log.h"
+
+namespace {
+
+using namespace sack;
+using namespace sack::fleet;
+using sack::util::FaultInjector;
+using sack::util::FaultSpec;
+
+PolicyVersion must_version(std::uint64_t version, std::string text) {
+  auto pv = make_policy_version(version, std::move(text));
+  if (!pv.ok()) {
+    std::fprintf(stderr, "bench_fleet: built-in policy failed to parse\n");
+    std::exit(1);
+  }
+  return std::move(pv).value();
+}
+
+struct SizeResult {
+  std::size_t vehicles = 0;
+  std::size_t shards = 0;
+  double boot_ms = 0;
+  double checks_per_sec = 0;
+  std::uint64_t workload_checks = 0;
+  double rollout_convergence_ms = 0;
+  double rollback_ms = 0;
+  std::size_t mixed_after_rollout = 0;
+  std::size_t mixed_after_rollback = 0;
+  std::size_t equivalence_mismatches = 0;
+};
+
+SizeResult run_size(std::size_t vehicles, std::uint64_t target_checks) {
+  SizeResult r;
+  r.vehicles = vehicles;
+
+  FleetConfig fc;
+  fc.vehicles = vehicles;
+  fc.start_sds = false;  // isolate enforcement + control-plane cost
+  const std::uint64_t boot0 = monotonic_ns();
+  Fleet fleet(fc, must_version(1, fleet_policy_v1()));
+  r.boot_ms = static_cast<double>(monotonic_ns() - boot0) / 1e6;
+  r.shards = fleet.shards();
+
+  // Aggregate check throughput: every vehicle runs the standard mixed
+  // workload (6 checks/round through the batch API) on the shard threads.
+  const std::size_t rounds = std::max<std::size_t>(
+      4, target_checks / (6 * std::max<std::size_t>(vehicles, 1)));
+  std::atomic<std::uint64_t> checks{0};
+  const std::uint64_t work0 = monotonic_ns();
+  fleet.for_each([rounds, &checks](Vehicle& vehicle) {
+    auto stats = vehicle.run_workload(rounds);
+    checks.fetch_add(stats.checks, std::memory_order_relaxed);
+  });
+  const double work_s =
+      static_cast<double>(monotonic_ns() - work0) / 1e9;
+  r.workload_checks = checks.load();
+  r.checks_per_sec =
+      work_s > 0 ? static_cast<double>(r.workload_checks) / work_s : 0;
+
+  // Rollout convergence: benign update through the full control plane
+  // (verify gate without the oracle — its cost is size-independent and
+  // bench_verify owns it).
+  RolloutConfig rc;
+  rc.run_oracle = false;
+  RolloutController controller(fleet, rc);
+  auto rollout = controller.roll_out(must_version(2, fleet_policy_v2()));
+  if (rollout.outcome != RolloutOutcome::committed) {
+    std::fprintf(stderr, "bench_fleet: benign rollout did not commit\n");
+    std::exit(1);
+  }
+  r.rollout_convergence_ms =
+      static_cast<double>(rollout.convergence_ns) / 1e6;
+  r.mixed_after_rollout = rollout.mixed_version_vehicles;
+
+  // Rollback latency: the regression is caught at the canary and the fleet
+  // must return to the retained v2 snapshot.
+  auto rollback = controller.roll_out(must_version(3, fleet_policy_bad()));
+  if (rollback.outcome != RolloutOutcome::rolled_back) {
+    std::fprintf(stderr, "bench_fleet: bad rollout was not rolled back\n");
+    std::exit(1);
+  }
+  r.rollback_ms = static_cast<double>(rollback.rollback_ns) / 1e6;
+  r.mixed_after_rollback = rollback.mixed_version_vehicles;
+  r.equivalence_mismatches = rollback.equivalence_mismatches;
+  return r;
+}
+
+struct CampaignResult {
+  int trials = 0;
+  int commits = 0;
+  int rollbacks = 0;
+  int non_converged = 0;
+  std::uint64_t push_drops = 0;
+  std::uint64_t push_delays = 0;
+  std::uint64_t activation_failures = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t forced_reboots = 0;
+  std::uint64_t equivalence_checked = 0;
+  std::uint64_t equivalence_mismatches = 0;
+};
+
+CampaignResult run_campaign(int trials, std::size_t vehicles) {
+  CampaignResult c;
+  c.trials = trials;
+  auto& fi = FaultInjector::instance();
+  for (int trial = 0; trial < trials; ++trial) {
+    fi.reset();
+    const auto seed = 0x5ac4f1ULL + static_cast<std::uint64_t>(trial);
+    FaultSpec drop;
+    drop.probability = 0.25;
+    drop.seed = seed;
+    FaultSpec delay;
+    delay.probability = 0.25;
+    delay.seed = seed ^ 0xde1a7ULL;
+    FaultSpec crash;
+    crash.probability = 0.08;
+    crash.seed = seed ^ 0xc4a54ULL;
+    FaultSpec activate;
+    activate.probability = 0.15;
+    activate.seed = seed ^ 0xac7ULL;
+    activate.error = Errno::eio;
+    fi.arm("fleet.push.drop", drop);
+    fi.arm("fleet.push.delay", delay);
+    fi.arm("fleet.vehicle.crash", crash);
+    fi.arm("fleet.activate.fail", activate);
+
+    FleetConfig fc;
+    fc.vehicles = vehicles;
+    fc.shards = 1;  // serial: fault draws replay from the trial seed
+    fc.start_sds = false;
+    Fleet fleet(fc, must_version(1, fleet_policy_v1()));
+    RolloutConfig rc;
+    rc.run_oracle = false;
+    RolloutController controller(fleet, rc);
+
+    // Every fifth trial ships the health regression.
+    const bool bad = trial % 5 == 4;
+    auto report = controller.roll_out(
+        must_version(2, bad ? fleet_policy_bad() : fleet_policy_v2()));
+
+    if (report.outcome == RolloutOutcome::rolled_back)
+      ++c.rollbacks;
+    else if (report.outcome == RolloutOutcome::committed)
+      ++c.commits;
+    c.push_drops += report.push_drops;
+    c.push_delays += report.push_delays;
+    c.activation_failures += report.activation_failures;
+    c.crashes += report.crashes;
+    c.forced_reboots += report.forced_reboots;
+    c.equivalence_checked += report.equivalence_checked;
+    c.equivalence_mismatches += report.equivalence_mismatches;
+
+    const std::uint64_t final_version =
+        report.outcome == RolloutOutcome::committed ? 2u : 1u;
+    const bool converged = report.fully_converged &&
+                           report.mixed_version_vehicles == 0 &&
+                           fleet.converged_on(final_version) &&
+                           report.equivalence_mismatches == 0;
+    if (!converged) {
+      ++c.non_converged;
+      std::fprintf(stderr, "trial %d NOT converged: %s\n", trial,
+                   report.to_json().c_str());
+    }
+  }
+  fi.reset();
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Rollback trials log an expected warning each; keep the table readable.
+  sack::Logger::instance().set_level(sack::LogLevel::error);
+  bool fast = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+
+  std::vector<std::size_t> sizes =
+      fast ? std::vector<std::size_t>{1, 100, 1000}
+           : std::vector<std::size_t>{1, 100, 1000, 10000};
+  const std::uint64_t target_checks = fast ? 120'000 : 600'000;
+
+  std::printf(
+      "=== fleet scale sweep ===\n"
+      "%8s %7s %10s %14s %14s %12s\n",
+      "vehicles", "shards", "boot_ms", "checks/sec", "rollout_ms",
+      "rollback_ms");
+  std::vector<SizeResult> results;
+  for (std::size_t n : sizes) {
+    auto r = run_size(n, target_checks);
+    std::printf("%8zu %7zu %10.1f %14.0f %14.2f %12.3f\n", r.vehicles,
+                r.shards, r.boot_ms, r.checks_per_sec,
+                r.rollout_convergence_ms, r.rollback_ms);
+    results.push_back(r);
+  }
+
+  const int trials = 200;
+  const std::size_t campaign_vehicles = fast ? 4 : 8;
+  auto campaign = run_campaign(trials, campaign_vehicles);
+  std::printf(
+      "=== rollout chaos campaign: %d trials x %zu vehicles ===\n"
+      "commits %d  rollbacks %d  non_converged %d\n"
+      "push_drops %llu  push_delays %llu  activation_failures %llu  "
+      "crashes %llu  forced_reboots %llu\n"
+      "equivalence: %llu fingerprints checked, %llu mismatches\n",
+      trials, campaign_vehicles, campaign.commits, campaign.rollbacks,
+      campaign.non_converged,
+      static_cast<unsigned long long>(campaign.push_drops),
+      static_cast<unsigned long long>(campaign.push_delays),
+      static_cast<unsigned long long>(campaign.activation_failures),
+      static_cast<unsigned long long>(campaign.crashes),
+      static_cast<unsigned long long>(campaign.forced_reboots),
+      static_cast<unsigned long long>(campaign.equivalence_checked),
+      static_cast<unsigned long long>(campaign.equivalence_mismatches));
+
+  std::ofstream json("BENCH_fleet.json");
+  json << "{\n  \"fast\": " << (fast ? "true" : "false")
+       << ",\n  \"sizes\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    json << "    {\"vehicles\": " << r.vehicles
+         << ", \"shards\": " << r.shards << ", \"boot_ms\": " << r.boot_ms
+         << ", \"checks_per_sec\": " << r.checks_per_sec
+         << ", \"workload_checks\": " << r.workload_checks
+         << ", \"rollout_convergence_ms\": " << r.rollout_convergence_ms
+         << ", \"rollback_ms\": " << r.rollback_ms
+         << ", \"mixed_after_rollout\": " << r.mixed_after_rollout
+         << ", \"mixed_after_rollback\": " << r.mixed_after_rollback
+         << ", \"equivalence_mismatches\": " << r.equivalence_mismatches
+         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"campaign\": {\"trials\": " << campaign.trials
+       << ", \"commits\": " << campaign.commits
+       << ", \"rollbacks\": " << campaign.rollbacks
+       << ", \"non_converged\": " << campaign.non_converged
+       << ", \"push_drops\": " << campaign.push_drops
+       << ", \"push_delays\": " << campaign.push_delays
+       << ", \"activation_failures\": " << campaign.activation_failures
+       << ", \"crashes\": " << campaign.crashes
+       << ", \"forced_reboots\": " << campaign.forced_reboots
+       << ", \"equivalence_checked\": " << campaign.equivalence_checked
+       << ", \"equivalence_mismatches\": " << campaign.equivalence_mismatches
+       << "}\n}\n";
+  std::printf("wrote BENCH_fleet.json\n");
+
+  const bool sane =
+      campaign.non_converged == 0 && campaign.rollbacks > 0 &&
+      campaign.commits > 0 && campaign.equivalence_mismatches == 0;
+  if (!sane) {
+    std::fprintf(stderr, "bench_fleet: campaign invariants violated\n");
+    return 1;
+  }
+  return 0;
+}

@@ -246,7 +246,7 @@ int main() {
 
   Enforcer enf;
   enf.rules = std::make_unique<CompiledRuleSet>();
-  enf.rules->load(parsed.policy);
+  (void)enf.rules->load(parsed.policy);
   enf.rules->activate({"STREAMING"});
 
   const unsigned hw_threads = std::thread::hardware_concurrency();
@@ -330,7 +330,7 @@ int main() {
   Enforcer dfa_enf;
   {
     auto dfa_rules = std::make_unique<DfaRuleSet>();
-    dfa_rules->load(parsed.policy);
+    (void)dfa_rules->load(parsed.policy);
     dfa_rules->activate({"STREAMING"});
     if (!dfa_rules->table_driven())
       std::fprintf(stderr, "warning: stream policy fell back to scan\n");

@@ -1,5 +1,7 @@
 #include "core/ruleset.h"
 
+#include "util/fault.h"
+
 namespace sack::core {
 
 namespace detail {
@@ -36,7 +38,10 @@ bool CompiledRuleSet::LoadedPolicy::guarded(
   return false;
 }
 
-void CompiledRuleSet::load(const SackPolicy& policy) {
+Result<void> CompiledRuleSet::load(const SackPolicy& policy) {
+  if (auto err =
+          util::FaultInjector::instance().fail_errno("sack.ruleset.load"))
+    return *err;
   auto base = std::make_shared<LoadedPolicy>();
   base->policy = policy;  // own a copy: indexes borrow pointers into it
 
@@ -53,6 +58,7 @@ void CompiledRuleSet::load(const SackPolicy& policy) {
     }
   }
   snap_.store(make_snapshot(std::move(base), {}));
+  return {};
 }
 
 std::shared_ptr<const CompiledRuleSet::Snapshot> CompiledRuleSet::make_snapshot(
@@ -192,7 +198,10 @@ std::shared_ptr<const ObjectLabel> DfaRuleSet::Program::resolve(
   return label;
 }
 
-void DfaRuleSet::load(const SackPolicy& policy) {
+Result<void> DfaRuleSet::load(const SackPolicy& policy) {
+  if (auto err =
+          util::FaultInjector::instance().fail_errno("sack.ruleset.load"))
+    return *err;
   auto base = std::make_shared<Program>();
   base->policy = policy;  // own a copy: rule ids index into it
 
@@ -207,14 +216,22 @@ void DfaRuleSet::load(const SackPolicy& policy) {
   patterns.reserve(base->rules.size());
   for (const MacRule* rule : base->rules) patterns.push_back(&rule->object);
   if (!patterns.empty()) {
-    auto dfa = GlobDfa::build(patterns);
-    if (dfa.ok()) base->dfa = std::move(dfa).value();
+    auto dfa = GlobDfa::build(patterns, build_limits_);
+    if (dfa.ok()) {
+      base->dfa = std::move(dfa).value();
+    } else if (strict_build_) {
+      // Budget blown in strict mode: fail the load with nothing published.
+      // The generation counter was never touched; inode labels, the AVC,
+      // and the previous program all stay exactly as they were.
+      return dfa.error();
+    }
     // else: budget blown — keep the scan fallback (correctness unchanged).
   }
   base->empty_label = ObjectLabel(base->rules.size());
   base->label_gen =
       g_label_gen.fetch_add(1, std::memory_order_relaxed) + 1;  // never 0
   snap_.store(make_snapshot(std::move(base), {}));
+  return {};
 }
 
 std::shared_ptr<const DfaRuleSet::Snapshot> DfaRuleSet::make_snapshot(
@@ -350,9 +367,13 @@ bool DfaRuleSet::table_driven() const {
 
 // --- LinearRuleSet (ablation baseline) ---
 
-void LinearRuleSet::load(const SackPolicy& policy) {
+Result<void> LinearRuleSet::load(const SackPolicy& policy) {
+  if (auto err =
+          util::FaultInjector::instance().fail_errno("sack.ruleset.load"))
+    return *err;
   policy_ = policy;
   active_.clear();
+  return {};
 }
 
 void LinearRuleSet::activate(const std::vector<std::string>& permissions) {

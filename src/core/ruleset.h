@@ -49,7 +49,11 @@ class RuleSetBase {
   virtual ~RuleSetBase() = default;
 
   // Loads the full policy's rule inventory (builds the guard set).
-  virtual void load(const SackPolicy& policy) = 0;
+  // Transactional: on failure the previously published snapshot, activation,
+  // and label generation are untouched — every decision is computed exactly
+  // as before the attempt. Implementations build everything off to the side
+  // and publish only as the final step.
+  virtual Result<void> load(const SackPolicy& policy) = 0;
 
   // Activates the rules of exactly these permissions (APE, on transition).
   virtual void activate(const std::vector<std::string>& permissions) = 0;
@@ -132,7 +136,7 @@ class CompiledRuleSet final : public RuleSetBase {
   CompiledRuleSet(const CompiledRuleSet&) = delete;
   CompiledRuleSet& operator=(const CompiledRuleSet&) = delete;
 
-  void load(const SackPolicy& policy) override;
+  Result<void> load(const SackPolicy& policy) override;
   void activate(const std::vector<std::string>& permissions) override;
   Errno check(const AccessQuery& query) const override;
   void check_ops(std::span<const AccessQuery> queries,
@@ -209,7 +213,7 @@ class DfaRuleSet final : public RuleSetBase {
   DfaRuleSet(const DfaRuleSet&) = delete;
   DfaRuleSet& operator=(const DfaRuleSet&) = delete;
 
-  void load(const SackPolicy& policy) override;
+  Result<void> load(const SackPolicy& policy) override;
   void activate(const std::vector<std::string>& permissions) override;
   Errno check(const AccessQuery& query) const override;
   void check_ops(std::span<const AccessQuery> queries,
@@ -227,6 +231,15 @@ class DfaRuleSet final : public RuleSetBase {
   // True when the loaded rules determinized within budget (the table path);
   // false on the scan fallback. Surfaced for tests and status reporting.
   bool table_driven() const;
+
+  // Build-budget policy for the *next* load(). By default a budget blowout
+  // silently degrades to the per-rule scan fallback; in strict mode it fails
+  // the load with ENOMEM instead, leaving the previous program published —
+  // what a transactional control plane wants.
+  void set_build_limits(GlobDfa::BuildLimits limits, bool strict = false) {
+    build_limits_ = limits;
+    strict_build_ = strict;
+  }
 
  private:
   // Everything derived from one load(): the owning policy copy, the dense
@@ -264,6 +277,8 @@ class DfaRuleSet final : public RuleSetBase {
   std::shared_ptr<const Snapshot> snapshot() const { return snap_.load(); }
 
   RcuPtr<const Snapshot> snap_;
+  GlobDfa::BuildLimits build_limits_{};
+  bool strict_build_ = false;
 };
 
 class LinearRuleSet final : public RuleSetBase {
@@ -272,7 +287,7 @@ class LinearRuleSet final : public RuleSetBase {
   LinearRuleSet(const LinearRuleSet&) = delete;  // active_ points into policy_
   LinearRuleSet& operator=(const LinearRuleSet&) = delete;
 
-  void load(const SackPolicy& policy) override;
+  Result<void> load(const SackPolicy& policy) override;
   void activate(const std::vector<std::string>& permissions) override;
   Errno check(const AccessQuery& query) const override;
   bool guarded(std::string_view object_path) const override;

@@ -321,6 +321,14 @@ SackModule::SackModule(SackMode mode, RuleSetKind ruleset_kind)
 
 SackModule::~SackModule() = default;
 
+bool SackModule::set_dfa_build_limits(GlobDfa::BuildLimits limits,
+                                      bool strict) {
+  auto* dfa = dynamic_cast<DfaRuleSet*>(rules_.get());
+  if (!dfa) return false;
+  dfa->set_build_limits(limits, strict);
+  return true;
+}
+
 void SackModule::initialize(kernel::Kernel& kernel) {
   kernel_ = &kernel;
   auto& fs = kernel.securityfs();
@@ -373,11 +381,18 @@ Result<void> SackModule::load_policy(SackPolicy policy,
   auto ssm = SituationStateMachine::build(policy);
   if (!ssm.ok()) return ssm.error();
 
+  // Last fallible step: compile the rule inventory. The rule set itself is
+  // transactional (it publishes only as its final step), so a failure here —
+  // strict DFA budget ENOMEM, injected build fault — leaves the previous
+  // program, its label generation, the AVC, and every cached inode label
+  // exactly as they were: zero decisions change.
+  if (auto compiled = rules_->load(policy); !compiled.ok())
+    return compiled.error();
+
   // Commit point: retract what the old policy injected, swap, re-apply.
   retract_all_injected();
   policy_ = std::move(policy);
   ssm_ = std::move(ssm).value();
-  rules_->load(policy_);
   // Fresh per-state occupancy/entry stats: state ids are policy-relative.
   state_stats_count_ = ssm_->state_count();
   state_stats_ = std::make_unique<StateStats[]>(state_stats_count_);

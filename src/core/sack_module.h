@@ -152,6 +152,12 @@ class SackModule final : public kernel::SecurityModule {
   }
   const RuleSetBase& ruleset() const { return *rules_; }
 
+  // Strict DFA build budget for subsequent load_policy() calls (dfa rule-set
+  // kind only; returns false otherwise). In strict mode a budget blowout
+  // fails the load with ENOMEM instead of degrading to the scan fallback —
+  // and, like every other load_policy failure, changes zero decisions.
+  bool set_dfa_build_limits(GlobDfa::BuildLimits limits, bool strict);
+
   // Batch enforcement: decides queries[i] for `task`, writing verdicts[i].
   // Fills each query's subject fields in place from the task (callers set
   // only object_path and op). The subject resolution, generation read, and

@@ -1,0 +1,74 @@
+#include "fleet/equivalence.h"
+
+#include "kernel/process.h"
+#include "verify/universe.h"
+
+namespace sack::fleet {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::span<const Errno> xs) {
+  for (Errno e : xs) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::int64_t>(e));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t DecisionFingerprint::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, verdicts);
+  return fnv1a(h, open_probes);
+}
+
+DecisionFingerprint capture_fingerprint(Vehicle& vehicle,
+                                        const core::SackPolicy& policy) {
+  DecisionFingerprint fp;
+  verify::Universe universe = verify::build_universe(policy);
+
+  std::vector<core::AccessQuery> queries;
+  queries.reserve(universe.objects.size() * universe.ops.size());
+  for (const auto& object : universe.objects)
+    for (core::MacOp op : universe.ops)
+      queries.push_back({{}, {}, object, op});
+
+  std::vector<Errno> verdicts(queries.size());
+  fp.verdicts.reserve(2 * universe.subjects.size() * queries.size());
+  // Two identical passes per subject: pass 1 fills the AVC (probe miss →
+  // insert), pass 2 must be served by it. Both land in the fingerprint, so
+  // a cache answering differently from the matcher is a visible diff.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& subject : universe.subjects) {
+      auto& task = vehicle.task_for_exe(subject.exe);
+      vehicle.module().check_ops(task, queries, verdicts);
+      fp.verdicts.insert(fp.verdicts.end(), verdicts.begin(), verdicts.end());
+    }
+  }
+
+  for (const auto& subject : universe.subjects) {
+    kernel::Process proc(vehicle.kernel(), vehicle.task_for_exe(subject.exe));
+    for (std::string_view path : Vehicle::kDataFiles) {
+      auto read = proc.read_file(path);
+      fp.open_probes.push_back(read.ok() ? Errno::ok : read.error());
+    }
+  }
+  return fp;
+}
+
+std::size_t fingerprint_diffs(const DecisionFingerprint& a,
+                              const DecisionFingerprint& b) {
+  std::size_t diffs = 0;
+  auto count = [&](const std::vector<Errno>& x, const std::vector<Errno>& y) {
+    std::size_t common = std::min(x.size(), y.size());
+    for (std::size_t i = 0; i < common; ++i)
+      if (x[i] != y[i]) ++diffs;
+    diffs += std::max(x.size(), y.size()) - common;
+  };
+  count(a.verdicts, b.verdicts);
+  count(a.open_probes, b.open_probes);
+  return diffs;
+}
+
+}  // namespace sack::fleet

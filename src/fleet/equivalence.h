@@ -1,0 +1,46 @@
+// Rollback equivalence oracle: "bit-exact" as a checkable artifact.
+//
+// A DecisionFingerprint is the observable decision function of one vehicle,
+// enumerated over the policy-derived witness universe (verify/universe.h):
+// every (subject, object, op) tuple is checked twice back-to-back — a cold
+// pass that misses the AVC and inserts, then a warm pass served from the
+// cache — so the fingerprint covers the probe→insert→probe round-trip, not
+// just the matcher. On top of that, the vehicle's concrete data files are
+// opened through real open(2) calls per subject, dragging the file_open hook
+// and the per-inode label cache into the capture.
+//
+// The rollout controller captures a fingerprint before staging a new version
+// and compares after a rollback: any stale AVC entry or stale inode label
+// surviving the version swap shows up as a verdict diff.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/vehicle.h"
+#include "util/errno.h"
+
+namespace sack::fleet {
+
+struct DecisionFingerprint {
+  // Cold-pass then warm-pass verdicts, tuple-major in universe order.
+  std::vector<Errno> verdicts;
+  // errno of a real read-open per (subject task, data file).
+  std::vector<Errno> open_probes;
+
+  bool operator==(const DecisionFingerprint&) const = default;
+  // FNV-1a over both vectors: cheap to store per vehicle at fleet scale.
+  std::uint64_t hash() const;
+};
+
+// Sweeps `vehicle` with the witness universe of `policy` (normally the
+// vehicle's committed policy). Deterministic for a fixed (vehicle state,
+// policy) pair.
+DecisionFingerprint capture_fingerprint(Vehicle& vehicle,
+                                        const core::SackPolicy& policy);
+
+// Number of positions where the two fingerprints disagree (0 = bit-exact).
+std::size_t fingerprint_diffs(const DecisionFingerprint& a,
+                              const DecisionFingerprint& b);
+
+}  // namespace sack::fleet

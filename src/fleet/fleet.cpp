@@ -1,0 +1,79 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace sack::fleet {
+
+namespace {
+
+std::size_t resolve_shards(std::size_t requested, std::size_t vehicles) {
+  std::size_t shards = requested;
+  if (shards == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    shards = hw ? hw : 4;
+    shards = std::min<std::size_t>(shards, 16);
+  }
+  return std::clamp<std::size_t>(shards, 1, std::max<std::size_t>(vehicles, 1));
+}
+
+// Partitions [0, n) into `shards` contiguous ranges and runs `fn(begin, end)`
+// on each, on worker threads when shards > 1.
+void sharded(std::size_t n, std::size_t shards,
+             const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (shards <= 1 || n <= 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(shards);
+  std::size_t chunk = (n + shards - 1) / shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    std::size_t begin = s * chunk;
+    std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace
+
+Fleet::Fleet(const FleetConfig& config, PolicyVersion initial)
+    : config_(config), initial_(std::move(initial)) {
+  std::size_t n = std::max<std::size_t>(config.vehicles, 1);
+  shards_ = resolve_shards(config.shards, n);
+  vehicles_.resize(n);
+  sharded(n, shards_, [this](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      VehicleConfig vc;
+      vc.id = static_cast<std::uint32_t>(i);
+      vc.start_sds = config_.start_sds;
+      vc.default_detectors = config_.default_detectors;
+      vehicles_[i] = std::make_unique<Vehicle>(vc, initial_);
+    }
+  });
+}
+
+void Fleet::for_each(const std::function<void(Vehicle&)>& fn) {
+  sharded(vehicles_.size(), shards_,
+          [this, &fn](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) fn(*vehicles_[i]);
+          });
+}
+
+std::size_t Fleet::count_not_on(std::uint64_t version) const {
+  std::size_t n = 0;
+  for (const auto& v : vehicles_)
+    if (v->live_version() != version) ++n;
+  return n;
+}
+
+bool Fleet::converged_on(std::uint64_t version) const {
+  for (const auto& v : vehicles_)
+    if (v->live_version() != version || v->committed_version() != version)
+      return false;
+  return true;
+}
+
+}  // namespace sack::fleet

@@ -1,0 +1,56 @@
+// Fleet: the multi-tenant host.
+//
+// Owns N independent Vehicle instances (each a full kernel + SACK module +
+// SDS stack) sharded across worker threads for boot and bulk operations.
+// Vehicles share nothing but the process — per-instance work needs no locks;
+// for_each() simply partitions the index space across shards. Deterministic
+// campaigns (chaos trials that arm fault sites) should run with shards = 1
+// so control-plane fault draws happen in one reproducible order; the
+// parallel path is for boot and measurement at bench scale.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fleet/vehicle.h"
+
+namespace sack::fleet {
+
+struct FleetConfig {
+  std::size_t vehicles = 1;
+  // Worker threads for boot/for_each. 0 = pick from hardware concurrency,
+  // clamped to [1, vehicles].
+  std::size_t shards = 0;
+  bool start_sds = true;
+  bool default_detectors = true;
+};
+
+class Fleet {
+ public:
+  // Boots every vehicle with `initial` committed to flash.
+  Fleet(const FleetConfig& config, PolicyVersion initial);
+
+  std::size_t size() const { return vehicles_.size(); }
+  std::size_t shards() const { return shards_; }
+  Vehicle& vehicle(std::size_t i) { return *vehicles_[i]; }
+  const PolicyVersion& initial_version() const { return initial_; }
+
+  // Runs `fn` over every vehicle, partitioned across the shard threads
+  // (serial when shards == 1). `fn` must not touch shared mutable state.
+  void for_each(const std::function<void(Vehicle&)>& fn);
+
+  // Vehicles whose live version is not `version`.
+  std::size_t count_not_on(std::uint64_t version) const;
+  // Every vehicle live AND committed on `version` — the single-version
+  // invariant a finished rollout or rollback must restore.
+  bool converged_on(std::uint64_t version) const;
+
+ private:
+  FleetConfig config_;
+  PolicyVersion initial_;
+  std::size_t shards_ = 1;
+  std::vector<std::unique_ptr<Vehicle>> vehicles_;
+};
+
+}  // namespace sack::fleet

@@ -1,0 +1,293 @@
+#include "fleet/rollout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/clock.h"
+#include "util/fault.h"
+#include "util/log.h"
+#include "verify/verifier.h"
+
+namespace sack::fleet {
+
+using util::FaultInjector;
+
+namespace {
+
+double denial_rate(const Vehicle::WorkloadStats& stats) {
+  if (stats.checks == 0) return 0.0;
+  return static_cast<double>(stats.denials) /
+         static_cast<double>(stats.checks);
+}
+
+// The active-rule count the policy predicts for `state` — what the live
+// rule set must report, or the activation drifted from the verified text.
+std::size_t expected_active_rules(const core::SackPolicy& policy,
+                                  const std::string& state) {
+  std::size_t expected = 0;
+  for (const auto& perm : policy.permissions_of(state)) {
+    auto it = policy.per_rules.find(perm);
+    if (it != policy.per_rules.end()) expected += it->second.size();
+  }
+  return expected;
+}
+
+}  // namespace
+
+std::string_view to_string(RolloutOutcome outcome) {
+  switch (outcome) {
+    case RolloutOutcome::committed:
+      return "committed";
+    case RolloutOutcome::rejected:
+      return "rejected";
+    case RolloutOutcome::rolled_back:
+      return "rolled_back";
+  }
+  return "?";
+}
+
+std::string RolloutReport::to_json() const {
+  std::string json = "{";
+  auto num = [&](std::string_view key, auto value) {
+    json += "\"";
+    json += key;
+    json += "\":" + std::to_string(value) + ",";
+  };
+  json += "\"outcome\":\"";
+  json += to_string(outcome);
+  json += "\",";
+  num("from_version", from_version);
+  num("target_version", target_version);
+  num("fleet_size", fleet_size);
+  num("canary_size", canary_size);
+  num("stages_completed", stages_completed);
+  num("pushes", pushes);
+  num("push_drops", push_drops);
+  num("push_delays", push_delays);
+  num("activation_failures", activation_failures);
+  num("crashes", crashes);
+  num("forced_reboots", forced_reboots);
+  num("worst_denial_delta", worst_denial_delta);
+  num("new_watchdog_trips", new_watchdog_trips);
+  num("verifier_drift", verifier_drift);
+  num("equivalence_mismatches", equivalence_mismatches);
+  num("equivalence_checked", equivalence_checked);
+  num("mixed_version_vehicles", mixed_version_vehicles);
+  num("convergence_ns", convergence_ns);
+  num("rollback_ns", rollback_ns);
+  json += "\"fully_converged\":";
+  json += fully_converged ? "true" : "false";
+  json += "}";
+  return json;
+}
+
+RolloutController::RolloutController(Fleet& fleet, RolloutConfig config)
+    : fleet_(fleet), config_(std::move(config)) {
+  current_.store(
+      std::make_shared<const PolicyVersion>(fleet_.initial_version()));
+}
+
+bool RolloutController::push_version(Vehicle& vehicle,
+                                     const PolicyVersion& version,
+                                     RolloutReport& report) {
+  auto& fi = FaultInjector::instance();
+  const std::string id = std::to_string(vehicle.id());
+  for (int attempt = 0; attempt < std::max(config_.push_attempts, 1);
+       ++attempt) {
+    ++report.pushes;
+    if (fi.fire("fleet.push.drop", id)) {
+      ++report.push_drops;
+      continue;  // the push never reached the vehicle; retry next round
+    }
+    if (fi.fire("fleet.push.delay", id)) {
+      ++report.push_delays;
+      vehicle.tick(50);  // the push sat in transit; it still arrives
+    }
+    if (fi.fire("fleet.vehicle.crash", id)) {
+      ++report.crashes;
+      vehicle.reboot();  // back on committed flash; the staged push is lost
+      continue;
+    }
+    if (auto err = fi.fail_errno("fleet.activate.fail", id)) {
+      ++report.activation_failures;
+      (void)*err;
+      continue;
+    }
+    auto rc = vehicle.apply_policy(version);
+    if (rc.ok()) return true;
+    ++report.activation_failures;
+  }
+  return false;
+}
+
+bool RolloutController::vehicle_healthy(Vehicle& vehicle,
+                                        const PolicyVersion& target,
+                                        const Baseline& baseline,
+                                        RolloutReport& report) {
+  const auto stats = vehicle.run_workload(config_.health_rounds);
+  const double delta = denial_rate(stats) - baseline.denial_rate;
+  report.worst_denial_delta = std::max(report.worst_denial_delta, delta);
+  if (delta > config_.max_denial_delta) {
+    report.reason = "vehicle " + std::to_string(vehicle.id()) +
+                    ": denial rate delta " + std::to_string(delta) +
+                    " over budget";
+    return false;
+  }
+
+  const std::uint64_t trips =
+      vehicle.module().watchdog_trips() - baseline.watchdog_trips;
+  report.new_watchdog_trips += trips;
+  if (trips > config_.max_new_watchdog_trips) {
+    report.reason = "vehicle " + std::to_string(vehicle.id()) + ": " +
+                    std::to_string(trips) + " new watchdog failsafe entries";
+    return false;
+  }
+
+  const std::string state = vehicle.module().current_state_name();
+  const std::size_t expected = expected_active_rules(target.policy, state);
+  const std::size_t live = vehicle.module().ruleset().active_rule_count();
+  if (live != expected) {
+    ++report.verifier_drift;
+    report.reason = "vehicle " + std::to_string(vehicle.id()) +
+                    ": verifier drift in state '" + state + "' (live " +
+                    std::to_string(live) + " rules, policy predicts " +
+                    std::to_string(expected) + ")";
+    return false;
+  }
+  return true;
+}
+
+void RolloutController::roll_back(const PolicyVersion& previous,
+                                  RolloutReport& report) {
+  const std::uint64_t t0 = monotonic_ns();
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    Vehicle& vehicle = fleet_.vehicle(i);
+    if (vehicle.live_version() == previous.version) continue;
+    if (!push_version(vehicle, previous, report)) {
+      // Unreachable by pushes — power-cycle it. Flash still holds the
+      // previous (committed) version, so the reboot restores it by
+      // construction; rollback cannot strand a vehicle.
+      vehicle.reboot();
+      ++report.forced_reboots;
+    }
+  }
+  report.rollback_ns = monotonic_ns() - t0;
+}
+
+RolloutReport RolloutController::roll_out(PolicyVersion candidate) {
+  RolloutReport report;
+  const std::uint64_t t0 = monotonic_ns();
+  const std::shared_ptr<const PolicyVersion> from = current_.load();
+  report.from_version = from->version;
+  report.target_version = candidate.version;
+  report.fleet_size = fleet_.size();
+
+  // Phase 1: the verify gate. Errors reject before any vehicle is touched.
+  if (config_.verify_gate) {
+    verify::VerifyOptions options;
+    options.run_oracle = config_.run_oracle;
+    auto verdict =
+        verify::verify_policy(candidate.policy, options,
+                              "fleet-v" + std::to_string(candidate.version));
+    if (verdict.has_errors()) {
+      report.outcome = RolloutOutcome::rejected;
+      report.reason = "verify gate: " +
+                      std::to_string(verdict.count(
+                          verify::FindingSeverity::error)) +
+                      " error finding(s)";
+      report.mixed_version_vehicles = fleet_.count_not_on(from->version);
+      report.fully_converged = fleet_.converged_on(from->version);
+      report.convergence_ns = monotonic_ns() - t0;
+      return report;
+    }
+  }
+
+  const auto target = std::make_shared<const PolicyVersion>(
+      std::move(candidate));
+
+  // Pre-rollout fingerprints for the rollback-equivalence oracle. Captured
+  // against the *current* policy, before any vehicle is mutated.
+  const std::size_t sample =
+      std::min(config_.equivalence_sample, fleet_.size());
+  std::vector<DecisionFingerprint> pre_fp;
+  std::vector<std::string> pre_state;
+  pre_fp.reserve(sample);
+  for (std::size_t i = 0; i < sample; ++i) {
+    pre_fp.push_back(capture_fingerprint(fleet_.vehicle(i), from->policy));
+    pre_state.push_back(fleet_.vehicle(i).module().current_state_name());
+  }
+
+  // Cohort boundaries: canary, then cumulative staging waves, always ending
+  // at the full fleet.
+  const std::size_t n = fleet_.size();
+  std::vector<std::size_t> cohort_ends;
+  const auto canary = static_cast<std::size_t>(
+      std::ceil(config_.canary_fraction * static_cast<double>(n)));
+  cohort_ends.push_back(std::clamp<std::size_t>(canary, 1, n));
+  report.canary_size = cohort_ends[0];
+  for (double fraction : config_.stage_fractions) {
+    auto end = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(n)));
+    end = std::clamp<std::size_t>(end, cohort_ends.back(), n);
+    if (end > cohort_ends.back()) cohort_ends.push_back(end);
+  }
+  if (cohort_ends.back() < n) cohort_ends.push_back(n);
+
+  // Phases 2+3: canary, then staged waves. Per vehicle: baseline → push →
+  // health. The loop is serial so fault draws replay deterministically.
+  bool regression = false;
+  std::size_t begin = 0;
+  for (std::size_t end : cohort_ends) {
+    for (std::size_t i = begin; i < end && !regression; ++i) {
+      Vehicle& vehicle = fleet_.vehicle(i);
+      Baseline baseline{denial_rate(vehicle.run_workload(config_.health_rounds)),
+                        vehicle.module().watchdog_trips()};
+      if (!push_version(vehicle, *target, report)) {
+        report.reason = "vehicle " + std::to_string(vehicle.id()) +
+                        ": activation failed after " +
+                        std::to_string(config_.push_attempts) + " attempts";
+        regression = true;
+      } else if (!vehicle_healthy(vehicle, *target, baseline, report)) {
+        regression = true;
+      }
+    }
+    if (regression) break;
+    ++report.stages_completed;
+    begin = end;
+  }
+
+  if (regression) {
+    report.outcome = RolloutOutcome::rolled_back;
+    log_warn("fleet: rolling back v", target->version, " -> v",
+             from->version, ": ", report.reason);
+    roll_back(*from, report);
+
+    // Rollback-equivalence oracle: the restored decision function must be
+    // bit-exact against the pre-rollout capture. A vehicle whose situation
+    // state changed mid-trial is skipped — its decision function legitimately
+    // differs — so every counted mismatch is a stale-cache bug.
+    for (std::size_t i = 0; i < sample; ++i) {
+      Vehicle& vehicle = fleet_.vehicle(i);
+      if (vehicle.module().current_state_name() != pre_state[i]) continue;
+      ++report.equivalence_checked;
+      auto post = capture_fingerprint(vehicle, from->policy);
+      report.equivalence_mismatches += fingerprint_diffs(pre_fp[i], post);
+    }
+    report.mixed_version_vehicles = fleet_.count_not_on(from->version);
+    report.fully_converged = fleet_.converged_on(from->version);
+  } else {
+    // Phase 4: commit. Flash first, then publish: a crash between the two
+    // leaves a vehicle committed on the new version, which reboot handles.
+    for (std::size_t i = 0; i < n; ++i)
+      fleet_.vehicle(i).commit_policy(*target);
+    previous_.store(from);
+    current_.store(target);
+    report.outcome = RolloutOutcome::committed;
+    report.mixed_version_vehicles = fleet_.count_not_on(target->version);
+    report.fully_converged = fleet_.converged_on(target->version);
+  }
+  report.convergence_ns = monotonic_ns() - t0;
+  return report;
+}
+
+}  // namespace sack::fleet

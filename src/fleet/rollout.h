@@ -1,0 +1,149 @@
+// RolloutController: verify-gated, health-gated, crash-safe policy rollout.
+//
+// A candidate policy version moves through four phases:
+//
+//   1. Gate     — the full sack-verify pipeline (model checker, lints,
+//                 differential oracle) runs on the candidate. An error-level
+//                 finding rejects the rollout before any vehicle is touched.
+//   2. Canary   — a small cohort activates the candidate; each vehicle's
+//                 health is measured against its own pre-push baseline.
+//   3. Staging  — successive percentage cohorts activate, health-checked the
+//                 same way, until the whole fleet is live.
+//   4. Commit or rollback — full success commits the version to every
+//                 vehicle's flash and publishes it as `current()` (the
+//                 retained previous version moves to `previous()`, both in
+//                 RcuPtr cells). ANY regression — denial-rate delta over
+//                 budget, a new watchdog failsafe entry, permanent activation
+//                 failure, verifier drift — rolls the whole fleet back to the
+//                 retained previous snapshot.
+//
+// Health signals per vehicle: denial-rate delta of the standard workload vs
+// that vehicle's own baseline (catches "verifies clean but denies the fleet"
+// regressions), new watchdog failsafe trips, activation errors, and verifier
+// drift (live active-rule count vs the count the candidate policy predicts
+// for the vehicle's situation state).
+//
+// Crash safety: pushes go through fault sites fleet.push.drop / .delay /
+// .activate.fail / .vehicle.crash. A crashed vehicle reboots onto its
+// committed flash — an uncommitted candidate never survives a power cycle —
+// and a vehicle whose rollback pushes keep failing is forcibly rebooted,
+// which restores flash by construction. Rollback therefore always converges:
+// every trial ends with the fleet single-version, live == committed.
+//
+// Rollback is bit-exact, and provably so: before staging, a sample of
+// vehicles is fingerprinted (fleet/equivalence.h) against the current
+// policy; after a rollback the fingerprints are recaptured and compared.
+// A stale AVC entry or stale inode label surviving the swap is a counted
+// equivalence mismatch, not a silent wrong verdict.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/equivalence.h"
+#include "fleet/fleet.h"
+#include "util/rcu_ptr.h"
+
+namespace sack::fleet {
+
+struct RolloutConfig {
+  // Canary cohort: ceil(fraction * fleet), at least one vehicle.
+  double canary_fraction = 0.05;
+  // Cumulative fleet fractions for the staging waves after the canary.
+  std::vector<double> stage_fractions = {0.25, 0.50, 1.0};
+  // Workload rounds per baseline / health probe.
+  std::size_t health_rounds = 8;
+  // Rollback when (post denial rate - baseline) exceeds this.
+  double max_denial_delta = 0.10;
+  // Rollback when a vehicle records more than this many new failsafe trips.
+  std::uint64_t max_new_watchdog_trips = 0;
+  // Push attempts per vehicle before the push counts as a permanent failure.
+  int push_attempts = 4;
+  // Vehicles fingerprinted for the rollback-equivalence check (0 = off).
+  std::size_t equivalence_sample = 4;
+  // Run the sack-verify gate (with or without the differential oracle).
+  bool verify_gate = true;
+  bool run_oracle = true;
+};
+
+enum class RolloutOutcome {
+  committed,    // all stages healthy; fleet live+committed on the candidate
+  rejected,     // verify gate failed; no vehicle was touched
+  rolled_back,  // regression mid-rollout; fleet restored to previous
+};
+std::string_view to_string(RolloutOutcome outcome);
+
+struct RolloutReport {
+  RolloutOutcome outcome = RolloutOutcome::committed;
+  std::string reason;  // human-readable cause for reject/rollback
+  std::uint64_t from_version = 0;
+  std::uint64_t target_version = 0;
+
+  std::size_t fleet_size = 0;
+  std::size_t canary_size = 0;
+  std::size_t stages_completed = 0;  // canary counts as stage 1
+
+  std::uint64_t pushes = 0;
+  std::uint64_t push_drops = 0;
+  std::uint64_t push_delays = 0;
+  std::uint64_t activation_failures = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t forced_reboots = 0;  // rollback gave up pushing and rebooted
+
+  double worst_denial_delta = 0.0;
+  std::uint64_t new_watchdog_trips = 0;
+  std::uint64_t verifier_drift = 0;
+
+  // Rollback-equivalence oracle: verdict positions differing between the
+  // pre-rollout and post-rollback fingerprints (must be 0).
+  std::size_t equivalence_mismatches = 0;
+  std::size_t equivalence_checked = 0;
+
+  // Exit invariant: vehicles NOT on the final version (must be 0).
+  std::size_t mixed_version_vehicles = 0;
+  bool fully_converged = false;
+
+  std::uint64_t convergence_ns = 0;  // roll_out() entry → single-version
+  std::uint64_t rollback_ns = 0;     // regression detected → fleet restored
+
+  std::string to_json() const;
+};
+
+class RolloutController {
+ public:
+  explicit RolloutController(Fleet& fleet, RolloutConfig config = {});
+
+  // The published (committed) version and the retained previous snapshot.
+  // RcuPtr reads: safe from any thread, stable while the reference is held.
+  std::shared_ptr<const PolicyVersion> current() const {
+    return current_.load();
+  }
+  std::shared_ptr<const PolicyVersion> previous() const {
+    return previous_.load();
+  }
+
+  // Pushes `candidate` through gate → canary → stages → commit/rollback.
+  // Serial over vehicles by design: fault draws happen in one deterministic
+  // order, so chaos trials replay from their seed.
+  RolloutReport roll_out(PolicyVersion candidate);
+
+ private:
+  struct Baseline {
+    double denial_rate = 0.0;
+    std::uint64_t watchdog_trips = 0;
+  };
+
+  bool push_version(Vehicle& vehicle, const PolicyVersion& version,
+                    RolloutReport& report);
+  bool vehicle_healthy(Vehicle& vehicle, const PolicyVersion& target,
+                       const Baseline& baseline, RolloutReport& report);
+  void roll_back(const PolicyVersion& previous, RolloutReport& report);
+
+  Fleet& fleet_;
+  RolloutConfig config_;
+  RcuPtr<const PolicyVersion> current_;
+  RcuPtr<const PolicyVersion> previous_;
+};
+
+}  // namespace sack::fleet

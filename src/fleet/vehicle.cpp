@@ -1,0 +1,235 @@
+#include "fleet/vehicle.h"
+
+#include <array>
+
+#include "core/policy_parser.h"
+#include "kernel/process.h"
+#include "util/log.h"
+
+namespace sack::fleet {
+
+using kernel::Cred;
+
+namespace {
+
+constexpr std::string_view kPolicyLoadPath =
+    "/sys/kernel/security/SACK/policy/load";
+
+}  // namespace
+
+std::string fleet_policy_v1() {
+  return R"(# Fleet policy v1: three states, media/OTA/diagnostics permissions.
+states { parked = 0; driving = 1; emergency = 2; }
+initial parked;
+transitions {
+  parked -> driving on start_driving;
+  driving -> parked on stop_driving;
+  parked -> emergency on crash_detected;
+  driving -> emergency on crash_detected;
+  emergency -> parked on emergency_cleared;
+}
+# Declared so the default SDS detector set can always transmit them.
+events { high_speed_entered; low_speed_entered;
+         parked_with_driver; parked_without_driver; }
+permissions { MEDIA_READ; OTA_WRITE; DIAG_READ; }
+state_per {
+  parked: MEDIA_READ, OTA_WRITE;
+  driving: MEDIA_READ;
+  emergency: MEDIA_READ, DIAG_READ;
+}
+per_rules {
+  MEDIA_READ { allow * /var/media/** read getattr; }
+  OTA_WRITE { allow /usr/bin/ota /var/ota/** read write; }
+  DIAG_READ { allow /usr/bin/rescue /etc/vehicle/vin read; }
+}
+)";
+}
+
+std::string fleet_policy_v2() {
+  // Benign revision: media apps additionally get the cache tree. Verifies
+  // clean and changes no verdict the v1 workload exercises.
+  return R"(# Fleet policy v2: v1 plus a media cache grant.
+states { parked = 0; driving = 1; emergency = 2; }
+initial parked;
+transitions {
+  parked -> driving on start_driving;
+  driving -> parked on stop_driving;
+  parked -> emergency on crash_detected;
+  driving -> emergency on crash_detected;
+  emergency -> parked on emergency_cleared;
+}
+events { high_speed_entered; low_speed_entered;
+         parked_with_driver; parked_without_driver; }
+permissions { MEDIA_READ; OTA_WRITE; DIAG_READ; }
+state_per {
+  parked: MEDIA_READ, OTA_WRITE;
+  driving: MEDIA_READ;
+  emergency: MEDIA_READ, DIAG_READ;
+}
+per_rules {
+  MEDIA_READ {
+    allow * /var/media/** read getattr;
+    allow * /var/cache/media/** read getattr;
+  }
+  OTA_WRITE { allow /usr/bin/ota /var/ota/** read write; }
+  DIAG_READ { allow /usr/bin/rescue /etc/vehicle/vin read; }
+}
+)";
+}
+
+std::string fleet_policy_bad() {
+  // Internally consistent — every static engine passes it — but the media
+  // grant is narrowed to the rescue daemon, so every media app in the fleet
+  // starts eating EACCES the moment it activates. Only the health gate
+  // (denial-rate delta vs baseline) can catch this class of regression.
+  return R"(# Fleet policy vX: media grant accidentally narrowed.
+states { parked = 0; driving = 1; emergency = 2; }
+initial parked;
+transitions {
+  parked -> driving on start_driving;
+  driving -> parked on stop_driving;
+  parked -> emergency on crash_detected;
+  driving -> emergency on crash_detected;
+  emergency -> parked on emergency_cleared;
+}
+events { high_speed_entered; low_speed_entered;
+         parked_with_driver; parked_without_driver; }
+permissions { MEDIA_READ; OTA_WRITE; DIAG_READ; }
+state_per {
+  parked: MEDIA_READ, OTA_WRITE;
+  driving: MEDIA_READ;
+  emergency: MEDIA_READ, DIAG_READ;
+}
+per_rules {
+  MEDIA_READ { allow /usr/bin/rescue /var/media/** read getattr; }
+  OTA_WRITE { allow /usr/bin/ota /var/ota/** read write; }
+  DIAG_READ { allow /usr/bin/rescue /etc/vehicle/vin read; }
+}
+)";
+}
+
+Result<PolicyVersion> make_policy_version(std::uint64_t version,
+                                          std::string text) {
+  auto parsed = core::parse_policy(text);
+  if (!parsed.ok()) return Errno::einval;
+  return PolicyVersion{version, std::move(text), std::move(parsed.policy)};
+}
+
+Vehicle::Vehicle(const VehicleConfig& config, PolicyVersion initial)
+    : config_(config), flash_(std::move(initial)) {
+  boot();
+}
+
+void Vehicle::boot() {
+  tasks_by_exe_.clear();
+  sds_.reset();
+  kernel_ = std::make_unique<kernel::Kernel>();
+  mod_ = static_cast<core::SackModule*>(kernel_->add_lsm(
+      std::make_unique<core::SackModule>(core::SackMode::independent)));
+
+  kernel::Process admin(*kernel_, kernel_->init_task());
+  auto& vfs = kernel_->vfs();
+  vfs.mkdir_p("/var/media");
+  vfs.mkdir_p("/var/ota");
+  vfs.mkdir_p("/etc/vehicle");
+  for (std::string_view path : Vehicle::kDataFiles) (void)admin.write_file(path, "x");
+
+  media_task_ =
+      &kernel_->spawn_task("media", Cred::root(), std::string(kMediaExe));
+  ota_task_ = &kernel_->spawn_task("ota", Cred::root(), std::string(kOtaExe));
+  rescue_task_ =
+      &kernel_->spawn_task("rescue", Cred::root(), std::string(kRescueExe));
+  tasks_by_exe_[std::string(kMediaExe)] = media_task_;
+  tasks_by_exe_[std::string(kOtaExe)] = ota_task_;
+  tasks_by_exe_[std::string(kRescueExe)] = rescue_task_;
+
+  if (config_.start_sds) {
+    auto& sds_task = kernel_->spawn_task("sds", Cred::root(), "/usr/bin/sds");
+    sds_ = std::make_unique<sds::SituationDetectionService>(
+        kernel::Process(*kernel_, sds_task));
+    if (config_.default_detectors) sds_->add_default_detectors();
+  }
+
+  // Flash is always a committed (verified) version; failing to boot it is a
+  // vehicle-integrity bug, not a rollout condition.
+  auto rc = kernel::Process(*kernel_, kernel_->init_task())
+                .write_existing(kPolicyLoadPath, flash_.text);
+  if (!rc.ok()) {
+    log_error("fleet: vehicle ", config_.id, ": flash policy v",
+              flash_.version, " failed to boot: ", errno_name(rc.error()));
+  }
+  live_version_ = flash_.version;
+}
+
+Result<void> Vehicle::apply_policy(const PolicyVersion& version) {
+  kernel::Process admin(*kernel_, kernel_->init_task());
+  auto rc = admin.write_existing(kPolicyLoadPath, version.text);
+  if (!rc.ok()) {
+    ++activation_failures_;
+    return rc.error();
+  }
+  live_version_ = version.version;
+  return {};
+}
+
+void Vehicle::commit_policy(const PolicyVersion& version) {
+  flash_ = version;
+}
+
+void Vehicle::reboot() {
+  ++reboots_;
+  boot();
+}
+
+kernel::Task& Vehicle::task_for_exe(const std::string& exe) {
+  auto it = tasks_by_exe_.find(exe);
+  if (it != tasks_by_exe_.end()) return *it->second;
+  std::string comm = exe.substr(exe.find_last_of('/') + 1);
+  if (comm.empty()) comm = "subject";
+  auto& task = kernel_->spawn_task(std::move(comm), Cred::root(), exe);
+  tasks_by_exe_[exe] = &task;
+  return task;
+}
+
+Vehicle::WorkloadStats Vehicle::run_workload(std::size_t rounds) {
+  using core::AccessQuery;
+  using core::MacOp;
+  WorkloadStats stats;
+  // The fixed mix: media streams, OTA stages an update, OTA pokes at the
+  // VIN (never allowed), rescue reads diagnostics (emergency only).
+  std::array<AccessQuery, 3> media_q{
+      AccessQuery{{}, {}, Vehicle::kDataFiles[0], MacOp::read},
+      AccessQuery{{}, {}, Vehicle::kDataFiles[1], MacOp::read},
+      AccessQuery{{}, {}, Vehicle::kDataFiles[0], MacOp::getattr},
+  };
+  std::array<AccessQuery, 2> ota_q{
+      AccessQuery{{}, {}, Vehicle::kDataFiles[3], MacOp::write},
+      AccessQuery{{}, {}, Vehicle::kDataFiles[2], MacOp::read},
+  };
+  std::array<AccessQuery, 1> rescue_q{
+      AccessQuery{{}, {}, Vehicle::kDataFiles[2], MacOp::read},
+  };
+  std::array<Errno, 3> verdicts{};
+  auto run = [&](kernel::Task& task, std::span<AccessQuery> queries) {
+    mod_->check_ops(task, queries,
+                    std::span<Errno>(verdicts.data(), queries.size()));
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ++stats.checks;
+      if (verdicts[i] != Errno::ok) ++stats.denials;
+    }
+  };
+  for (std::size_t r = 0; r < rounds; ++r) {
+    run(*media_task_, media_q);
+    run(*ota_task_, ota_q);
+    run(*rescue_task_, rescue_q);
+  }
+  return stats;
+}
+
+sds::FeedResult Vehicle::feed_frames(
+    std::span<const sds::SensorFrame> frames) {
+  if (!sds_) return {};
+  return sds_->feed_batch(frames);
+}
+
+}  // namespace sack::fleet

@@ -1,0 +1,140 @@
+// Vehicle: one tenant of the fleet layer.
+//
+// A Vehicle is a complete SACK deployment in miniature — simulated kernel,
+// SACK module (independent mode, DFA rule set), SDS daemon, a small IVI-like
+// file set, and one task per application subject — cheap enough that one
+// process hosts thousands of them. The control plane (fleet/rollout.h)
+// treats a Vehicle the way an OTA backend treats a car: policy is applied
+// through the SACKfs policy/load file as an administrator write, the last
+// *committed* policy version lives in simulated flash, and a crash
+// (fleet.vehicle.crash) reboots the instance back onto flash — an uncommitted
+// staged policy never survives a power cycle. That persistence rule is what
+// makes rollback convergence deterministic: a vehicle that cannot be reached
+// by pushes can always be rebooted onto the committed version.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/sack_module.h"
+#include "kernel/kernel.h"
+#include "sds/sds.h"
+
+namespace sack::fleet {
+
+// A versioned policy as the control plane ships it. `policy` is the parsed
+// form (kept so universe generation and drift checks never reparse).
+struct PolicyVersion {
+  std::uint64_t version = 0;
+  std::string text;
+  core::SackPolicy policy;
+};
+
+struct VehicleConfig {
+  std::uint32_t id = 0;
+  // Attach an SDS daemon (heartbeat + detectors). Benches hosting 10k
+  // instances can turn it off to isolate enforcement throughput.
+  bool start_sds = true;
+  // Give the SDS the standard CAV detector set.
+  bool default_detectors = true;
+};
+
+// The standard three-state fleet policy (version 1) and two canned updates:
+// a benign revision that should roll out, and a "bad" revision that passes
+// the verifier (it is internally consistent) but regresses the media
+// denial rate, so only the health gate can catch it.
+std::string fleet_policy_v1();
+std::string fleet_policy_v2();
+std::string fleet_policy_bad();
+
+// Parses `text` and wraps it as a PolicyVersion; fails with the parser's
+// error if the text is not a loadable policy.
+Result<PolicyVersion> make_policy_version(std::uint64_t version,
+                                          std::string text);
+
+class Vehicle {
+ public:
+  // Boots the instance and applies `initial` as the committed (flash)
+  // policy. `initial.policy` must be the parsed form of `initial.text`.
+  Vehicle(const VehicleConfig& config, PolicyVersion initial);
+
+  std::uint32_t id() const { return config_.id; }
+  kernel::Kernel& kernel() { return *kernel_; }
+  core::SackModule& module() { return *mod_; }
+  sds::SituationDetectionService* sds() { return sds_.get(); }
+
+  // --- control-plane surface ---
+  // Applies a policy version through the SACKfs policy/load file (the same
+  // write an administrator would issue). On success the vehicle's *live*
+  // version advances; flash is untouched until commit_policy().
+  Result<void> apply_policy(const PolicyVersion& version);
+  // Commits a version to flash: this is what reboot() restores.
+  void commit_policy(const PolicyVersion& version);
+  // Crash + power cycle: the whole kernel stack is rebuilt and the committed
+  // flash policy re-applied. Volatile state (AVC, inode labels, SSM state,
+  // an uncommitted staged policy) is lost by construction.
+  void reboot();
+
+  std::uint64_t live_version() const { return live_version_; }
+  std::uint64_t committed_version() const { return flash_.version; }
+  std::uint64_t activation_failures() const { return activation_failures_; }
+  std::uint64_t reboots() const { return reboots_; }
+
+  // --- workload / health surface ---
+  // Deterministic mixed check workload through the batch API: media reads,
+  // OTA writes, and a sensitive-file probe per round. Returns totals so the
+  // health monitor can compute a denial rate.
+  struct WorkloadStats {
+    std::uint64_t checks = 0;
+    std::uint64_t denials = 0;
+  };
+  WorkloadStats run_workload(std::size_t rounds);
+
+  // Feeds sensor frames through the SDS batched transport (one coalesced
+  // SACKfs write per call). No-op without an SDS.
+  sds::FeedResult feed_frames(std::span<const sds::SensorFrame> frames);
+
+  void tick(std::int64_t ms) { kernel_->advance_clock_ms(ms); }
+
+  // A task whose executable is `exe` (spawned on demand, cached until the
+  // next reboot). The equivalence oracle sweeps universe subjects this way.
+  kernel::Task& task_for_exe(const std::string& exe);
+
+  // Well-known subject executables of the fleet policies.
+  static constexpr std::string_view kMediaExe = "/usr/bin/media";
+  static constexpr std::string_view kOtaExe = "/usr/bin/ota";
+  static constexpr std::string_view kRescueExe = "/usr/bin/rescue";
+
+  // Concrete objects that exist as real files on every vehicle, so probes
+  // can go through actual open(2) (file_open hook + per-inode label cache),
+  // not just the bare check API.
+  static constexpr std::array<std::string_view, 4> kDataFiles = {
+      "/var/media/track01.pcm",
+      "/var/media/track02.pcm",
+      "/etc/vehicle/vin",
+      "/var/ota/firmware.bin",
+  };
+
+ private:
+  void boot();
+
+  VehicleConfig config_;
+  PolicyVersion flash_;  // committed: survives reboot()
+  std::uint64_t live_version_ = 0;
+  std::uint64_t activation_failures_ = 0;
+  std::uint64_t reboots_ = 0;
+
+  std::unique_ptr<kernel::Kernel> kernel_;
+  core::SackModule* mod_ = nullptr;  // owned by the kernel's LSM stack
+  std::unique_ptr<sds::SituationDetectionService> sds_;
+  kernel::Task* media_task_ = nullptr;
+  kernel::Task* ota_task_ = nullptr;
+  kernel::Task* rescue_task_ = nullptr;
+  std::map<std::string, kernel::Task*> tasks_by_exe_;
+};
+
+}  // namespace sack::fleet

@@ -223,6 +223,69 @@ void SituationDetectionService::resync(std::int64_t frame_ms) {
            " consensus events)");
 }
 
+FeedResult SituationDetectionService::feed_batch(
+    std::span<const SensorFrame> frames) {
+  FeedResult result;
+  if (frames.empty()) return result;
+  auto& fault = util::FaultInjector::instance();
+  const std::int64_t now_ms = frames.back().time_ms;
+  std::vector<PendingEvent> batch;
+  for (const auto& frame : frames) {
+    // Frame-level fault sites keep their per-frame semantics in a batch.
+    if (fault.fire("sds.frame.drop")) {
+      ++frames_dropped_;
+      continue;
+    }
+    if (fault.fire("sds.frame.delay")) {
+      ++frames_delayed_;
+      delayed_frames_.push_back(frame);
+      continue;
+    }
+    if (!delayed_frames_.empty()) {
+      auto backlog = std::move(delayed_frames_);
+      delayed_frames_.clear();
+      for (const auto& f : backlog) detect_events(f, result, batch);
+    }
+    detect_events(frame, result, batch);
+  }
+  // One beacon and one retry sweep per batch, at batch-end time: the
+  // whole point is a bounded number of SACKfs writes per fleet tick.
+  heartbeat_and_poll(now_ms);
+  drain_retries(now_ms, result);
+  flush_batch(batch, now_ms, result);
+  return result;
+}
+
+void SituationDetectionService::flush_batch(std::vector<PendingEvent>& batch,
+                                            std::int64_t now_ms,
+                                            FeedResult& result) {
+  if (batch.empty()) return;
+  std::string payload;
+  for (const auto& p : batch)
+    payload += "seq=" + std::to_string(p.seq) + " " + p.name + "\n";
+  auto rc = transmit_line(payload,
+                          "batch(" + std::to_string(batch.size()) + ")");
+  if (rc.ok()) {
+    // transmit_line counted one write; keep events_sent_ meaning "events
+    // delivered" as in the unbatched path.
+    events_sent_ += batch.size() - 1;
+    ++batch_writes_;
+    events_batched_ += batch.size();
+    for (auto& p : batch) {
+      stamp_rate_limiter(p.name, now_ms);
+      result.delivered.push_back(std::move(p.name));
+    }
+  } else if (transient_error(rc.error())) {
+    // The payload is atomic from user space but the events are not: each
+    // re-enters the retry queue on its own (coalescing by name as usual).
+    for (auto& p : batch) {
+      enqueue_retry(std::move(p.name), p.seq, 1, now_ms);
+      ++result.queued_for_retry;
+    }
+  }
+  batch.clear();
+}
+
 FeedResult SituationDetectionService::feed(const SensorFrame& frame) {
   FeedResult result;
   auto& fault = util::FaultInjector::instance();
@@ -250,9 +313,30 @@ FeedResult SituationDetectionService::feed(const SensorFrame& frame) {
 
 void SituationDetectionService::process_frame(const SensorFrame& frame,
                                               FeedResult& result) {
-  auto& fault = util::FaultInjector::instance();
   heartbeat_and_poll(frame.time_ms);
   drain_retries(frame.time_ms, result);
+  std::vector<PendingEvent> events;
+  detect_events(frame, result, events);
+  for (auto& p : events) {
+    auto rc = transmit(p.name, p.seq);
+    if (rc.ok()) {
+      // Stamp the rate limiter only after a *successful* transmit: a
+      // failed write must leave the window open so the event is retried
+      // on the next frame instead of being silently lost for
+      // min_interval_ms_.
+      stamp_rate_limiter(p.name, frame.time_ms);
+      result.delivered.push_back(std::move(p.name));
+    } else if (transient_error(rc.error())) {
+      enqueue_retry(std::move(p.name), p.seq, 1, frame.time_ms);
+      ++result.queued_for_retry;
+    }
+  }
+}
+
+void SituationDetectionService::detect_events(const SensorFrame& frame,
+                                              FeedResult& result,
+                                              std::vector<PendingEvent>& out) {
+  auto& fault = util::FaultInjector::instance();
   for (std::size_t i = 0; i < detectors_.size(); ++i) {
     if (quarantined_[i]) continue;
     Detector& detector = *detectors_[i];
@@ -288,25 +372,18 @@ void SituationDetectionService::process_frame(const SensorFrame& frame,
         }
       }
       result.emitted.push_back(event);
-      const std::uint64_t seq = next_seq_++;
-      auto rc = transmit(event, seq);
-      if (rc.ok()) {
-        // Stamp the rate limiter only after a *successful* transmit: a
-        // failed write must leave the window open so the event is retried
-        // on the next frame instead of being silently lost for
-        // min_interval_ms_.
-        stamp_rate_limiter(event, frame.time_ms);
-        result.delivered.push_back(std::move(event));
-      } else if (transient_error(rc.error())) {
-        enqueue_retry(std::move(event), seq, 1, frame.time_ms);
-        ++result.queued_for_retry;
-      }
+      PendingEvent p;
+      p.name = std::move(event);
+      p.seq = next_seq_++;
+      out.push_back(std::move(p));
     }
   }
 }
 
 std::string SituationDetectionService::metrics_json() const {
   return "{\"events_sent\": " + std::to_string(events_sent_) +
+         ", \"batch_writes\": " + std::to_string(batch_writes_) +
+         ", \"events_batched\": " + std::to_string(events_batched_) +
          ", \"send_failures\": " + std::to_string(send_failures_) +
          ", \"events_suppressed\": " + std::to_string(events_suppressed_) +
          ", \"warns_suppressed\": " + std::to_string(warns_suppressed_) +

@@ -1,20 +1,55 @@
 #include "util/fault.h"
 
+#include "util/log.h"
+
 namespace sack::util {
+
+namespace {
+
+// Production injection points compiled into this repo. Anything not listed
+// here (or registered at runtime) is a typo as far as arm() is concerned.
+constexpr struct {
+  const char* name;
+  const char* description;
+} kBuiltinSites[] = {
+    {"sackfs.write", "Process::write_existing fails with the armed errno"},
+    {"sds.heartbeat.drop", "SDS skips this frame's heartbeat write"},
+    {"sds.frame.drop", "SDS discards the incoming sensor frame"},
+    {"sds.frame.delay", "SDS defers the frame to the next feed() call"},
+    {"sds.detector.throw", "detector on_frame throws (detail = detector)"},
+    {"sack.policy.reload", "chaos harness reloads the policy at this point"},
+    {"sack.ruleset.load", "rule-set snapshot build fails before publication"},
+    {"fleet.push.drop", "control plane loses the push to a vehicle"},
+    {"fleet.push.delay", "push to a vehicle is deferred to a later pump"},
+    {"fleet.activate.fail", "vehicle fails policy activation (armed errno)"},
+    {"fleet.vehicle.crash", "vehicle reboots mid-rollout"},
+};
+
+}  // namespace
+
+FaultInjector::FaultInjector() {
+  for (const auto& site : kBuiltinSites) registry_.emplace(site.name, site.description);
+}
 
 FaultInjector& FaultInjector::instance() {
   static FaultInjector injector;
   return injector;
 }
 
-void FaultInjector::arm(std::string_view site, FaultSpec spec) {
+bool FaultInjector::arm(std::string_view site, FaultSpec spec) {
   std::lock_guard lock(mu_);
+  if (registry_.find(site) == registry_.end()) {
+    log_warn("fault: refusing to arm unknown site '", std::string(site),
+             "' (register_site() it first; see fault_sites())");
+    return false;
+  }
   auto [it, inserted] = sites_.try_emplace(std::string(site));
   it->second.spec = std::move(spec);
   it->second.rng = Rng(it->second.spec.seed);
   it->second.hits = 0;
   it->second.fires = 0;
   if (inserted) armed_sites_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void FaultInjector::disarm(std::string_view site) {
@@ -30,6 +65,29 @@ void FaultInjector::reset() {
   armed_sites_.fetch_sub(static_cast<int>(sites_.size()),
                          std::memory_order_relaxed);
   sites_.clear();
+}
+
+void FaultInjector::register_site(std::string_view site,
+                                  std::string_view description) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = registry_.try_emplace(std::string(site),
+                                              std::string(description));
+  if (!inserted && it->second.empty() && !description.empty())
+    it->second = std::string(description);
+}
+
+bool FaultInjector::is_registered(std::string_view site) const {
+  std::lock_guard lock(mu_);
+  return registry_.find(site) != registry_.end();
+}
+
+std::vector<FaultSiteInfo> FaultInjector::fault_sites() const {
+  std::lock_guard lock(mu_);
+  std::vector<FaultSiteInfo> out;
+  out.reserve(registry_.size());
+  for (const auto& [name, description] : registry_)
+    out.push_back({name, description, sites_.find(name) != sites_.end()});
+  return out;
 }
 
 bool FaultInjector::probe_locked(Site& site, std::string_view detail) {

@@ -9,14 +9,26 @@
 // failing chaos run replays exactly from its seed.
 //
 // Sites wired in this repo:
-//   sackfs.write       Process::write_existing fails with the armed errno
-//                      (detail = target path, so "events" vs "heartbeat"
-//                      writes can be targeted via FaultSpec::match)
-//   sds.heartbeat.drop SDS skips this frame's heartbeat write
-//   sds.frame.drop     SDS discards the incoming sensor frame
-//   sds.frame.delay    SDS defers the frame to the next feed() call
-//   sds.detector.throw detector on_frame throws (detail = detector name)
-//   sack.policy.reload chaos harness triggers a policy reload at this point
+//   sackfs.write        Process::write_existing fails with the armed errno
+//                       (detail = target path, so "events" vs "heartbeat"
+//                       writes can be targeted via FaultSpec::match)
+//   sds.heartbeat.drop  SDS skips this frame's heartbeat write
+//   sds.frame.drop      SDS discards the incoming sensor frame
+//   sds.frame.delay     SDS defers the frame to the next feed() call
+//   sds.detector.throw  detector on_frame throws (detail = detector name)
+//   sack.policy.reload  chaos harness triggers a policy reload at this point
+//   sack.ruleset.load   rule-set snapshot build fails before publication
+//   fleet.push.drop     control plane loses the push to a vehicle
+//   fleet.push.delay    push to a vehicle is deferred to a later pump
+//   fleet.activate.fail vehicle fails policy activation with the armed errno
+//   fleet.vehicle.crash vehicle reboots mid-rollout, losing volatile state
+//
+// Site names are validated against a central registry: arming a name nobody
+// probes is a test bug (the chaos campaign silently tests nothing), so
+// arm() rejects unknown sites with a warning. Production sites are built in;
+// tests and out-of-tree harnesses declare theirs via register_site().
+// fault_sites() enumerates the registry so campaign drivers (bench_fleet,
+// sack-fuzz --list-fault-sites) can discover what is available.
 //
 // The disarmed fast path is one relaxed atomic load — production code can
 // leave probes in unconditionally. Armed probes take a mutex (fault testing
@@ -31,6 +43,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/errno.h"
 #include "util/rng.h"
@@ -58,6 +71,13 @@ struct FaultSiteStats {
   std::uint64_t fires = 0;  // probes that injected the fault
 };
 
+// One row of the known-site registry, as returned by fault_sites().
+struct FaultSiteInfo {
+  std::string name;
+  std::string description;
+  bool armed = false;
+};
+
 class FaultInjector {
  public:
   // Process-wide registry, like Logger: the code under test reaches the
@@ -65,10 +85,21 @@ class FaultInjector {
   // to be ambient. Tests arm in SetUp and reset() in TearDown.
   static FaultInjector& instance();
 
-  void arm(std::string_view site, FaultSpec spec);
+  // Arms a known site. Unknown names are rejected with a warning and
+  // return false — a typo'd site would otherwise arm nothing and the test
+  // would silently pass. Declare new sites with register_site() first.
+  bool arm(std::string_view site, FaultSpec spec);
   void disarm(std::string_view site);
-  // Disarms every site and clears all statistics.
+  // Disarms every site and clears all statistics. Registered site names
+  // survive (the registry describes the code, not the current test).
   void reset();
+
+  // Declares a probe-able site name. Idempotent; a later registration may
+  // fill in a missing description but never clears one.
+  void register_site(std::string_view site, std::string_view description = {});
+  bool is_registered(std::string_view site) const;
+  // Every known site, sorted by name, with its current armed state.
+  std::vector<FaultSiteInfo> fault_sites() const;
 
   // Probe a boolean site: true if the armed spec fires on this hit.
   bool fire(std::string_view site, std::string_view detail = {});
@@ -83,7 +114,7 @@ class FaultInjector {
   }
 
  private:
-  FaultInjector() = default;
+  FaultInjector();
 
   struct Site {
     FaultSpec spec;
@@ -98,6 +129,9 @@ class FaultInjector {
 
   mutable std::mutex mu_;
   std::map<std::string, Site, std::less<>> sites_;
+  // name -> description. Populated with the built-in production sites at
+  // construction; register_site() adds test-local ones.
+  std::map<std::string, std::string, std::less<>> registry_;
   std::atomic<int> armed_sites_{0};
 };
 

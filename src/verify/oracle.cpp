@@ -57,11 +57,11 @@ OracleReport run_differential_oracle(const core::SackPolicy& policy,
   ReferenceInterpreter reference(policy);
 
   core::CompiledRuleSet compiled;
-  compiled.load(policy);
+  (void)compiled.load(policy);
   core::LinearRuleSet linear;
-  linear.load(policy);
+  (void)linear.load(policy);
   core::DfaRuleSet dfa;
-  if (options.check_dfa) dfa.load(policy);
+  if (options.check_dfa) (void)dfa.load(policy);
   core::AccessVectorCache avc;
 
   // Labels are activation-independent: pre-resolve one per object, exactly

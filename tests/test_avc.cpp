@@ -267,7 +267,7 @@ TEST(AvcStressTest, ConcurrentChecksRaceActivations) {
   ASSERT_TRUE(parsed.ok());
 
   CompiledRuleSet rules;
-  rules.load(parsed.policy);
+  (void)rules.load(parsed.policy);
   rules.activate({"PA"});
 
   AccessVectorCache avc(/*capacity=*/512);

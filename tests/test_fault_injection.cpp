@@ -81,7 +81,14 @@ SensorFrame frame_at(std::int64_t t_ms) {
 // Every test arms the process-wide injector; keep it hermetic.
 class FaultFixture : public ::testing::Test {
  protected:
-  void SetUp() override { FaultInjector::instance().reset(); }
+  void SetUp() override {
+    auto& fi = FaultInjector::instance();
+    fi.reset();
+    // arm() rejects names outside the registry, so declare the test-local
+    // sites the mechanics suite drives directly.
+    for (const char* site : {"s", "p", "w", "e", "d", "mt.site", "mt.other"})
+      fi.register_site(site, "test-local site");
+  }
   void TearDown() override { FaultInjector::instance().reset(); }
 };
 
@@ -116,6 +123,53 @@ TEST_F(FaultInjectorTest, DisarmedSiteNeverFires) {
   EXPECT_FALSE(fi.fire("nope"));
   EXPECT_FALSE(fi.fail_errno("nope").has_value());
   EXPECT_EQ(fi.stats("nope").hits, 0u);
+}
+
+TEST_F(FaultInjectorTest, ArmRejectsUnknownSiteName) {
+  auto& fi = FaultInjector::instance();
+  EXPECT_FALSE(fi.arm("sackfs.wirte", FaultSpec{}));  // the classic typo
+  EXPECT_FALSE(fi.any_armed());
+  EXPECT_FALSE(fi.fire("sackfs.wirte"));
+  // The real name arms fine.
+  EXPECT_TRUE(fi.arm("sackfs.write", FaultSpec{}));
+  EXPECT_TRUE(fi.any_armed());
+}
+
+TEST_F(FaultInjectorTest, RegistrySurvivesResetAndEnumerates) {
+  auto& fi = FaultInjector::instance();
+  fi.register_site("reg.extra", "suite-local probe");
+  EXPECT_TRUE(fi.is_registered("reg.extra"));
+  EXPECT_TRUE(fi.arm("reg.extra", FaultSpec{}));
+  fi.reset();
+  // reset() disarms but does not forget the name.
+  EXPECT_TRUE(fi.is_registered("reg.extra"));
+  EXPECT_TRUE(fi.arm("reg.extra", FaultSpec{}));
+
+  auto sites = fi.fault_sites();
+  bool found_extra = false, found_builtin = false, armed_extra = false;
+  for (const auto& s : sites) {
+    if (s.name == "reg.extra") {
+      found_extra = true;
+      armed_extra = s.armed;
+      EXPECT_EQ(s.description, "suite-local probe");
+    }
+    if (s.name == "fleet.push.drop") found_builtin = true;
+  }
+  EXPECT_TRUE(found_extra);
+  EXPECT_TRUE(armed_extra);
+  EXPECT_TRUE(found_builtin);
+  // Sorted by name — stable output for --list-fault-sites consumers.
+  for (std::size_t i = 1; i < sites.size(); ++i)
+    EXPECT_LT(sites[i - 1].name, sites[i].name);
+}
+
+TEST_F(FaultInjectorTest, RegisterSiteIsIdempotent) {
+  auto& fi = FaultInjector::instance();
+  fi.register_site("reg.twice");
+  fi.register_site("reg.twice", "late description");
+  fi.register_site("reg.twice", "even later");
+  for (const auto& s : fi.fault_sites())
+    if (s.name == "reg.twice") EXPECT_EQ(s.description, "late description");
 }
 
 TEST_F(FaultInjectorTest, SkipDelaysFirstFire) {

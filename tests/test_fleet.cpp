@@ -1,0 +1,285 @@
+// Fleet control plane: vehicle lifecycle, verify-gated rollout, health-gated
+// staging, crash-safe rollback, rollback equivalence, batched SDS transport,
+// and the sharded host's thread-safety (fixture names carry "Fleet" so the
+// TSan CI job picks them up).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+
+#include "fleet/equivalence.h"
+#include "fleet/rollout.h"
+#include "util/fault.h"
+
+namespace sack::fleet {
+namespace {
+
+PolicyVersion version_of(std::uint64_t version, std::string text) {
+  auto pv = make_policy_version(version, std::move(text));
+  EXPECT_TRUE(pv.ok());
+  return std::move(pv).value();
+}
+
+// Parses fine, but the checker rejects it: `initial` names no defined state.
+// roll_out() must bounce it at the gate without touching a vehicle.
+std::string gate_reject_policy() {
+  return R"(
+states { parked = 0; }
+initial missing;
+permissions { MEDIA_READ; }
+state_per { parked: MEDIA_READ; }
+per_rules { MEDIA_READ { allow * /var/media/** read; } }
+)";
+}
+
+class FleetTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::FaultInjector::instance().reset(); }
+
+  static FleetConfig config(std::size_t vehicles, std::size_t shards = 1,
+                            bool sds = true) {
+    FleetConfig fc;
+    fc.vehicles = vehicles;
+    fc.shards = shards;
+    fc.start_sds = sds;
+    return fc;
+  }
+};
+
+TEST_F(FleetTest, VehicleBootsOnFlashPolicy) {
+  Fleet fleet(config(1), version_of(1, fleet_policy_v1()));
+  Vehicle& vehicle = fleet.vehicle(0);
+  EXPECT_EQ(vehicle.live_version(), 1u);
+  EXPECT_EQ(vehicle.committed_version(), 1u);
+  EXPECT_EQ(vehicle.module().current_state_name(), "parked");
+
+  // Parked workload: media + OTA flow, VIN probes denied (DIAG_READ needs
+  // the emergency state, and OTA is never granted the VIN).
+  auto stats = vehicle.run_workload(4);
+  EXPECT_EQ(stats.checks, 24u);
+  EXPECT_EQ(stats.denials, 8u);
+}
+
+TEST_F(FleetTest, CrashLosesUncommittedStagedPolicy) {
+  Fleet fleet(config(1), version_of(1, fleet_policy_v1()));
+  Vehicle& vehicle = fleet.vehicle(0);
+  ASSERT_TRUE(vehicle.apply_policy(version_of(2, fleet_policy_v2())).ok());
+  EXPECT_EQ(vehicle.live_version(), 2u);
+  EXPECT_EQ(vehicle.committed_version(), 1u);
+
+  vehicle.reboot();  // power cycle: flash (v1) survives, the staged v2 dies
+  EXPECT_EQ(vehicle.live_version(), 1u);
+  EXPECT_EQ(vehicle.committed_version(), 1u);
+  EXPECT_EQ(vehicle.reboots(), 1u);
+}
+
+TEST_F(FleetTest, RolloutCommitsBenignVersion) {
+  Fleet fleet(config(8), version_of(1, fleet_policy_v1()));
+  RolloutController controller(fleet);
+  ASSERT_EQ(controller.current()->version, 1u);
+
+  auto report = controller.roll_out(version_of(2, fleet_policy_v2()));
+  EXPECT_EQ(report.outcome, RolloutOutcome::committed);
+  EXPECT_GE(report.stages_completed, 2u);
+  EXPECT_EQ(report.mixed_version_vehicles, 0u);
+  EXPECT_TRUE(report.fully_converged);
+  EXPECT_TRUE(fleet.converged_on(2));
+  EXPECT_EQ(controller.current()->version, 2u);
+  ASSERT_NE(controller.previous(), nullptr);
+  EXPECT_EQ(controller.previous()->version, 1u);
+  EXPECT_GT(report.convergence_ns, 0u);
+}
+
+TEST_F(FleetTest, VerifyGateRejectsWithoutTouchingFleet) {
+  Fleet fleet(config(4), version_of(1, fleet_policy_v1()));
+  RolloutController controller(fleet);
+  auto report = controller.roll_out(version_of(2, gate_reject_policy()));
+  EXPECT_EQ(report.outcome, RolloutOutcome::rejected);
+  EXPECT_EQ(report.pushes, 0u);
+  EXPECT_TRUE(fleet.converged_on(1));
+  EXPECT_EQ(controller.current()->version, 1u);
+  EXPECT_EQ(controller.previous(), nullptr);
+}
+
+TEST_F(FleetTest, HealthGateRollsBackDenialRegression) {
+  // fleet_policy_bad verifies clean — the gate passes it — but the canary's
+  // media denial rate jumps, so staging must stop and roll the fleet back.
+  Fleet fleet(config(6), version_of(1, fleet_policy_v1()));
+  RolloutController controller(fleet);
+  auto report = controller.roll_out(version_of(2, fleet_policy_bad()));
+  EXPECT_EQ(report.outcome, RolloutOutcome::rolled_back);
+  EXPECT_GT(report.worst_denial_delta, 0.1);
+  EXPECT_EQ(report.stages_completed, 0u);  // caught at the canary
+  EXPECT_TRUE(report.fully_converged);
+  EXPECT_TRUE(fleet.converged_on(1));
+  EXPECT_EQ(controller.current()->version, 1u);
+  EXPECT_GT(report.rollback_ns, 0u);
+  EXPECT_GT(report.equivalence_checked, 0u);
+  EXPECT_EQ(report.equivalence_mismatches, 0u);
+}
+
+TEST_F(FleetTest, RollbackRestoresBitExactDecisions) {
+  // The satellite property, cross-checked outside the controller: the full
+  // witness-universe fingerprint (cold pass, AVC-served warm pass, and real
+  // open(2) probes) must match before the rollout and after the rollback.
+  Fleet fleet(config(2), version_of(1, fleet_policy_v1()));
+  auto v1 = version_of(1, fleet_policy_v1());
+  const DecisionFingerprint before =
+      capture_fingerprint(fleet.vehicle(0), v1.policy);
+
+  RolloutController controller(fleet);
+  auto report = controller.roll_out(version_of(2, fleet_policy_bad()));
+  ASSERT_EQ(report.outcome, RolloutOutcome::rolled_back);
+
+  const DecisionFingerprint after =
+      capture_fingerprint(fleet.vehicle(0), v1.policy);
+  EXPECT_EQ(fingerprint_diffs(before, after), 0u);
+  EXPECT_EQ(before.hash(), after.hash());
+  EXPECT_TRUE(before == after);
+
+  // And the restored cache stays coherent: a second sweep (pure AVC hits
+  // after the probe→insert→probe round-trips above) answers identically.
+  const DecisionFingerprint warm =
+      capture_fingerprint(fleet.vehicle(0), v1.policy);
+  EXPECT_EQ(fingerprint_diffs(after, warm), 0u);
+}
+
+TEST_F(FleetTest, DroppedPushesRetryUntilConverged) {
+  auto& fi = util::FaultInjector::instance();
+  util::FaultSpec drop;
+  drop.max_fires = 2;  // lose the first two pushes, then the network heals
+  ASSERT_TRUE(fi.arm("fleet.push.drop", drop));
+
+  Fleet fleet(config(4), version_of(1, fleet_policy_v1()));
+  RolloutController controller(fleet);
+  auto report = controller.roll_out(version_of(2, fleet_policy_v2()));
+  EXPECT_EQ(report.outcome, RolloutOutcome::committed);
+  EXPECT_EQ(report.push_drops, 2u);
+  EXPECT_GT(report.pushes, 4u);  // the drops cost extra attempts
+  EXPECT_TRUE(fleet.converged_on(2));
+}
+
+TEST_F(FleetTest, PermanentActivationFailureRollsBack) {
+  auto& fi = util::FaultInjector::instance();
+  util::FaultSpec fail;
+  fail.error = Errno::eio;
+  ASSERT_TRUE(fi.arm("fleet.activate.fail", fail));  // every push, forever
+
+  Fleet fleet(config(4), version_of(1, fleet_policy_v1()));
+  RolloutController controller(fleet);
+  auto report = controller.roll_out(version_of(2, fleet_policy_v2()));
+  EXPECT_EQ(report.outcome, RolloutOutcome::rolled_back);
+  EXPECT_GT(report.activation_failures, 0u);
+  EXPECT_TRUE(report.fully_converged);
+  EXPECT_TRUE(fleet.converged_on(1));
+}
+
+TEST_F(FleetTest, CrashStormStillConverges) {
+  auto& fi = util::FaultInjector::instance();
+  util::FaultSpec crash;
+  crash.probability = 0.5;
+  crash.seed = 0xc4a5;
+  ASSERT_TRUE(fi.arm("fleet.vehicle.crash", crash));
+
+  Fleet fleet(config(6), version_of(1, fleet_policy_v1()));
+  RolloutController controller(fleet);
+  auto report = controller.roll_out(version_of(2, fleet_policy_v2()));
+  // Either outcome is legitimate under a crash storm; a mixed-version fleet
+  // or a stale verdict is not.
+  EXPECT_NE(report.outcome, RolloutOutcome::rejected);
+  EXPECT_TRUE(report.fully_converged);
+  EXPECT_EQ(report.mixed_version_vehicles, 0u);
+  EXPECT_EQ(report.equivalence_mismatches, 0u);
+}
+
+TEST_F(FleetTest, BatchedTransportCoalescesEventWrites) {
+  Fleet fleet(config(1), version_of(1, fleet_policy_v1()));
+  Vehicle& vehicle = fleet.vehicle(0);
+  ASSERT_NE(vehicle.sds(), nullptr);
+
+  // One batch: pulling away (start_driving) then crossing the speed band
+  // (high_speed_entered) — two events, exactly one SACKfs events write.
+  sds::SensorFrame pull_away;
+  pull_away.time_ms = 100;
+  pull_away.speed_kmh = 40.0;
+  pull_away.gear = sds::Gear::drive;
+  pull_away.driver_present = true;
+  sds::SensorFrame fast = pull_away;
+  fast.time_ms = 200;
+  fast.speed_kmh = 120.0;
+  std::array<sds::SensorFrame, 2> frames{pull_away, fast};
+
+  auto result = vehicle.feed_frames(frames);
+  EXPECT_EQ(result.delivered.size(), 2u);
+  EXPECT_EQ(result.queued_for_retry, 0u);
+  EXPECT_EQ(vehicle.sds()->batch_writes(), 1u);
+  EXPECT_EQ(vehicle.sds()->events_batched(), 2u);
+  // The kernel consumed the whole multi-line payload: the SSM moved.
+  EXPECT_EQ(vehicle.module().current_state_name(), "driving");
+}
+
+TEST_F(FleetTest, BatchedAndUnbatchedDeliverSameEvents) {
+  Fleet batched_fleet(config(1), version_of(1, fleet_policy_v1()));
+  Fleet serial_fleet(config(1), version_of(1, fleet_policy_v1()));
+  Vehicle& batched = batched_fleet.vehicle(0);
+  Vehicle& serial = serial_fleet.vehicle(0);
+
+  sds::Trace trace;
+  for (int i = 0; i < 8; ++i) {
+    sds::SensorFrame frame;
+    frame.time_ms = 100 * (i + 1);
+    frame.speed_kmh = (i % 2 == 0) ? 40.0 : 0.5;
+    frame.gear = (i % 2 == 0) ? sds::Gear::drive : sds::Gear::park;
+    frame.driver_present = true;
+    trace.push_back(frame);
+  }
+
+  auto batch_result = batched.feed_frames(trace);
+  std::vector<std::string> serial_delivered;
+  for (const auto& frame : trace) {
+    auto r = serial.sds()->feed(frame);
+    serial_delivered.insert(serial_delivered.end(), r.delivered.begin(),
+                            r.delivered.end());
+  }
+  EXPECT_EQ(batch_result.delivered, serial_delivered);
+  EXPECT_EQ(batched.module().current_state_name(),
+            serial.module().current_state_name());
+  // Same events, far fewer writes: the whole trace coalesced into one
+  // SACKfs write, where the serial path paid one per event.
+  EXPECT_EQ(batched.sds()->batch_writes(), 1u);
+  EXPECT_EQ(batched.sds()->events_batched(), serial_delivered.size());
+}
+
+TEST_F(FleetTest, ShardedBootHostsIndependentVehicles) {
+  Fleet fleet(config(12, /*shards=*/4), version_of(1, fleet_policy_v1()));
+  EXPECT_EQ(fleet.size(), 12u);
+  EXPECT_TRUE(fleet.converged_on(1));
+  for (std::size_t i = 0; i < fleet.size(); ++i)
+    EXPECT_EQ(fleet.vehicle(i).id(), i);
+}
+
+// TSan target: parallel boot, then per-vehicle workload + SDS feeds on the
+// shard threads while the main thread reads the control plane's RcuPtr
+// cells. Vehicles share no mutable state; the RcuPtr reads are the only
+// cross-thread edges and must be clean.
+TEST_F(FleetTest, FleetConcurrencyShardedWorkload) {
+  Fleet fleet(config(8, /*shards=*/4, /*sds=*/false),
+              version_of(1, fleet_policy_v1()));
+  RolloutController controller(fleet);
+  std::atomic<std::uint64_t> denials{0};
+  fleet.for_each([&](Vehicle& vehicle) {
+    auto stats = vehicle.run_workload(64);
+    denials.fetch_add(stats.denials, std::memory_order_relaxed);
+    auto current = controller.current();  // RcuPtr read from a shard thread
+    ASSERT_NE(current, nullptr);
+    EXPECT_EQ(current->version, vehicle.live_version());
+  });
+  EXPECT_EQ(denials.load(), 8u * 64u * 2u);
+
+  auto report = controller.roll_out(version_of(2, fleet_policy_v2()));
+  EXPECT_EQ(report.outcome, RolloutOutcome::committed);
+  EXPECT_TRUE(fleet.converged_on(2));
+}
+
+}  // namespace
+}  // namespace sack::fleet

@@ -1,0 +1,160 @@
+// Fleet rollout chaos campaign: seeded trials with the fleet.* fault sites
+// armed. The invariant under any fault mix: every trial ends fully rolled
+// out or fully rolled back — never a mixed-version fleet — and a rollback
+// never leaves a stale verdict (equivalence mismatches stay zero).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fleet/rollout.h"
+#include "util/fault.h"
+
+namespace sack::fleet {
+namespace {
+
+using util::FaultInjector;
+using util::FaultSpec;
+
+PolicyVersion version_of(std::uint64_t version, std::string text) {
+  auto pv = make_policy_version(version, std::move(text));
+  EXPECT_TRUE(pv.ok());
+  return std::move(pv).value();
+}
+
+class FleetChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::instance().reset(); }
+
+  // The standard campaign fault matrix, re-seeded per trial so a failing
+  // trial replays from its number alone.
+  static void arm_fleet_sites(std::uint64_t trial_seed) {
+    auto& fi = FaultInjector::instance();
+    fi.reset();
+    FaultSpec drop;
+    drop.probability = 0.25;
+    drop.seed = trial_seed;
+    FaultSpec delay;
+    delay.probability = 0.25;
+    delay.seed = trial_seed ^ 0xde1a7ULL;
+    FaultSpec crash;
+    crash.probability = 0.08;
+    crash.seed = trial_seed ^ 0xc4a54ULL;
+    FaultSpec activate;
+    activate.probability = 0.15;
+    activate.seed = trial_seed ^ 0xac7ULL;
+    activate.error = Errno::eio;
+    ASSERT_TRUE(fi.arm("fleet.push.drop", drop));
+    ASSERT_TRUE(fi.arm("fleet.push.delay", delay));
+    ASSERT_TRUE(fi.arm("fleet.vehicle.crash", crash));
+    ASSERT_TRUE(fi.arm("fleet.activate.fail", activate));
+  }
+};
+
+TEST_F(FleetChaosTest, FleetSitesAreRegisteredForCampaignDiscovery) {
+  // The campaign driver (and sack-fuzz --list-fault-sites) discovers its
+  // dials through the registry; all four fleet sites must be enumerable.
+  auto sites = FaultInjector::instance().fault_sites();
+  for (std::string_view name :
+       {"fleet.push.drop", "fleet.push.delay", "fleet.activate.fail",
+        "fleet.vehicle.crash"}) {
+    bool found = false;
+    for (const auto& site : sites)
+      if (site.name == name) found = true;
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+TEST_F(FleetChaosTest, FleetCampaignConvergesEveryTrial) {
+  constexpr int kTrials = 40;
+  int rollbacks = 0;
+  int commits = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    arm_fleet_sites(0x5ac4ULL + static_cast<std::uint64_t>(trial));
+
+    FleetConfig fc;
+    fc.vehicles = 6;
+    fc.shards = 1;  // serial pushes: fault draws replay deterministically
+    fc.start_sds = false;
+    Fleet fleet(fc, version_of(1, fleet_policy_v1()));
+    RolloutConfig rc;
+    rc.run_oracle = false;  // trials stress the pushes, not the gate
+    RolloutController controller(fleet, rc);
+
+    // Every fifth trial ships the regression; the rest the benign update.
+    const bool bad = trial % 5 == 4;
+    auto report = controller.roll_out(
+        version_of(2, bad ? fleet_policy_bad() : fleet_policy_v2()));
+
+    ASSERT_NE(report.outcome, RolloutOutcome::rejected) << "trial " << trial;
+    if (report.outcome == RolloutOutcome::rolled_back)
+      ++rollbacks;
+    else
+      ++commits;
+    EXPECT_TRUE(report.fully_converged) << "trial " << trial;
+    EXPECT_EQ(report.mixed_version_vehicles, 0u) << "trial " << trial;
+    EXPECT_EQ(report.equivalence_mismatches, 0u) << "trial " << trial;
+    const std::uint64_t final_version =
+        report.outcome == RolloutOutcome::committed ? 2u : 1u;
+    EXPECT_TRUE(fleet.converged_on(final_version)) << "trial " << trial;
+  }
+  // The bad-policy trials guarantee rollback coverage; the fault matrix is
+  // mild enough that benign trials usually commit.
+  EXPECT_GT(rollbacks, 0);
+  EXPECT_GT(commits, 0);
+}
+
+TEST_F(FleetChaosTest, FleetRollbackUnderFaultsStaysBitExact) {
+  // Worst case: the regression rollout AND a hostile network during the
+  // rollback itself. Convergence must come from the reboot fallback, and
+  // the restored decisions must still fingerprint identically.
+  arm_fleet_sites(0xbadc0ffeULL);
+
+  FleetConfig fc;
+  fc.vehicles = 5;
+  fc.shards = 1;
+  fc.start_sds = false;
+  Fleet fleet(fc, version_of(1, fleet_policy_v1()));
+  RolloutConfig rc;
+  rc.run_oracle = false;
+  rc.equivalence_sample = 5;  // fingerprint the whole fleet
+  RolloutController controller(fleet, rc);
+
+  auto report = controller.roll_out(version_of(2, fleet_policy_bad()));
+  ASSERT_EQ(report.outcome, RolloutOutcome::rolled_back);
+  EXPECT_TRUE(report.fully_converged);
+  EXPECT_EQ(report.mixed_version_vehicles, 0u);
+  EXPECT_GT(report.equivalence_checked, 0u);
+  EXPECT_EQ(report.equivalence_mismatches, 0u);
+  EXPECT_TRUE(fleet.converged_on(1));
+}
+
+TEST_F(FleetChaosTest, FleetCrashOnlyStormCommitsOrRollsBackCleanly) {
+  auto& fi = FaultInjector::instance();
+  FaultSpec crash;
+  crash.probability = 0.6;
+  crash.seed = 0xb007;
+  ASSERT_TRUE(fi.arm("fleet.vehicle.crash", crash));
+
+  FleetConfig fc;
+  fc.vehicles = 8;
+  fc.shards = 1;
+  fc.start_sds = false;
+  Fleet fleet(fc, version_of(1, fleet_policy_v1()));
+  RolloutConfig rc;
+  rc.run_oracle = false;
+  RolloutController controller(fleet, rc);
+  auto report = controller.roll_out(version_of(2, fleet_policy_v2()));
+
+  EXPECT_NE(report.outcome, RolloutOutcome::rejected);
+  EXPECT_GT(report.crashes, 0u);
+  EXPECT_TRUE(report.fully_converged);
+  EXPECT_EQ(report.mixed_version_vehicles, 0u);
+  // Crashed vehicles rebooted onto flash; none may still carry the staged
+  // version unless the rollout fully committed.
+  const std::uint64_t final_version =
+      report.outcome == RolloutOutcome::committed ? 2u : 1u;
+  EXPECT_TRUE(fleet.converged_on(final_version));
+}
+
+}  // namespace
+}  // namespace sack::fleet

@@ -166,14 +166,14 @@ AccessQuery query(std::string_view exe, std::string_view obj, MacOp op) {
 
 TEST(DfaRuleSet, CompilesDemoPolicyToTable) {
   DfaRuleSet rs;
-  rs.load(demo_policy());
+  (void)rs.load(demo_policy());
   EXPECT_TRUE(rs.table_driven());
   EXPECT_EQ(rs.total_rule_count(), 3u);
 }
 
 TEST(DfaRuleSet, UnguardedObjectsAlwaysAllowed) {
   DfaRuleSet rs;
-  rs.load(demo_policy());
+  (void)rs.load(demo_policy());
   rs.activate({});
   EXPECT_EQ(rs.check(query("/bin/x", "/etc/passwd", MacOp::read)), Errno::ok);
   EXPECT_FALSE(rs.guarded("/etc/passwd"));
@@ -183,7 +183,7 @@ TEST(DfaRuleSet, UnguardedObjectsAlwaysAllowed) {
 
 TEST(DfaRuleSet, GuardedDenyByDefaultAndDenyPrecedence) {
   DfaRuleSet rs;
-  rs.load(demo_policy());
+  (void)rs.load(demo_policy());
   rs.activate({"MEDIA"});
   EXPECT_EQ(rs.check(query("/usr/bin/rescue", "/dev/door0", MacOp::ioctl)),
             Errno::eacces);
@@ -200,7 +200,7 @@ TEST(DfaRuleSet, GuardedDenyByDefaultAndDenyPrecedence) {
 
 TEST(DfaRuleSet, ActivationIsMaskSwap) {
   DfaRuleSet rs;
-  rs.load(demo_policy());
+  (void)rs.load(demo_policy());
   rs.activate({"MEDIA", "DOORS"});
   EXPECT_EQ(rs.check(query("/usr/bin/rescue", "/dev/door0", MacOp::ioctl)),
             Errno::ok);
@@ -216,7 +216,7 @@ TEST(DfaRuleSet, ActivationIsMaskSwap) {
 
 TEST(DfaRuleSet, LabelsSurviveActivationAndDieOnLoad) {
   DfaRuleSet rs;
-  rs.load(demo_policy());
+  (void)rs.load(demo_policy());
   rs.activate({"MEDIA"});
   const std::uint64_t gen = rs.label_generation();
   ASSERT_NE(gen, 0u);
@@ -231,7 +231,7 @@ TEST(DfaRuleSet, LabelsSurviveActivationAndDieOnLoad) {
             Errno::eacces);
   // A reload renumbers rules; the stale generation must force a recompute,
   // not an intersection against the wrong bits.
-  rs.load(demo_policy());
+  (void)rs.load(demo_policy());
   rs.activate({"MEDIA"});
   EXPECT_NE(rs.label_generation(), gen);
   EXPECT_EQ(rs.check_labeled(query("/bin/app", "/var/media/t.pcm", MacOp::read),
@@ -259,14 +259,14 @@ TEST(DfaRuleSet, ResolvedLabelsOwnTheirBits) {
   // rather than alias the Program's DFA storage, or every stale inode label
   // would pin a whole retired policy across loads.
   DfaRuleSet rs;
-  rs.load(demo_policy());
+  (void)rs.load(demo_policy());
   rs.activate({"MEDIA"});
   const std::uint64_t gen = rs.label_generation();
   auto label = rs.resolve_label("/var/media/t.pcm");
   ASSERT_NE(label, nullptr);
   EXPECT_TRUE(label->any());
   // Retire the Program the label was resolved from.
-  rs.load(SackPolicy{});
+  (void)rs.load(SackPolicy{});
   // The label's storage is still the holder's to read, and the stale stamp
   // forces a recompute (empty policy: everything unguarded).
   EXPECT_TRUE(label->any());
@@ -277,7 +277,7 @@ TEST(DfaRuleSet, ResolvedLabelsOwnTheirBits) {
 
 TEST(DfaRuleSet, BatchCheckOpsMatchesScalar) {
   DfaRuleSet rs;
-  rs.load(demo_policy());
+  (void)rs.load(demo_policy());
   rs.activate({"MEDIA", "DOORS"});
   std::vector<AccessQuery> queries = {
       query("/bin/app", "/var/media/t.pcm", MacOp::read),
@@ -295,9 +295,9 @@ TEST(DfaRuleSet, BatchCheckOpsMatchesScalar) {
 TEST(DfaRuleSet, EquivalentToCompiledOnRandomQueries) {
   const SackPolicy policy = demo_policy();
   DfaRuleSet dfa;
-  dfa.load(policy);
+  (void)dfa.load(policy);
   CompiledRuleSet compiled;
-  compiled.load(policy);
+  (void)compiled.load(policy);
 
   const std::vector<std::vector<std::string>> activations = {
       {}, {"MEDIA"}, {"DOORS"}, {"MEDIA", "DOORS"}};
@@ -325,7 +325,7 @@ TEST(DfaRuleSet, EquivalentToCompiledOnRandomQueries) {
 // and the run must be TSan-clean (this suite is in the TSan CI regex).
 TEST(DfaRuleSetMt, ActivateRacesCheck) {
   DfaRuleSet rs;
-  rs.load(demo_policy());
+  (void)rs.load(demo_policy());
   rs.activate({"MEDIA"});
   std::atomic<bool> stop{false};
   std::atomic<int> torn{0};

@@ -122,7 +122,7 @@ void exercise(const std::string& text) {
 
   // Rule-set compilation accepts any parsed policy.
   CompiledRuleSet rules;
-  rules.load(parsed.policy);
+  (void)rules.load(parsed.policy);
   rules.activate(parsed.policy.permissions_of(parsed.policy.initial_state));
   AccessQuery q;
   q.subject_exe = "/usr/bin/fuzz_probe";

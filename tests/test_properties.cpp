@@ -211,7 +211,7 @@ TEST_P(ModuleModelEquivalence, FileOpenMatchesRuleSetModel) {
 
   // Bare model.
   core::CompiledRuleSet model;
-  model.load(policy);
+  (void)model.load(policy);
 
   Task& app1 = kernel.spawn_task("app1", Cred::root(), "/bin/app1");
   Task& app2 = kernel.spawn_task("app2", Cred::root(), "/bin/app2");

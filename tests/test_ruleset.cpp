@@ -37,7 +37,7 @@ AccessQuery query(std::string_view exe, std::string_view obj, MacOp op) {
 
 TEST(CompiledRuleSet, UnguardedObjectsAlwaysAllowed) {
   CompiledRuleSet rs;
-  rs.load(demo_policy());
+  (void)rs.load(demo_policy());
   rs.activate({});  // no permissions at all
   EXPECT_EQ(rs.check(query("/bin/x", "/etc/passwd", MacOp::read)), Errno::ok);
   EXPECT_EQ(rs.check(query("/bin/x", "/tmp/f", MacOp::write)), Errno::ok);
@@ -48,7 +48,7 @@ TEST(CompiledRuleSet, UnguardedObjectsAlwaysAllowed) {
 
 TEST(CompiledRuleSet, GuardedDenyByDefault) {
   CompiledRuleSet rs;
-  rs.load(demo_policy());
+  (void)rs.load(demo_policy());
   rs.activate({"MEDIA"});  // normal state
   EXPECT_EQ(rs.check(query("/usr/bin/rescue", "/dev/door0", MacOp::ioctl)),
             Errno::eacces);
@@ -61,7 +61,7 @@ TEST(CompiledRuleSet, GuardedDenyByDefault) {
 
 TEST(CompiledRuleSet, ActivationFollowsState) {
   CompiledRuleSet rs;
-  rs.load(demo_policy());
+  (void)rs.load(demo_policy());
   rs.activate({"MEDIA", "DOORS"});  // emergency state
   EXPECT_EQ(rs.check(query("/usr/bin/rescue", "/dev/door0", MacOp::ioctl)),
             Errno::ok);
@@ -77,7 +77,7 @@ TEST(CompiledRuleSet, ActivationFollowsState) {
 
 TEST(CompiledRuleSet, DenyBeatsAllow) {
   CompiledRuleSet rs;
-  rs.load(demo_policy());
+  (void)rs.load(demo_policy());
   rs.activate({"DOORS"});
   // door9 matches both the allow glob and the literal deny.
   EXPECT_EQ(rs.check(query("/usr/bin/rescue", "/dev/door9", MacOp::ioctl)),
@@ -92,7 +92,7 @@ TEST(CompiledRuleSet, ProfileSubjectMatching) {
   b.state("s", 0).initial("s").permission("P").grant("s", "P");
   b.allow("P", "@rescue", "/dev/door*", MacOp::ioctl);
   CompiledRuleSet rs;
-  rs.load(b.build());
+  (void)rs.load(b.build());
   rs.activate({"P"});
   AccessQuery q = query("/usr/bin/anything", "/dev/door0", MacOp::ioctl);
   EXPECT_EQ(rs.check(q), Errno::eacces);  // no profile info
@@ -104,7 +104,7 @@ TEST(CompiledRuleSet, ProfileSubjectMatching) {
 
 TEST(LinearRuleSet, MatchesSemantics) {
   LinearRuleSet rs;
-  rs.load(demo_policy());
+  (void)rs.load(demo_policy());
   rs.activate({"MEDIA", "DOORS"});
   EXPECT_EQ(rs.check(query("/usr/bin/rescue", "/dev/door0", MacOp::ioctl)),
             Errno::ok);
@@ -154,8 +154,8 @@ TEST_P(RuleSetEquivalence, CompiledEqualsLinear) {
 
   CompiledRuleSet compiled;
   LinearRuleSet linear;
-  compiled.load(policy);
-  linear.load(policy);
+  (void)compiled.load(policy);
+  (void)linear.load(policy);
 
   const char* probe_objects[] = {"/a/lit1", "/a/lit2", "/a/other", "/b/file",
                                  "/b/deep/path", "/dev/node3", "/dev/node7",

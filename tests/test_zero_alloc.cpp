@@ -187,7 +187,7 @@ TEST(ZeroAlloc, MaskSwapActivationKeepsCheckAllocationFree) {
   // allocation-free even while activations republish masks. (The writer
   // side allocates — that is the control plane.)
   DfaRuleSet rules;
-  rules.load(demo_policy());
+  (void)rules.load(demo_policy());
   rules.activate({"MEDIA"});
   AccessQuery query;
   query.subject_exe = "/usr/bin/app";

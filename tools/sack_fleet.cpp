@@ -1,0 +1,164 @@
+// sack-fleet: drive the fleet control plane from the command line.
+//
+//   sack-fleet rollout [--vehicles N] [--canary F] [--bad] [--no-oracle]
+//       Boot a fleet on the built-in v1 policy and roll out v2 (or the
+//       "bad" revision with --bad, demonstrating health-gated rollback).
+//       Prints the RolloutReport as JSON; exits 0 iff the fleet ends fully
+//       converged on a single version.
+//
+//   sack-fleet chaos [--trials N] [--vehicles N] [--seed S]
+//       Seeded chaos campaign: every trial arms the fleet.* fault sites
+//       with a per-trial seed and rolls out v2. Exits 0 iff every trial
+//       ends fully rolled out or fully rolled back (no mixed-version fleet,
+//       no equivalence mismatch).
+//
+//   sack-fleet sites
+//       List the registered fault sites (the chaos campaign's dials).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fleet/rollout.h"
+#include "util/fault.h"
+
+namespace {
+
+using namespace sack;
+using namespace sack::fleet;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sack-fleet rollout [--vehicles N] [--canary F] "
+               "[--bad] [--no-oracle]\n"
+               "       sack-fleet chaos [--trials N] [--vehicles N] "
+               "[--seed S]\n"
+               "       sack-fleet sites\n");
+  return 2;
+}
+
+PolicyVersion must_version(std::uint64_t version, std::string text) {
+  auto pv = make_policy_version(version, std::move(text));
+  if (!pv.ok()) {
+    std::fprintf(stderr, "sack-fleet: built-in policy failed to parse\n");
+    std::exit(2);
+  }
+  return std::move(pv).value();
+}
+
+int cmd_rollout(std::size_t vehicles, double canary, bool bad, bool oracle) {
+  FleetConfig fc;
+  fc.vehicles = vehicles;
+  Fleet fleet(fc, must_version(1, fleet_policy_v1()));
+
+  RolloutConfig rc;
+  rc.canary_fraction = canary;
+  rc.run_oracle = oracle;
+  RolloutController controller(fleet, rc);
+  auto report = controller.roll_out(
+      must_version(2, bad ? fleet_policy_bad() : fleet_policy_v2()));
+  std::printf("%s\n", report.to_json().c_str());
+  return report.fully_converged && report.mixed_version_vehicles == 0 &&
+                 report.equivalence_mismatches == 0
+             ? 0
+             : 1;
+}
+
+int cmd_chaos(int trials, std::size_t vehicles, std::uint64_t seed) {
+  int bad_trials = 0;
+  int rollbacks = 0;
+  auto& fi = util::FaultInjector::instance();
+  for (int t = 0; t < trials; ++t) {
+    fi.reset();
+    const std::uint64_t trial_seed = seed + static_cast<std::uint64_t>(t);
+    util::FaultSpec drop;
+    drop.probability = 0.2;
+    drop.seed = trial_seed;
+    util::FaultSpec delay;
+    delay.probability = 0.2;
+    delay.seed = trial_seed ^ 0xdeULL;
+    util::FaultSpec crash;
+    crash.probability = 0.05;
+    crash.seed = trial_seed ^ 0xc4ULL;
+    util::FaultSpec act;
+    act.probability = 0.1;
+    act.seed = trial_seed ^ 0xacULL;
+    act.error = Errno::eio;
+    fi.arm("fleet.push.drop", drop);
+    fi.arm("fleet.push.delay", delay);
+    fi.arm("fleet.vehicle.crash", crash);
+    fi.arm("fleet.activate.fail", act);
+
+    FleetConfig fc;
+    fc.vehicles = vehicles;
+    fc.shards = 1;  // deterministic fault draw order
+    Fleet fleet(fc, must_version(1, fleet_policy_v1()));
+    RolloutConfig rc;
+    rc.run_oracle = false;  // the gate ran once; trials exercise the pushes
+    RolloutController controller(fleet, rc);
+    auto report = controller.roll_out(
+        must_version(2, (t % 5 == 4) ? fleet_policy_bad()
+                                     : fleet_policy_v2()));
+    if (report.outcome == RolloutOutcome::rolled_back) ++rollbacks;
+    const bool converged = report.fully_converged &&
+                           report.mixed_version_vehicles == 0 &&
+                           report.equivalence_mismatches == 0;
+    if (!converged) {
+      ++bad_trials;
+      std::fprintf(stderr, "trial %d (seed %llu) NOT converged: %s\n", t,
+                   static_cast<unsigned long long>(trial_seed),
+                   report.to_json().c_str());
+    }
+  }
+  fi.reset();
+  std::printf(
+      "{\"trials\":%d,\"rollbacks\":%d,\"non_converged\":%d}\n", trials,
+      rollbacks, bad_trials);
+  return bad_trials == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "sites") {
+    for (const auto& site : util::FaultInjector::instance().fault_sites())
+      std::printf("%-22s %s\n", site.name.c_str(), site.description.c_str());
+    return 0;
+  }
+
+  std::size_t vehicles = 16;
+  double canary = 0.05;
+  bool bad = false;
+  bool oracle = true;
+  int trials = 200;
+  std::uint64_t seed = 0x5ac4f1ee7ULL;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) { std::exit(usage()); }
+      return argv[++i];
+    };
+    if (arg == "--vehicles") {
+      vehicles = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--canary") {
+      canary = std::strtod(next(), nullptr);
+    } else if (arg == "--trials") {
+      trials = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--bad") {
+      bad = true;
+    } else if (arg == "--no-oracle") {
+      oracle = false;
+    } else {
+      return usage();
+    }
+  }
+
+  if (cmd == "rollout") return cmd_rollout(vehicles, canary, bad, oracle);
+  if (cmd == "chaos") return cmd_chaos(trials, vehicles, seed);
+  return usage();
+}

@@ -13,6 +13,7 @@
 //   --no-racer        disable the hostile racer module
 //   --no-minimize     keep findings as found (skip shrinking reproducers)
 //   --json FILE       write campaign stats as JSON (use '-' for stdout)
+//   --list-fault-sites print the registered fault-injection sites and exit
 //
 // Each execution boots a fresh simulated kernel, replays one generated
 // syscall program through it, and checks the MediationWitness event stream
@@ -29,6 +30,7 @@
 #include <string>
 
 #include "fuzz/fuzzer.h"
+#include "util/fault.h"
 #include "util/log.h"
 
 namespace {
@@ -37,7 +39,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--max-execs N] [--plateau N] [--fast]\n"
                "       [--corpus DIR] [--save-corpus DIR] [--manifest FILE]\n"
-               "       [--no-racer] [--no-minimize] [--json FILE]\n",
+               "       [--no-racer] [--no-minimize] [--json FILE]\n"
+               "       [--list-fault-sites]\n",
                argv0);
   return 2;
 }
@@ -89,7 +92,11 @@ int main(int argc, char** argv) {
     auto value = [&]() -> const char* {
       return ++i < argc ? argv[i] : nullptr;
     };
-    if (arg == "--fast") {
+    if (arg == "--list-fault-sites") {
+      for (const auto& s : sack::util::FaultInjector::instance().fault_sites())
+        std::printf("%-22s %s\n", s.name.c_str(), s.description.c_str());
+      return 0;
+    } else if (arg == "--fast") {
       config.max_execs = 600;
       config.plateau_execs = 300;
     } else if (arg == "--no-racer") {
