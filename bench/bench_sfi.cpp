@@ -1,0 +1,158 @@
+// SFI enforcement cost: per-syscall transition latency and stacked
+// throughput.
+//
+//   transition_ns_p50/p95/p99   latency of one SfiModule::task_syscall step
+//                               for a confined task (dense-table automaton
+//                               advance), sampled in batches; the budget is
+//                               p50 <= 150 ns;
+//   baseline_ops_per_sec        media workload throughput on the two-module
+//                               stack (SACK + AppArmor);
+//   sfi_ops_per_sec             the same workload with the SFI module
+//                               stacked behind them;
+//   throughput_fraction         sfi / baseline — must stay >= 0.9 (the
+//                               flow gate may cost at most 10%).
+//
+// Results land in BENCH_sfi.json. `--fast` runs a reduced budget for CI
+// smoke; perf budgets are reported as MET/MISS but only the shape check
+// (counters consistent, zero unexpected denials) fails the run, so debug
+// and loaded CI machines don't flake the gate.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivi/ivi_system.h"
+#include "kernel/kernel.h"
+#include "sfi/module.h"
+#include "util/log.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_since(Clock::time_point t0) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sack::Logger::instance().set_level(sack::LogLevel::off);
+  bool fast = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+
+  // --- per-transition latency: the module alone, dense-table hot path ----
+  sack::kernel::Kernel kernel;
+  auto* module = static_cast<sack::sfi::SfiModule*>(
+      kernel.add_lsm(std::make_unique<sack::sfi::SfiModule>()));
+  if (!module
+           ->load_policy_text(sack::ivi::default_sfi_profiles_text())
+           .ok()) {
+    std::fprintf(stderr, "bench_sfi: profile load failed\n");
+    return 1;
+  }
+  sack::kernel::Task& task = kernel.spawn_task(
+      "media", sack::kernel::Cred::root(),
+      std::string(sack::ivi::MediaApp::kExePath));
+
+  // The admissible cycle the profile was learned from.
+  static constexpr std::string_view kCycle[] = {"sys_open", "sys_read",
+                                                "sys_read", "sys_close"};
+  constexpr std::size_t kBatch = 256;  // syscalls per timed sample
+  const std::size_t batches = fast ? 200 : 4000;
+
+  // Warm-up attaches the blob and faults the table in.
+  for (std::size_t i = 0; i < 1024; ++i)
+    (void)module->task_syscall(task, kCycle[i % 4]);
+
+  std::vector<double> per_call_ns;
+  per_call_ns.reserve(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < kBatch; ++i)
+      (void)module->task_syscall(task, kCycle[i % 4]);
+    per_call_ns.push_back(ns_since(t0) / kBatch);
+  }
+  const double p50 = percentile(per_call_ns, 0.50);
+  const double p95 = percentile(per_call_ns, 0.95);
+  const double p99 = percentile(per_call_ns, 0.99);
+  const bool latency_met = p50 <= 150.0;
+  const bool clean = module->denial_count() == 0 &&
+                     module->check_count() >= batches * kBatch;
+
+  // --- stacked throughput: full IVI media workload, 2 vs 3 modules -------
+  const std::size_t ops = fast ? 400 : 4000;
+  auto run_workload = [&](bool enable_sfi) {
+    sack::ivi::IviSystem sys(sack::ivi::IviSystem::Options{
+        .mac = sack::ivi::MacConfig::stacked_independent,
+        .start_sds = false,
+        .enable_sfi = enable_sfi,
+    });
+    // Warm-up: caches, lazy attaches.
+    (void)sys.media().set_volume(10);
+    (void)sys.media().play_track(sack::ivi::IviSystem::kMediaTrack);
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < ops; ++i) {
+      if (!sys.media().set_volume(static_cast<long>(10 + i % 8)).ok() ||
+          !sys.media().play_track(sack::ivi::IviSystem::kMediaTrack).ok())
+        return -1.0;  // a denial in the steady state is a bench failure
+    }
+    const double secs = ns_since(t0) / 1e9;
+    return static_cast<double>(ops) / (secs > 0 ? secs : 1e-9);
+  };
+  const double baseline_ops = run_workload(false);
+  const double sfi_ops = run_workload(true);
+  const double fraction =
+      baseline_ops > 0 && sfi_ops > 0 ? sfi_ops / baseline_ops : 0.0;
+  const bool throughput_met = fraction >= 0.9;
+  const bool workloads_clean = baseline_ops > 0 && sfi_ops > 0;
+
+  std::printf("=== SFI enforcement cost (%s) ===\n", fast ? "fast" : "full");
+  std::printf("transition p50/p95/p99: %.1f / %.1f / %.1f ns  [budget 150 ns "
+              "p50: %s]\n",
+              p50, p95, p99, latency_met ? "MET" : "MISS");
+  std::printf("checks: %llu, denials: %llu\n",
+              static_cast<unsigned long long>(module->check_count()),
+              static_cast<unsigned long long>(module->denial_count()));
+  std::printf("throughput 2-module: %.0f ops/s, +sfi: %.0f ops/s, fraction "
+              "%.3f  [budget >= 0.9: %s]\n",
+              baseline_ops, sfi_ops, fraction,
+              throughput_met ? "MET" : "MISS");
+
+  const bool sane = clean && workloads_clean;
+  std::printf("shape check: %s\n", sane ? "OK" : "FAILED");
+
+  std::ofstream json("BENCH_sfi.json");
+  json << "{\n"
+       << "  \"mode\": \"" << (fast ? "fast" : "full") << "\",\n"
+       << "  \"transition_ns_p50\": " << p50 << ",\n"
+       << "  \"transition_ns_p95\": " << p95 << ",\n"
+       << "  \"transition_ns_p99\": " << p99 << ",\n"
+       << "  \"latency_budget_ns\": 150,\n"
+       << "  \"latency_met\": " << (latency_met ? "true" : "false") << ",\n"
+       << "  \"baseline_ops_per_sec\": " << baseline_ops << ",\n"
+       << "  \"sfi_ops_per_sec\": " << sfi_ops << ",\n"
+       << "  \"throughput_fraction\": " << fraction << ",\n"
+       << "  \"throughput_budget\": 0.9,\n"
+       << "  \"throughput_met\": " << (throughput_met ? "true" : "false")
+       << ",\n"
+       << "  \"denials\": "
+       << static_cast<unsigned long long>(module->denial_count()) << "\n"
+       << "}\n";
+  std::printf("wrote BENCH_sfi.json\n");
+  return sane ? 0 : 1;
+}

@@ -180,6 +180,15 @@ std::vector<Finding> run_checks(const Corpus& corpus, const Manifest& manifest,
   // --- per-entry coverage / ordering ---------------------------------------
   std::set<std::string> reached_hooks_global;
   std::set<const FunctionDef*> reachable_global;
+  // Reachability is the expensive step; the universal pass below revisits
+  // every entry the spec pass already walked, so cache per entry function.
+  std::map<const FunctionDef*, Reachability> reach_cache;
+  auto reach_of = [&](const FunctionDef* fn) -> const Reachability& {
+    auto [it, inserted] = reach_cache.try_emplace(fn);
+    if (inserted)
+      it->second = compute_reachability(corpus, fn, manifest.exclude);
+    return it->second;
+  };
 
   auto analyze_entry = [&](const std::string& entry_name,
                            const SyscallSpec* spec) {
@@ -192,7 +201,7 @@ std::vector<Finding> run_checks(const Corpus& corpus, const Manifest& manifest,
       return;
     }
     ++stats.entries_checked;
-    Reachability reach = compute_reachability(corpus, fn, manifest.exclude);
+    const Reachability& reach = reach_of(fn);
     for (const auto& [hook, r] : reach.hooks) reached_hooks_global.insert(hook);
     reachable_global.insert(reach.functions.begin(), reach.functions.end());
     if (!spec) return;
@@ -235,6 +244,9 @@ std::vector<Finding> run_checks(const Corpus& corpus, const Manifest& manifest,
       if (contains(spec->require, hook) || contains(spec->conditional, hook) ||
           contains(spec->notify, hook))
         continue;
+      // Universal hooks are declared once for the whole corpus, not per
+      // syscall — reaching one from a spec'd entry is the contract working.
+      if (contains(manifest.universal_require, hook)) continue;
       findings.push_back(make(
           Severity::warning, "undeclared-hook", r.in->file,
           r.site ? r.site->line : r.in->line, spec->name, hook,
@@ -296,6 +308,58 @@ std::vector<Finding> run_checks(const Corpus& corpus, const Manifest& manifest,
   for (const auto& spec : manifest.syscalls) analyze_entry(spec.entry, &spec);
   for (const auto& extra : manifest.extra_entries)
     analyze_entry(extra, nullptr);
+
+  // --- universal hooks: the per-syscall gate --------------------------------
+  // universal_require hooks must be unconditionally reachable from *every*
+  // Kernel::sys_* entry in the corpus — including [unmediated] ones, which
+  // carry no per-object hooks but still must pass the flow gate. Only the
+  // entries in universal_exempt (sys_exit: a void return cannot carry a
+  // veto) are excused. This pass also feeds the reachability globals, so
+  // the verdict-consistency and dead-hook passes cover gate dispatches in
+  // otherwise-unmediated syscalls.
+  if (!manifest.universal_require.empty()) {
+    for (const auto& h : manifest.universal_require) {
+      auto it = table.hooks.find(h);
+      if (it == table.hooks.end() || it->second != HookKind::mediation) {
+        findings.push_back(make(
+            Severity::error, "manifest-error", manifest_path, 0, "", h,
+            "universal_require references " +
+                std::string(it == table.hooks.end() ? "unknown" : "non-Errno") +
+                " hook '" + h + "'"));
+      }
+    }
+    for (const auto& f : corpus.files) {
+      for (const auto& fn : f.functions) {
+        if (fn.qualified.rfind("Kernel::sys_", 0) != 0) continue;
+        const std::string name = fn.qualified.substr(8);
+        if (contains(manifest.universal_exempt, name)) continue;
+        const Reachability& reach = reach_of(&fn);
+        for (const auto& [hook, r] : reach.hooks)
+          reached_hooks_global.insert(hook);
+        reachable_global.insert(reach.functions.begin(),
+                                reach.functions.end());
+        for (const auto& h : manifest.universal_require) {
+          if (!table.contains(h)) continue;  // manifest-error above
+          auto it = reach.hooks.find(h);
+          if (it == reach.hooks.end()) {
+            findings.push_back(make(
+                Severity::error, "missing-hook", fn.file, fn.line, name, h,
+                "universal hook '" + h + "' is not reachable from '" +
+                    fn.qualified +
+                    "' — every syscall entry must pass the gate (or be "
+                    "listed in universal_exempt)"));
+          } else if (!it->second.unconditional) {
+            findings.push_back(make(
+                Severity::error, "conditional-hook", it->second.in->file,
+                it->second.site->line, name, h,
+                "universal hook '" + h + "' only fires on some paths "
+                    "through '" + fn.qualified +
+                    "' — the gate must dominate every non-error path"));
+          }
+        }
+      }
+    }
+  }
 
   // --- consistency: verdict handling at every reachable dispatch ----------
   for (const FunctionDef* fn : reachable_global) {

@@ -143,6 +143,15 @@ GuardResult analyze_guard(const std::vector<Token>& t, std::size_t k,
   std::size_t len = semi - (ret + 1);
   if (len == 1 && t[ret + 1].ident_is(var)) {
     r.guard = Guard::propagated;
+  } else if (len == 8 && t[ret + 1].is("-") &&
+             t[ret + 2].ident_is("static_cast") && t[ret + 3].is("<") &&
+             t[ret + 4].ident_is("long") && t[ret + 5].is(">") &&
+             t[ret + 6].is("(") && t[ret + 7].ident_is(var) &&
+             t[ret + 8].is(")")) {
+    // `return -static_cast<long>(NAME);` — the Linux ABI convention for
+    // long-returning syscalls: the verdict is propagated as a negated errno,
+    // so modules still control the error code.
+    r.guard = Guard::propagated;
   } else if (len >= 3 && t[ret + 1].ident_is("Errno") && t[ret + 2].is("::")) {
     r.guard = Guard::hardcoded;
     r.errno_text = "Errno::" + t[ret + 3].text;

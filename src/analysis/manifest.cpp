@@ -188,6 +188,10 @@ ManifestParse parse_manifest(const std::string& text) {
         if (!p.parse_array(val, i, m.extra_entries)) break;
       } else if (key == "exclude") {
         if (!p.parse_array(val, i, m.exclude)) break;
+      } else if (key == "universal_require") {
+        if (!p.parse_array(val, i, m.universal_require)) break;
+      } else if (key == "universal_exempt") {
+        if (!p.parse_array(val, i, m.universal_exempt)) break;
       } else {
         p.fail("unknown key '" + key + "' in [hookcheck]");
         break;

@@ -40,6 +40,14 @@ struct Manifest {
   // user-space `Process::` wrapper: kernel code never calls into it, but
   // name-based resolution would otherwise route `buf.read()` through it).
   std::vector<std::string> exclude;
+  // Universal hooks: required unconditionally reachable from *every*
+  // `Kernel::sys_*` entry in the corpus — including [unmediated] ones, which
+  // the per-spec pass skips. This is how a per-syscall-granularity hook
+  // (task_syscall, the SFI gate) is reconciled without demoting the
+  // unmediated list. Entries in universal_exempt (e.g. sys_exit, which
+  // cannot be vetoed) are skipped.
+  std::vector<std::string> universal_require;
+  std::vector<std::string> universal_exempt;
   std::map<std::string, std::string> unmediated;  // syscall -> reason
   std::vector<SyscallSpec> syscalls;
 };

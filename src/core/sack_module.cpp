@@ -413,6 +413,7 @@ Result<void> SackModule::load_policy(SackPolicy policy,
   event_seq_.clear();
   loaded_ = true;
   apply_current_state(/*force=*/true);
+  if (transition_listener_) transition_listener_(ssm_->current_name());
   log_info("sack: policy loaded: ", policy_.states.size(), " states, ",
            policy_.permissions.size(), " permissions, ",
            rules_->total_rule_count(), " MAC rules, initial state '",
@@ -522,6 +523,8 @@ void SackModule::note_transition(StateId from, StateId to,
     tr.object = std::string(via);
     trace_.append(std::move(tr));
   }
+  if (transition_listener_ && ssm_)
+    transition_listener_(ssm_->state_name(to));
 }
 
 std::string SackModule::current_state_name() const {

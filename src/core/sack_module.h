@@ -32,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <set>
@@ -116,6 +117,16 @@ class SackModule final : public kernel::SecurityModule {
     return ssm_ ? &*ssm_ : nullptr;
   }
   std::string current_state_name() const;
+
+  // Situation fan-out: invoked with the new state's name after every SSM
+  // transition (event, timeout, watchdog, resync) and once on policy load
+  // with the initial state. This is how sibling LSMs that key policy off the
+  // situation (the SFI module's overlays) track the SSM without polling.
+  void set_transition_listener(std::function<void(std::string_view)> fn) {
+    transition_listener_ = std::move(fn);
+    if (loaded_ && ssm_ && transition_listener_)
+      transition_listener_(ssm_->current_name());
+  }
 
   // Active SACK permissions for the current situation state.
   std::vector<std::string> current_permissions() const;
@@ -255,6 +266,7 @@ class SackModule final : public kernel::SecurityModule {
   }
 
   SackMode mode_;
+  std::function<void(std::string_view)> transition_listener_;
   bool revalidate_cache_ = true;
   bool avc_enabled_ = true;
   std::unique_ptr<RuleSetBase> rules_;

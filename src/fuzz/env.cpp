@@ -37,6 +37,27 @@ per_rules {
 const std::string_view kFuzzEvents[4] = {
     "crash_detected", "emergency_cleared", "sds_recovered", "bogus_event"};
 
+const std::string_view kFuzzSfiProfiles = R"(
+profile /usr/bin/admin {
+  states { run }
+  initial run;
+  flows { run -> run on *; }
+}
+profile /usr/bin/media {
+  states { run }
+  initial run;
+  flows { run -> run on *; }
+}
+profile /usr/bin/sds_daemon {
+  states { run }
+  initial run;
+  flows {
+    run -> run on *;
+    deny run on sys_chdir;
+  }
+}
+)";
+
 Errno RacerModule::socket_bind(Task& task, const kernel::Socket&) {
   // TOCTOU canary: with 1-in-4 probability, close a handful of low
   // descriptors from inside the bind chain. A syscall that re-fetches its fd
@@ -64,6 +85,8 @@ Errno RacerModule::file_permission(Task&, const kernel::File&,
 FuzzEnv::FuzzEnv(kernel::MediationWitness* witness, std::uint64_t racer_seed) {
   sack_ = static_cast<core::SackModule*>(kernel_.add_lsm(
       std::make_unique<core::SackModule>(core::SackMode::independent)));
+  sfi_ = static_cast<sfi::SfiModule*>(
+      kernel_.add_lsm(std::make_unique<sfi::SfiModule>()));
   racer_ = static_cast<RacerModule*>(
       kernel_.add_lsm(std::make_unique<RacerModule>()));
 
@@ -79,6 +102,7 @@ FuzzEnv::FuzzEnv(kernel::MediationWitness* witness, std::uint64_t racer_seed) {
   (void)boot.write_file("/etc/cfg", "k=v");
 
   (void)sack_->load_policy_text(kFuzzPolicy);
+  (void)sfi_->load_policy_text(kFuzzSfiProfiles);
 
   Cred media_cred = Cred::user(1000, 1000);
   tasks_[0] = &kernel_.spawn_task("admin", Cred::root(), "/usr/bin/admin");

@@ -7,6 +7,10 @@
 //   * a WitnessSentinel at the head of the LSM stack (add_lsm_front), so
 //     every hook dispatch is reported to the oracle before any module can
 //     deny it;
+//   * an SfiModule stacked behind SACK with catch-all flow profiles for the
+//     three actors plus one seeded deny (kFuzzSfiProfiles), so task_syscall
+//     gate chains, SFI denials, and the first-deny-wins witness are all
+//     exercised by ordinary campaigns;
 //   * a RacerModule behind SACK — a deterministic, program-seeded hostile
 //     module that closes descriptors during socket_bind chains (the TOCTOU
 //     canary that flushed out the sys_bind post-hook re-fetch bug) and
@@ -20,6 +24,7 @@
 #include "core/sack_module.h"
 #include "fuzz/oracle.h"
 #include "kernel/kernel.h"
+#include "sfi/module.h"
 #include "util/rng.h"
 
 namespace sack::fuzz {
@@ -32,6 +37,12 @@ extern const std::string_view kFuzzPolicy;
 // Situation events worth injecting (the last one is deliberately unknown to
 // the policy, to exercise the rejection path).
 extern const std::string_view kFuzzEvents[4];
+
+// SFI flow profiles every FuzzEnv loads: catch-all automata for the three
+// actor exes, with one seeded deny (sds_daemon may not chdir) so campaigns
+// exercise the SFI denial path and the first-deny-wins witness on a syscall
+// where SFI is the only module that could deny.
+extern const std::string_view kFuzzSfiProfiles;
 
 class RacerModule final : public kernel::SecurityModule {
  public:
@@ -64,6 +75,7 @@ class FuzzEnv {
 
   kernel::Kernel& kernel() { return kernel_; }
   core::SackModule& sack() { return *sack_; }
+  sfi::SfiModule& sfi() { return *sfi_; }
 
   // Actor tasks, indexed by op.a % kTaskCount.
   static constexpr int kTaskCount = 3;
@@ -77,6 +89,7 @@ class FuzzEnv {
  private:
   kernel::Kernel kernel_;
   core::SackModule* sack_ = nullptr;
+  sfi::SfiModule* sfi_ = nullptr;
   RacerModule* racer_ = nullptr;
   kernel::Task* tasks_[kTaskCount] = {};
 };

@@ -62,6 +62,7 @@ MediationOracle::MediationOracle(analysis::Manifest manifest)
   known_syscalls_.reserve(manifest_.syscalls.size());
   for (const auto& spec : manifest_.syscalls)
     known_syscalls_.push_back(spec.name);
+  universal_active_ = !manifest_.universal_require.empty();
 }
 
 void MediationOracle::violate(std::string rule, const std::string& syscall,
@@ -73,6 +74,10 @@ void MediationOracle::syscall_enter(std::string_view name) {
   Scope scope;
   scope.name = std::string(name);
   scope.unmediated = manifest_.unmediated.contains(scope.name);
+  scope.universal_exempt =
+      std::find(manifest_.universal_exempt.begin(),
+                manifest_.universal_exempt.end(),
+                scope.name) != manifest_.universal_exempt.end();
   if (!scope.unmediated &&
       std::find(known_syscalls_.begin(), known_syscalls_.end(), scope.name) ==
           known_syscalls_.end()) {
@@ -99,6 +104,11 @@ void MediationOracle::syscall_exit(std::string_view name) {
     violate("verdict-missing", scope.name,
             "chain '" + scope.pending.back() +
                 "' dispatched but no verdict arrived before syscall exit");
+  }
+  if (universal_active_ && !scope.universal_exempt && !scope.gate_seen) {
+    violate("universal-gate", scope.name,
+            "scope closed without a completed universal-gate chain "
+            "(task_syscall never dispatched)");
   }
   if (scopes_.empty()) {
     // Outermost scope closed: stage the summary for syscall_result().
@@ -134,6 +144,28 @@ void MediationOracle::chain_verdict(Errno verdict) {
   rec.hook = std::move(scope.pending.back());
   scope.pending.pop_back();
   rec.verdict = verdict;
+  if (scope.module_denial != Errno::ok) {
+    // A module short-circuited this chain: the stack must report exactly
+    // that errno. Anything else means a later module's allow (or a stack
+    // bug) overwrote the denial — first-deny-wins broken.
+    if (verdict != scope.module_denial) {
+      violate("first-deny-wins", scope.name,
+              "module '" + scope.module_denier + "' denied chain '" +
+                  rec.hook + "' with " +
+                  std::string(errno_name(scope.module_denial)) +
+                  " but the chain verdict was " +
+                  std::string(errno_name(verdict)));
+    }
+    scope.module_denial = Errno::ok;
+    scope.module_denier.clear();
+  }
+  if (universal_active_ &&
+      std::find(manifest_.universal_require.begin(),
+                manifest_.universal_require.end(),
+                rec.hook) != manifest_.universal_require.end()) {
+    scope.gate_seen = true;
+    if (verdict == Errno::ok) scope.gate_allowed = true;
+  }
   if (verdict != Errno::ok && scope.first_denial == Errno::ok) {
     scope.first_denial = verdict;
     scope.denial_from_capable = (rec.hook == "capable");
@@ -141,10 +173,29 @@ void MediationOracle::chain_verdict(Errno verdict) {
   scope.chains.push_back(std::move(rec));
 }
 
+void MediationOracle::module_verdict(std::string_view module, Errno verdict) {
+  if (scopes_.empty()) return;
+  Scope& scope = scopes_.back();
+  if (verdict == Errno::ok) return;  // only denials short-circuit
+  // The stack reports this immediately before it stops the chain; the very
+  // next chain_verdict belongs to the same chain (LIFO nesting holds because
+  // a nested dispatch completes before its parent's verdict arrives).
+  scope.module_denial = verdict;
+  scope.module_denier = std::string(module);
+}
+
 void MediationOracle::mutation(std::string_view site) {
   if (scopes_.empty()) return;
   Scope& scope = scopes_.back();
   ++mutations_observed_;
+  // The universal gate applies even to [unmediated] syscalls: they have no
+  // per-object hook, but the flow gate must still have allowed before any
+  // state is touched (the hook-after-mutation ordering witness).
+  if (universal_active_ && !scope.universal_exempt && !scope.gate_allowed) {
+    violate("universal-gate", scope.name,
+            "mutation site '" + std::string(site) +
+                "' fired before the universal gate allowed the flow");
+  }
   if (scope.unmediated) return;  // the manifest blesses the whole syscall
   auto it = site_guards().find(site);
   if (it == site_guards().end()) {

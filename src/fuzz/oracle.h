@@ -20,7 +20,17 @@
 //                      unknown to the contract and flagged;
 //   paired-chains      every chain_verdict must match a pending hook_enter
 //                      (LIFO, so nested dispatches like capable() inside a
-//                      hook body pair correctly).
+//                      hook body pair correctly);
+//   first-deny-wins    a module's denial (module_verdict) must surface as
+//                      that chain's verdict — a later module in the stack
+//                      allowing cannot overwrite it (this is the witness
+//                      that an SFI denial is never swallowed);
+//   universal-gate     when the manifest declares universal_require hooks
+//                      (the SFI task_syscall gate), every non-exempt scope
+//                      must run the gate chain, and the gate must have
+//                      allowed before any mutation site fires — even in
+//                      [unmediated] syscalls, which have no per-object hook
+//                      but still carry the flow gate.
 //
 // Events arriving outside any syscall scope (boot, harness setup,
 // advance_clock_ms ticks) are intentionally ignored: the contract is scoped
@@ -59,6 +69,7 @@ class MediationOracle final : public kernel::MediationWitness {
   void syscall_exit(std::string_view name) override;
   void hook_enter(std::string_view hook) override;
   void chain_verdict(Errno verdict) override;
+  void module_verdict(std::string_view module, Errno verdict) override;
   void mutation(std::string_view site) override;
 
   // --- executor interface ---
@@ -82,10 +93,16 @@ class MediationOracle final : public kernel::MediationWitness {
   struct Scope {
     std::string name;
     bool unmediated = false;
+    bool universal_exempt = false;        // listed in universal_exempt
+    bool gate_seen = false;               // a universal-gate chain completed
+    bool gate_allowed = false;            // ...and its verdict was ok
     std::vector<ChainRecord> chains;      // completed, in order
     std::vector<std::string> pending;     // dispatched, verdict outstanding
     Errno first_denial = Errno::ok;
     bool denial_from_capable = false;
+    // Short-circuiting module denial awaiting its chain_verdict.
+    Errno module_denial = Errno::ok;
+    std::string module_denier;
   };
 
   void violate(std::string rule, const std::string& syscall,
@@ -93,6 +110,7 @@ class MediationOracle final : public kernel::MediationWitness {
 
   analysis::Manifest manifest_;
   std::vector<std::string> known_syscalls_;  // manifest [syscall.*] names
+  bool universal_active_ = false;  // manifest declares universal_require
   std::vector<Scope> scopes_;
 
   // Closed-outermost-scope summary, consumed by syscall_result().
@@ -118,6 +136,9 @@ class WitnessSentinel final : public kernel::SecurityModule {
 
   std::string_view name() const override { return "fuzz_sentinel"; }
 
+  Errno task_syscall(kernel::Task&, std::string_view) override {
+    return seen("task_syscall");
+  }
   Errno file_open(kernel::Task&, const std::string&,
                           const kernel::Inode&, kernel::AccessMask) override {
     return seen("file_open");

@@ -106,6 +106,35 @@ profile ota_helper /usr/bin/ota_helper {
 )";
 }
 
+std::string default_sfi_profiles_text() {
+  // Distilled from the media app's two real workloads: play_track is an
+  // open -> read-loop -> close, set_volume is an open -> ONE ioctl -> close.
+  // A compromised app replaying ioctls (the KOFFEE flow variant) breaks the
+  // one-ioctl-per-open shape and is denied at the second ioctl. While
+  // driving, volume changes are locked out entirely (deny-only overlay).
+  return std::string(R"(# Default IVI SFI flow profiles (media_app only).
+profile )") + std::string(MediaApp::kExePath) + R"( {
+  mode enforce;
+  states { start, at_open, at_read, at_ioctl }
+  initial start;
+  flows {
+    start -> at_open on sys_open;
+    at_open -> at_read on sys_read;
+    at_read -> at_read on sys_read;
+    at_open -> at_ioctl on sys_ioctl;
+    * -> start on sys_close;
+    * -> * on sys_stat;
+    * -> * on sys_fstat;
+    * -> * on sys_getpid;
+    * -> * on sys_nop;
+  }
+  situation driving {
+    deny sys_ioctl;
+  }
+}
+)";
+}
+
 IviSystem::IviSystem(Options options) {
   kernel_ = std::make_unique<kernel::Kernel>();
 
@@ -143,6 +172,18 @@ IviSystem::IviSystem(Options options) {
     }
   }
 
+  if (options.enable_sfi) {
+    sfi_ = static_cast<sfi::SfiModule*>(
+        kernel_->add_lsm(std::make_unique<sfi::SfiModule>()));
+    // SSM -> SFI situation fan-out: overlays key off SACK's current state.
+    // Wired before the policy loads so the initial state propagates too.
+    if (sack_) {
+      auto* sfi = sfi_;
+      sack_->set_transition_listener(
+          [sfi](std::string_view state) { sfi->set_situation(state); });
+    }
+  }
+
   hardware_ = std::make_unique<VehicleHardware>(*kernel_);
   can_bus_ = std::make_unique<CanBus>();
   can_device_ = std::make_unique<CanDevice>(can_bus_.get());
@@ -161,6 +202,10 @@ IviSystem::IviSystem(Options options) {
       auto rc = sack_->load_policy_text(
           default_sack_policy_text(profile_subjects));
       if (!rc.ok()) log_error("ivi: default SACK policy failed to load");
+    }
+    if (sfi_) {
+      auto rc = sfi_->load_policy_text(default_sfi_profiles_text());
+      if (!rc.ok()) log_error("ivi: default SFI profiles failed to load");
     }
   }
 

@@ -19,6 +19,7 @@
 #include "kernel/kernel.h"
 #include "kernel/process.h"
 #include "sds/sds.h"
+#include "sfi/module.h"
 
 namespace sack::ivi {
 
@@ -38,6 +39,9 @@ std::string_view mac_config_name(MacConfig config);
 // subjects (enhanced mode) instead of executable-path subjects.
 std::string default_sack_policy_text(bool profile_subjects);
 std::string default_apparmor_profiles_text();
+// The learned media_app flow profile (one ioctl or one read-loop per open),
+// i.e. what `sack-sfi record` distills from the app's real workloads.
+std::string default_sfi_profiles_text();
 
 class IviSystem {
  public:
@@ -45,6 +49,10 @@ class IviSystem {
     MacConfig mac = MacConfig::independent_sack;
     bool load_default_policies = true;
     bool start_sds = true;
+    // Stack the syscall-flow-integrity module behind the MAC modules
+    // (CONFIG_LSM="...,sfi") and wire SACK's situation transitions into its
+    // overlays. Off by default: flow confinement is per-app opt-in.
+    bool enable_sfi = false;
   };
 
   explicit IviSystem(Options options);
@@ -58,6 +66,7 @@ class IviSystem {
   // Null unless the configuration includes the module.
   core::SackModule* sack() { return sack_; }
   apparmor::AppArmorModule* apparmor() { return apparmor_; }
+  sfi::SfiModule* sfi() { return sfi_; }
 
   sds::SituationDetectionService& sds() { return *sds_; }
   RescueDaemon& rescue() { return *rescue_; }
@@ -87,6 +96,7 @@ class IviSystem {
   std::unique_ptr<BodyControlEcu> body_ecu_;
   core::SackModule* sack_ = nullptr;
   apparmor::AppArmorModule* apparmor_ = nullptr;
+  sfi::SfiModule* sfi_ = nullptr;
 
   kernel::Task* rescue_task_ = nullptr;
   kernel::Task* media_task_ = nullptr;

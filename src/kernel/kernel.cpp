@@ -128,6 +128,9 @@ Errno Kernel::capable(const Task& task, Capability cap) {
 
 Result<Pid> Kernel::sys_fork(Task& parent) {
   SyscallScope scope(*this, "sys_fork");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(parent, "sys_fork"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto child = std::make_shared<Task>(Pid(next_pid_++), parent.pid(),
                                       parent.comm(), parent.cred());
   child->set_exe_path(parent.exe_path());
@@ -146,6 +149,9 @@ Result<Pid> Kernel::sys_fork(Task& parent) {
 
 Result<void> Kernel::sys_execve(Task& task, std::string_view path) {
   SyscallScope scope(*this, "sys_execve");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_execve"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   const InodePtr& inode = r->inode;
@@ -198,6 +204,9 @@ void Kernel::reap(Task& child) {
 
 Result<int> Kernel::sys_waitpid(Task& task, Pid child_pid) {
   SyscallScope scope(*this, "sys_waitpid");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_waitpid"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto it = tasks_.find(child_pid);
   if (it == tasks_.end()) return Errno::echild;
   Task& child = *it->second;
@@ -210,17 +219,26 @@ Result<int> Kernel::sys_waitpid(Task& task, Pid child_pid) {
 
 long Kernel::sys_getpid(Task& task) {
   SyscallScope scope(*this, "sys_getpid");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_getpid"); });
+  if (flow_rc != Errno::ok) return -static_cast<long>(flow_rc);
   return task.pid().get();
 }
 
 long Kernel::sys_nop(Task& task) {
   (void)task;
   SyscallScope scope(*this, "sys_nop");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_nop"); });
+  if (flow_rc != Errno::ok) return -static_cast<long>(flow_rc);
   return 0;
 }
 
 Result<void> Kernel::sys_capset_drop(Task& task, Capability cap) {
   SyscallScope scope(*this, "sys_capset_drop");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_capset_drop"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   note_mutation("cred_change");
   task.cred().caps.remove(cap);
   return {};
@@ -228,6 +246,9 @@ Result<void> Kernel::sys_capset_drop(Task& task, Capability cap) {
 
 Result<void> Kernel::sys_kill(Task& task, Pid target_pid, int sig) {
   SyscallScope scope(*this, "sys_kill");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_kill"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   if (sig < 0 || sig > 64) return Errno::einval;
   auto it = tasks_.find(target_pid);
   if (it == tasks_.end() || it->second->state == TaskState::dead)

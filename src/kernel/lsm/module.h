@@ -139,6 +139,18 @@ class SecurityModule {
     (void)task; (void)path;
   }
 
+  // --- syscall flow ---
+  // Dispatched once at the top of every syscall entry (sys_exit excepted:
+  // exit cannot be vetoed), before argument validation or any DAC check.
+  // `syscall` is the kernel entry name ("sys_open"). This is the observation
+  // and enforcement point for syscall-flow-integrity modules (src/sfi): a
+  // per-syscall-granularity hook, where every other hook in this interface is
+  // per-object. Modules that don't track flow inherit the allow default.
+  virtual Errno task_syscall(Task& task, std::string_view syscall) {
+    (void)task; (void)syscall;
+    return Errno::ok;
+  }
+
   // --- task lifecycle ---
   virtual Errno task_alloc(Task& parent, Task& child) {
     (void)parent; (void)child;

@@ -43,7 +43,13 @@ class LsmStack {
     Errno rc = Errno::ok;
     for (const auto& m : modules_) {
       rc = fn(*m);
-      if (rc != Errno::ok) break;
+      if (rc != Errno::ok) {
+        // Attribute the denial before short-circuiting so a witness can
+        // verify first-deny-wins: the chain verdict below must carry exactly
+        // this module's errno.
+        if (witness_) witness_->module_verdict(m->name(), rc);
+        break;
+      }
     }
     if (witness_) witness_->chain_verdict(rc);
     return rc;

@@ -48,6 +48,15 @@ class MediationWitness {
   // (Errno::ok for notify chains, which cannot veto).
   virtual void chain_verdict(Errno verdict) { (void)verdict; }
 
+  // The named module produced the first non-OK verdict of the current chain
+  // (reported by LsmStack immediately before it short-circuits, i.e. before
+  // the matching chain_verdict). Lets an oracle prove first-deny-wins: the
+  // chain verdict must equal the denial of the module that fired first — no
+  // later module may overwrite or swallow it.
+  virtual void module_verdict(std::string_view module, Errno verdict) {
+    (void)module; (void)verdict;
+  }
+
   // A named state-mutation site is about to execute (fd_install,
   // vfs_create, sock_bind, ...). Site names are the runtime analogue of the
   // manifest's static ordering anchors; docs/FUZZER.md lists them.

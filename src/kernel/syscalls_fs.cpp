@@ -22,6 +22,9 @@ AccessMask open_access(OpenFlags flags) {
 Result<Fd> Kernel::sys_open(Task& task, std::string_view path, OpenFlags flags,
                             FileMode mode) {
   SyscallScope scope(*this, "sys_open");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_open"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   if (is_empty(open_access(flags))) return Errno::einval;
 
   bool want_create = has_any(flags, OpenFlags::create);
@@ -102,6 +105,9 @@ Result<Fd> Kernel::sys_open(Task& task, std::string_view path, OpenFlags flags,
 
 Result<void> Kernel::sys_close(Task& task, Fd fd) {
   SyscallScope scope(*this, "sys_close");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_close"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   note_mutation("fd_close");
   return task.fds().remove(fd);
 }
@@ -109,6 +115,9 @@ Result<void> Kernel::sys_close(Task& task, Fd fd) {
 Result<std::size_t> Kernel::sys_read(Task& task, Fd fd, std::string& out,
                                      std::size_t n) {
   SyscallScope scope(*this, "sys_read");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_read"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
   File& file = **fr;
@@ -175,6 +184,9 @@ Result<std::size_t> Kernel::sys_read(Task& task, Fd fd, std::string& out,
 Result<std::size_t> Kernel::sys_write(Task& task, Fd fd,
                                       std::string_view data) {
   SyscallScope scope(*this, "sys_write");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_write"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
   File& file = **fr;
@@ -237,6 +249,9 @@ Result<std::size_t> Kernel::sys_write(Task& task, Fd fd,
 Result<std::uint64_t> Kernel::sys_lseek(Task& task, Fd fd, std::int64_t offset,
                                         Whence whence) {
   SyscallScope scope(*this, "sys_lseek");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_lseek"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
   File& file = **fr;
@@ -274,6 +289,9 @@ Stat stat_of(const Inode& inode) {
 
 Result<Stat> Kernel::sys_stat(Task& task, std::string_view path) {
   SyscallScope scope(*this, "sys_stat");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_stat"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   Errno rc = lsm_.check(
@@ -284,6 +302,9 @@ Result<Stat> Kernel::sys_stat(Task& task, std::string_view path) {
 
 Result<Stat> Kernel::sys_fstat(Task& task, Fd fd) {
   SyscallScope scope(*this, "sys_fstat");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_fstat"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
   File& file = **fr;
@@ -297,6 +318,9 @@ Result<Stat> Kernel::sys_fstat(Task& task, Fd fd) {
 Result<void> Kernel::sys_mkdir(Task& task, std::string_view path,
                                FileMode mode) {
   SyscallScope scope(*this, "sys_mkdir");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_mkdir"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve_parent(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   if (r->inode) return Errno::eexist;
@@ -316,6 +340,9 @@ Result<void> Kernel::sys_mkdir(Task& task, std::string_view path,
 
 Result<void> Kernel::sys_rmdir(Task& task, std::string_view path) {
   SyscallScope scope(*this, "sys_rmdir");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_rmdir"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve(task.cred(), path, task.cwd(), false);
   if (!r.ok()) return r.error();
   if (!r->inode->is_dir()) return Errno::enotdir;
@@ -334,6 +361,9 @@ Result<void> Kernel::sys_rmdir(Task& task, std::string_view path) {
 
 Result<void> Kernel::sys_unlink(Task& task, std::string_view path) {
   SyscallScope scope(*this, "sys_unlink");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_unlink"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve(task.cred(), path, task.cwd(), false);
   if (!r.ok()) return r.error();
   if (r->inode->is_dir()) return Errno::eisdir;
@@ -351,6 +381,9 @@ Result<void> Kernel::sys_unlink(Task& task, std::string_view path) {
 Result<void> Kernel::sys_rename(Task& task, std::string_view from,
                                 std::string_view to) {
   SyscallScope scope(*this, "sys_rename");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_rename"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto rf = vfs_.resolve(task.cred(), from, task.cwd(), false);
   if (!rf.ok()) return rf.error();
   auto rt = vfs_.resolve_parent(task.cred(), to, task.cwd());
@@ -397,6 +430,9 @@ Result<void> Kernel::sys_rename(Task& task, std::string_view from,
 Result<void> Kernel::sys_symlink(Task& task, std::string_view target,
                                  std::string_view linkpath) {
   SyscallScope scope(*this, "sys_symlink");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_symlink"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve_parent(task.cred(), linkpath, task.cwd());
   if (!r.ok()) return r.error();
   if (r->inode) return Errno::eexist;
@@ -418,6 +454,9 @@ Result<void> Kernel::sys_symlink(Task& task, std::string_view target,
 Result<void> Kernel::sys_link(Task& task, std::string_view existing,
                               std::string_view newpath) {
   SyscallScope scope(*this, "sys_link");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_link"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto src = vfs_.resolve(task.cred(), existing, task.cwd());
   if (!src.ok()) return src.error();
   if (src->inode->is_dir()) return Errno::eperm;  // no directory hard links
@@ -440,6 +479,9 @@ Result<void> Kernel::sys_link(Task& task, std::string_view existing,
 
 Result<std::string> Kernel::sys_readlink(Task& task, std::string_view path) {
   SyscallScope scope(*this, "sys_readlink");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_readlink"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve(task.cred(), path, task.cwd(), false);
   if (!r.ok()) return r.error();
   if (!r->inode->is_symlink()) return Errno::einval;
@@ -454,6 +496,9 @@ Result<std::string> Kernel::sys_readlink(Task& task, std::string_view path) {
 Result<void> Kernel::sys_chmod(Task& task, std::string_view path,
                                FileMode mode) {
   SyscallScope scope(*this, "sys_chmod");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_chmod"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   if (task.cred().euid != r->inode->uid() &&
@@ -471,6 +516,9 @@ Result<void> Kernel::sys_chmod(Task& task, std::string_view path,
 Result<void> Kernel::sys_chown(Task& task, std::string_view path, Uid uid,
                                Gid gid) {
   SyscallScope scope(*this, "sys_chown");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_chown"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   if (!task.cred().caps.has(Capability::chown)) return Errno::eperm;
@@ -487,6 +535,9 @@ Result<void> Kernel::sys_chown(Task& task, std::string_view path, Uid uid,
 Result<void> Kernel::sys_truncate(Task& task, std::string_view path,
                                   std::uint64_t length) {
   SyscallScope scope(*this, "sys_truncate");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_truncate"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   if (!r->inode->is_regular()) return Errno::einval;
@@ -506,6 +557,9 @@ Result<void> Kernel::sys_truncate(Task& task, std::string_view path,
 Result<long> Kernel::sys_ioctl(Task& task, Fd fd, std::uint32_t cmd,
                                long arg) {
   SyscallScope scope(*this, "sys_ioctl");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_ioctl"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
   File& file = **fr;
@@ -529,6 +583,9 @@ constexpr std::string_view kUserPrefix = "user.";
 Result<std::string> Kernel::sys_getxattr(Task& task, std::string_view path,
                                          std::string_view name) {
   SyscallScope scope(*this, "sys_getxattr");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_getxattr"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   Errno rc = lsm_.check([&](SecurityModule& m) {
@@ -556,6 +613,9 @@ Result<void> Kernel::sys_setxattr(Task& task, std::string_view path,
                                   std::string_view name,
                                   std::string_view value) {
   SyscallScope scope(*this, "sys_setxattr");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_setxattr"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
 
@@ -587,6 +647,9 @@ Result<void> Kernel::sys_setxattr(Task& task, std::string_view path,
 Result<std::vector<std::string>> Kernel::sys_listxattr(Task& task,
                                                        std::string_view path) {
   SyscallScope scope(*this, "sys_listxattr");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_listxattr"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   if (Errno drc = dac_check(task.cred(), *r->inode, AccessMask::read);
@@ -611,6 +674,9 @@ Result<std::vector<std::string>> Kernel::sys_listxattr(Task& task,
 
 Result<Fd> Kernel::sys_dup(Task& task, Fd fd) {
   SyscallScope scope(*this, "sys_dup");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_dup"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
   note_mutation("fd_install");
@@ -620,6 +686,9 @@ Result<Fd> Kernel::sys_dup(Task& task, Fd fd) {
 Result<std::vector<std::string>> Kernel::sys_readdir(Task& task,
                                                      std::string_view path) {
   SyscallScope scope(*this, "sys_readdir");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_readdir"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   if (!r->inode->is_dir()) return Errno::enotdir;
@@ -638,6 +707,9 @@ Result<std::vector<std::string>> Kernel::sys_readdir(Task& task,
 
 Result<void> Kernel::sys_chdir(Task& task, std::string_view path) {
   SyscallScope scope(*this, "sys_chdir");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_chdir"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto r = vfs_.resolve(task.cred(), path, task.cwd());
   if (!r.ok()) return r.error();
   if (!r->inode->is_dir()) return Errno::enotdir;
@@ -654,6 +726,9 @@ Result<void> Kernel::sys_chdir(Task& task, std::string_view path) {
 Result<int> Kernel::sys_mmap(Task& task, Fd fd, std::size_t length,
                              AccessMask prot) {
   SyscallScope scope(*this, "sys_mmap");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_mmap"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   if (length == 0) return Errno::einval;
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
@@ -682,6 +757,9 @@ Result<int> Kernel::sys_mmap(Task& task, Fd fd, std::size_t length,
 Result<int> Kernel::sys_mmap_anon(Task& task, std::size_t length,
                                   AccessMask prot) {
   SyscallScope scope(*this, "sys_mmap_anon");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_mmap_anon"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   if (length == 0) return Errno::einval;
   MmapRegion region;
   region.id = task.next_mmap_id();
@@ -696,6 +774,9 @@ Result<int> Kernel::sys_mmap_anon(Task& task, std::size_t length,
 
 Result<void> Kernel::sys_munmap(Task& task, int mmap_id) {
   SyscallScope scope(*this, "sys_munmap");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_munmap"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   note_mutation("mmap_remove");
   if (task.mmaps().erase(mmap_id) == 0) return Errno::einval;
   return {};

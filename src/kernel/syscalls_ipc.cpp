@@ -5,6 +5,9 @@ namespace sack::kernel {
 
 Result<std::pair<Fd, Fd>> Kernel::sys_pipe(Task& task) {
   SyscallScope scope(*this, "sys_pipe");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_pipe"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto buffer = std::make_shared<PipeBuffer>();
   auto rd = std::make_shared<File>(buffer, PipeEnd::read);
   auto wr = std::make_shared<File>(buffer, PipeEnd::write);
@@ -22,6 +25,9 @@ Result<std::pair<Fd, Fd>> Kernel::sys_pipe(Task& task) {
 
 Result<Fd> Kernel::sys_socket(Task& task, SockFamily family, SockType type) {
   SyscallScope scope(*this, "sys_socket");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_socket"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   Errno rc = lsm_.check(
       [&](SecurityModule& m) { return m.socket_create(task, family, type); });
   if (rc != Errno::ok) return rc;
@@ -33,6 +39,9 @@ Result<Fd> Kernel::sys_socket(Task& task, SockFamily family, SockType type) {
 Result<std::pair<Fd, Fd>> Kernel::sys_socketpair(Task& task,
                                                  SockFamily family) {
   SyscallScope scope(*this, "sys_socketpair");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_socketpair"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   Errno rc = lsm_.check([&](SecurityModule& m) {
     return m.socket_create(task, family, SockType::stream);
   });
@@ -76,6 +85,9 @@ Result<std::shared_ptr<Socket>> socket_of(Task& task, Fd fd) {
 
 Result<void> Kernel::sys_bind(Task& task, Fd fd, const SockAddr& addr) {
   SyscallScope scope(*this, "sys_bind");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_bind"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
   // Pin the validated description for the whole syscall. The hook chain may
@@ -126,6 +138,9 @@ Result<void> Kernel::sys_bind(Task& task, Fd fd, const SockAddr& addr) {
 
 Result<void> Kernel::sys_listen(Task& task, Fd fd, int backlog) {
   SyscallScope scope(*this, "sys_listen");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_listen"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto fr = task.fds().get(fd);
   if (!fr.ok()) return fr.error();
   if (!(*fr)->is_socket()) return Errno::enotsock;
@@ -145,6 +160,9 @@ Result<void> Kernel::sys_listen(Task& task, Fd fd, int backlog) {
 
 Result<void> Kernel::sys_connect(Task& task, Fd fd, const SockAddr& addr) {
   SyscallScope scope(*this, "sys_connect");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_connect"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto sr = socket_of(task, fd);
   if (!sr.ok()) return sr.error();
   Socket& sock = **sr;
@@ -182,6 +200,9 @@ Result<void> Kernel::sys_connect(Task& task, Fd fd, const SockAddr& addr) {
 
 Result<Fd> Kernel::sys_accept(Task& task, Fd fd) {
   SyscallScope scope(*this, "sys_accept");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_accept"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto sr = socket_of(task, fd);
   if (!sr.ok()) return sr.error();
   Socket& listener = **sr;
@@ -203,6 +224,9 @@ Result<Fd> Kernel::sys_accept(Task& task, Fd fd) {
 Result<std::size_t> Kernel::sys_send(Task& task, Fd fd,
                                      std::string_view data) {
   SyscallScope scope(*this, "sys_send");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_send"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto sr = socket_of(task, fd);
   if (!sr.ok()) return sr.error();
   Errno rc = lsm_.check(
@@ -215,6 +239,9 @@ Result<std::size_t> Kernel::sys_send(Task& task, Fd fd,
 Result<std::size_t> Kernel::sys_recv(Task& task, Fd fd, std::string& out,
                                      std::size_t n) {
   SyscallScope scope(*this, "sys_recv");
+  Errno flow_rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(task, "sys_recv"); });
+  if (flow_rc != Errno::ok) return flow_rc;
   auto sr = socket_of(task, fd);
   if (!sr.ok()) return sr.error();
   Errno rc = lsm_.check(

@@ -1,0 +1,155 @@
+#include "sfi/automaton.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/fault.h"
+
+namespace sack::sfi {
+
+namespace {
+
+constexpr std::size_t kNsys = kSyscallNames.size();
+
+// Resolution specificity for one (state, syscall) cell; higher wins.
+enum Spec : int {
+  spec_none = 0,
+  spec_any_any,      // * -> T on *
+  spec_state_any,    // S -> T on *
+  spec_any_named,    // * -> T on sys_x
+  spec_state_named,  // S -> T on sys_x
+  spec_deny,         // deny S on sys_x (or deny * on sys_x)
+};
+
+}  // namespace
+
+std::vector<std::string> ProgramSet::exes() const {
+  std::vector<std::string> out;
+  out.reserve(programs_.size());
+  for (const auto& p : programs_) out.push_back(p->exe());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::shared_ptr<const ProgramSet>> compile_sfi_policy(
+    const SfiPolicy& policy, std::uint64_t generation) {
+  auto set = std::make_shared<ProgramSet>();
+  set->generation_ = generation;
+
+  // Intern every situation name across the policy so one module-level token
+  // indexes all programs' overlay tables.
+  for (const auto& p : policy.profiles) {
+    for (const auto& o : p.overlays) {
+      if (set->situation_tokens_.emplace(o.situation,
+                                         static_cast<std::uint32_t>(
+                                             set->situations_.size()))
+              .second)
+        set->situations_.push_back(o.situation);
+    }
+  }
+
+  for (const auto& prof : policy.profiles) {
+    auto program = std::make_shared<Program>();
+    program->exe_ = prof.exe;
+    program->audit_only_ = prof.audit_only;
+    program->state_names_ = prof.states;
+    std::map<std::string, std::uint16_t> state_id;
+    for (std::size_t i = 0; i < prof.states.size(); ++i)
+      state_id[prof.states[i]] = static_cast<std::uint16_t>(i);
+    program->initial_ = state_id.at(prof.initial);
+
+    const std::size_t n_states = prof.states.size();
+    program->table_.assign(n_states * kNsys, Program::kDeny);
+    std::vector<int> spec(n_states * kNsys, spec_none);
+
+    auto apply = [&](std::uint16_t s, std::uint16_t sc, std::uint16_t target,
+                     int specificity) {
+      std::size_t cell = static_cast<std::size_t>(s) * kNsys + sc;
+      if (specificity < spec[cell]) return;
+      spec[cell] = specificity;
+      program->table_[cell] = target;
+    };
+
+    for (const auto& rule : prof.flows) {
+      std::vector<std::uint16_t> froms;
+      if (rule.from == kWildcard) {
+        for (std::size_t i = 0; i < n_states; ++i)
+          froms.push_back(static_cast<std::uint16_t>(i));
+      } else {
+        froms.push_back(state_id.at(rule.from));
+      }
+      for (std::uint16_t s : froms) {
+        // '*' target = stay in the source state (self-loop).
+        std::uint16_t target = Program::kDeny;
+        if (!rule.deny)
+          target = rule.to == kWildcard ? s : state_id.at(rule.to);
+        if (rule.any_syscall) {
+          int sp = rule.from == kWildcard ? spec_any_any : spec_state_any;
+          for (std::size_t sc = 0; sc < kNsys; ++sc)
+            apply(s, static_cast<std::uint16_t>(sc), target, sp);
+        } else {
+          int sp = rule.deny ? spec_deny
+                   : rule.from == kWildcard ? spec_any_named
+                                            : spec_state_named;
+          for (const auto& name : rule.syscalls)
+            apply(s, static_cast<std::uint16_t>(syscall_index(name)), target,
+                  sp);
+        }
+      }
+    }
+
+    program->overlay_masks_.resize(set->situations_.size());
+    for (const auto& o : prof.overlays) {
+      auto& mask = program->overlay_masks_[set->situation_tokens_.at(o.situation)];
+      mask.assign((kNsys + 63) / 64, 0);
+      for (const auto& name : o.deny) {
+        int sc = syscall_index(name);
+        mask[sc >> 6] |= 1ull << (sc & 63);
+      }
+    }
+
+    set->programs_.push_back(program);
+    set->by_exe_[program->exe_] = program.get();
+  }
+
+  // Fault site: a compile that fails after validation but before
+  // publication — the caller must keep the previous ProgramSet live.
+  if (auto injected =
+          util::FaultInjector::instance().fail_errno("sfi.profile.load"))
+    return *injected;
+
+  return std::shared_ptr<const ProgramSet>(std::move(set));
+}
+
+int simulate_program(const Program& program, std::uint32_t situation_token,
+                     const std::vector<std::string>& syscalls,
+                     std::vector<SimStep>* steps) {
+  std::uint16_t state = program.initial_state();
+  for (std::size_t i = 0; i < syscalls.size(); ++i) {
+    SimStep step;
+    step.syscall = syscalls[i];
+    step.from_state = program.state_name(state);
+    int sc = syscall_index(syscalls[i]);
+    std::uint16_t next = sc < 0 ? Program::kDeny
+                                : program.next(state, static_cast<std::uint16_t>(sc));
+    bool overlay = false;
+    if (next != Program::kDeny && sc >= 0 &&
+        program.situation_denies(situation_token,
+                                 static_cast<std::uint16_t>(sc))) {
+      overlay = true;
+      next = Program::kDeny;
+    }
+    if (next == Program::kDeny) {
+      step.denied = true;
+      step.overlay_deny = overlay;
+      if (steps) steps->push_back(std::move(step));
+      return static_cast<int>(i);
+    }
+    step.to_state = program.state_name(next);
+    if (steps) steps->push_back(std::move(step));
+    state = next;
+  }
+  return -1;
+}
+
+}  // namespace sack::sfi

@@ -1,0 +1,129 @@
+// Compiled SFI automata: dense O(1) transition tables, published RCU-style.
+//
+// The compiler lowers an SfiPolicy into an immutable ProgramSet:
+//
+//   Program     one profile's automaton — a dense state x syscall table of
+//               next-state indices (kDeny marks inadmissible pairs), plus
+//               per-situation deny bitmasks over the syscall axis;
+//   ProgramSet  every compiled Program keyed by exe path, plus an interned
+//               situation-name table shared by all programs in the set.
+//
+// The set is immutable after compile; SfiModule publishes it through an
+// RcuPtr and activation is one pointer swap (the DfaRuleSet pattern). The
+// enforcement hot path is: one array load for the transition, one bit test
+// for the active situation overlay — no hashing, no strings, no locks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sfi/profile.h"
+#include "util/result.h"
+
+namespace sack::sfi {
+
+// Situation token meaning "no overlay active" (boot, or an SSM state no
+// profile mentions). Tokens index ProgramSet::situations().
+inline constexpr std::uint32_t kNoSituation = 0xffffffffu;
+
+class Program {
+ public:
+  static constexpr std::uint16_t kDeny = 0xffff;
+
+  // O(1): next automaton state, or kDeny.
+  std::uint16_t next(std::uint16_t state, std::uint16_t syscall_id) const {
+    return table_[static_cast<std::size_t>(state) * kSyscallNames.size() +
+                  syscall_id];
+  }
+
+  // O(1): true when the given set-level situation token denies the syscall
+  // in this profile. kNoSituation (and tokens with no overlay here) deny
+  // nothing.
+  bool situation_denies(std::uint32_t token, std::uint16_t syscall_id) const {
+    if (token >= overlay_masks_.size()) return false;
+    const auto& mask = overlay_masks_[token];
+    if (mask.empty()) return false;
+    return (mask[syscall_id >> 6] >> (syscall_id & 63)) & 1;
+  }
+
+  std::uint16_t initial_state() const { return initial_; }
+  std::uint16_t state_count() const {
+    return static_cast<std::uint16_t>(state_names_.size());
+  }
+  const std::string& state_name(std::uint16_t state) const {
+    return state_names_[state];
+  }
+  const std::string& exe() const { return exe_; }
+  bool audit_only() const { return audit_only_; }
+
+ private:
+  friend Result<std::shared_ptr<const class ProgramSet>> compile_sfi_policy(
+      const SfiPolicy& policy, std::uint64_t generation);
+
+  std::string exe_;
+  bool audit_only_ = false;
+  std::uint16_t initial_ = 0;
+  std::vector<std::string> state_names_;
+  // state * |kSyscallNames| + syscall -> next state (kDeny = inadmissible)
+  std::vector<std::uint16_t> table_;
+  // token -> bitmask over syscall ids (empty = no overlay for that token)
+  std::vector<std::vector<std::uint64_t>> overlay_masks_;
+};
+
+class ProgramSet {
+ public:
+  // Raw-pointer lookup for the hot path: the returned Program lives exactly
+  // as long as the set, which the caller holds a shared_ptr to.
+  const Program* find(std::string_view exe) const {
+    auto it = by_exe_.find(std::string(exe));
+    return it == by_exe_.end() ? nullptr : it->second;
+  }
+
+  // Interned SSM-state name -> token, kNoSituation when no profile in the
+  // set overlays that situation. Cold path (policy load, SSM transition).
+  std::uint32_t situation_token(std::string_view name) const {
+    auto it = situation_tokens_.find(std::string(name));
+    return it == situation_tokens_.end() ? kNoSituation : it->second;
+  }
+
+  const std::vector<std::string>& situations() const { return situations_; }
+  std::vector<std::string> exes() const;
+  std::size_t size() const { return programs_.size(); }
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  friend Result<std::shared_ptr<const ProgramSet>> compile_sfi_policy(
+      const SfiPolicy& policy, std::uint64_t generation);
+
+  std::uint64_t generation_ = 0;
+  std::vector<std::shared_ptr<const Program>> programs_;
+  std::unordered_map<std::string, const Program*> by_exe_;
+  std::vector<std::string> situations_;
+  std::unordered_map<std::string, std::uint32_t> situation_tokens_;
+};
+
+// Lowers a checked policy. Fails only on resource-class problems (the
+// sfi.profile.load fault site injects here); structural errors are the
+// parser/checker's job and must be caught before compile.
+Result<std::shared_ptr<const ProgramSet>> compile_sfi_policy(
+    const SfiPolicy& policy, std::uint64_t generation);
+
+// Single-sequence simulator used by `sack-sfi simulate`, replay
+// verification, and tests: walks `syscalls` from the initial state under an
+// optional situation, recording each step. Returns the index of the first
+// denied step, or -1 when the whole sequence is admissible.
+struct SimStep {
+  std::string syscall;
+  std::string from_state;
+  std::string to_state;  // empty on deny
+  bool denied = false;
+  bool overlay_deny = false;
+};
+int simulate_program(const Program& program, std::uint32_t situation_token,
+                     const std::vector<std::string>& syscalls,
+                     std::vector<SimStep>* steps = nullptr);
+
+}  // namespace sack::sfi

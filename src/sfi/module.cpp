@@ -1,0 +1,328 @@
+#include "sfi/module.h"
+
+#include <cctype>
+#include <utility>
+
+#include "kernel/audit.h"
+#include "kernel/task.h"
+#include "util/fault.h"
+#include "util/log.h"
+
+namespace sack::sfi {
+
+using kernel::Capability;
+using kernel::Task;
+
+namespace {
+constexpr std::size_t kViolationRing = 256;
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+}  // namespace
+
+// --- securityfs files ---
+
+class SfiModule::LoadFile final : public kernel::VirtualFileOps {
+ public:
+  explicit LoadFile(SfiModule* mod) : mod_(mod) {}
+  Result<void> write_content(Task& task, std::string_view data) override {
+    if (mod_->kernel_->capable(task, Capability::mac_admin) != Errno::ok)
+      return Errno::eperm;
+    std::vector<ParseError> errors;
+    auto rc = mod_->load_policy_text(data, &errors);
+    if (!rc.ok()) {
+      for (const auto& e : errors)
+        log_warn("sfi: policy load error: ", e.to_string());
+      return rc.error();
+    }
+    return {};
+  }
+
+ private:
+  SfiModule* mod_;
+};
+
+class SfiModule::ProfilesFile final : public kernel::VirtualFileOps {
+ public:
+  explicit ProfilesFile(SfiModule* mod) : mod_(mod) {}
+  Result<std::string> read_content(Task&) override {
+    return mod_->profiles_dump();
+  }
+
+ private:
+  SfiModule* mod_;
+};
+
+class SfiModule::ModeFile final : public kernel::VirtualFileOps {
+ public:
+  explicit ModeFile(SfiModule* mod) : mod_(mod) {}
+  Result<std::string> read_content(Task&) override {
+    return std::string(mod_->mode() == SfiMode::enforce ? "enforce\n"
+                                                        : "audit\n");
+  }
+  Result<void> write_content(Task& task, std::string_view data) override {
+    if (mod_->kernel_->capable(task, Capability::mac_admin) != Errno::ok)
+      return Errno::eperm;
+    auto word = trim(data);
+    if (word == "enforce") {
+      mod_->set_mode(SfiMode::enforce);
+    } else if (word == "audit") {
+      mod_->set_mode(SfiMode::audit);
+    } else {
+      return Errno::einval;
+    }
+    return {};
+  }
+
+ private:
+  SfiModule* mod_;
+};
+
+class SfiModule::StatusFile final : public kernel::VirtualFileOps {
+ public:
+  explicit StatusFile(SfiModule* mod) : mod_(mod) {}
+  Result<std::string> read_content(Task&) override {
+    auto set = mod_->programs();
+    std::string out;
+    out += "sfi_mode " +
+           std::string(mod_->mode() == SfiMode::enforce ? "enforce" : "audit") +
+           "\n";
+    out += "sfi_generation " + std::to_string(mod_->generation()) + "\n";
+    out += "sfi_profiles " + std::to_string(set ? set->size() : 0) + "\n";
+    out += "sfi_situation " + mod_->current_situation() + "\n";
+    out += "sfi_checks " + std::to_string(mod_->check_count()) + "\n";
+    out += "sfi_denials " + std::to_string(mod_->denial_count()) + "\n";
+    out += "sfi_audit_allows " + std::to_string(mod_->audit_allow_count()) + "\n";
+    out += "sfi_attaches " + std::to_string(mod_->attach_count()) + "\n";
+    out += "sfi_exec_resets " + std::to_string(mod_->reset_count()) + "\n";
+    out += "sfi_situation_switches " +
+           std::to_string(mod_->situation_switches_.value()) + "\n";
+    out += "sfi_loads " + std::to_string(mod_->loads_.value()) + "\n";
+    return out;
+  }
+
+ private:
+  SfiModule* mod_;
+};
+
+class SfiModule::ViolationsFile final : public kernel::VirtualFileOps {
+ public:
+  explicit ViolationsFile(SfiModule* mod) : mod_(mod) {}
+  Result<std::string> read_content(Task&) override {
+    std::string out;
+    for (const auto& line : mod_->recent_violations()) out += line + "\n";
+    return out;
+  }
+
+ private:
+  SfiModule* mod_;
+};
+
+// --- module ---
+
+SfiModule::SfiModule() = default;
+SfiModule::~SfiModule() = default;
+
+const std::string& SfiModule::blob_key() {
+  static const std::string key{kName};
+  return key;
+}
+
+void SfiModule::initialize(kernel::Kernel& kernel) {
+  kernel_ = &kernel;
+  load_file_ = std::make_unique<LoadFile>(this);
+  profiles_file_ = std::make_unique<ProfilesFile>(this);
+  mode_file_ = std::make_unique<ModeFile>(this);
+  status_file_ = std::make_unique<StatusFile>(this);
+  violations_file_ = std::make_unique<ViolationsFile>(this);
+  auto& fs = kernel.securityfs();
+  (void)fs.register_file("sfi/.load", load_file_.get(), 0200);
+  (void)fs.register_file("sfi/profiles", profiles_file_.get(), 0444);
+  (void)fs.register_file("sfi/mode", mode_file_.get(), 0600);
+  (void)fs.register_file("sfi/status", status_file_.get(), 0444);
+  (void)fs.register_file("sfi/violations", violations_file_.get(), 0444);
+}
+
+Result<void> SfiModule::load_policy_text(std::string_view text,
+                                         std::vector<ParseError>* errors) {
+  SfiParseResult parsed = parse_sfi_policy(text);
+  if (errors) *errors = parsed.errors;
+  if (!parsed.ok()) return Errno::einval;
+
+  util::MutexLock lk(mu_);
+  const std::uint64_t next_gen = generation_.load(std::memory_order_relaxed) + 1;
+  auto compiled = compile_sfi_policy(parsed.policy, next_gen);
+  if (!compiled.ok()) return compiled.error();
+
+  policy_ = std::move(parsed.policy);
+  programs_.store(*compiled);
+  // Publish the generation after the set so a reader that sees the new
+  // generation always finds (at least) the matching set.
+  generation_.store(next_gen, std::memory_order_release);
+  situation_token_.store((*compiled)->situation_token(current_situation_),
+                         std::memory_order_relaxed);
+  loads_.inc();
+  return {};
+}
+
+std::string SfiModule::profiles_dump() const {
+  util::MutexLock lk(mu_);
+  return dump_sfi_policy(policy_);
+}
+
+void SfiModule::set_situation(std::string_view name) {
+  util::MutexLock lk(mu_);
+  current_situation_.assign(name);
+  auto set = programs_.load();
+  situation_token_.store(set ? set->situation_token(name) : kNoSituation,
+                         std::memory_order_relaxed);
+  situation_switches_.inc();
+}
+
+std::string SfiModule::current_situation() const {
+  util::MutexLock lk(mu_);
+  return current_situation_;
+}
+
+std::vector<std::string> SfiModule::recent_violations() const {
+  util::MutexLock lk(viol_mu_);
+  return {violations_.begin(), violations_.end()};
+}
+
+// Cold path: first syscall of a task, or its blob's generation lost a race
+// with a policy swap. (Re-)resolves the program for the task's exe and
+// starts it at the initial state. A confined task that raced a swap restarts
+// its flow — the safe direction: restarting can only deny sequences the old
+// program allowed, never admit new ones mid-flow.
+SfiTaskBlob* SfiModule::attach(Task& task) {
+  auto blob = std::make_shared<SfiTaskBlob>();
+  blob->set = programs_.load();
+  blob->generation = blob->set ? blob->set->generation() : 0;
+  if (blob->set) {
+    blob->program = blob->set->find(task.exe_path());
+    if (blob->program) blob->state = blob->program->initial_state();
+  }
+  SfiTaskBlob* raw = blob.get();
+  task.set_security_blob(blob_key(), std::move(blob));
+  attaches_.inc();
+  return raw;
+}
+
+Errno SfiModule::deny(Task& task, std::string_view syscall,
+                      const SfiTaskBlob& blob, bool overlay_deny) {
+  denials_.inc();
+  const bool audit_only =
+      mode() == SfiMode::audit || blob.program->audit_only();
+
+  std::string situation;
+  {
+    util::MutexLock lk(mu_);
+    situation = current_situation_;
+  }
+  std::string context = "profile=" + blob.program->exe() +
+                        " state=" + blob.program->state_name(blob.state) +
+                        " situation=" + (situation.empty() ? "-" : situation) +
+                        (overlay_deny ? " overlay=1" : "") +
+                        (audit_only ? " audit=1" : "");
+  if (kernel_) {
+    kernel::AuditRecord rec;
+    rec.time = kernel_->clock().now();
+    rec.module = std::string(kName);
+    rec.pid = task.pid();
+    rec.subject = task.exe_path();
+    rec.object = std::string(syscall);
+    rec.operation = "flow_violation";
+    rec.verdict = audit_only ? kernel::AuditVerdict::allowed
+                             : kernel::AuditVerdict::denied;
+    rec.context = context;
+    kernel_->audit().record(std::move(rec));
+  }
+  {
+    util::MutexLock lk(viol_mu_);
+    violations_.push_back("pid=" + std::to_string(task.pid().get()) + " " +
+                          std::string(syscall) + " " + context);
+    if (violations_.size() > kViolationRing) violations_.pop_front();
+  }
+  if (audit_only) {
+    // Complain mode: record, allow, and hold the automaton where it is —
+    // there is no admissible next state to advance to.
+    audit_allows_.inc();
+    return Errno::ok;
+  }
+  return Errno::eacces;
+}
+
+Errno SfiModule::task_syscall(Task& task, std::string_view syscall) {
+  checks_.inc();
+  auto blob_sp = task.security_blob<SfiTaskBlob>(blob_key());
+  SfiTaskBlob* blob = blob_sp.get();
+  if (!blob ||
+      blob->generation != generation_.load(std::memory_order_acquire))
+    blob = attach(task);
+  if (!blob->program) return Errno::ok;  // unconfined
+
+  // Fault site: the transition probe itself fails (blown table page, ECC
+  // machine check analogue). Fail closed with the injected errno; the
+  // automaton state is untouched, so recovery resumes mid-flow.
+  if (auto injected = util::FaultInjector::instance().fail_errno(
+          "sfi.transition.fail", syscall))
+    return *injected;
+
+  const int sc = syscall_index(syscall);
+  if (sc < 0) return Errno::ok;  // unknown entry: not modeled, not denied
+
+  const auto sid = static_cast<std::uint16_t>(sc);
+  std::uint16_t next = blob->program->next(blob->state, sid);
+  bool overlay_deny = false;
+  if (next != Program::kDeny) {
+    const std::uint32_t token =
+        situation_token_.load(std::memory_order_relaxed);
+    if (token != kNoSituation &&
+        blob->program->situation_denies(token, sid)) {
+      overlay_deny = true;
+      next = Program::kDeny;
+    }
+  }
+  if (next == Program::kDeny) return deny(task, syscall, *blob, overlay_deny);
+  blob->state = next;
+  return Errno::ok;
+}
+
+Errno SfiModule::task_alloc(Task& parent, Task& child) {
+  // fork inherits the parent's automaton position: the child is a clone in
+  // the middle of the same flow.
+  auto parent_blob = parent.security_blob<SfiTaskBlob>(blob_key());
+  if (parent_blob) {
+    auto blob = std::make_shared<SfiTaskBlob>(*parent_blob);
+    child.set_security_blob(blob_key(), std::move(blob));
+  }
+  return Errno::ok;
+}
+
+void SfiModule::bprm_committed_creds(Task& task, const std::string&) {
+  // exec resets: the new image starts its own profile from the initial
+  // state. Dropping the blob makes the next syscall re-attach lazily.
+  if (task.security_blob<SfiTaskBlob>(blob_key())) resets_.inc();
+  task.set_security_blob(blob_key(), nullptr);
+}
+
+void SfiModule::task_free(Task& task) {
+  task.set_security_blob(blob_key(), nullptr);
+}
+
+std::string SfiModule::getprocattr(const Task& task) {
+  auto blob = task.security_blob<SfiTaskBlob>(blob_key());
+  if (!blob || !blob->program) return {};
+  return "sfi=" + blob->program->exe() +
+         " state=" + blob->program->state_name(blob->state) +
+         (blob->program->audit_only() || mode() == SfiMode::audit
+              ? " (audit)"
+              : " (enforce)");
+}
+
+}  // namespace sack::sfi

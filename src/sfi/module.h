@@ -1,0 +1,149 @@
+// SfiModule: syscall-flow-integrity, the third stackable LSM.
+//
+// Stacked under SACK and AppArmor (first-deny-wins), SfiModule enforces
+// per-application syscall-sequence automata: every syscall entry dispatches
+// the task_syscall hook, the module advances the task's automaton one step,
+// and a syscall with no admissible transition from the current state is
+// denied with EACCES and an audited `sfi:flow_violation` record. This
+// catches KOFFEE-style compromised apps that stay entirely within file and
+// capability policy but execute syscalls in an order the real program never
+// would (the SFIP threat model).
+//
+// State lives where the real LSM keeps it: a per-task security blob. fork
+// inherits the parent's automaton position (the child continues the flow it
+// was cloned into), exec re-attaches against the new image's profile at its
+// initial state, exit tears the blob down. Tasks whose exe has no profile
+// run unconfined (allow-all) — adoption mirrors AppArmor's.
+//
+// Profiles compile to immutable ProgramSets published through an RcuPtr:
+// activation is one pointer swap, and a task that raced a swap simply
+// re-attaches on its next syscall (detected by generation mismatch). The
+// SSM feeds situation changes through set_situation(); the active situation
+// is one interned token the hot path reads with a relaxed load.
+//
+// securityfs surface (under /sys/kernel/security/sfi/):
+//   .load       write a .sfi policy text (CAP_MAC_ADMIN)
+//   profiles    canonical dump of the loaded policy
+//   mode        read/write "enforce" | "audit" (CAP_MAC_ADMIN to write)
+//   status      sfi_* counters, generation, active situation
+//   violations  ring of recent flow-violation records
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "kernel/lsm/module.h"
+#include "sfi/automaton.h"
+#include "sfi/profile.h"
+#include "util/metrics.h"
+#include "util/rcu_ptr.h"
+#include "util/thread_annotations.h"
+
+namespace sack::sfi {
+
+enum class SfiMode : std::uint8_t { enforce, audit };
+
+// Per-task automaton position. Only the thread driving the task touches it;
+// cross-thread publication happens through the RcuPtr'd ProgramSet and the
+// generation/situation atomics on the module.
+struct SfiTaskBlob {
+  std::shared_ptr<const ProgramSet> set;  // keeps `program` alive
+  const Program* program = nullptr;       // null = unconfined
+  std::uint64_t generation = 0;
+  std::uint16_t state = 0;
+};
+
+class SfiModule final : public kernel::SecurityModule {
+ public:
+  static constexpr std::string_view kName = "sfi";
+
+  SfiModule();
+  ~SfiModule() override;
+
+  std::string_view name() const override { return kName; }
+  void initialize(kernel::Kernel& kernel) override;
+
+  // --- policy management ---
+  Result<void> load_policy_text(std::string_view text,
+                                std::vector<ParseError>* errors = nullptr);
+  std::shared_ptr<const ProgramSet> programs() const { return programs_.load(); }
+  std::string profiles_dump() const;
+
+  void set_mode(SfiMode mode) {
+    mode_.store(static_cast<std::uint8_t>(mode), std::memory_order_relaxed);
+  }
+  SfiMode mode() const {
+    return static_cast<SfiMode>(mode_.load(std::memory_order_relaxed));
+  }
+
+  // --- situation wiring (SackModule::set_transition_listener feeds this) ---
+  void set_situation(std::string_view name);
+  std::string current_situation() const;
+
+  // --- sfi_* metrics ---
+  std::uint64_t check_count() const { return checks_.value(); }
+  std::uint64_t denial_count() const { return denials_.value(); }
+  std::uint64_t audit_allow_count() const { return audit_allows_.value(); }
+  std::uint64_t attach_count() const { return attaches_.value(); }
+  std::uint64_t reset_count() const { return resets_.value(); }
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+  std::vector<std::string> recent_violations() const;
+
+  // --- LSM hooks ---
+  Errno task_syscall(kernel::Task& task, std::string_view syscall) override;
+  Errno task_alloc(kernel::Task& parent, kernel::Task& child) override;
+  void bprm_committed_creds(kernel::Task& task,
+                            const std::string& path) override;
+  void task_free(kernel::Task& task) override;
+  std::string getprocattr(const kernel::Task& task) override;
+
+ private:
+  // Cold paths, split out so task_syscall stays small.
+  SfiTaskBlob* attach(kernel::Task& task);
+  Errno deny(kernel::Task& task, std::string_view syscall,
+             const SfiTaskBlob& blob, bool overlay_deny);
+
+  static const std::string& blob_key();
+
+  RcuPtr<const ProgramSet> programs_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint32_t> situation_token_{kNoSituation};
+  std::atomic<std::uint8_t> mode_{static_cast<std::uint8_t>(SfiMode::enforce)};
+
+  mutable util::Mutex mu_;
+  SfiPolicy policy_ SACK_GUARDED_BY(mu_);             // source, for dumps
+  std::string current_situation_ SACK_GUARDED_BY(mu_);
+
+  mutable util::Mutex viol_mu_;
+  std::deque<std::string> violations_ SACK_GUARDED_BY(viol_mu_);
+
+  util::Counter checks_;
+  util::Counter denials_;
+  util::Counter audit_allows_;
+  util::Counter attaches_;
+  util::Counter resets_;
+  util::Counter situation_switches_;
+  util::Counter loads_;
+
+  class LoadFile;
+  class ProfilesFile;
+  class ModeFile;
+  class StatusFile;
+  class ViolationsFile;
+  std::unique_ptr<LoadFile> load_file_;
+  std::unique_ptr<ProfilesFile> profiles_file_;
+  std::unique_ptr<ModeFile> mode_file_;
+  std::unique_ptr<StatusFile> status_file_;
+  std::unique_ptr<ViolationsFile> violations_file_;
+  kernel::Kernel* kernel_ = nullptr;
+};
+
+}  // namespace sack::sfi

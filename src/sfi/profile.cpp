@@ -1,0 +1,328 @@
+#include "sfi/profile.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace sack::sfi {
+
+int syscall_index(std::string_view name) {
+  static const std::unordered_map<std::string_view, int> kIndex = [] {
+    std::unordered_map<std::string_view, int> m;
+    for (std::size_t i = 0; i < kSyscallNames.size(); ++i)
+      m.emplace(kSyscallNames[i], static_cast<int>(i));
+    return m;
+  }();
+  auto it = kIndex.find(name);
+  return it == kIndex.end() ? -1 : it->second;
+}
+
+namespace {
+
+// Accepts a state name or the '*' wildcard. Returns empty string on error.
+std::string parse_state_ref(TokenStream& ts) {
+  if (ts.accept_punct('*')) return std::string(kWildcard);
+  auto tok = ts.expect(TokenKind::identifier, "state name");
+  if (!tok.ok()) return {};
+  return tok->text;
+}
+
+// Parses `sys_a, sys_b` or `*`. Sets any on wildcard.
+bool parse_syscall_list(TokenStream& ts, std::vector<std::string>& out,
+                        bool& any) {
+  if (ts.accept_punct('*')) {
+    any = true;
+    return true;
+  }
+  do {
+    auto tok = ts.expect(TokenKind::identifier, "syscall name");
+    if (!tok.ok()) return false;
+    out.push_back(tok->text);
+  } while (ts.accept_punct(','));
+  return true;
+}
+
+bool parse_flows(TokenStream& ts, SfiProfile& profile) {
+  if (!ts.expect_punct('{').ok()) return false;
+  while (!ts.accept_punct('}')) {
+    if (ts.at_end()) {
+      ts.record_error("unterminated flows block");
+      return false;
+    }
+    FlowRule rule;
+    rule.line = ts.peek().line;
+    if (ts.accept_ident("deny")) {
+      rule.deny = true;
+      rule.from = parse_state_ref(ts);
+      if (rule.from.empty()) return false;
+      if (!ts.accept_ident("on")) {
+        ts.record_error("expected 'on' in deny rule");
+        return false;
+      }
+      if (!parse_syscall_list(ts, rule.syscalls, rule.any_syscall))
+        return false;
+      if (rule.any_syscall) {
+        ts.record_error("deny rules must name syscalls ('deny ... on *' "
+                        "is the default-deny, write nothing instead)");
+        return false;
+      }
+    } else {
+      rule.from = parse_state_ref(ts);
+      if (rule.from.empty()) return false;
+      if (ts.peek().kind != TokenKind::arrow) {
+        ts.record_error("expected '->' in flow rule");
+        return false;
+      }
+      ts.next();
+      rule.to = parse_state_ref(ts);
+      if (rule.to.empty()) return false;
+      if (!ts.accept_ident("on")) {
+        ts.record_error("expected 'on' in flow rule");
+        return false;
+      }
+      if (!parse_syscall_list(ts, rule.syscalls, rule.any_syscall))
+        return false;
+    }
+    if (!ts.expect_punct(';').ok()) return false;
+    profile.flows.push_back(std::move(rule));
+  }
+  return true;
+}
+
+bool parse_profile(TokenStream& ts, SfiProfile& profile) {
+  auto exe = ts.expect(TokenKind::path, "profile attachment path");
+  if (!exe.ok()) return false;
+  profile.exe = exe->text;
+  profile.line = exe->line;
+  if (!ts.expect_punct('{').ok()) return false;
+
+  while (!ts.accept_punct('}')) {
+    if (ts.at_end()) {
+      ts.record_error("unterminated profile block");
+      return false;
+    }
+    if (ts.accept_ident("mode")) {
+      if (ts.accept_ident("audit")) {
+        profile.audit_only = true;
+      } else if (ts.accept_ident("enforce")) {
+        profile.audit_only = false;
+      } else {
+        ts.record_error("mode must be 'enforce' or 'audit'");
+        return false;
+      }
+      if (!ts.expect_punct(';').ok()) return false;
+    } else if (ts.accept_ident("states")) {
+      if (!ts.expect_punct('{').ok()) return false;
+      while (!ts.accept_punct('}')) {
+        if (ts.at_end()) {
+          ts.record_error("unterminated states block");
+          return false;
+        }
+        auto tok = ts.expect(TokenKind::identifier, "state name");
+        if (!tok.ok()) return false;
+        profile.states.push_back(tok->text);
+        ts.accept_punct(',');  // separators optional
+        ts.accept_punct(';');
+      }
+    } else if (ts.accept_ident("initial")) {
+      auto tok = ts.expect(TokenKind::identifier, "initial state name");
+      if (!tok.ok()) return false;
+      profile.initial = tok->text;
+      if (!ts.expect_punct(';').ok()) return false;
+    } else if (ts.accept_ident("flows")) {
+      if (!parse_flows(ts, profile)) return false;
+    } else if (ts.accept_ident("situation")) {
+      SituationOverlay overlay;
+      overlay.line = ts.peek().line;
+      auto tok = ts.expect(TokenKind::identifier, "situation name");
+      if (!tok.ok()) return false;
+      overlay.situation = tok->text;
+      if (!ts.expect_punct('{').ok()) return false;
+      while (!ts.accept_punct('}')) {
+        if (ts.at_end()) {
+          ts.record_error("unterminated situation block");
+          return false;
+        }
+        if (!ts.accept_ident("deny")) {
+          ts.record_error("situation overlays are deny-only: expected 'deny'");
+          return false;
+        }
+        bool any = false;
+        if (!parse_syscall_list(ts, overlay.deny, any)) return false;
+        if (any) {
+          ts.record_error("situation deny must name syscalls");
+          return false;
+        }
+        if (!ts.expect_punct(';').ok()) return false;
+      }
+      profile.overlays.push_back(std::move(overlay));
+    } else {
+      ts.record_error("expected mode/states/initial/flows/situation, got '" +
+                      ts.peek().text + "'");
+      return false;
+    }
+  }
+  return true;
+}
+
+void check_profile(const SfiProfile& p, std::vector<ParseError>& errors) {
+  auto err = [&](int line, std::string msg) {
+    errors.push_back({line, 0, std::move(msg)});
+  };
+
+  std::set<std::string> states;
+  for (const auto& s : p.states) {
+    if (s == kWildcard) err(p.line, p.exe + ": '*' is not a legal state name");
+    if (!states.insert(s).second)
+      err(p.line, p.exe + ": duplicate state '" + s + "'");
+  }
+  if (p.states.empty()) err(p.line, p.exe + ": profile declares no states");
+  if (p.initial.empty()) {
+    err(p.line, p.exe + ": missing 'initial' declaration");
+  } else if (!states.count(p.initial)) {
+    err(p.line, p.exe + ": initial state '" + p.initial + "' not declared");
+  }
+
+  auto check_state = [&](const std::string& s, int line) {
+    if (s != kWildcard && !states.count(s))
+      err(line, p.exe + ": unknown state '" + s + "'");
+  };
+  auto check_syscalls = [&](const FlowRule& r) {
+    for (const auto& sc : r.syscalls)
+      if (syscall_index(sc) < 0)
+        err(r.line, p.exe + ": unknown syscall '" + sc + "'");
+  };
+
+  // Nondeterminism: two explicit transitions from the same (state, syscall)
+  // to different targets. Wildcards resolve by specificity, so only
+  // same-specificity duplicates conflict.
+  std::map<std::pair<std::string, std::string>, std::string> seen;
+  for (const auto& r : p.flows) {
+    check_state(r.from, r.line);
+    if (!r.deny) check_state(r.to, r.line);
+    check_syscalls(r);
+    if (r.deny) continue;
+    for (const auto& sc : r.syscalls) {
+      auto key = std::make_pair(r.from, sc);
+      auto [it, inserted] = seen.emplace(key, r.to);
+      if (!inserted && it->second != r.to)
+        err(r.line, p.exe + ": nondeterministic transition: " + r.from +
+                        " on " + sc + " goes to both '" + it->second +
+                        "' and '" + r.to + "'");
+    }
+  }
+
+  std::set<std::string> overlay_names;
+  for (const auto& o : p.overlays) {
+    if (!overlay_names.insert(o.situation).second)
+      err(o.line, p.exe + ": duplicate situation overlay '" + o.situation + "'");
+    for (const auto& sc : o.deny)
+      if (syscall_index(sc) < 0)
+        err(o.line, p.exe + ": unknown syscall '" + sc + "' in situation '" +
+                        o.situation + "'");
+  }
+}
+
+}  // namespace
+
+SfiParseResult parse_sfi_policy(std::string_view text) {
+  SfiParseResult result;
+  Tokenizer tokenizer(text);
+  auto tokens = tokenizer.run();
+  if (!tokens.ok()) {
+    result.errors.push_back(tokenizer.last_error());
+    return result;
+  }
+  TokenStream ts(std::move(*tokens));
+
+  while (!ts.at_end()) {
+    if (!ts.accept_ident("profile")) {
+      ts.record_error("expected 'profile', got '" + ts.peek().text + "'");
+      break;
+    }
+    SfiProfile profile;
+    if (!parse_profile(ts, profile)) break;
+    result.policy.profiles.push_back(std::move(profile));
+  }
+  result.errors = ts.take_errors();
+
+  std::set<std::string> exes;
+  for (const auto& p : result.policy.profiles) {
+    if (!exes.insert(p.exe).second)
+      result.errors.push_back(
+          {p.line, 0, "duplicate profile for '" + p.exe + "'"});
+    check_profile(p, result.errors);
+  }
+  if (!result.errors.empty()) result.policy.profiles.clear();
+  return result;
+}
+
+std::string dump_sfi_policy(const SfiPolicy& policy) {
+  auto sorted_profiles = policy.profiles;
+  std::sort(sorted_profiles.begin(), sorted_profiles.end(),
+            [](const SfiProfile& a, const SfiProfile& b) { return a.exe < b.exe; });
+
+  std::string out;
+  for (const auto& p : sorted_profiles) {
+    out += "profile " + p.exe + " {\n";
+    out += "  mode ";
+    out += p.audit_only ? "audit" : "enforce";
+    out += ";\n  states {";
+    for (std::size_t i = 0; i < p.states.size(); ++i)
+      out += (i ? ", " : " ") + p.states[i];
+    out += " }\n";
+    out += "  initial " + p.initial + ";\n";
+    out += "  flows {\n";
+
+    // One rule per (from, to, syscall) triple, sorted; catch-alls last.
+    struct Line { std::string from, to, sc; bool any; bool deny; };
+    std::vector<Line> lines;
+    for (const auto& r : p.flows) {
+      if (r.any_syscall) {
+        lines.push_back({r.from, r.to, "", true, r.deny});
+      } else {
+        for (const auto& sc : r.syscalls)
+          lines.push_back({r.from, r.to, sc, false, r.deny});
+      }
+    }
+    std::sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
+      return std::tie(a.deny, a.from, a.any, a.sc, a.to) <
+             std::tie(b.deny, b.from, b.any, b.sc, b.to);
+    });
+    lines.erase(std::unique(lines.begin(), lines.end(),
+                            [](const Line& a, const Line& b) {
+                              return std::tie(a.deny, a.from, a.any, a.sc, a.to) ==
+                                     std::tie(b.deny, b.from, b.any, b.sc, b.to);
+                            }),
+                lines.end());
+    for (const auto& l : lines) {
+      out += "    ";
+      if (l.deny) {
+        out += "deny " + l.from + " on " + l.sc + ";\n";
+      } else {
+        out += l.from + " -> " + l.to + " on " + (l.any ? "*" : l.sc) + ";\n";
+      }
+    }
+    out += "  }\n";
+
+    auto overlays = p.overlays;
+    std::sort(overlays.begin(), overlays.end(),
+              [](const SituationOverlay& a, const SituationOverlay& b) {
+                return a.situation < b.situation;
+              });
+    for (const auto& o : overlays) {
+      out += "  situation " + o.situation + " {\n    deny";
+      auto deny = o.deny;
+      std::sort(deny.begin(), deny.end());
+      deny.erase(std::unique(deny.begin(), deny.end()), deny.end());
+      for (std::size_t i = 0; i < deny.size(); ++i)
+        out += (i ? ", " : " ") + deny[i];
+      out += ";\n  }\n";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace sack::sfi

@@ -1,0 +1,119 @@
+// SFI profile model: per-application syscall-flow automata.
+//
+// A `.sfi` policy is a set of profiles, one per executable. Each profile is
+// a deterministic automaton over *syscall names* (the SFIP coarse-grained
+// model, arXiv:2202.13716): states, an initial state, and `flows` rules
+// naming which syscall moves the task from one state to another. Anything
+// not named is denied — the profile is a whitelist of admissible syscall
+// sequences, exactly like the AppArmor profile is a whitelist of paths.
+//
+// Grammar (see docs/SFI.md for the full reference):
+//
+//   profile /usr/bin/media_app {
+//     mode enforce;                    # or `mode audit` (log, don't deny)
+//     states { start, at_open, at_read }
+//     initial start;
+//     flows {
+//       start -> at_open on sys_open;
+//       at_open -> at_read on sys_read, sys_fstat;
+//       * -> start on sys_close;       # from any state
+//       at_read -> * on sys_lseek;     # '*' target = stay put (self-loop)
+//       start -> start on *;           # catch-all: any other syscall
+//       deny start on sys_ioctl;       # overrides any wildcard above
+//     }
+//     situation driving {              # SSM overlay: tighten while driving
+//       deny sys_ioctl, sys_unlink;
+//     }
+//   }
+//
+// Resolution order for (state, syscall), most specific wins:
+//   explicit deny > explicit transition > `* ->` transition >
+//   per-state catch-all (`on *`) > `* -> * on *` > default deny.
+//
+// Situation overlays are deny-only (an overlay can only tighten, never
+// grant), so stacking under SACK stays monotone: whatever the SSM does, the
+// automaton never admits a sequence the base profile rejects.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/tokenizer.h"
+
+namespace sack::sfi {
+
+// Every syscall entry the simulated kernel exposes, in dispatch-table order.
+// The compiler indexes transition tables by position in this array, and the
+// checker rejects profiles naming anything else (a typo in a whitelist
+// silently denies, so it must be a load-time error).
+inline constexpr std::array<std::string_view, 44> kSyscallNames = {
+    "sys_open",    "sys_close",     "sys_read",      "sys_write",
+    "sys_lseek",   "sys_stat",      "sys_fstat",     "sys_mkdir",
+    "sys_rmdir",   "sys_unlink",    "sys_rename",    "sys_symlink",
+    "sys_link",    "sys_readlink",  "sys_chmod",     "sys_chown",
+    "sys_truncate","sys_ioctl",     "sys_getxattr",  "sys_setxattr",
+    "sys_listxattr","sys_dup",      "sys_readdir",   "sys_chdir",
+    "sys_mmap",    "sys_mmap_anon", "sys_munmap",    "sys_pipe",
+    "sys_socket",  "sys_socketpair","sys_bind",      "sys_listen",
+    "sys_connect", "sys_accept",    "sys_send",      "sys_recv",
+    "sys_fork",    "sys_execve",    "sys_exit",      "sys_waitpid",
+    "sys_getpid",  "sys_nop",       "sys_capset_drop","sys_kill",
+};
+
+// O(1) name -> index into kSyscallNames; -1 for unknown names.
+int syscall_index(std::string_view name);
+
+// The wildcard state / syscall marker in rules.
+inline constexpr std::string_view kWildcard = "*";
+
+struct FlowRule {
+  std::string from;                   // state name or "*"
+  std::string to;                     // state name or "*" (= stay); empty for deny rules
+  std::vector<std::string> syscalls;  // empty when any_syscall
+  bool any_syscall = false;           // `on *`
+  bool deny = false;                  // `deny <state> on <syscalls>`
+  int line = 0;
+};
+
+struct SituationOverlay {
+  std::string situation;              // SSM state name this overlay keys off
+  std::vector<std::string> deny;      // syscalls denied while the situation holds
+  int line = 0;
+};
+
+struct SfiProfile {
+  std::string exe;                    // attachment path (exact match)
+  std::vector<std::string> states;
+  std::string initial;
+  bool audit_only = false;            // `mode audit`
+  std::vector<FlowRule> flows;
+  std::vector<SituationOverlay> overlays;
+  int line = 0;
+};
+
+struct SfiPolicy {
+  std::vector<SfiProfile> profiles;
+};
+
+struct SfiParseResult {
+  SfiPolicy policy;
+  std::vector<ParseError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+// Parses + checks. Structural errors (unknown state, unknown syscall,
+// nondeterministic transitions, missing initial, duplicate profile) are
+// collected, not thrown; `policy` is only meaningful when ok().
+SfiParseResult parse_sfi_policy(std::string_view text);
+
+// Canonical renderer: parse(dump(parse(x))) == parse(x). Rules are emitted
+// sorted (profiles by exe, flows by from/to/syscall) so the dump is a
+// fingerprint of the policy, independent of source ordering.
+std::string dump_sfi_policy(const SfiPolicy& policy);
+
+}  // namespace sack::sfi

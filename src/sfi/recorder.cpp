@@ -1,0 +1,175 @@
+#include "sfi/recorder.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "kernel/task.h"
+#include "sfi/automaton.h"
+
+namespace sack::sfi {
+
+using kernel::Task;
+
+Errno SfiRecorder::task_syscall(Task& task, std::string_view syscall) {
+  util::MutexLock lk(mu_);
+  auto& seq = active_[task.pid().get()];
+  if (seq.exe != task.exe_path()) {
+    // First observation of this pid, or it exec'd into a new image since:
+    // close the old epoch and open a fresh one.
+    if (!seq.calls.empty()) finished_.push_back(std::move(seq));
+    seq = Sequence{};
+    seq.exe = task.exe_path();
+  }
+  seq.calls.emplace_back(std::string(syscall), situation_);
+  ++observed_;
+  return Errno::ok;
+}
+
+void SfiRecorder::bprm_committed_creds(Task& task, const std::string&) {
+  util::MutexLock lk(mu_);
+  auto it = active_.find(task.pid().get());
+  if (it == active_.end()) return;
+  if (!it->second.calls.empty()) finished_.push_back(std::move(it->second));
+  active_.erase(it);
+}
+
+void SfiRecorder::task_free(Task& task) {
+  util::MutexLock lk(mu_);
+  auto it = active_.find(task.pid().get());
+  if (it == active_.end()) return;
+  if (!it->second.calls.empty()) finished_.push_back(std::move(it->second));
+  active_.erase(it);
+}
+
+void SfiRecorder::set_situation(std::string_view name) {
+  util::MutexLock lk(mu_);
+  situation_.assign(name);
+}
+
+std::vector<SfiRecorder::Sequence> SfiRecorder::sequences() const {
+  util::MutexLock lk(mu_);
+  std::vector<Sequence> out = finished_;
+  for (const auto& [pid, seq] : active_)
+    if (!seq.calls.empty()) out.push_back(seq);
+  return out;
+}
+
+std::uint64_t SfiRecorder::observed_calls() const {
+  util::MutexLock lk(mu_);
+  return observed_;
+}
+
+void SfiRecorder::clear() {
+  util::MutexLock lk(mu_);
+  active_.clear();
+  finished_.clear();
+  observed_ = 0;
+}
+
+namespace {
+std::string digram_state(const std::string& syscall) {
+  // "sys_open" -> "at_open": the state is "the last syscall issued".
+  return "at_" + (syscall.rfind("sys_", 0) == 0 ? syscall.substr(4) : syscall);
+}
+}  // namespace
+
+SfiPolicy SfiRecorder::distill() const {
+  const auto seqs = sequences();
+
+  struct PerExe {
+    std::set<std::string> states{"start"};
+    std::set<std::tuple<std::string, std::string, std::string>> edges;  // from,to,sc
+    std::set<std::string> observed;                        // all syscalls
+    std::map<std::string, std::set<std::string>> in_situation;  // situation -> syscalls
+  };
+  std::map<std::string, PerExe> per_exe;
+
+  for (const auto& seq : seqs) {
+    if (seq.exe.empty()) continue;
+    auto& pe = per_exe[seq.exe];
+    std::string state = "start";
+    for (const auto& [sc, situation] : seq.calls) {
+      const std::string to = digram_state(sc);
+      pe.states.insert(to);
+      pe.edges.emplace(state, to, sc);
+      pe.observed.insert(sc);
+      if (!situation.empty()) pe.in_situation[situation].insert(sc);
+      state = to;
+    }
+  }
+
+  SfiPolicy policy;
+  for (const auto& [exe, pe] : per_exe) {
+    SfiProfile prof;
+    prof.exe = exe;
+    prof.states.assign(pe.states.begin(), pe.states.end());
+    prof.initial = "start";
+    for (const auto& [from, to, sc] : pe.edges) {
+      FlowRule rule;
+      rule.from = from;
+      rule.to = to;
+      rule.syscalls = {sc};
+      prof.flows.push_back(std::move(rule));
+    }
+    // Situation overlays, tighten-only: deny whatever the app does *somewhere*
+    // but was never seen doing while this situation held. Syscalls the app
+    // never does at all are already denied by the automaton itself.
+    for (const auto& [situation, seen] : pe.in_situation) {
+      SituationOverlay overlay;
+      overlay.situation = situation;
+      for (const auto& sc : pe.observed)
+        if (!seen.count(sc)) overlay.deny.push_back(sc);
+      if (!overlay.deny.empty()) prof.overlays.push_back(std::move(overlay));
+    }
+    policy.profiles.push_back(std::move(prof));
+  }
+  return policy;
+}
+
+SfiRecorder::ReplayReport SfiRecorder::verify(const SfiPolicy& policy) const {
+  ReplayReport report;
+  auto compiled = compile_sfi_policy(policy, /*generation=*/1);
+  if (!compiled.ok()) {
+    report.clean = false;
+    report.detail = "candidate policy failed to compile";
+    return report;
+  }
+  const auto& set = *compiled;
+
+  const auto seqs = sequences();
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    const auto& seq = seqs[i];
+    if (seq.exe.empty()) continue;
+    const Program* program = set->find(seq.exe);
+    if (!program) {
+      report.clean = false;
+      report.detail = seq.exe + ": recorded but has no profile";
+      return report;
+    }
+    std::uint16_t state = program->initial_state();
+    for (std::size_t k = 0; k < seq.calls.size(); ++k) {
+      const auto& [sc, situation] = seq.calls[k];
+      const int sid = syscall_index(sc);
+      std::uint16_t next =
+          sid < 0 ? Program::kDeny
+                  : program->next(state, static_cast<std::uint16_t>(sid));
+      if (next != Program::kDeny && sid >= 0 && !situation.empty() &&
+          program->situation_denies(set->situation_token(situation),
+                                    static_cast<std::uint16_t>(sid)))
+        next = Program::kDeny;
+      if (next == Program::kDeny) {
+        report.clean = false;
+        report.detail = seq.exe + ": sequence " + std::to_string(i) +
+                        " call " + std::to_string(k) + " (" + sc +
+                        ", state " + program->state_name(state) +
+                        ") replays as a violation";
+        return report;
+      }
+      state = next;
+    }
+  }
+  return report;
+}
+
+}  // namespace sack::sfi

@@ -1,0 +1,80 @@
+// SfiRecorder: learning mode for syscall-flow profiles.
+//
+// An observation-only SecurityModule that rides the same per-syscall stream
+// the enforcement module does (the task_syscall hook dispatched at every
+// syscall entry, the stream the mediation witness brackets with
+// syscall_enter/exit): it never denies, it records. Stack it, run the real
+// IVI workloads, then:
+//
+//   distill()  lowers the recording into a minimal digram automaton per
+//              executable — state = "the last syscall issued" (SFIP's
+//              coarse-grained model), one transition per observed
+//              consecutive syscall pair, plus deny-only situation overlays
+//              for syscalls the app never issued while a given SSM
+//              situation held;
+//   verify()   replays every recorded sequence (with its per-call situation
+//              tags) against the compiled candidate policy. Only a
+//              replay-clean policy should be flipped to enforce mode.
+//
+// Overlays are tighten-only by construction (deny = observed-overall minus
+// observed-in-situation), so verify() passing is not luck: a recorded call
+// can never be in its own situation's deny set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kernel/lsm/module.h"
+#include "sfi/profile.h"
+#include "util/thread_annotations.h"
+
+namespace sack::sfi {
+
+class SfiRecorder final : public kernel::SecurityModule {
+ public:
+  static constexpr std::string_view kName = "sfi_record";
+
+  std::string_view name() const override { return kName; }
+
+  // One task-epoch of observation: the syscalls a pid issued while running
+  // one executable image (exec starts a new sequence).
+  struct Sequence {
+    std::string exe;
+    std::vector<std::pair<std::string, std::string>> calls;  // (syscall, situation)
+  };
+
+  // --- observation hooks (never deny) ---
+  Errno task_syscall(kernel::Task& task, std::string_view syscall) override;
+  void bprm_committed_creds(kernel::Task& task,
+                            const std::string& path) override;
+  void task_free(kernel::Task& task) override;
+
+  // SSM wiring, same shape as SfiModule::set_situation.
+  void set_situation(std::string_view name);
+
+  // --- recording access ---
+  std::vector<Sequence> sequences() const;  // finished + in-flight
+  std::uint64_t observed_calls() const;
+  void clear();
+
+  // --- learn -> enforce ---
+  SfiPolicy distill() const;
+
+  struct ReplayReport {
+    bool clean = true;
+    std::string detail;  // first violation, human-readable
+  };
+  ReplayReport verify(const SfiPolicy& policy) const;
+
+ private:
+  mutable util::Mutex mu_;
+  std::map<std::int64_t, Sequence> active_ SACK_GUARDED_BY(mu_);
+  std::vector<Sequence> finished_ SACK_GUARDED_BY(mu_);
+  std::string situation_ SACK_GUARDED_BY(mu_);
+  std::uint64_t observed_ SACK_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace sack::sfi

@@ -23,6 +23,9 @@ constexpr struct {
     {"fleet.push.delay", "push to a vehicle is deferred to a later pump"},
     {"fleet.activate.fail", "vehicle fails policy activation (armed errno)"},
     {"fleet.vehicle.crash", "vehicle reboots mid-rollout"},
+    {"sfi.profile.load", "SFI program-set compile fails before publication"},
+    {"sfi.transition.fail",
+     "SFI per-syscall transition probe fails closed (detail = syscall)"},
 };
 
 }  // namespace

@@ -22,6 +22,10 @@
 //   fleet.push.delay    push to a vehicle is deferred to a later pump
 //   fleet.activate.fail vehicle fails policy activation with the armed errno
 //   fleet.vehicle.crash vehicle reboots mid-rollout, losing volatile state
+//   sfi.profile.load    SFI program-set compile fails before publication
+//                       (the previous ProgramSet must stay live)
+//   sfi.transition.fail SFI per-syscall transition probe fails closed with
+//                       the armed errno (detail = syscall name)
 //
 // Site names are validated against a central registry: arming a name nobody
 // probes is a test bug (the chaos campaign silently tests nothing), so

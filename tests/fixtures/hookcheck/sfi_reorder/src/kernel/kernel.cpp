@@ -1,0 +1,29 @@
+// Seeded-bad tree for the universal-gate checks: sys_rename performs the
+// rename BEFORE the flow gate fires (a flow denial would leave the mutation
+// in place), and sys_truncate never dispatches the gate at all.
+#include "lsm/module.h"
+
+namespace sack {
+
+Errno Kernel::sys_rename(int pid, const std::string& from,
+                         const std::string& to) {
+  vfs_.rename_entry(from, to);  // BUG: mutation before the flow gate
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.task_syscall(pid, "sys_rename"); });
+  if (rc != Errno::ok) return rc;
+  rc = lsm_.check(
+      [&](SecurityModule& m) { return m.path_rename(pid, from, to); });
+  if (rc != Errno::ok) return rc;
+  return Errno::ok;
+}
+
+Errno Kernel::sys_truncate(int pid, const std::string& path) {
+  // BUG: no task_syscall gate — the flow module never sees this syscall.
+  Errno rc = lsm_.check(
+      [&](SecurityModule& m) { return m.path_truncate(pid, path); });
+  if (rc != Errno::ok) return rc;
+  inode_of(path).truncate();
+  return Errno::ok;
+}
+
+}  // namespace sack

@@ -1,0 +1,28 @@
+// Miniature SecurityModule mirroring the real hook-interface shape, with
+// the per-syscall flow gate (task_syscall) included. This tree is a
+// hookcheck regression fixture; it is parsed, never compiled.
+#pragma once
+
+#include <string>
+
+namespace sack {
+
+enum class Errno { ok, eacces, enoent };
+
+class SecurityModule {
+ public:
+  virtual ~SecurityModule() = default;
+
+  virtual Errno task_syscall(int pid, const std::string& syscall) {
+    return Errno::ok;
+  }
+  virtual Errno path_rename(int pid, const std::string& from,
+                            const std::string& to) {
+    return Errno::ok;
+  }
+  virtual Errno path_truncate(int pid, const std::string& path) {
+    return Errno::ok;
+  }
+};
+
+}  // namespace sack

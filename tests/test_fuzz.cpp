@@ -52,9 +52,17 @@ class OracleTest : public ::testing::Test {
  protected:
   OracleTest() : oracle_(test_manifest()) {}
 
+  // The universal task_syscall gate chain the kernel now runs at the top of
+  // every (non-exempt) syscall body.
+  void gate(Errno verdict = Errno::ok) {
+    oracle_.hook_enter("task_syscall");
+    oracle_.chain_verdict(verdict);
+  }
+
   // Drives one complete, well-formed mediated unlink through the witness.
   void clean_unlink() {
     oracle_.syscall_enter("sys_unlink");
+    gate();
     oracle_.hook_enter("path_unlink");
     oracle_.chain_verdict(Errno::ok);
     oracle_.mutation("vfs_unlink");
@@ -69,7 +77,7 @@ TEST_F(OracleTest, CleanTraceHasNoViolations) {
   clean_unlink();
   EXPECT_TRUE(oracle_.violations().empty());
   EXPECT_EQ(oracle_.syscalls_observed(), 1u);
-  EXPECT_EQ(oracle_.chains_observed(), 1u);
+  EXPECT_EQ(oracle_.chains_observed(), 2u);  // gate + path_unlink
   EXPECT_EQ(oracle_.mutations_observed(), 1u);
 }
 
@@ -77,6 +85,7 @@ TEST_F(OracleTest, MutationBeforeVerdictIsReorder) {
   // The hook is dispatched, but the mutation lands before its verdict: the
   // exact shape of a hook-after-mutation reorder at runtime.
   oracle_.syscall_enter("sys_unlink");
+  gate();
   oracle_.hook_enter("path_unlink");
   oracle_.mutation("vfs_unlink");
   oracle_.chain_verdict(Errno::ok);
@@ -88,6 +97,7 @@ TEST_F(OracleTest, MutationBeforeVerdictIsReorder) {
 
 TEST_F(OracleTest, MutationWithNoHookAtAllIsViolation) {
   oracle_.syscall_enter("sys_unlink");
+  gate();
   oracle_.mutation("vfs_unlink");
   oracle_.syscall_exit("sys_unlink");
   oracle_.syscall_result(Errno::ok);
@@ -97,6 +107,7 @@ TEST_F(OracleTest, MutationWithNoHookAtAllIsViolation) {
 
 TEST_F(OracleTest, DeniedMutationIsViolation) {
   oracle_.syscall_enter("sys_unlink");
+  gate();
   oracle_.hook_enter("path_unlink");
   oracle_.chain_verdict(Errno::eacces);
   oracle_.mutation("vfs_unlink");
@@ -108,6 +119,7 @@ TEST_F(OracleTest, DeniedMutationIsViolation) {
 
 TEST_F(OracleTest, SwallowedDenialIsViolation) {
   oracle_.syscall_enter("sys_unlink");
+  gate();
   oracle_.hook_enter("path_unlink");
   oracle_.chain_verdict(Errno::eacces);
   oracle_.syscall_exit("sys_unlink");
@@ -118,6 +130,7 @@ TEST_F(OracleTest, SwallowedDenialIsViolation) {
 
 TEST_F(OracleTest, RewrittenDenialErrnoIsViolation) {
   oracle_.syscall_enter("sys_unlink");
+  gate();
   oracle_.hook_enter("path_unlink");
   oracle_.chain_verdict(Errno::eacces);
   oracle_.syscall_exit("sys_unlink");
@@ -129,6 +142,7 @@ TEST_F(OracleTest, RewrittenDenialErrnoIsViolation) {
 TEST_F(OracleTest, CapableDenialMayBeRemapped) {
   // sys_bind legitimately turns a capable() denial into EACCES.
   oracle_.syscall_enter("sys_bind");
+  gate();
   oracle_.hook_enter("socket_bind");
   oracle_.chain_verdict(Errno::ok);
   oracle_.hook_enter("capable");
@@ -140,6 +154,7 @@ TEST_F(OracleTest, CapableDenialMayBeRemapped) {
 
 TEST_F(OracleTest, UnmediatedSyscallMayMutateFreely) {
   oracle_.syscall_enter("sys_close");  // [unmediated] in the manifest
+  gate();  // the flow gate still runs in unmediated syscalls
   oracle_.mutation("fd_close");
   oracle_.syscall_exit("sys_close");
   oracle_.syscall_result(Errno::ok);
@@ -148,6 +163,7 @@ TEST_F(OracleTest, UnmediatedSyscallMayMutateFreely) {
 
 TEST_F(OracleTest, UnmediatedOnlySiteInMediatedSyscallIsViolation) {
   oracle_.syscall_enter("sys_unlink");
+  gate();
   oracle_.hook_enter("path_unlink");
   oracle_.chain_verdict(Errno::ok);
   oracle_.mutation("fd_close");  // empty guard set: unmediated-only site
@@ -159,6 +175,7 @@ TEST_F(OracleTest, UnmediatedOnlySiteInMediatedSyscallIsViolation) {
 
 TEST_F(OracleTest, UnknownSyscallIsManifestDrift) {
   oracle_.syscall_enter("sys_mystery");
+  gate();
   oracle_.syscall_exit("sys_mystery");
   oracle_.syscall_result(Errno::ok);
   ASSERT_EQ(oracle_.violations().size(), 1u);
@@ -167,6 +184,7 @@ TEST_F(OracleTest, UnknownSyscallIsManifestDrift) {
 
 TEST_F(OracleTest, UnknownMutationSiteIsViolation) {
   oracle_.syscall_enter("sys_unlink");
+  gate();
   oracle_.hook_enter("path_unlink");
   oracle_.chain_verdict(Errno::ok);
   oracle_.mutation("warp_core");
@@ -178,6 +196,7 @@ TEST_F(OracleTest, UnknownMutationSiteIsViolation) {
 
 TEST_F(OracleTest, HookWithoutVerdictIsViolation) {
   oracle_.syscall_enter("sys_unlink");
+  gate();
   oracle_.hook_enter("path_unlink");
   oracle_.syscall_exit("sys_unlink");
   oracle_.syscall_result(Errno::ok);
@@ -188,22 +207,97 @@ TEST_F(OracleTest, HookWithoutVerdictIsViolation) {
 TEST_F(OracleTest, NestedScopeFoldsChainsIntoParent) {
   // sys_exit dispatched from inside sys_kill, as the kernel really does it.
   oracle_.syscall_enter("sys_kill");
+  gate();
   oracle_.hook_enter("task_kill");
   oracle_.chain_verdict(Errno::ok);
+  // sys_exit is universal_exempt: no gate chain inside it.
   oracle_.syscall_enter("sys_exit");
   oracle_.mutation("task_exit");
   oracle_.syscall_exit("sys_exit");
   oracle_.syscall_exit("sys_kill");
   oracle_.syscall_result(Errno::ok);
   EXPECT_TRUE(oracle_.violations().empty());
-  ASSERT_EQ(oracle_.last_chains().size(), 1u);
-  EXPECT_EQ(oracle_.last_chains()[0].hook, "task_kill");
+  ASSERT_EQ(oracle_.last_chains().size(), 2u);
+  EXPECT_EQ(oracle_.last_chains()[0].hook, "task_syscall");
+  EXPECT_EQ(oracle_.last_chains()[1].hook, "task_kill");
 }
 
 TEST_F(OracleTest, EventsOutsideScopesAreIgnored) {
   oracle_.hook_enter("clock_tick");
   oracle_.chain_verdict(Errno::ok);
   oracle_.mutation("vfs_create");
+  EXPECT_TRUE(oracle_.violations().empty());
+}
+
+// ---------- first-deny-wins ----------
+
+TEST_F(OracleTest, ModuleDenialCarriedFaithfullyIsClean) {
+  oracle_.syscall_enter("sys_unlink");
+  gate();
+  oracle_.hook_enter("path_unlink");
+  oracle_.module_verdict("sfi", Errno::eacces);
+  oracle_.chain_verdict(Errno::eacces);
+  oracle_.syscall_exit("sys_unlink");
+  oracle_.syscall_result(Errno::eacces);
+  EXPECT_TRUE(oracle_.violations().empty());
+}
+
+TEST_F(OracleTest, ModuleDenialOverwrittenByAllowIsViolation) {
+  // A module denied the chain, but the stack reported an allow — a later
+  // module's verdict (or a stack bug) swallowed the denial.
+  oracle_.syscall_enter("sys_unlink");
+  gate();
+  oracle_.hook_enter("path_unlink");
+  oracle_.module_verdict("sfi", Errno::eacces);
+  oracle_.chain_verdict(Errno::ok);
+  oracle_.mutation("vfs_unlink");
+  oracle_.syscall_exit("sys_unlink");
+  oracle_.syscall_result(Errno::ok);
+  ASSERT_FALSE(oracle_.violations().empty());
+  EXPECT_EQ(oracle_.violations()[0].rule, "first-deny-wins");
+}
+
+TEST_F(OracleTest, ModuleDenialRewrittenErrnoIsViolation) {
+  oracle_.syscall_enter("sys_unlink");
+  gate();
+  oracle_.hook_enter("path_unlink");
+  oracle_.module_verdict("sfi", Errno::eacces);
+  oracle_.chain_verdict(Errno::eperm);  // wrong errno surfaced
+  oracle_.syscall_exit("sys_unlink");
+  oracle_.syscall_result(Errno::eperm);
+  ASSERT_EQ(oracle_.violations().size(), 1u);
+  EXPECT_EQ(oracle_.violations()[0].rule, "first-deny-wins");
+}
+
+// ---------- universal gate ----------
+
+TEST_F(OracleTest, ScopeWithoutGateChainIsUniversalGateViolation) {
+  oracle_.syscall_enter("sys_getpid");  // unmediated, but not gate-exempt
+  oracle_.syscall_exit("sys_getpid");
+  oracle_.syscall_result(Errno::ok);
+  ASSERT_EQ(oracle_.violations().size(), 1u);
+  EXPECT_EQ(oracle_.violations()[0].rule, "universal-gate");
+}
+
+TEST_F(OracleTest, MutationBeforeGateIsUniversalGateViolation) {
+  // The SFI-instrumented shape of a hook-after-mutation reorder: state
+  // changes before the flow gate has allowed anything. The per-site guard
+  // rule cannot see this (sys_close is [unmediated]); only the universal
+  // gate can.
+  oracle_.syscall_enter("sys_close");
+  oracle_.mutation("fd_close");
+  gate();
+  oracle_.syscall_exit("sys_close");
+  oracle_.syscall_result(Errno::ok);
+  ASSERT_EQ(oracle_.violations().size(), 1u);
+  EXPECT_EQ(oracle_.violations()[0].rule, "universal-gate");
+}
+
+TEST_F(OracleTest, ExemptScopeNeedsNoGate) {
+  oracle_.syscall_enter("sys_exit");  // universal_exempt in the manifest
+  oracle_.mutation("task_exit");
+  oracle_.syscall_exit("sys_exit");
+  oracle_.syscall_result(Errno::ok);
   EXPECT_TRUE(oracle_.violations().empty());
 }
 
@@ -329,6 +423,51 @@ TEST_F(ExecutorTest, SituationFlipsMidProgramStayMediated) {
         << "seed " << seed << ": " << res.violations[0].rule << ": "
         << res.violations[0].detail;
   }
+}
+
+// ---------- SFI in the live stack ----------
+
+// The seeded SFI deny (sds_daemon may not chdir, kFuzzSfiProfiles) must pass
+// through the real LsmStack, surface as the syscall's errno, and leave the
+// first-deny-wins and universal-gate witnesses satisfied.
+TEST(FuzzSfi, SfiDenialSurvivesTheStack) {
+  MediationOracle oracle(test_manifest());
+  FuzzEnv env(&oracle, /*racer_seed=*/0);
+  kernel::Kernel& k = env.kernel();
+
+  auto r = k.sys_chdir(env.task(2), "/var/media");  // sds_daemon
+  oracle.syscall_result(r.ok() ? Errno::ok : r.error());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Errno::eacces);
+  EXPECT_GE(env.sfi().denial_count(), 1u);
+
+  k.set_mediation_witness(nullptr);
+  ASSERT_TRUE(oracle.violations().empty())
+      << oracle.violations()[0].rule << ": " << oracle.violations()[0].detail;
+  // The chain the denial rode was the gate chain itself.
+  bool saw_denied_gate = false;
+  for (const ChainRecord& c : oracle.last_chains())
+    if (c.hook == "task_syscall" && c.verdict == Errno::eacces)
+      saw_denied_gate = true;
+  EXPECT_TRUE(saw_denied_gate);
+}
+
+TEST(FuzzSfi, AllowedSyscallRunsGateChainCleanly) {
+  MediationOracle oracle(test_manifest());
+  FuzzEnv env(&oracle, /*racer_seed=*/0);
+  kernel::Kernel& k = env.kernel();
+
+  auto r = k.sys_chdir(env.task(1), "/var/media");  // media: catch-all allows
+  oracle.syscall_result(r.ok() ? Errno::ok : r.error());
+  EXPECT_TRUE(r.ok());
+
+  k.set_mediation_witness(nullptr);
+  EXPECT_TRUE(oracle.violations().empty())
+      << oracle.violations()[0].rule << ": " << oracle.violations()[0].detail;
+  bool saw_gate = false;
+  for (const ChainRecord& c : oracle.last_chains())
+    if (c.hook == "task_syscall" && c.verdict == Errno::ok) saw_gate = true;
+  EXPECT_TRUE(saw_gate);
 }
 
 // ---------- mutation & corpus machinery ----------

@@ -302,6 +302,18 @@ TEST(HookcheckGate, ReorderFixtureTrips) {
   EXPECT_EQ(r.errors(), 2u);
 }
 
+TEST(HookcheckGate, SfiReorderFixtureTrips) {
+  const std::string root =
+      std::string(SACK_SOURCE_DIR) + "/tests/fixtures/hookcheck/sfi_reorder";
+  HookcheckResult r = run_hookcheck(root, root + "/hook_manifest.toml");
+  ASSERT_TRUE(r.ok()) << r.fatal;
+  // The flow gate fires after the mutation in sys_rename...
+  EXPECT_TRUE(has_finding(r, "hook-after-mutation", "task_syscall"));
+  // ...and is entirely absent from sys_truncate.
+  EXPECT_TRUE(has_finding(r, "missing-hook", "task_syscall"));
+  EXPECT_EQ(r.errors(), 2u);
+}
+
 TEST(HookcheckGate, ShippedKernelTreeIsClean) {
   const std::string root = SACK_SOURCE_DIR;
   HookcheckResult r = run_hookcheck(root, root + "/docs/hook_manifest.toml");

@@ -1,0 +1,151 @@
+// SFI fault-injection coverage: the two production sites registered for the
+// flow module. `sfi.profile.load` fails a compile before publication — the
+// previous ProgramSet must stay live and enforcing. `sfi.transition.fail`
+// fails a single transition probe closed — the automaton state must come
+// through uncorrupted.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "kernel/kernel.h"
+#include "sfi/module.h"
+#include "util/fault.h"
+
+namespace sack::sfi {
+namespace {
+
+using kernel::Cred;
+using kernel::Kernel;
+using kernel::Task;
+using util::FaultInjector;
+using util::FaultSpec;
+
+constexpr std::string_view kExe = "/usr/bin/app";
+
+constexpr std::string_view kProfileV1 = R"(profile /usr/bin/app {
+  states { start, at_open }
+  initial start;
+  flows {
+    start -> at_open on sys_open;
+    at_open -> start on sys_close;
+  }
+})";
+
+// v2 additionally admits sys_read from at_open — a decision that flips
+// observably if (and only if) v2 actually activates.
+constexpr std::string_view kProfileV2 = R"(profile /usr/bin/app {
+  states { start, at_open }
+  initial start;
+  flows {
+    start -> at_open on sys_open;
+    at_open -> at_open on sys_read;
+    at_open -> start on sys_close;
+  }
+})";
+
+class SfiFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::instance().reset();
+    module_ = static_cast<SfiModule*>(
+        kernel_.add_lsm(std::make_unique<SfiModule>()));
+    ASSERT_TRUE(module_->load_policy_text(kProfileV1).ok());
+    app_ = &kernel_.spawn_task("app", Cred::root(), std::string(kExe));
+  }
+  void TearDown() override { FaultInjector::instance().reset(); }
+
+  Errno step(std::string_view syscall) {
+    return module_->task_syscall(*app_, syscall);
+  }
+
+  Kernel kernel_;
+  SfiModule* module_ = nullptr;
+  Task* app_ = nullptr;
+};
+
+TEST_F(SfiFaultTest, SitesAreInTheCentralRegistry) {
+  auto& fi = FaultInjector::instance();
+  EXPECT_TRUE(fi.is_registered("sfi.profile.load"));
+  EXPECT_TRUE(fi.is_registered("sfi.transition.fail"));
+}
+
+TEST_F(SfiFaultTest, ProfileLoadFaultKeepsTheOldSetLive) {
+  auto& fi = FaultInjector::instance();
+  FaultSpec spec;
+  spec.error = Errno::enomem;
+  ASSERT_TRUE(fi.arm("sfi.profile.load", spec));
+
+  auto rc = module_->load_policy_text(kProfileV2);
+  ASSERT_FALSE(rc.ok());
+  EXPECT_EQ(rc.error(), Errno::enomem);
+  EXPECT_EQ(fi.stats("sfi.profile.load").fires, 1u);
+
+  // Nothing was published: generation unchanged, v1 still the set that
+  // decides — sys_read from at_open is still a violation.
+  EXPECT_EQ(module_->generation(), 1u);
+  EXPECT_EQ(module_->programs()->generation(), 1u);
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+  EXPECT_EQ(step("sys_read"), Errno::eacces);
+
+  // Recovery after disarm: the same load goes through and flips the
+  // decision.
+  fi.disarm("sfi.profile.load");
+  ASSERT_TRUE(module_->load_policy_text(kProfileV2).ok());
+  EXPECT_EQ(module_->generation(), 2u);
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+  EXPECT_EQ(step("sys_read"), Errno::ok);
+}
+
+TEST_F(SfiFaultTest, TransitionFaultFailsClosedAndPreservesState) {
+  EXPECT_EQ(step("sys_open"), Errno::ok);  // start -> at_open
+
+  auto& fi = FaultInjector::instance();
+  FaultSpec spec;
+  spec.error = Errno::eio;
+  ASSERT_TRUE(fi.arm("sfi.transition.fail", spec));
+
+  // The probe fails closed with the injected errno, not EACCES — the
+  // caller can tell infrastructure failure from a policy denial.
+  EXPECT_EQ(step("sys_close"), Errno::eio);
+  EXPECT_EQ(fi.stats("sfi.transition.fail").fires, 1u);
+  // Fail-closed is not an audited flow violation.
+  EXPECT_EQ(module_->denial_count(), 0u);
+
+  // The automaton did not move: after disarm the flow resumes exactly
+  // where it was (close is admissible from at_open, open is not).
+  fi.disarm("sfi.transition.fail");
+  EXPECT_EQ(step("sys_close"), Errno::ok);
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+}
+
+TEST_F(SfiFaultTest, TransitionFaultCanTargetOneSyscall) {
+  // detail = syscall name, so a campaign can fail e.g. only sys_close.
+  auto& fi = FaultInjector::instance();
+  FaultSpec spec;
+  spec.error = Errno::eio;
+  spec.match = "sys_close";
+  ASSERT_TRUE(fi.arm("sfi.transition.fail", spec));
+
+  EXPECT_EQ(step("sys_open"), Errno::ok);   // unmatched: passes
+  EXPECT_EQ(step("sys_close"), Errno::eio);  // matched: fails closed
+  fi.disarm("sfi.transition.fail");
+  EXPECT_EQ(step("sys_close"), Errno::ok);
+}
+
+TEST_F(SfiFaultTest, UnconfinedTasksAreNotProbed) {
+  // The fault probe sits behind the confinement check: unconfined tasks
+  // must not feel an armed transition fault.
+  auto& fi = FaultInjector::instance();
+  FaultSpec spec;
+  spec.error = Errno::eio;
+  ASSERT_TRUE(fi.arm("sfi.transition.fail", spec));
+
+  Task& other = kernel_.spawn_task("other", Cred::root(), "/usr/bin/other");
+  EXPECT_EQ(module_->task_syscall(other, "sys_open"), Errno::ok);
+  EXPECT_EQ(fi.stats("sfi.transition.fail").fires, 0u);
+}
+
+}  // namespace
+}  // namespace sack::sfi

@@ -1,0 +1,270 @@
+// SFI learning mode and the KOFFEE flow-variant case study.
+//
+// Learning: an SfiRecorder stacked as an LSM rides the real syscall stream,
+// distills digram profiles, and verifies them replay-clean before the flip
+// to enforcement. Case study: a compromised media app that stays entirely
+// inside SACK + AppArmor file/capability policy but replays ioctls in an
+// order the real program never issues — allowed by both MAC modules, denied
+// by the flow automaton.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "ivi/ivi_system.h"
+#include "kernel/kernel.h"
+#include "kernel/process.h"
+#include "sfi/module.h"
+#include "sfi/recorder.h"
+
+namespace sack::sfi {
+namespace {
+
+using kernel::Cred;
+using kernel::Kernel;
+using kernel::OpenFlags;
+using kernel::Task;
+
+constexpr std::string_view kDemoExe = "/usr/bin/demo";
+constexpr std::string_view kDataFile = "/data/blob";
+
+// The demo app's one real workload, replayed identically during learning
+// and under enforcement: stat + full read of a file.
+void run_demo_workload(kernel::Process& p) {
+  ASSERT_TRUE(p.stat(kDataFile).ok());
+  auto content = p.read_file(kDataFile);
+  ASSERT_TRUE(content.ok());
+  ASSERT_EQ(content->size(), 100u);
+}
+
+void populate(Kernel& k) {
+  kernel::Process admin(k, k.init_task());
+  k.vfs().mkdir_p("/data");
+  ASSERT_TRUE(admin.write_file(kDataFile, std::string(100, 'x')).ok());
+}
+
+TEST(SfiLearn, RecordDistillVerifyThenEnforce) {
+  // --- learn: observe the workload through the live gate ---
+  Kernel rec_kernel;
+  auto* recorder = static_cast<SfiRecorder*>(
+      rec_kernel.add_lsm(std::make_unique<SfiRecorder>()));
+  populate(rec_kernel);
+  Task& demo =
+      rec_kernel.spawn_task("demo", Cred::root(), std::string(kDemoExe));
+  kernel::Process p(rec_kernel, demo);
+  recorder->clear();  // drop boot/populate noise; learn the app only
+  // Two iterations so the wrap-around digram (close -> stat) is observed —
+  // a single run would deny the app the moment it started over.
+  run_demo_workload(p);
+  run_demo_workload(p);
+  EXPECT_GT(recorder->observed_calls(), 0u);
+
+  auto sequences = recorder->sequences();
+  ASSERT_TRUE(std::any_of(sequences.begin(), sequences.end(),
+                          [](const SfiRecorder::Sequence& s) {
+                            return s.exe == kDemoExe && !s.calls.empty();
+                          }));
+
+  // --- distill + verify: only a replay-clean policy ships ---
+  SfiPolicy learned = recorder->distill();
+  ASSERT_TRUE(std::any_of(learned.profiles.begin(), learned.profiles.end(),
+                          [](const SfiProfile& pr) {
+                            return pr.exe == kDemoExe;
+                          }));
+  auto report = recorder->verify(learned);
+  EXPECT_TRUE(report.clean) << report.detail;
+
+  // The learned policy survives the canonical text round-trip.
+  std::string text = dump_sfi_policy(learned);
+  auto reparsed = parse_sfi_policy(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.errors.front().to_string();
+
+  // --- enforce: fresh kernel, same workload, zero friction ---
+  Kernel enf_kernel;
+  auto* module = static_cast<SfiModule*>(
+      enf_kernel.add_lsm(std::make_unique<SfiModule>()));
+  ASSERT_TRUE(module->load_policy_text(text).ok());
+  populate(enf_kernel);
+  Task& demo2 =
+      enf_kernel.spawn_task("demo", Cred::root(), std::string(kDemoExe));
+  kernel::Process p2(enf_kernel, demo2);
+  run_demo_workload(p2);
+  run_demo_workload(p2);
+  EXPECT_EQ(module->denial_count(), 0u);
+
+  // --- and the off-profile flow is denied ---
+  // The attack follows a learned prefix (stat, open) and then deviates: the
+  // demo app never issued an ioctl anywhere in the recording, so the digram
+  // automaton has no transition for it from any state.
+  ASSERT_TRUE(p2.stat(kDataFile).ok());
+  auto fd = p2.open(kDataFile, OpenFlags::read);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(p2.ioctl(*fd, 0x1234).error(), Errno::eacces);
+  EXPECT_GE(module->denial_count(), 1u);
+}
+
+TEST(SfiLearn, VerifyCatchesAHandEditedHole) {
+  Kernel k;
+  auto* recorder =
+      static_cast<SfiRecorder*>(k.add_lsm(std::make_unique<SfiRecorder>()));
+  populate(k);
+  Task& demo = k.spawn_task("demo", Cred::root(), std::string(kDemoExe));
+  kernel::Process p(k, demo);
+  recorder->clear();
+  run_demo_workload(p);
+
+  SfiPolicy learned = recorder->distill();
+  ASSERT_TRUE(recorder->verify(learned).clean);
+
+  // An operator who trims "redundant" rules breaks the replay: verify()
+  // must catch it before the flip to enforce.
+  for (auto& profile : learned.profiles) {
+    if (profile.exe != kDemoExe) continue;
+    std::erase_if(profile.flows, [](const FlowRule& r) {
+      return std::find(r.syscalls.begin(), r.syscalls.end(), "sys_read") !=
+             r.syscalls.end();
+    });
+  }
+  auto report = recorder->verify(learned);
+  EXPECT_FALSE(report.clean);
+  EXPECT_NE(report.detail.find("sys_read"), std::string::npos);
+}
+
+TEST(SfiPolicyFiles, ShippedDefaultMatchesBuiltin) {
+  // policies/ivi_default.sfi is the on-disk twin of
+  // default_sfi_profiles_text(); the canonical dump is the fingerprint.
+  std::ifstream in(SACK_POLICY_DIR "/ivi_default.sfi");
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+
+  auto shipped = parse_sfi_policy(ss.str());
+  ASSERT_TRUE(shipped.ok()) << shipped.errors.front().to_string();
+  auto builtin = parse_sfi_policy(ivi::default_sfi_profiles_text());
+  ASSERT_TRUE(builtin.ok());
+  EXPECT_EQ(dump_sfi_policy(shipped.policy), dump_sfi_policy(builtin.policy));
+}
+
+// --- KOFFEE flow variant, end to end on the full IVI stack ---
+
+class SfiKoffeeTest : public ::testing::Test {
+ protected:
+  SfiKoffeeTest()
+      : sys_(ivi::IviSystem::Options{
+            .mac = ivi::MacConfig::stacked_independent,
+            .enable_sfi = true,
+        }) {}
+
+  std::size_t sfi_flow_denials() {
+    std::size_t n = 0;
+    for (const auto& rec : sys_.kernel().audit().records())
+      if (rec.module == "sfi" && rec.operation == "flow_violation" &&
+          rec.verdict == kernel::AuditVerdict::denied)
+        ++n;
+    return n;
+  }
+
+  ivi::IviSystem sys_;
+};
+
+TEST_F(SfiKoffeeTest, LegitimateMediaWorkloadsRunClean) {
+  ASSERT_TRUE(sys_.media().set_volume(11).ok());
+  auto track = sys_.media().play_track(ivi::IviSystem::kMediaTrack);
+  ASSERT_TRUE(track.ok());
+  EXPECT_EQ(track->size(), 4096u);
+  ASSERT_TRUE(sys_.media().set_volume(7).ok());
+  EXPECT_EQ(sys_.sfi()->denial_count(), 0u);
+}
+
+TEST_F(SfiKoffeeTest, IoctlReplayPassesMacButIsDeniedBySfi) {
+  // The compromised media app replays a second ioctl on one open fd. SACK
+  // grants AUDIO_CONTROL in parked_with_driver and AppArmor's media profile
+  // grants the device node — both MAC modules allow every one of these
+  // calls. Only the flow automaton knows set_volume is one-ioctl-per-open.
+  ASSERT_EQ(sys_.situation(), "parked_with_driver");
+  auto media = sys_.media_process();
+  auto fd = media.open(ivi::VehicleHardware::kAudioPath, OpenFlags::write);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(media.ioctl(*fd, ivi::VEH_AUDIO_SET_VOLUME, 40).ok());
+
+  auto replay = media.ioctl(*fd, ivi::VEH_AUDIO_SET_VOLUME, 40);
+  EXPECT_EQ(replay.error(), Errno::eacces);
+  EXPECT_GE(sys_.sfi()->denial_count(), 1u);
+  EXPECT_GE(sfi_flow_denials(), 1u);
+
+  const auto& records = sys_.kernel().audit().records();
+  auto it = std::find_if(records.rbegin(), records.rend(),
+                         [](const kernel::AuditRecord& r) {
+                           return r.module == "sfi";
+                         });
+  ASSERT_NE(it, records.rend());
+  EXPECT_EQ(it->operation, "flow_violation");
+  EXPECT_EQ(it->subject, ivi::MediaApp::kExePath);
+  EXPECT_EQ(it->object, "sys_ioctl");
+  EXPECT_NE(it->context.find("state=at_ioctl"), std::string::npos);
+
+  // close resets the flow; the app recovers cleanly.
+  ASSERT_TRUE(media.close(*fd).ok());
+  ASSERT_TRUE(sys_.media().set_volume(12).ok());
+}
+
+TEST_F(SfiKoffeeTest, AuditModeObservesTheAttackWithoutBreakingIt) {
+  sys_.sfi()->set_mode(SfiMode::audit);
+  auto media = sys_.media_process();
+  auto fd = media.open(ivi::VehicleHardware::kAudioPath, OpenFlags::write);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(media.ioctl(*fd, ivi::VEH_AUDIO_SET_VOLUME, 40).ok());
+  EXPECT_TRUE(media.ioctl(*fd, ivi::VEH_AUDIO_SET_VOLUME, 40).ok());
+  ASSERT_TRUE(media.close(*fd).ok());
+
+  EXPECT_GE(sys_.sfi()->audit_allow_count(), 1u);
+  const auto& records = sys_.kernel().audit().records();
+  EXPECT_TRUE(std::any_of(records.begin(), records.end(),
+                          [](const kernel::AuditRecord& r) {
+                            return r.module == "sfi" &&
+                                   r.operation == "flow_violation" &&
+                                   r.verdict == kernel::AuditVerdict::allowed;
+                          }));
+}
+
+TEST_F(SfiKoffeeTest, DrivingOverlayLocksOutVolumeChanges) {
+  // SACK still grants AUDIO_CONTROL while driving (state_per driving), so
+  // the lockout below is purely the SFI situation overlay.
+  ASSERT_TRUE(sys_.media().set_volume(9).ok());
+
+  ASSERT_TRUE(sys_.sack()->deliver_event("start_driving").ok());
+  EXPECT_EQ(sys_.situation(), "driving");
+  // SSM -> SFI fan-out happened through the transition listener.
+  EXPECT_EQ(sys_.sfi()->current_situation(), "driving");
+
+  EXPECT_EQ(sys_.media().set_volume(40).error(), Errno::eacces);
+  EXPECT_GE(sfi_flow_denials(), 1u);
+
+  // Playback (reads) is untouched by the deny-only overlay.
+  EXPECT_TRUE(sys_.media().play_track(ivi::IviSystem::kMediaTrack).ok());
+
+  ASSERT_TRUE(sys_.sack()->deliver_event("stop_driving").ok());
+  EXPECT_EQ(sys_.sfi()->current_situation(), "parked_with_driver");
+  EXPECT_TRUE(sys_.media().set_volume(10).ok());
+}
+
+TEST_F(SfiKoffeeTest, SfiIsAbsentUnlessOptedIn) {
+  ivi::IviSystem plain(ivi::IviSystem::Options{
+      .mac = ivi::MacConfig::stacked_independent,
+  });
+  EXPECT_EQ(plain.sfi(), nullptr);
+  // Without the flow module the ioctl replay sails through both MAC
+  // modules — the gap this PR closes.
+  auto media = plain.media_process();
+  auto fd = media.open(ivi::VehicleHardware::kAudioPath, OpenFlags::write);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(media.ioctl(*fd, ivi::VEH_AUDIO_SET_VOLUME, 40).ok());
+  EXPECT_TRUE(media.ioctl(*fd, ivi::VEH_AUDIO_SET_VOLUME, 40).ok());
+}
+
+}  // namespace
+}  // namespace sack::sfi

@@ -1,0 +1,388 @@
+// SfiModule: enforcement semantics, per-task blob lifecycle (fork / exec /
+// exit), generation-swap re-attachment, situation overlays, securityfs
+// surface, and the concurrent swap-vs-transition stress (TSan target).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "kernel/process.h"
+#include "sfi/module.h"
+
+namespace sack::sfi {
+namespace {
+
+using kernel::Cred;
+using kernel::Kernel;
+using kernel::Pid;
+using kernel::Task;
+
+constexpr std::string_view kAppExe = "/usr/bin/app";
+
+// start --open--> at_open --read--> at_read --close--> start, with fork and
+// the bookkeeping syscalls a kernel-driven test inevitably issues allowed
+// everywhere.
+constexpr std::string_view kAppProfile = R"(profile /usr/bin/app {
+  states { start, at_open, at_read }
+  initial start;
+  flows {
+    start -> at_open on sys_open;
+    at_open -> at_read on sys_read;
+    at_read -> at_read on sys_read;
+    * -> start on sys_close;
+    * -> * on sys_fork;
+    * -> * on sys_exit;
+    * -> * on sys_waitpid;
+  }
+  situation driving {
+    deny sys_read;
+  }
+})";
+
+class SfiModuleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    module_ = static_cast<SfiModule*>(
+        kernel_.add_lsm(std::make_unique<SfiModule>()));
+    ASSERT_TRUE(module_->load_policy_text(kAppProfile).ok());
+    app_ = &kernel_.spawn_task("app", Cred::root(), std::string(kAppExe));
+  }
+
+  Errno step(std::string_view syscall) {
+    return module_->task_syscall(*app_, syscall);
+  }
+
+  Kernel kernel_;
+  SfiModule* module_ = nullptr;
+  Task* app_ = nullptr;
+};
+
+// --- enforcement ---
+
+TEST_F(SfiModuleTest, UnconfinedTaskIsNeverDenied) {
+  Task& other = kernel_.spawn_task("other", Cred::root(), "/usr/bin/other");
+  EXPECT_EQ(module_->task_syscall(other, "sys_ioctl"), Errno::ok);
+  EXPECT_EQ(module_->task_syscall(other, "sys_unlink"), Errno::ok);
+  EXPECT_EQ(module_->denial_count(), 0u);
+  EXPECT_EQ(module_->getprocattr(other), "");
+}
+
+TEST_F(SfiModuleTest, AdmissibleFlowAdvancesTheAutomaton) {
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+  EXPECT_EQ(module_->getprocattr(*app_),
+            "sfi=/usr/bin/app state=at_open (enforce)");
+  EXPECT_EQ(step("sys_read"), Errno::ok);
+  EXPECT_EQ(step("sys_read"), Errno::ok);
+  EXPECT_EQ(step("sys_close"), Errno::ok);
+  EXPECT_EQ(module_->getprocattr(*app_),
+            "sfi=/usr/bin/app state=start (enforce)");
+  EXPECT_EQ(module_->denial_count(), 0u);
+  EXPECT_GE(module_->check_count(), 4u);
+}
+
+TEST_F(SfiModuleTest, InadmissibleSyscallIsDeniedAndAudited) {
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+  // read-before-open order violation: at_open admits read, but a second
+  // open does not exist from at_open.
+  EXPECT_EQ(step("sys_open"), Errno::eacces);
+  EXPECT_EQ(module_->denial_count(), 1u);
+
+  // Denial does not advance (nor corrupt) the automaton: the admissible
+  // continuation still works.
+  EXPECT_EQ(step("sys_read"), Errno::ok);
+
+  ASSERT_FALSE(kernel_.audit().records().empty());
+  const auto& rec = kernel_.audit().records().back();
+  EXPECT_EQ(rec.module, "sfi");
+  EXPECT_EQ(rec.operation, "flow_violation");
+  EXPECT_EQ(rec.verdict, kernel::AuditVerdict::denied);
+  EXPECT_EQ(rec.subject, kAppExe);
+  EXPECT_EQ(rec.object, "sys_open");
+  EXPECT_NE(rec.context.find("profile=/usr/bin/app"), std::string::npos);
+  EXPECT_NE(rec.context.find("state=at_open"), std::string::npos);
+
+  auto ring = module_->recent_violations();
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_NE(ring[0].find("sys_open"), std::string::npos);
+}
+
+TEST_F(SfiModuleTest, UnmodeledSyscallNamesPassThrough) {
+  // A hook name outside kSyscallNames is not modeled — never denied.
+  EXPECT_EQ(step("sys_future_thing"), Errno::ok);
+  EXPECT_EQ(module_->denial_count(), 0u);
+}
+
+TEST_F(SfiModuleTest, AuditModeRecordsAllowsAndHoldsState) {
+  module_->set_mode(SfiMode::audit);
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+  EXPECT_EQ(step("sys_open"), Errno::ok);  // violation, but allowed
+  EXPECT_EQ(module_->denial_count(), 1u);
+  EXPECT_EQ(module_->audit_allow_count(), 1u);
+
+  const auto& rec = kernel_.audit().records().back();
+  EXPECT_EQ(rec.verdict, kernel::AuditVerdict::allowed);
+  EXPECT_NE(rec.context.find("audit=1"), std::string::npos);
+
+  // The automaton held at at_open (there was no state to advance to), so
+  // the legitimate continuation is unaffected.
+  EXPECT_EQ(step("sys_read"), Errno::ok);
+  EXPECT_EQ(module_->getprocattr(*app_),
+            "sfi=/usr/bin/app state=at_read (audit)");
+}
+
+TEST_F(SfiModuleTest, PerProfileAuditModeComesFromTheProfile) {
+  ASSERT_TRUE(module_->load_policy_text(R"(profile /usr/bin/app {
+    mode audit;
+    states { s }
+    initial s;
+    flows { s -> s on sys_close; }
+  })").ok());
+  EXPECT_EQ(step("sys_ioctl"), Errno::ok);  // violation, audit-only profile
+  EXPECT_GE(module_->audit_allow_count(), 1u);
+}
+
+// --- situation overlays ---
+
+TEST_F(SfiModuleTest, SituationOverlayTightensAndReleases) {
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+
+  module_->set_situation("driving");
+  EXPECT_EQ(module_->current_situation(), "driving");
+  EXPECT_EQ(step("sys_read"), Errno::eacces);
+  const auto& rec = kernel_.audit().records().back();
+  EXPECT_NE(rec.context.find("overlay=1"), std::string::npos);
+  EXPECT_NE(rec.context.find("situation=driving"), std::string::npos);
+
+  // Overlays are deny-only: the base transition is intact once released.
+  module_->set_situation("parked_with_driver");
+  EXPECT_EQ(step("sys_read"), Errno::ok);
+}
+
+TEST_F(SfiModuleTest, UnmentionedSituationDeniesNothing) {
+  module_->set_situation("emergency");  // no profile overlays it
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+  EXPECT_EQ(step("sys_read"), Errno::ok);
+}
+
+// --- per-task blob lifecycle ---
+
+TEST_F(SfiModuleTest, ForkInheritsTheAutomatonPosition) {
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+  EXPECT_EQ(step("sys_read"), Errno::ok);
+
+  // Real fork: the gate dispatches sys_fork (a self-loop in the profile)
+  // and task_alloc clones the blob.
+  Pid child_pid = *kernel_.sys_fork(*app_);
+  Task& child = kernel_.task(child_pid).value();
+  EXPECT_EQ(module_->getprocattr(child),
+            "sfi=/usr/bin/app state=at_read (enforce)");
+
+  // The clone continues the parent's flow; both advance independently.
+  EXPECT_EQ(module_->task_syscall(child, "sys_close"), Errno::ok);
+  EXPECT_EQ(module_->getprocattr(child),
+            "sfi=/usr/bin/app state=start (enforce)");
+  EXPECT_EQ(module_->getprocattr(*app_),
+            "sfi=/usr/bin/app state=at_read (enforce)");
+}
+
+TEST_F(SfiModuleTest, ExecResetsToTheNewImageInitialState) {
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+  const std::uint64_t resets_before = module_->reset_count();
+
+  module_->bprm_committed_creds(*app_, std::string(kAppExe));
+  EXPECT_EQ(module_->reset_count(), resets_before + 1);
+
+  // The next syscall re-attaches lazily at the initial state: a fresh
+  // sys_open is admissible again (it was not from at_open).
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+  EXPECT_EQ(module_->getprocattr(*app_),
+            "sfi=/usr/bin/app state=at_open (enforce)");
+}
+
+TEST_F(SfiModuleTest, ExitTearsTheBlobDown) {
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+  ASSERT_NE(module_->getprocattr(*app_), "");
+  module_->task_free(*app_);
+  EXPECT_EQ(module_->getprocattr(*app_), "");
+}
+
+TEST_F(SfiModuleTest, RealForkExitLifecycleStaysConfined) {
+  // End-to-end through the kernel: fork, violate in the child, exit, reap.
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+  Pid child_pid = *kernel_.sys_fork(*app_);
+  Task& child = kernel_.task(child_pid).value();
+
+  EXPECT_EQ(module_->task_syscall(child, "sys_open"), Errno::eacces);
+  kernel_.sys_exit(child, 0);
+  EXPECT_EQ(*kernel_.sys_waitpid(*app_, child_pid), 0);
+  // Parent unaffected by the child's violation and teardown.
+  EXPECT_EQ(step("sys_read"), Errno::ok);
+}
+
+// --- generation swaps ---
+
+TEST_F(SfiModuleTest, PolicySwapReattachesAtInitial) {
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+  const std::uint64_t gen = module_->generation();
+  const std::uint64_t attaches = module_->attach_count();
+
+  ASSERT_TRUE(module_->load_policy_text(kAppProfile).ok());
+  EXPECT_EQ(module_->generation(), gen + 1);
+
+  // The blob's generation lost the race: next syscall re-attaches at the
+  // initial state, so sys_open (illegal from at_open) is admissible again.
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+  EXPECT_GT(module_->attach_count(), attaches);
+  EXPECT_EQ(module_->getprocattr(*app_),
+            "sfi=/usr/bin/app state=at_open (enforce)");
+}
+
+TEST_F(SfiModuleTest, SwapToPolicyWithoutProfileUnconfines) {
+  EXPECT_EQ(step("sys_open"), Errno::ok);
+  ASSERT_TRUE(module_->load_policy_text(R"(profile /usr/bin/elsewhere {
+    states { s }
+    initial s;
+    flows { s -> s on *; }
+  })").ok());
+  EXPECT_EQ(step("sys_ioctl"), Errno::ok);  // no profile for the exe anymore
+  EXPECT_EQ(module_->getprocattr(*app_), "");
+}
+
+TEST_F(SfiModuleTest, BadPolicyTextReportsErrorsAndKeepsOld) {
+  const std::uint64_t gen = module_->generation();
+  std::vector<ParseError> errors;
+  auto rc = module_->load_policy_text("profile /bin/x { garbage }", &errors);
+  EXPECT_FALSE(rc.ok());
+  EXPECT_FALSE(errors.empty());
+  EXPECT_EQ(module_->generation(), gen);
+  // Old policy still enforcing.
+  EXPECT_EQ(step("sys_ioctl"), Errno::eacces);
+}
+
+// --- securityfs surface ---
+
+TEST_F(SfiModuleTest, SecurityfsStatusAndProfilesExposeState) {
+  kernel::Process admin(kernel_, kernel_.init_task());
+  (void)step("sys_open");
+  (void)step("sys_open");  // one denial
+
+  auto status = admin.read_file("/sys/kernel/security/sfi/status");
+  ASSERT_TRUE(status.ok());
+  EXPECT_NE(status->find("sfi_mode enforce"), std::string::npos);
+  EXPECT_NE(status->find("sfi_generation 1"), std::string::npos);
+  EXPECT_NE(status->find("sfi_profiles 1"), std::string::npos);
+  EXPECT_NE(status->find("sfi_denials 1"), std::string::npos);
+
+  auto profiles = admin.read_file("/sys/kernel/security/sfi/profiles");
+  ASSERT_TRUE(profiles.ok());
+  EXPECT_NE(profiles->find("profile /usr/bin/app {"), std::string::npos);
+
+  auto violations = admin.read_file("/sys/kernel/security/sfi/violations");
+  ASSERT_TRUE(violations.ok());
+  EXPECT_NE(violations->find("sys_open"), std::string::npos);
+}
+
+TEST_F(SfiModuleTest, SecurityfsLoadRequiresMacAdmin) {
+  kernel::Process admin(kernel_, kernel_.init_task());
+  const std::string policy = R"(profile /usr/bin/app {
+    states { s }
+    initial s;
+    flows { s -> s on *; }
+  })";
+  ASSERT_TRUE(admin.write_existing("/sys/kernel/security/sfi/.load", policy)
+                  .ok());
+  EXPECT_EQ(module_->generation(), 2u);
+
+  Task& user = kernel_.spawn_task("user", Cred::user(1000, 1000));
+  kernel::Process unpriv(kernel_, user);
+  EXPECT_FALSE(
+      unpriv.write_existing("/sys/kernel/security/sfi/.load", policy).ok());
+  EXPECT_EQ(module_->generation(), 2u);
+}
+
+TEST_F(SfiModuleTest, SecurityfsModeFlipsEnforcement) {
+  kernel::Process admin(kernel_, kernel_.init_task());
+  ASSERT_TRUE(
+      admin.write_existing("/sys/kernel/security/sfi/mode", "audit").ok());
+  EXPECT_EQ(module_->mode(), SfiMode::audit);
+  auto mode = admin.read_file("/sys/kernel/security/sfi/mode");
+  ASSERT_TRUE(mode.ok());
+  EXPECT_NE(mode->find("audit"), std::string::npos);
+  ASSERT_TRUE(
+      admin.write_existing("/sys/kernel/security/sfi/mode", "enforce").ok());
+  EXPECT_EQ(module_->mode(), SfiMode::enforce);
+}
+
+// --- stacking ---
+
+TEST_F(SfiModuleTest, GateDeniesTheRealSyscallFirstDenyWins) {
+  // Through the real dispatch gate: chdir has no transition anywhere in the
+  // profile, so the flow check denies the syscall before it touches the VFS.
+  EXPECT_EQ(kernel_.sys_chdir(*app_, "/").error(), Errno::eacces);
+  EXPECT_GE(module_->denial_count(), 1u);
+}
+
+// --- concurrency (TSan target: name matches the CI 'Sfi' regex) ---
+
+TEST(SfiConcurrency, SwapAndSituationRaceTransitions) {
+  // Readers drive per-thread tasks through a deny-free profile while a
+  // writer hammers policy swaps and situation flips. TSan-clean by
+  // construction: ProgramSets are immutable and RcuPtr-published, blobs are
+  // thread-private, situation is one atomic token.
+  SfiModule module;
+  const std::string policy = R"(profile /usr/bin/worker {
+    states { s }
+    initial s;
+    flows { * -> * on *; }
+    situation driving { deny sys_capset_drop; }
+  })";
+  ASSERT_TRUE(module.load_policy_text(policy).ok());
+
+  constexpr int kReaders = 4;
+  constexpr int kIters = 3000;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> denials{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Task task(Pid(1000 + t), Pid(1), "worker", Cred::root());
+      task.set_exe_path("/usr/bin/worker");
+      const std::string_view calls[] = {"sys_open", "sys_read", "sys_write",
+                                        "sys_close", "sys_stat"};
+      for (int i = 0; i < kIters; ++i) {
+        Errno rc = module.task_syscall(task, calls[i % 5]);
+        // The base profile admits everything; only the overlay can deny,
+        // and it only covers sys_capset_drop, which we never issue.
+        if (rc != Errno::ok) denials.fetch_add(1);
+      }
+      module.task_free(task);
+    });
+  }
+
+  std::thread writer([&] {
+    int flips = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(module.load_policy_text(policy).ok());
+      module.set_situation(++flips % 2 ? "driving" : "parked_with_driver");
+    }
+  });
+
+  for (auto& r : readers) r.join();
+  stop.store(true);
+  writer.join();
+
+  EXPECT_EQ(denials.load(), 0u);
+  EXPECT_EQ(module.check_count(),
+            static_cast<std::uint64_t>(kReaders) * kIters);
+  EXPECT_GE(module.generation(), 1u);
+}
+
+}  // namespace
+}  // namespace sack::sfi

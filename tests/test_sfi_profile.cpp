@@ -1,0 +1,384 @@
+// SFI profile layer: parser round-trips, checker diagnostics, compiler
+// precedence tiers, and the sequence simulator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sfi/automaton.h"
+#include "sfi/profile.h"
+
+namespace sack::sfi {
+namespace {
+
+constexpr std::string_view kMediaProfile = R"(# media player flow profile
+profile /usr/bin/media_app {
+  mode enforce;
+  states { start, at_open, at_read }
+  initial start;
+  flows {
+    start -> at_open on sys_open;
+    at_open -> at_read on sys_read, sys_fstat;
+    * -> start on sys_close;
+    at_read -> * on sys_lseek;
+    deny start on sys_ioctl;
+  }
+  situation driving {
+    deny sys_ioctl, sys_unlink;
+  }
+}
+)";
+
+std::uint16_t sid(std::string_view name) {
+  int idx = syscall_index(name);
+  EXPECT_GE(idx, 0) << name;
+  return static_cast<std::uint16_t>(idx);
+}
+
+// Finds the named state's index in a compiled program by probing state
+// names; compiled state order is an implementation detail.
+std::uint16_t state_of(const Program& p, std::string_view name) {
+  for (std::uint16_t s = 0; s < p.state_count(); ++s)
+    if (p.state_name(s) == name) return s;
+  ADD_FAILURE() << "state not found: " << name;
+  return Program::kDeny;
+}
+
+// --- syscall table ---
+
+TEST(SfiSyscallTable, EveryNameRoundTrips) {
+  for (std::size_t i = 0; i < kSyscallNames.size(); ++i)
+    EXPECT_EQ(syscall_index(kSyscallNames[i]), static_cast<int>(i))
+        << kSyscallNames[i];
+}
+
+TEST(SfiSyscallTable, UnknownNamesAreNegative) {
+  EXPECT_EQ(syscall_index("sys_openat"), -1);
+  EXPECT_EQ(syscall_index(""), -1);
+  EXPECT_EQ(syscall_index("open"), -1);
+}
+
+// --- parser ---
+
+TEST(SfiParser, ParsesMediaProfileStructure) {
+  auto r = parse_sfi_policy(kMediaProfile);
+  ASSERT_TRUE(r.ok()) << r.errors.front().to_string();
+  ASSERT_EQ(r.policy.profiles.size(), 1u);
+
+  const SfiProfile& p = r.policy.profiles[0];
+  EXPECT_EQ(p.exe, "/usr/bin/media_app");
+  EXPECT_FALSE(p.audit_only);
+  EXPECT_EQ(p.states, (std::vector<std::string>{"start", "at_open", "at_read"}));
+  EXPECT_EQ(p.initial, "start");
+  ASSERT_EQ(p.flows.size(), 5u);
+
+  // `deny start on sys_ioctl` parses as a deny rule, not a transition.
+  const auto& deny = p.flows[4];
+  EXPECT_TRUE(deny.deny);
+  EXPECT_EQ(deny.from, "start");
+  EXPECT_EQ(deny.syscalls, std::vector<std::string>{"sys_ioctl"});
+
+  ASSERT_EQ(p.overlays.size(), 1u);
+  EXPECT_EQ(p.overlays[0].situation, "driving");
+  EXPECT_EQ(p.overlays[0].deny,
+            (std::vector<std::string>{"sys_ioctl", "sys_unlink"}));
+}
+
+TEST(SfiParser, AuditModeAndCatchAllsParse) {
+  auto r = parse_sfi_policy(R"(profile /bin/x {
+    mode audit;
+    states { a }
+    initial a;
+    flows { a -> a on *; }
+  })");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.policy.profiles[0].audit_only);
+  EXPECT_TRUE(r.policy.profiles[0].flows[0].any_syscall);
+}
+
+TEST(SfiParser, CanonicalDumpRoundTrips) {
+  auto first = parse_sfi_policy(kMediaProfile);
+  ASSERT_TRUE(first.ok());
+  std::string dumped = dump_sfi_policy(first.policy);
+
+  auto second = parse_sfi_policy(dumped);
+  ASSERT_TRUE(second.ok()) << second.errors.front().to_string();
+  // dump is a fixed point: rendering the reparsed policy is bit-identical.
+  EXPECT_EQ(dump_sfi_policy(second.policy), dumped);
+}
+
+TEST(SfiParser, DumpIsOrderIndependent) {
+  // The same rules in a different source order fingerprint identically.
+  auto a = parse_sfi_policy(R"(profile /bin/x {
+    states { s, t }
+    initial s;
+    flows { s -> t on sys_open; t -> s on sys_close; }
+  })");
+  auto b = parse_sfi_policy(R"(profile /bin/x {
+    states { s, t }
+    initial s;
+    flows { t -> s on sys_close; s -> t on sys_open; }
+  })");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(dump_sfi_policy(a.policy), dump_sfi_policy(b.policy));
+}
+
+// --- checker ---
+
+bool has_error_containing(const SfiParseResult& r, std::string_view needle) {
+  return std::any_of(r.errors.begin(), r.errors.end(), [&](const ParseError& e) {
+    return e.message.find(needle) != std::string::npos;
+  });
+}
+
+TEST(SfiChecker, UnknownStateInFlowIsAnError) {
+  auto r = parse_sfi_policy(R"(profile /bin/x {
+    states { a }
+    initial a;
+    flows { a -> ghost on sys_open; }
+  })");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_error_containing(r, "unknown state 'ghost'"));
+}
+
+TEST(SfiChecker, UnknownSyscallIsAnError) {
+  // A typo in a whitelist silently denies, so it must fail the load.
+  auto r = parse_sfi_policy(R"(profile /bin/x {
+    states { a }
+    initial a;
+    flows { a -> a on sys_opne; }
+  })");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_error_containing(r, "unknown syscall 'sys_opne'"));
+}
+
+TEST(SfiChecker, MissingInitialIsAnError) {
+  auto r = parse_sfi_policy(R"(profile /bin/x {
+    states { a }
+    flows { a -> a on *; }
+  })");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_error_containing(r, "missing 'initial'"));
+}
+
+TEST(SfiChecker, UndeclaredInitialIsAnError) {
+  auto r = parse_sfi_policy(R"(profile /bin/x {
+    states { a }
+    initial b;
+    flows { a -> a on *; }
+  })");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_error_containing(r, "initial state 'b' not declared"));
+}
+
+TEST(SfiChecker, DuplicateStateIsAnError) {
+  auto r = parse_sfi_policy(R"(profile /bin/x {
+    states { a, a }
+    initial a;
+    flows { a -> a on *; }
+  })");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_error_containing(r, "duplicate state 'a'"));
+}
+
+TEST(SfiChecker, NondeterministicTransitionIsAnError) {
+  // Two different targets for the same (state, syscall) pair: the dense
+  // table could only keep one, so the checker must reject it.
+  auto r = parse_sfi_policy(R"(profile /bin/x {
+    states { a, b, c }
+    initial a;
+    flows {
+      a -> b on sys_open;
+      a -> c on sys_open;
+    }
+  })");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_error_containing(r, "nondeterministic transition"));
+}
+
+TEST(SfiChecker, DuplicateProfileExeIsAnError) {
+  auto r = parse_sfi_policy(R"(
+profile /bin/x { states { a } initial a; flows { a -> a on *; } }
+profile /bin/x { states { a } initial a; flows { a -> a on *; } }
+)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SfiChecker, OverlayUnknownSyscallIsAnError) {
+  auto r = parse_sfi_policy(R"(profile /bin/x {
+    states { a }
+    initial a;
+    flows { a -> a on *; }
+    situation driving { deny sys_nope; }
+  })");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_error_containing(r, "unknown syscall 'sys_nope'"));
+}
+
+// --- compiler: precedence tiers ---
+
+// One profile exercising every resolution tier:
+//   explicit deny > explicit transition > `* ->` named > per-state `on *`
+//   > default deny.
+constexpr std::string_view kTieredProfile = R"(profile /bin/tiers {
+  states { a, b }
+  initial a;
+  flows {
+    a -> b on sys_open;       # explicit transition
+    * -> b on sys_close;      # star-from named transition
+    a -> a on *;              # per-state catch-all
+    b -> * on sys_read;       # '*' target = stay put
+    deny a on sys_ioctl;      # beats the catch-all below it
+  }
+})";
+
+class SfiCompileTiers : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = parse_sfi_policy(kTieredProfile);
+    ASSERT_TRUE(parsed.ok()) << parsed.errors.front().to_string();
+    auto compiled = compile_sfi_policy(parsed.policy, 1);
+    ASSERT_TRUE(compiled.ok());
+    set_ = *compiled;
+    prog_ = set_->find("/bin/tiers");
+    ASSERT_NE(prog_, nullptr);
+    a_ = state_of(*prog_, "a");
+    b_ = state_of(*prog_, "b");
+  }
+
+  std::shared_ptr<const ProgramSet> set_;
+  const Program* prog_ = nullptr;
+  std::uint16_t a_ = 0, b_ = 0;
+};
+
+TEST_F(SfiCompileTiers, ExplicitTransitionBeatsCatchAll) {
+  EXPECT_EQ(prog_->next(a_, sid("sys_open")), b_);
+}
+
+TEST_F(SfiCompileTiers, StarFromBeatsPerStateCatchAll) {
+  // `* -> b on sys_close` wins over `a -> a on *`.
+  EXPECT_EQ(prog_->next(a_, sid("sys_close")), b_);
+  EXPECT_EQ(prog_->next(b_, sid("sys_close")), b_);
+}
+
+TEST_F(SfiCompileTiers, DenyBeatsEverything) {
+  EXPECT_EQ(prog_->next(a_, sid("sys_ioctl")), Program::kDeny);
+}
+
+TEST_F(SfiCompileTiers, CatchAllFillsTheRest) {
+  EXPECT_EQ(prog_->next(a_, sid("sys_write")), a_);
+  EXPECT_EQ(prog_->next(a_, sid("sys_fork")), a_);
+}
+
+TEST_F(SfiCompileTiers, StarTargetIsSelfLoop) {
+  EXPECT_EQ(prog_->next(b_, sid("sys_read")), b_);
+}
+
+TEST_F(SfiCompileTiers, UnnamedPairsDefaultDeny) {
+  // b has no catch-all, so anything not named from b is inadmissible.
+  EXPECT_EQ(prog_->next(b_, sid("sys_write")), Program::kDeny);
+  EXPECT_EQ(prog_->next(b_, sid("sys_ioctl")), Program::kDeny);
+}
+
+TEST(SfiCompile, GlobalCatchAllAdmitsEverything) {
+  auto parsed = parse_sfi_policy(R"(profile /bin/any {
+    states { s }
+    initial s;
+    flows { * -> * on *; }
+  })");
+  ASSERT_TRUE(parsed.ok());
+  auto compiled = compile_sfi_policy(parsed.policy, 1);
+  ASSERT_TRUE(compiled.ok());
+  const Program* p = (*compiled)->find("/bin/any");
+  ASSERT_NE(p, nullptr);
+  for (std::size_t i = 0; i < kSyscallNames.size(); ++i)
+    EXPECT_EQ(p->next(0, static_cast<std::uint16_t>(i)), 0);
+}
+
+TEST(SfiCompile, SituationOverlaysAreInternedPerSet) {
+  auto parsed = parse_sfi_policy(kMediaProfile);
+  ASSERT_TRUE(parsed.ok());
+  auto compiled = compile_sfi_policy(parsed.policy, 7);
+  ASSERT_TRUE(compiled.ok());
+  auto set = *compiled;
+  EXPECT_EQ(set->generation(), 7u);
+
+  std::uint32_t driving = set->situation_token("driving");
+  ASSERT_NE(driving, kNoSituation);
+  EXPECT_EQ(set->situation_token("parked_with_driver"), kNoSituation);
+
+  const Program* p = set->find("/usr/bin/media_app");
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->situation_denies(driving, sid("sys_ioctl")));
+  EXPECT_TRUE(p->situation_denies(driving, sid("sys_unlink")));
+  EXPECT_FALSE(p->situation_denies(driving, sid("sys_open")));
+  // The no-overlay token denies nothing, ever.
+  EXPECT_FALSE(p->situation_denies(kNoSituation, sid("sys_ioctl")));
+}
+
+// --- simulator ---
+
+TEST(SfiSimulate, CleanSequenceWalksAndRecordsSteps) {
+  auto parsed = parse_sfi_policy(kMediaProfile);
+  ASSERT_TRUE(parsed.ok());
+  auto set = *compile_sfi_policy(parsed.policy, 1);
+  const Program* p = set->find("/usr/bin/media_app");
+
+  std::vector<SimStep> steps;
+  int denied = simulate_program(
+      *p, kNoSituation, {"sys_open", "sys_read", "sys_lseek", "sys_close"},
+      &steps);
+  EXPECT_EQ(denied, -1);
+  ASSERT_EQ(steps.size(), 4u);
+  EXPECT_EQ(steps[0].from_state, "start");
+  EXPECT_EQ(steps[0].to_state, "at_open");
+  EXPECT_EQ(steps[2].to_state, "at_read");  // lseek self-loops
+  EXPECT_EQ(steps[3].to_state, "start");
+}
+
+TEST(SfiSimulate, FirstInadmissibleStepIsReported) {
+  auto parsed = parse_sfi_policy(kMediaProfile);
+  ASSERT_TRUE(parsed.ok());
+  auto set = *compile_sfi_policy(parsed.policy, 1);
+  const Program* p = set->find("/usr/bin/media_app");
+
+  std::vector<SimStep> steps;
+  // open twice in a row: at_open has no sys_open transition.
+  int denied = simulate_program(*p, kNoSituation,
+                                {"sys_open", "sys_open", "sys_read"}, &steps);
+  EXPECT_EQ(denied, 1);
+  ASSERT_GE(steps.size(), 2u);
+  EXPECT_TRUE(steps[1].denied);
+  EXPECT_FALSE(steps[1].overlay_deny);
+  EXPECT_EQ(steps[1].from_state, "at_open");
+}
+
+TEST(SfiSimulate, OverlayDenyIsFlaggedAsSuch) {
+  auto parsed = parse_sfi_policy(R"(profile /bin/x {
+    states { s }
+    initial s;
+    flows { s -> s on *; }
+    situation driving { deny sys_unlink; }
+  })");
+  ASSERT_TRUE(parsed.ok());
+  auto set = *compile_sfi_policy(parsed.policy, 1);
+  const Program* p = set->find("/bin/x");
+  std::uint32_t driving = set->situation_token("driving");
+
+  std::vector<SimStep> steps;
+  int denied =
+      simulate_program(*p, driving, {"sys_open", "sys_unlink"}, &steps);
+  EXPECT_EQ(denied, 1);
+  EXPECT_TRUE(steps[1].denied);
+  EXPECT_TRUE(steps[1].overlay_deny);
+
+  // Same sequence without the situation held is clean.
+  EXPECT_EQ(simulate_program(*p, kNoSituation, {"sys_open", "sys_unlink"}),
+            -1);
+}
+
+}  // namespace
+}  // namespace sack::sfi

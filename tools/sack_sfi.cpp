@@ -1,0 +1,209 @@
+// sack-sfi: the syscall-flow-integrity profile toolchain.
+//
+//   sack-sfi lint <file>...                 parse + check; the CI gate
+//   sack-sfi compile <file>                 canonical dump + table stats
+//   sack-sfi simulate <file> <exe> [--situation S] <sys>...
+//                                           walk a sequence, show each step
+//   sack-sfi record [--runs N]              learn profiles from the standard
+//                                           IVI media workloads and print a
+//                                           replay-verified .sfi policy
+//
+// Exit status: 0 clean, 1 findings/denial, 2 usage or I/O error.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ivi/ivi_system.h"
+#include "sfi/automaton.h"
+#include "sfi/profile.h"
+#include "sfi/recorder.h"
+
+namespace {
+
+using namespace sack;
+using namespace sack::sfi;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sack-sfi lint <file>...\n"
+               "       sack-sfi compile <file>\n"
+               "       sack-sfi simulate <file> <exe> [--situation S] "
+               "<syscall>...\n"
+               "       sack-sfi record [--runs N]\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int cmd_lint(const std::vector<std::string>& files) {
+  if (files.empty()) return usage();
+  int errors = 0;
+  for (const auto& file : files) {
+    std::string text;
+    if (!read_file(file, &text)) {
+      std::fprintf(stderr, "sack-sfi: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    auto r = parse_sfi_policy(text);
+    for (const auto& e : r.errors)
+      std::printf("%s:%d: error: %s\n", file.c_str(), e.line,
+                  e.message.c_str());
+    errors += static_cast<int>(r.errors.size());
+    if (r.ok())
+      std::printf("sack-sfi: %s: %zu profile(s) OK\n", file.c_str(),
+                  r.policy.profiles.size());
+  }
+  std::printf("sack-sfi: lint: %d error(s) in %zu file(s)\n", errors,
+              files.size());
+  return errors ? 1 : 0;
+}
+
+int cmd_compile(const std::vector<std::string>& files) {
+  if (files.size() != 1) return usage();
+  std::string text;
+  if (!read_file(files[0], &text)) {
+    std::fprintf(stderr, "sack-sfi: cannot read %s\n", files[0].c_str());
+    return 2;
+  }
+  auto r = parse_sfi_policy(text);
+  if (!r.ok()) {
+    for (const auto& e : r.errors)
+      std::fprintf(stderr, "%s:%d: error: %s\n", files[0].c_str(), e.line,
+                   e.message.c_str());
+    return 1;
+  }
+  auto compiled = compile_sfi_policy(r.policy, 1);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "sack-sfi: compile failed\n");
+    return 1;
+  }
+  std::fputs(dump_sfi_policy(r.policy).c_str(), stdout);
+  std::size_t states = 0;
+  for (const auto& p : r.policy.profiles) states += p.states.size();
+  std::printf(
+      "# compiled: %zu profile(s), %zu state(s), %zu situation(s), "
+      "%zu-entry syscall axis\n",
+      (*compiled)->size(), states, (*compiled)->situations().size(),
+      kSyscallNames.size());
+  return 0;
+}
+
+int cmd_simulate(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  std::string text;
+  if (!read_file(args[0], &text)) {
+    std::fprintf(stderr, "sack-sfi: cannot read %s\n", args[0].c_str());
+    return 2;
+  }
+  auto r = parse_sfi_policy(text);
+  if (!r.ok()) {
+    for (const auto& e : r.errors)
+      std::fprintf(stderr, "%s:%d: error: %s\n", args[0].c_str(), e.line,
+                   e.message.c_str());
+    return 1;
+  }
+  auto compiled = compile_sfi_policy(r.policy, 1);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "sack-sfi: compile failed\n");
+    return 1;
+  }
+
+  const std::string& exe = args[1];
+  std::string situation;
+  std::vector<std::string> calls;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--situation" && i + 1 < args.size()) {
+      situation = args[++i];
+    } else {
+      calls.push_back(args[i]);
+    }
+  }
+
+  const Program* program = (*compiled)->find(exe);
+  if (!program) {
+    std::fprintf(stderr, "sack-sfi: no profile for %s\n", exe.c_str());
+    return 2;
+  }
+  std::uint32_t token = situation.empty()
+                            ? kNoSituation
+                            : (*compiled)->situation_token(situation);
+
+  std::vector<SimStep> steps;
+  int denied = simulate_program(*program, token, calls, &steps);
+  for (const auto& s : steps) {
+    if (s.denied)
+      std::printf("  %-18s %s -> DENIED%s\n", s.syscall.c_str(),
+                  s.from_state.c_str(), s.overlay_deny ? " (overlay)" : "");
+    else
+      std::printf("  %-18s %s -> %s\n", s.syscall.c_str(),
+                  s.from_state.c_str(), s.to_state.c_str());
+  }
+  if (denied < 0) {
+    std::printf("sack-sfi: simulate: %zu step(s), admissible\n", calls.size());
+    return 0;
+  }
+  std::printf("sack-sfi: simulate: denied at step %d (%s)\n", denied,
+              calls[static_cast<std::size_t>(denied)].c_str());
+  return 1;
+}
+
+int cmd_record(const std::vector<std::string>& args) {
+  int runs = 3;
+  for (std::size_t i = 0; i < args.size(); ++i)
+    if (args[i] == "--runs" && i + 1 < args.size())
+      runs = std::atoi(args[++i].c_str());
+  if (runs < 1) runs = 1;
+
+  // Learning rig: the full IVI stack with an observation-only recorder
+  // stacked behind the MAC modules. No SFI enforcement — record first,
+  // verify, only then flip to enforce.
+  ivi::IviSystem sys(ivi::IviSystem::Options{
+      .mac = ivi::MacConfig::stacked_independent,
+      .start_sds = false,
+  });
+  auto* recorder = static_cast<SfiRecorder*>(
+      sys.kernel().add_lsm(std::make_unique<SfiRecorder>()));
+
+  for (int i = 0; i < runs; ++i) {
+    (void)sys.media().set_volume(10 + i % 4);
+    (void)sys.media().play_track(ivi::IviSystem::kMediaTrack);
+  }
+
+  SfiPolicy learned = recorder->distill();
+  auto report = recorder->verify(learned);
+  if (!report.clean) {
+    std::fprintf(stderr, "sack-sfi: record: replay verification FAILED: %s\n",
+                 report.detail.c_str());
+    return 1;
+  }
+  std::printf("# Learned by `sack-sfi record` from %d run(s) of the media\n"
+              "# workloads; replay-verified against %llu recorded call(s).\n",
+              runs,
+              static_cast<unsigned long long>(recorder->observed_calls()));
+  std::fputs(dump_sfi_policy(learned).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  std::vector<std::string> rest(argv + 2, argv + argc);
+  if (cmd == "lint") return cmd_lint(rest);
+  if (cmd == "compile") return cmd_compile(rest);
+  if (cmd == "simulate") return cmd_simulate(rest);
+  if (cmd == "record") return cmd_record(rest);
+  return usage();
+}
