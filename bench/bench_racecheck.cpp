@@ -1,0 +1,195 @@
+// Analyzer-cost benchmark for sack-racecheck.
+//
+// Two sweeps:
+//
+//   tree       the shipped tree against docs/concurrency_manifest.toml,
+//              repeated; reports best-of-N wall time plus the parse/check
+//              split so the CI smoke can assert the gate stays cheap enough
+//              to run on every build (and that the shipped tree stays
+//              clean);
+//   synthetic  generated trees of N guarded classes (each with a mutex, an
+//              annotated field, a lock-holding writer, and an RCU cell with
+//              a loader) through the in-memory pipeline, so lockset and
+//              snapshot-discipline scaling is visible independently of repo
+//              size.
+//
+// Deterministic; results land in BENCH_racecheck.json. `--fast` runs
+// reduced sizes for CI smoke.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/racecheck.h"
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct SyntheticTree {
+  std::string manifest;
+  std::vector<std::pair<std::string, std::string>> sources;
+};
+
+// N classes, each a guarded cache plus an RCU-published snapshot. Every
+// class contributes a declared lock class, a guarded field, a lock-holding
+// mutator, a snapshot decision function, and a cross-TU caller — so all
+// three pass families do real work per class.
+SyntheticTree make_tree(int n) {
+  SyntheticTree t;
+  t.manifest =
+      "[racecheck]\n"
+      "sources = [\"src\"]\n"
+      "lockfree_types = [\"atomic\", \"RcuPtr\"]\n\n";
+  std::string header = "namespace bench {\n";
+  std::string impl = "#include \"src/tree.h\"\nnamespace bench {\n";
+  for (int i = 0; i < n; ++i) {
+    const std::string id = std::to_string(i);
+    header += "class Cache" + id +
+              " {\n"
+              " public:\n"
+              "  void put(int v);\n"
+              "  int decide() const;\n"
+              " private:\n"
+              "  mutable util::Mutex mu_;\n"
+              "  int entries_" + id + "_ SACK_GUARDED_BY(mu_);\n"
+              "  util::RcuPtr<const Snap> snap_;\n"
+              "  std::atomic<int> hits_;\n"
+              "};\n";
+    impl += "void Cache" + id +
+            "::put(int v) {\n"
+            "  MutexLock lock(mu_);\n"
+            "  entries_" + id + "_ = v;\n"
+            "}\n"
+            "int Cache" + id +
+            "::decide() const {\n"
+            "  auto s = snap_.load();\n"
+            "  return s ? s->value : 0;\n"
+            "}\n"
+            "void drive_" + id + "(Cache" + id +
+            "& c) {\n"
+            "  c.put(1);\n"
+            "  (void)c.decide();\n"
+            "}\n";
+    t.manifest += "[guarded.cache" + id + "]\nclass = \"Cache" + id +
+                  "\"\nmutexes = [\"mu_\"]\n\n[rcu.snap" + id +
+                  "]\ncell = \"snap_\"\nclass = \"Cache" + id +
+                  "\"\nimmutable = true\n\n";
+  }
+  header += "}\n";
+  impl += "}\n";
+  t.sources = {{"src/tree.h", std::move(header)},
+               {"src/tree.cpp", std::move(impl)}};
+  return t;
+}
+
+struct SyntheticRow {
+  int classes = 0;
+  std::size_t functions = 0;
+  std::size_t guarded_fields = 0;
+  std::size_t rcu_cells = 0;
+  double ms = 0;
+  std::size_t errors = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+
+  bool all_ok = true;
+
+  // --- sweep 1: the shipped tree --------------------------------------
+  const int reps = fast ? 3 : 10;
+  const std::string root = SACK_SOURCE_DIR;
+  sack::analysis::RacecheckResult tree;
+  double best_ms = 0;
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = sack::analysis::run_racecheck(
+        root, root + "/docs/concurrency_manifest.toml");
+    double ms = elapsed_ms(t0);
+    if (i == 0 || ms < best_ms) best_ms = ms;
+    tree = std::move(r);
+  }
+  if (!tree.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", tree.fatal.c_str());
+    return 1;
+  }
+  all_ok = all_ok && tree.errors() == 0;
+  std::printf(
+      "tree: %zu files %zu functions %zu classes %zu guarded fields "
+      "%zu rcu cells %zu fault sites  best %.2f ms (parse %.2f + check "
+      "%.2f)  %zu error(s)\n",
+      tree.stats.files, tree.stats.functions, tree.stats.classes,
+      tree.stats.guarded_fields, tree.stats.rcu_cells,
+      tree.stats.fault_sites_registered, best_ms, tree.stats.parse_ms,
+      tree.stats.check_ms, tree.errors());
+
+  // --- sweep 2: synthetic scaling -------------------------------------
+  const std::vector<int> sizes =
+      fast ? std::vector<int>{64, 256} : std::vector<int>{64, 256, 1024};
+  std::vector<SyntheticRow> rows;
+  for (int n : sizes) {
+    SyntheticTree t = make_tree(n);
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = sack::analysis::run_racecheck_on_sources(
+        t.manifest, "synthetic.toml", t.sources);
+    SyntheticRow row;
+    row.classes = n;
+    row.ms = elapsed_ms(t0);
+    if (!r.ok()) {
+      std::fprintf(stderr, "fatal: %s\n", r.fatal.c_str());
+      return 1;
+    }
+    row.functions = r.stats.functions;
+    row.guarded_fields = r.stats.guarded_fields;
+    row.rcu_cells = r.stats.rcu_cells;
+    row.errors = r.errors();
+    all_ok = all_ok && row.errors == 0 &&
+             row.guarded_fields == static_cast<std::size_t>(n) &&
+             row.rcu_cells == static_cast<std::size_t>(n);
+    std::printf(
+        "synthetic %5d classes: %8.2f ms  (%zu functions, %zu guarded "
+        "fields, %zu rcu cells, %zu errors)\n",
+        n, row.ms, row.functions, row.guarded_fields, row.rcu_cells,
+        row.errors);
+    rows.push_back(row);
+  }
+
+  std::printf("shape check: %s\n", all_ok ? "OK" : "FAILED");
+
+  std::ofstream json("BENCH_racecheck.json");
+  json << "{\n  \"fast\": " << (fast ? "true" : "false") << ",\n";
+  json << "  \"tree\": {\"files\": " << tree.stats.files
+       << ", \"functions\": " << tree.stats.functions
+       << ", \"classes\": " << tree.stats.classes
+       << ", \"guarded_fields\": " << tree.stats.guarded_fields
+       << ", \"rcu_cells\": " << tree.stats.rcu_cells
+       << ", \"fault_sites\": " << tree.stats.fault_sites_registered
+       << ", \"best_ms\": " << best_ms
+       << ", \"parse_ms\": " << tree.stats.parse_ms
+       << ", \"check_ms\": " << tree.stats.check_ms
+       << ", \"errors\": " << tree.errors() << "},\n";
+  json << "  \"synthetic\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << (i ? ", " : "") << "{\"classes\": " << r.classes
+         << ", \"functions\": " << r.functions
+         << ", \"guarded_fields\": " << r.guarded_fields
+         << ", \"rcu_cells\": " << r.rcu_cells << ", \"ms\": " << r.ms
+         << ", \"errors\": " << r.errors << "}";
+  }
+  json << "]\n}\n";
+  std::printf("wrote BENCH_racecheck.json\n");
+  return all_ok ? 0 : 1;
+}

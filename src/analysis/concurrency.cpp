@@ -1,0 +1,305 @@
+#include "analysis/concurrency.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace sack::analysis {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::string strip_comment(const std::string& s) {
+  bool in_str = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"' && (i == 0 || s[i - 1] != '\\')) in_str = !in_str;
+    if (s[i] == '#' && !in_str) return s.substr(0, i);
+  }
+  return s;
+}
+
+struct Parser {
+  std::istringstream in;
+  int line_no = 0;
+  std::vector<ConcDiag>* diags = nullptr;
+
+  // Unlike the hookcheck manifest parser, `fail` records and keeps going:
+  // a contract review wants the whole list of problems at once.
+  void fail(const std::string& msg) { diags->push_back({line_no, msg}); }
+
+  bool parse_string(const std::string& s, std::size_t& i, std::string& out) {
+    if (i >= s.size() || s[i] != '"') {
+      fail("expected string");
+      return false;
+    }
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) ++i;
+      out.push_back(s[i]);
+      ++i;
+    }
+    if (i >= s.size()) {
+      fail("unterminated string");
+      return false;
+    }
+    ++i;
+    return true;
+  }
+
+  bool parse_array(const std::string& s, std::size_t& i,
+                   std::vector<std::string>& out) {
+    if (i >= s.size() || s[i] != '[') {
+      fail("expected array");
+      return false;
+    }
+    ++i;
+    while (true) {
+      while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+        ++i;
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return true;
+      }
+      std::string v;
+      if (!parse_string(s, i, v)) return false;
+      out.push_back(v);
+      while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+        ++i;
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return true;
+      }
+      fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  // Splits "name: reason"; a missing or empty reason is a diagnostic, not a
+  // silently-tolerated exemption.
+  bool parse_reasoned(const std::string& raw, const char* what,
+                      ReasonedName& out) {
+    std::size_t colon = raw.find(':');
+    out.line = line_no;
+    if (colon == std::string::npos) {
+      fail(std::string(what) + " '" + raw +
+           "' is missing a ': reason' justification");
+      return false;
+    }
+    out.name = trim(raw.substr(0, colon));
+    out.reason = trim(raw.substr(colon + 1));
+    if (out.name.empty() || out.reason.empty()) {
+      fail(std::string(what) + " '" + raw +
+           "' is missing a ': reason' justification");
+      return false;
+    }
+    return true;
+  }
+
+  bool parse_reasoned_array(const std::string& val, const char* what,
+                            std::vector<ReasonedName>& out) {
+    std::size_t i = 0;
+    std::vector<std::string> raws;
+    if (!parse_array(val, i, raws)) return false;
+    bool ok = true;
+    for (const auto& r : raws) {
+      ReasonedName rn;
+      if (parse_reasoned(r, what, rn)) out.push_back(rn);
+      else ok = false;
+    }
+    return ok;
+  }
+};
+
+}  // namespace
+
+ConcurrencyParse parse_concurrency_manifest(const std::string& text) {
+  ConcurrencyParse result;
+  ConcurrencyManifest& m = result.manifest;
+  Parser p;
+  p.in.str(text);
+  p.diags = &result.diags;
+
+  enum class Section { none, racecheck, guarded, rcu, atomics, fault_sites };
+  Section section = Section::none;
+  GuardedSpec* g = nullptr;
+  RcuSpec* r = nullptr;
+
+  std::string raw_line;
+  while (std::getline(p.in, raw_line)) {
+    ++p.line_no;
+    std::string line = trim(strip_comment(raw_line));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      g = nullptr;
+      r = nullptr;
+      section = Section::none;
+      if (line.back() != ']') {
+        p.fail("unterminated section header");
+        continue;
+      }
+      std::string name = trim(line.substr(1, line.size() - 2));
+      if (name == "racecheck") {
+        section = Section::racecheck;
+      } else if (name == "atomics") {
+        section = Section::atomics;
+      } else if (name == "fault_sites") {
+        section = Section::fault_sites;
+      } else if (name.rfind("guarded.", 0) == 0) {
+        std::string tag = name.substr(8);
+        for (const auto& prev : m.guarded)
+          if (prev.tag == tag)
+            p.fail("duplicate lock class section [guarded." + tag + "]");
+        section = Section::guarded;
+        m.guarded.push_back({});
+        g = &m.guarded.back();
+        g->tag = tag;
+        g->decl_line = p.line_no;
+      } else if (name.rfind("rcu.", 0) == 0) {
+        std::string tag = name.substr(4);
+        for (const auto& prev : m.rcu)
+          if (prev.tag == tag)
+            p.fail("duplicate rcu section [rcu." + tag + "]");
+        section = Section::rcu;
+        m.rcu.push_back({});
+        r = &m.rcu.back();
+        r->tag = tag;
+        r->decl_line = p.line_no;
+      } else {
+        p.fail("unknown section [" + name + "]");
+      }
+      continue;
+    }
+
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      p.fail("expected key = value");
+      continue;
+    }
+    std::string key = trim(line.substr(0, eq));
+    std::string val = trim(line.substr(eq + 1));
+    // Multi-line arrays: keep appending lines until the bracket closes.
+    if (!val.empty() && val.front() == '[') {
+      auto closed = [](const std::string& s) {
+        bool in_str = false;
+        int depth = 0;
+        for (std::size_t k = 0; k < s.size(); ++k) {
+          if (s[k] == '"' && (k == 0 || s[k - 1] != '\\')) in_str = !in_str;
+          if (in_str) continue;
+          if (s[k] == '[') ++depth;
+          if (s[k] == ']') --depth;
+        }
+        return depth <= 0;
+      };
+      std::string more;
+      while (!closed(val) && std::getline(p.in, more)) {
+        ++p.line_no;
+        val += ' ' + trim(strip_comment(more));
+      }
+    }
+    std::size_t i = 0;
+
+    switch (section) {
+      case Section::racecheck:
+        if (key == "sources") p.parse_array(val, i, m.sources);
+        else if (key == "lockfree_types") p.parse_array(val, i, m.lockfree_types);
+        else if (key == "exempt_contexts")
+          p.parse_array(val, i, m.exempt_contexts);
+        else if (key == "lock_types") p.parse_array(val, i, m.lock_types);
+        else p.fail("unknown key '" + key + "' in [racecheck]");
+        break;
+      case Section::guarded:
+        if (key == "class") p.parse_string(val, i, g->class_name);
+        else if (key == "mutexes") {
+          p.parse_array(val, i, g->mutexes);
+          for (std::size_t a = 0; a < g->mutexes.size(); ++a)
+            for (std::size_t b = a + 1; b < g->mutexes.size(); ++b)
+              if (g->mutexes[a] == g->mutexes[b])
+                p.fail("duplicate lock '" + g->mutexes[a] + "' in [guarded." +
+                       g->tag + "]");
+        } else if (key == "accessors") p.parse_array(val, i, g->accessors);
+        else if (key == "helpers") p.parse_array(val, i, g->helpers);
+        else if (key == "exempt")
+          p.parse_reasoned_array(val, "field exemption", g->exempt);
+        else if (key == "exempt_rest") {
+          p.parse_string(val, i, g->exempt_rest);
+          if (g->exempt_rest.empty())
+            p.fail("exempt_rest in [guarded." + g->tag +
+                   "] needs a non-empty reason");
+        } else p.fail("unknown key '" + key + "' in [guarded." + g->tag + "]");
+        break;
+      case Section::rcu:
+        if (key == "cell") p.parse_string(val, i, r->cell);
+        else if (key == "class") p.parse_string(val, i, r->owner);
+        else if (key == "loaders") p.parse_array(val, i, r->loaders);
+        else if (key == "immutable") {
+          if (val == "true") r->immutable = true;
+          else if (val == "false") r->immutable = false;
+          else p.fail("immutable must be true or false");
+        } else if (key == "exempt_double_load")
+          p.parse_reasoned_array(val, "double-load exemption",
+                                 r->exempt_double_load);
+        else if (key == "exempt_escape")
+          p.parse_reasoned_array(val, "escape exemption", r->exempt_escape);
+        else p.fail("unknown key '" + key + "' in [rcu." + r->tag + "]");
+        break;
+      case Section::atomics:
+        if (key == "relaxed_ok")
+          p.parse_reasoned_array(val, "relaxed-store allowance", m.relaxed_ok);
+        else p.fail("unknown key '" + key + "' in [atomics]");
+        break;
+      case Section::fault_sites:
+        if (key == "registry") p.parse_string(val, i, m.fault_registry);
+        else if (key == "external")
+          p.parse_reasoned_array(val, "external site", m.fault_external);
+        else p.fail("unknown key '" + key + "' in [fault_sites]");
+        break;
+      case Section::none:
+        p.fail("key outside any section");
+        break;
+    }
+  }
+
+  // Structural cross-checks that don't need the source tree.
+  for (std::size_t a = 0; a < m.guarded.size(); ++a) {
+    if (m.guarded[a].class_name.empty()) {
+      result.diags.push_back(
+          {m.guarded[a].decl_line,
+           "[guarded." + m.guarded[a].tag + "] is missing class"});
+      continue;
+    }
+    for (std::size_t b = a + 1; b < m.guarded.size(); ++b)
+      if (m.guarded[a].class_name == m.guarded[b].class_name)
+        result.diags.push_back(
+            {m.guarded[b].decl_line, "duplicate lock class '" +
+                                         m.guarded[b].class_name +
+                                         "' (also [guarded." +
+                                         m.guarded[a].tag + "])"});
+  }
+  for (const auto& spec : m.rcu) {
+    if (spec.cell.empty())
+      result.diags.push_back(
+          {spec.decl_line, "[rcu." + spec.tag + "] is missing cell"});
+    if (spec.owner.empty())
+      result.diags.push_back(
+          {spec.decl_line, "[rcu." + spec.tag + "] is missing class"});
+  }
+
+  // Defaults mirroring the tree's idiom.
+  if (m.lock_types.empty())
+    m.lock_types = {"MutexLock",    "WriteLock",   "SharedReadLock",
+                    "lock_guard",   "scoped_lock", "unique_lock",
+                    "shared_lock"};
+  return result;
+}
+
+}  // namespace sack::analysis

@@ -1,0 +1,82 @@
+// The declared concurrency contract for sack-racecheck.
+//
+// docs/concurrency_manifest.toml names, in one reviewable file, every piece
+// of shared mutable state in the tree and the discipline that protects it:
+//
+//   [racecheck]            scan roots, lock-free types, exempt root contexts
+//   [guarded.<tag>]        a class with a locking discipline: its lock
+//                          fields, which functions may touch its state, and
+//                          per-field exemptions (each with a reason)
+//   [rcu.<tag>]            an RcuPtr publication cell: who may load it and
+//                          which decision scopes are allowed to re-load
+//   [atomics]              relaxed-ordering stores allowed as non-publication
+//                          (counter reset etc.), each with a reason
+//   [fault_sites]          where the central fault-site registry lives and
+//                          which sites are intentionally external to it
+//
+// The parser is the same dependency-free TOML subset as manifest.cpp, but
+// collects *multiple* line-numbered diagnostics instead of stopping at the
+// first — a malformed contract should read as a review list, not a crash.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sack::analysis {
+
+struct ConcDiag {
+  int line = 0;
+  std::string message;
+};
+
+// "name: reason" pair; the reason is mandatory wherever this appears —
+// an exemption without a recorded justification is itself drift.
+struct ReasonedName {
+  std::string name;
+  std::string reason;
+  int line = 0;
+};
+
+struct GuardedSpec {
+  std::string tag;
+  int decl_line = 0;
+  std::string class_name;              // as typescan qualifies it
+  std::vector<std::string> mutexes;    // declared lock fields of the class
+  std::vector<std::string> accessors;  // qualified-name prefixes; "*" = all
+  std::vector<std::string> helpers;    // extra unqualified accessor functions
+  std::vector<ReasonedName> exempt;    // per-field exemptions
+  std::string exempt_rest;             // reason covering all unlisted fields
+};
+
+struct RcuSpec {
+  std::string tag;
+  int decl_line = 0;
+  std::string cell;    // field name of the RcuPtr publication cell
+  std::string owner;   // owning class, for provenance + existence check
+  std::vector<std::string> loaders;  // accessor functions returning snapshots
+  bool immutable = true;             // snapshots may never be mutated through
+  std::vector<ReasonedName> exempt_double_load;  // function names
+  std::vector<ReasonedName> exempt_escape;       // function names
+};
+
+struct ConcurrencyManifest {
+  std::vector<std::string> sources;
+  std::vector<std::string> lockfree_types;   // type substrings needing no lock
+  std::vector<std::string> exempt_contexts;  // safe call-graph root prefixes
+  std::vector<std::string> lock_types;       // lock-acquisition RAII types
+  std::vector<GuardedSpec> guarded;
+  std::vector<RcuSpec> rcu;
+  std::vector<ReasonedName> relaxed_ok;      // allowed relaxed-store receivers
+  std::string fault_registry;                // TU holding kBuiltinSites
+  std::vector<ReasonedName> fault_external;  // sites outside the registry
+};
+
+struct ConcurrencyParse {
+  ConcurrencyManifest manifest;
+  std::vector<ConcDiag> diags;
+  bool ok() const { return diags.empty(); }
+};
+
+ConcurrencyParse parse_concurrency_manifest(const std::string& text);
+
+}  // namespace sack::analysis

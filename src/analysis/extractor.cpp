@@ -50,6 +50,35 @@ std::size_t match_paren_back(const std::vector<Token>& t, std::size_t close) {
   return std::string::npos;
 }
 
+// For `name<` with the `<` at `open`, returns the index of a `(` immediately
+// after the matching `>` — i.e. the argument list of a template call
+// `f<T...>(args)` — or npos when this is not one (a comparison, a declaration
+// like `std::vector<int> v(8)`, ...). Conservative: only type-ish tokens may
+// appear between the angles, and the search is bounded so a stray `<` in an
+// expression can never swallow the rest of the body.
+std::size_t template_call_paren(const std::vector<Token>& t, std::size_t open,
+                                std::size_t end) {
+  int depth = 0;
+  const std::size_t bound = std::min(end, open + 64);
+  for (std::size_t k = open; k < bound; ++k) {
+    const Token& x = t[k];
+    if (x.is("<")) { ++depth; continue; }
+    if (x.is(">") || x.is(">>")) {
+      depth -= x.is(">>") ? 2 : 1;
+      if (depth <= 0)
+        return (depth == 0 && k + 1 < end && t[k + 1].is("("))
+                   ? k + 1
+                   : std::string::npos;
+      continue;
+    }
+    if (x.kind == TokKind::ident || x.kind == TokKind::number ||
+        x.is("::") || x.is(",") || x.is("*") || x.is("&"))
+      continue;
+    return std::string::npos;  // expression-like token: treat `<` as less-than
+  }
+  return std::string::npos;
+}
+
 // ---------------------------------------------------------------------------
 // Body scanning
 // ---------------------------------------------------------------------------
@@ -239,8 +268,13 @@ class BodyScanner {
       if (tok.kind == TokKind::ident) {
         const std::string& s = tok.text;
         if (s == "if" || s == "for" || s == "while" || s == "switch") {
-          if (i + 1 < end && t_[i + 1].is("(")) {
-            push_header(i + 1, s == "for");
+          // `if constexpr (...)` — the header paren sits one token later.
+          // Without this skip, `constexpr` would be recorded as a call site
+          // and the whole branch would lose its conditional context.
+          std::size_t h = i + 1;
+          if (s == "if" && h < end && t_[h].ident_is("constexpr")) ++h;
+          if (h < end && t_[h].is("(")) {
+            push_header(h, s == "for");
             // `do { } while (...)` ends in `;`, never opens a statement.
             bool do_while = s == "while" && i > fn_.body_begin &&
                             t_[i - 1].is("}");
@@ -249,7 +283,7 @@ class BodyScanner {
               // Mark that after the header a statement/brace follows.
               pending_after_header_.push_back(close);
             }
-            ++i;
+            i = h;
             continue;
           }
         }
@@ -285,8 +319,13 @@ class BodyScanner {
           }
         }
 
-        // Member / free call site.
-        if (i + 1 < end && t_[i + 1].is("(") && !is_control_kw(tok)) {
+        // Member / free call site, including template calls `f<T>(x)` whose
+        // argument list sits past the close angle.
+        std::size_t paren = std::string::npos;
+        if (i + 1 < end && t_[i + 1].is("(")) paren = i + 1;
+        else if (i + 1 < end && t_[i + 1].is("<"))
+          paren = template_call_paren(t_, i + 1, end);
+        if (paren != std::string::npos && !is_control_kw(tok)) {
           bool member = i > 0 && (t_[i - 1].is(".") || t_[i - 1].is("->"));
           // `Type var(args)` declarations: previous token is an identifier
           // (or `>`/`&`/`*` closing a type) — not a call. Control keywords
@@ -703,9 +742,18 @@ SourceFile extract(std::string path, const std::vector<Token>& t,
       continue;
     }
 
-    // Candidate function: `ident (` at namespace/class scope.
-    if (tok.kind == TokKind::ident && i + 1 < t.size() && t[i + 1].is("(") &&
-        in_extractable_scope() && !is_control_kw(tok)) {
+    // Candidate function: `ident (` at namespace/class scope — or an explicit
+    // specialization `ident<...> (`, whose parameter list sits past the
+    // close angle.
+    std::size_t cand_paren = std::string::npos;
+    if (tok.kind == TokKind::ident && in_extractable_scope() &&
+        !is_control_kw(tok) && i + 1 < t.size()) {
+      if (t[i + 1].is("("))
+        cand_paren = i + 1;
+      else if (t[i + 1].is("<"))
+        cand_paren = template_call_paren(t, i + 1, t.size());
+    }
+    if (cand_paren != std::string::npos) {
       // Gather qualifiers: (ident ::)* [~] name
       std::vector<std::string> quals;
       std::string name = tok.text;
@@ -714,11 +762,33 @@ SourceFile extract(std::string path, const std::vector<Token>& t,
         name = "~" + name;
         --k;
       }
-      while (k >= 2 && t[k - 1].is("::") && t[k - 2].kind == TokKind::ident) {
-        quals.insert(quals.begin(), t[k - 2].text);
-        k -= 2;
+      while (k >= 2 && t[k - 1].is("::")) {
+        std::size_t q = k - 2;
+        if (t[q].kind == TokKind::ident) {
+          quals.insert(quals.begin(), t[q].text);
+          k = q;
+          continue;
+        }
+        // `Foo<T>::bar` — walk back over the template argument list so the
+        // definition still registers as a member of `Foo`, not a free `bar`.
+        if (t[q].is(">") || t[q].is(">>")) {
+          int depth = 0;
+          std::size_t j = q + 1;
+          bool found = false;
+          while (j-- > 0 && q - j < 64) {
+            if (t[j].is(">")) ++depth;
+            else if (t[j].is(">>")) depth += 2;
+            else if (t[j].is("<") && --depth == 0) { found = true; break; }
+          }
+          if (found && j >= 1 && t[j - 1].kind == TokKind::ident) {
+            quals.insert(quals.begin(), t[j - 1].text);
+            k = j - 1;
+            continue;
+          }
+        }
+        break;
       }
-      std::size_t close = match_paren(t, i + 1);
+      std::size_t close = match_paren(t, cand_paren);
       if (close == std::string::npos) {
         ++i;
         continue;

@@ -77,8 +77,23 @@ std::vector<Token> lex(std::string_view src) {
       i = (i + 1 < n) ? i + 2 : n;
       continue;
     }
-    // Raw string literal R"delim( ... )delim".
+    // Raw string literal R"delim( ... )delim", including encoding-prefixed
+    // forms (u8R, uR, UR, LR). Without the prefix check those lex as an
+    // identifier followed by a normal string, which leaks the raw string's
+    // *contents* into the token stream — inside-out for an analyzer that
+    // deliberately drops literal text.
+    std::size_t raw_at = std::string_view::npos;
     if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      raw_at = i;
+    } else if ((c == 'u' || c == 'U' || c == 'L') &&
+               !(i > 0 && ident_cont(src[i - 1]))) {
+      std::size_t r = i + 1;
+      if (c == 'u' && r < n && src[r] == '8') ++r;
+      if (r + 1 < n && src[r] == 'R' && src[r + 1] == '"') raw_at = i;
+    }
+    if (raw_at != std::string_view::npos) {
+      i = raw_at;
+      while (src[i] != 'R') ++i;  // skip the encoding prefix
       std::size_t d = i + 2;
       while (d < n && src[d] != '(') ++d;
       std::string close = ")";

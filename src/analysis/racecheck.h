@@ -1,0 +1,97 @@
+// sack-racecheck driver: the static concurrency-discipline analyzer.
+//
+// Three pass families over the token/type/call-graph corpus, checked against
+// the declared contract in docs/concurrency_manifest.toml:
+//
+//   lockset / annotation drift
+//     every mutable field of a [guarded.*] class must be SACK_GUARDED_BY a
+//     declared lock, a lock itself, a lock-free type, or exempted with a
+//     reason; accesses to guarded fields must hold the lock locally, be
+//     annotated SACK_REQUIRES, or be reachable only from lock-holding /
+//     exempt call-graph roots (clang's per-function -Wthread-safety waves
+//     unannotated cross-TU helpers through; the call graph does not);
+//
+//   RCU snapshot discipline
+//     inside one decision scope an [rcu.*] cell may be load()ed once —
+//     a second snapshot is a TOCTOU across generations; snapshot-derived
+//     raw pointers (.get()/.data()/&-of) must not be returned or stored
+//     into fields (lifetime escape past the snapshot's retire point); and
+//     snapshots declared immutable must never be written through;
+//
+//   atomics & fault-site registry lint
+//     relaxed-ordering store()/exchange() is allowed only for receivers on
+//     the [atomics] allowlist (counters, never publication flags), and every
+//     fault-probe string in source must exist in the central registry while
+//     every registered site must still be probed somewhere (drift check).
+//
+// Finding classes (stable; scripts key off these):
+//   unannotated-field, annotation-drift, unlocked-access,
+//   rcu-double-load, rcu-escape, rcu-mutation,
+//   relaxed-publication, unknown-fault-site, unprobed-fault-site,
+//   manifest-error
+//
+// Exit contract mirrors sack-verify/sack-hookcheck: 0 clean, 1 error
+// findings, 2 fatal (unreadable manifest / IO).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/concurrency.h"
+#include "analysis/report.h"
+
+namespace sack::analysis {
+
+struct RacecheckStats {
+  std::size_t files = 0;
+  std::size_t functions = 0;
+  std::size_t classes = 0;
+  std::size_t guarded_fields = 0;
+  std::size_t rcu_cells = 0;
+  std::size_t fault_sites_registered = 0;
+  std::size_t fault_probes = 0;
+  double parse_ms = 0.0;
+  double check_ms = 0.0;
+};
+
+struct RacecheckResult {
+  std::string fatal;  // non-empty: could not run at all (IO error)
+  std::vector<Finding> findings;
+  RacecheckStats stats;
+
+  bool ok() const { return fatal.empty(); }
+  std::size_t errors() const { return count_errors(findings); }
+};
+
+// In-memory run over (path, content) pairs; manifest parse diagnostics
+// surface as manifest-error findings (file:line), never as crashes.
+RacecheckResult run_racecheck_on_sources(
+    const std::string& manifest_text, const std::string& manifest_path,
+    const std::vector<std::pair<std::string, std::string>>& sources);
+
+// Filesystem run: reads the manifest, scans its `sources` dirs under `root`
+// for .h/.cpp/.cc/.hpp files (repo-relative paths, sorted).
+RacecheckResult run_racecheck(const std::string& root,
+                              const std::string& manifest_path);
+
+std::string render_racecheck_text(const RacecheckResult& r);
+std::string render_racecheck_json(const RacecheckResult& r);
+
+// --- raw-text fault-site scanning (exposed for unit tests) ----------------
+// The lexer deliberately drops string contents, so the fault pass re-scans
+// the raw text, comment-aware, tolerating newlines between `(` and the site
+// string (several probes in the tree wrap).
+
+struct FaultProbe {
+  std::string site;
+  int line = 0;
+};
+
+// fire("x") / fail_errno("x") / register_site("x") occurrences.
+std::vector<FaultProbe> scan_fault_probes(const std::string& text);
+
+// The `kBuiltinSites[] = { {"name", "desc"}, ... }` catalogue.
+std::vector<FaultProbe> scan_fault_registry(const std::string& text);
+
+}  // namespace sack::analysis

@@ -1,0 +1,297 @@
+#include "analysis/typescan.h"
+
+#include <cstddef>
+
+namespace sack::analysis {
+namespace {
+
+std::size_t match_paren(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].is("(")) ++depth;
+    else if (t[i].is(")") && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+std::size_t match_brace(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].is("{")) ++depth;
+    else if (t[i].is("}") && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+// After a member function's parameter `)`, consumes qualifiers, annotation
+// macros, `= default/0`, the constructor init list, and the body. Returns the
+// index just past the function (after its `}` or `;`).
+std::size_t skip_function_tail(const std::vector<Token>& t, std::size_t i,
+                               std::size_t end) {
+  while (i < end) {
+    if (t[i].is(";")) return i + 1;
+    if (t[i].is("{")) {
+      std::size_t c = match_brace(t, i);
+      if (c == std::string::npos || c >= end) return end;
+      i = c + 1;
+      // A `,` after the group means it was a brace-init entry of a ctor
+      // init list, not the body — keep going.
+      if (i < end && t[i].is(",")) { ++i; continue; }
+      return i;
+    }
+    ++i;
+  }
+  return end;
+}
+
+bool type_is_mutex(const std::string& type) {
+  return type.find("Mutex") != std::string::npos ||
+         type.find("mutex") != std::string::npos;
+}
+
+struct Scanner {
+  const std::vector<Token>& t;
+  std::string file;
+  std::vector<ClassDecl> out;
+
+  // Walks a namespace-level scope [begin, end): descends into namespaces and
+  // class definitions, skips everything else (function bodies, enums, ...).
+  void scan_namespace(std::size_t begin, std::size_t end) {
+    std::size_t i = begin;
+    while (i < end) {
+      const Token& tok = t[i];
+      if (tok.ident_is("namespace")) {
+        std::size_t j = i + 1;
+        while (j < end && !t[j].is("{") && !t[j].is(";") && !t[j].is("="))
+          ++j;
+        if (j < end && t[j].is("{")) {
+          std::size_t c = match_brace(t, j);
+          if (c == std::string::npos || c > end) c = end;
+          scan_namespace(j + 1, c);
+          i = c + 1;
+          continue;
+        }
+        i = j + 1;
+        continue;
+      }
+      if (is_class_kw(i)) {
+        i = scan_class_def(i, end, "");
+        continue;
+      }
+      if (tok.ident_is("enum")) {
+        i = skip_enum(i, end);
+        continue;
+      }
+      if (tok.is("{")) {  // stray block (e.g. a free function body we missed)
+        std::size_t c = match_brace(t, i);
+        i = (c == std::string::npos || c > end) ? end : c + 1;
+        continue;
+      }
+      ++i;
+    }
+  }
+
+ private:
+  bool is_class_kw(std::size_t i) const {
+    return (t[i].ident_is("class") || t[i].ident_is("struct") ||
+            t[i].ident_is("union")) &&
+           !(i > 0 && t[i - 1].ident_is("enum"));
+  }
+
+  std::size_t skip_enum(std::size_t i, std::size_t end) const {
+    std::size_t j = i + 1;
+    while (j < end && !t[j].is("{") && !t[j].is(";")) ++j;
+    if (j < end && t[j].is("{")) {
+      std::size_t c = match_brace(t, j);
+      return (c == std::string::npos || c > end) ? end : c + 1;
+    }
+    return j + 1;
+  }
+
+  // `i` points at class/struct/union. Returns the index past the definition.
+  std::size_t scan_class_def(std::size_t i, std::size_t end,
+                             const std::string& outer) {
+    std::string name;
+    std::size_t j = i + 1;
+    while (j < end && t[j].kind == TokKind::ident && !t[j].ident_is("final")) {
+      name = t[j].text;  // last ident before `{`/`:`/`;` (skips attributes)
+      ++j;
+      // Out-of-line nested definition: `class Outer::Inner : ... {`.
+      while (j + 1 < end && t[j].is("::") && t[j + 1].kind == TokKind::ident) {
+        name += "::" + t[j + 1].text;
+        j += 2;
+      }
+      break;
+    }
+    // Base clause / final / template-args in the name are walked over; a `;`
+    // first means forward declaration.
+    while (j < end && !t[j].is("{") && !t[j].is(";")) ++j;
+    if (j >= end || t[j].is(";")) return j + 1;
+    std::size_t close = match_brace(t, j);
+    if (close == std::string::npos || close > end) close = end;
+    if (!name.empty()) {
+      std::string qual = outer.empty() ? name : outer + "::" + name;
+      scan_class_body(j + 1, close, qual, t[i].line);
+    }
+    return close + 1;
+  }
+
+  void scan_class_body(std::size_t begin, std::size_t end,
+                       const std::string& qual, int line) {
+    ClassDecl cd;
+    cd.name = qual;
+    cd.file = file;
+    cd.line = line;
+
+    std::vector<std::size_t> decl;  // token indexes of the pending declaration
+    std::string guarded_by;
+    bool saw_eq = false;
+
+    auto reset = [&] {
+      decl.clear();
+      guarded_by.clear();
+      saw_eq = false;
+    };
+
+    std::size_t i = begin;
+    while (i < end) {
+      const Token& tok = t[i];
+
+      // Access specifiers.
+      if ((tok.ident_is("public") || tok.ident_is("private") ||
+           tok.ident_is("protected")) &&
+          i + 1 < end && t[i + 1].is(":")) {
+        reset();
+        i += 2;
+        continue;
+      }
+      if (tok.ident_is("using") || tok.ident_is("typedef") ||
+          tok.ident_is("friend") || tok.ident_is("static_assert")) {
+        while (i < end && !t[i].is(";")) ++i;
+        reset();
+        ++i;
+        continue;
+      }
+      if (is_class_kw(i)) {
+        i = scan_class_def(i, end, qual);
+        reset();
+        continue;
+      }
+      if (tok.ident_is("enum")) {
+        i = skip_enum(i, end);
+        reset();
+        continue;
+      }
+
+      if (tok.is(";")) {
+        finalize(cd, decl, guarded_by);
+        reset();
+        ++i;
+        continue;
+      }
+
+      if (!saw_eq && tok.is("(")) {
+        // `name SACK_GUARDED_BY(mu)` — annotation attaches to the decl.
+        if (!decl.empty() && t[decl.back()].ident_is("SACK_GUARDED_BY")) {
+          std::size_t c = match_paren(t, i);
+          if (c == std::string::npos || c > end) break;
+          for (std::size_t k = i + 1; k < c; ++k) {
+            if (!guarded_by.empty()) guarded_by += ' ';
+            guarded_by += t[k].text;
+          }
+          decl.pop_back();  // drop the macro name from the declaration
+          i = c + 1;
+          continue;
+        }
+        // Anything else with a paren at class scope is a member function
+        // (or an `operator...` whose paren follows punctuation): skip its
+        // parameter list and tail/body wholesale.
+        bool preceded_by_ident =
+            !decl.empty() && t[decl.back()].kind == TokKind::ident;
+        bool is_operator = false;
+        for (std::size_t k : decl)
+          if (t[k].ident_is("operator")) is_operator = true;
+        if (preceded_by_ident || is_operator) {
+          std::size_t c = match_paren(t, i);
+          if (c == std::string::npos || c > end) break;
+          i = skip_function_tail(t, c + 1, end);
+          reset();
+          continue;
+        }
+        // Unmodeled (function-pointer field, macro): skip to `;`.
+        while (i < end && !t[i].is(";")) ++i;
+        reset();
+        ++i;
+        continue;
+      }
+
+      if (tok.is("{")) {
+        // Brace initializer of a field (`hits_{0}`) when a decl is pending,
+        // otherwise a stray block — skip either way.
+        std::size_t c = match_brace(t, i);
+        if (c == std::string::npos || c > end) break;
+        if (decl.empty()) reset();
+        i = c + 1;
+        continue;
+      }
+
+      if (tok.is("=")) saw_eq = true;
+      if (!saw_eq) decl.push_back(i);
+      ++i;
+      continue;
+    }
+    finalize(cd, decl, guarded_by);
+
+    for (const auto& f : cd.fields)
+      if (f.is_mutex) cd.mutexes.push_back(f.name);
+    out.push_back(std::move(cd));
+  }
+
+  void finalize(ClassDecl& cd, const std::vector<std::size_t>& decl,
+                const std::string& guarded_by) {
+    if (decl.empty()) return;
+    FieldDecl f;
+    f.guarded_by = guarded_by;
+    int angle = 0;
+    std::size_t name_at = std::string::npos;
+    for (std::size_t k : decl) {
+      const Token& x = t[k];
+      if (x.is("<")) ++angle;
+      else if (x.is(">")) --angle;
+      else if (x.is(">>")) angle -= 2;
+      if (angle == 0 && x.kind == TokKind::ident) {
+        if (x.ident_is("mutable")) { f.is_mutable = true; continue; }
+        if (x.ident_is("static")) { f.is_static = true; continue; }
+        if (x.ident_is("const")) { f.is_const = true; continue; }
+        if (x.ident_is("constexpr") || x.ident_is("inline") ||
+            x.ident_is("volatile") || x.ident_is("virtual") ||
+            x.ident_is("explicit") || x.ident_is("template") ||
+            x.ident_is("typename"))
+          continue;
+        name_at = k;  // last plain identifier wins: that's the field name
+      }
+    }
+    if (name_at == std::string::npos) return;
+    f.name = t[name_at].text;
+    f.line = t[name_at].line;
+    for (std::size_t k : decl) {
+      if (k == name_at) break;
+      if (!f.type.empty()) f.type += ' ';
+      f.type += t[k].text;
+    }
+    if (f.type.empty()) return;  // lone identifier: not a declaration
+    f.is_mutex = type_is_mutex(f.type);
+    cd.fields.push_back(std::move(f));
+  }
+};
+
+}  // namespace
+
+std::vector<ClassDecl> scan_types(const std::string& path,
+                                  const std::vector<Token>& t) {
+  Scanner s{t, path, {}};
+  s.scan_namespace(0, t.size());
+  return std::move(s.out);
+}
+
+}  // namespace sack::analysis

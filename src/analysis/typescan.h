@@ -1,0 +1,49 @@
+// Class/field extraction for sack-racecheck.
+//
+// Works on the token stream from lexer.h, like extractor.h, but answers a
+// different question: not "what does this function call", but "what state
+// does this class own and how is it annotated". The scanner understands
+// just enough C++ structure for lockset analysis:
+//
+//   * class/struct/union definitions at namespace scope and nested inside
+//     other classes (nested names are qualified: `AccessVectorCache::Shard`);
+//   * field declarations with their type tokens, `SACK_GUARDED_BY(...)`
+//     annotation argument, and const/mutable/static storage flags;
+//   * member function bodies are skipped (locals are not fields), including
+//     constructor init lists, `= default`, and trailing annotation macros.
+//
+// Anonymous aggregates and function-pointer fields are out of model — the
+// tree has neither at class scope, and the fixtures pin the supported shape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/lexer.h"
+
+namespace sack::analysis {
+
+struct FieldDecl {
+  std::string name;
+  int line = 0;
+  std::string type;        // declaration tokens joined with single spaces
+  std::string guarded_by;  // SACK_GUARDED_BY argument text, "" when absent
+  bool is_mutable = false;
+  bool is_const = false;   // top-level const (not const inside template args)
+  bool is_static = false;
+  bool is_mutex = false;   // type names a Mutex/mutex flavor
+};
+
+struct ClassDecl {
+  std::string name;  // nested classes qualified with "::", namespaces dropped
+  std::string file;
+  int line = 0;
+  std::vector<FieldDecl> fields;
+  std::vector<std::string> mutexes;  // names of mutex-typed fields
+};
+
+// Scans one file's tokens for class definitions and their fields.
+std::vector<ClassDecl> scan_types(const std::string& path,
+                                  const std::vector<Token>& t);
+
+}  // namespace sack::analysis

@@ -164,8 +164,10 @@ Result<void> SfiModule::load_policy_text(std::string_view text,
   // Publish the generation after the set so a reader that sees the new
   // generation always finds (at least) the matching set.
   generation_.store(next_gen, std::memory_order_release);
-  situation_token_.store((*compiled)->situation_token(current_situation_),
-                         std::memory_order_relaxed);
+  situation_word_.store(
+      pack_situation(next_gen,
+                     (*compiled)->situation_token(current_situation_)),
+      std::memory_order_release);
   loads_.inc();
   return {};
 }
@@ -179,8 +181,10 @@ void SfiModule::set_situation(std::string_view name) {
   util::MutexLock lk(mu_);
   current_situation_.assign(name);
   auto set = programs_.load();
-  situation_token_.store(set ? set->situation_token(name) : kNoSituation,
-                         std::memory_order_relaxed);
+  situation_word_.store(
+      pack_situation(generation_.load(std::memory_order_relaxed),
+                     set ? set->situation_token(name) : kNoSituation),
+      std::memory_order_release);
   situation_switches_.inc();
 }
 
@@ -280,9 +284,17 @@ Errno SfiModule::task_syscall(Task& task, std::string_view syscall) {
   std::uint16_t next = blob->program->next(blob->state, sid);
   bool overlay_deny = false;
   if (next != Program::kDeny) {
-    const std::uint32_t token =
-        situation_token_.load(std::memory_order_relaxed);
+    // Situation tokens index the overlay tables of ONE ProgramSet. The
+    // packed word carries the generation the token was minted for; on a
+    // mismatch (a policy swap raced this syscall) the overlay is skipped
+    // for this one call rather than consulting an arbitrary row of the
+    // other generation's tables. The next call re-attaches and sees a
+    // matched pair.
+    const std::uint64_t word =
+        situation_word_.load(std::memory_order_acquire);
+    const auto token = static_cast<std::uint32_t>(word);
     if (token != kNoSituation &&
+        (word >> 32) == (blob->generation & 0xffffffffULL) &&
         blob->program->situation_denies(token, sid)) {
       overlay_deny = true;
       next = Program::kDeny;

@@ -113,9 +113,22 @@ class SfiModule final : public kernel::SecurityModule {
 
   static const std::string& blob_key();
 
+  static constexpr std::uint64_t pack_situation(std::uint64_t gen,
+                                                std::uint32_t token) {
+    return (gen << 32) | token;
+  }
+
   RcuPtr<const ProgramSet> programs_;
   std::atomic<std::uint64_t> generation_{0};
-  std::atomic<std::uint32_t> situation_token_{kNoSituation};
+  // Situation overlay token packed with the low 32 bits of the generation
+  // it was minted for: (gen32 << 32) | token. Tokens index the overlay
+  // tables of one specific ProgramSet, so a reader must never pair a token
+  // with a program from a different generation — it would consult an
+  // arbitrary overlay row. Readers load with acquire and skip the overlay
+  // when the packed generation does not match their blob's; writers (always
+  // under mu_) store with release. Stressed by
+  // SfiConcurrency.SituationTokenNeverPairsAcrossGenerations (TSan).
+  std::atomic<std::uint64_t> situation_word_{kNoSituation};
   std::atomic<std::uint8_t> mode_{static_cast<std::uint8_t>(SfiMode::enforce)};
 
   mutable util::Mutex mu_;

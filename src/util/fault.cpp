@@ -40,7 +40,7 @@ FaultInjector& FaultInjector::instance() {
 }
 
 bool FaultInjector::arm(std::string_view site, FaultSpec spec) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (registry_.find(site) == registry_.end()) {
     log_warn("fault: refusing to arm unknown site '", std::string(site),
              "' (register_site() it first; see fault_sites())");
@@ -56,7 +56,7 @@ bool FaultInjector::arm(std::string_view site, FaultSpec spec) {
 }
 
 void FaultInjector::disarm(std::string_view site) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return;
   sites_.erase(it);
@@ -64,7 +64,7 @@ void FaultInjector::disarm(std::string_view site) {
 }
 
 void FaultInjector::reset() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   armed_sites_.fetch_sub(static_cast<int>(sites_.size()),
                          std::memory_order_relaxed);
   sites_.clear();
@@ -72,7 +72,7 @@ void FaultInjector::reset() {
 
 void FaultInjector::register_site(std::string_view site,
                                   std::string_view description) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = registry_.try_emplace(std::string(site),
                                               std::string(description));
   if (!inserted && it->second.empty() && !description.empty())
@@ -80,12 +80,12 @@ void FaultInjector::register_site(std::string_view site,
 }
 
 bool FaultInjector::is_registered(std::string_view site) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return registry_.find(site) != registry_.end();
 }
 
 std::vector<FaultSiteInfo> FaultInjector::fault_sites() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<FaultSiteInfo> out;
   out.reserve(registry_.size());
   for (const auto& [name, description] : registry_)
@@ -109,7 +109,7 @@ bool FaultInjector::probe_locked(Site& site, std::string_view detail) {
 
 bool FaultInjector::fire(std::string_view site, std::string_view detail) {
   if (!any_armed()) return false;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return false;
   return probe_locked(it->second, detail);
@@ -118,7 +118,7 @@ bool FaultInjector::fire(std::string_view site, std::string_view detail) {
 std::optional<Errno> FaultInjector::fail_errno(std::string_view site,
                                                std::string_view detail) {
   if (!any_armed()) return std::nullopt;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return std::nullopt;
   if (!probe_locked(it->second, detail)) return std::nullopt;
@@ -126,7 +126,7 @@ std::optional<Errno> FaultInjector::fail_errno(std::string_view site,
 }
 
 FaultSiteStats FaultInjector::stats(std::string_view site) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return {};
   return {it->second.hits, it->second.fires};

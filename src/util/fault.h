@@ -43,7 +43,6 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -51,6 +50,7 @@
 
 #include "util/errno.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace sack::util {
 
@@ -129,13 +129,14 @@ class FaultInjector {
 
   // nullptr when the site is disarmed or the detail does not match;
   // otherwise whether this hit fires. Caller must hold mu_.
-  bool probe_locked(Site& site, std::string_view detail);
+  bool probe_locked(Site& site, std::string_view detail) SACK_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Site, std::less<>> sites_;
+  mutable Mutex mu_;
+  std::map<std::string, Site, std::less<>> sites_ SACK_GUARDED_BY(mu_);
   // name -> description. Populated with the built-in production sites at
   // construction; register_site() adds test-local ones.
-  std::map<std::string, std::string, std::less<>> registry_;
+  std::map<std::string, std::string, std::less<>> registry_
+      SACK_GUARDED_BY(mu_);
   std::atomic<int> armed_sites_{0};
 };
 

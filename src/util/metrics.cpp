@@ -49,7 +49,7 @@ std::uint64_t LatencyHistogram::max_bound_ns() const {
 }
 
 void LatencyHistogram::reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   sum_ns_.store(0, std::memory_order_relaxed);
 }
 

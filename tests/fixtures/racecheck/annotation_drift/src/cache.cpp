@@ -1,0 +1,16 @@
+#include "cache.h"
+
+namespace fix {
+
+int Cache::lookup(const std::string& key) const {
+  util::MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? -1 : it->second;
+}
+
+void Cache::insert(const std::string& key, int value) {
+  util::MutexLock lock(mu_);
+  entries_[key] = value;
+}
+
+}  // namespace fix

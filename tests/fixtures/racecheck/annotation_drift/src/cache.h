@@ -1,0 +1,26 @@
+// Seeded defects: `hits_` claims a lock the manifest does not declare for
+// this class (annotation drift — the guard was renamed but the annotation
+// kept the old name), and `entries_` lost its annotation entirely.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/thread_annotations.h"
+
+namespace fix {
+
+class Cache {
+ public:
+  int lookup(const std::string& key) const;
+  void insert(const std::string& key, int value);
+
+ private:
+  mutable util::Mutex mu_;
+  mutable util::Mutex stats_mu_;  // renamed from other_mu_; drift below
+  int hits_ SACK_GUARDED_BY(other_mu_) = 0;
+  std::map<std::string, int> entries_;
+  std::atomic<int> probes_{0};  // lock-free, needs no annotation
+};
+
+}  // namespace fix

@@ -1,0 +1,15 @@
+#include "gate.h"
+
+namespace fix {
+
+// Seeded defect: the check loads the cell once to validate and AGAIN to
+// decide — a publish between the two loads makes the verdict straddle two
+// generations.
+bool Gate::admits(int rule) const {
+  auto have = snap_.load();
+  if (!have || have->rules.empty()) return false;
+  auto decide = snap_.load();  // second snapshot in the same decision scope
+  return decide->rules[0] <= rule && decide->generation == have->generation;
+}
+
+}  // namespace fix

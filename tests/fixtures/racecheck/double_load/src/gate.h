@@ -1,0 +1,24 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/rcu_ptr.h"
+
+namespace fix {
+
+struct Snap {
+  std::vector<int> rules;
+  int generation = 0;
+};
+
+class Gate {
+ public:
+  bool admits(int rule) const;
+  void publish(std::shared_ptr<const Snap> next) { snap_.store(next); }
+
+ private:
+  util::RcuPtr<const Snap> snap_;
+};
+
+}  // namespace fix

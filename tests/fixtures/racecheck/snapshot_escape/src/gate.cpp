@@ -1,0 +1,20 @@
+#include "gate.h"
+
+namespace fix {
+
+// Seeded defect: the raw pointer outlives the shared_ptr snapshot that
+// keeps the Snap alive — the caller dereferences freed memory after the
+// next publish().
+const int* Gate::rules_view() const {
+  auto s = snap_.load();
+  return s->rules.data();
+}
+
+// Seeded defect: same lifetime bug, stored into a field instead of
+// returned.
+void Gate::warm_cache() {
+  auto s = snap_.load();
+  cached_rules_ = s->rules.data();
+}
+
+}  // namespace fix

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/rcu_ptr.h"
+
+namespace fix {
+
+struct Snap {
+  std::vector<int> rules;
+};
+
+class Gate {
+ public:
+  const int* rules_view() const;
+  void warm_cache();
+  void publish(std::shared_ptr<const Snap> next) { snap_.store(next); }
+
+ private:
+  util::RcuPtr<const Snap> snap_;
+  const int* cached_rules_ = nullptr;
+};
+
+}  // namespace fix

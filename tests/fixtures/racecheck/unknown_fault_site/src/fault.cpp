@@ -1,0 +1,14 @@
+// Stand-in central fault-site registry, same shape as util/fault.cpp.
+namespace fix {
+
+struct SiteEntry {
+  const char* name;
+  const char* description;
+};
+
+constexpr SiteEntry kBuiltinSites[] = {
+    {"gate.check.fail", "the admission check itself faults"},
+    {"gate.publish.drop", "a publish is dropped before the swap"},
+};
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+#include "util/fault.h"
+
+namespace fix {
+
+bool check_gate() {
+  // Probes the registered sites...
+  if (sack::util::FaultInjector::instance().fire("gate.check.fail"))
+    return false;
+  if (sack::util::FaultInjector::instance().fire(
+          "gate.publish.drop"))
+    return false;
+  // Seeded defect: this site was renamed in the registry but not here —
+  // no test can ever arm it, so the probe is dead coverage.
+  if (sack::util::FaultInjector::instance().fire("gate.chek.fail"))
+    return false;
+  return true;
+}
+
+}  // namespace fix

@@ -1,0 +1,191 @@
+// Unit tests for the concurrency-contract parser behind sack-racecheck.
+// The contract is hand-maintained TOML-subset, so the parser's job under
+// malformed input is to produce a *complete* list of line-numbered
+// diagnostics — never to crash, and never to stop at the first problem.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "analysis/concurrency.h"
+
+namespace sack::analysis {
+namespace {
+
+bool has_diag(const ConcurrencyParse& p, int line, const std::string& sub) {
+  for (const auto& d : p.diags)
+    if (d.line == line && d.message.find(sub) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(ConcurrencyManifest, ParsesAFullContract) {
+  auto p = parse_concurrency_manifest(R"(
+[racecheck]
+sources = ["src"]
+lockfree_types = ["atomic", "RcuPtr"]
+exempt_contexts = ["main"]
+
+[guarded.cache]
+class = "Cache"
+mutexes = ["mu_"]
+accessors = ["Cache::"]
+helpers = ["lookup_impl"]
+exempt = ["name_: set once in the constructor"]
+
+[rcu.rules]
+cell = "snap_"
+class = "RuleSet"
+loaders = ["snapshot"]
+immutable = true
+exempt_double_load = ["dump: diagnostic output, not a decision"]
+
+[atomics]
+relaxed_ok = ["hits_: stat counter"]
+
+[fault_sites]
+registry = "src/util/fault.cpp"
+external = ["test.only.site: armed only by the chaos suite"]
+)");
+  ASSERT_TRUE(p.ok()) << (p.diags.empty() ? "" : p.diags[0].message);
+  const auto& m = p.manifest;
+  EXPECT_EQ(m.sources, std::vector<std::string>{"src"});
+  ASSERT_EQ(m.guarded.size(), 1u);
+  EXPECT_EQ(m.guarded[0].class_name, "Cache");
+  EXPECT_EQ(m.guarded[0].mutexes, std::vector<std::string>{"mu_"});
+  ASSERT_EQ(m.guarded[0].exempt.size(), 1u);
+  EXPECT_EQ(m.guarded[0].exempt[0].name, "name_");
+  EXPECT_EQ(m.guarded[0].exempt[0].reason, "set once in the constructor");
+  ASSERT_EQ(m.rcu.size(), 1u);
+  EXPECT_EQ(m.rcu[0].cell, "snap_");
+  EXPECT_TRUE(m.rcu[0].immutable);
+  ASSERT_EQ(m.relaxed_ok.size(), 1u);
+  EXPECT_EQ(m.relaxed_ok[0].name, "hits_");
+  EXPECT_EQ(m.fault_registry, "src/util/fault.cpp");
+  ASSERT_EQ(m.fault_external.size(), 1u);
+  EXPECT_EQ(m.fault_external[0].name, "test.only.site");
+}
+
+TEST(ConcurrencyManifest, MultiLineArraysAndCommentsParse) {
+  auto p = parse_concurrency_manifest(
+      "[racecheck]\n"
+      "sources = [\n"
+      "  \"src\",   # the tree\n"
+      "  \"lib\",\n"
+      "]\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.manifest.sources, (std::vector<std::string>{"src", "lib"}));
+}
+
+TEST(ConcurrencyManifest, DefaultLockTypesWhenUnspecified) {
+  auto p = parse_concurrency_manifest("[racecheck]\nsources = [\"src\"]\n");
+  ASSERT_TRUE(p.ok());
+  const auto& lt = p.manifest.lock_types;
+  EXPECT_NE(std::find(lt.begin(), lt.end(), "MutexLock"), lt.end());
+  EXPECT_NE(std::find(lt.begin(), lt.end(), "lock_guard"), lt.end());
+}
+
+// --- malformed contracts: diagnostics with line numbers, not crashes ------
+
+TEST(ConcurrencyManifest, DuplicateLockInOneClassIsDiagnosed) {
+  auto p = parse_concurrency_manifest(
+      "[guarded.c]\n"
+      "class = \"Cache\"\n"
+      "mutexes = [\"mu_\", \"mu_\"]\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_TRUE(has_diag(p, 3, "duplicate lock 'mu_'"));
+}
+
+TEST(ConcurrencyManifest, DuplicateLockClassAcrossSectionsIsDiagnosed) {
+  auto p = parse_concurrency_manifest(
+      "[guarded.a]\n"
+      "class = \"Cache\"\n"
+      "mutexes = [\"mu_\"]\n"
+      "[guarded.b]\n"
+      "class = \"Cache\"\n"
+      "mutexes = [\"other_\"]\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_TRUE(has_diag(p, 4, "duplicate lock class 'Cache'"));
+}
+
+TEST(ConcurrencyManifest, DuplicateSectionTagIsDiagnosed) {
+  auto p = parse_concurrency_manifest(
+      "[guarded.c]\nclass = \"A\"\n[guarded.c]\nclass = \"B\"\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_TRUE(has_diag(p, 3, "duplicate lock class section [guarded.c]"));
+}
+
+TEST(ConcurrencyManifest, ExemptionWithoutReasonIsDiagnosed) {
+  auto p = parse_concurrency_manifest(
+      "[guarded.c]\n"
+      "class = \"Cache\"\n"
+      "exempt = [\"entries_\"]\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_TRUE(has_diag(p, 3, "missing a ': reason'"));
+
+  auto q = parse_concurrency_manifest(
+      "[guarded.c]\n"
+      "class = \"Cache\"\n"
+      "exempt = [\"entries_:   \"]\n");
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(has_diag(q, 3, "missing a ': reason'"));
+}
+
+TEST(ConcurrencyManifest, EmptyExemptRestReasonIsDiagnosed) {
+  auto p = parse_concurrency_manifest(
+      "[guarded.c]\nclass = \"Cache\"\nexempt_rest = \"\"\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_TRUE(has_diag(p, 3, "non-empty reason"));
+}
+
+TEST(ConcurrencyManifest, MissingStructuralKeysAreDiagnosed) {
+  auto p = parse_concurrency_manifest(
+      "[guarded.c]\n"
+      "mutexes = [\"mu_\"]\n"
+      "[rcu.r]\n"
+      "immutable = true\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_TRUE(has_diag(p, 1, "missing class"));
+  EXPECT_TRUE(has_diag(p, 3, "missing cell"));
+  EXPECT_TRUE(has_diag(p, 3, "missing class"));
+}
+
+TEST(ConcurrencyManifest, CollectsEveryProblemNotJustTheFirst) {
+  auto p = parse_concurrency_manifest(
+      "junk_key = \"x\"\n"
+      "[guarded.c]\n"
+      "class = \"Cache\"\n"
+      "bogus = \"y\"\n"
+      "[rcu.r]\n"
+      "immutable = \"maybe\"\n");
+  ASSERT_EQ(p.diags.size(), 5u);  // outside-section, unknown key, bad bool,
+                                  // rcu missing cell + class
+  EXPECT_TRUE(has_diag(p, 1, "outside any section"));
+  EXPECT_TRUE(has_diag(p, 4, "unknown key 'bogus'"));
+  EXPECT_TRUE(has_diag(p, 6, "immutable must be true or false"));
+}
+
+TEST(ConcurrencyManifest, MalformedSyntaxNeverCrashes) {
+  for (const char* bad : {
+           "[racecheck",                      // unterminated header
+           "[racecheck]\nsources = [\"src\"", // unterminated array
+           "[racecheck]\nsources = \"src",    // unterminated string
+           "[racecheck]\nsources\n",          // missing =
+           "[nonsense]\nkey = \"v\"\n",       // unknown section
+           "= = =\n[guarded.]\nclass=\n",     // garbage
+       }) {
+    auto p = parse_concurrency_manifest(bad);
+    EXPECT_FALSE(p.ok()) << bad;
+    for (const auto& d : p.diags) EXPECT_GT(d.line, 0) << bad;
+  }
+}
+
+TEST(ConcurrencyManifest, EmptyInputIsAValidEmptyContract) {
+  auto p = parse_concurrency_manifest("");
+  EXPECT_TRUE(p.ok());
+  EXPECT_TRUE(p.manifest.guarded.empty());
+  EXPECT_TRUE(p.manifest.rcu.empty());
+}
+
+}  // namespace
+}  // namespace sack::analysis

@@ -6,6 +6,7 @@
 // exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -646,6 +647,38 @@ TEST_F(FaultConcurrencyTest, ParallelProbesAndRearmAreSafe) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(fi.stats("mt.site").hits, 8000u);
+}
+
+
+TEST_F(FaultConcurrencyTest, ParallelRegistrationAndEnumerationAreSafe) {
+  // Regression for the registry lock annotations (sites_/registry_ are
+  // SACK_GUARDED_BY(mu_)): register_site()/is_registered()/fault_sites()
+  // racing against armed probes must be TSan-clean — the registry map
+  // rebalances on insert while fault_sites() walks it.
+  auto& fi = FaultInjector::instance();
+  FaultSpec site;
+  site.probability = 1.0;
+  site.seed = 3;
+  fi.arm("mt.site", site);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&fi, t] {
+      for (int i = 0; i < 500; ++i) {
+        fi.register_site("mt.dyn." + std::to_string(t) + "." +
+                             std::to_string(i),
+                         "registered mid-flight");
+        (void)fi.fire("mt.site", "detail");
+        (void)fi.is_registered("mt.other");
+      }
+    });
+  }
+  std::size_t seen_max = 0;
+  for (int i = 0; i < 200; ++i)
+    seen_max = std::max(seen_max, fi.fault_sites().size());
+  for (auto& th : threads) th.join();
+  EXPECT_GE(fi.fault_sites().size(), seen_max);
+  EXPECT_TRUE(fi.is_registered("mt.dyn.0.499"));
+  EXPECT_EQ(fi.stats("mt.site").hits, 1500u);
 }
 
 }  // namespace

@@ -379,5 +379,98 @@ TEST(HookcheckPattern, RespectsRange) {
   EXPECT_EQ(find_pattern(toks, at + 1, toks.size(), pat), std::string::npos);
 }
 
+
+// --- satellite regressions: raw strings, if constexpr, template calls ------
+
+TEST(HookcheckLexer, RawStringEncodingPrefixesAreOpaque) {
+  // u8R/uR/UR/LR raw strings must lex as string tokens with their contents
+  // (including fake identifiers and quotes) dropped, like plain R"".
+  auto toks = lex("auto a = u8R\"(file_open \" inner)\";\n"
+                  "auto b = LR\"sep(task_free)sep\"; int after = 1;");
+  int strs = 0;
+  bool saw_after = false;
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::str) {
+      ++strs;
+      EXPECT_EQ(t.text, "\"\"");
+    }
+    if (t.kind == TokKind::ident) {
+      EXPECT_NE(t.text, "file_open");
+      EXPECT_NE(t.text, "task_free");
+      if (t.text == "after") saw_after = true;
+    }
+  }
+  EXPECT_EQ(strs, 2);
+  EXPECT_TRUE(saw_after);  // lexing resynchronized after the raw strings
+}
+
+TEST(HookcheckLexer, IdentifiersEndingInUppercaseRAreNotRawStrings) {
+  // `vaR"x"` is the identifier vaR followed by an ordinary string.
+  auto toks = lex("int vaR = 0; use(vaR);");
+  int var_idents = 0;
+  for (const auto& t : toks)
+    if (t.ident_is("vaR")) ++var_idents;
+  EXPECT_EQ(var_idents, 2);
+}
+
+TEST(HookcheckExtractor, IfConstexprBodyIsConditionalContext) {
+  auto f = extract_src(R"(
+void dispatch(int pid) {
+  if constexpr (kAudited) {
+    audit(pid);
+  }
+  commit(pid);
+}
+)");
+  ASSERT_EQ(f.functions.size(), 1u);
+  bool audit_cond = false, commit_cond = true;
+  for (const auto& c : f.functions[0].calls) {
+    if (c.callee == "audit") audit_cond = c.conditional;
+    if (c.callee == "commit") commit_cond = c.conditional;
+  }
+  EXPECT_TRUE(audit_cond);    // guarded by the if constexpr
+  EXPECT_FALSE(commit_cond);  // straight-line after it
+}
+
+TEST(HookcheckExtractor, ExplicitTemplateArgumentCallsAreCallSites) {
+  auto f = extract_src(R"(
+void run(Task& t) {
+  helper<int>(t);
+  t.blob<SfiTaskBlob, 4>(key);
+  if (limit < threshold && count > limit) rebalance();
+}
+)");
+  ASSERT_EQ(f.functions.size(), 1u);
+  bool saw_helper = false, saw_blob = false, saw_cmp_callee = false;
+  for (const auto& c : f.functions[0].calls) {
+    if (c.callee == "helper") saw_helper = true;
+    if (c.callee == "blob") saw_blob = true;
+    if (c.callee == "limit" || c.callee == "threshold" ||
+        c.callee == "count")
+      saw_cmp_callee = true;
+  }
+  EXPECT_TRUE(saw_helper);
+  EXPECT_TRUE(saw_blob);
+  EXPECT_FALSE(saw_cmp_callee);  // comparisons are not template calls
+}
+
+TEST(HookcheckExtractor, TemplateMemberDefinitionGetsQualifiedName) {
+  auto f = extract_src(R"(
+template <typename T>
+int Registry<T>::lookup(int key) {
+  return find_slot(key);
+}
+template <>
+int decode<int>(int raw) { return raw; }
+)");
+  const FunctionDef* m = fn_named(f, "lookup");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->qualified, "Registry::lookup");
+  ASSERT_EQ(m->calls.size(), 1u);
+  EXPECT_EQ(m->calls[0].callee, "find_slot");
+  // The explicit specialization is extracted as a plain function.
+  EXPECT_NE(fn_named(f, "decode"), nullptr);
+}
+
 }  // namespace
 }  // namespace sack::analysis

@@ -1,0 +1,497 @@
+// Unit tests for sack-racecheck: the class/field scanner, the raw-text
+// fault-probe scanner, and the three pass families run over in-memory
+// source trees (lockset drift, RCU snapshot discipline, atomics and
+// fault-registry lint).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/lexer.h"
+#include "analysis/racecheck.h"
+#include "analysis/typescan.h"
+
+namespace sack::analysis {
+namespace {
+
+using Sources = std::vector<std::pair<std::string, std::string>>;
+
+std::vector<ClassDecl> scan(const std::string& src) {
+  return scan_types("t.h", lex(src));
+}
+
+const ClassDecl* cls(const std::vector<ClassDecl>& v, const std::string& n) {
+  for (const auto& c : v)
+    if (c.name == n) return &c;
+  return nullptr;
+}
+
+const FieldDecl* field(const ClassDecl& c, const std::string& n) {
+  for (const auto& f : c.fields)
+    if (f.name == n) return &f;
+  return nullptr;
+}
+
+bool has(const RacecheckResult& r, const std::string& cls_name,
+         const std::string& file, const std::string& msg_sub = "") {
+  for (const auto& f : r.findings)
+    if (f.cls == cls_name && f.file == file &&
+        (msg_sub.empty() || f.message.find(msg_sub) != std::string::npos))
+      return true;
+  return false;
+}
+
+// --- typescan --------------------------------------------------------------
+
+TEST(Typescan, FieldsTypesAndAnnotations) {
+  auto v = scan(R"(
+namespace x {
+class Cache {
+ public:
+  int lookup() const { return hits_; }
+ private:
+  mutable util::Mutex mu_;
+  int hits_ SACK_GUARDED_BY(mu_) = 0;
+  std::map<std::string, int> entries_ SACK_GUARDED_BY(mu_);
+  std::atomic<int> probes_{0};
+  static constexpr int kMax = 8;
+  const char* tag_ = "cache";
+};
+}  // namespace x
+)");
+  const ClassDecl* c = cls(v, "Cache");
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(field(*c, "mu_"), nullptr);
+  EXPECT_TRUE(field(*c, "mu_")->is_mutex);
+  EXPECT_TRUE(field(*c, "mu_")->is_mutable);
+  EXPECT_EQ(c->mutexes, std::vector<std::string>{"mu_"});
+  ASSERT_NE(field(*c, "hits_"), nullptr);
+  EXPECT_EQ(field(*c, "hits_")->guarded_by, "mu_");
+  ASSERT_NE(field(*c, "entries_"), nullptr);
+  EXPECT_EQ(field(*c, "entries_")->guarded_by, "mu_");
+  EXPECT_NE(field(*c, "entries_")->type.find("map"), std::string::npos);
+  ASSERT_NE(field(*c, "probes_"), nullptr);
+  EXPECT_TRUE(field(*c, "probes_")->guarded_by.empty());
+  ASSERT_NE(field(*c, "kMax"), nullptr);
+  EXPECT_TRUE(field(*c, "kMax")->is_static);
+  ASSERT_NE(field(*c, "tag_"), nullptr);
+  EXPECT_TRUE(field(*c, "tag_")->is_const);
+  // Member functions don't become fields.
+  EXPECT_EQ(field(*c, "lookup"), nullptr);
+}
+
+TEST(Typescan, NestedClassesGetQualifiedNames) {
+  auto v = scan(R"(
+class Outer {
+  struct Shard {
+    mutable util::SharedMutex mu;
+    int map SACK_GUARDED_BY(mu);
+  };
+  Shard shards_[4];
+};
+)");
+  const ClassDecl* s = cls(v, "Outer::Shard");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->mutexes, std::vector<std::string>{"mu"});
+  ASSERT_NE(cls(v, "Outer"), nullptr);
+}
+
+TEST(Typescan, OutOfLineNestedDefinitionIsNotTheOuterClass) {
+  // `class Outer::Inner : ... { ... }` in a .cpp must register as
+  // Outer::Inner — it used to shadow Outer and hide its real fields.
+  auto v = scan(R"(
+class Outer::Inner final : public Base {
+ public:
+  int read();
+ private:
+  int inner_field_ = 0;
+};
+)");
+  EXPECT_EQ(cls(v, "Outer"), nullptr);
+  const ClassDecl* in = cls(v, "Outer::Inner");
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(field(*in, "inner_field_"), nullptr);
+}
+
+TEST(Typescan, MemberFunctionBodiesAndCtorInitListsAreSkipped) {
+  auto v = scan(R"(
+class Ring {
+ public:
+  Ring() : head_(0), buf_{1, 2}, mu_() {}
+  int pop() {
+    util::MutexLock l(mu_);
+    int fake_field_;
+    return head_;
+  }
+ private:
+  util::Mutex mu_;
+  int head_ SACK_GUARDED_BY(mu_);
+  std::vector<int> buf_ SACK_GUARDED_BY(mu_);
+};
+)");
+  const ClassDecl* c = cls(v, "Ring");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(field(*c, "fake_field_"), nullptr);
+  ASSERT_NE(field(*c, "head_"), nullptr);
+  EXPECT_EQ(field(*c, "head_")->guarded_by, "mu_");
+  ASSERT_NE(field(*c, "buf_"), nullptr);
+}
+
+// --- raw-text fault scanning ----------------------------------------------
+
+TEST(FaultScan, FindsProbesIncludingMultiLineCalls) {
+  auto probes = scan_fault_probes(
+      "if (util::FaultInjector::instance().fire(\"a.site\")) return;\n"
+      "auto e = fi.fail_errno(\n"
+      "    \"b.site\", detail);\n"
+      "fi.register_site(\"c.site\", \"desc\");\n");
+  ASSERT_EQ(probes.size(), 3u);
+  EXPECT_EQ(probes[0].site, "a.site");
+  EXPECT_EQ(probes[0].line, 1);
+  EXPECT_EQ(probes[1].site, "b.site");
+  EXPECT_EQ(probes[1].line, 2);  // provenance is the call, not the string
+  EXPECT_EQ(probes[2].site, "c.site");
+}
+
+TEST(FaultScan, IgnoresCommentsAndUnrelatedStrings) {
+  auto probes = scan_fault_probes(
+      "// fire(\"commented.site\")\n"
+      "/* fail_errno(\"blocked.site\") */\n"
+      "log(\"fire\");\n"
+      "const char* s = \"fire(\\\"in.string\\\")\";\n"
+      "backfire(\"not.a.probe\");\n");
+  EXPECT_TRUE(probes.empty());
+}
+
+TEST(FaultScan, ParsesTheBuiltinSiteCatalogue) {
+  auto sites = scan_fault_registry(
+      "struct E { const char* n; const char* d; };\n"
+      "constexpr E kBuiltinSites[] = {\n"
+      "    {\"x.one\", \"first\"},\n"
+      "    // a comment between entries\n"
+      "    {\"x.two\", \"second\"},\n"
+      "};\n");
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0].site, "x.one");
+  EXPECT_EQ(sites[0].line, 3);
+  EXPECT_EQ(sites[1].site, "x.two");
+  EXPECT_EQ(sites[1].line, 5);
+}
+
+// --- pass 1: lockset / annotation drift -----------------------------------
+
+const char* kGuardedManifest = R"(
+[racecheck]
+sources = ["src"]
+lockfree_types = ["atomic"]
+exempt_contexts = ["main", "single_threaded_init"]
+
+[guarded.cache]
+class = "Cache"
+mutexes = ["mu_"]
+)";
+
+TEST(RacecheckGuarded, CleanClassPasses) {
+  RacecheckResult r = run_racecheck_on_sources(
+      kGuardedManifest, "m.toml",
+      {{"src/cache.h", R"(
+class Cache {
+ public:
+  int lookup() const;
+ private:
+  mutable util::Mutex mu_;
+  int hits_ SACK_GUARDED_BY(mu_) = 0;
+  std::atomic<int> probes_{0};
+};
+)"},
+       {"src/cache.cpp", R"(
+int Cache::lookup() const {
+  util::MutexLock lock(mu_);
+  return hits_;
+}
+)"}});
+  EXPECT_EQ(r.errors(), 0u) << render_racecheck_text(r);
+  EXPECT_EQ(r.stats.guarded_fields, 1u);
+}
+
+TEST(RacecheckGuarded, UnannotatedAndDriftedFieldsAreFound) {
+  RacecheckResult r = run_racecheck_on_sources(
+      kGuardedManifest, "m.toml",
+      {{"src/cache.h", R"(
+class Cache {
+ private:
+  mutable util::Mutex mu_;
+  int hits_ SACK_GUARDED_BY(other_mu_) = 0;
+  int entries_ = 0;
+};
+)"}});
+  EXPECT_TRUE(has(r, "annotation-drift", "src/cache.h", "other_mu_"));
+  EXPECT_TRUE(has(r, "unannotated-field", "src/cache.h", "entries_"));
+  EXPECT_EQ(r.errors(), 2u);
+}
+
+TEST(RacecheckGuarded, UnlockedAccessReachableFromUnlockedRootIsFound) {
+  RacecheckResult r = run_racecheck_on_sources(
+      kGuardedManifest, "m.toml",
+      {{"src/cache.h", R"(
+class Cache {
+ public:
+  int lookup() const;
+  int peek() const;
+ private:
+  mutable util::Mutex mu_;
+  int hits_ SACK_GUARDED_BY(mu_) = 0;
+};
+)"},
+       {"src/cache.cpp", R"(
+int Cache::lookup() const {
+  util::MutexLock lock(mu_);
+  return hits_;
+}
+int Cache::peek() const { return hits_; }
+)"},
+       {"src/driver.cpp", R"(
+int poll_cache(const Cache& c) { return c.peek(); }
+)"}});
+  // peek() touches hits_ without mu_, reachable from poll_cache (not exempt).
+  EXPECT_TRUE(has(r, "unlocked-access", "src/cache.cpp", "poll_cache"));
+}
+
+TEST(RacecheckGuarded, LockHoldersAnnotatedHelpersAndExemptRootsPass) {
+  RacecheckResult r = run_racecheck_on_sources(
+      kGuardedManifest, "m.toml",
+      {{"src/cache.h", R"(
+class Cache {
+ public:
+  int lookup() const;
+  int init_only() const;
+ private:
+  int unlocked_sum() const SACK_REQUIRES(mu_);
+  mutable util::Mutex mu_;
+  int hits_ SACK_GUARDED_BY(mu_) = 0;
+};
+)"},
+       {"src/cache.cpp", R"(
+int Cache::unlocked_sum() const { return hits_; }
+int Cache::lookup() const {
+  util::MutexLock lock(mu_);
+  return unlocked_sum();
+}
+int Cache::init_only() const { return hits_; }
+)"},
+       {"src/driver.cpp", R"(
+int single_threaded_init(Cache& c) { return c.init_only(); }
+)"}});
+  // unlocked_sum is SACK_REQUIRES-annotated and only called under the lock;
+  // init_only is reachable only from an exempt root.
+  EXPECT_EQ(r.errors(), 0u) << render_racecheck_text(r);
+}
+
+TEST(RacecheckGuarded, UnknownClassOrLockIsAManifestError) {
+  RacecheckResult r = run_racecheck_on_sources(
+      kGuardedManifest, "m.toml", {{"src/other.h", "class NotCache {};\n"}});
+  EXPECT_TRUE(has(r, "manifest-error", "m.toml", "unknown class 'Cache'"));
+
+  RacecheckResult q = run_racecheck_on_sources(
+      kGuardedManifest, "m.toml",
+      {{"src/cache.h", "class Cache { int x_ = 0; };\n"}});
+  EXPECT_TRUE(has(q, "manifest-error", "m.toml", "no lock field 'mu_'"));
+}
+
+// --- pass 2: RCU snapshot discipline --------------------------------------
+
+const char* kRcuManifest = R"(
+[racecheck]
+sources = ["src"]
+
+[rcu.gate]
+cell = "snap_"
+class = "Gate"
+immutable = true
+)";
+
+const char* kGateHeader = R"(
+class Gate {
+ public:
+  bool admits(int rule) const;
+ private:
+  util::RcuPtr<const Snap> snap_;
+  const int* cached_ = nullptr;
+};
+)";
+
+TEST(RacecheckRcu, SingleLoadDecisionPasses) {
+  RacecheckResult r = run_racecheck_on_sources(
+      kRcuManifest, "m.toml",
+      {{"src/gate.h", kGateHeader},
+       {"src/gate.cpp", R"(
+bool Gate::admits(int rule) const {
+  auto s = snap_.load();
+  if (!s) return false;
+  return s->rules[0] <= rule;
+}
+)"}});
+  EXPECT_EQ(r.errors(), 0u) << render_racecheck_text(r);
+  EXPECT_EQ(r.stats.rcu_cells, 1u);
+}
+
+TEST(RacecheckRcu, DoubleLoadInOneScopeIsFound) {
+  RacecheckResult r = run_racecheck_on_sources(
+      kRcuManifest, "m.toml",
+      {{"src/gate.h", kGateHeader},
+       {"src/gate.cpp", R"(
+bool Gate::admits(int rule) const {
+  auto a = snap_.load();
+  auto b = snap_.load();
+  return a && b;
+}
+)"}});
+  EXPECT_TRUE(has(r, "rcu-double-load", "src/gate.cpp", "2 snapshots"));
+}
+
+TEST(RacecheckRcu, ReturnedAndStoredRawDerivationsAreEscapes) {
+  RacecheckResult r = run_racecheck_on_sources(
+      kRcuManifest, "m.toml",
+      {{"src/gate.h", kGateHeader},
+       {"src/gate.cpp", R"(
+const int* Gate::view() const {
+  auto s = snap_.load();
+  return s->rules.data();
+}
+void Gate::warm() {
+  auto s = snap_.load();
+  cached_ = s->rules.data();
+}
+)"}});
+  EXPECT_TRUE(has(r, "rcu-escape", "src/gate.cpp", "returns a raw pointer"));
+  EXPECT_TRUE(has(r, "rcu-escape", "src/gate.cpp", "stores a raw pointer"));
+}
+
+TEST(RacecheckRcu, ValueReturnsAndSharedPtrReturnsAreNotEscapes) {
+  RacecheckResult r = run_racecheck_on_sources(
+      kRcuManifest, "m.toml",
+      {{"src/gate.h", kGateHeader},
+       {"src/gate.cpp", R"(
+int Gate::count() const {
+  auto s = snap_.load();
+  return s->rules.size();
+}
+std::shared_ptr<const Snap> Gate::snapshot() const { return snap_.load(); }
+)"}});
+  EXPECT_EQ(r.errors(), 0u) << render_racecheck_text(r);
+}
+
+TEST(RacecheckRcu, MutationThroughImmutableSnapshotIsFound) {
+  RacecheckResult r = run_racecheck_on_sources(
+      kRcuManifest, "m.toml",
+      {{"src/gate.h", kGateHeader},
+       {"src/gate.cpp", R"(
+void Gate::poison() {
+  auto s = snap_.load();
+  s->rules.push_back(1);
+}
+)"}});
+  EXPECT_TRUE(has(r, "rcu-mutation", "src/gate.cpp", "push_back"));
+}
+
+TEST(RacecheckRcu, ExemptionsSilenceNamedFunctions) {
+  std::string manifest = std::string(kRcuManifest) +
+                         "exempt_double_load = [\"dump: diagnostics only\"]\n";
+  RacecheckResult r = run_racecheck_on_sources(
+      manifest, "m.toml",
+      {{"src/gate.h", kGateHeader},
+       {"src/gate.cpp", R"(
+void Gate::dump() const {
+  auto a = snap_.load();
+  auto b = snap_.load();
+  use(a, b);
+}
+)"}});
+  EXPECT_EQ(r.errors(), 0u) << render_racecheck_text(r);
+}
+
+// --- pass 3: atomics + fault registry -------------------------------------
+
+TEST(RacecheckAtomics, RelaxedPublicationOutsideAllowlistIsFound) {
+  const char* manifest = R"(
+[racecheck]
+sources = ["src"]
+[atomics]
+relaxed_ok = ["hits_: stat counter"]
+)";
+  RacecheckResult r = run_racecheck_on_sources(
+      manifest, "m.toml",
+      {{"src/mod.cpp", R"(
+void Mod::publish() {
+  ready_.store(true, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  gen_.store(next, std::memory_order_release);
+  word_.store(pack(gen_.load(std::memory_order_relaxed), tok),
+              std::memory_order_release);
+}
+)"}});
+  // ready_ is flagged; hits_ is allowlisted; the release stores are fine —
+  // including the one whose *argument* contains a nested relaxed load.
+  EXPECT_TRUE(has(r, "relaxed-publication", "src/mod.cpp", "ready_"));
+  EXPECT_EQ(r.errors(), 1u) << render_racecheck_text(r);
+}
+
+TEST(RacecheckFault, UnknownAndUnprobedSitesAreDrift) {
+  const char* manifest = R"(
+[racecheck]
+sources = ["src"]
+[fault_sites]
+registry = "src/fault.cpp"
+external = ["ext.site: armed by an out-of-tree harness"]
+)";
+  RacecheckResult r = run_racecheck_on_sources(
+      manifest, "m.toml",
+      {{"src/fault.cpp",
+        "constexpr E kBuiltinSites[] = {\n"
+        "    {\"known.site\", \"d\"},\n"
+        "    {\"stale.site\", \"d\"},\n"
+        "    {\"ext.site\", \"d\"},\n"
+        "};\n"},
+       {"src/probe.cpp",
+        "void f() {\n"
+        "  fi.fire(\"known.site\");\n"
+        "  fi.fire(\"typo.site\");\n"
+        "}\n"}});
+  EXPECT_TRUE(has(r, "unknown-fault-site", "src/probe.cpp", "typo.site"));
+  EXPECT_TRUE(has(r, "unprobed-fault-site", "src/fault.cpp", "stale.site"));
+  EXPECT_EQ(r.errors(), 2u) << render_racecheck_text(r);
+}
+
+// --- drivers and rendering ------------------------------------------------
+
+TEST(RacecheckDriver, ManifestDiagnosticsBecomeFindingsNotCrashes) {
+  RacecheckResult r = run_racecheck_on_sources(
+      "[guarded.c]\nmutexes = [\"mu_\"]\n", "bad.toml", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.errors(), 1u);
+  EXPECT_TRUE(has(r, "manifest-error", "bad.toml", "missing class"));
+  for (const auto& f : r.findings) EXPECT_GT(f.line, 0);
+}
+
+TEST(RacecheckDriver, RendersTextAndJson) {
+  RacecheckResult r = run_racecheck_on_sources(
+      kGuardedManifest, "m.toml",
+      {{"src/cache.h",
+        "class Cache {\n"
+        "  mutable util::Mutex mu_;\n"
+        "  int entries_ = 0;\n"
+        "};\n"}});
+  std::string text = render_racecheck_text(r);
+  EXPECT_NE(text.find("src/cache.h:3: error: [unannotated-field]"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("racecheck: 1 error(s)"), std::string::npos);
+  std::string json = render_racecheck_json(r);
+  EXPECT_NE(json.find("\"class\": \"unannotated-field\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"src/cache.h\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sack::analysis

@@ -384,5 +384,87 @@ TEST(SfiConcurrency, SwapAndSituationRaceTransitions) {
   EXPECT_GE(module.generation(), 1u);
 }
 
+
+TEST(SfiConcurrency, OverlayTokenRepairedAcrossPolicyReload) {
+  // Regression for the generation/token pairing fix: reloading the policy
+  // mints a new ProgramSet (and new token numbering) — the overlay must
+  // keep denying under the active situation, re-paired with the new
+  // generation, not go dead (or worse, consult a stale row).
+  SfiModule module;
+  const std::string policy = R"(profile /usr/bin/worker {
+    states { s }
+    initial s;
+    flows { * -> * on *; }
+    situation a_sit { deny sys_write; }
+    situation driving { deny sys_read; }
+  })";
+  ASSERT_TRUE(module.load_policy_text(policy).ok());
+  module.set_situation("driving");
+
+  Task task(Pid(2000), Pid(1), "worker", Cred::root());
+  task.set_exe_path("/usr/bin/worker");
+  EXPECT_EQ(module.task_syscall(task, "sys_read"), Errno::eacces);
+
+  // Generation bump: the task's blob reattaches, and the freshly minted
+  // token must pair with the new set.
+  ASSERT_TRUE(module.load_policy_text(policy).ok());
+  EXPECT_EQ(module.task_syscall(task, "sys_read"), Errno::eacces);
+  EXPECT_EQ(module.task_syscall(task, "sys_open"), Errno::ok);
+  module.task_free(task);
+}
+
+TEST(SfiConcurrency, SituationTokenNeverPairsAcrossGenerations) {
+  // TSan target + functional race regression. Two policies give the
+  // "driving" situation DIFFERENT token indexes, and the row at the other
+  // policy's index denies sys_read — so if a reader ever pairs a token
+  // from generation N with a ProgramSet from generation M != N, an issued
+  // syscall is spuriously denied. The packed generation+token word makes
+  // that pairing impossible: on a mismatch the overlay is skipped.
+  const std::string policy_a = R"(profile /usr/bin/worker {
+    states { s }
+    initial s;
+    flows { * -> * on *; }
+    situation a_sit { deny sys_read; }
+    situation driving { deny sys_capset_drop; }
+  })";
+  const std::string policy_b = R"(profile /usr/bin/worker {
+    states { s }
+    initial s;
+    flows { * -> * on *; }
+    situation driving { deny sys_capset_drop; }
+    situation z_sit { deny sys_read; }
+  })";
+  SfiModule module;
+  ASSERT_TRUE(module.load_policy_text(policy_a).ok());
+  module.set_situation("driving");
+
+  constexpr int kReaders = 4;
+  constexpr int kSwaps = 3000;
+  std::atomic<std::uint64_t> spurious{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Task task(Pid(3000 + t), Pid(1), "worker", Cred::root());
+      task.set_exe_path("/usr/bin/worker");
+      while (!done.load(std::memory_order_acquire)) {
+        // Only sys_capset_drop is overlay-denied in BOTH generations'
+        // "driving" rows; sys_read is denied only at the mismatched index.
+        if (module.task_syscall(task, "sys_read") != Errno::ok)
+          spurious.fetch_add(1);
+      }
+      module.task_free(task);
+    });
+  }
+  for (int i = 0; i < kSwaps; ++i)
+    ASSERT_TRUE(module.load_policy_text(i % 2 ? policy_b : policy_a).ok());
+  done.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(spurious.load(), 0u);
+}
+
 }  // namespace
 }  // namespace sack::sfi

@@ -1,0 +1,74 @@
+// sack-racecheck: static concurrency-discipline analyzer.
+//
+//   sack-racecheck [options]
+//
+//   --root DIR        repository root to scan (default: .)
+//   --manifest FILE   concurrency contract
+//                     (default: <root>/docs/concurrency_manifest.toml)
+//   --json            machine-readable report
+//   --quiet           suppress the report, keep only the exit status
+//
+// The analyzer parses the sources named by the manifest, reconstructs class
+// layouts and the cross-TU call graph, and enforces the declared concurrency
+// contract: lockset/annotation drift on guarded classes, RCU snapshot
+// discipline (single load per decision scope, no raw-pointer lifetime
+// escapes, no writes through immutable snapshots), relaxed-atomics
+// publication lint, and fault-site registry drift.
+//
+// Exit status: 0 when the tree has no error-class findings, 1 when it does
+// (including manifest diagnostics, which carry file:line provenance), 2 on
+// usage / IO problems. Same CI-gate contract as sack-verify/sack-hookcheck.
+#include <cstdio>
+#include <string>
+
+#include "analysis/racecheck.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--manifest FILE] [--json] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string manifest;
+  bool json = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      root = argv[i];
+    } else if (arg == "--manifest") {
+      if (++i >= argc) return usage(argv[0]);
+      manifest = argv[i];
+    } else {
+      std::fprintf(stderr, "sack-racecheck: unknown argument '%s'\n",
+                   arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (manifest.empty()) manifest = root + "/docs/concurrency_manifest.toml";
+
+  auto result = sack::analysis::run_racecheck(root, manifest);
+  if (!result.ok()) {
+    std::fprintf(stderr, "sack-racecheck: %s\n", result.fatal.c_str());
+    return 2;
+  }
+  if (!quiet) {
+    std::string report = json ? sack::analysis::render_racecheck_json(result)
+                              : sack::analysis::render_racecheck_text(result);
+    std::fputs(report.c_str(), stdout);
+  }
+  return result.errors() > 0 ? 1 : 0;
+}
